@@ -1,0 +1,304 @@
+// Section 7.2 reproduction: the attack discussion as an executable matrix. Each bug
+// class from the paper is injected into the hasher HSM (software bugs as mutated
+// implementations, firmware bugs as source overrides, hardware bugs as CPU
+// configuration), and the matrix reports which layer of the verification stack
+// catches it — which must match the paper's attribution.
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/knox2/cosim.h"
+#include "src/knox2/emulator.h"
+#include "src/knox2/leakage.h"
+#include "src/platform/firmware.h"
+#include "src/starling/starling.h"
+#include "src/support/rng.h"
+
+using namespace parfait;
+
+namespace {
+
+using hsm::App;
+using hsm::HsmBuildOptions;
+using hsm::HsmSystem;
+
+// A wrapper that overrides the byte-level implementation with a buggy variant
+// (software bug classes are caught by Starling against the unchanged specification).
+class MutantApp : public App {
+ public:
+  using Handler = std::function<void(uint8_t*, uint8_t*, uint8_t*)>;
+  MutantApp(const App& base, Handler handler) : base_(&base), handler_(std::move(handler)) {}
+
+  const char* name() const override { return base_->name(); }
+  size_t state_size() const override { return base_->state_size(); }
+  size_t command_size() const override { return base_->command_size(); }
+  size_t response_size() const override { return base_->response_size(); }
+  Bytes InitStateEncoded() const override { return base_->InitStateEncoded(); }
+  std::optional<std::pair<Bytes, Bytes>> SpecStepEncoded(const Bytes& s,
+                                                         const Bytes& c) const override {
+    return base_->SpecStepEncoded(s, c);
+  }
+  Bytes EncodeResponseNone() const override { return base_->EncodeResponseNone(); }
+  void NativeHandle(uint8_t* state, uint8_t* cmd, uint8_t* resp) const override {
+    handler_(state, cmd, resp);
+  }
+  std::string FirmwareSources() const override { return base_->FirmwareSources(); }
+  Bytes RandomValidCommand(Rng& rng) const override { return base_->RandomValidCommand(rng); }
+  Bytes RandomInvalidCommand(Rng& rng) const override {
+    return base_->RandomInvalidCommand(rng);
+  }
+  std::vector<std::pair<uint32_t, uint32_t>> SecretStateRanges() const override {
+    return base_->SecretStateRanges();
+  }
+
+ private:
+  const App* base_;
+  Handler handler_;
+};
+
+struct MatrixRow {
+  std::string bug;
+  std::string expected_catcher;
+  bool caught;
+  std::string how;
+};
+
+std::vector<MatrixRow> g_rows;
+
+void Report(const std::string& bug, const std::string& expected, bool caught,
+            const std::string& how) {
+  g_rows.push_back({bug, expected, caught, how});
+}
+
+const char* kLeakyHandleHeader = R"(
+void handle(u8 *state, u8 *cmd, u8 *resp) {
+  for (u32 i = 0; i < RESPONSE_SIZE; i = i + 1) { resp[i] = 0; }
+  u32 tag = (u32)cmd[0];
+  if (tag == 1) {
+    for (u32 i = 0; i < 32; i = i + 1) { state[i] = cmd[1 + i]; }
+    resp[0] = 1;
+    return;
+  }
+)";
+
+std::string HasherVariant(const std::string& hash_tag_body) {
+  return platform::ReadFirmwareFile("hash.c") + kLeakyHandleHeader + hash_tag_body + "\n}\n";
+}
+
+}  // namespace
+
+int main() {
+  bench::Header("Section 7.2: attack matrix — injected bugs vs the checker that catches them");
+  const App& hasher = hsm::HasherApp();
+  Rng rng(2026);
+
+  // 1. Software logic bug: Initialize drops the last secret byte.
+  {
+    MutantApp mutant(hasher, [&](uint8_t* state, uint8_t* cmd, uint8_t* resp) {
+      hasher.NativeHandle(state, cmd, resp);
+      if (cmd[0] == 1) {
+        state[31] = 0;  // The bug.
+      }
+    });
+    auto report = starling::CheckApp(mutant);
+    Report("software logic bug (state update wrong)", "Starling", !report.ok, report.failure);
+  }
+
+  // 2. Buffer overflow: handle writes one byte past the response buffer.
+  {
+    MutantApp mutant(hasher, [&](uint8_t* state, uint8_t* cmd, uint8_t* resp) {
+      hasher.NativeHandle(state, cmd, resp);
+      resp[hasher.response_size()] = 0x41;  // The bug.
+    });
+    auto report = starling::CheckApp(mutant);
+    Report("buffer overflow (OOB write)", "Starling (memory safety)", !report.ok,
+           report.failure);
+  }
+
+  // 3. Software-level leakage: invalid commands reveal the secret's parity in the
+  //    error response.
+  {
+    MutantApp mutant(hasher, [&](uint8_t* state, uint8_t* cmd, uint8_t* resp) {
+      hasher.NativeHandle(state, cmd, resp);
+      if (cmd[0] != 1 && cmd[0] != 2) {
+        resp[1] = static_cast<uint8_t>(state[0] & 1);  // The bug.
+      }
+    });
+    auto report = starling::CheckApp(mutant);
+    Report("software-level leakage (error code reveals state)", "Starling", !report.ok,
+           report.failure);
+  }
+
+  // 4. Timing leakage from branching on a secret (firmware-level): early exit when the
+  //    secret starts with a zero byte.
+  {
+    HsmBuildOptions options;
+    options.source_override = HasherVariant(R"(
+  if (tag == 2) {
+    u8 digest[32];
+    if (state[0] == 0) {
+      for (u32 i = 0; i < 32; i = i + 1) { digest[i] = 0; }
+    } else {
+      hmac_blake2s(digest, state, cmd + 1, 32);
+    }
+    resp[0] = 2;
+    for (u32 i = 0; i < 32; i = i + 1) { resp[1 + i] = digest[i]; }
+    return;
+  })");
+    HsmSystem system(hasher, options);
+    Bytes a(hasher.state_size(), 0);
+    Bytes b(hasher.state_size(), 1);
+    Bytes cmd(hasher.command_size(), 3);
+    cmd[0] = 2;
+    auto result = knox2::CheckSelfComposition(system, a, b, {cmd});
+    Report("timing leak: branch on secret", "Knox2 (self-composition)", !result.ok,
+           result.divergence);
+  }
+
+  // 5. Compiler-introduced timing leakage: an "optimized" early-exit comparison
+  //    against the secret (the memcmp-style bug).
+  {
+    HsmBuildOptions options;
+    options.source_override = HasherVariant(R"(
+  if (tag == 2) {
+    u32 match = 1;
+    for (u32 i = 0; i < 32; i = i + 1) {
+      if (state[i] != cmd[1 + i]) { match = 0; break; }  /* early exit */
+    }
+    resp[0] = 2;
+    resp[1] = (u8)match;
+    return;
+  })");
+    HsmSystem system(hasher, options);
+    Rng local(1);
+    Bytes a = local.RandomBytes(hasher.state_size());
+    Bytes b = a;
+    b[0] ^= 0xff;  // Differ in the first byte -> earliest exit.
+    Bytes cmd(hasher.command_size(), 0);
+    cmd[0] = 2;
+    for (size_t i = 1; i < cmd.size(); i++) {
+      cmd[i] = a[i - 1];  // Matches state a, mismatches b immediately.
+    }
+    auto result = knox2::CheckSelfComposition(system, a, b, {cmd});
+    Report("timing leak: early-exit compare (memcmp)", "Knox2 (self-composition)",
+           !result.ok, result.divergence);
+  }
+
+  // 6. Hardware-level timing leakage: variable-latency multiplier on secret operands.
+  {
+    HsmBuildOptions options;
+    options.variable_latency_mul = true;
+    options.source_override = HasherVariant(R"(
+  if (tag == 2) {
+    u32 s = ((u32)state[0] << 24) | ((u32)state[1] << 16) | ((u32)state[2] << 8)
+            | (u32)state[3];
+    u32 acc = 0;
+    for (u32 i = 0; i < 32; i = i + 1) { acc = acc + s * (u32)cmd[1 + i]; }
+    resp[0] = 2;
+    resp[1] = (u8)acc;
+    return;
+  })");
+    HsmSystem system(hasher, options);
+    Bytes a(hasher.state_size(), 0);
+    a[3] = 1;
+    Bytes b(hasher.state_size(), 0xff);
+    Bytes cmd(hasher.command_size(), 7);
+    cmd[0] = 2;
+    auto result = knox2::CheckSelfComposition(system, a, b, {cmd});
+    Report("timing leak: variable-latency multiplier", "Knox2 (self-composition)",
+           !result.ok, result.divergence);
+  }
+
+  // 7. Stack overflow: recursion that fits the abstract machine's unbounded stack but
+  //    overruns the SoC's bounded RAM.
+  {
+    HsmBuildOptions options;
+    options.source_override = HasherVariant(R"(
+  if (tag == 2) {
+    resp[0] = 2;
+    resp[1] = (u8)deep(300);
+    return;
+  })");
+    // Prepend the recursive helper before handle().
+    options.source_override = platform::ReadFirmwareFile("hash.c") + R"(
+u32 deep(u32 n) {
+  u32 scratch[256];
+  scratch[0] = n;
+  scratch[255] = n;
+  if (n == 0) { return 0; }
+  return deep(n - 1) + scratch[0] + scratch[255];
+}
+)" + kLeakyHandleHeader + R"(
+  if (tag == 2) {
+    resp[0] = 2;
+    resp[1] = (u8)deep(300);
+    return;
+  }
+}
+)";
+    HsmSystem system(hasher, options);
+    Rng local(2);
+    Bytes state = local.RandomBytes(hasher.state_size());
+    Bytes cmd(hasher.command_size(), 0);
+    cmd[0] = 2;
+    auto result = knox2::CosimHandleStep(system, state, cmd);
+    Report("stack overflow (bounded SoC RAM vs unbounded Asm stack)", "Knox2 (cosim)",
+           !result.ok, result.divergence);
+  }
+
+  // 8. I/O bug in the system software: write_response flips a bit of every byte.
+  {
+    std::string buggy_sys = platform::ReadFirmwareFile("sys.c");
+    size_t pos = buggy_sys.find("*(volatile u32 *)UART_TXDATA = (u32)resp[i];");
+    buggy_sys.replace(pos, std::string("*(volatile u32 *)UART_TXDATA = (u32)resp[i];").size(),
+                      "*(volatile u32 *)UART_TXDATA = (u32)resp[i] ^ 1;");
+    HsmBuildOptions options;
+    options.sys_source_override = buggy_sys;
+    HsmSystem system(hasher, options);
+    Rng local(3);
+    Bytes state = local.RandomBytes(hasher.state_size());
+    Bytes cmd = hasher.RandomValidCommand(local);
+    auto result = knox2::CosimHandleStep(system, state, cmd);
+    Report("I/O bug in system software (wrong output encoding)", "Knox2 (wire check)",
+           !result.ok, result.divergence);
+  }
+
+  // 9. Pipeline hazard in the CPU: missing load-use forwarding.
+  {
+    HsmBuildOptions options;
+    options.load_use_hazard_bug = true;
+    HsmSystem system(hasher, options);
+    Rng local(4);
+    Bytes state = local.RandomBytes(hasher.state_size());
+    Bytes cmd = hasher.RandomValidCommand(local);
+    auto result = knox2::CosimHandleStep(system, state, cmd);
+    Report("pipeline hazard in the CPU (missing forwarding)", "Knox2 (cosim)", !result.ok,
+           result.divergence);
+  }
+
+  // 10. The unmodified HSM: every checker must pass (no false positives).
+  {
+    HsmSystem system(hasher, HsmBuildOptions{});
+    Rng local(5);
+    Bytes state = local.RandomBytes(hasher.state_size());
+    Bytes cmd = hasher.RandomValidCommand(local);
+    auto starling_report = starling::CheckApp(hasher);
+    auto cosim = knox2::CosimHandleStep(system, state, cmd);
+    Bytes variant = knox2::MakeSecretVariant(hasher, state, local);
+    auto selfcomp = knox2::CheckSelfComposition(system, state, variant, {cmd});
+    bool clean = starling_report.ok && cosim.ok && selfcomp.ok;
+    Report("(control) unmodified HSM", "none — all checks pass", clean,
+           clean ? "all green" : "FALSE POSITIVE");
+  }
+
+  std::printf("%-55s %-30s %s\n", "Injected bug (§7.2 class)", "Catching checker", "Caught");
+  bool all_ok = true;
+  for (const auto& row : g_rows) {
+    std::printf("%-55s %-30s %s\n", row.bug.c_str(), row.expected_catcher.c_str(),
+                row.caught ? "YES" : "NO  <-- PROBLEM");
+    all_ok = all_ok && row.caught;
+  }
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,32 @@
+// Shared helpers for the table-reproduction benchmark binaries.
+#ifndef PARFAIT_BENCH_BENCH_UTIL_H_
+#define PARFAIT_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+namespace parfait::bench {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+inline void Header(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void PaperNote(const std::string& note) {
+  std::printf("    (paper: %s)\n", note.c_str());
+}
+
+}  // namespace parfait::bench
+
+#endif  // PARFAIT_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,112 @@
+// Microbenchmarks for the host crypto substrate (google-benchmark).
+#include <benchmark/benchmark.h>
+
+#include "src/crypto/blake2s.h"
+#include "src/crypto/ecdsa.h"
+#include "src/crypto/hmac.h"
+#include "src/crypto/p256.h"
+#include "src/crypto/sha256.h"
+#include "src/support/rng.h"
+
+namespace parfait::crypto {
+namespace {
+
+void BM_Sha256(benchmark::State& state) {
+  Rng rng(1);
+  Bytes data = rng.RandomBytes(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256::Hash(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_Blake2s(benchmark::State& state) {
+  Rng rng(2);
+  Bytes data = rng.RandomBytes(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Blake2s::Hash(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Blake2s)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_HmacSha256(benchmark::State& state) {
+  Rng rng(3);
+  Bytes key = rng.RandomBytes(32);
+  Bytes data = rng.RandomBytes(64);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HmacSha256(key, data));
+  }
+}
+BENCHMARK(BM_HmacSha256);
+
+void BM_MontMul(benchmark::State& state) {
+  const P256& curve = P256::Get();
+  Rng rng(4);
+  Bn256 a;
+  Bn256 b;
+  for (auto& l : a.limb) l = rng.Next32();
+  for (auto& l : b.limb) l = rng.Next32();
+  a = curve.field().Reduce(a);
+  b = curve.field().Reduce(b);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(curve.field().Mul(a, b));
+  }
+}
+BENCHMARK(BM_MontMul);
+
+void BM_P256ScalarBaseMul(benchmark::State& state) {
+  const P256& curve = P256::Get();
+  Rng rng(5);
+  Bn256 k;
+  for (auto& l : k.limb) l = rng.Next32();
+  k = curve.scalar().Reduce(k);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(curve.ScalarBaseMul(k));
+  }
+}
+BENCHMARK(BM_P256ScalarBaseMul);
+
+void BM_EcdsaSign(benchmark::State& state) {
+  Rng rng(6);
+  std::array<uint8_t, 32> msg;
+  std::array<uint8_t, 32> key;
+  std::array<uint8_t, 32> nonce;
+  rng.Fill(msg);
+  rng.Fill(key);
+  rng.Fill(nonce);
+  key[0] &= 0x7f;
+  nonce[0] &= 0x7f;
+  for (auto _ : state) {
+    EcdsaSignature sig;
+    benchmark::DoNotOptimize(EcdsaSign(msg, key, nonce, &sig));
+  }
+}
+BENCHMARK(BM_EcdsaSign);
+
+void BM_EcdsaVerify(benchmark::State& state) {
+  Rng rng(7);
+  std::array<uint8_t, 32> msg;
+  std::array<uint8_t, 32> key;
+  std::array<uint8_t, 32> nonce;
+  rng.Fill(msg);
+  rng.Fill(key);
+  rng.Fill(nonce);
+  key[0] &= 0x7f;
+  nonce[0] &= 0x7f;
+  EcdsaSignature sig;
+  EcdsaSign(msg, key, nonce, &sig);
+  std::array<uint8_t, 32> px;
+  std::array<uint8_t, 32> py;
+  EcdsaPublicKey(key, px, py);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EcdsaVerify(msg, px, py, sig));
+  }
+}
+BENCHMARK(BM_EcdsaVerify);
+
+}  // namespace
+}  // namespace parfait::crypto
+
+BENCHMARK_MAIN();

@@ -1,0 +1,65 @@
+// Microbenchmarks for the simulation substrates: abstract-machine interpretation speed
+// and cycle-level SoC simulation throughput for both CPU models (this is the
+// denominator of Table 4's cycles/s column).
+#include <benchmark/benchmark.h>
+
+#include "src/hsm/hsm_system.h"
+#include "src/support/rng.h"
+
+namespace parfait {
+namespace {
+
+const hsm::HsmSystem& HasherSystem(soc::CpuKind cpu) {
+  static hsm::HsmSystem* ibex = new hsm::HsmSystem(hsm::HasherApp(), [] {
+    hsm::HsmBuildOptions o;
+    o.cpu = soc::CpuKind::kIbexLite;
+    return o;
+  }());
+  static hsm::HsmSystem* pico = new hsm::HsmSystem(hsm::HasherApp(), [] {
+    hsm::HsmBuildOptions o;
+    o.cpu = soc::CpuKind::kPicoLite;
+    return o;
+  }());
+  return cpu == soc::CpuKind::kIbexLite ? *ibex : *pico;
+}
+
+void BM_MachineInterpreter(benchmark::State& state) {
+  const auto& system = HasherSystem(soc::CpuKind::kIbexLite);
+  Rng rng(1);
+  Bytes st = rng.RandomBytes(32);
+  Bytes cmd = hsm::HasherApp().RandomValidCommand(rng);
+  cmd[0] = 2;
+  uint64_t instructions = 0;
+  for (auto _ : state) {
+    auto result = system.model_asm().Step(st, cmd, 100'000'000);
+    benchmark::DoNotOptimize(result.ok);
+    instructions += result.instret;
+  }
+  state.counters["instr/s"] =
+      benchmark::Counter(static_cast<double>(instructions), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_MachineInterpreter);
+
+void BM_SocCycles(benchmark::State& state) {
+  soc::CpuKind kind = state.range(0) == 0 ? soc::CpuKind::kIbexLite : soc::CpuKind::kPicoLite;
+  const auto& system = HasherSystem(kind);
+  Rng rng(2);
+  Bytes cmd = hsm::HasherApp().RandomValidCommand(rng);
+  uint64_t cycles = 0;
+  for (auto _ : state) {
+    auto soc = system.NewSoc();
+    soc::WireHost host(soc.get());
+    auto resp = host.Transact(cmd, hsm::HasherApp().response_size(), 50'000'000);
+    benchmark::DoNotOptimize(resp.has_value());
+    cycles += soc->cycles();
+  }
+  state.counters["cycles/s"] =
+      benchmark::Counter(static_cast<double>(cycles), benchmark::Counter::kIsRate);
+  state.SetLabel(soc::CpuKindName(kind));
+}
+BENCHMARK(BM_SocCycles)->Arg(0)->Arg(1);
+
+}  // namespace
+}  // namespace parfait
+
+BENCHMARK_MAIN();

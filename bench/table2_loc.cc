@@ -1,0 +1,76 @@
+// Table 2 reproduction: lines of code for the case studies. The paper counts the
+// spec, driver, app software, and platform hardware per HSM x platform; here the
+// corresponding artifacts of this repository are counted with the same breakdown.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/support/loc.h"
+
+using namespace parfait;
+
+namespace {
+
+std::string Src(const std::string& rel) { return std::string(PARFAIT_SOURCE_DIR) + "/" + rel; }
+
+size_t Loc(const std::vector<std::string>& rels) {
+  std::vector<std::string> paths;
+  for (const auto& r : rels) {
+    paths.push_back(Src(r));
+  }
+  size_t total = CountLocAll(paths);
+  if (total == 0) {
+    std::fprintf(stderr, "warning: no lines counted for %s\n", rels.front().c_str());
+  }
+  return total;
+}
+
+}  // namespace
+
+int main() {
+  bench::Header("Table 2: lines of code for case studies");
+
+  // Spec: the typed specification + codecs inside each app file (the app file also
+  // carries the implementation hooks; specs proper are the SpecStep/codec regions, so
+  // the whole file is an upper bound — reported as-is and noted).
+  size_t ecdsa_spec = Loc({"src/hsm/ecdsa_app.cc"});
+  size_t hasher_spec = Loc({"src/hsm/hasher_app.cc"});
+
+  // Driver: wire protocol + codecs shared across levels.
+  size_t driver = Loc({"src/soc/soc.cc"});  // WireHost = the circuit-level driver.
+
+  // Software: MiniC firmware (app + crypto substrate + system software).
+  size_t ecdsa_sw = Loc({"firmware/app_ecdsa.c", "firmware/p256.c", "firmware/hash.c",
+                         "firmware/sys.c", "firmware/boot.s"});
+  size_t hasher_sw = Loc({"firmware/app_hasher.c", "firmware/hash.c", "firmware/sys.c",
+                          "firmware/boot.s"});
+
+  // Hardware: the cycle-level platform models.
+  size_t ibex_hw = Loc({"src/soc/ibex_lite.cc", "src/soc/cpu_common.cc", "src/soc/bus.cc"});
+  size_t pico_hw = Loc({"src/soc/pico_lite.cc", "src/soc/cpu_common.cc", "src/soc/bus.cc"});
+
+  std::printf("%-18s %-8s %-8s %-10s %-10s %-10s\n", "HSM", "Spec", "Driver", "Platform",
+              "Software", "Hardware");
+  std::printf("%-18s %-8zu %-8zu %-10s %-10zu %-10zu\n", "ECDSA signer", ecdsa_spec, driver,
+              "IbexLite", ecdsa_sw, ibex_hw);
+  std::printf("%-18s %-8s %-8s %-10s %-10zu %-10zu\n", "", "", "", "PicoLite", ecdsa_sw,
+              pico_hw);
+  std::printf("%-18s %-8zu %-8zu %-10s %-10zu %-10zu\n", "Password hasher", hasher_spec,
+              driver, "IbexLite", hasher_sw, ibex_hw);
+  std::printf("%-18s %-8s %-8s %-10s %-10zu %-10zu\n", "", "", "", "PicoLite", hasher_sw,
+              pico_hw);
+
+  bench::PaperNote(
+      "ECDSA spec 40, hasher spec 30, drivers 100; ECDSA sw 2,300 / hasher sw 1,000; "
+      "Ibex hw 13,500 Verilog / PicoRV32 hw 3,000");
+  std::printf(
+      "Shape check: spec is 1-2 orders of magnitude smaller than the implementation it "
+      "covers, as in the paper.\n");
+  std::printf("  ECDSA: spec %zu vs sw+hw %zu (ratio 1:%.0f)\n", ecdsa_spec,
+              ecdsa_sw + ibex_hw, ecdsa_spec ? double(ecdsa_sw + ibex_hw) / ecdsa_spec : 0.0);
+  std::printf("  Hasher: spec %zu vs sw+hw %zu (ratio 1:%.0f)\n", hasher_spec,
+              hasher_sw + ibex_hw,
+              hasher_spec ? double(hasher_sw + ibex_hw) / hasher_spec : 0.0);
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Table 3 reproduction: software verification effort — per-app proof-artifact size and
+// the wall-clock time for machine verification of the lockstep property (Starling).
+// The paper reports 500/200 proof LoC and sub-minute verification; here "proof" is the
+// Starling harness plus the app's spec/codec artifact, and verification is the
+// property-check run.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/starling/starling.h"
+#include "src/support/loc.h"
+
+using namespace parfait;
+
+int main() {
+  bench::Header("Table 3: software verification effort (Starling)");
+
+  std::string base = std::string(PARFAIT_SOURCE_DIR) + "/";
+  size_t harness_loc = CountLoc(base + "src/starling/starling.cc") +
+                       CountLoc(base + "src/starling/starling.h");
+  size_t ecdsa_proof = CountLoc(base + "src/hsm/ecdsa_app.cc");
+  size_t hasher_proof = CountLoc(base + "src/hsm/hasher_app.cc");
+
+  std::printf("%-18s %-22s %-18s %s\n", "App", "Proof artifact (LoC)", "Checks run",
+              "Verification time");
+
+  {
+    starling::StarlingOptions options;
+    options.valid_trials = 12;
+    options.invalid_trials = 32;
+    options.sequence_trials = 2;
+    options.sequence_length = 4;
+    bench::Stopwatch timer;
+    auto report = starling::CheckApp(hsm::EcdsaApp(), options);
+    double secs = timer.Seconds();
+    std::printf("%-18s %-22zu %-18d %.2f s  [%s]\n", "ECDSA signer", ecdsa_proof,
+                report.checks_run, secs, report.ok ? "PASS" : report.failure.c_str());
+  }
+  {
+    bench::Stopwatch timer;
+    auto report = starling::CheckApp(hsm::HasherApp());
+    double secs = timer.Seconds();
+    std::printf("%-18s %-22zu %-18d %.2f s  [%s]\n", "Password hasher", hasher_proof,
+                report.checks_run, secs, report.ok ? "PASS" : report.failure.c_str());
+  }
+  std::printf("Shared Starling framework: %zu LoC\n", harness_loc);
+  bench::PaperNote(
+      "ECDSA 500 proof LoC; hasher 200 proof LoC, 2 developer-hours; machine "
+      "verification < 1 minute — shape: hasher artifact smaller than ECDSA, both verify "
+      "in well under a minute");
+  return 0;
+}

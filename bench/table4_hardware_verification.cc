@@ -1,0 +1,103 @@
+// Table 4 reproduction: hardware verification effort and verification time for all
+// four HSMs (two apps x two platforms). For each combination, Knox2 runs the
+// assembly-circuit co-simulation for one representative command plus the
+// self-composition leakage check; the table reports wall-clock time, simulated cycles,
+// and throughput (cycles per second of verification) — the paper's key shape is that
+// the simpler PicoRV32-style core verifies at *higher* cycles/s but needs *more*
+// cycles (and thus more wall-clock) per operation.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/knox2/cosim.h"
+#include "src/knox2/leakage.h"
+#include "src/support/loc.h"
+#include "src/support/rng.h"
+
+using namespace parfait;
+
+namespace {
+
+struct Row {
+  const char* platform;
+  const char* app_name;
+  double seconds;
+  uint64_t cycles;
+  bool ok;
+};
+
+Row RunOne(const hsm::App& app, soc::CpuKind cpu) {
+  hsm::HsmBuildOptions options;
+  options.cpu = cpu;
+  hsm::HsmSystem system(app, options);
+  Rng rng(42);
+
+  Bytes state = rng.RandomBytes(app.state_size());
+  Bytes cmd(app.command_size(), 0);
+  cmd[0] = 2;  // Sign / Hash: the expensive operation.
+  for (size_t i = 1; i < cmd.size() && i <= 32; i++) {
+    cmd[i] = rng.Byte();
+  }
+
+  bench::Stopwatch timer;
+  uint64_t cycles = 0;
+  bool ok = true;
+
+  // Functional-physical simulation (assembly-circuit synchronization).
+  auto cosim = knox2::CosimHandleStep(system, state, cmd);
+  ok = ok && cosim.ok;
+  if (!cosim.ok) {
+    std::fprintf(stderr, "cosim failed: %s\n", cosim.divergence.c_str());
+  }
+  cycles += cosim.stats.cycles;
+
+  // Self-composition non-leakage over a secret-differing state pair.
+  Bytes variant = knox2::MakeSecretVariant(app, state, rng);
+  auto selfcomp = knox2::CheckSelfComposition(system, state, variant, {cmd});
+  ok = ok && selfcomp.ok;
+  if (!selfcomp.ok) {
+    std::fprintf(stderr, "self-composition failed: %s\n", selfcomp.divergence.c_str());
+  }
+  cycles += 2 * selfcomp.cycles;  // Two circuit instances simulated.
+
+  return Row{soc::CpuKindName(cpu), app.name(), timer.Seconds(), cycles, ok};
+}
+
+}  // namespace
+
+int main() {
+  bench::Header("Table 4: hardware verification effort and verification time (Knox2)");
+
+  std::string base = std::string(PARFAIT_SOURCE_DIR) + "/";
+  size_t emulator_loc = CountLoc(base + "src/knox2/emulator.cc");
+  size_t proof_loc = CountLoc(base + "src/knox2/cosim.cc") +
+                     CountLoc(base + "src/knox2/leakage.cc");
+  std::printf("Emulator template: %zu LoC; Knox2 proof/checker code: %zu LoC; register/\n",
+              emulator_loc, proof_loc);
+  std::printf("pointer mapping: identity on the shared flat address map (figure 10).\n\n");
+
+  std::printf("%-10s %-18s %-12s %-16s %-12s %s\n", "Platform", "App", "Time (s)",
+              "Cycles simulated", "Cycles/s", "Result");
+
+  std::vector<Row> rows;
+  for (soc::CpuKind cpu : {soc::CpuKind::kIbexLite, soc::CpuKind::kPicoLite}) {
+    rows.push_back(RunOne(hsm::EcdsaApp(), cpu));
+    rows.push_back(RunOne(hsm::HasherApp(), cpu));
+  }
+  for (const Row& row : rows) {
+    std::printf("%-10s %-18s %-12.2f %-16llu %-12.0f %s\n", row.platform, row.app_name,
+                row.seconds, static_cast<unsigned long long>(row.cycles),
+                row.seconds > 0 ? row.cycles / row.seconds : 0.0,
+                row.ok ? "PASS" : "FAIL");
+  }
+
+  bench::PaperNote(
+      "Ibex: ECDSA 80 h at 304 cycles/s, hasher 0.10 h; PicoRV32: ECDSA 100 h at 671 "
+      "cycles/s, hasher 0.14 h — shape: ECDSA orders of magnitude costlier than the "
+      "hasher; PicoRV32 higher cycles/s yet longer wall-clock (more cycles per op)");
+  bool all_ok = true;
+  for (const Row& row : rows) {
+    all_ok = all_ok && row.ok;
+  }
+  return all_ok ? 0 : 1;
+}

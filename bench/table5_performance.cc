@@ -1,0 +1,72 @@
+// Table 5 reproduction: run-time performance of the ECDSA HSM in signatures per
+// second. The paper compares CompCert -O1 (the verified pipeline) against GCC -O2 and
+// two commercial HSMs; here the O0 code generator is the verified-compiler stand-in
+// and O2 the unverified fast baseline. Cycle counts are measured on the IbexLite SoC
+// and converted at the OpenTitan reference clock of 100 MHz.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/hsm/hsm_system.h"
+#include "src/support/rng.h"
+
+using namespace parfait;
+
+namespace {
+
+// Cycles for one complete Sign command (wire-in to wire-out) on IbexLite.
+uint64_t SignCycles(int opt_level) {
+  const hsm::App& app = hsm::EcdsaApp();
+  hsm::HsmBuildOptions options;
+  options.opt_level = opt_level;
+  options.cpu = soc::CpuKind::kIbexLite;
+  hsm::HsmSystem system(app, options);
+
+  Rng rng(5);
+  Bytes state = rng.RandomBytes(app.state_size());
+  state[40] &= 0x7f;  // Valid signing key.
+  auto soc = system.NewSocWithFram(system.MakeFram(state));
+  soc::WireHost host(soc.get());
+
+  Bytes cmd(app.command_size(), 0);
+  cmd[0] = 2;
+  for (int i = 1; i <= 32; i++) {
+    cmd[i] = rng.Byte();
+  }
+  uint64_t before = soc->cycles();
+  auto resp = host.Transact(cmd, app.response_size(), 2'000'000'000ULL);
+  if (!resp.has_value() || (*resp)[0] != 2) {
+    std::fprintf(stderr, "sign failed at O%d\n", opt_level);
+    return 0;
+  }
+  return soc->cycles() - before;
+}
+
+}  // namespace
+
+int main() {
+  bench::Header("Table 5: ECDSA signing throughput (IbexLite @ 100 MHz)");
+
+  constexpr double kClockHz = 100e6;
+  uint64_t o0_cycles = SignCycles(0);
+  uint64_t o2_cycles = SignCycles(2);
+  double o0_sigs = o0_cycles ? kClockHz / o0_cycles : 0;
+  double o2_sigs = o2_cycles ? kClockHz / o2_cycles : 0;
+
+  std::printf("%-24s %-18s %-14s %-10s %s\n", "HSM", "Compiler", "Cycles/sign", "Sig/s",
+              "Speedup");
+  std::printf("%-24s %-18s %-14llu %-10.1f %s\n", "Parfait ECDSA/IbexLite", "minicc O0",
+              static_cast<unsigned long long>(o0_cycles), o0_sigs, "-");
+  std::printf("%-24s %-18s %-14llu %-10.1f %.1fx\n", "", "minicc O2",
+              static_cast<unsigned long long>(o2_cycles), o2_sigs,
+              o2_cycles ? static_cast<double>(o0_cycles) / o2_cycles : 0.0);
+  std::printf("%-24s %-18s %-14s %-10.1f %s   (paper-reported reference)\n",
+              "Nitrokey HSM 2", "-", "-", 12.5, "");
+  std::printf("%-24s %-18s %-14s %-10.1f %s   (paper-reported reference)\n", "YubiHSM 2",
+              "-", "-", 13.7, "");
+
+  bench::PaperNote(
+      "CompCert -O1: 1.1 sig/s; GCC -O2: 8.1 sig/s (7x); commercial HSMs within 12x — "
+      "shape: the verified (naive) compiler costs a single-digit factor, not orders of "
+      "magnitude");
+  return (o0_cycles != 0 && o2_cycles != 0 && o2_cycles < o0_cycles) ? 0 : 1;
+}

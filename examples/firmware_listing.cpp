@@ -1,0 +1,62 @@
+// Firmware inspection: build the password hasher at both optimization levels and
+// print objdump-style listings of handle() — a direct look at what the O0
+// (verified-compiler stand-in) and O2 (optimizing) code generators emit, the
+// difference Table 5 measures.
+//
+//   $ ./firmware_listing
+#include <cstdio>
+#include <sstream>
+
+#include "src/hsm/hsm_system.h"
+#include "src/riscv/disasm.h"
+
+using namespace parfait;
+
+namespace {
+
+// Prints the listing lines between the `handle` label and the next label.
+void PrintHandle(const riscv::Image& image, const char* title) {
+  std::printf("---- %s ----\n", title);
+  std::istringstream in(riscv::DisassembleImage(image));
+  std::string line;
+  bool inside = false;
+  int printed = 0;
+  while (std::getline(in, line)) {
+    if (line == "handle:") {
+      inside = true;
+    } else if (inside && !line.empty() && line.back() == ':' && line[0] != ' ') {
+      break;  // Next symbol.
+    }
+    if (inside) {
+      std::printf("%s\n", line.c_str());
+      if (++printed > 24) {
+        std::printf("  ... (truncated)\n");
+        break;
+      }
+    }
+  }
+}
+
+size_t TextBytes(const riscv::Image& image) { return image.rom.size(); }
+
+}  // namespace
+
+int main() {
+  const hsm::App& app = hsm::HasherApp();
+  size_t sizes[2];
+  int idx = 0;
+  for (int opt : {0, 2}) {
+    hsm::HsmBuildOptions options;
+    options.opt_level = opt;
+    hsm::HsmSystem system(app, options);
+    char title[64];
+    std::snprintf(title, sizeof(title), "handle() at O%d  (%zu bytes of ROM total)", opt,
+                  TextBytes(system.image()));
+    PrintHandle(system.image(), title);
+    sizes[idx++] = TextBytes(system.image());
+    std::printf("\n");
+  }
+  std::printf("O2 ROM is %.0f%% the size of O0 ROM.\n",
+              100.0 * static_cast<double>(sizes[1]) / static_cast<double>(sizes[0]));
+  return sizes[1] < sizes[0] ? 0 : 1;
+}

@@ -1,0 +1,56 @@
+// Platform portability (section 8.1): the same application firmware runs — and is
+// verified — on both CPUs. In the paper, porting the Ibex platform to PicoRV32 took
+// two hours and 10 changed lines of mapping; here the figure 10 mappings are shared,
+// so the port is a one-line configuration change, demonstrated end to end.
+//
+//   $ ./port_platform
+#include <cstdio>
+
+#include "src/knox2/cosim.h"
+#include "src/support/rng.h"
+
+using namespace parfait;
+
+int main() {
+  const hsm::App& app = hsm::HasherApp();
+  Rng rng(11);
+  Bytes state = rng.RandomBytes(app.state_size());
+  Bytes cmd = app.RandomValidCommand(rng);
+  cmd[0] = 2;
+
+  std::printf("%-10s %-12s %-14s %-12s %-10s %s\n", "Platform", "Instrs", "Cycles", "CPI",
+              "Verified", "Response head");
+  Bytes responses[2];
+  uint64_t cycles[2];
+  int idx = 0;
+  for (soc::CpuKind cpu : {soc::CpuKind::kIbexLite, soc::CpuKind::kPicoLite}) {
+    hsm::HsmBuildOptions options;
+    options.cpu = cpu;  // The entire "port".
+    hsm::HsmSystem system(app, options);
+    auto result = knox2::CosimHandleStep(system, state, cmd);
+    if (!result.ok) {
+      std::printf("verification FAILED on %s: %s\n", soc::CpuKindName(cpu),
+                  result.divergence.c_str());
+      return 1;
+    }
+    responses[idx] = result.final_response;
+    cycles[idx] = result.stats.cycles;
+    std::printf("%-10s %-12llu %-14llu %-12.2f %-10s %s...\n", soc::CpuKindName(cpu),
+                static_cast<unsigned long long>(result.stats.instructions),
+                static_cast<unsigned long long>(result.stats.cycles),
+                static_cast<double>(result.stats.cycles) / result.stats.instructions,
+                "PASS",
+                ToHex(std::span<const uint8_t>(result.final_response.data(), 8)).c_str());
+    idx++;
+  }
+
+  bool same_response = responses[0] == responses[1];
+  bool pico_slower = cycles[1] > cycles[0];
+  std::printf("\nSame firmware binary semantics on both cores: %s\n",
+              same_response ? "YES" : "NO");
+  std::printf("PicoLite needs more cycles per op (paper's Table 4 shape): %s\n",
+              pico_slower ? "YES" : "NO");
+  std::printf("Port effort: one enum in HsmBuildOptions; the register/pointer mappings\n");
+  std::printf("and all proof machinery carried over unchanged (paper: 2 hours, 10 lines).\n");
+  return (same_response && pico_slower) ? 0 : 1;
+}

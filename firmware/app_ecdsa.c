@@ -1,0 +1,73 @@
+/* ECDSA certificate-signing HSM application (the paper's figure 4 running example).
+ *
+ * State  (72 bytes): [0..31] prf_key, [32..39] prf_counter (big-endian u64),
+ *                    [40..71] sig_key.
+ * Command (65 bytes): cmd[0] = tag.
+ *   tag 1 (Initialize): cmd[1..32] = prf_key, cmd[33..64] = sig_key.
+ *   tag 2 (Sign):       cmd[1..32] = 32-byte pre-hashed message.
+ * Response (65 bytes): resp[0] = tag, rest payload.
+ *   tag 1 = Initialized (payload zero)
+ *   tag 2 = Signature Some (payload r||s)
+ *   tag 3 = Signature None (payload zero)
+ *   tag 0 = invalid command (whole response zero — the lockstep None case)
+ *
+ * Constant time with respect to the state: the only branches are on the public
+ * command tag. The signature is computed unconditionally and masked (section 7.1), the
+ * counter-max check and the counter increment are branchless, and the PRF counter
+ * guarantees nonce uniqueness across operations.
+ *
+ * Depends on hash.c and p256.c.
+ */
+
+void handle(u8 *state, u8 *cmd, u8 *resp) {
+  for (u32 i = 0; i < RESPONSE_SIZE; i = i + 1) {
+    resp[i] = 0;
+  }
+  u32 tag = (u32)cmd[0];
+  if (tag == 1) {
+    /* Initialize: install keys, reset the PRF counter. */
+    for (u32 i = 0; i < 32; i = i + 1) {
+      state[i] = cmd[1 + i];
+    }
+    for (u32 i = 32; i < 40; i = i + 1) {
+      state[i] = 0;
+    }
+    for (u32 i = 0; i < 32; i = i + 1) {
+      state[40 + i] = cmd[33 + i];
+    }
+    resp[0] = 1;
+    return;
+  }
+  if (tag == 2) {
+    /* Sign: branchless counter-max check (counter == 2^64 - 1). */
+    u32 acc = 0xff;
+    for (u32 i = 0; i < 8; i = i + 1) {
+      acc = acc & (u32)state[32 + i];
+    }
+    u32 ismax = ~mask_nz(acc ^ 0xff); /* all-ones iff every counter byte is 0xff */
+
+    /* Nonce = HMAC-SHA256(prf_key, counter) — computed unconditionally. */
+    u8 nonce[32];
+    hmac_sha256(nonce, state, state + 32, 8);
+
+    u8 sig[64];
+    u32 ok = ecdsa_sign_fw(sig, cmd + 1, state + 40, nonce);
+    ok = ok & ~ismax;
+
+    /* Increment the big-endian counter unless it was at max (constant time). */
+    u32 carry = 1 & ~ismax;
+    for (u32 i = 0; i < 8; i = i + 1) {
+      u32 t = (u32)state[39 - i] + carry;
+      state[39 - i] = (u8)t;
+      carry = t >> 8;
+    }
+
+    resp[0] = (u8)((2 & ok) | (3 & ~ok));
+    u8 m = (u8)ok;
+    for (u32 i = 0; i < 64; i = i + 1) {
+      resp[1 + i] = sig[i] & m;
+    }
+    return;
+  }
+  /* Unknown tag: the lockstep None case — state untouched, canonical zero response. */
+}

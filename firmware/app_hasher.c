@@ -1,0 +1,38 @@
+/* Password-hashing HSM application (the paper's figure 12).
+ *
+ * State  (32 bytes): the HMAC secret.
+ * Command (33 bytes): cmd[0] = tag.
+ *   tag 1 (Initialize): cmd[1..32] = secret.
+ *   tag 2 (Hash):       cmd[1..32] = 32-byte message (fixed-size; the paper's spec
+ *                       takes an arbitrary message — the fixed size is the wire-format
+ *                       choice, recorded in DESIGN.md).
+ * Response (33 bytes): resp[0] = tag (1 = Initialized, 2 = Hashed, 0 = invalid
+ *   command), resp[1..32] = digest for Hashed.
+ *
+ * The digest is HMAC-BLAKE2s(secret, message); both hash invocations run over
+ * fixed-size inputs, so timing is independent of the secret. Depends on hash.c.
+ */
+
+void handle(u8 *state, u8 *cmd, u8 *resp) {
+  for (u32 i = 0; i < RESPONSE_SIZE; i = i + 1) {
+    resp[i] = 0;
+  }
+  u32 tag = (u32)cmd[0];
+  if (tag == 1) {
+    for (u32 i = 0; i < 32; i = i + 1) {
+      state[i] = cmd[1 + i];
+    }
+    resp[0] = 1;
+    return;
+  }
+  if (tag == 2) {
+    u8 digest[32];
+    hmac_blake2s(digest, state, cmd + 1, 32);
+    resp[0] = 2;
+    for (u32 i = 0; i < 32; i = i + 1) {
+      resp[1 + i] = digest[i];
+    }
+    return;
+  }
+  /* Unknown tag: state untouched, canonical zero response. */
+}

@@ -1,0 +1,35 @@
+# Platform boot code (the startup assembly of the paper's system software, section 2).
+#
+# Sets up the C execution environment: stack pointer, .data copy from ROM, .bss zero,
+# then enters main(). main() never returns; if it does, halt the core.
+.text
+_start:
+    la sp, STACK_TOP
+
+    # Copy .data initializers from ROM (load address) to RAM.
+    la t0, __data_lma
+    la t1, __data_start
+    la t2, __data_size
+    add t2, t1, t2
+data_copy_loop:
+    bgeu t1, t2, data_copy_done
+    lw t3, 0(t0)
+    sw t3, 0(t1)
+    addi t0, t0, 4
+    addi t1, t1, 4
+    j data_copy_loop
+data_copy_done:
+
+    # Zero .bss.
+    la t0, __bss_start
+    la t1, __bss_size
+    add t1, t0, t1
+bss_zero_loop:
+    bgeu t0, t1, bss_zero_done
+    sw zero, 0(t0)
+    addi t0, t0, 4
+    j bss_zero_loop
+bss_zero_done:
+
+    call main
+    ebreak

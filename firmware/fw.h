@@ -1,0 +1,19 @@
+/* Host compatibility header for dual-compiled MiniC application sources.
+ *
+ * MiniC skips '#' lines, so firmware sources can `#include "fw.h"`; when the same
+ * source is compiled natively (for differential testing against the host crypto
+ * library and for Starling checks), this header supplies the MiniC builtin types and
+ * intrinsics. Keeping one artifact for both worlds is the point: the bytes-level
+ * semantics checked on the host are exactly what the SoC executes.
+ */
+#ifndef PARFAIT_FIRMWARE_FW_H_
+#define PARFAIT_FIRMWARE_FW_H_
+
+typedef unsigned char u8;
+typedef unsigned int u32;
+
+static inline u32 __mulhu(u32 a, u32 b) {
+  return (u32)(((unsigned long long)a * (unsigned long long)b) >> 32);
+}
+
+#endif /* PARFAIT_FIRMWARE_FW_H_ */

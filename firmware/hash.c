@@ -1,0 +1,273 @@
+/* SHA-256, HMAC-SHA256, BLAKE2s, and HMAC-BLAKE2s in MiniC.
+ *
+ * This is the firmware port of the host crypto substrate (src/crypto/), written in the
+ * MiniC subset so one artifact serves both worlds: compiled natively it is
+ * differentially tested against the host implementation; compiled by minicc it becomes
+ * the HSM firmware whose cycle-level behaviour Knox2 checks.
+ *
+ * Constant-time discipline: all loops run over public lengths; there are no
+ * secret-dependent branches or table lookups indexed by secret data.
+ */
+#include "fw.h"
+
+/* ---------- SHA-256 (FIPS 180-4) ---------- */
+
+const u32 SHA256_K[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4,
+    0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe,
+    0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f,
+    0x4a7484aa, 0x5cb0a9dc, 0x76f988da, 0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7,
+    0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc,
+    0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070, 0x19a4c116,
+    0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7,
+    0xc67178f2};
+
+u32 rotr32(u32 x, u32 n) { return (x >> n) | (x << (32 - n)); }
+
+u32 load_be32(u8 *p) {
+  return ((u32)p[0] << 24) | ((u32)p[1] << 16) | ((u32)p[2] << 8) | (u32)p[3];
+}
+
+void store_be32(u8 *p, u32 v) {
+  p[0] = (u8)(v >> 24);
+  p[1] = (u8)(v >> 16);
+  p[2] = (u8)(v >> 8);
+  p[3] = (u8)v;
+}
+
+void sha256_compress(u32 *st, u8 *block) {
+  u32 w[64];
+  for (u32 i = 0; i < 16; i = i + 1) {
+    w[i] = load_be32(block + i * 4);
+  }
+  for (u32 i = 16; i < 64; i = i + 1) {
+    u32 s0 = rotr32(w[i - 15], 7) ^ rotr32(w[i - 15], 18) ^ (w[i - 15] >> 3);
+    u32 s1 = rotr32(w[i - 2], 17) ^ rotr32(w[i - 2], 19) ^ (w[i - 2] >> 10);
+    w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+  }
+  u32 a = st[0];
+  u32 b = st[1];
+  u32 c = st[2];
+  u32 d = st[3];
+  u32 e = st[4];
+  u32 f = st[5];
+  u32 g = st[6];
+  u32 h = st[7];
+  for (u32 i = 0; i < 64; i = i + 1) {
+    u32 s1 = rotr32(e, 6) ^ rotr32(e, 11) ^ rotr32(e, 25);
+    u32 ch = (e & f) ^ (~e & g);
+    u32 t1 = h + s1 + ch + SHA256_K[i] + w[i];
+    u32 s0 = rotr32(a, 2) ^ rotr32(a, 13) ^ rotr32(a, 22);
+    u32 maj = (a & b) ^ (a & c) ^ (b & c);
+    u32 t2 = s0 + maj;
+    h = g;
+    g = f;
+    f = e;
+    e = d + t1;
+    d = c;
+    c = b;
+    b = a;
+    a = t1 + t2;
+  }
+  st[0] = st[0] + a;
+  st[1] = st[1] + b;
+  st[2] = st[2] + c;
+  st[3] = st[3] + d;
+  st[4] = st[4] + e;
+  st[5] = st[5] + f;
+  st[6] = st[6] + g;
+  st[7] = st[7] + h;
+}
+
+/* One-shot SHA-256 over msg[0..len). len is public. */
+void sha256(u8 *out, u8 *msg, u32 len) {
+  u32 st[8];
+  u8 block[64];
+  st[0] = 0x6a09e667;
+  st[1] = 0xbb67ae85;
+  st[2] = 0x3c6ef372;
+  st[3] = 0xa54ff53a;
+  st[4] = 0x510e527f;
+  st[5] = 0x9b05688c;
+  st[6] = 0x1f83d9ab;
+  st[7] = 0x5be0cd19;
+  u32 full = len / 64;
+  for (u32 b = 0; b < full; b = b + 1) {
+    sha256_compress(st, msg + b * 64);
+  }
+  u32 rem = len - full * 64;
+  for (u32 i = 0; i < rem; i = i + 1) {
+    block[i] = msg[full * 64 + i];
+  }
+  block[rem] = 0x80;
+  for (u32 i = rem + 1; i < 64; i = i + 1) {
+    block[i] = 0;
+  }
+  if (rem + 9 > 64) {
+    sha256_compress(st, block);
+    for (u32 i = 0; i < 64; i = i + 1) {
+      block[i] = 0;
+    }
+  }
+  /* Message length in bits, big-endian 64-bit (lengths < 2^29 bytes). */
+  store_be32(block + 56, len >> 29);
+  store_be32(block + 60, len << 3);
+  sha256_compress(st, block);
+  for (u32 i = 0; i < 8; i = i + 1) {
+    store_be32(out + i * 4, st[i]);
+  }
+}
+
+/* HMAC-SHA256 with a 32-byte key (the only key size the HSM apps use). */
+void hmac_sha256(u8 *out, u8 *key32, u8 *msg, u32 len) {
+  u8 buf[128]; /* ipad block + message (len <= 64 in our apps). */
+  u8 obuf[96]; /* opad block + inner digest. */
+  for (u32 i = 0; i < 32; i = i + 1) {
+    buf[i] = key32[i] ^ 0x36;
+  }
+  for (u32 i = 32; i < 64; i = i + 1) {
+    buf[i] = 0x36;
+  }
+  for (u32 i = 0; i < len; i = i + 1) {
+    buf[64 + i] = msg[i];
+  }
+  u8 inner[32];
+  sha256(inner, buf, 64 + len);
+  for (u32 i = 0; i < 32; i = i + 1) {
+    obuf[i] = key32[i] ^ 0x5c;
+  }
+  for (u32 i = 32; i < 64; i = i + 1) {
+    obuf[i] = 0x5c;
+  }
+  for (u32 i = 0; i < 32; i = i + 1) {
+    obuf[64 + i] = inner[i];
+  }
+  sha256(out, obuf, 96);
+}
+
+/* ---------- BLAKE2s (RFC 7693), 256-bit digest, unkeyed ---------- */
+
+const u32 BLAKE2S_IV[8] = {0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+                           0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19};
+
+const u8 BLAKE2S_SIGMA[160] = {
+    0,  1,  2,  3,  4,  5,  6,  7,  8,  9,  10, 11, 12, 13, 14, 15,
+    14, 10, 4,  8,  9,  15, 13, 6,  1,  12, 0,  2,  11, 7,  5,  3,
+    11, 8,  12, 0,  5,  2,  15, 13, 10, 14, 3,  6,  7,  1,  9,  4,
+    7,  9,  3,  1,  13, 12, 11, 14, 2,  6,  5,  10, 4,  0,  15, 8,
+    9,  0,  5,  7,  2,  4,  10, 15, 14, 1,  11, 12, 6,  8,  3,  13,
+    2,  12, 6,  10, 0,  11, 8,  3,  4,  13, 7,  5,  15, 14, 1,  9,
+    12, 5,  1,  15, 14, 13, 4,  10, 0,  7,  6,  3,  9,  2,  8,  11,
+    13, 11, 7,  14, 12, 1,  3,  9,  5,  0,  15, 4,  8,  6,  2,  10,
+    6,  15, 14, 9,  11, 3,  0,  8,  12, 2,  13, 7,  1,  4,  10, 5,
+    10, 2,  8,  4,  7,  6,  1,  5,  15, 11, 9,  14, 3,  12, 13, 0};
+
+u32 load_le32_fw(u8 *p) {
+  return (u32)p[0] | ((u32)p[1] << 8) | ((u32)p[2] << 16) | ((u32)p[3] << 24);
+}
+
+void store_le32_fw(u8 *p, u32 v) {
+  p[0] = (u8)v;
+  p[1] = (u8)(v >> 8);
+  p[2] = (u8)(v >> 16);
+  p[3] = (u8)(v >> 24);
+}
+
+void blake2s_g(u32 *v, u32 a, u32 b, u32 c, u32 d, u32 x, u32 y) {
+  v[a] = v[a] + v[b] + x;
+  v[d] = rotr32(v[d] ^ v[a], 16);
+  v[c] = v[c] + v[d];
+  v[b] = rotr32(v[b] ^ v[c], 12);
+  v[a] = v[a] + v[b] + y;
+  v[d] = rotr32(v[d] ^ v[a], 8);
+  v[c] = v[c] + v[d];
+  v[b] = rotr32(v[b] ^ v[c], 7);
+}
+
+void blake2s_compress(u32 *h, u8 *block, u32 counter, u32 is_last) {
+  u32 m[16];
+  u32 v[16];
+  for (u32 i = 0; i < 16; i = i + 1) {
+    m[i] = load_le32_fw(block + i * 4);
+  }
+  for (u32 i = 0; i < 8; i = i + 1) {
+    v[i] = h[i];
+    v[i + 8] = BLAKE2S_IV[i];
+  }
+  v[12] = v[12] ^ counter;
+  /* High counter word stays zero for our message sizes. */
+  if (is_last) {
+    v[14] = ~v[14];
+  }
+  for (u32 r = 0; r < 10; r = r + 1) {
+    u8 *s = (u8 *)BLAKE2S_SIGMA + r * 16;
+    blake2s_g(v, 0, 4, 8, 12, m[s[0]], m[s[1]]);
+    blake2s_g(v, 1, 5, 9, 13, m[s[2]], m[s[3]]);
+    blake2s_g(v, 2, 6, 10, 14, m[s[4]], m[s[5]]);
+    blake2s_g(v, 3, 7, 11, 15, m[s[6]], m[s[7]]);
+    blake2s_g(v, 0, 5, 10, 15, m[s[8]], m[s[9]]);
+    blake2s_g(v, 1, 6, 11, 12, m[s[10]], m[s[11]]);
+    blake2s_g(v, 2, 7, 8, 13, m[s[12]], m[s[13]]);
+    blake2s_g(v, 3, 4, 9, 14, m[s[14]], m[s[15]]);
+  }
+  for (u32 i = 0; i < 8; i = i + 1) {
+    h[i] = h[i] ^ v[i] ^ v[i + 8];
+  }
+}
+
+/* One-shot BLAKE2s-256 over msg[0..len), len public and at least 1 block's worth of
+ * meaningfulness (len == 0 also works: a single zero block with the last flag). */
+void blake2s(u8 *out, u8 *msg, u32 len) {
+  u32 h[8];
+  u8 block[64];
+  for (u32 i = 0; i < 8; i = i + 1) {
+    h[i] = BLAKE2S_IV[i];
+  }
+  h[0] = h[0] ^ 0x01010000 ^ 32;
+  u32 pos = 0;
+  /* All blocks except the last. */
+  while (len - pos > 64) {
+    blake2s_compress(h, msg + pos, pos + 64, 0);
+    pos = pos + 64;
+  }
+  u32 rem = len - pos;
+  for (u32 i = 0; i < rem; i = i + 1) {
+    block[i] = msg[pos + i];
+  }
+  for (u32 i = rem; i < 64; i = i + 1) {
+    block[i] = 0;
+  }
+  blake2s_compress(h, block, len, 1);
+  for (u32 i = 0; i < 8; i = i + 1) {
+    store_le32_fw(out + i * 4, h[i]);
+  }
+}
+
+/* HMAC-BLAKE2s with a 32-byte key (figure 12's `hmac Blake2S`). */
+void hmac_blake2s(u8 *out, u8 *key32, u8 *msg, u32 len) {
+  u8 buf[128];
+  u8 obuf[96];
+  for (u32 i = 0; i < 32; i = i + 1) {
+    buf[i] = key32[i] ^ 0x36;
+  }
+  for (u32 i = 32; i < 64; i = i + 1) {
+    buf[i] = 0x36;
+  }
+  for (u32 i = 0; i < len; i = i + 1) {
+    buf[64 + i] = msg[i];
+  }
+  u8 inner[32];
+  blake2s(inner, buf, 64 + len);
+  for (u32 i = 0; i < 32; i = i + 1) {
+    obuf[i] = key32[i] ^ 0x5c;
+  }
+  for (u32 i = 32; i < 64; i = i + 1) {
+    obuf[i] = 0x5c;
+  }
+  for (u32 i = 0; i < 32; i = i + 1) {
+    obuf[64 + i] = inner[i];
+  }
+  blake2s(out, obuf, 96);
+}

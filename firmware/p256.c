@@ -1,0 +1,506 @@
+/* P-256 ECDSA signing in MiniC — the firmware port of src/crypto/{bignum,p256,ecdsa}.
+ *
+ * Mirrors the host implementation operation-for-operation: 8x32-bit limbs, CIOS
+ * Montgomery multiplication (via the __mulhu intrinsic -> RV32M mulhu), Jacobian
+ * double-and-add-always ladder with constant-time selects, Fermat inversion with
+ * public exponents, and the section 7.1 compute-unconditionally-then-mask error
+ * handling. Branches occur only on public values (loop counters, public exponent
+ * bits, command tags).
+ *
+ * Representation: a field/scalar element is u32[8], little-endian limbs. A Jacobian
+ * point is u32[24] = X || Y || Z in the Montgomery domain; infinity has Z == 0.
+ *
+ * Depends on hash.c (for nothing here, but the app combines both).
+ */
+#include "fw.h"
+
+/* The scalar-multiplication ladder width. 256 for correct operation; the development
+ * cycle described in the paper's section 8.1 reduces loop bounds like this one to
+ * localize timing bugs faster (functionality breaks, timing structure survives). The
+ * devcycle benchmark rewrites this constant textually, mirroring the paper's manual
+ * edit. */
+enum { LADDER_BITS = 256 };
+
+/* ---------- Curve constants (little-endian limbs) ---------- */
+
+const u32 P256_P[8] = {0xffffffff, 0xffffffff, 0xffffffff, 0x00000000,
+                       0x00000000, 0x00000000, 0x00000001, 0xffffffff};
+const u32 P256_N[8] = {0xfc632551, 0xf3b9cac2, 0xa7179e84, 0xbce6faad,
+                       0xffffffff, 0xffffffff, 0x00000000, 0xffffffff};
+const u32 P256_GX[8] = {0xd898c296, 0xf4a13945, 0x2deb33a0, 0x77037d81,
+                        0x63a440f2, 0xf8bce6e5, 0xe12c4247, 0x6b17d1f2};
+const u32 P256_GY[8] = {0x37bf51f5, 0xcbb64068, 0x6b315ece, 0x2bce3357,
+                        0x7c0f9e16, 0x8ee7eb4a, 0xfe1a7f9b, 0x4fe342e2};
+
+/* Montgomery contexts, computed at each handle() invocation (cheap, and keeps timing
+ * identical between the first and the Nth command). */
+u32 p256_pr[8];   /* R mod p (Montgomery 1). */
+u32 p256_prr[8];  /* R^2 mod p. */
+u32 p256_pn0;     /* -p^-1 mod 2^32. */
+u32 p256_nr[8];
+u32 p256_nrr[8];
+u32 p256_nn0;
+u32 p256_g[24];   /* Generator in Jacobian/Montgomery form. */
+
+/* ---------- Bignum primitives ---------- */
+
+u32 mask_nz(u32 x) { return 0 - ((x | (0 - x)) >> 31); }
+
+void bn_zero(u32 *r) {
+  for (u32 i = 0; i < 8; i = i + 1) {
+    r[i] = 0;
+  }
+}
+
+void bn_copy(u32 *r, u32 *a) {
+  for (u32 i = 0; i < 8; i = i + 1) {
+    r[i] = a[i];
+  }
+}
+
+u32 bn_add(u32 *r, u32 *a, u32 *b) {
+  u32 carry = 0;
+  for (u32 i = 0; i < 8; i = i + 1) {
+    u32 s = a[i] + b[i];
+    u32 c1 = s < a[i];
+    u32 s2 = s + carry;
+    u32 c2 = s2 < s;
+    r[i] = s2;
+    carry = c1 + c2;
+  }
+  return carry;
+}
+
+u32 bn_sub(u32 *r, u32 *a, u32 *b) {
+  u32 borrow = 0;
+  for (u32 i = 0; i < 8; i = i + 1) {
+    u32 d = a[i] - b[i];
+    u32 b1 = a[i] < b[i];
+    u32 d2 = d - borrow;
+    u32 b2 = d < borrow;
+    r[i] = d2;
+    borrow = b1 + b2;
+  }
+  return borrow;
+}
+
+/* All-ones iff a >= b. */
+u32 bn_ge_mask(u32 *a, u32 *b) {
+  u32 scratch[8];
+  u32 borrow = bn_sub(scratch, a, b);
+  return borrow - 1;
+}
+
+/* All-ones iff a == 0. */
+u32 bn_iszero_mask(u32 *a) {
+  u32 acc = 0;
+  for (u32 i = 0; i < 8; i = i + 1) {
+    acc = acc | a[i];
+  }
+  return ~mask_nz(acc);
+}
+
+void bn_cmov(u32 *r, u32 *a, u32 mask) {
+  for (u32 i = 0; i < 8; i = i + 1) {
+    r[i] = (a[i] & mask) | (r[i] & ~mask);
+  }
+}
+
+/* Big-endian 32-byte conversions. */
+void bn_from_bytes(u32 *r, u8 *p) {
+  for (u32 i = 0; i < 8; i = i + 1) {
+    u8 *q = p + (7 - i) * 4;
+    r[i] = ((u32)q[0] << 24) | ((u32)q[1] << 16) | ((u32)q[2] << 8) | (u32)q[3];
+  }
+}
+
+void bn_to_bytes(u8 *p, u32 *a) {
+  for (u32 i = 0; i < 8; i = i + 1) {
+    u8 *q = p + (7 - i) * 4;
+    u32 v = a[i];
+    q[0] = (u8)(v >> 24);
+    q[1] = (u8)(v >> 16);
+    q[2] = (u8)(v >> 8);
+    q[3] = (u8)v;
+  }
+}
+
+/* ---------- Montgomery arithmetic ---------- */
+
+u32 mont_n0inv(u32 m0) {
+  u32 inv = m0;
+  for (u32 i = 0; i < 4; i = i + 1) {
+    inv = inv * (2 - m0 * inv);
+  }
+  return 0 - inv;
+}
+
+/* One shift-and-reduce doubling step: x = 2x mod m (x < m on entry). */
+void mont_double_step(u32 *x, u32 *mod) {
+  u32 reduced[8];
+  u32 carry = bn_add(x, x, x);
+  u32 borrow = bn_sub(reduced, x, mod);
+  u32 keep = (0 - carry) | (borrow - 1);
+  bn_cmov(x, reduced, keep);
+}
+
+/* r1 = R mod m, rr = R^2 mod m. */
+void mont_init(u32 *r1, u32 *rr, u32 *mod) {
+  bn_zero(r1);
+  r1[0] = 1;
+  for (u32 i = 0; i < 256; i = i + 1) {
+    mont_double_step(r1, mod);
+  }
+  bn_copy(rr, r1);
+  for (u32 i = 0; i < 256; i = i + 1) {
+    mont_double_step(rr, mod);
+  }
+}
+
+/* out = a*b*R^-1 mod m (CIOS). Safe when out aliases a and/or b. */
+void mont_mul(u32 *out, u32 *a, u32 *b, u32 *mod, u32 n0inv) {
+  u32 t[10];
+  for (u32 i = 0; i < 10; i = i + 1) {
+    t[i] = 0;
+  }
+  for (u32 i = 0; i < 8; i = i + 1) {
+    u32 bi = b[i];
+    u32 carry = 0;
+    for (u32 j = 0; j < 8; j = j + 1) {
+      u32 lo = a[j] * bi;
+      u32 hi = __mulhu(a[j], bi);
+      lo = lo + t[j];
+      hi = hi + (lo < t[j]);
+      lo = lo + carry;
+      hi = hi + (lo < carry);
+      t[j] = lo;
+      carry = hi;
+    }
+    u32 s = t[8] + carry;
+    t[9] = s < carry;
+    t[8] = s;
+    u32 m = t[0] * n0inv;
+    {
+      u32 lo = m * mod[0];
+      u32 hi = __mulhu(m, mod[0]);
+      lo = lo + t[0];
+      hi = hi + (lo < t[0]);
+      carry = hi;
+    }
+    for (u32 j = 1; j < 8; j = j + 1) {
+      u32 lo = m * mod[j];
+      u32 hi = __mulhu(m, mod[j]);
+      lo = lo + t[j];
+      hi = hi + (lo < t[j]);
+      lo = lo + carry;
+      hi = hi + (lo < carry);
+      t[j - 1] = lo;
+      carry = hi;
+    }
+    u32 w = t[8] + carry;
+    t[7] = w;
+    t[8] = t[9] + (w < carry);
+    t[9] = 0;
+  }
+  u32 reduced[8];
+  u32 borrow = bn_sub(reduced, t, mod);
+  u32 keep = mask_nz(t[8]) | (borrow - 1);
+  for (u32 i = 0; i < 8; i = i + 1) {
+    out[i] = (reduced[i] & keep) | (t[i] & ~keep);
+  }
+}
+
+/* Modular add/sub (operands < m). */
+void mod_add(u32 *r, u32 *a, u32 *b, u32 *mod) {
+  u32 reduced[8];
+  u32 carry = bn_add(r, a, b);
+  u32 borrow = bn_sub(reduced, r, mod);
+  u32 keep = (0 - carry) | (borrow - 1);
+  bn_cmov(r, reduced, keep);
+}
+
+void mod_sub(u32 *r, u32 *a, u32 *b, u32 *mod) {
+  u32 fixed[8];
+  u32 borrow = bn_sub(r, a, b);
+  bn_add(fixed, r, mod);
+  bn_cmov(r, fixed, 0 - borrow);
+}
+
+/* Reduce a full-range value into [0, m) with two conditional subtracts (valid for the
+ * P-256 moduli, which exceed 2^254). */
+void mod_reduce(u32 *r, u32 *a, u32 *mod) {
+  u32 reduced[8];
+  bn_copy(r, a);
+  for (u32 pass = 0; pass < 2; pass = pass + 1) {
+    u32 borrow = bn_sub(reduced, r, mod);
+    bn_cmov(r, reduced, borrow - 1);
+  }
+}
+
+/* out = base^exp mod m (Montgomery domain; exponent is PUBLIC). */
+void mont_pow(u32 *out, u32 *base, u32 *exp, u32 *mod, u32 n0inv, u32 *r1) {
+  u32 acc[8];
+  bn_copy(acc, r1);
+  for (u32 i = 0; i < 256; i = i + 1) {
+    u32 bi = 255 - i;
+    mont_mul(acc, acc, acc, mod, n0inv);
+    u32 bit = (exp[bi >> 5] >> (bi & 31)) & 1;
+    if (bit) {
+      mont_mul(acc, acc, base, mod, n0inv);
+    }
+  }
+  bn_copy(out, acc);
+}
+
+/* ---------- Jacobian curve arithmetic (Montgomery domain mod p) ---------- */
+
+void pt_copy(u32 *r, u32 *a) {
+  for (u32 i = 0; i < 24; i = i + 1) {
+    r[i] = a[i];
+  }
+}
+
+void pt_cmov(u32 *r, u32 *a, u32 mask) {
+  for (u32 i = 0; i < 24; i = i + 1) {
+    r[i] = (a[i] & mask) | (r[i] & ~mask);
+  }
+}
+
+void pt_infinity(u32 *r) {
+  bn_copy(r, p256_pr);
+  bn_copy(r + 8, p256_pr);
+  bn_zero(r + 16);
+}
+
+/* out = 2p ("dbl-2001-b", a = -3). Safe when out aliases p. */
+void jac_double(u32 *out, u32 *p) {
+  u32 delta[8];
+  u32 gamma[8];
+  u32 beta[8];
+  u32 alpha[8];
+  u32 t0[8];
+  u32 t1[8];
+  u32 t2[8];
+  u32 x3[8];
+  u32 y3[8];
+  u32 z3[8];
+  mont_mul(delta, p + 16, p + 16, (u32 *)P256_P, p256_pn0);
+  mont_mul(gamma, p + 8, p + 8, (u32 *)P256_P, p256_pn0);
+  mont_mul(beta, p, gamma, (u32 *)P256_P, p256_pn0);
+  mod_sub(t0, p, delta, (u32 *)P256_P);
+  mod_add(t1, p, delta, (u32 *)P256_P);
+  mont_mul(t2, t0, t1, (u32 *)P256_P, p256_pn0);
+  mod_add(alpha, t2, t2, (u32 *)P256_P);
+  mod_add(alpha, alpha, t2, (u32 *)P256_P);
+  u32 beta4[8];
+  u32 beta8[8];
+  mod_add(beta4, beta, beta, (u32 *)P256_P);
+  mod_add(beta4, beta4, beta4, (u32 *)P256_P);
+  mod_add(beta8, beta4, beta4, (u32 *)P256_P);
+  mont_mul(x3, alpha, alpha, (u32 *)P256_P, p256_pn0);
+  mod_sub(x3, x3, beta8, (u32 *)P256_P);
+  u32 yz[8];
+  mod_add(yz, p + 8, p + 16, (u32 *)P256_P);
+  mont_mul(z3, yz, yz, (u32 *)P256_P, p256_pn0);
+  mod_sub(z3, z3, gamma, (u32 *)P256_P);
+  mod_sub(z3, z3, delta, (u32 *)P256_P);
+  u32 g2[8];
+  mont_mul(g2, gamma, gamma, (u32 *)P256_P, p256_pn0);
+  mod_add(g2, g2, g2, (u32 *)P256_P);
+  mod_add(g2, g2, g2, (u32 *)P256_P);
+  mod_add(g2, g2, g2, (u32 *)P256_P);
+  mod_sub(y3, beta4, x3, (u32 *)P256_P);
+  mont_mul(y3, alpha, y3, (u32 *)P256_P, p256_pn0);
+  mod_sub(y3, y3, g2, (u32 *)P256_P);
+  bn_copy(out, x3);
+  bn_copy(out + 8, y3);
+  bn_copy(out + 16, z3);
+}
+
+/* out = p + q, complete via constant-time selects. Safe when out aliases p or q. */
+void jac_add(u32 *out, u32 *p, u32 *q) {
+  u32 z1z1[8];
+  u32 z2z2[8];
+  u32 u1[8];
+  u32 u2[8];
+  u32 s1[8];
+  u32 s2[8];
+  u32 h[8];
+  u32 rr[8];
+  u32 t[8];
+  u32 x3[8];
+  u32 y3[8];
+  u32 z3[8];
+  mont_mul(z1z1, p + 16, p + 16, (u32 *)P256_P, p256_pn0);
+  mont_mul(z2z2, q + 16, q + 16, (u32 *)P256_P, p256_pn0);
+  mont_mul(u1, p, z2z2, (u32 *)P256_P, p256_pn0);
+  mont_mul(u2, q, z1z1, (u32 *)P256_P, p256_pn0);
+  mont_mul(t, z2z2, q + 16, (u32 *)P256_P, p256_pn0);
+  mont_mul(s1, p + 8, t, (u32 *)P256_P, p256_pn0);
+  mont_mul(t, z1z1, p + 16, (u32 *)P256_P, p256_pn0);
+  mont_mul(s2, q + 8, t, (u32 *)P256_P, p256_pn0);
+  mod_sub(h, u2, u1, (u32 *)P256_P);
+  mod_sub(rr, s2, s1, (u32 *)P256_P);
+  u32 h2[8];
+  u32 h3[8];
+  u32 u1h2[8];
+  mont_mul(h2, h, h, (u32 *)P256_P, p256_pn0);
+  mont_mul(h3, h2, h, (u32 *)P256_P, p256_pn0);
+  mont_mul(u1h2, u1, h2, (u32 *)P256_P, p256_pn0);
+  mont_mul(x3, rr, rr, (u32 *)P256_P, p256_pn0);
+  mod_sub(x3, x3, h3, (u32 *)P256_P);
+  mod_sub(x3, x3, u1h2, (u32 *)P256_P);
+  mod_sub(x3, x3, u1h2, (u32 *)P256_P);
+  mod_sub(y3, u1h2, x3, (u32 *)P256_P);
+  mont_mul(y3, rr, y3, (u32 *)P256_P, p256_pn0);
+  mont_mul(t, s1, h3, (u32 *)P256_P, p256_pn0);
+  mod_sub(y3, y3, t, (u32 *)P256_P);
+  mont_mul(z3, p + 16, q + 16, (u32 *)P256_P, p256_pn0);
+  mont_mul(z3, z3, h, (u32 *)P256_P, p256_pn0);
+
+  u32 p_inf = bn_iszero_mask(p + 16);
+  u32 q_inf = bn_iszero_mask(q + 16);
+  u32 h_zero = bn_iszero_mask(h);
+  u32 r_zero = bn_iszero_mask(rr);
+  u32 finite = ~p_inf & ~q_inf;
+
+  u32 doubled[24];
+  jac_double(doubled, p);
+  u32 inf[24];
+  pt_infinity(inf);
+
+  u32 result[24];
+  bn_copy(result, x3);
+  bn_copy(result + 8, y3);
+  bn_copy(result + 16, z3);
+  pt_cmov(result, doubled, finite & h_zero & r_zero);
+  pt_cmov(result, inf, finite & h_zero & ~r_zero);
+  pt_cmov(result, p, q_inf);
+  pt_cmov(result, q, p_inf);
+  pt_copy(out, result);
+}
+
+/* out = k * p, constant-time 256-step ladder. k is SECRET. */
+void pt_scalar_mul(u32 *out, u32 *k, u32 *p) {
+  u32 acc[24];
+  u32 tmp[24];
+  pt_infinity(acc);
+  for (u32 i = 0; i < LADDER_BITS; i = i + 1) {
+    u32 bi = 255 - i;
+    jac_double(acc, acc);
+    jac_add(tmp, acc, p);
+    u32 bit = (k[bi >> 5] >> (bi & 31)) & 1;
+    pt_cmov(acc, tmp, 0 - bit);
+  }
+  pt_copy(out, acc);
+}
+
+/* Affine x-coordinate (out of the Montgomery domain). Returns all-ones if finite. */
+u32 pt_affine_x(u32 *x_out, u32 *p) {
+  u32 finite = ~bn_iszero_mask(p + 16);
+  u32 exp[8];
+  u32 two[8];
+  bn_zero(two);
+  two[0] = 2;
+  bn_sub(exp, (u32 *)P256_P, two);
+  u32 zinv[8];
+  mont_pow(zinv, p + 16, exp, (u32 *)P256_P, p256_pn0, p256_pr);
+  u32 zinv2[8];
+  mont_mul(zinv2, zinv, zinv, (u32 *)P256_P, p256_pn0);
+  u32 xm[8];
+  mont_mul(xm, p, zinv2, (u32 *)P256_P, p256_pn0);
+  u32 one[8];
+  bn_zero(one);
+  one[0] = 1;
+  mont_mul(x_out, xm, one, (u32 *)P256_P, p256_pn0);
+  for (u32 i = 0; i < 8; i = i + 1) {
+    x_out[i] = x_out[i] & finite;
+  }
+  return finite;
+}
+
+/* ---------- ECDSA ---------- */
+
+void p256_init(void) {
+  p256_pn0 = mont_n0inv(P256_P[0]);
+  p256_nn0 = mont_n0inv(P256_N[0]);
+  mont_init(p256_pr, p256_prr, (u32 *)P256_P);
+  mont_init(p256_nr, p256_nrr, (u32 *)P256_N);
+  /* Generator into the Montgomery domain. */
+  mont_mul(p256_g, (u32 *)P256_GX, p256_prr, (u32 *)P256_P, p256_pn0);
+  mont_mul(p256_g + 8, (u32 *)P256_GY, p256_prr, (u32 *)P256_P, p256_pn0);
+  bn_copy(p256_g + 16, p256_pr);
+}
+
+/* All-ones iff 1 <= a < n. */
+u32 scalar_in_range(u32 *a) {
+  return ~bn_iszero_mask(a) & ~bn_ge_mask(a, (u32 *)P256_N);
+}
+
+/* Signs a 32-byte message with a 32-byte key and 32-byte nonce (all big-endian).
+ * Writes r||s (64 bytes) to sig, masked to zero on failure. Returns all-ones on
+ * success, 0 on failure. Constant time with respect to all inputs. */
+u32 ecdsa_sign_fw(u8 *sig, u8 *msg32, u8 *key32, u8 *nonce32) {
+  p256_init();
+  u32 d[8];
+  u32 k[8];
+  u32 z[8];
+  u32 zr[8];
+  bn_from_bytes(d, key32);
+  bn_from_bytes(k, nonce32);
+  bn_from_bytes(zr, msg32);
+  mod_reduce(z, zr, (u32 *)P256_N);
+
+  u32 ok = scalar_in_range(d) & scalar_in_range(k);
+
+  /* Substitute 1 for out-of-range secrets; the result is masked away. */
+  u32 one[8];
+  bn_zero(one);
+  one[0] = 1;
+  u32 d_eff[8];
+  u32 k_eff[8];
+  bn_copy(d_eff, d);
+  bn_copy(k_eff, k);
+  bn_cmov(d_eff, one, ~ok);
+  bn_cmov(k_eff, one, ~ok);
+
+  u32 big_r[24];
+  pt_scalar_mul(big_r, k_eff, p256_g);
+  u32 rx[8];
+  pt_affine_x(rx, big_r);
+  u32 r[8];
+  mod_reduce(r, rx, (u32 *)P256_N);
+  ok = ok & ~bn_iszero_mask(r);
+
+  /* s = k^-1 (z + r d) mod n in the Montgomery domain of n. */
+  u32 km[8];
+  mont_mul(km, k_eff, p256_nrr, (u32 *)P256_N, p256_nn0);
+  u32 nexp[8];
+  u32 two[8];
+  bn_zero(two);
+  two[0] = 2;
+  bn_sub(nexp, (u32 *)P256_N, two);
+  u32 kinv[8];
+  mont_pow(kinv, km, nexp, (u32 *)P256_N, p256_nn0, p256_nr);
+  u32 rm[8];
+  u32 dm[8];
+  u32 zm[8];
+  mont_mul(rm, r, p256_nrr, (u32 *)P256_N, p256_nn0);
+  mont_mul(dm, d_eff, p256_nrr, (u32 *)P256_N, p256_nn0);
+  mont_mul(zm, z, p256_nrr, (u32 *)P256_N, p256_nn0);
+  u32 sm[8];
+  mont_mul(sm, rm, dm, (u32 *)P256_N, p256_nn0);
+  mod_add(sm, sm, zm, (u32 *)P256_N);
+  mont_mul(sm, kinv, sm, (u32 *)P256_N, p256_nn0);
+  u32 s[8];
+  mont_mul(s, sm, one, (u32 *)P256_N, p256_nn0);
+  ok = ok & ~bn_iszero_mask(s);
+
+  bn_to_bytes(sig, r);
+  bn_to_bytes(sig + 32, s);
+  u8 m = (u8)ok;
+  for (u32 i = 0; i < 64; i = i + 1) {
+    sig[i] = sig[i] & m;
+  }
+  return ok;
+}

@@ -1,0 +1,81 @@
+/* System software: the HSM execution loop of the paper's figure 1.
+ *
+ * This file is MiniC, compiled only for the SoC (it touches MMIO, so it is not part of
+ * the dual-compiled application sources). It is deliberately structured so that no
+ * step computes over secret values: read_command and write_response move public bytes,
+ * and load_state / store_state copy the state buffer opaquely with a journaled commit.
+ *
+ * The firmware builder prepends an app-specific prelude defining STATE_SIZE,
+ * COMMAND_SIZE, and RESPONSE_SIZE, and the app provides handle().
+ */
+
+enum {
+  UART_STATUS = 0x80000000,
+  UART_RXDATA = 0x80000004,
+  UART_TXDATA = 0x80000008,
+  FRAM_FLAG = 0x40000000,
+  FRAM_COPY_A = 0x40000004
+};
+
+u8 sys_state[STATE_SIZE];
+u8 sys_cmd[COMMAND_SIZE];
+u8 sys_resp[RESPONSE_SIZE];
+
+/* Step (1): read a fixed-size command from the I/O interface. */
+void read_command(u8 *cmd) {
+  for (u32 i = 0; i < COMMAND_SIZE; i = i + 1) {
+    while ((*(volatile u32 *)UART_STATUS & 1) == 0) {
+    }
+    cmd[i] = (u8)*(volatile u32 *)UART_RXDATA;
+  }
+}
+
+/* Step (5): write the fixed-size response to the I/O interface. */
+void write_response(u8 *resp) {
+  for (u32 i = 0; i < RESPONSE_SIZE; i = i + 1) {
+    while ((*(volatile u32 *)UART_STATUS & 2) == 0) {
+    }
+    *(volatile u32 *)UART_TXDATA = (u32)resp[i];
+  }
+}
+
+/* Step (2): load state from persistent memory. The journal flag selects the active
+ * copy (figure 9's refinement relation): flag == 0 -> copy A, else copy B. The flag is
+ * a public value (it alternates once per completed command), so branching on it does
+ * not depend on secrets. */
+void load_state(u8 *state) {
+  u32 flag = *(volatile u32 *)FRAM_FLAG;
+  u8 *src = (u8 *)FRAM_COPY_A;
+  if (flag != 0) {
+    src = src + STATE_SIZE;
+  }
+  for (u32 i = 0; i < STATE_SIZE; i = i + 1) {
+    state[i] = src[i];
+  }
+}
+
+/* Step (4): store state atomically. Write the *inactive* copy in full, then flip the
+ * flag with a single word write — the commit point. A power cut before the flag write
+ * leaves the old state; after it, the new state. */
+void store_state(u8 *state) {
+  u32 flag = *(volatile u32 *)FRAM_FLAG;
+  u8 *dst = (u8 *)FRAM_COPY_A;
+  if (flag == 0) {
+    dst = dst + STATE_SIZE;
+  }
+  for (u32 i = 0; i < STATE_SIZE; i = i + 1) {
+    dst[i] = state[i];
+  }
+  *(volatile u32 *)FRAM_FLAG = 1 - flag;
+}
+
+/* The execution loop of figure 1. */
+void main(void) {
+  while (1) {
+    read_command(sys_cmd);
+    load_state(sys_state);
+    handle(sys_state, sys_cmd, sys_resp);
+    store_state(sys_state);
+    write_response(sys_resp);
+  }
+}

@@ -1,0 +1,191 @@
+#include "src/crypto/bignum.h"
+
+#include "src/support/bytes.h"
+#include "src/support/status.h"
+
+namespace parfait::crypto {
+
+Bn256 Bn256::FromBytes(std::span<const uint8_t, 32> bytes) {
+  Bn256 r;
+  for (int i = 0; i < 8; i++) {
+    r.limb[i] = LoadBe32(bytes.data() + 4 * (7 - i));
+  }
+  return r;
+}
+
+void Bn256::ToBytes(std::span<uint8_t, 32> out) const {
+  for (int i = 0; i < 8; i++) {
+    StoreBe32(out.data() + 4 * (7 - i), limb[i]);
+  }
+}
+
+uint32_t BnAdd(Bn256& r, const Bn256& a, const Bn256& b) {
+  uint64_t carry = 0;
+  for (int i = 0; i < 8; i++) {
+    uint64_t t = static_cast<uint64_t>(a.limb[i]) + b.limb[i] + carry;
+    r.limb[i] = static_cast<uint32_t>(t);
+    carry = t >> 32;
+  }
+  return static_cast<uint32_t>(carry);
+}
+
+uint32_t BnSub(Bn256& r, const Bn256& a, const Bn256& b) {
+  uint64_t borrow = 0;
+  for (int i = 0; i < 8; i++) {
+    uint64_t t = static_cast<uint64_t>(a.limb[i]) - b.limb[i] - borrow;
+    r.limb[i] = static_cast<uint32_t>(t);
+    borrow = (t >> 32) & 1;
+  }
+  return static_cast<uint32_t>(borrow);
+}
+
+uint32_t BnGeMask(const Bn256& a, const Bn256& b) {
+  Bn256 scratch;
+  uint32_t borrow = BnSub(scratch, a, b);
+  // a >= b iff subtraction did not borrow.
+  return borrow - 1;  // borrow==0 -> 0xffffffff, borrow==1 -> 0.
+}
+
+uint32_t BnIsZeroMask(const Bn256& a) {
+  uint32_t acc = 0;
+  for (int i = 0; i < 8; i++) {
+    acc |= a.limb[i];
+  }
+  // acc == 0 -> all-ones.
+  uint32_t nonzero = (acc | (0u - acc)) >> 31;  // 1 if acc != 0.
+  return nonzero - 1;
+}
+
+void BnCmov(Bn256& r, const Bn256& a, uint32_t mask) {
+  for (int i = 0; i < 8; i++) {
+    r.limb[i] = (a.limb[i] & mask) | (r.limb[i] & ~mask);
+  }
+}
+
+Monty::Monty(const Bn256& modulus) : m_(modulus) {
+  PARFAIT_CHECK_MSG((m_.limb[0] & 1) != 0, "Montgomery modulus must be odd");
+  // n0' = -m^-1 mod 2^32 via Newton's iteration: x_{k+1} = x_k * (2 - m*x_k).
+  uint32_t m0 = m_.limb[0];
+  uint32_t inv = m0;  // Correct to 3 bits (odd m0: m0*m0 = 1 mod 8).
+  for (int i = 0; i < 4; i++) {
+    inv *= 2 - m0 * inv;
+  }
+  n0inv_ = 0u - inv;
+  // R mod m: shift 1 left 256 times with conditional subtracts.
+  Bn256 r = Bn256::One();
+  for (int i = 0; i < 256; i++) {
+    uint32_t carry = BnAdd(r, r, r);
+    Bn256 reduced;
+    uint32_t borrow = BnSub(reduced, r, m_);
+    // Keep the reduced value if the doubled value overflowed 2^256 or is >= m.
+    uint32_t keep = (carry | (1 - borrow)) ? 0xffffffffu : 0;
+    BnCmov(r, reduced, keep);
+  }
+  r_ = r;
+  // R^2 mod m: shift R mod m left another 256 times.
+  Bn256 rr = r_;
+  for (int i = 0; i < 256; i++) {
+    uint32_t carry = BnAdd(rr, rr, rr);
+    Bn256 reduced;
+    uint32_t borrow = BnSub(reduced, rr, m_);
+    uint32_t keep = (carry | (1 - borrow)) ? 0xffffffffu : 0;
+    BnCmov(rr, reduced, keep);
+  }
+  rr_ = rr;
+}
+
+Bn256 Monty::Mul(const Bn256& a, const Bn256& b) const {
+  // CIOS (coarsely integrated operand scanning) Montgomery multiplication with
+  // 32-bit limbs. t has 8 limbs plus a two-limb extension for the running carry.
+  uint32_t t[10] = {0};
+  for (int i = 0; i < 8; i++) {
+    // t += a * b[i]
+    uint64_t carry = 0;
+    uint32_t bi = b.limb[i];
+    for (int j = 0; j < 8; j++) {
+      uint64_t v = static_cast<uint64_t>(a.limb[j]) * bi + t[j] + carry;
+      t[j] = static_cast<uint32_t>(v);
+      carry = v >> 32;
+    }
+    uint64_t v = static_cast<uint64_t>(t[8]) + carry;
+    t[8] = static_cast<uint32_t>(v);
+    t[9] = static_cast<uint32_t>(v >> 32);
+    // m = t[0] * n0' mod 2^32; t += m * modulus; t >>= 32.
+    uint32_t m = t[0] * n0inv_;
+    carry = 0;
+    for (int j = 0; j < 8; j++) {
+      uint64_t w = static_cast<uint64_t>(m) * m_.limb[j] + t[j] + carry;
+      if (j > 0) {
+        t[j - 1] = static_cast<uint32_t>(w);
+      }
+      carry = w >> 32;
+    }
+    uint64_t w = static_cast<uint64_t>(t[8]) + carry;
+    t[7] = static_cast<uint32_t>(w);
+    t[8] = t[9] + static_cast<uint32_t>(w >> 32);
+    t[9] = 0;
+  }
+  Bn256 r;
+  for (int i = 0; i < 8; i++) {
+    r.limb[i] = t[i];
+  }
+  // Final conditional subtract: result may be in [0, 2m).
+  Bn256 reduced;
+  uint32_t borrow = BnSub(reduced, r, m_);
+  uint32_t keep = (t[8] != 0 || borrow == 0) ? 0xffffffffu : 0;
+  BnCmov(r, reduced, keep);
+  return r;
+}
+
+Bn256 Monty::Add(const Bn256& a, const Bn256& b) const {
+  Bn256 r;
+  uint32_t carry = BnAdd(r, a, b);
+  Bn256 reduced;
+  uint32_t borrow = BnSub(reduced, r, m_);
+  uint32_t keep = (carry | (1 - borrow)) ? 0xffffffffu : 0;
+  BnCmov(r, reduced, keep);
+  return r;
+}
+
+Bn256 Monty::Sub(const Bn256& a, const Bn256& b) const {
+  Bn256 r;
+  uint32_t borrow = BnSub(r, a, b);
+  Bn256 fixed;
+  BnAdd(fixed, r, m_);
+  uint32_t underflowed = 0u - borrow;  // all-ones iff a < b.
+  BnCmov(r, fixed, underflowed);
+  return r;
+}
+
+Bn256 Monty::Pow(const Bn256& base_mont, const Bn256& public_exponent) const {
+  Bn256 acc = r_;  // 1 in the Montgomery domain.
+  for (int i = 255; i >= 0; i--) {
+    acc = Mul(acc, acc);
+    uint32_t bit = (public_exponent.limb[i / 32] >> (i % 32)) & 1;
+    if (bit != 0) {
+      acc = Mul(acc, base_mont);
+    }
+  }
+  return acc;
+}
+
+Bn256 Monty::Inverse(const Bn256& a_mont) const {
+  Bn256 exp = m_;
+  Bn256 two = Bn256::Zero();
+  two.limb[0] = 2;
+  BnSub(exp, m_, two);  // m - 2; modulus is prime, so no borrow.
+  return Pow(a_mont, exp);
+}
+
+Bn256 Monty::Reduce(const Bn256& a) const {
+  Bn256 r = a;
+  for (int pass = 0; pass < 2; pass++) {
+    Bn256 reduced;
+    uint32_t borrow = BnSub(reduced, r, m_);
+    uint32_t keep = 0u - (1 - borrow);
+    BnCmov(r, reduced, keep);
+  }
+  return r;
+}
+
+}  // namespace parfait::crypto

@@ -1,0 +1,93 @@
+// 256-bit constant-time bignum arithmetic with Montgomery multiplication.
+//
+// This is the host-level arithmetic core beneath P-256 (field and scalar arithmetic).
+// Everything here is branch-free with respect to operand values: control flow and memory
+// access patterns depend only on sizes, never on the data, mirroring the HACL* bignum
+// discipline that the paper's ECDSA HSM reuses (section 7.1). The MiniC firmware port in
+// firmware/ follows this file operation-for-operation, which is what makes the
+// Starling/Knox2 differential checks meaningful.
+#ifndef PARFAIT_CRYPTO_BIGNUM_H_
+#define PARFAIT_CRYPTO_BIGNUM_H_
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace parfait::crypto {
+
+// A 256-bit unsigned integer as 8 little-endian 32-bit limbs.
+struct Bn256 {
+  std::array<uint32_t, 8> limb{};
+
+  static Bn256 Zero() { return Bn256{}; }
+  static Bn256 One() {
+    Bn256 r;
+    r.limb[0] = 1;
+    return r;
+  }
+  // Big-endian 32-byte conversions (the crypto wire format).
+  static Bn256 FromBytes(std::span<const uint8_t, 32> bytes);
+  void ToBytes(std::span<uint8_t, 32> out) const;
+
+  friend bool operator==(const Bn256& a, const Bn256& b) = default;
+};
+
+// r = a + b, returns the carry-out (0 or 1). Constant time.
+uint32_t BnAdd(Bn256& r, const Bn256& a, const Bn256& b);
+
+// r = a - b, returns the borrow-out (0 or 1). Constant time.
+uint32_t BnSub(Bn256& r, const Bn256& a, const Bn256& b);
+
+// Returns an all-ones mask if a >= b else 0. Constant time.
+uint32_t BnGeMask(const Bn256& a, const Bn256& b);
+
+// Returns an all-ones mask if a == 0 else 0. Constant time.
+uint32_t BnIsZeroMask(const Bn256& a);
+
+// r = mask ? a : r, where mask is 0 or all-ones. Constant time.
+void BnCmov(Bn256& r, const Bn256& a, uint32_t mask);
+
+// Montgomery context for an odd 256-bit modulus.
+class Monty {
+ public:
+  // Builds the context: computes n0' = -m^-1 mod 2^32, R mod m, and R^2 mod m.
+  explicit Monty(const Bn256& modulus);
+
+  const Bn256& modulus() const { return m_; }
+  const Bn256& r_mod_m() const { return r_; }     // The Montgomery representation of 1.
+  const Bn256& rr_mod_m() const { return rr_; }   // Used by ToMont.
+
+  // Montgomery product: returns a*b*R^-1 mod m. Inputs must be < m. Constant time.
+  Bn256 Mul(const Bn256& a, const Bn256& b) const;
+
+  // Converts into / out of the Montgomery domain.
+  Bn256 ToMont(const Bn256& a) const { return Mul(a, rr_); }
+  Bn256 FromMont(const Bn256& a) const { return Mul(a, Bn256::One()); }
+
+  // Modular add/sub (operands and results < m, not Montgomery-specific). Constant time.
+  Bn256 Add(const Bn256& a, const Bn256& b) const;
+  Bn256 Sub(const Bn256& a, const Bn256& b) const;
+
+  // Montgomery exponentiation with a *public* exponent (square-and-multiply; the
+  // exponent's bit pattern may influence timing, which is fine because the exponents
+  // used here — p-2 and n-2 for Fermat inversion — are public constants).
+  Bn256 Pow(const Bn256& base_mont, const Bn256& public_exponent) const;
+
+  // Modular inverse via Fermat's little theorem; modulus must be prime.
+  // Input and output are in the Montgomery domain.
+  Bn256 Inverse(const Bn256& a_mont) const;
+
+  // Reduces a full-range 256-bit value into [0, m) (at most two conditional subtracts;
+  // valid for the P-256 moduli where m > 2^254). Constant time.
+  Bn256 Reduce(const Bn256& a) const;
+
+ private:
+  Bn256 m_;
+  Bn256 r_;
+  Bn256 rr_;
+  uint32_t n0inv_ = 0;  // -m^-1 mod 2^32.
+};
+
+}  // namespace parfait::crypto
+
+#endif  // PARFAIT_CRYPTO_BIGNUM_H_

@@ -1,0 +1,113 @@
+#include "src/crypto/blake2s.h"
+
+#include <cstring>
+
+namespace parfait::crypto {
+
+namespace {
+
+constexpr uint32_t kIv[8] = {0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+                             0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19};
+
+constexpr uint8_t kSigma[10][16] = {
+    {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15},
+    {14, 10, 4, 8, 9, 15, 13, 6, 1, 12, 0, 2, 11, 7, 5, 3},
+    {11, 8, 12, 0, 5, 2, 15, 13, 10, 14, 3, 6, 7, 1, 9, 4},
+    {7, 9, 3, 1, 13, 12, 11, 14, 2, 6, 5, 10, 4, 0, 15, 8},
+    {9, 0, 5, 7, 2, 4, 10, 15, 14, 1, 11, 12, 6, 8, 3, 13},
+    {2, 12, 6, 10, 0, 11, 8, 3, 4, 13, 7, 5, 15, 14, 1, 9},
+    {12, 5, 1, 15, 14, 13, 4, 10, 0, 7, 6, 3, 9, 2, 8, 11},
+    {13, 11, 7, 14, 12, 1, 3, 9, 5, 0, 15, 4, 8, 6, 2, 10},
+    {6, 15, 14, 9, 11, 3, 0, 8, 12, 2, 13, 7, 1, 4, 10, 5},
+    {10, 2, 8, 4, 7, 6, 1, 5, 15, 11, 9, 14, 3, 12, 13, 0},
+};
+
+inline uint32_t Rotr(uint32_t x, unsigned n) { return (x >> n) | (x << (32 - n)); }
+
+inline void G(uint32_t* v, int a, int b, int c, int d, uint32_t x, uint32_t y) {
+  v[a] = v[a] + v[b] + x;
+  v[d] = Rotr(v[d] ^ v[a], 16);
+  v[c] = v[c] + v[d];
+  v[b] = Rotr(v[b] ^ v[c], 12);
+  v[a] = v[a] + v[b] + y;
+  v[d] = Rotr(v[d] ^ v[a], 8);
+  v[c] = v[c] + v[d];
+  v[b] = Rotr(v[b] ^ v[c], 7);
+}
+
+}  // namespace
+
+Blake2s::Blake2s() {
+  for (int i = 0; i < 8; i++) {
+    h_[i] = kIv[i];
+  }
+  // Parameter block: digest length 32, no key, fanout 1, depth 1.
+  h_[0] ^= 0x01010000 ^ kDigestSize;
+}
+
+void Blake2s::Compress(const uint8_t* block, bool is_last) {
+  uint32_t m[16];
+  for (int i = 0; i < 16; i++) {
+    m[i] = LoadLe32(block + 4 * i);
+  }
+  uint32_t v[16];
+  for (int i = 0; i < 8; i++) {
+    v[i] = h_[i];
+    v[i + 8] = kIv[i];
+  }
+  v[12] ^= static_cast<uint32_t>(counter_);
+  v[13] ^= static_cast<uint32_t>(counter_ >> 32);
+  if (is_last) {
+    v[14] = ~v[14];
+  }
+  for (int r = 0; r < 10; r++) {
+    const uint8_t* s = kSigma[r];
+    G(v, 0, 4, 8, 12, m[s[0]], m[s[1]]);
+    G(v, 1, 5, 9, 13, m[s[2]], m[s[3]]);
+    G(v, 2, 6, 10, 14, m[s[4]], m[s[5]]);
+    G(v, 3, 7, 11, 15, m[s[6]], m[s[7]]);
+    G(v, 0, 5, 10, 15, m[s[8]], m[s[9]]);
+    G(v, 1, 6, 11, 12, m[s[10]], m[s[11]]);
+    G(v, 2, 7, 8, 13, m[s[12]], m[s[13]]);
+    G(v, 3, 4, 9, 14, m[s[14]], m[s[15]]);
+  }
+  for (int i = 0; i < 8; i++) {
+    h_[i] ^= v[i] ^ v[i + 8];
+  }
+}
+
+void Blake2s::Update(std::span<const uint8_t> data) {
+  size_t offset = 0;
+  while (offset < data.size()) {
+    // Only flush a full buffer when more input follows: the final block must be
+    // compressed with the last-block flag set, so it stays buffered until Final().
+    if (buffer_len_ == kBlockSize) {
+      counter_ += kBlockSize;
+      Compress(buffer_.data(), /*is_last=*/false);
+      buffer_len_ = 0;
+    }
+    size_t take = std::min(kBlockSize - buffer_len_, data.size() - offset);
+    std::memcpy(buffer_.data() + buffer_len_, data.data() + offset, take);
+    buffer_len_ += take;
+    offset += take;
+  }
+}
+
+std::array<uint8_t, Blake2s::kDigestSize> Blake2s::Final() {
+  counter_ += buffer_len_;
+  std::memset(buffer_.data() + buffer_len_, 0, kBlockSize - buffer_len_);
+  Compress(buffer_.data(), /*is_last=*/true);
+  std::array<uint8_t, kDigestSize> digest;
+  for (int i = 0; i < 8; i++) {
+    StoreLe32(digest.data() + 4 * i, h_[i]);
+  }
+  return digest;
+}
+
+std::array<uint8_t, Blake2s::kDigestSize> Blake2s::Hash(std::span<const uint8_t> data) {
+  Blake2s h;
+  h.Update(data);
+  return h.Final();
+}
+
+}  // namespace parfait::crypto

@@ -1,0 +1,37 @@
+// BLAKE2s (RFC 7693), 256-bit output, with optional key (used in keyed mode by the
+// password-hashing HSM's HMAC-Blake2s construction, figure 12).
+#ifndef PARFAIT_CRYPTO_BLAKE2S_H_
+#define PARFAIT_CRYPTO_BLAKE2S_H_
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "src/support/bytes.h"
+
+namespace parfait::crypto {
+
+class Blake2s {
+ public:
+  static constexpr size_t kDigestSize = 32;
+  static constexpr size_t kBlockSize = 64;
+
+  Blake2s();
+
+  void Update(std::span<const uint8_t> data);
+  std::array<uint8_t, kDigestSize> Final();
+
+  static std::array<uint8_t, kDigestSize> Hash(std::span<const uint8_t> data);
+
+ private:
+  void Compress(const uint8_t* block, bool is_last);
+
+  std::array<uint32_t, 8> h_;
+  std::array<uint8_t, kBlockSize> buffer_;
+  size_t buffer_len_ = 0;
+  uint64_t counter_ = 0;
+};
+
+}  // namespace parfait::crypto
+
+#endif  // PARFAIT_CRYPTO_BLAKE2S_H_

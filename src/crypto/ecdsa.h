@@ -1,0 +1,42 @@
+// ECDSA over P-256 with caller-supplied deterministic nonces.
+//
+// The paper's ECDSA HSM (figure 4) derives each signing nonce as HMAC-SHA256(prf_key,
+// counter) and signs the 32-byte message directly (HACL*'s `ecdsa_signature_agile
+// NoHash`). Signing here follows the leakage discipline of section 7.1: the signature
+// is computed unconditionally and the output is masked with 0xff/0x00 depending on
+// whether all validity checks passed, so failure reasons are indistinguishable.
+#ifndef PARFAIT_CRYPTO_ECDSA_H_
+#define PARFAIT_CRYPTO_ECDSA_H_
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "src/crypto/bignum.h"
+
+namespace parfait::crypto {
+
+struct EcdsaSignature {
+  std::array<uint8_t, 32> r;
+  std::array<uint8_t, 32> s;
+};
+
+// Signs a 32-byte pre-hashed message with the given private key and nonce, both 32-byte
+// big-endian scalars. Returns true and fills *sig on success; on failure (key or nonce
+// out of range [1, n-1], or r == 0 or s == 0) returns false with *sig zeroed. The
+// computation runs in constant time either way.
+bool EcdsaSign(std::span<const uint8_t, 32> message, std::span<const uint8_t, 32> private_key,
+               std::span<const uint8_t, 32> nonce, EcdsaSignature* sig);
+
+// Derives the affine public key (x, y), each 32 bytes big-endian, from a private key.
+// Returns false if the private key is out of range.
+bool EcdsaPublicKey(std::span<const uint8_t, 32> private_key, std::span<uint8_t, 32> pub_x,
+                    std::span<uint8_t, 32> pub_y);
+
+// Verifies a signature against a 32-byte message and an affine public key.
+bool EcdsaVerify(std::span<const uint8_t, 32> message, std::span<const uint8_t, 32> pub_x,
+                 std::span<const uint8_t, 32> pub_y, const EcdsaSignature& sig);
+
+}  // namespace parfait::crypto
+
+#endif  // PARFAIT_CRYPTO_ECDSA_H_

@@ -1,0 +1,60 @@
+// HMAC (RFC 2104) generic over the hash functions in this library.
+//
+// Both case-study HSM specifications use HMAC directly from the crypto substrate:
+// the ECDSA signer derives nonces with HMAC-SHA256 (figure 4) and the password hasher
+// computes HMAC-Blake2s over the password (figure 12).
+#ifndef PARFAIT_CRYPTO_HMAC_H_
+#define PARFAIT_CRYPTO_HMAC_H_
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <span>
+
+#include "src/crypto/blake2s.h"
+#include "src/crypto/sha256.h"
+
+namespace parfait::crypto {
+
+// H must expose kDigestSize, kBlockSize, Update, Final, and a default constructor.
+template <typename H>
+std::array<uint8_t, H::kDigestSize> Hmac(std::span<const uint8_t> key,
+                                         std::span<const uint8_t> data) {
+  std::array<uint8_t, H::kBlockSize> k0{};
+  if (key.size() > H::kBlockSize) {
+    H kh;
+    kh.Update(key);
+    auto kd = kh.Final();
+    std::memcpy(k0.data(), kd.data(), kd.size());
+  } else {
+    std::memcpy(k0.data(), key.data(), key.size());
+  }
+  std::array<uint8_t, H::kBlockSize> ipad;
+  std::array<uint8_t, H::kBlockSize> opad;
+  for (size_t i = 0; i < H::kBlockSize; i++) {
+    ipad[i] = static_cast<uint8_t>(k0[i] ^ 0x36);
+    opad[i] = static_cast<uint8_t>(k0[i] ^ 0x5c);
+  }
+  H inner;
+  inner.Update(ipad);
+  inner.Update(data);
+  auto inner_digest = inner.Final();
+  H outer;
+  outer.Update(opad);
+  outer.Update(inner_digest);
+  return outer.Final();
+}
+
+inline std::array<uint8_t, 32> HmacSha256(std::span<const uint8_t> key,
+                                          std::span<const uint8_t> data) {
+  return Hmac<Sha256>(key, data);
+}
+
+inline std::array<uint8_t, 32> HmacBlake2s(std::span<const uint8_t> key,
+                                           std::span<const uint8_t> data) {
+  return Hmac<Blake2s>(key, data);
+}
+
+}  // namespace parfait::crypto
+
+#endif  // PARFAIT_CRYPTO_HMAC_H_

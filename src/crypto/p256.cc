@@ -1,0 +1,166 @@
+#include "src/crypto/p256.h"
+
+#include <span>
+
+#include "src/support/bytes.h"
+#include "src/support/status.h"
+
+namespace parfait::crypto {
+
+namespace {
+
+Bn256 FromHexBn(const char* hex) {
+  Bytes bytes = FromHex(hex);
+  PARFAIT_CHECK(bytes.size() == 32);
+  return Bn256::FromBytes(std::span<const uint8_t, 32>(bytes.data(), 32));
+}
+
+// NIST P-256 domain parameters.
+const char kP[] = "ffffffff00000001000000000000000000000000ffffffffffffffffffffffff";
+const char kN[] = "ffffffff00000000ffffffffffffffffbce6faada7179e84f3b9cac2fc632551";
+const char kB[] = "5ac635d8aa3a93e7b3ebbd55769886bc651d06b0cc53b0f63bce3c3e27d2604b";
+const char kGx[] = "6b17d1f2e12c4247f8bce6e563a440f277037d812deb33a0f4a13945d898c296";
+const char kGy[] = "4fe342e2fe1a7f9b8ee7eb4a7c0f9e162bce33576b315ececbb6406837bf51f5";
+
+void PointCmov(P256Point& r, const P256Point& a, uint32_t mask) {
+  BnCmov(r.x, a.x, mask);
+  BnCmov(r.y, a.y, mask);
+  BnCmov(r.z, a.z, mask);
+}
+
+}  // namespace
+
+const P256& P256::Get() {
+  static const P256 instance;
+  return instance;
+}
+
+P256::P256() : field_(FromHexBn(kP)), scalar_(FromHexBn(kN)) {
+  b_mont_ = field_.ToMont(FromHexBn(kB));
+  Bn256 three = Bn256::Zero();
+  three.limb[0] = 3;
+  three_mont_ = field_.ToMont(three);
+  g_.x = field_.ToMont(FromHexBn(kGx));
+  g_.y = field_.ToMont(FromHexBn(kGy));
+  g_.z = field_.r_mod_m();  // 1 in the Montgomery domain.
+}
+
+P256Point P256::Infinity() const {
+  P256Point p;
+  p.x = field_.r_mod_m();
+  p.y = field_.r_mod_m();
+  p.z = Bn256::Zero();
+  return p;
+}
+
+P256Point P256::Double(const P256Point& p) const {
+  const Monty& f = field_;
+  // "dbl-2001-b" for a = -3. Doubling infinity stays at infinity because Z3 is a
+  // multiple of Z1.
+  Bn256 delta = f.Mul(p.z, p.z);
+  Bn256 gamma = f.Mul(p.y, p.y);
+  Bn256 beta = f.Mul(p.x, gamma);
+  Bn256 t0 = f.Sub(p.x, delta);
+  Bn256 t1 = f.Add(p.x, delta);
+  Bn256 t2 = f.Mul(t0, t1);
+  Bn256 alpha = f.Add(f.Add(t2, t2), t2);  // 3 * (X - delta) * (X + delta).
+  Bn256 beta2 = f.Add(beta, beta);
+  Bn256 beta4 = f.Add(beta2, beta2);
+  Bn256 beta8 = f.Add(beta4, beta4);
+  P256Point r;
+  r.x = f.Sub(f.Mul(alpha, alpha), beta8);
+  Bn256 yz = f.Add(p.y, p.z);
+  r.z = f.Sub(f.Sub(f.Mul(yz, yz), gamma), delta);
+  Bn256 gamma2 = f.Mul(gamma, gamma);
+  Bn256 g2x2 = f.Add(gamma2, gamma2);
+  Bn256 g2x4 = f.Add(g2x2, g2x2);
+  Bn256 g2x8 = f.Add(g2x4, g2x4);
+  r.y = f.Sub(f.Mul(alpha, f.Sub(beta4, r.x)), g2x8);
+  return r;
+}
+
+P256Point P256::Add(const P256Point& p, const P256Point& q) const {
+  const Monty& f = field_;
+  // General Jacobian addition; the degenerate cases (either operand at infinity, P == Q,
+  // P == -Q) are computed alongside and merged with constant-time selects so the
+  // operation is complete without data-dependent branches.
+  Bn256 z1z1 = f.Mul(p.z, p.z);
+  Bn256 z2z2 = f.Mul(q.z, q.z);
+  Bn256 u1 = f.Mul(p.x, z2z2);
+  Bn256 u2 = f.Mul(q.x, z1z1);
+  Bn256 s1 = f.Mul(p.y, f.Mul(z2z2, q.z));
+  Bn256 s2 = f.Mul(q.y, f.Mul(z1z1, p.z));
+  Bn256 h = f.Sub(u2, u1);
+  Bn256 rr = f.Sub(s2, s1);
+  Bn256 h2 = f.Mul(h, h);
+  Bn256 h3 = f.Mul(h2, h);
+  Bn256 u1h2 = f.Mul(u1, h2);
+  P256Point out;
+  Bn256 rr2 = f.Mul(rr, rr);
+  out.x = f.Sub(f.Sub(rr2, h3), f.Add(u1h2, u1h2));
+  out.y = f.Sub(f.Mul(rr, f.Sub(u1h2, out.x)), f.Mul(s1, h3));
+  out.z = f.Mul(f.Mul(p.z, q.z), h);
+
+  uint32_t p_inf = BnIsZeroMask(p.z);
+  uint32_t q_inf = BnIsZeroMask(q.z);
+  uint32_t h_zero = BnIsZeroMask(h);
+  uint32_t r_zero = BnIsZeroMask(rr);
+  uint32_t finite = ~p_inf & ~q_inf;
+
+  // Same x-coordinate: either a doubling (same y) or the result is infinity (opposite y).
+  P256Point doubled = Double(p);
+  PointCmov(out, doubled, finite & h_zero & r_zero);
+  P256Point inf = Infinity();
+  PointCmov(out, inf, finite & h_zero & ~r_zero);
+  PointCmov(out, p, q_inf);
+  PointCmov(out, q, p_inf);
+  return out;
+}
+
+P256Point P256::ScalarMul(const Bn256& k, const P256Point& p) const {
+  P256Point acc = Infinity();
+  for (int i = 255; i >= 0; i--) {
+    acc = Double(acc);
+    P256Point sum = Add(acc, p);
+    uint32_t bit = (k.limb[i / 32] >> (i % 32)) & 1;
+    PointCmov(acc, sum, 0u - bit);
+  }
+  return acc;
+}
+
+uint32_t P256::ToAffine(const P256Point& p, Bn256* x, Bn256* y) const {
+  const Monty& f = field_;
+  uint32_t finite = ~BnIsZeroMask(p.z);
+  Bn256 zinv = f.Inverse(p.z);  // 0 maps to 0; masked out below.
+  Bn256 zinv2 = f.Mul(zinv, zinv);
+  Bn256 zinv3 = f.Mul(zinv2, zinv);
+  Bn256 xm = f.Mul(p.x, zinv2);
+  Bn256 ym = f.Mul(p.y, zinv3);
+  *x = f.FromMont(xm);
+  *y = f.FromMont(ym);
+  BnCmov(*x, Bn256::Zero(), ~finite);
+  BnCmov(*y, Bn256::Zero(), ~finite);
+  return finite;
+}
+
+P256Point P256::FromAffine(const Bn256& x, const Bn256& y) const {
+  P256Point p;
+  p.x = field_.ToMont(x);
+  p.y = field_.ToMont(y);
+  p.z = field_.r_mod_m();
+  return p;
+}
+
+uint32_t P256::IsOnCurve(const Bn256& x, const Bn256& y) const {
+  const Monty& f = field_;
+  Bn256 xm = f.ToMont(x);
+  Bn256 ym = f.ToMont(y);
+  Bn256 lhs = f.Mul(ym, ym);
+  Bn256 x2 = f.Mul(xm, xm);
+  Bn256 x3 = f.Mul(x2, xm);
+  Bn256 rhs = f.Add(f.Sub(x3, f.Mul(three_mont_, xm)), b_mont_);
+  Bn256 diff = f.Sub(lhs, rhs);
+  return BnIsZeroMask(diff);
+}
+
+}  // namespace parfait::crypto

@@ -1,0 +1,69 @@
+// NIST P-256 (secp256r1) group arithmetic in Jacobian coordinates.
+//
+// All curve operations are branch-free with respect to secret data: point addition
+// computes every case (general add, doubling, infinity) and selects the right one with
+// constant-time masks, and scalar multiplication is a fixed 256-iteration
+// double-and-add-always ladder. This matches the constant-time requirements the paper
+// imposes on the ECDSA HSM's handle function (sections 2 and 7.1).
+#ifndef PARFAIT_CRYPTO_P256_H_
+#define PARFAIT_CRYPTO_P256_H_
+
+#include <cstdint>
+
+#include "src/crypto/bignum.h"
+
+namespace parfait::crypto {
+
+// A Jacobian-coordinate point with coordinates in the Montgomery domain of the field
+// prime. The point at infinity is represented by Z == 0.
+struct P256Point {
+  Bn256 x;
+  Bn256 y;
+  Bn256 z;
+};
+
+class P256 {
+ public:
+  // Returns the process-wide curve context (constants are computed once).
+  static const P256& Get();
+
+  const Monty& field() const { return field_; }    // Arithmetic mod p.
+  const Monty& scalar() const { return scalar_; }  // Arithmetic mod n (group order).
+  const Bn256& order() const { return scalar_.modulus(); }
+  const P256Point& generator() const { return g_; }
+  const Bn256& b_mont() const { return b_mont_; }
+
+  P256Point Infinity() const;
+
+  // Point doubling and complete-by-masking addition (handles P==Q, P==-Q, infinity).
+  P256Point Double(const P256Point& p) const;
+  P256Point Add(const P256Point& p, const P256Point& q) const;
+
+  // Constant-time scalar multiplication: k in [0, 2^256), point in Jacobian/Montgomery
+  // form. Runs exactly 256 ladder iterations regardless of k.
+  P256Point ScalarMul(const Bn256& k, const P256Point& p) const;
+  P256Point ScalarBaseMul(const Bn256& k) const { return ScalarMul(k, g_); }
+
+  // Converts to affine coordinates (out of the Montgomery domain). Returns an all-ones
+  // mask if the point was finite, 0 if it was infinity (outputs are zero then).
+  uint32_t ToAffine(const P256Point& p, Bn256* x, Bn256* y) const;
+
+  // Builds a Jacobian/Montgomery point from affine coordinates (not validated).
+  P256Point FromAffine(const Bn256& x, const Bn256& y) const;
+
+  // Returns an all-ones mask if (x, y) is on the curve: y^2 == x^3 - 3x + b (mod p).
+  uint32_t IsOnCurve(const Bn256& x, const Bn256& y) const;
+
+ private:
+  P256();
+
+  Monty field_;
+  Monty scalar_;
+  P256Point g_;
+  Bn256 b_mont_;
+  Bn256 three_mont_;
+};
+
+}  // namespace parfait::crypto
+
+#endif  // PARFAIT_CRYPTO_P256_H_

@@ -1,0 +1,43 @@
+// SHA-256 (FIPS 180-4).
+//
+// This is the host-level reference implementation, used by the application
+// specifications (figure 4's `hmac SHA2_256`) and by the test oracles that validate the
+// MiniC firmware port. It is written constant-time with respect to the message contents
+// (data-independent control flow and memory addressing), matching the HACL* discipline
+// the paper builds on.
+#ifndef PARFAIT_CRYPTO_SHA256_H_
+#define PARFAIT_CRYPTO_SHA256_H_
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "src/support/bytes.h"
+
+namespace parfait::crypto {
+
+class Sha256 {
+ public:
+  static constexpr size_t kDigestSize = 32;
+  static constexpr size_t kBlockSize = 64;
+
+  Sha256();
+
+  void Update(std::span<const uint8_t> data);
+  std::array<uint8_t, kDigestSize> Final();
+
+  // One-shot convenience.
+  static std::array<uint8_t, kDigestSize> Hash(std::span<const uint8_t> data);
+
+ private:
+  void Compress(const uint8_t* block);
+
+  std::array<uint32_t, 8> state_;
+  std::array<uint8_t, kBlockSize> buffer_;
+  size_t buffer_len_ = 0;
+  uint64_t total_len_ = 0;
+};
+
+}  // namespace parfait::crypto
+
+#endif  // PARFAIT_CRYPTO_SHA256_H_

@@ -1,0 +1,69 @@
+// The application abstraction shared by every checker and harness in this repository.
+//
+// Each HSM app bundles the paper's per-app artifacts:
+//   - the application specification (figure 4 / figure 12): a typed, whole-command
+//     state machine, exposed here through its encoded form (the encode_state /
+//     encode_response functions of the Starling lockstep strategy);
+//   - the driver codecs: encode_command / decode_response (trusted, section 3) and
+//     their duals decode_command / encode_response (the implicit emulator);
+//   - the implementation: the dual-compiled firmware handle (the Low*/C level) and the
+//     MiniC sources from which the SoC firmware is built.
+#ifndef PARFAIT_HSM_APP_H_
+#define PARFAIT_HSM_APP_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "src/support/bytes.h"
+#include "src/support/rng.h"
+
+namespace parfait::hsm {
+
+class App {
+ public:
+  virtual ~App() = default;
+
+  virtual const char* name() const = 0;
+  virtual size_t state_size() const = 0;
+  virtual size_t command_size() const = 0;
+  virtual size_t response_size() const = 0;
+
+  // encode_state(spec.init) — all-zero for both case-study apps, matching fresh FRAM.
+  virtual Bytes InitStateEncoded() const = 0;
+
+  // One spec-level step through the codecs: decodes `command`; if it denotes no
+  // spec-level command, returns std::nullopt (the figure 6 "None" case). Otherwise
+  // runs the typed specification step and returns (encode_state(state'),
+  // encode_response(Some response)).
+  virtual std::optional<std::pair<Bytes, Bytes>> SpecStepEncoded(const Bytes& state,
+                                                                 const Bytes& command) const = 0;
+
+  // encode_response(None): the canonical response to undecodable commands.
+  virtual Bytes EncodeResponseNone() const = 0;
+
+  // The byte-level implementation: the firmware handle() compiled natively. Buffers
+  // must have exactly the advertised sizes; state and resp are written in place.
+  virtual void NativeHandle(uint8_t* state, uint8_t* cmd, uint8_t* resp) const = 0;
+
+  // Concatenated MiniC sources (crypto substrate + handle) for the firmware build.
+  virtual std::string FirmwareSources() const = 0;
+
+  // Generates a random well-formed command (for property-based checking).
+  virtual Bytes RandomValidCommand(Rng& rng) const = 0;
+
+  // Generates a random command that decodes to None (an adversarial/malformed input).
+  virtual Bytes RandomInvalidCommand(Rng& rng) const = 0;
+
+  // Byte ranges of the encoded state that hold secrets (for taint seeding). Pairs of
+  // (offset, length).
+  virtual std::vector<std::pair<uint32_t, uint32_t>> SecretStateRanges() const = 0;
+};
+
+// The two case-study applications (section 7.1).
+const App& EcdsaApp();
+const App& HasherApp();
+
+}  // namespace parfait::hsm
+
+#endif  // PARFAIT_HSM_APP_H_

@@ -1,0 +1,182 @@
+// The ECDSA certificate-signing application: typed specification (figure 4), codecs,
+// and implementation hooks.
+#include <cstring>
+
+#include "src/crypto/ecdsa.h"
+#include "src/crypto/hmac.h"
+#include "src/hsm/app.h"
+#include "src/hsm/fw_native.h"
+#include "src/platform/firmware.h"
+#include "src/support/status.h"
+
+namespace parfait::hsm {
+
+namespace {
+
+constexpr size_t kStateSize = 72;
+constexpr size_t kCommandSize = 65;
+constexpr size_t kResponseSize = 65;
+
+// The typed specification state (the paper's state_t: prf_key, prf_counter, sig_key).
+struct SpecState {
+  std::array<uint8_t, 32> prf_key{};
+  uint64_t prf_counter = 0;
+  std::array<uint8_t, 32> sig_key{};
+};
+
+// The typed commands (command_t) and responses (response_t).
+struct InitializeCmd {
+  std::array<uint8_t, 32> prf_key;
+  std::array<uint8_t, 32> sig_key;
+};
+struct SignCmd {
+  std::array<uint8_t, 32> msg;
+};
+
+struct SpecResponse {
+  enum class Kind : uint8_t { kInitialized, kSignatureSome, kSignatureNone } kind;
+  crypto::EcdsaSignature sig{};  // Valid for kSignatureSome.
+};
+
+// encode_state: the refinement relation between state_t and the 72-byte buffer.
+Bytes EncodeState(const SpecState& st) {
+  Bytes out(kStateSize);
+  std::memcpy(out.data(), st.prf_key.data(), 32);
+  StoreBe64(out.data() + 32, st.prf_counter);
+  std::memcpy(out.data() + 40, st.sig_key.data(), 32);
+  return out;
+}
+
+SpecState DecodeState(const Bytes& bytes) {
+  PARFAIT_CHECK(bytes.size() == kStateSize);
+  SpecState st;
+  std::memcpy(st.prf_key.data(), bytes.data(), 32);
+  st.prf_counter = LoadBe64(bytes.data() + 32);
+  std::memcpy(st.sig_key.data(), bytes.data() + 40, 32);
+  return st;
+}
+
+// The figure 4 step function, using the host crypto substrate as the HACL* stand-in.
+std::pair<SpecState, SpecResponse> SpecStep(const SpecState& /*st*/, const InitializeCmd& cmd) {
+  SpecState next;
+  next.prf_key = cmd.prf_key;
+  next.prf_counter = 0;
+  next.sig_key = cmd.sig_key;
+  return {next, SpecResponse{SpecResponse::Kind::kInitialized, {}}};
+}
+
+std::pair<SpecState, SpecResponse> SpecStep(const SpecState& st, const SignCmd& cmd) {
+  if (st.prf_counter == UINT64_MAX) {
+    return {st, SpecResponse{SpecResponse::Kind::kSignatureNone, {}}};
+  }
+  uint8_t data[8];
+  StoreBe64(data, st.prf_counter);
+  auto k = crypto::HmacSha256(st.prf_key, std::span<const uint8_t>(data, 8));
+  crypto::EcdsaSignature sig;
+  bool ok = crypto::EcdsaSign(cmd.msg, st.sig_key, k, &sig);
+  SpecState next = st;
+  next.prf_counter++;
+  if (!ok) {
+    return {next, SpecResponse{SpecResponse::Kind::kSignatureNone, {}}};
+  }
+  return {next, SpecResponse{SpecResponse::Kind::kSignatureSome, sig}};
+}
+
+Bytes EncodeResponse(const SpecResponse& r) {
+  Bytes out(kResponseSize, 0);
+  switch (r.kind) {
+    case SpecResponse::Kind::kInitialized:
+      out[0] = 1;
+      break;
+    case SpecResponse::Kind::kSignatureSome:
+      out[0] = 2;
+      std::memcpy(out.data() + 1, r.sig.r.data(), 32);
+      std::memcpy(out.data() + 33, r.sig.s.data(), 32);
+      break;
+    case SpecResponse::Kind::kSignatureNone:
+      out[0] = 3;
+      break;
+  }
+  return out;
+}
+
+class EcdsaAppImpl final : public App {
+ public:
+  const char* name() const override { return "ECDSA signer"; }
+  size_t state_size() const override { return kStateSize; }
+  size_t command_size() const override { return kCommandSize; }
+  size_t response_size() const override { return kResponseSize; }
+
+  Bytes InitStateEncoded() const override { return Bytes(kStateSize, 0); }
+
+  std::optional<std::pair<Bytes, Bytes>> SpecStepEncoded(const Bytes& state,
+                                                         const Bytes& command) const override {
+    PARFAIT_CHECK(state.size() == kStateSize);
+    PARFAIT_CHECK(command.size() == kCommandSize);
+    SpecState st = DecodeState(state);
+    // decode_command: tag 1 = Initialize, tag 2 = Sign, anything else = None.
+    if (command[0] == 1) {
+      InitializeCmd cmd;
+      std::memcpy(cmd.prf_key.data(), command.data() + 1, 32);
+      std::memcpy(cmd.sig_key.data(), command.data() + 33, 32);
+      auto [next, resp] = SpecStep(st, cmd);
+      return std::make_pair(EncodeState(next), EncodeResponse(resp));
+    }
+    if (command[0] == 2) {
+      SignCmd cmd;
+      std::memcpy(cmd.msg.data(), command.data() + 1, 32);
+      auto [next, resp] = SpecStep(st, cmd);
+      return std::make_pair(EncodeState(next), EncodeResponse(resp));
+    }
+    return std::nullopt;
+  }
+
+  Bytes EncodeResponseNone() const override { return Bytes(kResponseSize, 0); }
+
+  void NativeHandle(uint8_t* state, uint8_t* cmd, uint8_t* resp) const override {
+    EcdsaNativeHandle(state, cmd, resp);
+  }
+
+  std::string FirmwareSources() const override {
+    return platform::ReadFirmwareFile("hash.c") + platform::ReadFirmwareFile("p256.c") +
+           platform::ReadFirmwareFile("app_ecdsa.c");
+  }
+
+  Bytes RandomValidCommand(Rng& rng) const override {
+    Bytes cmd(kCommandSize);
+    rng.Fill(cmd);
+    cmd[0] = rng.Bool() ? 1 : 2;
+    if (cmd[0] == 1) {
+      // Keep generated keys comfortably inside the scalar range.
+      cmd[33] &= 0x7f;
+    } else {
+      // Zero the unused tail so Sign commands are canonical encodings.
+      std::fill(cmd.begin() + 33, cmd.end(), 0);
+    }
+    return cmd;
+  }
+
+  Bytes RandomInvalidCommand(Rng& rng) const override {
+    Bytes cmd(kCommandSize);
+    rng.Fill(cmd);
+    do {
+      cmd[0] = rng.Byte();
+    } while (cmd[0] == 1 || cmd[0] == 2);
+    return cmd;
+  }
+
+  std::vector<std::pair<uint32_t, uint32_t>> SecretStateRanges() const override {
+    // prf_key and sig_key are secret; the counter is public (it is observable as the
+    // count of successful operations).
+    return {{0, 32}, {40, 32}};
+  }
+};
+
+}  // namespace
+
+const App& EcdsaApp() {
+  static const EcdsaAppImpl instance;
+  return instance;
+}
+
+}  // namespace parfait::hsm

@@ -1,0 +1,24 @@
+// Host entry points into the natively-compiled firmware sources (one translation unit
+// per app; the MiniC sources are #included inside per-app namespaces).
+#ifndef PARFAIT_HSM_FW_NATIVE_H_
+#define PARFAIT_HSM_FW_NATIVE_H_
+
+#include <cstdint>
+
+namespace parfait::hsm {
+
+// ECDSA app (state 72, command 65, response 65).
+void EcdsaNativeHandle(uint8_t* state, uint8_t* cmd, uint8_t* resp);
+// Direct access to firmware crypto for differential testing.
+uint32_t EcdsaNativeSign(uint8_t* sig64, uint8_t* msg32, uint8_t* key32, uint8_t* nonce32);
+void NativeSha256(uint8_t* out32, uint8_t* msg, uint32_t len);
+void NativeHmacSha256(uint8_t* out32, uint8_t* key32, uint8_t* msg, uint32_t len);
+
+// Password hasher app (state 32, command 33, response 33).
+void HasherNativeHandle(uint8_t* state, uint8_t* cmd, uint8_t* resp);
+void NativeBlake2s(uint8_t* out32, uint8_t* msg, uint32_t len);
+void NativeHmacBlake2s(uint8_t* out32, uint8_t* key32, uint8_t* msg, uint32_t len);
+
+}  // namespace parfait::hsm
+
+#endif  // PARFAIT_HSM_FW_NATIVE_H_

@@ -1,0 +1,40 @@
+// Native (host) compilation of the ECDSA HSM firmware sources.
+//
+// This is the repository's analog of the paper's "App Impl [C]" level: the exact MiniC
+// sources that become the SoC firmware, compiled by the host C++ compiler. Starling's
+// lockstep checks run against this artifact, and the model-Asm differential tests
+// compare the minicc-compiled version against it.
+#include "src/hsm/fw_native.h"
+
+namespace parfait::hsm::fw_ecdsa {
+
+enum { STATE_SIZE = 72, COMMAND_SIZE = 65, RESPONSE_SIZE = 65 };
+
+#include "firmware/fw.h"
+
+#include "firmware/hash.c"
+#include "firmware/p256.c"
+
+#include "firmware/app_ecdsa.c"
+
+}  // namespace parfait::hsm::fw_ecdsa
+
+namespace parfait::hsm {
+
+void EcdsaNativeHandle(uint8_t* state, uint8_t* cmd, uint8_t* resp) {
+  fw_ecdsa::handle(state, cmd, resp);
+}
+
+uint32_t EcdsaNativeSign(uint8_t* sig64, uint8_t* msg32, uint8_t* key32, uint8_t* nonce32) {
+  return fw_ecdsa::ecdsa_sign_fw(sig64, msg32, key32, nonce32);
+}
+
+void NativeSha256(uint8_t* out32, uint8_t* msg, uint32_t len) {
+  fw_ecdsa::sha256(out32, msg, len);
+}
+
+void NativeHmacSha256(uint8_t* out32, uint8_t* key32, uint8_t* msg, uint32_t len) {
+  fw_ecdsa::hmac_sha256(out32, key32, msg, len);
+}
+
+}  // namespace parfait::hsm

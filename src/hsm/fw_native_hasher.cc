@@ -1,0 +1,30 @@
+// Native (host) compilation of the password-hasher HSM firmware sources.
+#include "src/hsm/fw_native.h"
+
+namespace parfait::hsm::fw_hasher {
+
+enum { STATE_SIZE = 32, COMMAND_SIZE = 33, RESPONSE_SIZE = 33 };
+
+#include "firmware/fw.h"
+
+#include "firmware/hash.c"
+
+#include "firmware/app_hasher.c"
+
+}  // namespace parfait::hsm::fw_hasher
+
+namespace parfait::hsm {
+
+void HasherNativeHandle(uint8_t* state, uint8_t* cmd, uint8_t* resp) {
+  fw_hasher::handle(state, cmd, resp);
+}
+
+void NativeBlake2s(uint8_t* out32, uint8_t* msg, uint32_t len) {
+  fw_hasher::blake2s(out32, msg, len);
+}
+
+void NativeHmacBlake2s(uint8_t* out32, uint8_t* key32, uint8_t* msg, uint32_t len) {
+  fw_hasher::hmac_blake2s(out32, key32, msg, len);
+}
+
+}  // namespace parfait::hsm

@@ -1,0 +1,88 @@
+// The password-hashing application: typed specification (figure 12), codecs, and
+// implementation hooks.
+#include <cstring>
+
+#include "src/crypto/hmac.h"
+#include "src/hsm/app.h"
+#include "src/hsm/fw_native.h"
+#include "src/platform/firmware.h"
+#include "src/support/status.h"
+
+namespace parfait::hsm {
+
+namespace {
+
+constexpr size_t kStateSize = 32;
+constexpr size_t kCommandSize = 33;
+constexpr size_t kResponseSize = 33;
+
+class HasherAppImpl final : public App {
+ public:
+  const char* name() const override { return "Password hasher"; }
+  size_t state_size() const override { return kStateSize; }
+  size_t command_size() const override { return kCommandSize; }
+  size_t response_size() const override { return kResponseSize; }
+
+  Bytes InitStateEncoded() const override { return Bytes(kStateSize, 0); }
+
+  std::optional<std::pair<Bytes, Bytes>> SpecStepEncoded(const Bytes& state,
+                                                         const Bytes& command) const override {
+    PARFAIT_CHECK(state.size() == kStateSize);
+    PARFAIT_CHECK(command.size() == kCommandSize);
+    if (command[0] == 1) {
+      // Initialize secret -> { secret }, Initialized.
+      Bytes next(command.begin() + 1, command.end());
+      Bytes resp(kResponseSize, 0);
+      resp[0] = 1;
+      return std::make_pair(next, resp);
+    }
+    if (command[0] == 2) {
+      // Hash message -> st, Hashed (hmac Blake2S st.secret message).
+      auto digest = crypto::HmacBlake2s(state, std::span<const uint8_t>(command.data() + 1, 32));
+      Bytes resp(kResponseSize, 0);
+      resp[0] = 2;
+      std::memcpy(resp.data() + 1, digest.data(), 32);
+      return std::make_pair(state, resp);
+    }
+    return std::nullopt;
+  }
+
+  Bytes EncodeResponseNone() const override { return Bytes(kResponseSize, 0); }
+
+  void NativeHandle(uint8_t* state, uint8_t* cmd, uint8_t* resp) const override {
+    HasherNativeHandle(state, cmd, resp);
+  }
+
+  std::string FirmwareSources() const override {
+    return platform::ReadFirmwareFile("hash.c") + platform::ReadFirmwareFile("app_hasher.c");
+  }
+
+  Bytes RandomValidCommand(Rng& rng) const override {
+    Bytes cmd(kCommandSize);
+    rng.Fill(cmd);
+    cmd[0] = rng.Bool() ? 1 : 2;
+    return cmd;
+  }
+
+  Bytes RandomInvalidCommand(Rng& rng) const override {
+    Bytes cmd(kCommandSize);
+    rng.Fill(cmd);
+    do {
+      cmd[0] = rng.Byte();
+    } while (cmd[0] == 1 || cmd[0] == 2);
+    return cmd;
+  }
+
+  std::vector<std::pair<uint32_t, uint32_t>> SecretStateRanges() const override {
+    return {{0, 32}};  // The whole state is the HMAC secret.
+  }
+};
+
+}  // namespace
+
+const App& HasherApp() {
+  static const HasherAppImpl instance;
+  return instance;
+}
+
+}  // namespace parfait::hsm

@@ -1,0 +1,69 @@
+#include "src/hsm/hsm_system.h"
+
+#include "src/platform/firmware.h"
+#include "src/support/status.h"
+
+namespace parfait::hsm {
+
+namespace {
+
+riscv::Image BuildImage(const App& app, const HsmBuildOptions& options) {
+  platform::FirmwareConfig config;
+  config.app_sources =
+      options.source_override.empty() ? app.FirmwareSources() : options.source_override;
+  config.state_size = static_cast<uint32_t>(app.state_size());
+  config.command_size = static_cast<uint32_t>(app.command_size());
+  config.response_size = static_cast<uint32_t>(app.response_size());
+  config.opt_level = options.opt_level;
+  config.sys_sources_override = options.sys_source_override;
+  auto image = platform::BuildFirmware(config);
+  PARFAIT_CHECK_MSG(image.ok(), "firmware build failed: %s", image.error().c_str());
+  return std::move(image).value();
+}
+
+}  // namespace
+
+HsmSystem::HsmSystem(const App& app, const HsmBuildOptions& options)
+    : app_(&app),
+      options_(options),
+      image_(BuildImage(app, options)),
+      model_asm_(image_, platform::ModelAsm::Sizes{static_cast<uint32_t>(app.state_size()),
+                                                   static_cast<uint32_t>(app.command_size()),
+                                                   static_cast<uint32_t>(app.response_size())}) {}
+
+soc::SocConfig HsmSystem::MakeSocConfig() const {
+  soc::SocConfig config;
+  config.cpu_kind = options_.cpu;
+  config.taint_tracking = options_.taint_tracking;
+  config.cpu.variable_latency_mul = options_.variable_latency_mul;
+  config.cpu.load_use_hazard_bug = options_.load_use_hazard_bug;
+  return config;
+}
+
+std::unique_ptr<soc::Soc> HsmSystem::NewSoc() const {
+  return std::make_unique<soc::Soc>(image_, MakeSocConfig());
+}
+
+std::unique_ptr<soc::Soc> HsmSystem::NewSocWithFram(const Bytes& fram) const {
+  auto soc = NewSoc();
+  soc->bus().LoadFram(fram, {});
+  return soc;
+}
+
+Bytes HsmSystem::MakeFram(const Bytes& state) const {
+  PARFAIT_CHECK(state.size() == app_->state_size());
+  Bytes fram(4 + 2 * app_->state_size(), 0);
+  // flag = 0 -> copy A active at offset 4.
+  std::copy(state.begin(), state.end(), fram.begin() + 4);
+  return fram;
+}
+
+void HsmSystem::SeedSecretTaint(soc::Soc& soc) const {
+  uint32_t state_size = static_cast<uint32_t>(app_->state_size());
+  for (auto [offset, length] : app_->SecretStateRanges()) {
+    soc.bus().SetFramTaint(4 + offset, length, true);
+    soc.bus().SetFramTaint(4 + state_size + offset, length, true);
+  }
+}
+
+}  // namespace parfait::hsm

@@ -1,0 +1,60 @@
+// HsmSystem: assembles a complete verified-HSM stack for one application — firmware
+// image, model-Asm interpretation, and SoC factory — the artifact bundle that the
+// checkers (Starling, Knox2) and the benchmarks operate on.
+#ifndef PARFAIT_HSM_HSM_SYSTEM_H_
+#define PARFAIT_HSM_HSM_SYSTEM_H_
+
+#include <memory>
+
+#include "src/hsm/app.h"
+#include "src/platform/model_asm.h"
+#include "src/soc/soc.h"
+
+namespace parfait::hsm {
+
+struct HsmBuildOptions {
+  int opt_level = 0;  // The verified pipeline uses O0 (CompCert stand-in).
+  soc::CpuKind cpu = soc::CpuKind::kIbexLite;
+  bool taint_tracking = false;
+  bool variable_latency_mul = false;
+  bool load_use_hazard_bug = false;
+  // Bug-injection hooks for the attack matrix: replacements for the app sources and
+  // for the system software (firmware/sys.c).
+  std::string source_override;      // When non-empty, replaces App::FirmwareSources().
+  std::string sys_source_override;  // When non-empty, replaces firmware/sys.c.
+};
+
+class HsmSystem {
+ public:
+  // Builds firmware for the app and prepares the platform. CHECK-fails on compile
+  // errors (the in-tree firmware always builds).
+  HsmSystem(const App& app, const HsmBuildOptions& options);
+
+  const App& app() const { return *app_; }
+  const riscv::Image& image() const { return image_; }
+  const platform::ModelAsm& model_asm() const { return model_asm_; }
+  const HsmBuildOptions& options() const { return options_; }
+
+  // Fresh power-on (zeroed FRAM).
+  std::unique_ptr<soc::Soc> NewSoc() const;
+  // Power-on resuming from persisted FRAM contents.
+  std::unique_ptr<soc::Soc> NewSocWithFram(const Bytes& fram) const;
+
+  // An FRAM image holding `state` as the active journal copy (flag = 0, copy A).
+  Bytes MakeFram(const Bytes& state) const;
+
+  // Marks the app's secret state ranges as tainted in both journal copies.
+  void SeedSecretTaint(soc::Soc& soc) const;
+
+ private:
+  soc::SocConfig MakeSocConfig() const;
+
+  const App* app_;
+  HsmBuildOptions options_;
+  riscv::Image image_;
+  platform::ModelAsm model_asm_;
+};
+
+}  // namespace parfait::hsm
+
+#endif  // PARFAIT_HSM_HSM_SYSTEM_H_

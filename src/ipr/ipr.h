@@ -1,0 +1,123 @@
+// Information-preserving refinement (IPR) — definition and checker.
+//
+// The paper's figure 5: an implementation M_i (commands I_i, responses O_i) is an IPR
+// of a specification M_s (commands I_s, responses O_s) with respect to a driver d,
+// written M_i ≈_IPR[d] M_s, if there exists an emulator e such that the *real world*
+// (M_i, with d translating spec-level operations onto it) is observationally
+// equivalent to the *ideal world* (M_s, with e fabricating implementation-level
+// behaviour from query access to M_s alone).
+//
+// Both worlds expose the same two-sided interface:
+//   - spec-level ops   (through the driver in the real world, directly in the ideal)
+//   - impl-level ops   (directly in the real world, through the emulator in the ideal)
+// and the adversary may interleave them arbitrarily. If no interleaving distinguishes
+// the worlds, the implementation leaks nothing beyond the specification.
+//
+// The Coq development proves IPR properties deductively; this header provides the
+// *checker*: a randomized distinguisher that drives both worlds with adversarial
+// interleavings and compares every observable. A failed check yields a concrete
+// distinguishing transcript.
+#ifndef PARFAIT_IPR_IPR_H_
+#define PARFAIT_IPR_IPR_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/ipr/state_machine.h"
+#include "src/support/rng.h"
+
+namespace parfait::ipr {
+
+// A driver translates one spec-level command into an interactive program over the
+// lower level: it may issue any number of low-level commands (via `lowop`) and then
+// returns the spec-level response. (Section 3: "a program mapping spec-level
+// operations to implementation-level I/O".)
+template <typename CH, typename RH, typename CL, typename RL>
+using Driver = std::function<RH(const CH&, const std::function<RL(const CL&)>& lowop)>;
+
+// An emulator mimics the implementation's low-level interface given only query access
+// to the specification. It is stateful (created fresh per world instance).
+template <typename CL, typename RL, typename CH, typename RH>
+class Emulator {
+ public:
+  virtual ~Emulator() = default;
+  // Handles one low-level command; `spec` lets the emulator step the ideal-world spec.
+  virtual RL OnCommand(const CL& command, const std::function<RH(const CH&)>& spec) = 0;
+};
+
+template <typename CL, typename RL, typename CH, typename RH>
+using EmulatorFactory = std::function<std::unique_ptr<Emulator<CL, RL, CH, RH>>()>;
+
+struct IprCheckOptions {
+  int trials = 64;           // Independent adversarial transcripts.
+  int ops_per_trial = 32;    // Interleaved operations per transcript.
+  uint64_t seed = 2024;
+};
+
+struct IprCheckResult {
+  bool ok = true;
+  std::string counterexample;  // Human-readable distinguishing transcript on failure.
+};
+
+// Checks M_i ≈_IPR[d] M_s by randomized distinguishing. `gen_high` and `gen_low`
+// produce adversarial spec-level and impl-level commands; `show` functions render the
+// counterexample.
+template <typename SI, typename SS, typename CH, typename RH, typename CL, typename RL>
+IprCheckResult CheckIpr(const StateMachine<SI, CL, RL>& impl,
+                        const StateMachine<SS, CH, RH>& spec,
+                        const Driver<CH, RH, CL, RL>& driver,
+                        const EmulatorFactory<CL, RL, CH, RH>& emulator_factory,
+                        const std::function<CH(Rng&)>& gen_high,
+                        const std::function<CL(Rng&)>& gen_low,
+                        const std::function<std::string(const RH&)>& show_high,
+                        const std::function<std::string(const RL&)>& show_low,
+                        const IprCheckOptions& options = {}) {
+  Rng rng(options.seed);
+  for (int trial = 0; trial < options.trials; trial++) {
+    // Real world: implementation + driver.
+    Running<SI, CL, RL> real_impl(impl);
+    // Ideal world: specification + emulator.
+    Running<SS, CH, RH> ideal_spec(spec);
+    auto emulator = emulator_factory();
+    std::ostringstream transcript;
+
+    for (int op = 0; op < options.ops_per_trial; op++) {
+      if (rng.Bool()) {
+        // Spec-level operation through both worlds.
+        CH command = gen_high(rng);
+        RH real_response =
+            driver(command, [&](const CL& low) { return real_impl.Step(low); });
+        RH ideal_response = ideal_spec.Step(command);
+        transcript << "high op -> real: " << show_high(real_response)
+                   << ", ideal: " << show_high(ideal_response) << "\n";
+        if (show_high(real_response) != show_high(ideal_response)) {
+          return IprCheckResult{false, "trial " + std::to_string(trial) +
+                                           " diverged on a spec-level op:\n" +
+                                           transcript.str()};
+        }
+      } else {
+        // Impl-level (adversarial) operation.
+        CL command = gen_low(rng);
+        RL real_response = real_impl.Step(command);
+        RL ideal_response = emulator->OnCommand(
+            command, [&](const CH& high) { return ideal_spec.Step(high); });
+        transcript << "low op -> real: " << show_low(real_response)
+                   << ", ideal: " << show_low(ideal_response) << "\n";
+        if (show_low(real_response) != show_low(ideal_response)) {
+          return IprCheckResult{false, "trial " + std::to_string(trial) +
+                                           " diverged on an impl-level op:\n" +
+                                           transcript.str()};
+        }
+      }
+    }
+  }
+  return IprCheckResult{};
+}
+
+}  // namespace parfait::ipr
+
+#endif  // PARFAIT_IPR_IPR_H_

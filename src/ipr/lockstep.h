@@ -1,0 +1,132 @@
+// IPR by lockstep (section 4.1): when one step of the implementation corresponds to
+// exactly one step of the specification, developer-supplied encode/decode functions
+// define an implicit emulator, and the lockstep simulation property (figure 6) plus
+// the codec correspondences imply IPR.
+//
+// The Coq development proves that implication once and for all; here the lockstep
+// conditions are *checked* (randomized property testing) and the implication is made
+// executable: BuildLockstepDriver / BuildLockstepEmulator construct the figure 5
+// witnesses from the codecs, so CheckIpr can validate the resulting refinement
+// directly (which is how the theory tests confirm the theorem on toy machines).
+#ifndef PARFAIT_IPR_LOCKSTEP_H_
+#define PARFAIT_IPR_LOCKSTEP_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "src/ipr/ipr.h"
+#include "src/ipr/state_machine.h"
+#include "src/support/bytes.h"
+#include "src/support/rng.h"
+
+namespace parfait::ipr {
+
+// Codec bundle for a lockstep refinement between a typed spec (state SS, commands CH,
+// responses RH) and a byte-level implementation machine (state/command/response all
+// Bytes).
+template <typename SS, typename CH, typename RH>
+struct LockstepCodecs {
+  std::function<Bytes(const CH&)> encode_command;                 // Driver side.
+  std::function<RH(const Bytes&)> decode_response;                // Driver side.
+  std::function<std::optional<CH>(const Bytes&)> decode_command;  // Emulator side.
+  std::function<Bytes(const std::optional<RH>&)> encode_response; // Emulator side.
+  std::function<Bytes(const SS&)> encode_state;                   // Refinement relation.
+};
+
+struct LockstepCheckOptions {
+  int trials = 128;
+  uint64_t seed = 7;
+};
+
+struct LockstepCheckResult {
+  bool ok = true;
+  std::string failure;
+};
+
+// Checks the lockstep conditions:
+//  (1) decode_command ∘ encode_command = Some        (codec correspondence)
+//  (2) figure 6(a): on decodable low-level inputs, impl and spec step in lockstep
+//      through encode_state / encode_response
+//  (3) figure 6(b): on undecodable inputs, the impl state is unchanged and the
+//      response is encode_response(None)
+// gen_state/gen_high generate random spec states and commands; gen_junk generates
+// low-level inputs (some decodable, some not).
+template <typename SS, typename CH, typename RH>
+LockstepCheckResult CheckLockstep(
+    const StateMachine<Bytes, Bytes, Bytes>& impl, const StateMachine<SS, CH, RH>& spec,
+    const LockstepCodecs<SS, CH, RH>& codecs, const std::function<SS(Rng&)>& gen_state,
+    const std::function<CH(Rng&)>& gen_high, const std::function<Bytes(Rng&)>& gen_junk,
+    const std::function<std::string(const CH&)>& show_high,
+    const LockstepCheckOptions& options = {}) {
+  Rng rng(options.seed);
+  for (int trial = 0; trial < options.trials; trial++) {
+    // (1) Codec correspondence.
+    CH command = gen_high(rng);
+    Bytes encoded = codecs.encode_command(command);
+    auto decoded = codecs.decode_command(encoded);
+    if (!decoded.has_value() || show_high(*decoded) != show_high(command)) {
+      return {false, "decode_command is not a left inverse of encode_command for " +
+                         show_high(command)};
+    }
+    // (2) Figure 6(a) on a random related state pair.
+    SS spec_state = gen_state(rng);
+    Bytes impl_state = codecs.encode_state(spec_state);
+    auto [impl_next, impl_out] = impl.step(impl_state, encoded);
+    auto [spec_next, spec_out] = spec.step(spec_state, command);
+    if (impl_next != codecs.encode_state(spec_next)) {
+      return {false, "post-states diverge (figure 6a) for " + show_high(command)};
+    }
+    if (impl_out != codecs.encode_response(std::optional<RH>(spec_out))) {
+      return {false, "responses diverge (figure 6a) for " + show_high(command)};
+    }
+    // (3) Figure 6(b) on junk input.
+    Bytes junk = gen_junk(rng);
+    if (!codecs.decode_command(junk).has_value()) {
+      auto [junk_next, junk_out] = impl.step(impl_state, junk);
+      if (junk_next != impl_state) {
+        return {false, "state changed on an undecodable command (figure 6b)"};
+      }
+      if (junk_out != codecs.encode_response(std::nullopt)) {
+        return {false, "non-canonical response to an undecodable command (figure 6b)"};
+      }
+    }
+  }
+  return {};
+}
+
+// The driver implied by the codecs: encode, one low-level step, decode.
+template <typename SS, typename CH, typename RH>
+Driver<CH, RH, Bytes, Bytes> BuildLockstepDriver(const LockstepCodecs<SS, CH, RH>& codecs) {
+  return [codecs](const CH& command, const std::function<Bytes(const Bytes&)>& lowop) {
+    return codecs.decode_response(lowop(codecs.encode_command(command)));
+  };
+}
+
+// The implicit emulator: decode the low-level input; if it denotes a spec command,
+// query the spec and encode the response; otherwise answer encode_response(None).
+template <typename SS, typename CH, typename RH>
+EmulatorFactory<Bytes, Bytes, CH, RH> BuildLockstepEmulator(
+    const LockstepCodecs<SS, CH, RH>& codecs) {
+  class LockstepEmulator final : public Emulator<Bytes, Bytes, CH, RH> {
+   public:
+    explicit LockstepEmulator(const LockstepCodecs<SS, CH, RH>& codecs) : codecs_(codecs) {}
+    Bytes OnCommand(const Bytes& command,
+                    const std::function<RH(const CH&)>& spec) override {
+      auto decoded = codecs_.decode_command(command);
+      if (!decoded.has_value()) {
+        return codecs_.encode_response(std::nullopt);
+      }
+      return codecs_.encode_response(std::optional<RH>(spec(*decoded)));
+    }
+
+   private:
+    LockstepCodecs<SS, CH, RH> codecs_;
+  };
+  return [codecs]() { return std::make_unique<LockstepEmulator>(codecs); };
+}
+
+}  // namespace parfait::ipr
+
+#endif  // PARFAIT_IPR_LOCKSTEP_H_

@@ -1,0 +1,54 @@
+// The IPR formalism's state machines (the paper's figure 3, transliterated from Coq):
+//
+//   Record state_machine (command response : Type) :=
+//     { state : Type; init : state; step : state -> command -> (state * response); }.
+//
+// Every level of abstraction in this repository is *modeled* as such a machine: the
+// application specification directly, the byte-level handle() implementations through
+// their buffers, the assembly level through model-Asm (figure 8), and the SoC through
+// its wire-level command alphabet {set_input, get_output, tick}.
+//
+// The paper proves theorems about these machines in Coq; here the theory layer is
+// executable, and the theorems become machine-checked *properties* validated by
+// exhaustive/randomized checking (see ipr.h, lockstep.h, equivalence.h,
+// transitivity.h). DESIGN.md records this substitution.
+#ifndef PARFAIT_IPR_STATE_MACHINE_H_
+#define PARFAIT_IPR_STATE_MACHINE_H_
+
+#include <functional>
+#include <utility>
+
+namespace parfait::ipr {
+
+// A state machine with state S, commands C, responses R. `step` must be a pure
+// function of (state, command) — determinism is what makes observational equivalence
+// meaningful.
+template <typename S, typename C, typename R>
+struct StateMachine {
+  S init;
+  std::function<std::pair<S, R>(const S&, const C&)> step;
+};
+
+// A running instance: the closure of a machine over its current state.
+template <typename S, typename C, typename R>
+class Running {
+ public:
+  explicit Running(const StateMachine<S, C, R>& machine)
+      : machine_(&machine), state_(machine.init) {}
+
+  R Step(const C& command) {
+    auto [next, response] = machine_->step(state_, command);
+    state_ = std::move(next);
+    return response;
+  }
+
+  const S& state() const { return state_; }
+
+ private:
+  const StateMachine<S, C, R>* machine_;
+  S state_;
+};
+
+}  // namespace parfait::ipr
+
+#endif  // PARFAIT_IPR_STATE_MACHINE_H_

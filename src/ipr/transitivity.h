@@ -1,0 +1,63 @@
+// Transitivity of IPR — the paper's key enabling theorem (section 3):
+//
+//     M1 ≈_IPR[d12] M2     M2 ≈_IPR[d23] M3
+//     ------------------------------------
+//          M1 ≈_IPR[d12 ∘ d23] M3
+//
+// The composed driver runs d23 and routes each mid-level operation through d12's
+// low-level port; the composed emulator stacks the two emulators the other way
+// around. These constructions are exactly the Coq development's witnesses; the theory
+// tests validate the theorem by running the generic IPR checker on composed
+// three-level towers (including mutants where one link is broken, which must fail).
+#ifndef PARFAIT_IPR_TRANSITIVITY_H_
+#define PARFAIT_IPR_TRANSITIVITY_H_
+
+#include <memory>
+
+#include "src/ipr/ipr.h"
+
+namespace parfait::ipr {
+
+// Composes drivers: d_high_mid translates top-level ops to mid-level ops; d_mid_low
+// translates mid-level ops to low-level ops. The result translates top-level ops to
+// low-level ops. (Levels: H = top spec, M = middle, L = bottom implementation.)
+template <typename CH, typename RH, typename CM, typename RM, typename CL, typename RL>
+Driver<CH, RH, CL, RL> ComposeDrivers(const Driver<CH, RH, CM, RM>& d_high_mid,
+                                      const Driver<CM, RM, CL, RL>& d_mid_low) {
+  return [d_high_mid, d_mid_low](const CH& command,
+                                 const std::function<RL(const CL&)>& lowop) {
+    return d_high_mid(command, [&](const CM& mid) { return d_mid_low(mid, lowop); });
+  };
+}
+
+// Composes emulators: e_low_mid fabricates low-level behaviour from mid-level query
+// access; e_mid_high fabricates mid-level behaviour from top-level query access. The
+// result fabricates low-level behaviour from top-level access alone.
+template <typename CL, typename RL, typename CM, typename RM, typename CH, typename RH>
+EmulatorFactory<CL, RL, CH, RH> ComposeEmulators(
+    const EmulatorFactory<CL, RL, CM, RM>& e_low_mid,
+    const EmulatorFactory<CM, RM, CH, RH>& e_mid_high) {
+  class Composed final : public Emulator<CL, RL, CH, RH> {
+   public:
+    Composed(std::unique_ptr<Emulator<CL, RL, CM, RM>> low_mid,
+             std::unique_ptr<Emulator<CM, RM, CH, RH>> mid_high)
+        : low_mid_(std::move(low_mid)), mid_high_(std::move(mid_high)) {}
+
+    RL OnCommand(const CL& command, const std::function<RH(const CH&)>& spec) override {
+      return low_mid_->OnCommand(command, [&](const CM& mid) {
+        return mid_high_->OnCommand(mid, spec);
+      });
+    }
+
+   private:
+    std::unique_ptr<Emulator<CL, RL, CM, RM>> low_mid_;
+    std::unique_ptr<Emulator<CM, RM, CH, RH>> mid_high_;
+  };
+  return [e_low_mid, e_mid_high]() {
+    return std::make_unique<Composed>(e_low_mid(), e_mid_high());
+  };
+}
+
+}  // namespace parfait::ipr
+
+#endif  // PARFAIT_IPR_TRANSITIVITY_H_

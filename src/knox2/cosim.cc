@@ -1,0 +1,240 @@
+#include "src/knox2/cosim.h"
+
+#include <sstream>
+#include <vector>
+
+#include "src/riscv/machine.h"
+#include "src/support/status.h"
+
+namespace parfait::knox2 {
+
+namespace {
+
+using riscv::Machine;
+
+std::string Hex(uint32_t v) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "0x%08x", v);
+  return buf;
+}
+
+// Drives the SoC's wire interface during co-simulation: presents command bytes with
+// flow control and collects response bytes.
+class WireDriver {
+ public:
+  WireDriver(soc::Soc* soc, const Bytes& command) : soc_(soc), command_(command) {
+    last_.rx_ready = true;
+  }
+
+  // One cycle with the host's standing behaviour (offer next command byte, accept tx).
+  void Tick() {
+    rtl::WireInput in;
+    in.tx_ready = true;
+    bool offering = sent_ < command_.size() && last_.rx_ready;
+    if (offering) {
+      in.rx_valid = true;
+      in.rx_data = command_[sent_];
+    }
+    rtl::WireSample s = soc_->Tick(in);
+    if (offering) {
+      sent_++;
+    }
+    if (s.tx_valid) {
+      response_.push_back(s.tx_data);
+    }
+    last_ = s;
+  }
+
+  const Bytes& response() const { return response_; }
+
+ private:
+  soc::Soc* soc_;
+  Bytes command_;
+  size_t sent_ = 0;
+  Bytes response_;
+  rtl::WireSample last_;
+};
+
+}  // namespace
+
+CosimResult CosimHandleStep(const hsm::HsmSystem& system, const Bytes& state,
+                            const Bytes& command, const CosimOptions& options) {
+  CosimResult result;
+  const auto& model = system.model_asm();
+  const hsm::App& app = system.app();
+
+  auto soc = system.NewSocWithFram(system.MakeFram(state));
+  WireDriver driver(soc.get(), command);
+
+  // Phase 1: run the circuit up to the call of handle() (read_command + load_state).
+  uint32_t handle_addr = model.handle_addr();
+  uint64_t budget = 4'000'000;
+  while (soc->cpu().pc() != handle_addr) {
+    if (soc->cpu().halted() || budget-- == 0) {
+      result.divergence = "circuit never reached handle() (fault: " + soc->cpu().fault() + ")";
+      return result;
+    }
+    driver.Tick();
+  }
+
+  // Build the abstract machine with its stack aligned to the circuit's (the pointer
+  // mapping becomes the identity, figure 10).
+  uint32_t circuit_sp = soc->cpu().reg(2).bits;
+  Machine machine = model.PrepareCall(state, command, circuit_sp);
+
+  // Phase 2: instruction-by-instruction co-simulation of handle().
+  auto sync_registers = [&](uint64_t* counter) -> bool {
+    (*counter)++;
+    for (uint8_t r = 0; r < 32; r++) {
+      riscv::Value v = machine.reg(r);
+      if (!v.defined) {
+        result.stats.undef_skipped++;
+        continue;  // Vundef: leave the circuit register as-is (section 5.4).
+      }
+      // The abstract machine's top-level return address is the halt sentinel; the
+      // circuit's links back into the system software's main loop.
+      if (r == 1 && v.bits == Machine::kReturnSentinel) {
+        result.stats.undef_skipped++;
+        continue;
+      }
+      result.stats.registers_compared++;
+      if (soc->cpu().reg(r).bits != v.bits) {
+        std::ostringstream os;
+        os << "register " << riscv::RegName(r) << " diverged at pc "
+           << Hex(machine.pc()) << ": machine=" << Hex(v.bits)
+           << " circuit=" << Hex(soc->cpu().reg(r).bits);
+        result.divergence = os.str();
+        return false;
+      }
+    }
+    return true;
+  };
+
+  // During execution only the state and command buffers are synchronized; the
+  // response buffer's pre-handle contents are dummy data in the circuit (the previous
+  // response), so it is compared once handle() has fully (re)written it at exit.
+  auto sync_buffers = [&](bool include_response) -> bool {
+    struct Range {
+      const char* name;
+      uint32_t addr;
+      uint32_t size;
+    };
+    std::vector<Range> ranges = {
+        {"state", model.state_addr(), static_cast<uint32_t>(app.state_size())},
+        {"command", model.command_addr(), static_cast<uint32_t>(app.command_size())},
+    };
+    if (include_response) {
+      ranges.push_back(
+          {"response", model.response_addr(), static_cast<uint32_t>(app.response_size())});
+    }
+    for (const Range& range : ranges) {
+      Bytes machine_bytes = machine.ReadMemory(range.addr, range.size);
+      Bytes circuit_bytes = soc->bus().ReadBytes(range.addr, range.size);
+      result.stats.bytes_compared += range.size;
+      if (machine_bytes != circuit_bytes) {
+        result.divergence = std::string("buffer '") + range.name +
+                            "' diverged during handle() at machine pc " + Hex(machine.pc());
+        return false;
+      }
+    }
+    return true;
+  };
+
+  uint64_t since_buffer_sync = 0;
+  while (true) {
+    if (machine.pc() == Machine::kReturnSentinel) {
+      break;  // handle() returned in the abstract machine.
+    }
+    if (result.stats.instructions >= options.max_instructions) {
+      result.divergence = "instruction budget exceeded";
+      return result;
+    }
+    auto instr = machine.PeekInstr();
+    uint32_t instr_pc = machine.pc();
+    auto step = machine.Step();
+    if (step == Machine::StepResult::kFault) {
+      result.divergence = "abstract machine fault: " + machine.fault_reason();
+      return result;
+    }
+    result.stats.instructions++;
+    // Advance the circuit until it retires the matching instruction.
+    uint64_t retired_before = soc->cpu().retired();
+    uint64_t cycle_budget = options.max_cycles_per_instruction;
+    while (soc->cpu().retired() == retired_before) {
+      if (soc->cpu().halted() || cycle_budget-- == 0) {
+        result.divergence = "circuit stalled or faulted at machine pc " + Hex(instr_pc) +
+                            (soc->cpu().fault().empty() ? "" : ": " + soc->cpu().fault());
+        return result;
+      }
+      driver.Tick();
+      result.stats.cycles++;
+    }
+    if (soc->cpu().last_retired_pc() != instr_pc) {
+      result.divergence = "retirement stream diverged: machine at " + Hex(instr_pc) +
+                          ", circuit retired " + Hex(soc->cpu().last_retired_pc());
+      return result;
+    }
+    // Figure 11 sync points.
+    if (instr.has_value()) {
+      bool is_call_or_return =
+          (instr->op == riscv::Op::kJal && instr->rd == 1) || instr->op == riscv::Op::kJalr;
+      if (riscv::IsBranch(instr->op) || (riscv::IsJump(instr->op) && !is_call_or_return)) {
+        if (!sync_registers(&result.stats.branch_syncs)) {
+          return result;
+        }
+      } else if (is_call_or_return) {
+        if (!sync_registers(&result.stats.call_syncs)) {
+          return result;
+        }
+        if (!sync_buffers(/*include_response=*/false)) {
+          return result;
+        }
+      }
+    }
+    if (++since_buffer_sync >= options.buffer_sync_interval) {
+      since_buffer_sync = 0;
+      result.stats.periodic_syncs++;
+      if (!sync_buffers(/*include_response=*/false)) {
+        return result;
+      }
+    }
+  }
+
+  // Final buffer agreement (including the response) at handle() exit.
+  if (!sync_buffers(/*include_response=*/true)) {
+    return result;
+  }
+  result.final_state = machine.ReadMemory(model.state_addr(),
+                                          static_cast<uint32_t>(app.state_size()));
+  result.final_response = machine.ReadMemory(model.response_addr(),
+                                             static_cast<uint32_t>(app.response_size()));
+
+  // Phase 3: let the circuit journal the state and emit the response; then check the
+  // figure 9 refinement relation and the wire-level response.
+  budget = 4'000'000;
+  while (driver.response().size() < app.response_size()) {
+    if (soc->cpu().halted() || budget-- == 0) {
+      result.divergence = "circuit never produced the full response";
+      return result;
+    }
+    driver.Tick();
+  }
+  if (driver.response() != result.final_response) {
+    result.divergence = "wire-level response differs from the machine-level response";
+    return result;
+  }
+  Bytes fram = soc->bus().DumpFram();
+  uint32_t flag = LoadLe32(fram.data());
+  uint32_t active_offset = 4 + (flag == 0 ? 0 : static_cast<uint32_t>(app.state_size()));
+  Bytes active(fram.begin() + active_offset,
+               fram.begin() + active_offset + app.state_size());
+  if (active != result.final_state) {
+    result.divergence = "journaled state violates the figure 9 refinement relation";
+    return result;
+  }
+
+  result.ok = true;
+  return result;
+}
+
+}  // namespace parfait::knox2

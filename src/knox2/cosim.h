@@ -1,0 +1,64 @@
+// Knox2 assembly-circuit synchronization (sections 5.3–5.4).
+//
+// Proves functional-physical simulation for one whole-command step by co-simulating
+// the abstract RV32IM machine (Riscette analog, instruction-by-instruction) with the
+// cycle-level SoC, synchronizing state at the figure 11 sync points:
+//   - branches and jumps: synchronize registers (and buffers at calls/returns),
+//   - arithmetic: registers only, implicitly via the retirement-stream comparison,
+//   - a periodic fallback: buffers every `buffer_sync_interval` instructions.
+// The figure 10 mappings are direct here: the register mapping is index-to-index (the
+// CPU models expose the architectural register file), and the pointer mapping is the
+// identity on flat addresses (model-Asm uses the SoC's own buffer addresses).
+//
+// Undef handling follows the paper: registers that are undefined in the abstract
+// machine are left unconstrained in the circuit ("leave the circuit register as-is").
+#ifndef PARFAIT_KNOX2_COSIM_H_
+#define PARFAIT_KNOX2_COSIM_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/hsm/hsm_system.h"
+
+namespace parfait::knox2 {
+
+struct CosimOptions {
+  uint64_t max_instructions = 500'000'000;
+  uint64_t buffer_sync_interval = 50'000;  // Instructions between periodic buffer syncs.
+  uint64_t max_cycles_per_instruction = 64;
+};
+
+// Per-category synchronization statistics (the figure 11 reproduction).
+struct SyncStats {
+  uint64_t instructions = 0;
+  uint64_t cycles = 0;
+  uint64_t branch_syncs = 0;    // Conditional branches: registers.
+  uint64_t call_syncs = 0;      // jal/jalr (entry/exit): registers + buffers.
+  uint64_t periodic_syncs = 0;  // Periodic buffer syncs.
+  uint64_t registers_compared = 0;
+  uint64_t bytes_compared = 0;
+  uint64_t undef_skipped = 0;   // Registers skipped because the machine holds Vundef.
+};
+
+struct CosimResult {
+  bool ok = false;
+  std::string divergence;
+  SyncStats stats;
+  Bytes final_state;     // Machine-side post-state (valid when ok).
+  Bytes final_response;  // Machine-side response (valid when ok).
+};
+
+// Co-simulates one handle() invocation: the abstract machine runs the whole-command
+// step while the SoC processes the same command end-to-end (wire protocol, load_state,
+// handle, store_state journal commit, write_response). Checks:
+//   - the retirement streams agree instruction-for-instruction during handle,
+//   - register/buffer state matches at every sync point,
+//   - the journal commit leaves FRAM related to the machine state by the figure 9
+//     refinement relation,
+//   - the wire-level response equals the machine-level response.
+CosimResult CosimHandleStep(const hsm::HsmSystem& system, const Bytes& state,
+                            const Bytes& command, const CosimOptions& options = {});
+
+}  // namespace parfait::knox2
+
+#endif  // PARFAIT_KNOX2_COSIM_H_

@@ -1,0 +1,106 @@
+#include "src/knox2/emulator.h"
+
+#include "src/support/status.h"
+
+namespace parfait::knox2 {
+
+IdealWorld::IdealWorld(const hsm::HsmSystem& system, const Bytes& spec_state)
+    : system_(&system), circuit_(system.NewSoc()), spec_state_(spec_state) {
+  handle_addr_ = system.model_asm().handle_addr();
+  inject_addr_ = system.image().SymbolOrDie("write_response");
+}
+
+rtl::WireSample IdealWorld::Tick(const rtl::WireInput& in) {
+  const hsm::App& app = system_->app();
+  uint32_t pc = circuit_->cpu().pc();
+  // Watch point 1: the instance is about to begin handle(). Read the command out of
+  // the instance's RAM and query the specification (one whole-command step of the
+  // assembly-level machine).
+  if (pc == handle_addr_ && !query_pending_ && !at_handle_) {
+    at_handle_ = true;
+    Bytes command = circuit_->bus().ReadBytes(system_->model_asm().command_addr(),
+                                              static_cast<uint32_t>(app.command_size()));
+    auto step = system_->model_asm().Step(spec_state_, command, 500'000'000);
+    if (!step.ok) {
+      failed_ = true;
+      failure_ = "spec query failed: " + step.fault;
+    } else {
+      spec_state_ = step.state;
+      pending_response_ = step.response;
+      query_pending_ = true;
+    }
+  }
+  if (pc != handle_addr_) {
+    at_handle_ = false;
+  }
+  // Watch point 2: the instance reached the response hand-off (write_response entry).
+  // Inject the specification's response over the dummy-computed one.
+  if (pc == inject_addr_ && query_pending_) {
+    circuit_->bus().WriteBytes(system_->model_asm().response_addr(), pending_response_);
+    query_pending_ = false;
+  }
+  return circuit_->Tick(in);
+}
+
+WireIprResult CheckWireIpr(const hsm::HsmSystem& system, const Bytes& initial_state,
+                           const WireIprOptions& options) {
+  WireIprResult result;
+  const hsm::App& app = system.app();
+  Rng rng(options.seed);
+
+  auto real = system.NewSocWithFram(system.MakeFram(initial_state));
+  IdealWorld ideal(system, initial_state);
+
+  rtl::WireSample last_real;
+  last_real.rx_ready = true;
+
+  int total_commands = options.commands + options.noise_bytes;  // Valid + adversarial.
+  for (int c = 0; c < total_commands; c++) {
+    // Mix spec-level commands with adversarial (undecodable) ones; the wire inputs are
+    // identical for both worlds either way.
+    Bytes command =
+        (c % 3 == 2) ? app.RandomInvalidCommand(rng) : app.RandomValidCommand(rng);
+    size_t sent = 0;
+    size_t received = 0;
+    uint64_t budget = options.cycles_per_command;
+    while (received < app.response_size()) {
+      if (budget-- == 0) {
+        result.divergence = "cycle budget exceeded on command " + std::to_string(c);
+        return result;
+      }
+      rtl::WireInput in;
+      // Adversarial host timing: random stalls on both directions.
+      in.tx_ready = rng.Below(8) != 0;
+      bool offering = sent < command.size() && last_real.rx_ready && rng.Below(4) != 0;
+      if (offering) {
+        in.rx_valid = true;
+        in.rx_data = command[sent];
+      }
+      rtl::WireSample real_sample = real->Tick(in);
+      rtl::WireSample ideal_sample = ideal.Tick(in);
+      result.cycles++;
+      if (!(real_sample == ideal_sample)) {
+        result.divergence = "wire divergence at cycle " + std::to_string(result.cycles) +
+                            " (command " + std::to_string(c) + "): real {" +
+                            rtl::FormatSample(real_sample) + "} ideal {" +
+                            rtl::FormatSample(ideal_sample) + "}";
+        return result;
+      }
+      if (ideal.failed()) {
+        result.divergence = "ideal world failed: " + ideal.failure();
+        return result;
+      }
+      if (offering) {
+        sent++;
+      }
+      if (real_sample.tx_valid && in.tx_ready) {
+        received++;
+      }
+      last_real = real_sample;
+    }
+  }
+  result.ok = true;
+  return result;
+}
+
+}  // namespace parfait::knox2

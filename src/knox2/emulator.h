@@ -1,0 +1,76 @@
+// The Knox2 circuit-level emulator template and the wire-level IPR check (figure 5 at
+// the SoC level, sections 5.2–5.3).
+//
+// The emulator runs a *fresh instance* of the circuit with dummy persistent data (the
+// circuit structure and ROM contents are public). It watches its instance's internal
+// state: when the instance is about to execute handle(), it reads the command bytes
+// out of the instance's RAM and queries the specification (the assembly-level
+// whole-command machine); when the instance reaches the response hand-off point it
+// injects the specification's response into the instance's memory, so that all future
+// wire behaviour matches the real circuit — *provided the implementation leaks
+// nothing*, which is exactly what the check establishes.
+//
+// CheckWireIpr drives the real world (circuit with real secrets) and the ideal world
+// (spec + emulator) with identical, adversarially-chosen wire inputs and compares
+// every output wire on every cycle.
+#ifndef PARFAIT_KNOX2_EMULATOR_H_
+#define PARFAIT_KNOX2_EMULATOR_H_
+
+#include <memory>
+#include <string>
+
+#include "src/hsm/hsm_system.h"
+#include "src/support/rng.h"
+
+namespace parfait::knox2 {
+
+// The ideal world: specification machine + circuit-emulator (section 5.3's template).
+class IdealWorld {
+ public:
+  // spec_state: the specification's current state (encoded). The emulator's circuit
+  // instance starts from dummy (all-zero) persistent data.
+  IdealWorld(const hsm::HsmSystem& system, const Bytes& spec_state);
+
+  // One cycle: advances the emulator's circuit instance under the given inputs,
+  // performing spec queries and response injection at the template's watch points.
+  rtl::WireSample Tick(const rtl::WireInput& in);
+
+  const Bytes& spec_state() const { return spec_state_; }
+  bool failed() const { return failed_; }
+  const std::string& failure() const { return failure_; }
+
+ private:
+  const hsm::HsmSystem* system_;
+  std::unique_ptr<soc::Soc> circuit_;
+  Bytes spec_state_;
+  uint32_t handle_addr_;
+  uint32_t inject_addr_;  // write_response entry: the response hand-off watch point.
+  bool at_handle_ = false;      // Edge detector for the handle() watch point.
+  bool query_pending_ = false;  // A spec response awaits injection.
+  Bytes pending_response_;
+  bool failed_ = false;
+  std::string failure_;
+};
+
+struct WireIprOptions {
+  int commands = 4;             // Spec-level operations to drive through both worlds.
+  uint64_t cycles_per_command = 40'000'000;
+  int noise_bytes = 2;          // Adversarial raw bytes injected between commands.
+  uint64_t seed = 555;
+};
+
+struct WireIprResult {
+  bool ok = false;
+  std::string divergence;
+  uint64_t cycles = 0;
+};
+
+// Checks SoC ≈_IPR[d] model-Asm at the wire level: identical adversarial inputs to the
+// real world (circuit with `initial_state` secrets) and the ideal world (spec +
+// emulator with dummy data); every output wire must match on every cycle.
+WireIprResult CheckWireIpr(const hsm::HsmSystem& system, const Bytes& initial_state,
+                           const WireIprOptions& options = {});
+
+}  // namespace parfait::knox2
+
+#endif  // PARFAIT_KNOX2_EMULATOR_H_

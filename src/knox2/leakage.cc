@@ -1,0 +1,90 @@
+#include "src/knox2/leakage.h"
+
+#include "src/support/status.h"
+
+namespace parfait::knox2 {
+
+SelfCompResult CheckSelfComposition(const hsm::HsmSystem& system, const Bytes& state_a,
+                                    const Bytes& state_b, const std::vector<Bytes>& commands,
+                                    const SelfCompOptions& options) {
+  SelfCompResult result;
+  const hsm::App& app = system.app();
+  auto soc_a = system.NewSocWithFram(system.MakeFram(state_a));
+  auto soc_b = system.NewSocWithFram(system.MakeFram(state_b));
+
+  rtl::WireSample last_a;
+  last_a.rx_ready = true;
+
+  for (size_t c = 0; c < commands.size(); c++) {
+    const Bytes& command = commands[c];
+    PARFAIT_CHECK(command.size() == app.command_size());
+    size_t sent = 0;
+    size_t received = 0;
+    uint64_t budget = options.max_cycles_per_command;
+    while (received < app.response_size()) {
+      if (budget-- == 0) {
+        result.divergence = "cycle budget exceeded on command " + std::to_string(c);
+        return result;
+      }
+      rtl::WireInput in;
+      in.tx_ready = true;
+      bool offering = sent < command.size() && last_a.rx_ready;
+      if (offering) {
+        in.rx_valid = true;
+        in.rx_data = command[sent];
+      }
+      rtl::WireSample a = soc_a->Tick(in);
+      rtl::WireSample b = soc_b->Tick(in);
+      result.cycles++;
+      // Handshake wires are the timing channel; payload may differ by specification.
+      if (a.tx_valid != b.tx_valid || a.rx_ready != b.rx_ready) {
+        result.divergence = "handshake divergence at cycle " + std::to_string(result.cycles) +
+                            " (command " + std::to_string(c) + "): a {" +
+                            rtl::FormatSample(a) + "} b {" + rtl::FormatSample(b) + "}";
+        return result;
+      }
+      if (soc_a->cpu().halted() || soc_b->cpu().halted()) {
+        result.divergence = "a circuit faulted during self-composition";
+        return result;
+      }
+      if (offering) {
+        sent++;
+      }
+      if (a.tx_valid) {
+        received++;
+      }
+      last_a = a;
+    }
+  }
+  result.ok = true;
+  return result;
+}
+
+Bytes MakeSecretVariant(const hsm::App& app, const Bytes& state, Rng& rng) {
+  Bytes variant = state;
+  for (auto [offset, length] : app.SecretStateRanges()) {
+    for (uint32_t i = 0; i < length; i++) {
+      variant[offset + i] = rng.Byte();
+    }
+  }
+  return variant;
+}
+
+std::vector<soc::TaintLeak> RunTaintCheck(const hsm::HsmSystem& system, const Bytes& state,
+                                          const std::vector<Bytes>& commands,
+                                          uint64_t max_cycles_per_command) {
+  PARFAIT_CHECK_MSG(system.options().taint_tracking,
+                    "RunTaintCheck needs an HsmSystem built with taint_tracking");
+  auto soc = system.NewSocWithFram(system.MakeFram(state));
+  system.SeedSecretTaint(*soc);
+  soc::WireHost host(soc.get());
+  for (const Bytes& command : commands) {
+    auto resp = host.Transact(command, system.app().response_size(), max_cycles_per_command);
+    if (!resp.has_value()) {
+      break;  // Fault or timeout; any recorded leaks are still reported.
+    }
+  }
+  return soc->bus().leaks();
+}
+
+}  // namespace parfait::knox2

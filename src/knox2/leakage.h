@@ -1,0 +1,53 @@
+// Leakage checkers at the circuit level.
+//
+// Two complementary techniques (the paper contrasts them in related work):
+//   - Self-composition (cycle-accurate ground truth): run two circuit instances whose
+//     states differ only in secrets under identical wire inputs; every cycle's
+//     handshake wires (tx_valid, rx_ready) must match. Payload data may legitimately
+//     differ (responses are functions of the secrets by specification); the handshake
+//     pattern is the timing channel. This is the operational core of "the emulator
+//     cannot tell" in the IPR definition.
+//   - Taint tracking (a leakage-model checker à la constant-time verifiers): secrets
+//     are tainted at the FRAM and propagation into branches, memory addresses, or
+//     variable-latency functional-unit operands is flagged. Fast but model-dependent —
+//     exactly the class of tool whose soundness the paper points out rests on the
+//     hardware matching the model.
+#ifndef PARFAIT_KNOX2_LEAKAGE_H_
+#define PARFAIT_KNOX2_LEAKAGE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/hsm/hsm_system.h"
+
+namespace parfait::knox2 {
+
+struct SelfCompOptions {
+  uint64_t max_cycles_per_command = 600'000'000;
+};
+
+struct SelfCompResult {
+  bool ok = false;
+  std::string divergence;
+  uint64_t cycles = 0;
+};
+
+// Runs both instances under identical inputs for the given command sequence and
+// compares the handshake wires cycle-by-cycle.
+SelfCompResult CheckSelfComposition(const hsm::HsmSystem& system, const Bytes& state_a,
+                                    const Bytes& state_b, const std::vector<Bytes>& commands,
+                                    const SelfCompOptions& options = {});
+
+// Returns a copy of `state` with fresh random bytes in the app's secret ranges (the
+// canonical "differs only in secrets" partner state).
+Bytes MakeSecretVariant(const hsm::App& app, const Bytes& state, Rng& rng);
+
+// Taint-mode run: builds a tainted SoC from `state`, executes the commands, and
+// returns the recorded taint-policy violations.
+std::vector<soc::TaintLeak> RunTaintCheck(const hsm::HsmSystem& system, const Bytes& state,
+                                          const std::vector<Bytes>& commands,
+                                          uint64_t max_cycles_per_command = 600'000'000);
+
+}  // namespace parfait::knox2
+
+#endif  // PARFAIT_KNOX2_LEAKAGE_H_

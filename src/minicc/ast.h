@@ -1,0 +1,139 @@
+// MiniC abstract syntax.
+//
+// MiniC is a strict, unsigned-only C subset that plays the role Low*/C play in the
+// paper: the application's handle function and its crypto substrate are written once in
+// MiniC, compiled natively (for differential oracles and Starling checks) and by this
+// compiler to RV32IM (for the firmware that the SoC executes and Knox2 verifies).
+//
+// Subset summary: types u8/u32/void with pointers; global scalars/arrays (const ->
+// rodata, initialized -> data, else bss); enum constants; functions with scalar/pointer
+// parameters; statements: block/decl/if/while/for/return/break/continue/expression;
+// expressions: integer literals, variables, unary - ~ ! * &, binary arithmetic/logic/
+// comparison with C semantics (all unsigned), assignment, array indexing, calls, casts,
+// short-circuit && and ||, and the __mulhu builtin (RV32M mulhu). Lines beginning with
+// '#' are ignored so sources can #include a host compatibility header.
+#ifndef PARFAIT_MINICC_AST_H_
+#define PARFAIT_MINICC_AST_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace parfait::minicc {
+
+struct Type {
+  enum class Base : uint8_t { kVoid, kU8, kU32 };
+  Base base = Base::kU32;
+  int ptr = 0;  // Pointer depth: u8* has ptr=1.
+
+  bool IsVoid() const { return base == Base::kVoid && ptr == 0; }
+  bool IsPointer() const { return ptr > 0; }
+  bool IsScalar() const { return !IsVoid(); }
+  // Size of a value of this type.
+  int Size() const { return IsPointer() ? 4 : (base == Type::Base::kU8 ? 1 : 4); }
+  // Size of the pointed-to element (requires IsPointer()).
+  int PointeeSize() const {
+    Type t = *this;
+    t.ptr--;
+    return t.Size();
+  }
+  std::string Name() const;
+
+  friend bool operator==(const Type&, const Type&) = default;
+};
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  enum class Kind : uint8_t {
+    kIntLit,
+    kVar,
+    kUnary,    // op in {'-', '~', '!'}
+    kDeref,    // *e
+    kAddrOf,   // &e
+    kBinary,   // op string: + - * / % & | ^ << >> < > <= >= == != && ||
+    kAssign,   // lhs = rhs
+    kIndex,    // base[index]
+    kCall,
+    kCast,
+  };
+  Kind kind;
+  int line = 0;
+
+  uint32_t int_value = 0;              // kIntLit.
+  std::string name;                    // kVar, kCall (callee).
+  std::string op;                      // kUnary, kBinary.
+  ExprPtr lhs;                         // Operand / base / assign target.
+  ExprPtr rhs;                         // Second operand / index / assign value.
+  std::vector<ExprPtr> args;           // kCall.
+  Type cast_type;                      // kCast.
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Stmt {
+  enum class Kind : uint8_t {
+    kExpr,
+    kDecl,
+    kIf,
+    kWhile,
+    kFor,
+    kReturn,
+    kBlock,
+    kBreak,
+    kContinue,
+  };
+  Kind kind;
+  int line = 0;
+
+  ExprPtr expr;                  // kExpr, kReturn (may be null), kIf/kWhile/kFor condition.
+  std::string decl_name;         // kDecl.
+  Type decl_type;                // kDecl.
+  uint32_t decl_array_size = 0;  // kDecl: 0 for scalars, else element count.
+  ExprPtr decl_init;             // kDecl (may be null).
+  StmtPtr init;                  // kFor init (decl or expr statement, may be null).
+  ExprPtr post;                  // kFor post expression (may be null).
+  StmtPtr body;                  // kIf then / loop body.
+  StmtPtr else_body;             // kIf else (may be null).
+  std::vector<StmtPtr> stmts;    // kBlock.
+};
+
+struct Param {
+  std::string name;
+  Type type;
+};
+
+struct Function {
+  std::string name;
+  Type return_type;
+  std::vector<Param> params;
+  StmtPtr body;
+  int line = 0;
+};
+
+struct Global {
+  std::string name;
+  Type type;                     // Element type for arrays.
+  uint32_t array_size = 0;       // 0 for scalars, else element count.
+  bool is_const = false;
+  std::vector<uint32_t> init;    // Element initializers (empty -> zero).
+  int line = 0;
+};
+
+struct EnumConst {
+  std::string name;
+  uint32_t value;
+};
+
+struct TranslationUnit {
+  std::vector<Global> globals;
+  std::vector<Function> functions;
+  std::vector<EnumConst> enums;
+};
+
+}  // namespace parfait::minicc
+
+#endif  // PARFAIT_MINICC_AST_H_

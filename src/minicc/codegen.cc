@@ -1,0 +1,1262 @@
+#include "src/minicc/codegen.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "src/riscv/isa.h"
+
+namespace parfait::minicc {
+
+namespace {
+
+using riscv::AsmInstr;
+using riscv::Instr;
+using riscv::Op;
+using riscv::Reloc;
+using riscv::Section;
+
+// Temp registers used as the expression stack: t0..t6, then a7..a3 (all caller-saved;
+// a0..a2 stay reserved for arguments/results, and every live temp is spilled around
+// calls anyway).
+constexpr uint8_t kTemps[] = {5, 6, 7, 28, 29, 30, 31, 17, 16, 15, 14, 13};
+constexpr int kNumTemps = 12;
+// Callee-saved registers available for O2 local promotion: s1..s11 (s0 kept free to
+// stay recognizable as a frame pointer in listings, though we never use one).
+constexpr uint8_t kSavedRegs[] = {9, 18, 19, 20, 21, 22, 23, 24, 25, 26, 27};
+constexpr int kNumSavedRegs = 11;
+
+constexpr uint8_t kRegZero = 0;
+constexpr uint8_t kRegRa = 1;
+constexpr uint8_t kRegSp = 2;
+constexpr uint8_t kRegA0 = 10;
+
+bool FitsImm12(int64_t v) { return v >= -2048 && v <= 2047; }
+
+struct FuncSig {
+  Type return_type;
+  std::vector<Type> params;
+};
+
+struct GlobalInfo {
+  Type type;
+  uint32_t array_size;  // 0 = scalar.
+};
+
+struct LocalSlot {
+  Type type;
+  uint32_t array_size = 0;   // 0 = scalar.
+  int frame_offset = -1;     // Valid when reg < 0.
+  int reg = -1;              // s-register number when promoted (O2).
+};
+
+class FuncError {};  // Thrown via return codes; we use bool + message instead.
+
+class Codegen {
+ public:
+  Codegen(const TranslationUnit& unit, const CodegenOptions& options, riscv::Program* program)
+      : unit_(unit), options_(options), prog_(*program) {}
+
+  bool Run() {
+    // Collect signatures and globals.
+    for (const auto& fn : unit_.functions) {
+      if (sigs_.count(fn.name) != 0) {
+        return Fail(fn.line, "duplicate function " + fn.name);
+      }
+      FuncSig sig;
+      sig.return_type = fn.return_type;
+      for (const auto& p : fn.params) {
+        sig.params.push_back(p.type);
+      }
+      sigs_[fn.name] = sig;
+    }
+    for (const auto& g : unit_.globals) {
+      if (globals_.count(g.name) != 0 || sigs_.count(g.name) != 0) {
+        return Fail(g.line, "duplicate global " + g.name);
+      }
+      globals_[g.name] = GlobalInfo{g.type, g.array_size};
+    }
+    EmitGlobals();
+    prog_.SetSection(Section::kText);
+    for (const auto& fn : unit_.functions) {
+      if (!GenFunction(fn)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  const std::string& error() const { return error_; }
+
+ private:
+  bool Fail(int line, const std::string& msg) {
+    error_ = "line " + std::to_string(line) + ": " + msg;
+    return false;
+  }
+
+  void EmitGlobals() {
+    for (const auto& g : unit_.globals) {
+      uint32_t count = g.array_size == 0 ? 1 : g.array_size;
+      uint32_t elem_size = static_cast<uint32_t>(g.type.Size());
+      uint32_t total = count * elem_size;
+      bool initialized = !g.init.empty();
+      Section section = g.is_const ? Section::kRodata
+                        : initialized ? Section::kData
+                                      : Section::kBss;
+      prog_.SetSection(section);
+      prog_.Align(4);
+      prog_.DefineLabel(g.name);
+      if (section == Section::kBss) {
+        prog_.Zero(total);
+        continue;
+      }
+      parfait::Bytes bytes(total, 0);
+      for (size_t i = 0; i < g.init.size(); i++) {
+        uint32_t v = g.init[i];
+        if (elem_size == 1) {
+          bytes[i] = static_cast<uint8_t>(v);
+        } else {
+          parfait::StoreLe32(bytes.data() + 4 * i, v);
+        }
+      }
+      prog_.ByteData(bytes);
+    }
+  }
+
+  // ----- Per-function state -----
+
+  struct StackEntry {
+    Type type;
+    bool is_const = false;   // O2: value known at compile time, not yet materialized.
+    uint32_t cval = 0;
+    int sreg = -1;           // O2: alias of a register-promoted local (read-only).
+  };
+
+  std::string NewLabel() { return ".L" + std::to_string(label_counter_++); }
+
+  void Emit(const Instr& i) { prog_.Emit(i); }
+  void EmitLa(uint8_t rd, const std::string& symbol) {
+    prog_.Emit(AsmInstr{Instr{Op::kLui, rd, 0, 0, 0}, Reloc::kHi, symbol, 0});
+    prog_.Emit(AsmInstr{Instr{Op::kAddi, rd, rd, 0, 0}, Reloc::kLo, symbol, 0});
+  }
+  void EmitLi(uint8_t rd, uint32_t value) {
+    int32_t sv = static_cast<int32_t>(value);
+    if (FitsImm12(sv)) {
+      Emit(Instr{Op::kAddi, rd, kRegZero, 0, sv});
+      return;
+    }
+    uint32_t hi = (value + 0x800) & 0xfffff000u;
+    int32_t lo = static_cast<int32_t>(value << 20) >> 20;
+    Emit(Instr{Op::kLui, rd, 0, 0, static_cast<int32_t>(hi)});
+    if (lo != 0) {
+      Emit(Instr{Op::kAddi, rd, rd, 0, lo});
+    }
+  }
+  void EmitBranchTo(Op op, uint8_t rs1, uint8_t rs2, const std::string& label) {
+    prog_.Emit(AsmInstr{Instr{op, 0, rs1, rs2, 0}, Reloc::kBranch, label, 0});
+  }
+  void EmitJump(const std::string& label) {
+    prog_.Emit(AsmInstr{Instr{Op::kJal, 0, 0, 0, 0}, Reloc::kJal, label, 0});
+  }
+  void EmitCall(const std::string& symbol) {
+    prog_.Emit(AsmInstr{Instr{Op::kJal, kRegRa, 0, 0, 0}, Reloc::kJal, symbol, 0});
+  }
+
+  // Expression stack helpers. Entry i lives in kTemps[i] once materialized.
+  uint8_t TempReg(int depth) const { return kTemps[depth]; }
+
+  bool Push(const Type& t, int line) {
+    if (static_cast<int>(stack_.size()) >= kNumTemps) {
+      Fail(line, "expression too deep for the MiniC register stack");
+      return false;
+    }
+    stack_.push_back(StackEntry{t, false, 0});
+    return true;
+  }
+
+  bool PushConst(const Type& t, uint32_t value, int line) {
+    if (static_cast<int>(stack_.size()) >= kNumTemps) {
+      Fail(line, "expression too deep for the MiniC register stack");
+      return false;
+    }
+    if (options_.opt_level >= 2) {
+      stack_.push_back(StackEntry{t, true, value, -1});
+    } else {
+      stack_.push_back(StackEntry{t, false, 0, -1});
+      EmitLi(TempReg(static_cast<int>(stack_.size()) - 1), value);
+    }
+    return true;
+  }
+
+  // O2: pushes a read-only alias of a register-promoted local; no copy is emitted
+  // until the value is materialized or the alias is read via OperandReg.
+  bool PushSreg(const Type& t, int sreg, int line) {
+    if (static_cast<int>(stack_.size()) >= kNumTemps) {
+      Fail(line, "expression too deep for the MiniC register stack");
+      return false;
+    }
+    stack_.push_back(StackEntry{t, false, 0, sreg});
+    return true;
+  }
+
+  // Ensures the entry at stack index i lives in its own temp register.
+  void Materialize(int i) {
+    if (stack_[i].is_const) {
+      EmitLi(TempReg(i), stack_[i].cval);
+      stack_[i].is_const = false;
+    } else if (stack_[i].sreg >= 0) {
+      Emit(Instr{Op::kAdd, TempReg(i), static_cast<uint8_t>(stack_[i].sreg), kRegZero, 0});
+      stack_[i].sreg = -1;
+    }
+  }
+  void MaterializeTop() { Materialize(static_cast<int>(stack_.size()) - 1); }
+
+  // Returns a register holding the value at stack index i for *read-only* use:
+  // the promoted local's own register for aliases, the temp otherwise (constants are
+  // materialized). Destinations must always be TempReg(i).
+  uint8_t OperandReg(int i) {
+    if (stack_[i].sreg >= 0) {
+      return static_cast<uint8_t>(stack_[i].sreg);
+    }
+    Materialize(i);
+    return TempReg(i);
+  }
+  uint8_t OperandRegTop() { return OperandReg(static_cast<int>(stack_.size()) - 1); }
+
+  // Marks entry i as a plain register value (after writing TempReg(i) directly).
+  void SetPlain(int i, const Type& t) {
+    stack_[i].type = t;
+    stack_[i].is_const = false;
+    stack_[i].sreg = -1;
+  }
+
+  void Pop() { stack_.pop_back(); }
+  StackEntry& Top() { return stack_.back(); }
+  int TopIndex() const { return static_cast<int>(stack_.size()) - 1; }
+
+  // ----- Locals -----
+
+  struct Scope {
+    std::map<std::string, int> names;  // name -> slot index.
+  };
+
+  int LookupLocal(const std::string& name) const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      auto found = it->names.find(name);
+      if (found != it->names.end()) {
+        return found->second;
+      }
+    }
+    return -1;
+  }
+
+  // Pre-pass: walks the function body in the same order as codegen, collecting every
+  // declaration into slots_ (no reuse across scopes — frames are small) and counting
+  // uses / address-taking for O2 promotion.
+  struct PrepassInfo {
+    std::vector<std::pair<std::string, int>> decl_order;  // (name, slot).
+    std::map<std::string, int> use_counts;                // By slot via name chain.
+  };
+
+  void PrepassExpr(const Expr& e, std::map<int, int>& uses, std::set<int>& addr_taken,
+                   std::vector<Scope>& scopes) {
+    auto lookup = [&](const std::string& name) {
+      for (auto it = scopes.rbegin(); it != scopes.rend(); ++it) {
+        auto found = it->names.find(name);
+        if (found != it->names.end()) {
+          return found->second;
+        }
+      }
+      return -1;
+    };
+    switch (e.kind) {
+      case Expr::Kind::kVar: {
+        int slot = lookup(e.name);
+        if (slot >= 0) {
+          uses[slot]++;
+        }
+        break;
+      }
+      case Expr::Kind::kAddrOf:
+        if (e.lhs->kind == Expr::Kind::kVar) {
+          int slot = lookup(e.lhs->name);
+          if (slot >= 0) {
+            addr_taken.insert(slot);
+          }
+        }
+        PrepassExpr(*e.lhs, uses, addr_taken, scopes);
+        break;
+      default:
+        if (e.lhs) {
+          PrepassExpr(*e.lhs, uses, addr_taken, scopes);
+        }
+        if (e.rhs) {
+          PrepassExpr(*e.rhs, uses, addr_taken, scopes);
+        }
+        for (const auto& a : e.args) {
+          PrepassExpr(*a, uses, addr_taken, scopes);
+        }
+        break;
+    }
+  }
+
+  void PrepassStmt(const Stmt& s, std::map<int, int>& uses, std::set<int>& addr_taken,
+                   std::vector<Scope>& scopes) {
+    switch (s.kind) {
+      case Stmt::Kind::kBlock: {
+        scopes.push_back({});
+        for (const auto& sub : s.stmts) {
+          PrepassStmt(*sub, uses, addr_taken, scopes);
+        }
+        scopes.pop_back();
+        break;
+      }
+      case Stmt::Kind::kDecl: {
+        if (s.decl_init) {
+          PrepassExpr(*s.decl_init, uses, addr_taken, scopes);
+        }
+        LocalSlot slot;
+        slot.type = s.decl_type;
+        slot.array_size = s.decl_array_size;
+        int index = static_cast<int>(slots_.size());
+        slots_.push_back(slot);
+        scopes.back().names[s.decl_name] = index;
+        break;
+      }
+      case Stmt::Kind::kIf:
+        PrepassExpr(*s.expr, uses, addr_taken, scopes);
+        PrepassStmt(*s.body, uses, addr_taken, scopes);
+        if (s.else_body) {
+          PrepassStmt(*s.else_body, uses, addr_taken, scopes);
+        }
+        break;
+      case Stmt::Kind::kWhile:
+        PrepassExpr(*s.expr, uses, addr_taken, scopes);
+        PrepassStmt(*s.body, uses, addr_taken, scopes);
+        break;
+      case Stmt::Kind::kFor: {
+        scopes.push_back({});
+        if (s.init) {
+          PrepassStmt(*s.init, uses, addr_taken, scopes);
+        }
+        if (s.expr) {
+          PrepassExpr(*s.expr, uses, addr_taken, scopes);
+        }
+        if (s.post) {
+          PrepassExpr(*s.post, uses, addr_taken, scopes);
+        }
+        PrepassStmt(*s.body, uses, addr_taken, scopes);
+        scopes.pop_back();
+        break;
+      }
+      case Stmt::Kind::kReturn:
+      case Stmt::Kind::kExpr:
+        if (s.expr) {
+          PrepassExpr(*s.expr, uses, addr_taken, scopes);
+        }
+        break;
+      case Stmt::Kind::kBreak:
+      case Stmt::Kind::kContinue:
+        break;
+    }
+  }
+
+  // ----- Function generation -----
+
+  bool GenFunction(const Function& fn) {
+    slots_.clear();
+    scopes_.clear();
+    stack_.clear();
+    decl_counter_ = 0;
+    break_labels_.clear();
+    continue_labels_.clear();
+    current_fn_ = &fn;
+
+    // Parameter slots come first (slot index == parameter index).
+    for (const auto& p : fn.params) {
+      LocalSlot slot;
+      slot.type = p.type;
+      slots_.push_back(slot);
+    }
+    std::map<int, int> uses;
+    std::set<int> addr_taken;
+    {
+      std::vector<Scope> scopes;
+      scopes.push_back({});
+      for (size_t i = 0; i < fn.params.size(); i++) {
+        scopes.back().names[fn.params[i].name] = static_cast<int>(i);
+      }
+      PrepassStmt(*fn.body, uses, addr_taken, scopes);
+    }
+
+    // O2: promote the most-used scalar locals to callee-saved registers.
+    used_saved_regs_.clear();
+    if (options_.opt_level >= 2) {
+      std::vector<std::pair<int, int>> candidates;  // (use count, slot).
+      for (size_t i = 0; i < slots_.size(); i++) {
+        int slot = static_cast<int>(i);
+        if (slots_[i].array_size == 0 && addr_taken.count(slot) == 0) {
+          int count = uses.count(slot) != 0 ? uses.at(slot) : 0;
+          // Parameters are used at least once (the incoming copy).
+          candidates.push_back({count, slot});
+        }
+      }
+      std::sort(candidates.begin(), candidates.end(),
+                [](const auto& a, const auto& b) { return a.first > b.first; });
+      for (const auto& [count, slot] : candidates) {
+        if (static_cast<int>(used_saved_regs_.size()) >= kNumSavedRegs) {
+          break;
+        }
+        uint8_t reg = kSavedRegs[used_saved_regs_.size()];
+        slots_[slot].reg = reg;
+        used_saved_regs_.push_back(reg);
+      }
+    }
+
+    // Frame layout: [spill slots][locals][saved s-regs][ra], sp at the bottom.
+    int offset = 0;
+    spill_base_ = offset;
+    offset += 4 * kNumTemps;
+    for (auto& slot : slots_) {
+      if (slot.reg >= 0) {
+        continue;
+      }
+      uint32_t count = slot.array_size == 0 ? 1 : slot.array_size;
+      uint32_t bytes = count * static_cast<uint32_t>(slot.type.Size());
+      bytes = (bytes + 3) & ~3u;
+      slot.frame_offset = offset;
+      offset += static_cast<int>(bytes);
+    }
+    saved_base_ = offset;
+    offset += 4 * static_cast<int>(used_saved_regs_.size());
+    ra_offset_ = offset;
+    offset += 4;
+    frame_size_ = (offset + 15) & ~15;
+
+    // Prologue.
+    prog_.SetSection(Section::kText);
+    prog_.Align(4);
+    prog_.DefineLabel(fn.name);
+    Emit(Instr{Op::kAddi, kRegSp, kRegSp, 0, -frame_size_});
+    Emit(Instr{Op::kSw, 0, kRegSp, kRegRa, ra_offset_});
+    for (size_t i = 0; i < used_saved_regs_.size(); i++) {
+      Emit(Instr{Op::kSw, 0, kRegSp, used_saved_regs_[i], saved_base_ + 4 * static_cast<int>(i)});
+    }
+    // Spill or move incoming parameters.
+    for (size_t i = 0; i < fn.params.size(); i++) {
+      uint8_t areg = static_cast<uint8_t>(kRegA0 + i);
+      const LocalSlot& slot = slots_[i];
+      if (slot.reg >= 0) {
+        Emit(Instr{Op::kAdd, static_cast<uint8_t>(slot.reg), areg, kRegZero, 0});
+      } else {
+        Emit(Instr{Op::kSw, 0, kRegSp, areg, slot.frame_offset});
+      }
+    }
+
+    epilogue_label_ = NewLabel();
+    scopes_.push_back({});
+    for (size_t i = 0; i < fn.params.size(); i++) {
+      scopes_.back().names[fn.params[i].name] = static_cast<int>(i);
+    }
+    decl_counter_ = static_cast<int>(fn.params.size());
+    if (!GenStmt(*fn.body)) {
+      return false;
+    }
+    scopes_.pop_back();
+
+    // Epilogue (also the fall-through path for void functions).
+    prog_.DefineLabel(epilogue_label_);
+    for (size_t i = 0; i < used_saved_regs_.size(); i++) {
+      Emit(Instr{Op::kLw, used_saved_regs_[i], kRegSp, 0, saved_base_ + 4 * static_cast<int>(i)});
+    }
+    Emit(Instr{Op::kLw, kRegRa, kRegSp, 0, ra_offset_});
+    Emit(Instr{Op::kAddi, kRegSp, kRegSp, 0, frame_size_});
+    Emit(Instr{Op::kJalr, 0, kRegRa, 0, 0});
+    return true;
+  }
+
+  // ----- Statements -----
+
+  bool GenStmt(const Stmt& s) {
+    switch (s.kind) {
+      case Stmt::Kind::kBlock: {
+        scopes_.push_back({});
+        for (const auto& sub : s.stmts) {
+          if (!GenStmt(*sub)) {
+            return false;
+          }
+        }
+        scopes_.pop_back();
+        return true;
+      }
+      case Stmt::Kind::kDecl: {
+        int slot_index = decl_counter_++;
+        const LocalSlot& slot = slots_[slot_index];
+        if (s.decl_init) {
+          Type t;
+          if (!GenExpr(*s.decl_init, &t)) {
+            return false;
+          }
+          uint8_t r = OperandRegTop();
+          if (slot.reg >= 0) {
+            Emit(Instr{Op::kAdd, static_cast<uint8_t>(slot.reg), r, kRegZero, 0});
+          } else if (slot.type.Size() == 1) {
+            Emit(Instr{Op::kSb, 0, kRegSp, r, slot.frame_offset});
+          } else {
+            Emit(Instr{Op::kSw, 0, kRegSp, r, slot.frame_offset});
+          }
+          Pop();
+        }
+        scopes_.back().names[s.decl_name] = slot_index;
+        return true;
+      }
+      case Stmt::Kind::kExpr: {
+        Type t;
+        if (!GenExpr(*s.expr, &t)) {
+          return false;
+        }
+        if (!t.IsVoid()) {
+          Pop();
+        }
+        return true;
+      }
+      case Stmt::Kind::kIf: {
+        Type t;
+        if (!GenExpr(*s.expr, &t)) {
+          return false;
+        }
+        uint8_t cond = OperandRegTop();
+        Pop();
+        std::string else_label = NewLabel();
+        EmitBranchTo(Op::kBeq, cond, kRegZero, else_label);
+        if (!GenStmt(*s.body)) {
+          return false;
+        }
+        if (s.else_body) {
+          std::string end_label = NewLabel();
+          EmitJump(end_label);
+          prog_.DefineLabel(else_label);
+          if (!GenStmt(*s.else_body)) {
+            return false;
+          }
+          prog_.DefineLabel(end_label);
+        } else {
+          prog_.DefineLabel(else_label);
+        }
+        return true;
+      }
+      case Stmt::Kind::kWhile: {
+        std::string head = NewLabel();
+        std::string end = NewLabel();
+        prog_.DefineLabel(head);
+        Type t;
+        if (!GenExpr(*s.expr, &t)) {
+          return false;
+        }
+        uint8_t cond = OperandRegTop();
+        Pop();
+        EmitBranchTo(Op::kBeq, cond, kRegZero, end);
+        break_labels_.push_back(end);
+        continue_labels_.push_back(head);
+        if (!GenStmt(*s.body)) {
+          return false;
+        }
+        break_labels_.pop_back();
+        continue_labels_.pop_back();
+        EmitJump(head);
+        prog_.DefineLabel(end);
+        return true;
+      }
+      case Stmt::Kind::kFor: {
+        scopes_.push_back({});
+        if (s.init && !GenStmt(*s.init)) {
+          return false;
+        }
+        std::string head = NewLabel();
+        std::string post_label = NewLabel();
+        std::string end = NewLabel();
+        prog_.DefineLabel(head);
+        if (s.expr) {
+          Type t;
+          if (!GenExpr(*s.expr, &t)) {
+            return false;
+          }
+          uint8_t cond = OperandRegTop();
+          Pop();
+          EmitBranchTo(Op::kBeq, cond, kRegZero, end);
+        }
+        break_labels_.push_back(end);
+        continue_labels_.push_back(post_label);
+        if (!GenStmt(*s.body)) {
+          return false;
+        }
+        break_labels_.pop_back();
+        continue_labels_.pop_back();
+        prog_.DefineLabel(post_label);
+        if (s.post) {
+          Type t;
+          if (!GenExpr(*s.post, &t)) {
+            return false;
+          }
+          if (!t.IsVoid()) {
+            Pop();
+          }
+        }
+        EmitJump(head);
+        prog_.DefineLabel(end);
+        scopes_.pop_back();
+        return true;
+      }
+      case Stmt::Kind::kReturn: {
+        if (s.expr) {
+          Type t;
+          if (!GenExpr(*s.expr, &t)) {
+            return false;
+          }
+          Emit(Instr{Op::kAdd, kRegA0, OperandRegTop(), kRegZero, 0});
+          Pop();
+        }
+        EmitJump(epilogue_label_);
+        return true;
+      }
+      case Stmt::Kind::kBreak:
+        if (break_labels_.empty()) {
+          return Fail(s.line, "break outside loop");
+        }
+        EmitJump(break_labels_.back());
+        return true;
+      case Stmt::Kind::kContinue:
+        if (continue_labels_.empty()) {
+          return Fail(s.line, "continue outside loop");
+        }
+        EmitJump(continue_labels_.back());
+        return true;
+    }
+    return Fail(s.line, "unhandled statement");
+  }
+
+  // ----- Expressions -----
+
+  // Generates an lvalue address onto the stack. Fails for register-promoted locals
+  // (callers handle those cases first). Sets *value_type to the pointed-to type.
+  bool GenAddr(const Expr& e, Type* value_type) {
+    switch (e.kind) {
+      case Expr::Kind::kVar: {
+        int slot_index = LookupLocal(e.name);
+        if (slot_index >= 0) {
+          const LocalSlot& slot = slots_[slot_index];
+          if (slot.reg >= 0) {
+            return Fail(e.line, "internal: address of register-promoted local");
+          }
+          if (!Push(Type{slot.type.base, slot.type.ptr + 1}, e.line)) {
+            return false;
+          }
+          Emit(Instr{Op::kAddi, TempReg(TopIndex()), kRegSp, 0, slot.frame_offset});
+          *value_type = slot.type;
+          return true;
+        }
+        auto g = globals_.find(e.name);
+        if (g != globals_.end()) {
+          if (!Push(Type{g->second.type.base, g->second.type.ptr + 1}, e.line)) {
+            return false;
+          }
+          EmitLa(TempReg(TopIndex()), e.name);
+          *value_type = g->second.type;
+          return true;
+        }
+        return Fail(e.line, "undefined variable " + e.name);
+      }
+      case Expr::Kind::kDeref: {
+        Type t;
+        if (!GenExpr(*e.lhs, &t)) {
+          return false;
+        }
+        if (!t.IsPointer()) {
+          return Fail(e.line, "dereference of non-pointer");
+        }
+        *value_type = Type{t.base, t.ptr - 1};
+        return true;
+      }
+      case Expr::Kind::kIndex: {
+        Type base_type;
+        if (!GenExpr(*e.lhs, &base_type)) {
+          return false;
+        }
+        if (!base_type.IsPointer()) {
+          return Fail(e.line, "indexing a non-pointer");
+        }
+        Type index_type;
+        if (!GenExpr(*e.rhs, &index_type)) {
+          return false;
+        }
+        int elem_size = base_type.PointeeSize();
+        int idx = TopIndex();
+        int base = idx - 1;
+        Type result_ptr{base_type.base, base_type.ptr};
+        if (stack_[idx].is_const) {
+          // Fold constant indexes: into the base constant, or into an addi.
+          int64_t disp = static_cast<int64_t>(stack_[idx].cval) * elem_size;
+          if (stack_[base].is_const) {
+            stack_[base].cval += static_cast<uint32_t>(disp);
+            Pop();
+            stack_[base].type = result_ptr;
+            *value_type = Type{base_type.base, base_type.ptr - 1};
+            return true;
+          }
+          if (FitsImm12(disp)) {
+            if (disp != 0) {
+              Emit(Instr{Op::kAddi, TempReg(base), OperandReg(base), 0,
+                         static_cast<int32_t>(disp)});
+              SetPlain(base, result_ptr);
+            }
+            Pop();
+            stack_[base].type = result_ptr;
+            *value_type = Type{base_type.base, base_type.ptr - 1};
+            return true;
+          }
+        }
+        if (elem_size == 4) {
+          Emit(Instr{Op::kSlli, TempReg(idx), OperandReg(idx), 0, 2});
+          SetPlain(idx, stack_[idx].type);
+        }
+        Emit(Instr{Op::kAdd, TempReg(base), OperandReg(base), OperandReg(idx), 0});
+        SetPlain(base, result_ptr);
+        Pop();
+        *value_type = Type{base_type.base, base_type.ptr - 1};
+        return true;
+      }
+      default:
+        return Fail(e.line, "expression is not an lvalue");
+    }
+  }
+
+  // If the last emitted instruction computed `addi *base, X, imm` (with *base a dead
+  // address temp being consumed right now), folds it into the memory operand. O2 only.
+  void FuseAddress(uint8_t* base, int32_t* offset) {
+    if (options_.opt_level < 2 || *offset != 0) {
+      return;
+    }
+    auto last = prog_.PopLastPlainInstr();
+    if (!last.has_value()) {
+      return;
+    }
+    if (last->op == Op::kAddi && last->rd == *base) {
+      *base = last->rs1;
+      *offset = last->imm;
+      return;
+    }
+    prog_.Emit(*last);  // Not fusable; put it back.
+  }
+
+  // Loads the value at the address on top of the stack (in place).
+  void LoadFromTop(const Type& value_type) {
+    int i = TopIndex();
+    uint8_t base = OperandReg(i);
+    int32_t offset = 0;
+    FuseAddress(&base, &offset);
+    Op op = value_type.IsPointer() || value_type.Size() == 4 ? Op::kLw : Op::kLbu;
+    Emit(Instr{op, TempReg(i), base, 0, offset});
+    SetPlain(i, value_type);
+  }
+
+  bool GenExpr(const Expr& e, Type* out_type) {
+    switch (e.kind) {
+      case Expr::Kind::kIntLit:
+        if (!PushConst(Type{Type::Base::kU32, 0}, e.int_value, e.line)) {
+          return false;
+        }
+        *out_type = Top().type;
+        return true;
+      case Expr::Kind::kVar: {
+        int slot_index = LookupLocal(e.name);
+        if (slot_index >= 0) {
+          const LocalSlot& slot = slots_[slot_index];
+          if (slot.array_size != 0) {
+            // Array decays to pointer.
+            Type ptr{slot.type.base, slot.type.ptr + 1};
+            if (!Push(ptr, e.line)) {
+              return false;
+            }
+            Emit(Instr{Op::kAddi, TempReg(TopIndex()), kRegSp, 0, slot.frame_offset});
+            *out_type = ptr;
+            return true;
+          }
+          if (slot.reg >= 0) {
+            if (!PushSreg(slot.type, slot.reg, e.line)) {
+              return false;
+            }
+            *out_type = slot.type;
+            return true;
+          }
+          if (!Push(slot.type, e.line)) {
+            return false;
+          }
+          uint8_t r = TempReg(TopIndex());
+          if (slot.type.Size() == 1 && !slot.type.IsPointer()) {
+            Emit(Instr{Op::kLbu, r, kRegSp, 0, slot.frame_offset});
+          } else {
+            Emit(Instr{Op::kLw, r, kRegSp, 0, slot.frame_offset});
+          }
+          *out_type = slot.type;
+          return true;
+        }
+        auto g = globals_.find(e.name);
+        if (g != globals_.end()) {
+          if (g->second.array_size != 0) {
+            Type ptr{g->second.type.base, g->second.type.ptr + 1};
+            if (!Push(ptr, e.line)) {
+              return false;
+            }
+            EmitLa(TempReg(TopIndex()), e.name);
+            *out_type = ptr;
+            return true;
+          }
+          if (!Push(g->second.type, e.line)) {
+            return false;
+          }
+          uint8_t r = TempReg(TopIndex());
+          EmitLa(r, e.name);
+          Op op = g->second.type.IsPointer() || g->second.type.Size() == 4 ? Op::kLw : Op::kLbu;
+          Emit(Instr{op, r, r, 0, 0});
+          *out_type = g->second.type;
+          return true;
+        }
+        return Fail(e.line, "undefined variable " + e.name);
+      }
+      case Expr::Kind::kUnary: {
+        Type t;
+        if (!GenExpr(*e.lhs, &t)) {
+          return false;
+        }
+        if (Top().is_const) {
+          uint32_t v = Top().cval;
+          uint32_t r = e.op == "-" ? 0u - v : e.op == "~" ? ~v : (v == 0 ? 1u : 0u);
+          Top().cval = r;
+          *out_type = Top().type;
+          return true;
+        }
+        int i = TopIndex();
+        uint8_t src = OperandReg(i);
+        uint8_t dst = TempReg(i);
+        if (e.op == "-") {
+          Emit(Instr{Op::kSub, dst, kRegZero, src, 0});
+        } else if (e.op == "~") {
+          Emit(Instr{Op::kXori, dst, src, 0, -1});
+        } else {  // "!"
+          Emit(Instr{Op::kSltiu, dst, src, 0, 1});
+        }
+        *out_type = Type{Type::Base::kU32, 0};
+        SetPlain(i, *out_type);
+        return true;
+      }
+      case Expr::Kind::kDeref: {
+        Type value_type;
+        if (!GenAddr(e, &value_type)) {
+          return false;
+        }
+        LoadFromTop(value_type);
+        *out_type = value_type;
+        return true;
+      }
+      case Expr::Kind::kAddrOf: {
+        Type value_type;
+        if (!GenAddr(*e.lhs, &value_type)) {
+          return false;
+        }
+        *out_type = Type{value_type.base, value_type.ptr + 1};
+        Top().type = *out_type;
+        return true;
+      }
+      case Expr::Kind::kIndex: {
+        Type value_type;
+        if (!GenAddr(e, &value_type)) {
+          return false;
+        }
+        LoadFromTop(value_type);
+        *out_type = value_type;
+        return true;
+      }
+      case Expr::Kind::kCast: {
+        Type t;
+        if (!GenExpr(*e.lhs, &t)) {
+          return false;
+        }
+        // Truncation when casting a wider value into u8.
+        if (e.cast_type.base == Type::Base::kU8 && e.cast_type.ptr == 0) {
+          if (Top().is_const) {
+            Top().cval &= 0xff;
+          } else {
+            int i = TopIndex();
+            Emit(Instr{Op::kAndi, TempReg(i), OperandReg(i), 0, 0xff});
+            SetPlain(i, Top().type);
+          }
+        }
+        Top().type = e.cast_type;
+        *out_type = e.cast_type;
+        return true;
+      }
+      case Expr::Kind::kAssign:
+        return GenAssign(e, out_type);
+      case Expr::Kind::kBinary:
+        return GenBinary(e, out_type);
+      case Expr::Kind::kCall:
+        return GenCall(e, out_type);
+    }
+    return Fail(e.line, "unhandled expression");
+  }
+
+  bool GenAssign(const Expr& e, Type* out_type) {
+    // Register-promoted scalar local: evaluate rhs, move into the register.
+    if (e.lhs->kind == Expr::Kind::kVar) {
+      int slot_index = LookupLocal(e.lhs->name);
+      if (slot_index >= 0 && slots_[slot_index].reg >= 0) {
+        Type rt;
+        if (!GenExpr(*e.rhs, &rt)) {
+          return false;
+        }
+        uint8_t sreg = static_cast<uint8_t>(slots_[slot_index].reg);
+        if (Top().is_const) {
+          EmitLi(sreg, Top().cval);
+        } else {
+          Emit(Instr{Op::kAdd, sreg, OperandRegTop(), kRegZero, 0});
+        }
+        *out_type = slots_[slot_index].type;
+        Top().type = *out_type;
+        return true;
+      }
+    }
+    Type value_type;
+    if (!GenAddr(*e.lhs, &value_type)) {
+      return false;
+    }
+    Type rt;
+    if (!GenExpr(*e.rhs, &rt)) {
+      return false;
+    }
+    int value_idx = TopIndex();
+    int addr_idx = value_idx - 1;
+    uint8_t value_reg = OperandReg(value_idx);
+    uint8_t addr_reg = OperandReg(addr_idx);
+    Op op = value_type.IsPointer() || value_type.Size() == 4 ? Op::kSw : Op::kSb;
+    Emit(Instr{op, 0, addr_reg, value_reg, 0});
+    // The value of the assignment expression is the stored value; keep it as the new
+    // top of stack (constants and register aliases carry over without a copy).
+    StackEntry val = stack_[value_idx];
+    if (!val.is_const && val.sreg < 0) {
+      Emit(Instr{Op::kAdd, TempReg(addr_idx), TempReg(value_idx), kRegZero, 0});
+    }
+    Pop();
+    stack_[addr_idx] = val;
+    stack_[addr_idx].type = value_type;
+    *out_type = value_type;
+    return true;
+  }
+
+  bool GenShortCircuit(const Expr& e, Type* out_type) {
+    bool is_and = e.op == "&&";
+    std::string short_label = NewLabel();
+    std::string end_label = NewLabel();
+    Type t;
+    if (!GenExpr(*e.lhs, &t)) {
+      return false;
+    }
+    MaterializeTop();
+    uint8_t r = TempReg(TopIndex());
+    Pop();
+    EmitBranchTo(is_and ? Op::kBeq : Op::kBne, r, kRegZero, short_label);
+    if (!GenExpr(*e.rhs, &t)) {
+      return false;
+    }
+    MaterializeTop();
+    uint8_t r2 = TempReg(TopIndex());
+    Pop();
+    // Normalize to 0/1.
+    Emit(Instr{Op::kSltu, r, kRegZero, r2, 0});
+    EmitJump(end_label);
+    prog_.DefineLabel(short_label);
+    EmitLi(r, is_and ? 0 : 1);
+    prog_.DefineLabel(end_label);
+    if (!Push(Type{Type::Base::kU32, 0}, e.line)) {
+      return false;
+    }
+    // Result is already in the pushed slot's register (r == TempReg(TopIndex())).
+    *out_type = Top().type;
+    return true;
+  }
+
+  bool GenBinary(const Expr& e, Type* out_type) {
+    if (e.op == "&&" || e.op == "||") {
+      return GenShortCircuit(e, out_type);
+    }
+    Type lt;
+    if (!GenExpr(*e.lhs, &lt)) {
+      return false;
+    }
+    Type rt;
+    if (!GenExpr(*e.rhs, &rt)) {
+      return false;
+    }
+    int rhs_idx = TopIndex();
+    int lhs_idx = rhs_idx - 1;
+
+    // Constant folding (O2 keeps constants symbolic; O0 never has is_const entries).
+    if (stack_[lhs_idx].is_const && stack_[rhs_idx].is_const && !lt.IsPointer() &&
+        !rt.IsPointer()) {
+      uint32_t a = stack_[lhs_idx].cval;
+      uint32_t b = stack_[rhs_idx].cval;
+      uint32_t r = 0;
+      if (e.op == "+") r = a + b;
+      else if (e.op == "-") r = a - b;
+      else if (e.op == "*") r = a * b;
+      else if (e.op == "/") r = (b == 0) ? 0xffffffffu : a / b;
+      else if (e.op == "%") r = (b == 0) ? a : a % b;
+      else if (e.op == "&") r = a & b;
+      else if (e.op == "|") r = a | b;
+      else if (e.op == "^") r = a ^ b;
+      else if (e.op == "<<") r = a << (b & 31);
+      else if (e.op == ">>") r = a >> (b & 31);
+      else if (e.op == "==") r = a == b;
+      else if (e.op == "!=") r = a != b;
+      else if (e.op == "<") r = a < b;
+      else if (e.op == ">") r = a > b;
+      else if (e.op == "<=") r = a <= b;
+      else if (e.op == ">=") r = a >= b;
+      else return Fail(e.line, "unknown operator " + e.op);
+      Pop();
+      Top().cval = r;
+      Top().type = Type{Type::Base::kU32, 0};
+      *out_type = Top().type;
+      return true;
+    }
+
+    // Pointer arithmetic scaling.
+    auto scale_index = [&](int idx, int elem_size) {
+      if (elem_size == 1) {
+        return;
+      }
+      if (stack_[idx].is_const) {
+        stack_[idx].cval *= static_cast<uint32_t>(elem_size);
+        return;
+      }
+      Emit(Instr{Op::kSlli, TempReg(idx), OperandReg(idx), 0, 2});
+      SetPlain(idx, stack_[idx].type);
+    };
+    Type result_type{Type::Base::kU32, 0};
+    if (e.op == "+" && lt.IsPointer() && !rt.IsPointer()) {
+      scale_index(rhs_idx, lt.PointeeSize());
+      result_type = lt;
+    } else if (e.op == "+" && rt.IsPointer() && !lt.IsPointer()) {
+      scale_index(lhs_idx, rt.PointeeSize());
+      result_type = rt;
+    } else if (e.op == "-" && lt.IsPointer() && !rt.IsPointer()) {
+      scale_index(rhs_idx, lt.PointeeSize());
+      result_type = lt;
+    } else if (lt.IsPointer() || rt.IsPointer()) {
+      if (e.op == "==" || e.op == "!=" || e.op == "<" || e.op == ">" || e.op == "<=" ||
+          e.op == ">=") {
+        result_type = Type{Type::Base::kU32, 0};
+      } else {
+        return Fail(e.line, "unsupported pointer arithmetic with " + e.op);
+      }
+    }
+
+    // Immediate forms when the rhs is a small constant (O2).
+    if (stack_[rhs_idx].is_const && !stack_[lhs_idx].is_const) {
+      uint32_t b = stack_[rhs_idx].cval;
+      int64_t sb = static_cast<int64_t>(static_cast<int32_t>(b));
+      uint8_t dst = TempReg(lhs_idx);
+      bool handled = true;
+      bool emitted = true;
+      if (((e.op == "+" || e.op == "-" || e.op == "<<" || e.op == ">>" || e.op == "^" ||
+            e.op == "|") && b == 0) ||
+          (e.op == "*" && b == 1)) {
+        // Identity: keep the lhs entry untouched (it may still be an alias/const).
+        emitted = false;
+      } else if (e.op == "+" && FitsImm12(sb)) {
+        Emit(Instr{Op::kAddi, dst, OperandReg(lhs_idx), 0, static_cast<int32_t>(b)});
+      } else if (e.op == "-" && FitsImm12(-sb)) {
+        Emit(Instr{Op::kAddi, dst, OperandReg(lhs_idx), 0, static_cast<int32_t>(-sb)});
+      } else if (e.op == "&" && FitsImm12(sb)) {
+        Emit(Instr{Op::kAndi, dst, OperandReg(lhs_idx), 0, static_cast<int32_t>(b)});
+      } else if (e.op == "|" && FitsImm12(sb)) {
+        Emit(Instr{Op::kOri, dst, OperandReg(lhs_idx), 0, static_cast<int32_t>(b)});
+      } else if (e.op == "^" && FitsImm12(sb)) {
+        Emit(Instr{Op::kXori, dst, OperandReg(lhs_idx), 0, static_cast<int32_t>(b)});
+      } else if (e.op == "<<" && b < 32) {
+        Emit(Instr{Op::kSlli, dst, OperandReg(lhs_idx), 0, static_cast<int32_t>(b)});
+      } else if (e.op == ">>" && b < 32) {
+        Emit(Instr{Op::kSrli, dst, OperandReg(lhs_idx), 0, static_cast<int32_t>(b)});
+      } else if (e.op == "*" && b != 0 && (b & (b - 1)) == 0) {
+        int shift = 0;
+        while ((b >> shift) != 1) {
+          shift++;
+        }
+        Emit(Instr{Op::kSlli, dst, OperandReg(lhs_idx), 0, shift});
+      } else if (e.op == "<" && b != 0 && FitsImm12(sb)) {
+        Emit(Instr{Op::kSltiu, dst, OperandReg(lhs_idx), 0, static_cast<int32_t>(b)});
+      } else {
+        handled = false;
+      }
+      if (handled) {
+        Pop();
+        if (emitted) {
+          SetPlain(lhs_idx, result_type);
+        } else {
+          stack_[lhs_idx].type = result_type;
+        }
+        *out_type = result_type;
+        return true;
+      }
+    }
+
+    uint8_t srcl = OperandReg(lhs_idx);
+    uint8_t srcr = OperandReg(rhs_idx);
+    uint8_t rl = TempReg(lhs_idx);
+    uint8_t rr = srcr;
+    (void)rr;
+    if (e.op == "+") {
+      Emit(Instr{Op::kAdd, rl, srcl, srcr, 0});
+    } else if (e.op == "-") {
+      Emit(Instr{Op::kSub, rl, srcl, srcr, 0});
+    } else if (e.op == "*") {
+      Emit(Instr{Op::kMul, rl, srcl, srcr, 0});
+    } else if (e.op == "/") {
+      Emit(Instr{Op::kDivu, rl, srcl, srcr, 0});
+    } else if (e.op == "%") {
+      Emit(Instr{Op::kRemu, rl, srcl, srcr, 0});
+    } else if (e.op == "&") {
+      Emit(Instr{Op::kAnd, rl, srcl, srcr, 0});
+    } else if (e.op == "|") {
+      Emit(Instr{Op::kOr, rl, srcl, srcr, 0});
+    } else if (e.op == "^") {
+      Emit(Instr{Op::kXor, rl, srcl, srcr, 0});
+    } else if (e.op == "<<") {
+      Emit(Instr{Op::kSll, rl, srcl, srcr, 0});
+    } else if (e.op == ">>") {
+      Emit(Instr{Op::kSrl, rl, srcl, srcr, 0});
+    } else if (e.op == "==") {
+      Emit(Instr{Op::kSub, rl, srcl, srcr, 0});
+      Emit(Instr{Op::kSltiu, rl, rl, 0, 1});
+    } else if (e.op == "!=") {
+      Emit(Instr{Op::kSub, rl, srcl, srcr, 0});
+      Emit(Instr{Op::kSltu, rl, kRegZero, rl, 0});
+    } else if (e.op == "<") {
+      Emit(Instr{Op::kSltu, rl, srcl, srcr, 0});
+    } else if (e.op == ">") {
+      Emit(Instr{Op::kSltu, rl, srcr, srcl, 0});
+    } else if (e.op == "<=") {
+      Emit(Instr{Op::kSltu, rl, srcr, srcl, 0});
+      Emit(Instr{Op::kXori, rl, rl, 0, 1});
+    } else if (e.op == ">=") {
+      Emit(Instr{Op::kSltu, rl, srcl, srcr, 0});
+      Emit(Instr{Op::kXori, rl, rl, 0, 1});
+    } else {
+      return Fail(e.line, "unknown operator " + e.op);
+    }
+    Pop();
+    SetPlain(lhs_idx, result_type);
+    *out_type = result_type;
+    return true;
+  }
+
+  bool GenCall(const Expr& e, Type* out_type) {
+    // Builtin: __mulhu(a, b) -> mulhu instruction (the RV32M high-multiply the bignum
+    // code needs; HACL* gets this from 64-bit arithmetic, MiniC exposes it directly).
+    if (e.name == "__mulhu") {
+      if (e.args.size() != 2) {
+        return Fail(e.line, "__mulhu takes 2 arguments");
+      }
+      Type t;
+      if (!GenExpr(*e.args[0], &t) || !GenExpr(*e.args[1], &t)) {
+        return false;
+      }
+      int rhs_idx = TopIndex();
+      int lhs_idx = rhs_idx - 1;
+      uint8_t srcl = OperandReg(lhs_idx);
+      uint8_t srcr = OperandReg(rhs_idx);
+      Emit(Instr{Op::kMulhu, TempReg(lhs_idx), srcl, srcr, 0});
+      Pop();
+      SetPlain(lhs_idx, Type{Type::Base::kU32, 0});
+      *out_type = Top().type;
+      return true;
+    }
+    auto sig = sigs_.find(e.name);
+    if (sig == sigs_.end()) {
+      return Fail(e.line, "call to undefined function " + e.name);
+    }
+    if (e.args.size() != sig->second.params.size()) {
+      return Fail(e.line, "wrong argument count for " + e.name);
+    }
+    if (e.args.size() > 7) {
+      return Fail(e.line, "too many arguments (max 7)");
+    }
+    int depth_before = static_cast<int>(stack_.size());
+    for (const auto& arg : e.args) {
+      Type t;
+      if (!GenExpr(*arg, &t)) {
+        return false;
+      }
+    }
+    // Spill the whole live expression stack (the temps are caller-saved).
+    for (int i = 0; i < static_cast<int>(stack_.size()); i++) {
+      Materialize(i);
+      Emit(Instr{Op::kSw, 0, kRegSp, TempReg(i), spill_base_ + 4 * i});
+    }
+    // Load the arguments into a0..; they sit at stack indices [depth_before, size).
+    for (size_t i = 0; i < e.args.size(); i++) {
+      Emit(Instr{Op::kLw, static_cast<uint8_t>(kRegA0 + i), kRegSp, 0,
+                 spill_base_ + 4 * (depth_before + static_cast<int>(i))});
+    }
+    EmitCall(e.name);
+    // Restore live temps below the arguments.
+    for (int i = 0; i < depth_before; i++) {
+      Emit(Instr{Op::kLw, TempReg(i), kRegSp, 0, spill_base_ + 4 * i});
+    }
+    stack_.resize(depth_before);
+    *out_type = sig->second.return_type;
+    if (!out_type->IsVoid()) {
+      if (!Push(*out_type, e.line)) {
+        return false;
+      }
+      Emit(Instr{Op::kAdd, TempReg(TopIndex()), kRegA0, kRegZero, 0});
+    }
+    return true;
+  }
+
+  const TranslationUnit& unit_;
+  CodegenOptions options_;
+  riscv::Program& prog_;
+  std::string error_;
+
+  std::map<std::string, FuncSig> sigs_;
+  std::map<std::string, GlobalInfo> globals_;
+
+  // Per-function state.
+  const Function* current_fn_ = nullptr;
+  std::vector<LocalSlot> slots_;
+  std::vector<Scope> scopes_;
+  std::vector<StackEntry> stack_;
+  std::vector<uint8_t> used_saved_regs_;
+  std::vector<std::string> break_labels_;
+  std::vector<std::string> continue_labels_;
+  std::string epilogue_label_;
+  int decl_counter_ = 0;
+  int spill_base_ = 0;
+  int saved_base_ = 0;
+  int ra_offset_ = 0;
+  int frame_size_ = 0;
+  int label_counter_ = 0;
+};
+
+}  // namespace
+
+Result<bool> Generate(const TranslationUnit& unit, const CodegenOptions& options,
+                      riscv::Program* program) {
+  Codegen gen(unit, options, program);
+  if (!gen.Run()) {
+    return Result<bool>::Error(gen.error());
+  }
+  return true;
+}
+
+}  // namespace parfait::minicc

@@ -1,0 +1,37 @@
+// MiniC -> RV32IM code generation.
+//
+// Two code generators reproduce the paper's Table 5 compiler comparison:
+//   - O0: fully naive. Every local lives in the stack frame, every intermediate value
+//     is materialized, no folding. This plays the role of CompCert -O1 (the verified
+//     but slow compiler in the paper's pipeline).
+//   - O2: scalar locals and parameters are promoted to callee-saved registers,
+//     constants fold at compile time, and immediate instruction forms are used. This
+//     plays the role of GCC -O2 (the paper's unverified fast baseline).
+//
+// Both generators use the same calling convention as the paper's CompCert RISC-V
+// backend: arguments in a0..a7, result in a0, sp 16-byte aligned, ra/callee-saved
+// registers preserved.
+#ifndef PARFAIT_MINICC_CODEGEN_H_
+#define PARFAIT_MINICC_CODEGEN_H_
+
+#include <string>
+
+#include "src/minicc/ast.h"
+#include "src/riscv/assembler.h"
+#include "src/support/status.h"
+
+namespace parfait::minicc {
+
+struct CodegenOptions {
+  int opt_level = 0;  // 0 or 2.
+};
+
+// Appends code and data for the translation unit to `program` (functions into .text,
+// const globals into .rodata, initialized globals into .data, the rest into .bss).
+// Returns an error string on the first semantic error.
+Result<bool> Generate(const TranslationUnit& unit, const CodegenOptions& options,
+                      riscv::Program* program);
+
+}  // namespace parfait::minicc
+
+#endif  // PARFAIT_MINICC_CODEGEN_H_

@@ -1,0 +1,46 @@
+#include "src/minicc/compiler.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "src/minicc/parser.h"
+
+namespace parfait::minicc {
+
+Result<bool> CompileSource(const std::string& source, const CodegenOptions& options,
+                           riscv::Program* program) {
+  auto unit = Parse(source);
+  if (!unit.ok()) {
+    return Result<bool>::Error(unit.error());
+  }
+  auto generated = Generate(unit.value(), options, program);
+  if (!generated.ok()) {
+    return Result<bool>::Error(generated.error());
+  }
+  return true;
+}
+
+Result<bool> CompileFile(const std::string& path, const CodegenOptions& options,
+                         riscv::Program* program) {
+  std::ifstream in(path);
+  if (!in) {
+    return Result<bool>::Error("cannot open " + path);
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  auto result = CompileSource(ss.str(), options, program);
+  if (!result.ok()) {
+    return Result<bool>::Error(path + ": " + result.error());
+  }
+  return true;
+}
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::ifstream in(path);
+  PARFAIT_CHECK_MSG(in.good(), "cannot open %s", path.c_str());
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+}  // namespace parfait::minicc

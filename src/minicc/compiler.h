@@ -1,0 +1,27 @@
+// MiniC compiler driver: source text / files -> riscv::Program items.
+#ifndef PARFAIT_MINICC_COMPILER_H_
+#define PARFAIT_MINICC_COMPILER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/minicc/codegen.h"
+#include "src/riscv/assembler.h"
+#include "src/support/status.h"
+
+namespace parfait::minicc {
+
+// Parses and code-generates one MiniC source, appending to `program`.
+Result<bool> CompileSource(const std::string& source, const CodegenOptions& options,
+                           riscv::Program* program);
+
+// Reads and compiles a file (diagnostics are prefixed with the path).
+Result<bool> CompileFile(const std::string& path, const CodegenOptions& options,
+                         riscv::Program* program);
+
+// Reads a file into a string; aborts if unreadable (firmware sources ship in-tree).
+std::string ReadFileOrDie(const std::string& path);
+
+}  // namespace parfait::minicc
+
+#endif  // PARFAIT_MINICC_COMPILER_H_

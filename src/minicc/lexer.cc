@@ -1,0 +1,132 @@
+#include "src/minicc/lexer.h"
+
+#include <cctype>
+#include <cstring>
+
+namespace parfait::minicc {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+}
+
+bool IsIdentChar(char c) { return IsIdentStart(c) || (c >= '0' && c <= '9'); }
+
+// Multi-character punctuators, longest first.
+const char* kPuncts[] = {"<<=", ">>=", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+                         "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "(",  ")",
+                         "{",  "}",  "[",  "]",  ";",  ",",  "=",  "+",  "-",  "*",
+                         "/",  "%",  "&",  "|",  "^",  "~",  "!",  "<",  ">"};
+
+}  // namespace
+
+bool Lex(const std::string& source, std::vector<Token>* tokens, std::string* error) {
+  size_t i = 0;
+  int line = 1;
+  bool at_line_start = true;
+  while (i < source.size()) {
+    char c = source[i];
+    if (c == '\n') {
+      line++;
+      at_line_start = true;
+      i++;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r') {
+      i++;
+      continue;
+    }
+    if (c == '#' && at_line_start) {
+      while (i < source.size() && source[i] != '\n') {
+        i++;
+      }
+      continue;
+    }
+    at_line_start = false;
+    if (c == '/' && i + 1 < source.size() && source[i + 1] == '/') {
+      while (i < source.size() && source[i] != '\n') {
+        i++;
+      }
+      continue;
+    }
+    if (c == '/' && i + 1 < source.size() && source[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < source.size() && !(source[i] == '*' && source[i + 1] == '/')) {
+        if (source[i] == '\n') {
+          line++;
+        }
+        i++;
+      }
+      if (i + 1 >= source.size()) {
+        *error = "unterminated block comment at line " + std::to_string(line);
+        return false;
+      }
+      i += 2;
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      while (i < source.size() && IsIdentChar(source[i])) {
+        i++;
+      }
+      tokens->push_back(Token{Token::Kind::kIdent, source.substr(start, i - start), 0, line});
+      continue;
+    }
+    if (c >= '0' && c <= '9') {
+      size_t start = i;
+      uint64_t value = 0;
+      if (c == '0' && i + 1 < source.size() && (source[i + 1] == 'x' || source[i + 1] == 'X')) {
+        i += 2;
+        if (i >= source.size() || !isxdigit(source[i])) {
+          *error = "bad hex literal at line " + std::to_string(line);
+          return false;
+        }
+        while (i < source.size() && isxdigit(source[i])) {
+          char d = source[i];
+          int v = (d >= '0' && d <= '9') ? d - '0' : (tolower(d) - 'a' + 10);
+          value = value * 16 + static_cast<uint64_t>(v);
+          i++;
+        }
+      } else {
+        while (i < source.size() && source[i] >= '0' && source[i] <= '9') {
+          value = value * 10 + static_cast<uint64_t>(source[i] - '0');
+          i++;
+        }
+      }
+      // Accept C suffixes (u, U, l, L) so shared sources stay valid C.
+      while (i < source.size() && (source[i] == 'u' || source[i] == 'U' || source[i] == 'l' ||
+                                   source[i] == 'L')) {
+        i++;
+      }
+      if (value > 0xffffffffULL) {
+        *error = "integer literal overflows 32 bits at line " + std::to_string(line) + ": " +
+                 source.substr(start, i - start);
+        return false;
+      }
+      Token t{Token::Kind::kNumber, source.substr(start, i - start), 0, line};
+      t.number = static_cast<uint32_t>(value);
+      tokens->push_back(t);
+      continue;
+    }
+    bool matched = false;
+    for (const char* p : kPuncts) {
+      size_t len = strlen(p);
+      if (source.compare(i, len, p) == 0) {
+        tokens->push_back(Token{Token::Kind::kPunct, p, 0, line});
+        i += len;
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      *error = "unexpected character '" + std::string(1, c) + "' at line " +
+               std::to_string(line);
+      return false;
+    }
+  }
+  tokens->push_back(Token{Token::Kind::kEof, "", 0, line});
+  return true;
+}
+
+}  // namespace parfait::minicc

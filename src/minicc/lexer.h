@@ -1,0 +1,30 @@
+// MiniC lexer.
+#ifndef PARFAIT_MINICC_LEXER_H_
+#define PARFAIT_MINICC_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace parfait::minicc {
+
+struct Token {
+  enum class Kind : uint8_t {
+    kIdent,
+    kNumber,
+    kPunct,   // Operators and punctuation, text holds the exact spelling.
+    kEof,
+  };
+  Kind kind;
+  std::string text;
+  uint32_t number = 0;
+  int line = 0;
+};
+
+// Tokenizes MiniC source. '#'-lines are skipped; // and /* */ comments are removed.
+// Returns false and sets *error on a malformed token.
+bool Lex(const std::string& source, std::vector<Token>* tokens, std::string* error);
+
+}  // namespace parfait::minicc
+
+#endif  // PARFAIT_MINICC_LEXER_H_

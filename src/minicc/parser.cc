@@ -1,0 +1,760 @@
+#include "src/minicc/parser.h"
+
+#include <map>
+
+#include "src/minicc/lexer.h"
+
+namespace parfait::minicc {
+
+namespace {
+
+std::string TypeName(const Type& t) {
+  std::string s;
+  switch (t.base) {
+    case Type::Base::kVoid: s = "void"; break;
+    case Type::Base::kU8: s = "u8"; break;
+    case Type::Base::kU32: s = "u32"; break;
+  }
+  for (int i = 0; i < t.ptr; i++) {
+    s += "*";
+  }
+  return s;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<TranslationUnit> Parse() {
+    while (!AtEof()) {
+      if (!ParseTopLevel()) {
+        return Result<TranslationUnit>::Error(error_);
+      }
+    }
+    return std::move(unit_);
+  }
+
+ private:
+  const Token& Cur() const { return tokens_[pos_]; }
+  const Token& Ahead(size_t n) const {
+    size_t i = pos_ + n;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  bool AtEof() const { return Cur().kind == Token::Kind::kEof; }
+  void Advance() {
+    if (!AtEof()) {
+      pos_++;
+    }
+  }
+
+  bool Fail(const std::string& msg) {
+    error_ = "line " + std::to_string(Cur().line) + ": " + msg +
+             (Cur().text.empty() ? "" : " (at '" + Cur().text + "')");
+    return false;
+  }
+
+  bool IsPunct(const char* p) const {
+    return Cur().kind == Token::Kind::kPunct && Cur().text == p;
+  }
+  bool IsIdent(const char* name) const {
+    return Cur().kind == Token::Kind::kIdent && Cur().text == name;
+  }
+  bool AcceptPunct(const char* p) {
+    if (IsPunct(p)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  bool ExpectPunct(const char* p) {
+    if (AcceptPunct(p)) {
+      return true;
+    }
+    return Fail(std::string("expected '") + p + "'");
+  }
+  bool AcceptIdent(const char* name) {
+    if (IsIdent(name)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  bool IsTypeStart(size_t lookahead = 0) const {
+    const Token& t = Ahead(lookahead);
+    if (t.kind != Token::Kind::kIdent) {
+      return false;
+    }
+    return t.text == "u8" || t.text == "u32" || t.text == "void" || t.text == "const" ||
+           t.text == "volatile" || t.text == "static" || t.text == "unsigned";
+  }
+
+  // Parses qualifiers + base type + pointer stars. Sets *is_const for rodata placement.
+  bool ParseType(Type* out, bool* is_const) {
+    bool saw_const = false;
+    bool saw_base = false;
+    Type t;
+    while (Cur().kind == Token::Kind::kIdent) {
+      const std::string& w = Cur().text;
+      if (w == "const") {
+        saw_const = true;
+        Advance();
+      } else if (w == "volatile" || w == "static") {
+        Advance();
+      } else if (w == "u8") {
+        t.base = Type::Base::kU8;
+        saw_base = true;
+        Advance();
+        break;
+      } else if (w == "u32") {
+        t.base = Type::Base::kU32;
+        saw_base = true;
+        Advance();
+        break;
+      } else if (w == "void") {
+        t.base = Type::Base::kVoid;
+        saw_base = true;
+        Advance();
+        break;
+      } else {
+        break;
+      }
+    }
+    if (!saw_base) {
+      return Fail("expected type name");
+    }
+    while (true) {
+      // Allow qualifiers between stars: `u32 * volatile p` etc.
+      if (AcceptIdent("volatile") || AcceptIdent("const")) {
+        continue;
+      }
+      if (AcceptPunct("*")) {
+        t.ptr++;
+        continue;
+      }
+      break;
+    }
+    *out = t;
+    if (is_const != nullptr) {
+      *is_const = saw_const;
+    }
+    return true;
+  }
+
+  bool ParseConstValue(uint32_t* out) {
+    bool negate = false;
+    if (AcceptPunct("-")) {
+      negate = true;
+    }
+    if (Cur().kind == Token::Kind::kNumber) {
+      *out = Cur().number;
+      Advance();
+    } else if (Cur().kind == Token::Kind::kIdent && enums_.count(Cur().text) != 0) {
+      *out = enums_.at(Cur().text);
+      Advance();
+    } else {
+      return Fail("expected constant");
+    }
+    if (negate) {
+      *out = 0u - *out;
+    }
+    return true;
+  }
+
+  bool ParseTopLevel() {
+    if (AcceptIdent("enum")) {
+      return ParseEnum();
+    }
+    if (!IsTypeStart()) {
+      return Fail("expected declaration");
+    }
+    Type type;
+    bool is_const = false;
+    if (!ParseType(&type, &is_const)) {
+      return false;
+    }
+    if (Cur().kind != Token::Kind::kIdent) {
+      return Fail("expected identifier");
+    }
+    std::string name = Cur().text;
+    int line = Cur().line;
+    Advance();
+    if (IsPunct("(")) {
+      return ParseFunction(type, name, line);
+    }
+    return ParseGlobal(type, is_const, name, line);
+  }
+
+  bool ParseEnum() {
+    if (!ExpectPunct("{")) {
+      return false;
+    }
+    uint32_t next_value = 0;
+    while (!IsPunct("}")) {
+      if (Cur().kind != Token::Kind::kIdent) {
+        return Fail("expected enum constant name");
+      }
+      std::string name = Cur().text;
+      Advance();
+      uint32_t value = next_value;
+      if (AcceptPunct("=")) {
+        if (!ParseConstValue(&value)) {
+          return false;
+        }
+      }
+      enums_[name] = value;
+      unit_.enums.push_back(EnumConst{name, value});
+      next_value = value + 1;
+      if (!AcceptPunct(",")) {
+        break;
+      }
+    }
+    return ExpectPunct("}") && ExpectPunct(";");
+  }
+
+  bool ParseGlobal(Type type, bool is_const, const std::string& name, int line) {
+    Global g;
+    g.name = name;
+    g.type = type;
+    g.is_const = is_const;
+    g.line = line;
+    if (AcceptPunct("[")) {
+      if (!ParseConstValue(&g.array_size)) {
+        return false;
+      }
+      if (g.array_size == 0) {
+        return Fail("zero-sized array");
+      }
+      if (!ExpectPunct("]")) {
+        return false;
+      }
+    }
+    if (AcceptPunct("=")) {
+      if (AcceptPunct("{")) {
+        while (!IsPunct("}")) {
+          uint32_t v;
+          if (!ParseConstValue(&v)) {
+            return false;
+          }
+          g.init.push_back(v);
+          if (!AcceptPunct(",")) {
+            break;
+          }
+        }
+        if (!ExpectPunct("}")) {
+          return false;
+        }
+        if (g.array_size == 0) {
+          return Fail("brace initializer on scalar");
+        }
+        if (g.init.size() > g.array_size) {
+          return Fail("too many initializers");
+        }
+      } else {
+        uint32_t v;
+        if (!ParseConstValue(&v)) {
+          return false;
+        }
+        g.init.push_back(v);
+      }
+    }
+    unit_.globals.push_back(std::move(g));
+    return ExpectPunct(";");
+  }
+
+  bool ParseFunction(Type return_type, const std::string& name, int line) {
+    Function fn;
+    fn.name = name;
+    fn.return_type = return_type;
+    fn.line = line;
+    if (!ExpectPunct("(")) {
+      return false;
+    }
+    if (AcceptIdent("void") && IsPunct(")")) {
+      // `void` parameter list.
+    } else if (!IsPunct(")")) {
+      // Back up if we consumed 'void' as a parameter base type... handled by re-parse:
+      // AcceptIdent above only consumed when followed by ')', else it was not consumed
+      // unless the first param type is void* — handle below.
+      if (tokens_[pos_ - 1].kind == Token::Kind::kIdent && tokens_[pos_ - 1].text == "void" &&
+          !IsPunct(")")) {
+        pos_--;  // It was actually the start of a parameter type like `void *p`.
+      }
+      while (true) {
+        Param p;
+        if (!ParseType(&p.type, nullptr)) {
+          return false;
+        }
+        if (Cur().kind != Token::Kind::kIdent) {
+          return Fail("expected parameter name");
+        }
+        p.name = Cur().text;
+        Advance();
+        if (!p.type.IsScalar()) {
+          return Fail("parameter of non-scalar type");
+        }
+        fn.params.push_back(std::move(p));
+        if (!AcceptPunct(",")) {
+          break;
+        }
+      }
+    }
+    if (!ExpectPunct(")")) {
+      return false;
+    }
+    StmtPtr body;
+    if (!ParseBlock(&body)) {
+      return false;
+    }
+    fn.body = std::move(body);
+    unit_.functions.push_back(std::move(fn));
+    return true;
+  }
+
+  bool ParseBlock(StmtPtr* out) {
+    if (!ExpectPunct("{")) {
+      return false;
+    }
+    auto block = std::make_unique<Stmt>();
+    block->kind = Stmt::Kind::kBlock;
+    block->line = Cur().line;
+    while (!IsPunct("}")) {
+      if (AtEof()) {
+        return Fail("unterminated block");
+      }
+      StmtPtr s;
+      if (!ParseStatement(&s)) {
+        return false;
+      }
+      block->stmts.push_back(std::move(s));
+    }
+    Advance();  // '}'.
+    *out = std::move(block);
+    return true;
+  }
+
+  bool ParseStatement(StmtPtr* out) {
+    int line = Cur().line;
+    if (IsPunct("{")) {
+      return ParseBlock(out);
+    }
+    if (AcceptIdent("if")) {
+      auto s = std::make_unique<Stmt>();
+      s->kind = Stmt::Kind::kIf;
+      s->line = line;
+      if (!ExpectPunct("(") || !ParseExpr(&s->expr) || !ExpectPunct(")")) {
+        return false;
+      }
+      if (!ParseStatement(&s->body)) {
+        return false;
+      }
+      if (AcceptIdent("else")) {
+        if (!ParseStatement(&s->else_body)) {
+          return false;
+        }
+      }
+      *out = std::move(s);
+      return true;
+    }
+    if (AcceptIdent("while")) {
+      auto s = std::make_unique<Stmt>();
+      s->kind = Stmt::Kind::kWhile;
+      s->line = line;
+      if (!ExpectPunct("(") || !ParseExpr(&s->expr) || !ExpectPunct(")")) {
+        return false;
+      }
+      if (!ParseStatement(&s->body)) {
+        return false;
+      }
+      *out = std::move(s);
+      return true;
+    }
+    if (AcceptIdent("for")) {
+      auto s = std::make_unique<Stmt>();
+      s->kind = Stmt::Kind::kFor;
+      s->line = line;
+      if (!ExpectPunct("(")) {
+        return false;
+      }
+      if (!IsPunct(";")) {
+        if (IsTypeStart()) {
+          if (!ParseDecl(&s->init)) {
+            return false;
+          }
+          // ParseDecl consumed the ';'.
+        } else {
+          auto init = std::make_unique<Stmt>();
+          init->kind = Stmt::Kind::kExpr;
+          init->line = line;
+          if (!ParseExpr(&init->expr) || !ExpectPunct(";")) {
+            return false;
+          }
+          s->init = std::move(init);
+        }
+      } else {
+        Advance();
+      }
+      if (!IsPunct(";")) {
+        if (!ParseExpr(&s->expr)) {
+          return false;
+        }
+      }
+      if (!ExpectPunct(";")) {
+        return false;
+      }
+      if (!IsPunct(")")) {
+        if (!ParseExpr(&s->post)) {
+          return false;
+        }
+      }
+      if (!ExpectPunct(")")) {
+        return false;
+      }
+      if (!ParseStatement(&s->body)) {
+        return false;
+      }
+      *out = std::move(s);
+      return true;
+    }
+    if (AcceptIdent("return")) {
+      auto s = std::make_unique<Stmt>();
+      s->kind = Stmt::Kind::kReturn;
+      s->line = line;
+      if (!IsPunct(";")) {
+        if (!ParseExpr(&s->expr)) {
+          return false;
+        }
+      }
+      *out = std::move(s);
+      return ExpectPunct(";");
+    }
+    if (AcceptIdent("break")) {
+      auto s = std::make_unique<Stmt>();
+      s->kind = Stmt::Kind::kBreak;
+      s->line = line;
+      *out = std::move(s);
+      return ExpectPunct(";");
+    }
+    if (AcceptIdent("continue")) {
+      auto s = std::make_unique<Stmt>();
+      s->kind = Stmt::Kind::kContinue;
+      s->line = line;
+      *out = std::move(s);
+      return ExpectPunct(";");
+    }
+    if (IsTypeStart()) {
+      return ParseDecl(out);
+    }
+    auto s = std::make_unique<Stmt>();
+    s->kind = Stmt::Kind::kExpr;
+    s->line = line;
+    if (!ParseExpr(&s->expr)) {
+      return false;
+    }
+    *out = std::move(s);
+    return ExpectPunct(";");
+  }
+
+  bool ParseDecl(StmtPtr* out) {
+    auto s = std::make_unique<Stmt>();
+    s->kind = Stmt::Kind::kDecl;
+    s->line = Cur().line;
+    bool is_const = false;
+    if (!ParseType(&s->decl_type, &is_const)) {
+      return false;
+    }
+    if (!s->decl_type.IsScalar()) {
+      return Fail("local of type " + TypeName(s->decl_type));
+    }
+    if (Cur().kind != Token::Kind::kIdent) {
+      return Fail("expected local variable name");
+    }
+    s->decl_name = Cur().text;
+    Advance();
+    if (AcceptPunct("[")) {
+      if (!ParseConstValue(&s->decl_array_size)) {
+        return false;
+      }
+      if (s->decl_array_size == 0) {
+        return Fail("zero-sized array");
+      }
+      if (!ExpectPunct("]")) {
+        return false;
+      }
+    }
+    if (AcceptPunct("=")) {
+      if (s->decl_array_size != 0) {
+        return Fail("local array initializers are not supported");
+      }
+      if (!ParseExpr(&s->decl_init)) {
+        return false;
+      }
+    }
+    *out = std::move(s);
+    return ExpectPunct(";");
+  }
+
+  // ----- Expressions -----
+
+  bool ParseExpr(ExprPtr* out) { return ParseAssign(out); }
+
+  bool ParseAssign(ExprPtr* out) {
+    ExprPtr lhs;
+    if (!ParseBinary(&lhs, 0)) {
+      return false;
+    }
+    if (IsPunct("=")) {
+      int line = Cur().line;
+      Advance();
+      ExprPtr rhs;
+      if (!ParseAssign(&rhs)) {
+        return false;
+      }
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::kAssign;
+      e->line = line;
+      e->lhs = std::move(lhs);
+      e->rhs = std::move(rhs);
+      *out = std::move(e);
+      return true;
+    }
+    if (Cur().kind == Token::Kind::kPunct && Cur().text.size() >= 2 &&
+        Cur().text.back() == '=' && Cur().text != "==" && Cur().text != "!=" &&
+        Cur().text != "<=" && Cur().text != ">=") {
+      return Fail("compound assignment is outside the MiniC subset");
+    }
+    *out = std::move(lhs);
+    return true;
+  }
+
+  struct Level {
+    const char* ops[5];
+  };
+
+  bool ParseBinary(ExprPtr* out, int level) {
+    static const Level kLevels[] = {
+        {{"||", nullptr}},
+        {{"&&", nullptr}},
+        {{"|", nullptr}},
+        {{"^", nullptr}},
+        {{"&", nullptr}},
+        {{"==", "!=", nullptr}},
+        {{"<", ">", "<=", ">=", nullptr}},
+        {{"<<", ">>", nullptr}},
+        {{"+", "-", nullptr}},
+        {{"*", "/", "%", nullptr}},
+    };
+    constexpr int kNumLevels = 10;
+    if (level >= kNumLevels) {
+      return ParseUnary(out);
+    }
+    ExprPtr lhs;
+    if (!ParseBinary(&lhs, level + 1)) {
+      return false;
+    }
+    while (Cur().kind == Token::Kind::kPunct) {
+      const char* matched = nullptr;
+      for (const char* op : kLevels[level].ops) {
+        if (op == nullptr) {
+          break;
+        }
+        if (Cur().text == op) {
+          matched = op;
+          break;
+        }
+      }
+      if (matched == nullptr) {
+        break;
+      }
+      int line = Cur().line;
+      Advance();
+      ExprPtr rhs;
+      if (!ParseBinary(&rhs, level + 1)) {
+        return false;
+      }
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::kBinary;
+      e->op = matched;
+      e->line = line;
+      e->lhs = std::move(lhs);
+      e->rhs = std::move(rhs);
+      lhs = std::move(e);
+    }
+    *out = std::move(lhs);
+    return true;
+  }
+
+  bool ParseUnary(ExprPtr* out) {
+    int line = Cur().line;
+    if (IsPunct("-") || IsPunct("~") || IsPunct("!")) {
+      std::string op = Cur().text;
+      Advance();
+      ExprPtr operand;
+      if (!ParseUnary(&operand)) {
+        return false;
+      }
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::kUnary;
+      e->op = op;
+      e->line = line;
+      e->lhs = std::move(operand);
+      *out = std::move(e);
+      return true;
+    }
+    if (AcceptPunct("*")) {
+      ExprPtr operand;
+      if (!ParseUnary(&operand)) {
+        return false;
+      }
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::kDeref;
+      e->line = line;
+      e->lhs = std::move(operand);
+      *out = std::move(e);
+      return true;
+    }
+    if (AcceptPunct("&")) {
+      ExprPtr operand;
+      if (!ParseUnary(&operand)) {
+        return false;
+      }
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::kAddrOf;
+      e->line = line;
+      e->lhs = std::move(operand);
+      *out = std::move(e);
+      return true;
+    }
+    // Cast: '(' type ')' unary.
+    if (IsPunct("(") && IsTypeStart(1)) {
+      Advance();
+      Type t;
+      if (!ParseType(&t, nullptr)) {
+        return false;
+      }
+      if (!ExpectPunct(")")) {
+        return false;
+      }
+      ExprPtr operand;
+      if (!ParseUnary(&operand)) {
+        return false;
+      }
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::kCast;
+      e->cast_type = t;
+      e->line = line;
+      e->lhs = std::move(operand);
+      *out = std::move(e);
+      return true;
+    }
+    return ParsePostfix(out);
+  }
+
+  bool ParsePostfix(ExprPtr* out) {
+    ExprPtr base;
+    if (!ParsePrimary(&base)) {
+      return false;
+    }
+    while (true) {
+      int line = Cur().line;
+      if (AcceptPunct("[")) {
+        ExprPtr index;
+        if (!ParseExpr(&index) || !ExpectPunct("]")) {
+          return false;
+        }
+        auto e = std::make_unique<Expr>();
+        e->kind = Expr::Kind::kIndex;
+        e->line = line;
+        e->lhs = std::move(base);
+        e->rhs = std::move(index);
+        base = std::move(e);
+        continue;
+      }
+      if (IsPunct("(")) {
+        if (base->kind != Expr::Kind::kVar) {
+          return Fail("call target must be a function name");
+        }
+        Advance();
+        auto e = std::make_unique<Expr>();
+        e->kind = Expr::Kind::kCall;
+        e->name = base->name;
+        e->line = line;
+        if (!IsPunct(")")) {
+          while (true) {
+            ExprPtr arg;
+            if (!ParseAssign(&arg)) {
+              return false;
+            }
+            e->args.push_back(std::move(arg));
+            if (!AcceptPunct(",")) {
+              break;
+            }
+          }
+        }
+        if (!ExpectPunct(")")) {
+          return false;
+        }
+        base = std::move(e);
+        continue;
+      }
+      break;
+    }
+    *out = std::move(base);
+    return true;
+  }
+
+  bool ParsePrimary(ExprPtr* out) {
+    int line = Cur().line;
+    if (Cur().kind == Token::Kind::kNumber) {
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::kIntLit;
+      e->int_value = Cur().number;
+      e->line = line;
+      Advance();
+      *out = std::move(e);
+      return true;
+    }
+    if (Cur().kind == Token::Kind::kIdent) {
+      auto e = std::make_unique<Expr>();
+      if (enums_.count(Cur().text) != 0) {
+        e->kind = Expr::Kind::kIntLit;
+        e->int_value = enums_.at(Cur().text);
+      } else {
+        e->kind = Expr::Kind::kVar;
+        e->name = Cur().text;
+      }
+      e->line = line;
+      Advance();
+      *out = std::move(e);
+      return true;
+    }
+    if (AcceptPunct("(")) {
+      if (!ParseExpr(out)) {
+        return false;
+      }
+      return ExpectPunct(")");
+    }
+    return Fail("expected expression");
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  TranslationUnit unit_;
+  std::map<std::string, uint32_t> enums_;
+  std::string error_;
+};
+
+}  // namespace
+
+std::string Type::Name() const { return TypeName(*this); }
+
+Result<TranslationUnit> Parse(const std::string& source) {
+  std::vector<Token> tokens;
+  std::string error;
+  if (!Lex(source, &tokens, &error)) {
+    return Result<TranslationUnit>::Error(error);
+  }
+  return Parser(std::move(tokens)).Parse();
+}
+
+}  // namespace parfait::minicc

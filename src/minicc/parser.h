@@ -1,0 +1,18 @@
+// MiniC recursive-descent parser.
+#ifndef PARFAIT_MINICC_PARSER_H_
+#define PARFAIT_MINICC_PARSER_H_
+
+#include <string>
+
+#include "src/minicc/ast.h"
+#include "src/support/status.h"
+
+namespace parfait::minicc {
+
+// Parses a MiniC translation unit. Enum constants are folded into array sizes and
+// global initializers at parse time and also recorded for expression references.
+Result<TranslationUnit> Parse(const std::string& source);
+
+}  // namespace parfait::minicc
+
+#endif  // PARFAIT_MINICC_PARSER_H_

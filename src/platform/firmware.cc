@@ -1,0 +1,41 @@
+#include "src/platform/firmware.h"
+
+#include "src/minicc/compiler.h"
+
+namespace parfait::platform {
+
+std::string ReadFirmwareFile(const std::string& name) {
+  return minicc::ReadFileOrDie(std::string(PARFAIT_FIRMWARE_DIR) + "/" + name);
+}
+
+std::string SizePrelude(const FirmwareConfig& config) {
+  return "enum { STATE_SIZE = " + std::to_string(config.state_size) +
+         ", COMMAND_SIZE = " + std::to_string(config.command_size) +
+         ", RESPONSE_SIZE = " + std::to_string(config.response_size) + " };\n";
+}
+
+Result<riscv::Image> BuildFirmware(const FirmwareConfig& config) {
+  // Boot assembly first so ROM starts with _start (not required, but keeps listings
+  // readable and reset vectors simple).
+  auto boot = riscv::ParseAssembly(ReadFirmwareFile("boot.s"));
+  if (!boot.ok()) {
+    return Result<riscv::Image>::Error("boot.s: " + boot.error());
+  }
+  riscv::Program program = std::move(boot).value();
+  program.DefineConstant("STACK_TOP", config.ram_base + config.ram_size);
+  program.SetSection(riscv::Section::kText);
+
+  // One MiniC translation unit: size prelude + app sources + system software.
+  std::string sys_sources = config.sys_sources_override.empty() ? ReadFirmwareFile("sys.c")
+                                                               : config.sys_sources_override;
+  std::string unit = SizePrelude(config) + config.app_sources + sys_sources;
+  minicc::CodegenOptions options;
+  options.opt_level = config.opt_level;
+  auto compiled = minicc::CompileSource(unit, options, &program);
+  if (!compiled.ok()) {
+    return Result<riscv::Image>::Error(compiled.error());
+  }
+  return program.Link(config.rom_base, config.ram_base);
+}
+
+}  // namespace parfait::platform

@@ -1,0 +1,46 @@
+// Firmware builder: app MiniC sources + system software + boot code -> linked image.
+//
+// This is the platform developer's toolchain path from the paper's figure 2: the app
+// implementation (handle and its crypto substrate) is compiled together with the
+// system software into a single firmware binary, which is then embedded in the SoC
+// ROM. The opt_level selects between the O0 (CompCert stand-in) and O2 (GCC stand-in)
+// code generators — only O0 output is "verified" in the paper's pipeline; Table 5
+// measures what the O2 compiler would buy.
+#ifndef PARFAIT_PLATFORM_FIRMWARE_H_
+#define PARFAIT_PLATFORM_FIRMWARE_H_
+
+#include <string>
+
+#include "src/riscv/assembler.h"
+#include "src/support/status.h"
+
+namespace parfait::platform {
+
+struct FirmwareConfig {
+  // Concatenated MiniC sources for the application: crypto substrate + handle().
+  std::string app_sources;
+  uint32_t state_size = 0;
+  uint32_t command_size = 0;
+  uint32_t response_size = 0;
+  int opt_level = 0;
+  // When non-empty, replaces firmware/sys.c (bug injection for the attack matrix).
+  std::string sys_sources_override;
+  uint32_t rom_base = 0x00000000;
+  uint32_t ram_base = 0x20000000;
+  uint32_t ram_size = 128 * 1024;
+};
+
+// Compiles app sources + firmware/sys.c + firmware/boot.s and links the image.
+// Exposed symbols of note: _start, main, handle, sys_state, sys_cmd, sys_resp.
+Result<riscv::Image> BuildFirmware(const FirmwareConfig& config);
+
+// Reads a firmware source file from the in-tree firmware/ directory.
+std::string ReadFirmwareFile(const std::string& name);
+
+// Returns the prelude (size enums) generated for an app configuration; exposed so
+// hosts can compile the same app sources natively with identical constants.
+std::string SizePrelude(const FirmwareConfig& config);
+
+}  // namespace parfait::platform
+
+#endif  // PARFAIT_PLATFORM_FIRMWARE_H_

@@ -1,0 +1,75 @@
+#include "src/platform/model_asm.h"
+
+#include "src/support/status.h"
+
+namespace parfait::platform {
+
+namespace {
+
+constexpr uint32_t kStackExtension = 1 << 20;  // "Unbounded" stack headroom below RAM.
+
+}  // namespace
+
+ModelAsm::ModelAsm(const riscv::Image& image, const Sizes& sizes, uint32_t ram_size)
+    : image_(image), sizes_(sizes), ram_size_(ram_size) {
+  handle_addr_ = image_.SymbolOrDie("handle");
+  state_addr_ = image_.SymbolOrDie("sys_state");
+  command_addr_ = image_.SymbolOrDie("sys_cmd");
+  response_addr_ = image_.SymbolOrDie("sys_resp");
+}
+
+riscv::Machine ModelAsm::PrepareCall(const Bytes& state, const Bytes& command,
+                                     uint32_t sp_override) const {
+  PARFAIT_CHECK(state.size() == sizes_.state_size);
+  PARFAIT_CHECK(command.size() == sizes_.command_size);
+  riscv::Machine m;
+  uint32_t rom_base = image_.rom_base;
+  uint32_t ram_base = image_.ram_base;
+  m.AddRegion("rom", rom_base, 256 * 1024, /*writable=*/false);
+  // RAM starts undefined (reading a never-written stack slot yields Vundef); the
+  // loader then defines .data and .bss just as the boot code would.
+  m.AddRegion("ram", ram_base, ram_size_, /*writable=*/true, /*initially_defined=*/false);
+  m.AddRegion("stack_ext", ram_base - kStackExtension, kStackExtension, /*writable=*/true,
+              /*initially_defined=*/false);
+  m.WriteMemory(rom_base, image_.rom);
+  if (image_.data_size > 0) {
+    Bytes init = m.ReadMemory(image_.SymbolOrDie("__data_lma"), image_.data_size);
+    m.WriteMemory(image_.SymbolOrDie("__data_start"), init);
+  }
+  uint32_t bss_size = image_.SymbolOrDie("__bss_size");
+  if (bss_size > 0) {
+    m.WriteMemory(image_.SymbolOrDie("__bss_start"), Bytes(bss_size, 0));
+  }
+  // Load the state and command buffers (figure 8's storebytes calls).
+  m.WriteMemory(state_addr_, state);
+  m.WriteMemory(command_addr_, command);
+  // The response buffer is conceptually freshly allocated; define it as zero.
+  m.WriteMemory(response_addr_, Bytes(sizes_.response_size, 0));
+  // Set up the call: sp at the top of RAM (or aligned with the circuit's sp), args in
+  // a0..a2, ra at the sentinel.
+  m.set_reg(2, riscv::Value::Defined(sp_override != 0 ? sp_override : ram_base + ram_size_));
+  m.set_reg(1, riscv::Value::Defined(riscv::Machine::kReturnSentinel));
+  m.set_reg(10, riscv::Value::Defined(state_addr_));
+  m.set_reg(11, riscv::Value::Defined(command_addr_));
+  m.set_reg(12, riscv::Value::Defined(response_addr_));
+  m.set_pc(handle_addr_);
+  return m;
+}
+
+ModelAsm::StepResult ModelAsm::Step(const Bytes& state, const Bytes& command,
+                                    uint64_t max_steps) const {
+  riscv::Machine m = PrepareCall(state, command);
+  auto run = m.Run(max_steps);
+  StepResult result;
+  result.instret = m.instret();
+  if (run != riscv::Machine::StepResult::kHalt) {
+    result.fault = m.fault_reason();
+    return result;
+  }
+  result.ok = true;
+  result.state = m.ReadMemory(state_addr_, sizes_.state_size);
+  result.response = m.ReadMemory(response_addr_, sizes_.response_size);
+  return result;
+}
+
+}  // namespace parfait::platform

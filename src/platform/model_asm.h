@@ -1,0 +1,69 @@
+// model-Asm: the assembly level's interpretation as a whole-command state machine.
+//
+// This is the paper's figure 8, executable: given a firmware image, a state buffer and
+// a command buffer, run handle() under the abstract RV32IM semantics (Riscette analog)
+// and return the updated state and the response. One call = one step of the
+// whole-command state machine "App Impl [Asm]" of table 1.
+//
+// The machine's stack is *effectively unbounded*: an extension region below RAM lets
+// the abstract semantics keep running where the bounded SoC RAM would overflow —
+// exactly the gap the paper's Knox2 layer is responsible for catching (section 7.2,
+// "stack overflow").
+#ifndef PARFAIT_PLATFORM_MODEL_ASM_H_
+#define PARFAIT_PLATFORM_MODEL_ASM_H_
+
+#include <string>
+
+#include "src/riscv/assembler.h"
+#include "src/riscv/machine.h"
+#include "src/support/bytes.h"
+
+namespace parfait::platform {
+
+class ModelAsm {
+ public:
+  struct Sizes {
+    uint32_t state_size;
+    uint32_t command_size;
+    uint32_t response_size;
+  };
+
+  ModelAsm(const riscv::Image& image, const Sizes& sizes, uint32_t ram_size = 128 * 1024);
+
+  struct StepResult {
+    bool ok = false;
+    std::string fault;
+    Bytes state;
+    Bytes response;
+    uint64_t instret = 0;
+  };
+
+  // One whole-command step: fresh machine, buffers loaded, handle() run to completion.
+  StepResult Step(const Bytes& state, const Bytes& command, uint64_t max_steps) const;
+
+  // For instruction-level co-simulation (Knox2): a machine with buffers loaded and
+  // pc/ra/args set up so that stepping executes handle() and halts at the sentinel.
+  // sp_override (when nonzero) aligns the abstract stack pointer with the circuit's,
+  // making the Knox2 pointer mapping the identity on stack addresses too.
+  riscv::Machine PrepareCall(const Bytes& state, const Bytes& command,
+                             uint32_t sp_override = 0) const;
+
+  uint32_t handle_addr() const { return handle_addr_; }
+  uint32_t state_addr() const { return state_addr_; }
+  uint32_t command_addr() const { return command_addr_; }
+  uint32_t response_addr() const { return response_addr_; }
+  const Sizes& sizes() const { return sizes_; }
+
+ private:
+  riscv::Image image_;
+  Sizes sizes_;
+  uint32_t ram_size_;
+  uint32_t handle_addr_;
+  uint32_t state_addr_;
+  uint32_t command_addr_;
+  uint32_t response_addr_;
+};
+
+}  // namespace parfait::platform
+
+#endif  // PARFAIT_PLATFORM_MODEL_ASM_H_

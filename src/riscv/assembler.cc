@@ -1,0 +1,798 @@
+#include "src/riscv/assembler.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+namespace parfait::riscv {
+
+namespace {
+
+uint32_t AlignUp(uint32_t v, uint32_t a) { return (v + a - 1) & ~(a - 1); }
+
+bool FitsSigned12(int64_t v) { return v >= -2048 && v <= 2047; }
+
+// %hi with compensation for the sign-extended %lo.
+uint32_t HiPart(uint32_t addr) { return (addr + 0x800) & 0xfffff000u; }
+int32_t LoPart(uint32_t addr) {
+  return static_cast<int32_t>(addr << 20) >> 20;  // Sign-extended low 12 bits.
+}
+
+}  // namespace
+
+uint32_t Image::SymbolOrDie(const std::string& name) const {
+  auto it = symbols.find(name);
+  PARFAIT_CHECK_MSG(it != symbols.end(), "undefined symbol %s", name.c_str());
+  return it->second;
+}
+
+uint32_t Program::SectionSize(Section s) const {
+  uint32_t size = 0;
+  for (const auto& item : Items(s)) {
+    switch (item.kind) {
+      case Item::Kind::kInstr:
+      case Item::Kind::kWord:
+      case Item::Kind::kWordSymbol:
+        size += 4;
+        break;
+      case Item::Kind::kBytes:
+        size += static_cast<uint32_t>(item.bytes.size());
+        break;
+      case Item::Kind::kZero:
+        size += item.value;
+        break;
+      case Item::Kind::kAlign:
+        size = AlignUp(size, item.value);
+        break;
+    }
+  }
+  return size;
+}
+
+void Program::DefineLabel(const std::string& name) {
+  labels_[name] = LabelDef{section_, SectionSize(section_)};
+}
+
+void Program::DefineConstant(const std::string& name, uint32_t value) {
+  constants_[name] = value;
+}
+
+void Program::Emit(const AsmInstr& ai) {
+  Item item;
+  item.kind = Item::Kind::kInstr;
+  item.instr = ai;
+  Items(section_).push_back(std::move(item));
+}
+
+std::optional<Instr> Program::PopLastPlainInstr() {
+  auto& items = Items(section_);
+  if (items.empty() || items.back().kind != Item::Kind::kInstr ||
+      items.back().instr.reloc != Reloc::kNone) {
+    return std::nullopt;
+  }
+  // A label defined at the current end of section would bind to this instruction's
+  // successor; removing the instruction would silently move it. Bail out if any label
+  // in this section sits at or beyond the instruction's offset.
+  uint32_t end = SectionSize(section_);
+  for (const auto& [name, def] : labels_) {
+    if (def.section == section_ && def.offset >= end - 4) {
+      return std::nullopt;
+    }
+  }
+  Instr instr = items.back().instr.instr;
+  items.pop_back();
+  return instr;
+}
+
+void Program::Word(uint32_t value) {
+  Item item;
+  item.kind = Item::Kind::kWord;
+  item.value = value;
+  Items(section_).push_back(std::move(item));
+}
+
+void Program::WordSymbol(const std::string& symbol) {
+  Item item;
+  item.kind = Item::Kind::kWordSymbol;
+  item.symbol = symbol;
+  Items(section_).push_back(std::move(item));
+}
+
+void Program::ByteData(std::span<const uint8_t> data) {
+  Item item;
+  item.kind = Item::Kind::kBytes;
+  item.bytes.assign(data.begin(), data.end());
+  Items(section_).push_back(std::move(item));
+}
+
+void Program::Zero(uint32_t count) {
+  Item item;
+  item.kind = Item::Kind::kZero;
+  item.value = count;
+  Items(section_).push_back(std::move(item));
+}
+
+void Program::Align(uint32_t alignment) {
+  PARFAIT_CHECK(alignment != 0 && (alignment & (alignment - 1)) == 0);
+  Item item;
+  item.kind = Item::Kind::kAlign;
+  item.value = alignment;
+  Items(section_).push_back(std::move(item));
+}
+
+Result<Image> Program::Link(uint32_t rom_base, uint32_t ram_base) const {
+  // Section layout.
+  uint32_t text_size = AlignUp(SectionSize(Section::kText), 4);
+  uint32_t rodata_size = AlignUp(SectionSize(Section::kRodata), 4);
+  uint32_t data_size = AlignUp(SectionSize(Section::kData), 4);
+  uint32_t bss_size = AlignUp(SectionSize(Section::kBss), 4);
+
+  uint32_t text_addr = rom_base;
+  uint32_t rodata_addr = text_addr + text_size;
+  uint32_t data_lma = rodata_addr + rodata_size;
+  uint32_t data_addr = ram_base;
+  uint32_t bss_addr = data_addr + data_size;
+
+  std::map<std::string, uint32_t> symbols = constants_;
+  for (const auto& [name, def] : labels_) {
+    uint32_t base = 0;
+    switch (def.section) {
+      case Section::kText: base = text_addr; break;
+      case Section::kRodata: base = rodata_addr; break;
+      case Section::kData: base = data_addr; break;
+      case Section::kBss: base = bss_addr; break;
+    }
+    if (symbols.count(name) != 0) {
+      return Result<Image>::Error("duplicate symbol: " + name);
+    }
+    symbols[name] = base + static_cast<uint32_t>(def.offset);
+  }
+  symbols["__data_lma"] = data_lma;
+  symbols["__data_start"] = data_addr;
+  symbols["__data_size"] = data_size;
+  symbols["__bss_start"] = bss_addr;
+  symbols["__bss_size"] = bss_size;
+
+  auto lookup = [&](const std::string& name, uint32_t* out) {
+    auto it = symbols.find(name);
+    if (it == symbols.end()) {
+      return false;
+    }
+    *out = it->second;
+    return true;
+  };
+
+  Image image;
+  image.rom_base = rom_base;
+  image.ram_base = ram_base;
+  image.bss_size = bss_size;
+  image.data_size = data_size;
+  image.symbols = symbols;
+  image.rom.resize(text_size + rodata_size + data_size);
+
+  std::string error;
+  auto emit_section = [&](Section s, uint32_t section_addr, uint32_t rom_offset) -> bool {
+    uint32_t offset = 0;
+    for (const auto& item : Items(s)) {
+      uint32_t addr = section_addr + offset;
+      switch (item.kind) {
+        case Item::Kind::kInstr: {
+          Instr instr = item.instr.instr;
+          if (item.instr.reloc != Reloc::kNone) {
+            uint32_t target;
+            if (!lookup(item.instr.symbol, &target)) {
+              error = "undefined symbol: " + item.instr.symbol;
+              return false;
+            }
+            target += static_cast<uint32_t>(item.instr.addend);
+            switch (item.instr.reloc) {
+              case Reloc::kBranch: {
+                int64_t delta = static_cast<int64_t>(target) - addr;
+                if (delta < -4096 || delta > 4094 || (delta & 1) != 0) {
+                  error = "branch target out of range: " + item.instr.symbol;
+                  return false;
+                }
+                instr.imm = static_cast<int32_t>(delta);
+                break;
+              }
+              case Reloc::kJal: {
+                int64_t delta = static_cast<int64_t>(target) - addr;
+                if (delta < -(1 << 20) || delta >= (1 << 20) || (delta & 1) != 0) {
+                  error = "jal target out of range: " + item.instr.symbol;
+                  return false;
+                }
+                instr.imm = static_cast<int32_t>(delta);
+                break;
+              }
+              case Reloc::kHi:
+                instr.imm = static_cast<int32_t>(HiPart(target));
+                break;
+              case Reloc::kLo:
+                instr.imm = LoPart(target);
+                break;
+              case Reloc::kNone:
+                break;
+            }
+          }
+          StoreLe32(image.rom.data() + rom_offset + offset, Encode(instr));
+          offset += 4;
+          break;
+        }
+        case Item::Kind::kWord:
+          StoreLe32(image.rom.data() + rom_offset + offset, item.value);
+          offset += 4;
+          break;
+        case Item::Kind::kWordSymbol: {
+          uint32_t target;
+          if (!lookup(item.symbol, &target)) {
+            error = "undefined symbol: " + item.symbol;
+            return false;
+          }
+          StoreLe32(image.rom.data() + rom_offset + offset, target);
+          offset += 4;
+          break;
+        }
+        case Item::Kind::kBytes:
+          std::memcpy(image.rom.data() + rom_offset + offset, item.bytes.data(),
+                      item.bytes.size());
+          offset += static_cast<uint32_t>(item.bytes.size());
+          break;
+        case Item::Kind::kZero:
+          offset += item.value;
+          break;
+        case Item::Kind::kAlign:
+          offset = AlignUp(offset, item.value);
+          break;
+      }
+    }
+    return true;
+  };
+
+  if (!emit_section(Section::kText, text_addr, 0) ||
+      !emit_section(Section::kRodata, rodata_addr, text_size) ||
+      !emit_section(Section::kData, data_addr, text_size + rodata_size)) {
+    return Result<Image>::Error(error);
+  }
+  // .bss emits nothing; it only contributes symbols and bss_size.
+  if (SectionSize(Section::kBss) != 0) {
+    for (const auto& item : Items(Section::kBss)) {
+      if (item.kind != Item::Kind::kZero && item.kind != Item::Kind::kAlign) {
+        return Result<Image>::Error(".bss may only contain .zero/.align");
+      }
+    }
+  }
+  return image;
+}
+
+namespace {
+
+// ----- Text parsing -----
+
+struct Operand {
+  enum class Kind { kReg, kImm, kSym, kHi, kLo, kMem } kind;
+  uint8_t reg = 0;       // kReg / kMem base register.
+  int32_t imm = 0;       // kImm / kMem offset / addend for kHi/kLo.
+  std::string symbol;    // kSym / kHi / kLo / kMem-with-symbol (unused).
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& source) : source_(source) {}
+
+  Result<Program> Parse() {
+    std::istringstream in(source_);
+    std::string line;
+    int line_no = 0;
+    while (std::getline(in, line)) {
+      line_no++;
+      if (!ParseLine(line)) {
+        return Result<Program>::Error("line " + std::to_string(line_no) + ": " + error_ +
+                                      " [" + line + "]");
+      }
+    }
+    return std::move(program_);
+  }
+
+ private:
+  static std::string Strip(const std::string& s) {
+    size_t b = s.find_first_not_of(" \t\r");
+    if (b == std::string::npos) {
+      return "";
+    }
+    size_t e = s.find_last_not_of(" \t\r");
+    return s.substr(b, e - b + 1);
+  }
+
+  bool Fail(const std::string& msg) {
+    error_ = msg;
+    return false;
+  }
+
+  bool ParseLine(std::string line) {
+    // Strip comments.
+    for (const char* marker : {"#", "//", ";"}) {
+      size_t pos = line.find(marker);
+      if (pos != std::string::npos) {
+        line = line.substr(0, pos);
+      }
+    }
+    line = Strip(line);
+    if (line.empty()) {
+      return true;
+    }
+    // Labels (possibly several per line).
+    while (true) {
+      size_t colon = line.find(':');
+      if (colon == std::string::npos) {
+        break;
+      }
+      std::string label = Strip(line.substr(0, colon));
+      if (label.empty() || label.find(' ') != std::string::npos) {
+        break;  // Not a label (e.g. an operand list with ':').
+      }
+      program_.DefineLabel(label);
+      line = Strip(line.substr(colon + 1));
+      if (line.empty()) {
+        return true;
+      }
+    }
+    if (line[0] == '.') {
+      return ParseDirective(line);
+    }
+    return ParseInstruction(line);
+  }
+
+  bool ParseDirective(const std::string& line) {
+    std::string name;
+    std::string rest;
+    size_t space = line.find_first_of(" \t");
+    if (space == std::string::npos) {
+      name = line;
+    } else {
+      name = line.substr(0, space);
+      rest = Strip(line.substr(space + 1));
+    }
+    if (name == ".text") {
+      program_.SetSection(Section::kText);
+    } else if (name == ".rodata" || name == ".section.rodata") {
+      program_.SetSection(Section::kRodata);
+    } else if (name == ".data") {
+      program_.SetSection(Section::kData);
+    } else if (name == ".bss") {
+      program_.SetSection(Section::kBss);
+    } else if (name == ".globl" || name == ".global" || name == ".type" || name == ".size" ||
+               name == ".option" || name == ".attribute" || name == ".file" ||
+               name == ".ident" || name == ".section") {
+      // Accepted and ignored; all symbols are global here.
+    } else if (name == ".equ" || name == ".set") {
+      size_t comma = rest.find(',');
+      if (comma == std::string::npos) {
+        return Fail(".equ needs name, value");
+      }
+      std::string sym = Strip(rest.substr(0, comma));
+      int64_t value;
+      if (!ParseNumber(Strip(rest.substr(comma + 1)), &value)) {
+        return Fail(".equ value must be numeric");
+      }
+      program_.DefineConstant(sym, static_cast<uint32_t>(value));
+    } else if (name == ".word") {
+      for (const std::string& tok : SplitCommas(rest)) {
+        int64_t value;
+        if (ParseNumber(tok, &value)) {
+          program_.Word(static_cast<uint32_t>(value));
+        } else {
+          program_.WordSymbol(tok);
+        }
+      }
+    } else if (name == ".byte") {
+      Bytes bytes;
+      for (const std::string& tok : SplitCommas(rest)) {
+        int64_t value;
+        if (!ParseNumber(tok, &value)) {
+          return Fail("bad .byte value");
+        }
+        bytes.push_back(static_cast<uint8_t>(value));
+      }
+      program_.ByteData(bytes);
+    } else if (name == ".zero" || name == ".space" || name == ".skip") {
+      int64_t value;
+      if (!ParseNumber(rest, &value) || value < 0) {
+        return Fail("bad .zero size");
+      }
+      program_.Zero(static_cast<uint32_t>(value));
+    } else if (name == ".align" || name == ".balign" || name == ".p2align") {
+      int64_t value;
+      if (!ParseNumber(rest, &value) || value < 0) {
+        return Fail("bad alignment");
+      }
+      uint32_t alignment = (name == ".balign") ? static_cast<uint32_t>(value)
+                                               : 1u << static_cast<uint32_t>(value);
+      program_.Align(alignment);
+    } else {
+      return Fail("unknown directive " + name);
+    }
+    return true;
+  }
+
+  static std::vector<std::string> SplitCommas(const std::string& s) {
+    std::vector<std::string> out;
+    std::string cur;
+    int depth = 0;
+    for (char c : s) {
+      if (c == '(') {
+        depth++;
+      }
+      if (c == ')') {
+        depth--;
+      }
+      if (c == ',' && depth == 0) {
+        out.push_back(Strip(cur));
+        cur.clear();
+      } else {
+        cur.push_back(c);
+      }
+    }
+    std::string last = Strip(cur);
+    if (!last.empty()) {
+      out.push_back(last);
+    }
+    return out;
+  }
+
+  static bool ParseNumber(const std::string& s, int64_t* out) {
+    if (s.empty()) {
+      return false;
+    }
+    char* end = nullptr;
+    errno = 0;
+    long long v = strtoll(s.c_str(), &end, 0);
+    if (end != s.c_str() + s.size() || errno != 0) {
+      return false;
+    }
+    *out = v;
+    return true;
+  }
+
+  bool ParseOperand(const std::string& tok, Operand* out) {
+    if (auto reg = RegFromName(tok); reg.has_value()) {
+      out->kind = Operand::Kind::kReg;
+      out->reg = *reg;
+      return true;
+    }
+    if (int64_t value; ParseNumber(tok, &value)) {
+      out->kind = Operand::Kind::kImm;
+      out->imm = static_cast<int32_t>(value);
+      return true;
+    }
+    if (tok.rfind("%hi(", 0) == 0 || tok.rfind("%lo(", 0) == 0) {
+      bool hi = tok[1] == 'h';
+      size_t close = tok.rfind(')');
+      if (close == std::string::npos) {
+        return Fail("unterminated %hi/%lo");
+      }
+      std::string inner = tok.substr(4, close - 4);
+      int32_t addend = 0;
+      size_t plus = inner.find('+');
+      if (plus != std::string::npos) {
+        int64_t a;
+        if (!ParseNumber(Strip(inner.substr(plus + 1)), &a)) {
+          return Fail("bad %hi/%lo addend");
+        }
+        addend = static_cast<int32_t>(a);
+        inner = Strip(inner.substr(0, plus));
+      }
+      out->kind = hi ? Operand::Kind::kHi : Operand::Kind::kLo;
+      out->symbol = inner;
+      out->imm = addend;
+      return true;
+    }
+    // Memory operand: imm(reg) or (reg) or %lo(sym)(reg).
+    size_t open = tok.rfind('(');
+    if (open != std::string::npos && tok.back() == ')') {
+      std::string reg_str = tok.substr(open + 1, tok.size() - open - 2);
+      auto reg = RegFromName(reg_str);
+      if (reg.has_value()) {
+        std::string offset_str = Strip(tok.substr(0, open));
+        out->kind = Operand::Kind::kMem;
+        out->reg = *reg;
+        out->imm = 0;
+        out->symbol.clear();
+        if (!offset_str.empty()) {
+          if (offset_str.rfind("%lo(", 0) == 0 && offset_str.back() == ')') {
+            out->symbol = offset_str.substr(4, offset_str.size() - 5);
+          } else {
+            int64_t value;
+            if (!ParseNumber(offset_str, &value)) {
+              return Fail("bad memory offset: " + offset_str);
+            }
+            out->imm = static_cast<int32_t>(value);
+          }
+        }
+        return true;
+      }
+    }
+    // Bare symbol.
+    out->kind = Operand::Kind::kSym;
+    out->symbol = tok;
+    return true;
+  }
+
+  void EmitLi(uint8_t rd, int64_t value) {
+    if (FitsSigned12(value)) {
+      program_.Emit(Instr{Op::kAddi, rd, 0, 0, static_cast<int32_t>(value)});
+      return;
+    }
+    uint32_t v = static_cast<uint32_t>(value);
+    uint32_t hi = HiPart(v);
+    int32_t lo = LoPart(v);
+    program_.Emit(Instr{Op::kLui, rd, 0, 0, static_cast<int32_t>(hi)});
+    if (lo != 0) {
+      program_.Emit(Instr{Op::kAddi, rd, rd, 0, lo});
+    }
+  }
+
+  bool ParseInstruction(const std::string& line) {
+    std::string mnem;
+    std::string rest;
+    size_t space = line.find_first_of(" \t");
+    if (space == std::string::npos) {
+      mnem = line;
+    } else {
+      mnem = line.substr(0, space);
+      rest = Strip(line.substr(space + 1));
+    }
+    std::vector<std::string> toks = SplitCommas(rest);
+    std::vector<Operand> ops(toks.size());
+    for (size_t i = 0; i < toks.size(); i++) {
+      if (!ParseOperand(toks[i], &ops[i])) {
+        return false;
+      }
+    }
+    auto is_reg = [&](size_t i) { return i < ops.size() && ops[i].kind == Operand::Kind::kReg; };
+    auto is_imm = [&](size_t i) { return i < ops.size() && ops[i].kind == Operand::Kind::kImm; };
+    auto is_sym = [&](size_t i) { return i < ops.size() && ops[i].kind == Operand::Kind::kSym; };
+    auto is_mem = [&](size_t i) { return i < ops.size() && ops[i].kind == Operand::Kind::kMem; };
+
+    // Pseudo-instructions first.
+    if (mnem == "nop") {
+      program_.Emit(Instr{Op::kAddi, 0, 0, 0, 0});
+      return true;
+    }
+    if (mnem == "mv") {
+      if (!is_reg(0) || !is_reg(1)) {
+        return Fail("mv rd, rs");
+      }
+      program_.Emit(Instr{Op::kAddi, ops[0].reg, ops[1].reg, 0, 0});
+      return true;
+    }
+    if (mnem == "li") {
+      if (!is_reg(0) || !is_imm(1)) {
+        return Fail("li rd, imm");
+      }
+      EmitLi(ops[0].reg, ops[1].imm);
+      return true;
+    }
+    if (mnem == "la") {
+      if (!is_reg(0) || !is_sym(1)) {
+        return Fail("la rd, symbol");
+      }
+      program_.Emit(AsmInstr{Instr{Op::kLui, ops[0].reg, 0, 0, 0}, Reloc::kHi, ops[1].symbol, 0});
+      program_.Emit(AsmInstr{Instr{Op::kAddi, ops[0].reg, ops[0].reg, 0, 0}, Reloc::kLo,
+                             ops[1].symbol, 0});
+      return true;
+    }
+    if (mnem == "j") {
+      if (!is_sym(0)) {
+        return Fail("j label");
+      }
+      program_.Emit(AsmInstr{Instr{Op::kJal, 0, 0, 0, 0}, Reloc::kJal, ops[0].symbol, 0});
+      return true;
+    }
+    if (mnem == "jr") {
+      if (!is_reg(0)) {
+        return Fail("jr rs");
+      }
+      program_.Emit(Instr{Op::kJalr, 0, ops[0].reg, 0, 0});
+      return true;
+    }
+    if (mnem == "ret") {
+      program_.Emit(Instr{Op::kJalr, 0, 1, 0, 0});
+      return true;
+    }
+    if (mnem == "call") {
+      if (!is_sym(0)) {
+        return Fail("call symbol");
+      }
+      program_.Emit(AsmInstr{Instr{Op::kJal, 1, 0, 0, 0}, Reloc::kJal, ops[0].symbol, 0});
+      return true;
+    }
+    if (mnem == "beqz" || mnem == "bnez") {
+      if (!is_reg(0) || !is_sym(1)) {
+        return Fail(mnem + " rs, label");
+      }
+      Op op = (mnem == "beqz") ? Op::kBeq : Op::kBne;
+      program_.Emit(AsmInstr{Instr{op, 0, ops[0].reg, 0, 0}, Reloc::kBranch, ops[1].symbol, 0});
+      return true;
+    }
+    if (mnem == "not") {
+      if (!is_reg(0) || !is_reg(1)) {
+        return Fail("not rd, rs");
+      }
+      program_.Emit(Instr{Op::kXori, ops[0].reg, ops[1].reg, 0, -1});
+      return true;
+    }
+    if (mnem == "neg") {
+      if (!is_reg(0) || !is_reg(1)) {
+        return Fail("neg rd, rs");
+      }
+      program_.Emit(Instr{Op::kSub, ops[0].reg, 0, ops[1].reg, 0});
+      return true;
+    }
+    if (mnem == "seqz") {
+      if (!is_reg(0) || !is_reg(1)) {
+        return Fail("seqz rd, rs");
+      }
+      program_.Emit(Instr{Op::kSltiu, ops[0].reg, ops[1].reg, 0, 1});
+      return true;
+    }
+    if (mnem == "snez") {
+      if (!is_reg(0) || !is_reg(1)) {
+        return Fail("snez rd, rs");
+      }
+      program_.Emit(Instr{Op::kSltu, ops[0].reg, 0, ops[1].reg, 0});
+      return true;
+    }
+    if (mnem == "bgt" || mnem == "ble" || mnem == "bgtu" || mnem == "bleu") {
+      if (!is_reg(0) || !is_reg(1) || !is_sym(2)) {
+        return Fail(mnem + " rs1, rs2, label");
+      }
+      Op op = (mnem == "bgt") ? Op::kBlt : (mnem == "ble") ? Op::kBge
+              : (mnem == "bgtu") ? Op::kBltu : Op::kBgeu;
+      // Swapped operands.
+      program_.Emit(AsmInstr{Instr{op, 0, ops[1].reg, ops[0].reg, 0}, Reloc::kBranch,
+                             ops[2].symbol, 0});
+      return true;
+    }
+
+    auto op = OpFromMnemonic(mnem);
+    if (!op.has_value()) {
+      return Fail("unknown mnemonic " + mnem);
+    }
+    Instr instr{*op, 0, 0, 0, 0};
+    switch (*op) {
+      case Op::kLui:
+      case Op::kAuipc:
+        if (!is_reg(0)) {
+          return Fail("lui/auipc rd, imm");
+        }
+        instr.rd = ops[0].reg;
+        if (is_imm(1)) {
+          instr.imm = ops[1].imm << 12;
+          program_.Emit(instr);
+        } else if (ops.size() > 1 && ops[1].kind == Operand::Kind::kHi) {
+          program_.Emit(AsmInstr{instr, Reloc::kHi, ops[1].symbol, ops[1].imm});
+        } else {
+          return Fail("lui operand must be imm or %hi()");
+        }
+        return true;
+      case Op::kJal:
+        if (ops.size() == 1 && is_sym(0)) {
+          program_.Emit(AsmInstr{Instr{Op::kJal, 1, 0, 0, 0}, Reloc::kJal, ops[0].symbol, 0});
+          return true;
+        }
+        if (is_reg(0) && is_sym(1)) {
+          program_.Emit(AsmInstr{Instr{Op::kJal, ops[0].reg, 0, 0, 0}, Reloc::kJal,
+                                 ops[1].symbol, 0});
+          return true;
+        }
+        return Fail("jal [rd,] label");
+      case Op::kJalr:
+        if (ops.size() == 1 && is_reg(0)) {
+          program_.Emit(Instr{Op::kJalr, 1, ops[0].reg, 0, 0});
+          return true;
+        }
+        if (is_reg(0) && is_mem(1)) {
+          program_.Emit(Instr{Op::kJalr, ops[0].reg, ops[1].reg, 0, ops[1].imm});
+          return true;
+        }
+        if (is_reg(0) && is_reg(1) && is_imm(2)) {
+          program_.Emit(Instr{Op::kJalr, ops[0].reg, ops[1].reg, 0, ops[2].imm});
+          return true;
+        }
+        return Fail("jalr forms: jalr rs | jalr rd, imm(rs1) | jalr rd, rs1, imm");
+      case Op::kBeq:
+      case Op::kBne:
+      case Op::kBlt:
+      case Op::kBge:
+      case Op::kBltu:
+      case Op::kBgeu:
+        if (!is_reg(0) || !is_reg(1) || !is_sym(2)) {
+          return Fail("branch rs1, rs2, label");
+        }
+        instr.rs1 = ops[0].reg;
+        instr.rs2 = ops[1].reg;
+        program_.Emit(AsmInstr{instr, Reloc::kBranch, ops[2].symbol, 0});
+        return true;
+      case Op::kLb:
+      case Op::kLh:
+      case Op::kLw:
+      case Op::kLbu:
+      case Op::kLhu:
+        if (!is_reg(0) || !is_mem(1)) {
+          return Fail("load rd, imm(rs1)");
+        }
+        instr.rd = ops[0].reg;
+        instr.rs1 = ops[1].reg;
+        if (!ops[1].symbol.empty()) {
+          program_.Emit(AsmInstr{instr, Reloc::kLo, ops[1].symbol, 0});
+        } else {
+          instr.imm = ops[1].imm;
+          program_.Emit(instr);
+        }
+        return true;
+      case Op::kSb:
+      case Op::kSh:
+      case Op::kSw:
+        if (!is_reg(0) || !is_mem(1)) {
+          return Fail("store rs2, imm(rs1)");
+        }
+        instr.rs2 = ops[0].reg;
+        instr.rs1 = ops[1].reg;
+        if (!ops[1].symbol.empty()) {
+          program_.Emit(AsmInstr{instr, Reloc::kLo, ops[1].symbol, 0});
+        } else {
+          instr.imm = ops[1].imm;
+          program_.Emit(instr);
+        }
+        return true;
+      case Op::kAddi:
+      case Op::kSlti:
+      case Op::kSltiu:
+      case Op::kXori:
+      case Op::kOri:
+      case Op::kAndi:
+      case Op::kSlli:
+      case Op::kSrli:
+      case Op::kSrai:
+        if (!is_reg(0) || !is_reg(1)) {
+          return Fail("imm-op rd, rs1, imm");
+        }
+        instr.rd = ops[0].reg;
+        instr.rs1 = ops[1].reg;
+        if (is_imm(2)) {
+          instr.imm = ops[2].imm;
+          program_.Emit(instr);
+        } else if (ops.size() > 2 && ops[2].kind == Operand::Kind::kLo) {
+          program_.Emit(AsmInstr{instr, Reloc::kLo, ops[2].symbol, ops[2].imm});
+        } else {
+          return Fail("imm-op operand 3 must be imm or %lo()");
+        }
+        return true;
+      case Op::kFence:
+      case Op::kEcall:
+      case Op::kEbreak:
+        program_.Emit(instr);
+        return true;
+      default:
+        // R-type.
+        if (!is_reg(0) || !is_reg(1) || !is_reg(2)) {
+          return Fail("r-op rd, rs1, rs2");
+        }
+        instr.rd = ops[0].reg;
+        instr.rs1 = ops[1].reg;
+        instr.rs2 = ops[2].reg;
+        program_.Emit(instr);
+        return true;
+    }
+  }
+
+  const std::string& source_;
+  Program program_;
+  std::string error_;
+};
+
+}  // namespace
+
+Result<Program> ParseAssembly(const std::string& source) { return Parser(source).Parse(); }
+
+}  // namespace parfait::riscv

@@ -1,0 +1,118 @@
+// RV32IM assembler and static linker.
+//
+// Two producers feed this module: hand-written assembly (the platform's boot code, plus
+// tests) parsed from text by ParseAssembly, and the MiniC compiler, which emits
+// AsmInstr items programmatically. Linking produces a flat ROM image plus a symbol
+// table; the same image is executed by the abstract machine (Riscette analog) and
+// embedded in the SoC ROM, which is exactly the paper's arrangement: one binary, two
+// interpretations (section 3, "dual interpretation").
+#ifndef PARFAIT_RISCV_ASSEMBLER_H_
+#define PARFAIT_RISCV_ASSEMBLER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/riscv/isa.h"
+#include "src/support/bytes.h"
+#include "src/support/status.h"
+
+namespace parfait::riscv {
+
+// Relocation kinds for symbolic operands.
+enum class Reloc : uint8_t {
+  kNone,    // imm is final.
+  kBranch,  // B-type pc-relative offset to symbol.
+  kJal,     // J-type pc-relative offset to symbol.
+  kHi,      // %hi(symbol + addend), compensating for the signed %lo.
+  kLo,      // %lo(symbol + addend).
+};
+
+struct AsmInstr {
+  Instr instr;
+  Reloc reloc = Reloc::kNone;
+  std::string symbol;
+  int32_t addend = 0;
+};
+
+enum class Section : uint8_t { kText, kRodata, kData, kBss };
+
+// A linked firmware image.
+struct Image {
+  uint32_t rom_base = 0;
+  uint32_t ram_base = 0;
+  // ROM contents: .text, then .rodata, then the load image of .data.
+  Bytes rom;
+  // Size of the zero-initialized .bss (lives in RAM after .data).
+  uint32_t bss_size = 0;
+  uint32_t data_size = 0;
+  std::map<std::string, uint32_t> symbols;
+
+  uint32_t SymbolOrDie(const std::string& name) const;
+};
+
+// An assembly program under construction (items are appended to the current section).
+class Program {
+ public:
+  void SetSection(Section s) { section_ = s; }
+  Section section() const { return section_; }
+
+  // Defines a label at the current position of the current section.
+  void DefineLabel(const std::string& name);
+
+  // Defines an absolute symbol (e.g. `.equ STACK_TOP, 0x20010000`).
+  void DefineConstant(const std::string& name, uint32_t value);
+
+  void Emit(const AsmInstr& ai);
+  void Emit(const Instr& i) { Emit(AsmInstr{i, Reloc::kNone, "", 0}); }
+
+  // Peephole support: removes and returns the most recent item of the current section
+  // if it is a relocation-free instruction and no label points at or past it.
+  // Returns std::nullopt (and removes nothing) otherwise.
+  std::optional<Instr> PopLastPlainInstr();
+
+  // Data directives (valid in data sections; Zero is the only one valid in .bss).
+  void Word(uint32_t value);
+  void WordSymbol(const std::string& symbol);  // Absolute 32-bit address of symbol.
+  void ByteData(std::span<const uint8_t> data);
+  void Zero(uint32_t count);
+  void Align(uint32_t alignment);
+
+  // Lays out sections (ROM: text, rodata, data load image; RAM: data, bss), resolves
+  // symbols and relocations, and emits the image. Adds the layout symbols __data_lma,
+  // __data_start, __data_size, __bss_start, __bss_size.
+  Result<Image> Link(uint32_t rom_base, uint32_t ram_base) const;
+
+ private:
+  struct Item {
+    enum class Kind : uint8_t { kInstr, kWord, kWordSymbol, kBytes, kZero, kAlign } kind;
+    AsmInstr instr;
+    uint32_t value = 0;
+    std::string symbol;
+    Bytes bytes;
+  };
+
+  struct LabelDef {
+    Section section;
+    size_t offset;  // Byte offset within the section at definition time.
+  };
+
+  std::vector<Item>& Items(Section s) { return items_[static_cast<size_t>(s)]; }
+  const std::vector<Item>& Items(Section s) const { return items_[static_cast<size_t>(s)]; }
+  uint32_t SectionSize(Section s) const;
+
+  Section section_ = Section::kText;
+  std::vector<Item> items_[4];
+  std::map<std::string, LabelDef> labels_;
+  std::map<std::string, uint32_t> constants_;
+};
+
+// Parses textual assembly (labels, RV32IM mnemonics, common pseudo-instructions: nop,
+// mv, li, la, j, jr, ret, call, beqz, bnez, not, neg, seqz, snez; directives: .text,
+// .rodata, .data, .bss, .globl, .equ, .word, .byte, .zero, .align, %hi()/%lo()).
+Result<Program> ParseAssembly(const std::string& source);
+
+}  // namespace parfait::riscv
+
+#endif  // PARFAIT_RISCV_ASSEMBLER_H_

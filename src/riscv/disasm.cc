@@ -1,0 +1,100 @@
+#include "src/riscv/disasm.h"
+
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+#include "src/support/bytes.h"
+
+namespace parfait::riscv {
+
+namespace {
+
+std::string Imm(int32_t v) { return std::to_string(v); }
+
+std::string Addr(uint32_t a) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "0x%08x", a);
+  return buf;
+}
+
+}  // namespace
+
+std::string Disassemble(const Instr& in, uint32_t pc) {
+  std::string m = Mnemonic(in.op);
+  auto rd = [&] { return std::string(RegName(in.rd)); };
+  auto rs1 = [&] { return std::string(RegName(in.rs1)); };
+  auto rs2 = [&] { return std::string(RegName(in.rs2)); };
+  switch (in.op) {
+    case Op::kLui:
+    case Op::kAuipc:
+      return m + " " + rd() + ", " + Addr(static_cast<uint32_t>(in.imm));
+    case Op::kJal:
+      return m + " " + rd() + ", " +
+             (pc != 0 ? Addr(pc + static_cast<uint32_t>(in.imm)) : Imm(in.imm));
+    case Op::kJalr:
+      return m + " " + rd() + ", " + Imm(in.imm) + "(" + rs1() + ")";
+    case Op::kBeq:
+    case Op::kBne:
+    case Op::kBlt:
+    case Op::kBge:
+    case Op::kBltu:
+    case Op::kBgeu:
+      return m + " " + rs1() + ", " + rs2() + ", " +
+             (pc != 0 ? Addr(pc + static_cast<uint32_t>(in.imm)) : Imm(in.imm));
+    case Op::kLb:
+    case Op::kLh:
+    case Op::kLw:
+    case Op::kLbu:
+    case Op::kLhu:
+      return m + " " + rd() + ", " + Imm(in.imm) + "(" + rs1() + ")";
+    case Op::kSb:
+    case Op::kSh:
+    case Op::kSw:
+      return m + " " + rs2() + ", " + Imm(in.imm) + "(" + rs1() + ")";
+    case Op::kAddi:
+    case Op::kSlti:
+    case Op::kSltiu:
+    case Op::kXori:
+    case Op::kOri:
+    case Op::kAndi:
+    case Op::kSlli:
+    case Op::kSrli:
+    case Op::kSrai:
+      return m + " " + rd() + ", " + rs1() + ", " + Imm(in.imm);
+    case Op::kFence:
+    case Op::kEcall:
+    case Op::kEbreak:
+      return m;
+    default:
+      return m + " " + rd() + ", " + rs1() + ", " + rs2();
+  }
+}
+
+std::string DisassembleImage(const Image& image) {
+  // Invert the symbol table for labels.
+  std::multimap<uint32_t, std::string> by_addr;
+  for (const auto& [name, addr] : image.symbols) {
+    if (name.rfind("__", 0) != 0) {
+      by_addr.emplace(addr, name);
+    }
+  }
+  std::ostringstream out;
+  for (size_t offset = 0; offset + 4 <= image.rom.size(); offset += 4) {
+    uint32_t addr = image.rom_base + static_cast<uint32_t>(offset);
+    auto [lo, hi] = by_addr.equal_range(addr);
+    for (auto it = lo; it != hi; ++it) {
+      out << it->second << ":\n";
+    }
+    uint32_t word = LoadLe32(image.rom.data() + offset);
+    auto decoded = Decode(word);
+    char prefix[32];
+    std::snprintf(prefix, sizeof(prefix), "  %08x:  %08x  ", addr, word);
+    out << prefix
+        << (decoded.has_value() ? Disassemble(*decoded, addr) : std::string(".word"))
+        << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace parfait::riscv

@@ -1,0 +1,22 @@
+// Disassembler: formats instructions and linked images as human-readable listings.
+// Used by the devtools (objdump-style listing) and by checker diagnostics.
+#ifndef PARFAIT_RISCV_DISASM_H_
+#define PARFAIT_RISCV_DISASM_H_
+
+#include <string>
+
+#include "src/riscv/assembler.h"
+#include "src/riscv/isa.h"
+
+namespace parfait::riscv {
+
+// One instruction, e.g. "addi sp, sp, -32" or "bne t0, t1, 0x00000140" (branch/jump
+// targets are shown as absolute addresses when `pc` is provided).
+std::string Disassemble(const Instr& instr, uint32_t pc = 0);
+
+// A full listing of the image's ROM: address, raw word, mnemonic, and symbol labels.
+std::string DisassembleImage(const Image& image);
+
+}  // namespace parfait::riscv
+
+#endif  // PARFAIT_RISCV_DISASM_H_

@@ -1,0 +1,408 @@
+#include "src/riscv/isa.h"
+
+#include <map>
+
+#include "src/support/status.h"
+
+namespace parfait::riscv {
+
+namespace {
+
+// Base opcodes.
+constexpr uint32_t kOpLui = 0x37;
+constexpr uint32_t kOpAuipc = 0x17;
+constexpr uint32_t kOpJal = 0x6f;
+constexpr uint32_t kOpJalr = 0x67;
+constexpr uint32_t kOpBranch = 0x63;
+constexpr uint32_t kOpLoad = 0x03;
+constexpr uint32_t kOpStore = 0x23;
+constexpr uint32_t kOpImm = 0x13;
+constexpr uint32_t kOpReg = 0x33;
+constexpr uint32_t kOpFence = 0x0f;
+constexpr uint32_t kOpSystem = 0x73;
+
+uint32_t EncodeR(uint32_t funct7, uint8_t rs2, uint8_t rs1, uint32_t funct3, uint8_t rd,
+                 uint32_t opcode) {
+  return (funct7 << 25) | (static_cast<uint32_t>(rs2) << 20) |
+         (static_cast<uint32_t>(rs1) << 15) | (funct3 << 12) | (static_cast<uint32_t>(rd) << 7) |
+         opcode;
+}
+
+uint32_t EncodeI(int32_t imm, uint8_t rs1, uint32_t funct3, uint8_t rd, uint32_t opcode) {
+  return (static_cast<uint32_t>(imm & 0xfff) << 20) | (static_cast<uint32_t>(rs1) << 15) |
+         (funct3 << 12) | (static_cast<uint32_t>(rd) << 7) | opcode;
+}
+
+uint32_t EncodeS(int32_t imm, uint8_t rs2, uint8_t rs1, uint32_t funct3, uint32_t opcode) {
+  uint32_t u = static_cast<uint32_t>(imm) & 0xfff;
+  return ((u >> 5) << 25) | (static_cast<uint32_t>(rs2) << 20) |
+         (static_cast<uint32_t>(rs1) << 15) | (funct3 << 12) | ((u & 0x1f) << 7) | opcode;
+}
+
+uint32_t EncodeB(int32_t imm, uint8_t rs2, uint8_t rs1, uint32_t funct3, uint32_t opcode) {
+  uint32_t u = static_cast<uint32_t>(imm);
+  uint32_t bit12 = (u >> 12) & 1;
+  uint32_t bits10_5 = (u >> 5) & 0x3f;
+  uint32_t bits4_1 = (u >> 1) & 0xf;
+  uint32_t bit11 = (u >> 11) & 1;
+  return (bit12 << 31) | (bits10_5 << 25) | (static_cast<uint32_t>(rs2) << 20) |
+         (static_cast<uint32_t>(rs1) << 15) | (funct3 << 12) | (bits4_1 << 8) | (bit11 << 7) |
+         opcode;
+}
+
+uint32_t EncodeU(int32_t imm, uint8_t rd, uint32_t opcode) {
+  return (static_cast<uint32_t>(imm) & 0xfffff000u) | (static_cast<uint32_t>(rd) << 7) | opcode;
+}
+
+uint32_t EncodeJ(int32_t imm, uint8_t rd, uint32_t opcode) {
+  uint32_t u = static_cast<uint32_t>(imm);
+  uint32_t bit20 = (u >> 20) & 1;
+  uint32_t bits10_1 = (u >> 1) & 0x3ff;
+  uint32_t bit11 = (u >> 11) & 1;
+  uint32_t bits19_12 = (u >> 12) & 0xff;
+  return (bit20 << 31) | (bits10_1 << 21) | (bit11 << 20) | (bits19_12 << 12) |
+         (static_cast<uint32_t>(rd) << 7) | opcode;
+}
+
+int32_t SignExtend(uint32_t value, int bits) {
+  uint32_t mask = 1u << (bits - 1);
+  return static_cast<int32_t>((value ^ mask) - mask);
+}
+
+struct OpInfo {
+  const char* mnemonic;
+};
+
+const std::map<Op, OpInfo>& OpTable() {
+  static const std::map<Op, OpInfo> table = {
+      {Op::kLui, {"lui"}},      {Op::kAuipc, {"auipc"}}, {Op::kJal, {"jal"}},
+      {Op::kJalr, {"jalr"}},    {Op::kBeq, {"beq"}},     {Op::kBne, {"bne"}},
+      {Op::kBlt, {"blt"}},      {Op::kBge, {"bge"}},     {Op::kBltu, {"bltu"}},
+      {Op::kBgeu, {"bgeu"}},    {Op::kLb, {"lb"}},       {Op::kLh, {"lh"}},
+      {Op::kLw, {"lw"}},        {Op::kLbu, {"lbu"}},     {Op::kLhu, {"lhu"}},
+      {Op::kSb, {"sb"}},        {Op::kSh, {"sh"}},       {Op::kSw, {"sw"}},
+      {Op::kAddi, {"addi"}},    {Op::kSlti, {"slti"}},   {Op::kSltiu, {"sltiu"}},
+      {Op::kXori, {"xori"}},    {Op::kOri, {"ori"}},     {Op::kAndi, {"andi"}},
+      {Op::kSlli, {"slli"}},    {Op::kSrli, {"srli"}},   {Op::kSrai, {"srai"}},
+      {Op::kAdd, {"add"}},      {Op::kSub, {"sub"}},     {Op::kSll, {"sll"}},
+      {Op::kSlt, {"slt"}},      {Op::kSltu, {"sltu"}},   {Op::kXor, {"xor"}},
+      {Op::kSrl, {"srl"}},      {Op::kSra, {"sra"}},     {Op::kOr, {"or"}},
+      {Op::kAnd, {"and"}},      {Op::kFence, {"fence"}}, {Op::kEcall, {"ecall"}},
+      {Op::kEbreak, {"ebreak"}}, {Op::kMul, {"mul"}},    {Op::kMulh, {"mulh"}},
+      {Op::kMulhsu, {"mulhsu"}}, {Op::kMulhu, {"mulhu"}}, {Op::kDiv, {"div"}},
+      {Op::kDivu, {"divu"}},    {Op::kRem, {"rem"}},     {Op::kRemu, {"remu"}},
+  };
+  return table;
+}
+
+const char* kRegNames[32] = {"zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0",
+                             "a1",   "a2", "a3", "a4", "a5", "a6", "a7", "s2", "s3", "s4", "s5",
+                             "s6",   "s7", "s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6"};
+
+}  // namespace
+
+uint32_t Encode(const Instr& instr) {
+  switch (instr.op) {
+    case Op::kLui:
+      return EncodeU(instr.imm, instr.rd, kOpLui);
+    case Op::kAuipc:
+      return EncodeU(instr.imm, instr.rd, kOpAuipc);
+    case Op::kJal:
+      return EncodeJ(instr.imm, instr.rd, kOpJal);
+    case Op::kJalr:
+      return EncodeI(instr.imm, instr.rs1, 0, instr.rd, kOpJalr);
+    case Op::kBeq:
+      return EncodeB(instr.imm, instr.rs2, instr.rs1, 0, kOpBranch);
+    case Op::kBne:
+      return EncodeB(instr.imm, instr.rs2, instr.rs1, 1, kOpBranch);
+    case Op::kBlt:
+      return EncodeB(instr.imm, instr.rs2, instr.rs1, 4, kOpBranch);
+    case Op::kBge:
+      return EncodeB(instr.imm, instr.rs2, instr.rs1, 5, kOpBranch);
+    case Op::kBltu:
+      return EncodeB(instr.imm, instr.rs2, instr.rs1, 6, kOpBranch);
+    case Op::kBgeu:
+      return EncodeB(instr.imm, instr.rs2, instr.rs1, 7, kOpBranch);
+    case Op::kLb:
+      return EncodeI(instr.imm, instr.rs1, 0, instr.rd, kOpLoad);
+    case Op::kLh:
+      return EncodeI(instr.imm, instr.rs1, 1, instr.rd, kOpLoad);
+    case Op::kLw:
+      return EncodeI(instr.imm, instr.rs1, 2, instr.rd, kOpLoad);
+    case Op::kLbu:
+      return EncodeI(instr.imm, instr.rs1, 4, instr.rd, kOpLoad);
+    case Op::kLhu:
+      return EncodeI(instr.imm, instr.rs1, 5, instr.rd, kOpLoad);
+    case Op::kSb:
+      return EncodeS(instr.imm, instr.rs2, instr.rs1, 0, kOpStore);
+    case Op::kSh:
+      return EncodeS(instr.imm, instr.rs2, instr.rs1, 1, kOpStore);
+    case Op::kSw:
+      return EncodeS(instr.imm, instr.rs2, instr.rs1, 2, kOpStore);
+    case Op::kAddi:
+      return EncodeI(instr.imm, instr.rs1, 0, instr.rd, kOpImm);
+    case Op::kSlti:
+      return EncodeI(instr.imm, instr.rs1, 2, instr.rd, kOpImm);
+    case Op::kSltiu:
+      return EncodeI(instr.imm, instr.rs1, 3, instr.rd, kOpImm);
+    case Op::kXori:
+      return EncodeI(instr.imm, instr.rs1, 4, instr.rd, kOpImm);
+    case Op::kOri:
+      return EncodeI(instr.imm, instr.rs1, 6, instr.rd, kOpImm);
+    case Op::kAndi:
+      return EncodeI(instr.imm, instr.rs1, 7, instr.rd, kOpImm);
+    case Op::kSlli:
+      return EncodeR(0x00, static_cast<uint8_t>(instr.imm & 0x1f), instr.rs1, 1, instr.rd,
+                     kOpImm);
+    case Op::kSrli:
+      return EncodeR(0x00, static_cast<uint8_t>(instr.imm & 0x1f), instr.rs1, 5, instr.rd,
+                     kOpImm);
+    case Op::kSrai:
+      return EncodeR(0x20, static_cast<uint8_t>(instr.imm & 0x1f), instr.rs1, 5, instr.rd,
+                     kOpImm);
+    case Op::kAdd:
+      return EncodeR(0x00, instr.rs2, instr.rs1, 0, instr.rd, kOpReg);
+    case Op::kSub:
+      return EncodeR(0x20, instr.rs2, instr.rs1, 0, instr.rd, kOpReg);
+    case Op::kSll:
+      return EncodeR(0x00, instr.rs2, instr.rs1, 1, instr.rd, kOpReg);
+    case Op::kSlt:
+      return EncodeR(0x00, instr.rs2, instr.rs1, 2, instr.rd, kOpReg);
+    case Op::kSltu:
+      return EncodeR(0x00, instr.rs2, instr.rs1, 3, instr.rd, kOpReg);
+    case Op::kXor:
+      return EncodeR(0x00, instr.rs2, instr.rs1, 4, instr.rd, kOpReg);
+    case Op::kSrl:
+      return EncodeR(0x00, instr.rs2, instr.rs1, 5, instr.rd, kOpReg);
+    case Op::kSra:
+      return EncodeR(0x20, instr.rs2, instr.rs1, 5, instr.rd, kOpReg);
+    case Op::kOr:
+      return EncodeR(0x00, instr.rs2, instr.rs1, 6, instr.rd, kOpReg);
+    case Op::kAnd:
+      return EncodeR(0x00, instr.rs2, instr.rs1, 7, instr.rd, kOpReg);
+    case Op::kFence:
+      return EncodeI(0, 0, 0, 0, kOpFence);
+    case Op::kEcall:
+      return EncodeI(0, 0, 0, 0, kOpSystem);
+    case Op::kEbreak:
+      return EncodeI(1, 0, 0, 0, kOpSystem);
+    case Op::kMul:
+      return EncodeR(0x01, instr.rs2, instr.rs1, 0, instr.rd, kOpReg);
+    case Op::kMulh:
+      return EncodeR(0x01, instr.rs2, instr.rs1, 1, instr.rd, kOpReg);
+    case Op::kMulhsu:
+      return EncodeR(0x01, instr.rs2, instr.rs1, 2, instr.rd, kOpReg);
+    case Op::kMulhu:
+      return EncodeR(0x01, instr.rs2, instr.rs1, 3, instr.rd, kOpReg);
+    case Op::kDiv:
+      return EncodeR(0x01, instr.rs2, instr.rs1, 4, instr.rd, kOpReg);
+    case Op::kDivu:
+      return EncodeR(0x01, instr.rs2, instr.rs1, 5, instr.rd, kOpReg);
+    case Op::kRem:
+      return EncodeR(0x01, instr.rs2, instr.rs1, 6, instr.rd, kOpReg);
+    case Op::kRemu:
+      return EncodeR(0x01, instr.rs2, instr.rs1, 7, instr.rd, kOpReg);
+  }
+  PARFAIT_CHECK_MSG(false, "unreachable opcode");
+  return 0;
+}
+
+std::optional<Instr> Decode(uint32_t word) {
+  uint32_t opcode = word & 0x7f;
+  uint8_t rd = static_cast<uint8_t>((word >> 7) & 0x1f);
+  uint32_t funct3 = (word >> 12) & 0x7;
+  uint8_t rs1 = static_cast<uint8_t>((word >> 15) & 0x1f);
+  uint8_t rs2 = static_cast<uint8_t>((word >> 20) & 0x1f);
+  uint32_t funct7 = word >> 25;
+  int32_t imm_i = SignExtend(word >> 20, 12);
+  int32_t imm_s = SignExtend(((word >> 25) << 5) | ((word >> 7) & 0x1f), 12);
+  int32_t imm_b = SignExtend((((word >> 31) & 1) << 12) | (((word >> 7) & 1) << 11) |
+                                 (((word >> 25) & 0x3f) << 5) | (((word >> 8) & 0xf) << 1),
+                             13);
+  int32_t imm_u = static_cast<int32_t>(word & 0xfffff000u);
+  int32_t imm_j = SignExtend((((word >> 31) & 1) << 20) | (((word >> 12) & 0xff) << 12) |
+                                 (((word >> 20) & 1) << 11) | (((word >> 21) & 0x3ff) << 1),
+                             21);
+
+  switch (opcode) {
+    case kOpLui:
+      return Instr{Op::kLui, rd, 0, 0, imm_u};
+    case kOpAuipc:
+      return Instr{Op::kAuipc, rd, 0, 0, imm_u};
+    case kOpJal:
+      return Instr{Op::kJal, rd, 0, 0, imm_j};
+    case kOpJalr:
+      if (funct3 != 0) {
+        return std::nullopt;
+      }
+      return Instr{Op::kJalr, rd, rs1, 0, imm_i};
+    case kOpBranch: {
+      Op op;
+      switch (funct3) {
+        case 0: op = Op::kBeq; break;
+        case 1: op = Op::kBne; break;
+        case 4: op = Op::kBlt; break;
+        case 5: op = Op::kBge; break;
+        case 6: op = Op::kBltu; break;
+        case 7: op = Op::kBgeu; break;
+        default: return std::nullopt;
+      }
+      return Instr{op, 0, rs1, rs2, imm_b};
+    }
+    case kOpLoad: {
+      Op op;
+      switch (funct3) {
+        case 0: op = Op::kLb; break;
+        case 1: op = Op::kLh; break;
+        case 2: op = Op::kLw; break;
+        case 4: op = Op::kLbu; break;
+        case 5: op = Op::kLhu; break;
+        default: return std::nullopt;
+      }
+      return Instr{op, rd, rs1, 0, imm_i};
+    }
+    case kOpStore: {
+      Op op;
+      switch (funct3) {
+        case 0: op = Op::kSb; break;
+        case 1: op = Op::kSh; break;
+        case 2: op = Op::kSw; break;
+        default: return std::nullopt;
+      }
+      return Instr{op, 0, rs1, rs2, imm_s};
+    }
+    case kOpImm:
+      switch (funct3) {
+        case 0: return Instr{Op::kAddi, rd, rs1, 0, imm_i};
+        case 2: return Instr{Op::kSlti, rd, rs1, 0, imm_i};
+        case 3: return Instr{Op::kSltiu, rd, rs1, 0, imm_i};
+        case 4: return Instr{Op::kXori, rd, rs1, 0, imm_i};
+        case 6: return Instr{Op::kOri, rd, rs1, 0, imm_i};
+        case 7: return Instr{Op::kAndi, rd, rs1, 0, imm_i};
+        case 1:
+          if (funct7 != 0) {
+            return std::nullopt;
+          }
+          return Instr{Op::kSlli, rd, rs1, 0, static_cast<int32_t>(rs2)};
+        case 5:
+          if (funct7 == 0x00) {
+            return Instr{Op::kSrli, rd, rs1, 0, static_cast<int32_t>(rs2)};
+          }
+          if (funct7 == 0x20) {
+            return Instr{Op::kSrai, rd, rs1, 0, static_cast<int32_t>(rs2)};
+          }
+          return std::nullopt;
+      }
+      return std::nullopt;
+    case kOpReg: {
+      if (funct7 == 0x01) {
+        switch (funct3) {
+          case 0: return Instr{Op::kMul, rd, rs1, rs2, 0};
+          case 1: return Instr{Op::kMulh, rd, rs1, rs2, 0};
+          case 2: return Instr{Op::kMulhsu, rd, rs1, rs2, 0};
+          case 3: return Instr{Op::kMulhu, rd, rs1, rs2, 0};
+          case 4: return Instr{Op::kDiv, rd, rs1, rs2, 0};
+          case 5: return Instr{Op::kDivu, rd, rs1, rs2, 0};
+          case 6: return Instr{Op::kRem, rd, rs1, rs2, 0};
+          case 7: return Instr{Op::kRemu, rd, rs1, rs2, 0};
+        }
+        return std::nullopt;
+      }
+      if (funct7 == 0x00) {
+        switch (funct3) {
+          case 0: return Instr{Op::kAdd, rd, rs1, rs2, 0};
+          case 1: return Instr{Op::kSll, rd, rs1, rs2, 0};
+          case 2: return Instr{Op::kSlt, rd, rs1, rs2, 0};
+          case 3: return Instr{Op::kSltu, rd, rs1, rs2, 0};
+          case 4: return Instr{Op::kXor, rd, rs1, rs2, 0};
+          case 5: return Instr{Op::kSrl, rd, rs1, rs2, 0};
+          case 6: return Instr{Op::kOr, rd, rs1, rs2, 0};
+          case 7: return Instr{Op::kAnd, rd, rs1, rs2, 0};
+        }
+        return std::nullopt;
+      }
+      if (funct7 == 0x20) {
+        if (funct3 == 0) {
+          return Instr{Op::kSub, rd, rs1, rs2, 0};
+        }
+        if (funct3 == 5) {
+          return Instr{Op::kSra, rd, rs1, rs2, 0};
+        }
+        return std::nullopt;
+      }
+      return std::nullopt;
+    }
+    case kOpFence:
+      return Instr{Op::kFence, 0, 0, 0, 0};
+    case kOpSystem:
+      if (word == 0x00000073) {
+        return Instr{Op::kEcall, 0, 0, 0, 0};
+      }
+      if (word == 0x00100073) {
+        return Instr{Op::kEbreak, 0, 0, 0, 0};
+      }
+      return std::nullopt;
+    default:
+      return std::nullopt;
+  }
+}
+
+const char* Mnemonic(Op op) { return OpTable().at(op).mnemonic; }
+
+std::optional<Op> OpFromMnemonic(const std::string& name) {
+  for (const auto& [op, info] : OpTable()) {
+    if (name == info.mnemonic) {
+      return op;
+    }
+  }
+  return std::nullopt;
+}
+
+const char* RegName(uint8_t reg) {
+  PARFAIT_CHECK(reg < 32);
+  return kRegNames[reg];
+}
+
+std::optional<uint8_t> RegFromName(const std::string& name) {
+  for (uint8_t i = 0; i < 32; i++) {
+    if (name == kRegNames[i]) {
+      return i;
+    }
+  }
+  if (name.size() >= 2 && name[0] == 'x') {
+    int v = 0;
+    for (size_t i = 1; i < name.size(); i++) {
+      if (name[i] < '0' || name[i] > '9') {
+        return std::nullopt;
+      }
+      v = v * 10 + (name[i] - '0');
+    }
+    if (v < 32) {
+      return static_cast<uint8_t>(v);
+    }
+  }
+  if (name == "fp") {
+    return 8;  // Alias for s0.
+  }
+  return std::nullopt;
+}
+
+bool IsBranch(Op op) {
+  return op == Op::kBeq || op == Op::kBne || op == Op::kBlt || op == Op::kBge ||
+         op == Op::kBltu || op == Op::kBgeu;
+}
+
+bool IsJump(Op op) { return op == Op::kJal || op == Op::kJalr; }
+
+bool IsLoad(Op op) {
+  return op == Op::kLb || op == Op::kLh || op == Op::kLw || op == Op::kLbu || op == Op::kLhu;
+}
+
+bool IsStore(Op op) { return op == Op::kSb || op == Op::kSh || op == Op::kSw; }
+
+bool IsMulDiv(Op op) {
+  return op == Op::kMul || op == Op::kMulh || op == Op::kMulhsu || op == Op::kMulhu ||
+         op == Op::kDiv || op == Op::kDivu || op == Op::kRem || op == Op::kRemu;
+}
+
+}  // namespace parfait::riscv

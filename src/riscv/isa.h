@@ -1,0 +1,103 @@
+// RV32IM instruction set definitions shared by the assembler, the abstract machine
+// (the paper's Riscette analog, section 5.1), and the SoC CPU models.
+#ifndef PARFAIT_RISCV_ISA_H_
+#define PARFAIT_RISCV_ISA_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace parfait::riscv {
+
+enum class Op : uint8_t {
+  // RV32I.
+  kLui,
+  kAuipc,
+  kJal,
+  kJalr,
+  kBeq,
+  kBne,
+  kBlt,
+  kBge,
+  kBltu,
+  kBgeu,
+  kLb,
+  kLh,
+  kLw,
+  kLbu,
+  kLhu,
+  kSb,
+  kSh,
+  kSw,
+  kAddi,
+  kSlti,
+  kSltiu,
+  kXori,
+  kOri,
+  kAndi,
+  kSlli,
+  kSrli,
+  kSrai,
+  kAdd,
+  kSub,
+  kSll,
+  kSlt,
+  kSltu,
+  kXor,
+  kSrl,
+  kSra,
+  kOr,
+  kAnd,
+  kFence,
+  kEcall,
+  kEbreak,
+  // RV32M.
+  kMul,
+  kMulh,
+  kMulhsu,
+  kMulhu,
+  kDiv,
+  kDivu,
+  kRem,
+  kRemu,
+};
+
+// A decoded instruction. imm is sign-extended where the ISA sign-extends.
+struct Instr {
+  Op op;
+  uint8_t rd = 0;
+  uint8_t rs1 = 0;
+  uint8_t rs2 = 0;
+  int32_t imm = 0;
+
+  friend bool operator==(const Instr&, const Instr&) = default;
+};
+
+// Encodes a decoded instruction into its 32-bit RISC-V representation.
+uint32_t Encode(const Instr& instr);
+
+// Decodes a 32-bit word; returns std::nullopt for anything outside the RV32IM subset.
+std::optional<Instr> Decode(uint32_t word);
+
+// Returns the canonical mnemonic ("addi", "mulhu", ...).
+const char* Mnemonic(Op op);
+
+// Looks up a mnemonic; returns std::nullopt if unknown.
+std::optional<Op> OpFromMnemonic(const std::string& name);
+
+// ABI register name ("zero", "ra", "sp", "a0", ...) for x0..x31.
+const char* RegName(uint8_t reg);
+
+// Parses "x7", "a0", "sp", ... into a register number.
+std::optional<uint8_t> RegFromName(const std::string& name);
+
+// Instruction classification used by the Knox2 synchronization heuristics (figure 11).
+bool IsBranch(Op op);       // Conditional branches.
+bool IsJump(Op op);         // jal / jalr.
+bool IsLoad(Op op);
+bool IsStore(Op op);
+bool IsMulDiv(Op op);       // RV32M.
+
+}  // namespace parfait::riscv
+
+#endif  // PARFAIT_RISCV_ISA_H_

@@ -1,0 +1,368 @@
+#include "src/riscv/machine.h"
+
+#include <cstring>
+
+#include "src/support/status.h"
+
+namespace parfait::riscv {
+
+Machine::Machine() {
+  regs_.fill(Value::Undef());
+  regs_[0] = Value::Defined(0);
+}
+
+void Machine::AddRegion(const std::string& name, uint32_t base, uint32_t size, bool writable,
+                        bool initially_defined) {
+  PARFAIT_CHECK_MSG(size > 0, "empty region %s", name.c_str());
+  for (const auto& r : regions_) {
+    uint64_t r_end = static_cast<uint64_t>(r.base) + r.data.size();
+    uint64_t end = static_cast<uint64_t>(base) + size;
+    PARFAIT_CHECK_MSG(end <= r.base || r_end <= base, "region %s overlaps %s", name.c_str(),
+                      r.name.c_str());
+  }
+  Region region;
+  region.name = name;
+  region.base = base;
+  region.writable = writable;
+  region.data.resize(size);
+  region.defined.resize(size, initially_defined ? 1 : 0);
+  regions_.push_back(std::move(region));
+}
+
+Machine::Region* Machine::FindRegion(uint32_t addr, uint32_t size) {
+  for (auto& r : regions_) {
+    uint64_t end = static_cast<uint64_t>(r.base) + r.data.size();
+    if (addr >= r.base && static_cast<uint64_t>(addr) + size <= end) {
+      return &r;
+    }
+  }
+  return nullptr;
+}
+
+const Machine::Region* Machine::FindRegion(uint32_t addr, uint32_t size) const {
+  return const_cast<Machine*>(this)->FindRegion(addr, size);
+}
+
+void Machine::WriteMemory(uint32_t addr, std::span<const uint8_t> data) {
+  Region* r = FindRegion(addr, static_cast<uint32_t>(data.size()));
+  PARFAIT_CHECK_MSG(r != nullptr, "WriteMemory out of bounds at 0x%08x", addr);
+  std::memcpy(r->data.data() + (addr - r->base), data.data(), data.size());
+  std::memset(r->defined.data() + (addr - r->base), 1, data.size());
+}
+
+Bytes Machine::ReadMemory(uint32_t addr, uint32_t size) const {
+  const Region* r = FindRegion(addr, size);
+  PARFAIT_CHECK_MSG(r != nullptr, "ReadMemory out of bounds at 0x%08x", addr);
+  const uint8_t* p = r->data.data() + (addr - r->base);
+  return Bytes(p, p + size);
+}
+
+bool Machine::LoadBytes(uint32_t addr, uint32_t size, uint32_t* out, bool* out_defined) {
+  Region* r = FindRegion(addr, size);
+  if (r == nullptr) {
+    return false;
+  }
+  uint32_t offset = addr - r->base;
+  const uint8_t* p = r->data.data() + offset;
+  uint32_t v = 0;
+  bool defined = true;
+  for (uint32_t i = 0; i < size; i++) {
+    v |= static_cast<uint32_t>(p[i]) << (8 * i);
+    defined = defined && r->defined[offset + i] != 0;
+  }
+  *out = v;
+  *out_defined = defined;
+  return true;
+}
+
+bool Machine::StoreBytes(uint32_t addr, uint32_t size, uint32_t value, bool value_defined) {
+  Region* r = FindRegion(addr, size);
+  if (r == nullptr || !r->writable) {
+    return false;
+  }
+  uint32_t offset = addr - r->base;
+  uint8_t* p = r->data.data() + offset;
+  for (uint32_t i = 0; i < size; i++) {
+    p[i] = static_cast<uint8_t>(value >> (8 * i));
+    r->defined[offset + i] = value_defined ? 1 : 0;
+  }
+  return true;
+}
+
+std::optional<Instr> Machine::PeekInstr() const {
+  uint32_t word;
+  bool defined;
+  if (!const_cast<Machine*>(this)->LoadBytes(pc_, 4, &word, &defined) || !defined) {
+    return std::nullopt;
+  }
+  return Decode(word);
+}
+
+Machine::StepResult Machine::Fault(const std::string& reason) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), " (pc=0x%08x, instret=%llu)", pc_,
+                static_cast<unsigned long long>(instret_));
+  fault_reason_ = reason + buf;
+  return StepResult::kFault;
+}
+
+Machine::StepResult Machine::Step() {
+  if (pc_ == kReturnSentinel) {
+    return StepResult::kHalt;
+  }
+  if ((pc_ & 3) != 0) {
+    return Fault("misaligned pc");
+  }
+  uint32_t word;
+  bool fetch_defined;
+  if (!LoadBytes(pc_, 4, &word, &fetch_defined)) {
+    return Fault("instruction fetch out of bounds");
+  }
+  if (!fetch_defined) {
+    return Fault("instruction fetch of undefined memory");
+  }
+  std::optional<Instr> decoded = Decode(word);
+  if (!decoded.has_value()) {
+    return Fault("undecodable instruction");
+  }
+  const Instr& in = *decoded;
+  Value rs1 = regs_[in.rs1];
+  Value rs2 = regs_[in.rs2];
+  uint32_t next_pc = pc_ + 4;
+
+  auto require_defined = [&](const Value& v) { return v.defined; };
+  auto binop_defined = rs1.defined && rs2.defined;
+
+  switch (in.op) {
+    case Op::kLui:
+      set_reg(in.rd, Value::Defined(static_cast<uint32_t>(in.imm)));
+      break;
+    case Op::kAuipc:
+      set_reg(in.rd, Value::Defined(pc_ + static_cast<uint32_t>(in.imm)));
+      break;
+    case Op::kJal:
+      set_reg(in.rd, Value::Defined(pc_ + 4));
+      next_pc = pc_ + static_cast<uint32_t>(in.imm);
+      break;
+    case Op::kJalr: {
+      if (!require_defined(rs1)) {
+        return Fault("jalr through undefined register");
+      }
+      uint32_t target = (rs1.bits + static_cast<uint32_t>(in.imm)) & ~1u;
+      set_reg(in.rd, Value::Defined(pc_ + 4));
+      next_pc = target;
+      break;
+    }
+    case Op::kBeq:
+    case Op::kBne:
+    case Op::kBlt:
+    case Op::kBge:
+    case Op::kBltu:
+    case Op::kBgeu: {
+      if (!binop_defined) {
+        return Fault("branch on undefined operand");
+      }
+      bool taken = false;
+      int32_t s1 = static_cast<int32_t>(rs1.bits);
+      int32_t s2 = static_cast<int32_t>(rs2.bits);
+      switch (in.op) {
+        case Op::kBeq: taken = rs1.bits == rs2.bits; break;
+        case Op::kBne: taken = rs1.bits != rs2.bits; break;
+        case Op::kBlt: taken = s1 < s2; break;
+        case Op::kBge: taken = s1 >= s2; break;
+        case Op::kBltu: taken = rs1.bits < rs2.bits; break;
+        case Op::kBgeu: taken = rs1.bits >= rs2.bits; break;
+        default: break;
+      }
+      if (taken) {
+        next_pc = pc_ + static_cast<uint32_t>(in.imm);
+      }
+      break;
+    }
+    case Op::kLb:
+    case Op::kLh:
+    case Op::kLw:
+    case Op::kLbu:
+    case Op::kLhu: {
+      if (!require_defined(rs1)) {
+        return Fault("load through undefined address");
+      }
+      uint32_t addr = rs1.bits + static_cast<uint32_t>(in.imm);
+      uint32_t size = (in.op == Op::kLw) ? 4 : (in.op == Op::kLh || in.op == Op::kLhu) ? 2 : 1;
+      if ((addr & (size - 1)) != 0) {
+        return Fault("misaligned load");
+      }
+      uint32_t raw;
+      bool load_defined;
+      if (!LoadBytes(addr, size, &raw, &load_defined)) {
+        return Fault("load out of bounds");
+      }
+      if (!load_defined) {
+        set_reg(in.rd, Value::Undef());
+        break;
+      }
+      uint32_t result = raw;
+      if (in.op == Op::kLb) {
+        result = static_cast<uint32_t>(static_cast<int32_t>(static_cast<int8_t>(raw)));
+      } else if (in.op == Op::kLh) {
+        result = static_cast<uint32_t>(static_cast<int32_t>(static_cast<int16_t>(raw)));
+      }
+      set_reg(in.rd, Value::Defined(result));
+      break;
+    }
+    case Op::kSb:
+    case Op::kSh:
+    case Op::kSw: {
+      if (!require_defined(rs1)) {
+        return Fault("store through undefined address");
+      }
+      uint32_t addr = rs1.bits + static_cast<uint32_t>(in.imm);
+      uint32_t size = (in.op == Op::kSw) ? 4 : (in.op == Op::kSh) ? 2 : 1;
+      if ((addr & (size - 1)) != 0) {
+        return Fault("misaligned store");
+      }
+      // Storing an undefined value is legal (CompCert stores Vundef bytes); the taint
+      // of undefinedness travels through memory instead.
+      if (!StoreBytes(addr, size, rs2.bits, rs2.defined)) {
+        return Fault("store out of bounds or read-only");
+      }
+      break;
+    }
+    case Op::kAddi:
+    case Op::kSlti:
+    case Op::kSltiu:
+    case Op::kXori:
+    case Op::kOri:
+    case Op::kAndi:
+    case Op::kSlli:
+    case Op::kSrli:
+    case Op::kSrai: {
+      if (!rs1.defined) {
+        set_reg(in.rd, Value::Undef());
+        break;
+      }
+      uint32_t a = rs1.bits;
+      uint32_t imm = static_cast<uint32_t>(in.imm);
+      uint32_t result = 0;
+      switch (in.op) {
+        case Op::kAddi: result = a + imm; break;
+        case Op::kSlti: result = static_cast<int32_t>(a) < in.imm ? 1 : 0; break;
+        case Op::kSltiu: result = a < imm ? 1 : 0; break;
+        case Op::kXori: result = a ^ imm; break;
+        case Op::kOri: result = a | imm; break;
+        case Op::kAndi: result = a & imm; break;
+        case Op::kSlli: result = a << (imm & 31); break;
+        case Op::kSrli: result = a >> (imm & 31); break;
+        case Op::kSrai: result = static_cast<uint32_t>(static_cast<int32_t>(a) >> (imm & 31));
+          break;
+        default: break;
+      }
+      set_reg(in.rd, Value::Defined(result));
+      break;
+    }
+    case Op::kAdd:
+    case Op::kSub:
+    case Op::kSll:
+    case Op::kSlt:
+    case Op::kSltu:
+    case Op::kXor:
+    case Op::kSrl:
+    case Op::kSra:
+    case Op::kOr:
+    case Op::kAnd:
+    case Op::kMul:
+    case Op::kMulh:
+    case Op::kMulhsu:
+    case Op::kMulhu:
+    case Op::kDiv:
+    case Op::kDivu:
+    case Op::kRem:
+    case Op::kRemu: {
+      if (!binop_defined) {
+        set_reg(in.rd, Value::Undef());
+        break;
+      }
+      uint32_t a = rs1.bits;
+      uint32_t b = rs2.bits;
+      int32_t sa = static_cast<int32_t>(a);
+      int32_t sb = static_cast<int32_t>(b);
+      uint32_t result = 0;
+      switch (in.op) {
+        case Op::kAdd: result = a + b; break;
+        case Op::kSub: result = a - b; break;
+        case Op::kSll: result = a << (b & 31); break;
+        case Op::kSlt: result = sa < sb ? 1 : 0; break;
+        case Op::kSltu: result = a < b ? 1 : 0; break;
+        case Op::kXor: result = a ^ b; break;
+        case Op::kSrl: result = a >> (b & 31); break;
+        case Op::kSra: result = static_cast<uint32_t>(sa >> (b & 31)); break;
+        case Op::kOr: result = a | b; break;
+        case Op::kAnd: result = a & b; break;
+        case Op::kMul: result = a * b; break;
+        case Op::kMulh:
+          result = static_cast<uint32_t>(
+              (static_cast<int64_t>(sa) * static_cast<int64_t>(sb)) >> 32);
+          break;
+        case Op::kMulhsu:
+          result = static_cast<uint32_t>(
+              (static_cast<int64_t>(sa) * static_cast<uint64_t>(b)) >> 32);
+          break;
+        case Op::kMulhu:
+          result = static_cast<uint32_t>(
+              (static_cast<uint64_t>(a) * static_cast<uint64_t>(b)) >> 32);
+          break;
+        case Op::kDiv:
+          result = (b == 0) ? 0xffffffffu
+                            : (a == 0x80000000u && b == 0xffffffffu)
+                                  ? 0x80000000u
+                                  : static_cast<uint32_t>(sa / sb);
+          break;
+        case Op::kDivu: result = (b == 0) ? 0xffffffffu : a / b; break;
+        case Op::kRem:
+          result = (b == 0) ? a
+                            : (a == 0x80000000u && b == 0xffffffffu)
+                                  ? 0
+                                  : static_cast<uint32_t>(sa % sb);
+          break;
+        case Op::kRemu: result = (b == 0) ? a : a % b; break;
+        default: break;
+      }
+      set_reg(in.rd, Value::Defined(result));
+      break;
+    }
+    case Op::kFence:
+      break;
+    case Op::kEcall:
+    case Op::kEbreak:
+      instret_++;
+      pc_ = next_pc;
+      return StepResult::kHalt;
+  }
+  instret_++;
+  pc_ = next_pc;
+  return StepResult::kOk;
+}
+
+Machine::StepResult Machine::Run(uint64_t max_steps) {
+  for (uint64_t i = 0; i < max_steps; i++) {
+    StepResult r = Step();
+    if (r != StepResult::kOk) {
+      return r;
+    }
+  }
+  fault_reason_ = "step limit exceeded";
+  return StepResult::kFault;
+}
+
+Machine::StepResult Machine::CallFunction(uint32_t function, const std::vector<uint32_t>& args,
+                                          uint64_t max_steps) {
+  PARFAIT_CHECK(args.size() <= 8);
+  set_reg(1, Value::Defined(kReturnSentinel));  // ra.
+  for (size_t i = 0; i < args.size(); i++) {
+    set_reg(static_cast<uint8_t>(10 + i), Value::Defined(args[i]));  // a0..a7.
+  }
+  set_pc(function);
+  return Run(max_steps);
+}
+
+}  // namespace parfait::riscv

@@ -1,0 +1,107 @@
+// The abstract RV32IM machine — this repository's analog of Riscette, the executable
+// CompCert RISC-V assembly semantics described in section 5.1 of the paper.
+//
+// The machine is single-steppable instruction-by-instruction (the property Knox2's
+// assembly-circuit synchronization relies on), uses a structured memory model (named
+// regions with bounds, an effectively unbounded stack), and tracks undefined register
+// values (CompCert's `undef`), which the synchronization rules treat specially.
+#ifndef PARFAIT_RISCV_MACHINE_H_
+#define PARFAIT_RISCV_MACHINE_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/riscv/isa.h"
+#include "src/support/bytes.h"
+
+namespace parfait::riscv {
+
+// A register value: a 32-bit pattern plus a definedness flag (CompCert's Vundef).
+struct Value {
+  uint32_t bits = 0;
+  bool defined = false;
+
+  static Value Defined(uint32_t v) { return Value{v, true}; }
+  static Value Undef() { return Value{0, false}; }
+
+  friend bool operator==(const Value&, const Value&) = default;
+};
+
+class Machine {
+ public:
+  enum class StepResult {
+    kOk,       // Instruction retired.
+    kHalt,     // ecall/ebreak, or pc reached the return sentinel.
+    kFault,    // Semantics got stuck (bad access, bad decode, undefined operand, ...).
+  };
+
+  // Jumping here (e.g. `ret` with ra set by CallFunction) halts the machine cleanly.
+  static constexpr uint32_t kReturnSentinel = 0xfffffff0;
+
+  Machine();
+
+  // Adds a named memory region. Regions must not overlap. Data is zero-initialized.
+  // When initially_defined is false, reads of never-written bytes yield Undef (the
+  // CompCert treatment of fresh stack memory).
+  void AddRegion(const std::string& name, uint32_t base, uint32_t size, bool writable,
+                 bool initially_defined = true);
+
+  // Bulk access for harnesses; addresses must fall inside one region.
+  void WriteMemory(uint32_t addr, std::span<const uint8_t> data);
+  Bytes ReadMemory(uint32_t addr, uint32_t size) const;
+
+  Value reg(uint8_t index) const { return regs_[index]; }
+  void set_reg(uint8_t index, Value v) {
+    if (index != 0) {
+      regs_[index] = v;
+    }
+  }
+
+  uint32_t pc() const { return pc_; }
+  void set_pc(uint32_t pc) { pc_ = pc; }
+
+  uint64_t instret() const { return instret_; }
+  const std::string& fault_reason() const { return fault_reason_; }
+
+  // Decodes the instruction at the current pc without executing (used by the Knox2
+  // synchronization logic to classify the next sync point).
+  std::optional<Instr> PeekInstr() const;
+
+  // Executes one instruction.
+  StepResult Step();
+
+  // Runs until halt, fault, or the step limit; returns the final condition.
+  StepResult Run(uint64_t max_steps);
+
+  // Call-frame helper mirroring the paper's figure 8 harness: sets ra to the return
+  // sentinel, pc to `function`, and a0..a{n-1} to args, then runs.
+  StepResult CallFunction(uint32_t function, const std::vector<uint32_t>& args,
+                          uint64_t max_steps);
+
+ private:
+  struct Region {
+    std::string name;
+    uint32_t base;
+    bool writable;
+    std::vector<uint8_t> data;
+    std::vector<uint8_t> defined;  // Byte-granular definedness (CompCert Vundef bytes).
+  };
+
+  Region* FindRegion(uint32_t addr, uint32_t size);
+  const Region* FindRegion(uint32_t addr, uint32_t size) const;
+  bool LoadBytes(uint32_t addr, uint32_t size, uint32_t* out, bool* out_defined);
+  bool StoreBytes(uint32_t addr, uint32_t size, uint32_t value, bool value_defined);
+  StepResult Fault(const std::string& reason);
+
+  std::array<Value, 32> regs_;
+  uint32_t pc_ = 0;
+  uint64_t instret_ = 0;
+  std::vector<Region> regions_;
+  std::string fault_reason_;
+};
+
+}  // namespace parfait::riscv
+
+#endif  // PARFAIT_RISCV_MACHINE_H_

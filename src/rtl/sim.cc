@@ -1,0 +1,27 @@
+#include "src/rtl/sim.h"
+
+#include <cstdio>
+
+namespace parfait::rtl {
+
+int64_t FirstDivergence(const WireTrace& a, const WireTrace& b) {
+  size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; i++) {
+    if (!(a[i] == b[i])) {
+      return static_cast<int64_t>(i);
+    }
+  }
+  if (a.size() != b.size()) {
+    return static_cast<int64_t>(n);
+  }
+  return -1;
+}
+
+std::string FormatSample(const WireSample& s) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "tx_valid=%d tx_data=0x%02x rx_ready=%d", s.tx_valid,
+                s.tx_data, s.rx_ready);
+  return buf;
+}
+
+}  // namespace parfait::rtl

@@ -1,0 +1,196 @@
+#include "src/soc/bus.h"
+
+#include <cstring>
+
+#include "src/support/status.h"
+
+namespace parfait::soc {
+
+void Uart::LatchInput(const rtl::WireInput& in) {
+  host_tx_ready_ = in.tx_ready;
+  if (in.rx_valid && !rx_full_) {
+    rx_full_ = true;
+    rx_byte_ = rtl::Word::Clean(in.rx_data);
+  }
+}
+
+rtl::WireSample Uart::DriveOutput() {
+  rtl::WireSample out;
+  out.rx_ready = !rx_full_;
+  if (tx_full_) {
+    out.tx_valid = true;
+    out.tx_data = static_cast<uint8_t>(tx_byte_.bits);
+    if (host_tx_ready_) {
+      tx_full_ = false;
+    }
+  }
+  return out;
+}
+
+uint32_t Uart::ReadStatus() const {
+  return (rx_full_ ? 1u : 0u) | (tx_full_ ? 0u : 2u);
+}
+
+rtl::Word Uart::ReadRxData() {
+  rtl::Word b = rx_byte_;
+  rx_full_ = false;
+  return b;
+}
+
+void Uart::WriteTxData(rtl::Word value) {
+  tx_byte_ = rtl::Word{value.bits & 0xff, value.taint & 0xff};
+  tx_full_ = true;
+}
+
+Bus::Bus(const BusConfig& config) : config_(config) {
+  rom_ = Mem{kRomBase, std::vector<uint8_t>(config.rom_size), std::vector<uint8_t>(config.rom_size),
+             false};
+  ram_ = Mem{kRamBase, std::vector<uint8_t>(config.ram_size), std::vector<uint8_t>(config.ram_size),
+             true};
+  fram_ = Mem{kFramBase, std::vector<uint8_t>(config.fram_size),
+              std::vector<uint8_t>(config.fram_size), true};
+  decoded_.resize(config.rom_size / 4);
+  decode_state_.resize(config.rom_size / 4, 0);
+}
+
+void Bus::LoadRom(std::span<const uint8_t> image) {
+  PARFAIT_CHECK_MSG(image.size() <= rom_.data.size(), "firmware too large for ROM");
+  std::memcpy(rom_.data.data(), image.data(), image.size());
+  std::fill(decode_state_.begin(), decode_state_.end(), 0);
+}
+
+void Bus::LoadFram(std::span<const uint8_t> contents, std::span<const uint8_t> taint_mask) {
+  PARFAIT_CHECK(contents.size() <= fram_.data.size());
+  std::memcpy(fram_.data.data(), contents.data(), contents.size());
+  if (!taint_mask.empty()) {
+    PARFAIT_CHECK(taint_mask.size() == contents.size());
+    std::memcpy(fram_.taint.data(), taint_mask.data(), taint_mask.size());
+  }
+}
+
+Bytes Bus::DumpFram() const { return fram_.data; }
+
+void Bus::SetFramTaint(uint32_t offset, uint32_t size, bool tainted) {
+  PARFAIT_CHECK(static_cast<size_t>(offset) + size <= fram_.taint.size());
+  std::memset(fram_.taint.data() + offset, tainted ? 0xff : 0, size);
+}
+
+Bus::Mem* Bus::FindMem(uint32_t addr, uint32_t size) {
+  for (Mem* m : {&ram_, &rom_, &fram_}) {
+    uint64_t end = static_cast<uint64_t>(m->base) + m->data.size();
+    if (addr >= m->base && static_cast<uint64_t>(addr) + size <= end) {
+      return m;
+    }
+  }
+  return nullptr;
+}
+
+const Bus::Mem* Bus::FindMem(uint32_t addr, uint32_t size) const {
+  return const_cast<Bus*>(this)->FindMem(addr, size);
+}
+
+bool Bus::Read(uint32_t addr, uint32_t size, rtl::Word* out) {
+  if (addr >= kUartBase) {
+    if (size != 4) {
+      return false;
+    }
+    if (addr == kUartStatus) {
+      *out = rtl::Word::Clean(uart_.ReadStatus());
+      return true;
+    }
+    if (addr == kUartRxData) {
+      *out = uart_.ReadRxData();
+      return true;
+    }
+    return false;
+  }
+  const Mem* m = FindMem(addr, size);
+  if (m == nullptr) {
+    return false;
+  }
+  uint32_t offset = addr - m->base;
+  uint32_t bits = 0;
+  uint32_t taint = 0;
+  for (uint32_t i = 0; i < size; i++) {
+    bits |= static_cast<uint32_t>(m->data[offset + i]) << (8 * i);
+    if (m->taint[offset + i] != 0) {
+      taint |= 0xffu << (8 * i);
+    }
+  }
+  *out = rtl::Word{bits, taint_tracking_ ? taint : 0};
+  return true;
+}
+
+bool Bus::Write(uint32_t addr, uint32_t size, rtl::Word value) {
+  if (addr >= kUartBase) {
+    if (size != 4 || addr != kUartTxData) {
+      return false;
+    }
+    uart_.WriteTxData(value);
+    return true;
+  }
+  Mem* m = FindMem(addr, size);
+  if (m == nullptr || !m->writable) {
+    return false;
+  }
+  uint32_t offset = addr - m->base;
+  for (uint32_t i = 0; i < size; i++) {
+    m->data[offset + i] = static_cast<uint8_t>(value.bits >> (8 * i));
+    m->taint[offset + i] = ((value.taint >> (8 * i)) & 0xff) != 0 ? 1 : 0;
+  }
+  return true;
+}
+
+const riscv::Instr* Bus::Fetch(uint32_t addr, uint32_t* raw_word) {
+  if ((addr & 3) != 0) {
+    return nullptr;
+  }
+  // Fast path: cached ROM decode.
+  if (addr >= rom_.base && addr - rom_.base + 4 <= rom_.data.size()) {
+    uint32_t index = (addr - rom_.base) / 4;
+    if (decode_state_[index] == 0) {
+      uint32_t word = parfait::LoadLe32(rom_.data.data() + (addr - rom_.base));
+      auto decoded = riscv::Decode(word);
+      if (decoded.has_value()) {
+        decoded_[index] = *decoded;
+        decode_state_[index] = 1;
+      } else {
+        decode_state_[index] = 2;
+      }
+    }
+    if (raw_word != nullptr) {
+      *raw_word = parfait::LoadLe32(rom_.data.data() + (addr - rom_.base));
+    }
+    return decode_state_[index] == 1 ? &decoded_[index] : nullptr;
+  }
+  // Execution from RAM (legal but uncached).
+  rtl::Word w;
+  if (!Read(addr, 4, &w)) {
+    return nullptr;
+  }
+  if (raw_word != nullptr) {
+    *raw_word = w.bits;
+  }
+  static thread_local riscv::Instr scratch;
+  auto decoded = riscv::Decode(w.bits);
+  if (!decoded.has_value()) {
+    return nullptr;
+  }
+  scratch = *decoded;
+  return &scratch;
+}
+
+Bytes Bus::ReadBytes(uint32_t addr, uint32_t size) const {
+  const Mem* m = FindMem(addr, size);
+  PARFAIT_CHECK_MSG(m != nullptr, "ReadBytes out of range at 0x%08x", addr);
+  const uint8_t* p = m->data.data() + (addr - m->base);
+  return Bytes(p, p + size);
+}
+
+void Bus::WriteBytes(uint32_t addr, std::span<const uint8_t> data) {
+  Mem* m = FindMem(addr, static_cast<uint32_t>(data.size()));
+  PARFAIT_CHECK_MSG(m != nullptr, "WriteBytes out of range at 0x%08x", addr);
+  std::memcpy(m->data.data() + (addr - m->base), data.data(), data.size());
+}
+
+}  // namespace parfait::soc

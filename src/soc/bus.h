@@ -1,0 +1,132 @@
+// SoC bus, memories, and UART peripheral.
+//
+// Memory map (shared with the abstract-machine harnesses so the Knox2 pointer mapping
+// is the identity on flat addresses, figure 10):
+//   0x00000000  ROM   (firmware image; read-only, instruction decode cache)
+//   0x20000000  RAM   (data, bss, stack)
+//   0x40000000  FRAM  (persistent memory; survives power cycles via the harness)
+//   0x80000000  UART  (4-wire byte-handshake interface with flow control)
+//
+// The paper's platform uses a 4-wire UART with flow control; we model it at byte
+// granularity: the serial shift register is abstracted away, but per-cycle handshake
+// timing — which is what the wire-level adversary observes — is preserved. This
+// substitution is recorded in DESIGN.md.
+#ifndef PARFAIT_SOC_BUS_H_
+#define PARFAIT_SOC_BUS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/riscv/isa.h"
+#include "src/rtl/sim.h"
+#include "src/support/bytes.h"
+
+namespace parfait::soc {
+
+constexpr uint32_t kRomBase = 0x00000000;
+constexpr uint32_t kRamBase = 0x20000000;
+constexpr uint32_t kFramBase = 0x40000000;
+constexpr uint32_t kUartBase = 0x80000000;
+
+constexpr uint32_t kUartStatus = kUartBase + 0x0;  // bit0: rx byte ready, bit1: tx free.
+constexpr uint32_t kUartRxData = kUartBase + 0x4;  // Reading pops the rx buffer.
+constexpr uint32_t kUartTxData = kUartBase + 0x8;  // Writing pushes the tx buffer.
+
+struct BusConfig {
+  uint32_t rom_size = 256 * 1024;
+  uint32_t ram_size = 128 * 1024;
+  uint32_t fram_size = 8 * 1024;
+};
+
+// Byte-handshake UART with flow control.
+class Uart {
+ public:
+  // Wire-side input latch, called at the start of each cycle.
+  void LatchInput(const rtl::WireInput& in);
+  // Wire-side output sample, called at the end of each cycle.
+  rtl::WireSample DriveOutput();
+
+  // CPU-side MMIO.
+  uint32_t ReadStatus() const;
+  rtl::Word ReadRxData();
+  void WriteTxData(rtl::Word value);
+
+ private:
+  bool rx_full_ = false;
+  rtl::Word rx_byte_;
+  bool tx_full_ = false;
+  rtl::Word tx_byte_;
+  bool host_tx_ready_ = true;
+};
+
+// A taint-propagation policy violation observed during simulation (the leakage-model
+// checker's findings: secret-dependent branch, address, or variable-latency operand).
+struct TaintLeak {
+  uint32_t pc;
+  std::string what;
+};
+
+class Bus {
+ public:
+  explicit Bus(const BusConfig& config);
+
+  // Loads the firmware image into ROM (resets the decode cache).
+  void LoadRom(std::span<const uint8_t> image);
+  // FRAM persistence: the harness transplants these bytes across power cycles.
+  void LoadFram(std::span<const uint8_t> contents, std::span<const uint8_t> taint_mask);
+  Bytes DumpFram() const;
+  void SetFramTaint(uint32_t offset, uint32_t size, bool tainted);
+
+  // Data access (size in {1, 2, 4}; addr must be size-aligned). Returns false on a bus
+  // error (unmapped address, write to ROM).
+  bool Read(uint32_t addr, uint32_t size, rtl::Word* out);
+  bool Write(uint32_t addr, uint32_t size, rtl::Word value);
+
+  // Instruction fetch with a ROM decode cache (ROM is immutable after LoadRom).
+  // Returns nullptr on fetch error or undecodable word.
+  const riscv::Instr* Fetch(uint32_t addr, uint32_t* raw_word);
+
+  // Peripheral cycle hooks (called by the SoC top).
+  void BeginCycle(const rtl::WireInput& in) { uart_.LatchInput(in); }
+  rtl::WireSample EndCycle() { return uart_.DriveOutput(); }
+
+  void RecordLeak(uint32_t pc, const std::string& what) { leaks_.push_back({pc, what}); }
+  const std::vector<TaintLeak>& leaks() const { return leaks_; }
+  bool taint_tracking() const { return taint_tracking_; }
+  void set_taint_tracking(bool on) { taint_tracking_ = on; }
+
+  // Introspection for checkers and the emulator template.
+  Bytes ReadBytes(uint32_t addr, uint32_t size) const;
+  void WriteBytes(uint32_t addr, std::span<const uint8_t> data);
+
+  const BusConfig& config() const { return config_; }
+
+ private:
+  struct Mem {
+    uint32_t base;
+    std::vector<uint8_t> data;
+    std::vector<uint8_t> taint;  // Per-byte.
+    bool writable;
+  };
+
+  Mem* FindMem(uint32_t addr, uint32_t size);
+  const Mem* FindMem(uint32_t addr, uint32_t size) const;
+
+  BusConfig config_;
+  Mem rom_;
+  Mem ram_;
+  Mem fram_;
+  Uart uart_;
+  std::vector<TaintLeak> leaks_;
+  bool taint_tracking_ = false;
+
+  // Decode cache for ROM words.
+  std::vector<riscv::Instr> decoded_;
+  std::vector<uint8_t> decode_state_;  // 0 = unknown, 1 = valid, 2 = invalid.
+};
+
+}  // namespace parfait::soc
+
+#endif  // PARFAIT_SOC_BUS_H_

@@ -1,0 +1,116 @@
+// CPU model interface and the shared RV32IM execution core.
+//
+// Two implementations mirror the paper's hardware platforms (section 7.1):
+//   - IbexLite: a 2-stage pipelined core (IF / ID-EX) modeled on the OpenTitan Ibex,
+//     with single-cycle ALU ops, 2-cycle loads/stores, branch-taken bubbles, a
+//     multi-cycle multiplier (optionally with data-dependent latency, the §7.2
+//     "variable-latency arithmetic" bug), and a 37-cycle divider.
+//   - PicoLite: a size-optimized multi-cycle core modeled on the PicoRV32: every
+//     instruction pays a separate fetch state, so CPI is much higher, but each
+//     simulated cycle does less work — reproducing Table 4's cycles/s inversion.
+//
+// Both expose the figure 10 synchronization signals: the instruction word sitting in
+// the execute stage, its validity, and the architectural register file.
+#ifndef PARFAIT_SOC_CPU_H_
+#define PARFAIT_SOC_CPU_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/riscv/isa.h"
+#include "src/rtl/sim.h"
+#include "src/soc/bus.h"
+
+namespace parfait::soc {
+
+// Shared architectural state operated on by the execution core.
+struct ExecState {
+  std::array<rtl::Word, 32> regs{};
+  uint32_t pc = 0;
+  uint64_t retired = 0;
+  uint32_t last_retired_pc = 0;
+  bool halted = false;
+  std::string fault;
+
+  void SetReg(uint8_t r, rtl::Word v) {
+    if (r != 0) {
+      regs[r] = v;
+    }
+  }
+};
+
+// Timing class of an executed instruction, consumed by each CPU's timing model.
+enum class ExecClass : uint8_t {
+  kAlu,
+  kLoad,
+  kStore,
+  kBranchNotTaken,
+  kBranchTaken,
+  kJump,
+  kMul,
+  kDiv,
+  kHalt,
+  kFault,
+};
+
+struct ExecOutcome {
+  ExecClass cls = ExecClass::kAlu;
+  uint32_t next_pc = 0;
+  // Operand info for data-dependent timing models (variable-latency multiplier).
+  uint32_t rs2_bits = 0;
+  bool operands_tainted = false;
+};
+
+// Executes one instruction against the architectural state and bus, updating
+// state.pc/retired and recording taint-policy leaks (secret-dependent branch targets,
+// memory addresses, and multiplier/divider operands) into the bus when taint tracking
+// is enabled. Returns the timing class.
+ExecOutcome ExecuteOne(ExecState& state, const riscv::Instr& instr, Bus& bus);
+
+class Cpu {
+ public:
+  virtual ~Cpu() = default;
+
+  virtual void Reset(uint32_t pc) = 0;
+  // Advances one clock cycle.
+  virtual void Cycle(Bus& bus) = 0;
+
+  virtual const char* name() const = 0;
+  virtual bool halted() const = 0;
+  virtual const std::string& fault() const = 0;
+
+  // Figure 10 sync signals.
+  virtual bool instr_valid_id() const = 0;
+  virtual uint32_t instr_rdata_id() const = 0;
+  virtual uint32_t instr_pc_id() const = 0;
+
+  // Architectural state access (register mapping + emulator injection).
+  virtual rtl::Word reg(uint8_t index) const = 0;
+  virtual void set_reg(uint8_t index, rtl::Word value) = 0;
+  virtual uint32_t pc() const = 0;
+
+  // Retirement stream (drives assembly-circuit synchronization).
+  virtual uint64_t retired() const = 0;
+  virtual uint32_t last_retired_pc() const = 0;
+};
+
+struct CpuConfig {
+  // IbexLite multiplier: fixed latency in cycles, or data-dependent when
+  // variable_latency_mul is set (the paper replaced the Ibex multiplier to *avoid*
+  // this; we keep it as an injectable hardware bug).
+  int mul_cycles = 3;
+  bool variable_latency_mul = false;
+  // Injected hardware bug (§7.2 "pipeline hazard"): a missing load-use forwarding
+  // path — an instruction issued right after a load reads the *stale* value of the
+  // loaded register.
+  bool load_use_hazard_bug = false;
+};
+
+std::unique_ptr<Cpu> MakeIbexLite(const CpuConfig& config);
+std::unique_ptr<Cpu> MakePicoLite(const CpuConfig& config);
+
+}  // namespace parfait::soc
+
+#endif  // PARFAIT_SOC_CPU_H_

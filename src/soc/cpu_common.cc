@@ -1,0 +1,239 @@
+#include "src/soc/cpu.h"
+
+namespace parfait::soc {
+
+using riscv::Instr;
+using riscv::Op;
+using rtl::Word;
+
+namespace {
+
+Word Alu(Op op, Word a, Word b, int32_t imm, uint32_t pc) {
+  uint32_t x = a.bits;
+  uint32_t y = b.bits;
+  int32_t sx = static_cast<int32_t>(x);
+  int32_t sy = static_cast<int32_t>(y);
+  uint32_t r = 0;
+  switch (op) {
+    case Op::kLui: return Word{static_cast<uint32_t>(imm), 0};
+    case Op::kAuipc: return Word{pc + static_cast<uint32_t>(imm), 0};
+    case Op::kAddi: r = x + static_cast<uint32_t>(imm); break;
+    case Op::kSlti: r = sx < imm ? 1 : 0; break;
+    case Op::kSltiu: r = x < static_cast<uint32_t>(imm) ? 1 : 0; break;
+    case Op::kXori: r = x ^ static_cast<uint32_t>(imm); break;
+    case Op::kOri: r = x | static_cast<uint32_t>(imm); break;
+    case Op::kAndi: r = x & static_cast<uint32_t>(imm); break;
+    case Op::kSlli: r = x << (imm & 31); break;
+    case Op::kSrli: r = x >> (imm & 31); break;
+    case Op::kSrai: r = static_cast<uint32_t>(sx >> (imm & 31)); break;
+    case Op::kAdd: r = x + y; break;
+    case Op::kSub: r = x - y; break;
+    case Op::kSll: r = x << (y & 31); break;
+    case Op::kSlt: r = sx < sy ? 1 : 0; break;
+    case Op::kSltu: r = x < y ? 1 : 0; break;
+    case Op::kXor: r = x ^ y; break;
+    case Op::kSrl: r = x >> (y & 31); break;
+    case Op::kSra: r = static_cast<uint32_t>(sx >> (y & 31)); break;
+    case Op::kOr: r = x | y; break;
+    case Op::kAnd: r = x & y; break;
+    case Op::kMul: r = x * y; break;
+    case Op::kMulh:
+      r = static_cast<uint32_t>((static_cast<int64_t>(sx) * static_cast<int64_t>(sy)) >> 32);
+      break;
+    case Op::kMulhsu:
+      r = static_cast<uint32_t>((static_cast<int64_t>(sx) * static_cast<uint64_t>(y)) >> 32);
+      break;
+    case Op::kMulhu:
+      r = static_cast<uint32_t>((static_cast<uint64_t>(x) * static_cast<uint64_t>(y)) >> 32);
+      break;
+    case Op::kDiv:
+      r = (y == 0) ? 0xffffffffu
+          : (x == 0x80000000u && y == 0xffffffffu) ? 0x80000000u
+                                                   : static_cast<uint32_t>(sx / sy);
+      break;
+    case Op::kDivu: r = (y == 0) ? 0xffffffffu : x / y; break;
+    case Op::kRem:
+      r = (y == 0) ? x : (x == 0x80000000u && y == 0xffffffffu) ? 0 : static_cast<uint32_t>(sx % sy);
+      break;
+    case Op::kRemu: r = (y == 0) ? x : x % y; break;
+    default: break;
+  }
+  // Taint propagates through every datapath operation (immediates are clean).
+  uint32_t taint = (a.taint != 0 || b.taint != 0) ? 0xffffffffu : 0;
+  // Immediate-only ops do not read rs2.
+  bool uses_rs2 = op == Op::kAdd || op == Op::kSub || op == Op::kSll || op == Op::kSlt ||
+                  op == Op::kSltu || op == Op::kXor || op == Op::kSrl || op == Op::kSra ||
+                  op == Op::kOr || op == Op::kAnd || riscv::IsMulDiv(op);
+  if (!uses_rs2) {
+    taint = a.taint != 0 ? 0xffffffffu : 0;
+  }
+  return Word{r, taint};
+}
+
+}  // namespace
+
+ExecOutcome ExecuteOne(ExecState& state, const Instr& in, Bus& bus) {
+  ExecOutcome out;
+  out.next_pc = state.pc + 4;
+  Word rs1 = state.regs[in.rs1];
+  Word rs2 = state.regs[in.rs2];
+  out.rs2_bits = rs2.bits;
+  // Data-dependent multiplier latency models key on operand magnitude; expose the
+  // union of both operands so either secret operand perturbs the timing.
+  if (riscv::IsMulDiv(in.op)) {
+    out.rs2_bits = rs1.bits | rs2.bits;
+  }
+  out.operands_tainted = rs1.AnyTaint() || rs2.AnyTaint();
+  bool tracking = bus.taint_tracking();
+
+  switch (in.op) {
+    case Op::kLui:
+    case Op::kAuipc:
+    case Op::kAddi:
+    case Op::kSlti:
+    case Op::kSltiu:
+    case Op::kXori:
+    case Op::kOri:
+    case Op::kAndi:
+    case Op::kSlli:
+    case Op::kSrli:
+    case Op::kSrai:
+    case Op::kAdd:
+    case Op::kSub:
+    case Op::kSll:
+    case Op::kSlt:
+    case Op::kSltu:
+    case Op::kXor:
+    case Op::kSrl:
+    case Op::kSra:
+    case Op::kOr:
+    case Op::kAnd:
+      state.SetReg(in.rd, Alu(in.op, rs1, rs2, in.imm, state.pc));
+      out.cls = ExecClass::kAlu;
+      break;
+    case Op::kMul:
+    case Op::kMulh:
+    case Op::kMulhsu:
+    case Op::kMulhu:
+      if (tracking && out.operands_tainted) {
+        // Only a policy violation on hardware with data-dependent multiply timing; the
+        // CPU timing model decides, but we record the operand taint site here.
+        bus.RecordLeak(state.pc, "multiply with tainted operand");
+      }
+      state.SetReg(in.rd, Alu(in.op, rs1, rs2, in.imm, state.pc));
+      out.cls = ExecClass::kMul;
+      break;
+    case Op::kDiv:
+    case Op::kDivu:
+    case Op::kRem:
+    case Op::kRemu:
+      if (tracking && out.operands_tainted) {
+        bus.RecordLeak(state.pc, "divide with tainted operand");
+      }
+      state.SetReg(in.rd, Alu(in.op, rs1, rs2, in.imm, state.pc));
+      out.cls = ExecClass::kDiv;
+      break;
+    case Op::kJal:
+      state.SetReg(in.rd, Word::Clean(state.pc + 4));
+      out.next_pc = state.pc + static_cast<uint32_t>(in.imm);
+      out.cls = ExecClass::kJump;
+      break;
+    case Op::kJalr: {
+      if (tracking && rs1.AnyTaint()) {
+        bus.RecordLeak(state.pc, "jump target derived from secret");
+      }
+      uint32_t target = (rs1.bits + static_cast<uint32_t>(in.imm)) & ~1u;
+      state.SetReg(in.rd, Word::Clean(state.pc + 4));
+      out.next_pc = target;
+      out.cls = ExecClass::kJump;
+      break;
+    }
+    case Op::kBeq:
+    case Op::kBne:
+    case Op::kBlt:
+    case Op::kBge:
+    case Op::kBltu:
+    case Op::kBgeu: {
+      if (tracking && out.operands_tainted) {
+        bus.RecordLeak(state.pc, "branch on secret-derived condition");
+      }
+      bool taken = false;
+      int32_t s1 = static_cast<int32_t>(rs1.bits);
+      int32_t s2 = static_cast<int32_t>(rs2.bits);
+      switch (in.op) {
+        case Op::kBeq: taken = rs1.bits == rs2.bits; break;
+        case Op::kBne: taken = rs1.bits != rs2.bits; break;
+        case Op::kBlt: taken = s1 < s2; break;
+        case Op::kBge: taken = s1 >= s2; break;
+        case Op::kBltu: taken = rs1.bits < rs2.bits; break;
+        case Op::kBgeu: taken = rs1.bits >= rs2.bits; break;
+        default: break;
+      }
+      if (taken) {
+        out.next_pc = state.pc + static_cast<uint32_t>(in.imm);
+        out.cls = ExecClass::kBranchTaken;
+      } else {
+        out.cls = ExecClass::kBranchNotTaken;
+      }
+      break;
+    }
+    case Op::kLb:
+    case Op::kLh:
+    case Op::kLw:
+    case Op::kLbu:
+    case Op::kLhu: {
+      if (tracking && rs1.AnyTaint()) {
+        bus.RecordLeak(state.pc, "load address derived from secret");
+      }
+      uint32_t addr = rs1.bits + static_cast<uint32_t>(in.imm);
+      uint32_t size = (in.op == Op::kLw) ? 4 : (in.op == Op::kLh || in.op == Op::kLhu) ? 2 : 1;
+      Word value;
+      if ((addr & (size - 1)) != 0 || !bus.Read(addr, size, &value)) {
+        state.halted = true;
+        state.fault = "bus error on load";
+        out.cls = ExecClass::kFault;
+        return out;
+      }
+      uint32_t bits = value.bits;
+      if (in.op == Op::kLb) {
+        bits = static_cast<uint32_t>(static_cast<int32_t>(static_cast<int8_t>(bits)));
+      } else if (in.op == Op::kLh) {
+        bits = static_cast<uint32_t>(static_cast<int32_t>(static_cast<int16_t>(bits)));
+      }
+      state.SetReg(in.rd, Word{bits, value.taint != 0 ? 0xffffffffu : 0});
+      out.cls = ExecClass::kLoad;
+      break;
+    }
+    case Op::kSb:
+    case Op::kSh:
+    case Op::kSw: {
+      if (tracking && rs1.AnyTaint()) {
+        bus.RecordLeak(state.pc, "store address derived from secret");
+      }
+      uint32_t addr = rs1.bits + static_cast<uint32_t>(in.imm);
+      uint32_t size = (in.op == Op::kSw) ? 4 : (in.op == Op::kSh) ? 2 : 1;
+      if ((addr & (size - 1)) != 0 || !bus.Write(addr, size, rs2)) {
+        state.halted = true;
+        state.fault = "bus error on store";
+        out.cls = ExecClass::kFault;
+        return out;
+      }
+      out.cls = ExecClass::kStore;
+      break;
+    }
+    case Op::kFence:
+      out.cls = ExecClass::kAlu;
+      break;
+    case Op::kEcall:
+    case Op::kEbreak:
+      state.halted = true;
+      out.cls = ExecClass::kHalt;
+      break;
+  }
+  state.last_retired_pc = state.pc;
+  state.pc = out.next_pc;
+  state.retired++;
+  return out;
+}
+
+}  // namespace parfait::soc

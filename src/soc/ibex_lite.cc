@@ -1,0 +1,158 @@
+#include "src/soc/cpu.h"
+
+namespace parfait::soc {
+
+namespace {
+
+// 2-stage pipelined core: IF fetches into a one-entry instruction buffer; ID/EX
+// executes from it. Timing model:
+//   ALU / fence / not-taken branch     1 cycle
+//   load / store                       2 cycles (1-cycle memory stall)
+//   taken branch / jump                2 cycles (fetch bubble after redirect)
+//   multiply                           mul_cycles (default 3), or 1 + bytes(rs2) when
+//                                      variable_latency_mul is set (the §7.2 hardware
+//                                      timing bug)
+//   divide                             37 cycles
+class IbexLite final : public Cpu {
+ public:
+  explicit IbexLite(const CpuConfig& config) : config_(config) {}
+
+  void Reset(uint32_t pc) override {
+    state_ = ExecState{};
+    state_.pc = pc;
+    pc_if_ = pc;
+    id_valid_ = false;
+    busy_ = 0;
+    hazard_reg_ = 0;
+  }
+
+  void Cycle(Bus& bus) override {
+    if (state_.halted) {
+      return;
+    }
+    // Multi-cycle stall (memory wait states, iterative multiply/divide).
+    if (busy_ > 0) {
+      busy_--;
+      return;
+    }
+    bool redirect = false;
+    if (id_valid_) {
+      const riscv::Instr* instr = bus.Fetch(id_pc_, nullptr);
+      if (instr == nullptr) {
+        state_.halted = true;
+        state_.fault = "undecodable instruction in ID/EX";
+        return;
+      }
+      // The execute stage operates on the buffered instruction; state_.pc tracks it.
+      state_.pc = id_pc_;
+      // Injected pipeline bug: if the previous instruction was a load and this one
+      // reads its destination, substitute the stale (pre-load) value.
+      rtl::Word saved{};
+      bool substituted = false;
+      if (config_.load_use_hazard_bug && hazard_reg_ != 0 &&
+          (instr->rs1 == hazard_reg_ || instr->rs2 == hazard_reg_)) {
+        saved = state_.regs[hazard_reg_];
+        state_.regs[hazard_reg_] = hazard_stale_;
+        substituted = true;
+      }
+      uint8_t load_rd = riscv::IsLoad(instr->op) ? instr->rd : 0;
+      rtl::Word pre_load_value = load_rd != 0 ? state_.regs[load_rd] : rtl::Word{};
+      ExecOutcome out = ExecuteOne(state_, *instr, bus);
+      if (substituted) {
+        // The stale read already happened; restore the architecturally correct value
+        // unless this instruction overwrote the register itself.
+        if (instr->rd != hazard_reg_) {
+          state_.regs[hazard_reg_] = saved;
+        }
+      }
+      hazard_reg_ = load_rd;
+      hazard_stale_ = pre_load_value;
+      id_valid_ = false;
+      switch (out.cls) {
+        case ExecClass::kAlu:
+        case ExecClass::kBranchNotTaken:
+          break;
+        case ExecClass::kLoad:
+        case ExecClass::kStore:
+          busy_ = 1;
+          break;
+        case ExecClass::kBranchTaken:
+        case ExecClass::kJump:
+          redirect = true;
+          break;
+        case ExecClass::kMul: {
+          int latency = config_.mul_cycles;
+          if (config_.variable_latency_mul) {
+            // Early-terminating multiplier: latency grows with the magnitude of the
+            // second operand (the ARM Cortex-M3 behaviour cited in the paper's intro).
+            uint32_t b = out.rs2_bits;
+            latency = 1;
+            while (b != 0) {
+              latency++;
+              b >>= 8;
+            }
+          }
+          busy_ = latency > 0 ? latency - 1 : 0;
+          break;
+        }
+        case ExecClass::kDiv:
+          busy_ = 36;
+          break;
+        case ExecClass::kHalt:
+        case ExecClass::kFault:
+          return;
+      }
+      if (redirect) {
+        pc_if_ = state_.pc;  // ExecuteOne set the architectural pc to the target.
+        return;              // Fetch bubble: the buffer refills next cycle.
+      }
+    }
+    // IF stage: refill the instruction buffer.
+    uint32_t raw = 0;
+    if (bus.Fetch(pc_if_, &raw) == nullptr) {
+      // Leave the buffer invalid; executing this pc will fault if ever reached.
+      id_word_ = 0;
+      id_pc_ = pc_if_;
+      id_valid_ = true;  // Execute stage reports the decode fault.
+      return;
+    }
+    id_word_ = raw;
+    id_pc_ = pc_if_;
+    id_valid_ = true;
+    pc_if_ += 4;
+  }
+
+  const char* name() const override { return "IbexLite"; }
+  bool halted() const override { return state_.halted; }
+  const std::string& fault() const override { return state_.fault; }
+
+  bool instr_valid_id() const override { return id_valid_ && busy_ == 0; }
+  uint32_t instr_rdata_id() const override { return id_word_; }
+  uint32_t instr_pc_id() const override { return id_pc_; }
+
+  rtl::Word reg(uint8_t index) const override { return state_.regs[index]; }
+  void set_reg(uint8_t index, rtl::Word value) override { state_.SetReg(index, value); }
+  uint32_t pc() const override { return state_.pc; }
+
+  uint64_t retired() const override { return state_.retired; }
+  uint32_t last_retired_pc() const override { return state_.last_retired_pc; }
+
+ private:
+  CpuConfig config_;
+  ExecState state_;
+  uint32_t pc_if_ = 0;
+  bool id_valid_ = false;
+  uint32_t id_word_ = 0;
+  uint32_t id_pc_ = 0;
+  int busy_ = 0;
+  uint8_t hazard_reg_ = 0;      // Destination of the previously executed load.
+  rtl::Word hazard_stale_{};    // Its pre-load value (for the injected hazard bug).
+};
+
+}  // namespace
+
+std::unique_ptr<Cpu> MakeIbexLite(const CpuConfig& config) {
+  return std::make_unique<IbexLite>(config);
+}
+
+}  // namespace parfait::soc

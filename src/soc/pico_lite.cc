@@ -1,0 +1,125 @@
+#include "src/soc/cpu.h"
+
+namespace parfait::soc {
+
+namespace {
+
+// Size-optimized multi-cycle core: a PicoRV32-style FSM that spends a dedicated fetch
+// cycle on every instruction, then executes with additional wait states:
+//   fetch                              1 cycle (every instruction)
+//   ALU / fence / not-taken branch     +1 cycle
+//   load                               +3 cycles
+//   store                              +2 cycles
+//   taken branch / jump                +2 cycles
+//   multiply                           +32 cycles (shift-and-add)
+//   divide                             +38 cycles
+// Much higher CPI than IbexLite, but each simulated cycle is cheaper — reproducing the
+// paper's Table 4 observation that PicoRV32 verification runs at higher cycles/s yet
+// longer wall-clock.
+class PicoLite final : public Cpu {
+ public:
+  explicit PicoLite(const CpuConfig& config) { (void)config; }
+
+  void Reset(uint32_t pc) override {
+    state_ = ExecState{};
+    state_.pc = pc;
+    phase_ = Phase::kFetch;
+    wait_ = 0;
+  }
+
+  void Cycle(Bus& bus) override {
+    if (state_.halted) {
+      return;
+    }
+    switch (phase_) {
+      case Phase::kFetch: {
+        uint32_t raw = 0;
+        const riscv::Instr* instr = bus.Fetch(state_.pc, &raw);
+        fetched_word_ = raw;
+        fetched_pc_ = state_.pc;
+        fetched_ = instr;
+        phase_ = Phase::kExecute;
+        break;
+      }
+      case Phase::kExecute: {
+        if (fetched_ == nullptr) {
+          state_.halted = true;
+          state_.fault = "undecodable instruction";
+          return;
+        }
+        ExecOutcome out = ExecuteOne(state_, *fetched_, bus);
+        int extra = 0;
+        switch (out.cls) {
+          case ExecClass::kAlu:
+          case ExecClass::kBranchNotTaken:
+            extra = 0;
+            break;
+          case ExecClass::kLoad:
+            extra = 2;
+            break;
+          case ExecClass::kStore:
+            extra = 1;
+            break;
+          case ExecClass::kBranchTaken:
+          case ExecClass::kJump:
+            extra = 1;
+            break;
+          case ExecClass::kMul:
+            extra = 31;
+            break;
+          case ExecClass::kDiv:
+            extra = 37;
+            break;
+          case ExecClass::kHalt:
+          case ExecClass::kFault:
+            return;
+        }
+        if (extra > 0) {
+          wait_ = extra;
+          phase_ = Phase::kWait;
+        } else {
+          phase_ = Phase::kFetch;
+        }
+        break;
+      }
+      case Phase::kWait:
+        if (--wait_ == 0) {
+          phase_ = Phase::kFetch;
+        }
+        break;
+    }
+  }
+
+  const char* name() const override { return "PicoLite"; }
+  bool halted() const override { return state_.halted; }
+  const std::string& fault() const override { return state_.fault; }
+
+  bool instr_valid_id() const override { return phase_ == Phase::kExecute; }
+  uint32_t instr_rdata_id() const override { return fetched_word_; }
+  uint32_t instr_pc_id() const override { return fetched_pc_; }
+
+  rtl::Word reg(uint8_t index) const override { return state_.regs[index]; }
+  void set_reg(uint8_t index, rtl::Word value) override { state_.SetReg(index, value); }
+  uint32_t pc() const override { return state_.pc; }
+
+  uint64_t retired() const override { return state_.retired; }
+  uint32_t last_retired_pc() const override { return state_.last_retired_pc; }
+
+ private:
+  enum class Phase : uint8_t { kFetch, kExecute, kWait };
+
+  ExecState state_;
+  Phase phase_ = Phase::kFetch;
+  int wait_ = 0;
+  const riscv::Instr* fetched_ = nullptr;
+  uint32_t fetched_word_ = 0;
+  uint32_t fetched_pc_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<Cpu> MakePicoLite(const CpuConfig& config) {
+  return std::make_unique<PicoLite>(config);
+}
+
+}  // namespace parfait::soc

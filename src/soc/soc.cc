@@ -1,0 +1,75 @@
+#include "src/soc/soc.h"
+
+#include "src/support/status.h"
+
+namespace parfait::soc {
+
+const char* CpuKindName(CpuKind kind) {
+  return kind == CpuKind::kIbexLite ? "IbexLite" : "PicoLite";
+}
+
+Soc::Soc(const riscv::Image& image, const SocConfig& config)
+    : image_(image), config_(config), bus_(config.bus) {
+  bus_.LoadRom(image.rom);
+  bus_.set_taint_tracking(config.taint_tracking);
+  cpu_ = config.cpu_kind == CpuKind::kIbexLite ? MakeIbexLite(config.cpu)
+                                               : MakePicoLite(config.cpu);
+  cpu_->Reset(image.SymbolOrDie("_start"));
+}
+
+rtl::WireSample Soc::Tick(const rtl::WireInput& in) {
+  bus_.BeginCycle(in);
+  cpu_->Cycle(bus_);
+  cycles_++;
+  return bus_.EndCycle();
+}
+
+rtl::WireSample WireHost::Step(const rtl::WireInput& in) {
+  rtl::WireSample s = soc_->Tick(in);
+  trace_.push_back(s);
+  last_sample_ = s;
+  return s;
+}
+
+void WireHost::RunIdle(uint64_t cycles) {
+  rtl::WireInput idle;
+  for (uint64_t i = 0; i < cycles; i++) {
+    Step(idle);
+  }
+}
+
+std::optional<Bytes> WireHost::Transact(std::span<const uint8_t> command, size_t response_size,
+                                        uint64_t max_cycles) {
+  uint64_t budget = max_cycles;
+  Bytes response;
+  size_t sent = 0;
+  // The host presents each command byte until the device's rx_ready indicates it was
+  // latched, then moves on; response bytes are collected from the tx handshake. Note
+  // rx_ready in the *previous* cycle's sample tells whether the byte we present this
+  // cycle will be accepted.
+  while (budget-- > 0) {
+    rtl::WireInput in;
+    in.tx_ready = true;
+    bool offering = sent < command.size() && last_sample_.rx_ready;
+    if (offering) {
+      in.rx_valid = true;
+      in.rx_data = command[sent];
+    }
+    rtl::WireSample s = Step(in);
+    if (offering) {
+      sent++;
+    }
+    if (s.tx_valid) {
+      response.push_back(s.tx_data);
+      if (response.size() == response_size) {
+        return response;
+      }
+    }
+    if (soc_->cpu().halted()) {
+      return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace parfait::soc

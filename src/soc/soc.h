@@ -1,0 +1,85 @@
+// SoC top level: CPU + bus + peripherals, plus the host-side wire driver.
+//
+// A Soc instance is the unit that the paper calls "the circuit": firmware in ROM,
+// volatile RAM, persistent FRAM, a UART, and one of the two CPUs, advanced one clock
+// cycle at a time under adversary-controlled wire inputs. Power-cycling (for crash
+// safety, figure 9) is modeled by constructing a fresh Soc with the previous FRAM
+// contents.
+#ifndef PARFAIT_SOC_SOC_H_
+#define PARFAIT_SOC_SOC_H_
+
+#include <memory>
+#include <optional>
+
+#include "src/riscv/assembler.h"
+#include "src/soc/bus.h"
+#include "src/soc/cpu.h"
+
+namespace parfait::soc {
+
+enum class CpuKind : uint8_t { kIbexLite, kPicoLite };
+
+const char* CpuKindName(CpuKind kind);
+
+struct SocConfig {
+  BusConfig bus;
+  CpuConfig cpu;
+  CpuKind cpu_kind = CpuKind::kIbexLite;
+  bool taint_tracking = false;
+};
+
+class Soc {
+ public:
+  // Builds the SoC with the firmware image in ROM and resets the CPU at the image's
+  // `_start` symbol. FRAM starts zeroed unless loaded explicitly.
+  Soc(const riscv::Image& image, const SocConfig& config);
+
+  // Advances one clock cycle under the given wire inputs; returns the output wires.
+  rtl::WireSample Tick(const rtl::WireInput& in);
+
+  uint64_t cycles() const { return cycles_; }
+  Bus& bus() { return bus_; }
+  const Bus& bus() const { return bus_; }
+  Cpu& cpu() { return *cpu_; }
+  const Cpu& cpu() const { return *cpu_; }
+  const riscv::Image& image() const { return image_; }
+
+ private:
+  riscv::Image image_;
+  SocConfig config_;
+  Bus bus_;
+  std::unique_ptr<Cpu> cpu_;
+  uint64_t cycles_ = 0;
+};
+
+// Host-side driver for the byte-handshake wire protocol (the circuit-level driver of
+// section 5.2): sends a fixed-size command, then collects the fixed-size response.
+// Records the full wire trace for IPR comparisons.
+class WireHost {
+ public:
+  explicit WireHost(Soc* soc) : soc_(soc) {
+    last_sample_.rx_ready = true;  // The UART rx buffer is empty at reset.
+  }
+
+  // Runs the SoC for exactly `cycles` with idle inputs.
+  void RunIdle(uint64_t cycles);
+
+  // Sends `command` byte-by-byte (respecting rx_ready flow control), then reads
+  // `response_size` bytes from the tx stream. Returns std::nullopt on timeout.
+  std::optional<Bytes> Transact(std::span<const uint8_t> command, size_t response_size,
+                                uint64_t max_cycles);
+
+  const rtl::WireTrace& trace() const { return trace_; }
+  void ClearTrace() { trace_.clear(); }
+
+ private:
+  rtl::WireSample Step(const rtl::WireInput& in);
+
+  Soc* soc_;
+  rtl::WireTrace trace_;
+  rtl::WireSample last_sample_;
+};
+
+}  // namespace parfait::soc
+
+#endif  // PARFAIT_SOC_SOC_H_

@@ -1,0 +1,149 @@
+#include "src/starling/starling.h"
+
+#include <cstring>
+
+#include "src/support/rng.h"
+
+namespace parfait::starling {
+
+namespace {
+
+using hsm::App;
+
+constexpr size_t kGuardSize = 64;
+constexpr uint8_t kGuardByte = 0xc3;
+
+// A buffer with guard zones on both sides (the memory-safety oracle standing in for
+// Low*'s Stack-effect type checking).
+class GuardedBuffer {
+ public:
+  GuardedBuffer(const Bytes& contents)
+      : storage_(contents.size() + 2 * kGuardSize, kGuardByte) {
+    std::memcpy(storage_.data() + kGuardSize, contents.data(), contents.size());
+    payload_size_ = contents.size();
+  }
+
+  uint8_t* data() { return storage_.data() + kGuardSize; }
+  Bytes payload() const {
+    return Bytes(storage_.begin() + kGuardSize, storage_.begin() + kGuardSize + payload_size_);
+  }
+  bool GuardsIntact() const {
+    for (size_t i = 0; i < kGuardSize; i++) {
+      if (storage_[i] != kGuardByte ||
+          storage_[kGuardSize + payload_size_ + i] != kGuardByte) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  Bytes storage_;
+  size_t payload_size_;
+};
+
+struct HandleRun {
+  Bytes state;
+  Bytes response;
+  bool guards_ok;
+};
+
+HandleRun RunHandle(const App& app, const Bytes& state, const Bytes& command) {
+  GuardedBuffer st(state);
+  GuardedBuffer cmd(command);
+  GuardedBuffer resp(Bytes(app.response_size(), 0));
+  app.NativeHandle(st.data(), cmd.data(), resp.data());
+  return HandleRun{st.payload(), resp.payload(),
+                   st.GuardsIntact() && cmd.GuardsIntact() && resp.GuardsIntact()};
+}
+
+}  // namespace
+
+StarlingReport CheckApp(const App& app, const StarlingOptions& options) {
+  StarlingReport report;
+  Rng rng(options.seed);
+  auto fail = [&](const std::string& what) {
+    report.ok = false;
+    report.failure = std::string(app.name()) + ": " + what;
+    return report;
+  };
+
+  // Figure 6(a) from arbitrary (not just reachable) related states: the lockstep
+  // property quantifies over every state related by R, and every byte string is a
+  // valid state encoding for our apps.
+  for (int i = 0; i < options.valid_trials; i++) {
+    Bytes state = rng.RandomBytes(app.state_size());
+    Bytes command = app.RandomValidCommand(rng);
+    auto spec = app.SpecStepEncoded(state, command);
+    if (!spec.has_value()) {
+      return fail("RandomValidCommand produced an undecodable command");
+    }
+    HandleRun run = RunHandle(app, state, command);
+    report.checks_run++;
+    if (!run.guards_ok) {
+      return fail("guard zone clobbered (memory safety violation)");
+    }
+    if (run.state != spec->first) {
+      return fail("figure 6(a): post-state diverges from the specification");
+    }
+    if (run.response != spec->second) {
+      return fail("figure 6(a): response diverges from the specification");
+    }
+    // Determinism: a second run must be byte-identical.
+    HandleRun again = RunHandle(app, state, command);
+    if (again.state != run.state || again.response != run.response) {
+      return fail("handle() is not deterministic");
+    }
+  }
+
+  // Figure 6(b): undecodable commands leave the state untouched and answer with the
+  // canonical None response.
+  for (int i = 0; i < options.invalid_trials; i++) {
+    Bytes state = rng.RandomBytes(app.state_size());
+    Bytes command = app.RandomInvalidCommand(rng);
+    if (app.SpecStepEncoded(state, command).has_value()) {
+      return fail("RandomInvalidCommand produced a decodable command");
+    }
+    HandleRun run = RunHandle(app, state, command);
+    report.checks_run++;
+    if (!run.guards_ok) {
+      return fail("guard zone clobbered on an invalid command");
+    }
+    if (run.state != state) {
+      return fail("figure 6(b): state changed on an undecodable command");
+    }
+    if (run.response != app.EncodeResponseNone()) {
+      return fail("figure 6(b): non-canonical response to an undecodable command");
+    }
+  }
+
+  // Reachable-state sequences from the initial state (catches stateful drift that
+  // single-step checks from random states could miss, e.g. counter handling).
+  for (int t = 0; t < options.sequence_trials; t++) {
+    Bytes state = app.InitStateEncoded();
+    for (int i = 0; i < options.sequence_length; i++) {
+      Bytes command =
+          rng.Below(5) == 0 ? app.RandomInvalidCommand(rng) : app.RandomValidCommand(rng);
+      auto spec = app.SpecStepEncoded(state, command);
+      HandleRun run = RunHandle(app, state, command);
+      report.checks_run++;
+      if (!run.guards_ok) {
+        return fail("guard zone clobbered in a sequence");
+      }
+      if (spec.has_value()) {
+        if (run.state != spec->first || run.response != spec->second) {
+          return fail("sequence step diverges from the specification");
+        }
+        state = spec->first;
+      } else {
+        if (run.state != state || run.response != app.EncodeResponseNone()) {
+          return fail("sequence None-case diverges");
+        }
+      }
+    }
+  }
+
+  return report;
+}
+
+}  // namespace parfait::starling

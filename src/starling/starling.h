@@ -1,0 +1,42 @@
+// Starling: the software-verification framework (section 4).
+//
+// The paper encodes the lockstep property as the pre/postcondition of the Low* handle
+// function (figure 7) and discharges it with F*. Here the same property is discharged
+// by machine-checked property testing against the natively compiled firmware handle:
+//   - figure 6(a): on decodable commands, handle() transforms the encoded state and
+//     produces the encoded response that the specification step dictates;
+//   - figure 6(b): on undecodable commands, the state is byte-identical and the
+//     response is the canonical encode_response(None);
+//   - memory safety (the Stack-effect guarantees of Low*): handle() never touches
+//     bytes outside its three buffers, checked with guard zones;
+//   - determinism: the response is a function of (state, command) alone.
+#ifndef PARFAIT_STARLING_STARLING_H_
+#define PARFAIT_STARLING_STARLING_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/hsm/app.h"
+
+namespace parfait::starling {
+
+struct StarlingOptions {
+  int valid_trials = 32;      // Figure 6(a) checks.
+  int invalid_trials = 64;    // Figure 6(b) checks.
+  int sequence_trials = 4;    // Multi-step reachable-state sequences.
+  int sequence_length = 8;
+  uint64_t seed = 1234;
+};
+
+struct StarlingReport {
+  bool ok = true;
+  std::string failure;
+  int checks_run = 0;
+};
+
+// Runs the full Starling check suite for an application.
+StarlingReport CheckApp(const hsm::App& app, const StarlingOptions& options = {});
+
+}  // namespace parfait::starling
+
+#endif  // PARFAIT_STARLING_STARLING_H_

@@ -1,0 +1,54 @@
+// Byte-buffer utilities shared across the Parfait reproduction.
+//
+// Every level of abstraction below the application specification traffics in raw byte
+// buffers (the paper's `bytes` I/O type, table 1), so these helpers are used everywhere:
+// hex round-tripping for test vectors, little/big-endian packing for the wire protocol
+// and crypto code, and constant-time comparison for the leakage-sensitive paths.
+#ifndef PARFAIT_SUPPORT_BYTES_H_
+#define PARFAIT_SUPPORT_BYTES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace parfait {
+
+using Bytes = std::vector<uint8_t>;
+
+// Parses a hex string ("deadbeef", case-insensitive, optional "0x" prefix) into bytes.
+// Aborts on malformed input; intended for literals in tests and tools.
+Bytes FromHex(std::string_view hex);
+
+// Formats bytes as lowercase hex.
+std::string ToHex(std::span<const uint8_t> data);
+
+// Little-endian packing (the RISC-V side of the system is little-endian).
+uint32_t LoadLe32(const uint8_t* p);
+uint64_t LoadLe64(const uint8_t* p);
+void StoreLe32(uint8_t* p, uint32_t v);
+void StoreLe64(uint8_t* p, uint64_t v);
+
+// Big-endian packing (crypto serialization: SHA-256 schedules, P-256 field elements).
+uint32_t LoadBe32(const uint8_t* p);
+uint64_t LoadBe64(const uint8_t* p);
+void StoreBe32(uint8_t* p, uint32_t v);
+void StoreBe64(uint8_t* p, uint64_t v);
+
+// Constant-time equality: runtime does not depend on where the buffers differ.
+// Returns true iff a and b have equal length and contents.
+bool ConstantTimeEqual(std::span<const uint8_t> a, std::span<const uint8_t> b);
+
+// Constant-time select: writes (mask ? a : b) into out, where mask is 0x00 or 0xff per
+// byte semantics. Used by the ECDSA error-masking trick (paper section 7.1).
+void ConstantTimeSelect(uint8_t mask, std::span<const uint8_t> a, std::span<const uint8_t> b,
+                        std::span<uint8_t> out);
+
+// Concatenates buffers.
+Bytes Concat(std::span<const uint8_t> a, std::span<const uint8_t> b);
+
+}  // namespace parfait
+
+#endif  // PARFAIT_SUPPORT_BYTES_H_

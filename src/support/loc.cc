@@ -1,0 +1,54 @@
+#include "src/support/loc.h"
+
+#include <fstream>
+
+namespace parfait {
+
+size_t CountLoc(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return 0;
+  }
+  size_t count = 0;
+  bool in_block_comment = false;
+  std::string line;
+  while (std::getline(in, line)) {
+    bool has_code = false;
+    for (size_t i = 0; i < line.size(); i++) {
+      if (in_block_comment) {
+        if (line[i] == '*' && i + 1 < line.size() && line[i + 1] == '/') {
+          in_block_comment = false;
+          i++;
+        }
+        continue;
+      }
+      char c = line[i];
+      if (c == ' ' || c == '\t' || c == '\r') {
+        continue;
+      }
+      if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') {
+        break;  // Rest of line is a comment.
+      }
+      if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
+        in_block_comment = true;
+        i++;
+        continue;
+      }
+      has_code = true;
+    }
+    if (has_code) {
+      count++;
+    }
+  }
+  return count;
+}
+
+size_t CountLocAll(const std::vector<std::string>& paths) {
+  size_t total = 0;
+  for (const auto& p : paths) {
+    total += CountLoc(p);
+  }
+  return total;
+}
+
+}  // namespace parfait

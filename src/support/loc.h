@@ -1,0 +1,19 @@
+// Line-of-code counting, used by the Table 2 reproduction (developer-effort inventory).
+#ifndef PARFAIT_SUPPORT_LOC_H_
+#define PARFAIT_SUPPORT_LOC_H_
+
+#include <string>
+#include <vector>
+
+namespace parfait {
+
+// Counts non-blank, non-comment lines in a file. Understands //, /* */, and # comments
+// well enough for the C++/MiniC sources in this repository. Returns 0 if unreadable.
+size_t CountLoc(const std::string& path);
+
+// Sums CountLoc over files; missing files count as 0.
+size_t CountLocAll(const std::vector<std::string>& paths);
+
+}  // namespace parfait
+
+#endif  // PARFAIT_SUPPORT_LOC_H_

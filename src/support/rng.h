@@ -1,0 +1,59 @@
+// Deterministic pseudo-random generator for property-based checking.
+//
+// All of the Parfait checkers (Starling lockstep checks, Knox2 wire-equivalence checks,
+// IPR distinguisher search) are randomized; determinism given a seed makes failures
+// reproducible, which the paper's "development cycle" discussion (section 8.1) relies on.
+#ifndef PARFAIT_SUPPORT_RNG_H_
+#define PARFAIT_SUPPORT_RNG_H_
+
+#include <cstdint>
+#include <span>
+
+#include "src/support/bytes.h"
+
+namespace parfait {
+
+// SplitMix64-based generator: tiny, fast, and good enough for test-case generation.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next64() {
+    state_ += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  uint32_t Next32() { return static_cast<uint32_t>(Next64()); }
+
+  // Uniform in [0, bound). bound must be nonzero.
+  uint64_t Below(uint64_t bound) { return Next64() % bound; }
+
+  bool Bool() { return (Next64() & 1) != 0; }
+
+  uint8_t Byte() { return static_cast<uint8_t>(Next64()); }
+
+  void Fill(std::span<uint8_t> out) {
+    for (auto& b : out) {
+      b = Byte();
+    }
+  }
+
+  Bytes RandomBytes(size_t n) {
+    Bytes out(n);
+    Fill(out);
+    return out;
+  }
+
+  // Forks an independent stream (used when a checker spawns sub-generators).
+  Rng Fork() { return Rng(Next64() ^ 0xa5a5a5a5deadbeefULL); }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace parfait
+
+#endif  // PARFAIT_SUPPORT_RNG_H_

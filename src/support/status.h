@@ -1,0 +1,68 @@
+// Minimal error-reporting vocabulary used across the toolchain components.
+//
+// The compiler, assembler, and checkers report rich diagnostics; the simulators use
+// hard invariant checks (CHECK) because a violated invariant there indicates a bug in
+// this repository, not in user input.
+#ifndef PARFAIT_SUPPORT_STATUS_H_
+#define PARFAIT_SUPPORT_STATUS_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace parfait {
+
+// Aborts with a message if cond is false. For internal invariants only.
+#define PARFAIT_CHECK(cond)                                                            \
+  do {                                                                                 \
+    if (!(cond)) {                                                                     \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__, __LINE__, #cond);  \
+      std::abort();                                                                    \
+    }                                                                                  \
+  } while (0)
+
+#define PARFAIT_CHECK_MSG(cond, ...)                                                   \
+  do {                                                                                 \
+    if (!(cond)) {                                                                     \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s: ", __FILE__, __LINE__, #cond);  \
+      std::fprintf(stderr, __VA_ARGS__);                                               \
+      std::fprintf(stderr, "\n");                                                      \
+      std::abort();                                                                    \
+    }                                                                                  \
+  } while (0)
+
+// Result of a user-input-facing operation: either a value or a diagnostic string.
+template <typename T>
+class Result {
+ public:
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit by design, mirrors expected<>.
+  Result(T value) : value_(std::move(value)) {}
+
+  static Result Error(std::string message) {
+    Result r;
+    r.error_ = std::move(message);
+    return r;
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const T& value() const& {
+    PARFAIT_CHECK_MSG(ok(), "Result::value on error: %s", error_.c_str());
+    return *value_;
+  }
+  T&& value() && {
+    PARFAIT_CHECK_MSG(ok(), "Result::value on error: %s", error_.c_str());
+    return std::move(*value_);
+  }
+  const std::string& error() const { return error_; }
+
+ private:
+  Result() = default;
+  std::optional<T> value_;
+  std::string error_;
+};
+
+}  // namespace parfait
+
+#endif  // PARFAIT_SUPPORT_STATUS_H_

@@ -1,0 +1,250 @@
+#include <gtest/gtest.h>
+
+#include "src/riscv/assembler.h"
+#include "src/riscv/disasm.h"
+
+namespace parfait::riscv {
+namespace {
+
+Image Link(const std::string& src, uint32_t rom = 0, uint32_t ram = 0x20000000) {
+  auto program = ParseAssembly(src);
+  EXPECT_TRUE(program.ok()) << program.error();
+  auto image = program.value().Link(rom, ram);
+  EXPECT_TRUE(image.ok()) << image.error();
+  return image.value();
+}
+
+Instr DecodeAt(const Image& img, uint32_t addr) {
+  uint32_t word = LoadLe32(img.rom.data() + (addr - img.rom_base));
+  auto decoded = Decode(word);
+  EXPECT_TRUE(decoded.has_value());
+  return *decoded;
+}
+
+TEST(Assembler, BasicInstructionForms) {
+  Image img = Link(R"(
+    f:
+      add a0, a1, a2
+      addi t0, t1, -5
+      lw s1, 8(sp)
+      sw s1, -4(sp)
+      slli a0, a0, 3
+  )");
+  EXPECT_EQ(DecodeAt(img, 0), (Instr{Op::kAdd, 10, 11, 12, 0}));
+  EXPECT_EQ(DecodeAt(img, 4), (Instr{Op::kAddi, 5, 6, 0, -5}));
+  EXPECT_EQ(DecodeAt(img, 8), (Instr{Op::kLw, 9, 2, 0, 8}));
+  EXPECT_EQ(DecodeAt(img, 12), (Instr{Op::kSw, 0, 2, 9, -4}));
+  EXPECT_EQ(DecodeAt(img, 16), (Instr{Op::kSlli, 10, 10, 0, 3}));
+}
+
+TEST(Assembler, BranchTargetsResolve) {
+  Image img = Link(R"(
+    start:
+      beq a0, a1, done
+      nop
+    done:
+      ret
+  )");
+  Instr b = DecodeAt(img, 0);
+  EXPECT_EQ(b.op, Op::kBeq);
+  EXPECT_EQ(b.imm, 8);  // start+8 == done.
+}
+
+TEST(Assembler, BackwardBranch) {
+  Image img = Link(R"(
+    loop:
+      addi a0, a0, -1
+      bnez a0, loop
+  )");
+  Instr b = DecodeAt(img, 4);
+  EXPECT_EQ(b.op, Op::kBne);
+  EXPECT_EQ(b.imm, -4);
+}
+
+TEST(Assembler, HiLoRelocations) {
+  Image img = Link(R"(
+    f:
+      lui t0, %hi(var)
+      addi t0, t0, %lo(var)
+      ret
+    .data
+    var: .word 1
+  )");
+  Instr lui = DecodeAt(img, 0);
+  Instr addi = DecodeAt(img, 4);
+  uint32_t var = img.SymbolOrDie("var");
+  uint32_t reconstructed = static_cast<uint32_t>(lui.imm) + static_cast<uint32_t>(addi.imm);
+  EXPECT_EQ(reconstructed, var);
+}
+
+TEST(Assembler, HiLoWithNegativeLowPart) {
+  // An address whose low 12 bits exceed 0x7ff forces the %hi rounding compensation.
+  auto program = ParseAssembly(R"(
+    f:
+      lui t0, %hi(X)
+      addi t0, t0, %lo(X)
+    .equ X, 0x12345fff
+  )");
+  ASSERT_TRUE(program.ok());
+  auto image = program.value().Link(0, 0x20000000);
+  ASSERT_TRUE(image.ok());
+  Instr lui = DecodeAt(image.value(), 0);
+  Instr addi = DecodeAt(image.value(), 4);
+  EXPECT_EQ(static_cast<uint32_t>(lui.imm) + static_cast<uint32_t>(addi.imm), 0x12345fffu);
+  EXPECT_LT(addi.imm, 0);  // The compensation case.
+}
+
+TEST(Assembler, PseudoInstructions) {
+  Image img = Link(R"(
+    f:
+      nop
+      mv a0, a1
+      not a0, a0
+      neg a1, a0
+      seqz a2, a1
+      snez a3, a1
+      jr ra
+  )");
+  EXPECT_EQ(DecodeAt(img, 0), (Instr{Op::kAddi, 0, 0, 0, 0}));
+  EXPECT_EQ(DecodeAt(img, 4), (Instr{Op::kAddi, 10, 11, 0, 0}));
+  EXPECT_EQ(DecodeAt(img, 8), (Instr{Op::kXori, 10, 10, 0, -1}));
+  EXPECT_EQ(DecodeAt(img, 12), (Instr{Op::kSub, 11, 0, 10, 0}));
+  EXPECT_EQ(DecodeAt(img, 16), (Instr{Op::kSltiu, 12, 11, 0, 1}));
+  EXPECT_EQ(DecodeAt(img, 20), (Instr{Op::kSltu, 13, 0, 11, 0}));
+  EXPECT_EQ(DecodeAt(img, 24), (Instr{Op::kJalr, 0, 1, 0, 0}));
+}
+
+TEST(Assembler, LiExpansion) {
+  Image img = Link(R"(
+    f:
+      li a0, 100
+      li a1, 0x12345678
+  )");
+  // Small immediate: single addi.
+  EXPECT_EQ(DecodeAt(img, 0), (Instr{Op::kAddi, 10, 0, 0, 100}));
+  // Large: lui + addi.
+  EXPECT_EQ(DecodeAt(img, 4).op, Op::kLui);
+  EXPECT_EQ(DecodeAt(img, 8).op, Op::kAddi);
+}
+
+TEST(Assembler, SwappedBranchPseudos) {
+  Image img = Link(R"(
+    f:
+      bgt a0, a1, f
+      bleu a0, a1, f
+  )");
+  Instr bgt = DecodeAt(img, 0);
+  EXPECT_EQ(bgt.op, Op::kBlt);
+  EXPECT_EQ(bgt.rs1, 11);  // Operands swapped.
+  EXPECT_EQ(bgt.rs2, 10);
+  EXPECT_EQ(DecodeAt(img, 4).op, Op::kBgeu);
+}
+
+TEST(Assembler, DataDirectives) {
+  Image img = Link(R"(
+    .rodata
+    tbl: .word 1, 2, 0xdeadbeef
+    bs:  .byte 0x11, 0x22
+    .align 2
+    after: .word 5
+  )");
+  uint32_t tbl = img.SymbolOrDie("tbl");
+  EXPECT_EQ(LoadLe32(img.rom.data() + tbl), 1u);
+  EXPECT_EQ(LoadLe32(img.rom.data() + tbl + 8), 0xdeadbeefu);
+  uint32_t bs = img.SymbolOrDie("bs");
+  EXPECT_EQ(img.rom[bs], 0x11);
+  EXPECT_EQ(img.SymbolOrDie("after") % 4, 0u);
+}
+
+TEST(Assembler, WordSymbolEmitsAbsoluteAddress) {
+  Image img = Link(R"(
+    f: ret
+    .rodata
+    ptr: .word f
+  )");
+  uint32_t ptr = img.SymbolOrDie("ptr");
+  EXPECT_EQ(LoadLe32(img.rom.data() + ptr), img.SymbolOrDie("f"));
+}
+
+TEST(Assembler, EquConstants) {
+  // .equ names are symbols, usable via %hi/%lo and la (li needs a numeric literal).
+  Image img = Link(R"(
+    .equ MAGIC, 0xcafe
+    f:
+      la a0, MAGIC
+  )");
+  EXPECT_EQ(img.SymbolOrDie("MAGIC"), 0xcafeu);
+  Instr lui = DecodeAt(img, 0);
+  Instr addi = DecodeAt(img, 4);
+  EXPECT_EQ(static_cast<uint32_t>(lui.imm) + static_cast<uint32_t>(addi.imm), 0xcafeu);
+}
+
+TEST(Assembler, Errors) {
+  EXPECT_FALSE(ParseAssembly("f:\n  bogus a0, a1\n").ok());
+  EXPECT_FALSE(ParseAssembly("f:\n  add a0\n").ok());
+  // An unknown symbol in .word parses (symbols resolve at link time) but fails to link.
+  auto undef_word = ParseAssembly(".word zzz\n");
+  ASSERT_TRUE(undef_word.ok());
+  EXPECT_FALSE(undef_word.value().Link(0, 0x20000000).ok());
+  // A label colliding with a constant is a duplicate symbol at link time.
+  auto dup = ParseAssembly(".equ a, 1\na:\n  ret\n");
+  ASSERT_TRUE(dup.ok());
+  EXPECT_FALSE(dup.value().Link(0, 0x20000000).ok());
+  auto undef = ParseAssembly("f:\n  j nowhere\n");
+  ASSERT_TRUE(undef.ok());
+  EXPECT_FALSE(undef.value().Link(0, 0x20000000).ok());
+}
+
+TEST(Assembler, BranchOutOfRange) {
+  std::string src = "f:\n  beq a0, a1, far\n";
+  for (int i = 0; i < 1100; i++) {
+    src += "  nop\n";
+  }
+  src += "far:\n  ret\n";
+  auto program = ParseAssembly(src);
+  ASSERT_TRUE(program.ok());
+  EXPECT_FALSE(program.value().Link(0, 0x20000000).ok());
+}
+
+TEST(Disasm, FormatsCommonInstructions) {
+  EXPECT_EQ(Disassemble(Instr{Op::kAddi, 2, 2, 0, -32}), "addi sp, sp, -32");
+  EXPECT_EQ(Disassemble(Instr{Op::kLw, 10, 2, 0, 12}), "lw a0, 12(sp)");
+  EXPECT_EQ(Disassemble(Instr{Op::kSw, 0, 2, 1, 28}), "sw ra, 28(sp)");
+  EXPECT_EQ(Disassemble(Instr{Op::kAdd, 10, 11, 12, 0}), "add a0, a1, a2");
+  EXPECT_EQ(Disassemble(Instr{Op::kBne, 0, 5, 6, -8}, 0x100), "bne t0, t1, 0x000000f8");
+  EXPECT_EQ(Disassemble(Instr{Op::kEcall, 0, 0, 0, 0}), "ecall");
+}
+
+TEST(Disasm, ImageListingHasLabelsAndAddresses) {
+  Image img = Link(R"(
+    main:
+      li a0, 1
+      call helper
+      ret
+    helper:
+      add a0, a0, a0
+      ret
+  )");
+  std::string listing = DisassembleImage(img);
+  EXPECT_NE(listing.find("main:"), std::string::npos);
+  EXPECT_NE(listing.find("helper:"), std::string::npos);
+  EXPECT_NE(listing.find("add a0, a0, a0"), std::string::npos);
+  EXPECT_NE(listing.find("00000000:"), std::string::npos);
+}
+
+TEST(Assembler, PopLastPlainInstr) {
+  Program p;
+  p.Emit(Instr{Op::kAddi, 5, 5, 0, 4});
+  auto popped = p.PopLastPlainInstr();
+  ASSERT_TRUE(popped.has_value());
+  EXPECT_EQ(*popped, (Instr{Op::kAddi, 5, 5, 0, 4}));
+  // Nothing left.
+  EXPECT_FALSE(p.PopLastPlainInstr().has_value());
+  // A label at the end blocks popping (it would silently rebind).
+  p.Emit(Instr{Op::kAddi, 5, 5, 0, 4});
+  p.DefineLabel("end");
+  EXPECT_FALSE(p.PopLastPlainInstr().has_value());
+}
+
+}  // namespace
+}  // namespace parfait::riscv

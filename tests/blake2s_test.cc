@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/crypto/blake2s.h"
+#include "src/support/bytes.h"
+#include "src/support/rng.h"
+
+namespace parfait::crypto {
+namespace {
+
+Bytes Ascii(const std::string& s) { return Bytes(s.begin(), s.end()); }
+
+// RFC 7693 appendix / reference-implementation known-answer vectors.
+TEST(Blake2s, EmptyString) {
+  EXPECT_EQ(ToHex(Blake2s::Hash({})),
+            "69217a3079908094e11121d042354a7c1f55b6482ca1a51e1b250dfd1ed0eef9");
+}
+
+TEST(Blake2s, Abc) {
+  EXPECT_EQ(ToHex(Blake2s::Hash(Ascii("abc"))),
+            "508c5e8c327c14e2e1a72ba34eeb452f37458b209ed63a294d999b4c86675982");
+}
+
+TEST(Blake2s, IncrementalMatchesOneShot) {
+  Rng rng(777);
+  for (int trial = 0; trial < 50; trial++) {
+    Bytes data = rng.RandomBytes(rng.Below(400));
+    auto oneshot = Blake2s::Hash(data);
+    Blake2s h;
+    size_t pos = 0;
+    while (pos < data.size()) {
+      size_t take = std::min<size_t>(rng.Below(70) + 1, data.size() - pos);
+      h.Update(std::span<const uint8_t>(data.data() + pos, take));
+      pos += take;
+    }
+    EXPECT_EQ(h.Final(), oneshot) << "trial " << trial;
+  }
+}
+
+class Blake2sBlockBoundary : public testing::TestWithParam<size_t> {};
+
+TEST_P(Blake2sBlockBoundary, MatchesBytewise) {
+  size_t n = GetParam();
+  Bytes data(n, 0xa5);
+  auto oneshot = Blake2s::Hash(data);
+  Blake2s h;
+  for (size_t i = 0; i < n; i++) {
+    h.Update(std::span<const uint8_t>(&data[i], 1));
+  }
+  EXPECT_EQ(h.Final(), oneshot);
+}
+
+INSTANTIATE_TEST_SUITE_P(Boundaries, Blake2sBlockBoundary,
+                         testing::Values(0, 1, 63, 64, 65, 127, 128, 129, 200));
+
+TEST(Blake2s, DistinctInputsDistinctDigests) {
+  Bytes a(64, 0);
+  Bytes b(64, 0);
+  b[63] = 1;
+  EXPECT_NE(Blake2s::Hash(a), Blake2s::Hash(b));
+}
+
+TEST(Blake2s, LengthAffectsDigest) {
+  Bytes a(64, 0);
+  Bytes b(65, 0);
+  EXPECT_NE(Blake2s::Hash(a), Blake2s::Hash(b));
+}
+
+}  // namespace
+}  // namespace parfait::crypto

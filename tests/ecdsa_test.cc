@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include "src/crypto/ecdsa.h"
+#include "src/crypto/hmac.h"
+#include "src/support/bytes.h"
+#include "src/support/rng.h"
+
+namespace parfait::crypto {
+namespace {
+
+std::array<uint8_t, 32> RandomScalarBytes(Rng& rng) {
+  std::array<uint8_t, 32> out;
+  rng.Fill(out);
+  out[0] &= 0x7f;  // Comfortably below the group order.
+  if (std::all_of(out.begin(), out.end(), [](uint8_t b) { return b == 0; })) {
+    out[31] = 1;
+  }
+  return out;
+}
+
+TEST(Ecdsa, SignVerifyRoundTrip) {
+  Rng rng(1);
+  auto key = RandomScalarBytes(rng);
+  auto nonce = RandomScalarBytes(rng);
+  std::array<uint8_t, 32> msg;
+  rng.Fill(msg);
+
+  EcdsaSignature sig;
+  ASSERT_TRUE(EcdsaSign(msg, key, nonce, &sig));
+
+  std::array<uint8_t, 32> px;
+  std::array<uint8_t, 32> py;
+  ASSERT_TRUE(EcdsaPublicKey(key, px, py));
+  EXPECT_TRUE(EcdsaVerify(msg, px, py, sig));
+}
+
+TEST(Ecdsa, VerifyRejectsWrongMessage) {
+  Rng rng(2);
+  auto key = RandomScalarBytes(rng);
+  auto nonce = RandomScalarBytes(rng);
+  std::array<uint8_t, 32> msg;
+  rng.Fill(msg);
+
+  EcdsaSignature sig;
+  ASSERT_TRUE(EcdsaSign(msg, key, nonce, &sig));
+  std::array<uint8_t, 32> px;
+  std::array<uint8_t, 32> py;
+  ASSERT_TRUE(EcdsaPublicKey(key, px, py));
+
+  msg[7] ^= 1;
+  EXPECT_FALSE(EcdsaVerify(msg, px, py, sig));
+}
+
+TEST(Ecdsa, VerifyRejectsTamperedSignature) {
+  Rng rng(3);
+  auto key = RandomScalarBytes(rng);
+  auto nonce = RandomScalarBytes(rng);
+  std::array<uint8_t, 32> msg;
+  rng.Fill(msg);
+
+  EcdsaSignature sig;
+  ASSERT_TRUE(EcdsaSign(msg, key, nonce, &sig));
+  std::array<uint8_t, 32> px;
+  std::array<uint8_t, 32> py;
+  ASSERT_TRUE(EcdsaPublicKey(key, px, py));
+
+  EcdsaSignature bad = sig;
+  bad.s[31] ^= 1;
+  EXPECT_FALSE(EcdsaVerify(msg, px, py, bad));
+  bad = sig;
+  bad.r[0] ^= 0x80;
+  EXPECT_FALSE(EcdsaVerify(msg, px, py, bad));
+}
+
+TEST(Ecdsa, VerifyRejectsWrongKey) {
+  Rng rng(4);
+  auto key = RandomScalarBytes(rng);
+  auto other_key = RandomScalarBytes(rng);
+  auto nonce = RandomScalarBytes(rng);
+  std::array<uint8_t, 32> msg;
+  rng.Fill(msg);
+
+  EcdsaSignature sig;
+  ASSERT_TRUE(EcdsaSign(msg, key, nonce, &sig));
+  std::array<uint8_t, 32> px;
+  std::array<uint8_t, 32> py;
+  ASSERT_TRUE(EcdsaPublicKey(other_key, px, py));
+  EXPECT_FALSE(EcdsaVerify(msg, px, py, sig));
+}
+
+TEST(Ecdsa, DeterministicGivenSameNonce) {
+  Rng rng(5);
+  auto key = RandomScalarBytes(rng);
+  auto nonce = RandomScalarBytes(rng);
+  std::array<uint8_t, 32> msg;
+  rng.Fill(msg);
+
+  EcdsaSignature s1;
+  EcdsaSignature s2;
+  ASSERT_TRUE(EcdsaSign(msg, key, nonce, &s1));
+  ASSERT_TRUE(EcdsaSign(msg, key, nonce, &s2));
+  EXPECT_EQ(s1.r, s2.r);
+  EXPECT_EQ(s1.s, s2.s);
+}
+
+TEST(Ecdsa, DifferentNoncesGiveDifferentSignatures) {
+  Rng rng(6);
+  auto key = RandomScalarBytes(rng);
+  auto n1 = RandomScalarBytes(rng);
+  auto n2 = RandomScalarBytes(rng);
+  std::array<uint8_t, 32> msg;
+  rng.Fill(msg);
+
+  EcdsaSignature s1;
+  EcdsaSignature s2;
+  ASSERT_TRUE(EcdsaSign(msg, key, n1, &s1));
+  ASSERT_TRUE(EcdsaSign(msg, key, n2, &s2));
+  EXPECT_NE(s1.r, s2.r);
+}
+
+TEST(Ecdsa, ZeroNonceFailsWithZeroedOutput) {
+  Rng rng(7);
+  auto key = RandomScalarBytes(rng);
+  std::array<uint8_t, 32> zero_nonce{};
+  std::array<uint8_t, 32> msg;
+  rng.Fill(msg);
+
+  EcdsaSignature sig;
+  sig.r.fill(0xaa);
+  sig.s.fill(0xbb);
+  EXPECT_FALSE(EcdsaSign(msg, key, zero_nonce, &sig));
+  EXPECT_EQ(sig.r, (std::array<uint8_t, 32>{}));
+  EXPECT_EQ(sig.s, (std::array<uint8_t, 32>{}));
+}
+
+TEST(Ecdsa, ZeroKeyFails) {
+  Rng rng(8);
+  std::array<uint8_t, 32> zero_key{};
+  auto nonce = RandomScalarBytes(rng);
+  std::array<uint8_t, 32> msg;
+  rng.Fill(msg);
+  EcdsaSignature sig;
+  EXPECT_FALSE(EcdsaSign(msg, zero_key, nonce, &sig));
+}
+
+TEST(Ecdsa, OutOfRangeNonceFails) {
+  Rng rng(9);
+  auto key = RandomScalarBytes(rng);
+  std::array<uint8_t, 32> huge_nonce;
+  huge_nonce.fill(0xff);  // >= n.
+  std::array<uint8_t, 32> msg;
+  rng.Fill(msg);
+  EcdsaSignature sig;
+  EXPECT_FALSE(EcdsaSign(msg, key, huge_nonce, &sig));
+}
+
+TEST(Ecdsa, PublicKeyRejectsZero) {
+  std::array<uint8_t, 32> zero{};
+  std::array<uint8_t, 32> px;
+  std::array<uint8_t, 32> py;
+  EXPECT_FALSE(EcdsaPublicKey(zero, px, py));
+}
+
+TEST(Ecdsa, HmacDerivedNoncePipelineMatchesSpec) {
+  // The exact construction from the paper's figure 4: nonce = HMAC-SHA256(prf_key,
+  // big-endian counter).
+  Rng rng(10);
+  auto prf_key = rng.RandomBytes(32);
+  auto key = RandomScalarBytes(rng);
+  std::array<uint8_t, 32> msg;
+  rng.Fill(msg);
+
+  uint8_t counter_bytes[8];
+  StoreBe64(counter_bytes, 41);
+  auto nonce = HmacSha256(prf_key, std::span<const uint8_t>(counter_bytes, 8));
+
+  EcdsaSignature sig;
+  ASSERT_TRUE(EcdsaSign(msg, key, nonce, &sig));
+  std::array<uint8_t, 32> px;
+  std::array<uint8_t, 32> py;
+  ASSERT_TRUE(EcdsaPublicKey(key, px, py));
+  EXPECT_TRUE(EcdsaVerify(msg, px, py, sig));
+}
+
+class EcdsaManyKeys : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(EcdsaManyKeys, RoundTrip) {
+  Rng rng(GetParam());
+  auto key = RandomScalarBytes(rng);
+  auto nonce = RandomScalarBytes(rng);
+  std::array<uint8_t, 32> msg;
+  rng.Fill(msg);
+  EcdsaSignature sig;
+  ASSERT_TRUE(EcdsaSign(msg, key, nonce, &sig));
+  std::array<uint8_t, 32> px;
+  std::array<uint8_t, 32> py;
+  ASSERT_TRUE(EcdsaPublicKey(key, px, py));
+  EXPECT_TRUE(EcdsaVerify(msg, px, py, sig));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EcdsaManyKeys, testing::Values(100, 101, 102));
+
+}  // namespace
+}  // namespace parfait::crypto

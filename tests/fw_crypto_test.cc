@@ -1,0 +1,192 @@
+// Differential tests: the MiniC firmware crypto (compiled natively) against the host
+// crypto library. This is the correctness anchor for the whole firmware stack — if
+// these pass, the bytes computed by handle() at the C level match the specification's
+// crypto, and the remaining levels are checked by translation validation.
+#include <gtest/gtest.h>
+
+#include "src/crypto/blake2s.h"
+#include "src/crypto/ecdsa.h"
+#include "src/crypto/hmac.h"
+#include "src/crypto/sha256.h"
+#include "src/hsm/app.h"
+#include "src/hsm/fw_native.h"
+#include "src/support/rng.h"
+
+namespace parfait::hsm {
+namespace {
+
+TEST(FwCrypto, Sha256MatchesHost) {
+  Rng rng(1);
+  for (size_t len : {0u, 1u, 8u, 55u, 56u, 63u, 64u, 65u, 72u, 96u, 105u, 128u, 200u}) {
+    Bytes msg = rng.RandomBytes(len);
+    uint8_t out[32];
+    NativeSha256(out, msg.data(), static_cast<uint32_t>(len));
+    auto expect = crypto::Sha256::Hash(msg);
+    EXPECT_EQ(Bytes(out, out + 32), Bytes(expect.begin(), expect.end())) << "len=" << len;
+  }
+}
+
+TEST(FwCrypto, HmacSha256MatchesHost) {
+  Rng rng(2);
+  for (size_t len : {0u, 8u, 32u, 64u}) {
+    Bytes key = rng.RandomBytes(32);
+    Bytes msg = rng.RandomBytes(len);
+    uint8_t out[32];
+    NativeHmacSha256(out, key.data(), msg.data(), static_cast<uint32_t>(len));
+    auto expect = crypto::HmacSha256(key, msg);
+    EXPECT_EQ(Bytes(out, out + 32), Bytes(expect.begin(), expect.end())) << "len=" << len;
+  }
+}
+
+TEST(FwCrypto, Blake2sMatchesHost) {
+  Rng rng(3);
+  for (size_t len : {0u, 1u, 32u, 63u, 64u, 65u, 96u, 128u, 129u, 200u}) {
+    Bytes msg = rng.RandomBytes(len);
+    uint8_t out[32];
+    NativeBlake2s(out, msg.data(), static_cast<uint32_t>(len));
+    auto expect = crypto::Blake2s::Hash(msg);
+    EXPECT_EQ(Bytes(out, out + 32), Bytes(expect.begin(), expect.end())) << "len=" << len;
+  }
+}
+
+TEST(FwCrypto, HmacBlake2sMatchesHost) {
+  Rng rng(4);
+  for (size_t len : {0u, 32u, 64u}) {
+    Bytes key = rng.RandomBytes(32);
+    Bytes msg = rng.RandomBytes(len);
+    uint8_t out[32];
+    NativeHmacBlake2s(out, key.data(), msg.data(), static_cast<uint32_t>(len));
+    auto expect = crypto::HmacBlake2s(key, msg);
+    EXPECT_EQ(Bytes(out, out + 32), Bytes(expect.begin(), expect.end())) << "len=" << len;
+  }
+}
+
+TEST(FwCrypto, EcdsaSignMatchesHost) {
+  Rng rng(5);
+  for (int trial = 0; trial < 3; trial++) {
+    std::array<uint8_t, 32> msg;
+    std::array<uint8_t, 32> key;
+    std::array<uint8_t, 32> nonce;
+    rng.Fill(msg);
+    rng.Fill(key);
+    rng.Fill(nonce);
+    key[0] &= 0x7f;
+    nonce[0] &= 0x7f;
+    uint8_t fw_sig[64];
+    uint32_t fw_ok = EcdsaNativeSign(fw_sig, msg.data(), key.data(), nonce.data());
+    crypto::EcdsaSignature host_sig;
+    bool host_ok = crypto::EcdsaSign(msg, key, nonce, &host_sig);
+    EXPECT_EQ(fw_ok != 0, host_ok) << "trial " << trial;
+    EXPECT_EQ(Bytes(fw_sig, fw_sig + 32), Bytes(host_sig.r.begin(), host_sig.r.end()));
+    EXPECT_EQ(Bytes(fw_sig + 32, fw_sig + 64), Bytes(host_sig.s.begin(), host_sig.s.end()));
+  }
+}
+
+TEST(FwCrypto, EcdsaSignVerifiesWithHost) {
+  Rng rng(6);
+  std::array<uint8_t, 32> msg;
+  std::array<uint8_t, 32> key;
+  std::array<uint8_t, 32> nonce;
+  rng.Fill(msg);
+  rng.Fill(key);
+  rng.Fill(nonce);
+  key[0] &= 0x7f;
+  nonce[0] &= 0x7f;
+  uint8_t fw_sig[64];
+  ASSERT_NE(EcdsaNativeSign(fw_sig, msg.data(), key.data(), nonce.data()), 0u);
+  std::array<uint8_t, 32> px;
+  std::array<uint8_t, 32> py;
+  ASSERT_TRUE(crypto::EcdsaPublicKey(key, px, py));
+  crypto::EcdsaSignature sig;
+  std::copy(fw_sig, fw_sig + 32, sig.r.begin());
+  std::copy(fw_sig + 32, fw_sig + 64, sig.s.begin());
+  EXPECT_TRUE(crypto::EcdsaVerify(msg, px, py, sig));
+}
+
+TEST(FwCrypto, EcdsaRejectsOutOfRangeInputs) {
+  std::array<uint8_t, 32> msg{};
+  std::array<uint8_t, 32> zero{};
+  std::array<uint8_t, 32> good{};
+  good[31] = 5;
+  std::array<uint8_t, 32> huge;
+  huge.fill(0xff);
+  uint8_t sig[64];
+  EXPECT_EQ(EcdsaNativeSign(sig, msg.data(), zero.data(), good.data()), 0u);
+  EXPECT_EQ(EcdsaNativeSign(sig, msg.data(), good.data(), zero.data()), 0u);
+  EXPECT_EQ(EcdsaNativeSign(sig, msg.data(), huge.data(), good.data()), 0u);
+  // Failure output is all zeros (the masking discipline).
+  EXPECT_EQ(Bytes(sig, sig + 64), Bytes(64, 0));
+}
+
+// App-level differential: the native firmware handle against the spec step for long
+// random command sequences (effectively the Starling Some-case on real workloads).
+class FwAppAgainstSpec : public testing::TestWithParam<const App*> {};
+
+TEST_P(FwAppAgainstSpec, SequencesMatchSpec) {
+  const App& app = *GetParam();
+  Rng rng(7);
+  Bytes state = app.InitStateEncoded();
+  int steps = app.state_size() > 40 ? 4 : 50;  // ECDSA signing is expensive.
+  for (int i = 0; i < steps; i++) {
+    Bytes cmd = app.RandomValidCommand(rng);
+    auto spec = app.SpecStepEncoded(state, cmd);
+    ASSERT_TRUE(spec.has_value());
+    Bytes impl_state = state;
+    Bytes impl_cmd = cmd;
+    Bytes impl_resp(app.response_size());
+    app.NativeHandle(impl_state.data(), impl_cmd.data(), impl_resp.data());
+    EXPECT_EQ(impl_state, spec->first) << app.name() << " step " << i << " state mismatch";
+    EXPECT_EQ(impl_resp, spec->second) << app.name() << " step " << i << " response mismatch";
+    state = spec->first;
+  }
+}
+
+TEST_P(FwAppAgainstSpec, InvalidCommandsAreNoneCase) {
+  const App& app = *GetParam();
+  Rng rng(8);
+  Bytes state = app.InitStateEncoded();
+  for (int i = 0; i < 20; i++) {
+    Bytes cmd = app.RandomInvalidCommand(rng);
+    ASSERT_FALSE(app.SpecStepEncoded(state, cmd).has_value());
+    Bytes impl_state = state;
+    Bytes impl_cmd = cmd;
+    Bytes impl_resp(app.response_size(), 0xaa);
+    app.NativeHandle(impl_state.data(), impl_cmd.data(), impl_resp.data());
+    EXPECT_EQ(impl_state, state) << "state must be unchanged";
+    EXPECT_EQ(impl_resp, app.EncodeResponseNone()) << "response must be canonical";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Apps, FwAppAgainstSpec, testing::Values(&EcdsaApp(), &HasherApp()),
+                         [](const testing::TestParamInfo<const App*>& info) {
+                           return info.param == &EcdsaApp() ? "Ecdsa" : "Hasher";
+                         });
+
+TEST(FwApp, EcdsaCounterMaxReturnsNone) {
+  const App& app = EcdsaApp();
+  Bytes state = app.InitStateEncoded();
+  // Install keys, then force the counter to max.
+  Rng rng(9);
+  Bytes init = app.RandomValidCommand(rng);
+  init[0] = 1;
+  Bytes resp(app.response_size());
+  app.NativeHandle(state.data(), init.data(), resp.data());
+  std::fill(state.begin() + 32, state.begin() + 40, 0xff);
+
+  Bytes sign_cmd(app.command_size(), 0);
+  sign_cmd[0] = 2;
+  Bytes impl_state = state;
+  app.NativeHandle(impl_state.data(), sign_cmd.data(), resp.data());
+  EXPECT_EQ(resp[0], 3);  // Signature None.
+  EXPECT_EQ(Bytes(resp.begin() + 1, resp.end()), Bytes(64, 0));
+  EXPECT_EQ(impl_state, state);  // Counter not incremented at max.
+
+  // And the spec agrees.
+  auto spec = app.SpecStepEncoded(state, sign_cmd);
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_EQ(spec->first, impl_state);
+  EXPECT_EQ(spec->second, resp);
+}
+
+}  // namespace
+}  // namespace parfait::hsm

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/crypto/hmac.h"
+#include "src/support/bytes.h"
+#include "src/support/rng.h"
+
+namespace parfait::crypto {
+namespace {
+
+Bytes Ascii(const std::string& s) { return Bytes(s.begin(), s.end()); }
+
+// RFC 4231 test case 1.
+TEST(HmacSha256, Rfc4231Case1) {
+  Bytes key(20, 0x0b);
+  EXPECT_EQ(ToHex(HmacSha256(key, Ascii("Hi There"))),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+// RFC 4231 test case 2 ("Jefe").
+TEST(HmacSha256, Rfc4231Case2) {
+  EXPECT_EQ(ToHex(HmacSha256(Ascii("Jefe"), Ascii("what do ya want for nothing?"))),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+// RFC 4231 test case 3: 20x 0xaa key, 50x 0xdd data.
+TEST(HmacSha256, Rfc4231Case3) {
+  Bytes key(20, 0xaa);
+  Bytes data(50, 0xdd);
+  EXPECT_EQ(ToHex(HmacSha256(key, data)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+// Classic "quick brown fox" vector.
+TEST(HmacSha256, QuickBrownFox) {
+  EXPECT_EQ(
+      ToHex(HmacSha256(Ascii("key"), Ascii("The quick brown fox jumps over the lazy dog"))),
+      "f7bc83f430538424b13298e6aa6fb143ef4d59a14946175997479dbc2d1a3cd8");
+}
+
+TEST(HmacSha256, LongKeyIsHashed) {
+  // Keys longer than the block size are hashed first; check self-consistency: a long key
+  // and its SHA-256 digest produce the same MAC.
+  Bytes long_key(100, 0x42);
+  auto digest = Sha256::Hash(long_key);
+  Bytes digest_key(digest.begin(), digest.end());
+  Bytes data = Ascii("message");
+  EXPECT_EQ(HmacSha256(long_key, data), HmacSha256(digest_key, data));
+}
+
+TEST(HmacSha256, KeySensitivity) {
+  Bytes k1(32, 0x01);
+  Bytes k2(32, 0x01);
+  k2[31] ^= 0x80;
+  Bytes data = Ascii("same data");
+  EXPECT_NE(HmacSha256(k1, data), HmacSha256(k2, data));
+}
+
+TEST(HmacBlake2s, Deterministic) {
+  Rng rng(5);
+  Bytes key = rng.RandomBytes(32);
+  Bytes data = rng.RandomBytes(64);
+  EXPECT_EQ(HmacBlake2s(key, data), HmacBlake2s(key, data));
+}
+
+TEST(HmacBlake2s, DataSensitivity) {
+  Bytes key(32, 0x7);
+  Bytes d1(10, 0);
+  Bytes d2(10, 0);
+  d2[5] = 1;
+  EXPECT_NE(HmacBlake2s(key, d1), HmacBlake2s(key, d2));
+}
+
+TEST(HmacBlake2s, DiffersFromHmacSha256) {
+  Bytes key(32, 0x7);
+  Bytes data(16, 0x9);
+  EXPECT_NE(HmacBlake2s(key, data), HmacSha256(key, data));
+}
+
+class HmacKeyLengths : public testing::TestWithParam<size_t> {};
+
+TEST_P(HmacKeyLengths, AllKeyLengthsWork) {
+  Bytes key(GetParam(), 0x33);
+  Bytes data = Ascii("x");
+  auto mac1 = HmacSha256(key, data);
+  auto mac2 = HmacSha256(key, data);
+  EXPECT_EQ(mac1, mac2);
+  auto mac_b = HmacBlake2s(key, data);
+  EXPECT_EQ(mac_b.size(), 32u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, HmacKeyLengths, testing::Values(0, 1, 31, 32, 63, 64, 65, 128));
+
+}  // namespace
+}  // namespace parfait::crypto

@@ -1,0 +1,145 @@
+// End-to-end: the complete HSMs running on the simulated SoCs, checked against their
+// application specifications through the wire-level driver. This exercises the whole
+// stack of table 1 in one go: spec -> bytes -> firmware -> cycles -> wires.
+#include <gtest/gtest.h>
+
+#include "src/crypto/ecdsa.h"
+#include "src/hsm/hsm_system.h"
+#include "src/support/rng.h"
+
+namespace parfait::hsm {
+namespace {
+
+using soc::CpuKind;
+
+class HasherOnSoc : public testing::TestWithParam<CpuKind> {};
+
+TEST_P(HasherOnSoc, MatchesSpecOverCommandSequence) {
+  const App& app = HasherApp();
+  HsmBuildOptions options;
+  options.cpu = GetParam();
+  HsmSystem system(app, options);
+  auto soc = system.NewSoc();
+  soc::WireHost host(soc.get());
+
+  Rng rng(11);
+  Bytes state = app.InitStateEncoded();
+  for (int i = 0; i < 6; i++) {
+    Bytes cmd = rng.Below(4) == 0 ? app.RandomInvalidCommand(rng) : app.RandomValidCommand(rng);
+    auto wire_resp = host.Transact(cmd, app.response_size(), 30'000'000);
+    ASSERT_TRUE(wire_resp.has_value()) << soc->cpu().fault();
+    auto spec = app.SpecStepEncoded(state, cmd);
+    if (spec.has_value()) {
+      EXPECT_EQ(*wire_resp, spec->second) << "step " << i;
+      state = spec->first;
+    } else {
+      EXPECT_EQ(*wire_resp, app.EncodeResponseNone()) << "step " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Cpus, HasherOnSoc, testing::Values(CpuKind::kIbexLite, CpuKind::kPicoLite),
+                         [](const testing::TestParamInfo<CpuKind>& info) {
+                           return soc::CpuKindName(info.param);
+                         });
+
+TEST(EcdsaOnSoc, SignatureVerifiesAgainstHostCrypto) {
+  const App& app = EcdsaApp();
+  HsmBuildOptions options;
+  options.cpu = CpuKind::kIbexLite;
+  HsmSystem system(app, options);
+  auto soc = system.NewSoc();
+  soc::WireHost host(soc.get());
+
+  Rng rng(12);
+  // Initialize with known keys.
+  Bytes init(app.command_size());
+  rng.Fill(init);
+  init[0] = 1;
+  init[33] &= 0x7f;  // sig_key < 2^255.
+  auto init_resp = host.Transact(init, app.response_size(), 10'000'000);
+  ASSERT_TRUE(init_resp.has_value()) << soc->cpu().fault();
+  EXPECT_EQ((*init_resp)[0], 1);
+
+  // Sign a message on the SoC.
+  Bytes sign(app.command_size(), 0);
+  sign[0] = 2;
+  for (int i = 1; i <= 32; i++) {
+    sign[i] = rng.Byte();
+  }
+  auto sig_resp = host.Transact(sign, app.response_size(), 600'000'000);
+  ASSERT_TRUE(sig_resp.has_value()) << soc->cpu().fault();
+  ASSERT_EQ((*sig_resp)[0], 2) << "expected Signature Some";
+
+  // The signature must verify under the host crypto against the installed key.
+  std::array<uint8_t, 32> sig_key;
+  std::copy(init.begin() + 33, init.begin() + 65, sig_key.begin());
+  std::array<uint8_t, 32> px;
+  std::array<uint8_t, 32> py;
+  ASSERT_TRUE(crypto::EcdsaPublicKey(sig_key, px, py));
+  crypto::EcdsaSignature sig;
+  std::copy(sig_resp->begin() + 1, sig_resp->begin() + 33, sig.r.begin());
+  std::copy(sig_resp->begin() + 33, sig_resp->begin() + 65, sig.s.begin());
+  std::array<uint8_t, 32> msg;
+  std::copy(sign.begin() + 1, sign.begin() + 33, msg.begin());
+  EXPECT_TRUE(crypto::EcdsaVerify(msg, px, py, sig));
+
+  // And the whole exchange must match the spec step-for-step.
+  auto spec1 = app.SpecStepEncoded(app.InitStateEncoded(), init);
+  ASSERT_TRUE(spec1.has_value());
+  auto spec2 = app.SpecStepEncoded(spec1->first, sign);
+  ASSERT_TRUE(spec2.has_value());
+  EXPECT_EQ(*sig_resp, spec2->second);
+}
+
+TEST(HasherOnSocTaint, NoControlFlowLeaksFromSecrets) {
+  const App& app = HasherApp();
+  HsmBuildOptions options;
+  options.taint_tracking = true;
+  HsmSystem system(app, options);
+
+  Rng rng(13);
+  Bytes secret_state = rng.RandomBytes(app.state_size());
+  auto soc = system.NewSocWithFram(system.MakeFram(secret_state));
+  system.SeedSecretTaint(*soc);
+  soc::WireHost host(soc.get());
+
+  Bytes hash_cmd = app.RandomValidCommand(rng);
+  hash_cmd[0] = 2;
+  ASSERT_TRUE(host.Transact(hash_cmd, app.response_size(), 30'000'000).has_value());
+  for (const auto& leak : soc->bus().leaks()) {
+    ADD_FAILURE() << "taint policy violation: " << leak.what << " at pc 0x" << std::hex
+                  << leak.pc;
+  }
+}
+
+TEST(HasherOnSoc, StatePersistsAcrossPowerCycle) {
+  const App& app = HasherApp();
+  HsmSystem system(app, HsmBuildOptions{});
+  Rng rng(14);
+
+  Bytes init = app.RandomValidCommand(rng);
+  init[0] = 1;
+  Bytes hash_cmd = app.RandomValidCommand(rng);
+  hash_cmd[0] = 2;
+
+  Bytes fram;
+  Bytes resp_before;
+  {
+    auto soc = system.NewSoc();
+    soc::WireHost host(soc.get());
+    ASSERT_TRUE(host.Transact(init, app.response_size(), 30'000'000).has_value());
+    auto r = host.Transact(hash_cmd, app.response_size(), 30'000'000);
+    ASSERT_TRUE(r.has_value());
+    resp_before = *r;
+    fram = soc->bus().DumpFram();
+  }
+  auto soc = system.NewSocWithFram(fram);
+  soc::WireHost host(soc.get());
+  auto r = host.Transact(hash_cmd, app.response_size(), 30'000'000);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(*r, resp_before);  // Same secret, same digest, across the power cycle.
+}
+
+}  // namespace
+}  // namespace parfait::hsm

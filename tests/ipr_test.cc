@@ -1,0 +1,319 @@
+// Theory tests: the IPR definition, the three proof strategies, and transitivity,
+// validated on toy machines with known leaky and non-leaky variants. These play the
+// role of the paper's once-and-for-all Coq proofs: the implications are exercised
+// executably, and deliberately broken links must be caught.
+#include <gtest/gtest.h>
+
+#include "src/ipr/equivalence.h"
+#include "src/ipr/ipr.h"
+#include "src/ipr/lockstep.h"
+#include "src/ipr/state_machine.h"
+#include "src/ipr/transitivity.h"
+#include "src/support/bytes.h"
+
+namespace parfait::ipr {
+namespace {
+
+// ---- Toy specification: a secret-holding counter HSM. ----
+// Commands: SetSecret(v), Bump, Read. Read returns counter; secret never leaves.
+struct ToySpecState {
+  uint8_t secret = 0;
+  uint8_t counter = 0;
+};
+struct ToyCmd {
+  enum class Kind : uint8_t { kSetSecret, kBump, kRead } kind;
+  uint8_t arg = 0;
+};
+using ToyResp = uint8_t;  // Read -> counter; others -> 0.
+
+StateMachine<ToySpecState, ToyCmd, ToyResp> ToySpec() {
+  return {ToySpecState{},
+          [](const ToySpecState& s, const ToyCmd& c) -> std::pair<ToySpecState, ToyResp> {
+            ToySpecState next = s;
+            switch (c.kind) {
+              case ToyCmd::Kind::kSetSecret:
+                next.secret = c.arg;
+                return {next, 0};
+              case ToyCmd::Kind::kBump:
+                next.counter = static_cast<uint8_t>(next.counter + next.secret);
+                return {next, 0};
+              case ToyCmd::Kind::kRead:
+                return {next, s.counter};
+            }
+            return {next, 0};
+          }};
+}
+
+// ---- Byte-level implementations of the toy spec. ----
+// State: [secret, counter]. Command: [tag, arg]. Response: [tag_echo, value].
+Bytes ToyEncodeState(const ToySpecState& s) { return Bytes{s.secret, s.counter}; }
+
+Bytes ToyEncodeCommand(const ToyCmd& c) {
+  return Bytes{static_cast<uint8_t>(static_cast<int>(c.kind) + 1), c.arg};
+}
+
+std::optional<ToyCmd> ToyDecodeCommand(const Bytes& b) {
+  if (b.size() != 2 || b[0] < 1 || b[0] > 3) {
+    return std::nullopt;
+  }
+  return ToyCmd{static_cast<ToyCmd::Kind>(b[0] - 1), b[1]};
+}
+
+Bytes ToyEncodeResponse(const std::optional<ToyResp>& r) {
+  if (!r.has_value()) {
+    return Bytes{0, 0};
+  }
+  return Bytes{1, *r};
+}
+
+ToyResp ToyDecodeResponse(const Bytes& b) { return b.size() == 2 ? b[1] : 0; }
+
+enum class ImplFlavor {
+  kFaithful,
+  kLeakSecretInPadding,   // Response byte 0 leaks the secret's parity.
+  kCorruptOnJunk,         // Undecodable commands bump the counter (figure 6b violation).
+};
+
+StateMachine<Bytes, Bytes, Bytes> ToyImpl(ImplFlavor flavor) {
+  return {Bytes{0, 0}, [flavor](const Bytes& s, const Bytes& c) -> std::pair<Bytes, Bytes> {
+            Bytes next = s;
+            auto decoded = ToyDecodeCommand(c);
+            if (!decoded.has_value()) {
+              if (flavor == ImplFlavor::kCorruptOnJunk) {
+                next[1] = static_cast<uint8_t>(next[1] + 1);
+              }
+              return {next, Bytes{0, 0}};
+            }
+            uint8_t out = 0;
+            switch (decoded->kind) {
+              case ToyCmd::Kind::kSetSecret:
+                next[0] = decoded->arg;
+                break;
+              case ToyCmd::Kind::kBump:
+                next[1] = static_cast<uint8_t>(next[1] + next[0]);
+                break;
+              case ToyCmd::Kind::kRead:
+                out = next[1];
+                break;
+            }
+            Bytes resp{1, out};
+            if (flavor == ImplFlavor::kLeakSecretInPadding) {
+              resp[0] = static_cast<uint8_t>(1 | ((next[0] & 1) << 4));
+            }
+            return {next, resp};
+          }};
+}
+
+LockstepCodecs<ToySpecState, ToyCmd, ToyResp> ToyCodecs() {
+  return {ToyEncodeCommand, ToyDecodeResponse, ToyDecodeCommand, ToyEncodeResponse,
+          ToyEncodeState};
+}
+
+ToyCmd GenToyCmd(Rng& rng) {
+  ToyCmd c;
+  c.kind = static_cast<ToyCmd::Kind>(rng.Below(3));
+  c.arg = rng.Byte();
+  return c;
+}
+
+ToySpecState GenToyState(Rng& rng) { return ToySpecState{rng.Byte(), rng.Byte()}; }
+
+Bytes GenJunk(Rng& rng) {
+  Bytes b{rng.Byte(), rng.Byte()};
+  if (b[0] >= 1 && b[0] <= 3) {
+    b[0] = 0;  // Force undecodable.
+  }
+  return b;
+}
+
+std::string ShowCmd(const ToyCmd& c) {
+  return std::to_string(static_cast<int>(c.kind)) + ":" + std::to_string(c.arg);
+}
+
+std::string ShowResp(const ToyResp& r) { return std::to_string(r); }
+std::string ShowBytes(const Bytes& b) { return ToHex(b); }
+
+// ---- Lockstep strategy ----
+
+TEST(Lockstep, FaithfulImplPasses) {
+  auto result = CheckLockstep<ToySpecState, ToyCmd, ToyResp>(
+      ToyImpl(ImplFlavor::kFaithful), ToySpec(), ToyCodecs(), GenToyState, GenToyCmd, GenJunk,
+      ShowCmd);
+  EXPECT_TRUE(result.ok) << result.failure;
+}
+
+TEST(Lockstep, PaddingLeakIsCaught) {
+  auto result = CheckLockstep<ToySpecState, ToyCmd, ToyResp>(
+      ToyImpl(ImplFlavor::kLeakSecretInPadding), ToySpec(), ToyCodecs(), GenToyState,
+      GenToyCmd, GenJunk, ShowCmd);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.failure.find("responses diverge"), std::string::npos);
+}
+
+TEST(Lockstep, JunkCorruptionIsCaught) {
+  auto result = CheckLockstep<ToySpecState, ToyCmd, ToyResp>(
+      ToyImpl(ImplFlavor::kCorruptOnJunk), ToySpec(), ToyCodecs(), GenToyState, GenToyCmd,
+      GenJunk, ShowCmd);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.failure.find("figure 6b"), std::string::npos);
+}
+
+// ---- Lockstep implies IPR: run the full IPR checker with the implied witnesses. ----
+
+TEST(Ipr, LockstepWitnessesSatisfyIpr) {
+  auto codecs = ToyCodecs();
+  auto result = CheckIpr<Bytes, ToySpecState, ToyCmd, ToyResp, Bytes, Bytes>(
+      ToyImpl(ImplFlavor::kFaithful), ToySpec(), BuildLockstepDriver(codecs),
+      BuildLockstepEmulator(codecs), GenToyCmd,
+      [](Rng& rng) {
+        Bytes b{rng.Byte(), rng.Byte()};
+        return b;
+      },
+      ShowResp, ShowBytes);
+  EXPECT_TRUE(result.ok) << result.counterexample;
+}
+
+TEST(Ipr, LeakyImplFailsIpr) {
+  auto codecs = ToyCodecs();
+  auto result = CheckIpr<Bytes, ToySpecState, ToyCmd, ToyResp, Bytes, Bytes>(
+      ToyImpl(ImplFlavor::kLeakSecretInPadding), ToySpec(), BuildLockstepDriver(codecs),
+      BuildLockstepEmulator(codecs), GenToyCmd,
+      [](Rng& rng) {
+        Bytes b{rng.Byte(), rng.Byte()};
+        return b;
+      },
+      ShowResp, ShowBytes);
+  EXPECT_FALSE(result.ok);
+}
+
+// ---- Equivalence strategy ----
+
+TEST(Equivalence, SameMachinePasses) {
+  auto result = CheckObservationalEquivalence<Bytes, Bytes, Bytes, Bytes>(
+      ToyImpl(ImplFlavor::kFaithful), ToyImpl(ImplFlavor::kFaithful),
+      [](Rng& rng) {
+        Bytes b{rng.Byte(), rng.Byte()};
+        return b;
+      },
+      ShowBytes);
+  EXPECT_TRUE(result.ok) << result.counterexample;
+}
+
+TEST(Equivalence, DifferentMachinesFail) {
+  auto result = CheckObservationalEquivalence<Bytes, Bytes, Bytes, Bytes>(
+      ToyImpl(ImplFlavor::kFaithful), ToyImpl(ImplFlavor::kLeakSecretInPadding),
+      [](Rng& rng) {
+        Bytes b{rng.Byte(), rng.Byte()};
+        return b;
+      },
+      ShowBytes);
+  EXPECT_FALSE(result.ok);
+}
+
+TEST(Equivalence, IdentityWitnessesSatisfyIpr) {
+  auto result = CheckIpr<Bytes, Bytes, Bytes, Bytes, Bytes, Bytes>(
+      ToyImpl(ImplFlavor::kFaithful), ToyImpl(ImplFlavor::kFaithful),
+      IdentityDriver<Bytes, Bytes>(), IdentityEmulator<Bytes, Bytes>(),
+      [](Rng& rng) {
+        Bytes b{rng.Byte(), rng.Byte()};
+        return b;
+      },
+      [](Rng& rng) {
+        Bytes b{rng.Byte(), rng.Byte()};
+        return b;
+      },
+      ShowBytes, ShowBytes);
+  EXPECT_TRUE(result.ok) << result.counterexample;
+}
+
+// ---- Transitivity: a three-level tower (typed spec / byte impl / framed wire). ----
+
+// Level 3 ("wire"): like the byte impl but every command/response is framed with a
+// length prefix, and one mid-level op is one low-level op.
+StateMachine<Bytes, Bytes, Bytes> WireImpl(ImplFlavor flavor) {
+  auto inner = ToyImpl(flavor);
+  return {inner.init, [inner](const Bytes& s, const Bytes& framed) -> std::pair<Bytes, Bytes> {
+            if (framed.size() < 1 || framed[0] != framed.size() - 1) {
+              return {s, Bytes{0}};  // Malformed frame: canonical error, state kept.
+            }
+            Bytes unframed(framed.begin() + 1, framed.end());
+            auto [next, resp] = inner.step(s, unframed);
+            Bytes out;
+            out.push_back(static_cast<uint8_t>(resp.size()));
+            out.insert(out.end(), resp.begin(), resp.end());
+            return {next, out};
+          }};
+}
+
+Driver<Bytes, Bytes, Bytes, Bytes> FramingDriver() {
+  return [](const Bytes& command, const std::function<Bytes(const Bytes&)>& lowop) {
+    Bytes framed;
+    framed.push_back(static_cast<uint8_t>(command.size()));
+    framed.insert(framed.end(), command.begin(), command.end());
+    Bytes out = lowop(framed);
+    if (out.size() < 1 || out[0] != out.size() - 1) {
+      return Bytes{};
+    }
+    return Bytes(out.begin() + 1, out.end());
+  };
+}
+
+EmulatorFactory<Bytes, Bytes, Bytes, Bytes> FramingEmulator() {
+  class Framing final : public Emulator<Bytes, Bytes, Bytes, Bytes> {
+   public:
+    Bytes OnCommand(const Bytes& framed,
+                    const std::function<Bytes(const Bytes&)>& spec) override {
+      if (framed.size() < 1 || framed[0] != framed.size() - 1) {
+        return Bytes{0};
+      }
+      Bytes resp = spec(Bytes(framed.begin() + 1, framed.end()));
+      Bytes out;
+      out.push_back(static_cast<uint8_t>(resp.size()));
+      out.insert(out.end(), resp.begin(), resp.end());
+      return out;
+    }
+  };
+  return []() { return std::make_unique<Framing>(); };
+}
+
+TEST(Transitivity, ComposedTowerSatisfiesIpr) {
+  // spec (typed) ≈ byte impl ≈ framed wire impl, composed end-to-end.
+  auto codecs = ToyCodecs();
+  auto driver = ComposeDrivers<ToyCmd, ToyResp, Bytes, Bytes, Bytes, Bytes>(
+      BuildLockstepDriver(codecs), FramingDriver());
+  auto emulator = ComposeEmulators<Bytes, Bytes, Bytes, Bytes, ToyCmd, ToyResp>(
+      FramingEmulator(), BuildLockstepEmulator(codecs));
+  auto result = CheckIpr<Bytes, ToySpecState, ToyCmd, ToyResp, Bytes, Bytes>(
+      WireImpl(ImplFlavor::kFaithful), ToySpec(), driver, emulator, GenToyCmd,
+      [](Rng& rng) {
+        // Adversarial wire input: mostly well-framed, sometimes garbage.
+        Bytes b;
+        size_t n = rng.Below(4);
+        b.push_back(rng.Bool() ? static_cast<uint8_t>(n) : rng.Byte());
+        for (size_t i = 0; i < n; i++) {
+          b.push_back(rng.Byte());
+        }
+        return b;
+      },
+      ShowResp, ShowBytes);
+  EXPECT_TRUE(result.ok) << result.counterexample;
+}
+
+TEST(Transitivity, BrokenBottomLinkFailsComposedIpr) {
+  auto codecs = ToyCodecs();
+  auto driver = ComposeDrivers<ToyCmd, ToyResp, Bytes, Bytes, Bytes, Bytes>(
+      BuildLockstepDriver(codecs), FramingDriver());
+  auto emulator = ComposeEmulators<Bytes, Bytes, Bytes, Bytes, ToyCmd, ToyResp>(
+      FramingEmulator(), BuildLockstepEmulator(codecs));
+  auto result = CheckIpr<Bytes, ToySpecState, ToyCmd, ToyResp, Bytes, Bytes>(
+      WireImpl(ImplFlavor::kLeakSecretInPadding), ToySpec(), driver, emulator, GenToyCmd,
+      [](Rng& rng) {
+        Bytes b{2, rng.Byte(), rng.Byte()};
+        return b;
+      },
+      ShowResp, ShowBytes);
+  EXPECT_FALSE(result.ok);
+}
+
+}  // namespace
+}  // namespace parfait::ipr

@@ -1,0 +1,463 @@
+#include <gtest/gtest.h>
+
+#include "src/minicc/compiler.h"
+#include "src/riscv/machine.h"
+
+namespace parfait::minicc {
+namespace {
+
+using riscv::Machine;
+using riscv::Value;
+
+constexpr uint32_t kRomBase = 0x00000000;
+constexpr uint32_t kRamBase = 0x20000000;
+constexpr uint32_t kStackBase = 0x70000000;
+constexpr uint32_t kStackSize = 1 << 20;
+
+struct Compiled {
+  riscv::Image image;
+  Machine machine;
+};
+
+// Compiles MiniC, links, loads, and prepares a machine with ROM/RAM/stack.
+Compiled CompileAndLoad(const std::string& source, int opt_level) {
+  riscv::Program program;
+  CodegenOptions options;
+  options.opt_level = opt_level;
+  auto compiled = CompileSource(source, options, &program);
+  EXPECT_TRUE(compiled.ok()) << compiled.error();
+  auto image = program.Link(kRomBase, kRamBase);
+  EXPECT_TRUE(image.ok()) << image.error();
+  Compiled out{image.value(), Machine()};
+  Machine& m = out.machine;
+  m.AddRegion("rom", kRomBase, 1 << 20, false);
+  m.AddRegion("ram", kRamBase, 1 << 20, true);
+  m.AddRegion("stack", kStackBase, kStackSize, true);
+  m.WriteMemory(kRomBase, out.image.rom);
+  if (out.image.data_size > 0) {
+    auto init = m.ReadMemory(out.image.SymbolOrDie("__data_lma"), out.image.data_size);
+    m.WriteMemory(out.image.SymbolOrDie("__data_start"), init);
+  }
+  m.set_reg(2, Value::Defined(kStackBase + kStackSize));
+  return out;
+}
+
+// Compiles and calls `fn(args)` returning a0.
+uint32_t RunFn(const std::string& source, const std::string& fn,
+               const std::vector<uint32_t>& args, int opt_level,
+               uint64_t max_steps = 10'000'000) {
+  Compiled c = CompileAndLoad(source, opt_level);
+  auto result = c.machine.CallFunction(c.image.SymbolOrDie(fn), args, max_steps);
+  EXPECT_EQ(result, Machine::StepResult::kHalt) << c.machine.fault_reason();
+  EXPECT_TRUE(c.machine.reg(10).defined);
+  return c.machine.reg(10).bits;
+}
+
+// Every behavioural test runs at both optimization levels: O0 is the CompCert
+// stand-in, O2 the GCC stand-in, and they must agree (Table 5's premise).
+class MiniccExec : public testing::TestWithParam<int> {
+ protected:
+  int opt() const { return GetParam(); }
+};
+
+TEST_P(MiniccExec, ReturnConstant) {
+  EXPECT_EQ(RunFn("u32 f(void) { return 42; }", "f", {}, opt()), 42u);
+}
+
+TEST_P(MiniccExec, Arithmetic) {
+  EXPECT_EQ(RunFn("u32 f(u32 a, u32 b) { return (a + b) * 2 - a / b; }", "f", {10, 5}, opt()),
+            (10u + 5u) * 2u - 10u / 5u);
+}
+
+TEST_P(MiniccExec, UnsignedWrapAround) {
+  EXPECT_EQ(RunFn("u32 f(u32 a) { return a + 1; }", "f", {0xffffffff}, opt()), 0u);
+}
+
+TEST_P(MiniccExec, BitwiseOps) {
+  EXPECT_EQ(RunFn("u32 f(u32 a, u32 b) { return (a & b) | (a ^ b); }", "f",
+                  {0xf0f0f0f0, 0x0ff00ff0}, opt()),
+            (0xf0f0f0f0u & 0x0ff00ff0u) | (0xf0f0f0f0u ^ 0x0ff00ff0u));
+}
+
+TEST_P(MiniccExec, Shifts) {
+  EXPECT_EQ(RunFn("u32 f(u32 a) { return (a << 4) + (a >> 28); }", "f", {0x80000001}, opt()),
+            (0x80000001u << 4) + (0x80000001u >> 28));
+}
+
+TEST_P(MiniccExec, Comparisons) {
+  const std::string src = R"(
+    u32 f(u32 a, u32 b) {
+      u32 r = 0;
+      if (a < b) { r = r + 1; }
+      if (a > b) { r = r + 2; }
+      if (a <= b) { r = r + 4; }
+      if (a >= b) { r = r + 8; }
+      if (a == b) { r = r + 16; }
+      if (a != b) { r = r + 32; }
+      return r;
+    }
+  )";
+  EXPECT_EQ(RunFn(src, "f", {3, 7}, opt()), 1u + 4u + 32u);
+  EXPECT_EQ(RunFn(src, "f", {7, 7}, opt()), 4u + 8u + 16u);
+  EXPECT_EQ(RunFn(src, "f", {9, 7}, opt()), 2u + 8u + 32u);
+  // Comparisons are unsigned: 0xffffffff > 1.
+  EXPECT_EQ(RunFn(src, "f", {0xffffffff, 1}, opt()), 2u + 8u + 32u);
+}
+
+TEST_P(MiniccExec, WhileLoopSum) {
+  EXPECT_EQ(RunFn(R"(
+    u32 f(u32 n) {
+      u32 sum = 0;
+      u32 i = 1;
+      while (i <= n) { sum = sum + i; i = i + 1; }
+      return sum;
+    }
+  )",
+                  "f", {100}, opt()),
+            5050u);
+}
+
+TEST_P(MiniccExec, ForLoopWithBreakContinue) {
+  EXPECT_EQ(RunFn(R"(
+    u32 f(void) {
+      u32 sum = 0;
+      for (u32 i = 0; i < 100; i = i + 1) {
+        if (i == 50) { break; }
+        if ((i & 1) == 1) { continue; }
+        sum = sum + i;
+      }
+      return sum;
+    }
+  )",
+                  "f", {}, opt()),
+            [] {
+              uint32_t sum = 0;
+              for (uint32_t i = 0; i < 100; i++) {
+                if (i == 50) break;
+                if ((i & 1) == 1) continue;
+                sum += i;
+              }
+              return sum;
+            }());
+}
+
+TEST_P(MiniccExec, NestedCalls) {
+  EXPECT_EQ(RunFn(R"(
+    u32 add(u32 a, u32 b) { return a + b; }
+    u32 mul2(u32 a) { return a * 2; }
+    u32 f(u32 x) { return add(mul2(x), add(x, mul2(add(x, 1)))); }
+  )",
+                  "f", {5}, opt()),
+            10u + (5u + 12u));
+}
+
+TEST_P(MiniccExec, Recursion) {
+  EXPECT_EQ(RunFn(R"(
+    u32 fib(u32 n) {
+      if (n < 2) { return n; }
+      return fib(n - 1) + fib(n - 2);
+    }
+  )",
+                  "fib", {15}, opt()),
+            610u);
+}
+
+TEST_P(MiniccExec, LocalArrays) {
+  EXPECT_EQ(RunFn(R"(
+    u32 f(void) {
+      u32 a[8];
+      for (u32 i = 0; i < 8; i = i + 1) { a[i] = i * i; }
+      u32 sum = 0;
+      for (u32 i = 0; i < 8; i = i + 1) { sum = sum + a[i]; }
+      return sum;
+    }
+  )",
+                  "f", {}, opt()),
+            140u);
+}
+
+TEST_P(MiniccExec, ByteArraysAndTruncation) {
+  EXPECT_EQ(RunFn(R"(
+    u32 f(u32 x) {
+      u8 b[4];
+      b[0] = (u8)x;
+      b[1] = (u8)(x >> 8);
+      b[2] = (u8)(x >> 16);
+      b[3] = (u8)(x >> 24);
+      return (u32)b[0] + ((u32)b[1] << 8) + ((u32)b[2] << 16) + ((u32)b[3] << 24);
+    }
+  )",
+                  "f", {0xdeadbeef}, opt()),
+            0xdeadbeefu);
+}
+
+TEST_P(MiniccExec, PointerArithmetic) {
+  EXPECT_EQ(RunFn(R"(
+    u32 f(void) {
+      u32 a[4];
+      u32 *p = a;
+      *p = 10;
+      *(p + 1) = 20;
+      p = p + 2;
+      *p = 30;
+      p[1] = 40;
+      return a[0] + a[1] + a[2] + a[3];
+    }
+  )",
+                  "f", {}, opt()),
+            100u);
+}
+
+TEST_P(MiniccExec, PointerParams) {
+  EXPECT_EQ(RunFn(R"(
+    void swap(u32 *a, u32 *b) {
+      u32 t = *a;
+      *a = *b;
+      *b = t;
+    }
+    u32 f(void) {
+      u32 x = 3;
+      u32 y = 4;
+      swap(&x, &y);
+      return x * 10 + y;
+    }
+  )",
+                  "f", {}, opt()),
+            43u);
+}
+
+TEST_P(MiniccExec, GlobalsAndEnums) {
+  EXPECT_EQ(RunFn(R"(
+    enum { N = 5, BASE = 100 };
+    u32 counter = 7;
+    const u32 table[N] = {1, 2, 3, 4, 5};
+    u32 scratch[N];
+    u32 f(void) {
+      u32 sum = BASE + counter;
+      for (u32 i = 0; i < N; i = i + 1) {
+        scratch[i] = table[i] * 2;
+        sum = sum + scratch[i];
+      }
+      counter = counter + 1;
+      sum = sum + counter;
+      return sum;
+    }
+  )",
+                  "f", {}, opt()),
+            100u + 7u + 2u * 15u + 8u);
+}
+
+TEST_P(MiniccExec, MulhuBuiltin) {
+  EXPECT_EQ(RunFn("u32 f(u32 a, u32 b) { return __mulhu(a, b); }", "f",
+                  {0x12345678, 0x9abcdef0}, opt()),
+            static_cast<uint32_t>((0x12345678ULL * 0x9abcdef0ULL) >> 32));
+}
+
+TEST_P(MiniccExec, ShortCircuitAnd) {
+  // The right operand must not execute when the left is false (would fault: null deref).
+  EXPECT_EQ(RunFn(R"(
+    u32 g;
+    u32 touch(u32 v) { g = g + 1; return v; }
+    u32 f(u32 a) {
+      g = 0;
+      u32 r = 0;
+      if (a && touch(1)) { r = 1; }
+      return r * 100 + g;
+    }
+  )",
+                  "f", {0}, opt()),
+            0u);
+}
+
+TEST_P(MiniccExec, ShortCircuitOr) {
+  EXPECT_EQ(RunFn(R"(
+    u32 g;
+    u32 touch(u32 v) { g = g + 1; return v; }
+    u32 f(u32 a) {
+      g = 0;
+      u32 r = 0;
+      if (a || touch(1)) { r = 1; }
+      return r * 100 + g;
+    }
+  )",
+                  "f", {5}, opt()),
+            100u);
+}
+
+TEST_P(MiniccExec, UnaryOps) {
+  EXPECT_EQ(RunFn("u32 f(u32 a) { return (-a) + (~a) + (!a) + !(!a); }", "f", {9}, opt()),
+            (0u - 9u) + ~9u + 0u + 1u);
+}
+
+TEST_P(MiniccExec, DivModByNonPowerOfTwo) {
+  EXPECT_EQ(RunFn("u32 f(u32 a, u32 b) { return (a / b) * 1000 + a % b; }", "f", {12345, 67},
+                  opt()),
+            (12345u / 67u) * 1000u + 12345u % 67u);
+}
+
+TEST_P(MiniccExec, CastIntToPointer) {
+  // MMIO-style access: write through a pointer cast from an integer address. RAM base
+  // is 0x20000000 in the test harness.
+  EXPECT_EQ(RunFn(R"(
+    u32 f(void) {
+      *(volatile u32 *)0x20000400 = 77;
+      return *(volatile u32 *)0x20000400;
+    }
+  )",
+                  "f", {}, opt()),
+            77u);
+}
+
+TEST_P(MiniccExec, MemcpyStyleLoop) {
+  EXPECT_EQ(RunFn(R"(
+    void copy(u8 *dst, u8 *src, u32 n) {
+      for (u32 i = 0; i < n; i = i + 1) { dst[i] = src[i]; }
+    }
+    u32 f(void) {
+      u8 a[16];
+      u8 b[16];
+      for (u32 i = 0; i < 16; i = i + 1) { a[i] = (u8)(i * 3); }
+      copy(b, a, 16);
+      u32 sum = 0;
+      for (u32 i = 0; i < 16; i = i + 1) { sum = sum + b[i]; }
+      return sum;
+    }
+  )",
+                  "f", {}, opt()),
+            [] {
+              uint32_t sum = 0;
+              for (uint32_t i = 0; i < 16; i++) {
+                sum += static_cast<uint8_t>(i * 3);
+              }
+              return sum;
+            }());
+}
+
+TEST_P(MiniccExec, ManyLocalsExceedRegisterFile) {
+  // More locals than promotable registers: spills must still be correct at O2.
+  EXPECT_EQ(RunFn(R"(
+    u32 f(u32 x) {
+      u32 a = x + 1;  u32 b = x + 2;  u32 c = x + 3;  u32 d = x + 4;
+      u32 e = x + 5;  u32 g = x + 6;  u32 h = x + 7;  u32 i = x + 8;
+      u32 j = x + 9;  u32 k = x + 10; u32 l = x + 11; u32 m = x + 12;
+      u32 n = x + 13; u32 o = x + 14; u32 p = x + 15; u32 q = x + 16;
+      return a + b + c + d + e + g + h + i + j + k + l + m + n + o + p + q;
+    }
+  )",
+                  "f", {10}, opt()),
+            16u * 10u + (16u * 17u) / 2u);
+}
+
+TEST_P(MiniccExec, AssignmentAsExpression) {
+  EXPECT_EQ(RunFn(R"(
+    u32 f(void) {
+      u32 a;
+      u32 b;
+      a = (b = 21) + 21;
+      return a + b;
+    }
+  )",
+                  "f", {}, opt()),
+            63u);
+}
+
+TEST_P(MiniccExec, GlobalByteBuffer) {
+  EXPECT_EQ(RunFn(R"(
+    u8 buf[8];
+    u32 f(u32 x) {
+      buf[0] = (u8)x;
+      buf[7] = (u8)(x + 1);
+      return (u32)buf[0] * 256 + (u32)buf[7];
+    }
+  )",
+                  "f", {0xab}, opt()),
+            0xabu * 256u + 0xacu);
+}
+
+INSTANTIATE_TEST_SUITE_P(OptLevels, MiniccExec, testing::Values(0, 2),
+                         [](const testing::TestParamInfo<int>& info) {
+                           return "O" + std::to_string(info.param);
+                         });
+
+TEST(MiniccErrors, UndefinedVariable) {
+  riscv::Program p;
+  auto r = CompileSource("u32 f(void) { return nope; }", {}, &p);
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.error().find("undefined variable"), std::string::npos);
+}
+
+TEST(MiniccErrors, UndefinedFunction) {
+  riscv::Program p;
+  auto r = CompileSource("u32 f(void) { return g(); }", {}, &p);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(MiniccErrors, CompoundAssignmentRejected) {
+  riscv::Program p;
+  auto r = CompileSource("u32 f(u32 a) { a += 1; return a; }", {}, &p);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(MiniccErrors, WrongArgCount) {
+  riscv::Program p;
+  auto r = CompileSource("u32 g(u32 a) { return a; } u32 f(void) { return g(1, 2); }", {}, &p);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(MiniccErrors, DuplicateFunction) {
+  riscv::Program p;
+  auto r = CompileSource("u32 f(void) { return 1; } u32 f(void) { return 2; }", {}, &p);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(MiniccErrors, SyntaxError) {
+  riscv::Program p;
+  auto r = CompileSource("u32 f(void) { return 1 +; }", {}, &p);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(MiniccO2, GeneratesFewerInstructions) {
+  // The optimizing code generator must produce a meaningfully smaller .text for
+  // register-heavy loop code — this is the mechanism behind the Table 5 speedup.
+  const std::string src = R"(
+    u32 f(u32 n) {
+      u32 sum = 0;
+      for (u32 i = 0; i < n; i = i + 1) { sum = sum + i * 4 + 1; }
+      return sum;
+    }
+  )";
+  auto text_size = [&](int opt_level) {
+    riscv::Program p;
+    CodegenOptions o;
+    o.opt_level = opt_level;
+    auto r = CompileSource(src, o, &p);
+    EXPECT_TRUE(r.ok()) << r.error();
+    auto img = p.Link(0, 0x20000000);
+    EXPECT_TRUE(img.ok());
+    return img.value().rom.size();
+  };
+  EXPECT_LT(text_size(2), text_size(0));
+}
+
+TEST(MiniccO2, ExecutesFewerInstructionsInLoops) {
+  const std::string src = R"(
+    u32 f(u32 n) {
+      u32 sum = 0;
+      for (u32 i = 0; i < n; i = i + 1) { sum = sum + i; }
+      return sum;
+    }
+  )";
+  uint64_t counts[2];
+  int idx = 0;
+  for (int opt_level : {0, 2}) {
+    Compiled c = CompileAndLoad(src, opt_level);
+    auto result = c.machine.CallFunction(c.image.SymbolOrDie("f"), {1000}, 1'000'000);
+    ASSERT_EQ(result, Machine::StepResult::kHalt);
+    EXPECT_EQ(c.machine.reg(10).bits, 499500u);
+    counts[idx++] = c.machine.instret();
+  }
+  EXPECT_LT(counts[1] * 2, counts[0]);  // O2 at least 2x fewer dynamic instructions.
+}
+
+}  // namespace
+}  // namespace parfait::minicc

@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include "src/crypto/p256.h"
+#include "src/support/bytes.h"
+#include "src/support/rng.h"
+
+namespace parfait::crypto {
+namespace {
+
+Bn256 FromHexBn(const std::string& hex) {
+  Bytes b = FromHex(hex);
+  EXPECT_EQ(b.size(), 32u);
+  return Bn256::FromBytes(std::span<const uint8_t, 32>(b.data(), 32));
+}
+
+Bn256 SmallScalar(uint32_t v) {
+  Bn256 r = Bn256::Zero();
+  r.limb[0] = v;
+  return r;
+}
+
+Bn256 RandomScalar(Rng& rng) {
+  const P256& curve = P256::Get();
+  Bn256 r;
+  for (auto& l : r.limb) {
+    l = rng.Next32();
+  }
+  return curve.scalar().Reduce(r);
+}
+
+std::string AffineHex(const P256Point& p) {
+  const P256& curve = P256::Get();
+  Bn256 x;
+  Bn256 y;
+  uint32_t finite = curve.ToAffine(p, &x, &y);
+  if (finite == 0) {
+    return "infinity";
+  }
+  Bytes xb(32);
+  Bytes yb(32);
+  x.ToBytes(std::span<uint8_t, 32>(xb.data(), 32));
+  y.ToBytes(std::span<uint8_t, 32>(yb.data(), 32));
+  return ToHex(xb) + ":" + ToHex(yb);
+}
+
+TEST(P256, GeneratorIsOnCurve) {
+  const P256& curve = P256::Get();
+  Bn256 gx = FromHexBn("6b17d1f2e12c4247f8bce6e563a440f277037d812deb33a0f4a13945d898c296");
+  Bn256 gy = FromHexBn("4fe342e2fe1a7f9b8ee7eb4a7c0f9e162bce33576b315ececbb6406837bf51f5");
+  EXPECT_EQ(curve.IsOnCurve(gx, gy), 0xffffffffu);
+}
+
+TEST(P256, OffCurvePointRejected) {
+  const P256& curve = P256::Get();
+  Bn256 gx = FromHexBn("6b17d1f2e12c4247f8bce6e563a440f277037d812deb33a0f4a13945d898c296");
+  Bn256 bad_y = FromHexBn("4fe342e2fe1a7f9b8ee7eb4a7c0f9e162bce33576b315ececbb6406837bf51f6");
+  EXPECT_EQ(curve.IsOnCurve(gx, bad_y), 0u);
+}
+
+// Known x-coordinate of 2G (SEC reference value). Combined with the on-curve check
+// below, this pins down 2G completely up to the sign of y.
+TEST(P256, TwoGXCoordinate) {
+  const P256& curve = P256::Get();
+  P256Point p = curve.Double(curve.generator());
+  Bn256 x;
+  Bn256 y;
+  ASSERT_NE(curve.ToAffine(p, &x, &y), 0u);
+  Bytes xb(32);
+  x.ToBytes(std::span<uint8_t, 32>(xb.data(), 32));
+  EXPECT_EQ(ToHex(xb), "7cf27b188d034f7e8a52380304b51ac3c08969e277f21b35a60b48fc47669978");
+}
+
+TEST(P256, DoubleMatchesAdd) {
+  const P256& curve = P256::Get();
+  P256Point d = curve.Double(curve.generator());
+  P256Point a = curve.Add(curve.generator(), curve.generator());
+  EXPECT_EQ(AffineHex(d), AffineHex(a));
+}
+
+TEST(P256, TwoGOnCurve) {
+  const P256& curve = P256::Get();
+  P256Point p = curve.Double(curve.generator());
+  Bn256 x;
+  Bn256 y;
+  ASSERT_NE(curve.ToAffine(p, &x, &y), 0u);
+  EXPECT_EQ(curve.IsOnCurve(x, y), 0xffffffffu);
+}
+
+TEST(P256, ScalarMulSmallValuesMatchRepeatedAdd) {
+  const P256& curve = P256::Get();
+  P256Point acc = curve.Infinity();
+  for (uint32_t k = 1; k <= 8; k++) {
+    acc = curve.Add(acc, curve.generator());
+    P256Point via_mul = curve.ScalarBaseMul(SmallScalar(k));
+    EXPECT_EQ(AffineHex(via_mul), AffineHex(acc)) << "k=" << k;
+  }
+}
+
+TEST(P256, ScalarMulZeroIsInfinity) {
+  const P256& curve = P256::Get();
+  P256Point p = curve.ScalarBaseMul(Bn256::Zero());
+  Bn256 x;
+  Bn256 y;
+  EXPECT_EQ(curve.ToAffine(p, &x, &y), 0u);
+}
+
+TEST(P256, OrderTimesGeneratorIsInfinity) {
+  const P256& curve = P256::Get();
+  P256Point p = curve.ScalarBaseMul(curve.order());
+  Bn256 x;
+  Bn256 y;
+  EXPECT_EQ(curve.ToAffine(p, &x, &y), 0u);
+}
+
+TEST(P256, AddInfinityIsIdentity) {
+  const P256& curve = P256::Get();
+  P256Point inf = curve.Infinity();
+  P256Point g = curve.generator();
+  EXPECT_EQ(AffineHex(curve.Add(g, inf)), AffineHex(g));
+  EXPECT_EQ(AffineHex(curve.Add(inf, g)), AffineHex(g));
+  EXPECT_EQ(AffineHex(curve.Add(inf, inf)), "infinity");
+}
+
+TEST(P256, AddOppositePointsIsInfinity) {
+  const P256& curve = P256::Get();
+  P256Point g = curve.generator();
+  P256Point neg = g;
+  neg.y = curve.field().Sub(Bn256::Zero(), g.y);
+  EXPECT_EQ(AffineHex(curve.Add(g, neg)), "infinity");
+}
+
+TEST(P256, ScalarMulCommutesThroughComposition) {
+  // (k1 * (k2 * G)) == (k2 * (k1 * G)) == (k1*k2 mod n) * G — a strong randomized
+  // correctness check of the whole group-law implementation.
+  const P256& curve = P256::Get();
+  const Monty& sc = curve.scalar();
+  Rng rng(42);
+  for (int trial = 0; trial < 3; trial++) {
+    Bn256 k1 = RandomScalar(rng);
+    Bn256 k2 = RandomScalar(rng);
+    P256Point a = curve.ScalarMul(k1, curve.ScalarBaseMul(k2));
+    P256Point b = curve.ScalarMul(k2, curve.ScalarBaseMul(k1));
+    Bn256 prod = sc.FromMont(sc.Mul(sc.ToMont(k1), sc.ToMont(k2)));
+    P256Point c = curve.ScalarBaseMul(prod);
+    EXPECT_EQ(AffineHex(a), AffineHex(b)) << "trial " << trial;
+    EXPECT_EQ(AffineHex(a), AffineHex(c)) << "trial " << trial;
+  }
+}
+
+TEST(P256, ScalarMulDistributesOverAdd) {
+  // (k1 + k2) * G == k1*G + k2*G.
+  const P256& curve = P256::Get();
+  const Monty& sc = curve.scalar();
+  Rng rng(43);
+  Bn256 k1 = RandomScalar(rng);
+  Bn256 k2 = RandomScalar(rng);
+  Bn256 sum = sc.Add(k1, k2);
+  P256Point lhs = curve.ScalarBaseMul(sum);
+  P256Point rhs = curve.Add(curve.ScalarBaseMul(k1), curve.ScalarBaseMul(k2));
+  EXPECT_EQ(AffineHex(lhs), AffineHex(rhs));
+}
+
+TEST(P256, RandomMultiplesAreOnCurve) {
+  const P256& curve = P256::Get();
+  Rng rng(44);
+  for (int trial = 0; trial < 3; trial++) {
+    Bn256 k = RandomScalar(rng);
+    P256Point p = curve.ScalarBaseMul(k);
+    Bn256 x;
+    Bn256 y;
+    ASSERT_NE(curve.ToAffine(p, &x, &y), 0u);
+    EXPECT_EQ(curve.IsOnCurve(x, y), 0xffffffffu);
+  }
+}
+
+TEST(P256, AffineRoundTrip) {
+  const P256& curve = P256::Get();
+  Rng rng(45);
+  Bn256 k = RandomScalar(rng);
+  P256Point p = curve.ScalarBaseMul(k);
+  Bn256 x;
+  Bn256 y;
+  ASSERT_NE(curve.ToAffine(p, &x, &y), 0u);
+  P256Point q = curve.FromAffine(x, y);
+  EXPECT_EQ(AffineHex(p), AffineHex(q));
+}
+
+}  // namespace
+}  // namespace parfait::crypto

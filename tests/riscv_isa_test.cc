@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "src/riscv/isa.h"
+#include "src/support/rng.h"
+
+namespace parfait::riscv {
+namespace {
+
+TEST(Isa, EncodeDecodeRoundTripAllOps) {
+  // Every opcode with representative operands survives an encode/decode round trip.
+  const Op ops[] = {
+      Op::kLui,   Op::kAuipc, Op::kJal,  Op::kJalr, Op::kBeq,   Op::kBne,    Op::kBlt,
+      Op::kBge,   Op::kBltu,  Op::kBgeu, Op::kLb,   Op::kLh,    Op::kLw,     Op::kLbu,
+      Op::kLhu,   Op::kSb,    Op::kSh,   Op::kSw,   Op::kAddi,  Op::kSlti,   Op::kSltiu,
+      Op::kXori,  Op::kOri,   Op::kAndi, Op::kSlli, Op::kSrli,  Op::kSrai,   Op::kAdd,
+      Op::kSub,   Op::kSll,   Op::kSlt,  Op::kSltu, Op::kXor,   Op::kSrl,    Op::kSra,
+      Op::kOr,    Op::kAnd,   Op::kMul,  Op::kMulh, Op::kMulhsu, Op::kMulhu, Op::kDiv,
+      Op::kDivu,  Op::kRem,   Op::kRemu, Op::kFence, Op::kEcall, Op::kEbreak,
+  };
+  for (Op op : ops) {
+    Instr in{op, 0, 0, 0, 0};
+    if (op == Op::kLui || op == Op::kAuipc) {
+      in.rd = 5;
+      in.imm = static_cast<int32_t>(0x12345000);
+    } else if (op == Op::kJal) {
+      in.rd = 1;
+      in.imm = 2048;
+    } else if (op == Op::kJalr || IsLoad(op)) {
+      in.rd = 7;
+      in.rs1 = 8;
+      in.imm = -12;
+    } else if (IsBranch(op)) {
+      in.rs1 = 3;
+      in.rs2 = 4;
+      in.imm = -64;
+    } else if (IsStore(op)) {
+      in.rs1 = 9;
+      in.rs2 = 10;
+      in.imm = 40;
+    } else if (op == Op::kSlli || op == Op::kSrli || op == Op::kSrai) {
+      in.rd = 11;
+      in.rs1 = 12;
+      in.imm = 13;
+    } else if (op == Op::kAddi || op == Op::kSlti || op == Op::kSltiu || op == Op::kXori ||
+               op == Op::kOri || op == Op::kAndi) {
+      in.rd = 14;
+      in.rs1 = 15;
+      in.imm = -1;
+    } else if (op == Op::kFence || op == Op::kEcall || op == Op::kEbreak) {
+      // No operands.
+    } else {
+      in.rd = 20;
+      in.rs1 = 21;
+      in.rs2 = 22;
+    }
+    uint32_t word = Encode(in);
+    auto decoded = Decode(word);
+    ASSERT_TRUE(decoded.has_value()) << Mnemonic(op);
+    EXPECT_EQ(*decoded, in) << Mnemonic(op);
+  }
+}
+
+TEST(Isa, KnownEncodings) {
+  // Cross-checked against the RISC-V spec: addi x0,x0,0 (canonical NOP) is 0x00000013.
+  EXPECT_EQ(Encode(Instr{Op::kAddi, 0, 0, 0, 0}), 0x00000013u);
+  // ecall / ebreak.
+  EXPECT_EQ(Encode(Instr{Op::kEcall, 0, 0, 0, 0}), 0x00000073u);
+  EXPECT_EQ(Encode(Instr{Op::kEbreak, 0, 0, 0, 0}), 0x00100073u);
+  // add x1, x2, x3 = 0x003100b3.
+  EXPECT_EQ(Encode(Instr{Op::kAdd, 1, 2, 3, 0}), 0x003100b3u);
+  // lui x5, 0x12345 (imm holds the shifted value).
+  EXPECT_EQ(Encode(Instr{Op::kLui, 5, 0, 0, 0x12345000}), 0x123452b7u);
+}
+
+TEST(Isa, DecodeRejectsGarbage) {
+  EXPECT_FALSE(Decode(0x00000000).has_value());
+  EXPECT_FALSE(Decode(0xffffffff).has_value());
+}
+
+TEST(Isa, BranchImmediateSignedRange) {
+  for (int32_t imm : {-4096, -2, 2, 4094}) {
+    Instr in{Op::kBeq, 0, 1, 2, imm};
+    auto decoded = Decode(Encode(in));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->imm, imm) << imm;
+  }
+}
+
+TEST(Isa, JalImmediateSignedRange) {
+  for (int32_t imm : {-(1 << 20), -2, 2, (1 << 20) - 2}) {
+    Instr in{Op::kJal, 1, 0, 0, imm};
+    auto decoded = Decode(Encode(in));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->imm, imm) << imm;
+  }
+}
+
+TEST(Isa, RandomizedRoundTrip) {
+  Rng rng(2024);
+  int checked = 0;
+  for (int i = 0; i < 20000; i++) {
+    uint32_t word = rng.Next32();
+    auto decoded = Decode(word);
+    if (!decoded.has_value()) {
+      continue;
+    }
+    checked++;
+    // Re-encoding a decoded instruction must reproduce functionally identical decoding.
+    auto again = Decode(Encode(*decoded));
+    ASSERT_TRUE(again.has_value());
+    EXPECT_EQ(*again, *decoded);
+  }
+  EXPECT_GT(checked, 100);  // Sanity: the decoder accepts a reasonable fraction.
+}
+
+TEST(Isa, RegisterNames) {
+  EXPECT_STREQ(RegName(0), "zero");
+  EXPECT_STREQ(RegName(2), "sp");
+  EXPECT_STREQ(RegName(10), "a0");
+  EXPECT_EQ(RegFromName("a0"), 10);
+  EXPECT_EQ(RegFromName("x31"), 31);
+  EXPECT_EQ(RegFromName("fp"), 8);
+  EXPECT_FALSE(RegFromName("x32").has_value());
+  EXPECT_FALSE(RegFromName("bogus").has_value());
+}
+
+TEST(Isa, MnemonicRoundTrip) {
+  EXPECT_EQ(OpFromMnemonic("mulhu"), Op::kMulhu);
+  EXPECT_STREQ(Mnemonic(Op::kMulhu), "mulhu");
+  EXPECT_FALSE(OpFromMnemonic("nonsense").has_value());
+}
+
+TEST(Isa, Classification) {
+  EXPECT_TRUE(IsBranch(Op::kBgeu));
+  EXPECT_FALSE(IsBranch(Op::kJal));
+  EXPECT_TRUE(IsJump(Op::kJalr));
+  EXPECT_TRUE(IsLoad(Op::kLbu));
+  EXPECT_TRUE(IsStore(Op::kSh));
+  EXPECT_TRUE(IsMulDiv(Op::kRemu));
+  EXPECT_FALSE(IsMulDiv(Op::kAdd));
+}
+
+}  // namespace
+}  // namespace parfait::riscv

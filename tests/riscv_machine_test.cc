@@ -1,0 +1,356 @@
+#include <gtest/gtest.h>
+
+#include "src/riscv/assembler.h"
+#include "src/riscv/machine.h"
+
+namespace parfait::riscv {
+namespace {
+
+constexpr uint32_t kRomBase = 0x00000000;
+constexpr uint32_t kRamBase = 0x20000000;
+
+// Assembles, links, and loads a program; the machine gets ROM, RAM, and a stack.
+Machine Load(const std::string& asm_text) {
+  auto program = ParseAssembly(asm_text);
+  EXPECT_TRUE(program.ok()) << program.error();
+  auto image = program.value().Link(kRomBase, kRamBase);
+  EXPECT_TRUE(image.ok()) << image.error();
+  Machine m;
+  m.AddRegion("rom", kRomBase, 64 * 1024, /*writable=*/false);
+  m.AddRegion("ram", kRamBase, 64 * 1024, /*writable=*/true);
+  m.WriteMemory(kRomBase, image.value().rom);
+  // Act as the loader: copy the .data load image from ROM into RAM (on the SoC, the
+  // platform boot code performs this copy).
+  const Image& img = image.value();
+  if (img.data_size > 0) {
+    uint32_t lma = img.SymbolOrDie("__data_lma");
+    Bytes init = m.ReadMemory(lma, img.data_size);
+    m.WriteMemory(img.SymbolOrDie("__data_start"), init);
+  }
+  m.set_pc(image.value().SymbolOrDie("_start"));
+  m.set_reg(2, Value::Defined(kRamBase + 64 * 1024));  // sp at top of RAM.
+  return m;
+}
+
+uint32_t RunAndGetA0(const std::string& asm_text, uint64_t max_steps = 100000) {
+  Machine m = Load(asm_text);
+  auto result = m.Run(max_steps);
+  EXPECT_EQ(result, Machine::StepResult::kHalt) << m.fault_reason();
+  EXPECT_TRUE(m.reg(10).defined);
+  return m.reg(10).bits;
+}
+
+TEST(Machine, BasicArithmetic) {
+  EXPECT_EQ(RunAndGetA0(R"(
+    _start:
+      li a0, 40
+      addi a0, a0, 2
+      ecall
+  )"),
+            42u);
+}
+
+TEST(Machine, LargeImmediateLi) {
+  EXPECT_EQ(RunAndGetA0(R"(
+    _start:
+      li a0, 0x12345678
+      ecall
+  )"),
+            0x12345678u);
+}
+
+TEST(Machine, NegativeLi) {
+  EXPECT_EQ(RunAndGetA0(R"(
+    _start:
+      li a0, -1
+      ecall
+  )"),
+            0xffffffffu);
+}
+
+TEST(Machine, LoadStoreRoundTrip) {
+  EXPECT_EQ(RunAndGetA0(R"(
+    _start:
+      li t0, 0x20000100
+      li t1, 0xcafebabe
+      sw t1, 0(t0)
+      lw a0, 0(t0)
+      ecall
+  )"),
+            0xcafebabeu);
+}
+
+TEST(Machine, ByteAndHalfAccess) {
+  EXPECT_EQ(RunAndGetA0(R"(
+    _start:
+      li t0, 0x20000100
+      li t1, 0x804020ff
+      sw t1, 0(t0)
+      lbu a0, 3(t0)       # 0x80
+      lb t2, 3(t0)        # sign-extended 0xffffff80
+      add a0, a0, t2
+      lhu t3, 0(t0)       # 0x20ff
+      add a0, a0, t3
+      ecall
+  )"),
+            0x80u + 0xffffff80u + 0x20ffu);
+}
+
+TEST(Machine, BranchesAndLoops) {
+  // Sum 1..10 = 55.
+  EXPECT_EQ(RunAndGetA0(R"(
+    _start:
+      li a0, 0
+      li t0, 1
+      li t1, 11
+    loop:
+      add a0, a0, t0
+      addi t0, t0, 1
+      bne t0, t1, loop
+      ecall
+  )"),
+            55u);
+}
+
+TEST(Machine, FunctionCallAndReturn) {
+  EXPECT_EQ(RunAndGetA0(R"(
+    _start:
+      li a0, 5
+      call double_it
+      call double_it
+      ecall
+    double_it:
+      add a0, a0, a0
+      ret
+  )"),
+            20u);
+}
+
+TEST(Machine, MulDivSemantics) {
+  EXPECT_EQ(RunAndGetA0(R"(
+    _start:
+      li t0, -7
+      li t1, 3
+      mul a0, t0, t1       # -21
+      div t2, t0, t1       # -2 (truncated toward zero)
+      add a0, a0, t2
+      rem t3, t0, t1       # -1
+      add a0, a0, t3
+      ecall
+  )"),
+            static_cast<uint32_t>(-21 + -2 + -1));
+}
+
+TEST(Machine, MulhuComputesHighWord) {
+  EXPECT_EQ(RunAndGetA0(R"(
+    _start:
+      li t0, 0x80000000
+      li t1, 4
+      mulhu a0, t0, t1
+      ecall
+  )"),
+            2u);
+}
+
+TEST(Machine, DivByZeroIsAllOnes) {
+  EXPECT_EQ(RunAndGetA0(R"(
+    _start:
+      li t0, 9
+      li t1, 0
+      divu a0, t0, t1
+      ecall
+  )"),
+            0xffffffffu);
+}
+
+TEST(Machine, ShiftOps) {
+  EXPECT_EQ(RunAndGetA0(R"(
+    _start:
+      li t0, 0x80000000
+      srai a0, t0, 4       # 0xf8000000
+      srli t1, t0, 4       # 0x08000000
+      add a0, a0, t1
+      ecall
+  )"),
+            0xf8000000u + 0x08000000u);
+}
+
+TEST(Machine, SltVariants) {
+  EXPECT_EQ(RunAndGetA0(R"(
+    _start:
+      li t0, -1
+      li t1, 1
+      slt a0, t0, t1       # 1 (signed)
+      sltu t2, t0, t1      # 0 (unsigned: 0xffffffff > 1)
+      slli a0, a0, 1
+      add a0, a0, t2
+      ecall
+  )"),
+            2u);
+}
+
+TEST(Machine, DataSectionSymbols) {
+  EXPECT_EQ(RunAndGetA0(R"(
+    _start:
+      la t0, table
+      lw a0, 4(t0)
+      ecall
+    .data
+    table: .word 17, 99, 3
+  )"),
+            99u);
+}
+
+TEST(Machine, RodataIsReadOnly) {
+  Machine m = Load(R"(
+    _start:
+      la t0, konst
+      li t1, 5
+      sw t1, 0(t0)
+      ecall
+    .rodata
+    konst: .word 7
+  )");
+  EXPECT_EQ(m.Run(100), Machine::StepResult::kFault);
+  EXPECT_NE(m.fault_reason().find("store"), std::string::npos);
+}
+
+TEST(Machine, OutOfBoundsLoadFaults) {
+  Machine m = Load(R"(
+    _start:
+      li t0, 0x90000000
+      lw a0, 0(t0)
+      ecall
+  )");
+  EXPECT_EQ(m.Run(100), Machine::StepResult::kFault);
+}
+
+TEST(Machine, MisalignedLoadFaults) {
+  Machine m = Load(R"(
+    _start:
+      li t0, 0x20000101
+      lw a0, 0(t0)
+      ecall
+  )");
+  EXPECT_EQ(m.Run(100), Machine::StepResult::kFault);
+  EXPECT_NE(m.fault_reason().find("misaligned"), std::string::npos);
+}
+
+TEST(Machine, UndefinedRegisterPropagates) {
+  // t2 is never written: arithmetic on it yields undef, branching on undef faults.
+  Machine m = Load(R"(
+    _start:
+      add t3, t2, t2
+      beq t3, zero, _start
+      ecall
+  )");
+  EXPECT_EQ(m.Run(100), Machine::StepResult::kFault);
+  EXPECT_NE(m.fault_reason().find("undefined"), std::string::npos);
+}
+
+TEST(Machine, UndefinednessFlowsThroughMemory) {
+  // Storing an undefined register is legal (CompCert stores Vundef bytes); loading it
+  // back yields Undef, and *using* it (branching) is what faults.
+  Machine m = Load(R"(
+    _start:
+      li t0, 0x20000100
+      sw t4, 0(t0)
+      lw t5, 0(t0)
+      beq t5, zero, _start
+      ecall
+  )");
+  EXPECT_EQ(m.Run(100), Machine::StepResult::kFault);
+  EXPECT_NE(m.fault_reason().find("undefined"), std::string::npos);
+}
+
+TEST(Machine, UninitializedStackReadsAreUndef) {
+  Machine m;
+  m.AddRegion("stack", 0x30000000, 4096, /*writable=*/true, /*initially_defined=*/false);
+  auto program = ParseAssembly(R"(
+    f:
+      lw a0, 0(sp)
+      ret
+  )");
+  ASSERT_TRUE(program.ok());
+  auto image = program.value().Link(kRomBase, kRamBase);
+  ASSERT_TRUE(image.ok());
+  m.AddRegion("rom", kRomBase, 4096, false);
+  m.WriteMemory(kRomBase, image.value().rom);
+  m.set_reg(2, Value::Defined(0x30000100));
+  EXPECT_EQ(m.CallFunction(image.value().SymbolOrDie("f"), {}, 100),
+            Machine::StepResult::kHalt);
+  EXPECT_FALSE(m.reg(10).defined);
+}
+
+TEST(Machine, X0AlwaysZero) {
+  EXPECT_EQ(RunAndGetA0(R"(
+    _start:
+      li t0, 7
+      add zero, t0, t0
+      mv a0, zero
+      ecall
+  )"),
+            0u);
+}
+
+TEST(Machine, CallFunctionHelper) {
+  auto program = ParseAssembly(R"(
+    sum3:
+      add a0, a0, a1
+      add a0, a0, a2
+      ret
+  )");
+  ASSERT_TRUE(program.ok()) << program.error();
+  auto image = program.value().Link(kRomBase, kRamBase);
+  ASSERT_TRUE(image.ok());
+  Machine m;
+  m.AddRegion("rom", kRomBase, 4096, false);
+  m.AddRegion("stack", 0x7f000000, 1 << 20, true);
+  m.WriteMemory(kRomBase, image.value().rom);
+  m.set_reg(2, Value::Defined(0x7f000000 + (1 << 20)));
+  auto result = m.CallFunction(image.value().SymbolOrDie("sum3"), {10, 20, 12}, 1000);
+  EXPECT_EQ(result, Machine::StepResult::kHalt) << m.fault_reason();
+  EXPECT_EQ(m.reg(10).bits, 42u);
+}
+
+TEST(Machine, StepLimitFaults) {
+  Machine m = Load(R"(
+    _start:
+      j _start
+  )");
+  EXPECT_EQ(m.Run(10), Machine::StepResult::kFault);
+  EXPECT_NE(m.fault_reason().find("step limit"), std::string::npos);
+}
+
+TEST(Machine, InstretCounts) {
+  Machine m = Load(R"(
+    _start:
+      nop
+      nop
+      nop
+      ecall
+  )");
+  EXPECT_EQ(m.Run(100), Machine::StepResult::kHalt);
+  EXPECT_EQ(m.instret(), 4u);
+}
+
+TEST(Machine, DataInitImageInRom) {
+  // .data contents are linked into ROM at __data_lma; a loader (or boot code) copies
+  // them to RAM. Verify the symbols and the load image.
+  auto program = ParseAssembly(R"(
+    _start: ecall
+    .data
+    xyz: .word 0xabad1dea
+  )");
+  ASSERT_TRUE(program.ok());
+  auto image = program.value().Link(kRomBase, kRamBase);
+  ASSERT_TRUE(image.ok());
+  const Image& img = image.value();
+  uint32_t lma = img.SymbolOrDie("__data_lma");
+  uint32_t vma = img.SymbolOrDie("xyz");
+  EXPECT_EQ(vma, kRamBase);
+  EXPECT_EQ(parfait::LoadLe32(img.rom.data() + (lma - kRomBase)), 0xabad1deau);
+}
+
+}  // namespace
+}  // namespace parfait::riscv

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include "src/riscv/isa.h"
+#include "src/rtl/sim.h"
+#include "src/soc/bus.h"
+
+namespace parfait::soc {
+namespace {
+
+TEST(WireTrace, FirstDivergence) {
+  rtl::WireTrace a(10);
+  rtl::WireTrace b(10);
+  EXPECT_EQ(rtl::FirstDivergence(a, b), -1);
+  b[7].tx_valid = true;
+  EXPECT_EQ(rtl::FirstDivergence(a, b), 7);
+  b[7].tx_valid = false;
+  b.push_back({});
+  EXPECT_EQ(rtl::FirstDivergence(a, b), 10);  // Length mismatch at the shorter length.
+}
+
+TEST(WireTrace, FormatSample) {
+  rtl::WireSample s;
+  s.tx_valid = true;
+  s.tx_data = 0xab;
+  EXPECT_NE(rtl::FormatSample(s).find("0xab"), std::string::npos);
+}
+
+class BusTest : public testing::Test {
+ protected:
+  BusTest() : bus_(BusConfig{}) {}
+  Bus bus_;
+};
+
+TEST_F(BusTest, RamReadWriteRoundTrip) {
+  ASSERT_TRUE(bus_.Write(kRamBase + 16, 4, rtl::Word::Clean(0xdeadbeef)));
+  rtl::Word w;
+  ASSERT_TRUE(bus_.Read(kRamBase + 16, 4, &w));
+  EXPECT_EQ(w.bits, 0xdeadbeefu);
+  // Byte access into the same word.
+  ASSERT_TRUE(bus_.Read(kRamBase + 17, 1, &w));
+  EXPECT_EQ(w.bits, 0xbeu);
+}
+
+TEST_F(BusTest, RomIsReadOnly) {
+  EXPECT_FALSE(bus_.Write(kRomBase, 4, rtl::Word::Clean(1)));
+}
+
+TEST_F(BusTest, UnmappedAddressFails) {
+  rtl::Word w;
+  EXPECT_FALSE(bus_.Read(0x60000000, 4, &w));
+  EXPECT_FALSE(bus_.Write(0x60000000, 4, rtl::Word::Clean(1)));
+}
+
+TEST_F(BusTest, FramPersistsThroughDump) {
+  ASSERT_TRUE(bus_.Write(kFramBase + 4, 4, rtl::Word::Clean(0x12345678)));
+  Bytes dump = bus_.DumpFram();
+  EXPECT_EQ(LoadLe32(dump.data() + 4), 0x12345678u);
+}
+
+TEST_F(BusTest, TaintPropagatesThroughMemoryWhenTracking) {
+  bus_.set_taint_tracking(true);
+  ASSERT_TRUE(bus_.Write(kRamBase, 4, rtl::Word::Tainted(0x11)));
+  rtl::Word w;
+  ASSERT_TRUE(bus_.Read(kRamBase, 4, &w));
+  EXPECT_TRUE(w.AnyTaint());
+  // Clean overwrite clears the taint.
+  ASSERT_TRUE(bus_.Write(kRamBase, 4, rtl::Word::Clean(0x22)));
+  ASSERT_TRUE(bus_.Read(kRamBase, 4, &w));
+  EXPECT_FALSE(w.AnyTaint());
+}
+
+TEST_F(BusTest, TaintInvisibleWhenNotTracking) {
+  ASSERT_TRUE(bus_.Write(kRamBase, 4, rtl::Word::Tainted(0x11)));
+  rtl::Word w;
+  ASSERT_TRUE(bus_.Read(kRamBase, 4, &w));
+  EXPECT_FALSE(w.AnyTaint());
+}
+
+TEST_F(BusTest, FetchDecodesAndCachesRomInstructions) {
+  Bytes rom(8);
+  StoreLe32(rom.data(), riscv::Encode(riscv::Instr{riscv::Op::kAddi, 5, 0, 0, 42}));
+  StoreLe32(rom.data() + 4, 0xffffffff);  // Undecodable.
+  bus_.LoadRom(rom);
+  uint32_t raw = 0;
+  const riscv::Instr* i0 = bus_.Fetch(kRomBase, &raw);
+  ASSERT_NE(i0, nullptr);
+  EXPECT_EQ(i0->op, riscv::Op::kAddi);
+  EXPECT_EQ(raw, riscv::Encode(*i0));
+  EXPECT_EQ(bus_.Fetch(kRomBase + 4, nullptr), nullptr);
+  // Second fetch hits the cache and yields the same decode.
+  EXPECT_EQ(bus_.Fetch(kRomBase, nullptr), i0);
+}
+
+TEST_F(BusTest, MisalignedFetchFails) {
+  EXPECT_EQ(bus_.Fetch(kRomBase + 2, nullptr), nullptr);
+}
+
+TEST_F(BusTest, UartLoopback) {
+  // Host presents a byte; firmware-style MMIO reads it and echoes it back.
+  rtl::WireInput in;
+  in.rx_valid = true;
+  in.rx_data = 0x5a;
+  bus_.BeginCycle(in);
+  rtl::Word status;
+  ASSERT_TRUE(bus_.Read(kUartStatus, 4, &status));
+  EXPECT_EQ(status.bits & 1u, 1u);  // rx byte ready.
+  rtl::Word data;
+  ASSERT_TRUE(bus_.Read(kUartRxData, 4, &data));
+  EXPECT_EQ(data.bits, 0x5au);
+  ASSERT_TRUE(bus_.Write(kUartTxData, 4, data));
+  rtl::WireSample out = bus_.EndCycle();
+  EXPECT_TRUE(out.tx_valid);
+  EXPECT_EQ(out.tx_data, 0x5a);
+}
+
+TEST_F(BusTest, UartBackpressure) {
+  // With host tx_ready low, the tx byte stays pending across cycles.
+  rtl::WireInput stall;
+  stall.tx_ready = false;
+  bus_.BeginCycle(stall);
+  ASSERT_TRUE(bus_.Write(kUartTxData, 4, rtl::Word::Clean(0x77)));
+  rtl::WireSample s1 = bus_.EndCycle();
+  EXPECT_TRUE(s1.tx_valid);
+  bus_.BeginCycle(stall);
+  rtl::WireSample s2 = bus_.EndCycle();
+  EXPECT_TRUE(s2.tx_valid);  // Still pending.
+  rtl::WireInput ready;
+  bus_.BeginCycle(ready);
+  rtl::WireSample s3 = bus_.EndCycle();
+  EXPECT_TRUE(s3.tx_valid);  // Consumed this cycle...
+  bus_.BeginCycle(ready);
+  rtl::WireSample s4 = bus_.EndCycle();
+  EXPECT_FALSE(s4.tx_valid);  // ...gone afterwards.
+}
+
+TEST_F(BusTest, UartRxFlowControl) {
+  rtl::WireInput in;
+  in.rx_valid = true;
+  in.rx_data = 1;
+  bus_.BeginCycle(in);
+  rtl::WireSample s = bus_.EndCycle();
+  EXPECT_FALSE(s.rx_ready);  // Buffer full until the CPU reads it.
+  in.rx_data = 2;
+  bus_.BeginCycle(in);  // Offered byte must be dropped, not overwrite.
+  rtl::Word data;
+  ASSERT_TRUE(bus_.Read(kUartRxData, 4, &data));
+  EXPECT_EQ(data.bits, 1u);
+  s = bus_.EndCycle();
+  EXPECT_TRUE(s.rx_ready);
+}
+
+TEST_F(BusTest, SetFramTaintIsRangeScoped) {
+  bus_.set_taint_tracking(true);
+  bus_.SetFramTaint(8, 4, true);
+  rtl::Word w;
+  ASSERT_TRUE(bus_.Read(kFramBase + 8, 4, &w));
+  EXPECT_TRUE(w.AnyTaint());
+  ASSERT_TRUE(bus_.Read(kFramBase + 12, 4, &w));
+  EXPECT_FALSE(w.AnyTaint());
+}
+
+}  // namespace
+}  // namespace parfait::soc

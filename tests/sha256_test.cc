@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/crypto/sha256.h"
+#include "src/support/bytes.h"
+#include "src/support/rng.h"
+
+namespace parfait::crypto {
+namespace {
+
+Bytes Ascii(const std::string& s) { return Bytes(s.begin(), s.end()); }
+
+std::string HashHex(const Bytes& data) {
+  auto d = Sha256::Hash(data);
+  return ToHex(d);
+}
+
+// FIPS 180-4 / NIST CAVP known-answer vectors.
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(HashHex({}), "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(HashHex(Ascii("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(HashHex(Ascii("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; i++) {
+    h.Update(chunk);
+  }
+  EXPECT_EQ(ToHex(h.Final()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  Rng rng(1234);
+  for (int trial = 0; trial < 50; trial++) {
+    Bytes data = rng.RandomBytes(rng.Below(500));
+    auto oneshot = Sha256::Hash(data);
+    Sha256 h;
+    size_t pos = 0;
+    while (pos < data.size()) {
+      size_t take = std::min<size_t>(rng.Below(64) + 1, data.size() - pos);
+      h.Update(std::span<const uint8_t>(data.data() + pos, take));
+      pos += take;
+    }
+    EXPECT_EQ(h.Final(), oneshot) << "trial " << trial;
+  }
+}
+
+// Length edge cases around the padding boundary (55/56/64 bytes).
+class Sha256PaddingBoundary : public testing::TestWithParam<size_t> {};
+
+TEST_P(Sha256PaddingBoundary, MatchesIncremental) {
+  size_t n = GetParam();
+  Bytes data(n, 0x5a);
+  auto oneshot = Sha256::Hash(data);
+  Sha256 h;
+  for (size_t i = 0; i < n; i++) {
+    h.Update(std::span<const uint8_t>(&data[i], 1));
+  }
+  EXPECT_EQ(h.Final(), oneshot);
+}
+
+INSTANTIATE_TEST_SUITE_P(Boundaries, Sha256PaddingBoundary,
+                         testing::Values(0, 1, 54, 55, 56, 57, 63, 64, 65, 119, 120, 128));
+
+TEST(Sha256, DistinctInputsDistinctDigests) {
+  Rng rng(99);
+  Bytes a = rng.RandomBytes(32);
+  Bytes b = a;
+  b[0] ^= 1;
+  EXPECT_NE(Sha256::Hash(a), Sha256::Hash(b));
+}
+
+}  // namespace
+}  // namespace parfait::crypto

@@ -1,0 +1,289 @@
+#include <gtest/gtest.h>
+
+#include "src/platform/firmware.h"
+#include "src/soc/soc.h"
+#include "src/support/rng.h"
+
+namespace parfait::soc {
+namespace {
+
+// A minimal test application: state is a 4-byte counter; command is 4 bytes.
+// handle() adds the command word into the counter and responds with the new counter
+// value XORed with 0xff in the second word.
+const char kCounterApp[] = R"(
+u32 load_le32(u8 *p) {
+  return (u32)p[0] | ((u32)p[1] << 8) | ((u32)p[2] << 16) | ((u32)p[3] << 24);
+}
+void store_le32(u8 *p, u32 v) {
+  p[0] = (u8)v;
+  p[1] = (u8)(v >> 8);
+  p[2] = (u8)(v >> 16);
+  p[3] = (u8)(v >> 24);
+}
+void handle(u8 *state, u8 *cmd, u8 *resp) {
+  u32 counter = load_le32(state);
+  u32 arg = load_le32(cmd);
+  counter = counter + arg;
+  store_le32(state, counter);
+  store_le32(resp, counter);
+  store_le32(resp + 4, counter ^ 0xffffffff);
+}
+)";
+
+riscv::Image BuildCounterImage(int opt_level = 0) {
+  platform::FirmwareConfig config;
+  config.app_sources = kCounterApp;
+  config.state_size = 4;
+  config.command_size = 4;
+  config.response_size = 8;
+  config.opt_level = opt_level;
+  auto image = platform::BuildFirmware(config);
+  EXPECT_TRUE(image.ok()) << image.error();
+  return image.value();
+}
+
+SocConfig MakeConfig(CpuKind kind) {
+  SocConfig config;
+  config.cpu_kind = kind;
+  return config;
+}
+
+Bytes CommandWord(uint32_t v) {
+  Bytes b(4);
+  StoreLe32(b.data(), v);
+  return b;
+}
+
+class SocBothCpus : public testing::TestWithParam<CpuKind> {};
+
+TEST_P(SocBothCpus, CounterAppEndToEnd) {
+  riscv::Image image = BuildCounterImage();
+  Soc soc(image, MakeConfig(GetParam()));
+  WireHost host(&soc);
+
+  auto r1 = host.Transact(CommandWord(5), 8, 2'000'000);
+  ASSERT_TRUE(r1.has_value()) << soc.cpu().fault();
+  EXPECT_EQ(LoadLe32(r1->data()), 5u);
+  EXPECT_EQ(LoadLe32(r1->data() + 4), ~5u);
+
+  auto r2 = host.Transact(CommandWord(7), 8, 2'000'000);
+  ASSERT_TRUE(r2.has_value());
+  EXPECT_EQ(LoadLe32(r2->data()), 12u);  // State persisted across commands.
+}
+
+TEST_P(SocBothCpus, StatePersistsAcrossPowerCycles) {
+  riscv::Image image = BuildCounterImage();
+  Bytes fram;
+  {
+    Soc soc(image, MakeConfig(GetParam()));
+    WireHost host(&soc);
+    auto r = host.Transact(CommandWord(41), 8, 2'000'000);
+    ASSERT_TRUE(r.has_value());
+    fram = soc.bus().DumpFram();
+  }
+  // Power-cycle: fresh SoC, persistent FRAM.
+  Soc soc(image, MakeConfig(GetParam()));
+  soc.bus().LoadFram(fram, {});
+  WireHost host(&soc);
+  auto r = host.Transact(CommandWord(1), 8, 2'000'000);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(LoadLe32(r->data()), 42u);
+}
+
+TEST_P(SocBothCpus, CrashBeforeCommitKeepsOldState) {
+  riscv::Image image = BuildCounterImage();
+  // Run a complete command first so state = 10.
+  Bytes fram;
+  {
+    Soc soc(image, MakeConfig(GetParam()));
+    WireHost host(&soc);
+    ASSERT_TRUE(host.Transact(CommandWord(10), 8, 2'000'000).has_value());
+    fram = soc.bus().DumpFram();
+  }
+  // Feed the next command but cut power in the middle of processing: step a bounded
+  // number of cycles, well before the response completes.
+  {
+    Soc soc(image, MakeConfig(GetParam()));
+    soc.bus().LoadFram(fram, {});
+    WireHost host(&soc);
+    rtl::WireInput in;
+    // Present the command bytes by hand, then run a few hundred cycles and "cut power".
+    auto partial = host.Transact(CommandWord(90), /*response_size=*/1, /*max_cycles=*/600);
+    (void)partial;  // Timeout expected; we only care about FRAM contents.
+    fram = soc.bus().DumpFram();
+  }
+  // After the crash, recovery must observe either the old state (10) or, if the cut
+  // came after the commit point, the new state (100). Nothing else.
+  Soc soc(image, MakeConfig(GetParam()));
+  soc.bus().LoadFram(fram, {});
+  WireHost host(&soc);
+  auto r = host.Transact(CommandWord(0), 8, 2'000'000);
+  ASSERT_TRUE(r.has_value());
+  uint32_t value = LoadLe32(r->data());
+  EXPECT_TRUE(value == 10u || value == 100u) << value;
+}
+
+TEST_P(SocBothCpus, O2FirmwareBehavesIdentically) {
+  riscv::Image o0 = BuildCounterImage(0);
+  riscv::Image o2 = BuildCounterImage(2);
+  Soc soc0(o0, MakeConfig(GetParam()));
+  Soc soc2(o2, MakeConfig(GetParam()));
+  WireHost h0(&soc0);
+  WireHost h2(&soc2);
+  auto r0 = h0.Transact(CommandWord(123), 8, 2'000'000);
+  auto r2 = h2.Transact(CommandWord(123), 8, 2'000'000);
+  ASSERT_TRUE(r0.has_value());
+  ASSERT_TRUE(r2.has_value());
+  EXPECT_EQ(*r0, *r2);
+  // O2 firmware should finish in fewer cycles.
+  EXPECT_LT(soc2.cycles(), soc0.cycles());
+}
+
+TEST_P(SocBothCpus, DeterministicWireTraces) {
+  riscv::Image image = BuildCounterImage();
+  rtl::WireTrace traces[2];
+  for (int i = 0; i < 2; i++) {
+    Soc soc(image, MakeConfig(GetParam()));
+    WireHost host(&soc);
+    ASSERT_TRUE(host.Transact(CommandWord(9), 8, 2'000'000).has_value());
+    traces[i] = host.trace();
+  }
+  EXPECT_EQ(rtl::FirstDivergence(traces[0], traces[1]), -1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cpus, SocBothCpus, testing::Values(CpuKind::kIbexLite, CpuKind::kPicoLite),
+                         [](const testing::TestParamInfo<CpuKind>& info) {
+                           return CpuKindName(info.param);
+                         });
+
+TEST(SocTiming, PicoLiteTakesMoreCyclesThanIbexLite) {
+  riscv::Image image = BuildCounterImage();
+  uint64_t cycles[2];
+  int i = 0;
+  for (CpuKind kind : {CpuKind::kIbexLite, CpuKind::kPicoLite}) {
+    Soc soc(image, MakeConfig(kind));
+    WireHost host(&soc);
+    ASSERT_TRUE(host.Transact(CommandWord(3), 8, 4'000'000).has_value());
+    cycles[i++] = soc.cycles();
+  }
+  EXPECT_LT(cycles[0], cycles[1]);
+}
+
+TEST(SocTiming, VariableLatencyMultiplierChangesTiming) {
+  // Same program, multiplier operand magnitude differs -> cycle counts differ when the
+  // variable-latency multiplier is configured (the §7.2 hardware timing bug).
+  const char kMulApp[] = R"(
+u32 load_le32(u8 *p) {
+  return (u32)p[0] | ((u32)p[1] << 8) | ((u32)p[2] << 16) | ((u32)p[3] << 24);
+}
+void store_le32(u8 *p, u32 v) {
+  p[0] = (u8)v;
+  p[1] = (u8)(v >> 8);
+  p[2] = (u8)(v >> 16);
+  p[3] = (u8)(v >> 24);
+}
+void handle(u8 *state, u8 *cmd, u8 *resp) {
+  u32 a = load_le32(state);
+  u32 r = 0;
+  for (u32 i = 0; i < 64; i = i + 1) { r = r + a * a; }
+  store_le32(resp, r);
+  state[0] = state[0];
+  cmd[0] = cmd[0];
+}
+)";
+  platform::FirmwareConfig fw;
+  fw.app_sources = kMulApp;
+  fw.state_size = 4;
+  fw.command_size = 4;
+  fw.response_size = 4;
+  auto image = platform::BuildFirmware(fw);
+  ASSERT_TRUE(image.ok()) << image.error();
+
+  auto run_with_state = [&](uint32_t state_word, bool variable) {
+    SocConfig config;
+    config.cpu_kind = CpuKind::kIbexLite;
+    config.cpu.variable_latency_mul = variable;
+    Soc soc(image.value(), config);
+    // Pre-seed FRAM copy A with the state word (flag = 0).
+    Bytes fram(4 + 4, 0);
+    StoreLe32(fram.data() + 4, state_word);
+    soc.bus().LoadFram(fram, {});
+    WireHost host(&soc);
+    EXPECT_TRUE(host.Transact(CommandWord(0), 4, 4'000'000).has_value());
+    return soc.cycles();
+  };
+
+  // Fixed-latency multiplier: timing independent of the (secret) state operand.
+  EXPECT_EQ(run_with_state(1, false), run_with_state(0xffffffff, false));
+  // Variable-latency multiplier: timing depends on the operand.
+  EXPECT_NE(run_with_state(1, true), run_with_state(0xffffffff, true));
+}
+
+TEST(SocTaint, TaintedBranchIsFlagged) {
+  const char kLeakyApp[] = R"(
+void handle(u8 *state, u8 *cmd, u8 *resp) {
+  if (state[0] == 1) {
+    resp[0] = 1;
+  } else {
+    resp[0] = 2;
+  }
+  cmd[0] = cmd[0];
+}
+)";
+  platform::FirmwareConfig fw;
+  fw.app_sources = kLeakyApp;
+  fw.state_size = 4;
+  fw.command_size = 4;
+  fw.response_size = 4;
+  auto image = platform::BuildFirmware(fw);
+  ASSERT_TRUE(image.ok()) << image.error();
+  SocConfig config;
+  config.taint_tracking = true;
+  Soc soc(image.value(), config);
+  // Taint the state bytes in FRAM (the secret), not the journal flag.
+  Bytes fram(8, 0);
+  soc.bus().LoadFram(fram, {});
+  soc.bus().SetFramTaint(4, 4, true);
+  WireHost host(&soc);
+  ASSERT_TRUE(host.Transact(CommandWord(0), 4, 4'000'000).has_value());
+  bool branch_leak = false;
+  for (const auto& leak : soc.bus().leaks()) {
+    if (leak.what.find("branch") != std::string::npos) {
+      branch_leak = true;
+    }
+  }
+  EXPECT_TRUE(branch_leak);
+}
+
+TEST(SocTaint, ConstantTimeAppHasNoControlLeaks) {
+  const char kCtApp[] = R"(
+void handle(u8 *state, u8 *cmd, u8 *resp) {
+  u32 eq = (u32)state[0] ^ (u32)cmd[0];
+  u32 mask = 0 - ((eq | (0 - eq)) >> 31);
+  resp[0] = (u8)(1 & ~mask) | (u8)(2 & mask);
+}
+)";
+  platform::FirmwareConfig fw;
+  fw.app_sources = kCtApp;
+  fw.state_size = 4;
+  fw.command_size = 4;
+  fw.response_size = 4;
+  auto image = platform::BuildFirmware(fw);
+  ASSERT_TRUE(image.ok()) << image.error();
+  SocConfig config;
+  config.taint_tracking = true;
+  Soc soc(image.value(), config);
+  Bytes fram(8, 0);
+  soc.bus().LoadFram(fram, {});
+  soc.bus().SetFramTaint(4, 4, true);
+  WireHost host(&soc);
+  ASSERT_TRUE(host.Transact(CommandWord(0), 4, 4'000'000).has_value());
+  for (const auto& leak : soc.bus().leaks()) {
+    EXPECT_TRUE(leak.what.find("branch") == std::string::npos &&
+                leak.what.find("address") == std::string::npos)
+        << leak.what;
+  }
+}
+
+}  // namespace
+}  // namespace parfait::soc

@@ -1,0 +1,26 @@
+// Starling checks on the real applications, plus injected software bugs (§7.2) that
+// the software layer must catch.
+#include <gtest/gtest.h>
+
+#include "src/starling/starling.h"
+
+namespace parfait::starling {
+namespace {
+
+TEST(Starling, HasherPasses) {
+  auto report = CheckApp(hsm::HasherApp());
+  EXPECT_TRUE(report.ok) << report.failure;
+  EXPECT_GT(report.checks_run, 100);
+}
+
+TEST(Starling, EcdsaPasses) {
+  StarlingOptions options;
+  options.valid_trials = 8;  // Each trial runs full ECDSA signs.
+  options.sequence_trials = 1;
+  options.sequence_length = 4;
+  auto report = CheckApp(hsm::EcdsaApp(), options);
+  EXPECT_TRUE(report.ok) << report.failure;
+}
+
+}  // namespace
+}  // namespace parfait::starling

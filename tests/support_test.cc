@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "src/support/bytes.h"
+#include "src/support/loc.h"
+#include "src/support/rng.h"
+
+namespace parfait {
+namespace {
+
+TEST(Bytes, HexRoundTrip) {
+  Bytes data = {0x00, 0x01, 0xab, 0xff, 0x7f};
+  EXPECT_EQ(ToHex(data), "0001abff7f");
+  EXPECT_EQ(FromHex("0001abff7f"), data);
+  EXPECT_EQ(FromHex("0x0001ABFF7F"), data);
+}
+
+TEST(Bytes, HexEmpty) {
+  EXPECT_EQ(ToHex({}), "");
+  EXPECT_TRUE(FromHex("").empty());
+}
+
+TEST(Bytes, EndianLe32) {
+  uint8_t buf[4];
+  StoreLe32(buf, 0x12345678);
+  EXPECT_EQ(buf[0], 0x78);
+  EXPECT_EQ(buf[3], 0x12);
+  EXPECT_EQ(LoadLe32(buf), 0x12345678u);
+}
+
+TEST(Bytes, EndianBe32) {
+  uint8_t buf[4];
+  StoreBe32(buf, 0x12345678);
+  EXPECT_EQ(buf[0], 0x12);
+  EXPECT_EQ(buf[3], 0x78);
+  EXPECT_EQ(LoadBe32(buf), 0x12345678u);
+}
+
+TEST(Bytes, EndianLe64) {
+  uint8_t buf[8];
+  StoreLe64(buf, 0x0102030405060708ULL);
+  EXPECT_EQ(buf[0], 0x08);
+  EXPECT_EQ(buf[7], 0x01);
+  EXPECT_EQ(LoadLe64(buf), 0x0102030405060708ULL);
+}
+
+TEST(Bytes, EndianBe64) {
+  uint8_t buf[8];
+  StoreBe64(buf, 0x0102030405060708ULL);
+  EXPECT_EQ(buf[0], 0x01);
+  EXPECT_EQ(buf[7], 0x08);
+  EXPECT_EQ(LoadBe64(buf), 0x0102030405060708ULL);
+}
+
+TEST(Bytes, ConstantTimeEqual) {
+  Bytes a = {1, 2, 3};
+  Bytes b = {1, 2, 3};
+  Bytes c = {1, 2, 4};
+  Bytes d = {1, 2};
+  EXPECT_TRUE(ConstantTimeEqual(a, b));
+  EXPECT_FALSE(ConstantTimeEqual(a, c));
+  EXPECT_FALSE(ConstantTimeEqual(a, d));
+  EXPECT_TRUE(ConstantTimeEqual({}, {}));
+}
+
+TEST(Bytes, ConstantTimeSelect) {
+  Bytes a = {0xaa, 0xbb};
+  Bytes b = {0x11, 0x22};
+  Bytes out(2);
+  ConstantTimeSelect(0xff, a, b, out);
+  EXPECT_EQ(out, a);
+  ConstantTimeSelect(0x00, a, b, out);
+  EXPECT_EQ(out, b);
+}
+
+TEST(Bytes, Concat) {
+  Bytes a = {1, 2};
+  Bytes b = {3};
+  EXPECT_EQ(Concat(a, b), (Bytes{1, 2, 3}));
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; i++) {
+    EXPECT_EQ(a.Next64(), b.Next64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  EXPECT_NE(a.Next64(), b.Next64());
+}
+
+TEST(Rng, BelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; i++) {
+    EXPECT_LT(rng.Below(17), 17u);
+  }
+}
+
+TEST(Rng, FillChangesBuffer) {
+  Rng rng(9);
+  Bytes buf(64, 0);
+  rng.Fill(buf);
+  int nonzero = 0;
+  for (uint8_t b : buf) {
+    nonzero += (b != 0);
+  }
+  EXPECT_GT(nonzero, 32);  // Overwhelmingly likely.
+}
+
+TEST(Loc, CountsCodeLines) {
+  std::string path = testing::TempDir() + "/loc_test.cc";
+  FILE* f = fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  fputs("// comment only\n\nint x;\n/* block\ncomment */\nint y; // trailing\n", f);
+  fclose(f);
+  EXPECT_EQ(CountLoc(path), 2u);
+}
+
+TEST(Loc, MissingFileIsZero) { EXPECT_EQ(CountLoc("/nonexistent/file.cc"), 0u); }
+
+}  // namespace
+}  // namespace parfait
