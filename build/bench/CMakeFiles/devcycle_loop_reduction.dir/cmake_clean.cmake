@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/devcycle_loop_reduction.dir/devcycle_loop_reduction.cc.o"
+  "CMakeFiles/devcycle_loop_reduction.dir/devcycle_loop_reduction.cc.o.d"
+  "devcycle_loop_reduction"
+  "devcycle_loop_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/devcycle_loop_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_levels.dir/table1_levels.cc.o"
+  "CMakeFiles/table1_levels.dir/table1_levels.cc.o.d"
+  "table1_levels"
+  "table1_levels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_levels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

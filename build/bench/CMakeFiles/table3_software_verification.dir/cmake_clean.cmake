@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_software_verification.dir/table3_software_verification.cc.o"
+  "CMakeFiles/table3_software_verification.dir/table3_software_verification.cc.o.d"
+  "table3_software_verification"
+  "table3_software_verification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_software_verification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

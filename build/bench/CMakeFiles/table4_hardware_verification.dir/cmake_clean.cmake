@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_hardware_verification.dir/table4_hardware_verification.cc.o"
+  "CMakeFiles/table4_hardware_verification.dir/table4_hardware_verification.cc.o.d"
+  "table4_hardware_verification"
+  "table4_hardware_verification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_hardware_verification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table5_performance.cc" "bench/CMakeFiles/table5_performance.dir/table5_performance.cc.o" "gcc" "bench/CMakeFiles/table5_performance.dir/table5_performance.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hsm/CMakeFiles/parfait_hsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/parfait_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/parfait_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/minicc/CMakeFiles/parfait_minicc.dir/DependInfo.cmake"
+  "/root/repo/build/src/soc/CMakeFiles/parfait_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/riscv/CMakeFiles/parfait_riscv.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/parfait_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/parfait_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

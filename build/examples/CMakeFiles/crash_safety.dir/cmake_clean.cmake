@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crash_safety.dir/crash_safety.cpp.o"
+  "CMakeFiles/crash_safety.dir/crash_safety.cpp.o.d"
+  "crash_safety"
+  "crash_safety.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crash_safety.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

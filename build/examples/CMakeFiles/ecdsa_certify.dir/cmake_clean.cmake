@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecdsa_certify.dir/ecdsa_certify.cpp.o"
+  "CMakeFiles/ecdsa_certify.dir/ecdsa_certify.cpp.o.d"
+  "ecdsa_certify"
+  "ecdsa_certify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecdsa_certify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firmware_listing.dir/firmware_listing.cpp.o"
+  "CMakeFiles/firmware_listing.dir/firmware_listing.cpp.o.d"
+  "firmware_listing"
+  "firmware_listing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firmware_listing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

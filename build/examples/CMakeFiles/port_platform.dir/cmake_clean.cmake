@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/port_platform.dir/port_platform.cpp.o"
+  "CMakeFiles/port_platform.dir/port_platform.cpp.o.d"
+  "port_platform"
+  "port_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/port_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for port_platform.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/bignum.cc" "src/crypto/CMakeFiles/parfait_crypto.dir/bignum.cc.o" "gcc" "src/crypto/CMakeFiles/parfait_crypto.dir/bignum.cc.o.d"
+  "/root/repo/src/crypto/blake2s.cc" "src/crypto/CMakeFiles/parfait_crypto.dir/blake2s.cc.o" "gcc" "src/crypto/CMakeFiles/parfait_crypto.dir/blake2s.cc.o.d"
+  "/root/repo/src/crypto/ecdsa.cc" "src/crypto/CMakeFiles/parfait_crypto.dir/ecdsa.cc.o" "gcc" "src/crypto/CMakeFiles/parfait_crypto.dir/ecdsa.cc.o.d"
+  "/root/repo/src/crypto/p256.cc" "src/crypto/CMakeFiles/parfait_crypto.dir/p256.cc.o" "gcc" "src/crypto/CMakeFiles/parfait_crypto.dir/p256.cc.o.d"
+  "/root/repo/src/crypto/sha256.cc" "src/crypto/CMakeFiles/parfait_crypto.dir/sha256.cc.o" "gcc" "src/crypto/CMakeFiles/parfait_crypto.dir/sha256.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/parfait_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parfait_crypto.dir/bignum.cc.o"
+  "CMakeFiles/parfait_crypto.dir/bignum.cc.o.d"
+  "CMakeFiles/parfait_crypto.dir/blake2s.cc.o"
+  "CMakeFiles/parfait_crypto.dir/blake2s.cc.o.d"
+  "CMakeFiles/parfait_crypto.dir/ecdsa.cc.o"
+  "CMakeFiles/parfait_crypto.dir/ecdsa.cc.o.d"
+  "CMakeFiles/parfait_crypto.dir/p256.cc.o"
+  "CMakeFiles/parfait_crypto.dir/p256.cc.o.d"
+  "CMakeFiles/parfait_crypto.dir/sha256.cc.o"
+  "CMakeFiles/parfait_crypto.dir/sha256.cc.o.d"
+  "libparfait_crypto.a"
+  "libparfait_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parfait_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

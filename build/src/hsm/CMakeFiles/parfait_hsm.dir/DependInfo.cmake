@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hsm/ecdsa_app.cc" "src/hsm/CMakeFiles/parfait_hsm.dir/ecdsa_app.cc.o" "gcc" "src/hsm/CMakeFiles/parfait_hsm.dir/ecdsa_app.cc.o.d"
+  "/root/repo/src/hsm/fw_native_ecdsa.cc" "src/hsm/CMakeFiles/parfait_hsm.dir/fw_native_ecdsa.cc.o" "gcc" "src/hsm/CMakeFiles/parfait_hsm.dir/fw_native_ecdsa.cc.o.d"
+  "/root/repo/src/hsm/fw_native_hasher.cc" "src/hsm/CMakeFiles/parfait_hsm.dir/fw_native_hasher.cc.o" "gcc" "src/hsm/CMakeFiles/parfait_hsm.dir/fw_native_hasher.cc.o.d"
+  "/root/repo/src/hsm/hasher_app.cc" "src/hsm/CMakeFiles/parfait_hsm.dir/hasher_app.cc.o" "gcc" "src/hsm/CMakeFiles/parfait_hsm.dir/hasher_app.cc.o.d"
+  "/root/repo/src/hsm/hsm_system.cc" "src/hsm/CMakeFiles/parfait_hsm.dir/hsm_system.cc.o" "gcc" "src/hsm/CMakeFiles/parfait_hsm.dir/hsm_system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crypto/CMakeFiles/parfait_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/parfait_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/soc/CMakeFiles/parfait_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/parfait_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/minicc/CMakeFiles/parfait_minicc.dir/DependInfo.cmake"
+  "/root/repo/build/src/riscv/CMakeFiles/parfait_riscv.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/parfait_rtl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

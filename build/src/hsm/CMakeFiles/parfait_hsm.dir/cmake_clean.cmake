@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parfait_hsm.dir/ecdsa_app.cc.o"
+  "CMakeFiles/parfait_hsm.dir/ecdsa_app.cc.o.d"
+  "CMakeFiles/parfait_hsm.dir/fw_native_ecdsa.cc.o"
+  "CMakeFiles/parfait_hsm.dir/fw_native_ecdsa.cc.o.d"
+  "CMakeFiles/parfait_hsm.dir/fw_native_hasher.cc.o"
+  "CMakeFiles/parfait_hsm.dir/fw_native_hasher.cc.o.d"
+  "CMakeFiles/parfait_hsm.dir/hasher_app.cc.o"
+  "CMakeFiles/parfait_hsm.dir/hasher_app.cc.o.d"
+  "CMakeFiles/parfait_hsm.dir/hsm_system.cc.o"
+  "CMakeFiles/parfait_hsm.dir/hsm_system.cc.o.d"
+  "libparfait_hsm.a"
+  "libparfait_hsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parfait_hsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

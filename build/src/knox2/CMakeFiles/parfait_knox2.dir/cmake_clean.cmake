@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parfait_knox2.dir/cosim.cc.o"
+  "CMakeFiles/parfait_knox2.dir/cosim.cc.o.d"
+  "CMakeFiles/parfait_knox2.dir/emulator.cc.o"
+  "CMakeFiles/parfait_knox2.dir/emulator.cc.o.d"
+  "CMakeFiles/parfait_knox2.dir/leakage.cc.o"
+  "CMakeFiles/parfait_knox2.dir/leakage.cc.o.d"
+  "libparfait_knox2.a"
+  "libparfait_knox2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parfait_knox2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for parfait_knox2.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/minicc/codegen.cc" "src/minicc/CMakeFiles/parfait_minicc.dir/codegen.cc.o" "gcc" "src/minicc/CMakeFiles/parfait_minicc.dir/codegen.cc.o.d"
+  "/root/repo/src/minicc/compiler.cc" "src/minicc/CMakeFiles/parfait_minicc.dir/compiler.cc.o" "gcc" "src/minicc/CMakeFiles/parfait_minicc.dir/compiler.cc.o.d"
+  "/root/repo/src/minicc/lexer.cc" "src/minicc/CMakeFiles/parfait_minicc.dir/lexer.cc.o" "gcc" "src/minicc/CMakeFiles/parfait_minicc.dir/lexer.cc.o.d"
+  "/root/repo/src/minicc/parser.cc" "src/minicc/CMakeFiles/parfait_minicc.dir/parser.cc.o" "gcc" "src/minicc/CMakeFiles/parfait_minicc.dir/parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/riscv/CMakeFiles/parfait_riscv.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/parfait_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

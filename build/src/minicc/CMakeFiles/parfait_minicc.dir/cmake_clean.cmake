@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parfait_minicc.dir/codegen.cc.o"
+  "CMakeFiles/parfait_minicc.dir/codegen.cc.o.d"
+  "CMakeFiles/parfait_minicc.dir/compiler.cc.o"
+  "CMakeFiles/parfait_minicc.dir/compiler.cc.o.d"
+  "CMakeFiles/parfait_minicc.dir/lexer.cc.o"
+  "CMakeFiles/parfait_minicc.dir/lexer.cc.o.d"
+  "CMakeFiles/parfait_minicc.dir/parser.cc.o"
+  "CMakeFiles/parfait_minicc.dir/parser.cc.o.d"
+  "libparfait_minicc.a"
+  "libparfait_minicc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parfait_minicc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parfait_platform.dir/firmware.cc.o"
+  "CMakeFiles/parfait_platform.dir/firmware.cc.o.d"
+  "CMakeFiles/parfait_platform.dir/model_asm.cc.o"
+  "CMakeFiles/parfait_platform.dir/model_asm.cc.o.d"
+  "libparfait_platform.a"
+  "libparfait_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parfait_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

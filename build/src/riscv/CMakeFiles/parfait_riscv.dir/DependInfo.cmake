@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/riscv/assembler.cc" "src/riscv/CMakeFiles/parfait_riscv.dir/assembler.cc.o" "gcc" "src/riscv/CMakeFiles/parfait_riscv.dir/assembler.cc.o.d"
+  "/root/repo/src/riscv/disasm.cc" "src/riscv/CMakeFiles/parfait_riscv.dir/disasm.cc.o" "gcc" "src/riscv/CMakeFiles/parfait_riscv.dir/disasm.cc.o.d"
+  "/root/repo/src/riscv/isa.cc" "src/riscv/CMakeFiles/parfait_riscv.dir/isa.cc.o" "gcc" "src/riscv/CMakeFiles/parfait_riscv.dir/isa.cc.o.d"
+  "/root/repo/src/riscv/machine.cc" "src/riscv/CMakeFiles/parfait_riscv.dir/machine.cc.o" "gcc" "src/riscv/CMakeFiles/parfait_riscv.dir/machine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/parfait_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

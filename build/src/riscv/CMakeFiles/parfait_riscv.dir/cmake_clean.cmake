@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parfait_riscv.dir/assembler.cc.o"
+  "CMakeFiles/parfait_riscv.dir/assembler.cc.o.d"
+  "CMakeFiles/parfait_riscv.dir/disasm.cc.o"
+  "CMakeFiles/parfait_riscv.dir/disasm.cc.o.d"
+  "CMakeFiles/parfait_riscv.dir/isa.cc.o"
+  "CMakeFiles/parfait_riscv.dir/isa.cc.o.d"
+  "CMakeFiles/parfait_riscv.dir/machine.cc.o"
+  "CMakeFiles/parfait_riscv.dir/machine.cc.o.d"
+  "libparfait_riscv.a"
+  "libparfait_riscv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parfait_riscv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parfait_rtl.dir/sim.cc.o"
+  "CMakeFiles/parfait_rtl.dir/sim.cc.o.d"
+  "libparfait_rtl.a"
+  "libparfait_rtl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parfait_rtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

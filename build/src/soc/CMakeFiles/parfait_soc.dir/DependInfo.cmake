@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/soc/bus.cc" "src/soc/CMakeFiles/parfait_soc.dir/bus.cc.o" "gcc" "src/soc/CMakeFiles/parfait_soc.dir/bus.cc.o.d"
+  "/root/repo/src/soc/cpu_common.cc" "src/soc/CMakeFiles/parfait_soc.dir/cpu_common.cc.o" "gcc" "src/soc/CMakeFiles/parfait_soc.dir/cpu_common.cc.o.d"
+  "/root/repo/src/soc/ibex_lite.cc" "src/soc/CMakeFiles/parfait_soc.dir/ibex_lite.cc.o" "gcc" "src/soc/CMakeFiles/parfait_soc.dir/ibex_lite.cc.o.d"
+  "/root/repo/src/soc/pico_lite.cc" "src/soc/CMakeFiles/parfait_soc.dir/pico_lite.cc.o" "gcc" "src/soc/CMakeFiles/parfait_soc.dir/pico_lite.cc.o.d"
+  "/root/repo/src/soc/soc.cc" "src/soc/CMakeFiles/parfait_soc.dir/soc.cc.o" "gcc" "src/soc/CMakeFiles/parfait_soc.dir/soc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rtl/CMakeFiles/parfait_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/riscv/CMakeFiles/parfait_riscv.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/parfait_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parfait_soc.dir/bus.cc.o"
+  "CMakeFiles/parfait_soc.dir/bus.cc.o.d"
+  "CMakeFiles/parfait_soc.dir/cpu_common.cc.o"
+  "CMakeFiles/parfait_soc.dir/cpu_common.cc.o.d"
+  "CMakeFiles/parfait_soc.dir/ibex_lite.cc.o"
+  "CMakeFiles/parfait_soc.dir/ibex_lite.cc.o.d"
+  "CMakeFiles/parfait_soc.dir/pico_lite.cc.o"
+  "CMakeFiles/parfait_soc.dir/pico_lite.cc.o.d"
+  "CMakeFiles/parfait_soc.dir/soc.cc.o"
+  "CMakeFiles/parfait_soc.dir/soc.cc.o.d"
+  "libparfait_soc.a"
+  "libparfait_soc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parfait_soc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

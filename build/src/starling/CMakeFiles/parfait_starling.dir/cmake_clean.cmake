@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parfait_starling.dir/starling.cc.o"
+  "CMakeFiles/parfait_starling.dir/starling.cc.o.d"
+  "libparfait_starling.a"
+  "libparfait_starling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parfait_starling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parfait_support.dir/bytes.cc.o"
+  "CMakeFiles/parfait_support.dir/bytes.cc.o.d"
+  "CMakeFiles/parfait_support.dir/loc.cc.o"
+  "CMakeFiles/parfait_support.dir/loc.cc.o.d"
+  "libparfait_support.a"
+  "libparfait_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parfait_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blake2s_test.dir/blake2s_test.cc.o"
+  "CMakeFiles/blake2s_test.dir/blake2s_test.cc.o.d"
+  "blake2s_test"
+  "blake2s_test.pdb"
+  "blake2s_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blake2s_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecdsa_test.dir/ecdsa_test.cc.o"
+  "CMakeFiles/ecdsa_test.dir/ecdsa_test.cc.o.d"
+  "ecdsa_test"
+  "ecdsa_test.pdb"
+  "ecdsa_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecdsa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fw_crypto_test.dir/fw_crypto_test.cc.o"
+  "CMakeFiles/fw_crypto_test.dir/fw_crypto_test.cc.o.d"
+  "fw_crypto_test"
+  "fw_crypto_test.pdb"
+  "fw_crypto_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fw_crypto_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

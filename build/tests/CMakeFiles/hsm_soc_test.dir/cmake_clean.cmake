@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsm_soc_test.dir/hsm_soc_test.cc.o"
+  "CMakeFiles/hsm_soc_test.dir/hsm_soc_test.cc.o.d"
+  "hsm_soc_test"
+  "hsm_soc_test.pdb"
+  "hsm_soc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsm_soc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

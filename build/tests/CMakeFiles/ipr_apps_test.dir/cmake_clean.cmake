@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipr_apps_test.dir/ipr_apps_test.cc.o"
+  "CMakeFiles/ipr_apps_test.dir/ipr_apps_test.cc.o.d"
+  "ipr_apps_test"
+  "ipr_apps_test.pdb"
+  "ipr_apps_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipr_apps_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipr_test.dir/ipr_test.cc.o"
+  "CMakeFiles/ipr_test.dir/ipr_test.cc.o.d"
+  "ipr_test"
+  "ipr_test.pdb"
+  "ipr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/knox2_test.dir/knox2_test.cc.o"
+  "CMakeFiles/knox2_test.dir/knox2_test.cc.o.d"
+  "knox2_test"
+  "knox2_test.pdb"
+  "knox2_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/knox2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minicc_fuzz_test.dir/minicc_fuzz_test.cc.o"
+  "CMakeFiles/minicc_fuzz_test.dir/minicc_fuzz_test.cc.o.d"
+  "minicc_fuzz_test"
+  "minicc_fuzz_test.pdb"
+  "minicc_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minicc_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

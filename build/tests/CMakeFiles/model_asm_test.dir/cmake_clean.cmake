@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_asm_test.dir/model_asm_test.cc.o"
+  "CMakeFiles/model_asm_test.dir/model_asm_test.cc.o.d"
+  "model_asm_test"
+  "model_asm_test.pdb"
+  "model_asm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_asm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p256_test.dir/p256_test.cc.o"
+  "CMakeFiles/p256_test.dir/p256_test.cc.o.d"
+  "p256_test"
+  "p256_test.pdb"
+  "p256_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p256_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/riscv_isa_test.dir/riscv_isa_test.cc.o"
+  "CMakeFiles/riscv_isa_test.dir/riscv_isa_test.cc.o.d"
+  "riscv_isa_test"
+  "riscv_isa_test.pdb"
+  "riscv_isa_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/riscv_isa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

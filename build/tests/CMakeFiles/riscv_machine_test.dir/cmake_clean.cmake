@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/riscv_machine_test.dir/riscv_machine_test.cc.o"
+  "CMakeFiles/riscv_machine_test.dir/riscv_machine_test.cc.o.d"
+  "riscv_machine_test"
+  "riscv_machine_test.pdb"
+  "riscv_machine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/riscv_machine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

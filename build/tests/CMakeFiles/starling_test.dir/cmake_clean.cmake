@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/starling_test.dir/starling_test.cc.o"
+  "CMakeFiles/starling_test.dir/starling_test.cc.o.d"
+  "starling_test"
+  "starling_test.pdb"
+  "starling_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/starling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/sha256_test[1]_include.cmake")
+include("/root/repo/build/tests/blake2s_test[1]_include.cmake")
+include("/root/repo/build/tests/hmac_test[1]_include.cmake")
+include("/root/repo/build/tests/bignum_test[1]_include.cmake")
+include("/root/repo/build/tests/p256_test[1]_include.cmake")
+include("/root/repo/build/tests/ecdsa_test[1]_include.cmake")
+include("/root/repo/build/tests/riscv_isa_test[1]_include.cmake")
+include("/root/repo/build/tests/riscv_machine_test[1]_include.cmake")
+include("/root/repo/build/tests/minicc_test[1]_include.cmake")
+include("/root/repo/build/tests/soc_test[1]_include.cmake")
+include("/root/repo/build/tests/fw_crypto_test[1]_include.cmake")
+include("/root/repo/build/tests/model_asm_test[1]_include.cmake")
+include("/root/repo/build/tests/hsm_soc_test[1]_include.cmake")
+include("/root/repo/build/tests/ipr_test[1]_include.cmake")
+include("/root/repo/build/tests/starling_test[1]_include.cmake")
+include("/root/repo/build/tests/knox2_test[1]_include.cmake")
+include("/root/repo/build/tests/assembler_test[1]_include.cmake")
+include("/root/repo/build/tests/minicc_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/rtl_bus_test[1]_include.cmake")
+include("/root/repo/build/tests/ipr_apps_test[1]_include.cmake")
