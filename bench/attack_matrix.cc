@@ -14,6 +14,7 @@
 #include "src/knox2/leakage.h"
 #include "src/platform/firmware.h"
 #include "src/starling/starling.h"
+#include "src/support/parallel.h"
 #include "src/support/rng.h"
 
 using namespace parfait;
@@ -87,10 +88,14 @@ std::string HasherVariant(const std::string& hash_tag_body) {
   return platform::ReadFirmwareFile("hash.c") + kLeakyHandleHeader + hash_tag_body + "\n}\n";
 }
 
-}  // namespace
-
-int main() {
-  bench::Header("Section 7.2: attack matrix — injected bugs vs the checker that catches them");
+// Runs the full matrix with every checker sharding its trials across `threads`
+// worker threads; fills g_rows and returns whether every bug was caught.
+bool RunMatrix(int threads) {
+  g_rows.clear();
+  starling::StarlingOptions starling_options;
+  starling_options.num_threads = threads;
+  knox2::SelfCompOptions selfcomp_options;
+  selfcomp_options.num_threads = threads;
   const App& hasher = hsm::HasherApp();
   Rng rng(2026);
 
@@ -102,7 +107,7 @@ int main() {
         state[31] = 0;  // The bug.
       }
     });
-    auto report = starling::CheckApp(mutant);
+    auto report = starling::CheckApp(mutant, starling_options);
     Report("software logic bug (state update wrong)", "Starling", !report.ok, report.failure);
   }
 
@@ -112,7 +117,7 @@ int main() {
       hasher.NativeHandle(state, cmd, resp);
       resp[hasher.response_size()] = 0x41;  // The bug.
     });
-    auto report = starling::CheckApp(mutant);
+    auto report = starling::CheckApp(mutant, starling_options);
     Report("buffer overflow (OOB write)", "Starling (memory safety)", !report.ok,
            report.failure);
   }
@@ -126,7 +131,7 @@ int main() {
         resp[1] = static_cast<uint8_t>(state[0] & 1);  // The bug.
       }
     });
-    auto report = starling::CheckApp(mutant);
+    auto report = starling::CheckApp(mutant, starling_options);
     Report("software-level leakage (error code reveals state)", "Starling", !report.ok,
            report.failure);
   }
@@ -152,7 +157,7 @@ int main() {
     Bytes b(hasher.state_size(), 1);
     Bytes cmd(hasher.command_size(), 3);
     cmd[0] = 2;
-    auto result = knox2::CheckSelfComposition(system, a, b, {cmd});
+    auto result = knox2::CheckSelfComposition(system, a, b, {cmd}, selfcomp_options);
     Report("timing leak: branch on secret", "Knox2 (self-composition)", !result.ok,
            result.divergence);
   }
@@ -181,7 +186,7 @@ int main() {
     for (size_t i = 1; i < cmd.size(); i++) {
       cmd[i] = a[i - 1];  // Matches state a, mismatches b immediately.
     }
-    auto result = knox2::CheckSelfComposition(system, a, b, {cmd});
+    auto result = knox2::CheckSelfComposition(system, a, b, {cmd}, selfcomp_options);
     Report("timing leak: early-exit compare (memcmp)", "Knox2 (self-composition)",
            !result.ok, result.divergence);
   }
@@ -206,7 +211,7 @@ int main() {
     Bytes b(hasher.state_size(), 0xff);
     Bytes cmd(hasher.command_size(), 7);
     cmd[0] = 2;
-    auto result = knox2::CheckSelfComposition(system, a, b, {cmd});
+    auto result = knox2::CheckSelfComposition(system, a, b, {cmd}, selfcomp_options);
     Report("timing leak: variable-latency multiplier", "Knox2 (self-composition)",
            !result.ok, result.divergence);
   }
@@ -284,21 +289,59 @@ u32 deep(u32 n) {
     Rng local(5);
     Bytes state = local.RandomBytes(hasher.state_size());
     Bytes cmd = hasher.RandomValidCommand(local);
-    auto starling_report = starling::CheckApp(hasher);
+    auto starling_report = starling::CheckApp(hasher, starling_options);
     auto cosim = knox2::CosimHandleStep(system, state, cmd);
     Bytes variant = knox2::MakeSecretVariant(hasher, state, local);
-    auto selfcomp = knox2::CheckSelfComposition(system, state, variant, {cmd});
+    auto selfcomp = knox2::CheckSelfComposition(system, state, variant, {cmd}, selfcomp_options);
     bool clean = starling_report.ok && cosim.ok && selfcomp.ok;
     Report("(control) unmodified HSM", "none — all checks pass", clean,
            clean ? "all green" : "FALSE POSITIVE");
   }
 
-  std::printf("%-55s %-30s %s\n", "Injected bug (§7.2 class)", "Catching checker", "Caught");
   bool all_ok = true;
+  for (const auto& row : g_rows) {
+    all_ok = all_ok && row.caught;
+  }
+  return all_ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Header("Section 7.2: attack matrix — injected bugs vs the checker that catches them");
+  int threads = ResolveNumThreads(bench::ThreadsFlag(argc, argv));
+
+  bench::Stopwatch serial_timer;
+  bool serial_ok = RunMatrix(1);
+  double serial_secs = serial_timer.Seconds();
+  std::vector<MatrixRow> serial_rows = g_rows;
+
+  bool ok = serial_ok;
+  bool identical = true;
+  double parallel_secs = serial_secs;
+  if (threads != 1) {
+    bench::Stopwatch parallel_timer;
+    ok = RunMatrix(threads);
+    parallel_secs = parallel_timer.Seconds();
+    // The matrix's attributions must not depend on thread count.
+    identical = g_rows.size() == serial_rows.size();
+    for (size_t i = 0; identical && i < g_rows.size(); i++) {
+      identical = g_rows[i].caught == serial_rows[i].caught &&
+                  g_rows[i].how == serial_rows[i].how;
+    }
+  }
+
+  std::printf("%-55s %-30s %s\n", "Injected bug (§7.2 class)", "Catching checker", "Caught");
   for (const auto& row : g_rows) {
     std::printf("%-55s %-30s %s\n", row.bug.c_str(), row.expected_catcher.c_str(),
                 row.caught ? "YES" : "NO  <-- PROBLEM");
-    all_ok = all_ok && row.caught;
   }
-  return all_ok ? 0 : 1;
+  if (threads != 1) {
+    std::printf("\nMatrix wall-clock: %.2f s @1 thread vs %.2f s @%d threads (%.2fx); "
+                "attributions %s\n",
+                serial_secs, parallel_secs, threads,
+                parallel_secs > 0 ? serial_secs / parallel_secs : 0.0,
+                identical ? "identical" : "DIVERGED (determinism bug!)");
+  }
+  return (ok && serial_ok && identical) ? 0 : 1;
 }

@@ -4,6 +4,8 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 
 namespace parfait::bench {
@@ -25,6 +27,18 @@ inline void Header(const std::string& title) {
 
 inline void PaperNote(const std::string& note) {
   std::printf("    (paper: %s)\n", note.c_str());
+}
+
+// Parses --threads=N (0 = all hardware threads) from the command line. Every
+// verification bench takes this flag and reports throughput at 1 vs N threads so
+// parallel speedup is measured, not asserted. Returns `fallback` when absent.
+inline int ThreadsFlag(int argc, char** argv, int fallback = 0) {
+  for (int i = 1; i < argc; i++) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      return std::atoi(argv[i] + 10);
+    }
+  }
+  return fallback;
 }
 
 }  // namespace parfait::bench

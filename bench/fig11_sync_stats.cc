@@ -2,46 +2,67 @@
 // maps CompCert Asm instruction classes to sync actions (registers, buffers, or both);
 // this benchmark reports how often each class of sync point fired during real
 // co-simulation runs, for each app x platform.
+//
+// --threads=N (0 = all hardware threads) runs the four app x platform co-simulations
+// concurrently; rows print in a fixed order and each run is deterministic, so the
+// output is identical at every thread count.
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "src/knox2/cosim.h"
+#include "src/support/parallel.h"
 #include "src/support/rng.h"
 
 using namespace parfait;
 
-int main() {
+int main(int argc, char** argv) {
   bench::Header("Figure 11: assembly-circuit synchronization points by category");
+
+  struct Job {
+    soc::CpuKind cpu;
+    const hsm::App* app;
+    knox2::CosimResult result;
+  };
+  std::vector<Job> jobs;
+  for (soc::CpuKind cpu : {soc::CpuKind::kIbexLite, soc::CpuKind::kPicoLite}) {
+    for (const hsm::App* app : {&hsm::HasherApp(), &hsm::EcdsaApp()}) {
+      jobs.push_back({cpu, app, {}});
+    }
+  }
+
+  ThreadPool pool(bench::ThreadsFlag(argc, argv));
+  ParallelFor(pool, jobs.size(), [&](size_t i) {
+    Job& job = jobs[i];
+    hsm::HsmBuildOptions options;
+    options.cpu = job.cpu;
+    hsm::HsmSystem system(*job.app, options);
+    Rng rng(9);
+    Bytes state = rng.RandomBytes(job.app->state_size());
+    Bytes cmd(job.app->command_size(), 0);
+    cmd[0] = 2;
+    for (size_t k = 1; k < cmd.size() && k <= 32; k++) {
+      cmd[k] = rng.Byte();
+    }
+    job.result = knox2::CosimHandleStep(system, state, cmd);
+  });
 
   std::printf("%-10s %-18s %-13s %-11s %-11s %-11s %-13s %-10s\n", "Platform", "App",
               "Instructions", "BranchSync", "CallSync", "Periodic", "RegsCompared",
               "UndefSkip");
   bool all_ok = true;
-  for (soc::CpuKind cpu : {soc::CpuKind::kIbexLite, soc::CpuKind::kPicoLite}) {
-    for (const hsm::App* app : {&hsm::HasherApp(), &hsm::EcdsaApp()}) {
-      hsm::HsmBuildOptions options;
-      options.cpu = cpu;
-      hsm::HsmSystem system(*app, options);
-      Rng rng(9);
-      Bytes state = rng.RandomBytes(app->state_size());
-      Bytes cmd(app->command_size(), 0);
-      cmd[0] = 2;
-      for (size_t i = 1; i < cmd.size() && i <= 32; i++) {
-        cmd[i] = rng.Byte();
-      }
-      auto result = knox2::CosimHandleStep(system, state, cmd);
-      all_ok = all_ok && result.ok;
-      const auto& s = result.stats;
-      std::printf("%-10s %-18s %-13llu %-11llu %-11llu %-11llu %-13llu %-10llu %s\n",
-                  soc::CpuKindName(cpu), app->name(),
-                  static_cast<unsigned long long>(s.instructions),
-                  static_cast<unsigned long long>(s.branch_syncs),
-                  static_cast<unsigned long long>(s.call_syncs),
-                  static_cast<unsigned long long>(s.periodic_syncs),
-                  static_cast<unsigned long long>(s.registers_compared),
-                  static_cast<unsigned long long>(s.undef_skipped),
-                  result.ok ? "" : ("FAIL: " + result.divergence).c_str());
-    }
+  for (const Job& job : jobs) {
+    all_ok = all_ok && job.result.ok;
+    const auto& s = job.result.stats;
+    std::printf("%-10s %-18s %-13llu %-11llu %-11llu %-11llu %-13llu %-10llu %s\n",
+                soc::CpuKindName(job.cpu), job.app->name(),
+                static_cast<unsigned long long>(s.instructions),
+                static_cast<unsigned long long>(s.branch_syncs),
+                static_cast<unsigned long long>(s.call_syncs),
+                static_cast<unsigned long long>(s.periodic_syncs),
+                static_cast<unsigned long long>(s.registers_compared),
+                static_cast<unsigned long long>(s.undef_skipped),
+                job.result.ok ? "" : ("FAIL: " + job.result.divergence).c_str());
   }
   bench::PaperNote(
       "sync at branches (registers), calls/frame boundaries (registers + buffers), and "

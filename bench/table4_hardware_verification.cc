@@ -5,6 +5,11 @@
 // and throughput (cycles per second of verification) — the paper's key shape is that
 // the simpler PicoRV32-style core verifies at *higher* cycles/s but needs *more*
 // cycles (and thus more wall-clock) per operation.
+//
+// --threads=N (0 = all hardware threads) schedules the four HSM rows — and each row's
+// self-composition obligations — across N threads. When N != 1 the whole suite runs
+// at 1 thread and again at N, reports both throughputs, verifies the check outcomes
+// are identical, and emits BENCH_parallel.json with the measured speedup.
 #include <cstdio>
 #include <vector>
 
@@ -12,6 +17,7 @@
 #include "src/knox2/cosim.h"
 #include "src/knox2/leakage.h"
 #include "src/support/loc.h"
+#include "src/support/parallel.h"
 #include "src/support/rng.h"
 
 using namespace parfait;
@@ -26,7 +32,14 @@ struct Row {
   bool ok;
 };
 
-Row RunOne(const hsm::App& app, soc::CpuKind cpu) {
+struct Pass {
+  std::vector<Row> rows;
+  double seconds = 0;
+  uint64_t cycles = 0;
+  bool ok = true;
+};
+
+Row RunOne(const hsm::App& app, soc::CpuKind cpu, int num_threads) {
   hsm::HsmBuildOptions options;
   options.cpu = cpu;
   hsm::HsmSystem system(app, options);
@@ -43,7 +56,9 @@ Row RunOne(const hsm::App& app, soc::CpuKind cpu) {
   uint64_t cycles = 0;
   bool ok = true;
 
-  // Functional-physical simulation (assembly-circuit synchronization).
+  // Functional-physical simulation (assembly-circuit synchronization). The
+  // retirement-stream comparison is inherently per-command serial; parallelism comes
+  // from running rows and self-composition obligations concurrently.
   auto cosim = knox2::CosimHandleStep(system, state, cmd);
   ok = ok && cosim.ok;
   if (!cosim.ok) {
@@ -53,7 +68,9 @@ Row RunOne(const hsm::App& app, soc::CpuKind cpu) {
 
   // Self-composition non-leakage over a secret-differing state pair.
   Bytes variant = knox2::MakeSecretVariant(app, state, rng);
-  auto selfcomp = knox2::CheckSelfComposition(system, state, variant, {cmd});
+  knox2::SelfCompOptions selfcomp_options;
+  selfcomp_options.num_threads = num_threads;
+  auto selfcomp = knox2::CheckSelfComposition(system, state, variant, {cmd}, selfcomp_options);
   ok = ok && selfcomp.ok;
   if (!selfcomp.ok) {
     std::fprintf(stderr, "self-composition failed: %s\n", selfcomp.divergence.c_str());
@@ -63,9 +80,51 @@ Row RunOne(const hsm::App& app, soc::CpuKind cpu) {
   return Row{soc::CpuKindName(cpu), app.name(), timer.Seconds(), cycles, ok};
 }
 
+// One full Table 4 suite at the given thread count: the four app x platform rows are
+// independent verification jobs scheduled on the pool.
+Pass RunSuite(int num_threads) {
+  struct Job {
+    soc::CpuKind cpu;
+    const hsm::App* app;
+  };
+  std::vector<Job> jobs;
+  for (soc::CpuKind cpu : {soc::CpuKind::kIbexLite, soc::CpuKind::kPicoLite}) {
+    jobs.push_back({cpu, &hsm::EcdsaApp()});
+    jobs.push_back({cpu, &hsm::HasherApp()});
+  }
+
+  Pass pass;
+  pass.rows.resize(jobs.size());
+  bench::Stopwatch timer;
+  ThreadPool pool(num_threads);
+  ParallelFor(pool, jobs.size(), [&](size_t i) {
+    pass.rows[i] = RunOne(*jobs[i].app, jobs[i].cpu, num_threads);
+  });
+  pass.seconds = timer.Seconds();
+  for (const Row& row : pass.rows) {
+    pass.cycles += row.cycles;
+    pass.ok = pass.ok && row.ok;
+  }
+  return pass;
+}
+
+// The determinism guarantee, checked: the same checks at different thread counts
+// must reach byte-identical outcomes (pass/fail and cycle counts per row).
+bool SameOutcomes(const Pass& a, const Pass& b) {
+  if (a.rows.size() != b.rows.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.rows.size(); i++) {
+    if (a.rows[i].ok != b.rows[i].ok || a.rows[i].cycles != b.rows[i].cycles) {
+      return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::Header("Table 4: hardware verification effort and verification time (Knox2)");
 
   std::string base = std::string(PARFAIT_SOURCE_DIR) + "/";
@@ -76,28 +135,65 @@ int main() {
               emulator_loc, proof_loc);
   std::printf("pointer mapping: identity on the shared flat address map (figure 10).\n\n");
 
+  int threads = ResolveNumThreads(bench::ThreadsFlag(argc, argv));
+  Pass serial;
+  Pass parallel;
+  bool compared = threads != 1;
+  if (compared) {
+    serial = RunSuite(1);
+    parallel = RunSuite(threads);
+  } else {
+    serial = RunSuite(1);
+    parallel = serial;
+  }
+
   std::printf("%-10s %-18s %-12s %-16s %-12s %s\n", "Platform", "App", "Time (s)",
               "Cycles simulated", "Cycles/s", "Result");
-
-  std::vector<Row> rows;
-  for (soc::CpuKind cpu : {soc::CpuKind::kIbexLite, soc::CpuKind::kPicoLite}) {
-    rows.push_back(RunOne(hsm::EcdsaApp(), cpu));
-    rows.push_back(RunOne(hsm::HasherApp(), cpu));
-  }
-  for (const Row& row : rows) {
+  for (const Row& row : parallel.rows) {
     std::printf("%-10s %-18s %-12.2f %-16llu %-12.0f %s\n", row.platform, row.app_name,
                 row.seconds, static_cast<unsigned long long>(row.cycles),
                 row.seconds > 0 ? row.cycles / row.seconds : 0.0,
                 row.ok ? "PASS" : "FAIL");
   }
 
+  double serial_rate = serial.seconds > 0 ? serial.cycles / serial.seconds : 0.0;
+  double parallel_rate = parallel.seconds > 0 ? parallel.cycles / parallel.seconds : 0.0;
+  bool identical = SameOutcomes(serial, parallel);
+  if (compared) {
+    std::printf("\nParallel verification: 1 thread %.2f s (%.0f cycles/s) vs %d threads "
+                "%.2f s (%.0f cycles/s) — %.2fx speedup; outcomes %s\n",
+                serial.seconds, serial_rate, threads, parallel.seconds, parallel_rate,
+                parallel.seconds > 0 ? serial.seconds / parallel.seconds : 0.0,
+                identical ? "identical" : "DIVERGED (determinism bug!)");
+  } else {
+    std::printf("\nParallel verification: ran at 1 thread (pass --threads=N to measure "
+                "the 1-vs-N speedup)\n");
+  }
+
+  // Machine-readable artifact for CI trend tracking.
+  if (FILE* json = std::fopen("BENCH_parallel.json", "w")) {
+    std::fprintf(json,
+                 "{\n"
+                 "  \"bench\": \"table4_hardware_verification\",\n"
+                 "  \"serial\": {\"threads\": 1, \"seconds\": %.4f, \"cycles\": %llu, "
+                 "\"cycles_per_sec\": %.1f},\n"
+                 "  \"parallel\": {\"threads\": %d, \"seconds\": %.4f, \"cycles\": %llu, "
+                 "\"cycles_per_sec\": %.1f},\n"
+                 "  \"speedup\": %.3f,\n"
+                 "  \"outcomes_identical\": %s\n"
+                 "}\n",
+                 serial.seconds, static_cast<unsigned long long>(serial.cycles), serial_rate,
+                 threads, parallel.seconds, static_cast<unsigned long long>(parallel.cycles),
+                 parallel_rate,
+                 parallel.seconds > 0 ? serial.seconds / parallel.seconds : 0.0,
+                 identical ? "true" : "false");
+    std::fclose(json);
+    std::printf("Wrote BENCH_parallel.json\n");
+  }
+
   bench::PaperNote(
       "Ibex: ECDSA 80 h at 304 cycles/s, hasher 0.10 h; PicoRV32: ECDSA 100 h at 671 "
       "cycles/s, hasher 0.14 h — shape: ECDSA orders of magnitude costlier than the "
       "hasher; PicoRV32 higher cycles/s yet longer wall-clock (more cycles per op)");
-  bool all_ok = true;
-  for (const Row& row : rows) {
-    all_ok = all_ok && row.ok;
-  }
-  return all_ok ? 0 : 1;
+  return (parallel.ok && identical) ? 0 : 1;
 }

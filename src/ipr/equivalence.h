@@ -16,6 +16,7 @@
 
 #include "src/ipr/ipr.h"
 #include "src/ipr/state_machine.h"
+#include "src/support/parallel.h"
 #include "src/support/rng.h"
 
 namespace parfait::ipr {
@@ -24,6 +25,9 @@ struct EquivalenceCheckOptions {
   int trials = 32;
   int ops_per_trial = 16;
   uint64_t seed = 99;
+  // Trials shard across this many threads (0 = all hardware threads); see
+  // src/support/parallel.h for the determinism guarantee.
+  int num_threads = 0;
 };
 
 struct EquivalenceCheckResult {
@@ -37,21 +41,33 @@ EquivalenceCheckResult CheckObservationalEquivalence(
     const StateMachine<S1, C, R>& m1, const StateMachine<S2, C, R>& m2,
     const std::function<C(Rng&)>& gen, const std::function<std::string(const R&)>& show,
     const EquivalenceCheckOptions& options = {}) {
-  Rng rng(options.seed);
-  for (int trial = 0; trial < options.trials; trial++) {
-    Running<S1, C, R> r1(m1);
-    Running<S2, C, R> r2(m2);
-    std::ostringstream transcript;
-    for (int op = 0; op < options.ops_per_trial; op++) {
-      C command = gen(rng);
-      R out1 = r1.Step(command);
-      R out2 = r2.Step(command);
-      transcript << "op " << op << ": m1=" << show(out1) << " m2=" << show(out2) << "\n";
-      if (show(out1) != show(out2)) {
-        return {false,
-                "trial " + std::to_string(trial) + " diverged:\n" + transcript.str()};
-      }
-    }
+  size_t trials = options.trials > 0 ? options.trials : 0;
+  ThreadPool pool(options.num_threads);
+  // Each trial drives fresh Running instances from its own SplitSeed stream, so
+  // trials are fully independent and the counterexample (lowest failing trial) is
+  // identical at every thread count.
+  auto outcome = ParallelReduce<std::string>(
+      pool, trials,
+      [&](size_t trial) -> std::string {
+        Rng rng(SplitSeed(options.seed, trial));
+        Running<S1, C, R> r1(m1);
+        Running<S2, C, R> r2(m2);
+        std::ostringstream transcript;
+        for (int op = 0; op < options.ops_per_trial; op++) {
+          C command = gen(rng);
+          R out1 = r1.Step(command);
+          R out2 = r2.Step(command);
+          transcript << "op " << op << ": m1=" << show(out1) << " m2=" << show(out2)
+                     << "\n";
+          if (show(out1) != show(out2)) {
+            return "trial " + std::to_string(trial) + " diverged:\n" + transcript.str();
+          }
+        }
+        return {};
+      },
+      [](const std::string& counterexample) { return !counterexample.empty(); });
+  if (outcome.first_failure.has_value()) {
+    return {false, *outcome.results[*outcome.first_failure]};
   }
   return {};
 }

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "src/ipr/state_machine.h"
+#include "src/support/parallel.h"
 #include "src/support/rng.h"
 
 namespace parfait::ipr {
@@ -56,6 +57,9 @@ struct IprCheckOptions {
   int trials = 64;           // Independent adversarial transcripts.
   int ops_per_trial = 32;    // Interleaved operations per transcript.
   uint64_t seed = 2024;
+  // Transcripts shard across this many threads (0 = all hardware threads); each
+  // trial's adversary draws from its own SplitSeed stream (see support/parallel.h).
+  int num_threads = 0;
 };
 
 struct IprCheckResult {
@@ -76,8 +80,11 @@ IprCheckResult CheckIpr(const StateMachine<SI, CL, RL>& impl,
                         const std::function<std::string(const RH&)>& show_high,
                         const std::function<std::string(const RL&)>& show_low,
                         const IprCheckOptions& options = {}) {
-  Rng rng(options.seed);
-  for (int trial = 0; trial < options.trials; trial++) {
+  // Each trial is one adversarial transcript against fresh world instances, driven
+  // by its own SplitSeed RNG stream — independent, so trials run concurrently and
+  // the distinguishing transcript (lowest failing trial) is schedule-independent.
+  auto run_trial = [&](size_t trial) -> std::string {
+    Rng rng(SplitSeed(options.seed, trial));
     // Real world: implementation + driver.
     Running<SI, CL, RL> real_impl(impl);
     // Ideal world: specification + emulator.
@@ -95,9 +102,8 @@ IprCheckResult CheckIpr(const StateMachine<SI, CL, RL>& impl,
         transcript << "high op -> real: " << show_high(real_response)
                    << ", ideal: " << show_high(ideal_response) << "\n";
         if (show_high(real_response) != show_high(ideal_response)) {
-          return IprCheckResult{false, "trial " + std::to_string(trial) +
-                                           " diverged on a spec-level op:\n" +
-                                           transcript.str()};
+          return "trial " + std::to_string(trial) + " diverged on a spec-level op:\n" +
+                 transcript.str();
         }
       } else {
         // Impl-level (adversarial) operation.
@@ -108,12 +114,21 @@ IprCheckResult CheckIpr(const StateMachine<SI, CL, RL>& impl,
         transcript << "low op -> real: " << show_low(real_response)
                    << ", ideal: " << show_low(ideal_response) << "\n";
         if (show_low(real_response) != show_low(ideal_response)) {
-          return IprCheckResult{false, "trial " + std::to_string(trial) +
-                                           " diverged on an impl-level op:\n" +
-                                           transcript.str()};
+          return "trial " + std::to_string(trial) + " diverged on an impl-level op:\n" +
+                 transcript.str();
         }
       }
     }
+    return {};
+  };
+
+  size_t trials = options.trials > 0 ? options.trials : 0;
+  ThreadPool pool(options.num_threads);
+  auto outcome = ParallelReduce<std::string>(
+      pool, trials, [&](size_t trial) { return run_trial(trial); },
+      [](const std::string& counterexample) { return !counterexample.empty(); });
+  if (outcome.first_failure.has_value()) {
+    return IprCheckResult{false, *outcome.results[*outcome.first_failure]};
   }
   return IprCheckResult{};
 }

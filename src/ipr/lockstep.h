@@ -19,6 +19,7 @@
 #include "src/ipr/ipr.h"
 #include "src/ipr/state_machine.h"
 #include "src/support/bytes.h"
+#include "src/support/parallel.h"
 #include "src/support/rng.h"
 
 namespace parfait::ipr {
@@ -38,6 +39,10 @@ struct LockstepCodecs {
 struct LockstepCheckOptions {
   int trials = 128;
   uint64_t seed = 7;
+  // Trials shard across this many threads (0 = all hardware threads); every trial
+  // draws from its own SplitSeed stream and failures settle on the lowest trial
+  // index, so the result is identical at every thread count.
+  int num_threads = 0;
 };
 
 struct LockstepCheckResult {
@@ -60,15 +65,16 @@ LockstepCheckResult CheckLockstep(
     const std::function<CH(Rng&)>& gen_high, const std::function<Bytes(Rng&)>& gen_junk,
     const std::function<std::string(const CH&)>& show_high,
     const LockstepCheckOptions& options = {}) {
-  Rng rng(options.seed);
-  for (int trial = 0; trial < options.trials; trial++) {
+  // One trial, against its own deterministic RNG stream. Returns the failure
+  // message, or an empty string on success.
+  auto run_trial = [&](Rng& rng) -> std::string {
     // (1) Codec correspondence.
     CH command = gen_high(rng);
     Bytes encoded = codecs.encode_command(command);
     auto decoded = codecs.decode_command(encoded);
     if (!decoded.has_value() || show_high(*decoded) != show_high(command)) {
-      return {false, "decode_command is not a left inverse of encode_command for " +
-                         show_high(command)};
+      return "decode_command is not a left inverse of encode_command for " +
+             show_high(command);
     }
     // (2) Figure 6(a) on a random related state pair.
     SS spec_state = gen_state(rng);
@@ -76,22 +82,36 @@ LockstepCheckResult CheckLockstep(
     auto [impl_next, impl_out] = impl.step(impl_state, encoded);
     auto [spec_next, spec_out] = spec.step(spec_state, command);
     if (impl_next != codecs.encode_state(spec_next)) {
-      return {false, "post-states diverge (figure 6a) for " + show_high(command)};
+      return "post-states diverge (figure 6a) for " + show_high(command);
     }
     if (impl_out != codecs.encode_response(std::optional<RH>(spec_out))) {
-      return {false, "responses diverge (figure 6a) for " + show_high(command)};
+      return "responses diverge (figure 6a) for " + show_high(command);
     }
     // (3) Figure 6(b) on junk input.
     Bytes junk = gen_junk(rng);
     if (!codecs.decode_command(junk).has_value()) {
       auto [junk_next, junk_out] = impl.step(impl_state, junk);
       if (junk_next != impl_state) {
-        return {false, "state changed on an undecodable command (figure 6b)"};
+        return "state changed on an undecodable command (figure 6b)";
       }
       if (junk_out != codecs.encode_response(std::nullopt)) {
-        return {false, "non-canonical response to an undecodable command (figure 6b)"};
+        return "non-canonical response to an undecodable command (figure 6b)";
       }
     }
+    return {};
+  };
+
+  size_t trials = options.trials > 0 ? options.trials : 0;
+  ThreadPool pool(options.num_threads);
+  auto outcome = ParallelReduce<std::string>(
+      pool, trials,
+      [&](size_t trial) {
+        Rng rng(SplitSeed(options.seed, trial));
+        return run_trial(rng);
+      },
+      [](const std::string& failure) { return !failure.empty(); });
+  if (outcome.first_failure.has_value()) {
+    return {false, *outcome.results[*outcome.first_failure]};
   }
   return {};
 }

@@ -1,62 +1,137 @@
 #include "src/knox2/leakage.h"
 
+#include "src/support/parallel.h"
 #include "src/support/status.h"
 
 namespace parfait::knox2 {
 
-SelfCompResult CheckSelfComposition(const hsm::HsmSystem& system, const Bytes& state_a,
-                                    const Bytes& state_b, const std::vector<Bytes>& commands,
-                                    const SelfCompOptions& options) {
+namespace {
+
+// Advances an encoded app state through one command at the specification level:
+// decodable commands step the spec, undecodable ones leave the state untouched
+// (figure 6b). This is how the per-command decomposition reconstructs the state a
+// command sequence reaches without simulating the circuit serially.
+Bytes SpecAdvance(const hsm::App& app, Bytes state, const Bytes& command) {
+  auto step = app.SpecStepEncoded(state, command);
+  if (step.has_value()) {
+    return step->first;
+  }
+  return state;
+}
+
+// Self-composition for a single command from a pair of power-on states: both
+// instances boot from their FRAM images and process the command under identical wire
+// inputs while the handshake wires are compared every cycle.
+SelfCompResult SelfCompOneCommand(const hsm::HsmSystem& system, const Bytes& state_a,
+                                  const Bytes& state_b, const Bytes& command,
+                                  size_t command_index, uint64_t max_cycles) {
   SelfCompResult result;
   const hsm::App& app = system.app();
+  PARFAIT_CHECK(command.size() == app.command_size());
   auto soc_a = system.NewSocWithFram(system.MakeFram(state_a));
   auto soc_b = system.NewSocWithFram(system.MakeFram(state_b));
 
   rtl::WireSample last_a;
   last_a.rx_ready = true;
 
-  for (size_t c = 0; c < commands.size(); c++) {
-    const Bytes& command = commands[c];
-    PARFAIT_CHECK(command.size() == app.command_size());
-    size_t sent = 0;
-    size_t received = 0;
-    uint64_t budget = options.max_cycles_per_command;
-    while (received < app.response_size()) {
-      if (budget-- == 0) {
-        result.divergence = "cycle budget exceeded on command " + std::to_string(c);
-        return result;
-      }
-      rtl::WireInput in;
-      in.tx_ready = true;
-      bool offering = sent < command.size() && last_a.rx_ready;
-      if (offering) {
-        in.rx_valid = true;
-        in.rx_data = command[sent];
-      }
-      rtl::WireSample a = soc_a->Tick(in);
-      rtl::WireSample b = soc_b->Tick(in);
-      result.cycles++;
-      // Handshake wires are the timing channel; payload may differ by specification.
-      if (a.tx_valid != b.tx_valid || a.rx_ready != b.rx_ready) {
-        result.divergence = "handshake divergence at cycle " + std::to_string(result.cycles) +
-                            " (command " + std::to_string(c) + "): a {" +
-                            rtl::FormatSample(a) + "} b {" + rtl::FormatSample(b) + "}";
-        return result;
-      }
-      if (soc_a->cpu().halted() || soc_b->cpu().halted()) {
-        result.divergence = "a circuit faulted during self-composition";
-        return result;
-      }
-      if (offering) {
-        sent++;
-      }
-      if (a.tx_valid) {
-        received++;
-      }
-      last_a = a;
+  size_t sent = 0;
+  size_t received = 0;
+  uint64_t budget = max_cycles;
+  while (received < app.response_size()) {
+    if (budget-- == 0) {
+      result.divergence = "cycle budget exceeded on command " + std::to_string(command_index);
+      return result;
     }
+    rtl::WireInput in;
+    in.tx_ready = true;
+    bool offering = sent < command.size() && last_a.rx_ready;
+    if (offering) {
+      in.rx_valid = true;
+      in.rx_data = command[sent];
+    }
+    rtl::WireSample a = soc_a->Tick(in);
+    rtl::WireSample b = soc_b->Tick(in);
+    result.cycles++;
+    // Handshake wires are the timing channel; payload may differ by specification.
+    if (a.tx_valid != b.tx_valid || a.rx_ready != b.rx_ready) {
+      result.divergence = "handshake divergence at cycle " + std::to_string(result.cycles) +
+                          " (command " + std::to_string(command_index) + "): a {" +
+                          rtl::FormatSample(a) + "} b {" + rtl::FormatSample(b) + "}";
+      return result;
+    }
+    if (soc_a->cpu().halted() || soc_b->cpu().halted()) {
+      result.divergence = "a circuit faulted during self-composition (command " +
+                          std::to_string(command_index) + ")";
+      return result;
+    }
+    if (offering) {
+      sent++;
+    }
+    if (a.tx_valid) {
+      received++;
+    }
+    last_a = a;
   }
   result.ok = true;
+  return result;
+}
+
+// Per-command starting states for a sequence: entry c holds the pair of states the
+// specification reaches after commands 0..c-1. A cheap serial prefix scan (spec
+// steps only — no circuit simulation) that makes the expensive circuit obligations
+// independent.
+std::vector<std::pair<Bytes, Bytes>> SpecPrefixStates(const hsm::HsmSystem& system,
+                                                      const Bytes& state_a,
+                                                      const Bytes& state_b,
+                                                      const std::vector<Bytes>& commands) {
+  std::vector<std::pair<Bytes, Bytes>> starts;
+  starts.reserve(commands.size());
+  Bytes a = state_a;
+  Bytes b = state_b;
+  for (const Bytes& command : commands) {
+    starts.emplace_back(a, b);
+    a = SpecAdvance(system.app(), std::move(a), command);
+    b = SpecAdvance(system.app(), std::move(b), command);
+  }
+  return starts;
+}
+
+}  // namespace
+
+SelfCompResult CheckSelfComposition(const hsm::HsmSystem& system, const Bytes& state_a,
+                                    const Bytes& state_b, const std::vector<Bytes>& commands,
+                                    const SelfCompOptions& options) {
+  if (commands.empty()) {
+    SelfCompResult result;
+    result.ok = true;
+    return result;
+  }
+  auto starts = SpecPrefixStates(system, state_a, state_b, commands);
+
+  ThreadPool pool(options.num_threads);
+  auto outcome = ParallelReduce<SelfCompResult>(
+      pool, commands.size(),
+      [&](size_t c) {
+        return SelfCompOneCommand(system, starts[c].first, starts[c].second, commands[c], c,
+                                  options.max_cycles_per_command);
+      },
+      [](const SelfCompResult& r) { return !r.ok; });
+
+  // Fold in command order: cycles up to (and including) the lowest failing command
+  // are schedule-independent; commands beyond it raced the cancellation and are
+  // excluded from the count.
+  SelfCompResult result;
+  size_t last = outcome.first_failure.value_or(commands.size() - 1);
+  for (size_t c = 0; c <= last; c++) {
+    if (outcome.results[c].has_value()) {
+      result.cycles += outcome.results[c]->cycles;
+    }
+  }
+  if (outcome.first_failure.has_value()) {
+    result.divergence = outcome.results[*outcome.first_failure]->divergence;
+  } else {
+    result.ok = true;
+  }
   return result;
 }
 
@@ -72,19 +147,29 @@ Bytes MakeSecretVariant(const hsm::App& app, const Bytes& state, Rng& rng) {
 
 std::vector<soc::TaintLeak> RunTaintCheck(const hsm::HsmSystem& system, const Bytes& state,
                                           const std::vector<Bytes>& commands,
-                                          uint64_t max_cycles_per_command) {
+                                          const TaintCheckOptions& options) {
   PARFAIT_CHECK_MSG(system.options().taint_tracking,
                     "RunTaintCheck needs an HsmSystem built with taint_tracking");
-  auto soc = system.NewSocWithFram(system.MakeFram(state));
-  system.SeedSecretTaint(*soc);
-  soc::WireHost host(soc.get());
-  for (const Bytes& command : commands) {
-    auto resp = host.Transact(command, system.app().response_size(), max_cycles_per_command);
-    if (!resp.has_value()) {
-      break;  // Fault or timeout; any recorded leaks are still reported.
-    }
+  auto starts = SpecPrefixStates(system, state, state, commands);
+
+  // Every command is an independent obligation: fresh tainted SoC from the
+  // spec-advanced state, one transaction, collect the violations. A fault or timeout
+  // only loses propagation within its own command; recorded leaks are still reported.
+  std::vector<std::vector<soc::TaintLeak>> per_command(commands.size());
+  ThreadPool pool(options.num_threads);
+  ParallelFor(pool, commands.size(), [&](size_t c) {
+    auto soc = system.NewSocWithFram(system.MakeFram(starts[c].first));
+    system.SeedSecretTaint(*soc);
+    soc::WireHost host(soc.get());
+    host.Transact(commands[c], system.app().response_size(), options.max_cycles_per_command);
+    per_command[c] = soc->bus().leaks();
+  });
+
+  std::vector<soc::TaintLeak> leaks;
+  for (auto& chunk : per_command) {
+    leaks.insert(leaks.end(), chunk.begin(), chunk.end());
   }
-  return soc->bus().leaks();
+  return leaks;
 }
 
 }  // namespace parfait::knox2

@@ -12,6 +12,15 @@
 //     variable-latency functional-unit operands is flagged. Fast but model-dependent —
 //     exactly the class of tool whose soundness the paper points out rests on the
 //     hardware matching the model.
+//
+// Both checkers decompose a command vector into independent per-command obligations:
+// command c runs on a freshly powered-on SoC whose FRAM holds the specification-
+// advanced state after commands 0..c-1 (power-cycling between commands is exactly the
+// figure 9 crash-safety model, and Starling/cosim separately verify that the
+// implementation tracks the specification state). The obligations are scheduled
+// across `num_threads` worker threads (0 = all hardware threads) — the per-command
+// decomposition is the same at every thread count, so results are bit-identical
+// regardless of parallelism; see src/support/parallel.h.
 #ifndef PARFAIT_KNOX2_LEAKAGE_H_
 #define PARFAIT_KNOX2_LEAKAGE_H_
 
@@ -24,6 +33,9 @@ namespace parfait::knox2 {
 
 struct SelfCompOptions {
   uint64_t max_cycles_per_command = 600'000'000;
+  // Per-command obligations run concurrently on this many threads (0 = all hardware
+  // threads). Purely a scheduling knob: outcomes are thread-count independent.
+  int num_threads = 0;
 };
 
 struct SelfCompResult {
@@ -33,7 +45,9 @@ struct SelfCompResult {
 };
 
 // Runs both instances under identical inputs for the given command sequence and
-// compares the handshake wires cycle-by-cycle.
+// compares the handshake wires cycle-by-cycle. On failure, the reported divergence
+// is always the one in the lowest-index command, and `cycles` counts the cycles
+// simulated for commands up to and including it.
 SelfCompResult CheckSelfComposition(const hsm::HsmSystem& system, const Bytes& state_a,
                                     const Bytes& state_b, const std::vector<Bytes>& commands,
                                     const SelfCompOptions& options = {});
@@ -42,11 +56,18 @@ SelfCompResult CheckSelfComposition(const hsm::HsmSystem& system, const Bytes& s
 // canonical "differs only in secrets" partner state).
 Bytes MakeSecretVariant(const hsm::App& app, const Bytes& state, Rng& rng);
 
-// Taint-mode run: builds a tainted SoC from `state`, executes the commands, and
-// returns the recorded taint-policy violations.
+struct TaintCheckOptions {
+  uint64_t max_cycles_per_command = 600'000'000;
+  // Same scheduling knob as SelfCompOptions::num_threads.
+  int num_threads = 0;
+};
+
+// Taint-mode run: for each command, builds a tainted SoC from the specification-
+// advanced state, executes the command, and collects the recorded taint-policy
+// violations, concatenated in command order.
 std::vector<soc::TaintLeak> RunTaintCheck(const hsm::HsmSystem& system, const Bytes& state,
                                           const std::vector<Bytes>& commands,
-                                          uint64_t max_cycles_per_command = 600'000'000);
+                                          const TaintCheckOptions& options = {});
 
 }  // namespace parfait::knox2
 

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "src/support/parallel.h"
 #include "src/support/rng.h"
 
 namespace parfait::starling {
@@ -57,92 +58,137 @@ HandleRun RunHandle(const App& app, const Bytes& state, const Bytes& command) {
                    st.GuardsIntact() && cmd.GuardsIntact() && resp.GuardsIntact()};
 }
 
-}  // namespace
+// One trial's contribution to the report: the number of checks it completed and, if
+// it failed, what went wrong. Trials are independent, so CheckApp can run them in
+// any order on any number of threads and fold the outcomes by trial index.
+struct TrialResult {
+  int checks = 0;
+  std::string failure;  // Empty = the trial passed.
+};
 
-StarlingReport CheckApp(const App& app, const StarlingOptions& options) {
-  StarlingReport report;
-  Rng rng(options.seed);
-  auto fail = [&](const std::string& what) {
-    report.ok = false;
-    report.failure = std::string(app.name()) + ": " + what;
-    return report;
-  };
-
-  // Figure 6(a) from arbitrary (not just reachable) related states: the lockstep
-  // property quantifies over every state related by R, and every byte string is a
-  // valid state encoding for our apps.
-  for (int i = 0; i < options.valid_trials; i++) {
-    Bytes state = rng.RandomBytes(app.state_size());
-    Bytes command = app.RandomValidCommand(rng);
-    auto spec = app.SpecStepEncoded(state, command);
-    if (!spec.has_value()) {
-      return fail("RandomValidCommand produced an undecodable command");
-    }
-    HandleRun run = RunHandle(app, state, command);
-    report.checks_run++;
-    if (!run.guards_ok) {
-      return fail("guard zone clobbered (memory safety violation)");
-    }
-    if (run.state != spec->first) {
-      return fail("figure 6(a): post-state diverges from the specification");
-    }
-    if (run.response != spec->second) {
-      return fail("figure 6(a): response diverges from the specification");
-    }
+// Figure 6(a) from an arbitrary (not just reachable) related state: the lockstep
+// property quantifies over every state related by R, and every byte string is a
+// valid state encoding for our apps.
+TrialResult RunValidTrial(const App& app, Rng& rng) {
+  TrialResult result;
+  Bytes state = rng.RandomBytes(app.state_size());
+  Bytes command = app.RandomValidCommand(rng);
+  auto spec = app.SpecStepEncoded(state, command);
+  if (!spec.has_value()) {
+    result.failure = "RandomValidCommand produced an undecodable command";
+    return result;
+  }
+  HandleRun run = RunHandle(app, state, command);
+  result.checks++;
+  if (!run.guards_ok) {
+    result.failure = "guard zone clobbered (memory safety violation)";
+  } else if (run.state != spec->first) {
+    result.failure = "figure 6(a): post-state diverges from the specification";
+  } else if (run.response != spec->second) {
+    result.failure = "figure 6(a): response diverges from the specification";
+  } else {
     // Determinism: a second run must be byte-identical.
     HandleRun again = RunHandle(app, state, command);
     if (again.state != run.state || again.response != run.response) {
-      return fail("handle() is not deterministic");
+      result.failure = "handle() is not deterministic";
     }
   }
+  return result;
+}
 
-  // Figure 6(b): undecodable commands leave the state untouched and answer with the
-  // canonical None response.
-  for (int i = 0; i < options.invalid_trials; i++) {
-    Bytes state = rng.RandomBytes(app.state_size());
-    Bytes command = app.RandomInvalidCommand(rng);
-    if (app.SpecStepEncoded(state, command).has_value()) {
-      return fail("RandomInvalidCommand produced a decodable command");
-    }
+// Figure 6(b): undecodable commands leave the state untouched and answer with the
+// canonical None response.
+TrialResult RunInvalidTrial(const App& app, Rng& rng) {
+  TrialResult result;
+  Bytes state = rng.RandomBytes(app.state_size());
+  Bytes command = app.RandomInvalidCommand(rng);
+  if (app.SpecStepEncoded(state, command).has_value()) {
+    result.failure = "RandomInvalidCommand produced a decodable command";
+    return result;
+  }
+  HandleRun run = RunHandle(app, state, command);
+  result.checks++;
+  if (!run.guards_ok) {
+    result.failure = "guard zone clobbered on an invalid command";
+  } else if (run.state != state) {
+    result.failure = "figure 6(b): state changed on an undecodable command";
+  } else if (run.response != app.EncodeResponseNone()) {
+    result.failure = "figure 6(b): non-canonical response to an undecodable command";
+  }
+  return result;
+}
+
+// A reachable-state sequence from the initial state (catches stateful drift that
+// single-step checks from random states could miss, e.g. counter handling).
+TrialResult RunSequenceTrial(const App& app, Rng& rng, int sequence_length) {
+  TrialResult result;
+  Bytes state = app.InitStateEncoded();
+  for (int i = 0; i < sequence_length; i++) {
+    Bytes command =
+        rng.Below(5) == 0 ? app.RandomInvalidCommand(rng) : app.RandomValidCommand(rng);
+    auto spec = app.SpecStepEncoded(state, command);
     HandleRun run = RunHandle(app, state, command);
-    report.checks_run++;
+    result.checks++;
     if (!run.guards_ok) {
-      return fail("guard zone clobbered on an invalid command");
+      result.failure = "guard zone clobbered in a sequence";
+      return result;
     }
-    if (run.state != state) {
-      return fail("figure 6(b): state changed on an undecodable command");
-    }
-    if (run.response != app.EncodeResponseNone()) {
-      return fail("figure 6(b): non-canonical response to an undecodable command");
-    }
-  }
-
-  // Reachable-state sequences from the initial state (catches stateful drift that
-  // single-step checks from random states could miss, e.g. counter handling).
-  for (int t = 0; t < options.sequence_trials; t++) {
-    Bytes state = app.InitStateEncoded();
-    for (int i = 0; i < options.sequence_length; i++) {
-      Bytes command =
-          rng.Below(5) == 0 ? app.RandomInvalidCommand(rng) : app.RandomValidCommand(rng);
-      auto spec = app.SpecStepEncoded(state, command);
-      HandleRun run = RunHandle(app, state, command);
-      report.checks_run++;
-      if (!run.guards_ok) {
-        return fail("guard zone clobbered in a sequence");
+    if (spec.has_value()) {
+      if (run.state != spec->first || run.response != spec->second) {
+        result.failure = "sequence step diverges from the specification";
+        return result;
       }
-      if (spec.has_value()) {
-        if (run.state != spec->first || run.response != spec->second) {
-          return fail("sequence step diverges from the specification");
-        }
-        state = spec->first;
-      } else {
-        if (run.state != state || run.response != app.EncodeResponseNone()) {
-          return fail("sequence None-case diverges");
-        }
+      state = spec->first;
+    } else {
+      if (run.state != state || run.response != app.EncodeResponseNone()) {
+        result.failure = "sequence None-case diverges";
+        return result;
       }
     }
   }
+  return result;
+}
 
+}  // namespace
+
+StarlingReport CheckApp(const App& app, const StarlingOptions& options) {
+  // Trial index space: valid trials, then invalid trials, then sequences. Each trial
+  // seeds its own RNG from (seed, index), so the generated test cases — and therefore
+  // the whole report — do not depend on thread count or scheduling.
+  size_t valid = options.valid_trials > 0 ? options.valid_trials : 0;
+  size_t invalid = options.invalid_trials > 0 ? options.invalid_trials : 0;
+  size_t sequences = options.sequence_trials > 0 ? options.sequence_trials : 0;
+  size_t total = valid + invalid + sequences;
+
+  ThreadPool pool(options.num_threads);
+  auto outcome = ParallelReduce<TrialResult>(
+      pool, total,
+      [&](size_t index) {
+        Rng rng(SplitSeed(options.seed, index));
+        if (index < valid) {
+          return RunValidTrial(app, rng);
+        }
+        if (index < valid + invalid) {
+          return RunInvalidTrial(app, rng);
+        }
+        return RunSequenceTrial(app, rng, options.sequence_length);
+      },
+      [](const TrialResult& result) { return !result.failure.empty(); });
+
+  // Fold in index order. On failure only trials up to the (deterministic) lowest
+  // failing index count — anything above it raced the cancellation.
+  StarlingReport report;
+  size_t last = outcome.first_failure.value_or(total == 0 ? 0 : total - 1);
+  for (size_t i = 0; i < total && i <= last; i++) {
+    if (outcome.results[i].has_value()) {
+      report.checks_run += outcome.results[i]->checks;
+    }
+  }
+  if (outcome.first_failure.has_value()) {
+    report.ok = false;
+    report.failure = std::string(app.name()) + ": " +
+                     outcome.results[*outcome.first_failure]->failure;
+  }
   return report;
 }
 

@@ -26,6 +26,10 @@ struct StarlingOptions {
   int sequence_trials = 4;    // Multi-step reachable-state sequences.
   int sequence_length = 8;
   uint64_t seed = 1234;
+  // Trials run concurrently on this many threads (0 = all hardware threads). Each
+  // trial owns a SplitSeed-derived RNG stream and failures settle on the lowest
+  // trial index, so the report is bit-identical at every thread count.
+  int num_threads = 0;
 };
 
 struct StarlingReport {

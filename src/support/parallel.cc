@@ -1,0 +1,187 @@
+#include "src/support/parallel.h"
+
+#include <thread>
+#include <utility>
+
+namespace parfait {
+
+namespace {
+
+// Which worker of which pool the current thread is, so Submit can push to the local
+// deque instead of round-robining. Null on non-pool threads.
+struct WorkerIdentity {
+  const ThreadPool* pool = nullptr;
+  size_t index = 0;
+};
+thread_local WorkerIdentity t_identity;
+
+}  // namespace
+
+struct ThreadPool::Worker {
+  std::mutex mu;
+  std::deque<std::function<void()>> tasks;  // Guarded by mu.
+  std::thread thread;
+};
+
+int ResolveNumThreads(int num_threads) {
+  if (num_threads > 0) {
+    return num_threads;
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool::ThreadPool(int num_threads) {
+  int lanes = ResolveNumThreads(num_threads);
+  workers_.reserve(lanes > 0 ? lanes - 1 : 0);
+  for (int i = 0; i + 1 < lanes; i++) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  for (size_t i = 0; i < workers_.size(); i++) {
+    workers_[i]->thread = std::thread([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  for (auto& worker : workers_) {
+    if (worker->thread.joinable()) {
+      worker->thread.join();
+    }
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    // No workers: run inline. Fork-join callers treat the calling thread as the one
+    // lane, so this keeps ThreadPool(1) strictly serial.
+    task();
+    return;
+  }
+  size_t target;
+  if (t_identity.pool == this) {
+    target = t_identity.index;  // Local push: LIFO end, cache-warm.
+  } else {
+    target = next_worker_.fetch_add(1, std::memory_order_relaxed) % workers_.size();
+  }
+  {
+    std::lock_guard<std::mutex> lock(workers_[target]->mu);
+    workers_[target]->tasks.push_back(std::move(task));
+  }
+  // Fence the notify through wake_mu_ so it cannot land between a sleeping worker's
+  // final empty-scan (done under wake_mu_) and its wait — either the scan sees this
+  // push, or the worker is already waiting and the notify wakes it.
+  { std::lock_guard<std::mutex> lock(wake_mu_); }
+  wake_cv_.notify_one();
+}
+
+bool ThreadPool::RunOneTask(size_t self) {
+  std::function<void()> task;
+  // Own deque: pop the most recently pushed task (LIFO).
+  {
+    Worker& own = *workers_[self];
+    std::lock_guard<std::mutex> lock(own.mu);
+    if (!own.tasks.empty()) {
+      task = std::move(own.tasks.back());
+      own.tasks.pop_back();
+    }
+  }
+  // Steal: scan the other deques and take their oldest task (FIFO end).
+  if (!task) {
+    for (size_t k = 1; k < workers_.size() && !task; k++) {
+      Worker& victim = *workers_[(self + k) % workers_.size()];
+      std::lock_guard<std::mutex> lock(victim.mu);
+      if (!victim.tasks.empty()) {
+        task = std::move(victim.tasks.front());
+        victim.tasks.pop_front();
+      }
+    }
+  }
+  if (!task) {
+    return false;
+  }
+  task();
+  return true;
+}
+
+void ThreadPool::WorkerLoop(size_t self) {
+  t_identity = {this, self};
+  for (;;) {
+    if (RunOneTask(self)) {
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(wake_mu_);
+    if (stop_) {
+      return;
+    }
+    // Re-check under the wake lock: a Submit may have raced the empty scan.
+    bool any = false;
+    for (auto& worker : workers_) {
+      std::lock_guard<std::mutex> wlock(worker->mu);
+      if (!worker->tasks.empty()) {
+        any = true;
+        break;
+      }
+    }
+    if (any) {
+      continue;
+    }
+    wake_cv_.wait(lock);
+  }
+}
+
+void ParallelFor(ThreadPool& pool, size_t n, const std::function<void(size_t)>& body) {
+  if (n == 0) {
+    return;
+  }
+  int lanes = pool.lanes();
+  if (lanes <= 1 || n == 1) {
+    for (size_t i = 0; i < n; i++) {
+      body(i);
+    }
+    return;
+  }
+
+  // Dynamic index claiming: every lane loops grabbing the next unclaimed index, which
+  // self-balances regardless of how uneven the per-index cost is.
+  struct Region {
+    std::atomic<size_t> next{0};
+    std::mutex mu;
+    std::condition_variable done_cv;
+    size_t active_runners = 0;  // Guarded by mu.
+  };
+  auto region = std::make_shared<Region>();
+  auto run_lane = [region, n, &body] {
+    for (;;) {
+      size_t i = region->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) {
+        return;
+      }
+      body(i);
+    }
+  };
+
+  size_t helpers = static_cast<size_t>(lanes - 1);
+  if (helpers > n - 1) {
+    helpers = n - 1;
+  }
+  region->active_runners = helpers;
+  for (size_t h = 0; h < helpers; h++) {
+    pool.Submit([region, run_lane] {
+      run_lane();
+      std::lock_guard<std::mutex> lock(region->mu);
+      if (--region->active_runners == 0) {
+        region->done_cv.notify_all();
+      }
+    });
+  }
+  run_lane();  // The calling thread is a lane too.
+  std::unique_lock<std::mutex> lock(region->mu);
+  region->done_cv.wait(lock, [&] { return region->active_runners == 0; });
+}
+
+}  // namespace parfait

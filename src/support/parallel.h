@@ -1,0 +1,125 @@
+// Work-stealing thread pool and deterministic fork-join helpers for the checkers.
+//
+// Every Parfait checker (Starling trials, IPR lockstep/equivalence trials, Knox2
+// self-composition pairs and taint runs) is a loop over independent randomized
+// obligations. The pool runs those obligations concurrently while keeping every
+// report bit-identical to a serial run — determinism is load-bearing for a
+// verification tool, because a failure that appears only at some thread counts is a
+// failure the developer cannot reproduce. Two mechanisms deliver it:
+//
+//   1. Seed splitting: each trial derives its own RNG stream via
+//      SplitSeed(base_seed, trial_index) (src/support/rng.h), so the generated test
+//      cases are a function of the trial index alone, never of scheduling.
+//   2. Lowest-failure settlement: ParallelReduce short-circuits on failure, but a
+//      trial may only be *skipped* when a failure at a strictly lower index is
+//      already known. Consequently every trial below the final reported failure
+//      index has run to completion, which makes the reported (index, payload) pair —
+//      and any aggregate folded over trials up to that index — schedule-independent.
+#ifndef PARFAIT_SUPPORT_PARALLEL_H_
+#define PARFAIT_SUPPORT_PARALLEL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+namespace parfait {
+
+// Resolves a user-facing `num_threads` option: 0 means "all hardware threads";
+// anything else is taken literally. Values above the core count are allowed and
+// oversubscribe (the determinism tests run 8 threads on any machine).
+int ResolveNumThreads(int num_threads);
+
+// A small work-stealing pool of `num_threads - 1` workers: the calling thread of a
+// fork-join region is the remaining lane, so ThreadPool(1) spawns no threads at all
+// and ParallelFor degenerates to a plain serial loop on the caller. Each worker owns
+// a deque — LIFO for its own pushes, FIFO for thieves — so task-local submissions
+// stay cache-warm while idle workers drain the other end.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Total parallelism of a fork-join region: workers plus the calling thread.
+  int lanes() const { return static_cast<int>(workers_.size()) + 1; }
+
+  // Schedules `task` on some worker. From a worker thread the task lands on that
+  // worker's own deque (stolen from the far end if another lane goes idle).
+  void Submit(std::function<void()> task);
+
+ private:
+  struct Worker;
+
+  void WorkerLoop(size_t self);
+  // Pops one task (own deque first, then steals) and runs it. Returns false when no
+  // task was found anywhere.
+  bool RunOneTask(size_t self);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  bool stop_ = false;                   // Guarded by wake_mu_.
+  std::atomic<size_t> next_worker_{0};  // Round-robin for external submissions.
+};
+
+// Fork-join: runs body(i) for every i in [0, n), distributing indices dynamically
+// across the pool's workers and the calling thread, and blocks until all complete.
+// body must be safe to call concurrently from different threads for different i.
+void ParallelFor(ThreadPool& pool, size_t n, const std::function<void(size_t)>& body);
+
+// Outcome of a short-circuiting trial reduction. results[i] is engaged iff trial i
+// ran. Determinism contract: with first_failure == f, every trial i <= f ran and its
+// result is schedule-independent; trials above f may or may not have run (they were
+// racing the cancellation), so deterministic aggregates must fold over i <= f only —
+// or over everything when first_failure is empty, since then all n trials ran.
+template <typename R>
+struct ParallelReduceOutcome {
+  std::vector<std::optional<R>> results;
+  std::optional<size_t> first_failure;
+};
+
+// Runs body(i) for i in [0, n) in parallel; failed(result) marks a trial as a
+// failure. Once a failure at index f is known, not-yet-started trials with index
+// above f are skipped (first-failure short-circuit), but everything below f still
+// runs — so the *lowest* failing index is always settled, independent of thread
+// count and scheduling (see the file comment).
+template <typename R>
+ParallelReduceOutcome<R> ParallelReduce(ThreadPool& pool, size_t n,
+                                        const std::function<R(size_t)>& body,
+                                        const std::function<bool(const R&)>& failed) {
+  ParallelReduceOutcome<R> out;
+  out.results.resize(n);
+  std::atomic<uint64_t> first{std::numeric_limits<uint64_t>::max()};
+  ParallelFor(pool, n, [&](size_t i) {
+    if (first.load(std::memory_order_acquire) < i) {
+      return;  // A strictly lower failure is already known; skipping is safe.
+    }
+    R result = body(i);
+    bool is_failure = failed(result);
+    out.results[i] = std::move(result);
+    if (is_failure) {
+      uint64_t seen = first.load(std::memory_order_acquire);
+      while (i < seen &&
+             !first.compare_exchange_weak(seen, i, std::memory_order_acq_rel)) {
+      }
+    }
+  });
+  uint64_t f = first.load(std::memory_order_acquire);
+  if (f != std::numeric_limits<uint64_t>::max()) {
+    out.first_failure = static_cast<size_t>(f);
+  }
+  return out;
+}
+
+}  // namespace parfait
+
+#endif  // PARFAIT_SUPPORT_PARALLEL_H_

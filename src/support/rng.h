@@ -13,10 +13,34 @@
 
 namespace parfait {
 
+// Derives the seed of an independent stream from (base_seed, stream_index) with two
+// rounds of SplitMix64/Murmur3 finalizer mixing. Checkers give every parallel trial
+// its own stream via SplitSeed(options.seed, trial_index), which is what makes their
+// reports bit-identical regardless of thread count or scheduling order (see
+// src/support/parallel.h). Consecutive indices land on uncorrelated streams: the
+// golden-gamma multiply spreads them 2^64/phi apart before the finalizers.
+constexpr uint64_t SplitSeed(uint64_t base_seed, uint64_t stream_index) {
+  uint64_t z = base_seed + (stream_index + 1) * 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  z = (z ^ (z >> 33)) * 0xff51afd7ed558ccdULL;
+  z = (z ^ (z >> 33)) * 0xc4ceb9fe1a85ec53ULL;
+  return z ^ (z >> 33);
+}
+
 // SplitMix64-based generator: tiny, fast, and good enough for test-case generation.
 class Rng {
  public:
   explicit Rng(uint64_t seed) : state_(seed) {}
+
+  // Copying an Rng aliases its stream: two copies yield the same "random" values,
+  // which silently correlates trials that must be independent (a real hazard once
+  // checkers shard across threads). Forks must be explicit; moves are fine.
+  Rng(const Rng&) = delete;
+  Rng& operator=(const Rng&) = delete;
+  Rng(Rng&&) = default;
+  Rng& operator=(Rng&&) = default;
 
   uint64_t Next64() {
     state_ += 0x9e3779b97f4a7c15ULL;
@@ -48,7 +72,9 @@ class Rng {
   }
 
   // Forks an independent stream (used when a checker spawns sub-generators).
-  Rng Fork() { return Rng(Next64() ^ 0xa5a5a5a5deadbeefULL); }
+  // Advances this generator once; the child is seeded through SplitSeed so parent
+  // and child sequences are decorrelated even for adjacent states.
+  Rng Fork() { return Rng(SplitSeed(state_, Next64())); }
 
  private:
   uint64_t state_;

@@ -200,13 +200,18 @@ TEST(Equivalence, SameMachinePasses) {
 }
 
 TEST(Equivalence, DifferentMachinesFail) {
+  // Exposing the padding leak needs a decodable set-secret(odd) followed by another
+  // decodable command within one trial — rare for uniform 2-byte commands (~1.6% per
+  // 16-op trial), so give the checker enough trials that detection is not seed luck.
+  EquivalenceCheckOptions options;
+  options.trials = 2048;
   auto result = CheckObservationalEquivalence<Bytes, Bytes, Bytes, Bytes>(
       ToyImpl(ImplFlavor::kFaithful), ToyImpl(ImplFlavor::kLeakSecretInPadding),
       [](Rng& rng) {
         Bytes b{rng.Byte(), rng.Byte()};
         return b;
       },
-      ShowBytes);
+      ShowBytes, options);
   EXPECT_FALSE(result.ok);
 }
 

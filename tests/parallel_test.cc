@@ -1,0 +1,247 @@
+// Tests for the parallel verification engine: the SplitSeed stream derivation, the
+// work-stealing ThreadPool, ParallelFor/ParallelReduce scheduling, and the end-to-end
+// determinism guarantee — checkers must produce bit-identical reports at every thread
+// count, because a verification result that depends on scheduling is not a result.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <string>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "src/ipr/lockstep.h"
+#include "src/starling/starling.h"
+#include "src/support/parallel.h"
+#include "src/support/rng.h"
+
+namespace parfait {
+namespace {
+
+// ---- SplitSeed: independent deterministic streams ----
+
+TEST(SplitSeed, IsDeterministic) {
+  EXPECT_EQ(SplitSeed(42, 7), SplitSeed(42, 7));
+  EXPECT_NE(SplitSeed(42, 7), SplitSeed(42, 8));
+  EXPECT_NE(SplitSeed(42, 7), SplitSeed(43, 7));
+}
+
+TEST(SplitSeed, StreamsAreDistinct) {
+  // No collisions across a realistic trial range, including the all-zero seed (a
+  // plain xor/add scheme would degenerate there).
+  for (uint64_t base : {uint64_t{0}, uint64_t{42}, uint64_t{0xdeadbeef}}) {
+    std::set<uint64_t> seen;
+    for (uint64_t trial = 0; trial < 4096; trial++) {
+      seen.insert(SplitSeed(base, trial));
+    }
+    EXPECT_EQ(seen.size(), 4096u) << "collision under base seed " << base;
+  }
+}
+
+TEST(SplitSeed, AdjacentStreamsDecorrelate) {
+  // First draws from adjacent trial streams should not be related by small deltas.
+  Rng a(SplitSeed(1, 0));
+  Rng b(SplitSeed(1, 1));
+  uint64_t xa = a.Next64();
+  uint64_t xb = b.Next64();
+  EXPECT_NE(xa, xb);
+  EXPECT_NE(xa + 1, xb);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(99);
+  Rng child = parent.Fork();
+  EXPECT_NE(parent.Next64(), child.Next64());
+  static_assert(!std::is_copy_constructible_v<Rng>,
+                "Rng must not be silently copyable: a copied generator replays the "
+                "same stream, which breaks trial independence");
+}
+
+// ---- ThreadPool / ParallelFor ----
+
+TEST(ParallelFor, RunsEveryIndexExactlyOnce) {
+  for (int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    constexpr size_t kN = 10'000;
+    std::vector<std::atomic<int>> hits(kN);
+    ParallelFor(pool, kN, [&](size_t i) { hits[i].fetch_add(1); });
+    for (size_t i = 0; i < kN; i++) {
+      ASSERT_EQ(hits[i].load(), 1) << "index " << i << " at " << threads << " threads";
+    }
+  }
+}
+
+TEST(ParallelFor, HandlesEmptyAndSingletonRanges) {
+  ThreadPool pool(4);
+  ParallelFor(pool, 0, [&](size_t) { FAIL() << "body must not run for n = 0"; });
+  std::atomic<int> count{0};
+  ParallelFor(pool, 1, [&](size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPool, SingleThreadPoolRunsInline) {
+  // ThreadPool(1) must not spawn workers: the caller is the only lane, so bodies run
+  // on the calling thread (this is what makes num_threads=1 strictly serial).
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.lanes(), 1);
+  std::thread::id caller = std::this_thread::get_id();
+  ParallelFor(pool, 16, [&](size_t) { EXPECT_EQ(std::this_thread::get_id(), caller); });
+}
+
+TEST(ThreadPool, OversubscriptionIsAllowed) {
+  // Determinism tests need 8 lanes even on a 1-core machine.
+  ThreadPool pool(8);
+  EXPECT_EQ(pool.lanes(), 8);
+  std::atomic<int> count{0};
+  ParallelFor(pool, 100, [&](size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 100);
+}
+
+// ---- ParallelReduce: lowest-failure settlement ----
+
+TEST(ParallelReduce, ReportsLowestFailureIndex) {
+  // Failures at 900, 40, and 7: the settled failure must be 7 at every thread count,
+  // even if a worker discovers 900 first.
+  for (int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    auto outcome = ParallelReduce<int>(
+        pool, 1000, [](size_t i) { return static_cast<int>(i); },
+        [](const int& v) { return v == 900 || v == 40 || v == 7; });
+    ASSERT_TRUE(outcome.first_failure.has_value());
+    EXPECT_EQ(*outcome.first_failure, 7u);
+    // The settlement invariant: everything below the reported failure ran, so
+    // index-ordered aggregation over [0, first_failure] is schedule-independent.
+    for (size_t i = 0; i <= 7; i++) {
+      ASSERT_TRUE(outcome.results[i].has_value());
+      EXPECT_EQ(*outcome.results[i], static_cast<int>(i));
+    }
+  }
+}
+
+TEST(ParallelReduce, FailureShortCircuitsWithoutDeadlock) {
+  // An early failure must let the remaining trials be skipped — and the reduce must
+  // still join all in-flight work and return (no deadlock, no lost wakeup).
+  ThreadPool pool(8);
+  std::atomic<size_t> bodies_run{0};
+  auto outcome = ParallelReduce<bool>(
+      pool, 100'000,
+      [&](size_t i) {
+        bodies_run.fetch_add(1);
+        return i == 3;  // Injected failing trial.
+      },
+      [](const bool& failed) { return failed; });
+  ASSERT_TRUE(outcome.first_failure.has_value());
+  EXPECT_EQ(*outcome.first_failure, 3u);
+  // Skipping must actually happen: nowhere near all 100k bodies should run once the
+  // failure at index 3 settles.
+  EXPECT_LT(bodies_run.load(), 100'000u);
+}
+
+TEST(ParallelReduce, NoFailureRunsEverything) {
+  ThreadPool pool(4);
+  auto outcome = ParallelReduce<size_t>(
+      pool, 512, [](size_t i) { return i * 2; }, [](const size_t&) { return false; });
+  EXPECT_FALSE(outcome.first_failure.has_value());
+  for (size_t i = 0; i < 512; i++) {
+    ASSERT_TRUE(outcome.results[i].has_value());
+    EXPECT_EQ(*outcome.results[i], i * 2);
+  }
+}
+
+// ---- End-to-end determinism: identical checker reports at 1, 2, and 8 threads ----
+
+TEST(Determinism, CheckAppReportsAreThreadCountInvariant) {
+  starling::StarlingOptions base;
+  base.valid_trials = 24;
+  base.invalid_trials = 64;
+  base.sequence_trials = 2;
+  base.sequence_length = 6;
+
+  base.num_threads = 1;
+  auto serial = starling::CheckApp(hsm::HasherApp(), base);
+  EXPECT_TRUE(serial.ok) << serial.failure;
+  for (int threads : {2, 8}) {
+    starling::StarlingOptions options = base;
+    options.num_threads = threads;
+    auto report = starling::CheckApp(hsm::HasherApp(), options);
+    EXPECT_EQ(report.ok, serial.ok) << "at " << threads << " threads";
+    EXPECT_EQ(report.failure, serial.failure) << "at " << threads << " threads";
+    EXPECT_EQ(report.checks_run, serial.checks_run) << "at " << threads << " threads";
+  }
+}
+
+// A deliberately buggy toy machine so the *failure* report, not just success, is
+// checked for thread-count invariance. Spec: one-byte counter; command [1, v] adds v.
+// The impl mis-adds for v >= 200, so some trials fail and some pass.
+ipr::StateMachine<uint8_t, uint8_t, uint8_t> CounterSpec() {
+  return {0, [](const uint8_t& s, const uint8_t& v) -> std::pair<uint8_t, uint8_t> {
+            return {static_cast<uint8_t>(s + v), static_cast<uint8_t>(s + v)};
+          }};
+}
+
+ipr::StateMachine<Bytes, Bytes, Bytes> CounterImpl(bool buggy) {
+  return {Bytes{0}, [buggy](const Bytes& s, const Bytes& c) -> std::pair<Bytes, Bytes> {
+            if (c.size() != 2 || c[0] != 1) {
+              return {s, Bytes{0, 0}};
+            }
+            uint8_t v = c[1];
+            if (buggy && v >= 200) {
+              v = static_cast<uint8_t>(v + 1);
+            }
+            uint8_t next = static_cast<uint8_t>(s[0] + v);
+            return {Bytes{next}, Bytes{1, next}};
+          }};
+}
+
+ipr::LockstepCodecs<uint8_t, uint8_t, uint8_t> CounterCodecs() {
+  return {[](const uint8_t& v) { return Bytes{1, v}; },
+          [](const Bytes& b) { return b.size() == 2 ? b[1] : uint8_t{0}; },
+          [](const Bytes& b) -> std::optional<uint8_t> {
+            if (b.size() != 2 || b[0] != 1) {
+              return std::nullopt;
+            }
+            return b[1];
+          },
+          [](const std::optional<uint8_t>& r) {
+            return r.has_value() ? Bytes{1, *r} : Bytes{0, 0};
+          },
+          [](const uint8_t& s) { return Bytes{s}; }};
+}
+
+ipr::LockstepCheckResult RunCounterLockstep(bool buggy, int threads) {
+  ipr::LockstepCheckOptions options;
+  options.trials = 256;
+  options.num_threads = threads;
+  return ipr::CheckLockstep<uint8_t, uint8_t, uint8_t>(
+      CounterImpl(buggy), CounterSpec(), CounterCodecs(),
+      [](Rng& rng) { return rng.Byte(); }, [](Rng& rng) { return rng.Byte(); },
+      [](Rng& rng) {
+        Bytes b{rng.Byte(), rng.Byte()};
+        if (b[0] == 1) {
+          b[0] = 0;  // Force undecodable.
+        }
+        return b;
+      },
+      [](const uint8_t& v) { return std::to_string(static_cast<int>(v)); }, options);
+}
+
+TEST(Determinism, CheckLockstepReportsAreThreadCountInvariant) {
+  auto serial_pass = RunCounterLockstep(/*buggy=*/false, /*threads=*/1);
+  EXPECT_TRUE(serial_pass.ok) << serial_pass.failure;
+  auto serial_fail = RunCounterLockstep(/*buggy=*/true, /*threads=*/1);
+  EXPECT_FALSE(serial_fail.ok);
+  for (int threads : {2, 8}) {
+    auto pass = RunCounterLockstep(false, threads);
+    EXPECT_EQ(pass.ok, serial_pass.ok) << "at " << threads << " threads";
+    EXPECT_EQ(pass.failure, serial_pass.failure) << "at " << threads << " threads";
+    // The failing run must settle on the same lowest failing trial, hence the exact
+    // same failure message, regardless of which worker found a failure first.
+    auto fail = RunCounterLockstep(true, threads);
+    EXPECT_EQ(fail.ok, serial_fail.ok) << "at " << threads << " threads";
+    EXPECT_EQ(fail.failure, serial_fail.failure) << "at " << threads << " threads";
+  }
+}
+
+}  // namespace
+}  // namespace parfait
