@@ -28,10 +28,10 @@ int main() {
     options.taint_tracking = true;
     hsm::HsmSystem system(app, options);
     bench::Stopwatch timer;
-    auto leaks = knox2::RunTaintCheck(system, state, {cmd});
+    auto taint = knox2::RunTaintCheck(system, state, {cmd});
     taint_secs = timer.Seconds();
     std::printf("taint tracking:   %.3f s, %zu policy violations (1 circuit instance)\n",
-                taint_secs, leaks.size());
+                taint_secs, taint.leaks.size());
   }
   {
     hsm::HsmSystem system(app, hsm::HsmBuildOptions{});
@@ -71,8 +71,8 @@ void handle(u8 *state, u8 *cmd, u8 *resp) {
     options.taint_tracking = true;
     options.source_override = mul_app;
     hsm::HsmSystem system(app, options);
-    auto leaks = knox2::RunTaintCheck(system, state, {cmd});
-    for (const auto& leak : leaks) {
+    auto taint = knox2::RunTaintCheck(system, state, {cmd});
+    for (const auto& leak : taint.leaks) {
       if (leak.what.find("multiply") != std::string::npos) {
         taint_flags = true;
       }

@@ -5,6 +5,7 @@
 // catches it — which must match the paper's attribution.
 #include <cstdio>
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -64,13 +65,18 @@ struct MatrixRow {
   std::string expected_catcher;
   bool caught;
   std::string how;
+  // The catching checker's counters and (when it fired) its counterexample artifact.
+  telemetry::TelemetrySnapshot telemetry;
+  std::optional<telemetry::Evidence> evidence;
 };
 
 std::vector<MatrixRow> g_rows;
 
 void Report(const std::string& bug, const std::string& expected, bool caught,
-            const std::string& how) {
-  g_rows.push_back({bug, expected, caught, how});
+            const std::string& how,
+            const telemetry::TelemetrySnapshot& telemetry = {},
+            const std::optional<telemetry::Evidence>& evidence = std::nullopt) {
+  g_rows.push_back({bug, expected, caught, how, telemetry, evidence});
 }
 
 const char* kLeakyHandleHeader = R"(
@@ -108,7 +114,8 @@ bool RunMatrix(int threads) {
       }
     });
     auto report = starling::CheckApp(mutant, starling_options);
-    Report("software logic bug (state update wrong)", "Starling", !report.ok, report.failure);
+    Report("software logic bug (state update wrong)", "Starling", !report.ok,
+           report.failure, report.telemetry, report.evidence);
   }
 
   // 2. Buffer overflow: handle writes one byte past the response buffer.
@@ -119,7 +126,7 @@ bool RunMatrix(int threads) {
     });
     auto report = starling::CheckApp(mutant, starling_options);
     Report("buffer overflow (OOB write)", "Starling (memory safety)", !report.ok,
-           report.failure);
+           report.failure, report.telemetry, report.evidence);
   }
 
   // 3. Software-level leakage: invalid commands reveal the secret's parity in the
@@ -133,7 +140,7 @@ bool RunMatrix(int threads) {
     });
     auto report = starling::CheckApp(mutant, starling_options);
     Report("software-level leakage (error code reveals state)", "Starling", !report.ok,
-           report.failure);
+           report.failure, report.telemetry, report.evidence);
   }
 
   // 4. Timing leakage from branching on a secret (firmware-level): early exit when the
@@ -159,7 +166,7 @@ bool RunMatrix(int threads) {
     cmd[0] = 2;
     auto result = knox2::CheckSelfComposition(system, a, b, {cmd}, selfcomp_options);
     Report("timing leak: branch on secret", "Knox2 (self-composition)", !result.ok,
-           result.divergence);
+           result.divergence, result.telemetry, result.evidence);
   }
 
   // 5. Compiler-introduced timing leakage: an "optimized" early-exit comparison
@@ -188,7 +195,7 @@ bool RunMatrix(int threads) {
     }
     auto result = knox2::CheckSelfComposition(system, a, b, {cmd}, selfcomp_options);
     Report("timing leak: early-exit compare (memcmp)", "Knox2 (self-composition)",
-           !result.ok, result.divergence);
+           !result.ok, result.divergence, result.telemetry, result.evidence);
   }
 
   // 6. Hardware-level timing leakage: variable-latency multiplier on secret operands.
@@ -213,7 +220,7 @@ bool RunMatrix(int threads) {
     cmd[0] = 2;
     auto result = knox2::CheckSelfComposition(system, a, b, {cmd}, selfcomp_options);
     Report("timing leak: variable-latency multiplier", "Knox2 (self-composition)",
-           !result.ok, result.divergence);
+           !result.ok, result.divergence, result.telemetry, result.evidence);
   }
 
   // 7. Stack overflow: recursion that fits the abstract machine's unbounded stack but
@@ -250,7 +257,7 @@ u32 deep(u32 n) {
     cmd[0] = 2;
     auto result = knox2::CosimHandleStep(system, state, cmd);
     Report("stack overflow (bounded SoC RAM vs unbounded Asm stack)", "Knox2 (cosim)",
-           !result.ok, result.divergence);
+           !result.ok, result.divergence, result.telemetry, result.evidence);
   }
 
   // 8. I/O bug in the system software: write_response flips a bit of every byte.
@@ -267,7 +274,7 @@ u32 deep(u32 n) {
     Bytes cmd = hasher.RandomValidCommand(local);
     auto result = knox2::CosimHandleStep(system, state, cmd);
     Report("I/O bug in system software (wrong output encoding)", "Knox2 (wire check)",
-           !result.ok, result.divergence);
+           !result.ok, result.divergence, result.telemetry, result.evidence);
   }
 
   // 9. Pipeline hazard in the CPU: missing load-use forwarding.
@@ -280,7 +287,7 @@ u32 deep(u32 n) {
     Bytes cmd = hasher.RandomValidCommand(local);
     auto result = knox2::CosimHandleStep(system, state, cmd);
     Report("pipeline hazard in the CPU (missing forwarding)", "Knox2 (cosim)", !result.ok,
-           result.divergence);
+           result.divergence, result.telemetry, result.evidence);
   }
 
   // 10. The unmodified HSM: every checker must pass (no false positives).
@@ -294,8 +301,12 @@ u32 deep(u32 n) {
     Bytes variant = knox2::MakeSecretVariant(hasher, state, local);
     auto selfcomp = knox2::CheckSelfComposition(system, state, variant, {cmd}, selfcomp_options);
     bool clean = starling_report.ok && cosim.ok && selfcomp.ok;
+    telemetry::TelemetrySnapshot combined;
+    combined.Merge(starling_report.telemetry);
+    combined.Merge(cosim.telemetry);
+    combined.Merge(selfcomp.telemetry);
     Report("(control) unmodified HSM", "none — all checks pass", clean,
-           clean ? "all green" : "FALSE POSITIVE");
+           clean ? "all green" : "FALSE POSITIVE", combined);
   }
 
   bool all_ok = true;
@@ -309,6 +320,7 @@ u32 deep(u32 n) {
 
 int main(int argc, char** argv) {
   bench::Header("Section 7.2: attack matrix — injected bugs vs the checker that catches them");
+  std::string trace = bench::SetupTrace(argc, argv);
   int threads = ResolveNumThreads(bench::ThreadsFlag(argc, argv));
 
   bench::Stopwatch serial_timer;
@@ -327,7 +339,8 @@ int main(int argc, char** argv) {
     identical = g_rows.size() == serial_rows.size();
     for (size_t i = 0; identical && i < g_rows.size(); i++) {
       identical = g_rows[i].caught == serial_rows[i].caught &&
-                  g_rows[i].how == serial_rows[i].how;
+                  g_rows[i].how == serial_rows[i].how &&
+                  g_rows[i].telemetry == serial_rows[i].telemetry;
     }
   }
 
@@ -343,5 +356,21 @@ int main(int argc, char** argv) {
                 parallel_secs > 0 ? serial_secs / parallel_secs : 0.0,
                 identical ? "identical" : "DIVERGED (determinism bug!)");
   }
+
+  // Unified telemetry artifact: serial-pass snapshots merged in matrix order (identical
+  // at every --threads value), plus every caught bug's counterexample artifact.
+  bench::TelemetryReport report("attack_matrix", threads);
+  report.AddPhase("matrix @1t", serial_secs);
+  if (threads != 1) {
+    report.AddPhase("matrix @" + std::to_string(threads) + "t", parallel_secs);
+  }
+  for (const MatrixRow& row : serial_rows) {
+    report.Merge(row.telemetry);
+    if (row.evidence.has_value()) {
+      report.AddEvidence(*row.evidence);
+    }
+  }
+  report.Write(bench::FlagStr(argc, argv, "--json", "BENCH_telemetry.json"));
+  bench::FinishTrace(trace);
   return (ok && serial_ok && identical) ? 0 : 1;
 }

@@ -7,6 +7,9 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
+
+#include "src/support/telemetry.h"
 
 namespace parfait::bench {
 
@@ -29,17 +32,144 @@ inline void PaperNote(const std::string& note) {
   std::printf("    (paper: %s)\n", note.c_str());
 }
 
-// Parses --threads=N (0 = all hardware threads) from the command line. Every
-// verification bench takes this flag and reports throughput at 1 vs N threads so
-// parallel speedup is measured, not asserted. Returns `fallback` when absent.
-inline int ThreadsFlag(int argc, char** argv, int fallback = 0) {
+// Parses `--name=value` from the command line; returns `fallback` when absent. The
+// returned pointer aliases argv (or `fallback`), so it outlives any bench main().
+inline const char* FlagStr(int argc, char** argv, const char* name,
+                           const char* fallback = "") {
+  size_t len = std::strlen(name);
   for (int i = 1; i < argc; i++) {
-    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
-      return std::atoi(argv[i] + 10);
+    if (std::strncmp(argv[i], name, len) == 0 && argv[i][len] == '=') {
+      return argv[i] + len + 1;
     }
   }
   return fallback;
 }
+
+// Parses `--name=N`; returns `fallback` when absent.
+inline int FlagInt(int argc, char** argv, const char* name, int fallback = 0) {
+  const char* value = FlagStr(argc, argv, name, nullptr);
+  return value != nullptr ? std::atoi(value) : fallback;
+}
+
+// The --threads=N knob every verification bench takes (0 = all hardware threads):
+// throughput is reported at 1 vs N threads so parallel speedup is measured, not
+// asserted.
+inline int ThreadsFlag(int argc, char** argv, int fallback = 0) {
+  return FlagInt(argc, argv, "--threads", fallback);
+}
+
+// Arms Chrome-trace capture when requested via --trace=<path> or the PARFAIT_TRACE
+// environment variable (flag wins). Returns the trace path, or "" when tracing stays
+// off — in which case the global registry remains disabled and spans cost one relaxed
+// load, keeping measured throughput honest.
+inline std::string SetupTrace(int argc, char** argv) {
+  std::string path = FlagStr(argc, argv, "--trace", "");
+  if (path.empty()) {
+    const char* env = std::getenv("PARFAIT_TRACE");
+    if (env != nullptr) {
+      path = env;
+    }
+  }
+  if (!path.empty()) {
+    telemetry::Telemetry::Global().EnableTracing();
+  }
+  return path;
+}
+
+// Writes the captured trace if SetupTrace armed one (open the file in
+// chrome://tracing or https://ui.perfetto.dev).
+inline void FinishTrace(const std::string& path) {
+  if (path.empty()) {
+    return;
+  }
+  if (telemetry::Telemetry::Global().WriteTrace(path)) {
+    std::printf("trace written to %s (open in chrome://tracing or Perfetto)\n",
+                path.c_str());
+  } else {
+    std::printf("FAILED to write trace to %s\n", path.c_str());
+  }
+}
+
+// Accumulates one bench run's machine-readable summary and writes it as
+// BENCH_telemetry.json:
+//   {"bench":...,"threads":...,"phases":[{"name":...,"seconds":...}],
+//    "telemetry":{"counters":...,"histograms":...},"evidence":[...],"pool":{...}}
+// The "telemetry" object is built exclusively from checker-report snapshots merged in
+// a fixed program order, so it is byte-identical at every --threads value. Wall-clock
+// phases, evidence, and the pool section (present only when the global registry is
+// enabled, e.g. under --trace) sit outside that determinism contract.
+class TelemetryReport {
+ public:
+  TelemetryReport(std::string bench, int threads)
+      : bench_(std::move(bench)), threads_(threads) {}
+
+  void AddPhase(const std::string& name, double seconds) {
+    phases_.push_back({name, seconds});
+  }
+  void Merge(const telemetry::TelemetrySnapshot& snapshot) { telemetry_.Merge(snapshot); }
+  void AddEvidence(const telemetry::Evidence& evidence) { evidence_.push_back(evidence); }
+
+  const telemetry::TelemetrySnapshot& snapshot() const { return telemetry_; }
+
+  bool Write(const std::string& path = "BENCH_telemetry.json") const {
+    std::string json = ToJson();
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      return false;
+    }
+    size_t written = std::fwrite(json.data(), 1, json.size(), f);
+    bool ok = std::fclose(f) == 0 && written == json.size();
+    if (ok) {
+      std::printf("telemetry written to %s\n", path.c_str());
+    }
+    return ok;
+  }
+
+  std::string ToJson() const {
+    std::string out = "{\"bench\":\"" + bench_ + "\",\"threads\":" +
+                      std::to_string(threads_) + ",\"phases\":[";
+    for (size_t i = 0; i < phases_.size(); i++) {
+      char buf[160];
+      std::snprintf(buf, sizeof(buf), "%s{\"name\":\"%s\",\"seconds\":%.6f}",
+                    i > 0 ? "," : "", phases_[i].name.c_str(), phases_[i].seconds);
+      out += buf;
+    }
+    out += "],\"telemetry\":" + telemetry_.ToJson();
+    if (!evidence_.empty()) {
+      out += ",\"evidence\":[";
+      for (size_t i = 0; i < evidence_.size(); i++) {
+        if (i > 0) {
+          out += ",";
+        }
+        out += evidence_[i].ToJson();
+      }
+      out += "]";
+    }
+    // Pool/runtime stats live in the global registry and only exist when it is
+    // enabled; they are reported separately because they are schedule-dependent.
+    const telemetry::Telemetry& global = telemetry::Telemetry::Global();
+    if (global.enabled()) {
+      telemetry::TelemetrySnapshot runtime = global.Snapshot();
+      out += ",\"pool\":{\"tasks\":" + std::to_string(runtime.CounterValue("pool/tasks")) +
+             ",\"steals\":" + std::to_string(runtime.CounterValue("pool/steals")) +
+             ",\"idle_ns\":" + std::to_string(runtime.CounterValue("pool/idle_ns")) + "}";
+    }
+    out += "}";
+    return out;
+  }
+
+ private:
+  struct Phase {
+    std::string name;
+    double seconds;
+  };
+
+  std::string bench_;
+  int threads_;
+  std::vector<Phase> phases_;
+  telemetry::TelemetrySnapshot telemetry_;
+  std::vector<telemetry::Evidence> evidence_;
+};
 
 }  // namespace parfait::bench
 

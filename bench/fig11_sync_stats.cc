@@ -5,7 +5,8 @@
 //
 // --threads=N (0 = all hardware threads) runs the four app x platform co-simulations
 // concurrently; rows print in a fixed order and each run is deterministic, so the
-// output is identical at every thread count.
+// output is identical at every thread count. --trace=<path> (or PARFAIT_TRACE)
+// captures a Chrome trace; --json=<path> overrides the BENCH_telemetry.json location.
 #include <cstdio>
 #include <vector>
 
@@ -31,7 +32,10 @@ int main(int argc, char** argv) {
     }
   }
 
-  ThreadPool pool(bench::ThreadsFlag(argc, argv));
+  std::string trace = bench::SetupTrace(argc, argv);
+  int threads = bench::ThreadsFlag(argc, argv);
+  bench::Stopwatch timer;
+  ThreadPool pool(threads);
   ParallelFor(pool, jobs.size(), [&](size_t i) {
     Job& job = jobs[i];
     hsm::HsmBuildOptions options;
@@ -68,5 +72,17 @@ int main(int argc, char** argv) {
       "sync at branches (registers), calls/frame boundaries (registers + buffers), and "
       "periodic fallbacks; undef registers are skipped ('leave the circuit register "
       "as-is')");
+
+  // Job snapshots merged in job order — identical at every --threads value.
+  bench::TelemetryReport report("fig11_sync_stats", threads);
+  for (const Job& job : jobs) {
+    report.Merge(job.result.telemetry);
+    if (job.result.evidence.has_value()) {
+      report.AddEvidence(*job.result.evidence);
+    }
+  }
+  report.AddPhase("cosim suite", timer.Seconds());
+  report.Write(bench::FlagStr(argc, argv, "--json", "BENCH_telemetry.json"));
+  bench::FinishTrace(trace);
   return all_ok ? 0 : 1;
 }

@@ -6,7 +6,9 @@
 //
 // --threads=N (0 = all hardware threads) shards the Starling trials; when N != 1 each
 // app is verified at 1 thread and at N and both times are reported, with a check that
-// the reports are identical (the seed-splitting determinism guarantee).
+// the reports — including their telemetry snapshots — are identical (the seed-splitting
+// determinism guarantee). --trace=<path> (or PARFAIT_TRACE) captures a Chrome trace;
+// --json=<path> overrides the BENCH_telemetry.json location.
 #include <cstdio>
 
 #include "bench/bench_util.h"
@@ -20,15 +22,23 @@ namespace {
 
 // Verifies one app at 1 thread and (when requested) at `threads`; prints one table
 // row per thread count and returns false on a check failure or a determinism
-// divergence between the two runs.
+// divergence between the two runs. The serial run's phase timing, telemetry snapshot,
+// and any counterexample feed the bench-level telemetry report (serial only, so the
+// report is identical at every --threads value).
 bool RunApp(const char* label, const hsm::App& app, size_t proof_loc,
-            starling::StarlingOptions options, int threads) {
+            starling::StarlingOptions options, int threads,
+            bench::TelemetryReport* report) {
   options.num_threads = 1;
   bench::Stopwatch serial_timer;
   auto serial = starling::CheckApp(app, options);
   double serial_secs = serial_timer.Seconds();
   std::printf("%-18s %-22zu %-18d %.2f s @1t  [%s]\n", label, proof_loc, serial.checks_run,
               serial_secs, serial.ok ? "PASS" : serial.failure.c_str());
+  report->AddPhase(std::string(label) + " @1t", serial_secs);
+  report->Merge(serial.telemetry);
+  if (serial.evidence.has_value()) {
+    report->AddEvidence(*serial.evidence);
+  }
   if (threads == 1) {
     return serial.ok;
   }
@@ -38,11 +48,14 @@ bool RunApp(const char* label, const hsm::App& app, size_t proof_loc,
   auto parallel = starling::CheckApp(app, options);
   double parallel_secs = parallel_timer.Seconds();
   bool identical = parallel.ok == serial.ok && parallel.failure == serial.failure &&
-                   parallel.checks_run == serial.checks_run;
+                   parallel.checks_run == serial.checks_run &&
+                   parallel.telemetry == serial.telemetry;
   std::printf("%-18s %-22s %-18d %.2f s @%dt  [%s] %.2fx%s\n", "", "", parallel.checks_run,
               parallel_secs, threads, parallel.ok ? "PASS" : parallel.failure.c_str(),
               parallel_secs > 0 ? serial_secs / parallel_secs : 0.0,
               identical ? "" : "  DIVERGED (determinism bug!)");
+  report->AddPhase(std::string(label) + " @" + std::to_string(threads) + "t",
+                   parallel_secs);
   return parallel.ok && identical;
 }
 
@@ -57,7 +70,9 @@ int main(int argc, char** argv) {
   size_t ecdsa_proof = CountLoc(base + "src/hsm/ecdsa_app.cc");
   size_t hasher_proof = CountLoc(base + "src/hsm/hasher_app.cc");
 
+  std::string trace = bench::SetupTrace(argc, argv);
   int threads = ResolveNumThreads(bench::ThreadsFlag(argc, argv));
+  bench::TelemetryReport report("table3_software_verification", threads);
   std::printf("%-18s %-22s %-18s %s\n", "App", "Proof artifact (LoC)", "Checks run",
               "Verification time");
 
@@ -68,13 +83,16 @@ int main(int argc, char** argv) {
     options.invalid_trials = 32;
     options.sequence_trials = 2;
     options.sequence_length = 4;
-    ok = RunApp("ECDSA signer", hsm::EcdsaApp(), ecdsa_proof, options, threads) && ok;
+    ok = RunApp("ECDSA signer", hsm::EcdsaApp(), ecdsa_proof, options, threads, &report) &&
+         ok;
   }
-  ok = RunApp("Password hasher", hsm::HasherApp(), hasher_proof, {}, threads) && ok;
+  ok = RunApp("Password hasher", hsm::HasherApp(), hasher_proof, {}, threads, &report) && ok;
   std::printf("Shared Starling framework: %zu LoC\n", harness_loc);
   bench::PaperNote(
       "ECDSA 500 proof LoC; hasher 200 proof LoC, 2 developer-hours; machine "
       "verification < 1 minute — shape: hasher artifact smaller than ECDSA, both verify "
       "in well under a minute");
+  report.Write(bench::FlagStr(argc, argv, "--json", "BENCH_telemetry.json"));
+  bench::FinishTrace(trace);
   return ok ? 0 : 1;
 }

@@ -30,6 +30,9 @@ struct Row {
   double seconds;
   uint64_t cycles;
   bool ok;
+  // Cosim + self-composition counters for this row, merged in program order —
+  // schedule-independent, so rows compare bit-identically across thread counts.
+  telemetry::TelemetrySnapshot telemetry;
 };
 
 struct Pass {
@@ -77,7 +80,10 @@ Row RunOne(const hsm::App& app, soc::CpuKind cpu, int num_threads) {
   }
   cycles += 2 * selfcomp.cycles;  // Two circuit instances simulated.
 
-  return Row{soc::CpuKindName(cpu), app.name(), timer.Seconds(), cycles, ok};
+  Row row{soc::CpuKindName(cpu), app.name(), timer.Seconds(), cycles, ok, {}};
+  row.telemetry.Merge(cosim.telemetry);
+  row.telemetry.Merge(selfcomp.telemetry);
+  return row;
 }
 
 // One full Table 4 suite at the given thread count: the four app x platform rows are
@@ -115,7 +121,8 @@ bool SameOutcomes(const Pass& a, const Pass& b) {
     return false;
   }
   for (size_t i = 0; i < a.rows.size(); i++) {
-    if (a.rows[i].ok != b.rows[i].ok || a.rows[i].cycles != b.rows[i].cycles) {
+    if (a.rows[i].ok != b.rows[i].ok || a.rows[i].cycles != b.rows[i].cycles ||
+        !(a.rows[i].telemetry == b.rows[i].telemetry)) {
       return false;
     }
   }
@@ -135,6 +142,7 @@ int main(int argc, char** argv) {
               emulator_loc, proof_loc);
   std::printf("pointer mapping: identity on the shared flat address map (figure 10).\n\n");
 
+  std::string trace = bench::SetupTrace(argc, argv);
   int threads = ResolveNumThreads(bench::ThreadsFlag(argc, argv));
   Pass serial;
   Pass parallel;
@@ -190,6 +198,19 @@ int main(int argc, char** argv) {
     std::fclose(json);
     std::printf("Wrote BENCH_parallel.json\n");
   }
+
+  // Unified telemetry artifact: the serial pass's row snapshots merged in row order
+  // (identical at every --threads value), plus wall-clock phases for both passes.
+  bench::TelemetryReport report("table4_hardware_verification", threads);
+  for (const Row& row : serial.rows) {
+    report.Merge(row.telemetry);
+  }
+  report.AddPhase("suite @1t", serial.seconds);
+  if (compared) {
+    report.AddPhase("suite @" + std::to_string(threads) + "t", parallel.seconds);
+  }
+  report.Write(bench::FlagStr(argc, argv, "--json", "BENCH_telemetry.json"));
+  bench::FinishTrace(trace);
 
   bench::PaperNote(
       "Ibex: ECDSA 80 h at 304 cycles/s, hasher 0.10 h; PicoRV32: ECDSA 100 h at 671 "

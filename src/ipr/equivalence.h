@@ -11,6 +11,7 @@
 #define PARFAIT_IPR_EQUIVALENCE_H_
 
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -18,6 +19,7 @@
 #include "src/ipr/state_machine.h"
 #include "src/support/parallel.h"
 #include "src/support/rng.h"
+#include "src/support/telemetry.h"
 
 namespace parfait::ipr {
 
@@ -33,6 +35,13 @@ struct EquivalenceCheckOptions {
 struct EquivalenceCheckResult {
   bool ok = true;
   std::string counterexample;
+  // Operations stepped on both machines, folded in trial-index order up to the
+  // settled failure (the unified trials-attempted/executed accounting).
+  int checks_run = 0;
+  // ipr/equivalence/* counters, bit-identical at every thread count.
+  telemetry::TelemetrySnapshot telemetry;
+  // On failure: seed, trial index, and the divergence transcript.
+  std::optional<telemetry::Evidence> evidence;
 };
 
 // Observational equivalence: identical response streams for every command sequence.
@@ -41,35 +50,73 @@ EquivalenceCheckResult CheckObservationalEquivalence(
     const StateMachine<S1, C, R>& m1, const StateMachine<S2, C, R>& m2,
     const std::function<C(Rng&)>& gen, const std::function<std::string(const R&)>& show,
     const EquivalenceCheckOptions& options = {}) {
+  // A trial's outcome: the divergence transcript (empty = passed) and how many
+  // operations both machines stepped before finishing or diverging.
+  struct Trial {
+    std::string counterexample;
+    int ops = 0;
+  };
+
   size_t trials = options.trials > 0 ? options.trials : 0;
   ThreadPool pool(options.num_threads);
   // Each trial drives fresh Running instances from its own SplitSeed stream, so
   // trials are fully independent and the counterexample (lowest failing trial) is
   // identical at every thread count.
-  auto outcome = ParallelReduce<std::string>(
+  auto outcome = ParallelReduce<Trial>(
       pool, trials,
-      [&](size_t trial) -> std::string {
+      [&](size_t trial) -> Trial {
+        TELEMETRY_SPAN("ipr/equivalence_trial");
         Rng rng(SplitSeed(options.seed, trial));
         Running<S1, C, R> r1(m1);
         Running<S2, C, R> r2(m2);
+        Trial result;
         std::ostringstream transcript;
         for (int op = 0; op < options.ops_per_trial; op++) {
           C command = gen(rng);
           R out1 = r1.Step(command);
           R out2 = r2.Step(command);
+          result.ops++;
           transcript << "op " << op << ": m1=" << show(out1) << " m2=" << show(out2)
                      << "\n";
           if (show(out1) != show(out2)) {
-            return "trial " + std::to_string(trial) + " diverged:\n" + transcript.str();
+            result.counterexample =
+                "trial " + std::to_string(trial) + " diverged:\n" + transcript.str();
+            return result;
           }
         }
-        return {};
+        return result;
       },
-      [](const std::string& counterexample) { return !counterexample.empty(); });
-  if (outcome.first_failure.has_value()) {
-    return {false, *outcome.results[*outcome.first_failure]};
+      [](const Trial& trial) { return !trial.counterexample.empty(); });
+
+  EquivalenceCheckResult result;
+  size_t last = outcome.first_failure.value_or(trials == 0 ? 0 : trials - 1);
+  for (size_t i = 0; i < trials && i <= last; i++) {
+    if (!outcome.results[i].has_value()) {
+      continue;
+    }
+    const Trial& trial = *outcome.results[i];
+    result.checks_run += trial.ops;
+    result.telemetry.AddCounter("ipr/equivalence/trials", 1);
+    result.telemetry.AddCounter("ipr/equivalence/ops", trial.ops);
+    result.telemetry.RecordValue("ipr/equivalence/ops_per_trial", trial.ops);
   }
-  return {};
+  if (outcome.first_failure.has_value()) {
+    size_t f = *outcome.first_failure;
+    const Trial& failing = *outcome.results[f];
+    result.ok = false;
+    result.counterexample = failing.counterexample;
+    telemetry::Evidence evidence;
+    evidence.checker = "ipr/equivalence";
+    evidence.Add("seed", options.seed);
+    evidence.Add("trial_index", f);
+    evidence.Add("trial_seed", SplitSeed(options.seed, f));
+    evidence.Add("ops_before_divergence", static_cast<uint64_t>(failing.ops));
+    evidence.Add("transcript", failing.counterexample);
+    result.evidence = evidence;
+    telemetry::Telemetry::Global().RecordEvidence(evidence);
+  }
+  telemetry::Telemetry::Global().Merge(result.telemetry);
+  return result;
 }
 
 // The identity driver: one high-level op = one identical low-level op.

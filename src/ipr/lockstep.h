@@ -21,6 +21,7 @@
 #include "src/support/bytes.h"
 #include "src/support/parallel.h"
 #include "src/support/rng.h"
+#include "src/support/telemetry.h"
 
 namespace parfait::ipr {
 
@@ -48,6 +49,14 @@ struct LockstepCheckOptions {
 struct LockstepCheckResult {
   bool ok = true;
   std::string failure;
+  // Individual lockstep obligations checked (codec round-trips + figure 6a pairs +
+  // figure 6b junk probes), folded in trial-index order up to the settled failure —
+  // the same "trials attempted/executed" accounting StarlingReport::checks_run uses.
+  int checks_run = 0;
+  // ipr/lockstep/* counters, bit-identical at every thread count.
+  telemetry::TelemetrySnapshot telemetry;
+  // On failure: seed, trial index, and the encoded command/junk bytes to replay it.
+  std::optional<telemetry::Evidence> evidence;
 };
 
 // Checks the lockstep conditions:
@@ -65,55 +74,113 @@ LockstepCheckResult CheckLockstep(
     const std::function<CH(Rng&)>& gen_high, const std::function<Bytes(Rng&)>& gen_junk,
     const std::function<std::string(const CH&)>& show_high,
     const LockstepCheckOptions& options = {}) {
-  // One trial, against its own deterministic RNG stream. Returns the failure
-  // message, or an empty string on success.
-  auto run_trial = [&](Rng& rng) -> std::string {
+  // One trial's outcome: the failure message (empty = passed), per-obligation check
+  // counts for the telemetry fold, and the raw bytes that reproduce a failure.
+  struct Trial {
+    std::string failure;
+    int codec_checks = 0;
+    int fig6a_checks = 0;
+    int fig6b_checks = 0;
+    Bytes encoded_command;  // Filled on failure.
+    Bytes junk;             // Filled on a figure 6(b) failure.
+  };
+
+  // One trial, against its own deterministic RNG stream.
+  auto run_trial = [&](Rng& rng) -> Trial {
+    TELEMETRY_SPAN("ipr/lockstep_trial");
+    Trial trial;
     // (1) Codec correspondence.
     CH command = gen_high(rng);
     Bytes encoded = codecs.encode_command(command);
     auto decoded = codecs.decode_command(encoded);
+    trial.codec_checks++;
     if (!decoded.has_value() || show_high(*decoded) != show_high(command)) {
-      return "decode_command is not a left inverse of encode_command for " +
-             show_high(command);
+      trial.failure = "decode_command is not a left inverse of encode_command for " +
+                      show_high(command);
+      trial.encoded_command = encoded;
+      return trial;
     }
     // (2) Figure 6(a) on a random related state pair.
     SS spec_state = gen_state(rng);
     Bytes impl_state = codecs.encode_state(spec_state);
     auto [impl_next, impl_out] = impl.step(impl_state, encoded);
     auto [spec_next, spec_out] = spec.step(spec_state, command);
+    trial.fig6a_checks++;
     if (impl_next != codecs.encode_state(spec_next)) {
-      return "post-states diverge (figure 6a) for " + show_high(command);
+      trial.failure = "post-states diverge (figure 6a) for " + show_high(command);
+      trial.encoded_command = encoded;
+      return trial;
     }
     if (impl_out != codecs.encode_response(std::optional<RH>(spec_out))) {
-      return "responses diverge (figure 6a) for " + show_high(command);
+      trial.failure = "responses diverge (figure 6a) for " + show_high(command);
+      trial.encoded_command = encoded;
+      return trial;
     }
     // (3) Figure 6(b) on junk input.
     Bytes junk = gen_junk(rng);
     if (!codecs.decode_command(junk).has_value()) {
       auto [junk_next, junk_out] = impl.step(impl_state, junk);
+      trial.fig6b_checks++;
       if (junk_next != impl_state) {
-        return "state changed on an undecodable command (figure 6b)";
+        trial.failure = "state changed on an undecodable command (figure 6b)";
+      } else if (junk_out != codecs.encode_response(std::nullopt)) {
+        trial.failure = "non-canonical response to an undecodable command (figure 6b)";
       }
-      if (junk_out != codecs.encode_response(std::nullopt)) {
-        return "non-canonical response to an undecodable command (figure 6b)";
+      if (!trial.failure.empty()) {
+        trial.encoded_command = encoded;
+        trial.junk = junk;
       }
     }
-    return {};
+    return trial;
   };
 
   size_t trials = options.trials > 0 ? options.trials : 0;
   ThreadPool pool(options.num_threads);
-  auto outcome = ParallelReduce<std::string>(
+  auto outcome = ParallelReduce<Trial>(
       pool, trials,
       [&](size_t trial) {
         Rng rng(SplitSeed(options.seed, trial));
         return run_trial(rng);
       },
-      [](const std::string& failure) { return !failure.empty(); });
-  if (outcome.first_failure.has_value()) {
-    return {false, *outcome.results[*outcome.first_failure]};
+      [](const Trial& trial) { return !trial.failure.empty(); });
+
+  // Index-ordered fold over the trials that count (everything at or below the settled
+  // lowest failure), mirroring starling::CheckApp.
+  LockstepCheckResult result;
+  size_t last = outcome.first_failure.value_or(trials == 0 ? 0 : trials - 1);
+  for (size_t i = 0; i < trials && i <= last; i++) {
+    if (!outcome.results[i].has_value()) {
+      continue;
+    }
+    const Trial& trial = *outcome.results[i];
+    int checks = trial.codec_checks + trial.fig6a_checks + trial.fig6b_checks;
+    result.checks_run += checks;
+    result.telemetry.AddCounter("ipr/lockstep/trials", 1);
+    result.telemetry.AddCounter("ipr/lockstep/codec_checks", trial.codec_checks);
+    result.telemetry.AddCounter("ipr/lockstep/fig6a_checks", trial.fig6a_checks);
+    result.telemetry.AddCounter("ipr/lockstep/fig6b_checks", trial.fig6b_checks);
+    result.telemetry.RecordValue("ipr/lockstep/checks_per_trial", checks);
   }
-  return {};
+  if (outcome.first_failure.has_value()) {
+    size_t f = *outcome.first_failure;
+    const Trial& failing = *outcome.results[f];
+    result.ok = false;
+    result.failure = failing.failure;
+    telemetry::Evidence evidence;
+    evidence.checker = "ipr/lockstep";
+    evidence.Add("seed", options.seed);
+    evidence.Add("trial_index", f);
+    evidence.Add("trial_seed", SplitSeed(options.seed, f));
+    evidence.Add("encoded_command_hex", ToHex(failing.encoded_command));
+    if (!failing.junk.empty()) {
+      evidence.Add("junk_hex", ToHex(failing.junk));
+    }
+    evidence.Add("failure", failing.failure);
+    result.evidence = evidence;
+    telemetry::Telemetry::Global().RecordEvidence(evidence);
+  }
+  telemetry::Telemetry::Global().Merge(result.telemetry);
+  return result;
 }
 
 // The driver implied by the codecs: encode, one low-level step, decode.

@@ -4,7 +4,9 @@
 #include <vector>
 
 #include "src/riscv/machine.h"
+#include "src/support/bytes.h"
 #include "src/support/status.h"
+#include "src/support/telemetry.h"
 
 namespace parfait::knox2 {
 
@@ -55,26 +57,30 @@ class WireDriver {
   rtl::WireSample last_;
 };
 
-}  // namespace
-
-CosimResult CosimHandleStep(const hsm::HsmSystem& system, const Bytes& state,
-                            const Bytes& command, const CosimOptions& options) {
+// The co-simulation proper, against an already-built SoC. Factored out so the public
+// wrapper can read Soc::cycles() and build the telemetry snapshot on every exit path.
+CosimResult CosimOnSoc(const hsm::HsmSystem& system, soc::Soc* soc_ptr, const Bytes& state,
+                       const Bytes& command, const CosimOptions& options) {
   CosimResult result;
   const auto& model = system.model_asm();
   const hsm::App& app = system.app();
 
-  auto soc = system.NewSocWithFram(system.MakeFram(state));
-  WireDriver driver(soc.get(), command);
+  soc::Soc* soc = soc_ptr;
+  WireDriver driver(soc, command);
 
   // Phase 1: run the circuit up to the call of handle() (read_command + load_state).
-  uint32_t handle_addr = model.handle_addr();
-  uint64_t budget = 4'000'000;
-  while (soc->cpu().pc() != handle_addr) {
-    if (soc->cpu().halted() || budget-- == 0) {
-      result.divergence = "circuit never reached handle() (fault: " + soc->cpu().fault() + ")";
-      return result;
+  {
+    TELEMETRY_SPAN("knox2/cosim/phase1_boot");
+    uint32_t handle_addr = model.handle_addr();
+    uint64_t budget = 4'000'000;
+    while (soc->cpu().pc() != handle_addr) {
+      if (soc->cpu().halted() || budget-- == 0) {
+        result.divergence =
+            "circuit never reached handle() (fault: " + soc->cpu().fault() + ")";
+        return result;
+      }
+      driver.Tick();
     }
-    driver.Tick();
   }
 
   // Build the abstract machine with its stack aligned to the circuit's (the pointer
@@ -140,62 +146,67 @@ CosimResult CosimHandleStep(const hsm::HsmSystem& system, const Bytes& state,
     return true;
   };
 
-  uint64_t since_buffer_sync = 0;
-  while (true) {
-    if (machine.pc() == Machine::kReturnSentinel) {
-      break;  // handle() returned in the abstract machine.
-    }
-    if (result.stats.instructions >= options.max_instructions) {
-      result.divergence = "instruction budget exceeded";
-      return result;
-    }
-    auto instr = machine.PeekInstr();
-    uint32_t instr_pc = machine.pc();
-    auto step = machine.Step();
-    if (step == Machine::StepResult::kFault) {
-      result.divergence = "abstract machine fault: " + machine.fault_reason();
-      return result;
-    }
-    result.stats.instructions++;
-    // Advance the circuit until it retires the matching instruction.
-    uint64_t retired_before = soc->cpu().retired();
-    uint64_t cycle_budget = options.max_cycles_per_instruction;
-    while (soc->cpu().retired() == retired_before) {
-      if (soc->cpu().halted() || cycle_budget-- == 0) {
-        result.divergence = "circuit stalled or faulted at machine pc " + Hex(instr_pc) +
-                            (soc->cpu().fault().empty() ? "" : ": " + soc->cpu().fault());
+  {
+    TELEMETRY_SPAN("knox2/cosim/phase2_handle");
+    uint64_t since_buffer_sync = 0;
+    while (true) {
+      if (machine.pc() == Machine::kReturnSentinel) {
+        break;  // handle() returned in the abstract machine.
+      }
+      if (result.stats.instructions >= options.max_instructions) {
+        result.divergence = "instruction budget exceeded";
         return result;
       }
-      driver.Tick();
-      result.stats.cycles++;
-    }
-    if (soc->cpu().last_retired_pc() != instr_pc) {
-      result.divergence = "retirement stream diverged: machine at " + Hex(instr_pc) +
-                          ", circuit retired " + Hex(soc->cpu().last_retired_pc());
-      return result;
-    }
-    // Figure 11 sync points.
-    if (instr.has_value()) {
-      bool is_call_or_return =
-          (instr->op == riscv::Op::kJal && instr->rd == 1) || instr->op == riscv::Op::kJalr;
-      if (riscv::IsBranch(instr->op) || (riscv::IsJump(instr->op) && !is_call_or_return)) {
-        if (!sync_registers(&result.stats.branch_syncs)) {
+      auto instr = machine.PeekInstr();
+      uint32_t instr_pc = machine.pc();
+      auto step = machine.Step();
+      if (step == Machine::StepResult::kFault) {
+        result.divergence = "abstract machine fault: " + machine.fault_reason();
+        return result;
+      }
+      result.stats.instructions++;
+      // Advance the circuit until it retires the matching instruction.
+      uint64_t retired_before = soc->cpu().retired();
+      uint64_t cycle_budget = options.max_cycles_per_instruction;
+      while (soc->cpu().retired() == retired_before) {
+        if (soc->cpu().halted() || cycle_budget-- == 0) {
+          result.divergence = "circuit stalled or faulted at machine pc " + Hex(instr_pc) +
+                              (soc->cpu().fault().empty() ? "" : ": " + soc->cpu().fault());
           return result;
         }
-      } else if (is_call_or_return) {
-        if (!sync_registers(&result.stats.call_syncs)) {
-          return result;
+        driver.Tick();
+        result.stats.cycles++;
+      }
+      if (soc->cpu().last_retired_pc() != instr_pc) {
+        result.divergence = "retirement stream diverged: machine at " + Hex(instr_pc) +
+                            ", circuit retired " + Hex(soc->cpu().last_retired_pc());
+        return result;
+      }
+      // Figure 11 sync points.
+      if (instr.has_value()) {
+        bool is_call_or_return =
+            (instr->op == riscv::Op::kJal && instr->rd == 1) ||
+            instr->op == riscv::Op::kJalr;
+        if (riscv::IsBranch(instr->op) ||
+            (riscv::IsJump(instr->op) && !is_call_or_return)) {
+          if (!sync_registers(&result.stats.branch_syncs)) {
+            return result;
+          }
+        } else if (is_call_or_return) {
+          if (!sync_registers(&result.stats.call_syncs)) {
+            return result;
+          }
+          if (!sync_buffers(/*include_response=*/false)) {
+            return result;
+          }
         }
+      }
+      if (++since_buffer_sync >= options.buffer_sync_interval) {
+        since_buffer_sync = 0;
+        result.stats.periodic_syncs++;
         if (!sync_buffers(/*include_response=*/false)) {
           return result;
         }
-      }
-    }
-    if (++since_buffer_sync >= options.buffer_sync_interval) {
-      since_buffer_sync = 0;
-      result.stats.periodic_syncs++;
-      if (!sync_buffers(/*include_response=*/false)) {
-        return result;
       }
     }
   }
@@ -211,7 +222,8 @@ CosimResult CosimHandleStep(const hsm::HsmSystem& system, const Bytes& state,
 
   // Phase 3: let the circuit journal the state and emit the response; then check the
   // figure 9 refinement relation and the wire-level response.
-  budget = 4'000'000;
+  TELEMETRY_SPAN("knox2/cosim/phase3_commit");
+  uint64_t budget = 4'000'000;
   while (driver.response().size() < app.response_size()) {
     if (soc->cpu().halted() || budget-- == 0) {
       result.divergence = "circuit never produced the full response";
@@ -234,6 +246,43 @@ CosimResult CosimHandleStep(const hsm::HsmSystem& system, const Bytes& state,
   }
 
   result.ok = true;
+  return result;
+}
+
+}  // namespace
+
+CosimResult CosimHandleStep(const hsm::HsmSystem& system, const Bytes& state,
+                            const Bytes& command, const CosimOptions& options) {
+  TELEMETRY_SPAN("knox2/cosim_handle_step");
+  auto soc = system.NewSocWithFram(system.MakeFram(state));
+  CosimResult result = CosimOnSoc(system, soc.get(), state, command, options);
+  result.stats.soc_cycles = soc->cycles();
+
+  const SyncStats& stats = result.stats;
+  result.telemetry.AddCounter("knox2/cosim/commands", 1);
+  result.telemetry.AddCounter("knox2/cosim/instructions", stats.instructions);
+  result.telemetry.AddCounter("knox2/cosim/cycles", stats.cycles);
+  result.telemetry.AddCounter("knox2/cosim/soc_cycles", stats.soc_cycles);
+  result.telemetry.AddCounter("knox2/cosim/branch_syncs", stats.branch_syncs);
+  result.telemetry.AddCounter("knox2/cosim/call_syncs", stats.call_syncs);
+  result.telemetry.AddCounter("knox2/cosim/periodic_syncs", stats.periodic_syncs);
+  result.telemetry.AddCounter("knox2/cosim/registers_compared", stats.registers_compared);
+  result.telemetry.AddCounter("knox2/cosim/bytes_compared", stats.bytes_compared);
+  result.telemetry.AddCounter("knox2/cosim/undef_skipped", stats.undef_skipped);
+  result.telemetry.RecordValue("knox2/cosim/cycles_per_command", stats.cycles);
+  if (!result.ok) {
+    telemetry::Evidence evidence;
+    evidence.checker = "knox2/cosim";
+    evidence.Add("app", system.app().name());
+    evidence.Add("state_hex", ToHex(state));
+    evidence.Add("command_hex", ToHex(command));
+    evidence.Add("instructions", stats.instructions);
+    evidence.Add("cycles", stats.cycles);
+    evidence.Add("divergence", result.divergence);
+    result.evidence = evidence;
+    telemetry::Telemetry::Global().RecordEvidence(evidence);
+  }
+  telemetry::Telemetry::Global().Merge(result.telemetry);
   return result;
 }
 

@@ -16,9 +16,11 @@
 #define PARFAIT_KNOX2_COSIM_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 
 #include "src/hsm/hsm_system.h"
+#include "src/support/telemetry.h"
 
 namespace parfait::knox2 {
 
@@ -38,6 +40,7 @@ struct SyncStats {
   uint64_t registers_compared = 0;
   uint64_t bytes_compared = 0;
   uint64_t undef_skipped = 0;   // Registers skipped because the machine holds Vundef.
+  uint64_t soc_cycles = 0;      // Total Soc::cycles() including boot and commit phases.
 };
 
 struct CosimResult {
@@ -46,6 +49,11 @@ struct CosimResult {
   SyncStats stats;
   Bytes final_state;     // Machine-side post-state (valid when ok).
   Bytes final_response;  // Machine-side response (valid when ok).
+  // knox2/cosim/* counters mirroring `stats`. Co-simulation is serial and
+  // deterministic, so the snapshot is reproducible byte-for-byte.
+  telemetry::TelemetrySnapshot telemetry;
+  // On failure: the state/command bytes (hex) and progress at the divergence.
+  std::optional<telemetry::Evidence> evidence;
 };
 
 // Co-simulates one handle() invocation: the abstract machine runs the whole-command

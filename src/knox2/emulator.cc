@@ -1,6 +1,8 @@
 #include "src/knox2/emulator.h"
 
+#include "src/support/bytes.h"
 #include "src/support/status.h"
+#include "src/support/telemetry.h"
 
 namespace parfait::knox2 {
 
@@ -44,6 +46,7 @@ rtl::WireSample IdealWorld::Tick(const rtl::WireInput& in) {
 
 WireIprResult CheckWireIpr(const hsm::HsmSystem& system, const Bytes& initial_state,
                            const WireIprOptions& options) {
+  TELEMETRY_SPAN("knox2/check_wire_ipr");
   WireIprResult result;
   const hsm::App& app = system.app();
   Rng rng(options.seed);
@@ -54,19 +57,44 @@ WireIprResult CheckWireIpr(const hsm::HsmSystem& system, const Bytes& initial_st
   rtl::WireSample last_real;
   last_real.rx_ready = true;
 
+  // The command the current (possibly failing) iteration is driving, kept in scope
+  // for the counterexample artifact.
+  int command_index = 0;
+  Bytes command;
+  auto finish = [&]() -> WireIprResult& {
+    result.telemetry.AddCounter("knox2/wire_ipr/commands",
+                                static_cast<uint64_t>(result.checks_run));
+    result.telemetry.AddCounter("knox2/wire_ipr/cycles", result.cycles);
+    if (!result.ok) {
+      telemetry::Evidence evidence;
+      evidence.checker = "knox2/wire_ipr";
+      evidence.Add("app", app.name());
+      evidence.Add("seed", options.seed);
+      evidence.Add("command_index", static_cast<uint64_t>(command_index));
+      evidence.Add("command_hex", ToHex(command));
+      evidence.Add("cycles", result.cycles);
+      evidence.Add("divergence", result.divergence);
+      result.evidence = evidence;
+      telemetry::Telemetry::Global().RecordEvidence(evidence);
+    }
+    telemetry::Telemetry::Global().Merge(result.telemetry);
+    return result;
+  };
+
   int total_commands = options.commands + options.noise_bytes;  // Valid + adversarial.
   for (int c = 0; c < total_commands; c++) {
+    TELEMETRY_SPAN("knox2/wire_ipr_command");
     // Mix spec-level commands with adversarial (undecodable) ones; the wire inputs are
     // identical for both worlds either way.
-    Bytes command =
-        (c % 3 == 2) ? app.RandomInvalidCommand(rng) : app.RandomValidCommand(rng);
+    command_index = c;
+    command = (c % 3 == 2) ? app.RandomInvalidCommand(rng) : app.RandomValidCommand(rng);
     size_t sent = 0;
     size_t received = 0;
     uint64_t budget = options.cycles_per_command;
     while (received < app.response_size()) {
       if (budget-- == 0) {
         result.divergence = "cycle budget exceeded on command " + std::to_string(c);
-        return result;
+        return finish();
       }
       rtl::WireInput in;
       // Adversarial host timing: random stalls on both directions.
@@ -84,11 +112,11 @@ WireIprResult CheckWireIpr(const hsm::HsmSystem& system, const Bytes& initial_st
                             " (command " + std::to_string(c) + "): real {" +
                             rtl::FormatSample(real_sample) + "} ideal {" +
                             rtl::FormatSample(ideal_sample) + "}";
-        return result;
+        return finish();
       }
       if (ideal.failed()) {
         result.divergence = "ideal world failed: " + ideal.failure();
-        return result;
+        return finish();
       }
       if (offering) {
         sent++;
@@ -98,9 +126,10 @@ WireIprResult CheckWireIpr(const hsm::HsmSystem& system, const Bytes& initial_st
       }
       last_real = real_sample;
     }
+    result.checks_run++;
   }
   result.ok = true;
-  return result;
+  return finish();
 }
 
 }  // namespace parfait::knox2

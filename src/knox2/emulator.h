@@ -17,10 +17,12 @@
 #define PARFAIT_KNOX2_EMULATOR_H_
 
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "src/hsm/hsm_system.h"
 #include "src/support/rng.h"
+#include "src/support/telemetry.h"
 
 namespace parfait::knox2 {
 
@@ -63,6 +65,13 @@ struct WireIprResult {
   bool ok = false;
   std::string divergence;
   uint64_t cycles = 0;
+  // Commands fully driven through both worlds (the unified trials-attempted/executed
+  // accounting; a failing command is not counted as executed).
+  int checks_run = 0;
+  // knox2/wire_ipr/* counters. The check is serial and seed-deterministic.
+  telemetry::TelemetrySnapshot telemetry;
+  // On failure: seed, command index, command bytes (hex), and the divergence.
+  std::optional<telemetry::Evidence> evidence;
 };
 
 // Checks SoC ≈_IPR[d] model-Asm at the wire level: identical adversarial inputs to the

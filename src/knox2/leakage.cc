@@ -1,7 +1,9 @@
 #include "src/knox2/leakage.h"
 
+#include "src/support/bytes.h"
 #include "src/support/parallel.h"
 #include "src/support/status.h"
+#include "src/support/telemetry.h"
 
 namespace parfait::knox2 {
 
@@ -25,6 +27,7 @@ Bytes SpecAdvance(const hsm::App& app, Bytes state, const Bytes& command) {
 SelfCompResult SelfCompOneCommand(const hsm::HsmSystem& system, const Bytes& state_a,
                                   const Bytes& state_b, const Bytes& command,
                                   size_t command_index, uint64_t max_cycles) {
+  TELEMETRY_SPAN("knox2/selfcomp_command");
   SelfCompResult result;
   const hsm::App& app = system.app();
   PARFAIT_CHECK(command.size() == app.command_size());
@@ -101,6 +104,7 @@ std::vector<std::pair<Bytes, Bytes>> SpecPrefixStates(const hsm::HsmSystem& syst
 SelfCompResult CheckSelfComposition(const hsm::HsmSystem& system, const Bytes& state_a,
                                     const Bytes& state_b, const std::vector<Bytes>& commands,
                                     const SelfCompOptions& options) {
+  TELEMETRY_SPAN("knox2/check_self_composition");
   if (commands.empty()) {
     SelfCompResult result;
     result.ok = true;
@@ -119,19 +123,39 @@ SelfCompResult CheckSelfComposition(const hsm::HsmSystem& system, const Bytes& s
 
   // Fold in command order: cycles up to (and including) the lowest failing command
   // are schedule-independent; commands beyond it raced the cancellation and are
-  // excluded from the count.
+  // excluded from the count. The telemetry snapshot comes from the same fold.
   SelfCompResult result;
   size_t last = outcome.first_failure.value_or(commands.size() - 1);
   for (size_t c = 0; c <= last; c++) {
     if (outcome.results[c].has_value()) {
-      result.cycles += outcome.results[c]->cycles;
+      const SelfCompResult& one = *outcome.results[c];
+      result.cycles += one.cycles;
+      result.checks_run++;
+      result.telemetry.AddCounter("knox2/selfcomp/commands", 1);
+      // Two circuit instances tick per compared cycle.
+      result.telemetry.AddCounter("knox2/selfcomp/cycles", one.cycles);
+      result.telemetry.AddCounter("knox2/selfcomp/instance_cycles", 2 * one.cycles);
+      result.telemetry.RecordValue("knox2/selfcomp/cycles_per_command", one.cycles);
     }
   }
   if (outcome.first_failure.has_value()) {
-    result.divergence = outcome.results[*outcome.first_failure]->divergence;
+    size_t f = *outcome.first_failure;
+    result.divergence = outcome.results[f]->divergence;
+    telemetry::Evidence evidence;
+    evidence.checker = "knox2/selfcomp";
+    evidence.Add("app", system.app().name());
+    evidence.Add("command_index", f);
+    evidence.Add("command_hex", ToHex(commands[f]));
+    evidence.Add("state_a_hex", ToHex(starts[f].first));
+    evidence.Add("state_b_hex", ToHex(starts[f].second));
+    evidence.Add("cycles", outcome.results[f]->cycles);
+    evidence.Add("divergence", result.divergence);
+    result.evidence = evidence;
+    telemetry::Telemetry::Global().RecordEvidence(evidence);
   } else {
     result.ok = true;
   }
+  telemetry::Telemetry::Global().Merge(result.telemetry);
   return result;
 }
 
@@ -145,9 +169,10 @@ Bytes MakeSecretVariant(const hsm::App& app, const Bytes& state, Rng& rng) {
   return variant;
 }
 
-std::vector<soc::TaintLeak> RunTaintCheck(const hsm::HsmSystem& system, const Bytes& state,
-                                          const std::vector<Bytes>& commands,
-                                          const TaintCheckOptions& options) {
+TaintCheckResult RunTaintCheck(const hsm::HsmSystem& system, const Bytes& state,
+                               const std::vector<Bytes>& commands,
+                               const TaintCheckOptions& options) {
+  TELEMETRY_SPAN("knox2/run_taint_check");
   PARFAIT_CHECK_MSG(system.options().taint_tracking,
                     "RunTaintCheck needs an HsmSystem built with taint_tracking");
   auto starts = SpecPrefixStates(system, state, state, commands);
@@ -156,20 +181,30 @@ std::vector<soc::TaintLeak> RunTaintCheck(const hsm::HsmSystem& system, const By
   // spec-advanced state, one transaction, collect the violations. A fault or timeout
   // only loses propagation within its own command; recorded leaks are still reported.
   std::vector<std::vector<soc::TaintLeak>> per_command(commands.size());
+  std::vector<uint64_t> cycles(commands.size(), 0);
   ThreadPool pool(options.num_threads);
   ParallelFor(pool, commands.size(), [&](size_t c) {
+    TELEMETRY_SPAN("knox2/taint_command");
     auto soc = system.NewSocWithFram(system.MakeFram(starts[c].first));
     system.SeedSecretTaint(*soc);
     soc::WireHost host(soc.get());
     host.Transact(commands[c], system.app().response_size(), options.max_cycles_per_command);
     per_command[c] = soc->bus().leaks();
+    cycles[c] = soc->cycles();
   });
 
-  std::vector<soc::TaintLeak> leaks;
-  for (auto& chunk : per_command) {
-    leaks.insert(leaks.end(), chunk.begin(), chunk.end());
+  // Fold in command order (every command runs; no short-circuit to race).
+  TaintCheckResult result;
+  for (size_t c = 0; c < commands.size(); c++) {
+    result.leaks.insert(result.leaks.end(), per_command[c].begin(), per_command[c].end());
+    result.checks_run++;
+    result.telemetry.AddCounter("knox2/taint/commands", 1);
+    result.telemetry.AddCounter("knox2/taint/leaks", per_command[c].size());
+    result.telemetry.AddCounter("knox2/taint/cycles", cycles[c]);
+    result.telemetry.RecordValue("knox2/taint/leaks_per_command", per_command[c].size());
   }
-  return leaks;
+  telemetry::Telemetry::Global().Merge(result.telemetry);
+  return result;
 }
 
 }  // namespace parfait::knox2

@@ -24,10 +24,12 @@
 #ifndef PARFAIT_KNOX2_LEAKAGE_H_
 #define PARFAIT_KNOX2_LEAKAGE_H_
 
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "src/hsm/hsm_system.h"
+#include "src/support/telemetry.h"
 
 namespace parfait::knox2 {
 
@@ -42,6 +44,14 @@ struct SelfCompResult {
   bool ok = false;
   std::string divergence;
   uint64_t cycles = 0;
+  // Per-command obligations executed, folded in command order up to the settled
+  // failure (the unified trials-attempted/executed accounting).
+  int checks_run = 0;
+  // knox2/selfcomp/* counters and the cycles-per-command histogram, bit-identical at
+  // every thread count.
+  telemetry::TelemetrySnapshot telemetry;
+  // On failure: command index, command hex, and both power-on states (hex).
+  std::optional<telemetry::Evidence> evidence;
 };
 
 // Runs both instances under identical inputs for the given command sequence and
@@ -62,12 +72,22 @@ struct TaintCheckOptions {
   int num_threads = 0;
 };
 
+struct TaintCheckResult {
+  // Recorded taint-policy violations, concatenated in command order.
+  std::vector<soc::TaintLeak> leaks;
+  // Per-command obligations executed (every command always runs; a fault or timeout
+  // only loses propagation within its own command).
+  int checks_run = 0;
+  // knox2/taint/* counters, bit-identical at every thread count.
+  telemetry::TelemetrySnapshot telemetry;
+};
+
 // Taint-mode run: for each command, builds a tainted SoC from the specification-
 // advanced state, executes the command, and collects the recorded taint-policy
 // violations, concatenated in command order.
-std::vector<soc::TaintLeak> RunTaintCheck(const hsm::HsmSystem& system, const Bytes& state,
-                                          const std::vector<Bytes>& commands,
-                                          const TaintCheckOptions& options = {});
+TaintCheckResult RunTaintCheck(const hsm::HsmSystem& system, const Bytes& state,
+                               const std::vector<Bytes>& commands,
+                               const TaintCheckOptions& options = {});
 
 }  // namespace parfait::knox2
 

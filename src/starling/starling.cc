@@ -2,8 +2,10 @@
 
 #include <cstring>
 
+#include "src/support/bytes.h"
 #include "src/support/parallel.h"
 #include "src/support/rng.h"
+#include "src/support/telemetry.h"
 
 namespace parfait::starling {
 
@@ -58,40 +60,51 @@ HandleRun RunHandle(const App& app, const Bytes& state, const Bytes& command) {
                    st.GuardsIntact() && cmd.GuardsIntact() && resp.GuardsIntact()};
 }
 
-// One trial's contribution to the report: the number of checks it completed and, if
-// it failed, what went wrong. Trials are independent, so CheckApp can run them in
-// any order on any number of threads and fold the outcomes by trial index.
+// One trial's contribution to the report: the number of checks it completed, its
+// telemetry deltas, and, if it failed, what went wrong plus the exact bytes that
+// reproduce it. Trials are independent, so CheckApp can run them in any order on any
+// number of threads and fold the outcomes by trial index.
 struct TrialResult {
   int checks = 0;
+  int handle_runs = 0;  // Guarded handle() invocations (3 guard-zone checks each).
   std::string failure;  // Empty = the trial passed.
+  Bytes state;          // Filled on failure: the state the failing check saw.
+  Bytes command;        // Filled on failure: the command the failing check saw.
 };
 
 // Figure 6(a) from an arbitrary (not just reachable) related state: the lockstep
 // property quantifies over every state related by R, and every byte string is a
 // valid state encoding for our apps.
 TrialResult RunValidTrial(const App& app, Rng& rng) {
+  TELEMETRY_SPAN("starling/valid_trial");
   TrialResult result;
   Bytes state = rng.RandomBytes(app.state_size());
   Bytes command = app.RandomValidCommand(rng);
   auto spec = app.SpecStepEncoded(state, command);
   if (!spec.has_value()) {
     result.failure = "RandomValidCommand produced an undecodable command";
-    return result;
-  }
-  HandleRun run = RunHandle(app, state, command);
-  result.checks++;
-  if (!run.guards_ok) {
-    result.failure = "guard zone clobbered (memory safety violation)";
-  } else if (run.state != spec->first) {
-    result.failure = "figure 6(a): post-state diverges from the specification";
-  } else if (run.response != spec->second) {
-    result.failure = "figure 6(a): response diverges from the specification";
   } else {
-    // Determinism: a second run must be byte-identical.
-    HandleRun again = RunHandle(app, state, command);
-    if (again.state != run.state || again.response != run.response) {
-      result.failure = "handle() is not deterministic";
+    HandleRun run = RunHandle(app, state, command);
+    result.handle_runs++;
+    result.checks++;
+    if (!run.guards_ok) {
+      result.failure = "guard zone clobbered (memory safety violation)";
+    } else if (run.state != spec->first) {
+      result.failure = "figure 6(a): post-state diverges from the specification";
+    } else if (run.response != spec->second) {
+      result.failure = "figure 6(a): response diverges from the specification";
+    } else {
+      // Determinism: a second run must be byte-identical.
+      HandleRun again = RunHandle(app, state, command);
+      result.handle_runs++;
+      if (again.state != run.state || again.response != run.response) {
+        result.failure = "handle() is not deterministic";
+      }
     }
+  }
+  if (!result.failure.empty()) {
+    result.state = state;
+    result.command = command;
   }
   return result;
 }
@@ -99,21 +112,27 @@ TrialResult RunValidTrial(const App& app, Rng& rng) {
 // Figure 6(b): undecodable commands leave the state untouched and answer with the
 // canonical None response.
 TrialResult RunInvalidTrial(const App& app, Rng& rng) {
+  TELEMETRY_SPAN("starling/invalid_trial");
   TrialResult result;
   Bytes state = rng.RandomBytes(app.state_size());
   Bytes command = app.RandomInvalidCommand(rng);
   if (app.SpecStepEncoded(state, command).has_value()) {
     result.failure = "RandomInvalidCommand produced a decodable command";
-    return result;
+  } else {
+    HandleRun run = RunHandle(app, state, command);
+    result.handle_runs++;
+    result.checks++;
+    if (!run.guards_ok) {
+      result.failure = "guard zone clobbered on an invalid command";
+    } else if (run.state != state) {
+      result.failure = "figure 6(b): state changed on an undecodable command";
+    } else if (run.response != app.EncodeResponseNone()) {
+      result.failure = "figure 6(b): non-canonical response to an undecodable command";
+    }
   }
-  HandleRun run = RunHandle(app, state, command);
-  result.checks++;
-  if (!run.guards_ok) {
-    result.failure = "guard zone clobbered on an invalid command";
-  } else if (run.state != state) {
-    result.failure = "figure 6(b): state changed on an undecodable command";
-  } else if (run.response != app.EncodeResponseNone()) {
-    result.failure = "figure 6(b): non-canonical response to an undecodable command";
+  if (!result.failure.empty()) {
+    result.state = state;
+    result.command = command;
   }
   return result;
 }
@@ -121,6 +140,7 @@ TrialResult RunInvalidTrial(const App& app, Rng& rng) {
 // A reachable-state sequence from the initial state (catches stateful drift that
 // single-step checks from random states could miss, e.g. counter handling).
 TrialResult RunSequenceTrial(const App& app, Rng& rng, int sequence_length) {
+  TELEMETRY_SPAN("starling/sequence_trial");
   TrialResult result;
   Bytes state = app.InitStateEncoded();
   for (int i = 0; i < sequence_length; i++) {
@@ -128,22 +148,23 @@ TrialResult RunSequenceTrial(const App& app, Rng& rng, int sequence_length) {
         rng.Below(5) == 0 ? app.RandomInvalidCommand(rng) : app.RandomValidCommand(rng);
     auto spec = app.SpecStepEncoded(state, command);
     HandleRun run = RunHandle(app, state, command);
+    result.handle_runs++;
     result.checks++;
     if (!run.guards_ok) {
       result.failure = "guard zone clobbered in a sequence";
-      return result;
-    }
-    if (spec.has_value()) {
+    } else if (spec.has_value()) {
       if (run.state != spec->first || run.response != spec->second) {
         result.failure = "sequence step diverges from the specification";
-        return result;
+      } else {
+        state = spec->first;
       }
-      state = spec->first;
-    } else {
-      if (run.state != state || run.response != app.EncodeResponseNone()) {
-        result.failure = "sequence None-case diverges";
-        return result;
-      }
+    } else if (run.state != state || run.response != app.EncodeResponseNone()) {
+      result.failure = "sequence None-case diverges";
+    }
+    if (!result.failure.empty()) {
+      result.state = state;  // The pre-step state the failing step saw.
+      result.command = command;
+      return result;
     }
   }
   return result;
@@ -152,6 +173,7 @@ TrialResult RunSequenceTrial(const App& app, Rng& rng, int sequence_length) {
 }  // namespace
 
 StarlingReport CheckApp(const App& app, const StarlingOptions& options) {
+  TELEMETRY_SPAN("starling/check_app");
   // Trial index space: valid trials, then invalid trials, then sequences. Each trial
   // seeds its own RNG from (seed, index), so the generated test cases — and therefore
   // the whole report — do not depend on thread count or scheduling.
@@ -176,19 +198,48 @@ StarlingReport CheckApp(const App& app, const StarlingOptions& options) {
       [](const TrialResult& result) { return !result.failure.empty(); });
 
   // Fold in index order. On failure only trials up to the (deterministic) lowest
-  // failing index count — anything above it raced the cancellation.
+  // failing index count — anything above it raced the cancellation. The same fold
+  // produces the report's telemetry snapshot, so counters are bit-identical at every
+  // thread count.
   StarlingReport report;
   size_t last = outcome.first_failure.value_or(total == 0 ? 0 : total - 1);
   for (size_t i = 0; i < total && i <= last; i++) {
-    if (outcome.results[i].has_value()) {
-      report.checks_run += outcome.results[i]->checks;
+    if (!outcome.results[i].has_value()) {
+      continue;
     }
+    const TrialResult& trial = *outcome.results[i];
+    report.checks_run += trial.checks;
+    const char* kind = i < valid             ? "starling/trials/valid"
+                       : i < valid + invalid ? "starling/trials/invalid"
+                                             : "starling/trials/sequence";
+    report.telemetry.AddCounter(kind, 1);
+    report.telemetry.AddCounter("starling/checks", trial.checks);
+    report.telemetry.AddCounter("starling/handle_runs", trial.handle_runs);
+    // RunHandle guards all three buffers (state, command, response).
+    report.telemetry.AddCounter("starling/guard_zone_checks", 3 * trial.handle_runs);
+    report.telemetry.RecordValue("starling/checks_per_trial", trial.checks);
   }
   if (outcome.first_failure.has_value()) {
+    size_t f = *outcome.first_failure;
+    const TrialResult& failing = *outcome.results[f];
     report.ok = false;
-    report.failure = std::string(app.name()) + ": " +
-                     outcome.results[*outcome.first_failure]->failure;
+    report.failure = std::string(app.name()) + ": " + failing.failure;
+    telemetry::Evidence evidence;
+    evidence.checker = "starling";
+    evidence.Add("app", app.name());
+    evidence.Add("seed", options.seed);
+    evidence.Add("trial_index", f);
+    evidence.Add("trial_seed", SplitSeed(options.seed, f));
+    evidence.Add("trial_kind", f < valid             ? "valid"
+                               : f < valid + invalid ? "invalid"
+                                                     : "sequence");
+    evidence.Add("state_hex", ToHex(failing.state));
+    evidence.Add("command_hex", ToHex(failing.command));
+    evidence.Add("failure", failing.failure);
+    report.evidence = evidence;
+    telemetry::Telemetry::Global().RecordEvidence(evidence);
   }
+  telemetry::Telemetry::Global().Merge(report.telemetry);
   return report;
 }
 

@@ -14,9 +14,11 @@
 #define PARFAIT_STARLING_STARLING_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 
 #include "src/hsm/app.h"
+#include "src/support/telemetry.h"
 
 namespace parfait::starling {
 
@@ -36,6 +38,12 @@ struct StarlingReport {
   bool ok = true;
   std::string failure;
   int checks_run = 0;
+  // Per-run counters and histograms (starling/trials/*, starling/checks,
+  // starling/guard_zone_checks, ...), folded in trial-index order over the trials
+  // that count — bit-identical at every thread count.
+  telemetry::TelemetrySnapshot telemetry;
+  // On failure: the replayable counterexample (seed, trial index, state/command hex).
+  std::optional<telemetry::Evidence> evidence;
 };
 
 // Runs the full Starling check suite for an application.

@@ -1,7 +1,10 @@
 #include "src/support/parallel.h"
 
+#include <chrono>
 #include <thread>
 #include <utility>
+
+#include "src/support/telemetry.h"
 
 namespace parfait {
 
@@ -21,6 +24,11 @@ struct ThreadPool::Worker {
   std::mutex mu;
   std::deque<std::function<void()>> tasks;  // Guarded by mu.
   std::thread thread;
+  // Scheduling telemetry. Relaxed atomics: each is written by one thread at a time
+  // (the executing worker) but may be read concurrently by WorkerStats().
+  std::atomic<uint64_t> tasks_run{0};
+  std::atomic<uint64_t> steals{0};
+  std::atomic<uint64_t> idle_ns{0};
 };
 
 int ResolveNumThreads(int num_threads) {
@@ -53,6 +61,30 @@ ThreadPool::~ThreadPool() {
       worker->thread.join();
     }
   }
+  // Fold pool-utilization telemetry into the global registry (no-op when disabled).
+  auto& telemetry = telemetry::Telemetry::Global();
+  if (telemetry.enabled() && !workers_.empty()) {
+    telemetry::TelemetrySnapshot snapshot;
+    for (const PoolLaneStats& lane : WorkerStats()) {
+      snapshot.AddCounter("pool/tasks", lane.tasks_run);
+      snapshot.AddCounter("pool/steals", lane.steals);
+      snapshot.AddCounter("pool/idle_ns", lane.idle_ns);
+      snapshot.RecordValue("pool/tasks_per_lane", lane.tasks_run);
+      snapshot.RecordValue("pool/idle_ns_per_lane", lane.idle_ns);
+    }
+    telemetry.Merge(snapshot);
+  }
+}
+
+std::vector<PoolLaneStats> ThreadPool::WorkerStats() const {
+  std::vector<PoolLaneStats> stats;
+  stats.reserve(workers_.size());
+  for (const auto& worker : workers_) {
+    stats.push_back({worker->tasks_run.load(std::memory_order_relaxed),
+                     worker->steals.load(std::memory_order_relaxed),
+                     worker->idle_ns.load(std::memory_order_relaxed)});
+  }
+  return stats;
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
@@ -81,6 +113,7 @@ void ThreadPool::Submit(std::function<void()> task) {
 
 bool ThreadPool::RunOneTask(size_t self) {
   std::function<void()> task;
+  bool stolen = false;
   // Own deque: pop the most recently pushed task (LIFO).
   {
     Worker& own = *workers_[self];
@@ -98,11 +131,17 @@ bool ThreadPool::RunOneTask(size_t self) {
       if (!victim.tasks.empty()) {
         task = std::move(victim.tasks.front());
         victim.tasks.pop_front();
+        stolen = true;
       }
     }
   }
   if (!task) {
     return false;
+  }
+  Worker& own = *workers_[self];
+  own.tasks_run.fetch_add(1, std::memory_order_relaxed);
+  if (stolen) {
+    own.steals.fetch_add(1, std::memory_order_relaxed);
   }
   task();
   return true;
@@ -130,7 +169,13 @@ void ThreadPool::WorkerLoop(size_t self) {
     if (any) {
       continue;
     }
+    auto idle_start = std::chrono::steady_clock::now();
     wake_cv_.wait(lock);
+    workers_[self]->idle_ns.fetch_add(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(std::chrono::steady_clock::now() -
+                                                             idle_start)
+            .count(),
+        std::memory_order_relaxed);
   }
 }
 

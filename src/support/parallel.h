@@ -36,6 +36,15 @@ namespace parfait {
 // oversubscribe (the determinism tests run 8 threads on any machine).
 int ResolveNumThreads(int num_threads);
 
+// Per-worker execution statistics, for the pool-utilization telemetry. These describe
+// *scheduling* — they vary run to run and are deliberately outside the determinism
+// contract (checker reports never include them).
+struct PoolLaneStats {
+  uint64_t tasks_run = 0;  // Tasks this worker executed (own deque + stolen).
+  uint64_t steals = 0;     // Of those, tasks taken from another worker's deque.
+  uint64_t idle_ns = 0;    // Time spent blocked waiting for work.
+};
+
 // A small work-stealing pool of `num_threads - 1` workers: the calling thread of a
 // fork-join region is the remaining lane, so ThreadPool(1) spawns no threads at all
 // and ParallelFor degenerates to a plain serial loop on the caller. Each worker owns
@@ -55,6 +64,12 @@ class ThreadPool {
   // Schedules `task` on some worker. From a worker thread the task lands on that
   // worker's own deque (stolen from the far end if another lane goes idle).
   void Submit(std::function<void()> task);
+
+  // One entry per worker (the calling lane runs inline and is not tracked). Safe to
+  // call while the pool is live; counts are relaxed-atomic snapshots. The destructor
+  // folds these into the global telemetry registry (pool/tasks, pool/steals,
+  // pool/idle_ns, pool/tasks_per_lane) when telemetry is enabled.
+  std::vector<PoolLaneStats> WorkerStats() const;
 
  private:
   struct Worker;

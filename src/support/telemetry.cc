@@ -1,0 +1,327 @@
+#include "src/support/telemetry.h"
+
+#include <chrono>
+#include <cstdio>
+
+namespace parfait::telemetry {
+
+namespace {
+
+uint64_t SteadyNowNs() {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now().time_since_epoch())
+                                   .count());
+}
+
+// Escapes a string for embedding in a JSON string literal (quotes, backslashes,
+// control characters — failure messages carry newlines and arbitrary punctuation).
+void AppendJsonEscaped(std::string& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void AppendJsonString(std::string& out, std::string_view s) {
+  out += '"';
+  AppendJsonEscaped(out, s);
+  out += '"';
+}
+
+}  // namespace
+
+void HistogramSummary::Record(uint64_t value) {
+  count++;
+  sum += value;
+  if (value < min) {
+    min = value;
+  }
+  if (value > max) {
+    max = value;
+  }
+}
+
+void HistogramSummary::Merge(const HistogramSummary& other) {
+  count += other.count;
+  sum += other.sum;
+  if (other.min < min) {
+    min = other.min;
+  }
+  if (other.max > max) {
+    max = other.max;
+  }
+}
+
+void TelemetrySnapshot::AddCounter(std::string_view name, uint64_t delta) {
+  counters_[std::string(name)] += delta;
+}
+
+void TelemetrySnapshot::RecordValue(std::string_view name, uint64_t value) {
+  histograms_[std::string(name)].Record(value);
+}
+
+void TelemetrySnapshot::Merge(const TelemetrySnapshot& other) {
+  for (const auto& [name, value] : other.counters_) {
+    counters_[name] += value;
+  }
+  for (const auto& [name, summary] : other.histograms_) {
+    histograms_[name].Merge(summary);
+  }
+}
+
+uint64_t TelemetrySnapshot::CounterValue(std::string_view name) const {
+  auto it = counters_.find(std::string(name));
+  return it == counters_.end() ? 0 : it->second;
+}
+
+std::string TelemetrySnapshot::ToJson() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters_) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    AppendJsonString(out, name);
+    out += ':';
+    out += std::to_string(value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    AppendJsonString(out, name);
+    out += ":{\"count\":" + std::to_string(h.count) + ",\"sum\":" + std::to_string(h.sum) +
+           ",\"min\":" + std::to_string(h.count == 0 ? 0 : h.min) +
+           ",\"max\":" + std::to_string(h.max) + "}";
+  }
+  out += "}}";
+  return out;
+}
+
+void Evidence::Add(std::string_view key, std::string_view value) {
+  fields.emplace_back(std::string(key), std::string(value));
+}
+
+void Evidence::Add(std::string_view key, uint64_t value) {
+  fields.emplace_back(std::string(key), std::to_string(value));
+}
+
+std::string Evidence::ToJson() const {
+  std::string out = "{\"checker\":";
+  AppendJsonString(out, checker);
+  out += ",\"fields\":{";
+  bool first = true;
+  for (const auto& [key, value] : fields) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    AppendJsonString(out, key);
+    out += ':';
+    AppendJsonString(out, value);
+  }
+  out += "}}";
+  return out;
+}
+
+Telemetry::Telemetry() : epoch_ns_(SteadyNowNs()) {}
+
+Telemetry& Telemetry::Global() {
+  static Telemetry* instance = new Telemetry();  // Leaked: outlives all static spans.
+  return *instance;
+}
+
+void Telemetry::EnableTracing() {
+  tracing_.store(true, std::memory_order_relaxed);
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Telemetry::Disable() {
+  tracing_.store(false, std::memory_order_relaxed);
+  enabled_.store(false, std::memory_order_relaxed);
+}
+
+void Telemetry::Count(std::string_view name, uint64_t delta) {
+  if (!enabled()) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  aggregate_.AddCounter(name, delta);
+}
+
+void Telemetry::Record(std::string_view name, uint64_t value) {
+  if (!enabled()) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  aggregate_.RecordValue(name, value);
+}
+
+void Telemetry::Merge(const TelemetrySnapshot& snapshot) {
+  if (!enabled()) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  aggregate_.Merge(snapshot);
+}
+
+void Telemetry::RecordEvidence(const Evidence& evidence) {
+  if (!enabled()) {
+    return;
+  }
+  uint64_t now = NowNs();
+  int tid = TraceThreadId();
+  std::lock_guard<std::mutex> lock(mu_);
+  evidence_.push_back(evidence);
+  if (tracing_.load(std::memory_order_relaxed)) {
+    TraceEvent event;
+    event.name = evidence.checker + "/counterexample";
+    event.ph = 'i';
+    event.ts_ns = now;
+    event.tid = tid;
+    event.args = evidence.fields;
+    trace_.push_back(std::move(event));
+  }
+}
+
+TelemetrySnapshot Telemetry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return aggregate_;
+}
+
+std::vector<Evidence> Telemetry::evidence() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evidence_;
+}
+
+std::vector<TraceEvent> Telemetry::trace_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return trace_;
+}
+
+void Telemetry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  aggregate_ = TelemetrySnapshot();
+  trace_.clear();
+  evidence_.clear();
+}
+
+std::string Telemetry::TraceJson() const {
+  std::vector<TraceEvent> events = trace_events();
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  char buf[64];
+  for (const TraceEvent& event : events) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    out += "{\"name\":";
+    AppendJsonString(out, event.name);
+    out += ",\"cat\":\"parfait\",\"ph\":\"";
+    out += event.ph;
+    out += "\",\"pid\":1,\"tid\":" + std::to_string(event.tid);
+    std::snprintf(buf, sizeof(buf), ",\"ts\":%.3f", event.ts_ns / 1000.0);
+    out += buf;
+    if (event.ph == 'X') {
+      std::snprintf(buf, sizeof(buf), ",\"dur\":%.3f", event.dur_ns / 1000.0);
+      out += buf;
+    } else if (event.ph == 'i') {
+      out += ",\"s\":\"g\"";
+    }
+    if (!event.args.empty()) {
+      out += ",\"args\":{";
+      bool first_arg = true;
+      for (const auto& [key, value] : event.args) {
+        if (!first_arg) {
+          out += ',';
+        }
+        first_arg = false;
+        AppendJsonString(out, key);
+        out += ':';
+        AppendJsonString(out, value);
+      }
+      out += '}';
+    }
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+bool Telemetry::WriteTrace(const std::string& path) const {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  std::string json = TraceJson();
+  bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  ok = std::fclose(f) == 0 && ok;
+  return ok;
+}
+
+uint64_t Telemetry::NowNs() const { return SteadyNowNs() - epoch_ns_; }
+
+void Telemetry::EndSpan(const char* name, uint64_t start_ns) {
+  uint64_t end_ns = NowNs();
+  uint64_t dur_ns = end_ns - start_ns;
+  int tid = TraceThreadId();
+  std::lock_guard<std::mutex> lock(mu_);
+  aggregate_.RecordValue(std::string("span/") + name, dur_ns);
+  if (tracing_.load(std::memory_order_relaxed)) {
+    TraceEvent event;
+    event.name = name;
+    event.ph = 'X';
+    event.ts_ns = start_ns;
+    event.dur_ns = dur_ns;
+    event.tid = tid;
+    trace_.push_back(std::move(event));
+  }
+}
+
+int Telemetry::TraceThreadId() {
+  // One dense id per (registry, thread) pair; assigned on first use. thread_local
+  // storage would be shared across registries, so keep a per-registry map instead.
+  thread_local std::vector<std::pair<const Telemetry*, int>> ids;
+  for (const auto& [registry, id] : ids) {
+    if (registry == this) {
+      return id;
+    }
+  }
+  int id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    id = next_thread_id_++;
+  }
+  ids.emplace_back(this, id);
+  return id;
+}
+
+}  // namespace parfait::telemetry

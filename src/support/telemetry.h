@@ -1,0 +1,207 @@
+// Verification telemetry: deterministic counters/histograms, RAII spans, and
+// machine-readable evidence trails for every checker.
+//
+// The paper's evaluation is entirely about *measured* verification behaviour —
+// cycles/s per CPU (table 4), sync-point statistics (figure 11), which checker catches
+// which bug (section 7.2) — so the checkers must emit structured, attributable
+// evidence, not just a boolean. Three facilities, one registry:
+//
+//   1. Counters and histograms. Named monotonic counters and value distributions.
+//      Determinism contract: every checker *folds its per-trial deltas in trial-index
+//      order* into a TelemetrySnapshot embedded in its report (only trials at or below
+//      the settled lowest failure index contribute — see src/support/parallel.h), so
+//      report counters are bit-identical at 1 vs N threads. The process-wide registry
+//      additionally aggregates merged snapshots plus runtime-only metrics (span
+//      durations, pool utilization) that are *not* part of the determinism contract.
+//   2. Spans. TELEMETRY_SPAN("starling/valid_trial") records wall-time and thread id
+//      for the enclosing scope (RAII: closes on any exit path, including exceptions)
+//      and emits a Chrome-trace-format "complete" event when tracing is on. Benches
+//      enable tracing via --trace=<path> or the PARFAIT_TRACE environment variable;
+//      the resulting JSON opens in chrome://tracing or Perfetto.
+//   3. Evidence. On a checker failure, the seed, trial index, and the encoded
+//      command/state bytes (hex) that reproduce it are recorded as a counterexample
+//      artifact — embedded in the report, mirrored into the trace as an instant
+//      event, and serializable to JSON — so every failure is replayable.
+//
+// Disabled-mode cost: a Span constructor is one relaxed atomic load and a branch; no
+// allocation, no clock read. Count/Record/Merge on a disabled registry are no-ops
+// behind the same single load. Checkers still fill their report snapshots (plain
+// integer folds, no atomics), which is what the benches serialize.
+#ifndef PARFAIT_SUPPORT_TELEMETRY_H_
+#define PARFAIT_SUPPORT_TELEMETRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace parfait::telemetry {
+
+// Order-independent summary of a value distribution. Merging summaries built from
+// per-trial folds in index order yields bit-identical results at any thread count
+// (count/sum are associative-commutative; min/max are lattice joins).
+struct HistogramSummary {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t min = UINT64_MAX;  // UINT64_MAX until the first Record.
+  uint64_t max = 0;
+
+  void Record(uint64_t value);
+  void Merge(const HistogramSummary& other);
+  bool operator==(const HistogramSummary& other) const = default;
+};
+
+// A value-type bag of named counters and histogram summaries. Checkers build one per
+// report by folding per-trial deltas in trial-index order; benches merge report
+// snapshots in a fixed program order. std::map keeps serialization deterministic.
+class TelemetrySnapshot {
+ public:
+  void AddCounter(std::string_view name, uint64_t delta);
+  void RecordValue(std::string_view name, uint64_t value);
+  void Merge(const TelemetrySnapshot& other);
+
+  // Value of a counter, or 0 if absent.
+  uint64_t CounterValue(std::string_view name) const;
+  bool empty() const { return counters_.empty() && histograms_.empty(); }
+
+  const std::map<std::string, uint64_t>& counters() const { return counters_; }
+  const std::map<std::string, HistogramSummary>& histograms() const { return histograms_; }
+
+  // {"counters":{...},"histograms":{name:{"count":..,"sum":..,"min":..,"max":..}}}
+  // with keys in sorted order — byte-identical for equal snapshots.
+  std::string ToJson() const;
+
+  bool operator==(const TelemetrySnapshot& other) const = default;
+
+ private:
+  std::map<std::string, uint64_t> counters_;
+  std::map<std::string, HistogramSummary> histograms_;
+};
+
+// A machine-readable counterexample artifact: which checker failed and the key/value
+// fields (seed, trial index, hex-encoded command/state bytes, failure message) needed
+// to replay the failure. Fields keep insertion order.
+struct Evidence {
+  std::string checker;
+  std::vector<std::pair<std::string, std::string>> fields;
+
+  void Add(std::string_view key, std::string_view value);
+  void Add(std::string_view key, uint64_t value);
+  // {"checker":"starling","fields":{"seed":"1234",...}} (fields in insertion order).
+  std::string ToJson() const;
+
+  bool operator==(const Evidence& other) const = default;
+};
+
+// One Chrome-trace event: ph 'X' (complete, from a Span) or 'i' (instant, from
+// RecordEvidence). Timestamps are nanoseconds since the registry was constructed.
+struct TraceEvent {
+  std::string name;
+  char ph = 'X';
+  uint64_t ts_ns = 0;
+  uint64_t dur_ns = 0;  // 'X' only.
+  int tid = 0;
+  std::vector<std::pair<std::string, std::string>> args;  // 'i' only (evidence fields).
+};
+
+// The process-wide registry (plus independently constructible instances for tests).
+// All mutating entry points are guarded by a single relaxed atomic load: a disabled
+// registry records nothing and allocates nothing.
+class Telemetry {
+ public:
+  Telemetry();
+
+  Telemetry(const Telemetry&) = delete;
+  Telemetry& operator=(const Telemetry&) = delete;
+
+  static Telemetry& Global();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  bool tracing() const { return tracing_.load(std::memory_order_relaxed); }
+  void Enable() { enabled_.store(true, std::memory_order_relaxed); }
+  // Tracing implies enabled: spans need the metric path live to time themselves.
+  void EnableTracing();
+  void Disable();
+
+  // Aggregation (no-ops when disabled).
+  void Count(std::string_view name, uint64_t delta = 1);
+  void Record(std::string_view name, uint64_t value);
+  void Merge(const TelemetrySnapshot& snapshot);
+  void RecordEvidence(const Evidence& evidence);
+
+  TelemetrySnapshot Snapshot() const;
+  std::vector<Evidence> evidence() const;
+  std::vector<TraceEvent> trace_events() const;
+
+  // Clears all recorded data (metrics, trace events, evidence); flags are untouched.
+  void Reset();
+
+  // Serializes the trace buffer as Chrome trace format ("traceEvents" object form,
+  // microsecond timestamps) — loadable in chrome://tracing and Perfetto.
+  std::string TraceJson() const;
+  // Writes TraceJson() to `path`; returns false on I/O failure.
+  bool WriteTrace(const std::string& path) const;
+
+  // Nanoseconds since this registry was constructed (steady clock).
+  uint64_t NowNs() const;
+
+ private:
+  friend class Span;
+
+  // Span completion: records the duration histogram and, when tracing, the event.
+  void EndSpan(const char* name, uint64_t start_ns);
+  // Small dense id for the calling thread, assigned on first use.
+  int TraceThreadId();
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<bool> tracing_{false};
+  uint64_t epoch_ns_;  // Steady-clock origin for trace timestamps.
+
+  mutable std::mutex mu_;
+  TelemetrySnapshot aggregate_;          // Guarded by mu_.
+  std::vector<TraceEvent> trace_;        // Guarded by mu_.
+  std::vector<Evidence> evidence_;       // Guarded by mu_.
+  int next_thread_id_ = 0;               // Guarded by mu_.
+};
+
+// RAII span: measures the enclosing scope's wall time on the calling thread and
+// reports it to the registry on destruction — on every exit path, exceptions
+// included. When the registry is disabled, construction is a relaxed load + branch.
+class Span {
+ public:
+  explicit Span(const char* name) : Span(Telemetry::Global(), name) {}
+  Span(Telemetry& telemetry, const char* name)
+      : telemetry_(&telemetry), name_(name), active_(telemetry.enabled()) {
+    if (active_) {
+      start_ns_ = telemetry_->NowNs();
+    }
+  }
+  ~Span() {
+    if (active_) {
+      telemetry_->EndSpan(name_, start_ns_);
+    }
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  Telemetry* telemetry_;
+  const char* name_;
+  bool active_;
+  uint64_t start_ns_ = 0;
+};
+
+}  // namespace parfait::telemetry
+
+// Names a span after its source line so several can coexist in one scope.
+#define PARFAIT_TELEMETRY_CONCAT2(a, b) a##b
+#define PARFAIT_TELEMETRY_CONCAT(a, b) PARFAIT_TELEMETRY_CONCAT2(a, b)
+#define TELEMETRY_SPAN(name) \
+  ::parfait::telemetry::Span PARFAIT_TELEMETRY_CONCAT(parfait_telemetry_span_, __LINE__)(name)
+
+#endif  // PARFAIT_SUPPORT_TELEMETRY_H_

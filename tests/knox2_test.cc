@@ -226,10 +226,13 @@ TEST(Knox2Taint, CleanHasherHasNoLeaks) {
   Bytes state = rng.RandomBytes(app.state_size());
   Bytes cmd = app.RandomValidCommand(rng);
   cmd[0] = 2;
-  auto leaks = RunTaintCheck(system, state, {cmd});
-  for (const auto& leak : leaks) {
+  auto taint = RunTaintCheck(system, state, {cmd});
+  for (const auto& leak : taint.leaks) {
     ADD_FAILURE() << leak.what;
   }
+  EXPECT_EQ(taint.checks_run, 1);
+  EXPECT_EQ(taint.telemetry.CounterValue("knox2/taint/commands"), 1u);
+  EXPECT_EQ(taint.telemetry.CounterValue("knox2/taint/leaks"), 0u);
 }
 
 TEST(Knox2Taint, FlagsSecretBranch) {
@@ -251,9 +254,9 @@ void handle(u8 *state, u8 *cmd, u8 *resp) {
   Rng rng(29);
   Bytes state = rng.RandomBytes(app.state_size());
   Bytes cmd = app.RandomValidCommand(rng);
-  auto leaks = RunTaintCheck(system, state, {cmd});
+  auto taint = RunTaintCheck(system, state, {cmd});
   bool found = false;
-  for (const auto& leak : leaks) {
+  for (const auto& leak : taint.leaks) {
     if (leak.what.find("branch") != std::string::npos) {
       found = true;
     }

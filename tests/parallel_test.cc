@@ -98,6 +98,28 @@ TEST(ThreadPool, OversubscriptionIsAllowed) {
   EXPECT_EQ(count.load(), 100);
 }
 
+TEST(ThreadPool, WorkerStatsAccountForScheduledTasks) {
+  // One entry per spawned worker (the calling lane is untracked), and the workers'
+  // task counts never exceed what was actually scheduled.
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.WorkerStats().size(), 3u);
+  constexpr size_t kN = 2'000;
+  std::atomic<int> count{0};
+  ParallelFor(pool, kN, [&](size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), static_cast<int>(kN));
+  uint64_t worker_tasks = 0;
+  for (const PoolLaneStats& lane : pool.WorkerStats()) {
+    EXPECT_LE(lane.steals, lane.tasks_run);
+    worker_tasks += lane.tasks_run;
+  }
+  // ParallelFor schedules in chunks, so the exact split caller-vs-workers is
+  // schedule-dependent; the workers can never have run more than everything.
+  EXPECT_LE(worker_tasks, kN);
+
+  ThreadPool serial(1);
+  EXPECT_TRUE(serial.WorkerStats().empty());
+}
+
 // ---- ParallelReduce: lowest-failure settlement ----
 
 TEST(ParallelReduce, ReportsLowestFailureIndex) {
@@ -168,7 +190,18 @@ TEST(Determinism, CheckAppReportsAreThreadCountInvariant) {
     EXPECT_EQ(report.ok, serial.ok) << "at " << threads << " threads";
     EXPECT_EQ(report.failure, serial.failure) << "at " << threads << " threads";
     EXPECT_EQ(report.checks_run, serial.checks_run) << "at " << threads << " threads";
+    // The telemetry snapshot is part of the determinism contract: the fold over
+    // trial-index order must be bit-identical at every thread count (ToJson is
+    // byte-identical for equal snapshots, and readable when they are not).
+    EXPECT_EQ(report.telemetry.ToJson(), serial.telemetry.ToJson())
+        << "at " << threads << " threads";
   }
+  // The snapshot actually carries the trial accounting.
+  EXPECT_EQ(serial.telemetry.CounterValue("starling/trials/valid"), 24u);
+  EXPECT_EQ(serial.telemetry.CounterValue("starling/trials/invalid"), 64u);
+  EXPECT_EQ(serial.telemetry.CounterValue("starling/trials/sequence"), 2u);
+  EXPECT_EQ(serial.telemetry.CounterValue("starling/checks"),
+            static_cast<uint64_t>(serial.checks_run));
 }
 
 // A deliberately buggy toy machine so the *failure* report, not just success, is
@@ -231,16 +264,34 @@ TEST(Determinism, CheckLockstepReportsAreThreadCountInvariant) {
   EXPECT_TRUE(serial_pass.ok) << serial_pass.failure;
   auto serial_fail = RunCounterLockstep(/*buggy=*/true, /*threads=*/1);
   EXPECT_FALSE(serial_fail.ok);
+  ASSERT_TRUE(serial_fail.evidence.has_value());
   for (int threads : {2, 8}) {
     auto pass = RunCounterLockstep(false, threads);
     EXPECT_EQ(pass.ok, serial_pass.ok) << "at " << threads << " threads";
     EXPECT_EQ(pass.failure, serial_pass.failure) << "at " << threads << " threads";
+    EXPECT_EQ(pass.checks_run, serial_pass.checks_run) << "at " << threads << " threads";
+    EXPECT_EQ(pass.telemetry.ToJson(), serial_pass.telemetry.ToJson())
+        << "at " << threads << " threads";
     // The failing run must settle on the same lowest failing trial, hence the exact
-    // same failure message, regardless of which worker found a failure first.
+    // same failure message, telemetry fold, and counterexample artifact, regardless
+    // of which worker found a failure first.
     auto fail = RunCounterLockstep(true, threads);
     EXPECT_EQ(fail.ok, serial_fail.ok) << "at " << threads << " threads";
     EXPECT_EQ(fail.failure, serial_fail.failure) << "at " << threads << " threads";
+    EXPECT_EQ(fail.checks_run, serial_fail.checks_run) << "at " << threads << " threads";
+    EXPECT_EQ(fail.telemetry.ToJson(), serial_fail.telemetry.ToJson())
+        << "at " << threads << " threads";
+    ASSERT_TRUE(fail.evidence.has_value());
+    EXPECT_EQ(fail.evidence->ToJson(), serial_fail.evidence->ToJson())
+        << "at " << threads << " threads";
   }
+  // A passing run folds every trial; the snapshot carries the same accounting the
+  // report does.
+  EXPECT_EQ(serial_pass.telemetry.CounterValue("ipr/lockstep/trials"), 256u);
+  EXPECT_EQ(serial_pass.telemetry.CounterValue("ipr/lockstep/codec_checks") +
+                serial_pass.telemetry.CounterValue("ipr/lockstep/fig6a_checks") +
+                serial_pass.telemetry.CounterValue("ipr/lockstep/fig6b_checks"),
+            static_cast<uint64_t>(serial_pass.checks_run));
 }
 
 }  // namespace

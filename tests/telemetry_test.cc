@@ -1,0 +1,417 @@
+// Tests for the telemetry subsystem: deterministic counter/histogram folds, RAII
+// spans (closing on every exit path, exceptions included), evidence artifacts, the
+// disabled-mode "records nothing" guarantee, and the Chrome-trace JSON sink.
+#include "src/support/telemetry.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+namespace parfait::telemetry {
+namespace {
+
+// ---- A minimal JSON syntax checker (enough to validate the trace sink's output
+// without a JSON dependency): values, objects, arrays, strings with escapes,
+// numbers, true/false/null. ----
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : s_(text) {}
+
+  bool Valid() {
+    SkipWs();
+    if (!Value()) {
+      return false;
+    }
+    SkipWs();
+    return pos_ == s_.size();
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+                                s_[pos_] == '\r')) {
+      pos_++;
+    }
+  }
+  bool Literal(const char* lit) {
+    size_t n = std::char_traits<char>::length(lit);
+    if (s_.compare(pos_, n, lit) != 0) {
+      return false;
+    }
+    pos_ += n;
+    return true;
+  }
+  bool String() {
+    if (pos_ >= s_.size() || s_[pos_] != '"') {
+      return false;
+    }
+    pos_++;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') {
+        pos_++;
+        if (pos_ >= s_.size()) {
+          return false;
+        }
+        char e = s_[pos_];
+        if (e == 'u') {
+          for (int i = 0; i < 4; i++) {
+            pos_++;
+            if (pos_ >= s_.size() || !std::isxdigit(static_cast<unsigned char>(s_[pos_]))) {
+              return false;
+            }
+          }
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' && e != 'f' && e != 'n' &&
+                   e != 'r' && e != 't') {
+          return false;
+        }
+      } else if (static_cast<unsigned char>(s_[pos_]) < 0x20) {
+        return false;  // Control characters must be escaped.
+      }
+      pos_++;
+    }
+    if (pos_ >= s_.size()) {
+      return false;
+    }
+    pos_++;  // Closing quote.
+    return true;
+  }
+  bool Number() {
+    size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') {
+      pos_++;
+    }
+    while (pos_ < s_.size() && (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+                                s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+                                s_[pos_] == '+' || s_[pos_] == '-')) {
+      pos_++;
+    }
+    return pos_ > start;
+  }
+  bool Value() {
+    SkipWs();
+    if (pos_ >= s_.size()) {
+      return false;
+    }
+    char c = s_[pos_];
+    if (c == '{') {
+      pos_++;
+      SkipWs();
+      if (pos_ < s_.size() && s_[pos_] == '}') {
+        pos_++;
+        return true;
+      }
+      while (true) {
+        SkipWs();
+        if (!String()) {
+          return false;
+        }
+        SkipWs();
+        if (pos_ >= s_.size() || s_[pos_] != ':') {
+          return false;
+        }
+        pos_++;
+        if (!Value()) {
+          return false;
+        }
+        SkipWs();
+        if (pos_ < s_.size() && s_[pos_] == ',') {
+          pos_++;
+          continue;
+        }
+        break;
+      }
+      if (pos_ >= s_.size() || s_[pos_] != '}') {
+        return false;
+      }
+      pos_++;
+      return true;
+    }
+    if (c == '[') {
+      pos_++;
+      SkipWs();
+      if (pos_ < s_.size() && s_[pos_] == ']') {
+        pos_++;
+        return true;
+      }
+      while (true) {
+        if (!Value()) {
+          return false;
+        }
+        SkipWs();
+        if (pos_ < s_.size() && s_[pos_] == ',') {
+          pos_++;
+          continue;
+        }
+        break;
+      }
+      if (pos_ >= s_.size() || s_[pos_] != ']') {
+        return false;
+      }
+      pos_++;
+      return true;
+    }
+    if (c == '"') {
+      return String();
+    }
+    if (c == 't') {
+      return Literal("true");
+    }
+    if (c == 'f') {
+      return Literal("false");
+    }
+    if (c == 'n') {
+      return Literal("null");
+    }
+    return Number();
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+bool IsValidJson(const std::string& text) { return JsonChecker(text).Valid(); }
+
+// ---- Deterministic aggregates ----
+
+TEST(HistogramSummary, RecordTracksCountSumMinMax) {
+  HistogramSummary h;
+  h.Record(7);
+  h.Record(3);
+  h.Record(11);
+  EXPECT_EQ(h.count, 3u);
+  EXPECT_EQ(h.sum, 21u);
+  EXPECT_EQ(h.min, 3u);
+  EXPECT_EQ(h.max, 11u);
+}
+
+TEST(HistogramSummary, MergeIsOrderIndependent) {
+  HistogramSummary a;
+  a.Record(5);
+  a.Record(9);
+  HistogramSummary b;
+  b.Record(2);
+
+  HistogramSummary ab = a;
+  ab.Merge(b);
+  HistogramSummary ba = b;
+  ba.Merge(a);
+  EXPECT_EQ(ab, ba);
+  EXPECT_EQ(ab.count, 3u);
+  EXPECT_EQ(ab.min, 2u);
+  EXPECT_EQ(ab.max, 9u);
+
+  // Merging an empty summary is the identity (min stays untouched).
+  HistogramSummary empty;
+  HistogramSummary a2 = a;
+  a2.Merge(empty);
+  EXPECT_EQ(a2, a);
+}
+
+TEST(TelemetrySnapshot, CountersAccumulateAndMergeBitIdentically) {
+  TelemetrySnapshot a;
+  a.AddCounter("x/trials", 3);
+  a.AddCounter("x/trials", 2);
+  a.RecordValue("x/per_trial", 4);
+  EXPECT_EQ(a.CounterValue("x/trials"), 5u);
+  EXPECT_EQ(a.CounterValue("absent"), 0u);
+
+  TelemetrySnapshot b;
+  b.AddCounter("x/trials", 7);
+  b.AddCounter("y/cycles", 100);
+  b.RecordValue("x/per_trial", 9);
+
+  // Simulates the 1-thread vs N-thread folds: the same per-trial deltas merged in
+  // the same index order must be equal — and serialize byte-identically.
+  TelemetrySnapshot merged_once;
+  merged_once.Merge(a);
+  merged_once.Merge(b);
+  TelemetrySnapshot folded;
+  folded.AddCounter("x/trials", 3);
+  folded.AddCounter("x/trials", 2);
+  folded.RecordValue("x/per_trial", 4);
+  folded.AddCounter("x/trials", 7);
+  folded.AddCounter("y/cycles", 100);
+  folded.RecordValue("x/per_trial", 9);
+  EXPECT_EQ(merged_once, folded);
+  EXPECT_EQ(merged_once.ToJson(), folded.ToJson());
+  EXPECT_EQ(merged_once.CounterValue("x/trials"), 12u);
+}
+
+TEST(TelemetrySnapshot, ToJsonIsSortedAndValid) {
+  TelemetrySnapshot s;
+  s.AddCounter("b", 2);
+  s.AddCounter("a", 1);
+  s.RecordValue("h", 5);
+  std::string json = s.ToJson();
+  EXPECT_TRUE(IsValidJson(json)) << json;
+  // std::map ordering: "a" serializes before "b" regardless of insertion order.
+  EXPECT_LT(json.find("\"a\""), json.find("\"b\""));
+  EXPECT_EQ(json,
+            "{\"counters\":{\"a\":1,\"b\":2},"
+            "\"histograms\":{\"h\":{\"count\":1,\"sum\":5,\"min\":5,\"max\":5}}}");
+}
+
+TEST(Evidence, SerializesFieldsInInsertionOrderWithEscaping) {
+  Evidence e;
+  e.checker = "starling";
+  e.Add("seed", uint64_t{1234});
+  e.Add("failure", "line1\nline\"2\"");
+  std::string json = e.ToJson();
+  EXPECT_TRUE(IsValidJson(json)) << json;
+  EXPECT_LT(json.find("seed"), json.find("failure"));
+  EXPECT_NE(json.find("\\n"), std::string::npos);
+  EXPECT_NE(json.find("\\\"2\\\""), std::string::npos);
+}
+
+// ---- Registry: disabled mode records nothing ----
+
+TEST(Telemetry, DisabledRegistryRecordsNothing) {
+  Telemetry t;
+  ASSERT_FALSE(t.enabled());
+  t.Count("x", 5);
+  t.Record("h", 9);
+  TelemetrySnapshot delta;
+  delta.AddCounter("y", 1);
+  t.Merge(delta);
+  Evidence e;
+  e.checker = "c";
+  t.RecordEvidence(e);
+  {
+    Span span(t, "scope");
+    Span nested(t, "inner");
+  }
+  EXPECT_TRUE(t.Snapshot().empty());
+  EXPECT_TRUE(t.evidence().empty());
+  EXPECT_TRUE(t.trace_events().empty());
+}
+
+TEST(Telemetry, EnabledRegistryAggregates) {
+  Telemetry t;
+  t.Enable();
+  t.Count("x", 2);
+  t.Count("x");
+  t.Record("h", 4);
+  TelemetrySnapshot delta;
+  delta.AddCounter("x", 10);
+  t.Merge(delta);
+  auto snapshot = t.Snapshot();
+  EXPECT_EQ(snapshot.CounterValue("x"), 13u);
+  EXPECT_EQ(snapshot.histograms().at("h").sum, 4u);
+  // Spans feed the span/<name> duration histogram even without tracing.
+  { Span span(t, "work"); }
+  EXPECT_EQ(t.Snapshot().histograms().at("span/work").count, 1u);
+  // No tracing was armed, so no trace events accumulate.
+  EXPECT_TRUE(t.trace_events().empty());
+
+  t.Reset();
+  EXPECT_TRUE(t.Snapshot().empty());
+  EXPECT_TRUE(t.enabled()) << "Reset clears data, not flags";
+}
+
+// ---- Spans: nesting, exception safety, tracing ----
+
+TEST(Telemetry, SpansNestAndCloseUnderExceptions) {
+  Telemetry t;
+  t.EnableTracing();
+  try {
+    Span outer(t, "outer");
+    Span inner(t, "inner");
+    throw std::runtime_error("boom");
+  } catch (const std::runtime_error&) {
+  }
+  auto events = t.trace_events();
+  ASSERT_EQ(events.size(), 2u);
+  // Destruction order closes the inner span first; both events are complete ('X')
+  // and the inner one nests within the outer's [ts, ts+dur] window.
+  const TraceEvent& inner = events[0];
+  const TraceEvent& outer = events[1];
+  EXPECT_EQ(inner.name, "inner");
+  EXPECT_EQ(outer.name, "outer");
+  EXPECT_EQ(inner.ph, 'X');
+  EXPECT_EQ(outer.ph, 'X');
+  EXPECT_GE(inner.ts_ns, outer.ts_ns);
+  EXPECT_LE(inner.ts_ns + inner.dur_ns, outer.ts_ns + outer.dur_ns);
+  // Both spans also landed in the duration histograms.
+  auto snapshot = t.Snapshot();
+  EXPECT_EQ(snapshot.histograms().at("span/outer").count, 1u);
+  EXPECT_EQ(snapshot.histograms().at("span/inner").count, 1u);
+}
+
+TEST(Telemetry, RecordEvidenceEmitsInstantEventWhenTracing) {
+  Telemetry t;
+  t.EnableTracing();
+  Evidence e;
+  e.checker = "starling";
+  e.Add("trial_index", uint64_t{7});
+  t.RecordEvidence(e);
+  ASSERT_EQ(t.evidence().size(), 1u);
+  EXPECT_EQ(t.evidence()[0].checker, "starling");
+  auto events = t.trace_events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].ph, 'i');
+  EXPECT_EQ(events[0].name, "starling/counterexample");
+  ASSERT_EQ(events[0].args.size(), 1u);
+  EXPECT_EQ(events[0].args[0].first, "trial_index");
+  EXPECT_EQ(events[0].args[0].second, "7");
+}
+
+// ---- The Chrome-trace JSON sink ----
+
+TEST(Telemetry, TraceJsonIsValidChromeTrace) {
+  Telemetry t;
+  t.EnableTracing();
+  {
+    Span a(t, "phase/one");
+    Span b(t, "phase\\with \"quotes\"");
+  }
+  Evidence e;
+  e.checker = "knox2/selfcomp";
+  e.Add("divergence", "handshake\ndiverged");
+  t.RecordEvidence(e);
+
+  std::string json = t.TraceJson();
+  EXPECT_TRUE(IsValidJson(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+}
+
+TEST(Telemetry, WriteTraceRoundTripsThroughAFile) {
+  Telemetry t;
+  t.EnableTracing();
+  { Span span(t, "io"); }
+  const std::string path = "telemetry_test_trace.json";
+  ASSERT_TRUE(t.WriteTrace(path));
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string contents;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    contents.append(buf, n);
+  }
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_EQ(contents, t.TraceJson());
+  EXPECT_TRUE(IsValidJson(contents)) << contents;
+}
+
+TEST(Telemetry, TelemetrySpanMacroUsesTheGlobalRegistry) {
+  // The global registry is disabled in tests, so the macro must be a no-op that
+  // still compiles and nests syntactically.
+  ASSERT_FALSE(Telemetry::Global().enabled());
+  size_t before = Telemetry::Global().trace_events().size();
+  {
+    TELEMETRY_SPAN("macro/outer");
+    TELEMETRY_SPAN("macro/inner");
+  }
+  EXPECT_EQ(Telemetry::Global().trace_events().size(), before);
+}
+
+}  // namespace
+}  // namespace parfait::telemetry
