@@ -1,9 +1,27 @@
 // Microbenchmarks for the simulation substrates: abstract-machine interpretation speed
 // and cycle-level SoC simulation throughput for both CPU models (this is the
 // denominator of Table 4's cycles/s column).
+//
+// The machine benchmarks come in before/after pairs: the *Baseline variants run the
+// pre-template path (PrepareCallFresh: full region rebuild, no decode cache) while the
+// plain variants run the production path (prototype copy or dirty-page reset + shared
+// decode cache). The pairing is emitted as BENCH_simperf.json so the simulator's perf
+// trajectory is recorded next to the numbers, not in a commit message:
+//   {"bench":"micro_sim",
+//    "machine_interpreter":{"before_instr_per_s":...,"after_instr_per_s":...,"speedup":...},
+//    "machine_setup":{"before_us":...,"after_us":...,"speedup":...},
+//    "soc_cycles":[{"cpu":"IbexLite","cycles_per_s":...},...]}
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
 #include "src/hsm/hsm_system.h"
+#include "src/platform/model_asm.h"
+#include "src/riscv/machine.h"
 #include "src/support/rng.h"
 
 namespace parfait {
@@ -23,15 +41,28 @@ const hsm::HsmSystem& HasherSystem(soc::CpuKind cpu) {
   return cpu == soc::CpuKind::kIbexLite ? *ibex : *pico;
 }
 
+struct HashWorkload {
+  Bytes state;
+  Bytes command;
+};
+
+HashWorkload MakeWorkload() {
+  Rng rng(1);
+  HashWorkload w;
+  w.state = rng.RandomBytes(32);
+  w.command = hsm::HasherApp().RandomValidCommand(rng);
+  w.command[0] = 2;
+  return w;
+}
+
+// Steady-state interpretation, production path: thread-local template machine,
+// dirty-page reset between calls, shared ROM decode cache.
 void BM_MachineInterpreter(benchmark::State& state) {
   const auto& system = HasherSystem(soc::CpuKind::kIbexLite);
-  Rng rng(1);
-  Bytes st = rng.RandomBytes(32);
-  Bytes cmd = hsm::HasherApp().RandomValidCommand(rng);
-  cmd[0] = 2;
+  HashWorkload w = MakeWorkload();
   uint64_t instructions = 0;
   for (auto _ : state) {
-    auto result = system.model_asm().Step(st, cmd, 100'000'000);
+    auto result = system.model_asm().Step(w.state, w.command, 100'000'000);
     benchmark::DoNotOptimize(result.ok);
     instructions += result.instret;
   }
@@ -39,6 +70,54 @@ void BM_MachineInterpreter(benchmark::State& state) {
       benchmark::Counter(static_cast<double>(instructions), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_MachineInterpreter);
+
+// Steady-state interpretation, pre-template path: every call rebuilds the machine
+// from the image and every fetch re-runs Decode() (reference-interpreter mode).
+// This is what Step() cost before the templates landed — kept as the recorded
+// "before" leg.
+void BM_MachineInterpreterBaseline(benchmark::State& state) {
+  const auto& system = HasherSystem(soc::CpuKind::kIbexLite);
+  HashWorkload w = MakeWorkload();
+  uint64_t instructions = 0;
+  for (auto _ : state) {
+    riscv::Machine m = system.model_asm().PrepareCallFresh(w.state, w.command);
+    m.DisableDecodeCache();
+    auto run = m.Run(100'000'000);
+    benchmark::DoNotOptimize(run);
+    instructions += m.instret();
+  }
+  state.counters["instr/s"] =
+      benchmark::Counter(static_cast<double>(instructions), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_MachineInterpreterBaseline);
+
+// Per-trial machine acquisition, production path: what Step() pays between trials —
+// a dirty-page reset plus the per-call buffer reload (instead of rebuilding regions).
+void BM_MachineSetup(benchmark::State& state) {
+  const auto& model = HasherSystem(soc::CpuKind::kIbexLite).model_asm();
+  HashWorkload w = MakeWorkload();
+  riscv::Machine proto = model.PrepareCallFresh(w.state, w.command);
+  riscv::Machine m = proto;
+  for (auto _ : state) {
+    m.ResetTo(proto);
+    m.WriteMemory(model.state_addr(), w.state);
+    m.WriteMemory(model.command_addr(), w.command);
+    benchmark::DoNotOptimize(m.pc());
+  }
+}
+BENCHMARK(BM_MachineSetup);
+
+// Per-call machine setup, pre-template path: 256 KiB ROM copy + RAM + 1 MiB stack
+// extension built from scratch every call.
+void BM_MachineSetupBaseline(benchmark::State& state) {
+  const auto& system = HasherSystem(soc::CpuKind::kIbexLite);
+  HashWorkload w = MakeWorkload();
+  for (auto _ : state) {
+    riscv::Machine m = system.model_asm().PrepareCallFresh(w.state, w.command);
+    benchmark::DoNotOptimize(m.pc());
+  }
+}
+BENCHMARK(BM_MachineSetupBaseline);
 
 void BM_SocCycles(benchmark::State& state) {
   soc::CpuKind kind = state.range(0) == 0 ? soc::CpuKind::kIbexLite : soc::CpuKind::kPicoLite;
@@ -59,7 +138,111 @@ void BM_SocCycles(benchmark::State& state) {
 }
 BENCHMARK(BM_SocCycles)->Arg(0)->Arg(1);
 
+// Console reporter that additionally collects per-benchmark rate counters and
+// per-iteration times, so main() can assemble BENCH_simperf.json after the runs.
+class SimperfCollector : public benchmark::ConsoleReporter {
+ public:
+  struct Result {
+    double seconds_per_iter = 0;
+    std::map<std::string, double> counters;  // Already rate-adjusted by the library.
+    std::string label;
+  };
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      Result& r = results_[run.benchmark_name()];
+      r.seconds_per_iter =
+          run.iterations > 0 ? run.real_accumulated_time / static_cast<double>(run.iterations)
+                             : 0;
+      for (const auto& [name, counter] : run.counters) {
+        r.counters[name] = counter.value;
+      }
+      r.label = run.report_label;
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+
+  double Counter(const std::string& bench, const std::string& counter) const {
+    auto it = results_.find(bench);
+    if (it == results_.end()) {
+      return 0;
+    }
+    auto ct = it->second.counters.find(counter);
+    return ct != it->second.counters.end() ? ct->second : 0;
+  }
+
+  double MicrosPerIter(const std::string& bench) const {
+    auto it = results_.find(bench);
+    return it != results_.end() ? it->second.seconds_per_iter * 1e6 : 0;
+  }
+
+  const std::map<std::string, Result>& results() const { return results_; }
+
+ private:
+  std::map<std::string, Result> results_;
+};
+
+std::string SimperfJson(const SimperfCollector& c) {
+  double before_ips = c.Counter("BM_MachineInterpreterBaseline", "instr/s");
+  double after_ips = c.Counter("BM_MachineInterpreter", "instr/s");
+  double before_us = c.MicrosPerIter("BM_MachineSetupBaseline");
+  double after_us = c.MicrosPerIter("BM_MachineSetup");
+  char buf[1024];
+  std::snprintf(buf, sizeof(buf),
+                "{\"bench\":\"micro_sim\","
+                "\"machine_interpreter\":{\"before_instr_per_s\":%.0f,"
+                "\"after_instr_per_s\":%.0f,\"speedup\":%.2f},"
+                "\"machine_setup\":{\"before_us\":%.2f,\"after_us\":%.2f,"
+                "\"speedup\":%.2f},"
+                "\"soc_cycles\":[",
+                before_ips, after_ips, before_ips > 0 ? after_ips / before_ips : 0,
+                before_us, after_us, after_us > 0 ? before_us / after_us : 0);
+  std::string out = buf;
+  bool first = true;
+  for (const auto& [name, result] : c.results()) {
+    if (name.rfind("BM_SocCycles", 0) != 0) {
+      continue;
+    }
+    auto it = result.counters.find("cycles/s");
+    if (it == result.counters.end()) {
+      continue;
+    }
+    std::snprintf(buf, sizeof(buf), "%s{\"cpu\":\"%s\",\"cycles_per_s\":%.0f}",
+                  first ? "" : ",", result.label.c_str(), it->second);
+    out += buf;
+    first = false;
+  }
+  out += "]}";
+  return out;
+}
+
 }  // namespace
 }  // namespace parfait
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // benchmark::Initialize hard-errors on flags it does not know, so only the
+  // --benchmark_* flags pass through; everything else (e.g. --json=) is ours.
+  std::vector<char*> bench_argv;
+  bench_argv.push_back(argv[0]);
+  for (int i = 1; i < argc; i++) {
+    if (std::strncmp(argv[i], "--benchmark_", 12) == 0) {
+      bench_argv.push_back(argv[i]);
+    }
+  }
+  int bench_argc = static_cast<int>(bench_argv.size());
+  benchmark::Initialize(&bench_argc, bench_argv.data());
+
+  parfait::SimperfCollector collector;
+  benchmark::RunSpecifiedBenchmarks(&collector);
+
+  std::string json = parfait::SimperfJson(collector);
+  const char* path = parfait::bench::FlagStr(argc, argv, "--json", "BENCH_simperf.json");
+  std::FILE* f = std::fopen(path, "w");
+  if (f != nullptr) {
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("simperf written to %s\n", path);
+  }
+  benchmark::Shutdown();
+  return 0;
+}

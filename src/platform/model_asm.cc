@@ -1,31 +1,75 @@
 #include "src/platform/model_asm.h"
 
+#include <atomic>
+
 #include "src/support/status.h"
+#include "src/support/telemetry.h"
 
 namespace parfait::platform {
 
 namespace {
 
 constexpr uint32_t kStackExtension = 1 << 20;  // "Unbounded" stack headroom below RAM.
+constexpr uint32_t kRomSize = 256 * 1024;
+
+std::atomic<DecodeCacheMode> g_decode_cache_mode{DecodeCacheMode::kShared};
+std::atomic<uint64_t> g_next_instance_id{1};
+
+// Thread-local machine reused across Step() calls on the same ModelAsm instance.
+// Keyed by the instance id (never reused) plus the cache mode, so a destroyed
+// ModelAsm or a mode flip can only cause a rebuild, never a stale hit.
+struct TlsStepContext {
+  uint64_t instance_id = 0;
+  DecodeCacheMode mode = DecodeCacheMode::kShared;
+  std::unique_ptr<riscv::Machine> machine;
+};
+
+// Per-thread decode cache for DecodeCacheMode::kPerThread.
+struct TlsThreadCache {
+  uint64_t instance_id = 0;
+  std::shared_ptr<const riscv::DecodeCache> cache;
+};
+
+void FlushPerfCounters(riscv::Machine& m) {
+  riscv::Machine::PerfCounters perf = m.TakePerfCounters();
+  auto& t = telemetry::Telemetry::Global();
+  if (perf.decode_hits > 0) {
+    t.Count("machine/decode_hits", perf.decode_hits);
+  }
+  if (perf.region_cache_hits > 0) {
+    t.Count("machine/region_cache_hits", perf.region_cache_hits);
+  }
+  if (perf.fast_resets > 0) {
+    t.Count("machine/fast_resets", perf.fast_resets);
+  }
+}
 
 }  // namespace
 
 ModelAsm::ModelAsm(const riscv::Image& image, const Sizes& sizes, uint32_t ram_size)
-    : image_(image), sizes_(sizes), ram_size_(ram_size) {
+    : image_(image),
+      sizes_(sizes),
+      ram_size_(ram_size),
+      instance_id_(g_next_instance_id.fetch_add(1, std::memory_order_relaxed)) {
   handle_addr_ = image_.SymbolOrDie("handle");
   state_addr_ = image_.SymbolOrDie("sys_state");
   command_addr_ = image_.SymbolOrDie("sys_cmd");
   response_addr_ = image_.SymbolOrDie("sys_resp");
 }
 
-riscv::Machine ModelAsm::PrepareCall(const Bytes& state, const Bytes& command,
-                                     uint32_t sp_override) const {
-  PARFAIT_CHECK(state.size() == sizes_.state_size);
-  PARFAIT_CHECK(command.size() == sizes_.command_size);
+void ModelAsm::SetDecodeCacheMode(DecodeCacheMode mode) {
+  g_decode_cache_mode.store(mode, std::memory_order_relaxed);
+}
+
+DecodeCacheMode ModelAsm::decode_cache_mode() {
+  return g_decode_cache_mode.load(std::memory_order_relaxed);
+}
+
+riscv::Machine ModelAsm::BuildPrototype() const {
   riscv::Machine m;
   uint32_t rom_base = image_.rom_base;
   uint32_t ram_base = image_.ram_base;
-  m.AddRegion("rom", rom_base, 256 * 1024, /*writable=*/false);
+  m.AddRegion("rom", rom_base, kRomSize, /*writable=*/false);
   // RAM starts undefined (reading a never-written stack slot yields Vundef); the
   // loader then defines .data and .bss just as the boot code would.
   m.AddRegion("ram", ram_base, ram_size_, /*writable=*/true, /*initially_defined=*/false);
@@ -40,6 +84,57 @@ riscv::Machine ModelAsm::PrepareCall(const Bytes& state, const Bytes& command,
   if (bss_size > 0) {
     m.WriteMemory(image_.SymbolOrDie("__bss_start"), Bytes(bss_size, 0));
   }
+  // Arm the journal after loading: the loader's writes are part of the template, not
+  // per-call dirt, so resets must not replay them.
+  m.EnableDirtyJournal();
+  return m;
+}
+
+const riscv::Machine& ModelAsm::Prototype() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (prototype_ == nullptr) {
+    prototype_ = std::make_unique<const riscv::Machine>(BuildPrototype());
+  }
+  return *prototype_;
+}
+
+std::shared_ptr<const riscv::DecodeCache> ModelAsm::SharedCache() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (shared_cache_ == nullptr) {
+    // Cover the whole ROM region (the image plus its zero padding), so every
+    // in-region fetch is a cache hit.
+    Bytes rom(kRomSize, 0);
+    std::copy(image_.rom.begin(), image_.rom.end(), rom.begin());
+    shared_cache_ = std::make_shared<const riscv::DecodeCache>(image_.rom_base, rom);
+  }
+  return shared_cache_;
+}
+
+void ModelAsm::AttachCachePerMode(riscv::Machine& m) const {
+  switch (decode_cache_mode()) {
+    case DecodeCacheMode::kShared:
+      m.AttachDecodeCache(SharedCache());
+      break;
+    case DecodeCacheMode::kPerThread: {
+      thread_local TlsThreadCache tls;
+      if (tls.instance_id != instance_id_ || tls.cache == nullptr) {
+        Bytes rom(kRomSize, 0);
+        std::copy(image_.rom.begin(), image_.rom.end(), rom.begin());
+        tls.cache = std::make_shared<const riscv::DecodeCache>(image_.rom_base, rom);
+        tls.instance_id = instance_id_;
+      }
+      m.AttachDecodeCache(tls.cache);
+      break;
+    }
+    case DecodeCacheMode::kOff:
+      break;
+  }
+}
+
+void ModelAsm::LoadCall(riscv::Machine& m, const Bytes& state, const Bytes& command,
+                        uint32_t sp_override) const {
+  PARFAIT_CHECK(state.size() == sizes_.state_size);
+  PARFAIT_CHECK(command.size() == sizes_.command_size);
   // Load the state and command buffers (figure 8's storebytes calls).
   m.WriteMemory(state_addr_, state);
   m.WriteMemory(command_addr_, command);
@@ -47,21 +142,49 @@ riscv::Machine ModelAsm::PrepareCall(const Bytes& state, const Bytes& command,
   m.WriteMemory(response_addr_, Bytes(sizes_.response_size, 0));
   // Set up the call: sp at the top of RAM (or aligned with the circuit's sp), args in
   // a0..a2, ra at the sentinel.
+  uint32_t ram_base = image_.ram_base;
   m.set_reg(2, riscv::Value::Defined(sp_override != 0 ? sp_override : ram_base + ram_size_));
   m.set_reg(1, riscv::Value::Defined(riscv::Machine::kReturnSentinel));
   m.set_reg(10, riscv::Value::Defined(state_addr_));
   m.set_reg(11, riscv::Value::Defined(command_addr_));
   m.set_reg(12, riscv::Value::Defined(response_addr_));
   m.set_pc(handle_addr_);
+}
+
+riscv::Machine ModelAsm::PrepareCall(const Bytes& state, const Bytes& command,
+                                     uint32_t sp_override) const {
+  riscv::Machine m = Prototype();  // Copy of the immutable template.
+  AttachCachePerMode(m);
+  LoadCall(m, state, command, sp_override);
+  return m;
+}
+
+riscv::Machine ModelAsm::PrepareCallFresh(const Bytes& state, const Bytes& command,
+                                          uint32_t sp_override) const {
+  riscv::Machine m = BuildPrototype();
+  LoadCall(m, state, command, sp_override);
   return m;
 }
 
 ModelAsm::StepResult ModelAsm::Step(const Bytes& state, const Bytes& command,
                                     uint64_t max_steps) const {
-  riscv::Machine m = PrepareCall(state, command);
+  thread_local TlsStepContext ctx;
+  DecodeCacheMode mode = decode_cache_mode();
+  const riscv::Machine& proto = Prototype();
+  if (ctx.instance_id == instance_id_ && ctx.mode == mode) {
+    ctx.machine->ResetTo(proto);
+  } else {
+    ctx.machine = std::make_unique<riscv::Machine>(proto);
+    AttachCachePerMode(*ctx.machine);
+    ctx.instance_id = instance_id_;
+    ctx.mode = mode;
+  }
+  riscv::Machine& m = *ctx.machine;
+  LoadCall(m, state, command, /*sp_override=*/0);
   auto run = m.Run(max_steps);
   StepResult result;
   result.instret = m.instret();
+  FlushPerfCounters(m);
   if (run != riscv::Machine::StepResult::kHalt) {
     result.fault = m.fault_reason();
     return result;

@@ -9,9 +9,22 @@
 // the abstract semantics keep running where the bounded SoC RAM would overflow —
 // exactly the gap the paper's Knox2 layer is responsible for catching (section 7.2,
 // "stack overflow").
+//
+// Machine templates: instead of rebuilding ~1.5 MiB of regions per call, the image is
+// loaded once into an immutable prototype machine (lazily, under a lock). PrepareCall
+// copies the prototype and writes only the per-call buffers/registers; Step() goes one
+// step further and reuses a thread-local machine across calls, restoring it between
+// calls through the dirty-page journal (Machine::ResetTo). The ROM is decoded once
+// into a shared immutable DecodeCache attached to every machine the template spawns.
+// All of this is exactly state-equivalent to the from-scratch build, which remains
+// available as PrepareCallFresh() (the benchmark baseline and the equivalence oracle
+// for tests/machine_test.cc).
 #ifndef PARFAIT_PLATFORM_MODEL_ASM_H_
 #define PARFAIT_PLATFORM_MODEL_ASM_H_
 
+#include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 
 #include "src/riscv/assembler.h"
@@ -19,6 +32,15 @@
 #include "src/support/bytes.h"
 
 namespace parfait::platform {
+
+// How ModelAsm machines obtain their ROM decode cache. Process-wide knob; exists so
+// the determinism tests can prove the checker outputs are identical whether the cache
+// is shared across threads, per-thread, or absent.
+enum class DecodeCacheMode {
+  kShared,     // One immutable cache per image, shared across machines and threads.
+  kPerThread,  // Each thread builds (and reuses) its own copy of the cache.
+  kOff,        // No prebuilt cache; machines fall back to their lazy local cache.
+};
 
 class ModelAsm {
  public:
@@ -38,15 +60,28 @@ class ModelAsm {
     uint64_t instret = 0;
   };
 
-  // One whole-command step: fresh machine, buffers loaded, handle() run to completion.
+  // One whole-command step: buffers loaded, handle() run to completion. Internally
+  // reuses a thread-local journaled machine (fast reset between calls).
   StepResult Step(const Bytes& state, const Bytes& command, uint64_t max_steps) const;
 
   // For instruction-level co-simulation (Knox2): a machine with buffers loaded and
   // pc/ra/args set up so that stepping executes handle() and halts at the sentinel.
   // sp_override (when nonzero) aligns the abstract stack pointer with the circuit's,
   // making the Knox2 pointer mapping the identity on stack addresses too.
+  // Copies the image prototype rather than rebuilding it.
   riscv::Machine PrepareCall(const Bytes& state, const Bytes& command,
                              uint32_t sp_override = 0) const;
+
+  // The pre-template build path: constructs the machine from the image from scratch,
+  // with no prototype and no decode cache. Kept as the state-equivalence oracle and
+  // the "before" leg of the setup benchmarks.
+  riscv::Machine PrepareCallFresh(const Bytes& state, const Bytes& command,
+                                  uint32_t sp_override = 0) const;
+
+  // Process-wide decode-cache mode (default kShared). Takes effect on machines
+  // prepared after the call; thread-local Step() contexts rebuild on mode change.
+  static void SetDecodeCacheMode(DecodeCacheMode mode);
+  static DecodeCacheMode decode_cache_mode();
 
   uint32_t handle_addr() const { return handle_addr_; }
   uint32_t state_addr() const { return state_addr_; }
@@ -55,6 +90,22 @@ class ModelAsm {
   const Sizes& sizes() const { return sizes_; }
 
  private:
+  // Lazily built under mu_, then immutable (safe to read from any thread).
+  const riscv::Machine& Prototype() const;
+  std::shared_ptr<const riscv::DecodeCache> SharedCache() const;
+
+  // Builds the image-dependent machine state (ROM, .data, .bss) — everything that
+  // does not depend on the call. The journal is armed after loading, so the loader's
+  // writes are not replayed by every reset.
+  riscv::Machine BuildPrototype() const;
+
+  // Writes the per-call state: buffers, argument registers, sp, ra, pc.
+  void LoadCall(riscv::Machine& m, const Bytes& state, const Bytes& command,
+                uint32_t sp_override) const;
+
+  // Attaches the ROM decode cache to `m` per the process-wide mode.
+  void AttachCachePerMode(riscv::Machine& m) const;
+
   riscv::Image image_;
   Sizes sizes_;
   uint32_t ram_size_;
@@ -62,6 +113,13 @@ class ModelAsm {
   uint32_t state_addr_;
   uint32_t command_addr_;
   uint32_t response_addr_;
+  // Distinguishes this instance in thread-local caches. Never reused, so a stale
+  // thread-local context can never be mistaken for a live one.
+  uint64_t instance_id_;
+
+  mutable std::mutex mu_;
+  mutable std::unique_ptr<const riscv::Machine> prototype_;
+  mutable std::shared_ptr<const riscv::DecodeCache> shared_cache_;
 };
 
 }  // namespace parfait::platform

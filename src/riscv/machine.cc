@@ -1,10 +1,26 @@
 #include "src/riscv/machine.h"
 
+#include <algorithm>
+#include <bit>
 #include <cstring>
 
 #include "src/support/status.h"
 
 namespace parfait::riscv {
+
+DecodeCache::DecodeCache(uint32_t base, std::span<const uint8_t> bytes) : base_(base) {
+  PARFAIT_CHECK_MSG((base & 3) == 0, "decode cache base 0x%08x is not word-aligned", base);
+  entries_.resize(bytes.size() / 4);
+  for (size_t i = 0; i < entries_.size(); i++) {
+    uint32_t word = LoadLe32(bytes.data() + 4 * i);
+    entries_[i].raw = word;
+    std::optional<Instr> decoded = Decode(word);
+    if (decoded.has_value()) {
+      entries_[i].instr = *decoded;
+      entries_[i].valid = true;
+    }
+  }
+}
 
 Machine::Machine() {
   regs_.fill(Value::Undef());
@@ -25,29 +41,211 @@ void Machine::AddRegion(const std::string& name, uint32_t base, uint32_t size, b
   region.base = base;
   region.writable = writable;
   region.data.resize(size);
-  region.defined.resize(size, initially_defined ? 1 : 0);
-  regions_.push_back(std::move(region));
+  region.all_defined = initially_defined;
+  if (journal_) {
+    region.dirty_pages.assign((size / kPageSize + 64) / 64, 0);
+  }
+  // Keep the list sorted by base so lookup can binary-search; the last-hit slots are
+  // indices, so invalidate them across the insertion.
+  auto pos = std::upper_bound(regions_.begin(), regions_.end(), base,
+                              [](uint32_t b, const Region& r) { return b < r.base; });
+  regions_.insert(pos, std::move(region));
+  last_data_region_ = regions_.size();
+  last_fetch_region_ = regions_.size();
+  fetch_win_len_ = 0;
 }
 
-Machine::Region* Machine::FindRegion(uint32_t addr, uint32_t size) {
-  for (auto& r : regions_) {
-    uint64_t end = static_cast<uint64_t>(r.base) + r.data.size();
-    if (addr >= r.base && static_cast<uint64_t>(addr) + size <= end) {
-      return &r;
+void Machine::AttachDecodeCache(std::shared_ptr<const DecodeCache> cache) {
+  PARFAIT_CHECK(cache != nullptr);
+  Region* r = FindRegion(cache->base(), 4);
+  PARFAIT_CHECK_MSG(r != nullptr, "no region contains decode cache base 0x%08x",
+                    cache->base());
+  PARFAIT_CHECK_MSG(!r->writable, "shared decode cache on writable region %s",
+                    r->name.c_str());
+  r->shared_decode = std::move(cache);
+  fetch_win_len_ = 0;
+}
+
+void Machine::DisableDecodeCache() {
+  decode_caching_ = false;
+  fetch_win_len_ = 0;
+  for (Region& r : regions_) {
+    r.shared_decode = nullptr;
+    r.local_state.clear();
+    r.local_decode.clear();
+    // Materialize the original byte-per-byte definedness shadow the reference
+    // paths read, so the reference leg pays the original memory footprint.
+    MaterializeReferenceShadow(r);
+  }
+}
+
+void Machine::MaterializeReferenceShadow(Region& r) {
+  if (r.defined_bits.empty()) {
+    // Uniform region: memset-speed, the cost the original region setup paid.
+    r.reference_defined.assign(r.data.size(), r.all_defined ? 1 : 0);
+    return;
+  }
+  r.reference_defined.resize(r.data.size());
+  for (uint32_t i = 0; i < r.size(); i++) {
+    r.reference_defined[i] = (r.defined_bits[i >> 6] >> (i & 63) & 1) != 0 ? 1 : 0;
+  }
+}
+
+void Machine::EnableDirtyJournal() {
+  journal_ = true;
+  for (Region& r : regions_) {
+    r.dirty_pages.assign((r.size() / kPageSize + 64) / 64, 0);
+  }
+}
+
+const Machine::Region* Machine::FindRegionSlow(uint32_t addr, uint32_t size,
+                                               size_t* hint) const {
+  // Sorted by base: the only candidate is the last region starting at or below addr.
+  auto pos = std::upper_bound(regions_.begin(), regions_.end(), addr,
+                              [](uint32_t a, const Region& r) { return a < r.base; });
+  if (pos == regions_.begin()) {
+    return nullptr;
+  }
+  --pos;
+  if (static_cast<uint64_t>(addr) + size >
+      static_cast<uint64_t>(pos->base) + pos->data.size()) {
+    return nullptr;
+  }
+  *hint = static_cast<size_t>(pos - regions_.begin());
+  return &*pos;
+}
+
+bool Machine::RangeDefined(const Region& r, uint32_t offset, uint32_t size) {
+  if (r.all_defined) {
+    return true;
+  }
+  if (r.defined_bits.empty()) {
+    return false;  // Uniformly undefined.
+  }
+  // Aligned 1/2/4-byte ranges never straddle a 64-bit bitmap word.
+  uint64_t mask = ((uint64_t{1} << size) - 1) << (offset & 63);
+  return (r.defined_bits[offset >> 6] & mask) == mask;
+}
+
+void Machine::MaterializeBits(Region& r, bool defined) {
+  r.defined_bits.assign((r.data.size() + 63) / 64, defined ? ~uint64_t{0} : 0);
+}
+
+void Machine::SetDefinedRange(Region& r, uint32_t offset, uint32_t size, bool defined) {
+  uint32_t first = offset;
+  uint32_t last = offset + size;  // Exclusive.
+  for (uint32_t word = first >> 6; word <= (last - 1) >> 6; word++) {
+    uint32_t lo = std::max(first, word << 6) & 63;
+    uint64_t span = std::min(last - (word << 6), uint32_t{64}) - lo;
+    uint64_t mask = (span == 64 ? ~uint64_t{0} : (uint64_t{1} << span) - 1) << lo;
+    if (defined) {
+      r.defined_bits[word] |= mask;
+    } else {
+      r.defined_bits[word] &= ~mask;
     }
   }
-  return nullptr;
 }
 
-const Machine::Region* Machine::FindRegion(uint32_t addr, uint32_t size) const {
-  return const_cast<Machine*>(this)->FindRegion(addr, size);
+void Machine::MarkDirty(Region& r, uint32_t offset, uint32_t size) {
+  for (uint32_t page = offset / kPageSize; page <= (offset + size - 1) / kPageSize;
+       page++) {
+    r.dirty_pages[page >> 6] |= uint64_t{1} << (page & 63);
+  }
+}
+
+void Machine::EvictLocalDecode(const Region& r, uint32_t offset, uint32_t size) {
+  for (uint32_t word = offset >> 2; word <= (offset + size - 1) >> 2; word++) {
+    r.local_state[word] = kLocalUnknown;
+  }
+}
+
+void Machine::ResetTo(const Machine& prototype) {
+  PARFAIT_CHECK_MSG(journal_, "ResetTo requires EnableDirtyJournal");
+  PARFAIT_CHECK(regions_.size() == prototype.regions_.size());
+  for (size_t i = 0; i < regions_.size(); i++) {
+    Region& r = regions_[i];
+    const Region& p = prototype.regions_[i];
+    PARFAIT_CHECK_MSG(r.base == p.base && r.data.size() == p.data.size(),
+                      "ResetTo region layout mismatch on %s", r.name.c_str());
+    for (size_t w = 0; w < r.dirty_pages.size(); w++) {
+      uint64_t bits = r.dirty_pages[w];
+      r.dirty_pages[w] = 0;
+      while (bits != 0) {
+        uint32_t page = static_cast<uint32_t>(w * 64 + std::countr_zero(bits));
+        bits &= bits - 1;
+        uint32_t offset = page * kPageSize;
+        uint32_t len = std::min(kPageSize, r.size() - offset);
+        std::memcpy(r.data.data() + offset, p.data.data() + offset, len);
+        if (!r.local_state.empty()) {
+          EvictLocalDecode(r, offset, len);
+        }
+        if (!r.defined_bits.empty()) {
+          // kPageSize is a multiple of 64, so a page covers whole bitmap words.
+          uint32_t w0 = offset >> 6;
+          uint32_t w1 = (offset + len - 1) >> 6;
+          if (p.defined_bits.empty()) {
+            uint64_t fill = p.all_defined ? ~uint64_t{0} : 0;
+            std::fill(r.defined_bits.begin() + w0, r.defined_bits.begin() + w1 + 1, fill);
+          } else {
+            std::copy(p.defined_bits.begin() + w0, p.defined_bits.begin() + w1 + 1,
+                      r.defined_bits.begin() + w0);
+          }
+        }
+      }
+    }
+    r.all_defined = p.all_defined;
+  }
+  if (__builtin_expect(!decode_caching_, 0)) {
+    // Reference machines are never reset on any hot path; just rebuild the
+    // byte-per-byte shadow from the restored bitmaps.
+    for (Region& r : regions_) {
+      MaterializeReferenceShadow(r);
+    }
+  }
+  regs_ = prototype.regs_;
+  pc_ = prototype.pc_;
+  instret_ = prototype.instret_;
+  fault_reason_ = prototype.fault_reason_;
+  fast_resets_++;
+}
+
+Machine::PerfCounters Machine::TakePerfCounters() {
+  PerfCounters counters{decode_hits_, region_cache_hits_, fast_resets_};
+  decode_hits_ = 0;
+  region_cache_hits_ = 0;
+  fast_resets_ = 0;
+  return counters;
 }
 
 void Machine::WriteMemory(uint32_t addr, std::span<const uint8_t> data) {
   Region* r = FindRegion(addr, static_cast<uint32_t>(data.size()));
   PARFAIT_CHECK_MSG(r != nullptr, "WriteMemory out of bounds at 0x%08x", addr);
-  std::memcpy(r->data.data() + (addr - r->base), data.data(), data.size());
-  std::memset(r->defined.data() + (addr - r->base), 1, data.size());
+  if (data.empty()) {
+    return;
+  }
+  uint32_t offset = addr - r->base;
+  uint32_t size = static_cast<uint32_t>(data.size());
+  std::memcpy(r->data.data() + offset, data.data(), size);
+  if (!r->all_defined) {
+    if (r->defined_bits.empty()) {
+      MaterializeBits(*r, false);
+    }
+    SetDefinedRange(*r, offset, size, true);
+  }
+  if (!r->reference_defined.empty()) {
+    std::memset(r->reference_defined.data() + offset, 1, size);
+  }
+  if (journal_) {
+    MarkDirty(*r, offset, size);
+  }
+  if (!r->local_state.empty()) {
+    EvictLocalDecode(*r, offset, size);
+  }
+  if (r->shared_decode != nullptr) {
+    // The cache no longer matches the bytes; fall back to per-machine decode.
+    r->shared_decode = nullptr;
+    fetch_win_len_ = 0;
+  }
 }
 
 Bytes Machine::ReadMemory(uint32_t addr, uint32_t size) const {
@@ -57,8 +255,63 @@ Bytes Machine::ReadMemory(uint32_t addr, uint32_t size) const {
   return Bytes(p, p + size);
 }
 
-bool Machine::LoadBytes(uint32_t addr, uint32_t size, uint32_t* out, bool* out_defined) {
-  Region* r = FindRegion(addr, size);
+bool Machine::AllDefined(uint32_t addr, uint32_t size) const {
+  const Region* r = FindRegion(addr, size);
+  if (r == nullptr) {
+    return false;
+  }
+  if (!r->reference_defined.empty()) {
+    // Reference mode: the byte shadow is authoritative (see SetByteDefined).
+    for (uint32_t i = 0; i < size; i++) {
+      if (r->reference_defined[addr - r->base + i] == 0) {
+        return false;
+      }
+    }
+    return true;
+  }
+  if (r->all_defined) {
+    return true;
+  }
+  if (r->defined_bits.empty()) {
+    return size == 0;
+  }
+  uint32_t offset = addr - r->base;
+  for (uint32_t i = 0; i < size; i++) {
+    uint32_t byte = offset + i;
+    if ((r->defined_bits[byte >> 6] >> (byte & 63) & 1) == 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+const Machine::Region* Machine::ReferenceFindRegion(uint32_t addr, uint32_t size) const {
+  for (const auto& r : regions_) {
+    uint64_t end = static_cast<uint64_t>(r.base) + r.data.size();
+    if (addr >= r.base && static_cast<uint64_t>(addr) + size <= end) {
+      return &r;
+    }
+  }
+  return nullptr;
+}
+
+bool Machine::ByteDefined(const Region& r, uint32_t byte) {
+  // Reference-mode read: the original byte-per-byte shadow (materialized by
+  // DisableDecodeCache, which is the only way into the reference paths).
+  return r.reference_defined[byte] != 0;
+}
+
+void Machine::SetByteDefined(Region& r, uint32_t byte, bool defined) {
+  // Reference-mode write: one shadow byte, exactly the original store cost. While
+  // the shadow exists it is authoritative (AllDefined consults it); the packed
+  // bitmap is not maintained here — every reference store is journaled, so ResetTo
+  // restores accurate bitmap state from the prototype before rebuilding the shadow.
+  r.reference_defined[byte] = defined ? 1 : 0;
+}
+
+bool Machine::ReferenceLoadBytes(uint32_t addr, uint32_t size, uint32_t* out,
+                                 bool* out_defined) const {
+  const Region* r = ReferenceFindRegion(addr, size);
   if (r == nullptr) {
     return false;
   }
@@ -68,15 +321,16 @@ bool Machine::LoadBytes(uint32_t addr, uint32_t size, uint32_t* out, bool* out_d
   bool defined = true;
   for (uint32_t i = 0; i < size; i++) {
     v |= static_cast<uint32_t>(p[i]) << (8 * i);
-    defined = defined && r->defined[offset + i] != 0;
+    defined = defined && ByteDefined(*r, offset + i);
   }
   *out = v;
   *out_defined = defined;
   return true;
 }
 
-bool Machine::StoreBytes(uint32_t addr, uint32_t size, uint32_t value, bool value_defined) {
-  Region* r = FindRegion(addr, size);
+bool Machine::ReferenceStoreBytes(uint32_t addr, uint32_t size, uint32_t value,
+                                  bool value_defined) {
+  Region* r = const_cast<Region*>(ReferenceFindRegion(addr, size));
   if (r == nullptr || !r->writable) {
     return false;
   }
@@ -84,18 +338,211 @@ bool Machine::StoreBytes(uint32_t addr, uint32_t size, uint32_t value, bool valu
   uint8_t* p = r->data.data() + offset;
   for (uint32_t i = 0; i < size; i++) {
     p[i] = static_cast<uint8_t>(value >> (8 * i));
-    r->defined[offset + i] = value_defined ? 1 : 0;
+    SetByteDefined(*r, offset + i, value_defined);
+  }
+  // Unlike the original, keep the journal and decode eviction honest: a reference
+  // machine is still a correct Machine (resettable, peekable), just slow.
+  if (journal_) {
+    MarkDirty(*r, offset, size);
+  }
+  if (!r->local_state.empty()) {
+    EvictLocalDecode(*r, offset, size);
   }
   return true;
 }
 
-std::optional<Instr> Machine::PeekInstr() const {
+bool Machine::LoadBytes(uint32_t addr, uint32_t size, uint32_t* out, bool* out_defined) {
+  const Region* r = FindRegionImpl(addr, size, &last_data_region_);
+  if (r == nullptr) {
+    return false;
+  }
+  uint32_t offset = addr - r->base;
+  const uint8_t* p = r->data.data() + offset;
+  switch (size) {
+    case 4:
+      *out = LoadLe32(p);
+      break;
+    case 2:
+      *out = static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8;
+      break;
+    default:
+      *out = p[0];
+      break;
+  }
+  *out_defined = RangeDefined(*r, offset, size);
+  return true;
+}
+
+bool Machine::StoreBytes(uint32_t addr, uint32_t size, uint32_t value, bool value_defined) {
+  Region* r =
+      const_cast<Region*>(FindRegionImpl(addr, size, &last_data_region_));
+  if (r == nullptr || !r->writable) {
+    return false;
+  }
+  uint32_t offset = addr - r->base;
+  uint8_t* p = r->data.data() + offset;
+  switch (size) {
+    case 4:
+      StoreLe32(p, value);
+      break;
+    case 2:
+      p[0] = static_cast<uint8_t>(value);
+      p[1] = static_cast<uint8_t>(value >> 8);
+      break;
+    default:
+      p[0] = static_cast<uint8_t>(value);
+      break;
+  }
+  // Aligned 1/2/4-byte stores never straddle a bitmap word or a journal page, so the
+  // bookkeeping is one masked OR each (Step enforces the alignment).
+  if (value_defined) {
+    if (!r->all_defined) {
+      if (r->defined_bits.empty()) {
+        MaterializeBits(*r, false);
+      }
+      uint64_t mask = ((uint64_t{1} << size) - 1) << (offset & 63);
+      r->defined_bits[offset >> 6] |= mask;
+    }
+  } else {
+    if (r->all_defined) {
+      MaterializeBits(*r, true);
+      r->all_defined = false;
+    } else if (r->defined_bits.empty()) {
+      MaterializeBits(*r, false);
+    }
+    uint64_t mask = ((uint64_t{1} << size) - 1) << (offset & 63);
+    r->defined_bits[offset >> 6] &= ~mask;
+  }
+  if (journal_) {
+    uint32_t page = offset / kPageSize;
+    r->dirty_pages[page >> 6] |= uint64_t{1} << (page & 63);
+  }
+  if (!r->local_state.empty()) {
+    EvictLocalDecode(*r, offset, size);
+  }
+  return true;
+}
+
+const char* Machine::ReferenceFetch(const Instr** out) const {
+  // Reference mode: the original fetch — linear region scan, per-byte definedness
+  // walk, Decode() every time.
   uint32_t word;
-  bool defined;
-  if (!const_cast<Machine*>(this)->LoadBytes(pc_, 4, &word, &defined) || !defined) {
+  bool fetch_defined;
+  if (!ReferenceLoadBytes(pc_, 4, &word, &fetch_defined)) {
+    return "instruction fetch out of bounds";
+  }
+  if (!fetch_defined) {
+    return "instruction fetch of undefined memory";
+  }
+  std::optional<Instr> decoded = Decode(word);
+  if (!decoded.has_value()) {
+    return "undecodable instruction";
+  }
+  reference_scratch_ = *decoded;
+  *out = &reference_scratch_;
+  return nullptr;
+}
+
+const char* Machine::FetchDecoded(const Instr** out) const {
+  uint32_t pc = pc_;
+  // Hot path: the direct-mapped window over the last shared cache that served a
+  // fetch. One subtract + compare proves pc and pc+4 are in a read-only,
+  // all-defined, cache-covered region.
+  uint32_t win_off = pc - fetch_win_base_;
+  if (__builtin_expect(win_off < fetch_win_len_, 1)) {
+    decode_hits_++;
+    const DecodeCache::Entry* entry = fetch_win_ + (win_off >> 2);
+    if (__builtin_expect(!entry->valid, 0)) {
+      return "undecodable instruction";
+    }
+    *out = &entry->instr;
+    return nullptr;
+  }
+  const Region* r = nullptr;
+  if (last_fetch_region_ < regions_.size()) {
+    const Region& hint = regions_[last_fetch_region_];
+    uint32_t offset = pc - hint.base;
+    if (offset < hint.size() && 4 <= hint.size() - offset) {
+      region_cache_hits_++;
+      r = &hint;
+    }
+  }
+  if (r == nullptr) {
+    r = FindRegionImpl(pc, 4, &last_fetch_region_);
+    if (r == nullptr) {
+      return "instruction fetch out of bounds";
+    }
+  }
+  uint32_t offset = pc - r->base;
+  if (r->shared_decode != nullptr && r->all_defined) {
+    const DecodeCache::Entry* entry = r->shared_decode->Lookup(pc);
+    if (entry != nullptr) {
+      decode_hits_++;
+      // Arm the window over the intersection of the cache and the region, indexed
+      // from the cache base (entry i covers cache_base + 4*i).
+      uint32_t cache_base = r->shared_decode->base();
+      uint64_t end = std::min<uint64_t>(
+          static_cast<uint64_t>(cache_base) + r->shared_decode->words() * 4,
+          static_cast<uint64_t>(r->base) + r->size());
+      if (end >= static_cast<uint64_t>(cache_base) + 4) {
+        fetch_win_base_ = cache_base;
+        fetch_win_len_ = static_cast<uint32_t>(end - cache_base) - 3;
+        fetch_win_ = r->shared_decode->entries();
+      }
+      if (!entry->valid) {
+        return "undecodable instruction";
+      }
+      *out = &entry->instr;
+      return nullptr;
+    }
+  }
+  // Per-machine path (writable regions, or bytes past a shared cache): cache the
+  // decode per word; stores evict, so self-modifying code re-decodes.
+  if (r->local_state.empty()) {
+    size_t words = r->data.size() / 4;
+    r->local_state.assign(words, kLocalUnknown);
+    r->local_decode.resize(words);
+  }
+  uint32_t index = offset >> 2;
+  uint8_t state = r->local_state[index];
+  if (state == kLocalUnknown) {
+    if (!RangeDefined(*r, offset, 4)) {
+      state = kLocalUndefined;
+    } else {
+      std::optional<Instr> decoded = Decode(LoadLe32(r->data.data() + offset));
+      if (decoded.has_value()) {
+        r->local_decode[index] = *decoded;
+        state = kLocalValid;
+      } else {
+        state = kLocalUndecodable;
+      }
+    }
+    r->local_state[index] = state;
+  } else {
+    decode_hits_++;
+  }
+  switch (state) {
+    case kLocalValid:
+      *out = &r->local_decode[index];
+      return nullptr;
+    case kLocalUndefined:
+      return "instruction fetch of undefined memory";
+    default:
+      return "undecodable instruction";
+  }
+}
+
+std::optional<Instr> Machine::PeekInstr() const {
+  if ((pc_ & 3) != 0) {
     return std::nullopt;
   }
-  return Decode(word);
+  const Instr* decoded = nullptr;
+  const char* fault =
+      decode_caching_ ? FetchDecoded(&decoded) : ReferenceFetch(&decoded);
+  if (fault != nullptr) {
+    return std::nullopt;
+  }
+  return *decoded;
 }
 
 Machine::StepResult Machine::Fault(const std::string& reason) {
@@ -106,24 +553,22 @@ Machine::StepResult Machine::Fault(const std::string& reason) {
   return StepResult::kFault;
 }
 
-Machine::StepResult Machine::Step() {
-  if (pc_ == kReturnSentinel) {
+// The one interpreter body, instantiated twice: kCached = true is the production
+// hot path (decode caches, hinted lookup, packed bitmaps) with no reference-mode
+// branches compiled in; kCached = false is the reference interpreter. Both run the
+// identical execution switch below, which is what keeps them bit-equivalent.
+template <bool kCached>
+Machine::StepResult Machine::StepImpl() {
+  if (__builtin_expect(pc_ == kReturnSentinel, 0)) {
     return StepResult::kHalt;
   }
-  if ((pc_ & 3) != 0) {
+  if (__builtin_expect((pc_ & 3) != 0, 0)) {
     return Fault("misaligned pc");
   }
-  uint32_t word;
-  bool fetch_defined;
-  if (!LoadBytes(pc_, 4, &word, &fetch_defined)) {
-    return Fault("instruction fetch out of bounds");
-  }
-  if (!fetch_defined) {
-    return Fault("instruction fetch of undefined memory");
-  }
-  std::optional<Instr> decoded = Decode(word);
-  if (!decoded.has_value()) {
-    return Fault("undecodable instruction");
+  const Instr* decoded = nullptr;
+  const char* fetch_fault = kCached ? FetchDecoded(&decoded) : ReferenceFetch(&decoded);
+  if (__builtin_expect(fetch_fault != nullptr, 0)) {
+    return Fault(fetch_fault);
   }
   const Instr& in = *decoded;
   Value rs1 = regs_[in.rs1];
@@ -194,7 +639,9 @@ Machine::StepResult Machine::Step() {
       }
       uint32_t raw;
       bool load_defined;
-      if (!LoadBytes(addr, size, &raw, &load_defined)) {
+      bool in_bounds = kCached ? LoadBytes(addr, size, &raw, &load_defined)
+                               : ReferenceLoadBytes(addr, size, &raw, &load_defined);
+      if (!in_bounds) {
         return Fault("load out of bounds");
       }
       if (!load_defined) {
@@ -223,7 +670,9 @@ Machine::StepResult Machine::Step() {
       }
       // Storing an undefined value is legal (CompCert stores Vundef bytes); the taint
       // of undefinedness travels through memory instead.
-      if (!StoreBytes(addr, size, rs2.bits, rs2.defined)) {
+      bool stored = kCached ? StoreBytes(addr, size, rs2.bits, rs2.defined)
+                            : ReferenceStoreBytes(addr, size, rs2.bits, rs2.defined);
+      if (!stored) {
         return Fault("store out of bounds or read-only");
       }
       break;
@@ -343,15 +792,34 @@ Machine::StepResult Machine::Step() {
   return StepResult::kOk;
 }
 
-Machine::StepResult Machine::Run(uint64_t max_steps) {
+// The reference interpreter keeps the original compilation structure too: one
+// out-of-line Step call per instruction (the original Step was far too large to
+// inline into Run), so the recorded "before" leg measures what the original
+// binary measured, not a better-compiled version of it.
+__attribute__((noinline)) Machine::StepResult Machine::ReferenceStep() {
+  return StepImpl<false>();
+}
+
+Machine::StepResult Machine::Step() {
+  return decode_caching_ ? StepImpl<true>() : ReferenceStep();
+}
+
+template <bool kCached>
+Machine::StepResult Machine::RunImpl(uint64_t max_steps) {
   for (uint64_t i = 0; i < max_steps; i++) {
-    StepResult r = Step();
+    StepResult r = kCached ? StepImpl<true>() : ReferenceStep();
     if (r != StepResult::kOk) {
       return r;
     }
   }
   fault_reason_ = "step limit exceeded";
   return StepResult::kFault;
+}
+
+Machine::StepResult Machine::Run(uint64_t max_steps) {
+  // Dispatch on the mode once, outside the loop, so the hot loop runs the cached
+  // instantiation with no per-step mode check.
+  return decode_caching_ ? RunImpl<true>(max_steps) : RunImpl<false>(max_steps);
 }
 
 Machine::StepResult Machine::CallFunction(uint32_t function, const std::vector<uint32_t>& args,

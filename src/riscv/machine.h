@@ -5,11 +5,30 @@
 // assembly-circuit synchronization relies on), uses a structured memory model (named
 // regions with bounds, an effectively unbounded stack), and tracks undefined register
 // values (CompCert's `undef`), which the synchronization rules treat specially.
+//
+// Performance architecture (the substrate under every checker's instr/s number):
+//   - Fetch goes through decode caches instead of re-running Decode() per step. A
+//     read-only code region can carry a shared immutable DecodeCache (built once per
+//     firmware image, shared across machines *and* threads); fetches from writable
+//     regions fall back to a lazy per-machine cache whose entries are evicted by
+//     stores, so self-modifying code stays correct.
+//   - Definedness is a word-packed per-byte bitmap plus a per-region `all_defined`
+//     fast flag, instead of a byte-per-byte vector walked on every access.
+//   - Region lookup keeps the region list sorted by base and consults a last-hit
+//     cache first (fetch and data accesses each keep their own hint so the two
+//     streams do not thrash a single slot).
+//   - A dirty-page journal (EnableDirtyJournal/ResetTo) lets a harness reuse one
+//     machine across trials: reset restores only the pages the previous run touched
+//     instead of rebuilding ~1.5 MiB of regions per trial.
+// None of this changes semantics: every fast path produces bit-identical results to
+// the plain interpretation (tests/machine_test.cc holds the equivalence proofs).
 #ifndef PARFAIT_RISCV_MACHINE_H_
 #define PARFAIT_RISCV_MACHINE_H_
 
 #include <array>
 #include <cstdint>
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -27,6 +46,39 @@ struct Value {
   static Value Undef() { return Value{0, false}; }
 
   friend bool operator==(const Value&, const Value&) = default;
+};
+
+// An immutable decode cache over a code region: one entry per 4-byte word, built
+// once from the region's bytes. Because entries are never mutated after
+// construction, one cache (held through shared_ptr) is safely shared by any number
+// of machines on any number of threads — provided the backing bytes cannot change,
+// i.e. the covered region is read-only.
+class DecodeCache {
+ public:
+  struct Entry {
+    Instr instr{};        // Valid only when `valid` is set.
+    uint32_t raw = 0;     // The encoded word (callers get it without re-reading ROM).
+    bool valid = false;   // False: the word does not decode in RV32IM.
+  };
+
+  DecodeCache(uint32_t base, std::span<const uint8_t> bytes);
+
+  uint32_t base() const { return base_; }
+  size_t words() const { return entries_.size(); }
+  const Entry* entries() const { return entries_.data(); }
+
+  // Entry for the 4-aligned word at `addr`, or nullptr when out of range.
+  const Entry* Lookup(uint32_t addr) const {
+    uint32_t offset = addr - base_;
+    if (addr < base_ || (offset >> 2) >= entries_.size()) {
+      return nullptr;
+    }
+    return &entries_[offset >> 2];
+  }
+
+ private:
+  uint32_t base_;
+  std::vector<Entry> entries_;
 };
 
 class Machine {
@@ -48,9 +100,34 @@ class Machine {
   void AddRegion(const std::string& name, uint32_t base, uint32_t size, bool writable,
                  bool initially_defined = true);
 
+  // Attaches a shared immutable decode cache to the (read-only) region containing
+  // cache->base(). Fetches covered by the cache skip Decode() entirely. The cache
+  // must have been built from the exact bytes the region holds.
+  void AttachDecodeCache(std::shared_ptr<const DecodeCache> cache);
+
+  // Fast reset. EnableDirtyJournal() arms page-granular write tracking on every
+  // region; ResetTo(prototype) then restores only the journaled pages (plus
+  // registers, pc, and counters), leaving this machine semantically identical to a
+  // fresh copy of `prototype` at a cost proportional to what the last run touched.
+  // The prototype must have the same region layout (it normally is the machine this
+  // one was copied from) and is only read — sharing one prototype across threads is
+  // safe.
+  void EnableDirtyJournal();
+  void ResetTo(const Machine& prototype);
+
+  // Reference-interpreter mode: re-enacts the original interpreter's memory path —
+  // linear region scan, per-byte definedness walks, Decode() on every fetch — with
+  // no decode cache, hinted lookup, or word-packed fast path. Semantically
+  // identical, only slower; this is the "before" leg of bench/micro_sim's
+  // before/after record. There is no way back to cached mode on this machine.
+  void DisableDecodeCache();
+
   // Bulk access for harnesses; addresses must fall inside one region.
   void WriteMemory(uint32_t addr, std::span<const uint8_t> data);
   Bytes ReadMemory(uint32_t addr, uint32_t size) const;
+
+  // True iff every byte of [addr, addr+size) is inside one region and defined.
+  bool AllDefined(uint32_t addr, uint32_t size) const;
 
   Value reg(uint8_t index) const { return regs_[index]; }
   void set_reg(uint8_t index, Value v) {
@@ -66,7 +143,8 @@ class Machine {
   const std::string& fault_reason() const { return fault_reason_; }
 
   // Decodes the instruction at the current pc without executing (used by the Knox2
-  // synchronization logic to classify the next sync point).
+  // synchronization logic to classify the next sync point). Served from the decode
+  // caches, so peeking before stepping costs one lookup, not a second Decode().
   std::optional<Instr> PeekInstr() const;
 
   // Executes one instruction.
@@ -80,26 +158,147 @@ class Machine {
   StepResult CallFunction(uint32_t function, const std::vector<uint32_t>& args,
                           uint64_t max_steps);
 
+  // Substrate counters since the last TakePerfCounters() call. Harnesses flush these
+  // into the telemetry registry; they are diagnostics, not semantic state.
+  struct PerfCounters {
+    uint64_t decode_hits = 0;        // Fetches served by a decode cache.
+    uint64_t region_cache_hits = 0;  // Region lookups served by a last-hit slot.
+    uint64_t fast_resets = 0;        // ResetTo() calls.
+  };
+  PerfCounters TakePerfCounters();
+
  private:
+  // Dirty-journal page size. Must be a multiple of 64 so a page's definedness bits
+  // occupy whole words of the bitmap.
+  static constexpr uint32_t kPageSize = 256;
+
   struct Region {
     std::string name;
-    uint32_t base;
-    bool writable;
+    uint32_t base = 0;
+    bool writable = false;
     std::vector<uint8_t> data;
-    std::vector<uint8_t> defined;  // Byte-granular definedness (CompCert Vundef bytes).
+    // Per-byte definedness, bit-packed (bit i of defined_bits[i / 64] covers byte
+    // i). Empty while the region is uniformly defined (all_defined == true) or
+    // uniformly undefined (all_defined == false); materialized by the first store
+    // that breaks uniformity.
+    std::vector<uint64_t> defined_bits;
+    bool all_defined = false;
+    // Shared immutable decode cache (read-only regions; see AttachDecodeCache).
+    std::shared_ptr<const DecodeCache> shared_decode;
+    // Lazy per-machine decode cache for fetches not covered by shared_decode.
+    // Mutable: filling it from PeekInstr()/Step() does not change machine state.
+    // Entries are evicted by stores to the covered word (self-modifying code).
+    mutable std::vector<uint8_t> local_state;  // See LocalDecode* constants.
+    mutable std::vector<Instr> local_decode;
+    // Dirty-page journal, bit-packed (allocated by EnableDirtyJournal).
+    std::vector<uint64_t> dirty_pages;
+    // Reference-mode byte-per-byte definedness shadow (see DisableDecodeCache):
+    // the original interpreter's representation, kept so the "before" benchmark
+    // leg pays the original cache footprint. Reads go through the shadow; stores
+    // keep shadow and bitmap coherent. Empty outside reference mode.
+    std::vector<uint8_t> reference_defined;
+
+    uint32_t size() const { return static_cast<uint32_t>(data.size()); }
   };
 
-  Region* FindRegion(uint32_t addr, uint32_t size);
-  const Region* FindRegion(uint32_t addr, uint32_t size) const;
+  // Local decode cache entry states.
+  static constexpr uint8_t kLocalUnknown = 0;
+  static constexpr uint8_t kLocalValid = 1;
+  static constexpr uint8_t kLocalUndecodable = 2;
+  static constexpr uint8_t kLocalUndefined = 3;
+
+  // The one const-correct region lookup: sorted-by-base search behind a caller-owned
+  // last-hit slot. Both the mutable and the const entry points funnel here. The
+  // hint check stays inline (one subtract + two compares on the hot path); the
+  // sorted search lives out of line in FindRegionSlow.
+  const Region* FindRegionSlow(uint32_t addr, uint32_t size, size_t* hint) const;
+  const Region* FindRegionImpl(uint32_t addr, uint32_t size, size_t* hint) const {
+    if (*hint < regions_.size()) {
+      const Region& r = regions_[*hint];
+      // 32-bit bounds check: addr < base wraps offset high and fails the compare.
+      uint32_t offset = addr - r.base;
+      if (__builtin_expect(offset < r.size() && size <= r.size() - offset, 1)) {
+        region_cache_hits_++;
+        return &r;
+      }
+    }
+    return FindRegionSlow(addr, size, hint);
+  }
+  Region* FindRegion(uint32_t addr, uint32_t size) {
+    return const_cast<Region*>(FindRegionImpl(addr, size, &last_data_region_));
+  }
+  const Region* FindRegion(uint32_t addr, uint32_t size) const {
+    return FindRegionImpl(addr, size, &last_data_region_);
+  }
+
+  // True iff bytes [offset, offset+size) of r are defined. `size` is 1, 2, or 4 and
+  // offset is size-aligned (the aligned-access invariant Step enforces), so the bits
+  // never straddle a bitmap word.
+  static bool RangeDefined(const Region& r, uint32_t offset, uint32_t size);
+  // Sets or clears the definedness bits for an arbitrary byte range.
+  static void SetDefinedRange(Region& r, uint32_t offset, uint32_t size, bool defined);
+  // Materializes the bitmap as uniformly `defined` (the state the flags encode).
+  static void MaterializeBits(Region& r, bool defined);
+
+  void MarkDirty(Region& r, uint32_t offset, uint32_t size);
+  // Evicts local decode entries covering bytes [offset, offset+size).
+  static void EvictLocalDecode(const Region& r, uint32_t offset, uint32_t size);
+
+  // Decoded fetch at pc_ through the caches; returns nullptr and sets *out on
+  // success, or the fault reason. Shared by Step() and PeekInstr().
+  const char* FetchDecoded(const Instr** out) const;
+  // Reference-mode fetch: linear scan + per-byte walk + Decode() every time.
+  const char* ReferenceFetch(const Instr** out) const;
+
+  // The interpreter body, instantiated for the cached and the reference memory
+  // path; both share one execution switch (see machine.cc).
+  template <bool kCached>
+  StepResult StepImpl();
+  template <bool kCached>
+  StepResult RunImpl(uint64_t max_steps);
+  // Out-of-line reference step (see machine.cc for why it is never inlined).
+  StepResult ReferenceStep();
+
   bool LoadBytes(uint32_t addr, uint32_t size, uint32_t* out, bool* out_defined);
   bool StoreBytes(uint32_t addr, uint32_t size, uint32_t value, bool value_defined);
+
+  // Reference-mode slow paths (see DisableDecodeCache): the original interpreter's
+  // memory accesses, kept byte-for-byte equivalent to the fast paths above.
+  const Region* ReferenceFindRegion(uint32_t addr, uint32_t size) const;
+  static void MaterializeReferenceShadow(Region& r);
+  static bool ByteDefined(const Region& r, uint32_t byte);
+  static void SetByteDefined(Region& r, uint32_t byte, bool defined);
+  bool ReferenceLoadBytes(uint32_t addr, uint32_t size, uint32_t* out,
+                          bool* out_defined) const;
+  bool ReferenceStoreBytes(uint32_t addr, uint32_t size, uint32_t value,
+                           bool value_defined);
   StepResult Fault(const std::string& reason);
 
   std::array<Value, 32> regs_;
   uint32_t pc_ = 0;
   uint64_t instret_ = 0;
-  std::vector<Region> regions_;
+  std::vector<Region> regions_;  // Sorted by base.
   std::string fault_reason_;
+  bool journal_ = false;
+  bool decode_caching_ = true;
+  mutable Instr reference_scratch_{};  // Fetch result in reference mode.
+
+  // Last-hit region slots and perf counters. Mutable: lookup caches and counters are
+  // not semantic state, so const reads (ReadMemory, PeekInstr) may update them.
+  mutable size_t last_data_region_ = 0;
+  mutable size_t last_fetch_region_ = 0;
+  // Direct-mapped fetch window over the last shared decode cache that served a
+  // fetch: `pc - base < len` resolves a fetch with one subtract and one compare.
+  // Points into immutable DecodeCache entries (kept alive by the region's
+  // shared_ptr), so a machine copy can carry it verbatim. len is region size minus 3
+  // so the compare also proves pc+4 stays in range. Dropped whenever the region set
+  // or cache attachment changes.
+  mutable uint32_t fetch_win_base_ = 0;
+  mutable uint32_t fetch_win_len_ = 0;
+  mutable const DecodeCache::Entry* fetch_win_ = nullptr;
+  mutable uint64_t decode_hits_ = 0;
+  mutable uint64_t region_cache_hits_ = 0;
+  uint64_t fast_resets_ = 0;
 };
 
 }  // namespace parfait::riscv

@@ -50,6 +50,7 @@ Bus::Bus(const BusConfig& config) : config_(config) {
   fram_ = Mem{kFramBase, std::vector<uint8_t>(config.fram_size),
               std::vector<uint8_t>(config.fram_size), true};
   decoded_.resize(config.rom_size / 4);
+  decoded_raw_.resize(config.rom_size / 4, 0);
   decode_state_.resize(config.rom_size / 4, 0);
 }
 
@@ -75,18 +76,22 @@ void Bus::SetFramTaint(uint32_t offset, uint32_t size, bool tainted) {
   std::memset(fram_.taint.data() + offset, tainted ? 0xff : 0, size);
 }
 
-Bus::Mem* Bus::FindMem(uint32_t addr, uint32_t size) {
-  for (Mem* m : {&ram_, &rom_, &fram_}) {
+const Bus::Mem* Bus::FindMemImpl(uint32_t addr, uint32_t size) const {
+  const Mem* mems[] = {&ram_, &rom_, &fram_};
+  const Mem* hint = mems[last_mem_];
+  if (addr >= hint->base && static_cast<uint64_t>(addr) + size <=
+                                static_cast<uint64_t>(hint->base) + hint->data.size()) {
+    return hint;
+  }
+  for (uint8_t i = 0; i < 3; i++) {
+    const Mem* m = mems[i];
     uint64_t end = static_cast<uint64_t>(m->base) + m->data.size();
     if (addr >= m->base && static_cast<uint64_t>(addr) + size <= end) {
+      last_mem_ = i;
       return m;
     }
   }
   return nullptr;
-}
-
-const Bus::Mem* Bus::FindMem(uint32_t addr, uint32_t size) const {
-  return const_cast<Bus*>(this)->FindMem(addr, size);
 }
 
 bool Bus::Read(uint32_t addr, uint32_t size, rtl::Word* out) {
@@ -150,6 +155,7 @@ const riscv::Instr* Bus::Fetch(uint32_t addr, uint32_t* raw_word) {
     uint32_t index = (addr - rom_.base) / 4;
     if (decode_state_[index] == 0) {
       uint32_t word = parfait::LoadLe32(rom_.data.data() + (addr - rom_.base));
+      decoded_raw_[index] = word;
       auto decoded = riscv::Decode(word);
       if (decoded.has_value()) {
         decoded_[index] = *decoded;
@@ -159,7 +165,7 @@ const riscv::Instr* Bus::Fetch(uint32_t addr, uint32_t* raw_word) {
       }
     }
     if (raw_word != nullptr) {
-      *raw_word = parfait::LoadLe32(rom_.data.data() + (addr - rom_.base));
+      *raw_word = decoded_raw_[index];
     }
     return decode_state_[index] == 1 ? &decoded_[index] : nullptr;
   }

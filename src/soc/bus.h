@@ -111,8 +111,13 @@ class Bus {
     bool writable;
   };
 
-  Mem* FindMem(uint32_t addr, uint32_t size);
-  const Mem* FindMem(uint32_t addr, uint32_t size) const;
+  // The one const-correct lookup; checks the last-hit slot before scanning. The slot
+  // is an index (not a pointer) so copying a Bus cannot leave it dangling.
+  const Mem* FindMemImpl(uint32_t addr, uint32_t size) const;
+  Mem* FindMem(uint32_t addr, uint32_t size) {
+    return const_cast<Mem*>(FindMemImpl(addr, size));
+  }
+  const Mem* FindMem(uint32_t addr, uint32_t size) const { return FindMemImpl(addr, size); }
 
   BusConfig config_;
   Mem rom_;
@@ -122,9 +127,14 @@ class Bus {
   std::vector<TaintLeak> leaks_;
   bool taint_tracking_ = false;
 
-  // Decode cache for ROM words.
+  // Decode cache for ROM words. decoded_raw_ keeps the encoded word next to the
+  // decode so a warm Fetch never re-reads ROM.
   std::vector<riscv::Instr> decoded_;
+  std::vector<uint32_t> decoded_raw_;
   std::vector<uint8_t> decode_state_;  // 0 = unknown, 1 = valid, 2 = invalid.
+
+  // Last-hit memory for FindMem (index into {ram_, rom_, fram_} scan order).
+  mutable uint8_t last_mem_ = 0;
 };
 
 }  // namespace parfait::soc

@@ -1,0 +1,328 @@
+// Equivalence proofs for the simulator fast paths (machine.h "Performance
+// architecture"): decode caches, the word-packed definedness bitmap, and the
+// dirty-page journal must be invisible — every observable (memory bytes, per-byte
+// definedness, registers, pc, instret, fetch results) stays bit-identical to the
+// plain interpretation.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/riscv/assembler.h"
+#include "src/riscv/machine.h"
+#include "src/support/bytes.h"
+
+namespace parfait::riscv {
+namespace {
+
+constexpr uint32_t kRomBase = 0x00000000;
+constexpr uint32_t kRamBase = 0x20000000;
+constexpr uint32_t kRomSize = 64 * 1024;
+constexpr uint32_t kRamSize = 64 * 1024;
+
+// Hand-encoded RV32I words for code planted in RAM.
+constexpr uint32_t kAddiA0X0_1 = 0x00100513;  // addi a0, x0, 1
+constexpr uint32_t kAddiA0X0_2 = 0x00200513;  // addi a0, x0, 2
+constexpr uint32_t kEcall = 0x00000073;
+
+Bytes Word(uint32_t w) {
+  Bytes b(4);
+  StoreLe32(b.data(), w);
+  return b;
+}
+
+// Assembles and loads a program the way ModelAsm loads an image: ROM read-only, RAM
+// writable and *initially undefined* (so the definedness bitmap paths are exercised),
+// sp at the top of RAM, pc at _start.
+Machine Load(const std::string& asm_text) {
+  auto program = ParseAssembly(asm_text);
+  EXPECT_TRUE(program.ok()) << program.error();
+  auto image = program.value().Link(kRomBase, kRamBase);
+  EXPECT_TRUE(image.ok()) << image.error();
+  Machine m;
+  m.AddRegion("rom", kRomBase, kRomSize, /*writable=*/false);
+  m.AddRegion("ram", kRamBase, kRamSize, /*writable=*/true, /*initially_defined=*/false);
+  m.WriteMemory(kRomBase, image.value().rom);
+  const Image& img = image.value();
+  if (img.data_size > 0) {
+    Bytes init = m.ReadMemory(img.SymbolOrDie("__data_lma"), img.data_size);
+    m.WriteMemory(img.SymbolOrDie("__data_start"), init);
+  }
+  m.set_pc(image.value().SymbolOrDie("_start"));
+  m.set_reg(2, Value::Defined(kRamBase + kRamSize));  // sp at top of RAM.
+  return m;
+}
+
+// Full observable-state comparison: bytes, per-byte definedness, registers, pc,
+// instret, fault reason.
+void ExpectSameState(const Machine& a, const Machine& b) {
+  EXPECT_EQ(a.ReadMemory(kRomBase, kRomSize), b.ReadMemory(kRomBase, kRomSize));
+  EXPECT_EQ(a.ReadMemory(kRamBase, kRamSize), b.ReadMemory(kRamBase, kRamSize));
+  for (uint32_t addr = kRamBase; addr < kRamBase + kRamSize; addr++) {
+    if (a.AllDefined(addr, 1) != b.AllDefined(addr, 1)) {
+      FAIL() << "definedness mismatch at 0x" << std::hex << addr;
+    }
+  }
+  for (uint8_t i = 0; i < 32; i++) {
+    EXPECT_EQ(a.reg(i), b.reg(i)) << "register x" << int{i};
+  }
+  EXPECT_EQ(a.pc(), b.pc());
+  EXPECT_EQ(a.instret(), b.instret());
+  EXPECT_EQ(a.fault_reason(), b.fault_reason());
+}
+
+// A run that dirties many pages (word and byte stores across 16 KiB of RAM) and ends
+// with registers derived from loads, covering store/load fast paths.
+constexpr const char* kDirtyingProgram = R"(
+  _start:
+    li t0, 0x20000000
+    li t1, 0
+    li t2, 64
+  loop:
+    sw t1, 0(t0)
+    sb t1, 5(t0)
+    addi t0, t0, 256
+    addi t1, t1, 1
+    blt t1, t2, loop
+    li t3, 0x20000000
+    lw a0, 0(t3)
+    lb a1, 261(t3)
+    ecall
+)";
+
+TEST(MachineJournal, FastResetMatchesFreshMachine) {
+  Machine proto = Load(kDirtyingProgram);
+  proto.EnableDirtyJournal();
+  Machine fresh = proto;   // Never run: the oracle.
+  Machine reused = proto;  // Run, then fast-reset.
+
+  ASSERT_EQ(reused.Run(100000), Machine::StepResult::kHalt) << reused.fault_reason();
+  EXPECT_GT(reused.instret(), 0u);
+  reused.ResetTo(proto);
+  EXPECT_EQ(reused.TakePerfCounters().fast_resets, 1u);
+  ExpectSameState(reused, fresh);
+}
+
+TEST(MachineJournal, RunAfterFastResetMatchesRunOnFreshMachine) {
+  Machine proto = Load(kDirtyingProgram);
+  proto.EnableDirtyJournal();
+  Machine fresh = proto;
+  Machine reused = proto;
+
+  ASSERT_EQ(reused.Run(100000), Machine::StepResult::kHalt) << reused.fault_reason();
+  reused.ResetTo(proto);
+  ASSERT_EQ(reused.Run(100000), Machine::StepResult::kHalt) << reused.fault_reason();
+  ASSERT_EQ(fresh.Run(100000), Machine::StepResult::kHalt) << fresh.fault_reason();
+  ExpectSameState(reused, fresh);
+}
+
+TEST(MachineJournal, ResetRestoresSelfModifiedCode) {
+  // Code lives in (writable, journaled) RAM; the run overwrites it. Reset must
+  // restore both the bytes and the fetch behavior (no stale local decode entries).
+  Machine proto;
+  proto.AddRegion("ram", kRamBase, kRamSize, /*writable=*/true);
+  proto.WriteMemory(kRamBase, Word(kAddiA0X0_1));
+  proto.WriteMemory(kRamBase + 4, Word(kEcall));
+  proto.set_pc(kRamBase);
+  proto.EnableDirtyJournal();
+
+  Machine m = proto;
+  ASSERT_EQ(m.Run(10), Machine::StepResult::kHalt);
+  EXPECT_EQ(m.reg(10), Value::Defined(1));
+
+  m.WriteMemory(kRamBase, Word(kAddiA0X0_2));
+  m.set_pc(kRamBase);
+  ASSERT_EQ(m.Run(10), Machine::StepResult::kHalt);
+  EXPECT_EQ(m.reg(10), Value::Defined(2));
+
+  m.ResetTo(proto);
+  ASSERT_EQ(m.Run(10), Machine::StepResult::kHalt);
+  EXPECT_EQ(m.reg(10), Value::Defined(1));
+}
+
+TEST(MachineDecode, StoreEvictsCachedDecode) {
+  // Executed stores (not just WriteMemory) must invalidate the per-machine decode
+  // cache: the program rewrites its RAM continuation and jumps to it.
+  Machine m = Load(R"(
+    _start:
+      li t0, 0x20000000
+      li t1, 0x00100513
+      sw t1, 0(t0)
+      li t1, 0x00000073
+      sw t1, 4(t0)
+      jr t0
+  )");
+  // First, execute planted RAM code once so its decode is cached.
+  m.WriteMemory(kRamBase, Word(kAddiA0X0_2));
+  m.WriteMemory(kRamBase + 4, Word(kEcall));
+  uint32_t start = m.pc();
+  m.set_pc(kRamBase);
+  ASSERT_EQ(m.Run(10), Machine::StepResult::kHalt);
+  EXPECT_EQ(m.reg(10), Value::Defined(2));
+  // The ROM program overwrites word 0 with "addi a0, x0, 1"; a stale cache entry
+  // would still yield 2.
+  m.set_pc(start);
+  ASSERT_EQ(m.Run(1000), Machine::StepResult::kHalt) << m.fault_reason();
+  EXPECT_EQ(m.reg(10), Value::Defined(1));
+}
+
+TEST(MachineDecode, SharedCacheMatchesUncachedRun) {
+  const char* program = R"(
+    _start:
+      li a0, 0
+      li t1, 10
+    loop:
+      addi a0, a0, 3
+      addi t1, t1, -1
+      bnez t1, loop
+      ecall
+  )";
+  Machine plain = Load(program);
+  Machine cached = Load(program);
+  auto cache = std::make_shared<DecodeCache>(kRomBase, cached.ReadMemory(kRomBase, kRomSize));
+  cached.AttachDecodeCache(cache);
+
+  ASSERT_EQ(plain.Run(1000), Machine::StepResult::kHalt);
+  ASSERT_EQ(cached.Run(1000), Machine::StepResult::kHalt);
+  EXPECT_EQ(plain.reg(10), cached.reg(10));
+  EXPECT_EQ(plain.instret(), cached.instret());
+  EXPECT_EQ(plain.pc(), cached.pc());
+  EXPECT_GT(cached.TakePerfCounters().decode_hits, 0u);
+}
+
+// The benchmark "before" leg (DisableDecodeCache: linear region scan, byte-per-byte
+// definedness shadow, Decode() on every fetch) must stay bit-equivalent to the
+// production fast paths across stores, loads, and definedness propagation.
+TEST(MachineDecode, ReferenceModeMatchesCachedRun) {
+  Machine cached = Load(kDirtyingProgram);
+  auto cache = std::make_shared<DecodeCache>(kRomBase, cached.ReadMemory(kRomBase, kRomSize));
+  cached.AttachDecodeCache(cache);
+  Machine reference = Load(kDirtyingProgram);
+  reference.DisableDecodeCache();
+
+  EXPECT_EQ(cached.PeekInstr().has_value(), reference.PeekInstr().has_value());
+  ASSERT_EQ(cached.Run(100000), Machine::StepResult::kHalt) << cached.fault_reason();
+  ASSERT_EQ(reference.Run(100000), Machine::StepResult::kHalt)
+      << reference.fault_reason();
+  ExpectSameState(cached, reference);
+  EXPECT_EQ(reference.TakePerfCounters().decode_hits, 0u);
+}
+
+TEST(MachineDecode, OneCacheServesManyMachines) {
+  const char* program = R"(
+    _start:
+      li a0, 123
+      ecall
+  )";
+  Machine a = Load(program);
+  auto cache = std::make_shared<DecodeCache>(kRomBase, a.ReadMemory(kRomBase, kRomSize));
+  a.AttachDecodeCache(cache);
+  Machine b = a;  // Copies share the cache (shared_ptr, immutable).
+  ASSERT_EQ(a.Run(10), Machine::StepResult::kHalt);
+  ASSERT_EQ(b.Run(10), Machine::StepResult::kHalt);
+  EXPECT_EQ(a.reg(10), Value::Defined(123));
+  EXPECT_EQ(b.reg(10), Value::Defined(123));
+}
+
+TEST(MachineDecode, PeekInstrServedByCache) {
+  Machine m = Load(R"(
+    _start:
+      li a0, 5
+      ecall
+  )");
+  auto cache = std::make_shared<DecodeCache>(kRomBase, m.ReadMemory(kRomBase, kRomSize));
+  m.AttachDecodeCache(cache);
+  auto peek = m.PeekInstr();
+  ASSERT_TRUE(peek.has_value());
+  auto perf = m.TakePerfCounters();
+  EXPECT_GT(perf.decode_hits, 0u);
+  // Peek must agree with what Step executes.
+  ASSERT_EQ(m.Step(), Machine::StepResult::kOk);
+  EXPECT_EQ(m.reg(peek->rd), Value::Defined(5));
+}
+
+TEST(MachineDefinedness, PartialWriteLeavesWordUndefined) {
+  Machine m = Load(R"(
+    _start:
+      li t0, 0x20000100
+      li t1, 0xaa
+      sb t1, 0(t0)
+      lw a0, 0(t0)
+      sb t1, 1(t0)
+      sb t1, 2(t0)
+      sb t1, 3(t0)
+      lw a1, 0(t0)
+      ecall
+  )");
+  ASSERT_EQ(m.Run(1000), Machine::StepResult::kHalt) << m.fault_reason();
+  EXPECT_FALSE(m.reg(10).defined) << "3 of 4 bytes never written";
+  EXPECT_EQ(m.reg(11), Value::Defined(0xaaaaaaaa));
+  EXPECT_TRUE(m.AllDefined(0x20000100, 4));
+  EXPECT_FALSE(m.AllDefined(0x20000104, 1));
+}
+
+TEST(MachineDefinedness, UndefinednessTravelsThroughMemory) {
+  Machine m = Load(R"(
+    _start:
+      li t0, 0x20000200
+      lw a0, 0(t0)
+      sw a0, 8(t0)
+      lw a1, 8(t0)
+      li a2, 7
+      ecall
+  )");
+  ASSERT_EQ(m.Run(1000), Machine::StepResult::kHalt) << m.fault_reason();
+  EXPECT_FALSE(m.reg(10).defined) << "load of never-written RAM";
+  EXPECT_FALSE(m.reg(11).defined) << "undef store then load";
+  EXPECT_EQ(m.reg(12), Value::Defined(7));
+  EXPECT_FALSE(m.AllDefined(0x20000208, 4));
+}
+
+TEST(MachineDefinedness, UndefinedStoreIntoDefinedRegionBreaksUniformity) {
+  // A region that is uniformly defined must materialize its bitmap when an undefined
+  // value lands in it, and only the stored bytes become undefined.
+  Machine n;
+  n.AddRegion("code", kRomBase, 4096, /*writable=*/false);
+  n.AddRegion("ram", kRamBase, 4096, /*writable=*/true, /*initially_defined=*/true);
+  n.AddRegion("scratch", 0x30000000, 4096, /*writable=*/true, /*initially_defined=*/false);
+  // lw a0, 0(t0); sw a0, 0(t1); ecall   with t0 -> scratch, t1 -> ram.
+  n.WriteMemory(kRomBase + 0, Word(0x0002a503));  // lw a0, 0(t0)
+  n.WriteMemory(kRomBase + 4, Word(0x00a32023));  // sw a0, 0(t1)
+  n.WriteMemory(kRomBase + 8, Word(kEcall));
+  n.set_reg(5, Value::Defined(0x30000000));  // t0
+  n.set_reg(6, Value::Defined(kRamBase));    // t1
+  n.set_pc(kRomBase);
+  ASSERT_EQ(n.Run(10), Machine::StepResult::kHalt) << n.fault_reason();
+  EXPECT_FALSE(n.reg(10).defined);
+  EXPECT_FALSE(n.AllDefined(kRamBase, 4)) << "stored undefined bytes";
+  EXPECT_TRUE(n.AllDefined(kRamBase + 4, 4092 - 4)) << "rest of the region untouched";
+}
+
+TEST(MachineDefinedness, WriteMemoryDefinesBytes) {
+  Machine m;
+  m.AddRegion("ram", kRamBase, 4096, /*writable=*/true, /*initially_defined=*/false);
+  EXPECT_FALSE(m.AllDefined(kRamBase, 1));
+  m.WriteMemory(kRamBase + 8, Bytes{1, 2, 3});
+  EXPECT_TRUE(m.AllDefined(kRamBase + 8, 3));
+  EXPECT_FALSE(m.AllDefined(kRamBase + 8, 4));
+  EXPECT_FALSE(m.AllDefined(kRamBase + 7, 2));
+  EXPECT_EQ(m.ReadMemory(kRamBase + 8, 3), (Bytes{1, 2, 3}));
+}
+
+TEST(MachineDefinedness, FetchFromUndefinedMemoryFaults) {
+  Machine m;
+  m.AddRegion("ram", kRamBase, 4096, /*writable=*/true, /*initially_defined=*/false);
+  m.set_pc(kRamBase);
+  EXPECT_EQ(m.Step(), Machine::StepResult::kFault);
+  EXPECT_TRUE(m.fault_reason().find("instruction fetch of undefined memory") == 0)
+      << m.fault_reason();
+}
+
+TEST(MachineRegions, LookupHitsLastHitCache) {
+  Machine m = Load(kDirtyingProgram);
+  ASSERT_EQ(m.Run(100000), Machine::StepResult::kHalt);
+  auto perf = m.TakePerfCounters();
+  EXPECT_GT(perf.region_cache_hits, 0u);
+}
+
+}  // namespace
+}  // namespace parfait::riscv

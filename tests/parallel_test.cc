@@ -11,7 +11,12 @@
 #include <type_traits>
 #include <vector>
 
+#include "src/hsm/app.h"
+#include "src/ipr/equivalence.h"
 #include "src/ipr/lockstep.h"
+#include "src/ipr/state_machine.h"
+#include "src/platform/firmware.h"
+#include "src/platform/model_asm.h"
 #include "src/starling/starling.h"
 #include "src/support/parallel.h"
 #include "src/support/rng.h"
@@ -292,6 +297,112 @@ TEST(Determinism, CheckLockstepReportsAreThreadCountInvariant) {
                 serial_pass.telemetry.CounterValue("ipr/lockstep/fig6a_checks") +
                 serial_pass.telemetry.CounterValue("ipr/lockstep/fig6b_checks"),
             static_cast<uint64_t>(serial_pass.checks_run));
+}
+
+// ---- Decode-cache modes: reports invariant under shared / per-thread / no cache ----
+//
+// The simulator fast paths (machine templates, dirty-page reset, shared decode cache)
+// must be invisible to the checkers: an equivalence run whose impl leg executes the
+// real firmware under model-Asm has to produce bit-identical reports whether the ROM
+// decode cache is one immutable object shared across all worker threads, one copy per
+// thread, or absent — at every thread count.
+
+platform::ModelAsm MakeHasherModel() {
+  const hsm::App& app = hsm::HasherApp();
+  platform::FirmwareConfig config;
+  config.app_sources = app.FirmwareSources();
+  config.state_size = static_cast<uint32_t>(app.state_size());
+  config.command_size = static_cast<uint32_t>(app.command_size());
+  config.response_size = static_cast<uint32_t>(app.response_size());
+  config.opt_level = 2;
+  auto image = platform::BuildFirmware(config);
+  EXPECT_TRUE(image.ok()) << image.error();
+  platform::ModelAsm::Sizes sizes{config.state_size, config.command_size,
+                                  config.response_size};
+  return platform::ModelAsm(image.value(), sizes);
+}
+
+ipr::EquivalenceCheckResult RunModelAsmEquivalence(const platform::ModelAsm& model,
+                                                   int threads) {
+  const hsm::App& app = hsm::HasherApp();
+  ipr::StateMachine<Bytes, Bytes, Bytes> spec = {
+      app.InitStateEncoded(),
+      [&app](const Bytes& state, const Bytes& cmd) -> std::pair<Bytes, Bytes> {
+        auto step = app.SpecStepEncoded(state, cmd);
+        if (!step.has_value()) {
+          return {state, app.EncodeResponseNone()};
+        }
+        return {step->first, step->second};
+      }};
+  ipr::StateMachine<Bytes, Bytes, Bytes> impl = {
+      app.InitStateEncoded(),
+      [&model](const Bytes& state, const Bytes& cmd) -> std::pair<Bytes, Bytes> {
+        auto step = model.Step(state, cmd, 100'000'000);
+        EXPECT_TRUE(step.ok) << step.fault;
+        return {step.state, step.response};
+      }};
+  ipr::EquivalenceCheckOptions options;
+  options.trials = 8;
+  options.ops_per_trial = 6;
+  options.num_threads = threads;
+  return ipr::CheckObservationalEquivalence<Bytes, Bytes, Bytes, Bytes>(
+      spec, impl, [&app](Rng& rng) {
+        return rng.Below(3) == 0 ? app.RandomInvalidCommand(rng)
+                                 : app.RandomValidCommand(rng);
+      },
+      [](const Bytes& b) { return ToHex(b); }, options);
+}
+
+TEST(Determinism, ModelAsmReportsAreCacheModeAndThreadCountInvariant) {
+  platform::ModelAsm model = MakeHasherModel();
+
+  // Baseline: no prebuilt decode cache, strictly serial.
+  platform::ModelAsm::SetDecodeCacheMode(platform::DecodeCacheMode::kOff);
+  auto baseline = RunModelAsmEquivalence(model, 1);
+  EXPECT_TRUE(baseline.ok) << baseline.counterexample;
+  EXPECT_GT(baseline.checks_run, 0);
+
+  for (auto mode : {platform::DecodeCacheMode::kShared, platform::DecodeCacheMode::kPerThread,
+                    platform::DecodeCacheMode::kOff}) {
+    platform::ModelAsm::SetDecodeCacheMode(mode);
+    for (int threads : {1, 2, 8}) {
+      auto report = RunModelAsmEquivalence(model, threads);
+      std::string where = "mode " + std::to_string(static_cast<int>(mode)) + ", " +
+                          std::to_string(threads) + " threads";
+      EXPECT_EQ(report.ok, baseline.ok) << where;
+      EXPECT_EQ(report.counterexample, baseline.counterexample) << where;
+      EXPECT_EQ(report.checks_run, baseline.checks_run) << where;
+      EXPECT_EQ(report.telemetry.ToJson(), baseline.telemetry.ToJson()) << where;
+    }
+  }
+  // Restore the default so test order cannot leak a mode into other suites.
+  platform::ModelAsm::SetDecodeCacheMode(platform::DecodeCacheMode::kShared);
+}
+
+TEST(Determinism, SharedPrototypeSurvivesConcurrentFirstUse) {
+  // Hammer one ModelAsm from many threads with no warm-up: the lazily built
+  // prototype and shared cache must come up exactly once and every thread must see
+  // the same results (this is the TSan target for the template machinery).
+  platform::ModelAsm model = MakeHasherModel();
+  platform::ModelAsm::SetDecodeCacheMode(platform::DecodeCacheMode::kShared);
+  const hsm::App& app = hsm::HasherApp();
+  Rng rng(7);
+  Bytes cmd = app.RandomValidCommand(rng);
+  Bytes state = app.InitStateEncoded();
+  auto expected = model.Step(state, cmd, 100'000'000);
+  ASSERT_TRUE(expected.ok) << expected.fault;
+
+  platform::ModelAsm fresh = MakeHasherModel();
+  ThreadPool pool(8);
+  std::atomic<int> mismatches{0};
+  ParallelFor(pool, 64, [&](size_t) {
+    auto got = fresh.Step(state, cmd, 100'000'000);
+    if (!got.ok || got.state != expected.state || got.response != expected.response ||
+        got.instret != expected.instret) {
+      mismatches.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(mismatches.load(), 0);
 }
 
 }  // namespace
