@@ -1,0 +1,149 @@
+// Microbenchmark for the static leakage lint: abstract-interpretation throughput
+// (instructions analyzed per second of wall clock) and time-to-fixpoint for both
+// case-study firmware images.
+//
+// Emitted as BENCH_lint.json so the analyzer's cost is recorded next to its
+// coverage numbers:
+//   {"bench":"micro_lint",
+//    "apps":[{"app":"hasher","instrs_analyzed":...,"fixpoint_iters":...,
+//             "findings":0,"seconds_to_fixpoint":...,"instr_per_s":...},...]}
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/analysis/lint.h"
+#include "src/hsm/app.h"
+#include "src/hsm/hsm_system.h"
+
+namespace parfait {
+namespace {
+
+const hsm::HsmSystem& SystemFor(const std::string& app) {
+  static hsm::HsmSystem* hasher = new hsm::HsmSystem(hsm::HasherApp(), hsm::HsmBuildOptions{});
+  static hsm::HsmSystem* ecdsa = new hsm::HsmSystem(hsm::EcdsaApp(), hsm::HsmBuildOptions{});
+  return app == "hasher" ? *hasher : *ecdsa;
+}
+
+// One full lint run to fixpoint per iteration. The per-iteration wall clock is the
+// seconds-to-fixpoint figure; the instrs_analyzed rate counter is the throughput
+// figure (abstract instructions executed, i.e. re-analysis under the worklist
+// counts — that is the quantity the analyzer actually pays for).
+void RunLintBench(benchmark::State& state, const std::string& app) {
+  const hsm::HsmSystem& system = SystemFor(app);
+  uint64_t instrs = 0;
+  uint64_t iters = 0;
+  uint64_t findings = 0;
+  for (auto _ : state) {
+    analysis::LintReport report = analysis::RunLintForSystem(system);
+    benchmark::DoNotOptimize(report.ok);
+    instrs += report.telemetry.CounterValue("lint/instrs_analyzed");
+    iters += report.telemetry.CounterValue("lint/fixpoint_iters");
+    findings = report.findings.size();
+  }
+  state.counters["instr/s"] =
+      benchmark::Counter(static_cast<double>(instrs), benchmark::Counter::kIsRate);
+  state.counters["instrs_analyzed"] = benchmark::Counter(
+      state.iterations() > 0 ? static_cast<double>(instrs) / static_cast<double>(state.iterations())
+                             : 0);
+  state.counters["fixpoint_iters"] = benchmark::Counter(
+      state.iterations() > 0 ? static_cast<double>(iters) / static_cast<double>(state.iterations())
+                             : 0);
+  state.counters["findings"] = benchmark::Counter(static_cast<double>(findings));
+  state.SetLabel(app);
+}
+
+void BM_LintHasher(benchmark::State& state) { RunLintBench(state, "hasher"); }
+BENCHMARK(BM_LintHasher)->Unit(benchmark::kMillisecond);
+
+void BM_LintEcdsa(benchmark::State& state) { RunLintBench(state, "ecdsa"); }
+BENCHMARK(BM_LintEcdsa)->Unit(benchmark::kMillisecond);
+
+// Console reporter that also collects the rate counters and per-iteration times so
+// main() can assemble BENCH_lint.json after the runs.
+class LintCollector : public benchmark::ConsoleReporter {
+ public:
+  struct Result {
+    double seconds_per_iter = 0;
+    std::map<std::string, double> counters;
+    std::string label;
+  };
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      Result& r = results_[run.benchmark_name()];
+      r.seconds_per_iter =
+          run.iterations > 0 ? run.real_accumulated_time / static_cast<double>(run.iterations)
+                             : 0;
+      for (const auto& [name, counter] : run.counters) {
+        r.counters[name] = counter.value;
+      }
+      r.label = run.report_label;
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+
+  const std::map<std::string, Result>& results() const { return results_; }
+
+ private:
+  std::map<std::string, Result> results_;
+};
+
+std::string LintJson(const LintCollector& c) {
+  std::string out = "{\"bench\":\"micro_lint\",\"apps\":[";
+  bool first = true;
+  for (const auto& [name, result] : c.results()) {
+    if (name.rfind("BM_Lint", 0) != 0) {
+      continue;
+    }
+    auto counter = [&](const char* key) {
+      auto it = result.counters.find(key);
+      return it != result.counters.end() ? it->second : 0.0;
+    };
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"app\":\"%s\",\"instrs_analyzed\":%.0f,\"fixpoint_iters\":%.0f,"
+                  "\"findings\":%.0f,\"seconds_to_fixpoint\":%.4f,\"instr_per_s\":%.0f}",
+                  first ? "" : ",", result.label.c_str(), counter("instrs_analyzed"),
+                  counter("fixpoint_iters"), counter("findings"), result.seconds_per_iter,
+                  counter("instr/s"));
+    out += buf;
+    first = false;
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace
+}  // namespace parfait
+
+int main(int argc, char** argv) {
+  // benchmark::Initialize hard-errors on flags it does not know, so only the
+  // --benchmark_* flags pass through; everything else (e.g. --json=) is ours.
+  std::vector<char*> bench_argv;
+  bench_argv.push_back(argv[0]);
+  for (int i = 1; i < argc; i++) {
+    if (std::strncmp(argv[i], "--benchmark_", 12) == 0) {
+      bench_argv.push_back(argv[i]);
+    }
+  }
+  int bench_argc = static_cast<int>(bench_argv.size());
+  benchmark::Initialize(&bench_argc, bench_argv.data());
+
+  parfait::LintCollector collector;
+  benchmark::RunSpecifiedBenchmarks(&collector);
+
+  std::string json = parfait::LintJson(collector);
+  const char* path = parfait::bench::FlagStr(argc, argv, "--json", "BENCH_lint.json");
+  std::FILE* f = std::fopen(path, "w");
+  if (f != nullptr) {
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("lint bench written to %s\n", path);
+  }
+  benchmark::Shutdown();
+  return 0;
+}

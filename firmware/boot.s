@@ -3,6 +3,8 @@
 # Sets up the C execution environment: stack pointer, .data copy from ROM, .bss zero,
 # then enters main(). main() never returns; if it does, halt the core.
 .text
+.globl _start
+.type _start, @function
 _start:
     la sp, STACK_TOP
 

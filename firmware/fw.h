@@ -12,6 +12,10 @@
 typedef unsigned char u8;
 typedef unsigned int u32;
 
+/* MiniC `secret` storage qualifier (taint-seed annotation for the static leakage
+ * lint); a no-op for host compilers. */
+#define secret
+
 static inline u32 __mulhu(u32 a, u32 b) {
   return (u32)(((unsigned long long)a * (unsigned long long)b) >> 32);
 }

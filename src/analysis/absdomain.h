@@ -1,0 +1,216 @@
+// Abstract domain for the static leakage lint: an unsigned-interval value domain
+// paired with a three-point taint lattice and two kinds of provenance.
+//
+// The taint lattice orders Public < Unknown < Secret (join = max). `Unknown` is what
+// untracked memory reads produce: it never fires a policy check (only Secret does),
+// which is the documented precision/soundness trade recorded in DESIGN.md — the
+// analyzer is sound for memory-safe firmware whose addresses it can bound.
+//
+// Intervals exist purely to keep taint precise: firmware loop counters, journal
+// pointers, and rodata table indices must stay bounded or every array copy smears
+// secret taint across the address space. Bounds are refined along branch edges via
+// predicate provenance (PredNode): RV32 materializes comparisons into boolean
+// registers (sltu/slt/xor+sltiu), so the boolean's abstract value carries *what was
+// compared*, letting the branch edge refine the compared register or stack slot.
+//
+// Taint provenance (ProvNode) is the second chain: every load that turns a register
+// secret records where the secret came from, so findings explain the flow from the
+// FRAM seed region to the leaking instruction.
+#ifndef PARFAIT_ANALYSIS_ABSDOMAIN_H_
+#define PARFAIT_ANALYSIS_ABSDOMAIN_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <tuple>
+#include <utility>
+
+namespace parfait::analysis {
+
+enum class Taint : uint8_t { kPublic = 0, kUnknown = 1, kSecret = 2 };
+
+inline Taint JoinTaint(Taint a, Taint b) { return a > b ? a : b; }
+
+// A node in a taint provenance chain (pcs of the loads that moved the secret, rooted
+// at the seed region). Nodes are arena-owned and deduplicated on (pc, addr, parent),
+// so chains stay compact across fixpoint iterations.
+struct ProvNode {
+  enum class Kind : uint8_t { kSeed, kLoad };
+  Kind kind = Kind::kSeed;
+  uint32_t pc = 0;    // Load site (kLoad) or 0 (kSeed).
+  uint32_t addr = 0;  // Loaded-from address (lo bound) or seed region start.
+  uint32_t size = 0;  // Seed region length (kSeed only).
+  const ProvNode* parent = nullptr;
+};
+
+// Arena + dedup map for provenance nodes. Single-threaded; pointers stable.
+class ProvArena {
+ public:
+  const ProvNode* Seed(uint32_t addr, uint32_t size) {
+    return Intern(ProvNode{ProvNode::Kind::kSeed, 0, addr, size, nullptr});
+  }
+  const ProvNode* Load(uint32_t pc, uint32_t addr, const ProvNode* parent) {
+    return Intern(ProvNode{ProvNode::Kind::kLoad, pc, addr, 0, parent});
+  }
+
+  size_t size() const { return nodes_.size(); }
+
+ private:
+  const ProvNode* Intern(const ProvNode& node) {
+    auto key = std::make_tuple(static_cast<int>(node.kind), node.pc, node.addr,
+                               node.size, node.parent);
+    auto [it, inserted] = index_.try_emplace(key, nullptr);
+    if (inserted) {
+      nodes_.push_back(node);
+      it->second = &nodes_.back();
+    }
+    return it->second;
+  }
+
+  std::deque<ProvNode> nodes_;  // deque: stable addresses.
+  std::map<std::tuple<int, uint32_t, uint32_t, uint32_t, const ProvNode*>,
+           const ProvNode*>
+      index_;
+};
+
+// Where a register value was loaded from (for refining the backing stack slot when
+// the register is compared and branched on). `version` is the state's store counter
+// at load time: any intervening store invalidates the link.
+struct SrcLoc {
+  bool valid = false;
+  uint32_t addr = 0;     // Word-aligned slot address.
+  uint64_t version = 0;
+};
+
+// One side of a recorded comparison.
+struct PredOperand {
+  uint32_t lo = 0, hi = 0xffffffffu;  // Interval at compare time.
+  uint8_t reg = 0;                    // Register that held it (0 = x0 / none).
+  uint64_t reg_version = 0;           // Register def-counter at compare time.
+  SrcLoc src;                         // Backing memory slot, if any.
+};
+
+// Predicate provenance for a materialized boolean:
+//   kUlt:  value == 1  <=>  lhs  <u rhs
+//   kEq:   value == 1  <=>  lhs  == rhs   (from xor+sltiu)
+//   kDiff: value == 0  <=>  lhs  == rhs   (a raw xor; composes into kEq/kNe)
+// `negated` flips the boolean sense (from `xori b, b, 1`).
+struct PredNode {
+  enum class Kind : uint8_t { kUlt, kEq, kDiff };
+  Kind kind = Kind::kUlt;
+  bool negated = false;
+  PredOperand lhs;
+  PredOperand rhs;
+};
+
+// Arena + dedup map for predicate nodes. Fixpoint iteration re-executes every
+// compare many times with identical operand snapshots, so interning keeps the arena
+// proportional to distinct (site, context) pairs, not to abstract steps. Past the
+// cap, Intern returns nullptr — callers lose refinement precision, never soundness.
+class PredArena {
+ public:
+  const PredNode* Intern(const PredNode& node) {
+    auto key = std::make_tuple(static_cast<int>(node.kind), node.negated,
+                               OperandKey(node.lhs), OperandKey(node.rhs));
+    auto found = index_.find(key);
+    if (found != index_.end()) {
+      return found->second;
+    }
+    if (nodes_.size() >= kMaxNodes) {
+      return nullptr;
+    }
+    nodes_.push_back(node);
+    index_.emplace(key, &nodes_.back());
+    return &nodes_.back();
+  }
+  size_t size() const { return nodes_.size(); }
+
+ private:
+  static constexpr size_t kMaxNodes = 1u << 20;
+  using OpKey = std::tuple<uint32_t, uint32_t, uint8_t, uint64_t, bool, uint32_t, uint64_t>;
+  static OpKey OperandKey(const PredOperand& op) {
+    return {op.lo, op.hi, op.reg, op.reg_version, op.src.valid, op.src.addr, op.src.version};
+  }
+
+  std::deque<PredNode> nodes_;  // deque: stable addresses.
+  std::map<std::tuple<int, bool, OpKey, OpKey>, const PredNode*> index_;
+};
+
+// An abstract value: unsigned interval + taint + provenance. The partial order /
+// join used for fixpointing considers (lo, hi, taint) only; prov/pred/src are
+// attributes that ride along (kept when both sides agree, dropped otherwise).
+struct AbsVal {
+  uint32_t lo = 0;
+  uint32_t hi = 0xffffffffu;
+  Taint taint = Taint::kPublic;
+  const ProvNode* prov = nullptr;
+  const PredNode* pred = nullptr;
+  SrcLoc src;
+
+  static AbsVal Const(uint32_t v) {
+    AbsVal out;
+    out.lo = out.hi = v;
+    return out;
+  }
+  static AbsVal TopPublic() { return AbsVal{}; }
+  static AbsVal TopUnknown() {
+    AbsVal out;
+    out.taint = Taint::kUnknown;
+    return out;
+  }
+  static AbsVal TopSecret(const ProvNode* prov) {
+    AbsVal out;
+    out.taint = Taint::kSecret;
+    out.prov = prov;
+    return out;
+  }
+
+  bool IsConst() const { return lo == hi; }
+  bool IsSecret() const { return taint == Taint::kSecret; }
+
+  // Lattice equality (the fixpoint convergence test).
+  bool SameAbstract(const AbsVal& o) const {
+    return lo == o.lo && hi == o.hi && taint == o.taint;
+  }
+
+  // true if this subsumes `o` (o's interval inside ours, o's taint <= ours).
+  bool Covers(const AbsVal& o) const {
+    return lo <= o.lo && hi >= o.hi && taint >= o.taint;
+  }
+};
+
+inline AbsVal JoinVal(const AbsVal& a, const AbsVal& b) {
+  AbsVal out;
+  out.lo = a.lo < b.lo ? a.lo : b.lo;
+  out.hi = a.hi > b.hi ? a.hi : b.hi;
+  out.taint = JoinTaint(a.taint, b.taint);
+  // Keep the provenance of whichever side is secret (first wins on a tie: the
+  // traversal order is deterministic, so so is this choice).
+  out.prov = (a.taint == Taint::kSecret) ? a.prov
+             : (b.taint == Taint::kSecret) ? b.prov
+                                           : nullptr;
+  out.pred = (a.pred == b.pred) ? a.pred : nullptr;
+  if (a.src.valid && b.src.valid && a.src.addr == b.src.addr &&
+      a.src.version == b.src.version) {
+    out.src = a.src;
+  }
+  return out;
+}
+
+// Widening: escape changed bounds to the extremes so loop fixpoints terminate fast.
+// Branch-edge refinement afterwards recovers the tight loop-body bounds.
+inline AbsVal WidenVal(const AbsVal& prev, const AbsVal& next) {
+  AbsVal out = JoinVal(prev, next);
+  if (out.lo < prev.lo) {
+    out.lo = 0;
+  }
+  if (out.hi > prev.hi) {
+    out.hi = 0xffffffffu;
+  }
+  return out;
+}
+
+}  // namespace parfait::analysis
+
+#endif  // PARFAIT_ANALYSIS_ABSDOMAIN_H_

@@ -1,0 +1,146 @@
+#include "src/analysis/cfg.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/support/bytes.h"
+
+namespace parfait::analysis {
+
+namespace {
+
+using riscv::Instr;
+using riscv::Op;
+
+bool IsCondBranch(Op op) {
+  return op == Op::kBeq || op == Op::kBne || op == Op::kBlt || op == Op::kBge ||
+         op == Op::kBltu || op == Op::kBgeu;
+}
+
+}  // namespace
+
+const FunctionCfg* Cfg::FunctionContaining(uint32_t pc) const {
+  auto it = functions.upper_bound(pc);
+  if (it == functions.begin()) {
+    return nullptr;
+  }
+  --it;
+  if (pc >= it->second.entry && pc < it->second.entry + it->second.size) {
+    return &it->second;
+  }
+  return nullptr;
+}
+
+Result<Cfg> BuildCfg(const riscv::Image& image) {
+  Cfg cfg;
+  for (const riscv::SymbolInfo& sym : image.symbol_table) {
+    if (sym.kind != riscv::SymbolKind::kFunction) {
+      continue;
+    }
+    FunctionCfg fn;
+    fn.name = sym.name;
+    fn.entry = sym.addr;
+    fn.size = sym.size;
+    if (sym.size == 0 || sym.addr % 4 != 0) {
+      return Result<Cfg>::Error("function " + sym.name + " has no usable extent");
+    }
+    uint32_t end = sym.addr + sym.size;
+
+    // Decode every word in the extent and collect leaders.
+    std::map<uint32_t, Instr> instrs;
+    std::set<uint32_t> leaders;
+    leaders.insert(fn.entry);
+    for (uint32_t pc = fn.entry; pc < end; pc += 4) {
+      uint32_t offset = pc - image.rom_base;
+      if (offset + 4 > image.rom.size()) {
+        return Result<Cfg>::Error("function " + sym.name + " extends past ROM");
+      }
+      uint32_t word = LoadLe32(image.rom.data() + offset);
+      auto decoded = riscv::Decode(word);
+      if (!decoded.has_value()) {
+        return Result<Cfg>::Error("undecodable word in " + sym.name + " at pc " +
+                                  std::to_string(pc));
+      }
+      instrs[pc] = *decoded;
+      cfg.instr_count++;
+      const Instr& in = *decoded;
+      if (IsCondBranch(in.op)) {
+        uint32_t target = pc + static_cast<uint32_t>(in.imm);
+        if (target < fn.entry || target >= end) {
+          return Result<Cfg>::Error("branch escapes " + sym.name + " at pc " +
+                                    std::to_string(pc));
+        }
+        leaders.insert(target);
+        leaders.insert(pc + 4);
+      } else if (in.op == Op::kJal) {
+        uint32_t target = pc + static_cast<uint32_t>(in.imm);
+        if (in.rd == 0) {
+          // Direct goto; must stay inside the function (the in-tree producers never
+          // emit tail jumps).
+          if (target < fn.entry || target >= end) {
+            return Result<Cfg>::Error("jump escapes " + sym.name + " at pc " +
+                                      std::to_string(pc));
+          }
+          leaders.insert(target);
+        }
+        leaders.insert(pc + 4);
+      } else if (in.op == Op::kJalr) {
+        leaders.insert(pc + 4);
+        if (!(in.rd == 0 && in.rs1 == 1 && in.imm == 0)) {
+          // Not the `ret` shape; the interpreter must bound the target.
+          cfg.indirect_jumps.push_back(pc);
+        }
+      } else if (in.op == Op::kEbreak || in.op == Op::kEcall) {
+        leaders.insert(pc + 4);
+      }
+    }
+
+    // Cut blocks at leaders.
+    std::vector<uint32_t> sorted(leaders.begin(), leaders.end());
+    sorted.erase(std::remove_if(sorted.begin(), sorted.end(),
+                                [&](uint32_t pc) { return pc >= end; }),
+                 sorted.end());
+    for (size_t i = 0; i < sorted.size(); i++) {
+      Block block;
+      block.start = sorted[i];
+      block.end = (i + 1 < sorted.size()) ? sorted[i + 1] : end;
+      uint32_t last_pc = block.end - 4;
+      const Instr& last = instrs.at(last_pc);
+      if (IsCondBranch(last.op)) {
+        block.exit = BlockExit::kBranch;
+        block.target = last_pc + static_cast<uint32_t>(last.imm);
+        block.succs = {block.target};
+        if (block.end < end) {
+          block.succs.push_back(block.end);
+        }
+      } else if (last.op == Op::kJal) {
+        if (last.rd == 0) {
+          block.exit = BlockExit::kJump;
+          block.target = last_pc + static_cast<uint32_t>(last.imm);
+          block.succs = {block.target};
+        } else {
+          block.exit = BlockExit::kCall;
+          block.target = last_pc + static_cast<uint32_t>(last.imm);
+          if (block.end < end) {
+            block.succs = {block.end};
+          }
+        }
+      } else if (last.op == Op::kJalr) {
+        block.exit = BlockExit::kIndirect;
+      } else if (last.op == Op::kEbreak || last.op == Op::kEcall) {
+        block.exit = BlockExit::kHalt;
+      } else {
+        block.exit = BlockExit::kFallThrough;
+        if (block.end < end) {
+          block.succs = {block.end};
+        }
+      }
+      fn.blocks[block.start] = std::move(block);
+    }
+    cfg.functions[fn.entry] = std::move(fn);
+  }
+  std::sort(cfg.indirect_jumps.begin(), cfg.indirect_jumps.end());
+  return cfg;
+}
+
+}  // namespace parfait::analysis

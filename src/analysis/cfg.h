@@ -1,0 +1,78 @@
+// Control-flow-graph recovery over a linked RV32IM firmware image.
+//
+// Function extents come from the assembler's symbol side table (SymbolKind::kFunction
+// entries carry sizes), so block discovery never has to guess where code ends — the
+// paper's toolchain controls both producers (boot assembly and the MiniC compiler),
+// and both mark their functions. Within a function, leaders are the entry, direct
+// branch/jump targets, and the instruction after any control transfer.
+//
+// Indirect jumps (jalr) are classified here, not resolved: `jalr x0, ra, 0` with the
+// callee's saved return address is the O0 return idiom and is handled symbolically by
+// the abstract interpreter (it tracks ra's exact value), while any other jalr is
+// recorded in `indirect_jumps` — a soundness caveat surfaced by the lint report when
+// the interpreter cannot bound the target to a single symbol-table function entry.
+#ifndef PARFAIT_ANALYSIS_CFG_H_
+#define PARFAIT_ANALYSIS_CFG_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/riscv/assembler.h"
+#include "src/riscv/isa.h"
+#include "src/support/status.h"
+
+namespace parfait::analysis {
+
+// How a basic block ends.
+enum class BlockExit : uint8_t {
+  kFallThrough,  // Runs into the next block.
+  kBranch,       // Conditional: taken target + fall-through.
+  kJump,         // jal x0 (direct goto): single target.
+  kCall,         // jal with a link register: target is a function entry; resumes after.
+  kIndirect,     // jalr: return or computed jump, resolved by the interpreter.
+  kHalt,         // ebreak / ecall.
+};
+
+struct Block {
+  uint32_t start = 0;
+  uint32_t end = 0;           // One past the last instruction byte.
+  BlockExit exit = BlockExit::kFallThrough;
+  uint32_t target = 0;        // kBranch / kJump taken target; kCall callee entry.
+  // Successor block starts inside the same function (deterministically ordered).
+  std::vector<uint32_t> succs;
+};
+
+struct FunctionCfg {
+  std::string name;
+  uint32_t entry = 0;
+  uint32_t size = 0;
+  // Blocks keyed by start pc (deterministic iteration).
+  std::map<uint32_t, Block> blocks;
+};
+
+struct Cfg {
+  // Functions keyed by entry pc.
+  std::map<uint32_t, FunctionCfg> functions;
+  // pcs of jalr instructions that are not the `ret` idiom's shape — candidates the
+  // abstract interpreter must resolve or report.
+  std::vector<uint32_t> indirect_jumps;
+  uint32_t instr_count = 0;
+
+  const FunctionCfg* FunctionAt(uint32_t entry) const {
+    auto it = functions.find(entry);
+    return it == functions.end() ? nullptr : &it->second;
+  }
+  // The function whose [entry, entry+size) extent contains pc, or nullptr.
+  const FunctionCfg* FunctionContaining(uint32_t pc) const;
+};
+
+// Recovers per-function CFGs for every kFunction symbol in the image's side table.
+// Fails on undecodable words inside a function extent or branch targets that escape
+// their function.
+Result<Cfg> BuildCfg(const riscv::Image& image);
+
+}  // namespace parfait::analysis
+
+#endif  // PARFAIT_ANALYSIS_CFG_H_

@@ -1,0 +1,72 @@
+#include "src/analysis/crosscheck.h"
+
+#include <cstdio>
+#include <map>
+#include <utility>
+
+#include "src/knox2/leakage.h"
+#include "src/support/rng.h"
+#include "src/support/status.h"
+
+namespace parfait::analysis {
+
+CrossCheckResult CrossCheck(const hsm::HsmSystem& system, const LintReport& report,
+                            const CrossCheckOptions& options) {
+  TELEMETRY_SPAN("lint/crosscheck");
+  PARFAIT_CHECK_MSG(system.options().taint_tracking,
+                    "CrossCheck needs an HsmSystem built with taint_tracking");
+  CrossCheckResult result;
+
+  // Deterministic replay workload from the app's initial state.
+  Rng rng(options.seed);
+  std::vector<Bytes> commands;
+  commands.reserve(static_cast<size_t>(options.commands));
+  for (int i = 0; i < options.commands; i++) {
+    commands.push_back(system.app().RandomValidCommand(rng));
+  }
+  knox2::TaintCheckOptions taint_options;
+  taint_options.max_cycles_per_command = options.max_cycles_per_command;
+  knox2::TaintCheckResult dynamic =
+      knox2::RunTaintCheck(system, system.app().InitStateEncoded(), commands, taint_options);
+
+  // Dynamic violations keyed by (pc, what); values count occurrences.
+  std::map<std::pair<uint32_t, std::string>, uint64_t> observed;
+  for (const soc::TaintLeak& leak : dynamic.leaks) {
+    observed[{leak.pc, leak.what}]++;
+  }
+
+  std::map<std::pair<uint32_t, std::string>, bool> predicted;
+  for (const Finding& f : report.findings) {
+    CrossCheckedFinding item;
+    item.finding = f;
+    auto key = std::make_pair(f.pc, std::string(FindingKindDynamicWhat(f.kind)));
+    predicted[key] = true;
+    auto it = observed.find(key);
+    if (it != observed.end()) {
+      item.confirmed = true;
+      item.dynamic_hits = it->second;
+      result.confirmed++;
+    } else {
+      result.unreached++;
+    }
+    result.items.push_back(std::move(item));
+  }
+  for (const auto& [key, hits] : observed) {
+    if (predicted.count(key) == 0) {
+      char buf[96];
+      std::snprintf(buf, sizeof(buf), "pc 0x%08x: ", key.first);
+      result.unpredicted.push_back(buf + key.second +
+                                   " (x" + std::to_string(hits) + ")");
+    }
+  }
+
+  result.telemetry.AddCounter("lint/crosscheck/findings", report.findings.size());
+  result.telemetry.AddCounter("lint/crosscheck/confirmed", result.confirmed);
+  result.telemetry.AddCounter("lint/crosscheck/unreached", result.unreached);
+  result.telemetry.AddCounter("lint/crosscheck/unpredicted", result.unpredicted.size());
+  result.telemetry.AddCounter("lint/crosscheck/commands", commands.size());
+  telemetry::Telemetry::Global().Merge(result.telemetry);
+  return result;
+}
+
+}  // namespace parfait::analysis

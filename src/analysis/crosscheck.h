@@ -1,0 +1,58 @@
+// Cross-checks static lint findings against the knox2 dynamic taint emulator.
+//
+// The static analyzer over-approximates: a finding is a *potential* policy
+// violation on some reachable path. Replaying the firmware under the cycle-level
+// dynamic taint monitor (the same one knox2's cosimulation uses) classifies each
+// finding: `confirmed` when the dynamic monitor records the same violation class at
+// the same pc, `unreached` when the replayed command workload never tripped it —
+// either a static false positive or a path the finite workload did not drive.
+//
+// The two policies agree by construction: FindingKindDynamicWhat maps each static
+// finding kind to the exact violation string src/soc/cpu_common.cc records.
+#ifndef PARFAIT_ANALYSIS_CROSSCHECK_H_
+#define PARFAIT_ANALYSIS_CROSSCHECK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/analysis/lint.h"
+#include "src/hsm/hsm_system.h"
+#include "src/support/telemetry.h"
+
+namespace parfait::analysis {
+
+struct CrossCheckOptions {
+  // Replay workload: `commands` random well-formed commands from a fixed seed, so
+  // the classification is deterministic.
+  int commands = 8;
+  uint64_t seed = 0x5eed;
+  uint64_t max_cycles_per_command = 600'000'000;
+};
+
+struct CrossCheckedFinding {
+  Finding finding;
+  bool confirmed = false;
+  // Dynamic evidence when confirmed: how many times the monitor recorded it.
+  uint64_t dynamic_hits = 0;
+};
+
+struct CrossCheckResult {
+  std::vector<CrossCheckedFinding> items;
+  int confirmed = 0;
+  int unreached = 0;
+  // Dynamic violations that the static pass did NOT predict. Always empty when the
+  // static pass is sound over the replayed paths; surfaced for regression tests.
+  std::vector<std::string> unpredicted;
+  telemetry::TelemetrySnapshot telemetry;
+};
+
+// Replays `system` (must be built with taint_tracking, and with the same
+// variable-latency-mul setting the lint policy used) from the app's initial state
+// and classifies every finding in `report`.
+CrossCheckResult CrossCheck(const hsm::HsmSystem& system, const LintReport& report,
+                            const CrossCheckOptions& options = {});
+
+}  // namespace parfait::analysis
+
+#endif  // PARFAIT_ANALYSIS_CROSSCHECK_H_

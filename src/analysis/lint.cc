@@ -1,0 +1,1226 @@
+#include "src/analysis/lint.h"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <map>
+#include <optional>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "src/riscv/disasm.h"
+#include "src/riscv/isa.h"
+#include "src/support/bytes.h"
+
+namespace parfait::analysis {
+
+namespace {
+
+using riscv::Instr;
+using riscv::Op;
+
+// Memory map (mirrors src/soc/bus.h; sizes come from LintConfig).
+constexpr uint32_t kRomBase = 0x00000000;
+constexpr uint32_t kRamBase = 0x20000000;
+constexpr uint32_t kFramBase = 0x40000000;
+constexpr uint32_t kUartBase = 0x80000000;
+constexpr uint32_t kUartSize = 16;
+
+enum class Region : uint8_t { kNone, kRom, kRam, kFram, kUart };
+
+std::string Hex(uint32_t v) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "0x%08x", v);
+  return buf;
+}
+
+// The abstract machine state at one program point: registers, word-granular memory
+// slots, and the version counters that guard predicate/source-location validity.
+// Versions only ever increase along paths and merge with max, so "version still
+// matches" proves no intervening redefinition on any joined path.
+struct AbsState {
+  std::array<AbsVal, 32> regs;
+  std::array<uint64_t, 32> reg_version{};
+  // Sparse word-aligned slots over RAM/FRAM. Absent slot = TopPublic.
+  std::map<uint32_t, AbsVal> mem;
+  uint64_t store_version = 1;
+};
+
+bool IsDefaultSlot(const AbsVal& v) {
+  return v.lo == 0 && v.hi == 0xffffffffu && v.taint == Taint::kPublic;
+}
+
+// Lattice equality over (lo, hi, taint); slots holding the region default compare
+// equal to absent slots so states converge regardless of which slots materialized.
+bool StatesSameAbstract(const AbsState& a, const AbsState& b) {
+  for (int i = 0; i < 32; i++) {
+    if (!a.regs[i].SameAbstract(b.regs[i])) {
+      return false;
+    }
+  }
+  auto ia = a.mem.begin();
+  auto ib = b.mem.begin();
+  while (ia != a.mem.end() || ib != b.mem.end()) {
+    while (ia != a.mem.end() && IsDefaultSlot(ia->second)) ++ia;
+    while (ib != b.mem.end() && IsDefaultSlot(ib->second)) ++ib;
+    if (ia == a.mem.end() || ib == b.mem.end()) {
+      return ia == a.mem.end() && ib == b.mem.end();
+    }
+    if (ia->first != ib->first || !ia->second.SameAbstract(ib->second)) {
+      return false;
+    }
+    ++ia;
+    ++ib;
+  }
+  return true;
+}
+
+uint64_t HashState(const AbsState& st) {
+  uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  for (int i = 0; i < 32; i++) {
+    mix(st.regs[i].lo);
+    mix(st.regs[i].hi);
+    mix(static_cast<uint64_t>(st.regs[i].taint));
+  }
+  for (const auto& [addr, v] : st.mem) {
+    if (IsDefaultSlot(v)) {
+      continue;
+    }
+    mix(addr);
+    mix(v.lo);
+    mix(v.hi);
+    mix(static_cast<uint64_t>(v.taint));
+  }
+  return h;
+}
+
+AbsState MergeStates(const AbsState& a, const AbsState& b, bool widen) {
+  AbsState out;
+  for (int i = 0; i < 32; i++) {
+    out.regs[i] = widen ? WidenVal(a.regs[i], b.regs[i]) : JoinVal(a.regs[i], b.regs[i]);
+    out.reg_version[i] = std::max(a.reg_version[i], b.reg_version[i]);
+  }
+  out.store_version = std::max(a.store_version, b.store_version);
+  auto ia = a.mem.begin();
+  auto ib = b.mem.begin();
+  AbsVal dflt = AbsVal::TopPublic();
+  while (ia != a.mem.end() || ib != b.mem.end()) {
+    uint32_t key;
+    const AbsVal* va = &dflt;
+    const AbsVal* vb = &dflt;
+    if (ib == b.mem.end() || (ia != a.mem.end() && ia->first < ib->first)) {
+      key = ia->first;
+      va = &ia->second;
+      ++ia;
+    } else if (ia == a.mem.end() || ib->first < ia->first) {
+      key = ib->first;
+      vb = &ib->second;
+      ++ib;
+    } else {
+      key = ia->first;
+      va = &ia->second;
+      vb = &ib->second;
+      ++ia;
+      ++ib;
+    }
+    AbsVal merged = widen ? WidenVal(*va, *vb) : JoinVal(*va, *vb);
+    if (!IsDefaultSlot(merged)) {
+      out.mem.emplace_hint(out.mem.end(), key, merged);
+    }
+  }
+  return out;
+}
+
+// Carries joined taint/provenance to a computed result (top interval by default).
+AbsVal MergeTaint(const AbsVal& a, const AbsVal& b) {
+  AbsVal out;
+  out.taint = JoinTaint(a.taint, b.taint);
+  out.prov = a.IsSecret() ? a.prov : (b.IsSecret() ? b.prov : nullptr);
+  return out;
+}
+
+// Wraps a 64-bit interval back into u32 space: keeps it when the span fits and does
+// not straddle the wrap point, otherwise leaves `out` at top.
+AbsVal RangedWrap(int64_t lo64, int64_t hi64, AbsVal out) {
+  if (hi64 - lo64 <= 0xffffffffll) {
+    uint32_t wlo = static_cast<uint32_t>(lo64);
+    uint32_t whi = static_cast<uint32_t>(hi64);
+    if (wlo <= whi) {
+      out.lo = wlo;
+      out.hi = whi;
+    }
+  }
+  return out;
+}
+
+AbsVal AddVals(const AbsVal& a, const AbsVal& b) {
+  return RangedWrap(static_cast<int64_t>(a.lo) + b.lo, static_cast<int64_t>(a.hi) + b.hi,
+                    MergeTaint(a, b));
+}
+
+AbsVal SubVals(const AbsVal& a, const AbsVal& b) {
+  return RangedWrap(static_cast<int64_t>(a.lo) - b.hi, static_cast<int64_t>(a.hi) - b.lo,
+                    MergeTaint(a, b));
+}
+
+uint32_t SignExt8(uint8_t v) { return static_cast<uint32_t>(static_cast<int32_t>(static_cast<int8_t>(v))); }
+uint32_t SignExt16(uint16_t v) { return static_cast<uint32_t>(static_cast<int32_t>(static_cast<int16_t>(v))); }
+
+// The relations a branch edge or a materialized boolean can assert.
+enum class Rel : uint8_t { kNone, kUlt, kUge, kEq, kNe };
+
+struct FindingKey {
+  uint32_t pc;
+  FindingKind kind;
+  bool operator<(const FindingKey& o) const {
+    return pc != o.pc ? pc < o.pc : kind < o.kind;
+  }
+};
+
+class Interp {
+ public:
+  Interp(const riscv::Image& image, const LintConfig& config, const Cfg& graph)
+      : image_(image), cfg_(config), graph_(graph) {
+    decoded_.resize(cfg_.rom_size / 4);
+    decoded_valid_.resize(cfg_.rom_size / 4, false);
+    // End of statically-sized data in RAM: stack slots below sp and above this line
+    // are dead frames, garbage-collected after every call return (the documented
+    // memory-safety assumption: firmware never reads a popped frame).
+    data_end_ = kRamBase;
+    for (const riscv::SymbolInfo& sym : image.symbol_table) {
+      if (sym.kind == riscv::SymbolKind::kObject && sym.addr >= kRamBase &&
+          sym.addr < kRamBase + cfg_.ram_size) {
+        data_end_ = std::max(data_end_, sym.addr + std::max<uint32_t>(sym.size, 4));
+      }
+    }
+    data_end_ = (data_end_ + 3) & ~3u;
+  }
+
+  void Run(LintReport* report);
+
+ private:
+  struct CallOutcome {
+    AbsState out;
+    bool returned = false;
+  };
+  struct MemoEntry {
+    AbsState in;
+    AbsState out;
+    bool returned = false;
+  };
+
+  const Instr& InstrAt(uint32_t pc) {
+    size_t idx = pc / 4;
+    if (!decoded_valid_[idx]) {
+      uint32_t word = LoadLe32(image_.rom.data() + (pc - image_.rom_base));
+      decoded_[idx] = *riscv::Decode(word);
+      decoded_valid_[idx] = true;
+    }
+    return decoded_[idx];
+  }
+
+  static Region RegionOfByte(uint32_t addr, const LintConfig& cfg) {
+    if (addr < kRomBase + cfg.rom_size) return Region::kRom;
+    if (addr >= kRamBase && addr < kRamBase + cfg.ram_size) return Region::kRam;
+    if (addr >= kFramBase && addr < kFramBase + cfg.fram_size) return Region::kFram;
+    if (addr >= kUartBase && addr < kUartBase + kUartSize) return Region::kUart;
+    return Region::kNone;
+  }
+
+  uint8_t RomByte(uint32_t addr) const {
+    uint32_t off = addr - image_.rom_base;
+    return off < image_.rom.size() ? image_.rom[off] : 0;
+  }
+
+  uint32_t RomRead(uint32_t addr, uint32_t size) const {
+    uint32_t v = 0;
+    for (uint32_t i = 0; i < size; i++) {
+      v |= static_cast<uint32_t>(RomByte(addr + i)) << (8 * i);
+    }
+    return v;
+  }
+
+  void SetReg(AbsState& st, uint8_t rd, AbsVal v) {
+    if (rd == 0) {
+      return;
+    }
+    st.regs[rd] = v;
+    st.reg_version[rd]++;
+  }
+
+  AbsVal ReadSlot(const AbsState& st, uint32_t word_addr) const {
+    auto it = st.mem.find(word_addr);
+    return it != st.mem.end() ? it->second : AbsVal::TopPublic();
+  }
+
+  PredOperand MakeOperand(const AbsState& st, uint8_t reg) const {
+    PredOperand op;
+    const AbsVal& v = st.regs[reg];
+    op.lo = v.lo;
+    op.hi = v.hi;
+    op.reg = reg;
+    op.reg_version = reg == 0 ? 0 : st.reg_version[reg];
+    op.src = v.src;
+    return op;
+  }
+
+  static PredOperand ConstOperand(uint32_t c) {
+    PredOperand op;
+    op.lo = op.hi = c;
+    return op;
+  }
+
+  // --- Findings -------------------------------------------------------------
+
+  std::vector<std::string> FormatProv(const ProvNode* p) const {
+    std::vector<std::string> out;
+    for (; p != nullptr; p = p->parent) {
+      char buf[160];
+      if (p->kind == ProvNode::Kind::kLoad) {
+        const FunctionCfg* fn = graph_.FunctionContaining(p->pc);
+        std::snprintf(buf, sizeof(buf), "loaded at pc %s <%s> from address %s",
+                      Hex(p->pc).c_str(), fn ? fn->name.c_str() : "?", Hex(p->addr).c_str());
+      } else {
+        std::snprintf(buf, sizeof(buf), "seeded: FRAM secret region [%s, %s) (%u bytes)",
+                      Hex(p->addr).c_str(), Hex(p->addr + p->size).c_str(), p->size);
+      }
+      out.emplace_back(buf);
+    }
+    if (out.empty()) {
+      out.emplace_back("(no provenance recorded)");
+    }
+    return out;
+  }
+
+  void Flag(uint32_t pc, FindingKind kind, const AbsVal& guilty) {
+    FindingKey key{pc, kind};
+    if (findings_.count(key)) {
+      return;
+    }
+    Finding f;
+    f.pc = pc;
+    f.kind = kind;
+    f.instr = riscv::Disassemble(InstrAt(pc), pc);
+    const FunctionCfg* fn = graph_.FunctionContaining(pc);
+    f.function = fn ? fn->name : "?";
+    f.provenance = FormatProv(guilty.prov);
+    telemetry::Evidence ev;
+    ev.checker = "lint";
+    ev.Add("pc", Hex(pc));
+    ev.Add("kind", FindingKindName(kind));
+    ev.Add("instr", f.instr);
+    ev.Add("function", f.function);
+    std::string chain;
+    for (const std::string& hop : f.provenance) {
+      if (!chain.empty()) chain += " <- ";
+      chain += hop;
+    }
+    ev.Add("provenance", chain);
+    telemetry::Telemetry::Global().RecordEvidence(ev);
+    findings_.emplace(key, std::move(f));
+  }
+
+  // --- Memory ---------------------------------------------------------------
+
+  AbsVal LoadSub(const AbsVal& slot, Op op, uint32_t addr_if_const, bool addr_const) {
+    AbsVal out = MergeTaint(slot, AbsVal{});
+    if (addr_const && slot.IsConst()) {
+      uint32_t sh = (op == Op::kLh || op == Op::kLhu) ? (addr_if_const & 2) * 8
+                                                      : (addr_if_const & 3) * 8;
+      uint32_t v = slot.lo >> sh;
+      switch (op) {
+        case Op::kLb: v = SignExt8(static_cast<uint8_t>(v)); break;
+        case Op::kLbu: v = static_cast<uint8_t>(v); break;
+        case Op::kLh: v = SignExt16(static_cast<uint16_t>(v)); break;
+        default: v = static_cast<uint16_t>(v); break;
+      }
+      out.lo = out.hi = v;
+      return out;
+    }
+    switch (op) {
+      case Op::kLbu: out.lo = 0; out.hi = 0xff; break;
+      case Op::kLhu: out.lo = 0; out.hi = 0xffff; break;
+      default: break;  // lb/lh: sign extension wraps; stay top.
+    }
+    return out;
+  }
+
+  AbsVal ReadMem(uint32_t pc, const AbsVal& addr, Op op, const AbsState& st) {
+    uint32_t size = (op == Op::kLw) ? 4 : (op == Op::kLh || op == Op::kLhu) ? 2 : 1;
+    uint64_t last = static_cast<uint64_t>(addr.hi) + size - 1;
+    uint64_t span = static_cast<uint64_t>(addr.hi) - addr.lo + size;
+    Region r = RegionOfByte(addr.lo, cfg_);
+    if (r == Region::kNone || last > 0xffffffffull ||
+        RegionOfByte(static_cast<uint32_t>(last), cfg_) != r ||
+        span > cfg_.range_access_cap) {
+      caveats_.unresolved_loads++;
+      return AbsVal::TopUnknown();
+    }
+    if (r == Region::kUart) {
+      return AbsVal::TopPublic();
+    }
+    if (r == Region::kRom) {
+      // Join the exact words/halfwords/bytes over the (bounded) range. Accesses are
+      // assumed aligned to their size — the simulated cores fault on misalignment.
+      uint32_t lo = 0xffffffffu, hi = 0;
+      for (uint32_t a = addr.lo; a <= addr.hi; a += size) {
+        uint32_t v = RomRead(a, size);
+        if (op == Op::kLb) v = SignExt8(static_cast<uint8_t>(v));
+        if (op == Op::kLh) v = SignExt16(static_cast<uint16_t>(v));
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+      AbsVal out;
+      out.lo = lo;
+      out.hi = hi;
+      return out;
+    }
+    // RAM / FRAM.
+    if (addr.IsConst()) {
+      uint32_t word_addr = addr.lo & ~3u;
+      AbsVal slot = ReadSlot(st, word_addr);
+      AbsVal out;
+      if (op == Op::kLw) {
+        out = slot;
+        out.pred = nullptr;
+        out.src = SrcLoc{true, word_addr, st.store_version};
+      } else {
+        out = LoadSub(slot, op, addr.lo, true);
+      }
+      if (out.IsSecret()) {
+        out.prov = prov_.Load(pc, word_addr, slot.prov);
+      }
+      return out;
+    }
+    AbsVal joined;
+    bool first = true;
+    uint32_t secret_at = 0;
+    const ProvNode* secret_prov = nullptr;
+    for (uint32_t wa = addr.lo & ~3u; wa <= (static_cast<uint32_t>(last) & ~3u); wa += 4) {
+      AbsVal slot = ReadSlot(st, wa);
+      if (slot.IsSecret() && secret_prov == nullptr) {
+        secret_at = wa;
+        secret_prov = slot.prov;
+      }
+      joined = first ? slot : JoinVal(joined, slot);
+      first = false;
+    }
+    AbsVal out = (op == Op::kLw) ? joined : LoadSub(joined, op, 0, false);
+    out.pred = nullptr;
+    out.src = SrcLoc{};
+    if (out.IsSecret()) {
+      out.prov = prov_.Load(pc, secret_prov != nullptr ? secret_at : addr.lo, secret_prov);
+    }
+    return out;
+  }
+
+  void WriteMem(const AbsVal& addr, const AbsVal& val, Op op, AbsState& st) {
+    uint32_t size = (op == Op::kSw) ? 4 : (op == Op::kSh) ? 2 : 1;
+    uint64_t last = static_cast<uint64_t>(addr.hi) + size - 1;
+    uint64_t span = static_cast<uint64_t>(addr.hi) - addr.lo + size;
+    Region r = RegionOfByte(addr.lo, cfg_);
+    bool in_bounds = r != Region::kNone && last <= 0xffffffffull &&
+                     RegionOfByte(static_cast<uint32_t>(last), cfg_) == r;
+    if (r == Region::kUart && in_bounds) {
+      return;  // TX is the declassification point: data may be secret, timing is not.
+    }
+    if (!in_bounds || r == Region::kRom || span > cfg_.range_access_cap) {
+      // Dropped store: sound only under the memory-safety assumption (DESIGN.md).
+      caveats_.unresolved_stores++;
+      if (val.IsSecret()) {
+        caveats_.unresolved_secret_stores++;
+      }
+      return;
+    }
+    if (addr.IsConst()) {
+      uint32_t word_addr = addr.lo & ~3u;
+      AbsVal stored;
+      if (op == Op::kSw) {
+        stored = val;
+        stored.pred = nullptr;
+        stored.src = SrcLoc{};
+      } else {
+        AbsVal old = ReadSlot(st, word_addr);
+        stored = MergeTaint(old, val);
+        if (old.IsConst() && val.IsConst()) {
+          uint32_t sh = (op == Op::kSh) ? (addr.lo & 2) * 8 : (addr.lo & 3) * 8;
+          uint32_t mask = (op == Op::kSh ? 0xffffu : 0xffu) << sh;
+          stored.lo = stored.hi = (old.lo & ~mask) | ((val.lo << sh) & mask);
+        }
+      }
+      if (IsDefaultSlot(stored)) {
+        st.mem.erase(word_addr);
+      } else {
+        st.mem[word_addr] = stored;
+      }
+    } else {
+      // Weak update: any word in the span may or may not have been written.
+      AbsVal approx;
+      approx.taint = val.taint;
+      approx.prov = val.IsSecret() ? val.prov : nullptr;
+      for (uint32_t wa = addr.lo & ~3u; wa <= (static_cast<uint32_t>(last) & ~3u); wa += 4) {
+        auto it = st.mem.find(wa);
+        if (it != st.mem.end()) {
+          it->second = JoinVal(it->second, approx);
+        } else if (!IsDefaultSlot(approx)) {
+          st.mem.emplace(wa, JoinVal(AbsVal::TopPublic(), approx));
+        }
+      }
+    }
+    st.store_version++;
+  }
+
+  // --- Refinement -----------------------------------------------------------
+
+  static bool ClampVal(AbsVal& v, uint32_t lo, uint32_t hi) {
+    v.lo = std::max(v.lo, lo);
+    v.hi = std::min(v.hi, hi);
+    return v.lo <= v.hi;
+  }
+
+  // Constrains whatever still provably holds the compared value: the recorded
+  // interval itself (feasibility), the register (if its def version is unchanged)
+  // and the backing memory slot (if no store intervened).
+  static bool RefineOperand(AbsState& st, const PredOperand& op, uint32_t lo, uint32_t hi) {
+    if (std::max(op.lo, lo) > std::min(op.hi, hi)) {
+      return false;
+    }
+    bool feasible = true;
+    if (op.reg != 0 && st.reg_version[op.reg] == op.reg_version) {
+      feasible = ClampVal(st.regs[op.reg], lo, hi) && feasible;
+    }
+    if (op.src.valid && op.src.version == st.store_version) {
+      auto it = st.mem.find(op.src.addr);
+      if (it != st.mem.end()) {
+        feasible = ClampVal(it->second, lo, hi) && feasible;
+      }
+    }
+    return feasible;
+  }
+
+  static bool ApplyRel(AbsState& st, Rel rel, const PredOperand& a, const PredOperand& b) {
+    switch (rel) {
+      case Rel::kUlt:  // a <u b
+        if (b.hi == 0 || a.lo == 0xffffffffu) {
+          return false;
+        }
+        return RefineOperand(st, a, 0, b.hi - 1) && RefineOperand(st, b, a.lo + 1, 0xffffffffu);
+      case Rel::kUge:  // a >=u b
+        return RefineOperand(st, a, b.lo, 0xffffffffu) && RefineOperand(st, b, 0, a.hi);
+      case Rel::kEq: {
+        uint32_t lo = std::max(a.lo, b.lo);
+        uint32_t hi = std::min(a.hi, b.hi);
+        if (lo > hi) {
+          return false;
+        }
+        return RefineOperand(st, a, lo, hi) && RefineOperand(st, b, lo, hi);
+      }
+      case Rel::kNe: {
+        if (a.lo == a.hi && b.lo == b.hi) {
+          return a.lo != b.lo;
+        }
+        bool feasible = true;
+        // Endpoint trimming against a constant side.
+        if (b.lo == b.hi) {
+          if (a.lo == b.lo) {
+            feasible = RefineOperand(st, a, a.lo + 1, 0xffffffffu) && feasible;
+          } else if (a.hi == b.lo) {
+            feasible = RefineOperand(st, a, 0, a.hi - 1) && feasible;
+          }
+        }
+        if (a.lo == a.hi) {
+          if (b.lo == a.lo) {
+            feasible = RefineOperand(st, b, b.lo + 1, 0xffffffffu) && feasible;
+          } else if (b.hi == a.lo) {
+            feasible = RefineOperand(st, b, 0, b.hi - 1) && feasible;
+          }
+        }
+        return feasible;
+      }
+      case Rel::kNone:
+        return true;
+    }
+    return true;
+  }
+
+  static bool ApplyPred(AbsState& st, const PredNode& p, bool value_true) {
+    bool v = p.negated ? !value_true : value_true;
+    switch (p.kind) {
+      case PredNode::Kind::kUlt:
+        return ApplyRel(st, v ? Rel::kUlt : Rel::kUge, p.lhs, p.rhs);
+      case PredNode::Kind::kEq:
+        return ApplyRel(st, v ? Rel::kEq : Rel::kNe, p.lhs, p.rhs);
+      case PredNode::Kind::kDiff:
+        return ApplyRel(st, v ? Rel::kNe : Rel::kEq, p.lhs, p.rhs);
+    }
+    return true;
+  }
+
+  // The edge relation a conditional branch asserts, or kNone when no sound unsigned
+  // reading exists (signed compare over mixed-sign intervals).
+  static Rel RelFor(Op op, bool taken, const AbsVal& a, const AbsVal& b) {
+    bool unsigned_ok = true;
+    if (op == Op::kBlt || op == Op::kBge) {
+      bool both_nonneg = a.hi < 0x80000000u && b.hi < 0x80000000u;
+      bool both_neg = a.lo >= 0x80000000u && b.lo >= 0x80000000u;
+      unsigned_ok = both_nonneg || both_neg;  // Two's-complement order matches.
+    }
+    switch (op) {
+      case Op::kBeq: return taken ? Rel::kEq : Rel::kNe;
+      case Op::kBne: return taken ? Rel::kNe : Rel::kEq;
+      case Op::kBltu: return taken ? Rel::kUlt : Rel::kUge;
+      case Op::kBgeu: return taken ? Rel::kUge : Rel::kUlt;
+      case Op::kBlt: return unsigned_ok ? (taken ? Rel::kUlt : Rel::kUge) : Rel::kNone;
+      case Op::kBge: return unsigned_ok ? (taken ? Rel::kUge : Rel::kUlt) : Rel::kNone;
+      default: return Rel::kNone;
+    }
+  }
+
+  static bool EvalBranch(Op op, uint32_t a, uint32_t b) {
+    switch (op) {
+      case Op::kBeq: return a == b;
+      case Op::kBne: return a != b;
+      case Op::kBltu: return a < b;
+      case Op::kBgeu: return a >= b;
+      case Op::kBlt: return static_cast<int32_t>(a) < static_cast<int32_t>(b);
+      case Op::kBge: return static_cast<int32_t>(a) >= static_cast<int32_t>(b);
+      default: return false;
+    }
+  }
+
+  // --- Instruction transfer functions --------------------------------------
+
+  AbsVal EvalCompare(const AbsState& st, uint8_t rs1, const AbsVal& a, const AbsVal& b,
+                     uint8_t rs2_reg, bool is_unsigned) {
+    AbsVal out = MergeTaint(a, b);
+    if (is_unsigned) {
+      if (a.hi < b.lo) {
+        out.lo = out.hi = 1;  // a <u b everywhere.
+      } else if (a.lo >= b.hi) {
+        out.lo = out.hi = 0;  // a >=u b everywhere.
+      } else {
+        out.lo = 0;
+        out.hi = 1;
+      }
+      if (!out.IsConst()) {
+        // The boolean carries what was compared: branch edges refine through it.
+        PredNode n;
+        n.kind = PredNode::Kind::kUlt;
+        n.lhs = MakeOperand(st, rs1);
+        n.lhs.lo = a.lo;
+        n.lhs.hi = a.hi;
+        n.lhs.src = a.src;
+        n.rhs = rs2_reg != 0xff ? MakeOperand(st, rs2_reg) : ConstOperand(b.lo);
+        if (rs2_reg != 0xff) {
+          n.rhs.lo = b.lo;
+          n.rhs.hi = b.hi;
+          n.rhs.src = b.src;
+        }
+        out.pred = preds_.Intern(n);
+      }
+    } else {
+      if (a.IsConst() && b.IsConst()) {
+        out.lo = out.hi = static_cast<int32_t>(a.lo) < static_cast<int32_t>(b.lo) ? 1 : 0;
+      } else {
+        out.lo = 0;
+        out.hi = 1;
+      }
+    }
+    return out;
+  }
+
+  void Exec(uint32_t pc, const Instr& in, AbsState& st) {
+    steps_++;
+    uint32_t uimm = static_cast<uint32_t>(in.imm);
+    AbsVal a = st.regs[in.rs1];
+    AbsVal b = st.regs[in.rs2];
+    switch (in.op) {
+      case Op::kLui:
+        SetReg(st, in.rd, AbsVal::Const(uimm));
+        break;
+      case Op::kAuipc:
+        SetReg(st, in.rd, AbsVal::Const(pc + uimm));
+        break;
+      case Op::kAddi:
+        // mv keeps the full value description (pred/src survive a register move).
+        SetReg(st, in.rd, in.imm == 0 ? a : AddVals(a, AbsVal::Const(uimm)));
+        break;
+      case Op::kAdd:
+        SetReg(st, in.rd, AddVals(a, b));
+        break;
+      case Op::kSub:
+        SetReg(st, in.rd, SubVals(a, b));
+        break;
+      case Op::kAndi:
+      case Op::kAnd: {
+        AbsVal rhs = in.op == Op::kAndi ? AbsVal::Const(uimm) : b;
+        AbsVal out = MergeTaint(a, rhs);
+        if (a.IsConst() && rhs.IsConst()) {
+          out.lo = out.hi = a.lo & rhs.lo;
+        } else if (rhs.IsConst() && (~rhs.lo & (~rhs.lo + 1)) == 0) {
+          // Alignment mask (all-ones above a power of two): monotone floor.
+          out.lo = a.lo & rhs.lo;
+          out.hi = a.hi & rhs.lo;
+        } else {
+          out.lo = 0;
+          out.hi = std::min(a.hi, rhs.hi);
+        }
+        SetReg(st, in.rd, out);
+        break;
+      }
+      case Op::kOri:
+      case Op::kOr: {
+        AbsVal rhs = in.op == Op::kOri ? AbsVal::Const(uimm) : b;
+        AbsVal out = MergeTaint(a, rhs);
+        if (a.IsConst() && rhs.IsConst()) {
+          out.lo = out.hi = a.lo | rhs.lo;
+        } else {
+          out.lo = std::max(a.lo, rhs.lo);
+          uint64_t cap = static_cast<uint64_t>(a.hi) + rhs.hi;
+          out.hi = cap > 0xffffffffull ? 0xffffffffu : static_cast<uint32_t>(cap);
+        }
+        SetReg(st, in.rd, out);
+        break;
+      }
+      case Op::kXori:
+      case Op::kXor: {
+        AbsVal rhs = in.op == Op::kXori ? AbsVal::Const(uimm) : b;
+        AbsVal out = MergeTaint(a, rhs);
+        if (a.IsConst() && rhs.IsConst()) {
+          out.lo = out.hi = a.lo ^ rhs.lo;
+        } else {
+          uint64_t cap = static_cast<uint64_t>(a.hi) + rhs.hi;
+          out.lo = 0;
+          out.hi = cap > 0xffffffffull ? 0xffffffffu : static_cast<uint32_t>(cap);
+        }
+        // `xori b, b, 1` on a materialized boolean negates its predicate.
+        if (in.op == Op::kXori && in.imm == 1 && a.pred != nullptr && a.hi <= 1) {
+          PredNode n = *a.pred;
+          n.negated = !n.negated;
+          out.pred = preds_.Intern(n);
+        }
+        SetReg(st, in.rd, out);
+        break;
+      }
+      case Op::kSlli:
+      case Op::kSll:
+      case Op::kSrli:
+      case Op::kSrl:
+      case Op::kSrai:
+      case Op::kSra: {
+        bool left = in.op == Op::kSlli || in.op == Op::kSll;
+        bool arith = in.op == Op::kSrai || in.op == Op::kSra;
+        bool imm_form = in.op == Op::kSlli || in.op == Op::kSrli || in.op == Op::kSrai;
+        AbsVal amt = imm_form ? AbsVal::Const(uimm & 31u) : b;
+        AbsVal out = MergeTaint(a, amt);
+        if (amt.IsConst()) {
+          uint32_t s = amt.lo & 31u;
+          if (left) {
+            if (a.hi <= (0xffffffffu >> s)) {
+              out.lo = a.lo << s;
+              out.hi = a.hi << s;
+            }
+          } else if (!arith || a.hi < 0x80000000u) {
+            out.lo = a.lo >> s;
+            out.hi = a.hi >> s;
+          } else if (a.lo >= 0x80000000u) {
+            out.lo = static_cast<uint32_t>(static_cast<int32_t>(a.lo) >> s);
+            out.hi = static_cast<uint32_t>(static_cast<int32_t>(a.hi) >> s);
+          }
+        } else if (!left && (!arith || a.hi < 0x80000000u)) {
+          out.lo = 0;
+          out.hi = a.hi;  // A right shift never grows the value.
+        }
+        SetReg(st, in.rd, out);
+        break;
+      }
+      case Op::kSlti:
+        SetReg(st, in.rd, EvalCompare(st, in.rs1, a, AbsVal::Const(uimm), 0xff, false));
+        break;
+      case Op::kSltiu: {
+        // `sltiu rd, rs, 1` is the canonical `rs == 0` / boolean-negate idiom.
+        if (in.imm == 1 && a.pred != nullptr && a.hi <= 1) {
+          AbsVal out = MergeTaint(a, AbsVal{});
+          out.lo = 0;
+          out.hi = 1;
+          if (a.IsConst()) {
+            out.lo = out.hi = a.lo == 0 ? 1 : 0;
+          } else {
+            PredNode n = *a.pred;
+            n.negated = !n.negated;
+            out.pred = preds_.Intern(n);
+          }
+          SetReg(st, in.rd, out);
+        } else {
+          SetReg(st, in.rd, EvalCompare(st, in.rs1, a, AbsVal::Const(uimm), 0xff, true));
+        }
+        break;
+      }
+      case Op::kSlt:
+        SetReg(st, in.rd, EvalCompare(st, in.rs1, a, b, in.rs2, false));
+        break;
+      case Op::kSltu: {
+        // `sltu rd, x0, rs` normalizes a boolean: forward the predicate unchanged.
+        if (in.rs1 == 0 && b.pred != nullptr && b.hi <= 1) {
+          AbsVal out = b;
+          out.src = SrcLoc{};
+          SetReg(st, in.rd, out);
+        } else {
+          SetReg(st, in.rd, EvalCompare(st, in.rs1, a, b, in.rs2, true));
+        }
+        break;
+      }
+      case Op::kMul:
+      case Op::kMulh:
+      case Op::kMulhsu:
+      case Op::kMulhu: {
+        if (cfg_.policy.flag_variable_latency_mul &&
+            (a.IsSecret() || b.IsSecret())) {
+          Flag(pc, FindingKind::kSecretMul, a.IsSecret() ? a : b);
+        }
+        AbsVal out = MergeTaint(a, b);
+        uint64_t plo = static_cast<uint64_t>(a.lo) * b.lo;
+        uint64_t phi = static_cast<uint64_t>(a.hi) * b.hi;
+        if (in.op == Op::kMul) {
+          if (a.IsConst() && b.IsConst()) {
+            out.lo = out.hi = static_cast<uint32_t>(plo);
+          } else if (phi <= 0xffffffffull) {
+            out.lo = static_cast<uint32_t>(plo);
+            out.hi = static_cast<uint32_t>(phi);
+          }
+        } else if (in.op == Op::kMulhu) {
+          out.lo = static_cast<uint32_t>(plo >> 32);
+          out.hi = static_cast<uint32_t>(phi >> 32);
+        } else if (a.IsConst() && b.IsConst()) {
+          int64_t sa = static_cast<int32_t>(a.lo);
+          int64_t sb_or_ub = in.op == Op::kMulh ? static_cast<int64_t>(static_cast<int32_t>(b.lo))
+                                                : static_cast<int64_t>(b.lo);
+          out.lo = out.hi = static_cast<uint32_t>((sa * sb_or_ub) >> 32);
+        }
+        SetReg(st, in.rd, out);
+        break;
+      }
+      case Op::kDiv:
+      case Op::kDivu:
+      case Op::kRem:
+      case Op::kRemu: {
+        if (cfg_.policy.flag_div && (a.IsSecret() || b.IsSecret())) {
+          Flag(pc, FindingKind::kSecretDiv, a.IsSecret() ? a : b);
+        }
+        AbsVal out = MergeTaint(a, b);
+        if (a.IsConst() && b.IsConst()) {
+          uint32_t x = a.lo, y = b.lo, v;
+          int32_t sx = static_cast<int32_t>(x), sy = static_cast<int32_t>(y);
+          bool ovf = sx == INT32_MIN && sy == -1;
+          switch (in.op) {
+            case Op::kDiv: v = y == 0 ? 0xffffffffu : (ovf ? x : static_cast<uint32_t>(sx / sy)); break;
+            case Op::kDivu: v = y == 0 ? 0xffffffffu : x / y; break;
+            case Op::kRem: v = y == 0 ? x : (ovf ? 0 : static_cast<uint32_t>(sx % sy)); break;
+            default: v = y == 0 ? x : x % y; break;
+          }
+          out.lo = out.hi = v;
+        } else if (in.op == Op::kDivu && b.lo > 0) {
+          out.lo = a.lo / b.hi;
+          out.hi = a.hi / b.lo;
+        } else if (in.op == Op::kRemu && b.lo > 0) {
+          out.lo = 0;
+          out.hi = std::min(a.hi, b.hi - 1);
+        }
+        SetReg(st, in.rd, out);
+        break;
+      }
+      case Op::kLb:
+      case Op::kLh:
+      case Op::kLw:
+      case Op::kLbu:
+      case Op::kLhu: {
+        AbsVal addr = AddVals(a, AbsVal::Const(uimm));
+        if (addr.IsSecret()) {
+          Flag(pc, FindingKind::kSecretLoad, addr);
+          SetReg(st, in.rd, AbsVal::TopSecret(prov_.Load(pc, addr.lo, addr.prov)));
+          break;
+        }
+        SetReg(st, in.rd, ReadMem(pc, addr, in.op, st));
+        break;
+      }
+      case Op::kSb:
+      case Op::kSh:
+      case Op::kSw: {
+        AbsVal addr = AddVals(a, AbsVal::Const(uimm));
+        if (addr.IsSecret()) {
+          Flag(pc, FindingKind::kSecretStore, addr);
+          break;
+        }
+        WriteMem(addr, b, in.op, st);
+        break;
+      }
+      case Op::kFence:
+      case Op::kEcall:
+      case Op::kEbreak:
+      case Op::kJal:
+      case Op::kJalr:
+      case Op::kBeq:
+      case Op::kBne:
+      case Op::kBlt:
+      case Op::kBge:
+      case Op::kBltu:
+      case Op::kBgeu:
+        break;  // Control transfers are handled as block terminators.
+    }
+  }
+
+  // --- Fixpoint driver ------------------------------------------------------
+
+  void Abort(std::string why) {
+    if (!aborted_) {
+      aborted_ = true;
+      abort_reason_ = std::move(why);
+    }
+  }
+
+  void GcDeadStack(AbsState& st) const {
+    if (!st.regs[2].IsConst()) {
+      return;
+    }
+    uint32_t sp = st.regs[2].lo;
+    if (sp <= data_end_ || sp > kRamBase + cfg_.ram_size) {
+      return;
+    }
+    auto it = st.mem.lower_bound(data_end_);
+    while (it != st.mem.end() && it->first < sp) {
+      it = st.mem.erase(it);
+    }
+  }
+
+  CallOutcome CallInto(uint32_t entry, const AbsState& st, int depth) {
+    CallOutcome none;
+    const FunctionCfg* callee = graph_.FunctionAt(entry);
+    if (callee == nullptr) {
+      caveats_.unresolved_indirect_jumps++;
+      return none;
+    }
+    if (depth >= cfg_.max_call_depth || in_progress_.count(entry) != 0) {
+      caveats_.recursion_cutoffs++;
+      return none;
+    }
+    in_progress_.insert(entry);
+    CallOutcome out = AnalyzeFunction(*callee, st, depth + 1);
+    in_progress_.erase(entry);
+    if (out.returned) {
+      GcDeadStack(out.out);
+    }
+    return out;
+  }
+
+  CallOutcome AnalyzeFunction(const FunctionCfg& fn, const AbsState& in, int depth) {
+    CallOutcome result;
+    if (aborted_) {
+      return result;
+    }
+    uint64_t hash = HashState(in);
+    auto& memo_bucket = memo_[std::make_pair(fn.entry, hash)];
+    for (const MemoEntry& e : memo_bucket) {
+      if (StatesSameAbstract(e.in, in)) {
+        memo_hits_++;
+        result.out = e.out;
+        result.returned = e.returned;
+        return result;
+      }
+    }
+    memo_misses_++;
+    std::optional<uint32_t> entry_ra;
+    if (in.regs[1].IsConst()) {
+      entry_ra = in.regs[1].lo;
+    }
+
+    std::map<uint32_t, AbsState> block_in;
+    std::map<uint32_t, uint32_t> join_count;
+    std::set<uint32_t> worklist;
+    block_in.emplace(fn.entry, in);
+    worklist.insert(fn.entry);
+    AbsState ret_state;
+    bool returned = false;
+
+    auto propagate = [&](uint32_t succ, const AbsState& st) {
+      auto it = block_in.find(succ);
+      if (it == block_in.end()) {
+        block_in.emplace(succ, st);
+        worklist.insert(succ);
+        return;
+      }
+      uint32_t& joins = join_count[succ];
+      joins++;
+      AbsState merged = MergeStates(it->second, st, joins > cfg_.widen_threshold);
+      if (!StatesSameAbstract(merged, it->second)) {
+        it->second = std::move(merged);
+        worklist.insert(succ);
+      }
+    };
+    auto merge_return = [&](const AbsState& st) {
+      ret_state = returned ? MergeStates(ret_state, st, false) : st;
+      returned = true;
+    };
+
+    while (!worklist.empty() && !aborted_) {
+      uint32_t start = *worklist.begin();
+      worklist.erase(worklist.begin());
+      fixpoint_iters_++;
+      if (steps_ > cfg_.max_abstract_steps) {
+        Abort("abstract-step budget exhausted in " + fn.name);
+        break;
+      }
+      const Block& blk = fn.blocks.at(start);
+      AbsState st = block_in.at(start);
+      bool has_term = blk.exit != BlockExit::kFallThrough;
+      uint32_t body_end = has_term ? blk.end - 4 : blk.end;
+      for (uint32_t pc = blk.start; pc < body_end; pc += 4) {
+        Exec(pc, InstrAt(pc), st);
+      }
+      if (!has_term) {
+        if (!blk.succs.empty()) {
+          propagate(blk.succs[0], st);
+        }
+        continue;
+      }
+      uint32_t tpc = blk.end - 4;
+      const Instr& term = InstrAt(tpc);
+      steps_++;
+      switch (blk.exit) {
+        case BlockExit::kJump:
+          propagate(blk.target, st);
+          break;
+        case BlockExit::kBranch: {
+          AbsVal a = st.regs[term.rs1];
+          AbsVal b = st.regs[term.rs2];
+          if (JoinTaint(a.taint, b.taint) == Taint::kSecret) {
+            Flag(tpc, FindingKind::kSecretBranch, a.IsSecret() ? a : b);
+          }
+          bool has_fall = blk.succs.size() > 1;
+          if (a.IsConst() && b.IsConst()) {
+            bool taken = EvalBranch(term.op, a.lo, b.lo);
+            if (taken) {
+              propagate(blk.target, st);
+            } else if (has_fall) {
+              propagate(blk.end, st);
+            }
+            break;
+          }
+          PredOperand oa = MakeOperand(st, term.rs1);
+          PredOperand ob = MakeOperand(st, term.rs2);
+          for (bool taken : {true, false}) {
+            if (!taken && !has_fall) {
+              continue;
+            }
+            AbsState edge = st;
+            bool feasible = ApplyRel(edge, RelFor(term.op, taken, a, b), oa, ob);
+            if (feasible && term.rs2 == 0 && a.pred != nullptr &&
+                (term.op == Op::kBeq || term.op == Op::kBne)) {
+              // Branch on a materialized boolean: taken beq means the boolean is 0.
+              bool value_true = (term.op == Op::kBne) == taken;
+              feasible = ApplyPred(edge, *a.pred, value_true);
+            }
+            if (feasible) {
+              propagate(taken ? blk.target : blk.end, edge);
+            }
+          }
+          break;
+        }
+        case BlockExit::kCall: {
+          SetReg(st, term.rd, AbsVal::Const(tpc + 4));
+          CallOutcome co = CallInto(blk.target, st, depth);
+          if (co.returned && !blk.succs.empty()) {
+            propagate(blk.succs[0], co.out);
+          }
+          break;
+        }
+        case BlockExit::kIndirect: {
+          AbsVal target = AddVals(st.regs[term.rs1], AbsVal::Const(static_cast<uint32_t>(term.imm)));
+          if (target.IsSecret()) {
+            Flag(tpc, FindingKind::kSecretJump, target);
+            break;
+          }
+          SetReg(st, term.rd, AbsVal::Const(tpc + 4));
+          if (!target.IsConst()) {
+            caveats_.unresolved_indirect_jumps++;
+            break;
+          }
+          uint32_t t = target.lo & ~1u;
+          if (entry_ra.has_value() && t == *entry_ra) {
+            merge_return(st);
+            break;
+          }
+          if (term.rd != 0 && graph_.FunctionAt(t) != nullptr) {
+            CallOutcome co = CallInto(t, st, depth);
+            if (co.returned && fn.blocks.count(tpc + 4) != 0) {
+              propagate(tpc + 4, co.out);
+            }
+            break;
+          }
+          if (fn.blocks.count(t) != 0) {
+            propagate(t, st);  // Computed goto to a known block.
+            break;
+          }
+          caveats_.unresolved_indirect_jumps++;
+          break;
+        }
+        case BlockExit::kHalt:
+          break;
+        case BlockExit::kFallThrough:
+          break;  // Unreachable: handled above.
+      }
+    }
+
+    result.returned = returned;
+    if (returned) {
+      result.out = std::move(ret_state);
+    }
+    if (!aborted_) {
+      memo_bucket.push_back(MemoEntry{in, result.out, result.returned});
+    }
+    return result;
+  }
+
+ public:
+  // (Run is defined out of line below to keep the class readable.)
+
+ private:
+  const riscv::Image& image_;
+  const LintConfig& cfg_;
+  const Cfg& graph_;
+  std::vector<Instr> decoded_;
+  std::vector<bool> decoded_valid_;
+  uint32_t data_end_ = kRamBase;
+
+  ProvArena prov_;
+  PredArena preds_;
+  std::map<FindingKey, Finding> findings_;
+  LintCaveats caveats_;
+  std::map<std::pair<uint32_t, uint64_t>, std::vector<MemoEntry>> memo_;
+  std::set<uint32_t> in_progress_;
+  uint64_t steps_ = 0;
+  uint64_t fixpoint_iters_ = 0;
+  uint64_t memo_hits_ = 0;
+  uint64_t memo_misses_ = 0;
+  bool aborted_ = false;
+  std::string abort_reason_;
+};
+
+void Interp::Run(LintReport* report) {
+  const FunctionCfg* entry_fn = nullptr;
+  for (const auto& [entry, fn] : graph_.functions) {
+    if (fn.name == cfg_.entry) {
+      entry_fn = &fn;
+      break;
+    }
+  }
+  if (entry_fn == nullptr) {
+    report->error = "entry symbol '" + cfg_.entry + "' is not a marked function";
+    return;
+  }
+
+  AbsState init;
+  for (int i = 0; i < 32; i++) {
+    init.regs[i] = AbsVal::Const(0);  // Cores reset the register file to zero.
+  }
+  // Seed the secret journal slots; everything else in FRAM/RAM defaults to public
+  // unknown (the journal flag and persisted counter are public by contract).
+  for (const hsm::SecretRegion& r : cfg_.fram_secret_regions) {
+    uint32_t begin = kFramBase + r.offset;
+    const ProvNode* seed = prov_.Seed(begin, r.length);
+    for (uint32_t wa = begin & ~3u; wa < begin + r.length; wa += 4) {
+      init.mem[wa] = AbsVal::TopSecret(seed);
+    }
+  }
+
+  AnalyzeFunction(*entry_fn, init, 0);
+
+  report->ok = !aborted_;
+  report->error = abort_reason_;
+  report->findings.clear();
+  report->findings.reserve(findings_.size());
+  for (auto& [key, f] : findings_) {
+    report->findings.push_back(std::move(f));
+  }
+  report->caveats = caveats_;
+
+  telemetry::TelemetrySnapshot& t = report->telemetry;
+  t.AddCounter("lint/instrs_analyzed", steps_);
+  t.AddCounter("lint/fixpoint_iters", fixpoint_iters_);
+  t.AddCounter("lint/findings", report->findings.size());
+  t.AddCounter("lint/cfg_functions", graph_.functions.size());
+  uint64_t blocks = 0;
+  for (const auto& [entry, fn] : graph_.functions) {
+    blocks += fn.blocks.size();
+  }
+  t.AddCounter("lint/cfg_blocks", blocks);
+  t.AddCounter("lint/cfg_instrs", graph_.instr_count);
+  t.AddCounter("lint/prov_nodes", prov_.size());
+  t.AddCounter("lint/pred_nodes", preds_.size());
+  t.AddCounter("lint/memo_hits", memo_hits_);
+  t.AddCounter("lint/memo_misses", memo_misses_);
+  t.AddCounter("lint/caveat_unresolved_loads", caveats_.unresolved_loads);
+  t.AddCounter("lint/caveat_unresolved_stores", caveats_.unresolved_stores);
+  t.AddCounter("lint/caveat_unresolved_secret_stores", caveats_.unresolved_secret_stores);
+  t.AddCounter("lint/caveat_unresolved_indirect_jumps", caveats_.unresolved_indirect_jumps);
+  t.AddCounter("lint/caveat_recursion_cutoffs", caveats_.recursion_cutoffs);
+  telemetry::Telemetry::Global().Merge(t);
+}
+
+}  // namespace
+
+const char* FindingKindName(FindingKind kind) {
+  switch (kind) {
+    case FindingKind::kSecretBranch: return "secret-branch";
+    case FindingKind::kSecretJump: return "secret-jump";
+    case FindingKind::kSecretLoad: return "secret-load";
+    case FindingKind::kSecretStore: return "secret-store";
+    case FindingKind::kSecretMul: return "secret-mul";
+    case FindingKind::kSecretDiv: return "secret-div";
+  }
+  return "?";
+}
+
+const char* FindingKindDynamicWhat(FindingKind kind) {
+  // Must match the strings recorded by src/soc/cpu_common.cc.
+  switch (kind) {
+    case FindingKind::kSecretBranch: return "branch on secret-derived condition";
+    case FindingKind::kSecretJump: return "jump target derived from secret";
+    case FindingKind::kSecretLoad: return "load address derived from secret";
+    case FindingKind::kSecretStore: return "store address derived from secret";
+    case FindingKind::kSecretMul: return "multiply with tainted operand";
+    case FindingKind::kSecretDiv: return "divide with tainted operand";
+  }
+  return "?";
+}
+
+LintConfig ConfigForSystem(const hsm::HsmSystem& system) {
+  LintConfig config;
+  config.fram_secret_regions = hsm::SecretLayout::ForApp(system.app()).FramSecretRegions();
+  config.policy.flag_variable_latency_mul = system.options().variable_latency_mul;
+  return config;
+}
+
+LintReport RunLint(const riscv::Image& image, const LintConfig& config) {
+  TELEMETRY_SPAN("lint/run");
+  LintReport report;
+  auto cfg_result = BuildCfg(image);
+  if (!cfg_result.ok()) {
+    report.error = "CFG recovery failed: " + cfg_result.error();
+    return report;
+  }
+  const Cfg graph = std::move(cfg_result).value();
+  Interp interp(image, config, graph);
+  interp.Run(&report);
+  return report;
+}
+
+LintReport RunLintForSystem(const hsm::HsmSystem& system) {
+  return RunLint(system.image(), ConfigForSystem(system));
+}
+
+}  // namespace parfait::analysis

@@ -1,0 +1,123 @@
+// Static constant-time / leakage lint over an assembled RV32IM firmware image.
+//
+// The analyzer abstract-interprets the whole program from `_start` over the CFG
+// recovered in cfg.h, with the domain of absdomain.h: unsigned intervals keep
+// addresses and loop counters bounded, the taint lattice tracks which values are
+// secret-derived, and provenance chains explain every finding back to the FRAM seed
+// region. The policy mirrors the dynamic taint monitor in src/soc/cpu_common.cc:
+// a Secret value must never decide a branch, a jump target, a load/store address,
+// or feed a divide (and, under the variable-latency-multiplier policy, a multiply).
+//
+// Analysis is context-sensitive: every call analyzes the callee in the caller's
+// abstract state (memoized on abstract equality), which is what keeps the two
+// case-study apps at zero findings — their length and bound parameters are exact
+// constants per call site, never joined across sites.
+//
+// Soundness caveats (counted in LintReport::caveats, discussed in DESIGN.md):
+// unresolvable indirect jumps, stores through unbounded addresses (dropped), and
+// the memory-safety assumption that dead stack slots are not re-read.
+#ifndef PARFAIT_ANALYSIS_LINT_H_
+#define PARFAIT_ANALYSIS_LINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/analysis/absdomain.h"
+#include "src/analysis/cfg.h"
+#include "src/hsm/hsm_system.h"
+#include "src/hsm/secret_layout.h"
+#include "src/riscv/assembler.h"
+#include "src/support/status.h"
+#include "src/support/telemetry.h"
+
+namespace parfait::analysis {
+
+// What the policy forbids doing with a Secret value. Matches the dynamic monitor's
+// violation classes one-for-one so findings can be cross-checked (crosscheck.h).
+enum class FindingKind : uint8_t {
+  kSecretBranch,  // Conditional branch on a secret-derived condition.
+  kSecretJump,    // jalr target derived from secret.
+  kSecretLoad,    // Load address derived from secret.
+  kSecretStore,   // Store address derived from secret.
+  kSecretMul,     // Multiply with a tainted operand (variable-latency policy).
+  kSecretDiv,     // Divide/remainder with a tainted operand.
+};
+
+const char* FindingKindName(FindingKind kind);
+// The corresponding dynamic-monitor violation string (soc::TaintLeak::what).
+const char* FindingKindDynamicWhat(FindingKind kind);
+
+struct Finding {
+  uint32_t pc = 0;
+  FindingKind kind = FindingKind::kSecretBranch;
+  std::string instr;     // Disassembly of the offending instruction.
+  std::string function;  // Containing function (from the symbol side table).
+  // Taint provenance, leak-site first: each line is one hop of the secret's journey
+  // from the FRAM seed region to the flagged operand.
+  std::vector<std::string> provenance;
+};
+
+struct LintPolicy {
+  // Flag multiplies with tainted operands. Off by default: the baseline SoC
+  // multiplier is constant-time and the bignum kernels multiply secrets by design.
+  // Turn on when linting for the variable-latency-multiplier configuration.
+  bool flag_variable_latency_mul = false;
+  // Flag divides/remainders with tainted operands (always variable latency).
+  bool flag_div = true;
+};
+
+// Precision/termination caveat counters. Nonzero values mean the analysis was
+// sound-but-lossy somewhere; zero findings + zero caveats is the strongest verdict.
+struct LintCaveats {
+  uint64_t unresolved_loads = 0;    // Load address unbounded: result went to Unknown.
+  uint64_t unresolved_stores = 0;   // Store address unbounded: store dropped.
+  uint64_t unresolved_secret_stores = 0;  // ...and the dropped value was Secret.
+  uint64_t unresolved_indirect_jumps = 0; // jalr target not provably a return/call.
+  uint64_t recursion_cutoffs = 0;   // Call depth limit or recursive cycle hit.
+};
+
+struct LintConfig {
+  // Memory map (defaults mirror src/soc/bus.h).
+  uint32_t rom_size = 256 * 1024;
+  uint32_t ram_size = 128 * 1024;
+  uint32_t fram_size = 8 * 1024;
+  // FRAM-relative secret byte ranges (hsm::SecretLayout::FramSecretRegions()).
+  std::vector<hsm::SecretRegion> fram_secret_regions;
+  LintPolicy policy;
+  std::string entry = "_start";
+  // Fuel limits: the fixpoint is finite by construction (widening), these only
+  // bound pathological inputs so the tool always terminates with an error.
+  uint64_t max_abstract_steps = 200'000'000;
+  uint32_t widen_threshold = 3;    // Joins per block edge before widening kicks in.
+  uint32_t range_access_cap = 4096;  // Max bytes a ranged load/store may span.
+  int max_call_depth = 64;
+};
+
+// Config for linting exactly what an HsmSystem runs: secret regions from the shared
+// SecretLayout and the mul policy from the build options.
+LintConfig ConfigForSystem(const hsm::HsmSystem& system);
+
+struct LintReport {
+  bool ok = false;      // Analysis ran to completion (fuel not exhausted, CFG valid).
+  std::string error;    // When !ok.
+  // Deduplicated findings, sorted by (pc, kind). Deterministic across runs.
+  std::vector<Finding> findings;
+  LintCaveats caveats;
+  // lint/* counters: instrs_analyzed, fixpoint_iters, findings, cfg_functions,
+  // cfg_blocks, prov_nodes, caveat counters. Deterministic (single fixpoint order).
+  telemetry::TelemetrySnapshot telemetry;
+
+  bool Clean() const { return ok && findings.empty(); }
+};
+
+// Runs the lint over a linked image. The image must carry a symbol side table with
+// kFunction extents (the in-tree assembler always emits one).
+LintReport RunLint(const riscv::Image& image, const LintConfig& config);
+
+// Convenience: ConfigForSystem + RunLint over the system's image.
+LintReport RunLintForSystem(const hsm::HsmSystem& system);
+
+}  // namespace parfait::analysis
+
+#endif  // PARFAIT_ANALYSIS_LINT_H_

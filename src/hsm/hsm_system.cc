@@ -1,5 +1,6 @@
 #include "src/hsm/hsm_system.h"
 
+#include "src/hsm/secret_layout.h"
 #include "src/platform/firmware.h"
 #include "src/support/status.h"
 
@@ -52,17 +53,16 @@ std::unique_ptr<soc::Soc> HsmSystem::NewSocWithFram(const Bytes& fram) const {
 
 Bytes HsmSystem::MakeFram(const Bytes& state) const {
   PARFAIT_CHECK(state.size() == app_->state_size());
-  Bytes fram(4 + 2 * app_->state_size(), 0);
-  // flag = 0 -> copy A active at offset 4.
-  std::copy(state.begin(), state.end(), fram.begin() + 4);
+  SecretLayout layout = SecretLayout::ForApp(*app_);
+  Bytes fram(layout.JournalSize(), 0);
+  // flag = 0 -> copy A active.
+  std::copy(state.begin(), state.end(), fram.begin() + layout.copy_a_offset);
   return fram;
 }
 
 void HsmSystem::SeedSecretTaint(soc::Soc& soc) const {
-  uint32_t state_size = static_cast<uint32_t>(app_->state_size());
-  for (auto [offset, length] : app_->SecretStateRanges()) {
-    soc.bus().SetFramTaint(4 + offset, length, true);
-    soc.bus().SetFramTaint(4 + state_size + offset, length, true);
+  for (const SecretRegion& r : SecretLayout::ForApp(*app_).FramSecretRegions()) {
+    soc.bus().SetFramTaint(r.offset, r.length, true);
   }
 }
 

@@ -1,0 +1,27 @@
+#include "src/hsm/secret_layout.h"
+
+namespace parfait::hsm {
+
+SecretLayout SecretLayout::ForApp(const App& app) {
+  SecretLayout layout;
+  layout.state_size = static_cast<uint32_t>(app.state_size());
+  layout.copy_b_offset = layout.copy_a_offset + layout.state_size;
+  for (auto [offset, length] : app.SecretStateRanges()) {
+    layout.state_regions.push_back(SecretRegion{offset, length});
+  }
+  return layout;
+}
+
+std::vector<SecretRegion> SecretLayout::FramSecretRegions() const {
+  std::vector<SecretRegion> out;
+  out.reserve(2 * state_regions.size());
+  for (const SecretRegion& r : state_regions) {
+    out.push_back(SecretRegion{copy_a_offset + r.offset, r.length});
+  }
+  for (const SecretRegion& r : state_regions) {
+    out.push_back(SecretRegion{copy_b_offset + r.offset, r.length});
+  }
+  return out;
+}
+
+}  // namespace parfait::hsm

@@ -1,0 +1,54 @@
+// The single source of truth for where an application's secrets live.
+//
+// Three consumers need to agree byte-for-byte on this layout: the SoC taint seeding
+// (HsmSystem::SeedSecretTaint), the Knox2 self-composition partner-state generator
+// (knox2::MakeSecretVariant), and the static leakage analyzer (src/analysis), which
+// seeds its abstract taint lattice from the same declarations. Before this header the
+// journal arithmetic was inlined at each call site; any drift between the checkers
+// would have silently weakened one of them.
+#ifndef PARFAIT_HSM_SECRET_LAYOUT_H_
+#define PARFAIT_HSM_SECRET_LAYOUT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/hsm/app.h"
+
+namespace parfait::hsm {
+
+// A contiguous run of secret bytes; `offset` is relative to whatever space the
+// containing API documents (encoded state, FRAM, or bus addresses).
+struct SecretRegion {
+  uint32_t offset = 0;
+  uint32_t length = 0;
+
+  friend bool operator==(const SecretRegion&, const SecretRegion&) = default;
+};
+
+// The FRAM journal layout plus the app's secret ranges within one state copy.
+//
+// FRAM layout (firmware/sys.c load_state/store_state):
+//   [0, 4)                          journal flag word (0 -> copy A active)
+//   [4, 4 + state_size)             state copy A
+//   [4 + state_size, 4 + 2*size)    state copy B
+struct SecretLayout {
+  uint32_t state_size = 0;
+  uint32_t flag_offset = 0;
+  uint32_t copy_a_offset = 4;
+  uint32_t copy_b_offset = 0;  // 4 + state_size.
+  // Secret byte ranges within one encoded state copy (the app's declaration).
+  std::vector<SecretRegion> state_regions;
+
+  static SecretLayout ForApp(const App& app);
+
+  // Minimum FRAM bytes the journal occupies.
+  uint32_t JournalSize() const { return copy_b_offset + state_size; }
+
+  // Secret ranges relative to the FRAM base, covering BOTH journal copies (what taint
+  // seeding and the static analyzer consume).
+  std::vector<SecretRegion> FramSecretRegions() const;
+};
+
+}  // namespace parfait::hsm
+
+#endif  // PARFAIT_HSM_SECRET_LAYOUT_H_

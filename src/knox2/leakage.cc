@@ -1,5 +1,6 @@
 #include "src/knox2/leakage.h"
 
+#include "src/hsm/secret_layout.h"
 #include "src/support/bytes.h"
 #include "src/support/parallel.h"
 #include "src/support/status.h"
@@ -161,9 +162,11 @@ SelfCompResult CheckSelfComposition(const hsm::HsmSystem& system, const Bytes& s
 
 Bytes MakeSecretVariant(const hsm::App& app, const Bytes& state, Rng& rng) {
   Bytes variant = state;
-  for (auto [offset, length] : app.SecretStateRanges()) {
-    for (uint32_t i = 0; i < length; i++) {
-      variant[offset + i] = rng.Byte();
+  // Shared declaration with SoC taint seeding and the static analyzer: the three
+  // checkers must agree on what is secret (src/hsm/secret_layout.h).
+  for (const hsm::SecretRegion& r : hsm::SecretLayout::ForApp(app).state_regions) {
+    for (uint32_t i = 0; i < r.length; i++) {
+      variant[r.offset + i] = rng.Byte();
     }
   }
   return variant;

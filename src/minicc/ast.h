@@ -119,6 +119,7 @@ struct Global {
   Type type;                     // Element type for arrays.
   uint32_t array_size = 0;       // 0 for scalars, else element count.
   bool is_const = false;
+  bool is_secret = false;        // `secret` storage qualifier -> symbol annotation.
   std::vector<uint32_t> init;    // Element initializers (empty -> zero).
   int line = 0;
 };

@@ -106,6 +106,10 @@ class Codegen {
       prog_.SetSection(section);
       prog_.Align(4);
       prog_.DefineLabel(g.name);
+      prog_.MarkObject(g.name, total);
+      if (g.is_secret) {
+        prog_.Annotate(g.name, "secret");
+      }
       if (section == Section::kBss) {
         prog_.Zero(total);
         continue;
@@ -437,6 +441,7 @@ class Codegen {
     prog_.SetSection(Section::kText);
     prog_.Align(4);
     prog_.DefineLabel(fn.name);
+    prog_.MarkFunction(fn.name);
     Emit(Instr{Op::kAddi, kRegSp, kRegSp, 0, -frame_size_});
     Emit(Instr{Op::kSw, 0, kRegSp, kRegRa, ra_offset_});
     for (size_t i = 0; i < used_saved_regs_.size(); i++) {

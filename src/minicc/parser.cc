@@ -86,18 +86,24 @@ class Parser {
       return false;
     }
     return t.text == "u8" || t.text == "u32" || t.text == "void" || t.text == "const" ||
-           t.text == "volatile" || t.text == "static" || t.text == "unsigned";
+           t.text == "volatile" || t.text == "static" || t.text == "unsigned" ||
+           t.text == "secret";
   }
 
-  // Parses qualifiers + base type + pointer stars. Sets *is_const for rodata placement.
-  bool ParseType(Type* out, bool* is_const) {
+  // Parses qualifiers + base type + pointer stars. Sets *is_const for rodata placement
+  // and *is_secret for the taint-seed annotation in the symbol side table.
+  bool ParseType(Type* out, bool* is_const, bool* is_secret = nullptr) {
     bool saw_const = false;
+    bool saw_secret = false;
     bool saw_base = false;
     Type t;
     while (Cur().kind == Token::Kind::kIdent) {
       const std::string& w = Cur().text;
       if (w == "const") {
         saw_const = true;
+        Advance();
+      } else if (w == "secret") {
+        saw_secret = true;
         Advance();
       } else if (w == "volatile" || w == "static") {
         Advance();
@@ -138,6 +144,11 @@ class Parser {
     if (is_const != nullptr) {
       *is_const = saw_const;
     }
+    if (is_secret != nullptr) {
+      *is_secret = saw_secret;
+    } else if (saw_secret) {
+      return Fail("secret qualifier is only valid on globals");
+    }
     return true;
   }
 
@@ -170,7 +181,8 @@ class Parser {
     }
     Type type;
     bool is_const = false;
-    if (!ParseType(&type, &is_const)) {
+    bool is_secret = false;
+    if (!ParseType(&type, &is_const, &is_secret)) {
       return false;
     }
     if (Cur().kind != Token::Kind::kIdent) {
@@ -180,9 +192,12 @@ class Parser {
     int line = Cur().line;
     Advance();
     if (IsPunct("(")) {
+      if (is_secret) {
+        return Fail("secret qualifier is only valid on globals");
+      }
       return ParseFunction(type, name, line);
     }
-    return ParseGlobal(type, is_const, name, line);
+    return ParseGlobal(type, is_const, is_secret, name, line);
   }
 
   bool ParseEnum() {
@@ -212,11 +227,13 @@ class Parser {
     return ExpectPunct("}") && ExpectPunct(";");
   }
 
-  bool ParseGlobal(Type type, bool is_const, const std::string& name, int line) {
+  bool ParseGlobal(Type type, bool is_const, bool is_secret, const std::string& name,
+                   int line) {
     Global g;
     g.name = name;
     g.type = type;
     g.is_const = is_const;
+    g.is_secret = is_secret;
     g.line = line;
     if (AcceptPunct("[")) {
       if (!ParseConstValue(&g.array_size)) {

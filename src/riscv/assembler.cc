@@ -1,5 +1,6 @@
 #include "src/riscv/assembler.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <cstring>
 #include <sstream>
@@ -20,10 +21,28 @@ int32_t LoPart(uint32_t addr) {
 
 }  // namespace
 
+bool SymbolInfo::HasAnnotation(const std::string& a) const {
+  for (const auto& annotation : annotations) {
+    if (annotation == a) {
+      return true;
+    }
+  }
+  return false;
+}
+
 uint32_t Image::SymbolOrDie(const std::string& name) const {
   auto it = symbols.find(name);
   PARFAIT_CHECK_MSG(it != symbols.end(), "undefined symbol %s", name.c_str());
   return it->second;
+}
+
+const SymbolInfo* Image::FindSymbol(const std::string& name) const {
+  for (const SymbolInfo& info : symbol_table) {
+    if (info.name == name) {
+      return &info;
+    }
+  }
+  return nullptr;
 }
 
 uint32_t Program::SectionSize(Section s) const {
@@ -55,6 +74,20 @@ void Program::DefineLabel(const std::string& name) {
 
 void Program::DefineConstant(const std::string& name, uint32_t value) {
   constants_[name] = value;
+}
+
+void Program::MarkFunction(const std::string& name) {
+  meta_[name].kind = SymbolKind::kFunction;
+}
+
+void Program::MarkObject(const std::string& name, uint32_t size) {
+  SymbolMeta& meta = meta_[name];
+  meta.kind = SymbolKind::kObject;
+  meta.size = size;
+}
+
+void Program::Annotate(const std::string& name, const std::string& annotation) {
+  meta_[name].annotations.push_back(annotation);
 }
 
 void Program::Emit(const AsmInstr& ai) {
@@ -169,6 +202,47 @@ Result<Image> Program::Link(uint32_t rom_base, uint32_t ram_base) const {
   image.data_size = data_size;
   image.symbols = symbols;
   image.rom.resize(text_size + rodata_size + data_size);
+
+  // Build the symbol side table. Extents for symbols without a producer-declared size
+  // come from the label layout: a function spans to the next *function* in its section
+  // (local branch labels inside it do not end it), an object to the next label of any
+  // kind. The section end bounds both.
+  uint32_t section_sizes[4] = {text_size, rodata_size, data_size, bss_size};
+  for (const auto& [name, def] : labels_) {
+    SymbolInfo info;
+    info.name = name;
+    info.addr = symbols.at(name);
+    info.section = def.section;
+    auto meta_it = meta_.find(name);
+    if (meta_it != meta_.end()) {
+      info.kind = meta_it->second.kind;
+      info.size = meta_it->second.size;
+      info.annotations = meta_it->second.annotations;
+    }
+    if (info.size == 0 && info.kind != SymbolKind::kLabel) {
+      uint32_t end = section_sizes[static_cast<size_t>(def.section)];
+      for (const auto& [other, other_def] : labels_) {
+        if (other_def.section != def.section || other_def.offset <= def.offset ||
+            other == name) {
+          continue;
+        }
+        if (info.kind == SymbolKind::kFunction) {
+          auto other_meta = meta_.find(other);
+          if (other_meta == meta_.end() ||
+              other_meta->second.kind != SymbolKind::kFunction) {
+            continue;
+          }
+        }
+        end = std::min(end, static_cast<uint32_t>(other_def.offset));
+      }
+      info.size = end - static_cast<uint32_t>(def.offset);
+    }
+    image.symbol_table.push_back(std::move(info));
+  }
+  std::sort(image.symbol_table.begin(), image.symbol_table.end(),
+            [](const SymbolInfo& a, const SymbolInfo& b) {
+              return a.addr != b.addr ? a.addr < b.addr : a.name < b.name;
+            });
 
   std::string error;
   auto emit_section = [&](Section s, uint32_t section_addr, uint32_t rom_offset) -> bool {
@@ -360,7 +434,20 @@ class Parser {
       program_.SetSection(Section::kData);
     } else if (name == ".bss") {
       program_.SetSection(Section::kBss);
-    } else if (name == ".globl" || name == ".global" || name == ".type" || name == ".size" ||
+    } else if (name == ".type") {
+      // `.type name, @function` / `.type name, @object` feeds the symbol side table.
+      std::vector<std::string> parts = SplitCommas(rest);
+      if (parts.size() != 2) {
+        return Fail(".type needs name, @kind");
+      }
+      if (parts[1] == "@function" || parts[1] == "%function") {
+        program_.MarkFunction(parts[0]);
+      } else if (parts[1] == "@object" || parts[1] == "%object") {
+        program_.MarkObject(parts[0], 0);
+      } else {
+        return Fail("unknown .type kind " + parts[1]);
+      }
+    } else if (name == ".globl" || name == ".global" || name == ".size" ||
                name == ".option" || name == ".attribute" || name == ".file" ||
                name == ".ident" || name == ".section") {
       // Accepted and ignored; all symbols are global here.
@@ -667,7 +754,7 @@ class Parser {
         }
         instr.rd = ops[0].reg;
         if (is_imm(1)) {
-          instr.imm = ops[1].imm << 12;
+          instr.imm = static_cast<int32_t>(static_cast<uint32_t>(ops[1].imm) << 12);
           program_.Emit(instr);
         } else if (ops.size() > 1 && ops[1].kind == Operand::Kind::kHi) {
           program_.Emit(AsmInstr{instr, Reloc::kHi, ops[1].symbol, ops[1].imm});
@@ -683,6 +770,11 @@ class Parser {
         if (is_reg(0) && is_sym(1)) {
           program_.Emit(AsmInstr{Instr{Op::kJal, ops[0].reg, 0, 0, 0}, Reloc::kJal,
                                  ops[1].symbol, 0});
+          return true;
+        }
+        if (is_reg(0) && is_imm(1)) {
+          // Numeric pc-relative offset (disassembler round-trip form).
+          program_.Emit(Instr{Op::kJal, ops[0].reg, 0, 0, ops[1].imm});
           return true;
         }
         return Fail("jal [rd,] label");
@@ -706,12 +798,18 @@ class Parser {
       case Op::kBge:
       case Op::kBltu:
       case Op::kBgeu:
-        if (!is_reg(0) || !is_reg(1) || !is_sym(2)) {
+        if (!is_reg(0) || !is_reg(1) || (!is_sym(2) && !is_imm(2))) {
           return Fail("branch rs1, rs2, label");
         }
         instr.rs1 = ops[0].reg;
         instr.rs2 = ops[1].reg;
-        program_.Emit(AsmInstr{instr, Reloc::kBranch, ops[2].symbol, 0});
+        if (is_imm(2)) {
+          // Numeric pc-relative offset (disassembler round-trip form).
+          instr.imm = ops[2].imm;
+          program_.Emit(instr);
+        } else {
+          program_.Emit(AsmInstr{instr, Reloc::kBranch, ops[2].symbol, 0});
+        }
         return true;
       case Op::kLb:
       case Op::kLh:

@@ -38,6 +38,28 @@ struct AsmInstr {
 
 enum class Section : uint8_t { kText, kRodata, kData, kBss };
 
+// Symbol classification for the side table. Producers opt in via Program::MarkFunction /
+// MarkObject (the MiniC compiler) or `.type name, @function|@object` (hand assembly);
+// everything else stays kLabel.
+enum class SymbolKind : uint8_t { kLabel, kFunction, kObject };
+
+// One side-table entry: where a symbol landed, how big it is, and what the producer
+// said about it. The static analyzer keys CFG recovery (function extents, indirect-jump
+// targets) and taint seeding (the "secret" annotation) off this table.
+struct SymbolInfo {
+  std::string name;
+  uint32_t addr = 0;
+  // Extent in bytes. Functions span to the next function (or section end); objects use
+  // the producer-declared size when given, else the gap to the next label. 0 = unknown.
+  uint32_t size = 0;
+  Section section = Section::kText;
+  SymbolKind kind = SymbolKind::kLabel;
+  // Free-form producer annotations (e.g. "secret" from a MiniC storage qualifier).
+  std::vector<std::string> annotations;
+
+  bool HasAnnotation(const std::string& a) const;
+};
+
 // A linked firmware image.
 struct Image {
   uint32_t rom_base = 0;
@@ -48,8 +70,12 @@ struct Image {
   uint32_t bss_size = 0;
   uint32_t data_size = 0;
   std::map<std::string, uint32_t> symbols;
+  // Side table, sorted by (addr, name); covers every label (not layout constants).
+  std::vector<SymbolInfo> symbol_table;
 
   uint32_t SymbolOrDie(const std::string& name) const;
+  // Side-table lookup by name; nullptr when absent.
+  const SymbolInfo* FindSymbol(const std::string& name) const;
 };
 
 // An assembly program under construction (items are appended to the current section).
@@ -63,6 +89,11 @@ class Program {
 
   // Defines an absolute symbol (e.g. `.equ STACK_TOP, 0x20010000`).
   void DefineConstant(const std::string& name, uint32_t value);
+
+  // Side-table metadata; may be called before or after the label is defined.
+  void MarkFunction(const std::string& name);
+  void MarkObject(const std::string& name, uint32_t size);
+  void Annotate(const std::string& name, const std::string& annotation);
 
   void Emit(const AsmInstr& ai);
   void Emit(const Instr& i) { Emit(AsmInstr{i, Reloc::kNone, "", 0}); }
@@ -98,6 +129,12 @@ class Program {
     size_t offset;  // Byte offset within the section at definition time.
   };
 
+  struct SymbolMeta {
+    SymbolKind kind = SymbolKind::kLabel;
+    uint32_t size = 0;
+    std::vector<std::string> annotations;
+  };
+
   std::vector<Item>& Items(Section s) { return items_[static_cast<size_t>(s)]; }
   const std::vector<Item>& Items(Section s) const { return items_[static_cast<size_t>(s)]; }
   uint32_t SectionSize(Section s) const;
@@ -106,6 +143,7 @@ class Program {
   std::vector<Item> items_[4];
   std::map<std::string, LabelDef> labels_;
   std::map<std::string, uint32_t> constants_;
+  std::map<std::string, SymbolMeta> meta_;
 };
 
 // Parses textual assembly (labels, RV32IM mnemonics, common pseudo-instructions: nop,

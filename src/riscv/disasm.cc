@@ -27,8 +27,13 @@ std::string Disassemble(const Instr& in, uint32_t pc) {
   auto rs2 = [&] { return std::string(RegName(in.rs2)); };
   switch (in.op) {
     case Op::kLui:
-    case Op::kAuipc:
-      return m + " " + rd() + ", " + Addr(static_cast<uint32_t>(in.imm));
+    case Op::kAuipc: {
+      // GNU style: the 20-bit immediate, not the shifted value (round-trips through
+      // the assembler, which shifts by 12 when parsing).
+      char buf[16];
+      std::snprintf(buf, sizeof(buf), "0x%x", static_cast<uint32_t>(in.imm) >> 12);
+      return m + " " + rd() + ", " + buf;
+    }
     case Op::kJal:
       return m + " " + rd() + ", " +
              (pc != 0 ? Addr(pc + static_cast<uint32_t>(in.imm)) : Imm(in.imm));

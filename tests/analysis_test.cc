@@ -1,0 +1,285 @@
+// Tests for the static leakage lint: CFG recovery, the zero-findings verdict on the
+// stock firmware, detection of seeded constant-time bugs with provenance, and the
+// dynamic cross-check classification.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/analysis/cfg.h"
+#include "src/analysis/crosscheck.h"
+#include "src/analysis/lint.h"
+#include "src/hsm/app.h"
+#include "src/hsm/hsm_system.h"
+#include "src/minicc/compiler.h"
+#include "src/platform/firmware.h"
+
+namespace parfait::analysis {
+namespace {
+
+using hsm::HsmBuildOptions;
+using hsm::HsmSystem;
+
+// The stock hasher handle() with a seeded secret-dependent branch: an early exit
+// when the secret's first byte is zero (the same §7.2 bug knox2_test seeds).
+std::string SecretBranchMutant() {
+  return platform::ReadFirmwareFile("hash.c") + R"(
+void handle(u8 *state, u8 *cmd, u8 *resp) {
+  for (u32 i = 0; i < RESPONSE_SIZE; i = i + 1) { resp[i] = 0; }
+  u32 tag = (u32)cmd[0];
+  if (tag == 1) {
+    for (u32 i = 0; i < 32; i = i + 1) { state[i] = cmd[1 + i]; }
+    resp[0] = 1;
+    return;
+  }
+  if (tag == 2) {
+    u8 digest[32];
+    if (state[0] == 0) {
+      for (u32 i = 0; i < 32; i = i + 1) { digest[i] = 0; }  /* "fast path" */
+    } else {
+      hmac_blake2s(digest, state, cmd + 1, 32);
+    }
+    resp[0] = 2;
+    for (u32 i = 0; i < 32; i = i + 1) { resp[1 + i] = digest[i]; }
+    return;
+  }
+}
+)";
+}
+
+// A seeded secret-indexed table lookup: the response leaks a cmd byte selected by
+// the secret (a classic cache/SRAM-timing side channel shape).
+std::string SecretIndexMutant(const char* guard_tag) {
+  std::string source = platform::ReadFirmwareFile("hash.c") + R"(
+void handle(u8 *state, u8 *cmd, u8 *resp) {
+  for (u32 i = 0; i < RESPONSE_SIZE; i = i + 1) { resp[i] = 0; }
+  u32 tag = (u32)cmd[0];
+  if (tag == 1) {
+    for (u32 i = 0; i < 32; i = i + 1) { state[i] = cmd[1 + i]; }
+    resp[0] = 1;
+    return;
+  }
+  if (tag == GUARD) {
+    u8 digest[32];
+    hmac_blake2s(digest, state, cmd + 1, 32);
+    resp[0] = 2;
+    for (u32 i = 0; i < 32; i = i + 1) { resp[1 + i] = digest[i]; }
+    resp[1] = cmd[1 + ((u32)state[0] & 15)];  /* secret-indexed lookup */
+    return;
+  }
+}
+)";
+  size_t at = source.find("GUARD");
+  source.replace(at, 5, guard_tag);
+  return source;
+}
+
+bool HasKind(const LintReport& report, FindingKind kind) {
+  for (const Finding& f : report.findings) {
+    if (f.kind == kind) {
+      return true;
+    }
+  }
+  return false;
+}
+
+TEST(Cfg, RecoversFunctionsFromSymbolSideTable) {
+  HsmSystem system(hsm::HasherApp(), HsmBuildOptions{});
+  auto cfg = BuildCfg(system.image());
+  ASSERT_TRUE(cfg.ok()) << cfg.error();
+  const Cfg& graph = cfg.value();
+  EXPECT_GT(graph.functions.size(), 5u);
+  EXPECT_GT(graph.instr_count, 100u);
+
+  bool found_start = false;
+  bool found_handle = false;
+  for (const auto& [entry, fn] : graph.functions) {
+    if (fn.name == "_start") {
+      found_start = true;
+    }
+    if (fn.name == "handle") {
+      found_handle = true;
+    }
+    // Blocks exactly partition the function extent.
+    uint32_t expect = fn.entry;
+    for (const auto& [start, block] : fn.blocks) {
+      EXPECT_EQ(start, expect) << fn.name;
+      EXPECT_GT(block.end, block.start);
+      expect = block.end;
+    }
+    EXPECT_EQ(expect, fn.entry + fn.size) << fn.name;
+    // FunctionContaining agrees with the extent.
+    EXPECT_EQ(graph.FunctionContaining(fn.entry), &fn);
+    EXPECT_EQ(graph.FunctionContaining(fn.entry + fn.size - 4), &fn);
+  }
+  EXPECT_TRUE(found_start);
+  EXPECT_TRUE(found_handle);
+  // O0 emits no computed jumps: every jalr is the `ret` shape.
+  EXPECT_TRUE(graph.indirect_jumps.empty());
+}
+
+TEST(Lint, StockHasherIsClean) {
+  HsmSystem system(hsm::HasherApp(), HsmBuildOptions{});
+  LintReport report = RunLintForSystem(system);
+  ASSERT_TRUE(report.ok) << report.error;
+  EXPECT_TRUE(report.findings.empty());
+  EXPECT_GT(report.telemetry.CounterValue("lint/instrs_analyzed"), 1000u);
+  EXPECT_GT(report.telemetry.CounterValue("lint/fixpoint_iters"), 100u);
+  EXPECT_EQ(report.telemetry.CounterValue("lint/findings"), 0u);
+  EXPECT_EQ(report.caveats.unresolved_indirect_jumps, 0u);
+  EXPECT_EQ(report.caveats.recursion_cutoffs, 0u);
+}
+
+TEST(Lint, StockEcdsaIsClean) {
+  HsmSystem system(hsm::EcdsaApp(), HsmBuildOptions{});
+  LintReport report = RunLintForSystem(system);
+  ASSERT_TRUE(report.ok) << report.error;
+  EXPECT_TRUE(report.findings.empty());
+  EXPECT_EQ(report.caveats.unresolved_indirect_jumps, 0u);
+}
+
+TEST(Lint, DeterministicAcrossRuns) {
+  HsmSystem system(hsm::HasherApp(), HsmBuildOptions{});
+  LintReport a = RunLintForSystem(system);
+  LintReport b = RunLintForSystem(system);
+  ASSERT_TRUE(a.ok);
+  ASSERT_TRUE(b.ok);
+  EXPECT_EQ(a.findings.size(), b.findings.size());
+  EXPECT_EQ(a.telemetry.ToJson(), b.telemetry.ToJson());
+}
+
+TEST(Lint, FlagsSeededSecretBranch) {
+  HsmBuildOptions options;
+  options.source_override = SecretBranchMutant();
+  HsmSystem system(hsm::HasherApp(), options);
+  LintReport report = RunLintForSystem(system);
+  ASSERT_TRUE(report.ok) << report.error;
+  ASSERT_TRUE(HasKind(report, FindingKind::kSecretBranch));
+
+  const Finding* branch = nullptr;
+  for (const Finding& f : report.findings) {
+    if (f.kind == FindingKind::kSecretBranch) {
+      branch = &f;
+      break;
+    }
+  }
+  EXPECT_EQ(branch->function, "handle");
+  // The provenance chain explains the flow: a load of the secret, rooted at the
+  // FRAM seed region.
+  ASSERT_GE(branch->provenance.size(), 2u);
+  EXPECT_NE(branch->provenance.front().find("loaded at pc"), std::string::npos);
+  EXPECT_NE(branch->provenance.back().find("FRAM secret region"), std::string::npos);
+}
+
+TEST(Lint, FlagsSeededSecretIndexedLoad) {
+  HsmBuildOptions options;
+  options.source_override = SecretIndexMutant("2");
+  HsmSystem system(hsm::HasherApp(), options);
+  LintReport report = RunLintForSystem(system);
+  ASSERT_TRUE(report.ok) << report.error;
+  ASSERT_TRUE(HasKind(report, FindingKind::kSecretLoad));
+  for (const Finding& f : report.findings) {
+    if (f.kind == FindingKind::kSecretLoad) {
+      EXPECT_EQ(f.function, "handle");
+      EXPECT_NE(f.provenance.back().find("FRAM secret region"), std::string::npos);
+    }
+  }
+}
+
+TEST(CrossCheckTest, ConfirmsSeededBranch) {
+  HsmBuildOptions options;
+  options.source_override = SecretBranchMutant();
+  options.taint_tracking = true;
+  HsmSystem system(hsm::HasherApp(), options);
+  LintReport report = RunLintForSystem(system);
+  ASSERT_TRUE(report.ok) << report.error;
+  ASSERT_FALSE(report.findings.empty());
+
+  CrossCheckResult cross = CrossCheck(system, report);
+  EXPECT_GE(cross.confirmed, 1);
+  bool branch_confirmed = false;
+  for (const auto& item : cross.items) {
+    if (item.finding.kind == FindingKind::kSecretBranch && item.confirmed) {
+      branch_confirmed = true;
+      EXPECT_GT(item.dynamic_hits, 0u);
+    }
+  }
+  EXPECT_TRUE(branch_confirmed);
+  // The static pass predicted every dynamic violation the replay produced.
+  EXPECT_TRUE(cross.unpredicted.empty());
+}
+
+TEST(CrossCheckTest, ConfirmsSeededIndexedLoad) {
+  HsmBuildOptions options;
+  options.source_override = SecretIndexMutant("2");
+  options.taint_tracking = true;
+  HsmSystem system(hsm::HasherApp(), options);
+  LintReport report = RunLintForSystem(system);
+  ASSERT_TRUE(report.ok) << report.error;
+
+  CrossCheckResult cross = CrossCheck(system, report);
+  bool load_confirmed = false;
+  for (const auto& item : cross.items) {
+    if (item.finding.kind == FindingKind::kSecretLoad && item.confirmed) {
+      load_confirmed = true;
+    }
+  }
+  EXPECT_TRUE(load_confirmed);
+}
+
+TEST(CrossCheckTest, ClassifiesUnreachedFinding) {
+  // The bug hides behind tag 3, which RandomValidCommand never generates: the
+  // static pass still flags it (every path is analyzed), the dynamic replay cannot
+  // reach it, and the cross-check says so instead of silently dropping it.
+  HsmBuildOptions options;
+  options.source_override = SecretIndexMutant("3");
+  options.taint_tracking = true;
+  HsmSystem system(hsm::HasherApp(), options);
+  LintReport report = RunLintForSystem(system);
+  ASSERT_TRUE(report.ok) << report.error;
+  ASSERT_TRUE(HasKind(report, FindingKind::kSecretLoad));
+
+  CrossCheckResult cross = CrossCheck(system, report);
+  EXPECT_GE(cross.unreached, 1);
+  bool load_unreached = false;
+  for (const auto& item : cross.items) {
+    if (item.finding.kind == FindingKind::kSecretLoad && !item.confirmed) {
+      load_unreached = true;
+    }
+  }
+  EXPECT_TRUE(load_unreached);
+}
+
+TEST(SecretQualifier, AnnotatesSymbolSideTable) {
+  // The MiniC `secret` storage qualifier flows into the assembler's symbol side
+  // table as an annotation — the hook a source-level secret declaration uses to
+  // reach the analyzer without an out-of-band region list.
+  std::string source = R"(
+secret u32 master_key[4];
+u32 public_counter;
+u32 touch() { return master_key[0] + public_counter; }
+)";
+  riscv::Program program;
+  minicc::CodegenOptions options;
+  auto compiled = minicc::CompileSource(source, options, &program);
+  ASSERT_TRUE(compiled.ok()) << compiled.error();
+  auto image = program.Link(0x0, 0x20000000);
+  ASSERT_TRUE(image.ok()) << image.error();
+
+  const riscv::SymbolInfo* key = image.value().FindSymbol("master_key");
+  ASSERT_NE(key, nullptr);
+  EXPECT_EQ(key->kind, riscv::SymbolKind::kObject);
+  EXPECT_EQ(key->size, 16u);
+  EXPECT_TRUE(key->HasAnnotation("secret"));
+
+  const riscv::SymbolInfo* counter = image.value().FindSymbol("public_counter");
+  ASSERT_NE(counter, nullptr);
+  EXPECT_FALSE(counter->HasAnnotation("secret"));
+
+  const riscv::SymbolInfo* fn = image.value().FindSymbol("touch");
+  ASSERT_NE(fn, nullptr);
+  EXPECT_EQ(fn->kind, riscv::SymbolKind::kFunction);
+  EXPECT_GT(fn->size, 0u);
+}
+
+}  // namespace
+}  // namespace parfait::analysis

@@ -1,10 +1,41 @@
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
+#include "src/riscv/assembler.h"
+#include "src/riscv/disasm.h"
 #include "src/riscv/isa.h"
+#include "src/support/bytes.h"
 #include "src/support/rng.h"
 
 namespace parfait::riscv {
 namespace {
+
+// Assembles a single instruction line and returns its encoded word, or nullopt if
+// the text fails to parse or link.
+std::optional<uint32_t> AssembleOne(const std::string& line) {
+  auto program = ParseAssembly("f:\n  " + line + "\n");
+  if (!program.ok()) {
+    return std::nullopt;
+  }
+  auto image = program.value().Link(0x0, 0x20000000);
+  if (!image.ok() || image.value().rom.size() < 4) {
+    return std::nullopt;
+  }
+  return LoadLe32(image.value().rom.data());
+}
+
+// assemble(disassemble(instr)) must reproduce a functionally identical instruction:
+// the disassembler's text is valid assembler input and loses no operand information.
+void ExpectDisasmRoundTrip(const Instr& in) {
+  std::string text = Disassemble(in, /*pc=*/0);
+  auto word = AssembleOne(text);
+  ASSERT_TRUE(word.has_value()) << "unparseable disassembly: " << text;
+  auto again = Decode(*word);
+  ASSERT_TRUE(again.has_value()) << text;
+  EXPECT_EQ(*again, in) << text;
+}
 
 TEST(Isa, EncodeDecodeRoundTripAllOps) {
   // Every opcode with representative operands survives an encode/decode round trip.
@@ -111,6 +142,112 @@ TEST(Isa, RandomizedRoundTrip) {
     EXPECT_EQ(*again, *decoded);
   }
   EXPECT_GT(checked, 100);  // Sanity: the decoder accepts a reasonable fraction.
+}
+
+TEST(Disasm, RoundTripEveryEncodableForm) {
+  // Every opcode, swept over representative operand values spanning the encodable
+  // range of each field (register extremes, immediate extremes, sign boundaries).
+  const std::vector<uint8_t> regs = {0, 1, 2, 5, 15, 31};
+  const std::vector<int32_t> imm12 = {-2048, -1, 0, 1, 2047};
+  const std::vector<int32_t> shamt = {0, 1, 13, 31};
+  const std::vector<int32_t> branch_imm = {-4096, -64, -2, 0, 2, 4094};
+  const std::vector<int32_t> jal_imm = {-(1 << 20), -2, 0, 2, (1 << 20) - 2};
+  const std::vector<int32_t> upper_imm = {0, 0x1000, 0x12345000,
+                                          static_cast<int32_t>(0xfffff000)};
+
+  const Op ops[] = {
+      Op::kLui,   Op::kAuipc, Op::kJal,  Op::kJalr, Op::kBeq,   Op::kBne,    Op::kBlt,
+      Op::kBge,   Op::kBltu,  Op::kBgeu, Op::kLb,   Op::kLh,    Op::kLw,     Op::kLbu,
+      Op::kLhu,   Op::kSb,    Op::kSh,   Op::kSw,   Op::kAddi,  Op::kSlti,   Op::kSltiu,
+      Op::kXori,  Op::kOri,   Op::kAndi, Op::kSlli, Op::kSrli,  Op::kSrai,   Op::kAdd,
+      Op::kSub,   Op::kSll,   Op::kSlt,  Op::kSltu, Op::kXor,   Op::kSrl,    Op::kSra,
+      Op::kOr,    Op::kAnd,   Op::kMul,  Op::kMulh, Op::kMulhsu, Op::kMulhu, Op::kDiv,
+      Op::kDivu,  Op::kRem,   Op::kRemu, Op::kFence, Op::kEcall, Op::kEbreak,
+  };
+  for (Op op : ops) {
+    if (op == Op::kFence || op == Op::kEcall || op == Op::kEbreak) {
+      ExpectDisasmRoundTrip(Instr{op, 0, 0, 0, 0});
+    } else if (op == Op::kLui || op == Op::kAuipc) {
+      for (uint8_t rd : regs) {
+        for (int32_t imm : upper_imm) {
+          ExpectDisasmRoundTrip(Instr{op, rd, 0, 0, imm});
+        }
+      }
+    } else if (op == Op::kJal) {
+      for (uint8_t rd : regs) {
+        for (int32_t imm : jal_imm) {
+          ExpectDisasmRoundTrip(Instr{op, rd, 0, 0, imm});
+        }
+      }
+    } else if (op == Op::kJalr || IsLoad(op)) {
+      for (uint8_t rd : regs) {
+        for (uint8_t rs1 : regs) {
+          for (int32_t imm : imm12) {
+            ExpectDisasmRoundTrip(Instr{op, rd, rs1, 0, imm});
+          }
+        }
+      }
+    } else if (IsBranch(op)) {
+      for (uint8_t rs1 : regs) {
+        for (uint8_t rs2 : regs) {
+          for (int32_t imm : branch_imm) {
+            ExpectDisasmRoundTrip(Instr{op, 0, rs1, rs2, imm});
+          }
+        }
+      }
+    } else if (IsStore(op)) {
+      for (uint8_t rs1 : regs) {
+        for (uint8_t rs2 : regs) {
+          for (int32_t imm : imm12) {
+            ExpectDisasmRoundTrip(Instr{op, 0, rs1, rs2, imm});
+          }
+        }
+      }
+    } else if (op == Op::kSlli || op == Op::kSrli || op == Op::kSrai) {
+      for (uint8_t rd : regs) {
+        for (uint8_t rs1 : regs) {
+          for (int32_t imm : shamt) {
+            ExpectDisasmRoundTrip(Instr{op, rd, rs1, 0, imm});
+          }
+        }
+      }
+    } else if (op == Op::kAddi || op == Op::kSlti || op == Op::kSltiu || op == Op::kXori ||
+               op == Op::kOri || op == Op::kAndi) {
+      for (uint8_t rd : regs) {
+        for (uint8_t rs1 : regs) {
+          for (int32_t imm : imm12) {
+            ExpectDisasmRoundTrip(Instr{op, rd, rs1, 0, imm});
+          }
+        }
+      }
+    } else {
+      for (uint8_t rd : regs) {
+        for (uint8_t rs1 : regs) {
+          for (uint8_t rs2 : regs) {
+            ExpectDisasmRoundTrip(Instr{op, rd, rs1, rs2, 0});
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(Disasm, RoundTripRandomizedDecodes) {
+  // Any word the decoder accepts must survive decode -> disassemble -> reassemble
+  // with identical decoded semantics (raw words may differ where encodings have
+  // don't-care bits, e.g. fence).
+  Rng rng(77);
+  int checked = 0;
+  for (int i = 0; i < 20000 && checked < 500; i++) {
+    uint32_t word = rng.Next32();
+    auto decoded = Decode(word);
+    if (!decoded.has_value()) {
+      continue;
+    }
+    checked++;
+    ExpectDisasmRoundTrip(*decoded);
+  }
+  EXPECT_GT(checked, 100);
 }
 
 TEST(Isa, RegisterNames) {

@@ -1,0 +1,173 @@
+// parfait-lint: static constant-time / leakage lint over the firmware of one of
+// the case-study HSM applications.
+//
+// Usage:
+//   parfait-lint --app=ecdsa|hasher [--crosscheck] [--mul-policy] [--json=FILE]
+//                [--baseline=FILE]
+//
+// Exit codes: 0 clean (or all findings present in the baseline), 1 new findings,
+// 2 analysis error. The baseline file holds one `<app> <pc-hex> <kind>` triple per
+// line; CI checks the stock firmware against a checked-in (empty-findings) baseline.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "src/analysis/crosscheck.h"
+#include "src/analysis/lint.h"
+#include "src/hsm/app.h"
+#include "src/hsm/hsm_system.h"
+
+namespace {
+
+using parfait::analysis::CrossCheck;
+using parfait::analysis::CrossCheckResult;
+using parfait::analysis::Finding;
+using parfait::analysis::FindingKindName;
+using parfait::analysis::LintReport;
+
+std::string FlagValue(int argc, char** argv, const char* name) {
+  std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; i++) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return argv[i] + prefix.size();
+    }
+  }
+  return "";
+}
+
+bool FlagSet(int argc, char** argv, const char* name) {
+  std::string flag = std::string("--") + name;
+  for (int i = 1; i < argc; i++) {
+    if (flag == argv[i]) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string FindingLine(const std::string& app, const Finding& f) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s 0x%08x %s", app.c_str(), f.pc, FindingKindName(f.kind));
+  return buf;
+}
+
+void PrintFinding(const Finding& f) {
+  std::printf("  [%s] pc 0x%08x in <%s>: %s\n", FindingKindName(f.kind), f.pc,
+              f.function.c_str(), f.instr.c_str());
+  for (const std::string& hop : f.provenance) {
+    std::printf("      %s\n", hop.c_str());
+  }
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+    }
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string app_name = FlagValue(argc, argv, "app");
+  if (app_name != "ecdsa" && app_name != "hasher") {
+    std::fprintf(stderr, "usage: parfait-lint --app=ecdsa|hasher [--crosscheck] "
+                         "[--mul-policy] [--json=FILE] [--baseline=FILE]\n");
+    return 2;
+  }
+  bool crosscheck = FlagSet(argc, argv, "crosscheck");
+  bool mul_policy = FlagSet(argc, argv, "mul-policy");
+  std::string json_path = FlagValue(argc, argv, "json");
+  std::string baseline_path = FlagValue(argc, argv, "baseline");
+
+  const parfait::hsm::App& app =
+      app_name == "ecdsa" ? parfait::hsm::EcdsaApp() : parfait::hsm::HasherApp();
+
+  parfait::hsm::HsmBuildOptions build;
+  build.taint_tracking = crosscheck;
+  build.variable_latency_mul = mul_policy;
+  parfait::hsm::HsmSystem system(app, build);
+
+  parfait::analysis::LintConfig config = parfait::analysis::ConfigForSystem(system);
+  LintReport report = parfait::analysis::RunLint(system.image(), config);
+  if (!report.ok) {
+    std::fprintf(stderr, "parfait-lint: analysis failed: %s\n", report.error.c_str());
+    return 2;
+  }
+
+  std::printf("parfait-lint %s: %zu finding(s)\n", app_name.c_str(), report.findings.size());
+  for (const Finding& f : report.findings) {
+    PrintFinding(f);
+  }
+  std::printf("  instrs_analyzed=%llu fixpoint_iters=%llu caveats{loads=%llu stores=%llu "
+              "secret_stores=%llu indirect=%llu recursion=%llu}\n",
+              static_cast<unsigned long long>(report.telemetry.CounterValue("lint/instrs_analyzed")),
+              static_cast<unsigned long long>(report.telemetry.CounterValue("lint/fixpoint_iters")),
+              static_cast<unsigned long long>(report.caveats.unresolved_loads),
+              static_cast<unsigned long long>(report.caveats.unresolved_stores),
+              static_cast<unsigned long long>(report.caveats.unresolved_secret_stores),
+              static_cast<unsigned long long>(report.caveats.unresolved_indirect_jumps),
+              static_cast<unsigned long long>(report.caveats.recursion_cutoffs));
+
+  CrossCheckResult cross;
+  if (crosscheck && !report.findings.empty()) {
+    cross = CrossCheck(system, report);
+    std::printf("  crosscheck: %d confirmed, %d unreached, %zu unpredicted\n", cross.confirmed,
+                cross.unreached, cross.unpredicted.size());
+    for (const auto& item : cross.items) {
+      std::printf("    pc 0x%08x %s: %s\n", item.finding.pc, FindingKindName(item.finding.kind),
+                  item.confirmed ? "CONFIRMED by dynamic taint monitor" : "unreached by replay");
+    }
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << "{\n  \"app\": \"" << app_name << "\",\n  \"findings\": [\n";
+    for (size_t i = 0; i < report.findings.size(); i++) {
+      const Finding& f = report.findings[i];
+      char pc_hex[16];
+      std::snprintf(pc_hex, sizeof(pc_hex), "0x%08x", f.pc);
+      out << "    {\"pc\": \"" << pc_hex << "\", \"kind\": \"" << FindingKindName(f.kind)
+          << "\", \"function\": \"" << JsonEscape(f.function) << "\", \"instr\": \""
+          << JsonEscape(f.instr) << "\"}" << (i + 1 < report.findings.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n  \"telemetry\": " << report.telemetry.ToJson() << "\n}\n";
+  }
+
+  if (!baseline_path.empty()) {
+    std::set<std::string> baseline;
+    std::ifstream in(baseline_path);
+    if (!in) {
+      std::fprintf(stderr, "parfait-lint: cannot read baseline %s\n", baseline_path.c_str());
+      return 2;
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+      if (!line.empty() && line[0] != '#') {
+        baseline.insert(line);
+      }
+    }
+    int fresh = 0;
+    for (const Finding& f : report.findings) {
+      std::string key = FindingLine(app_name, f);
+      if (baseline.count(key) == 0) {
+        std::fprintf(stderr, "parfait-lint: NEW finding not in baseline: %s\n", key.c_str());
+        fresh++;
+      }
+    }
+    if (fresh > 0) {
+      return 1;
+    }
+    std::printf("  baseline: ok (%zu finding(s), all known)\n", report.findings.size());
+    return 0;
+  }
+
+  return report.findings.empty() ? 0 : 1;
+}
