@@ -34,21 +34,41 @@ inline void PaperNote(const std::string& note) {
 
 // Parses `--name=value` from the command line; returns `fallback` when absent. The
 // returned pointer aliases argv (or `fallback`), so it outlives any bench main().
+// A bare `--name` with no `=value` is an error (exit 2, naming the argument), not a
+// silent fallback — a typoed knob must never quietly benchmark the default.
 inline const char* FlagStr(int argc, char** argv, const char* name,
                            const char* fallback = "") {
   size_t len = std::strlen(name);
   for (int i = 1; i < argc; i++) {
-    if (std::strncmp(argv[i], name, len) == 0 && argv[i][len] == '=') {
+    if (std::strncmp(argv[i], name, len) != 0) {
+      continue;
+    }
+    if (argv[i][len] == '=') {
       return argv[i] + len + 1;
+    }
+    if (argv[i][len] == '\0') {
+      std::fprintf(stderr, "bench: flag '%s' is missing its value (use %s=VALUE)\n",
+                   argv[i], name);
+      std::exit(2);
     }
   }
   return fallback;
 }
 
-// Parses `--name=N`; returns `fallback` when absent.
+// Parses `--name=N`; returns `fallback` when absent. A value that is not a whole
+// decimal integer is an error (exit 2, naming the offending argument).
 inline int FlagInt(int argc, char** argv, const char* name, int fallback = 0) {
   const char* value = FlagStr(argc, argv, name, nullptr);
-  return value != nullptr ? std::atoi(value) : fallback;
+  if (value == nullptr) {
+    return fallback;
+  }
+  char* end = nullptr;
+  long parsed = std::strtol(value, &end, 10);
+  if (end == value || *end != '\0') {
+    std::fprintf(stderr, "bench: flag %s=%s is not an integer\n", name, value);
+    std::exit(2);
+  }
+  return static_cast<int>(parsed);
 }
 
 // The --threads=N knob every verification bench takes (0 = all hardware threads):

@@ -1,0 +1,158 @@
+// Microbenchmark for the translation validator: validated functions per second of
+// wall clock and symbolic-step throughput for both case-study firmware images, at
+// one thread and at all hardware threads.
+//
+// Emitted as BENCH_tv.json so the validator's cost is recorded next to its coverage:
+//   {"bench":"micro_tv",
+//    "apps":[{"app":"hasher","threads":1,"functions":...,"validated":...,
+//             "symbolic_steps":...,"seconds_per_run":...,"functions_per_s":...,
+//             "steps_per_s":...},...]}
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/analysis/tv/tv.h"
+#include "src/hsm/app.h"
+#include "src/hsm/hsm_system.h"
+
+namespace parfait {
+namespace {
+
+const hsm::HsmSystem& SystemFor(const std::string& app) {
+  static hsm::HsmSystem* hasher = new hsm::HsmSystem(hsm::HasherApp(), hsm::HsmBuildOptions{});
+  static hsm::HsmSystem* ecdsa = new hsm::HsmSystem(hsm::EcdsaApp(), hsm::HsmBuildOptions{});
+  return app == "hasher" ? *hasher : *ecdsa;
+}
+
+// One full validation of every witnessed function per iteration. "Symbolic steps"
+// counts interpreted instructions plus mirrored source expressions — the quantity
+// the lockstep walk actually pays for.
+void RunTvBench(benchmark::State& state, const std::string& app, int threads) {
+  const hsm::HsmSystem& system = SystemFor(app);
+  analysis::TvConfig config;
+  config.num_threads = threads;
+  config.emit_evidence = false;
+  uint64_t functions = 0;
+  uint64_t validated = 0;
+  uint64_t steps = 0;
+  for (auto _ : state) {
+    analysis::TvReport report = analysis::ValidateSystem(system, config);
+    benchmark::DoNotOptimize(report.ok);
+    functions = report.telemetry.CounterValue("tv/functions");
+    validated = report.telemetry.CounterValue("tv/validated");
+    steps += report.telemetry.CounterValue("tv/steps");
+  }
+  state.counters["functions/s"] = benchmark::Counter(
+      static_cast<double>(functions) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+  state.counters["steps/s"] =
+      benchmark::Counter(static_cast<double>(steps), benchmark::Counter::kIsRate);
+  state.counters["functions"] = benchmark::Counter(static_cast<double>(functions));
+  state.counters["validated"] = benchmark::Counter(static_cast<double>(validated));
+  state.counters["symbolic_steps"] = benchmark::Counter(
+      state.iterations() > 0
+          ? static_cast<double>(steps) / static_cast<double>(state.iterations())
+          : 0);
+  state.counters["threads"] = benchmark::Counter(static_cast<double>(threads));
+  state.SetLabel(app);
+}
+
+void BM_TvHasher1(benchmark::State& state) { RunTvBench(state, "hasher", 1); }
+BENCHMARK(BM_TvHasher1)->Unit(benchmark::kMillisecond);
+
+void BM_TvEcdsa1(benchmark::State& state) { RunTvBench(state, "ecdsa", 1); }
+BENCHMARK(BM_TvEcdsa1)->Unit(benchmark::kMillisecond);
+
+void BM_TvEcdsaAllThreads(benchmark::State& state) { RunTvBench(state, "ecdsa", 0); }
+BENCHMARK(BM_TvEcdsaAllThreads)->Unit(benchmark::kMillisecond);
+
+// Console reporter that also collects rate counters and per-iteration times so
+// main() can assemble BENCH_tv.json after the runs.
+class TvCollector : public benchmark::ConsoleReporter {
+ public:
+  struct Result {
+    double seconds_per_iter = 0;
+    std::map<std::string, double> counters;
+    std::string label;
+  };
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      Result& r = results_[run.benchmark_name()];
+      r.seconds_per_iter =
+          run.iterations > 0 ? run.real_accumulated_time / static_cast<double>(run.iterations)
+                             : 0;
+      for (const auto& [name, counter] : run.counters) {
+        r.counters[name] = counter.value;
+      }
+      r.label = run.report_label;
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+
+  const std::map<std::string, Result>& results() const { return results_; }
+
+ private:
+  std::map<std::string, Result> results_;
+};
+
+std::string TvJson(const TvCollector& c) {
+  std::string out = "{\"bench\":\"micro_tv\",\"apps\":[";
+  bool first = true;
+  for (const auto& [name, result] : c.results()) {
+    if (name.rfind("BM_Tv", 0) != 0) {
+      continue;
+    }
+    auto counter = [&](const char* key) {
+      auto it = result.counters.find(key);
+      return it != result.counters.end() ? it->second : 0.0;
+    };
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"app\":\"%s\",\"threads\":%.0f,\"functions\":%.0f,"
+                  "\"validated\":%.0f,\"symbolic_steps\":%.0f,\"seconds_per_run\":%.4f,"
+                  "\"functions_per_s\":%.0f,\"steps_per_s\":%.0f}",
+                  first ? "" : ",", result.label.c_str(), counter("threads"),
+                  counter("functions"), counter("validated"), counter("symbolic_steps"),
+                  result.seconds_per_iter, counter("functions/s"), counter("steps/s"));
+    out += buf;
+    first = false;
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace
+}  // namespace parfait
+
+int main(int argc, char** argv) {
+  // benchmark::Initialize hard-errors on flags it does not know, so only the
+  // --benchmark_* flags pass through; everything else (e.g. --json=) is ours.
+  std::vector<char*> bench_argv;
+  bench_argv.push_back(argv[0]);
+  for (int i = 1; i < argc; i++) {
+    if (std::strncmp(argv[i], "--benchmark_", 12) == 0) {
+      bench_argv.push_back(argv[i]);
+    }
+  }
+  int bench_argc = static_cast<int>(bench_argv.size());
+  benchmark::Initialize(&bench_argc, bench_argv.data());
+
+  parfait::TvCollector collector;
+  benchmark::RunSpecifiedBenchmarks(&collector);
+
+  std::string json = parfait::TvJson(collector);
+  const char* path = parfait::bench::FlagStr(argc, argv, "--json", "BENCH_tv.json");
+  std::FILE* f = std::fopen(path, "w");
+  if (f != nullptr) {
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("tv bench written to %s\n", path);
+  }
+  benchmark::Shutdown();
+  return 0;
+}

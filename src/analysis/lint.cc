@@ -185,7 +185,7 @@ struct FindingKey {
 class Interp {
  public:
   Interp(const riscv::Image& image, const LintConfig& config, const Cfg& graph)
-      : image_(image), cfg_(config), graph_(graph) {
+      : image_(image), cfg_(config), graph_(graph), namer_(image) {
     decoded_.resize(cfg_.rom_size / 4);
     decoded_valid_.resize(cfg_.rom_size / 4, false);
     // End of statically-sized data in RAM: stack slots below sp and above this line
@@ -305,7 +305,7 @@ class Interp {
     Finding f;
     f.pc = pc;
     f.kind = kind;
-    f.instr = riscv::Disassemble(InstrAt(pc), pc);
+    f.instr = riscv::Disassemble(InstrAt(pc), pc, namer_);
     const FunctionCfg* fn = graph_.FunctionContaining(pc);
     f.function = fn ? fn->name : "?";
     f.provenance = FormatProv(guilty.prov);
@@ -1092,6 +1092,7 @@ class Interp {
   const riscv::Image& image_;
   const LintConfig& cfg_;
   const Cfg& graph_;
+  riscv::SymbolNamer namer_;
   std::vector<Instr> decoded_;
   std::vector<bool> decoded_valid_;
   uint32_t data_end_ = kRamBase;

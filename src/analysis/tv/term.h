@@ -1,0 +1,281 @@
+// Hash-consed symbolic term arena for the translation validator.
+//
+// Both sides of the lockstep walk (the MiniC source mirror and the RV32 interpreter)
+// build terms in the same arena; because construction is normalizing and interning,
+// the simulation relation at a block boundary reduces to TermId equality. Terms carry
+// a secret bit (seeded from `secret`-annotated globals and propagated structurally)
+// so the leakage pass can inventory secret-dependent branches and addresses.
+//
+// The arena is per-function and single-threaded; ids are dense uint32 indexes, which
+// keeps states small (a machine state is 32 ids plus two small maps) and makes the
+// validator's output independent of thread count.
+#ifndef PARFAIT_ANALYSIS_TV_TERM_H_
+#define PARFAIT_ANALYSIS_TV_TERM_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <optional>
+#include <string>
+#include <tuple>
+#include <vector>
+
+namespace parfait::analysis::tv {
+
+using TermId = uint32_t;
+
+enum class TermKind : uint8_t {
+  kConst,       // a: the 32-bit value.
+  kArg,         // a: parameter index (value of a0+i at function entry).
+  kSpEntry,     // sp at function entry.
+  kRaEntry,     // ra at function entry.
+  kSavedEntry,  // op: callee-saved register number; its value at entry.
+  kFresh,       // op: FreshTag; a: sequence number (never interned together).
+  kBin,         // op: BinOp; a/b: operand ids.
+};
+
+enum class BinOp : uint8_t {
+  kAdd,
+  kSub,
+  kMul,
+  kMulhu,
+  kDivu,
+  kRemu,
+  kAnd,
+  kOr,
+  kXor,
+  kSll,
+  kSrl,
+  kSltu,
+};
+
+// What a fresh (uninterpreted) term stands for; used only for rendering and stats.
+enum class FreshTag : uint8_t {
+  kEntryReg,    // Unconstrained register value at function entry.
+  kUninit,      // Uninitialized local.
+  kLoad,        // Value read from memory (paired with a source-level read).
+  kCallResult,  // Return value of a call.
+  kHavoc,       // Clobbered across a call or a loop back edge.
+  kPhi,         // Join of differing values at a control-flow merge.
+};
+
+struct TermNode {
+  TermKind kind;
+  uint8_t op = 0;  // BinOp, FreshTag, or saved-register number.
+  bool secret = false;
+  uint32_t a = 0;
+  uint32_t b = 0;
+};
+
+class TermArena {
+ public:
+  TermArena() { nodes_.reserve(1024); }
+
+  TermId Const(uint32_t v) { return Intern({TermKind::kConst, 0, false, v, 0}); }
+  TermId Arg(uint32_t index) { return Intern({TermKind::kArg, 0, false, index, 0}); }
+  TermId SpEntry() { return Intern({TermKind::kSpEntry, 0, false, 0, 0}); }
+  TermId RaEntry() { return Intern({TermKind::kRaEntry, 0, false, 0, 0}); }
+  TermId SavedEntry(uint8_t reg) { return Intern({TermKind::kSavedEntry, reg, false, 0, 0}); }
+
+  TermId Fresh(FreshTag tag, bool secret = false) {
+    nodes_.push_back({TermKind::kFresh, static_cast<uint8_t>(tag), secret, fresh_seq_++, 0});
+    return static_cast<TermId>(nodes_.size() - 1);
+  }
+
+  // Normalizing binary constructor. Folds constants with RISC-V RV32 semantics
+  // (matching both the hardware and the compiler's own folder), canonicalizes
+  // constants to the right of commutative operators, applies identity rules, and
+  // flattens add-of-constant chains so sp-relative addresses compare structurally.
+  TermId Bin(BinOp op, TermId x, TermId y) {
+    uint32_t cx = 0, cy = 0;
+    bool xc = IsConst(x, &cx);
+    bool yc = IsConst(y, &cy);
+    if (xc && yc) {
+      return Const(Fold(op, cx, cy));
+    }
+    if (xc && Commutative(op)) {
+      std::swap(x, y);
+      std::swap(cx, cy);
+      std::swap(xc, yc);
+    }
+    if (yc) {
+      switch (op) {
+        case BinOp::kAdd:
+          if (cy == 0) return x;
+          if (nodes_[x].kind == TermKind::kBin &&
+              static_cast<BinOp>(nodes_[x].op) == BinOp::kAdd &&
+              nodes_[nodes_[x].b].kind == TermKind::kConst) {
+            return Bin(BinOp::kAdd, nodes_[x].a, Const(nodes_[nodes_[x].b].a + cy));
+          }
+          break;
+        case BinOp::kSub:
+          if (cy == 0) return x;
+          break;
+        case BinOp::kMul:
+          if (cy == 1) return x;
+          if (cy == 0) return Const(0);
+          break;
+        case BinOp::kAnd:
+          if (cy == 0) return Const(0);
+          if (cy == 0xffffffffu) return x;
+          break;
+        case BinOp::kOr:
+          if (cy == 0) return x;
+          if (cy == 0xffffffffu) return Const(0xffffffffu);
+          break;
+        case BinOp::kXor:
+          if (cy == 0) return x;
+          break;
+        case BinOp::kSll:
+        case BinOp::kSrl:
+          if ((cy & 31u) == 0) return x;
+          break;
+        default:
+          break;
+      }
+    }
+    bool secret = nodes_[x].secret || nodes_[y].secret;
+    return Intern({TermKind::kBin, static_cast<uint8_t>(op), secret, x, y});
+  }
+
+  const TermNode& node(TermId id) const { return nodes_[id]; }
+  bool secret(TermId id) const { return nodes_[id].secret; }
+  size_t size() const { return nodes_.size(); }
+
+  bool IsConst(TermId id, uint32_t* v) const {
+    if (nodes_[id].kind != TermKind::kConst) {
+      return false;
+    }
+    *v = nodes_[id].a;
+    return true;
+  }
+
+  // If the term is sp-at-entry plus a constant, returns that displacement (the frame
+  // occupies displacements [-frame_size, 0)). Add chains are flattened at
+  // construction, so this only needs one level of recursion in practice.
+  std::optional<int64_t> SpDisplacement(TermId id) const {
+    const TermNode& n = nodes_[id];
+    if (n.kind == TermKind::kSpEntry) {
+      return 0;
+    }
+    if (n.kind == TermKind::kBin && static_cast<BinOp>(n.op) == BinOp::kAdd &&
+        nodes_[n.b].kind == TermKind::kConst) {
+      auto base = SpDisplacement(n.a);
+      if (base.has_value()) {
+        return *base + static_cast<int64_t>(static_cast<int32_t>(nodes_[n.b].a));
+      }
+    }
+    return std::nullopt;
+  }
+
+  // Compact rendering for diagnostics, depth-capped.
+  std::string Str(TermId id, int depth = 5) const {
+    const TermNode& n = nodes_[id];
+    switch (n.kind) {
+      case TermKind::kConst: {
+        char buf[16];
+        std::snprintf(buf, sizeof(buf), n.a < 10 ? "%u" : "0x%x", n.a);
+        return buf;
+      }
+      case TermKind::kArg:
+        return "arg" + std::to_string(n.a);
+      case TermKind::kSpEntry:
+        return "sp@entry";
+      case TermKind::kRaEntry:
+        return "ra@entry";
+      case TermKind::kSavedEntry:
+        return "x" + std::to_string(n.op) + "@entry";
+      case TermKind::kFresh:
+        return std::string(FreshTagName(static_cast<FreshTag>(n.op))) + "#" +
+               std::to_string(n.a) + (n.secret ? "!" : "");
+      case TermKind::kBin:
+        if (depth <= 0) {
+          return "...";
+        }
+        return std::string("(") + BinOpName(static_cast<BinOp>(n.op)) + " " +
+               Str(n.a, depth - 1) + " " + Str(n.b, depth - 1) + ")";
+    }
+    return "?";
+  }
+
+  static const char* BinOpName(BinOp op) {
+    switch (op) {
+      case BinOp::kAdd: return "add";
+      case BinOp::kSub: return "sub";
+      case BinOp::kMul: return "mul";
+      case BinOp::kMulhu: return "mulhu";
+      case BinOp::kDivu: return "divu";
+      case BinOp::kRemu: return "remu";
+      case BinOp::kAnd: return "and";
+      case BinOp::kOr: return "or";
+      case BinOp::kXor: return "xor";
+      case BinOp::kSll: return "sll";
+      case BinOp::kSrl: return "srl";
+      case BinOp::kSltu: return "sltu";
+    }
+    return "?";
+  }
+
+  static const char* FreshTagName(FreshTag tag) {
+    switch (tag) {
+      case FreshTag::kEntryReg: return "reg";
+      case FreshTag::kUninit: return "uninit";
+      case FreshTag::kLoad: return "load";
+      case FreshTag::kCallResult: return "call";
+      case FreshTag::kHavoc: return "havoc";
+      case FreshTag::kPhi: return "phi";
+    }
+    return "?";
+  }
+
+ private:
+  static bool Commutative(BinOp op) {
+    switch (op) {
+      case BinOp::kAdd:
+      case BinOp::kMul:
+      case BinOp::kMulhu:
+      case BinOp::kAnd:
+      case BinOp::kOr:
+      case BinOp::kXor:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  static uint32_t Fold(BinOp op, uint32_t a, uint32_t b) {
+    switch (op) {
+      case BinOp::kAdd: return a + b;
+      case BinOp::kSub: return a - b;
+      case BinOp::kMul: return a * b;
+      case BinOp::kMulhu:
+        return static_cast<uint32_t>((static_cast<uint64_t>(a) * b) >> 32);
+      case BinOp::kDivu: return b == 0 ? 0xffffffffu : a / b;
+      case BinOp::kRemu: return b == 0 ? a : a % b;
+      case BinOp::kAnd: return a & b;
+      case BinOp::kOr: return a | b;
+      case BinOp::kXor: return a ^ b;
+      case BinOp::kSll: return a << (b & 31u);
+      case BinOp::kSrl: return a >> (b & 31u);
+      case BinOp::kSltu: return a < b ? 1u : 0u;
+    }
+    return 0;
+  }
+
+  TermId Intern(TermNode n) {
+    auto key = std::make_tuple(static_cast<uint8_t>(n.kind), n.op, n.a, n.b);
+    auto [it, inserted] = interned_.try_emplace(key, static_cast<TermId>(nodes_.size()));
+    if (inserted) {
+      nodes_.push_back(n);
+    }
+    return it->second;
+  }
+
+  std::vector<TermNode> nodes_;
+  std::map<std::tuple<uint8_t, uint8_t, uint32_t, uint32_t>, TermId> interned_;
+  uint32_t fresh_seq_ = 0;
+};
+
+}  // namespace parfait::analysis::tv
+
+#endif  // PARFAIT_ANALYSIS_TV_TERM_H_

@@ -1,0 +1,1868 @@
+#include "src/analysis/tv/tv.h"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <deque>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "src/analysis/cfg.h"
+#include "src/analysis/tv/term.h"
+#include "src/hsm/hsm_system.h"
+#include "src/minicc/parser.h"
+#include "src/riscv/disasm.h"
+#include "src/riscv/isa.h"
+#include "src/support/bytes.h"
+#include "src/support/parallel.h"
+
+namespace parfait::analysis {
+
+namespace {
+
+using minicc::Expr;
+using minicc::Stmt;
+using minicc::Type;
+using riscv::Instr;
+using riscv::Op;
+using tv::BinOp;
+using tv::FreshTag;
+using tv::TermArena;
+using tv::TermId;
+
+// Must match the code generator's temp-stack and spill layout (codegen.cc).
+constexpr int kNumSpillSlots = 12;
+// Caller-saved registers a call or loop iteration may clobber: ra, t0-t6, a0-a7.
+constexpr uint8_t kCallerSaved[] = {1, 5, 6, 7, 10, 11, 12, 13, 14, 15, 16, 17,
+                                    28, 29, 30, 31};
+// All callee-saved registers (s0-s11); their entry values must survive the call.
+constexpr uint8_t kCalleeSaved[] = {8, 9, 18, 19, 20, 21, 22, 23, 24, 25, 26, 27};
+
+std::string Hex(uint32_t v) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "0x%08x", v);
+  return buf;
+}
+
+const char* StmtKindName(Stmt::Kind kind) {
+  switch (kind) {
+    case Stmt::Kind::kExpr: return "expression";
+    case Stmt::Kind::kDecl: return "declaration";
+    case Stmt::Kind::kIf: return "if";
+    case Stmt::Kind::kWhile: return "while";
+    case Stmt::Kind::kFor: return "for";
+    case Stmt::Kind::kReturn: return "return";
+    case Stmt::Kind::kBlock: return "block";
+    case Stmt::Kind::kBreak: return "break";
+    case Stmt::Kind::kContinue: return "continue";
+  }
+  return "?";
+}
+
+// A global as the mirror sees it: linked address plus source-level type and the
+// secret annotation that seeds taint.
+struct GlobalVar {
+  uint32_t addr = 0;
+  Type type;
+  uint32_t array_size = 0;
+  bool secret = false;
+};
+
+// Shared, read-only context for all function validations.
+struct UnitIndex {
+  std::map<std::string, const minicc::Function*> functions;
+  std::map<std::string, uint32_t> function_addrs;  // From the linked image.
+  std::map<std::string, GlobalVar> globals;
+};
+
+// A source-level memory/call effect queued by the mirror in evaluation order; the
+// interpreter must consume them in program order (memory extensionality).
+struct Effect {
+  enum class Kind : uint8_t { kLoad, kStore, kCall };
+  Kind kind = Kind::kLoad;
+  uint8_t size = 4;
+  TermId addr = 0;
+  TermId value = 0;  // Load: the fresh result term. Store: the stored value.
+  std::string callee;
+  std::vector<TermId> args;
+  TermId result = 0;
+  bool returns_value = false;
+  int line = 0;
+};
+
+const char* EffectKindName(Effect::Kind kind) {
+  switch (kind) {
+    case Effect::Kind::kLoad: return "load";
+    case Effect::Kind::kStore: return "store";
+    case Effect::Kind::kCall: return "call";
+  }
+  return "?";
+}
+
+// Joint machine state: asm registers and frame slots keyed by offset from the
+// post-prologue sp, plus the source mirror's environment for tracked scalars.
+struct State {
+  std::array<TermId, 32> regs{};
+  std::map<int32_t, TermId> frame;
+  std::map<int, TermId> env;  // Slot index -> value (tracked scalars only).
+};
+
+// Mirror of codegen's per-local slot assignment, re-derived from the AST and
+// cross-checked against the (untrusted) witness.
+struct SlotInfo {
+  std::string name;
+  Type type;
+  uint32_t array_size = 0;
+  int frame_offset = -1;
+  uint32_t bytes = 0;
+  bool is_param = false;
+  bool tracked = false;  // Scalar whose address is never taken: modeled in env.
+};
+
+class FunctionValidator {
+ public:
+  FunctionValidator(const UnitIndex& index, const minicc::Function& fn,
+                    const riscv::Image& image, const riscv::WitnessFunction& wf,
+                    const riscv::SymbolNamer& namer, const TvConfig& config,
+                    TvFunctionResult* out)
+      : index_(index),
+        fn_(fn),
+        image_(image),
+        wf_(wf),
+        namer_(namer),
+        config_(config),
+        out_(out) {}
+
+  void Run() {
+    out_->name = wf_.name;
+    if (!CheckWitnessShape()) {
+      Finalize();
+      return;
+    }
+    if (WalkFunction()) {
+      SweepUnvisited();
+    }
+    Finalize();
+  }
+
+ private:
+  enum class StopKind : uint8_t { kTarget, kBranch, kJump, kRet, kFail };
+  struct Stop {
+    StopKind kind = StopKind::kFail;
+    Instr instr{};
+    uint32_t pc = 0;
+  };
+  struct LoopCtx {
+    uint32_t break_target = 0;
+    uint32_t continue_target = 0;
+    State head;              // State at the loop head after havocking.
+    std::set<int32_t> havoc_offsets;  // Frame keys havocked at the head.
+    std::set<int> havoc_slots;        // Env keys havocked at the head.
+  };
+
+  uint32_t Abs(uint32_t offset) const { return image_.rom_base + offset; }
+
+  void Finalize() {
+    out_->validated = out_->findings.empty();
+    out_->stats.terms = arena_.size();
+  }
+
+  // --- Findings -------------------------------------------------------------
+
+  bool Flag(TvFindingKind kind, uint32_t pc, const std::string& detail) {
+    failed_ = true;
+    if (out_->findings.size() >= 16) {
+      return false;
+    }
+    TvFinding f;
+    f.function = wf_.name;
+    f.pc = pc;
+    f.kind = kind;
+    f.line = stmt_line_;
+    f.detail = detail;
+    if (pc != 0) {
+      auto in = InstrAt(pc);
+      f.provenance.push_back(
+          "asm " + Hex(pc) + ": " +
+          (in.has_value() ? riscv::Disassemble(*in, pc, namer_) : std::string(".word")));
+    }
+    if (stmt_line_ > 0) {
+      f.provenance.push_back("statement '" + std::string(StmtKindName(stmt_kind_)) +
+                             "' at source line " + std::to_string(stmt_line_));
+    }
+    f.provenance.push_back("function " + wf_.name + " (declared at line " +
+                           std::to_string(fn_.line) + ", asm [" + Hex(Abs(wf_.begin)) +
+                           ", " + Hex(Abs(wf_.end)) + "))");
+    out_->findings.push_back(std::move(f));
+    return false;
+  }
+
+  bool FlagStop(const Stop& st, const std::string& context) {
+    switch (st.kind) {
+      case StopKind::kFail:
+        return false;  // Already flagged.
+      case StopKind::kBranch:
+        return Flag(TvFindingKind::kUnjustifiedBranch, st.pc,
+                    "conditional branch with no source counterpart " + context +
+                        (arena_.secret(ReadReg(st.instr.rs1))
+                             ? " (condition is secret-dependent: timing leak)"
+                             : ""));
+      case StopKind::kJump:
+        return Flag(TvFindingKind::kUnjustifiedBranch, st.pc,
+                    "jump with no source counterpart " + context);
+      case StopKind::kRet:
+        return Flag(TvFindingKind::kStructureMismatch, st.pc,
+                    "unexpected return sequence " + context);
+      case StopKind::kTarget:
+        return Flag(TvFindingKind::kStructureMismatch, st.pc,
+                    "unexpected statement-range end " + context);
+    }
+    return false;
+  }
+
+  // --- Witness shape checks -------------------------------------------------
+
+  // Replays codegen's prepass: collects parameter and declaration slots in the same
+  // order, marks address-taken locals, then re-derives the frame layout and demands
+  // the witness agree. After this the witness adds no authority of its own.
+  void PrepassExpr(const Expr& e, std::vector<std::map<std::string, int>>* scopes) {
+    auto lookup = [&](const std::string& name) {
+      for (auto it = scopes->rbegin(); it != scopes->rend(); ++it) {
+        auto found = it->find(name);
+        if (found != it->end()) {
+          return found->second;
+        }
+      }
+      return -1;
+    };
+    if (e.kind == Expr::Kind::kAddrOf && e.lhs->kind == Expr::Kind::kVar) {
+      int slot = lookup(e.lhs->name);
+      if (slot >= 0) {
+        addr_taken_.insert(slot);
+      }
+    }
+    if (e.lhs) PrepassExpr(*e.lhs, scopes);
+    if (e.rhs) PrepassExpr(*e.rhs, scopes);
+    for (const auto& a : e.args) {
+      PrepassExpr(*a, scopes);
+    }
+  }
+
+  void PrepassStmt(const Stmt& s, std::vector<std::map<std::string, int>>* scopes) {
+    switch (s.kind) {
+      case Stmt::Kind::kBlock:
+        scopes->push_back({});
+        for (const auto& sub : s.stmts) {
+          PrepassStmt(*sub, scopes);
+        }
+        scopes->pop_back();
+        break;
+      case Stmt::Kind::kDecl: {
+        if (s.decl_init) {
+          PrepassExpr(*s.decl_init, scopes);
+        }
+        SlotInfo slot;
+        slot.name = s.decl_name;
+        slot.type = s.decl_type;
+        slot.array_size = s.decl_array_size;
+        int index = static_cast<int>(slots_.size());
+        slots_.push_back(slot);
+        scopes->back()[s.decl_name] = index;
+        break;
+      }
+      case Stmt::Kind::kIf:
+        PrepassExpr(*s.expr, scopes);
+        PrepassStmt(*s.body, scopes);
+        if (s.else_body) {
+          PrepassStmt(*s.else_body, scopes);
+        }
+        break;
+      case Stmt::Kind::kWhile:
+        PrepassExpr(*s.expr, scopes);
+        PrepassStmt(*s.body, scopes);
+        break;
+      case Stmt::Kind::kFor:
+        scopes->push_back({});
+        if (s.init) PrepassStmt(*s.init, scopes);
+        if (s.expr) PrepassExpr(*s.expr, scopes);
+        if (s.post) PrepassExpr(*s.post, scopes);
+        PrepassStmt(*s.body, scopes);
+        scopes->pop_back();
+        break;
+      case Stmt::Kind::kReturn:
+      case Stmt::Kind::kExpr:
+        if (s.expr) {
+          PrepassExpr(*s.expr, scopes);
+        }
+        break;
+      case Stmt::Kind::kBreak:
+      case Stmt::Kind::kContinue:
+        break;
+    }
+  }
+
+  bool CheckWitnessShape() {
+    stmt_line_ = fn_.line;
+    stmt_kind_ = Stmt::Kind::kBlock;
+    if (wf_.begin >= wf_.end || (wf_.end - wf_.begin) % 4 != 0 ||
+        wf_.begin > wf_.body_begin || wf_.body_begin > wf_.epilogue ||
+        wf_.epilogue > wf_.end || Abs(wf_.end) > image_.rom_base + image_.rom.size()) {
+      return Flag(TvFindingKind::kWitnessInvalid, Abs(wf_.begin),
+                  "witnessed function extents are inconsistent");
+    }
+    if (!wf_.saved_regs.empty()) {
+      return Flag(TvFindingKind::kUnsupported, Abs(wf_.begin),
+                  "register-promoted locals (O2) are outside the validated subset");
+    }
+    // Parameters first (slot index == parameter index), then declarations in the
+    // same pre-order codegen uses.
+    for (const auto& p : fn_.params) {
+      SlotInfo slot;
+      slot.name = p.name;
+      slot.type = p.type;
+      slot.is_param = true;
+      slots_.push_back(slot);
+    }
+    if (fn_.params.size() > 7) {
+      return Flag(TvFindingKind::kUnsupported, Abs(wf_.begin), "more than 7 parameters");
+    }
+    {
+      std::vector<std::map<std::string, int>> scopes;
+      scopes.push_back({});
+      for (size_t i = 0; i < fn_.params.size(); i++) {
+        scopes.back()[fn_.params[i].name] = static_cast<int>(i);
+      }
+      PrepassStmt(*fn_.body, &scopes);
+    }
+    if (slots_.size() != wf_.locals.size()) {
+      return Flag(TvFindingKind::kWitnessInvalid, Abs(wf_.begin),
+                  "witness declares " + std::to_string(wf_.locals.size()) +
+                      " locals, source has " + std::to_string(slots_.size()));
+    }
+    // Re-derive the O0 frame layout: [12 spill words][locals][ra], 16-aligned.
+    int offset = 4 * kNumSpillSlots;
+    for (size_t i = 0; i < slots_.size(); i++) {
+      SlotInfo& slot = slots_[i];
+      const riscv::WitnessLocal& wl = wf_.locals[i];
+      uint32_t count = slot.array_size == 0 ? 1 : slot.array_size;
+      slot.bytes = (count * static_cast<uint32_t>(slot.type.Size()) + 3) & ~3u;
+      slot.frame_offset = offset;
+      offset += static_cast<int>(slot.bytes);
+      slot.tracked = slot.array_size == 0 &&
+                     addr_taken_.count(static_cast<int>(i)) == 0;
+      bool is_u8 = !slot.type.IsPointer() && slot.type.Size() == 1;
+      if (wl.name != slot.name || wl.array_size != slot.array_size ||
+          wl.frame_offset != slot.frame_offset ||
+          wl.elem_size != static_cast<uint8_t>(slot.type.Size()) || wl.reg >= 0 ||
+          (wl.is_param != 0) != slot.is_param ||
+          (wl.is_ptr != 0) != slot.type.IsPointer() || (wl.is_u8 != 0) != is_u8) {
+        return Flag(TvFindingKind::kWitnessInvalid, Abs(wf_.begin),
+                    "witness local '" + wl.name + "' contradicts slot '" + slot.name +
+                        "' derived from the source");
+      }
+    }
+    int saved_base = offset;
+    int ra_offset = offset;
+    int frame = (ra_offset + 4 + 15) & ~15;
+    if (wf_.spill_base != 0 || wf_.saved_base != saved_base ||
+        wf_.ra_offset != ra_offset || wf_.frame_size != frame) {
+      return Flag(TvFindingKind::kWitnessInvalid, Abs(wf_.begin),
+                  "witness frame layout contradicts the layout derived from the source");
+    }
+    frame_size_ = frame;
+    ra_offset_ = ra_offset;
+    stmt_line_ = 0;
+    return true;
+  }
+
+  // --- Frame classification -------------------------------------------------
+
+  enum class Region : uint8_t { kDirect, kMem, kOut };
+
+  // Classifies an access at fp (offset from the post-prologue sp, in [0, frame)):
+  // kDirect slots are tracked scalars and bookkeeping (spill/ra/padding) handled via
+  // the exact frame map; kMem extents (arrays, address-taken scalars) must pair with
+  // a source-level effect.
+  Region Classify(int64_t fp) const {
+    if (fp < 0 || fp >= frame_size_) {
+      return Region::kOut;
+    }
+    for (const SlotInfo& slot : slots_) {
+      if (fp >= slot.frame_offset &&
+          fp < slot.frame_offset + static_cast<int>(slot.bytes)) {
+        return slot.tracked ? Region::kDirect : Region::kMem;
+      }
+    }
+    return Region::kDirect;  // Spill area, ra slot, padding.
+  }
+
+  // --- Register / memory primitives ----------------------------------------
+
+  TermId ReadReg(uint8_t reg) {
+    return reg == 0 ? arena_.Const(0) : state_.regs[reg];
+  }
+  void WriteReg(uint8_t reg, TermId v) {
+    if (reg != 0) {
+      state_.regs[reg] = v;
+    }
+  }
+  TermId Mask8(TermId v) { return arena_.Bin(BinOp::kAnd, v, arena_.Const(0xff)); }
+  TermId SpSlotAddr(int frame_offset) {
+    return arena_.Bin(BinOp::kAdd, arena_.SpEntry(),
+                      arena_.Const(static_cast<uint32_t>(frame_offset - frame_size_)));
+  }
+  static uint8_t AccessSize(const Type& t) {
+    return t.IsPointer() || t.Size() == 4 ? 4 : 1;
+  }
+
+  std::optional<Instr> InstrAt(uint32_t pc) const {
+    if (pc < image_.rom_base || pc + 4 > image_.rom_base + image_.rom.size()) {
+      return std::nullopt;
+    }
+    return riscv::Decode(LoadLe32(image_.rom.data() + (pc - image_.rom_base)));
+  }
+
+  // --- Interpreter ----------------------------------------------------------
+
+  bool StepAlu(const Instr& in, uint32_t pc) {
+    auto imm = [&] { return arena_.Const(static_cast<uint32_t>(in.imm)); };
+    auto bin = [&](BinOp op, TermId a, TermId b) {
+      WriteReg(in.rd, arena_.Bin(op, a, b));
+      return true;
+    };
+    switch (in.op) {
+      case Op::kLui: WriteReg(in.rd, arena_.Const(static_cast<uint32_t>(in.imm))); return true;
+      case Op::kAuipc: WriteReg(in.rd, arena_.Const(pc + static_cast<uint32_t>(in.imm))); return true;
+      case Op::kAddi: return bin(BinOp::kAdd, ReadReg(in.rs1), imm());
+      case Op::kAndi: return bin(BinOp::kAnd, ReadReg(in.rs1), imm());
+      case Op::kOri: return bin(BinOp::kOr, ReadReg(in.rs1), imm());
+      case Op::kXori: return bin(BinOp::kXor, ReadReg(in.rs1), imm());
+      case Op::kSltiu: return bin(BinOp::kSltu, ReadReg(in.rs1), imm());
+      case Op::kSlli: return bin(BinOp::kSll, ReadReg(in.rs1), imm());
+      case Op::kSrli: return bin(BinOp::kSrl, ReadReg(in.rs1), imm());
+      case Op::kAdd: return bin(BinOp::kAdd, ReadReg(in.rs1), ReadReg(in.rs2));
+      case Op::kSub: return bin(BinOp::kSub, ReadReg(in.rs1), ReadReg(in.rs2));
+      case Op::kAnd: return bin(BinOp::kAnd, ReadReg(in.rs1), ReadReg(in.rs2));
+      case Op::kOr: return bin(BinOp::kOr, ReadReg(in.rs1), ReadReg(in.rs2));
+      case Op::kXor: return bin(BinOp::kXor, ReadReg(in.rs1), ReadReg(in.rs2));
+      case Op::kSll: return bin(BinOp::kSll, ReadReg(in.rs1), ReadReg(in.rs2));
+      case Op::kSrl: return bin(BinOp::kSrl, ReadReg(in.rs1), ReadReg(in.rs2));
+      case Op::kSltu: return bin(BinOp::kSltu, ReadReg(in.rs1), ReadReg(in.rs2));
+      case Op::kMul: return bin(BinOp::kMul, ReadReg(in.rs1), ReadReg(in.rs2));
+      case Op::kMulhu: return bin(BinOp::kMulhu, ReadReg(in.rs1), ReadReg(in.rs2));
+      case Op::kDivu: return bin(BinOp::kDivu, ReadReg(in.rs1), ReadReg(in.rs2));
+      case Op::kRemu: return bin(BinOp::kRemu, ReadReg(in.rs1), ReadReg(in.rs2));
+      case Op::kLw: return InterpLoad(in, pc, 4);
+      case Op::kLbu: return InterpLoad(in, pc, 1);
+      case Op::kSw: return InterpStore(in, pc, 4);
+      case Op::kSb: return InterpStore(in, pc, 1);
+      default:
+        return Flag(TvFindingKind::kUnsupported, pc,
+                    "instruction outside the validated O0 output language");
+    }
+  }
+
+  bool InterpLoad(const Instr& in, uint32_t pc, uint8_t size) {
+    TermId addr = arena_.Bin(BinOp::kAdd, ReadReg(in.rs1),
+                             arena_.Const(static_cast<uint32_t>(in.imm)));
+    auto disp = arena_.SpDisplacement(addr);
+    if (disp.has_value()) {
+      int64_t fp = *disp + frame_size_;
+      Region r = Classify(fp);
+      if (r == Region::kOut) {
+        return Flag(TvFindingKind::kUnexpectedEffect, pc,
+                    "sp-relative load outside the function's frame");
+      }
+      if (r == Region::kDirect) {
+        auto it = state_.frame.find(static_cast<int32_t>(fp));
+        TermId v;
+        if (it != state_.frame.end()) {
+          v = it->second;
+        } else {
+          v = arena_.Fresh(FreshTag::kUninit);
+          state_.frame[static_cast<int32_t>(fp)] = v;
+        }
+        WriteReg(in.rd, size == 1 ? Mask8(v) : v);
+        return true;
+      }
+    }
+    // Pairs with the next source-level read.
+    if (queue_.empty()) {
+      return Flag(TvFindingKind::kUnexpectedEffect, pc,
+                  "load has no pending source-level memory read");
+    }
+    Effect ef = std::move(queue_.front());
+    queue_.pop_front();
+    if (ef.kind != Effect::Kind::kLoad) {
+      return Flag(TvFindingKind::kEffectMismatch, pc,
+                  std::string("source expects a ") + EffectKindName(ef.kind) +
+                      " next (line " + std::to_string(ef.line) +
+                      "), asm performs a load");
+    }
+    if (ef.size != size) {
+      return Flag(TvFindingKind::kEffectMismatch, pc,
+                  "load width " + std::to_string(size) + " != source width " +
+                      std::to_string(ef.size));
+    }
+    if (ef.addr != addr) {
+      return Flag(TvFindingKind::kEffectMismatch, pc,
+                  "load address " + arena_.Str(addr) + " != source address " +
+                      arena_.Str(ef.addr));
+    }
+    if (arena_.secret(addr)) {
+      out_->stats.secret_addresses++;
+    }
+    WriteReg(in.rd, ef.value);
+    return true;
+  }
+
+  bool InterpStore(const Instr& in, uint32_t pc, uint8_t size) {
+    TermId addr = arena_.Bin(BinOp::kAdd, ReadReg(in.rs1),
+                             arena_.Const(static_cast<uint32_t>(in.imm)));
+    TermId value = ReadReg(in.rs2);
+    auto disp = arena_.SpDisplacement(addr);
+    if (disp.has_value()) {
+      int64_t fp = *disp + frame_size_;
+      Region r = Classify(fp);
+      if (r == Region::kOut) {
+        return Flag(TvFindingKind::kUnexpectedEffect, pc,
+                    "sp-relative store outside the function's frame");
+      }
+      // The prologue homes parameters into their slots (including address-taken
+      // ones) before any source statement runs; those stores are bookkeeping.
+      if (r == Region::kDirect || in_prologue_) {
+        state_.frame[static_cast<int32_t>(fp)] = value;
+        return true;
+      }
+    }
+    if (queue_.empty()) {
+      return Flag(TvFindingKind::kUnexpectedEffect, pc,
+                  "store has no pending source-level memory write");
+    }
+    Effect ef = std::move(queue_.front());
+    queue_.pop_front();
+    if (ef.kind != Effect::Kind::kStore) {
+      return Flag(TvFindingKind::kEffectMismatch, pc,
+                  std::string("source expects a ") + EffectKindName(ef.kind) +
+                      " next (line " + std::to_string(ef.line) +
+                      "), asm performs a store");
+    }
+    if (ef.size != size) {
+      return Flag(TvFindingKind::kEffectMismatch, pc,
+                  "store width " + std::to_string(size) + " != source width " +
+                      std::to_string(ef.size));
+    }
+    if (ef.addr != addr) {
+      return Flag(TvFindingKind::kEffectMismatch, pc,
+                  "store address " + arena_.Str(addr) + " != source address " +
+                      arena_.Str(ef.addr));
+    }
+    if (ef.value != value) {
+      return Flag(TvFindingKind::kEffectMismatch, pc,
+                  "stored value " + arena_.Str(value) + " != source value " +
+                      arena_.Str(ef.value));
+    }
+    if (arena_.secret(addr)) {
+      out_->stats.secret_addresses++;
+    }
+    return true;
+  }
+
+  bool HandleCall(const Instr& in, uint32_t pc) {
+    uint32_t target = pc + static_cast<uint32_t>(in.imm);
+    if (queue_.empty()) {
+      return Flag(TvFindingKind::kUnexpectedEffect, pc,
+                  "call with no pending source-level call");
+    }
+    Effect ef = std::move(queue_.front());
+    queue_.pop_front();
+    if (ef.kind != Effect::Kind::kCall) {
+      return Flag(TvFindingKind::kEffectMismatch, pc,
+                  std::string("source expects a ") + EffectKindName(ef.kind) +
+                      " next (line " + std::to_string(ef.line) +
+                      "), asm performs a call");
+    }
+    auto addr_it = index_.function_addrs.find(ef.callee);
+    if (addr_it == index_.function_addrs.end()) {
+      return Flag(TvFindingKind::kWitnessInvalid, pc,
+                  "callee '" + ef.callee + "' has no linked address");
+    }
+    if (addr_it->second != target) {
+      return Flag(TvFindingKind::kEffectMismatch, pc,
+                  "call targets " + Hex(target) + " but source calls '" + ef.callee +
+                      "' at " + Hex(addr_it->second));
+    }
+    for (size_t i = 0; i < ef.args.size(); i++) {
+      TermId got = ReadReg(static_cast<uint8_t>(10 + i));
+      if (got != ef.args[i]) {
+        return Flag(TvFindingKind::kEffectMismatch, pc,
+                    "argument " + std::to_string(i) + " of '" + ef.callee + "': asm " +
+                        arena_.Str(got) + " != source " + arena_.Str(ef.args[i]));
+      }
+    }
+    WriteReg(1, arena_.Const(pc + 4));
+    for (uint8_t r : kCallerSaved) {
+      if (r != 1) {
+        WriteReg(r, arena_.Fresh(FreshTag::kHavoc));
+      }
+    }
+    if (ef.returns_value) {
+      WriteReg(10, ef.result);
+    }
+    return true;
+  }
+
+  // Interprets instructions until `target` is reached or control flow intervenes.
+  Stop ExecTo(uint32_t target) {
+    for (;;) {
+      if (failed_) {
+        return Stop{StopKind::kFail, {}, cur_};
+      }
+      if (cur_ == target) {
+        return Stop{StopKind::kTarget, {}, cur_};
+      }
+      if (cur_ < Abs(wf_.begin) || cur_ >= Abs(wf_.end)) {
+        Flag(TvFindingKind::kStructureMismatch, cur_, "walk left the function's range");
+        return Stop{StopKind::kFail, {}, cur_};
+      }
+      if (++out_->stats.steps > config_.max_steps) {
+        Flag(TvFindingKind::kUnsupported, cur_, "per-function step budget exhausted");
+        return Stop{StopKind::kFail, {}, cur_};
+      }
+      auto in = InstrAt(cur_);
+      if (!in.has_value()) {
+        Flag(TvFindingKind::kUnsupported, cur_, "undecodable instruction word");
+        return Stop{StopKind::kFail, {}, cur_};
+      }
+      if (riscv::IsBranch(in->op)) {
+        return Stop{StopKind::kBranch, *in, cur_};
+      }
+      if (in->op == Op::kJal) {
+        if (in->rd == 0) {
+          return Stop{StopKind::kJump, *in, cur_};
+        }
+        if (in->rd == 1) {
+          visited_.insert(cur_);
+          if (!HandleCall(*in, cur_)) {
+            return Stop{StopKind::kFail, {}, cur_};
+          }
+          cur_ += 4;
+          continue;
+        }
+        Flag(TvFindingKind::kUnsupported, cur_, "jal with unusual link register");
+        return Stop{StopKind::kFail, {}, cur_};
+      }
+      if (in->op == Op::kJalr) {
+        return Stop{StopKind::kRet, *in, cur_};
+      }
+      if (in->op == Op::kEcall || in->op == Op::kEbreak || in->op == Op::kFence) {
+        Flag(TvFindingKind::kUnsupported, cur_, "system instruction in compiled code");
+        return Stop{StopKind::kFail, {}, cur_};
+      }
+      visited_.insert(cur_);
+      if (!StepAlu(*in, cur_)) {
+        return Stop{StopKind::kFail, {}, cur_};
+      }
+      cur_ += 4;
+    }
+  }
+
+  // Marks the control instruction at cur_ as justified and moves past it.
+  void Consume() {
+    visited_.insert(cur_);
+    cur_ += 4;
+  }
+
+  // --- Source mirror --------------------------------------------------------
+
+  int LookupLocal(const std::string& name) const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      auto found = it->find(name);
+      if (found != it->end()) {
+        return found->second;
+      }
+    }
+    return -1;
+  }
+
+  TermId QueueLoad(TermId addr, uint8_t size, bool secret_src, int line) {
+    Effect ef;
+    ef.kind = Effect::Kind::kLoad;
+    ef.size = size;
+    ef.addr = addr;
+    ef.value = arena_.Fresh(FreshTag::kLoad, secret_src || arena_.secret(addr));
+    ef.line = line;
+    queue_.push_back(ef);
+    return queue_.back().value;
+  }
+
+  void QueueStore(TermId addr, uint8_t size, TermId value, int line) {
+    Effect ef;
+    ef.kind = Effect::Kind::kStore;
+    ef.size = size;
+    ef.addr = addr;
+    ef.value = value;
+    ef.line = line;
+    queue_.push_back(ef);
+  }
+
+  // Mirrors codegen's canonical O0 lowering of an lvalue address.
+  // Sets *vtype to the pointed-to (stored/loaded) type.
+  bool EvalAddr(const Expr& e, TermId* addr, Type* vtype) {
+    out_->stats.steps++;
+    switch (e.kind) {
+      case Expr::Kind::kVar: {
+        int si = LookupLocal(e.name);
+        if (si >= 0) {
+          const SlotInfo& slot = slots_[si];
+          if (slot.tracked) {
+            return Flag(TvFindingKind::kUnsupported, cur_,
+                        "internal: address of a tracked local");
+          }
+          *addr = SpSlotAddr(slot.frame_offset);
+          *vtype = slot.type;
+          return true;
+        }
+        auto g = index_.globals.find(e.name);
+        if (g != index_.globals.end()) {
+          *addr = arena_.Const(g->second.addr);
+          *vtype = g->second.type;
+          return true;
+        }
+        return Flag(TvFindingKind::kUnsupported, cur_, "undefined variable " + e.name);
+      }
+      case Expr::Kind::kDeref: {
+        Type t;
+        if (!Eval(*e.lhs, addr, &t)) {
+          return false;
+        }
+        if (!t.IsPointer()) {
+          return Flag(TvFindingKind::kUnsupported, cur_, "dereference of non-pointer");
+        }
+        *vtype = Type{t.base, t.ptr - 1};
+        return true;
+      }
+      case Expr::Kind::kIndex: {
+        TermId base;
+        Type bt;
+        if (!Eval(*e.lhs, &base, &bt)) {
+          return false;
+        }
+        if (!bt.IsPointer()) {
+          return Flag(TvFindingKind::kUnsupported, cur_, "indexing a non-pointer");
+        }
+        TermId idx;
+        Type it;
+        if (!Eval(*e.rhs, &idx, &it)) {
+          return false;
+        }
+        if (bt.PointeeSize() == 4) {
+          idx = arena_.Bin(BinOp::kSll, idx, arena_.Const(2));
+        }
+        *addr = arena_.Bin(BinOp::kAdd, base, idx);
+        *vtype = Type{bt.base, bt.ptr - 1};
+        return true;
+      }
+      default:
+        return Flag(TvFindingKind::kUnsupported, cur_, "expression is not an lvalue");
+    }
+  }
+
+  // Mirrors codegen's canonical O0 lowering of an rvalue. For void calls *val is 0.
+  bool Eval(const Expr& e, TermId* val, Type* type) {
+    out_->stats.steps++;
+    switch (e.kind) {
+      case Expr::Kind::kIntLit:
+        *val = arena_.Const(e.int_value);
+        *type = Type{Type::Base::kU32, 0};
+        return true;
+      case Expr::Kind::kVar: {
+        int si = LookupLocal(e.name);
+        if (si >= 0) {
+          const SlotInfo& slot = slots_[si];
+          if (slot.array_size != 0) {
+            *val = SpSlotAddr(slot.frame_offset);
+            *type = Type{slot.type.base, slot.type.ptr + 1};
+            return true;
+          }
+          if (slot.tracked) {
+            auto env = state_.env.find(si);
+            if (env == state_.env.end()) {
+              return Flag(TvFindingKind::kUnsupported, cur_,
+                          "internal: tracked local read before initialization record");
+            }
+            bool u8 = !slot.type.IsPointer() && slot.type.Size() == 1;
+            *val = u8 ? Mask8(env->second) : env->second;
+            *type = slot.type;
+            return true;
+          }
+          *val = QueueLoad(SpSlotAddr(slot.frame_offset), AccessSize(slot.type),
+                           /*secret_src=*/false, e.line);
+          *type = slot.type;
+          return true;
+        }
+        auto g = index_.globals.find(e.name);
+        if (g != index_.globals.end()) {
+          if (g->second.array_size != 0) {
+            *val = arena_.Const(g->second.addr);
+            *type = Type{g->second.type.base, g->second.type.ptr + 1};
+            return true;
+          }
+          *val = QueueLoad(arena_.Const(g->second.addr), AccessSize(g->second.type),
+                           g->second.secret, e.line);
+          *type = g->second.type;
+          return true;
+        }
+        return Flag(TvFindingKind::kUnsupported, cur_, "undefined variable " + e.name);
+      }
+      case Expr::Kind::kUnary: {
+        TermId v;
+        Type t;
+        if (!Eval(*e.lhs, &v, &t)) {
+          return false;
+        }
+        if (e.op == "-") {
+          *val = arena_.Bin(BinOp::kSub, arena_.Const(0), v);
+        } else if (e.op == "~") {
+          *val = arena_.Bin(BinOp::kXor, v, arena_.Const(0xffffffffu));
+        } else {  // "!"
+          *val = arena_.Bin(BinOp::kSltu, v, arena_.Const(1));
+        }
+        *type = Type{Type::Base::kU32, 0};
+        return true;
+      }
+      case Expr::Kind::kDeref:
+      case Expr::Kind::kIndex: {
+        TermId addr;
+        Type vt;
+        if (!EvalAddr(e, &addr, &vt)) {
+          return false;
+        }
+        *val = QueueLoad(addr, AccessSize(vt), /*secret_src=*/false, e.line);
+        *type = vt;
+        return true;
+      }
+      case Expr::Kind::kAddrOf: {
+        Type vt;
+        if (!EvalAddr(*e.lhs, val, &vt)) {
+          return false;
+        }
+        *type = Type{vt.base, vt.ptr + 1};
+        return true;
+      }
+      case Expr::Kind::kCast: {
+        TermId v;
+        Type t;
+        if (!Eval(*e.lhs, &v, &t)) {
+          return false;
+        }
+        if (e.cast_type.base == Type::Base::kU8 && e.cast_type.ptr == 0) {
+          v = Mask8(v);
+        }
+        *val = v;
+        *type = e.cast_type;
+        return true;
+      }
+      case Expr::Kind::kAssign:
+        return EvalAssign(e, val, type);
+      case Expr::Kind::kBinary:
+        return EvalBinary(e, val, type);
+      case Expr::Kind::kCall:
+        return EvalCall(e, val, type);
+    }
+    return Flag(TvFindingKind::kUnsupported, cur_, "unhandled expression kind");
+  }
+
+  bool EvalAssign(const Expr& e, TermId* val, Type* type) {
+    if (e.lhs->kind == Expr::Kind::kVar) {
+      int si = LookupLocal(e.lhs->name);
+      if (si >= 0 && slots_[si].tracked) {
+        // Codegen materializes the slot address first (no effects), evaluates the
+        // rhs, then stores; the store lands in the tracked slot as bookkeeping, so
+        // the mirror only updates env and lets the boundary check compare.
+        TermId v;
+        Type rt;
+        if (!Eval(*e.rhs, &v, &rt)) {
+          return false;
+        }
+        state_.env[si] = v;
+        *val = v;
+        *type = slots_[si].type;
+        return true;
+      }
+    }
+    TermId addr;
+    Type vt;
+    if (!EvalAddr(*e.lhs, &addr, &vt)) {
+      return false;
+    }
+    TermId v;
+    Type rt;
+    if (!Eval(*e.rhs, &v, &rt)) {
+      return false;
+    }
+    QueueStore(addr, AccessSize(vt), v, e.line);
+    *val = v;
+    *type = vt;
+    return true;
+  }
+
+  bool EvalBinary(const Expr& e, TermId* val, Type* type) {
+    if (e.op == "&&" || e.op == "||") {
+      return Flag(TvFindingKind::kUnsupported, cur_,
+                  "short-circuit lowering is outside the validated subset");
+    }
+    TermId l, r;
+    Type lt, rt;
+    if (!Eval(*e.lhs, &l, &lt) || !Eval(*e.rhs, &r, &rt)) {
+      return false;
+    }
+    auto scale = [&](TermId x, int elem) {
+      return elem == 1 ? x : arena_.Bin(BinOp::kSll, x, arena_.Const(2));
+    };
+    Type result{Type::Base::kU32, 0};
+    if (e.op == "+" && lt.IsPointer() && !rt.IsPointer()) {
+      r = scale(r, lt.PointeeSize());
+      result = lt;
+    } else if (e.op == "+" && rt.IsPointer() && !lt.IsPointer()) {
+      l = scale(l, rt.PointeeSize());
+      result = rt;
+    } else if (e.op == "-" && lt.IsPointer() && !rt.IsPointer()) {
+      r = scale(r, lt.PointeeSize());
+      result = lt;
+    } else if (lt.IsPointer() || rt.IsPointer()) {
+      if (e.op != "==" && e.op != "!=" && e.op != "<" && e.op != ">" && e.op != "<=" &&
+          e.op != ">=") {
+        return Flag(TvFindingKind::kUnsupported, cur_,
+                    "unsupported pointer arithmetic with " + e.op);
+      }
+    }
+    TermId one = arena_.Const(1);
+    if (e.op == "+") *val = arena_.Bin(BinOp::kAdd, l, r);
+    else if (e.op == "-") *val = arena_.Bin(BinOp::kSub, l, r);
+    else if (e.op == "*") *val = arena_.Bin(BinOp::kMul, l, r);
+    else if (e.op == "/") *val = arena_.Bin(BinOp::kDivu, l, r);
+    else if (e.op == "%") *val = arena_.Bin(BinOp::kRemu, l, r);
+    else if (e.op == "&") *val = arena_.Bin(BinOp::kAnd, l, r);
+    else if (e.op == "|") *val = arena_.Bin(BinOp::kOr, l, r);
+    else if (e.op == "^") *val = arena_.Bin(BinOp::kXor, l, r);
+    else if (e.op == "<<") *val = arena_.Bin(BinOp::kSll, l, r);
+    else if (e.op == ">>") *val = arena_.Bin(BinOp::kSrl, l, r);
+    else if (e.op == "==")
+      *val = arena_.Bin(BinOp::kSltu, arena_.Bin(BinOp::kSub, l, r), one);
+    else if (e.op == "!=")
+      *val = arena_.Bin(BinOp::kSltu, arena_.Const(0), arena_.Bin(BinOp::kSub, l, r));
+    else if (e.op == "<") *val = arena_.Bin(BinOp::kSltu, l, r);
+    else if (e.op == ">") *val = arena_.Bin(BinOp::kSltu, r, l);
+    else if (e.op == "<=")
+      *val = arena_.Bin(BinOp::kXor, arena_.Bin(BinOp::kSltu, r, l), one);
+    else if (e.op == ">=")
+      *val = arena_.Bin(BinOp::kXor, arena_.Bin(BinOp::kSltu, l, r), one);
+    else
+      return Flag(TvFindingKind::kUnsupported, cur_, "unknown operator " + e.op);
+    *type = result;
+    return true;
+  }
+
+  bool EvalCall(const Expr& e, TermId* val, Type* type) {
+    if (e.name == "__mulhu") {
+      TermId a, b;
+      Type t;
+      if (e.args.size() != 2 || !Eval(*e.args[0], &a, &t) || !Eval(*e.args[1], &b, &t)) {
+        return failed_ ? false
+                       : Flag(TvFindingKind::kUnsupported, cur_, "__mulhu takes 2 arguments");
+      }
+      *val = arena_.Bin(BinOp::kMulhu, a, b);
+      *type = Type{Type::Base::kU32, 0};
+      return true;
+    }
+    auto f = index_.functions.find(e.name);
+    if (f == index_.functions.end()) {
+      return Flag(TvFindingKind::kUnsupported, cur_, "call to undefined function " + e.name);
+    }
+    Effect ef;
+    ef.kind = Effect::Kind::kCall;
+    ef.callee = e.name;
+    ef.line = e.line;
+    bool secret_arg = false;
+    for (const auto& arg : e.args) {
+      TermId v;
+      Type t;
+      if (!Eval(*arg, &v, &t)) {
+        return false;
+      }
+      secret_arg = secret_arg || arena_.secret(v);
+      ef.args.push_back(v);
+    }
+    *type = f->second->return_type;
+    ef.returns_value = !type->IsVoid();
+    if (ef.returns_value) {
+      ef.result = arena_.Fresh(FreshTag::kCallResult, secret_arg);
+    }
+    *val = ef.result;
+    queue_.push_back(std::move(ef));
+    return true;
+  }
+
+  // --- Boundary checks and joins --------------------------------------------
+
+  // The simulation relation proper: at every statement boundary the effect queue
+  // must be drained and every tracked scalar's mirror value must equal its frame
+  // slot's term.
+  bool BoundaryCheck(uint32_t end_pc) {
+    if (!queue_.empty()) {
+      const Effect& ef = queue_.front();
+      return Flag(TvFindingKind::kMissingEffect, end_pc,
+                  std::string("source-level ") + EffectKindName(ef.kind) +
+                      " from line " + std::to_string(ef.line) +
+                      " was never performed by the asm");
+    }
+    for (const auto& [si, v] : state_.env) {
+      const SlotInfo& slot = slots_[si];
+      auto it = state_.frame.find(slot.frame_offset);
+      if (it == state_.frame.end() || it->second != v) {
+        return Flag(TvFindingKind::kValueMismatch, end_pc,
+                    "local '" + slot.name + "': frame slot holds " +
+                        (it == state_.frame.end() ? std::string("nothing")
+                                                  : arena_.Str(it->second)) +
+                        ", source value is " + arena_.Str(v));
+      }
+    }
+    return true;
+  }
+
+  // Merges `b` into state_ (which holds path `a`): tracked scalars get one shared
+  // phi written to both env and frame so the correspondence survives the join;
+  // everything else joins pointwise.
+  void JoinInto(const State& b) {
+    std::set<int32_t> handled;
+    std::set<int> keys;
+    for (const auto& [k, v] : state_.env) keys.insert(k);
+    for (const auto& [k, v] : b.env) keys.insert(k);
+    for (int k : keys) {
+      auto ia = state_.env.find(k);
+      auto ib = b.env.find(k);
+      if (ia != state_.env.end() && ib != b.env.end() && ia->second == ib->second) {
+        continue;
+      }
+      TermId phi = arena_.Fresh(FreshTag::kPhi);
+      state_.env[k] = phi;
+      state_.frame[slots_[k].frame_offset] = phi;
+      handled.insert(slots_[k].frame_offset);
+    }
+    std::set<int32_t> offs;
+    for (const auto& [k, v] : state_.frame) offs.insert(k);
+    for (const auto& [k, v] : b.frame) offs.insert(k);
+    for (int32_t off : offs) {
+      if (handled.count(off)) {
+        continue;
+      }
+      auto ia = state_.frame.find(off);
+      auto ib = b.frame.find(off);
+      if (ia != state_.frame.end() && ib != b.frame.end() && ia->second == ib->second) {
+        continue;
+      }
+      state_.frame[off] = arena_.Fresh(FreshTag::kPhi);
+    }
+    for (int r = 1; r < 32; r++) {
+      if (state_.regs[r] != b.regs[r]) {
+        state_.regs[r] = arena_.Fresh(FreshTag::kPhi);
+      }
+    }
+  }
+
+  // Havocs what one loop iteration may change: tracked scalars assigned in the loop
+  // (shared fresh term in env and frame), the spill area, and all caller-saved
+  // registers. Everything else must be loop-invariant, which CheckLoopInvariant
+  // enforces at every back edge.
+  void HavocLoopHead(const std::set<int>& assigned, LoopCtx* ctx) {
+    for (int si : assigned) {
+      TermId h = arena_.Fresh(FreshTag::kHavoc);
+      state_.env[si] = h;
+      state_.frame[slots_[si].frame_offset] = h;
+      ctx->havoc_slots.insert(si);
+      ctx->havoc_offsets.insert(slots_[si].frame_offset);
+    }
+    for (auto& [off, v] : state_.frame) {
+      if (off >= 0 && off < 4 * kNumSpillSlots) {
+        v = arena_.Fresh(FreshTag::kHavoc);
+        ctx->havoc_offsets.insert(off);
+      }
+    }
+    for (uint8_t r : kCallerSaved) {
+      state_.regs[r] = arena_.Fresh(FreshTag::kHavoc);
+    }
+    ctx->head = state_;
+  }
+
+  // At a back edge (or a break/continue leaving the iteration), every component not
+  // havocked at the loop head must still hold its head value — the inductive step
+  // that justifies resuming from the head state after the loop.
+  bool CheckLoopInvariant(const LoopCtx& ctx, uint32_t pc) {
+    for (uint8_t r : kCalleeSaved) {
+      if (state_.regs[r] != ctx.head.regs[r]) {
+        return Flag(TvFindingKind::kValueMismatch, pc,
+                    std::string("callee-saved register ") + riscv::RegName(r) +
+                        " is not loop-invariant");
+      }
+    }
+    if (state_.regs[2] != ctx.head.regs[2]) {
+      return Flag(TvFindingKind::kAbiViolation, pc, "sp is not loop-invariant");
+    }
+    for (const auto& [off, v] : ctx.head.frame) {
+      if (ctx.havoc_offsets.count(off)) {
+        continue;
+      }
+      auto it = state_.frame.find(off);
+      if (it == state_.frame.end() || it->second != v) {
+        return Flag(TvFindingKind::kValueMismatch, pc,
+                    "frame slot at offset " + std::to_string(off) +
+                        " is not loop-invariant");
+      }
+    }
+    for (const auto& [si, v] : ctx.head.env) {
+      if (ctx.havoc_slots.count(si)) {
+        continue;
+      }
+      auto it = state_.env.find(si);
+      if (it == state_.env.end() || it->second != v) {
+        return Flag(TvFindingKind::kValueMismatch, pc,
+                    "local '" + slots_[si].name + "' is not loop-invariant");
+      }
+    }
+    return true;
+  }
+
+  // Collects tracked scalars assigned (by name) inside a loop; conservative under
+  // shadowing, which only adds havoc.
+  void CollectAssignedExpr(const Expr& e, std::set<int>* out) const {
+    if (e.kind == Expr::Kind::kAssign && e.lhs->kind == Expr::Kind::kVar) {
+      int si = LookupLocal(e.lhs->name);
+      if (si >= 0 && slots_[si].tracked) {
+        out->insert(si);
+      }
+    }
+    if (e.lhs) CollectAssignedExpr(*e.lhs, out);
+    if (e.rhs) CollectAssignedExpr(*e.rhs, out);
+    for (const auto& a : e.args) {
+      CollectAssignedExpr(*a, out);
+    }
+  }
+
+  void CollectAssignedStmt(const Stmt& s, std::set<int>* out) const {
+    if (s.expr) CollectAssignedExpr(*s.expr, out);
+    if (s.decl_init) CollectAssignedExpr(*s.decl_init, out);
+    if (s.post) CollectAssignedExpr(*s.post, out);
+    if (s.init) CollectAssignedStmt(*s.init, out);
+    if (s.body) CollectAssignedStmt(*s.body, out);
+    if (s.else_body) CollectAssignedStmt(*s.else_body, out);
+    for (const auto& sub : s.stmts) {
+      CollectAssignedStmt(*sub, out);
+    }
+  }
+
+  // --- Statement walk -------------------------------------------------------
+
+  // Expects the conditional branch codegen emits for a false-condition skip:
+  // `beq cond, x0, target`. Checks polarity (the swapped-branch mutation turns it
+  // into bne), shape, and that the register holds exactly the mirrored condition.
+  bool ExpectCondBranch(TermId cond, uint32_t stop_at, uint32_t* taken) {
+    Stop st = ExecTo(stop_at);
+    if (st.kind != StopKind::kBranch) {
+      return FlagStop(st, "(expected the statement's conditional branch)");
+    }
+    std::string secret_note =
+        arena_.secret(cond) ? " (condition is secret-dependent)" : "";
+    if (st.instr.op == Op::kBne) {
+      return Flag(TvFindingKind::kBranchMismatch, st.pc,
+                  "branch polarity inverted: bne where beq was required" + secret_note);
+    }
+    if (st.instr.op != Op::kBeq || st.instr.rs2 != 0) {
+      return Flag(TvFindingKind::kBranchMismatch, st.pc,
+                  "branch shape differs from the canonical beq-against-zero" +
+                      secret_note);
+    }
+    TermId got = ReadReg(st.instr.rs1);
+    if (got != cond) {
+      return Flag(TvFindingKind::kBranchMismatch, st.pc,
+                  "branch condition " + arena_.Str(got) + " != source condition " +
+                      arena_.Str(cond) + secret_note);
+    }
+    if (arena_.secret(cond)) {
+      out_->stats.secret_branches++;
+    }
+    if (!queue_.empty()) {
+      return Flag(TvFindingKind::kMissingEffect, st.pc,
+                  "source effects still pending at the condition's branch");
+    }
+    *taken = st.pc + static_cast<uint32_t>(st.instr.imm);
+    Consume();
+    return true;
+  }
+
+  bool WalkStmt(const Stmt& s) {
+    if (wc_ >= wf_.stmts.size()) {
+      return Flag(TvFindingKind::kWitnessInvalid, cur_, "witness statement table exhausted");
+    }
+    const riscv::WitnessStmt& ws = wf_.stmts[wc_++];
+    if (ws.kind != static_cast<uint8_t>(s.kind) || ws.line != s.line) {
+      return Flag(TvFindingKind::kWitnessInvalid, cur_,
+                  "witness statement record does not match the AST walk");
+    }
+    if (Abs(ws.begin) != cur_) {
+      return Flag(TvFindingKind::kStructureMismatch, cur_,
+                  "statement range begins at " + Hex(Abs(ws.begin)) +
+                      " but the walk is at " + Hex(cur_));
+    }
+    int prev_line = stmt_line_;
+    Stmt::Kind prev_kind = stmt_kind_;
+    stmt_line_ = s.line;
+    stmt_kind_ = s.kind;
+    out_->stats.stmts++;
+    bool ok = WalkStmtInner(s, ws);
+    if (ok && cur_ != Abs(ws.end)) {
+      ok = Flag(TvFindingKind::kStructureMismatch, cur_,
+                "statement range ends at " + Hex(Abs(ws.end)) + " but the walk is at " +
+                    Hex(cur_));
+    }
+    if (ok) {
+      ok = BoundaryCheck(Abs(ws.end));
+    }
+    stmt_line_ = prev_line;
+    stmt_kind_ = prev_kind;
+    return ok;
+  }
+
+  bool WalkStmtInner(const Stmt& s, const riscv::WitnessStmt& ws) {
+    switch (s.kind) {
+      case Stmt::Kind::kBlock: {
+        scopes_.push_back({});
+        for (const auto& sub : s.stmts) {
+          if (!WalkStmt(*sub)) {
+            scopes_.pop_back();
+            return false;
+          }
+        }
+        scopes_.pop_back();
+        return true;
+      }
+      case Stmt::Kind::kDecl: {
+        int si = decl_counter_++;
+        if (si >= static_cast<int>(slots_.size())) {
+          return Flag(TvFindingKind::kWitnessInvalid, cur_, "declaration without a slot");
+        }
+        const SlotInfo& slot = slots_[si];
+        if (s.decl_init) {
+          TermId v;
+          Type t;
+          if (!Eval(*s.decl_init, &v, &t)) {
+            return false;
+          }
+          if (slot.tracked) {
+            state_.env[si] = v;
+          } else {
+            QueueStore(SpSlotAddr(slot.frame_offset), AccessSize(slot.type), v, s.line);
+          }
+          Stop st = ExecTo(Abs(ws.end));
+          if (st.kind != StopKind::kTarget) {
+            return FlagStop(st, "(inside a declaration)");
+          }
+        } else if (slot.tracked) {
+          TermId u = arena_.Fresh(FreshTag::kUninit);
+          state_.env[si] = u;
+          state_.frame[slot.frame_offset] = u;
+        }
+        scopes_.back()[s.decl_name] = si;
+        return true;
+      }
+      case Stmt::Kind::kExpr: {
+        TermId v;
+        Type t;
+        if (!Eval(*s.expr, &v, &t)) {
+          return false;
+        }
+        Stop st = ExecTo(Abs(ws.end));
+        if (st.kind != StopKind::kTarget) {
+          return FlagStop(st, "(inside an expression statement)");
+        }
+        return true;
+      }
+      case Stmt::Kind::kReturn: {
+        TermId v = 0;
+        Type t;
+        if (s.expr && !Eval(*s.expr, &v, &t)) {
+          return false;
+        }
+        Stop st = ExecTo(Abs(ws.end));
+        if (st.kind != StopKind::kJump) {
+          return FlagStop(st, "(return must end in a jump to the epilogue)");
+        }
+        uint32_t target = st.pc + static_cast<uint32_t>(st.instr.imm);
+        if (target != Abs(wf_.epilogue)) {
+          return Flag(TvFindingKind::kStructureMismatch, st.pc,
+                      "return jumps to " + Hex(target) + ", not the epilogue");
+        }
+        if (s.expr) {
+          TermId got = ReadReg(10);
+          if (got != v) {
+            return Flag(TvFindingKind::kValueMismatch, st.pc,
+                        "return value: a0 holds " + arena_.Str(got) +
+                            ", source returns " + arena_.Str(v));
+          }
+        }
+        Consume();
+        return true;
+      }
+      case Stmt::Kind::kBreak:
+      case Stmt::Kind::kContinue: {
+        if (loops_.empty()) {
+          return Flag(TvFindingKind::kWitnessInvalid, cur_, "break/continue outside a loop");
+        }
+        const LoopCtx& ctx = loops_.back();
+        Stop st = ExecTo(Abs(ws.end));
+        if (st.kind != StopKind::kJump) {
+          return FlagStop(st, "(break/continue must be a jump)");
+        }
+        uint32_t target = st.pc + static_cast<uint32_t>(st.instr.imm);
+        uint32_t want =
+            s.kind == Stmt::Kind::kBreak ? ctx.break_target : ctx.continue_target;
+        if (target != want) {
+          return Flag(TvFindingKind::kBranchMismatch, st.pc,
+                      "jump targets " + Hex(target) + ", expected " + Hex(want));
+        }
+        if (!queue_.empty()) {
+          return Flag(TvFindingKind::kMissingEffect, st.pc,
+                      "source effects still pending at a loop exit edge");
+        }
+        if (!CheckLoopInvariant(ctx, st.pc)) {
+          return false;
+        }
+        Consume();
+        return true;
+      }
+      case Stmt::Kind::kIf: {
+        TermId cond;
+        Type t;
+        if (!Eval(*s.expr, &cond, &t)) {
+          return false;
+        }
+        uint32_t taken = 0;
+        if (!ExpectCondBranch(cond, Abs(ws.end), &taken)) {
+          return false;
+        }
+        State at_branch = state_;
+        if (!WalkStmt(*s.body)) {
+          return false;
+        }
+        if (s.else_body) {
+          Stop st = ExecTo(Abs(ws.end));
+          if (st.kind != StopKind::kJump) {
+            return FlagStop(st, "(then-arm must end by jumping over the else-arm)");
+          }
+          if (st.pc + static_cast<uint32_t>(st.instr.imm) != Abs(ws.end)) {
+            return Flag(TvFindingKind::kStructureMismatch, st.pc,
+                        "then-arm jump does not land at the statement's end");
+          }
+          State then_exit = state_;
+          Consume();
+          if (cur_ != taken) {
+            return Flag(TvFindingKind::kBranchMismatch, cur_,
+                        "false-branch target " + Hex(taken) +
+                            " is not the else-arm at " + Hex(cur_));
+          }
+          state_ = std::move(at_branch);
+          if (!WalkStmt(*s.else_body)) {
+            return false;
+          }
+          JoinInto(then_exit);
+        } else {
+          if (taken != Abs(ws.end)) {
+            return Flag(TvFindingKind::kBranchMismatch, cur_,
+                        "false-branch target " + Hex(taken) +
+                            " does not skip the then-arm");
+          }
+          JoinInto(at_branch);
+        }
+        return true;
+      }
+      case Stmt::Kind::kWhile: {
+        if (Abs(ws.aux0) != cur_) {
+          return Flag(TvFindingKind::kWitnessInvalid, cur_,
+                      "while-loop head landmark disagrees with the walk");
+        }
+        std::set<int> assigned;
+        CollectAssignedExpr(*s.expr, &assigned);
+        CollectAssignedStmt(*s.body, &assigned);
+        LoopCtx ctx;
+        ctx.break_target = Abs(ws.end);
+        ctx.continue_target = Abs(ws.aux0);
+        HavocLoopHead(assigned, &ctx);
+        TermId cond;
+        Type t;
+        if (!Eval(*s.expr, &cond, &t)) {
+          return false;
+        }
+        uint32_t taken = 0;
+        if (!ExpectCondBranch(cond, Abs(ws.end), &taken)) {
+          return false;
+        }
+        if (taken != Abs(ws.end)) {
+          return Flag(TvFindingKind::kBranchMismatch, cur_,
+                      "loop-exit branch targets " + Hex(taken) + ", expected " +
+                          Hex(Abs(ws.end)));
+        }
+        State exit_state = state_;
+        loops_.push_back(std::move(ctx));
+        bool ok = WalkStmt(*s.body);
+        if (ok) {
+          Stop st = ExecTo(Abs(ws.end));
+          if (st.kind != StopKind::kJump) {
+            ok = FlagStop(st, "(loop body must end with the back edge)");
+          } else if (st.pc + static_cast<uint32_t>(st.instr.imm) != Abs(ws.aux0)) {
+            ok = Flag(TvFindingKind::kStructureMismatch, st.pc,
+                      "back edge does not return to the loop head");
+          } else if (!queue_.empty()) {
+            ok = Flag(TvFindingKind::kMissingEffect, st.pc,
+                      "source effects still pending at the back edge");
+          } else {
+            ok = CheckLoopInvariant(loops_.back(), st.pc);
+            if (ok) {
+              Consume();
+            }
+          }
+        }
+        loops_.pop_back();
+        if (!ok) {
+          return false;
+        }
+        state_ = std::move(exit_state);
+        return true;
+      }
+      case Stmt::Kind::kFor: {
+        scopes_.push_back({});
+        if (s.init && !WalkStmt(*s.init)) {
+          scopes_.pop_back();
+          return false;
+        }
+        bool ok = WalkForLoop(s, ws);
+        scopes_.pop_back();
+        return ok;
+      }
+    }
+    return Flag(TvFindingKind::kUnsupported, cur_, "unhandled statement kind");
+  }
+
+  bool WalkForLoop(const Stmt& s, const riscv::WitnessStmt& ws) {
+    if (Abs(ws.aux0) != cur_) {
+      return Flag(TvFindingKind::kWitnessInvalid, cur_,
+                  "for-loop head landmark disagrees with the walk");
+    }
+    std::set<int> assigned;
+    if (s.expr) CollectAssignedExpr(*s.expr, &assigned);
+    if (s.post) CollectAssignedExpr(*s.post, &assigned);
+    CollectAssignedStmt(*s.body, &assigned);
+    LoopCtx ctx;
+    ctx.break_target = Abs(ws.end);
+    ctx.continue_target = Abs(ws.aux1);
+    HavocLoopHead(assigned, &ctx);
+    if (s.expr) {
+      TermId cond;
+      Type t;
+      if (!Eval(*s.expr, &cond, &t)) {
+        return false;
+      }
+      uint32_t taken = 0;
+      if (!ExpectCondBranch(cond, Abs(ws.end), &taken)) {
+        return false;
+      }
+      if (taken != Abs(ws.end)) {
+        return Flag(TvFindingKind::kBranchMismatch, cur_,
+                    "loop-exit branch targets " + Hex(taken) + ", expected " +
+                        Hex(Abs(ws.end)));
+      }
+    }
+    State exit_state = state_;
+    loops_.push_back(std::move(ctx));
+    bool ok = WalkStmt(*s.body);
+    if (ok && cur_ != Abs(ws.aux1)) {
+      ok = Flag(TvFindingKind::kStructureMismatch, cur_,
+                "loop body does not end at the post-expression landmark");
+    }
+    if (ok && s.post) {
+      TermId v;
+      Type t;
+      ok = Eval(*s.post, &v, &t);
+    }
+    if (ok) {
+      Stop st = ExecTo(Abs(ws.end));
+      if (st.kind != StopKind::kJump) {
+        ok = FlagStop(st, "(for-loop must end with the back edge)");
+      } else if (st.pc + static_cast<uint32_t>(st.instr.imm) != Abs(ws.aux0)) {
+        ok = Flag(TvFindingKind::kStructureMismatch, st.pc,
+                  "back edge does not return to the loop head");
+      } else if (!queue_.empty()) {
+        ok = Flag(TvFindingKind::kMissingEffect, st.pc,
+                  "source effects still pending at the back edge");
+      } else {
+        ok = CheckLoopInvariant(loops_.back(), st.pc);
+        if (ok) {
+          Consume();
+        }
+      }
+    }
+    loops_.pop_back();
+    if (!ok) {
+      return false;
+    }
+    state_ = std::move(exit_state);
+    return true;
+  }
+
+  // --- Prologue / body / epilogue -------------------------------------------
+
+  bool WalkFunction() {
+    // Entry state: unconstrained registers, with the ABI pins the epilogue check
+    // will hold the function to.
+    for (int r = 1; r < 32; r++) {
+      state_.regs[r] = arena_.Fresh(FreshTag::kEntryReg);
+    }
+    state_.regs[1] = arena_.RaEntry();
+    state_.regs[2] = arena_.SpEntry();
+    for (uint8_t r : kCalleeSaved) {
+      state_.regs[r] = arena_.SavedEntry(r);
+    }
+    for (size_t i = 0; i < fn_.params.size(); i++) {
+      state_.regs[10 + i] = arena_.Arg(static_cast<uint32_t>(i));
+    }
+    cur_ = Abs(wf_.begin);
+    in_prologue_ = true;
+    Stop st = ExecTo(Abs(wf_.body_begin));
+    in_prologue_ = false;
+    if (st.kind != StopKind::kTarget) {
+      return FlagStop(st, "(inside the prologue)");
+    }
+    auto sp_disp = arena_.SpDisplacement(ReadReg(2));
+    if (!sp_disp.has_value() || *sp_disp != -frame_size_) {
+      return Flag(TvFindingKind::kAbiViolation, cur_,
+                  "prologue does not establish the witnessed frame size");
+    }
+    if (auto it = state_.frame.find(ra_offset_);
+        it == state_.frame.end() || it->second != arena_.RaEntry()) {
+      return Flag(TvFindingKind::kAbiViolation, cur_, "prologue does not save ra");
+    }
+    // Parameter homing: each tracked parameter slot must hold its argument.
+    scopes_.push_back({});
+    for (size_t i = 0; i < fn_.params.size(); i++) {
+      scopes_.back()[fn_.params[i].name] = static_cast<int>(i);
+      if (!slots_[i].tracked) {
+        continue;
+      }
+      TermId want = arena_.Arg(static_cast<uint32_t>(i));
+      auto it = state_.frame.find(slots_[i].frame_offset);
+      if (it == state_.frame.end() || it->second != want) {
+        return Flag(TvFindingKind::kValueMismatch, cur_,
+                    "parameter '" + fn_.params[i].name + "' is not homed to its slot");
+      }
+      state_.env[static_cast<int>(i)] = want;
+    }
+    decl_counter_ = static_cast<int>(fn_.params.size());
+
+    if (!WalkStmt(*fn_.body)) {
+      return false;
+    }
+    if (wc_ != wf_.stmts.size()) {
+      return Flag(TvFindingKind::kWitnessInvalid, cur_,
+                  "witness has statement records the source does not");
+    }
+
+    // Epilogue: restore ra/sp to their entry values and return.
+    if (cur_ != Abs(wf_.epilogue)) {
+      return Flag(TvFindingKind::kStructureMismatch, cur_,
+                  "body does not fall through to the witnessed epilogue");
+    }
+    Stop ret = ExecTo(Abs(wf_.end));
+    if (ret.kind != StopKind::kRet) {
+      return FlagStop(ret, "(inside the epilogue)");
+    }
+    if (ret.instr.rd != 0 || ret.instr.rs1 != 1 || ret.instr.imm != 0) {
+      return Flag(TvFindingKind::kAbiViolation, ret.pc,
+                  "epilogue return is not jalr x0, ra, 0");
+    }
+    if (ReadReg(1) != arena_.RaEntry()) {
+      return Flag(TvFindingKind::kAbiViolation, ret.pc,
+                  "ra at return is " + arena_.Str(ReadReg(1)) + ", not its entry value");
+    }
+    if (ReadReg(2) != arena_.SpEntry()) {
+      return Flag(TvFindingKind::kAbiViolation, ret.pc,
+                  "sp at return is " + arena_.Str(ReadReg(2)) + ", not its entry value");
+    }
+    for (uint8_t r : kCalleeSaved) {
+      if (ReadReg(r) != arena_.SavedEntry(r)) {
+        return Flag(TvFindingKind::kAbiViolation, ret.pc,
+                    std::string("callee-saved ") + riscv::RegName(r) +
+                        " is clobbered at return");
+      }
+    }
+    Consume();
+    if (cur_ != Abs(wf_.end)) {
+      return Flag(TvFindingKind::kStructureMismatch, cur_,
+                  "instructions remain after the return");
+    }
+    return true;
+  }
+
+  // --- Leakage-preservation sweep -------------------------------------------
+
+  // Every instruction in the function must have been justified by the lockstep
+  // walk; anything else is a control or memory action with no source counterpart —
+  // exactly the shape of an inserted timing channel.
+  void SweepUnvisited() {
+    int flagged = 0;
+    uint32_t skipped = 0;
+    for (uint32_t pc = Abs(wf_.begin); pc < Abs(wf_.end); pc += 4) {
+      if (visited_.count(pc)) {
+        continue;
+      }
+      if (flagged >= 4) {
+        skipped++;
+        continue;
+      }
+      flagged++;
+      auto in = InstrAt(pc);
+      bool is_control =
+          in.has_value() && (riscv::IsBranch(in->op) || riscv::IsJump(in->op));
+      // Flag() sets failed_, which is fine here: the walk is already complete.
+      stmt_line_ = 0;
+      Flag(is_control ? TvFindingKind::kUnjustifiedBranch
+                      : TvFindingKind::kUnjustifiedInstr,
+           pc,
+           is_control ? "control transfer never justified by the source walk "
+                        "(potential timing channel)"
+                      : "instruction never justified by the source walk");
+    }
+    if (skipped > 0 && !out_->findings.empty()) {
+      out_->findings.back().detail +=
+          " (+" + std::to_string(skipped) + " more unjustified instructions)";
+    }
+  }
+
+  const UnitIndex& index_;
+  const minicc::Function& fn_;
+  const riscv::Image& image_;
+  const riscv::WitnessFunction& wf_;
+  const riscv::SymbolNamer& namer_;
+  const TvConfig& config_;
+  TvFunctionResult* out_;
+
+  TermArena arena_;
+  State state_;
+  std::deque<Effect> queue_;
+  std::vector<SlotInfo> slots_;
+  std::set<int> addr_taken_;
+  std::vector<std::map<std::string, int>> scopes_;
+  std::vector<LoopCtx> loops_;
+  std::set<uint32_t> visited_;
+
+  int frame_size_ = 0;
+  int ra_offset_ = 0;
+  int decl_counter_ = 0;
+  size_t wc_ = 0;  // Witness statement cursor.
+  uint32_t cur_ = 0;
+  bool in_prologue_ = false;
+  bool failed_ = false;
+  int stmt_line_ = 0;
+  Stmt::Kind stmt_kind_ = Stmt::Kind::kBlock;
+};
+
+void EmitEvidence(const TvFinding& f) {
+  telemetry::Evidence ev;
+  ev.checker = "tv";
+  ev.Add("pc", Hex(f.pc));
+  ev.Add("kind", TvFindingKindName(f.kind));
+  ev.Add("function", f.function);
+  ev.Add("line", std::to_string(f.line));
+  ev.Add("detail", f.detail);
+  std::string chain;
+  for (const std::string& hop : f.provenance) {
+    if (!chain.empty()) {
+      chain += " <- ";
+    }
+    chain += hop;
+  }
+  ev.Add("provenance", chain);
+  telemetry::Telemetry::Global().RecordEvidence(ev);
+}
+
+}  // namespace
+
+const char* TvFindingKindName(TvFindingKind kind) {
+  switch (kind) {
+    case TvFindingKind::kValueMismatch: return "value-mismatch";
+    case TvFindingKind::kMissingEffect: return "missing-effect";
+    case TvFindingKind::kEffectMismatch: return "effect-mismatch";
+    case TvFindingKind::kUnexpectedEffect: return "unexpected-effect";
+    case TvFindingKind::kBranchMismatch: return "branch-mismatch";
+    case TvFindingKind::kUnjustifiedBranch: return "unjustified-branch";
+    case TvFindingKind::kUnjustifiedInstr: return "unjustified-instr";
+    case TvFindingKind::kAbiViolation: return "abi-violation";
+    case TvFindingKind::kStructureMismatch: return "structure-mismatch";
+    case TvFindingKind::kWitnessInvalid: return "witness-invalid";
+    case TvFindingKind::kUnsupported: return "unsupported";
+  }
+  return "?";
+}
+
+bool TvReport::Clean() const {
+  if (!ok) {
+    return false;
+  }
+  for (const TvFunctionResult& fr : functions) {
+    if (!fr.findings.empty()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+size_t TvReport::FindingCount() const {
+  size_t n = 0;
+  for (const TvFunctionResult& fr : functions) {
+    n += fr.findings.size();
+  }
+  return n;
+}
+
+TvReport ValidateTranslation(const minicc::TranslationUnit& unit, const riscv::Image& image,
+                             const riscv::Witness& witness, const TvConfig& config) {
+  TvReport report;
+  auto cfg = BuildCfg(image);
+  if (!cfg.ok()) {
+    report.error = "cfg: " + cfg.error();
+    return report;
+  }
+  riscv::SymbolNamer namer(image);
+
+  UnitIndex index;
+  for (const auto& fn : unit.functions) {
+    index.functions[fn.name] = &fn;
+    auto addr = image.symbols.find(fn.name);
+    if (addr != image.symbols.end()) {
+      index.function_addrs[fn.name] = addr->second;
+    }
+  }
+  for (const auto& g : unit.globals) {
+    auto addr = image.symbols.find(g.name);
+    if (addr == image.symbols.end()) {
+      report.error = "global '" + g.name + "' has no linked address";
+      return report;
+    }
+    index.globals[g.name] = GlobalVar{addr->second, g.type, g.array_size, g.is_secret};
+  }
+
+  // Select witnessed functions, cross-checking each against the image's recovered
+  // CFG: the witnessed extent must be exactly the symbol-table function the CFG
+  // builder found there.
+  struct Job {
+    const riscv::WitnessFunction* wf;
+    const minicc::Function* fn;
+    TvFinding pre;  // Set when the job fails before the walk (no fn, cfg mismatch).
+    bool has_pre = false;
+  };
+  std::vector<Job> jobs;
+  for (const riscv::WitnessFunction& wf : witness.functions) {
+    if (!config.only_function.empty() && wf.name != config.only_function) {
+      continue;
+    }
+    Job job;
+    job.wf = &wf;
+    auto fn_it = index.functions.find(wf.name);
+    job.fn = fn_it == index.functions.end() ? nullptr : fn_it->second;
+    if (witness.opt_level != 0) {
+      job.has_pre = true;
+      job.pre.kind = TvFindingKind::kUnsupported;
+      job.pre.detail = "witness records opt_level " + std::to_string(witness.opt_level) +
+                       "; only O0 output is in the validated subset";
+    } else if (job.fn == nullptr) {
+      job.has_pre = true;
+      job.pre.kind = TvFindingKind::kWitnessInvalid;
+      job.pre.detail = "witnessed function has no source counterpart";
+    } else {
+      uint32_t entry = image.rom_base + wf.begin;
+      auto cfg_it = cfg.value().functions.find(entry);
+      if (cfg_it == cfg.value().functions.end() || cfg_it->second.name != wf.name ||
+          cfg_it->second.size != wf.end - wf.begin) {
+        job.has_pre = true;
+        job.pre.kind = TvFindingKind::kWitnessInvalid;
+        job.pre.detail = "witnessed extent disagrees with the recovered CFG at " +
+                         Hex(entry);
+      }
+    }
+    if (job.has_pre) {
+      job.pre.function = wf.name;
+      job.pre.pc = image.rom_base + wf.begin;
+      job.pre.line = wf.line;
+      job.pre.provenance.push_back("function " + wf.name);
+    }
+    jobs.push_back(job);
+  }
+
+  // Validate every function in parallel; each job owns its arena, so the merged
+  // output below is bit-identical regardless of thread count.
+  std::vector<TvFunctionResult> results(jobs.size());
+  ThreadPool pool(config.num_threads);
+  ParallelFor(pool, jobs.size(), [&](size_t i) {
+    const Job& job = jobs[i];
+    if (job.has_pre) {
+      results[i].name = job.wf->name;
+      results[i].findings.push_back(job.pre);
+      return;
+    }
+    FunctionValidator v(index, *job.fn, image, *job.wf, namer, config, &results[i]);
+    v.Run();
+  });
+
+  // Deterministic merge in witness (= emission) order.
+  uint64_t validated = 0, findings = 0;
+  for (TvFunctionResult& fr : results) {
+    findings += fr.findings.size();
+    validated += fr.validated ? 1 : 0;
+    report.telemetry.AddCounter("tv/steps", fr.stats.steps);
+    report.telemetry.AddCounter("tv/terms", fr.stats.terms);
+    report.telemetry.AddCounter("tv/stmts", fr.stats.stmts);
+    report.telemetry.AddCounter("tv/secret_branches", fr.stats.secret_branches);
+    report.telemetry.AddCounter("tv/secret_addresses", fr.stats.secret_addresses);
+    if (config.emit_evidence) {
+      for (const TvFinding& f : fr.findings) {
+        EmitEvidence(f);
+      }
+    }
+    report.functions.push_back(std::move(fr));
+  }
+  report.telemetry.AddCounter("tv/functions", report.functions.size());
+  report.telemetry.AddCounter("tv/validated", validated);
+  report.telemetry.AddCounter("tv/findings", findings);
+
+  // Functions in the image with no witness (boot.s assembly): counted, not walked.
+  uint64_t unwitnessed = 0;
+  for (const auto& [entry, fn_cfg] : cfg.value().functions) {
+    if (witness.Find(fn_cfg.name) == nullptr) {
+      unwitnessed++;
+    }
+  }
+  report.telemetry.AddCounter("tv/unwitnessed_functions", unwitnessed);
+  report.ok = true;
+  return report;
+}
+
+TvReport ValidateSystem(const hsm::HsmSystem& system, const TvConfig& config) {
+  auto unit = minicc::Parse(system.firmware_source());
+  if (!unit.ok()) {
+    TvReport report;
+    report.error = "re-parse of the firmware unit failed: " + unit.error();
+    return report;
+  }
+  return ValidateTranslation(unit.value(), system.image(), system.witness(), config);
+}
+
+}  // namespace parfait::analysis

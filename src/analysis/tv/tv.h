@@ -1,0 +1,126 @@
+// Per-function translation validation of the MiniC -> RV32 compiler.
+//
+// The O0 code generator is this repo's CompCert stand-in: the paper's pipeline
+// assumes the compiler preserves both functional behavior and the leakage contract.
+// Instead of trusting it, the validator re-checks every function of every build:
+//
+//   1. The compiler emits a *witness* side table (src/riscv/witness.h): per function,
+//      the asm range of every source statement (in pre-order), the frame layout, and
+//      per-local slot assignments. The witness is untrusted — every claim in it is
+//      re-checked structurally (shape, layout recomputation) and operationally (the
+//      lockstep walk below); a wrong witness makes validation fail, never pass.
+//   2. For each function, the validator walks the source AST and the witnessed asm
+//      ranges in lockstep over a hash-consed symbolic term domain (tv/term.h):
+//      the source mirror replays the code generator's canonical O0 lowering, the
+//      interpreter executes the actual instructions, and the simulation relation —
+//      term-id equality for every tracked local (against its frame slot), every
+//      branch condition, call argument, store value, and the return value — is
+//      checked at every statement boundary and control transfer. Source-level memory
+//      reads/writes/calls are queued as an effect trace in evaluation order and must
+//      be consumed, in order, by matching asm accesses (memory extensionality).
+//   3. Leakage preservation: every instruction in the function's range must have been
+//      visited by the lockstep walk, so every branch and memory address in the asm is
+//      justified by — and term-equal to — a source-level construct. Any residual
+//      instruction (e.g. a strength-reduced multiply expanded into a data-dependent
+//      loop) is flagged as unjustified: a timing channel with no source counterpart.
+//      Secret-dependent branches/addresses (terms tainted from `secret` globals) are
+//      inventoried in telemetry.
+//
+// Scope: the validated subset is the O0 generator's output language. O2 output and
+// short-circuit lowering are reported as kUnsupported rather than trusted. Like the
+// leakage lint, the validator assumes the source is memory-safe (an opaque pointer is
+// assumed not to alias a scalar local whose address is never taken); this mirrors the
+// paper's division of labor where memory safety is discharged at the source level.
+//
+// Mismatches are miscompilation findings with a provenance chain naming the asm
+// instruction, the originating source statement (kind + line), and the function;
+// findings are also emitted as telemetry Evidence (checker "tv"). Output is
+// deterministic: per-function arenas, results merged in witness order, and therefore
+// bit-identical run-to-run and independent of num_threads.
+#ifndef PARFAIT_ANALYSIS_TV_TV_H_
+#define PARFAIT_ANALYSIS_TV_TV_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/minicc/ast.h"
+#include "src/riscv/assembler.h"
+#include "src/riscv/witness.h"
+#include "src/support/telemetry.h"
+
+namespace parfait::hsm {
+class HsmSystem;
+}  // namespace parfait::hsm
+
+namespace parfait::analysis {
+
+enum class TvFindingKind : uint8_t {
+  kValueMismatch,      // Simulation relation broken: asm value != source value.
+  kMissingEffect,      // Source memory effect never performed by the asm.
+  kEffectMismatch,     // Asm access pairs with the source effect but disagrees
+                       // (kind, width, address, stored value, callee, argument).
+  kUnexpectedEffect,   // Asm access with no pending source effect.
+  kBranchMismatch,     // Branch shape/polarity/condition/target disagrees.
+  kUnjustifiedBranch,  // Control transfer with no source counterpart (leakage).
+  kUnjustifiedInstr,   // Instruction never justified by the lockstep walk.
+  kAbiViolation,       // Prologue/epilogue contract broken (ra/sp/s-regs).
+  kStructureMismatch,  // Asm layout disagrees with the witnessed statement ranges.
+  kWitnessInvalid,     // The witness itself is malformed or contradicts the AST.
+  kUnsupported,        // Outside the validated subset (O2, short-circuit, budget).
+};
+
+const char* TvFindingKindName(TvFindingKind kind);
+
+struct TvFinding {
+  std::string function;
+  uint32_t pc = 0;  // Asm location (0 when the finding is source-side only).
+  TvFindingKind kind = TvFindingKind::kWitnessInvalid;
+  int line = 0;  // Source line of the statement being validated.
+  std::string detail;
+  std::vector<std::string> provenance;  // Leaf first: asm <- stmt <- function.
+};
+
+struct TvFunctionStats {
+  uint64_t steps = 0;  // Instructions interpreted + source expressions mirrored.
+  uint64_t terms = 0;
+  uint64_t stmts = 0;
+  uint64_t secret_branches = 0;   // Branch conditions derived from secrets.
+  uint64_t secret_addresses = 0;  // Memory addresses derived from secrets.
+};
+
+struct TvFunctionResult {
+  std::string name;
+  bool validated = false;  // True when the walk completed with no findings.
+  std::vector<TvFinding> findings;
+  TvFunctionStats stats;
+};
+
+struct TvConfig {
+  int num_threads = 1;  // 0 = hardware concurrency; results are thread-count independent.
+  std::string only_function;  // When non-empty, validate just this function.
+  uint64_t max_steps = 1u << 20;  // Per-function step budget.
+  bool emit_evidence = true;      // Emit telemetry Evidence per finding.
+};
+
+struct TvReport {
+  bool ok = false;  // The validator ran to completion (regardless of findings).
+  std::string error;
+  std::vector<TvFunctionResult> functions;  // In witness (= emission) order.
+  telemetry::TelemetrySnapshot telemetry;
+
+  bool Clean() const;
+  size_t FindingCount() const;
+};
+
+// Validates `witness` against the source unit and the linked image. The unit must be
+// the exact translation unit the compiler consumed (see HsmSystem::firmware_source).
+TvReport ValidateTranslation(const minicc::TranslationUnit& unit, const riscv::Image& image,
+                             const riscv::Witness& witness, const TvConfig& config);
+
+// Re-parses the system's firmware unit and validates its witness against its image.
+TvReport ValidateSystem(const hsm::HsmSystem& system, const TvConfig& config);
+
+}  // namespace parfait::analysis
+
+#endif  // PARFAIT_ANALYSIS_TV_TV_H_

@@ -8,7 +8,8 @@ namespace parfait::hsm {
 
 namespace {
 
-riscv::Image BuildImage(const App& app, const HsmBuildOptions& options) {
+riscv::Image BuildImage(const App& app, const HsmBuildOptions& options,
+                        riscv::Witness* witness, std::string* unit_source) {
   platform::FirmwareConfig config;
   config.app_sources =
       options.source_override.empty() ? app.FirmwareSources() : options.source_override;
@@ -17,7 +18,8 @@ riscv::Image BuildImage(const App& app, const HsmBuildOptions& options) {
   config.response_size = static_cast<uint32_t>(app.response_size());
   config.opt_level = options.opt_level;
   config.sys_sources_override = options.sys_source_override;
-  auto image = platform::BuildFirmware(config);
+  config.mutation = options.mutation;
+  auto image = platform::BuildFirmware(config, witness, unit_source);
   PARFAIT_CHECK_MSG(image.ok(), "firmware build failed: %s", image.error().c_str());
   return std::move(image).value();
 }
@@ -27,7 +29,7 @@ riscv::Image BuildImage(const App& app, const HsmBuildOptions& options) {
 HsmSystem::HsmSystem(const App& app, const HsmBuildOptions& options)
     : app_(&app),
       options_(options),
-      image_(BuildImage(app, options)),
+      image_(BuildImage(app, options, &witness_, &firmware_source_)),
       model_asm_(image_, platform::ModelAsm::Sizes{static_cast<uint32_t>(app.state_size()),
                                                    static_cast<uint32_t>(app.command_size()),
                                                    static_cast<uint32_t>(app.response_size())}) {}

@@ -7,7 +7,9 @@
 #include <memory>
 
 #include "src/hsm/app.h"
+#include "src/minicc/codegen.h"
 #include "src/platform/model_asm.h"
+#include "src/riscv/witness.h"
 #include "src/soc/soc.h"
 
 namespace parfait::hsm {
@@ -22,6 +24,8 @@ struct HsmBuildOptions {
   // for the system software (firmware/sys.c).
   std::string source_override;      // When non-empty, replaces App::FirmwareSources().
   std::string sys_source_override;  // When non-empty, replaces firmware/sys.c.
+  // Seeded miscompilation for the translation-validator mutation harness.
+  minicc::Mutation mutation;
 };
 
 class HsmSystem {
@@ -34,6 +38,10 @@ class HsmSystem {
   const riscv::Image& image() const { return image_; }
   const platform::ModelAsm& model_asm() const { return model_asm_; }
   const HsmBuildOptions& options() const { return options_; }
+  // The compiler's translation witness for the firmware's MiniC translation unit,
+  // and the exact unit source it was compiled from (what parfait-tv re-parses).
+  const riscv::Witness& witness() const { return witness_; }
+  const std::string& firmware_source() const { return firmware_source_; }
 
   // Fresh power-on (zeroed FRAM).
   std::unique_ptr<soc::Soc> NewSoc() const;
@@ -51,6 +59,9 @@ class HsmSystem {
 
   const App* app_;
   HsmBuildOptions options_;
+  // Declared before image_: the image build fills them in as side outputs.
+  riscv::Witness witness_;
+  std::string firmware_source_;
   riscv::Image image_;
   platform::ModelAsm model_asm_;
 };

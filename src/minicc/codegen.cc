@@ -44,6 +44,7 @@ struct GlobalInfo {
 };
 
 struct LocalSlot {
+  std::string name;
   Type type;
   uint32_t array_size = 0;   // 0 = scalar.
   int frame_offset = -1;     // Valid when reg < 0.
@@ -58,6 +59,10 @@ class Codegen {
       : unit_(unit), options_(options), prog_(*program) {}
 
   bool Run() {
+    if (options_.witness != nullptr) {
+      *options_.witness = riscv::Witness{};
+      options_.witness->opt_level = options_.opt_level;
+    }
     // Collect signatures and globals.
     for (const auto& fn : unit_.functions) {
       if (sigs_.count(fn.name) != 0) {
@@ -320,6 +325,7 @@ class Codegen {
           PrepassExpr(*s.decl_init, uses, addr_taken, scopes);
         }
         LocalSlot slot;
+        slot.name = s.decl_name;
         slot.type = s.decl_type;
         slot.array_size = s.decl_array_size;
         int index = static_cast<int>(slots_.size());
@@ -374,11 +380,14 @@ class Codegen {
     decl_counter_ = 0;
     break_labels_.clear();
     continue_labels_.clear();
+    wstmts_.clear();
+    mutation_sites_ = 0;
     current_fn_ = &fn;
 
     // Parameter slots come first (slot index == parameter index).
     for (const auto& p : fn.params) {
       LocalSlot slot;
+      slot.name = p.name;
       slot.type = p.type;
       slots_.push_back(slot);
     }
@@ -440,6 +449,7 @@ class Codegen {
     // Prologue.
     prog_.SetSection(Section::kText);
     prog_.Align(4);
+    const uint32_t w_begin = prog_.CurrentOffset();
     prog_.DefineLabel(fn.name);
     prog_.MarkFunction(fn.name);
     Emit(Instr{Op::kAddi, kRegSp, kRegSp, 0, -frame_size_});
@@ -458,6 +468,7 @@ class Codegen {
       }
     }
 
+    const uint32_t w_body_begin = prog_.CurrentOffset();
     epilogue_label_ = NewLabel();
     scopes_.push_back({});
     for (size_t i = 0; i < fn.params.size(); i++) {
@@ -470,6 +481,7 @@ class Codegen {
     scopes_.pop_back();
 
     // Epilogue (also the fall-through path for void functions).
+    const uint32_t w_epilogue = prog_.CurrentOffset();
     prog_.DefineLabel(epilogue_label_);
     for (size_t i = 0; i < used_saved_regs_.size(); i++) {
       Emit(Instr{Op::kLw, used_saved_regs_[i], kRegSp, 0, saved_base_ + 4 * static_cast<int>(i)});
@@ -477,12 +489,67 @@ class Codegen {
     Emit(Instr{Op::kLw, kRegRa, kRegSp, 0, ra_offset_});
     Emit(Instr{Op::kAddi, kRegSp, kRegSp, 0, frame_size_});
     Emit(Instr{Op::kJalr, 0, kRegRa, 0, 0});
+
+    if (options_.witness != nullptr) {
+      riscv::WitnessFunction wf;
+      wf.name = fn.name;
+      wf.line = fn.line;
+      wf.begin = w_begin;
+      wf.end = prog_.CurrentOffset();
+      wf.body_begin = w_body_begin;
+      wf.epilogue = w_epilogue;
+      wf.frame_size = frame_size_;
+      wf.spill_base = spill_base_;
+      wf.saved_base = saved_base_;
+      wf.ra_offset = ra_offset_;
+      wf.saved_regs = used_saved_regs_;
+      for (size_t i = 0; i < slots_.size(); i++) {
+        const LocalSlot& slot = slots_[i];
+        riscv::WitnessLocal wl;
+        wl.name = slot.name;
+        wl.array_size = slot.array_size;
+        wl.elem_size = static_cast<uint8_t>(slot.type.Size());
+        wl.frame_offset = slot.frame_offset;
+        wl.reg = static_cast<int8_t>(slot.reg);
+        wl.is_param = i < fn.params.size() ? 1 : 0;
+        wl.is_ptr = slot.type.IsPointer() ? 1 : 0;
+        wl.is_u8 = (!slot.type.IsPointer() && slot.type.Size() == 1) ? 1 : 0;
+        wf.locals.push_back(std::move(wl));
+      }
+      wf.stmts = wstmts_;
+      options_.witness->functions.push_back(std::move(wf));
+    }
     return true;
   }
 
   // ----- Statements -----
 
+  // Wrapper recording the witness stmt range (pre-order, matching the validator's
+  // AST walk); the index is passed down so loops can patch in their landmarks.
   bool GenStmt(const Stmt& s) {
+    size_t wi = wstmts_.size();
+    riscv::WitnessStmt ws;
+    ws.kind = static_cast<uint8_t>(s.kind);
+    ws.line = s.line;
+    ws.begin = prog_.CurrentOffset();
+    wstmts_.push_back(ws);
+    bool ok = GenStmtInner(s, wi);
+    wstmts_[wi].end = prog_.CurrentOffset();
+    return ok;
+  }
+
+  // True when the seeded miscompilation should fire at this emission point: the
+  // active mutation matches `kind`, we are in the target function, and this is the
+  // site-th eligible site (counted in emission order).
+  bool MutateHere(MutationKind kind) {
+    if (options_.mutation.kind != kind || current_fn_ == nullptr ||
+        current_fn_->name != options_.mutation.function) {
+      return false;
+    }
+    return mutation_sites_++ == options_.mutation.site;
+  }
+
+  bool GenStmtInner(const Stmt& s, size_t wi) {
     switch (s.kind) {
       case Stmt::Kind::kBlock: {
         scopes_.push_back({});
@@ -533,7 +600,8 @@ class Codegen {
         uint8_t cond = OperandRegTop();
         Pop();
         std::string else_label = NewLabel();
-        EmitBranchTo(Op::kBeq, cond, kRegZero, else_label);
+        EmitBranchTo(MutateHere(MutationKind::kSwappedBranch) ? Op::kBne : Op::kBeq, cond,
+                     kRegZero, else_label);
         if (!GenStmt(*s.body)) {
           return false;
         }
@@ -553,6 +621,7 @@ class Codegen {
       case Stmt::Kind::kWhile: {
         std::string head = NewLabel();
         std::string end = NewLabel();
+        wstmts_[wi].aux0 = prog_.CurrentOffset();
         prog_.DefineLabel(head);
         Type t;
         if (!GenExpr(*s.expr, &t)) {
@@ -560,7 +629,8 @@ class Codegen {
         }
         uint8_t cond = OperandRegTop();
         Pop();
-        EmitBranchTo(Op::kBeq, cond, kRegZero, end);
+        EmitBranchTo(MutateHere(MutationKind::kSwappedBranch) ? Op::kBne : Op::kBeq, cond,
+                     kRegZero, end);
         break_labels_.push_back(end);
         continue_labels_.push_back(head);
         if (!GenStmt(*s.body)) {
@@ -580,6 +650,7 @@ class Codegen {
         std::string head = NewLabel();
         std::string post_label = NewLabel();
         std::string end = NewLabel();
+        wstmts_[wi].aux0 = prog_.CurrentOffset();
         prog_.DefineLabel(head);
         if (s.expr) {
           Type t;
@@ -588,7 +659,8 @@ class Codegen {
           }
           uint8_t cond = OperandRegTop();
           Pop();
-          EmitBranchTo(Op::kBeq, cond, kRegZero, end);
+          EmitBranchTo(MutateHere(MutationKind::kSwappedBranch) ? Op::kBne : Op::kBeq, cond,
+                       kRegZero, end);
         }
         break_labels_.push_back(end);
         continue_labels_.push_back(post_label);
@@ -597,6 +669,7 @@ class Codegen {
         }
         break_labels_.pop_back();
         continue_labels_.pop_back();
+        wstmts_[wi].aux1 = prog_.CurrentOffset();
         prog_.DefineLabel(post_label);
         if (s.post) {
           Type t;
@@ -943,7 +1016,9 @@ class Codegen {
     uint8_t value_reg = OperandReg(value_idx);
     uint8_t addr_reg = OperandReg(addr_idx);
     Op op = value_type.IsPointer() || value_type.Size() == 4 ? Op::kSw : Op::kSb;
-    Emit(Instr{op, 0, addr_reg, value_reg, 0});
+    if (!MutateHere(MutationKind::kDroppedStore)) {
+      Emit(Instr{op, 0, addr_reg, value_reg, 0});
+    }
     // The value of the assignment expression is the stored value; keep it as the new
     // top of stack (constants and register aliases carry over without a copy).
     StackEntry val = stack_[value_idx];
@@ -1122,9 +1197,35 @@ class Codegen {
     if (e.op == "+") {
       Emit(Instr{Op::kAdd, rl, srcl, srcr, 0});
     } else if (e.op == "-") {
-      Emit(Instr{Op::kSub, rl, srcl, srcr, 0});
+      if (MutateHere(MutationKind::kWrongRegister)) {
+        Emit(Instr{Op::kSub, rl, srcr, srcl, 0});  // Operands swapped.
+      } else {
+        Emit(Instr{Op::kSub, rl, srcl, srcr, 0});
+      }
     } else if (e.op == "*") {
-      Emit(Instr{Op::kMul, rl, srcl, srcr, 0});
+      if (MutateHere(MutationKind::kStrengthReducedMul) &&
+          static_cast<int>(stack_.size()) < kNumTemps) {
+        // Repeated addition: the product is correct, but the loop's trip count is
+        // the rhs value — a data-dependent timing channel the validator's leakage
+        // pass must reject when the operand is secret.
+        uint8_t cnt = TempReg(rhs_idx);
+        uint8_t acc = TempReg(rhs_idx + 1);
+        std::string loop = NewLabel();
+        std::string done = NewLabel();
+        if (cnt != srcr) {
+          Emit(Instr{Op::kAdd, cnt, srcr, kRegZero, 0});
+        }
+        Emit(Instr{Op::kAddi, acc, kRegZero, 0, 0});
+        prog_.DefineLabel(loop);
+        EmitBranchTo(Op::kBeq, cnt, kRegZero, done);
+        Emit(Instr{Op::kAdd, acc, acc, srcl, 0});
+        Emit(Instr{Op::kAddi, cnt, cnt, 0, -1});
+        EmitJump(loop);
+        prog_.DefineLabel(done);
+        Emit(Instr{Op::kAdd, rl, acc, kRegZero, 0});
+      } else {
+        Emit(Instr{Op::kMul, rl, srcl, srcr, 0});
+      }
     } else if (e.op == "/") {
       Emit(Instr{Op::kDivu, rl, srcl, srcr, 0});
     } else if (e.op == "%") {
@@ -1244,7 +1345,9 @@ class Codegen {
   std::vector<uint8_t> used_saved_regs_;
   std::vector<std::string> break_labels_;
   std::vector<std::string> continue_labels_;
+  std::vector<riscv::WitnessStmt> wstmts_;
   std::string epilogue_label_;
+  int mutation_sites_ = 0;
   int decl_counter_ = 0;
   int spill_base_ = 0;
   int saved_base_ = 0;

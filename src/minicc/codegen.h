@@ -18,12 +18,41 @@
 
 #include "src/minicc/ast.h"
 #include "src/riscv/assembler.h"
+#include "src/riscv/witness.h"
 #include "src/support/status.h"
 
 namespace parfait::minicc {
 
+// Seeded miscompilation classes for the translation-validator mutation harness
+// (tests only; kNone in every production build). Each injects one classic compiler
+// bug at the `site`-th eligible emission point within `function`:
+//   kWrongRegister      swaps the operand registers of a subtraction,
+//   kDroppedStore       omits the store instruction of an assignment,
+//   kSwappedBranch      inverts an if/while branch polarity (beq -> bne),
+//   kStrengthReducedMul replaces a mul with a data-dependent repeated-addition
+//                       loop (the compiler-introduced timing channel of the
+//                       leakage-preservation story: correct value, secret-dependent
+//                       trip count).
+enum class MutationKind : uint8_t {
+  kNone,
+  kWrongRegister,
+  kDroppedStore,
+  kSwappedBranch,
+  kStrengthReducedMul,
+};
+
+struct Mutation {
+  MutationKind kind = MutationKind::kNone;
+  std::string function;  // Mutate inside this function only.
+  int site = 0;          // Which eligible site (0-based, in emission order).
+};
+
 struct CodegenOptions {
   int opt_level = 0;  // 0 or 2.
+  // When non-null, codegen fills in the per-function translation witness
+  // (source-stmt <-> asm-range map, stack-slot and register-allocation maps).
+  riscv::Witness* witness = nullptr;
+  Mutation mutation;
 };
 
 // Appends code and data for the translation unit to `program` (functions into .text,

@@ -14,7 +14,8 @@ std::string SizePrelude(const FirmwareConfig& config) {
          ", RESPONSE_SIZE = " + std::to_string(config.response_size) + " };\n";
 }
 
-Result<riscv::Image> BuildFirmware(const FirmwareConfig& config) {
+Result<riscv::Image> BuildFirmware(const FirmwareConfig& config, riscv::Witness* witness,
+                                   std::string* unit_source) {
   // Boot assembly first so ROM starts with _start (not required, but keeps listings
   // readable and reset vectors simple).
   auto boot = riscv::ParseAssembly(ReadFirmwareFile("boot.s"));
@@ -29,8 +30,13 @@ Result<riscv::Image> BuildFirmware(const FirmwareConfig& config) {
   std::string sys_sources = config.sys_sources_override.empty() ? ReadFirmwareFile("sys.c")
                                                                : config.sys_sources_override;
   std::string unit = SizePrelude(config) + config.app_sources + sys_sources;
+  if (unit_source != nullptr) {
+    *unit_source = unit;
+  }
   minicc::CodegenOptions options;
   options.opt_level = config.opt_level;
+  options.witness = witness;
+  options.mutation = config.mutation;
   auto compiled = minicc::CompileSource(unit, options, &program);
   if (!compiled.ok()) {
     return Result<riscv::Image>::Error(compiled.error());

@@ -11,7 +11,9 @@
 
 #include <string>
 
+#include "src/minicc/codegen.h"
 #include "src/riscv/assembler.h"
+#include "src/riscv/witness.h"
 #include "src/support/status.h"
 
 namespace parfait::platform {
@@ -25,6 +27,8 @@ struct FirmwareConfig {
   int opt_level = 0;
   // When non-empty, replaces firmware/sys.c (bug injection for the attack matrix).
   std::string sys_sources_override;
+  // Seeded miscompilation for the translation-validator mutation harness.
+  minicc::Mutation mutation;
   uint32_t rom_base = 0x00000000;
   uint32_t ram_base = 0x20000000;
   uint32_t ram_size = 128 * 1024;
@@ -32,7 +36,12 @@ struct FirmwareConfig {
 
 // Compiles app sources + firmware/sys.c + firmware/boot.s and links the image.
 // Exposed symbols of note: _start, main, handle, sys_state, sys_cmd, sys_resp.
-Result<riscv::Image> BuildFirmware(const FirmwareConfig& config);
+// When `witness` is non-null it receives the compiler's translation witness; when
+// `unit_source` is non-null it receives the exact MiniC translation unit that was
+// compiled (prelude + app + sys), which is what the translation validator re-parses.
+Result<riscv::Image> BuildFirmware(const FirmwareConfig& config,
+                                   riscv::Witness* witness = nullptr,
+                                   std::string* unit_source = nullptr);
 
 // Reads a firmware source file from the in-tree firmware/ directory.
 std::string ReadFirmwareFile(const std::string& name);

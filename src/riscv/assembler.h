@@ -98,6 +98,12 @@ class Program {
   void Emit(const AsmInstr& ai);
   void Emit(const Instr& i) { Emit(AsmInstr{i, Reloc::kNone, "", 0}); }
 
+  // Byte offset of the next emission within the current section. Producers that
+  // build side tables keyed on code positions (the MiniC compiler's translation
+  // witness) record this at emission time; after linking, a .text offset maps to
+  // the absolute address rom_base + offset (text is laid out first).
+  uint32_t CurrentOffset() const { return SectionSize(section_); }
+
   // Peephole support: removes and returns the most recent item of the current section
   // if it is a relocation-free instruction and no label points at or past it.
   // Returns std::nullopt (and removes nothing) otherwise.

@@ -20,6 +20,65 @@ std::string Addr(uint32_t a) {
 
 }  // namespace
 
+SymbolNamer::SymbolNamer(const Image& image) {
+  // symbol_table is sorted by (addr, name); keep functions and objects, skip plain
+  // labels (codegen's .L* jump targets would otherwise shadow the function name).
+  for (const SymbolInfo& sym : image.symbol_table) {
+    if (sym.kind == SymbolKind::kLabel) {
+      continue;
+    }
+    spans_.push_back(Span{sym.addr, sym.size, sym.name});
+  }
+}
+
+std::string SymbolNamer::Name(uint32_t addr) const {
+  // Find the last span starting at or before addr that covers it. Spans are sorted;
+  // extents don't nest in practice (functions and objects are laid out back to back),
+  // so a short backwards walk suffices.
+  size_t lo = 0, hi = spans_.size();
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (spans_[mid].addr <= addr) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  for (size_t i = lo; i-- > 0;) {
+    const Span& s = spans_[i];
+    uint32_t size = s.size == 0 ? 4 : s.size;
+    if (addr < s.addr) {
+      continue;
+    }
+    if (addr >= s.addr + size) {
+      break;
+    }
+    if (addr == s.addr) {
+      return s.name;
+    }
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "+0x%x", addr - s.addr);
+    return s.name + buf;
+  }
+  return "";
+}
+
+std::string Disassemble(const Instr& in, uint32_t pc, const SymbolNamer& namer) {
+  std::string base = Disassemble(in, pc);
+  if (pc == 0) {
+    return base;
+  }
+  bool targeted = in.op == Op::kJal || IsBranch(in.op);
+  if (!targeted) {
+    return base;
+  }
+  std::string name = namer.Name(pc + static_cast<uint32_t>(in.imm));
+  if (name.empty()) {
+    return base;
+  }
+  return base + " <" + name + ">";
+}
+
 std::string Disassemble(const Instr& in, uint32_t pc) {
   std::string m = Mnemonic(in.op);
   auto rd = [&] { return std::string(RegName(in.rd)); };
@@ -84,6 +143,7 @@ std::string DisassembleImage(const Image& image) {
       by_addr.emplace(addr, name);
     }
   }
+  SymbolNamer namer(image);
   std::ostringstream out;
   for (size_t offset = 0; offset + 4 <= image.rom.size(); offset += 4) {
     uint32_t addr = image.rom_base + static_cast<uint32_t>(offset);
@@ -96,7 +156,7 @@ std::string DisassembleImage(const Image& image) {
     char prefix[32];
     std::snprintf(prefix, sizeof(prefix), "  %08x:  %08x  ", addr, word);
     out << prefix
-        << (decoded.has_value() ? Disassemble(*decoded, addr) : std::string(".word"))
+        << (decoded.has_value() ? Disassemble(*decoded, addr, namer) : std::string(".word"))
         << "\n";
   }
   return out.str();

@@ -3,18 +3,50 @@
 #ifndef PARFAIT_RISCV_DISASM_H_
 #define PARFAIT_RISCV_DISASM_H_
 
+#include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "src/riscv/assembler.h"
 #include "src/riscv/isa.h"
 
 namespace parfait::riscv {
 
+// Resolves addresses to names using an image's symbol side table, objdump style:
+// "handle" at an exact symbol address, "handle+0x18" inside a symbol's extent,
+// empty string on a miss. Used to print `call <name>` / `<name+off>` targets in
+// checker diagnostics and Evidence artifacts.
+class SymbolNamer {
+ public:
+  SymbolNamer() = default;
+  explicit SymbolNamer(const Image& image);
+
+  // Name for an address, or "" when no symbol covers it.
+  std::string Name(uint32_t addr) const;
+
+  bool empty() const { return spans_.empty(); }
+
+ private:
+  struct Span {
+    uint32_t addr;
+    uint32_t size;
+    std::string name;
+  };
+  std::vector<Span> spans_;  // Sorted by address.
+};
+
 // One instruction, e.g. "addi sp, sp, -32" or "bne t0, t1, 0x00000140" (branch/jump
 // targets are shown as absolute addresses when `pc` is provided).
 std::string Disassemble(const Instr& instr, uint32_t pc = 0);
 
+// Symbol-aware variant: branch/jump targets resolved through `namer` render as
+// "jal ra, 0x00000120 <sha256_init>". Identical to the two-argument form when the
+// target has no covering symbol.
+std::string Disassemble(const Instr& instr, uint32_t pc, const SymbolNamer& namer);
+
 // A full listing of the image's ROM: address, raw word, mnemonic, and symbol labels.
+// Branch and call targets are symbolized through the image's own symbol table.
 std::string DisassembleImage(const Image& image);
 
 }  // namespace parfait::riscv

@@ -1,0 +1,176 @@
+#include "src/riscv/witness.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+
+namespace parfait::riscv {
+
+namespace {
+
+// One key=value token scanner for FromText. Witness lines are space-separated
+// `key=value` pairs after the record tag; names are the only free-form field and
+// MiniC identifiers never contain spaces.
+class FieldMap {
+ public:
+  explicit FieldMap(std::istringstream& in) {
+    std::string token;
+    while (in >> token) {
+      size_t eq = token.find('=');
+      if (eq != std::string::npos) {
+        fields_[token.substr(0, eq)] = token.substr(eq + 1);
+      }
+    }
+  }
+
+  bool Has(const std::string& key) const { return fields_.count(key) != 0; }
+  std::string Str(const std::string& key) const {
+    auto it = fields_.find(key);
+    return it != fields_.end() ? it->second : "";
+  }
+  int64_t Int(const std::string& key) const {
+    auto it = fields_.find(key);
+    return it != fields_.end() ? std::strtoll(it->second.c_str(), nullptr, 10) : 0;
+  }
+
+ private:
+  std::map<std::string, std::string> fields_;
+};
+
+}  // namespace
+
+const WitnessFunction* Witness::Find(const std::string& name) const {
+  for (const WitnessFunction& fn : functions) {
+    if (fn.name == name) {
+      return &fn;
+    }
+  }
+  return nullptr;
+}
+
+std::string Witness::ToText() const {
+  std::ostringstream out;
+  out << "witness v1 opt=" << opt_level << "\n";
+  char buf[256];
+  for (const WitnessFunction& fn : functions) {
+    std::snprintf(buf, sizeof(buf),
+                  "func %s line=%d begin=%u end=%u body=%u epi=%u frame=%d spill=%d "
+                  "saved=%d ra=%d sregs=",
+                  fn.name.c_str(), fn.line, fn.begin, fn.end, fn.body_begin, fn.epilogue,
+                  fn.frame_size, fn.spill_base, fn.saved_base, fn.ra_offset);
+    out << buf;
+    for (size_t i = 0; i < fn.saved_regs.size(); i++) {
+      out << (i > 0 ? "," : "") << static_cast<int>(fn.saved_regs[i]);
+    }
+    out << "\n";
+    for (const WitnessLocal& l : fn.locals) {
+      std::snprintf(buf, sizeof(buf),
+                    "local %s array=%u elem=%d off=%d reg=%d param=%d ptr=%d u8=%d\n",
+                    l.name.c_str(), l.array_size, static_cast<int>(l.elem_size),
+                    l.frame_offset, static_cast<int>(l.reg), static_cast<int>(l.is_param),
+                    static_cast<int>(l.is_ptr), static_cast<int>(l.is_u8));
+      out << buf;
+    }
+    for (const WitnessStmt& s : fn.stmts) {
+      std::snprintf(buf, sizeof(buf),
+                    "stmt kind=%d line=%d begin=%u end=%u aux0=%u aux1=%u\n",
+                    static_cast<int>(s.kind), s.line, s.begin, s.end, s.aux0, s.aux1);
+      out << buf;
+    }
+  }
+  return out.str();
+}
+
+Result<Witness> Witness::FromText(const std::string& text) {
+  Witness w;
+  std::istringstream lines(text);
+  std::string line;
+  bool saw_header = false;
+  int lineno = 0;
+  while (std::getline(lines, line)) {
+    lineno++;
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    std::istringstream in(line);
+    std::string tag;
+    in >> tag;
+    if (tag == "witness") {
+      std::string version;
+      in >> version;
+      if (version != "v1") {
+        return Result<Witness>::Error("witness line " + std::to_string(lineno) +
+                                      ": unsupported version " + version);
+      }
+      FieldMap f(in);
+      w.opt_level = static_cast<int>(f.Int("opt"));
+      saw_header = true;
+    } else if (tag == "func") {
+      std::string name;
+      in >> name;
+      FieldMap f(in);
+      WitnessFunction fn;
+      fn.name = name;
+      fn.line = static_cast<int32_t>(f.Int("line"));
+      fn.begin = static_cast<uint32_t>(f.Int("begin"));
+      fn.end = static_cast<uint32_t>(f.Int("end"));
+      fn.body_begin = static_cast<uint32_t>(f.Int("body"));
+      fn.epilogue = static_cast<uint32_t>(f.Int("epi"));
+      fn.frame_size = static_cast<int32_t>(f.Int("frame"));
+      fn.spill_base = static_cast<int32_t>(f.Int("spill"));
+      fn.saved_base = static_cast<int32_t>(f.Int("saved"));
+      fn.ra_offset = static_cast<int32_t>(f.Int("ra"));
+      std::string sregs = f.Str("sregs");
+      std::istringstream rs(sregs);
+      std::string r;
+      while (std::getline(rs, r, ',')) {
+        if (!r.empty()) {
+          fn.saved_regs.push_back(static_cast<uint8_t>(std::strtol(r.c_str(), nullptr, 10)));
+        }
+      }
+      w.functions.push_back(std::move(fn));
+    } else if (tag == "local") {
+      if (w.functions.empty()) {
+        return Result<Witness>::Error("witness line " + std::to_string(lineno) +
+                                      ": local before func");
+      }
+      std::string name;
+      in >> name;
+      FieldMap f(in);
+      WitnessLocal l;
+      l.name = name;
+      l.array_size = static_cast<uint32_t>(f.Int("array"));
+      l.elem_size = static_cast<uint8_t>(f.Int("elem"));
+      l.frame_offset = static_cast<int32_t>(f.Int("off"));
+      l.reg = static_cast<int8_t>(f.Int("reg"));
+      l.is_param = static_cast<uint8_t>(f.Int("param"));
+      l.is_ptr = static_cast<uint8_t>(f.Int("ptr"));
+      l.is_u8 = static_cast<uint8_t>(f.Int("u8"));
+      w.functions.back().locals.push_back(std::move(l));
+    } else if (tag == "stmt") {
+      if (w.functions.empty()) {
+        return Result<Witness>::Error("witness line " + std::to_string(lineno) +
+                                      ": stmt before func");
+      }
+      FieldMap f(in);
+      WitnessStmt s;
+      s.kind = static_cast<uint8_t>(f.Int("kind"));
+      s.line = static_cast<int32_t>(f.Int("line"));
+      s.begin = static_cast<uint32_t>(f.Int("begin"));
+      s.end = static_cast<uint32_t>(f.Int("end"));
+      s.aux0 = static_cast<uint32_t>(f.Int("aux0"));
+      s.aux1 = static_cast<uint32_t>(f.Int("aux1"));
+      w.functions.back().stmts.push_back(s);
+    } else {
+      return Result<Witness>::Error("witness line " + std::to_string(lineno) +
+                                    ": unknown record " + tag);
+    }
+  }
+  if (!saw_header) {
+    return Result<Witness>::Error("witness: missing header");
+  }
+  return w;
+}
+
+}  // namespace parfait::riscv

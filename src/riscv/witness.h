@@ -1,0 +1,92 @@
+// Secure-compilation witness side table.
+//
+// The MiniC compiler emits, next to the assembler's symbol side table, a per-function
+// record of *how* it translated the source: the frame geometry, where every local
+// lives (stack slot or promoted callee-saved register), and the text-section range
+// each source statement compiled to, plus the loop landmark offsets the translation
+// validator needs to align control flow. This is the witness in the sense of
+// Namjoshi & Tabajara's "Witnessing Secure Compilation": the compiler is untrusted,
+// the witness is untrusted, and the validator (src/analysis/tv) re-checks every
+// semantic claim — a wrong witness makes validation fail, never pass vacuously.
+//
+// Offsets are byte offsets into the .text section (Program::CurrentOffset at emission
+// time). The linker lays .text first, so absolute pc = image.rom_base + offset.
+#ifndef PARFAIT_RISCV_WITNESS_H_
+#define PARFAIT_RISCV_WITNESS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/support/status.h"
+
+namespace parfait::riscv {
+
+// Where one MiniC local lives for the whole function (slots are never reused).
+// Parameters come first (slot index == parameter index), then declarations in the
+// compiler's pre-pass order — the validator re-walks the AST in the same order, so
+// slot indices line up without name resolution at validation time.
+struct WitnessLocal {
+  std::string name;
+  uint32_t array_size = 0;  // 0 = scalar, else element count.
+  uint8_t elem_size = 4;    // Bytes per element (1 for u8, 4 for u32/pointers).
+  int32_t frame_offset = -1;  // sp-relative byte offset; valid when reg < 0.
+  int8_t reg = -1;            // Callee-saved register when promoted (O2).
+  uint8_t is_param = 0;
+  uint8_t is_ptr = 0;
+  uint8_t is_u8 = 0;  // Scalar u8 (sb/lbu access discipline).
+
+  friend bool operator==(const WitnessLocal&, const WitnessLocal&) = default;
+};
+
+// The text range one statement compiled to, in emission (AST pre-order) order.
+// aux0/aux1 carry loop landmarks: kWhile head = aux0; kFor head = aux0 and
+// post-expression label = aux1 (the `continue` target).
+struct WitnessStmt {
+  uint8_t kind = 0;  // minicc::Stmt::Kind value.
+  int32_t line = 0;
+  uint32_t begin = 0;
+  uint32_t end = 0;
+  uint32_t aux0 = 0;
+  uint32_t aux1 = 0;
+
+  friend bool operator==(const WitnessStmt&, const WitnessStmt&) = default;
+};
+
+struct WitnessFunction {
+  std::string name;
+  int32_t line = 0;
+  uint32_t begin = 0;       // Offset of the function label.
+  uint32_t end = 0;         // One past the final jalr.
+  uint32_t body_begin = 0;  // First offset after the prologue and parameter homing.
+  uint32_t epilogue = 0;    // Offset of the shared epilogue.
+  int32_t frame_size = 0;
+  int32_t spill_base = 0;  // Start of the expression-stack spill area.
+  int32_t saved_base = 0;  // Start of the callee-saved save area.
+  int32_t ra_offset = 0;
+  std::vector<uint8_t> saved_regs;  // Callee-saved registers this function uses.
+  std::vector<WitnessLocal> locals;
+  std::vector<WitnessStmt> stmts;
+
+  friend bool operator==(const WitnessFunction&, const WitnessFunction&) = default;
+};
+
+// The whole translation unit's witness.
+struct Witness {
+  int opt_level = 0;
+  std::vector<WitnessFunction> functions;
+
+  const WitnessFunction* Find(const std::string& name) const;
+
+  // Deterministic line-oriented serialization (round-trips through FromText). The
+  // witness travels next to the firmware image in evidence bundles, so it has a
+  // stable text form rather than an in-memory-only representation.
+  std::string ToText() const;
+  static Result<Witness> FromText(const std::string& text);
+
+  friend bool operator==(const Witness&, const Witness&) = default;
+};
+
+}  // namespace parfait::riscv
+
+#endif  // PARFAIT_RISCV_WITNESS_H_

@@ -1,0 +1,104 @@
+// Tests that hsm::SecretLayout — the single source of truth for where secrets live —
+// agrees byte-for-byte with what is actually linked into both firmware apps: the
+// FRAM journal constants compiled into sys.c, the sys_state buffer's linked extent,
+// and the in-bounds/shape invariants the taint seeders rely on.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "src/hsm/app.h"
+#include "src/hsm/hsm_system.h"
+#include "src/hsm/secret_layout.h"
+#include "src/minicc/parser.h"
+#include "src/soc/bus.h"
+
+namespace parfait::hsm {
+namespace {
+
+// The enum constants the firmware was actually compiled with, pulled from the same
+// translation unit the compiler consumed.
+std::map<std::string, uint32_t> FirmwareEnums(const HsmSystem& system) {
+  auto unit = minicc::Parse(system.firmware_source());
+  EXPECT_TRUE(unit.ok()) << unit.error();
+  std::map<std::string, uint32_t> out;
+  if (unit.ok()) {
+    for (const auto& e : unit.value().enums) {
+      out[e.name] = e.value;
+    }
+  }
+  return out;
+}
+
+void CheckLayoutAgainstFirmware(const App& app) {
+  SecretLayout layout = SecretLayout::ForApp(app);
+  HsmSystem system(app, HsmBuildOptions{});
+  auto enums = FirmwareEnums(system);
+
+  // The journal geometry sys.c compiles against must be the geometry SecretLayout
+  // declares: flag word at the FRAM base, copy A right after it, copy B one state
+  // size further.
+  ASSERT_TRUE(enums.count("FRAM_FLAG"));
+  ASSERT_TRUE(enums.count("FRAM_COPY_A"));
+  ASSERT_TRUE(enums.count("STATE_SIZE"));
+  EXPECT_EQ(enums["FRAM_FLAG"], soc::kFramBase + layout.flag_offset);
+  EXPECT_EQ(enums["FRAM_COPY_A"], soc::kFramBase + layout.copy_a_offset);
+  EXPECT_EQ(enums["STATE_SIZE"], layout.state_size);
+  EXPECT_EQ(layout.state_size, app.state_size());
+  EXPECT_EQ(layout.copy_b_offset, layout.copy_a_offset + layout.state_size);
+  EXPECT_EQ(layout.JournalSize(), layout.copy_b_offset + layout.state_size);
+
+  // The linked sys_state buffer (the RAM copy handle() computes over) must have
+  // exactly one state copy's extent.
+  const riscv::SymbolInfo* sys_state = system.image().FindSymbol("sys_state");
+  ASSERT_NE(sys_state, nullptr);
+  EXPECT_EQ(sys_state->size, layout.state_size);
+
+  // Declared secret ranges stay inside one state copy and do not overlap (the
+  // Knox2 partner-state generator flips them independently).
+  ASSERT_FALSE(layout.state_regions.empty());
+  uint32_t prev_end = 0;
+  for (const SecretRegion& r : layout.state_regions) {
+    EXPECT_GT(r.length, 0u);
+    EXPECT_GE(r.offset, prev_end) << "regions must be sorted and disjoint";
+    EXPECT_LE(r.offset + r.length, layout.state_size);
+    prev_end = r.offset + r.length;
+  }
+
+  // FRAM-relative regions: one image of the declared ranges per journal copy,
+  // shifted to each copy's base, all inside the journal extent.
+  auto fram = layout.FramSecretRegions();
+  ASSERT_EQ(fram.size(), 2 * layout.state_regions.size());
+  for (size_t i = 0; i < layout.state_regions.size(); i++) {
+    const SecretRegion& src = layout.state_regions[i];
+    EXPECT_EQ(fram[i].offset, layout.copy_a_offset + src.offset);
+    EXPECT_EQ(fram[i].length, src.length);
+    const SecretRegion& b = fram[layout.state_regions.size() + i];
+    EXPECT_EQ(b.offset, layout.copy_b_offset + src.offset);
+    EXPECT_EQ(b.length, src.length);
+  }
+  for (const SecretRegion& r : fram) {
+    EXPECT_GE(r.offset, layout.copy_a_offset) << "flag word must never be secret";
+    EXPECT_LE(r.offset + r.length, layout.JournalSize());
+  }
+
+  // MakeFram builds exactly one journal and places the state at copy A.
+  Bytes state(app.state_size(), 0xab);
+  Bytes fram_bytes = system.MakeFram(state);
+  ASSERT_EQ(fram_bytes.size(), layout.JournalSize());
+  for (uint32_t i = 0; i < layout.state_size; i++) {
+    EXPECT_EQ(fram_bytes[layout.copy_a_offset + i], 0xab);
+  }
+}
+
+TEST(SecretLayoutTest, HasherLayoutMatchesLinkedFirmware) {
+  CheckLayoutAgainstFirmware(HasherApp());
+}
+
+TEST(SecretLayoutTest, EcdsaLayoutMatchesLinkedFirmware) {
+  CheckLayoutAgainstFirmware(EcdsaApp());
+}
+
+}  // namespace
+}  // namespace parfait::hsm

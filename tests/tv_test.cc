@@ -1,0 +1,252 @@
+// Tests for the translation validator: the clean verdict over both stock firmware
+// apps, witness serialization, the seeded-miscompilation harness (each mutant class
+// must be rejected with a provenance chain naming the originating source statement),
+// and the determinism contract (bit-identical output run-to-run and across thread
+// counts).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "src/analysis/tv/tv.h"
+#include "src/hsm/app.h"
+#include "src/hsm/hsm_system.h"
+#include "src/minicc/codegen.h"
+#include "src/minicc/parser.h"
+#include "src/riscv/witness.h"
+
+namespace parfait::analysis {
+namespace {
+
+using hsm::HsmBuildOptions;
+using hsm::HsmSystem;
+using minicc::Mutation;
+using minicc::MutationKind;
+
+TvConfig QuietConfig() {
+  TvConfig config;
+  config.emit_evidence = false;
+  return config;
+}
+
+// Full deterministic rendering of a report, used to compare runs byte-for-byte.
+std::string Render(const TvReport& report) {
+  std::ostringstream out;
+  out << "ok=" << report.ok << " error=" << report.error << "\n";
+  for (const TvFunctionResult& fr : report.functions) {
+    out << fr.name << " validated=" << fr.validated << " steps=" << fr.stats.steps
+        << " terms=" << fr.stats.terms << " stmts=" << fr.stats.stmts
+        << " sb=" << fr.stats.secret_branches << " sa=" << fr.stats.secret_addresses
+        << "\n";
+    for (const TvFinding& f : fr.findings) {
+      out << "  " << TvFindingKindName(f.kind) << " pc=" << f.pc << " line=" << f.line
+          << " " << f.detail << "\n";
+      for (const std::string& hop : f.provenance) {
+        out << "    " << hop << "\n";
+      }
+    }
+  }
+  out << report.telemetry.ToJson() << "\n";
+  return out.str();
+}
+
+void ExpectClean(const TvReport& report) {
+  ASSERT_TRUE(report.ok) << report.error;
+  EXPECT_TRUE(report.Clean());
+  EXPECT_FALSE(report.functions.empty());
+  for (const TvFunctionResult& fr : report.functions) {
+    EXPECT_TRUE(fr.validated) << fr.name;
+    EXPECT_TRUE(fr.findings.empty()) << fr.name << ": " << fr.findings[0].detail;
+  }
+}
+
+TEST(TvTest, HasherValidatesClean) {
+  HsmSystem system(hsm::HasherApp(), HsmBuildOptions{});
+  TvReport report = ValidateSystem(system, QuietConfig());
+  ExpectClean(report);
+  EXPECT_EQ(report.telemetry.CounterValue("tv/functions"),
+            report.telemetry.CounterValue("tv/validated"));
+  // boot.s is hand assembly: present in the CFG, absent from the witness.
+  EXPECT_GE(report.telemetry.CounterValue("tv/unwitnessed_functions"), 1u);
+}
+
+TEST(TvTest, EcdsaValidatesClean) {
+  HsmSystem system(hsm::EcdsaApp(), HsmBuildOptions{});
+  TvReport report = ValidateSystem(system, QuietConfig());
+  ExpectClean(report);
+  EXPECT_GT(report.telemetry.CounterValue("tv/stmts"), 500u);
+}
+
+TEST(TvTest, OnlyFunctionFilter) {
+  HsmSystem system(hsm::HasherApp(), HsmBuildOptions{});
+  TvConfig config = QuietConfig();
+  config.only_function = "rotr32";
+  TvReport report = ValidateSystem(system, config);
+  ASSERT_TRUE(report.ok) << report.error;
+  ASSERT_EQ(report.functions.size(), 1u);
+  EXPECT_EQ(report.functions[0].name, "rotr32");
+  EXPECT_TRUE(report.functions[0].validated);
+}
+
+TEST(TvTest, WitnessRoundTripsThroughText) {
+  HsmSystem system(hsm::HasherApp(), HsmBuildOptions{});
+  const riscv::Witness& witness = system.witness();
+  ASSERT_FALSE(witness.functions.empty());
+  auto reparsed = riscv::Witness::FromText(witness.ToText());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.error();
+  EXPECT_EQ(reparsed.value(), witness);
+  EXPECT_EQ(reparsed.value().ToText(), witness.ToText());
+}
+
+// A corrupted witness must fail validation, never pass vacuously: shift one
+// statement range and expect a finding in that function.
+TEST(TvTest, CorruptedWitnessIsRejected) {
+  HsmSystem system(hsm::HasherApp(), HsmBuildOptions{});
+  riscv::Witness witness = system.witness();
+  ASSERT_FALSE(witness.functions.empty());
+  riscv::WitnessFunction* target = nullptr;
+  for (auto& wf : witness.functions) {
+    if (!wf.stmts.empty()) {
+      target = &wf;
+      break;
+    }
+  }
+  ASSERT_NE(target, nullptr);
+  target->stmts[0].begin += 4;
+
+  auto unit = minicc::Parse(system.firmware_source());
+  ASSERT_TRUE(unit.ok()) << unit.error();
+  TvReport report =
+      ValidateTranslation(unit.value(), system.image(), witness, QuietConfig());
+  ASSERT_TRUE(report.ok) << report.error;
+  bool found = false;
+  for (const TvFunctionResult& fr : report.functions) {
+    if (fr.name == target->name) {
+      found = true;
+      EXPECT_FALSE(fr.validated);
+      EXPECT_FALSE(fr.findings.empty());
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+struct MutantCase {
+  MutationKind kind;
+  const char* function;
+  int site;
+};
+
+// Builds the hasher firmware with one seeded miscompilation and validates it.
+TvReport RunMutant(const MutantCase& mc) {
+  HsmBuildOptions build;
+  build.mutation = Mutation{mc.kind, mc.function, mc.site};
+  HsmSystem system(hsm::HasherApp(), build);
+  return ValidateSystem(system, QuietConfig());
+}
+
+// Every mutant must be rejected inside the mutated function, with a provenance
+// chain that names the originating source statement (kind + line) and the asm pc.
+void ExpectCaught(const TvReport& report, const char* function) {
+  ASSERT_TRUE(report.ok) << report.error;
+  const TvFunctionResult* mutated = nullptr;
+  for (const TvFunctionResult& fr : report.functions) {
+    if (fr.name == function) {
+      mutated = &fr;
+    } else {
+      EXPECT_TRUE(fr.validated) << fr.name << " flagged by an unrelated mutation";
+    }
+  }
+  ASSERT_NE(mutated, nullptr);
+  EXPECT_FALSE(mutated->validated);
+  ASSERT_FALSE(mutated->findings.empty());
+  const TvFinding& f = mutated->findings[0];
+  EXPECT_EQ(f.function, function);
+  EXPECT_GT(f.line, 0) << "finding must name the originating source line";
+  ASSERT_GE(f.provenance.size(), 3u);
+  EXPECT_NE(f.provenance[0].find("asm 0x"), std::string::npos) << f.provenance[0];
+  EXPECT_NE(f.provenance[1].find("source line"), std::string::npos) << f.provenance[1];
+  EXPECT_NE(f.provenance[2].find(function), std::string::npos) << f.provenance[2];
+}
+
+TEST(TvMutationTest, WrongRegisterSubstitutionCaught) {
+  // rotr32's `32 - n`: swapping the sub operands yields n - 32, which breaks the
+  // simulation relation when the rotated value is consumed.
+  TvReport report = RunMutant({MutationKind::kWrongRegister, "rotr32", 0});
+  ExpectCaught(report, "rotr32");
+}
+
+TEST(TvMutationTest, DroppedStoreCaught) {
+  // handle's first assignment (the response-clearing loop): the store never
+  // reaches memory, so the queued source-level write is left unconsumed.
+  TvReport report = RunMutant({MutationKind::kDroppedStore, "handle", 0});
+  ExpectCaught(report, "handle");
+  bool missing = false;
+  for (const TvFunctionResult& fr : report.functions) {
+    for (const TvFinding& f : fr.findings) {
+      if (f.kind == TvFindingKind::kMissingEffect ||
+          f.kind == TvFindingKind::kValueMismatch) {
+        missing = true;
+      }
+    }
+  }
+  EXPECT_TRUE(missing);
+}
+
+TEST(TvMutationTest, SwappedBranchPolarityCaught) {
+  // handle's first loop branch: beq becomes bne, inverting the loop condition.
+  TvReport report = RunMutant({MutationKind::kSwappedBranch, "handle", 0});
+  ExpectCaught(report, "handle");
+  bool polarity = false;
+  for (const TvFunctionResult& fr : report.functions) {
+    for (const TvFinding& f : fr.findings) {
+      if (f.kind == TvFindingKind::kBranchMismatch &&
+          f.detail.find("polarity") != std::string::npos) {
+        polarity = true;
+      }
+    }
+  }
+  EXPECT_TRUE(polarity);
+}
+
+TEST(TvMutationTest, StrengthReducedMulCaught) {
+  // sha256_compress's `i * 4`: the mul becomes a repeated-addition loop whose trip
+  // count is data-dependent — a compiler-introduced timing channel. The validator
+  // rejects the unexpected branch mid-expression.
+  TvReport report = RunMutant({MutationKind::kStrengthReducedMul, "sha256_compress", 0});
+  ExpectCaught(report, "sha256_compress");
+  bool unjustified = false;
+  for (const TvFunctionResult& fr : report.functions) {
+    for (const TvFinding& f : fr.findings) {
+      if (f.kind == TvFindingKind::kUnjustifiedBranch ||
+          f.kind == TvFindingKind::kBranchMismatch ||
+          f.kind == TvFindingKind::kUnjustifiedInstr) {
+        unjustified = true;
+      }
+    }
+  }
+  EXPECT_TRUE(unjustified);
+}
+
+TEST(TvDeterminismTest, RunToRunAndThreadCountIndependent) {
+  HsmSystem system(hsm::EcdsaApp(), HsmBuildOptions{});
+  TvConfig serial = QuietConfig();
+  serial.num_threads = 1;
+  std::string first = Render(ValidateSystem(system, serial));
+  std::string second = Render(ValidateSystem(system, serial));
+  EXPECT_EQ(first, second);
+
+  TvConfig parallel = QuietConfig();
+  parallel.num_threads = 4;
+  std::string threaded = Render(ValidateSystem(system, parallel));
+  EXPECT_EQ(first, threaded);
+}
+
+TEST(TvDeterminismTest, MutantReportIsDeterministic) {
+  MutantCase mc{MutationKind::kSwappedBranch, "handle", 0};
+  std::string first = Render(RunMutant(mc));
+  std::string second = Render(RunMutant(mc));
+  EXPECT_EQ(first, second);
+}
+
+}  // namespace
+}  // namespace parfait::analysis

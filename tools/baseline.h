@@ -1,0 +1,70 @@
+// Shared baseline-file handling for the checker CLIs (parfait-lint, parfait-tv).
+//
+// A baseline is a line-oriented set of known findings: one key per line, '#'
+// comments and blank lines ignored. Tools compare their findings against the set
+// (exit 1 on anything new) or rewrite it with --update-baseline. Rewrites are
+// atomic — written to `<path>.tmp` and renamed over the original — so a crashed or
+// interrupted update never leaves a truncated baseline for CI to misread.
+#ifndef PARFAIT_TOOLS_BASELINE_H_
+#define PARFAIT_TOOLS_BASELINE_H_
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace parfait::tools {
+
+// Reads the baseline at `path` into `out`. Returns false (with *error set) when the
+// file cannot be opened.
+inline bool LoadBaseline(const std::string& path, std::set<std::string>* out,
+                         std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    *error = "cannot read baseline " + path;
+    return false;
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '#') {
+      out->insert(line);
+    }
+  }
+  return true;
+}
+
+// Atomically replaces the baseline at `path` with `header` (a '#' comment block)
+// followed by `lines` in the given order.
+inline bool WriteBaselineAtomic(const std::string& path, const std::string& header,
+                                const std::vector<std::string>& lines,
+                                std::string* error) {
+  std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) {
+      *error = "cannot write " + tmp;
+      return false;
+    }
+    out << header;
+    for (const std::string& line : lines) {
+      out << line << "\n";
+    }
+    out.flush();
+    if (!out) {
+      *error = "write to " + tmp + " failed";
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    *error = "rename " + tmp + " -> " + path + " failed";
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace parfait::tools
+
+#endif  // PARFAIT_TOOLS_BASELINE_H_

@@ -3,22 +3,27 @@
 //
 // Usage:
 //   parfait-lint --app=ecdsa|hasher [--crosscheck] [--mul-policy] [--json=FILE]
-//                [--baseline=FILE]
+//                [--baseline=FILE] [--update-baseline]
 //
 // Exit codes: 0 clean (or all findings present in the baseline), 1 new findings,
 // 2 analysis error. The baseline file holds one `<app> <pc-hex> <kind>` triple per
 // line; CI checks the stock firmware against a checked-in (empty-findings) baseline.
+// --update-baseline rewrites the baseline atomically to exactly the current findings
+// (preserving other apps' entries).
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <set>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "src/analysis/crosscheck.h"
 #include "src/analysis/lint.h"
 #include "src/hsm/app.h"
 #include "src/hsm/hsm_system.h"
+#include "tools/baseline.h"
 
 namespace {
 
@@ -79,13 +84,19 @@ int main(int argc, char** argv) {
   std::string app_name = FlagValue(argc, argv, "app");
   if (app_name != "ecdsa" && app_name != "hasher") {
     std::fprintf(stderr, "usage: parfait-lint --app=ecdsa|hasher [--crosscheck] "
-                         "[--mul-policy] [--json=FILE] [--baseline=FILE]\n");
+                         "[--mul-policy] [--json=FILE] [--baseline=FILE] "
+                         "[--update-baseline]\n");
     return 2;
   }
   bool crosscheck = FlagSet(argc, argv, "crosscheck");
   bool mul_policy = FlagSet(argc, argv, "mul-policy");
   std::string json_path = FlagValue(argc, argv, "json");
   std::string baseline_path = FlagValue(argc, argv, "baseline");
+  bool update_baseline = FlagSet(argc, argv, "update-baseline");
+  if (update_baseline && baseline_path.empty()) {
+    std::fprintf(stderr, "parfait-lint: --update-baseline requires --baseline=FILE\n");
+    return 2;
+  }
 
   const parfait::hsm::App& app =
       app_name == "ecdsa" ? parfait::hsm::EcdsaApp() : parfait::hsm::HasherApp();
@@ -141,18 +152,43 @@ int main(int argc, char** argv) {
     out << "  ],\n  \"telemetry\": " << report.telemetry.ToJson() << "\n}\n";
   }
 
-  if (!baseline_path.empty()) {
+  if (update_baseline) {
+    // Keep other apps' entries, replace this app's with the current findings.
     std::set<std::string> baseline;
-    std::ifstream in(baseline_path);
-    if (!in) {
-      std::fprintf(stderr, "parfait-lint: cannot read baseline %s\n", baseline_path.c_str());
+    std::string error;
+    if (!parfait::tools::LoadBaseline(baseline_path, &baseline, &error)) {
+      baseline.clear();  // A missing baseline is created from scratch.
+    }
+    std::vector<std::string> lines;
+    for (const std::string& entry : baseline) {
+      if (entry.rfind(app_name + " ", 0) != 0) {
+        lines.push_back(entry);
+      }
+    }
+    for (const Finding& f : report.findings) {
+      lines.push_back(FindingLine(app_name, f));
+    }
+    std::sort(lines.begin(), lines.end());
+    if (!parfait::tools::WriteBaselineAtomic(
+            baseline_path,
+            "# parfait-lint baseline: one `<app> <pc-hex> <kind>` per line.\n"
+            "# Regenerate with: parfait-lint --app=<app> --baseline=<this file> "
+            "--update-baseline\n",
+            lines, &error)) {
+      std::fprintf(stderr, "parfait-lint: %s\n", error.c_str());
       return 2;
     }
-    std::string line;
-    while (std::getline(in, line)) {
-      if (!line.empty() && line[0] != '#') {
-        baseline.insert(line);
-      }
+    std::printf("  baseline: updated %s (%zu entr%s)\n", baseline_path.c_str(),
+                lines.size(), lines.size() == 1 ? "y" : "ies");
+    return 0;
+  }
+
+  if (!baseline_path.empty()) {
+    std::set<std::string> baseline;
+    std::string error;
+    if (!parfait::tools::LoadBaseline(baseline_path, &baseline, &error)) {
+      std::fprintf(stderr, "parfait-lint: %s\n", error.c_str());
+      return 2;
     }
     int fresh = 0;
     for (const Finding& f : report.findings) {

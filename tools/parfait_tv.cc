@@ -1,0 +1,257 @@
+// parfait-tv: per-function translation validation of the MiniC -> RV32 compiler
+// over the firmware of the case-study HSM applications.
+//
+// Usage:
+//   parfait-tv --app=ecdsa|hasher|all [--func=NAME] [--threads=N] [--json=FILE]
+//              [--baseline=FILE] [--update-baseline]
+//
+// Exit codes: 0 every function validated (or all findings present in the baseline),
+// 1 findings, 2 validator error. The baseline holds one
+// `<app> <pc-hex> <kind> <function>` quad per line; CI checks the stock firmware
+// against the checked-in (empty) baseline, so any miscompilation — including one
+// introduced by a compiler change — fails the build with a provenance chain naming
+// the originating source statement.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/analysis/tv/tv.h"
+#include "src/hsm/app.h"
+#include "src/hsm/hsm_system.h"
+#include "tools/baseline.h"
+
+namespace {
+
+using parfait::analysis::TvConfig;
+using parfait::analysis::TvFinding;
+using parfait::analysis::TvFindingKindName;
+using parfait::analysis::TvFunctionResult;
+using parfait::analysis::TvReport;
+
+std::string FlagValue(int argc, char** argv, const char* name) {
+  std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; i++) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return argv[i] + prefix.size();
+    }
+  }
+  return "";
+}
+
+bool FlagSet(int argc, char** argv, const char* name) {
+  std::string flag = std::string("--") + name;
+  for (int i = 1; i < argc; i++) {
+    if (flag == argv[i]) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string FindingLine(const std::string& app, const TvFinding& f) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%s 0x%08x %s %s", app.c_str(), f.pc,
+                TvFindingKindName(f.kind), f.function.c_str());
+  return buf;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+    }
+    out += c;
+  }
+  return out;
+}
+
+struct AppRun {
+  std::string name;
+  TvReport report;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string app_name = FlagValue(argc, argv, "app");
+  if (app_name != "ecdsa" && app_name != "hasher" && app_name != "all") {
+    std::fprintf(stderr,
+                 "usage: parfait-tv --app=ecdsa|hasher|all [--func=NAME] [--threads=N] "
+                 "[--json=FILE] [--baseline=FILE] [--update-baseline]\n");
+    return 2;
+  }
+  TvConfig config;
+  config.only_function = FlagValue(argc, argv, "func");
+  std::string threads = FlagValue(argc, argv, "threads");
+  if (!threads.empty()) {
+    char* end = nullptr;
+    long v = std::strtol(threads.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || v < 0) {
+      std::fprintf(stderr, "parfait-tv: bad --threads value '%s'\n", threads.c_str());
+      return 2;
+    }
+    config.num_threads = static_cast<int>(v);
+  }
+  std::string json_path = FlagValue(argc, argv, "json");
+  std::string baseline_path = FlagValue(argc, argv, "baseline");
+  bool update_baseline = FlagSet(argc, argv, "update-baseline");
+  if (update_baseline && baseline_path.empty()) {
+    std::fprintf(stderr, "parfait-tv: --update-baseline requires --baseline=FILE\n");
+    return 2;
+  }
+
+  std::vector<std::string> app_names;
+  if (app_name == "all") {
+    app_names = {"hasher", "ecdsa"};
+  } else {
+    app_names = {app_name};
+  }
+
+  std::vector<AppRun> runs;
+  for (const std::string& name : app_names) {
+    const parfait::hsm::App& app =
+        name == "ecdsa" ? parfait::hsm::EcdsaApp() : parfait::hsm::HasherApp();
+    parfait::hsm::HsmSystem system(app, parfait::hsm::HsmBuildOptions{});
+    AppRun run;
+    run.name = name;
+    run.report = parfait::analysis::ValidateSystem(system, config);
+    if (!run.report.ok) {
+      std::fprintf(stderr, "parfait-tv: %s: %s\n", name.c_str(), run.report.error.c_str());
+      return 2;
+    }
+    runs.push_back(std::move(run));
+  }
+
+  size_t total_findings = 0;
+  for (const AppRun& run : runs) {
+    size_t validated = 0;
+    for (const TvFunctionResult& fr : run.report.functions) {
+      validated += fr.validated ? 1 : 0;
+    }
+    std::printf("parfait-tv %s: %zu function(s), %zu validated, %zu finding(s)\n",
+                run.name.c_str(), run.report.functions.size(), validated,
+                run.report.FindingCount());
+    for (const TvFunctionResult& fr : run.report.functions) {
+      for (const TvFinding& f : fr.findings) {
+        std::printf("  [%s] pc 0x%08x in <%s> (line %d): %s\n", TvFindingKindName(f.kind),
+                    f.pc, f.function.c_str(), f.line, f.detail.c_str());
+        for (const std::string& hop : f.provenance) {
+          std::printf("      %s\n", hop.c_str());
+        }
+      }
+    }
+    std::printf("  steps=%llu terms=%llu stmts=%llu secret_branches=%llu "
+                "secret_addresses=%llu unwitnessed=%llu\n",
+                static_cast<unsigned long long>(run.report.telemetry.CounterValue("tv/steps")),
+                static_cast<unsigned long long>(run.report.telemetry.CounterValue("tv/terms")),
+                static_cast<unsigned long long>(run.report.telemetry.CounterValue("tv/stmts")),
+                static_cast<unsigned long long>(
+                    run.report.telemetry.CounterValue("tv/secret_branches")),
+                static_cast<unsigned long long>(
+                    run.report.telemetry.CounterValue("tv/secret_addresses")),
+                static_cast<unsigned long long>(
+                    run.report.telemetry.CounterValue("tv/unwitnessed_functions")));
+    total_findings += run.report.FindingCount();
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << "{\n  \"apps\": [\n";
+    for (size_t a = 0; a < runs.size(); a++) {
+      const AppRun& run = runs[a];
+      out << "    {\"app\": \"" << run.name << "\", \"functions\": [\n";
+      for (size_t i = 0; i < run.report.functions.size(); i++) {
+        const TvFunctionResult& fr = run.report.functions[i];
+        out << "      {\"name\": \"" << JsonEscape(fr.name) << "\", \"validated\": "
+            << (fr.validated ? "true" : "false") << ", \"findings\": [";
+        for (size_t j = 0; j < fr.findings.size(); j++) {
+          const TvFinding& f = fr.findings[j];
+          char pc_hex[16];
+          std::snprintf(pc_hex, sizeof(pc_hex), "0x%08x", f.pc);
+          out << (j > 0 ? ", " : "") << "{\"pc\": \"" << pc_hex << "\", \"kind\": \""
+              << TvFindingKindName(f.kind) << "\", \"line\": " << f.line
+              << ", \"detail\": \"" << JsonEscape(f.detail) << "\"}";
+        }
+        out << "]}" << (i + 1 < run.report.functions.size() ? "," : "") << "\n";
+      }
+      out << "    ], \"telemetry\": " << run.report.telemetry.ToJson() << "}"
+          << (a + 1 < runs.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+  }
+
+  if (update_baseline) {
+    std::set<std::string> baseline;
+    std::string error;
+    if (!parfait::tools::LoadBaseline(baseline_path, &baseline, &error)) {
+      baseline.clear();  // A missing baseline is created from scratch.
+    }
+    std::vector<std::string> lines;
+    for (const std::string& entry : baseline) {
+      bool ours = false;
+      for (const AppRun& run : runs) {
+        if (entry.rfind(run.name + " ", 0) == 0) {
+          ours = true;
+          break;
+        }
+      }
+      if (!ours) {
+        lines.push_back(entry);
+      }
+    }
+    for (const AppRun& run : runs) {
+      for (const TvFunctionResult& fr : run.report.functions) {
+        for (const TvFinding& f : fr.findings) {
+          lines.push_back(FindingLine(run.name, f));
+        }
+      }
+    }
+    std::sort(lines.begin(), lines.end());
+    if (!parfait::tools::WriteBaselineAtomic(
+            baseline_path,
+            "# parfait-tv baseline: one `<app> <pc-hex> <kind> <function>` per line.\n"
+            "# Regenerate with: parfait-tv --app=all --baseline=<this file> "
+            "--update-baseline\n",
+            lines, &error)) {
+      std::fprintf(stderr, "parfait-tv: %s\n", error.c_str());
+      return 2;
+    }
+    std::printf("baseline: updated %s (%zu entr%s)\n", baseline_path.c_str(), lines.size(),
+                lines.size() == 1 ? "y" : "ies");
+    return 0;
+  }
+
+  if (!baseline_path.empty()) {
+    std::set<std::string> baseline;
+    std::string error;
+    if (!parfait::tools::LoadBaseline(baseline_path, &baseline, &error)) {
+      std::fprintf(stderr, "parfait-tv: %s\n", error.c_str());
+      return 2;
+    }
+    int fresh = 0;
+    for (const AppRun& run : runs) {
+      for (const TvFunctionResult& fr : run.report.functions) {
+        for (const TvFinding& f : fr.findings) {
+          std::string key = FindingLine(run.name, f);
+          if (baseline.count(key) == 0) {
+            std::fprintf(stderr, "parfait-tv: NEW finding not in baseline: %s\n",
+                         key.c_str());
+            fresh++;
+          }
+        }
+      }
+    }
+    if (fresh > 0) {
+      return 1;
+    }
+    std::printf("baseline: ok (%zu finding(s), all known)\n", total_findings);
+    return 0;
+  }
+
+  return total_findings == 0 ? 0 : 1;
+}
