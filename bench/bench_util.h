@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "src/platform/model_asm.h"
 #include "src/support/telemetry.h"
 
 namespace parfait::bench {
@@ -69,6 +70,29 @@ inline int FlagInt(int argc, char** argv, const char* name, int fallback = 0) {
     std::exit(2);
   }
   return static_cast<int>(parsed);
+}
+
+// The --backend=interp|dbt knob: selects the RV32 execution backend every ModelAsm
+// in the process uses (threaded-dispatch binary translation vs the decode-cache
+// interpreter), so table benches measure either backend from the same binary. The
+// default is Machine::DefaultBackend() (the PARFAIT_BACKEND environment variable,
+// or the interpreter). Returns the resolved name for the bench to echo; an unknown
+// value is an error (exit 2), never a silent fallback.
+inline const char* ApplyBackendFlag(int argc, char** argv) {
+  const char* name = FlagStr(argc, argv, "--backend", nullptr);
+  if (name == nullptr) {
+    return platform::ModelAsm::backend() == riscv::Machine::Backend::kDBT ? "dbt"
+                                                                          : "interp";
+  }
+  if (std::strcmp(name, "interp") == 0) {
+    platform::ModelAsm::SetBackend(riscv::Machine::Backend::kInterpreter);
+  } else if (std::strcmp(name, "dbt") == 0) {
+    platform::ModelAsm::SetBackend(riscv::Machine::Backend::kDBT);
+  } else {
+    std::fprintf(stderr, "bench: --backend=%s is not 'interp' or 'dbt'\n", name);
+    std::exit(2);
+  }
+  return name;
 }
 
 // The --threads=N knob every verification bench takes (0 = all hardware threads):

@@ -133,6 +133,7 @@ bool SameOutcomes(const Pass& a, const Pass& b) {
 
 int main(int argc, char** argv) {
   bench::Header("Table 4: hardware verification effort and verification time (Knox2)");
+  std::printf("Model backend: %s\n", bench::ApplyBackendFlag(argc, argv));
 
   std::string base = std::string(PARFAIT_SOURCE_DIR) + "/";
   size_t emulator_loc = CountLoc(base + "src/knox2/emulator.cc");

@@ -43,8 +43,9 @@ uint64_t SignCycles(int opt_level) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::Header("Table 5: ECDSA signing throughput (IbexLite @ 100 MHz)");
+  std::printf("Model backend: %s\n", bench::ApplyBackendFlag(argc, argv));
 
   constexpr double kClockHz = 100e6;
   uint64_t o0_cycles = SignCycles(0);

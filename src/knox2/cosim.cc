@@ -87,6 +87,12 @@ CosimResult CosimOnSoc(const hsm::HsmSystem& system, soc::Soc* soc_ptr, const By
   // mapping becomes the identity, figure 10).
   uint32_t circuit_sp = soc->cpu().reg(2).bits;
   Machine machine = model.PrepareCall(state, command, circuit_sp);
+  // Account this machine's cache work in the global registry on every exit path,
+  // the same way ModelAsm::Step does for its thread-local machines.
+  struct CounterFlusher {
+    Machine& m;
+    ~CounterFlusher() { platform::ModelAsm::FlushMachineCounters(m); }
+  } flusher{machine};
 
   // Phase 2: instruction-by-instruction co-simulation of handle().
   auto sync_registers = [&](uint64_t* counter) -> bool {

@@ -2,6 +2,7 @@
 
 #include <atomic>
 
+#include "src/riscv/translator.h"
 #include "src/support/status.h"
 #include "src/support/telemetry.h"
 
@@ -13,14 +14,16 @@ constexpr uint32_t kStackExtension = 1 << 20;  // "Unbounded" stack headroom bel
 constexpr uint32_t kRomSize = 256 * 1024;
 
 std::atomic<DecodeCacheMode> g_decode_cache_mode{DecodeCacheMode::kShared};
+std::atomic<riscv::Machine::Backend> g_backend{riscv::Machine::DefaultBackend()};
 std::atomic<uint64_t> g_next_instance_id{1};
 
 // Thread-local machine reused across Step() calls on the same ModelAsm instance.
-// Keyed by the instance id (never reused) plus the cache mode, so a destroyed
-// ModelAsm or a mode flip can only cause a rebuild, never a stale hit.
+// Keyed by the instance id (never reused) plus the cache mode and backend, so a
+// destroyed ModelAsm or a knob flip can only cause a rebuild, never a stale hit.
 struct TlsStepContext {
   uint64_t instance_id = 0;
   DecodeCacheMode mode = DecodeCacheMode::kShared;
+  riscv::Machine::Backend backend = riscv::Machine::Backend::kInterpreter;
   std::unique_ptr<riscv::Machine> machine;
 };
 
@@ -41,6 +44,18 @@ void FlushPerfCounters(riscv::Machine& m) {
   }
   if (perf.fast_resets > 0) {
     t.Count("machine/fast_resets", perf.fast_resets);
+  }
+  if (perf.block_translations > 0) {
+    t.Count("machine/block_translations", perf.block_translations);
+  }
+  if (perf.block_hits > 0) {
+    t.Count("machine/block_hits", perf.block_hits);
+  }
+  if (perf.block_invalidations > 0) {
+    t.Count("machine/block_invalidations", perf.block_invalidations);
+  }
+  if (perf.block_links > 0) {
+    t.Count("machine/block_links", perf.block_links);
   }
 }
 
@@ -64,6 +79,16 @@ void ModelAsm::SetDecodeCacheMode(DecodeCacheMode mode) {
 DecodeCacheMode ModelAsm::decode_cache_mode() {
   return g_decode_cache_mode.load(std::memory_order_relaxed);
 }
+
+void ModelAsm::SetBackend(riscv::Machine::Backend backend) {
+  g_backend.store(backend, std::memory_order_relaxed);
+}
+
+riscv::Machine::Backend ModelAsm::backend() {
+  return g_backend.load(std::memory_order_relaxed);
+}
+
+void ModelAsm::FlushMachineCounters(riscv::Machine& m) { FlushPerfCounters(m); }
 
 riscv::Machine ModelAsm::BuildPrototype() const {
   riscv::Machine m;
@@ -110,10 +135,25 @@ std::shared_ptr<const riscv::DecodeCache> ModelAsm::SharedCache() const {
   return shared_cache_;
 }
 
+std::shared_ptr<riscv::SharedTranslationCache> ModelAsm::SharedBlocks() const {
+  // SharedCache() takes mu_ itself, so resolve it before locking.
+  std::shared_ptr<const riscv::DecodeCache> decode = SharedCache();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (shared_blocks_ == nullptr) {
+    shared_blocks_ = std::make_shared<riscv::SharedTranslationCache>(std::move(decode));
+  }
+  return shared_blocks_;
+}
+
 void ModelAsm::AttachCachePerMode(riscv::Machine& m) const {
+  riscv::Machine::Backend be = backend();
+  m.SetBackend(be);
   switch (decode_cache_mode()) {
     case DecodeCacheMode::kShared:
       m.AttachDecodeCache(SharedCache());
+      if (be == riscv::Machine::Backend::kDBT && riscv::Dbt::Supported()) {
+        m.AttachTranslationCache(SharedBlocks());
+      }
       break;
     case DecodeCacheMode::kPerThread: {
       thread_local TlsThreadCache tls;
@@ -170,14 +210,16 @@ ModelAsm::StepResult ModelAsm::Step(const Bytes& state, const Bytes& command,
                                     uint64_t max_steps) const {
   thread_local TlsStepContext ctx;
   DecodeCacheMode mode = decode_cache_mode();
+  riscv::Machine::Backend be = backend();
   const riscv::Machine& proto = Prototype();
-  if (ctx.instance_id == instance_id_ && ctx.mode == mode) {
+  if (ctx.instance_id == instance_id_ && ctx.mode == mode && ctx.backend == be) {
     ctx.machine->ResetTo(proto);
   } else {
     ctx.machine = std::make_unique<riscv::Machine>(proto);
     AttachCachePerMode(*ctx.machine);
     ctx.instance_id = instance_id_;
     ctx.mode = mode;
+    ctx.backend = be;
   }
   riscv::Machine& m = *ctx.machine;
   LoadCall(m, state, command, /*sp_override=*/0);

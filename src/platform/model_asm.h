@@ -83,6 +83,21 @@ class ModelAsm {
   static void SetDecodeCacheMode(DecodeCacheMode mode);
   static DecodeCacheMode decode_cache_mode();
 
+  // Process-wide simulator backend (default Machine::DefaultBackend, i.e. the
+  // PARFAIT_BACKEND environment variable). Like the cache mode, it takes effect on
+  // machines prepared after the call, and thread-local Step() contexts rebuild when
+  // it changes. Under Backend::kDBT with DecodeCacheMode::kShared, machines also get
+  // one shared ROM translation cache per image, built lazily next to SharedCache();
+  // the other cache modes leave DBT machines on their per-machine block caches.
+  static void SetBackend(riscv::Machine::Backend backend);
+  static riscv::Machine::Backend backend();
+
+  // Drains `m`'s perf counters into the global telemetry registry (the machine/*
+  // counters: decode and block-cache statistics, fast resets). Step() does this for
+  // its own machines; harnesses that run PrepareCall machines themselves (Knox2
+  // co-simulation) call it so every backend's work is accounted the same way.
+  static void FlushMachineCounters(riscv::Machine& m);
+
   uint32_t handle_addr() const { return handle_addr_; }
   uint32_t state_addr() const { return state_addr_; }
   uint32_t command_addr() const { return command_addr_; }
@@ -93,6 +108,7 @@ class ModelAsm {
   // Lazily built under mu_, then immutable (safe to read from any thread).
   const riscv::Machine& Prototype() const;
   std::shared_ptr<const riscv::DecodeCache> SharedCache() const;
+  std::shared_ptr<riscv::SharedTranslationCache> SharedBlocks() const;
 
   // Builds the image-dependent machine state (ROM, .data, .bss) — everything that
   // does not depend on the call. The journal is armed after loading, so the loader's
@@ -120,6 +136,7 @@ class ModelAsm {
   mutable std::mutex mu_;
   mutable std::unique_ptr<const riscv::Machine> prototype_;
   mutable std::shared_ptr<const riscv::DecodeCache> shared_cache_;
+  mutable std::shared_ptr<riscv::SharedTranslationCache> shared_blocks_;
 };
 
 }  // namespace parfait::platform

@@ -2,11 +2,38 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstdlib>
 #include <cstring>
+#include <string_view>
 
+#include "src/riscv/translator.h"
 #include "src/support/status.h"
 
 namespace parfait::riscv {
+
+// Out of line: LocalBlockCache is incomplete in machine.h. Copies start cold —
+// translated blocks carry per-machine invalidation state (the dead flag) that must
+// not be shared between machines.
+LocalBlockHandle::LocalBlockHandle() = default;
+LocalBlockHandle::~LocalBlockHandle() = default;
+LocalBlockHandle::LocalBlockHandle(const LocalBlockHandle&) {}
+LocalBlockHandle& LocalBlockHandle::operator=(const LocalBlockHandle&) {
+  cache.reset();
+  return *this;
+}
+LocalBlockHandle::LocalBlockHandle(LocalBlockHandle&&) noexcept = default;
+LocalBlockHandle& LocalBlockHandle::operator=(LocalBlockHandle&&) noexcept = default;
+
+Machine::Backend Machine::DefaultBackend() {
+  static const Backend kDefault = [] {
+    const char* env = std::getenv("PARFAIT_BACKEND");
+    if (env != nullptr && std::string_view(env) == "dbt") {
+      return Backend::kDBT;
+    }
+    return Backend::kInterpreter;
+  }();
+  return kDefault;
+}
 
 DecodeCache::DecodeCache(uint32_t base, std::span<const uint8_t> bytes) : base_(base) {
   PARFAIT_CHECK_MSG((base & 3) == 0, "decode cache base 0x%08x is not word-aligned", base);
@@ -66,11 +93,23 @@ void Machine::AttachDecodeCache(std::shared_ptr<const DecodeCache> cache) {
   fetch_win_len_ = 0;
 }
 
+void Machine::AttachTranslationCache(std::shared_ptr<SharedTranslationCache> cache) {
+  PARFAIT_CHECK(cache != nullptr);
+  Region* r = FindRegion(cache->base(), 4);
+  PARFAIT_CHECK_MSG(r != nullptr, "no region contains translation cache base 0x%08x",
+                    cache->base());
+  PARFAIT_CHECK_MSG(!r->writable, "shared translation cache on writable region %s",
+                    r->name.c_str());
+  r->shared_blocks = std::move(cache);
+}
+
 void Machine::DisableDecodeCache() {
   decode_caching_ = false;
   fetch_win_len_ = 0;
   for (Region& r : regions_) {
     r.shared_decode = nullptr;
+    r.shared_blocks = nullptr;
+    r.local_blocks.cache.reset();
     r.local_state.clear();
     r.local_decode.clear();
     // Materialize the original byte-per-byte definedness shadow the reference
@@ -113,18 +152,6 @@ const Machine::Region* Machine::FindRegionSlow(uint32_t addr, uint32_t size,
   }
   *hint = static_cast<size_t>(pos - regions_.begin());
   return &*pos;
-}
-
-bool Machine::RangeDefined(const Region& r, uint32_t offset, uint32_t size) {
-  if (r.all_defined) {
-    return true;
-  }
-  if (r.defined_bits.empty()) {
-    return false;  // Uniformly undefined.
-  }
-  // Aligned 1/2/4-byte ranges never straddle a 64-bit bitmap word.
-  uint64_t mask = ((uint64_t{1} << size) - 1) << (offset & 63);
-  return (r.defined_bits[offset >> 6] & mask) == mask;
 }
 
 void Machine::MaterializeBits(Region& r, bool defined) {
@@ -179,6 +206,9 @@ void Machine::ResetTo(const Machine& prototype) {
         if (!r.local_state.empty()) {
           EvictLocalDecode(r, offset, len);
         }
+        if (r.local_blocks.cache != nullptr) {
+          block_invalidations_ += r.local_blocks.cache->Invalidate(r.base + offset, len);
+        }
         if (!r.defined_bits.empty()) {
           // kPageSize is a multiple of 64, so a page covers whole bitmap words.
           uint32_t w0 = offset >> 6;
@@ -210,10 +240,16 @@ void Machine::ResetTo(const Machine& prototype) {
 }
 
 Machine::PerfCounters Machine::TakePerfCounters() {
-  PerfCounters counters{decode_hits_, region_cache_hits_, fast_resets_};
+  PerfCounters counters{decode_hits_,        region_cache_hits_,   fast_resets_,
+                        block_translations_, block_hits_,          block_invalidations_,
+                        block_links_};
   decode_hits_ = 0;
   region_cache_hits_ = 0;
   fast_resets_ = 0;
+  block_translations_ = 0;
+  block_hits_ = 0;
+  block_invalidations_ = 0;
+  block_links_ = 0;
   return counters;
 }
 
@@ -241,10 +277,17 @@ void Machine::WriteMemory(uint32_t addr, std::span<const uint8_t> data) {
   if (!r->local_state.empty()) {
     EvictLocalDecode(*r, offset, size);
   }
+  if (r->local_blocks.cache != nullptr) {
+    block_invalidations_ += r->local_blocks.cache->Invalidate(addr, size);
+  }
   if (r->shared_decode != nullptr) {
     // The cache no longer matches the bytes; fall back to per-machine decode.
     r->shared_decode = nullptr;
     fetch_win_len_ = 0;
+  }
+  if (r->shared_blocks != nullptr) {
+    // Same for translated ROM blocks: the harness rewrote the code under them.
+    r->shared_blocks = nullptr;
   }
 }
 
@@ -348,79 +391,14 @@ bool Machine::ReferenceStoreBytes(uint32_t addr, uint32_t size, uint32_t value,
   if (!r->local_state.empty()) {
     EvictLocalDecode(*r, offset, size);
   }
+  if (r->local_blocks.cache != nullptr) {
+    block_invalidations_ += r->local_blocks.cache->Invalidate(addr, size);
+  }
   return true;
 }
 
-bool Machine::LoadBytes(uint32_t addr, uint32_t size, uint32_t* out, bool* out_defined) {
-  const Region* r = FindRegionImpl(addr, size, &last_data_region_);
-  if (r == nullptr) {
-    return false;
-  }
-  uint32_t offset = addr - r->base;
-  const uint8_t* p = r->data.data() + offset;
-  switch (size) {
-    case 4:
-      *out = LoadLe32(p);
-      break;
-    case 2:
-      *out = static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8;
-      break;
-    default:
-      *out = p[0];
-      break;
-  }
-  *out_defined = RangeDefined(*r, offset, size);
-  return true;
-}
-
-bool Machine::StoreBytes(uint32_t addr, uint32_t size, uint32_t value, bool value_defined) {
-  Region* r =
-      const_cast<Region*>(FindRegionImpl(addr, size, &last_data_region_));
-  if (r == nullptr || !r->writable) {
-    return false;
-  }
-  uint32_t offset = addr - r->base;
-  uint8_t* p = r->data.data() + offset;
-  switch (size) {
-    case 4:
-      StoreLe32(p, value);
-      break;
-    case 2:
-      p[0] = static_cast<uint8_t>(value);
-      p[1] = static_cast<uint8_t>(value >> 8);
-      break;
-    default:
-      p[0] = static_cast<uint8_t>(value);
-      break;
-  }
-  // Aligned 1/2/4-byte stores never straddle a bitmap word or a journal page, so the
-  // bookkeeping is one masked OR each (Step enforces the alignment).
-  if (value_defined) {
-    if (!r->all_defined) {
-      if (r->defined_bits.empty()) {
-        MaterializeBits(*r, false);
-      }
-      uint64_t mask = ((uint64_t{1} << size) - 1) << (offset & 63);
-      r->defined_bits[offset >> 6] |= mask;
-    }
-  } else {
-    if (r->all_defined) {
-      MaterializeBits(*r, true);
-      r->all_defined = false;
-    } else if (r->defined_bits.empty()) {
-      MaterializeBits(*r, false);
-    }
-    uint64_t mask = ((uint64_t{1} << size) - 1) << (offset & 63);
-    r->defined_bits[offset >> 6] &= ~mask;
-  }
-  if (journal_) {
-    uint32_t page = offset / kPageSize;
-    r->dirty_pages[page >> 6] |= uint64_t{1} << (page & 63);
-  }
-  if (!r->local_state.empty()) {
-    EvictLocalDecode(*r, offset, size);
-  }
-  return true;
+void Machine::InvalidateLocalBlocks(Region& r, uint32_t addr, uint32_t size) {
+  block_invalidations_ += r.local_blocks.cache->Invalidate(addr, size);
 }
 
 const char* Machine::ReferenceFetch(const Instr** out) const {
@@ -804,6 +782,8 @@ Machine::StepResult Machine::Step() {
   return decode_caching_ ? StepImpl<true>() : ReferenceStep();
 }
 
+Machine::StepResult Machine::StepCachedOnce() { return StepImpl<true>(); }
+
 template <bool kCached>
 Machine::StepResult Machine::RunImpl(uint64_t max_steps) {
   for (uint64_t i = 0; i < max_steps; i++) {
@@ -817,9 +797,16 @@ Machine::StepResult Machine::RunImpl(uint64_t max_steps) {
 }
 
 Machine::StepResult Machine::Run(uint64_t max_steps) {
-  // Dispatch on the mode once, outside the loop, so the hot loop runs the cached
-  // instantiation with no per-step mode check.
-  return decode_caching_ ? RunImpl<true>(max_steps) : RunImpl<false>(max_steps);
+  // Dispatch on the mode once, outside the loop, so the hot loop runs the chosen
+  // engine with no per-step mode check. Reference mode always interprets — it is
+  // the oracle the DBT backend is checked against.
+  if (__builtin_expect(!decode_caching_, 0)) {
+    return RunImpl<false>(max_steps);
+  }
+  if (backend_ == Backend::kDBT && Dbt::Supported()) {
+    return Dbt::Run(*this, max_steps);
+  }
+  return RunImpl<true>(max_steps);
 }
 
 Machine::StepResult Machine::CallFunction(uint32_t function, const std::vector<uint32_t>& args,

@@ -37,6 +37,24 @@
 
 namespace parfait::riscv {
 
+class SharedTranslationCache;
+class LocalBlockCache;
+class Dbt;
+
+// Owning handle for a per-machine translated-block cache (see translator.h).
+// Copying a Machine must not share translated blocks — invalidation is per-machine
+// state — so copies start with a cold cache; moves transfer ownership.
+struct LocalBlockHandle {
+  LocalBlockHandle();
+  ~LocalBlockHandle();
+  LocalBlockHandle(const LocalBlockHandle&);
+  LocalBlockHandle& operator=(const LocalBlockHandle&);
+  LocalBlockHandle(LocalBlockHandle&&) noexcept;
+  LocalBlockHandle& operator=(LocalBlockHandle&&) noexcept;
+
+  std::unique_ptr<LocalBlockCache> cache;
+};
+
 // A register value: a 32-bit pattern plus a definedness flag (CompCert's Vundef).
 struct Value {
   uint32_t bits = 0;
@@ -92,6 +110,21 @@ class Machine {
   // Jumping here (e.g. `ret` with ra set by CallFunction) halts the machine cleanly.
   static constexpr uint32_t kReturnSentinel = 0xfffffff0;
 
+  // Which engine Run() uses. kInterpreter is the per-instruction StepImpl loop;
+  // kDBT executes translated superblocks (see translator.h) with bit-identical
+  // results. Step()/PeekInstr() always interpret — Knox2's instruction-granular
+  // synchronization depends on single-stepping — so the backend only changes how
+  // Run() covers the distance between observations.
+  enum class Backend {
+    kInterpreter,
+    kDBT,
+  };
+
+  // Process default from the PARFAIT_BACKEND environment variable ("dbt" selects
+  // Backend::kDBT; anything else the interpreter), read once. New machines start
+  // on this backend, which is how CI runs the whole test suite under DBT.
+  static Backend DefaultBackend();
+
   Machine();
 
   // Adds a named memory region. Regions must not overlap. Data is zero-initialized.
@@ -104,6 +137,20 @@ class Machine {
   // cache->base(). Fetches covered by the cache skip Decode() entirely. The cache
   // must have been built from the exact bytes the region holds.
   void AttachDecodeCache(std::shared_ptr<const DecodeCache> cache);
+
+  // Selects the Run() engine. Backend::kDBT is ignored (falls back to the
+  // interpreter) when the threaded-dispatch build is unavailable (Dbt::Supported())
+  // or after DisableDecodeCache() — the reference interpreter is the oracle and
+  // never translates.
+  void SetBackend(Backend backend) { backend_ = backend; }
+  Backend backend() const { return backend_; }
+
+  // Attaches a shared translated-block cache to the (read-only) region containing
+  // cache->base(). The cache must have been built over the same DecodeCache the
+  // region carries (AttachDecodeCache); DBT fetches covered by it skip translation.
+  // Writable regions instead get a lazy per-machine block cache invalidated by
+  // stores, exactly like the local decode cache.
+  void AttachTranslationCache(std::shared_ptr<SharedTranslationCache> cache);
 
   // Fast reset. EnableDirtyJournal() arms page-granular write tracking on every
   // region; ResetTo(prototype) then restores only the journaled pages (plus
@@ -164,6 +211,14 @@ class Machine {
     uint64_t decode_hits = 0;        // Fetches served by a decode cache.
     uint64_t region_cache_hits = 0;  // Region lookups served by a last-hit slot.
     uint64_t fast_resets = 0;        // ResetTo() calls.
+    // DBT backend counters. All four are deterministic for a given workload at any
+    // thread count: dispatches, links, and invalidations depend only on the
+    // executed trace, and a shared cache translates each block exactly once
+    // process-wide regardless of which machine triggers it.
+    uint64_t block_translations = 0;  // Blocks translated by this machine's runs.
+    uint64_t block_hits = 0;          // Block dispatches served by a translation cache.
+    uint64_t block_invalidations = 0; // Translated blocks killed by stores/resets.
+    uint64_t block_links = 0;         // Direct block-to-block link transitions.
   };
   PerfCounters TakePerfCounters();
 
@@ -190,6 +245,14 @@ class Machine {
     // Entries are evicted by stores to the covered word (self-modifying code).
     mutable std::vector<uint8_t> local_state;  // See LocalDecode* constants.
     mutable std::vector<Instr> local_decode;
+    // Shared immutable translated-block cache (read-only regions; see
+    // AttachTranslationCache). Dropped alongside shared_decode if the harness
+    // writes the region.
+    std::shared_ptr<SharedTranslationCache> shared_blocks;
+    // Lazy per-machine translated-block cache for DBT execution from writable
+    // regions (or bytes past the shared cache). Blocks are invalidated by stores
+    // to any covered word; copies of the machine start cold (see LocalBlockHandle).
+    LocalBlockHandle local_blocks;
     // Dirty-page journal, bit-packed (allocated by EnableDirtyJournal).
     std::vector<uint64_t> dirty_pages;
     // Reference-mode byte-per-byte definedness shadow (see DisableDecodeCache):
@@ -233,7 +296,8 @@ class Machine {
 
   // True iff bytes [offset, offset+size) of r are defined. `size` is 1, 2, or 4 and
   // offset is size-aligned (the aligned-access invariant Step enforces), so the bits
-  // never straddle a bitmap word.
+  // never straddle a bitmap word. Inline below the class: both interpreter and DBT
+  // translation units must fold the size switch away.
   static bool RangeDefined(const Region& r, uint32_t offset, uint32_t size);
   // Sets or clears the definedness bits for an arbitrary byte range.
   static void SetDefinedRange(Region& r, uint32_t offset, uint32_t size, bool defined);
@@ -258,9 +322,25 @@ class Machine {
   StepResult RunImpl(uint64_t max_steps);
   // Out-of-line reference step (see machine.cc for why it is never inlined).
   StepResult ReferenceStep();
+  // Non-template wrapper around StepImpl<true> for the DBT dispatch loop, which
+  // single-steps the last few instructions when the step budget is smaller than
+  // the next block.
+  StepResult StepCachedOnce();
 
+  // The aligned 1/2/4-byte data paths. Inline below the class so every caller —
+  // StepImpl in machine.cc and the DBT dispatch loop in translator.cc — specializes
+  // them for a constant `size`; the cold invalidation tail stays out of line. The
+  // *FromRegion/*ToRegion halves take an already-resolved in-bounds region so the
+  // DBT loop can memoize region resolution across a whole block chain.
   bool LoadBytes(uint32_t addr, uint32_t size, uint32_t* out, bool* out_defined);
   bool StoreBytes(uint32_t addr, uint32_t size, uint32_t value, bool value_defined);
+  void LoadFromRegion(const Region& r, uint32_t offset, uint32_t size, uint32_t* out,
+                      bool* out_defined);
+  void StoreToRegion(Region& r, uint32_t addr, uint32_t offset, uint32_t size,
+                     uint32_t value, bool value_defined);
+  // Out-of-line tail of StoreBytes: kills translated blocks overlapping the store
+  // (needs the complete LocalBlockCache type, which the header forward-declares).
+  void InvalidateLocalBlocks(Region& r, uint32_t addr, uint32_t size);
 
   // Reference-mode slow paths (see DisableDecodeCache): the original interpreter's
   // memory accesses, kept byte-for-byte equivalent to the fast paths above.
@@ -274,6 +354,10 @@ class Machine {
                            bool value_defined);
   StepResult Fault(const std::string& reason);
 
+  // The DBT engine executes through the same private state and LoadBytes/
+  // StoreBytes/Fault paths StepImpl uses (translator.cc).
+  friend class Dbt;
+
   std::array<Value, 32> regs_;
   uint32_t pc_ = 0;
   uint64_t instret_ = 0;
@@ -281,6 +365,7 @@ class Machine {
   std::string fault_reason_;
   bool journal_ = false;
   bool decode_caching_ = true;
+  Backend backend_ = DefaultBackend();
   mutable Instr reference_scratch_{};  // Fetch result in reference mode.
 
   // Last-hit region slots and perf counters. Mutable: lookup caches and counters are
@@ -299,7 +384,107 @@ class Machine {
   mutable uint64_t decode_hits_ = 0;
   mutable uint64_t region_cache_hits_ = 0;
   uint64_t fast_resets_ = 0;
+  uint64_t block_translations_ = 0;
+  uint64_t block_hits_ = 0;
+  uint64_t block_invalidations_ = 0;
+  uint64_t block_links_ = 0;
 };
+
+inline bool Machine::RangeDefined(const Region& r, uint32_t offset, uint32_t size) {
+  if (r.all_defined) {
+    return true;
+  }
+  if (r.defined_bits.empty()) {
+    return false;  // Uniformly undefined.
+  }
+  // Aligned 1/2/4-byte ranges never straddle a 64-bit bitmap word.
+  uint64_t mask = ((uint64_t{1} << size) - 1) << (offset & 63);
+  return (r.defined_bits[offset >> 6] & mask) == mask;
+}
+
+inline void Machine::LoadFromRegion(const Region& r, uint32_t offset, uint32_t size,
+                                    uint32_t* out, bool* out_defined) {
+  const uint8_t* p = r.data.data() + offset;
+  switch (size) {
+    case 4:
+      *out = LoadLe32(p);
+      break;
+    case 2:
+      *out = static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8;
+      break;
+    default:
+      *out = p[0];
+      break;
+  }
+  *out_defined = RangeDefined(r, offset, size);
+}
+
+inline void Machine::StoreToRegion(Region& r, uint32_t addr, uint32_t offset,
+                                   uint32_t size, uint32_t value, bool value_defined) {
+  uint8_t* p = r.data.data() + offset;
+  switch (size) {
+    case 4:
+      StoreLe32(p, value);
+      break;
+    case 2:
+      p[0] = static_cast<uint8_t>(value);
+      p[1] = static_cast<uint8_t>(value >> 8);
+      break;
+    default:
+      p[0] = static_cast<uint8_t>(value);
+      break;
+  }
+  // Aligned 1/2/4-byte stores never straddle a bitmap word or a journal page, so the
+  // bookkeeping is one masked OR each (Step enforces the alignment).
+  if (value_defined) {
+    if (!r.all_defined) {
+      if (r.defined_bits.empty()) {
+        MaterializeBits(r, false);
+      }
+      uint64_t mask = ((uint64_t{1} << size) - 1) << (offset & 63);
+      r.defined_bits[offset >> 6] |= mask;
+    }
+  } else {
+    if (r.all_defined) {
+      MaterializeBits(r, true);
+      r.all_defined = false;
+    } else if (r.defined_bits.empty()) {
+      MaterializeBits(r, false);
+    }
+    uint64_t mask = ((uint64_t{1} << size) - 1) << (offset & 63);
+    r.defined_bits[offset >> 6] &= ~mask;
+  }
+  if (journal_) {
+    uint32_t page = offset / kPageSize;
+    r.dirty_pages[page >> 6] |= uint64_t{1} << (page & 63);
+  }
+  if (__builtin_expect(!r.local_state.empty(), 0)) {
+    EvictLocalDecode(r, offset, size);
+  }
+  if (__builtin_expect(r.local_blocks.cache != nullptr, 0)) {
+    InvalidateLocalBlocks(r, addr, size);
+  }
+}
+
+inline bool Machine::LoadBytes(uint32_t addr, uint32_t size, uint32_t* out,
+                               bool* out_defined) {
+  const Region* r = FindRegionImpl(addr, size, &last_data_region_);
+  if (r == nullptr) {
+    return false;
+  }
+  LoadFromRegion(*r, addr - r->base, size, out, out_defined);
+  return true;
+}
+
+inline bool Machine::StoreBytes(uint32_t addr, uint32_t size, uint32_t value,
+                                bool value_defined) {
+  Region* r = const_cast<Region*>(FindRegionImpl(addr, size, &last_data_region_));
+  if (r == nullptr || !r->writable) {
+    return false;
+  }
+  StoreToRegion(*r, addr, addr - r->base, size, value, value_defined);
+  return true;
+}
 
 }  // namespace parfait::riscv
 

@@ -1,0 +1,899 @@
+// Block translation and threaded execution for the DBT backend (see translator.h).
+//
+// Correctness is anchored to StepImpl in machine.cc: every handler below reproduces
+// that switch's semantics for its opcode — operand definedness propagation, fault
+// strings, the no-advance-on-fault rule, and exact instret accounting — while memory
+// traffic goes through the same LoadBytes/StoreBytes the interpreter uses. pc_ and
+// instret_ are only materialized at block boundaries (or at the faulting
+// instruction), which is where the speedup comes from.
+#include "src/riscv/translator.h"
+
+#include <optional>
+
+#include "src/support/bytes.h"
+#include "src/support/status.h"
+
+#if defined(__GNUC__) || defined(__clang__)
+#define PARFAIT_DBT_THREADED 1
+#else
+#define PARFAIT_DBT_THREADED 0
+#endif
+
+namespace parfait::riscv {
+
+namespace {
+
+// Superblock length cap, in micro-ops. Long enough that straight-line crypto code
+// amortizes dispatch, short enough that the step-budget tail (interpreted one
+// instruction at a time) stays negligible.
+constexpr size_t kMaxBlockInstrs = 64;
+
+// What the translator sees at one word: a decoded instruction, or why not.
+struct FetchedWord {
+  enum Kind : uint8_t {
+    kInstr,
+    kUndecodable,  // In range, defined, does not decode in RV32IM.
+    kUndefined,    // In range, at least one undefined byte.
+    kOutside,      // Past the cache / region.
+  };
+  Kind kind = kOutside;
+  Instr instr{};
+};
+
+// kFetchFault reason selectors (MicroOp::imm).
+constexpr int32_t kFaultUndecodable = 0;
+constexpr int32_t kFaultUndefined = 1;
+constexpr int32_t kFaultOutside = 2;
+
+}  // namespace
+
+// Translates one superblock starting at start_pc. Straight-line code is appended
+// op by op; unconditional jal edges are followed inline (the link write becomes a
+// kConst, the jump disappears) until a cycle, the length cap, or an untranslatable
+// word cuts the block. The fetch callback abstracts the source: shared DecodeCache
+// entries for ROM, region bytes + definedness for writable memory.
+template <typename FetchFn>
+std::unique_ptr<Block> Dbt::BuildBlock(uint32_t start_pc, FetchFn&& fetch,
+                                       bool watch_stores) {
+  auto b = std::make_unique<Block>();
+  b->start_pc = start_pc;
+  b->watch_stores = watch_stores;
+  uint32_t pc = start_pc;
+  bool synthetic_tail = false;  // Last op retires nothing (kFallthrough/kFetchFault).
+
+  auto push = [&](Mk kind, uint8_t rd, uint8_t rs1, uint8_t rs2, int32_t imm,
+                  uint32_t at) {
+    b->ops.push_back(MicroOp{kind, rd, rs1, rs2, imm, at});
+  };
+  // Source coverage for store invalidation (watch_stores blocks only).
+  auto cover = [&](uint32_t word_pc) {
+    if (!watch_stores) {
+      return;
+    }
+    if (!b->ranges.empty() &&
+        b->ranges.back().first + b->ranges.back().second == word_pc) {
+      b->ranges.back().second += 4;
+    } else {
+      b->ranges.emplace_back(word_pc, 4);
+    }
+  };
+  // Cycle guard for jal inlining: true iff this block already emitted an op for
+  // `target` (following it again would loop forever at translation or run time).
+  auto already_emitted = [&](uint32_t target) {
+    for (const MicroOp& op : b->ops) {
+      if (op.pc == target) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  for (;;) {
+    if (b->ops.size() >= kMaxBlockInstrs) {
+      push(Mk::kFallthrough, 0, 0, 0, static_cast<int32_t>(pc), pc);
+      b->has_taken = true;
+      b->taken_target = pc;
+      synthetic_tail = true;
+      break;
+    }
+    FetchedWord w = fetch(pc);
+    if (w.kind != FetchedWord::kInstr) {
+      if (b->ops.empty()) {
+        // The block *starts* on an untranslatable word: cache the fault itself.
+        // (kOutside cannot happen here — dispatch proved the pc readable — but is
+        // handled for robustness.)
+        int32_t reason = w.kind == FetchedWord::kUndecodable ? kFaultUndecodable
+                         : w.kind == FetchedWord::kUndefined ? kFaultUndefined
+                                                             : kFaultOutside;
+        if (w.kind != FetchedWord::kOutside) {
+          cover(pc);
+        }
+        push(Mk::kFetchFault, 0, 0, 0, reason, pc);
+      } else {
+        // Mid-block cut: retire what we have and let dispatch fault (or find a
+        // fresher translation) at `pc`.
+        push(Mk::kFallthrough, 0, 0, 0, static_cast<int32_t>(pc), pc);
+        b->has_taken = true;
+        b->taken_target = pc;
+      }
+      synthetic_tail = true;
+      break;
+    }
+    const Instr& in = w.instr;
+    cover(pc);
+    bool terminated = false;
+    switch (in.op) {
+      case Op::kLui:
+        if (in.rd != 0) {
+          push(Mk::kConst, in.rd, 0, 0, in.imm, pc);
+        } else {
+          push(Mk::kNop, 0, 0, 0, 0, pc);
+        }
+        break;
+      case Op::kAuipc:
+        if (in.rd != 0) {
+          push(Mk::kConst, in.rd, 0, 0,
+               static_cast<int32_t>(pc + static_cast<uint32_t>(in.imm)), pc);
+        } else {
+          push(Mk::kNop, 0, 0, 0, 0, pc);
+        }
+        break;
+      case Op::kJal: {
+        uint32_t target = pc + static_cast<uint32_t>(in.imm);
+        bool can_inline = (target & 3) == 0 && target != pc && !already_emitted(target) &&
+                          b->ops.size() + 1 < kMaxBlockInstrs;
+        if (can_inline) {
+          // The jump dissolves: retire the jal as its link write and keep
+          // translating at the target.
+          if (in.rd != 0) {
+            push(Mk::kConst, in.rd, 0, 0, static_cast<int32_t>(pc + 4), pc);
+          } else {
+            push(Mk::kNop, 0, 0, 0, 0, pc);
+          }
+          pc = target;
+          continue;
+        }
+        push(in.rd != 0 ? Mk::kJal : Mk::kJ, in.rd, 0, 0, static_cast<int32_t>(target),
+             pc);
+        b->has_taken = true;
+        b->taken_target = target;
+        terminated = true;
+        break;
+      }
+      case Op::kJalr:
+        push(Mk::kJalr, in.rd, in.rs1, 0, in.imm, pc);
+        terminated = true;
+        break;
+      case Op::kBeq:
+      case Op::kBne:
+      case Op::kBlt:
+      case Op::kBge:
+      case Op::kBltu:
+      case Op::kBgeu: {
+        Mk kind = in.op == Op::kBeq    ? Mk::kBeq
+                  : in.op == Op::kBne  ? Mk::kBne
+                  : in.op == Op::kBlt  ? Mk::kBlt
+                  : in.op == Op::kBge  ? Mk::kBge
+                  : in.op == Op::kBltu ? Mk::kBltu
+                                       : Mk::kBgeu;
+        uint32_t target = pc + static_cast<uint32_t>(in.imm);
+        push(kind, 0, in.rs1, in.rs2, static_cast<int32_t>(target), pc);
+        b->has_taken = true;
+        b->taken_target = target;
+        b->has_fall = true;
+        b->fall_target = pc + 4;
+        terminated = true;
+        break;
+      }
+      case Op::kLb:
+        push(Mk::kLb, in.rd, in.rs1, 0, in.imm, pc);
+        break;
+      case Op::kLh:
+        push(Mk::kLh, in.rd, in.rs1, 0, in.imm, pc);
+        break;
+      case Op::kLw:
+        push(Mk::kLw, in.rd, in.rs1, 0, in.imm, pc);
+        break;
+      case Op::kLbu:
+        push(Mk::kLbu, in.rd, in.rs1, 0, in.imm, pc);
+        break;
+      case Op::kLhu:
+        push(Mk::kLhu, in.rd, in.rs1, 0, in.imm, pc);
+        break;
+      case Op::kSb:
+        push(Mk::kSb, 0, in.rs1, in.rs2, in.imm, pc);
+        break;
+      case Op::kSh:
+        push(Mk::kSh, 0, in.rs1, in.rs2, in.imm, pc);
+        break;
+      case Op::kSw:
+        push(Mk::kSw, 0, in.rs1, in.rs2, in.imm, pc);
+        break;
+      case Op::kAddi:
+      case Op::kSlti:
+      case Op::kSltiu:
+      case Op::kXori:
+      case Op::kOri:
+      case Op::kAndi:
+      case Op::kSlli:
+      case Op::kSrli:
+      case Op::kSrai: {
+        if (in.rd == 0) {
+          // Writes to x0 are architectural no-ops; the operand read cannot fault.
+          push(Mk::kNop, 0, 0, 0, 0, pc);
+          break;
+        }
+        Mk kind = in.op == Op::kAddi    ? Mk::kAddi
+                  : in.op == Op::kSlti  ? Mk::kSlti
+                  : in.op == Op::kSltiu ? Mk::kSltiu
+                  : in.op == Op::kXori  ? Mk::kXori
+                  : in.op == Op::kOri   ? Mk::kOri
+                  : in.op == Op::kAndi  ? Mk::kAndi
+                  : in.op == Op::kSlli  ? Mk::kSlli
+                  : in.op == Op::kSrli  ? Mk::kSrli
+                                        : Mk::kSrai;
+        bool shift = in.op == Op::kSlli || in.op == Op::kSrli || in.op == Op::kSrai;
+        push(kind, in.rd, in.rs1, 0, shift ? (in.imm & 31) : in.imm, pc);
+        break;
+      }
+      case Op::kAdd:
+      case Op::kSub:
+      case Op::kSll:
+      case Op::kSlt:
+      case Op::kSltu:
+      case Op::kXor:
+      case Op::kSrl:
+      case Op::kSra:
+      case Op::kOr:
+      case Op::kAnd:
+      case Op::kMul:
+      case Op::kMulh:
+      case Op::kMulhsu:
+      case Op::kMulhu:
+      case Op::kDiv:
+      case Op::kDivu:
+      case Op::kRem:
+      case Op::kRemu: {
+        if (in.rd == 0) {
+          push(Mk::kNop, 0, 0, 0, 0, pc);
+          break;
+        }
+        Mk kind;
+        switch (in.op) {
+          case Op::kAdd: kind = Mk::kAdd; break;
+          case Op::kSub: kind = Mk::kSub; break;
+          case Op::kSll: kind = Mk::kSll; break;
+          case Op::kSlt: kind = Mk::kSlt; break;
+          case Op::kSltu: kind = Mk::kSltu; break;
+          case Op::kXor: kind = Mk::kXor; break;
+          case Op::kSrl: kind = Mk::kSrl; break;
+          case Op::kSra: kind = Mk::kSra; break;
+          case Op::kOr: kind = Mk::kOr; break;
+          case Op::kAnd: kind = Mk::kAnd; break;
+          case Op::kMul: kind = Mk::kMul; break;
+          case Op::kMulh: kind = Mk::kMulh; break;
+          case Op::kMulhsu: kind = Mk::kMulhsu; break;
+          case Op::kMulhu: kind = Mk::kMulhu; break;
+          case Op::kDiv: kind = Mk::kDiv; break;
+          case Op::kDivu: kind = Mk::kDivu; break;
+          case Op::kRem: kind = Mk::kRem; break;
+          default: kind = Mk::kRemu; break;
+        }
+        push(kind, in.rd, in.rs1, in.rs2, 0, pc);
+        break;
+      }
+      case Op::kFence:
+        push(Mk::kNop, 0, 0, 0, 0, pc);
+        break;
+      case Op::kEcall:
+      case Op::kEbreak:
+        push(Mk::kHalt, 0, 0, 0, 0, pc);
+        terminated = true;
+        break;
+    }
+    if (terminated) {
+      break;
+    }
+    pc += 4;
+  }
+
+  b->num_instrs = static_cast<uint32_t>(b->ops.size()) - (synthetic_tail ? 1 : 0);
+  return b;
+}
+
+SharedTranslationCache::SharedTranslationCache(std::shared_ptr<const DecodeCache> decode)
+    : decode_(std::move(decode)), slots_(decode_->words()) {
+  PARFAIT_CHECK(decode_ != nullptr);
+}
+
+const Block* SharedTranslationCache::Get(uint32_t pc, uint64_t* translated) {
+  if (!InRange(pc)) {
+    return nullptr;
+  }
+  size_t idx = (pc - base()) >> 2;
+  const Block* hit = slots_[idx].load(std::memory_order_acquire);
+  if (hit != nullptr) {
+    return hit;
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  hit = slots_[idx].load(std::memory_order_relaxed);
+  if (hit != nullptr) {
+    return hit;
+  }
+
+  auto fetch = [this](uint32_t p) {
+    FetchedWord w;
+    const DecodeCache::Entry* e = decode_->Lookup(p);
+    if (e == nullptr) {
+      w.kind = FetchedWord::kOutside;
+    } else if (!e->valid) {
+      w.kind = FetchedWord::kUndecodable;
+    } else {
+      w.kind = FetchedWord::kInstr;
+      w.instr = e->instr;
+    }
+    return w;
+  };
+
+  // Translate the transitive closure of static successors (branch taken/
+  // fallthrough, non-inlined jal, block cuts) in one batch. Because the closure is
+  // transitive, every in-range aligned target of every new block is either in this
+  // batch or already published — so links resolve completely now and are never
+  // touched again, which is what lets readers follow them with plain loads.
+  std::unordered_map<uint32_t, Block*> fresh;
+  std::vector<uint32_t> work{pc};
+  while (!work.empty()) {
+    uint32_t p = work.back();
+    work.pop_back();
+    if (!InRange(p) || fresh.count(p) != 0 ||
+        slots_[(p - base()) >> 2].load(std::memory_order_relaxed) != nullptr) {
+      continue;
+    }
+    std::unique_ptr<Block> nb = Dbt::BuildBlock(p, fetch, /*watch_stores=*/false);
+    if (nb->has_taken) {
+      work.push_back(nb->taken_target);
+    }
+    if (nb->has_fall) {
+      work.push_back(nb->fall_target);
+    }
+    fresh.emplace(p, nb.get());
+    blocks_.push_back(std::move(nb));
+  }
+
+  auto resolve = [&](uint32_t target) -> const Block* {
+    if (!InRange(target)) {
+      return nullptr;
+    }
+    auto it = fresh.find(target);
+    if (it != fresh.end()) {
+      return it->second;
+    }
+    return slots_[(target - base()) >> 2].load(std::memory_order_relaxed);
+  };
+  for (auto& [p, blk] : fresh) {
+    if (blk->has_taken) {
+      blk->link_taken = resolve(blk->taken_target);
+    }
+    if (blk->has_fall) {
+      blk->link_fall = resolve(blk->fall_target);
+    }
+  }
+  // Publish the whole batch. A reader's acquire on any slot sees every block and
+  // link of this batch (and, transitively through the mutex, of all prior batches).
+  for (auto& [p, blk] : fresh) {
+    slots_[(p - base()) >> 2].store(blk, std::memory_order_release);
+  }
+  *translated += fresh.size();
+  return fresh.at(pc);
+}
+
+const Block* LocalBlockCache::Insert(std::unique_ptr<Block> block) {
+  Block* raw = block.get();
+  for (auto [addr, len] : raw->ranges) {
+    cover_lo_ = std::min(cover_lo_, addr);
+    cover_hi_ = std::max(cover_hi_, addr + len);
+  }
+  blocks_[raw->start_pc] = std::shared_ptr<Block>(std::move(block));
+  return raw;
+}
+
+uint64_t LocalBlockCache::Invalidate(uint32_t addr, uint32_t size) {
+  uint64_t end = static_cast<uint64_t>(addr) + size;
+  if (addr >= cover_hi_ || end <= cover_lo_) {
+    return 0;
+  }
+  uint64_t killed = 0;
+  for (auto it = blocks_.begin(); it != blocks_.end();) {
+    Block& blk = *it->second;
+    bool overlaps = false;
+    for (auto [a, len] : blk.ranges) {
+      if (addr < a + len && a < end) {
+        overlaps = true;
+        break;
+      }
+    }
+    if (overlaps) {
+      // The block may be the one executing this store: mark it dead (the executor
+      // bails at the next safe point) and keep the storage alive in the graveyard
+      // until dispatch collects it.
+      blk.dead = true;
+      graveyard_.push_back(std::move(it->second));
+      it = blocks_.erase(it);
+      killed++;
+    } else {
+      ++it;
+    }
+  }
+  cover_lo_ = 0xffffffffu;
+  cover_hi_ = 0;
+  for (const auto& [p, blk] : blocks_) {
+    for (auto [a, len] : blk->ranges) {
+      cover_lo_ = std::min(cover_lo_, a);
+      cover_hi_ = std::max(cover_hi_, a + len);
+    }
+  }
+  return killed;
+}
+
+std::unique_ptr<Block> Dbt::TranslateLocal(const Machine::Region& r, uint32_t pc) {
+  auto fetch = [&r](uint32_t p) {
+    FetchedWord w;
+    uint32_t offset = p - r.base;
+    if (p < r.base || r.size() < 4 || offset > r.size() - 4 || (p & 3) != 0) {
+      w.kind = FetchedWord::kOutside;
+    } else if (!Machine::RangeDefined(r, offset, 4)) {
+      w.kind = FetchedWord::kUndefined;
+    } else {
+      std::optional<Instr> decoded = Decode(LoadLe32(r.data.data() + offset));
+      if (!decoded.has_value()) {
+        w.kind = FetchedWord::kUndecodable;
+      } else {
+        w.kind = FetchedWord::kInstr;
+        w.instr = *decoded;
+      }
+    }
+    return w;
+  };
+  return BuildBlock(pc, fetch, /*watch_stores=*/true);
+}
+
+bool Dbt::Supported() {
+#if PARFAIT_DBT_THREADED
+  return true;
+#else
+  return false;
+#endif
+}
+
+// Executes `b`, chaining through static links while the step budget allows, and
+// returns kOk when control must go back to the dispatch loop (pc_/instret_ are
+// committed). Fault accounting matches the interpreter exactly: the faulting
+// instruction retires nothing, so pc_/instret_ are rewound to it before Fault().
+Machine::StepResult Dbt::ExecChain(Machine& m, const Block* b, uint64_t* remaining) {
+  Value* const regs = m.regs_.data();
+  // Data-region memos, hoisted across the whole chain (the region list cannot
+  // change during Run, so the pointers stay valid). Loads keep two slots because
+  // firmware alternates constant-table loads from ROM with data loads from RAM;
+  // stores keep one (they only ever hit writable regions). A memo hit replaces the
+  // member last-hit machinery with one subtract and two compares, no counter
+  // traffic; misses fall back to FindRegion and refill.
+  const Machine::Region* lreg0 = nullptr;
+  const Machine::Region* lreg1 = nullptr;
+  Machine::Region* sreg = nullptr;
+#define VM_REGION_HIT(r, adr, sz, off)                                 \
+  ((r) != nullptr && ((off) = (adr) - (r)->base) < (r)->size() &&      \
+   (sz) <= (r)->size() - (off))
+
+#if PARFAIT_DBT_THREADED
+  static const void* const kJump[] = {
+#define PARFAIT_DBT_LABEL_ADDR(name) &&L_##name,
+      PARFAIT_DBT_KINDS(PARFAIT_DBT_LABEL_ADDR)
+#undef PARFAIT_DBT_LABEL_ADDR
+  };
+#define VM_CASE(name) L_##name:
+#define VM_DISPATCH() goto* kJump[static_cast<size_t>(op->kind)]
+#else
+#define VM_CASE(name) case Mk::name:
+#define VM_DISPATCH() goto vm_dispatch
+#endif
+#define VM_NEXT()     \
+  do {                \
+    ++op;             \
+    VM_DISPATCH();    \
+  } while (0)
+#define VM_FAULT(reason)                            \
+  do {                                              \
+    m.instret_ += static_cast<uint64_t>(op - ops0); \
+    m.pc_ = op->pc;                                 \
+    return m.Fault(reason);                         \
+  } while (0)
+
+  for (;;) {
+    const MicroOp* const ops0 = b->ops.data();
+    const MicroOp* op = ops0;
+    const bool watch = b->watch_stores;
+    uint32_t next_pc = 0;
+    const Block* link = nullptr;
+
+#if PARFAIT_DBT_THREADED
+    VM_DISPATCH();
+#else
+  vm_dispatch:
+    switch (op->kind) {
+#endif
+
+    VM_CASE(kNop) { VM_NEXT(); }
+
+    VM_CASE(kConst) {
+      regs[op->rd] = Value::Defined(static_cast<uint32_t>(op->imm));
+      VM_NEXT();
+    }
+
+// ALU with immediate operand. rd != x0 by construction (x0 writes fold to kNop at
+// translation). An undefined rs1 poisons rd instead of faulting — CompCert's
+// Vundef propagation, same as the interpreter.
+#define VM_ALU_RI(name, expr)                             \
+  VM_CASE(name) {                                         \
+    Value a = regs[op->rs1];                              \
+    if (__builtin_expect(!a.defined, 0)) {                \
+      asm volatile("");                                   \
+      regs[op->rd] = Value::Undef();                      \
+      VM_NEXT();                                          \
+    }                                                     \
+    uint32_t lhs = a.bits;                                \
+    (void)lhs;                                            \
+    regs[op->rd] = Value::Defined((expr));                \
+    VM_NEXT();                                            \
+  }
+
+    VM_ALU_RI(kAddi, lhs + static_cast<uint32_t>(op->imm))
+    VM_ALU_RI(kSlti, static_cast<int32_t>(lhs) < op->imm ? 1u : 0u)
+    VM_ALU_RI(kSltiu, lhs < static_cast<uint32_t>(op->imm) ? 1u : 0u)
+    VM_ALU_RI(kXori, lhs ^ static_cast<uint32_t>(op->imm))
+    VM_ALU_RI(kOri, lhs | static_cast<uint32_t>(op->imm))
+    VM_ALU_RI(kAndi, lhs & static_cast<uint32_t>(op->imm))
+    // Shift amounts were masked to [0, 31] at translation.
+    VM_ALU_RI(kSlli, lhs << op->imm)
+    VM_ALU_RI(kSrli, lhs >> op->imm)
+    VM_ALU_RI(kSrai, static_cast<uint32_t>(static_cast<int32_t>(lhs) >> op->imm))
+
+// ALU with two register operands; any undefined operand poisons rd.
+#define VM_ALU_RR(name, expr)                                  \
+  VM_CASE(name) {                                              \
+    Value a = regs[op->rs1];                                   \
+    Value c = regs[op->rs2];                                   \
+    if (__builtin_expect(!(a.defined && c.defined), 0)) {      \
+      asm volatile("");                                        \
+      regs[op->rd] = Value::Undef();                           \
+      VM_NEXT();                                               \
+    }                                                          \
+    uint32_t lhs = a.bits;                                     \
+    uint32_t rhs = c.bits;                                     \
+    (void)lhs;                                                 \
+    (void)rhs;                                                 \
+    regs[op->rd] = Value::Defined((expr));                     \
+    VM_NEXT();                                                 \
+  }
+
+    VM_ALU_RR(kAdd, lhs + rhs)
+    VM_ALU_RR(kSub, lhs - rhs)
+    VM_ALU_RR(kSll, lhs << (rhs & 31))
+    VM_ALU_RR(kSlt, static_cast<int32_t>(lhs) < static_cast<int32_t>(rhs) ? 1u : 0u)
+    VM_ALU_RR(kSltu, lhs < rhs ? 1u : 0u)
+    VM_ALU_RR(kXor, lhs ^ rhs)
+    VM_ALU_RR(kSrl, lhs >> (rhs & 31))
+    VM_ALU_RR(kSra, static_cast<uint32_t>(static_cast<int32_t>(lhs) >> (rhs & 31)))
+    VM_ALU_RR(kOr, lhs | rhs)
+    VM_ALU_RR(kAnd, lhs & rhs)
+    VM_ALU_RR(kMul, lhs * rhs)
+    VM_ALU_RR(kMulh,
+              static_cast<uint32_t>((static_cast<int64_t>(static_cast<int32_t>(lhs)) *
+                                     static_cast<int64_t>(static_cast<int32_t>(rhs))) >>
+                                    32))
+    VM_ALU_RR(kMulhsu,
+              static_cast<uint32_t>((static_cast<int64_t>(static_cast<int32_t>(lhs)) *
+                                     static_cast<uint64_t>(rhs)) >>
+                                    32))
+    VM_ALU_RR(kMulhu, static_cast<uint32_t>(
+                          (static_cast<uint64_t>(lhs) * static_cast<uint64_t>(rhs)) >> 32))
+    // RISC-V division corner cases, verbatim from the interpreter.
+    VM_ALU_RR(kDiv, (rhs == 0) ? 0xffffffffu
+                    : (lhs == 0x80000000u && rhs == 0xffffffffu)
+                        ? 0x80000000u
+                        : static_cast<uint32_t>(static_cast<int32_t>(lhs) /
+                                                static_cast<int32_t>(rhs)))
+    VM_ALU_RR(kDivu, (rhs == 0) ? 0xffffffffu : lhs / rhs)
+    VM_ALU_RR(kRem, (rhs == 0) ? lhs
+                    : (lhs == 0x80000000u && rhs == 0xffffffffu)
+                        ? 0u
+                        : static_cast<uint32_t>(static_cast<int32_t>(lhs) %
+                                                static_cast<int32_t>(rhs)))
+    VM_ALU_RR(kRemu, (rhs == 0) ? lhs : lhs % rhs)
+
+// Loads resolve their region through the chain-local memos, then read through the
+// same LoadFromRegion the interpreter's LoadBytes uses. A load from undefined
+// memory writes Undef to rd; it does not fault.
+#define VM_LOAD(name, size, convert)                                         \
+  VM_CASE(name) {                                                            \
+    Value a = regs[op->rs1];                                                 \
+    if (__builtin_expect(!a.defined, 0)) {                                   \
+      VM_FAULT("load through undefined address");                            \
+    }                                                                        \
+    uint32_t addr = a.bits + static_cast<uint32_t>(op->imm);                 \
+    if (__builtin_expect((addr & ((size) - 1)) != 0, 0)) {                   \
+      VM_FAULT("misaligned load");                                           \
+    }                                                                        \
+    uint32_t off;                                                            \
+    const Machine::Region* r = lreg0;                                        \
+    if (__builtin_expect(!VM_REGION_HIT(r, addr, (size), off), 0)) {         \
+      r = lreg1;                                                             \
+      if (!VM_REGION_HIT(r, addr, (size), off)) {                            \
+        r = m.FindRegion(addr, (size));                                      \
+        if (__builtin_expect(r == nullptr, 0)) {                             \
+          VM_FAULT("load out of bounds");                                    \
+        }                                                                    \
+        off = addr - r->base;                                                \
+      }                                                                      \
+      lreg1 = lreg0;                                                         \
+      lreg0 = r;                                                             \
+    }                                                                        \
+    uint32_t raw;                                                            \
+    bool loaded_defined;                                                     \
+    m.LoadFromRegion(*r, off, (size), &raw, &loaded_defined);                \
+    if (__builtin_expect(!loaded_defined, 0)) {                              \
+      /* The empty asm keeps this arm a real branch: if-converted to a cmov, \
+         the definedness probe would join the register dependency chain and  \
+         stall every consumer of rd. */                                      \
+      asm volatile("");                                                      \
+      if (op->rd != 0) {                                                     \
+        regs[op->rd] = Value::Undef();                                       \
+      }                                                                      \
+      VM_NEXT();                                                             \
+    }                                                                        \
+    if (op->rd != 0) {                                                       \
+      regs[op->rd] = Value::Defined((convert));                              \
+    }                                                                        \
+    VM_NEXT();                                                               \
+  }
+
+    VM_LOAD(kLb, 1,
+            static_cast<uint32_t>(static_cast<int32_t>(static_cast<int8_t>(raw))))
+    VM_LOAD(kLh, 2,
+            static_cast<uint32_t>(static_cast<int32_t>(static_cast<int16_t>(raw))))
+    VM_LOAD(kLw, 4, raw)
+    VM_LOAD(kLbu, 1, raw)
+    VM_LOAD(kLhu, 2, raw)
+
+// Stores may invalidate translated blocks — including this one (self-modifying
+// code). StoreBytes marks overlapped local blocks dead; if we are the victim, the
+// store still retires, then control bails to dispatch for a fresh translation.
+#define VM_STORE(name, size)                                                  \
+  VM_CASE(name) {                                                             \
+    Value a = regs[op->rs1];                                                  \
+    if (__builtin_expect(!a.defined, 0)) {                                    \
+      VM_FAULT("store through undefined address");                            \
+    }                                                                         \
+    uint32_t addr = a.bits + static_cast<uint32_t>(op->imm);                  \
+    if (__builtin_expect((addr & ((size) - 1)) != 0, 0)) {                    \
+      VM_FAULT("misaligned store");                                           \
+    }                                                                         \
+    Value v = regs[op->rs2];                                                  \
+    uint32_t off;                                                             \
+    Machine::Region* r = sreg;                                                \
+    if (__builtin_expect(!VM_REGION_HIT(r, addr, (size), off), 0)) {          \
+      r = m.FindRegion(addr, (size));                                         \
+      if (__builtin_expect(r == nullptr || !r->writable, 0)) {                \
+        VM_FAULT("store out of bounds or read-only");                         \
+      }                                                                       \
+      sreg = r;  /* Only ever holds a writable region. */                     \
+      off = addr - r->base;                                                   \
+    }                                                                         \
+    m.StoreToRegion(*r, addr, off, (size), v.bits, v.defined);                \
+    if (__builtin_expect(watch && b->dead, 0)) {                              \
+      uint64_t retired = static_cast<uint64_t>(op - ops0) + 1;                \
+      m.instret_ += retired;                                                  \
+      *remaining -= retired;                                                  \
+      m.pc_ = op->pc + 4;                                                     \
+      return Machine::StepResult::kOk;                                        \
+    }                                                                         \
+    VM_NEXT();                                                                \
+  }
+
+    VM_STORE(kSb, 1)
+    VM_STORE(kSh, 2)
+    VM_STORE(kSw, 4)
+
+// Conditional branches terminate the block; imm holds the absolute taken target.
+#define VM_BRANCH(name, cond)                              \
+  VM_CASE(name) {                                          \
+    Value a = regs[op->rs1];                               \
+    Value c = regs[op->rs2];                               \
+    if (__builtin_expect(!(a.defined && c.defined), 0)) {  \
+      VM_FAULT("branch on undefined operand");             \
+    }                                                      \
+    uint32_t lhs = a.bits;                                 \
+    uint32_t rhs = c.bits;                                 \
+    (void)lhs;                                             \
+    (void)rhs;                                             \
+    if (cond) {                                            \
+      next_pc = static_cast<uint32_t>(op->imm);            \
+      link = b->link_taken;                                \
+    } else {                                               \
+      next_pc = op->pc + 4;                                \
+      link = b->link_fall;                                 \
+    }                                                      \
+    goto block_done;                                       \
+  }
+
+    VM_BRANCH(kBeq, lhs == rhs)
+    VM_BRANCH(kBne, lhs != rhs)
+    VM_BRANCH(kBlt, static_cast<int32_t>(lhs) < static_cast<int32_t>(rhs))
+    VM_BRANCH(kBge, static_cast<int32_t>(lhs) >= static_cast<int32_t>(rhs))
+    VM_BRANCH(kBltu, lhs < rhs)
+    VM_BRANCH(kBgeu, lhs >= rhs)
+
+    VM_CASE(kJal) {
+      // rd != x0 (x0 variants translate to kJ).
+      regs[op->rd] = Value::Defined(op->pc + 4);
+      next_pc = static_cast<uint32_t>(op->imm);
+      link = b->link_taken;
+      goto block_done;
+    }
+
+    VM_CASE(kJ) {
+      next_pc = static_cast<uint32_t>(op->imm);
+      link = b->link_taken;
+      goto block_done;
+    }
+
+    VM_CASE(kJalr) {
+      Value a = regs[op->rs1];
+      if (__builtin_expect(!a.defined, 0)) {
+        VM_FAULT("jalr through undefined register");
+      }
+      // Read rs1 before writing rd: `jalr rd, rd` must use the old value.
+      uint32_t target = (a.bits + static_cast<uint32_t>(op->imm)) & ~1u;
+      if (op->rd != 0) {
+        regs[op->rd] = Value::Defined(op->pc + 4);
+      }
+      next_pc = target;
+      link = nullptr;  // Indirect: always resolved by the dispatch loop.
+      goto block_done;
+    }
+
+    VM_CASE(kHalt) {
+      // ecall/ebreak retires (the interpreter bumps instret and pc before kHalt).
+      m.instret_ += b->num_instrs;
+      *remaining -= b->num_instrs;
+      m.pc_ = op->pc + 4;
+      return Machine::StepResult::kHalt;
+    }
+
+    VM_CASE(kFallthrough) {
+      next_pc = static_cast<uint32_t>(op->imm);
+      link = b->link_taken;
+      goto block_done;
+    }
+
+    VM_CASE(kFetchFault) {
+      // Zero instructions retired; pc_ already sits on the block start (== op->pc).
+      return m.Fault(op->imm == kFaultUndecodable ? "undecodable instruction"
+                     : op->imm == kFaultUndefined ? "instruction fetch of undefined memory"
+                                                  : "instruction fetch out of bounds");
+    }
+
+#if !PARFAIT_DBT_THREADED
+    }
+    return Machine::StepResult::kOk;  // Unreachable: every case jumps or returns.
+#endif
+
+  block_done:
+    m.instret_ += b->num_instrs;
+    *remaining -= b->num_instrs;
+    m.pc_ = next_pc;
+    if (__builtin_expect(link == nullptr, 0)) {
+      // Indirect target (jalr) or an edge translated after this block was linked.
+      // Resolve through the shared cache without leaving the dispatch loop: the
+      // firmware's helper calls return via jalr, so bouncing through Run would tear
+      // down and rebuild the chain state (including the region memos) on every
+      // call. Sentinel, misaligned, unmapped, and writable-region targets fall back
+      // to Run, which owns those paths; counter semantics are identical either way
+      // (Get translates-once under the shared mutex, and each dispatch counts one
+      // block hit).
+      if (*remaining == 0 || next_pc == Machine::kReturnSentinel ||
+          (next_pc & 3) != 0) {
+        return Machine::StepResult::kOk;
+      }
+      const Machine::Region* fr =
+          m.FindRegionImpl(next_pc, 4, &m.last_fetch_region_);
+      if (fr == nullptr || fr->shared_blocks == nullptr || !fr->all_defined) {
+        return Machine::StepResult::kOk;
+      }
+      const Block* nb = fr->shared_blocks->Get(next_pc, &m.block_translations_);
+      if (nb == nullptr || nb->num_instrs > *remaining) {
+        return Machine::StepResult::kOk;
+      }
+      m.block_hits_++;
+      b = nb;
+      continue;
+    }
+    if (*remaining == 0 || link->num_instrs > *remaining) {
+      return Machine::StepResult::kOk;
+    }
+    m.block_links_++;
+    b = link;
+  }
+
+#undef VM_BRANCH
+#undef VM_STORE
+#undef VM_REGION_HIT
+#undef VM_LOAD
+#undef VM_ALU_RR
+#undef VM_ALU_RI
+#undef VM_FAULT
+#undef VM_NEXT
+#undef VM_DISPATCH
+#undef VM_CASE
+}
+
+Machine::StepResult Dbt::Run(Machine& m, uint64_t max_steps) {
+  uint64_t remaining = max_steps;
+  for (;;) {
+    // Order matters: an exhausted budget wins over a sentinel pc, exactly like the
+    // interpreter's RunImpl (the halt is only observed by a step that never runs).
+    if (__builtin_expect(remaining == 0, 0)) {
+      m.fault_reason_ = "step limit exceeded";
+      return Machine::StepResult::kFault;
+    }
+    if (__builtin_expect(m.pc_ == Machine::kReturnSentinel, 0)) {
+      return Machine::StepResult::kHalt;
+    }
+    if (__builtin_expect((m.pc_ & 3) != 0, 0)) {
+      return m.Fault("misaligned pc");
+    }
+    const Machine::Region* r = m.FindRegionImpl(m.pc_, 4, &m.last_fetch_region_);
+    if (r == nullptr) {
+      return m.Fault("instruction fetch out of bounds");
+    }
+    const Block* b = nullptr;
+    if (r->shared_blocks != nullptr && r->all_defined) {
+      b = r->shared_blocks->Get(m.pc_, &m.block_translations_);
+    }
+    if (b == nullptr) {
+      // Writable region (or bytes past the shared cache): per-machine blocks,
+      // translated lazily and invalidated by stores.
+      auto* mr = const_cast<Machine::Region*>(r);
+      if (mr->local_blocks.cache == nullptr) {
+        mr->local_blocks.cache = std::make_unique<LocalBlockCache>();
+      }
+      LocalBlockCache& cache = *mr->local_blocks.cache;
+      // Safe point: no block is executing, so invalidated storage can go.
+      cache.CollectGarbage();
+      b = cache.Lookup(m.pc_);
+      if (b == nullptr) {
+        b = cache.Insert(TranslateLocal(*mr, m.pc_));
+        m.block_translations_++;
+      }
+    }
+    m.block_hits_++;
+    if (__builtin_expect(b->num_instrs > remaining, 0)) {
+      // The budget ends inside this block: interpret the tail one instruction at a
+      // time so partial blocks retire exactly like the interpreter.
+      while (remaining > 0) {
+        Machine::StepResult sr = m.StepCachedOnce();
+        if (sr != Machine::StepResult::kOk) {
+          return sr;
+        }
+        remaining--;
+      }
+      continue;
+    }
+    Machine::StepResult sr = ExecChain(m, b, &remaining);
+    if (sr != Machine::StepResult::kOk) {
+      return sr;
+    }
+  }
+}
+
+}  // namespace parfait::riscv

@@ -1,0 +1,181 @@
+// Dynamic binary translation backend for the RV32IM machine.
+//
+// The interpreter in machine.cc pays a fetch lookup, an operand read, and a large
+// execution switch per instruction. The translator removes all three from the hot
+// path: straight-line code (plus unconditional jal chains) is translated once into a
+// superblock of pre-decoded micro-ops, and a threaded dispatch loop (computed goto
+// under GCC/Clang) executes whole blocks between pc/instret updates, chaining
+// directly into the successor block on static control edges.
+//
+// Caching mirrors the decode-cache design (machine.h):
+//   - SharedTranslationCache: built over a region's shared immutable DecodeCache
+//     (read-only ROM). Blocks are translated in transitive closure under a mutex and
+//     published with release stores into per-word atomic slots, so one cache is
+//     shared by any number of machines on any number of threads. Blocks in a shared
+//     cache link to each other with plain pointers — links never change after
+//     publication. ROM blocks are never invalidated (a harness WriteMemory into the
+//     region drops the whole cache, exactly like shared_decode).
+//   - LocalBlockCache: lazy per-machine cache for writable regions. Stores evict
+//     every block whose source words overlap the store (self-modifying code), and a
+//     block that invalidates *itself* mid-execution bails out to the dispatch loop
+//     after the store retires. Local blocks carry no links; machine copies start
+//     with a cold cache (see LocalBlockHandle in machine.h).
+//
+// The oracle guarantee: every translated trace replays bit-identical to the
+// reference interpreter — registers, memory, definedness, instret, and fault
+// pc/reason — enforced by tests/machine_test.cc and tests/dbt_fuzz_test.cc.
+#ifndef PARFAIT_RISCV_TRANSLATOR_H_
+#define PARFAIT_RISCV_TRANSLATOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/riscv/machine.h"
+
+namespace parfait::riscv {
+
+// Micro-op kinds. The X-macro keeps the enum and the threaded-dispatch jump table
+// in translator.cc in lockstep by construction.
+//
+// Non-terminators retire exactly one instruction each. Terminators end the block:
+// kJal/kJ/kJalr/kBxx retire the transfer instruction, kHalt retires the
+// ecall/ebreak, kFallthrough and kFetchFault are synthetic (retire nothing).
+#define PARFAIT_DBT_KINDS(X)                                                        \
+  X(kNop)     /* fence, or any ALU op with rd == x0 */                              \
+  X(kConst)   /* rd <- imm (lui, auipc, inlined jal link; pc folded at translate) */\
+  X(kAddi) X(kSlti) X(kSltiu) X(kXori) X(kOri) X(kAndi) X(kSlli) X(kSrli) X(kSrai)  \
+  X(kAdd) X(kSub) X(kSll) X(kSlt) X(kSltu) X(kXor) X(kSrl) X(kSra) X(kOr) X(kAnd)   \
+  X(kMul) X(kMulh) X(kMulhsu) X(kMulhu) X(kDiv) X(kDivu) X(kRem) X(kRemu)           \
+  X(kLb) X(kLh) X(kLw) X(kLbu) X(kLhu)                                              \
+  X(kSb) X(kSh) X(kSw)                                                              \
+  X(kBeq) X(kBne) X(kBlt) X(kBge) X(kBltu) X(kBgeu) /* imm = absolute target */     \
+  X(kJal)        /* not-inlined jal: link rd, jump to imm (absolute) */             \
+  X(kJ)          /* jal rd=x0 cut by the cycle guard or length cap */               \
+  X(kJalr)                                                                          \
+  X(kHalt)       /* ecall / ebreak */                                               \
+  X(kFallthrough)/* block cut: continue dispatch at pc = imm */                     \
+  X(kFetchFault) /* untranslatable word: imm 0 = undecodable, 1 = undefined */
+
+enum class Mk : uint8_t {
+#define PARFAIT_DBT_ENUM(name) name,
+  PARFAIT_DBT_KINDS(PARFAIT_DBT_ENUM)
+#undef PARFAIT_DBT_ENUM
+};
+
+struct MicroOp {
+  Mk kind = Mk::kNop;
+  uint8_t rd = 0;
+  uint8_t rs1 = 0;
+  uint8_t rs2 = 0;
+  int32_t imm = 0;   // Immediate; absolute branch/jump target; folded constant.
+  uint32_t pc = 0;   // The source instruction's pc (fault attribution, fallthrough).
+};
+
+// A translated superblock. ops is never empty and always ends in a terminator.
+struct Block {
+  uint32_t start_pc = 0;
+  uint32_t num_instrs = 0;  // Instructions retired when the block runs to its end.
+  bool watch_stores = false;  // Local block: executed stores may invalidate it.
+  bool dead = false;          // Set by LocalBlockCache::Invalidate.
+  // Static successors (chained without returning to the dispatch loop). Filled by
+  // SharedTranslationCache only; immutable after publication. Local blocks leave
+  // them null — every local block exit re-enters the dispatch loop.
+  const Block* link_taken = nullptr;
+  const Block* link_fall = nullptr;
+  // Successor pcs the terminator encodes, used to resolve links.
+  uint32_t taken_target = 0;
+  uint32_t fall_target = 0;
+  bool has_taken = false;
+  bool has_fall = false;
+  std::vector<MicroOp> ops;
+  // Source byte ranges (absolute addr, len) the block was translated from, merged
+  // contiguously. Only filled for watch_stores blocks (invalidation needs them).
+  std::vector<std::pair<uint32_t, uint32_t>> ranges;
+};
+
+// Shared, thread-safe translation cache over a read-only region's DecodeCache.
+// Lookup is one acquire load; misses translate the transitive static-successor
+// closure under a mutex and publish every new block before returning, so links
+// between shared blocks are always resolvable and never mutated after publication.
+class SharedTranslationCache {
+ public:
+  explicit SharedTranslationCache(std::shared_ptr<const DecodeCache> decode);
+
+  uint32_t base() const { return decode_->base(); }
+
+  // Block starting at `pc` (4-aligned), or nullptr when pc is outside the cache.
+  // `*translated` is incremented by the number of blocks this call translated.
+  const Block* Get(uint32_t pc, uint64_t* translated);
+
+ private:
+  bool InRange(uint32_t pc) const {
+    uint32_t offset = pc - decode_->base();
+    return pc >= decode_->base() && (offset >> 2) < slots_.size() && (pc & 3) == 0;
+  }
+
+  std::shared_ptr<const DecodeCache> decode_;
+  std::vector<std::atomic<const Block*>> slots_;  // One per word; null until built.
+  std::mutex mu_;
+  std::deque<std::unique_ptr<Block>> blocks_;  // Guarded by mu_; stable addresses.
+};
+
+// Per-machine block cache for one writable region. Not thread-safe (a Machine is
+// single-threaded by contract). Invalidated blocks are marked dead and parked in a
+// graveyard — the executing block may be among them — and freed at the next
+// dispatch-loop safe point (CollectGarbage).
+class LocalBlockCache {
+ public:
+  const Block* Lookup(uint32_t pc) const {
+    auto it = blocks_.find(pc);
+    return it == blocks_.end() ? nullptr : it->second.get();
+  }
+
+  const Block* Insert(std::unique_ptr<Block> block);
+
+  // Kills every block whose source ranges overlap [addr, addr+size); returns how
+  // many blocks died. Cheap when no block covers the range (bitmap probe).
+  uint64_t Invalidate(uint32_t addr, uint32_t size);
+
+  void CollectGarbage() { graveyard_.clear(); }
+
+ private:
+  std::unordered_map<uint32_t, std::shared_ptr<Block>> blocks_;  // By start_pc.
+  // Bounding interval [cover_lo_, cover_hi_) of every covered byte, so Invalidate
+  // rejects stores outside the translated area (the common case: data stores in a
+  // region whose code sits elsewhere) with two compares.
+  uint32_t cover_lo_ = 0xffffffffu;
+  uint32_t cover_hi_ = 0;
+  std::vector<std::shared_ptr<Block>> graveyard_;
+};
+
+// The execution engine. A friend of Machine: it reads and writes the same private
+// state StepImpl does, through the same LoadBytes/StoreBytes/Fault paths, which is
+// what keeps the two backends bit-equivalent by construction on the memory side.
+class Dbt {
+ public:
+  // True when the threaded-dispatch build is available (GCC/Clang computed goto).
+  // When false, Machine::Run ignores Backend::kDBT and interprets.
+  static bool Supported();
+
+  // Runs `m` until halt, fault, or the step limit — the DBT analog of RunImpl<true>.
+  static Machine::StepResult Run(Machine& m, uint64_t max_steps);
+
+ private:
+  static std::unique_ptr<Block> TranslateLocal(const Machine::Region& r, uint32_t pc);
+  static Machine::StepResult ExecChain(Machine& m, const Block* b, uint64_t* remaining);
+
+  friend class SharedTranslationCache;
+  template <typename FetchFn>
+  static std::unique_ptr<Block> BuildBlock(uint32_t start_pc, FetchFn&& fetch,
+                                           bool watch_stores);
+};
+
+}  // namespace parfait::riscv
+
+#endif  // PARFAIT_RISCV_TRANSLATOR_H_

@@ -197,6 +197,17 @@ void Bus::WriteBytes(uint32_t addr, std::span<const uint8_t> data) {
   Mem* m = FindMem(addr, static_cast<uint32_t>(data.size()));
   PARFAIT_CHECK_MSG(m != nullptr, "WriteBytes out of range at 0x%08x", addr);
   std::memcpy(m->data.data() + (addr - m->base), data.data(), data.size());
+  if (m == &rom_) {
+    // WriteBytes is the one path that can change ROM after LoadRom (it is the
+    // harness/emulator backdoor and skips the writable check), so it must follow the
+    // same store-invalidation contract as the machine's decode and block caches:
+    // every fetch-cache word the write overlaps is re-decoded on next fetch.
+    uint32_t first = (addr - rom_.base) / 4;
+    uint32_t last = (addr - rom_.base + static_cast<uint32_t>(data.size()) + 3) / 4;
+    for (uint32_t i = first; i < last && i < decode_state_.size(); i++) {
+      decode_state_[i] = 0;
+    }
+  }
 }
 
 }  // namespace parfait::soc

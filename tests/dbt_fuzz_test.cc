@@ -1,0 +1,285 @@
+// Differential fuzzing of the three simulator backends (machine.h "Performance
+// architecture", translator.h): seeded random RV32IM programs — including misaligned
+// and out-of-bounds accesses, division corner cases, undecodable words, partially
+// undefined code and data, and stores into the executing code — must leave the
+// reference interpreter (no decode cache), the decode-cache interpreter, and the DBT
+// backend in bit-identical final states: memory bytes, per-byte definedness,
+// registers, pc, instret, and the exact fault string (which carries the faulting pc
+// and instret). The step budgets are drawn small on purpose so block-boundary
+// accounting and mid-block step limits are fuzzed too.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/riscv/machine.h"
+#include "src/riscv/translator.h"
+#include "src/support/bytes.h"
+#include "src/support/rng.h"
+
+namespace parfait::riscv {
+namespace {
+
+constexpr uint32_t kRomBase = 0x00000000;
+constexpr uint32_t kRomSize = 16 * 1024;
+constexpr uint32_t kRamBase = 0x20000000;
+constexpr uint32_t kRamSize = 16 * 1024;
+constexpr uint32_t kCodeWords = 192;  // Program size, in words.
+
+// ---- Random program generation ----
+
+// Register values are biased toward "interesting" addresses and division corner
+// cases so loads/stores land in (and just outside) the regions and div/rem hit the
+// RISC-V-defined edge results (x/0 = -1, rem 0x80000000 / -1, ...).
+uint32_t RandomRegValue(Rng& rng, uint32_t code_base) {
+  switch (rng.Below(8)) {
+    case 0: return code_base + (rng.Below(kCodeWords) << 2);       // In the code.
+    case 1: return kRamBase + rng.Below(kRamSize);                 // In RAM data.
+    case 2: return kRamBase + kRamSize - 4 + rng.Below(16);       // Region edge.
+    case 3: return 0;
+    case 4: return 0xffffffffu;                                    // -1.
+    case 5: return 0x80000000u;                                    // INT_MIN.
+    case 6: return rng.Next32() & 0xff;
+    default: return rng.Next32();
+  }
+}
+
+uint32_t EncodeIType(uint32_t imm12, uint32_t rs1, uint32_t f3, uint32_t rd,
+                     uint32_t opcode) {
+  return (imm12 << 20) | (rs1 << 15) | (f3 << 12) | (rd << 7) | opcode;
+}
+
+uint32_t EncodeRType(uint32_t f7, uint32_t rs2, uint32_t rs1, uint32_t f3, uint32_t rd,
+                     uint32_t opcode) {
+  return (f7 << 25) | (rs2 << 20) | (rs1 << 15) | (f3 << 12) | (rd << 7) | opcode;
+}
+
+uint32_t EncodeSType(uint32_t imm12, uint32_t rs2, uint32_t rs1, uint32_t f3) {
+  return ((imm12 >> 5) << 25) | (rs2 << 20) | (rs1 << 15) | (f3 << 12) |
+         ((imm12 & 0x1f) << 7) | 0x23;
+}
+
+uint32_t EncodeBType(int32_t offset, uint32_t rs2, uint32_t rs1, uint32_t f3) {
+  uint32_t imm = static_cast<uint32_t>(offset);
+  return (((imm >> 12) & 1) << 31) | (((imm >> 5) & 0x3f) << 25) | (rs2 << 20) |
+         (rs1 << 15) | (f3 << 12) | (((imm >> 1) & 0xf) << 8) | (((imm >> 11) & 1) << 7) |
+         0x63;
+}
+
+uint32_t EncodeJal(int32_t offset, uint32_t rd) {
+  uint32_t imm = static_cast<uint32_t>(offset);
+  return (((imm >> 20) & 1) << 31) | (((imm >> 1) & 0x3ff) << 21) |
+         (((imm >> 11) & 1) << 20) | (((imm >> 12) & 0xff) << 12) | (rd << 7) | 0x6f;
+}
+
+// One random instruction for the word at index `i` of the program. Offsets are
+// small so memory traffic clusters around the register bases (hitting the code as
+// often as the data), and branch/jal targets stay inside (or just past) the code.
+uint32_t RandomInstr(Rng& rng, uint32_t i) {
+  uint32_t rd = rng.Below(32);
+  uint32_t rs1 = rng.Below(32);
+  uint32_t rs2 = rng.Below(32);
+  uint32_t imm12 = rng.Below(64);  // Small positive offsets.
+  switch (rng.Below(16)) {
+    case 0: case 1: case 2: {  // ALU immediate.
+      static constexpr uint32_t kF3[] = {0, 2, 3, 4, 6, 7};
+      return EncodeIType(rng.Next32() & 0xfff, rs1, kF3[rng.Below(6)], rd, 0x13);
+    }
+    case 3: {  // Shift immediate.
+      uint32_t f3 = rng.Bool() ? 1 : 5;
+      uint32_t f7 = (f3 == 5 && rng.Bool()) ? 0x20 : 0;
+      return EncodeRType(f7, rng.Below(32), rs1, f3, rd, 0x13);
+    }
+    case 4: case 5: {  // ALU register (RV32I).
+      uint32_t f3 = rng.Below(8);
+      uint32_t f7 = (f3 == 0 || f3 == 5) && rng.Bool() ? 0x20 : 0;
+      return EncodeRType(f7, rs2, rs1, f3, rd, 0x33);
+    }
+    case 6: {  // M extension: mul/div/rem family (division corner cases included).
+      return EncodeRType(1, rs2, rs1, rng.Below(8), rd, 0x33);
+    }
+    case 7: {  // lui / auipc.
+      return ((rng.Next32() & 0xfffff) << 12) | (rd << 7) | (rng.Bool() ? 0x37 : 0x17);
+    }
+    case 8: case 9: {  // Load: lb/lh/lw/lbu/lhu (f3 6/7 undecodable on purpose).
+      return EncodeIType(imm12, rs1, rng.Below(6), rd, 0x03);
+    }
+    case 10: case 11: {  // Store: sb/sh/sw. Can hit the executing code itself.
+      return EncodeSType(imm12, rs2, rs1, rng.Below(3));
+    }
+    case 12: {  // Branch inside the code (forward-biased so loops stay rare).
+      int32_t target = static_cast<int32_t>(rng.Below(kCodeWords + 2)) * 4;
+      int32_t offset = target - static_cast<int32_t>(i * 4);
+      static constexpr uint32_t kF3[] = {0, 1, 4, 5, 6, 7};
+      return EncodeBType(offset, rs2, rs1, kF3[rng.Below(6)]);
+    }
+    case 13: {  // jal inside the code, or jalr through a register.
+      if (rng.Bool()) {
+        int32_t target = static_cast<int32_t>(rng.Below(kCodeWords + 2)) * 4;
+        return EncodeJal(target - static_cast<int32_t>(i * 4), rng.Below(2));
+      }
+      return EncodeIType(rng.Below(16) * 2, rs1, 0, rd, 0x67);  // jalr
+    }
+    case 14: {  // ecall (the halt path) — kept rare so programs run a while.
+      return rng.Below(4) == 0 ? 0x00000073 : EncodeIType(1, rs1, 0, rd, 0x13);
+    }
+    default:  // Raw random word: frequently undecodable.
+      return rng.Next32();
+  }
+}
+
+// ---- Machine construction ----
+
+struct Program {
+  std::vector<uint32_t> words;
+  std::vector<bool> defined;  // Undefined code words exercise the fetch-fault path.
+  Bytes data;                 // Initial contents of the low RAM data window.
+  uint32_t data_len = 0;
+};
+
+Program RandomProgram(Rng& rng) {
+  Program p;
+  p.words.reserve(kCodeWords);
+  p.defined.assign(kCodeWords, true);
+  for (uint32_t i = 0; i < kCodeWords; i++) {
+    p.words.push_back(RandomInstr(rng, i));
+  }
+  // A few undefined code words ("instruction fetch of undefined memory").
+  for (int k = 0; k < 3; k++) {
+    p.defined[rng.Below(kCodeWords)] = false;
+  }
+  p.data_len = 256 + rng.Below(256);
+  p.data = rng.RandomBytes(p.data_len);
+  return p;
+}
+
+// Builds one machine for the trial. When `code_in_rom` the program sits in the
+// read-only region (the shared-cache configuration); otherwise it sits at the base
+// of RAM, where stores can reach it (the self-modifying configuration).
+Machine MakeMachine(const Program& p, Rng& reg_rng, bool code_in_rom) {
+  Machine m;
+  m.AddRegion("rom", kRomBase, kRomSize, /*writable=*/false);
+  m.AddRegion("ram", kRamBase, kRamSize, /*writable=*/true, /*initially_defined=*/false);
+  uint32_t code_base = code_in_rom ? kRomBase : kRamBase;
+  for (uint32_t i = 0; i < kCodeWords; i++) {
+    if (!p.defined[i] && !code_in_rom) {
+      continue;  // Leave the word undefined (ROM is always fully defined).
+    }
+    Bytes b(4);
+    StoreLe32(b.data(), p.words[i]);
+    m.WriteMemory(code_base + i * 4, b);
+  }
+  uint32_t data_base = code_in_rom ? kRamBase : kRamBase + kCodeWords * 4;
+  m.WriteMemory(data_base, p.data);
+  for (uint8_t r = 1; r < 32; r++) {
+    if (reg_rng.Below(8) == 0) {
+      continue;  // Leave this register undefined.
+    }
+    m.set_reg(r, Value::Defined(RandomRegValue(reg_rng, code_base)));
+  }
+  m.set_pc(code_base);
+  return m;
+}
+
+void ExpectSameState(const Machine& a, const Machine& b, const std::string& where) {
+  EXPECT_EQ(a.ReadMemory(kRomBase, kRomSize), b.ReadMemory(kRomBase, kRomSize)) << where;
+  EXPECT_EQ(a.ReadMemory(kRamBase, kRamSize), b.ReadMemory(kRamBase, kRamSize)) << where;
+  for (uint32_t off = 0; off < kRamSize; off += 64) {
+    if (a.AllDefined(kRamBase + off, 64) != b.AllDefined(kRamBase + off, 64)) {
+      for (uint32_t i = 0; i < 64; i++) {
+        ASSERT_EQ(a.AllDefined(kRamBase + off + i, 1), b.AllDefined(kRamBase + off + i, 1))
+            << where << ": definedness mismatch at ram+0x" << std::hex << (off + i);
+      }
+    }
+  }
+  for (uint8_t i = 0; i < 32; i++) {
+    EXPECT_EQ(a.reg(i), b.reg(i)) << where << ": register x" << int{i};
+  }
+  EXPECT_EQ(a.pc(), b.pc()) << where;
+  EXPECT_EQ(a.instret(), b.instret()) << where;
+  EXPECT_EQ(a.fault_reason(), b.fault_reason()) << where;
+}
+
+// One differential trial: the same program and initial state run under all three
+// backends with the same step budget must agree on result and final state.
+void RunTrial(uint64_t seed, bool code_in_rom) {
+  Rng rng(seed);
+  Program p = RandomProgram(rng);
+  uint64_t reg_seed = rng.Next64();
+  // Budgets: tiny (mid-block limits), medium, and "to completion".
+  uint64_t budget;
+  switch (rng.Below(4)) {
+    case 0: budget = 1 + rng.Below(70); break;
+    case 1: budget = 200 + rng.Below(400); break;
+    default: budget = 20'000; break;
+  }
+
+  Rng ref_regs(reg_seed);
+  Machine ref = MakeMachine(p, ref_regs, code_in_rom);
+  ref.DisableDecodeCache();  // The reference interpreter: no fast paths at all.
+
+  Rng interp_regs(reg_seed);
+  Machine interp = MakeMachine(p, interp_regs, code_in_rom);
+  interp.SetBackend(Machine::Backend::kInterpreter);
+
+  Rng dbt_regs(reg_seed);
+  Machine dbt = MakeMachine(p, dbt_regs, code_in_rom);
+  dbt.SetBackend(Machine::Backend::kDBT);
+  if (code_in_rom) {
+    // The shared-cache configuration: one immutable decode cache and one shared
+    // translation cache, as ModelAsm attaches them.
+    Bytes rom = dbt.ReadMemory(kRomBase, kRomSize);
+    auto decode = std::make_shared<const DecodeCache>(kRomBase, rom);
+    interp.AttachDecodeCache(decode);
+    dbt.AttachDecodeCache(decode);
+    dbt.AttachTranslationCache(std::make_shared<SharedTranslationCache>(decode));
+  }
+
+  auto r_ref = ref.Run(budget);
+  auto r_interp = interp.Run(budget);
+  auto r_dbt = dbt.Run(budget);
+
+  std::string where = "seed " + std::to_string(seed) +
+                      (code_in_rom ? " (rom)" : " (ram)") +
+                      ", budget " + std::to_string(budget);
+  EXPECT_EQ(r_interp, r_ref) << where;
+  EXPECT_EQ(r_dbt, r_ref) << where;
+  ExpectSameState(interp, ref, where + " [interp vs ref]");
+  ExpectSameState(dbt, ref, where + " [dbt vs ref]");
+}
+
+TEST(DbtFuzz, SelfModifyingCodeInRamMatchesReferenceInterpreter) {
+  // Code in writable RAM: stores can rewrite the executing program, so this leg
+  // fuzzes the local block caches, store invalidation, and the mid-block bail-out.
+  for (uint64_t trial = 0; trial < 600; trial++) {
+    RunTrial(SplitSeed(0xdb7, trial), /*code_in_rom=*/false);
+    if (::testing::Test::HasFatalFailure()) {
+      return;
+    }
+  }
+}
+
+TEST(DbtFuzz, RomProgramsMatchUnderSharedTranslationCache) {
+  // Code in ROM behind a shared decode + translation cache: fuzzes superblock
+  // formation, block linking, and the shared publication path.
+  for (uint64_t trial = 0; trial < 400; trial++) {
+    RunTrial(SplitSeed(0x5a7ed, trial), /*code_in_rom=*/true);
+    if (::testing::Test::HasFatalFailure()) {
+      return;
+    }
+  }
+}
+
+TEST(DbtFuzz, DbtStateIsThreadCountAndRerunInvariant) {
+  // The same trial re-run under DBT must be exactly reproducible (fresh machines,
+  // fresh caches) — the machine-level face of the determinism contract.
+  for (uint64_t trial = 0; trial < 8; trial++) {
+    uint64_t seed = SplitSeed(0x4e4e, trial);
+    RunTrial(seed, false);
+    RunTrial(seed, false);
+  }
+}
+
+}  // namespace
+}  // namespace parfait::riscv

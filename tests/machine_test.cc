@@ -9,6 +9,7 @@
 
 #include "src/riscv/assembler.h"
 #include "src/riscv/machine.h"
+#include "src/riscv/translator.h"
 #include "src/support/bytes.h"
 
 namespace parfait::riscv {
@@ -186,7 +187,13 @@ TEST(MachineDecode, SharedCacheMatchesUncachedRun) {
   EXPECT_EQ(plain.reg(10), cached.reg(10));
   EXPECT_EQ(plain.instret(), cached.instret());
   EXPECT_EQ(plain.pc(), cached.pc());
-  EXPECT_GT(cached.TakePerfCounters().decode_hits, 0u);
+  auto perf = cached.TakePerfCounters();
+  if (cached.backend() == Machine::Backend::kDBT) {
+    // DBT dispatches whole blocks instead of per-instruction decode lookups.
+    EXPECT_GT(perf.block_hits, 0u);
+  } else {
+    EXPECT_GT(perf.decode_hits, 0u);
+  }
 }
 
 // The benchmark "before" leg (DisableDecodeCache: linear region scan, byte-per-byte
@@ -322,6 +329,157 @@ TEST(MachineRegions, LookupHitsLastHitCache) {
   ASSERT_EQ(m.Run(100000), Machine::StepResult::kHalt);
   auto perf = m.TakePerfCounters();
   EXPECT_GT(perf.region_cache_hits, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// DBT backend equivalence proofs. Each test pins the backend explicitly (the
+// PARFAIT_BACKEND default additionally runs the *whole* file under DBT in CI),
+// with the reference interpreter or the cached interpreter as the oracle.
+// ---------------------------------------------------------------------------
+
+TEST(MachineDbt, MatchesReferenceInterpreterOnDirtyingProgram) {
+  Machine reference = Load(kDirtyingProgram);
+  reference.DisableDecodeCache();
+  Machine interp = Load(kDirtyingProgram);
+  interp.SetBackend(Machine::Backend::kInterpreter);
+  Machine dbt = Load(kDirtyingProgram);
+  dbt.SetBackend(Machine::Backend::kDBT);
+
+  ASSERT_EQ(reference.Run(100000), Machine::StepResult::kHalt) << reference.fault_reason();
+  ASSERT_EQ(interp.Run(100000), Machine::StepResult::kHalt) << interp.fault_reason();
+  ASSERT_EQ(dbt.Run(100000), Machine::StepResult::kHalt) << dbt.fault_reason();
+  ExpectSameState(dbt, reference);
+  ExpectSameState(dbt, interp);
+}
+
+TEST(MachineDbt, SharedTranslationCacheMatchesAndLinks) {
+  Machine interp = Load(kDirtyingProgram);
+  interp.SetBackend(Machine::Backend::kInterpreter);
+  Machine dbt = Load(kDirtyingProgram);
+  auto decode = std::make_shared<DecodeCache>(kRomBase, dbt.ReadMemory(kRomBase, kRomSize));
+  dbt.AttachDecodeCache(decode);
+  dbt.AttachTranslationCache(std::make_shared<SharedTranslationCache>(decode));
+  dbt.SetBackend(Machine::Backend::kDBT);
+
+  ASSERT_EQ(interp.Run(100000), Machine::StepResult::kHalt) << interp.fault_reason();
+  ASSERT_EQ(dbt.Run(100000), Machine::StepResult::kHalt) << dbt.fault_reason();
+  ExpectSameState(dbt, interp);
+  auto perf = dbt.TakePerfCounters();
+  EXPECT_GT(perf.block_translations, 0u);
+  EXPECT_GT(perf.block_hits, 0u);
+  // The loop's backward branch is a static edge: taken iterations chain directly.
+  EXPECT_GT(perf.block_links, 0u);
+}
+
+TEST(MachineDbt, OneTranslationCacheServesManyMachines) {
+  Machine a = Load(kDirtyingProgram);
+  auto decode = std::make_shared<DecodeCache>(kRomBase, a.ReadMemory(kRomBase, kRomSize));
+  a.AttachDecodeCache(decode);
+  a.AttachTranslationCache(std::make_shared<SharedTranslationCache>(decode));
+  a.SetBackend(Machine::Backend::kDBT);
+  Machine b = a;  // Copies share the translation cache (shared_ptr, immutable).
+  ASSERT_EQ(a.Run(100000), Machine::StepResult::kHalt);
+  ASSERT_EQ(b.Run(100000), Machine::StepResult::kHalt);
+  ExpectSameState(a, b);
+  // The first machine translated the reachable blocks; the copy reused them all.
+  EXPECT_GT(a.TakePerfCounters().block_translations, 0u);
+  EXPECT_EQ(b.TakePerfCounters().block_translations, 0u);
+}
+
+TEST(MachineDbt, StoreToCodeInvalidatesTranslatedBlocks) {
+  // The StoreEvictsCachedDecode scenario under DBT: the ROM program rewrites the
+  // RAM continuation it already executed (and that DBT already translated).
+  auto build = [] {
+    Machine m = Load(R"(
+      _start:
+        li t0, 0x20000000
+        li t1, 0x00100513
+        sw t1, 0(t0)
+        li t1, 0x00000073
+        sw t1, 4(t0)
+        jr t0
+    )");
+    m.WriteMemory(kRamBase, Word(kAddiA0X0_2));
+    m.WriteMemory(kRamBase + 4, Word(kEcall));
+    return m;
+  };
+  Machine interp = build();
+  interp.SetBackend(Machine::Backend::kInterpreter);
+  Machine dbt = build();
+  dbt.SetBackend(Machine::Backend::kDBT);
+  for (Machine* m : {&interp, &dbt}) {
+    uint32_t start = m->pc();
+    m->set_pc(kRamBase);
+    ASSERT_EQ(m->Run(10), Machine::StepResult::kHalt);
+    EXPECT_EQ(m->reg(10), Value::Defined(2));
+    m->set_pc(start);
+    ASSERT_EQ(m->Run(1000), Machine::StepResult::kHalt) << m->fault_reason();
+    EXPECT_EQ(m->reg(10), Value::Defined(1));
+  }
+  ExpectSameState(dbt, interp);
+  EXPECT_GT(dbt.TakePerfCounters().block_invalidations, 0u);
+}
+
+TEST(MachineDbt, SelfInvalidatingBlockBailsAndRetranslates) {
+  // A block that overwrites its *own* later instructions mid-execution: the store
+  // retires, the dead block bails to dispatch, and the rewritten code runs.
+  auto build = [] {
+    Machine m;
+    m.AddRegion("ram", kRamBase, 4096, /*writable=*/true);
+    m.WriteMemory(kRamBase + 0, Word(0x0062a423));  // sw t1, 8(t0)
+    m.WriteMemory(kRamBase + 4, Word(0x00000013));  // nop
+    m.WriteMemory(kRamBase + 8, Word(kAddiA0X0_2)); // overwritten before it runs
+    m.WriteMemory(kRamBase + 12, Word(kEcall));
+    m.set_reg(5, Value::Defined(kRamBase));          // t0
+    m.set_reg(6, Value::Defined(kAddiA0X0_1));       // t1: the replacement word
+    m.set_pc(kRamBase);
+    return m;
+  };
+  Machine interp = build();
+  interp.SetBackend(Machine::Backend::kInterpreter);
+  Machine dbt = build();
+  dbt.SetBackend(Machine::Backend::kDBT);
+  ASSERT_EQ(interp.Run(10), Machine::StepResult::kHalt) << interp.fault_reason();
+  ASSERT_EQ(dbt.Run(10), Machine::StepResult::kHalt) << dbt.fault_reason();
+  EXPECT_EQ(interp.reg(10), Value::Defined(1)) << "interpreter must see the rewrite";
+  EXPECT_EQ(dbt.reg(10), Value::Defined(1)) << "translated block must not run stale code";
+  EXPECT_EQ(dbt.instret(), interp.instret());
+  EXPECT_EQ(dbt.pc(), interp.pc());
+  EXPECT_GT(dbt.TakePerfCounters().block_invalidations, 0u);
+}
+
+TEST(MachineDbt, FaultPcAndReasonMatchInterpreter) {
+  const char* program = R"(
+    _start:
+      li t0, 0x20000001
+      lw a0, 0(t0)
+      ecall
+  )";
+  Machine interp = Load(program);
+  interp.SetBackend(Machine::Backend::kInterpreter);
+  Machine dbt = Load(program);
+  dbt.SetBackend(Machine::Backend::kDBT);
+  ASSERT_EQ(interp.Run(100), Machine::StepResult::kFault);
+  ASSERT_EQ(dbt.Run(100), Machine::StepResult::kFault);
+  // Fault strings embed pc and instret, so string equality pins both.
+  EXPECT_EQ(dbt.fault_reason(), interp.fault_reason());
+  EXPECT_TRUE(dbt.fault_reason().find("misaligned load") == 0) << dbt.fault_reason();
+  ExpectSameState(dbt, interp);
+}
+
+TEST(MachineDbt, StepLimitMatchesInterpreterMidBlock) {
+  // Budgets that end inside a translated block must retire exactly the same
+  // instructions the interpreter would.
+  for (uint64_t budget : {1u, 2u, 3u, 7u, 57u, 58u, 59u}) {
+    Machine interp = Load(kDirtyingProgram);
+    interp.SetBackend(Machine::Backend::kInterpreter);
+    Machine dbt = Load(kDirtyingProgram);
+    dbt.SetBackend(Machine::Backend::kDBT);
+    Machine::StepResult ri = interp.Run(budget);
+    Machine::StepResult rd = dbt.Run(budget);
+    EXPECT_EQ(ri, rd) << "budget " << budget;
+    ExpectSameState(dbt, interp);
+  }
 }
 
 }  // namespace

@@ -11,15 +11,19 @@
 #include <type_traits>
 #include <vector>
 
+#include <map>
+
 #include "src/hsm/app.h"
 #include "src/ipr/equivalence.h"
 #include "src/ipr/lockstep.h"
 #include "src/ipr/state_machine.h"
 #include "src/platform/firmware.h"
 #include "src/platform/model_asm.h"
+#include "src/riscv/translator.h"
 #include "src/starling/starling.h"
 #include "src/support/parallel.h"
 #include "src/support/rng.h"
+#include "src/support/telemetry.h"
 
 namespace parfait {
 namespace {
@@ -377,6 +381,100 @@ TEST(Determinism, ModelAsmReportsAreCacheModeAndThreadCountInvariant) {
   }
   // Restore the default so test order cannot leak a mode into other suites.
   platform::ModelAsm::SetDecodeCacheMode(platform::DecodeCacheMode::kShared);
+}
+
+// ---- Simulator backends: the DBT must be invisible to the checkers too ----
+//
+// Same contract as the decode-cache modes, one level up: an equivalence run whose
+// impl leg executes firmware under model-Asm must produce bit-identical reports
+// whether the machines run under the interpreter or the block-translation backend,
+// under every cache mode, at every thread count.
+
+TEST(Determinism, ModelAsmReportsAreBackendAndThreadCountInvariant) {
+  platform::ModelAsm model = MakeHasherModel();
+  platform::ModelAsm::SetBackend(riscv::Machine::Backend::kInterpreter);
+  platform::ModelAsm::SetDecodeCacheMode(platform::DecodeCacheMode::kShared);
+  auto baseline = RunModelAsmEquivalence(model, 1);
+  EXPECT_TRUE(baseline.ok) << baseline.counterexample;
+  EXPECT_GT(baseline.checks_run, 0);
+
+  for (auto be : {riscv::Machine::Backend::kInterpreter, riscv::Machine::Backend::kDBT}) {
+    platform::ModelAsm::SetBackend(be);
+    for (auto mode : {platform::DecodeCacheMode::kShared,
+                      platform::DecodeCacheMode::kPerThread, platform::DecodeCacheMode::kOff}) {
+      platform::ModelAsm::SetDecodeCacheMode(mode);
+      for (int threads : {1, 2, 8}) {
+        auto report = RunModelAsmEquivalence(model, threads);
+        std::string where = "backend " + std::to_string(static_cast<int>(be)) + ", mode " +
+                            std::to_string(static_cast<int>(mode)) + ", " +
+                            std::to_string(threads) + " threads";
+        EXPECT_EQ(report.ok, baseline.ok) << where;
+        EXPECT_EQ(report.counterexample, baseline.counterexample) << where;
+        EXPECT_EQ(report.checks_run, baseline.checks_run) << where;
+        EXPECT_EQ(report.telemetry.ToJson(), baseline.telemetry.ToJson()) << where;
+      }
+    }
+  }
+  platform::ModelAsm::SetBackend(riscv::Machine::DefaultBackend());
+  platform::ModelAsm::SetDecodeCacheMode(platform::DecodeCacheMode::kShared);
+}
+
+TEST(Determinism, DbtBlockCountersAreThreadCountInvariant) {
+  // The machine/block_* counters ModelAsm flushes into the global registry are part
+  // of the determinism contract: with the shared translation cache, translation
+  // happens exactly once per block process-wide (so the total is the unique block
+  // count), and hits/links/invalidations are per-command deterministic — the folded
+  // totals for a fixed workload must be bit-identical at every thread count.
+  const hsm::App& app = hsm::HasherApp();
+  std::vector<Bytes> commands;
+  Rng rng(123);
+  for (int i = 0; i < 48; i++) {
+    commands.push_back(app.RandomValidCommand(rng));
+  }
+  Bytes state = app.InitStateEncoded();
+
+  platform::ModelAsm::SetBackend(riscv::Machine::Backend::kDBT);
+  platform::ModelAsm::SetDecodeCacheMode(platform::DecodeCacheMode::kShared);
+  auto& t = telemetry::Telemetry::Global();
+  bool was_enabled = t.enabled();
+  t.Enable();
+
+  std::map<std::string, uint64_t> baseline;
+  for (int threads : {1, 2, 8}) {
+    // A fresh model per run: fresh image caches, so every run translates from cold.
+    platform::ModelAsm model = MakeHasherModel();
+    t.Reset();
+    ThreadPool pool(threads);
+    std::atomic<int> failures{0};
+    ParallelFor(pool, commands.size(), [&](size_t i) {
+      auto step = model.Step(state, commands[i], 100'000'000);
+      if (!step.ok) {
+        failures.fetch_add(1);
+      }
+    });
+    EXPECT_EQ(failures.load(), 0) << "at " << threads << " threads";
+    auto snap = t.Snapshot();
+    for (const char* name : {"machine/block_translations", "machine/block_hits",
+                             "machine/block_invalidations", "machine/block_links"}) {
+      uint64_t v = snap.CounterValue(name);
+      if (threads == 1) {
+        baseline[name] = v;
+      } else {
+        EXPECT_EQ(v, baseline[name]) << name << " at " << threads << " threads";
+      }
+    }
+  }
+  if (riscv::Dbt::Supported()) {
+    EXPECT_GT(baseline["machine/block_translations"], 0u);
+    EXPECT_GT(baseline["machine/block_hits"], 0u);
+    EXPECT_GT(baseline["machine/block_links"], 0u);
+  }
+
+  t.Reset();
+  if (!was_enabled) {
+    t.Disable();
+  }
+  platform::ModelAsm::SetBackend(riscv::Machine::DefaultBackend());
 }
 
 TEST(Determinism, SharedPrototypeSurvivesConcurrentFirstUse) {
