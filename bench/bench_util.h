@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "src/platform/model_asm.h"
+#include "src/support/prof.h"
+#include "src/support/profiler.h"
 #include "src/support/telemetry.h"
 
 namespace parfait::bench {
@@ -120,6 +122,82 @@ inline std::string SetupTrace(int argc, char** argv) {
   return path;
 }
 
+// Arms the profiler when requested via --profile=1 (any nonzero value; FlagStr
+// rejects a bare --profile) or the PARFAIT_PROFILE environment variable. Tracing
+// implies profiling: a --trace run already paid for the metric path, and the
+// WorkSpan mirror is what puts work-unit tags on the Chrome timeline. Returns
+// whether the profiler is on; when it is, TelemetryReport::ToJson embeds the
+// runtime-only "profile" section.
+inline bool SetupProfile(int argc, char** argv) {
+  bool on = FlagInt(argc, argv, "--profile", 0) != 0;
+  if (!on) {
+    const char* env = std::getenv("PARFAIT_PROFILE");
+    on = env != nullptr && env[0] != '\0' && std::strcmp(env, "0") != 0;
+  }
+  if (!on) {
+    on = telemetry::Telemetry::Global().tracing();
+  }
+  if (on) {
+    profiler::Profiler::Global().Enable();
+  }
+  return on;
+}
+
+// Arms the global telemetry registry when --telemetry-json=<path> asks for a
+// snapshot dump; FinishTelemetryJson writes it at exit. This is how the tools
+// (parfait-lint, parfait-tv) get machine-readable telemetry without being benches.
+inline std::string SetupTelemetryJson(int argc, char** argv) {
+  std::string path = FlagStr(argc, argv, "--telemetry-json", "");
+  if (!path.empty()) {
+    telemetry::Telemetry::Global().Enable();
+  }
+  return path;
+}
+
+// Writes {"tool":...,"telemetry":...[,"evidence":...][,"profile":...]} from the
+// global registry if SetupTelemetryJson armed a path; returns false on I/O failure
+// (and true when no dump was requested).
+inline bool FinishTelemetryJson(const std::string& path, const std::string& tool) {
+  if (path.empty()) {
+    return true;
+  }
+  const telemetry::Telemetry& global = telemetry::Telemetry::Global();
+  std::string out = "{\"tool\":\"" + tool + "\",\"telemetry\":" +
+                    global.Snapshot().ToJson();
+  std::vector<telemetry::Evidence> evidence = global.evidence();
+  if (!evidence.empty()) {
+    out += ",\"evidence\":[";
+    for (size_t i = 0; i < evidence.size(); i++) {
+      out += (i > 0 ? "," : "") + evidence[i].ToJson();
+    }
+    out += "]";
+  }
+  if (profiler::Profiler::Global().enabled()) {
+    out += ",\"profile\":" + prof::ProfileJson(profiler::Profiler::Global());
+  }
+  out += "}";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  size_t written = std::fwrite(out.data(), 1, out.size(), f);
+  bool ok = std::fclose(f) == 0 && written == out.size();
+  if (ok) {
+    std::printf("telemetry written to %s\n", path.c_str());
+  }
+  return ok;
+}
+
+// Build/runtime provenance stamped into every BENCH_*.json "meta" object so a
+// parfait-prof diff names what it compared. The macros come from the top-level
+// CMakeLists (git describe at configure time; CMAKE_BUILD_TYPE).
+#ifndef PARFAIT_GIT_DESCRIBE
+#define PARFAIT_GIT_DESCRIBE "unknown"
+#endif
+#ifndef PARFAIT_BUILD_TYPE
+#define PARFAIT_BUILD_TYPE "unknown"
+#endif
+
 // Writes the captured trace if SetupTrace armed one (open the file in
 // chrome://tracing or https://ui.perfetto.dev).
 inline void FinishTrace(const std::string& path) {
@@ -136,16 +214,21 @@ inline void FinishTrace(const std::string& path) {
 
 // Accumulates one bench run's machine-readable summary and writes it as
 // BENCH_telemetry.json:
-//   {"bench":...,"threads":...,"phases":[{"name":...,"seconds":...}],
-//    "telemetry":{"counters":...,"histograms":...},"evidence":[...],"pool":{...}}
+//   {"bench":...,"threads":...,"meta":{...},"phases":[{"name":...,"seconds":...}],
+//    "telemetry":{"counters":...,"histograms":...},"evidence":[...],"pool":{...},
+//    "profile":{...}}
 // The "telemetry" object is built exclusively from checker-report snapshots merged in
-// a fixed program order, so it is byte-identical at every --threads value. Wall-clock
-// phases, evidence, and the pool section (present only when the global registry is
-// enabled, e.g. under --trace) sit outside that determinism contract.
+// a fixed program order, so it is byte-identical at every --threads value. The meta
+// stamp (backend, build type, git describe), wall-clock phases, evidence, and the
+// pool/profile sections (present only when the global registry / profiler is
+// enabled, e.g. under --trace or --profile=1) sit outside that determinism contract.
 class TelemetryReport {
  public:
   TelemetryReport(std::string bench, int threads)
       : bench_(std::move(bench)), threads_(threads) {}
+
+  // Records the resolved --backend name (from ApplyBackendFlag) for the meta stamp.
+  void SetBackend(std::string backend) { backend_ = std::move(backend); }
 
   void AddPhase(const std::string& name, double seconds) {
     phases_.push_back({name, seconds});
@@ -169,9 +252,18 @@ class TelemetryReport {
     return ok;
   }
 
+  // The "meta" object alone, reusable by benches that write bespoke JSON (table4's
+  // BENCH_parallel.json) so every emitted record carries the same provenance.
+  std::string MetaJson() const {
+    return "{\"backend\":\"" + (backend_.empty() ? "default" : backend_) +
+           "\",\"threads\":" + std::to_string(threads_) + ",\"build\":\"" +
+           PARFAIT_BUILD_TYPE "\",\"git\":\"" + PARFAIT_GIT_DESCRIBE "\"}";
+  }
+
   std::string ToJson() const {
     std::string out = "{\"bench\":\"" + bench_ + "\",\"threads\":" +
-                      std::to_string(threads_) + ",\"phases\":[";
+                      std::to_string(threads_) + ",\"meta\":" + MetaJson() +
+                      ",\"phases\":[";
     for (size_t i = 0; i < phases_.size(); i++) {
       char buf[160];
       std::snprintf(buf, sizeof(buf), "%s{\"name\":\"%s\",\"seconds\":%.6f}",
@@ -196,7 +288,13 @@ class TelemetryReport {
       telemetry::TelemetrySnapshot runtime = global.Snapshot();
       out += ",\"pool\":{\"tasks\":" + std::to_string(runtime.CounterValue("pool/tasks")) +
              ",\"steals\":" + std::to_string(runtime.CounterValue("pool/steals")) +
-             ",\"idle_ns\":" + std::to_string(runtime.CounterValue("pool/idle_ns")) + "}";
+             ",\"idle_ns\":" + std::to_string(runtime.CounterValue("pool/idle_ns")) +
+             ",\"busy_ns\":" + std::to_string(runtime.CounterValue("pool/busy_ns")) + "}";
+    }
+    // Work-unit attribution, lane timelines, and contention probes — runtime-only,
+    // consumed by `parfait-prof report`.
+    if (profiler::Profiler::Global().enabled()) {
+      out += ",\"profile\":" + prof::ProfileJson(profiler::Profiler::Global());
     }
     out += "}";
     return out;
@@ -209,6 +307,7 @@ class TelemetryReport {
   };
 
   std::string bench_;
+  std::string backend_;
   int threads_;
   std::vector<Phase> phases_;
   telemetry::TelemetrySnapshot telemetry_;

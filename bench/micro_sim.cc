@@ -22,6 +22,7 @@
 #include "src/hsm/hsm_system.h"
 #include "src/platform/model_asm.h"
 #include "src/riscv/machine.h"
+#include "src/support/profiler.h"
 #include "src/support/rng.h"
 #include "src/support/telemetry.h"
 
@@ -161,6 +162,26 @@ void BM_MachineSetupBaseline(benchmark::State& state) {
 }
 BENCHMARK(BM_MachineSetupBaseline);
 
+// Disabled-mode cost of the profiler's instrumentation points: constructing a
+// WorkSpan (and skipping Annotate behind active()) on the disabled global profiler.
+// The contract is one relaxed atomic load and a branch — this benchmark prices it,
+// and BENCH_simperf.json records it against the work one span guards (a checker
+// command, i.e. one interpreter Step call) as profiler_off.overhead_pct.
+void BM_ProfilerDisabledSpan(benchmark::State& state) {
+  if (profiler::Profiler::Global().enabled()) {
+    state.SkipWithError("profiler unexpectedly enabled");
+    return;
+  }
+  for (auto _ : state) {
+    profiler::WorkSpan span("bench/off");
+    if (span.active()) {
+      span.Annotate("never built");
+    }
+    benchmark::DoNotOptimize(span.active());
+  }
+}
+BENCHMARK(BM_ProfilerDisabledSpan);
+
 void BM_SocCycles(benchmark::State& state) {
   soc::CpuKind kind = state.range(0) == 0 ? soc::CpuKind::kIbexLite : soc::CpuKind::kPicoLite;
   const auto& system = HasherSystem(kind);
@@ -224,7 +245,7 @@ class SimperfCollector : public benchmark::ConsoleReporter {
   std::map<std::string, Result> results_;
 };
 
-std::string SimperfJson(const SimperfCollector& c) {
+std::string SimperfJson(const SimperfCollector& c, const std::string& meta) {
   double before_ips = c.Counter("BM_MachineInterpreterBaseline", "instr/s");
   double after_ips = c.Counter("BM_MachineInterpreter", "instr/s");
   double dbt_ips = c.Counter("BM_MachineInterpreterDbt", "instr/s");
@@ -232,7 +253,7 @@ std::string SimperfJson(const SimperfCollector& c) {
   double after_us = c.MicrosPerIter("BM_MachineSetup");
   char buf[1024];
   std::snprintf(buf, sizeof(buf),
-                "{\"bench\":\"micro_sim\","
+                "{\"bench\":\"micro_sim\",\"meta\":%s,"
                 "\"machine_interpreter\":{\"before_instr_per_s\":%.0f,"
                 "\"after_instr_per_s\":%.0f,\"speedup\":%.2f},"
                 "\"machine_dbt\":{\"dbt_instr_per_s\":%.0f,"
@@ -242,6 +263,7 @@ std::string SimperfJson(const SimperfCollector& c) {
                 "\"machine_setup\":{\"before_us\":%.2f,\"after_us\":%.2f,"
                 "\"speedup\":%.2f},"
                 "\"soc_cycles\":[",
+                meta.c_str(),
                 before_ips, after_ips, before_ips > 0 ? after_ips / before_ips : 0,
                 dbt_ips, after_ips > 0 ? dbt_ips / after_ips : 0,
                 before_ips > 0 ? dbt_ips / before_ips : 0,
@@ -265,7 +287,18 @@ std::string SimperfJson(const SimperfCollector& c) {
     out += buf;
     first = false;
   }
-  out += "]}";
+  out += "]";
+  // Disabled-mode profiler cost: one span per checker command, priced against one
+  // interpreter Step call (the work a span guards in the instrumented checkers).
+  double span_ns = c.MicrosPerIter("BM_ProfilerDisabledSpan") * 1e3;
+  double interp_call_us = c.MicrosPerIter("BM_MachineInterpreter");
+  std::snprintf(buf, sizeof(buf),
+                ",\"profiler_off\":{\"span_ns\":%.2f,\"interp_call_us\":%.2f,"
+                "\"overhead_pct\":%.4f}",
+                span_ns, interp_call_us,
+                interp_call_us > 0 ? span_ns / (interp_call_us * 1e3) * 100.0 : 0);
+  out += buf;
+  out += "}";
   return out;
 }
 
@@ -288,7 +321,10 @@ int main(int argc, char** argv) {
   parfait::SimperfCollector collector;
   benchmark::RunSpecifiedBenchmarks(&collector);
 
-  std::string json = parfait::SimperfJson(collector);
+  // Both backends are measured in one run, so the meta backend says so.
+  parfait::bench::TelemetryReport meta_report("micro_sim", 1);
+  meta_report.SetBackend("interp+dbt");
+  std::string json = parfait::SimperfJson(collector, meta_report.MetaJson());
   const char* path = parfait::bench::FlagStr(argc, argv, "--json", "BENCH_simperf.json");
   std::FILE* f = std::fopen(path, "w");
   if (f != nullptr) {

@@ -71,6 +71,7 @@ int main(int argc, char** argv) {
   size_t hasher_proof = CountLoc(base + "src/hsm/hasher_app.cc");
 
   std::string trace = bench::SetupTrace(argc, argv);
+  bench::SetupProfile(argc, argv);
   int threads = ResolveNumThreads(bench::ThreadsFlag(argc, argv));
   bench::TelemetryReport report("table3_software_verification", threads);
   std::printf("%-18s %-22s %-18s %s\n", "App", "Proof artifact (LoC)", "Checks run",

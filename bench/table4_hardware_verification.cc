@@ -9,8 +9,13 @@
 // --threads=N (0 = all hardware threads) schedules the four HSM rows — and each row's
 // self-composition obligations — across N threads. When N != 1 the whole suite runs
 // at 1 thread and again at N, reports both throughputs, verifies the check outcomes
-// are identical, and emits BENCH_parallel.json with the measured speedup.
+// are identical, and emits BENCH_parallel.json with the measured speedup. Without an
+// explicit --backend= the suite runs one leg per execution backend (interp, dbt) so
+// the parallel-scaling record covers both; --backend=interp|dbt restricts to one leg.
+// --profile=1 (or a --trace= run) embeds the work-unit attribution, lane utilization,
+// and contention-probe "profile" section that `parfait-prof report` renders.
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -18,6 +23,7 @@
 #include "src/knox2/leakage.h"
 #include "src/support/loc.h"
 #include "src/support/parallel.h"
+#include "src/support/profiler.h"
 #include "src/support/rng.h"
 
 using namespace parfait;
@@ -43,6 +49,11 @@ struct Pass {
 };
 
 Row RunOne(const hsm::App& app, soc::CpuKind cpu, int num_threads) {
+  profiler::WorkSpan work_span("table4/row");
+  if (work_span.active()) {
+    work_span.Annotate("app=" + std::string(app.name()) +
+                       " cpu=" + soc::CpuKindName(cpu));
+  }
   hsm::HsmBuildOptions options;
   options.cpu = cpu;
   hsm::HsmSystem system(app, options);
@@ -129,11 +140,28 @@ bool SameOutcomes(const Pass& a, const Pass& b) {
   return true;
 }
 
+// One backend's 1-thread vs N-thread comparison.
+struct Leg {
+  std::string backend;
+  Pass serial;
+  Pass parallel;
+  bool identical = true;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bench::Header("Table 4: hardware verification effort and verification time (Knox2)");
-  std::printf("Model backend: %s\n", bench::ApplyBackendFlag(argc, argv));
+
+  // Explicit --backend= restricts to one leg; otherwise both backends run so
+  // BENCH_parallel.json records the scaling of each.
+  const char* backend_flag = bench::FlagStr(argc, argv, "--backend", nullptr);
+  std::vector<std::string> backends;
+  if (backend_flag != nullptr) {
+    backends = {bench::ApplyBackendFlag(argc, argv)};
+  } else {
+    backends = {"interp", "dbt"};
+  }
 
   std::string base = std::string(PARFAIT_SOURCE_DIR) + "/";
   size_t emulator_loc = CountLoc(base + "src/knox2/emulator.cc");
@@ -144,72 +172,100 @@ int main(int argc, char** argv) {
   std::printf("pointer mapping: identity on the shared flat address map (figure 10).\n\n");
 
   std::string trace = bench::SetupTrace(argc, argv);
+  bench::SetupProfile(argc, argv);
   int threads = ResolveNumThreads(bench::ThreadsFlag(argc, argv));
-  Pass serial;
-  Pass parallel;
   bool compared = threads != 1;
-  if (compared) {
-    serial = RunSuite(1);
-    parallel = RunSuite(threads);
-  } else {
-    serial = RunSuite(1);
-    parallel = serial;
+
+  bool all_ok = true;
+  bool all_identical = true;
+  std::vector<Leg> legs;
+  for (const std::string& backend : backends) {
+    platform::ModelAsm::SetBackend(backend == "dbt" ? riscv::Machine::Backend::kDBT
+                                                    : riscv::Machine::Backend::kInterpreter);
+    std::printf("--- backend: %s ---\n", backend.c_str());
+    Leg leg;
+    leg.backend = backend;
+    leg.serial = RunSuite(1);
+    leg.parallel = compared ? RunSuite(threads) : leg.serial;
+    leg.identical = SameOutcomes(leg.serial, leg.parallel);
+
+    std::printf("%-10s %-18s %-12s %-16s %-12s %s\n", "Platform", "App", "Time (s)",
+                "Cycles simulated", "Cycles/s", "Result");
+    for (const Row& row : leg.parallel.rows) {
+      std::printf("%-10s %-18s %-12.2f %-16llu %-12.0f %s\n", row.platform, row.app_name,
+                  row.seconds, static_cast<unsigned long long>(row.cycles),
+                  row.seconds > 0 ? row.cycles / row.seconds : 0.0,
+                  row.ok ? "PASS" : "FAIL");
+    }
+    double serial_rate =
+        leg.serial.seconds > 0 ? leg.serial.cycles / leg.serial.seconds : 0.0;
+    double parallel_rate =
+        leg.parallel.seconds > 0 ? leg.parallel.cycles / leg.parallel.seconds : 0.0;
+    if (compared) {
+      std::printf("\nParallel verification (%s): 1 thread %.2f s (%.0f cycles/s) vs %d "
+                  "threads %.2f s (%.0f cycles/s) — %.2fx speedup; outcomes %s\n\n",
+                  backend.c_str(), leg.serial.seconds, serial_rate, threads,
+                  leg.parallel.seconds, parallel_rate,
+                  leg.parallel.seconds > 0 ? leg.serial.seconds / leg.parallel.seconds : 0.0,
+                  leg.identical ? "identical" : "DIVERGED (determinism bug!)");
+    } else {
+      std::printf("\nParallel verification: ran at 1 thread (pass --threads=N to measure "
+                  "the 1-vs-N speedup)\n\n");
+    }
+    all_ok = all_ok && leg.parallel.ok;
+    all_identical = all_identical && leg.identical;
+    legs.push_back(std::move(leg));
   }
 
-  std::printf("%-10s %-18s %-12s %-16s %-12s %s\n", "Platform", "App", "Time (s)",
-              "Cycles simulated", "Cycles/s", "Result");
-  for (const Row& row : parallel.rows) {
-    std::printf("%-10s %-18s %-12.2f %-16llu %-12.0f %s\n", row.platform, row.app_name,
-                row.seconds, static_cast<unsigned long long>(row.cycles),
-                row.seconds > 0 ? row.cycles / row.seconds : 0.0,
-                row.ok ? "PASS" : "FAIL");
+  // Unified telemetry artifact: each leg's serial-pass row snapshots merged in leg
+  // then row order (identical at every --threads value and backend), plus wall-clock
+  // phases for every pass.
+  bench::TelemetryReport report("table4_hardware_verification", threads);
+  report.SetBackend(backends.size() == 1 ? backends[0] : "interp+dbt");
+  for (const Leg& leg : legs) {
+    for (const Row& row : leg.serial.rows) {
+      report.Merge(row.telemetry);
+    }
+  }
+  for (const Leg& leg : legs) {
+    report.AddPhase(leg.backend + " @1t", leg.serial.seconds);
+    if (compared) {
+      report.AddPhase(leg.backend + " @" + std::to_string(threads) + "t",
+                      leg.parallel.seconds);
+    }
   }
 
-  double serial_rate = serial.seconds > 0 ? serial.cycles / serial.seconds : 0.0;
-  double parallel_rate = parallel.seconds > 0 ? parallel.cycles / parallel.seconds : 0.0;
-  bool identical = SameOutcomes(serial, parallel);
-  if (compared) {
-    std::printf("\nParallel verification: 1 thread %.2f s (%.0f cycles/s) vs %d threads "
-                "%.2f s (%.0f cycles/s) — %.2fx speedup; outcomes %s\n",
-                serial.seconds, serial_rate, threads, parallel.seconds, parallel_rate,
-                parallel.seconds > 0 ? serial.seconds / parallel.seconds : 0.0,
-                identical ? "identical" : "DIVERGED (determinism bug!)");
-  } else {
-    std::printf("\nParallel verification: ran at 1 thread (pass --threads=N to measure "
-                "the 1-vs-N speedup)\n");
-  }
-
-  // Machine-readable artifact for CI trend tracking.
+  // Machine-readable artifact for CI trend tracking and the parfait-prof perf gate:
+  // one leg per backend, plus the runtime-only profile section when armed.
   if (FILE* json = std::fopen("BENCH_parallel.json", "w")) {
-    std::fprintf(json,
-                 "{\n"
-                 "  \"bench\": \"table4_hardware_verification\",\n"
-                 "  \"serial\": {\"threads\": 1, \"seconds\": %.4f, \"cycles\": %llu, "
-                 "\"cycles_per_sec\": %.1f},\n"
-                 "  \"parallel\": {\"threads\": %d, \"seconds\": %.4f, \"cycles\": %llu, "
-                 "\"cycles_per_sec\": %.1f},\n"
-                 "  \"speedup\": %.3f,\n"
-                 "  \"outcomes_identical\": %s\n"
-                 "}\n",
-                 serial.seconds, static_cast<unsigned long long>(serial.cycles), serial_rate,
-                 threads, parallel.seconds, static_cast<unsigned long long>(parallel.cycles),
-                 parallel_rate,
-                 parallel.seconds > 0 ? serial.seconds / parallel.seconds : 0.0,
-                 identical ? "true" : "false");
+    std::string out = "{\"bench\":\"table4_hardware_verification\",\"meta\":" +
+                      report.MetaJson() + ",\"legs\":[";
+    for (size_t i = 0; i < legs.size(); i++) {
+      const Leg& leg = legs[i];
+      char buf[512];
+      std::snprintf(
+          buf, sizeof(buf),
+          "%s{\"backend\":\"%s\",\"threads\":%d,\"serial_seconds\":%.4f,"
+          "\"parallel_seconds\":%.4f,\"serial_cycles_per_sec\":%.1f,"
+          "\"parallel_cycles_per_sec\":%.1f,\"speedup\":%.3f,\"outcomes_identical\":%s}",
+          i > 0 ? "," : "", leg.backend.c_str(), threads, leg.serial.seconds,
+          leg.parallel.seconds,
+          leg.serial.seconds > 0 ? leg.serial.cycles / leg.serial.seconds : 0.0,
+          leg.parallel.seconds > 0 ? leg.parallel.cycles / leg.parallel.seconds : 0.0,
+          leg.parallel.seconds > 0 ? leg.serial.seconds / leg.parallel.seconds : 0.0,
+          leg.identical ? "true" : "false");
+      out += buf;
+    }
+    out += "]";
+    if (profiler::Profiler::Global().enabled()) {
+      out += ",\"profile\":" + prof::ProfileJson(profiler::Profiler::Global());
+    }
+    out += "}\n";
+    std::fwrite(out.data(), 1, out.size(), json);
     std::fclose(json);
     std::printf("Wrote BENCH_parallel.json\n");
   }
 
-  // Unified telemetry artifact: the serial pass's row snapshots merged in row order
-  // (identical at every --threads value), plus wall-clock phases for both passes.
-  bench::TelemetryReport report("table4_hardware_verification", threads);
-  for (const Row& row : serial.rows) {
-    report.Merge(row.telemetry);
-  }
-  report.AddPhase("suite @1t", serial.seconds);
-  if (compared) {
-    report.AddPhase("suite @" + std::to_string(threads) + "t", parallel.seconds);
-  }
   report.Write(bench::FlagStr(argc, argv, "--json", "BENCH_telemetry.json"));
   bench::FinishTrace(trace);
 
@@ -217,5 +273,5 @@ int main(int argc, char** argv) {
       "Ibex: ECDSA 80 h at 304 cycles/s, hasher 0.10 h; PicoRV32: ECDSA 100 h at 671 "
       "cycles/s, hasher 0.14 h — shape: ECDSA orders of magnitude costlier than the "
       "hasher; PicoRV32 higher cycles/s yet longer wall-clock (more cycles per op)");
-  return (parallel.ok && identical) ? 0 : 1;
+  return (all_ok && all_identical) ? 0 : 1;
 }

@@ -4,7 +4,9 @@
 #include <vector>
 
 #include "src/riscv/machine.h"
+#include "src/soc/soc.h"
 #include "src/support/bytes.h"
+#include "src/support/profiler.h"
 #include "src/support/status.h"
 #include "src/support/telemetry.h"
 
@@ -260,6 +262,15 @@ CosimResult CosimOnSoc(const hsm::HsmSystem& system, soc::Soc* soc_ptr, const By
 CosimResult CosimHandleStep(const hsm::HsmSystem& system, const Bytes& state,
                             const Bytes& command, const CosimOptions& options) {
   TELEMETRY_SPAN("knox2/cosim_handle_step");
+  profiler::WorkSpan work_span("knox2/cosim");
+  if (work_span.active()) {
+    // checker x command x power-on state: the command opcode byte and a short state
+    // prefix identify the work unit without hauling the full buffers around.
+    work_span.Annotate("app=" + std::string(system.app().name()) +
+                       " cpu=" + soc::CpuKindName(system.options().cpu) +
+                       " cmd=" + (command.empty() ? std::string("-")
+                                                  : std::to_string(command[0])));
+  }
   auto soc = system.NewSocWithFram(system.MakeFram(state));
   CosimResult result = CosimOnSoc(system, soc.get(), state, command, options);
   result.stats.soc_cycles = soc->cycles();

@@ -3,6 +3,7 @@
 #include "src/hsm/secret_layout.h"
 #include "src/support/bytes.h"
 #include "src/support/parallel.h"
+#include "src/support/profiler.h"
 #include "src/support/status.h"
 #include "src/support/telemetry.h"
 
@@ -29,6 +30,13 @@ SelfCompResult SelfCompOneCommand(const hsm::HsmSystem& system, const Bytes& sta
                                   const Bytes& state_b, const Bytes& command,
                                   size_t command_index, uint64_t max_cycles) {
   TELEMETRY_SPAN("knox2/selfcomp_command");
+  profiler::WorkSpan work_span("knox2/selfcomp");
+  if (work_span.active()) {
+    work_span.Annotate("app=" + std::string(system.app().name()) +
+                       " cmd=" + std::to_string(command_index) +
+                       " op=" + (command.empty() ? std::string("-")
+                                                 : std::to_string(command[0])));
+  }
   SelfCompResult result;
   const hsm::App& app = system.app();
   PARFAIT_CHECK(command.size() == app.command_size());
@@ -188,6 +196,11 @@ TaintCheckResult RunTaintCheck(const hsm::HsmSystem& system, const Bytes& state,
   ThreadPool pool(options.num_threads);
   ParallelFor(pool, commands.size(), [&](size_t c) {
     TELEMETRY_SPAN("knox2/taint_command");
+    profiler::WorkSpan work_span("knox2/taint");
+    if (work_span.active()) {
+      work_span.Annotate("app=" + std::string(system.app().name()) +
+                         " cmd=" + std::to_string(c));
+    }
     auto soc = system.NewSocWithFram(system.MakeFram(starts[c].first));
     system.SeedSecretTaint(*soc);
     soc::WireHost host(soc.get());

@@ -11,6 +11,7 @@
 #include <optional>
 
 #include "src/support/bytes.h"
+#include "src/support/profiler.h"
 #include "src/support/status.h"
 
 #if defined(__GNUC__) || defined(__clang__)
@@ -316,7 +317,7 @@ const Block* SharedTranslationCache::Get(uint32_t pc, uint64_t* translated) {
     return hit;
   }
 
-  std::lock_guard<std::mutex> lock(mu_);
+  profiler::TimedLock lock(mu_, profiler::Probe::kTranslateLock);
   hit = slots_[idx].load(std::memory_order_relaxed);
   if (hit != nullptr) {
     return hit;

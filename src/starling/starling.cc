@@ -4,6 +4,7 @@
 
 #include "src/support/bytes.h"
 #include "src/support/parallel.h"
+#include "src/support/profiler.h"
 #include "src/support/rng.h"
 #include "src/support/telemetry.h"
 
@@ -186,6 +187,16 @@ StarlingReport CheckApp(const App& app, const StarlingOptions& options) {
   auto outcome = ParallelReduce<TrialResult>(
       pool, total,
       [&](size_t index) {
+        profiler::WorkSpan work_span("starling/trial");
+        if (work_span.active()) {
+          // Batches of 64 trials keep the unit cardinality low enough to read while
+          // still localizing a slow stretch of the trial index space.
+          const char* kind = index < valid             ? "valid"
+                             : index < valid + invalid ? "invalid"
+                                                       : "sequence";
+          work_span.Annotate("app=" + std::string(app.name()) + " kind=" + kind +
+                             " batch=" + std::to_string(index / 64));
+        }
         Rng rng(SplitSeed(options.seed, index));
         if (index < valid) {
           return RunValidTrial(app, rng);

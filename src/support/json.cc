@@ -1,0 +1,432 @@
+#include "src/support/json.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace parfait::json {
+
+const Value* Value::Find(std::string_view key) const {
+  if (kind_ != Kind::kObject) {
+    return nullptr;
+  }
+  for (const Member& member : object_) {
+    if (member.first == key) {
+      return &member.second;
+    }
+  }
+  return nullptr;
+}
+
+double Value::NumberOr(std::string_view key, double fallback) const {
+  const Value* v = Find(key);
+  return (v != nullptr && v->is_number()) ? v->AsNumber() : fallback;
+}
+
+std::string Value::StringOr(std::string_view key, std::string_view fallback) const {
+  const Value* v = Find(key);
+  return (v != nullptr && v->is_string()) ? v->AsString() : std::string(fallback);
+}
+
+Value Value::MakeBool(bool b) {
+  Value v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+Value Value::MakeNumber(double n) {
+  Value v;
+  v.kind_ = Kind::kNumber;
+  v.number_ = n;
+  return v;
+}
+
+Value Value::MakeString(std::string s) {
+  Value v;
+  v.kind_ = Kind::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+Value Value::MakeArray(std::vector<Value> items) {
+  Value v;
+  v.kind_ = Kind::kArray;
+  v.array_ = std::move(items);
+  return v;
+}
+
+Value Value::MakeObject(std::vector<Member> members) {
+  Value v;
+  v.kind_ = Kind::kObject;
+  v.object_ = std::move(members);
+  return v;
+}
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view text, std::string* error) : text_(text), error_(error) {}
+
+  std::optional<Value> Run() {
+    SkipWs();
+    std::optional<Value> value = ParseValue();
+    if (!value.has_value()) {
+      return std::nullopt;
+    }
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return Fail("trailing characters after the document");
+    }
+    return value;
+  }
+
+ private:
+  std::optional<Value> Fail(const char* message) {
+    if (error_ != nullptr && error_->empty()) {
+      *error_ = std::string(message) + " at byte " + std::to_string(pos_);
+    }
+    return std::nullopt;
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') {
+        break;
+      }
+      pos_++;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      pos_++;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(const char* word) {
+    size_t len = std::strlen(word);
+    if (text_.substr(pos_, len) == word) {
+      pos_ += len;
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<Value> ParseValue() {
+    if (depth_ > kMaxDepth) {
+      return Fail("nesting too deep");
+    }
+    if (pos_ >= text_.size()) {
+      return Fail("unexpected end of input");
+    }
+    char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject();
+      case '[':
+        return ParseArray();
+      case '"': {
+        std::optional<std::string> s = ParseString();
+        if (!s.has_value()) {
+          return std::nullopt;
+        }
+        return Value::MakeString(std::move(*s));
+      }
+      case 't':
+        if (ConsumeWord("true")) {
+          return Value::MakeBool(true);
+        }
+        return Fail("invalid literal");
+      case 'f':
+        if (ConsumeWord("false")) {
+          return Value::MakeBool(false);
+        }
+        return Fail("invalid literal");
+      case 'n':
+        if (ConsumeWord("null")) {
+          return Value::MakeNull();
+        }
+        return Fail("invalid literal");
+      default:
+        return ParseNumber();
+    }
+  }
+
+  std::optional<Value> ParseObject() {
+    depth_++;
+    pos_++;  // '{'
+    std::vector<Member> members;
+    SkipWs();
+    if (Consume('}')) {
+      depth_--;
+      return Value::MakeObject(std::move(members));
+    }
+    for (;;) {
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Fail("expected object key");
+      }
+      std::optional<std::string> key = ParseString();
+      if (!key.has_value()) {
+        return std::nullopt;
+      }
+      SkipWs();
+      if (!Consume(':')) {
+        return Fail("expected ':' after object key");
+      }
+      SkipWs();
+      std::optional<Value> value = ParseValue();
+      if (!value.has_value()) {
+        return std::nullopt;
+      }
+      members.emplace_back(std::move(*key), std::move(*value));
+      SkipWs();
+      if (Consume(',')) {
+        continue;
+      }
+      if (Consume('}')) {
+        depth_--;
+        return Value::MakeObject(std::move(members));
+      }
+      return Fail("expected ',' or '}' in object");
+    }
+  }
+
+  std::optional<Value> ParseArray() {
+    depth_++;
+    pos_++;  // '['
+    std::vector<Value> items;
+    SkipWs();
+    if (Consume(']')) {
+      depth_--;
+      return Value::MakeArray(std::move(items));
+    }
+    for (;;) {
+      SkipWs();
+      std::optional<Value> value = ParseValue();
+      if (!value.has_value()) {
+        return std::nullopt;
+      }
+      items.push_back(std::move(*value));
+      SkipWs();
+      if (Consume(',')) {
+        continue;
+      }
+      if (Consume(']')) {
+        depth_--;
+        return Value::MakeArray(std::move(items));
+      }
+      return Fail("expected ',' or ']' in array");
+    }
+  }
+
+  // Called with text_[pos_] == '"'. Decodes escapes; \uXXXX becomes UTF-8 (surrogate
+  // pairs supported; a lone surrogate is an error).
+  std::optional<std::string> ParseString() {
+    pos_++;  // '"'
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) {
+        Fail("unterminated string");
+        return std::nullopt;
+      }
+      char c = text_[pos_++];
+      if (c == '"') {
+        return out;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        Fail("unescaped control character in string");
+        return std::nullopt;
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        Fail("unterminated escape");
+        return std::nullopt;
+      }
+      char e = text_[pos_++];
+      switch (e) {
+        case '"':
+        case '\\':
+        case '/':
+          out.push_back(e);
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'u': {
+          unsigned cp;
+          if (!ParseHex4(&cp)) {
+            return std::nullopt;
+          }
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: must pair with \uDC00..\uDFFF.
+            if (pos_ + 1 >= text_.size() || text_[pos_] != '\\' || text_[pos_ + 1] != 'u') {
+              Fail("lone high surrogate");
+              return std::nullopt;
+            }
+            pos_ += 2;
+            unsigned lo;
+            if (!ParseHex4(&lo)) {
+              return std::nullopt;
+            }
+            if (lo < 0xDC00 || lo > 0xDFFF) {
+              Fail("invalid low surrogate");
+              return std::nullopt;
+            }
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            Fail("lone low surrogate");
+            return std::nullopt;
+          }
+          AppendUtf8(cp, &out);
+          break;
+        }
+        default:
+          Fail("unknown escape");
+          return std::nullopt;
+      }
+    }
+  }
+
+  bool ParseHex4(unsigned* out) {
+    if (pos_ + 4 > text_.size()) {
+      Fail("truncated \\u escape");
+      return false;
+    }
+    unsigned value = 0;
+    for (int i = 0; i < 4; i++) {
+      char c = text_[pos_++];
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        Fail("bad hex digit in \\u escape");
+        return false;
+      }
+    }
+    *out = value;
+    return true;
+  }
+
+  static void AppendUtf8(unsigned cp, std::string* out) {
+    if (cp < 0x80) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  std::optional<Value> ParseNumber() {
+    size_t start = pos_;
+    if (Consume('-')) {
+    }
+    if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+      return Fail("invalid number");
+    }
+    if (text_[pos_] == '0') {
+      pos_++;  // JSON forbids leading zeros: "0" stands alone before '.'/'e'.
+    } else {
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        pos_++;
+      }
+    }
+    if (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+      return Fail("leading zero in number");
+    }
+    if (Consume('.')) {
+      if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+        return Fail("digits required after decimal point");
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        pos_++;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      pos_++;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        pos_++;
+      }
+      if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+        return Fail("digits required in exponent");
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        pos_++;
+      }
+    }
+    // The matched range is a valid strtod input by construction.
+    std::string number(text_.substr(start, pos_ - start));
+    return Value::MakeNumber(std::strtod(number.c_str(), nullptr));
+  }
+
+  static constexpr int kMaxDepth = 200;
+
+  std::string_view text_;
+  std::string* error_;
+  size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+std::optional<Value> Parse(std::string_view text, std::string* error) {
+  return Parser(text, error).Run();
+}
+
+std::optional<Value> ParseFile(const std::string& path, std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    if (error != nullptr) {
+      *error = "cannot open " + path;
+    }
+    return std::nullopt;
+  }
+  std::string text;
+  char buf[65536];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    text.append(buf, n);
+  }
+  std::fclose(f);
+  std::string parse_error;
+  std::optional<Value> value = Parse(text, &parse_error);
+  if (!value.has_value() && error != nullptr) {
+    *error = path + ": " + parse_error;
+  }
+  return value;
+}
+
+}  // namespace parfait::json

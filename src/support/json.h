@@ -1,0 +1,81 @@
+// Minimal JSON value model and recursive-descent parser.
+//
+// Parfait's benches and telemetry emit JSON by direct string construction (see
+// telemetry.cc and bench/bench_util.h) — that direction never needed a library. The
+// profiler's report/diff tooling (`parfait-prof`, src/support/prof.h) needs the
+// opposite direction: read back BENCH_*.json, telemetry snapshots, and Chrome-trace
+// files and walk them structurally. This is a deliberately small parser for that
+// job: full JSON syntax, objects preserved in insertion order (so reports render in
+// the order the bench wrote), numbers as double (bench payloads are counters and
+// seconds; 2^53 integer precision is far beyond any counter we emit), and \uXXXX
+// escapes decoded to UTF-8. No streaming, no writer.
+#ifndef PARFAIT_SUPPORT_JSON_H_
+#define PARFAIT_SUPPORT_JSON_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace parfait::json {
+
+class Value;
+
+// Object members keep file order; duplicate keys keep the last occurrence wins
+// semantics of Find (first match returned, parser stores in order — our emitters
+// never produce duplicates).
+using Member = std::pair<std::string, Value>;
+
+class Value {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool AsBool() const { return bool_; }
+  double AsNumber() const { return number_; }
+  const std::string& AsString() const { return string_; }
+  const std::vector<Value>& AsArray() const { return array_; }
+  const std::vector<Member>& AsObject() const { return object_; }
+
+  // Object member lookup; nullptr when this is not an object or the key is absent.
+  const Value* Find(std::string_view key) const;
+  // Chained lookup: Find(key) when it exists and is a number/string, else fallback.
+  double NumberOr(std::string_view key, double fallback) const;
+  std::string StringOr(std::string_view key, std::string_view fallback) const;
+
+  static Value MakeNull() { return Value(); }
+  static Value MakeBool(bool b);
+  static Value MakeNumber(double n);
+  static Value MakeString(std::string s);
+  static Value MakeArray(std::vector<Value> items);
+  static Value MakeObject(std::vector<Member> members);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<Value> array_;
+  std::vector<Member> object_;
+};
+
+// Parses one JSON document (leading/trailing whitespace allowed; trailing garbage is
+// an error). On failure returns nullopt and, when `error` is non-null, stores a
+// message with the byte offset of the problem.
+std::optional<Value> Parse(std::string_view text, std::string* error = nullptr);
+
+// Reads `path` and parses it. Distinguishes I/O failure from syntax errors in the
+// message.
+std::optional<Value> ParseFile(const std::string& path, std::string* error = nullptr);
+
+}  // namespace parfait::json
+
+#endif  // PARFAIT_SUPPORT_JSON_H_

@@ -4,6 +4,7 @@
 #include <thread>
 #include <utility>
 
+#include "src/support/profiler.h"
 #include "src/support/telemetry.h"
 
 namespace parfait {
@@ -29,7 +30,23 @@ struct ThreadPool::Worker {
   std::atomic<uint64_t> tasks_run{0};
   std::atomic<uint64_t> steals{0};
   std::atomic<uint64_t> idle_ns{0};
+  // Profiling-only fields (see PoolLaneStats): populated when the global telemetry
+  // registry or profiler is enabled, zero otherwise.
+  std::atomic<uint64_t> busy_ns{0};
+  std::atomic<uint64_t> queue_depth_sum{0};
+  std::atomic<uint64_t> queue_depth_samples{0};
+  std::atomic<uint64_t> queue_depth_max{0};
 };
+
+namespace {
+
+// Whether per-task clock reads are allowed: the disabled-mode cost contract forbids
+// them unless someone armed telemetry or the profiler.
+bool TimingOn() {
+  return telemetry::Telemetry::Global().enabled() || profiler::Profiler::Global().enabled();
+}
+
+}  // namespace
 
 int ResolveNumThreads(int num_threads) {
   if (num_threads > 0) {
@@ -69,10 +86,28 @@ ThreadPool::~ThreadPool() {
       snapshot.AddCounter("pool/tasks", lane.tasks_run);
       snapshot.AddCounter("pool/steals", lane.steals);
       snapshot.AddCounter("pool/idle_ns", lane.idle_ns);
+      snapshot.AddCounter("pool/busy_ns", lane.busy_ns);
       snapshot.RecordValue("pool/tasks_per_lane", lane.tasks_run);
       snapshot.RecordValue("pool/idle_ns_per_lane", lane.idle_ns);
     }
     telemetry.Merge(snapshot);
+  }
+  // Fold lane timelines into the profiler (no-op when disabled). Worker lanes are
+  // numbered from 1: lane 0 is the fork-join calling thread, which no pool tracks.
+  auto& prof = profiler::Profiler::Global();
+  if (prof.enabled() && !workers_.empty()) {
+    std::vector<PoolLaneStats> stats = WorkerStats();
+    for (size_t i = 0; i < stats.size(); i++) {
+      profiler::LaneRecord record;
+      record.tasks = stats[i].tasks_run;
+      record.steals = stats[i].steals;
+      record.busy_ns = stats[i].busy_ns;
+      record.idle_ns = stats[i].idle_ns;
+      record.queue_depth_sum = stats[i].queue_depth_sum;
+      record.queue_depth_samples = stats[i].queue_depth_samples;
+      record.queue_depth_max = stats[i].queue_depth_max;
+      prof.AddLaneRecord(static_cast<int>(i) + 1, record);
+    }
   }
 }
 
@@ -82,7 +117,11 @@ std::vector<PoolLaneStats> ThreadPool::WorkerStats() const {
   for (const auto& worker : workers_) {
     stats.push_back({worker->tasks_run.load(std::memory_order_relaxed),
                      worker->steals.load(std::memory_order_relaxed),
-                     worker->idle_ns.load(std::memory_order_relaxed)});
+                     worker->idle_ns.load(std::memory_order_relaxed),
+                     worker->busy_ns.load(std::memory_order_relaxed),
+                     worker->queue_depth_sum.load(std::memory_order_relaxed),
+                     worker->queue_depth_samples.load(std::memory_order_relaxed),
+                     worker->queue_depth_max.load(std::memory_order_relaxed)});
   }
   return stats;
 }
@@ -101,13 +140,25 @@ void ThreadPool::Submit(std::function<void()> task) {
     target = next_worker_.fetch_add(1, std::memory_order_relaxed) % workers_.size();
   }
   {
-    std::lock_guard<std::mutex> lock(workers_[target]->mu);
-    workers_[target]->tasks.push_back(std::move(task));
+    Worker& w = *workers_[target];
+    profiler::TimedLock lock(w.mu, profiler::Probe::kPoolQueue);
+    w.tasks.push_back(std::move(task));
+    if (profiler::Profiler::Global().enabled()) {
+      // Sample deque depth at push: the writer holds w.mu, so size() is exact.
+      uint64_t depth = w.tasks.size();
+      w.queue_depth_sum.fetch_add(depth, std::memory_order_relaxed);
+      w.queue_depth_samples.fetch_add(1, std::memory_order_relaxed);
+      uint64_t seen = w.queue_depth_max.load(std::memory_order_relaxed);
+      while (depth > seen &&
+             !w.queue_depth_max.compare_exchange_weak(seen, depth,
+                                                      std::memory_order_relaxed)) {
+      }
+    }
   }
   // Fence the notify through wake_mu_ so it cannot land between a sleeping worker's
   // final empty-scan (done under wake_mu_) and its wait — either the scan sees this
   // push, or the worker is already waiting and the notify wakes it.
-  { std::lock_guard<std::mutex> lock(wake_mu_); }
+  { profiler::TimedLock lock(wake_mu_, profiler::Probe::kPoolWake); }
   wake_cv_.notify_one();
 }
 
@@ -117,7 +168,7 @@ bool ThreadPool::RunOneTask(size_t self) {
   // Own deque: pop the most recently pushed task (LIFO).
   {
     Worker& own = *workers_[self];
-    std::lock_guard<std::mutex> lock(own.mu);
+    profiler::TimedLock lock(own.mu, profiler::Probe::kPoolQueue);
     if (!own.tasks.empty()) {
       task = std::move(own.tasks.back());
       own.tasks.pop_back();
@@ -127,7 +178,7 @@ bool ThreadPool::RunOneTask(size_t self) {
   if (!task) {
     for (size_t k = 1; k < workers_.size() && !task; k++) {
       Worker& victim = *workers_[(self + k) % workers_.size()];
-      std::lock_guard<std::mutex> lock(victim.mu);
+      profiler::TimedLock lock(victim.mu, profiler::Probe::kPoolQueue);
       if (!victim.tasks.empty()) {
         task = std::move(victim.tasks.front());
         victim.tasks.pop_front();
@@ -143,7 +194,16 @@ bool ThreadPool::RunOneTask(size_t self) {
   if (stolen) {
     own.steals.fetch_add(1, std::memory_order_relaxed);
   }
-  task();
+  if (TimingOn()) {
+    auto busy_start = std::chrono::steady_clock::now();
+    task();
+    own.busy_ns.fetch_add(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              std::chrono::steady_clock::now() - busy_start)
+                              .count(),
+                          std::memory_order_relaxed);
+  } else {
+    task();
+  }
   return true;
 }
 

@@ -36,13 +36,23 @@ namespace parfait {
 // oversubscribe (the determinism tests run 8 threads on any machine).
 int ResolveNumThreads(int num_threads);
 
-// Per-worker execution statistics, for the pool-utilization telemetry. These describe
-// *scheduling* — they vary run to run and are deliberately outside the determinism
-// contract (checker reports never include them).
+// Per-worker execution statistics, for the pool-utilization telemetry and the
+// profiler's lane timelines. These describe *scheduling* — they vary run to run and
+// are deliberately outside the determinism contract (checker reports never include
+// them). busy_ns and the queue-depth fields are only populated while the global
+// telemetry registry or profiler is enabled (timing every task costs two clock
+// reads, which the disabled-mode cost contract forbids).
 struct PoolLaneStats {
   uint64_t tasks_run = 0;  // Tasks this worker executed (own deque + stolen).
   uint64_t steals = 0;     // Of those, tasks taken from another worker's deque.
   uint64_t idle_ns = 0;    // Time spent blocked waiting for work.
+  uint64_t busy_ns = 0;    // Time spent inside task bodies (profiling only).
+  // Deque depth sampled after each push onto this worker's deque (profiling only):
+  // a persistently deep queue means submission outpaces the lane; persistently
+  // empty queues under low utilization mean the workload does not decompose.
+  uint64_t queue_depth_sum = 0;
+  uint64_t queue_depth_samples = 0;
+  uint64_t queue_depth_max = 0;
 };
 
 // A small work-stealing pool of `num_threads - 1` workers: the calling thread of a

@@ -1,0 +1,527 @@
+#include "src/support/prof.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <utility>
+
+namespace parfait::prof {
+
+namespace {
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string Fmt(const char* format, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), format, value);
+  return buf;
+}
+
+// Length of the union of [start, end) intervals.
+uint64_t UnionLength(std::vector<std::pair<uint64_t, uint64_t>>& intervals) {
+  if (intervals.empty()) {
+    return 0;
+  }
+  std::sort(intervals.begin(), intervals.end());
+  uint64_t total = 0;
+  uint64_t cur_start = intervals[0].first;
+  uint64_t cur_end = intervals[0].second;
+  for (size_t i = 1; i < intervals.size(); i++) {
+    if (intervals[i].first > cur_end) {
+      total += cur_end - cur_start;
+      cur_start = intervals[i].first;
+      cur_end = intervals[i].second;
+    } else {
+      cur_end = std::max(cur_end, intervals[i].second);
+    }
+  }
+  total += cur_end - cur_start;
+  return total;
+}
+
+// Per-(category, unit) aggregate used by both ProfileJson and the report renderer.
+struct UnitRow {
+  std::string category;
+  std::string unit;
+  uint64_t count = 0;
+  uint64_t total_ns = 0;
+};
+
+std::vector<UnitRow> AggregateUnits(const std::vector<SpanEvent>& events) {
+  std::map<std::pair<std::string, std::string>, UnitRow> by_unit;
+  for (const SpanEvent& e : events) {
+    UnitRow& row = by_unit[{e.category, e.unit}];
+    row.category = e.category;
+    row.unit = e.unit;
+    row.count++;
+    row.total_ns += e.dur_ns;
+  }
+  std::vector<UnitRow> rows;
+  rows.reserve(by_unit.size());
+  for (auto& [key, row] : by_unit) {
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end(), [](const UnitRow& a, const UnitRow& b) {
+    if (a.total_ns != b.total_ns) {
+      return a.total_ns > b.total_ns;
+    }
+    if (a.category != b.category) {
+      return a.category < b.category;
+    }
+    return a.unit < b.unit;
+  });
+  return rows;
+}
+
+}  // namespace
+
+Attribution ComputeAttribution(const std::vector<SpanEvent>& events,
+                               uint64_t pool_idle_ns) {
+  // Per thread: the window is first event start to last event end; attributed time
+  // is the union (not sum — nesting) of the unit-tagged intervals.
+  struct PerThread {
+    uint64_t window_start = UINT64_MAX;
+    uint64_t window_end = 0;
+    std::vector<std::pair<uint64_t, uint64_t>> tagged;
+  };
+  std::map<int, PerThread> threads;
+  for (const SpanEvent& e : events) {
+    PerThread& t = threads[e.tid];
+    t.window_start = std::min(t.window_start, e.start_ns);
+    t.window_end = std::max(t.window_end, e.start_ns + e.dur_ns);
+    if (!e.unit.empty()) {
+      t.tagged.emplace_back(e.start_ns, e.start_ns + e.dur_ns);
+    }
+  }
+  Attribution out;
+  out.pool_idle_ns = pool_idle_ns;
+  for (auto& [tid, t] : threads) {
+    out.window_ns += t.window_end - t.window_start;
+    out.attributed_ns += UnionLength(t.tagged);
+  }
+  uint64_t denom = out.window_ns > pool_idle_ns ? out.window_ns - pool_idle_ns : 0;
+  if (denom == 0) {
+    out.fraction = 0;
+  } else {
+    out.fraction = std::min(1.0, static_cast<double>(out.attributed_ns) /
+                                     static_cast<double>(denom));
+  }
+  return out;
+}
+
+double AmdahlSerialFraction(double t1_seconds, double tn_seconds, int n_threads) {
+  if (n_threads < 2 || t1_seconds <= 0 || tn_seconds <= 0) {
+    return 1.0;
+  }
+  double s = (n_threads * tn_seconds / t1_seconds - 1.0) / (n_threads - 1.0);
+  return std::clamp(s, 0.0, 1.0);
+}
+
+std::string ProfileJson(const profiler::Profiler& prof, size_t max_units) {
+  std::vector<profiler::ProfEvent> raw = prof.Collect();
+  std::vector<SpanEvent> events;
+  events.reserve(raw.size());
+  for (const profiler::ProfEvent& e : raw) {
+    events.push_back({e.category, e.unit, e.start_ns, e.dur_ns, e.tid});
+  }
+  std::map<int, profiler::LaneRecord> lanes = prof.lanes();
+  uint64_t pool_idle_ns = 0;
+  for (const auto& [lane, record] : lanes) {
+    pool_idle_ns += record.idle_ns;
+  }
+  Attribution attribution = ComputeAttribution(events, pool_idle_ns);
+
+  std::string out = "{\"waits\":{";
+  for (int p = 0; p < static_cast<int>(profiler::Probe::kCount); p++) {
+    profiler::WaitStats w = prof.waits(static_cast<profiler::Probe>(p));
+    if (p > 0) {
+      out += ",";
+    }
+    out += "\"" + std::string(profiler::ProbeName(static_cast<profiler::Probe>(p))) +
+           "\":{\"acquires\":" + std::to_string(w.acquires) +
+           ",\"contended\":" + std::to_string(w.contended) +
+           ",\"wait_ns\":" + std::to_string(w.wait_ns) + "}";
+  }
+  out += "},\"lanes\":{";
+  bool first = true;
+  for (const auto& [lane, r] : lanes) {
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    out += "\"" + std::to_string(lane) + "\":{\"tasks\":" + std::to_string(r.tasks) +
+           ",\"steals\":" + std::to_string(r.steals) +
+           ",\"busy_ns\":" + std::to_string(r.busy_ns) +
+           ",\"idle_ns\":" + std::to_string(r.idle_ns) +
+           ",\"queue_depth_sum\":" + std::to_string(r.queue_depth_sum) +
+           ",\"queue_depth_samples\":" + std::to_string(r.queue_depth_samples) +
+           ",\"queue_depth_max\":" + std::to_string(r.queue_depth_max) + "}";
+  }
+  out += "},\"units\":[";
+  std::vector<UnitRow> rows = AggregateUnits(events);
+  UnitRow other;
+  other.category = "(other)";
+  size_t kept = std::min(rows.size(), max_units);
+  for (size_t i = kept; i < rows.size(); i++) {
+    other.count += rows[i].count;
+    other.total_ns += rows[i].total_ns;
+  }
+  rows.resize(kept);
+  if (other.count > 0) {
+    rows.push_back(other);
+  }
+  for (size_t i = 0; i < rows.size(); i++) {
+    if (i > 0) {
+      out += ",";
+    }
+    out += "{\"category\":\"" + JsonEscape(rows[i].category) + "\",\"unit\":\"" +
+           JsonEscape(rows[i].unit) + "\",\"count\":" + std::to_string(rows[i].count) +
+           ",\"total_ns\":" + std::to_string(rows[i].total_ns) + "}";
+  }
+  out += "],\"attribution\":{\"attributed_ns\":" +
+         std::to_string(attribution.attributed_ns) +
+         ",\"window_ns\":" + std::to_string(attribution.window_ns) +
+         ",\"pool_idle_ns\":" + std::to_string(attribution.pool_idle_ns) +
+         ",\"fraction\":" + Fmt("%.4f", attribution.fraction) + "}}";
+  return out;
+}
+
+namespace {
+
+// --- report rendering -----------------------------------------------------------
+
+void RenderUnitsTable(const std::vector<UnitRow>& rows, std::string* out) {
+  *out += "top work units (by total thread time):\n";
+  *out += "      total_s      count  category              unit\n";
+  size_t shown = 0;
+  for (const UnitRow& row : rows) {
+    if (shown++ >= 20) {
+      *out += "  ... (" + std::to_string(rows.size() - 20) + " more)\n";
+      break;
+    }
+    char buf[512];
+    std::snprintf(buf, sizeof(buf), "  %11.3f  %9llu  %-20s  %s\n",
+                  row.total_ns / 1e9, static_cast<unsigned long long>(row.count),
+                  row.category.c_str(), row.unit.empty() ? "-" : row.unit.c_str());
+    *out += buf;
+  }
+}
+
+void RenderAttribution(const Attribution& a, std::string* out) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "attribution: %.1f%% of %.3f thread-seconds attributed to named work "
+                "units (pool idle %.3f s accounted separately)\n",
+                a.fraction * 100.0, (a.window_ns - std::min(a.window_ns, a.pool_idle_ns)) / 1e9,
+                a.pool_idle_ns / 1e9);
+  *out += buf;
+}
+
+// Renders a Chrome trace ("traceEvents"): rebuild SpanEvents from the 'X' events
+// (timestamps are microseconds in trace format) and report units + attribution.
+bool RenderTraceReport(const json::Value& root, std::string* out, std::string* error) {
+  const json::Value* trace_events = root.Find("traceEvents");
+  if (trace_events == nullptr || !trace_events->is_array()) {
+    *error = "no traceEvents array";
+    return false;
+  }
+  std::vector<SpanEvent> events;
+  for (const json::Value& e : trace_events->AsArray()) {
+    if (!e.is_object() || e.StringOr("ph", "") != "X") {
+      continue;
+    }
+    SpanEvent span;
+    span.category = e.StringOr("name", "");
+    span.start_ns = static_cast<uint64_t>(e.NumberOr("ts", 0) * 1000.0);
+    span.dur_ns = static_cast<uint64_t>(e.NumberOr("dur", 0) * 1000.0);
+    span.tid = static_cast<int>(e.NumberOr("tid", 0));
+    const json::Value* args = e.Find("args");
+    if (args != nullptr) {
+      span.unit = args->StringOr("unit", "");
+    }
+    events.push_back(std::move(span));
+  }
+  *out += "chrome trace: " + std::to_string(events.size()) + " complete events\n";
+  RenderUnitsTable(AggregateUnits(events), out);
+  // A trace has no lane records, so pool idle cannot be subtracted here; the
+  // bench-JSON report is the authoritative attribution number.
+  RenderAttribution(ComputeAttribution(events, 0), out);
+  return true;
+}
+
+void RenderProfileSection(const json::Value& profile, std::string* out) {
+  const json::Value* units = profile.Find("units");
+  if (units != nullptr && units->is_array()) {
+    std::vector<UnitRow> rows;
+    for (const json::Value& u : units->AsArray()) {
+      UnitRow row;
+      row.category = u.StringOr("category", "");
+      row.unit = u.StringOr("unit", "");
+      row.count = static_cast<uint64_t>(u.NumberOr("count", 0));
+      row.total_ns = static_cast<uint64_t>(u.NumberOr("total_ns", 0));
+      rows.push_back(std::move(row));
+    }
+    RenderUnitsTable(rows, out);
+  }
+  const json::Value* attribution = profile.Find("attribution");
+  if (attribution != nullptr && attribution->is_object()) {
+    Attribution a;
+    a.attributed_ns = static_cast<uint64_t>(attribution->NumberOr("attributed_ns", 0));
+    a.window_ns = static_cast<uint64_t>(attribution->NumberOr("window_ns", 0));
+    a.pool_idle_ns = static_cast<uint64_t>(attribution->NumberOr("pool_idle_ns", 0));
+    a.fraction = attribution->NumberOr("fraction", 0);
+    RenderAttribution(a, out);
+  }
+  const json::Value* lanes = profile.Find("lanes");
+  if (lanes != nullptr && lanes->is_object() && !lanes->AsObject().empty()) {
+    *out += "lanes (lane 0 = fork-join caller, untracked):\n";
+    *out += "  lane      tasks  steals    busy_s    idle_s   util%  avg_depth  max_depth\n";
+    for (const auto& [name, lane] : lanes->AsObject()) {
+      double busy = lane.NumberOr("busy_ns", 0) / 1e9;
+      double idle = lane.NumberOr("idle_ns", 0) / 1e9;
+      double util = (busy + idle) > 0 ? busy / (busy + idle) * 100.0 : 0;
+      double samples = lane.NumberOr("queue_depth_samples", 0);
+      double avg_depth = samples > 0 ? lane.NumberOr("queue_depth_sum", 0) / samples : 0;
+      char buf[256];
+      std::snprintf(buf, sizeof(buf),
+                    "  %4s  %9.0f  %6.0f  %8.3f  %8.3f  %6.1f  %9.2f  %9.0f\n",
+                    name.c_str(), lane.NumberOr("tasks", 0), lane.NumberOr("steals", 0),
+                    busy, idle, util, avg_depth, lane.NumberOr("queue_depth_max", 0));
+      *out += buf;
+    }
+  }
+  const json::Value* waits = profile.Find("waits");
+  if (waits != nullptr && waits->is_object()) {
+    *out += "contention probes:\n";
+    *out += "  probe               acquires  contended    wait_ms\n";
+    for (const auto& [name, w] : waits->AsObject()) {
+      char buf[256];
+      std::snprintf(buf, sizeof(buf), "  %-18s  %8.0f  %9.0f  %9.3f\n", name.c_str(),
+                    w.NumberOr("acquires", 0), w.NumberOr("contended", 0),
+                    w.NumberOr("wait_ns", 0) / 1e6);
+      *out += buf;
+    }
+  }
+}
+
+void RenderMeta(const json::Value& root, std::string* out) {
+  const json::Value* meta = root.Find("meta");
+  if (meta == nullptr || !meta->is_object()) {
+    return;
+  }
+  *out += "meta:";
+  for (const auto& [key, value] : meta->AsObject()) {
+    *out += " " + key + "=";
+    if (value.is_string()) {
+      *out += value.AsString();
+    } else if (value.is_number()) {
+      *out += Fmt("%g", value.AsNumber());
+    }
+  }
+  *out += "\n";
+}
+
+bool RenderBenchReport(const json::Value& root, std::string* out, std::string* error) {
+  *out += "bench: " + root.StringOr("bench", "(unnamed)");
+  const json::Value* threads = root.Find("threads");
+  if (threads != nullptr && threads->is_number()) {
+    *out += "  threads: " + Fmt("%g", threads->AsNumber());
+  }
+  *out += "\n";
+  RenderMeta(root, out);
+
+  const json::Value* phases = root.Find("phases");
+  if (phases != nullptr && phases->is_array() && !phases->AsArray().empty()) {
+    *out += "phases:\n";
+    for (const json::Value& phase : phases->AsArray()) {
+      char buf[256];
+      std::snprintf(buf, sizeof(buf), "  %-32s %10.3f s\n",
+                    phase.StringOr("name", "?").c_str(), phase.NumberOr("seconds", 0));
+      *out += buf;
+    }
+  }
+
+  const json::Value* legs = root.Find("legs");
+  if (legs != nullptr && legs->is_array() && !legs->AsArray().empty()) {
+    *out += "legs (Amdahl serial fraction from 1-thread vs N-thread wall time):\n";
+    *out += "  backend  threads  serial_s  parallel_s  speedup  serial_fraction\n";
+    for (const json::Value& leg : legs->AsArray()) {
+      double t1 = leg.NumberOr("serial_seconds", 0);
+      double tn = leg.NumberOr("parallel_seconds", 0);
+      int n = static_cast<int>(leg.NumberOr("threads", 0));
+      char buf[256];
+      std::snprintf(buf, sizeof(buf), "  %-7s  %7d  %8.3f  %10.3f  %7.3f  %15.3f\n",
+                    leg.StringOr("backend", "?").c_str(), n, t1, tn,
+                    tn > 0 ? t1 / tn : 0, AmdahlSerialFraction(t1, tn, n));
+      *out += buf;
+    }
+  }
+
+  const json::Value* profile = root.Find("profile");
+  if (profile != nullptr && profile->is_object()) {
+    RenderProfileSection(*profile, out);
+  }
+
+  if ((phases == nullptr || !phases->is_array()) && legs == nullptr &&
+      profile == nullptr && root.Find("telemetry") == nullptr &&
+      root.Find("bench") == nullptr) {
+    *error = "document has neither bench-report nor trace shape";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool RenderReport(const json::Value& root, std::string* out, std::string* error) {
+  if (!root.is_object()) {
+    *error = "top-level JSON value is not an object";
+    return false;
+  }
+  if (root.Find("traceEvents") != nullptr) {
+    return RenderTraceReport(root, out, error);
+  }
+  return RenderBenchReport(root, out, error);
+}
+
+// --- diff -----------------------------------------------------------------------
+
+Direction ClassifyMetric(std::string_view path) {
+  std::string lower(path);
+  for (char& c : lower) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  auto contains = [&lower](const char* needle) {
+    return lower.find(needle) != std::string::npos;
+  };
+  // Order matters: "serial_fraction" must win before any higher-better pattern.
+  if (contains("serial_fraction")) {
+    return Direction::kLowerBetter;
+  }
+  if (contains("per_s") || contains("speedup") || contains("throughput") ||
+      contains("utilization")) {
+    return Direction::kHigherBetter;
+  }
+  if (contains("seconds") || contains("_us") || contains("_ms")) {
+    return Direction::kLowerBetter;
+  }
+  return Direction::kInfo;
+}
+
+namespace {
+
+bool SkippedSubtree(const std::string& key) {
+  // Runtime-only sections: schedule-dependent, not meaningful to gate.
+  return key == "profile" || key == "meta" || key == "pool" || key == "evidence";
+}
+
+void DiffWalk(const json::Value& before, const json::Value& after,
+              const std::string& path, const DiffOptions& options, DiffResult* out) {
+  if (before.is_number() && after.is_number()) {
+    DiffEntry entry;
+    entry.path = path;
+    entry.before = before.AsNumber();
+    entry.after = after.AsNumber();
+    if (entry.before != 0) {
+      entry.change_pct = (entry.after - entry.before) / std::abs(entry.before) * 100.0;
+    }
+    entry.direction = ClassifyMetric(path);
+    if (entry.direction == Direction::kHigherBetter) {
+      entry.regression = entry.change_pct < -options.max_regression_pct;
+    } else if (entry.direction == Direction::kLowerBetter) {
+      entry.regression = entry.change_pct > options.max_regression_pct;
+    }
+    if (entry.regression) {
+      out->regressions++;
+    }
+    out->entries.push_back(std::move(entry));
+    return;
+  }
+  if (before.is_object() && after.is_object()) {
+    for (const auto& [key, value] : before.AsObject()) {
+      if (SkippedSubtree(key)) {
+        continue;
+      }
+      const json::Value* other = after.Find(key);
+      if (other != nullptr) {
+        DiffWalk(value, *other, path.empty() ? key : path + "." + key, options, out);
+      }
+    }
+    return;
+  }
+  if (before.is_array() && after.is_array()) {
+    size_t n = std::min(before.AsArray().size(), after.AsArray().size());
+    for (size_t i = 0; i < n; i++) {
+      DiffWalk(before.AsArray()[i], after.AsArray()[i],
+               path + "[" + std::to_string(i) + "]", options, out);
+    }
+    return;
+  }
+  // Kind mismatch or non-numeric scalars: nothing to compare.
+}
+
+}  // namespace
+
+DiffResult Diff(const json::Value& before, const json::Value& after,
+                const DiffOptions& options) {
+  DiffResult result;
+  DiffWalk(before, after, "", options, &result);
+  return result;
+}
+
+std::string RenderDiff(const DiffResult& result) {
+  std::string out;
+  out += "  metric                                              before          after  change\n";
+  for (const DiffEntry& entry : result.entries) {
+    const char* marker = "";
+    if (entry.regression) {
+      marker = "  REGRESSION";
+    } else if (entry.direction == Direction::kInfo) {
+      marker = "  (info)";
+    }
+    char buf[512];
+    std::snprintf(buf, sizeof(buf), "  %-44s  %14.6g  %13.6g  %+6.1f%%%s\n",
+                  entry.path.c_str(), entry.before, entry.after, entry.change_pct,
+                  marker);
+    out += buf;
+  }
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "  %d gated metric(s) regressed\n", result.regressions);
+  out += buf;
+  return out;
+}
+
+}  // namespace parfait::prof

@@ -1,0 +1,111 @@
+// Profile reporting and regression diffing for `parfait-prof` (tools/parfait_prof.cc)
+// and for the benches that embed a "profile" section in their BENCH_*.json.
+//
+// Three pieces, all deliberately in the support library (not in the tool) so tests
+// can link them directly:
+//
+//   1. ProfileJson: serializes the global profiler's state — per-(category, unit)
+//      wall-time totals, lane timelines, contention probes, and a wall-time
+//      attribution summary — as the runtime-only "profile" object of a bench report.
+//   2. RenderReport: renders a human-readable profile report from a parsed
+//      BENCH_*.json (phases, legs with Amdahl serial-fraction estimates, profile
+//      section) or from a Chrome trace.json ("traceEvents"), whichever the file is.
+//   3. Diff: compares the numeric leaves of two bench JSON files and flags
+//      regressions beyond a tolerance. Only metrics whose name declares a direction
+//      are gated (see ClassifyMetric); runtime-only subtrees ("profile", "meta",
+//      "evidence") are excluded because they are schedule-dependent noise.
+//
+// Attribution model: every profiler event is an interval of thread time. Per thread,
+// the *attributed* time is the union of intervals carrying a work-unit tag (unions,
+// not sums, so nested spans are not double counted), and the *window* is the span
+// from that thread's first event to its last. The attribution fraction is
+// sum(attributed) / (sum(window) - pool idle), pool idle being time workers
+// measurably slept between fork-join regions — reported separately as lane
+// utilization rather than smeared into attribution.
+#ifndef PARFAIT_SUPPORT_PROF_H_
+#define PARFAIT_SUPPORT_PROF_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/support/json.h"
+#include "src/support/profiler.h"
+
+namespace parfait::prof {
+
+// One attributed interval of thread time, decoupled from profiler::ProfEvent so the
+// same aggregation runs over Chrome-trace events read back from disk.
+struct SpanEvent {
+  std::string category;
+  std::string unit;
+  uint64_t start_ns = 0;
+  uint64_t dur_ns = 0;
+  int tid = 0;
+};
+
+// Wall-time attribution summary (see the file comment for the model).
+struct Attribution {
+  uint64_t attributed_ns = 0;  // Union of unit-tagged intervals, summed over threads.
+  uint64_t window_ns = 0;      // First-to-last event span, summed over threads.
+  uint64_t pool_idle_ns = 0;   // Worker sleep time (from lane records), reported out.
+  double fraction = 0;         // attributed / max(1, window - pool_idle), clamped to 1.
+};
+Attribution ComputeAttribution(const std::vector<SpanEvent>& events,
+                               uint64_t pool_idle_ns);
+
+// Amdahl's law solved for the serial fraction: t_n = t_1 * (s + (1 - s) / n), so
+// s = (n * t_n / t_1 - 1) / (n - 1). Clamped to [0, 1]; returns 1 when n < 2 or the
+// inputs are degenerate (a 1-thread "parallel" leg estimates nothing).
+double AmdahlSerialFraction(double t1_seconds, double tn_seconds, int n_threads);
+
+// Serializes the profiler's current state as the `{"waits":...,"lanes":...,
+// "units":[...],"attribution":{...}}` object. Units are aggregated per
+// (category, unit), sorted by total time descending (ties by category then unit);
+// at most `max_units` rows are kept, with the remainder rolled into an "(other)"
+// row so totals still add up.
+std::string ProfileJson(const profiler::Profiler& prof, size_t max_units = 40);
+
+// Renders the report for a parsed input file (BENCH json or Chrome trace). Returns
+// false and sets `error` when the document has neither bench nor trace shape.
+bool RenderReport(const json::Value& root, std::string* out, std::string* error);
+
+// Metric gating direction, decided from the dot-joined leaf path (lowercased
+// matching). kHigherBetter: *per_s*, *speedup*, *throughput*, *utilization*.
+// kLowerBetter: *seconds*, *_us*, *_ms*, *serial_fraction*. Everything else is
+// kInfo — printed in a diff, never gated.
+enum class Direction { kHigherBetter, kLowerBetter, kInfo };
+Direction ClassifyMetric(std::string_view path);
+
+struct DiffOptions {
+  double max_regression_pct = 5.0;
+};
+
+struct DiffEntry {
+  std::string path;       // Dot-joined, e.g. "machine_dbt.dbt_instr_per_s".
+  double before = 0;
+  double after = 0;
+  double change_pct = 0;  // (after - before) / |before| * 100; 0 when before == 0.
+  Direction direction = Direction::kInfo;
+  bool regression = false;
+};
+
+struct DiffResult {
+  std::vector<DiffEntry> entries;  // Document order of `before`.
+  int regressions = 0;
+};
+
+// Compares numeric leaves present in both documents (matched by path; array
+// elements by index). Skips the "profile", "meta", "pool", and "evidence" subtrees —
+// those are runtime-only and schedule-dependent. A gated metric regresses when it
+// moves in its bad direction by more than max_regression_pct.
+DiffResult Diff(const json::Value& before, const json::Value& after,
+                const DiffOptions& options);
+
+// Human-readable diff table; regressed lines are marked "REGRESSION".
+std::string RenderDiff(const DiffResult& result);
+
+}  // namespace parfait::prof
+
+#endif  // PARFAIT_SUPPORT_PROF_H_

@@ -1,0 +1,251 @@
+#include "src/support/profiler.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/support/telemetry.h"
+
+namespace parfait::profiler {
+
+const char* ProbeName(Probe p) {
+  switch (p) {
+    case Probe::kTranslateLock:
+      return "translate_lock";
+    case Probe::kPoolQueue:
+      return "pool_queue";
+    case Probe::kPoolWake:
+      return "pool_wake";
+    case Probe::kTelemetryRegistry:
+      return "telemetry_registry";
+    case Probe::kCount:
+      break;
+  }
+  return "unknown";
+}
+
+// A fixed-size event chunk. The owning thread is the only writer: it fills
+// events[count] and publishes with a release store of count, linking a fresh chunk
+// through `next` (release) when full. Readers acquire-load count/next and see every
+// published event — the single-writer/release-acquire pairing is what makes the
+// buffer lock-free for the recording thread.
+struct Profiler::Chunk {
+  static constexpr uint32_t kCapacity = 256;
+  std::atomic<uint32_t> count{0};
+  std::array<ProfEvent, kCapacity> events;
+  std::atomic<Chunk*> next{nullptr};
+};
+
+struct Profiler::ThreadBuffer {
+  explicit ThreadBuffer(int tid_in) : tid(tid_in), tail(&head) {}
+  ~ThreadBuffer() {
+    Chunk* c = head.next.load(std::memory_order_acquire);
+    while (c != nullptr) {
+      Chunk* n = c->next.load(std::memory_order_acquire);
+      delete c;
+      c = n;
+    }
+  }
+
+  int tid;
+  Chunk head;
+  Chunk* tail;  // Owner-thread-only cursor; always reachable from head via next.
+};
+
+namespace {
+// Unique-forever profiler ids so a thread's cached buffer pointer can never be
+// revived by a new Profiler allocated at a dead one's address.
+std::atomic<uint64_t> g_next_profiler_id{1};
+// void*: ThreadBuffer is a private nested type; member functions cast.
+thread_local std::vector<std::pair<uint64_t, void*>> t_buffers;
+
+// Per-instance id storage: the Profiler object itself cannot hold it in the header
+// without widening the class, so keep a side map keyed by address with generation
+// safety via explicit registration in the constructor.
+std::mutex g_id_mu;
+std::vector<std::pair<const Profiler*, uint64_t>> g_ids;
+
+uint64_t RegisterProfiler(const Profiler* p) {
+  uint64_t id = g_next_profiler_id.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(g_id_mu);
+  g_ids.emplace_back(p, id);
+  return id;
+}
+
+void UnregisterProfiler(const Profiler* p) {
+  std::lock_guard<std::mutex> lock(g_id_mu);
+  for (auto it = g_ids.begin(); it != g_ids.end(); ++it) {
+    if (it->first == p) {
+      g_ids.erase(it);
+      return;
+    }
+  }
+}
+
+uint64_t ProfilerId(const Profiler* p) {
+  std::lock_guard<std::mutex> lock(g_id_mu);
+  for (const auto& [ptr, id] : g_ids) {
+    if (ptr == p) {
+      return id;
+    }
+  }
+  return 0;
+}
+}  // namespace
+
+Profiler::Profiler() { RegisterProfiler(this); }
+
+Profiler::~Profiler() { UnregisterProfiler(this); }
+
+Profiler& Profiler::Global() {
+  static Profiler* instance = new Profiler();  // Leaked: outlives all static spans.
+  return *instance;
+}
+
+Profiler::ThreadBuffer* Profiler::BufferForThisThread() {
+  uint64_t my_id = ProfilerId(this);
+  for (const auto& [id, buffer] : t_buffers) {
+    if (id == my_id) {
+      return static_cast<ThreadBuffer*>(buffer);
+    }
+  }
+  ThreadBuffer* buffer;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    buffers_.push_back(std::make_unique<ThreadBuffer>(next_tid_++));
+    buffer = buffers_.back().get();
+  }
+  t_buffers.emplace_back(my_id, buffer);
+  return buffer;
+}
+
+void Profiler::RecordEvent(const char* category, std::string unit, uint64_t start_ns,
+                           uint64_t dur_ns) {
+  if (!enabled()) {
+    return;
+  }
+  ThreadBuffer* buffer = BufferForThisThread();
+  Chunk* tail = buffer->tail;
+  uint32_t n = tail->count.load(std::memory_order_relaxed);  // Single writer.
+  if (n == Chunk::kCapacity) {
+    // Reuse a chunk left over from Reset (its count is already zero) before
+    // allocating, so reset/refill cycles never orphan a chain.
+    Chunk* fresh = tail->next.load(std::memory_order_relaxed);
+    if (fresh == nullptr) {
+      fresh = new Chunk();
+      tail->next.store(fresh, std::memory_order_release);
+    }
+    buffer->tail = fresh;
+    tail = fresh;
+    n = 0;
+  }
+  ProfEvent& e = tail->events[n];
+  e.category = category;
+  e.unit = std::move(unit);
+  e.start_ns = start_ns;
+  e.dur_ns = dur_ns;
+  e.tid = buffer->tid;
+  tail->count.store(n + 1, std::memory_order_release);
+}
+
+void Profiler::AddLaneRecord(int lane, const LaneRecord& record) {
+  if (!enabled()) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  LaneRecord& merged = lanes_[lane];
+  merged.tasks += record.tasks;
+  merged.steals += record.steals;
+  merged.busy_ns += record.busy_ns;
+  merged.idle_ns += record.idle_ns;
+  merged.queue_depth_sum += record.queue_depth_sum;
+  merged.queue_depth_samples += record.queue_depth_samples;
+  merged.queue_depth_max = std::max(merged.queue_depth_max, record.queue_depth_max);
+}
+
+std::vector<ProfEvent> Profiler::Collect() const {
+  std::vector<ProfEvent> events;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& buffer : buffers_) {
+      const Chunk* c = &buffer->head;
+      while (c != nullptr) {
+        uint32_t n = c->count.load(std::memory_order_acquire);
+        for (uint32_t i = 0; i < n; i++) {
+          events.push_back(c->events[i]);
+        }
+        c = c->next.load(std::memory_order_acquire);
+      }
+    }
+  }
+  std::sort(events.begin(), events.end(), [](const ProfEvent& a, const ProfEvent& b) {
+    if (a.start_ns != b.start_ns) {
+      return a.start_ns < b.start_ns;
+    }
+    if (a.tid != b.tid) {
+      return a.tid < b.tid;
+    }
+    int c = std::strcmp(a.category, b.category);
+    if (c != 0) {
+      return c < 0;
+    }
+    return a.unit < b.unit;
+  });
+  return events;
+}
+
+WaitStats Profiler::waits(Probe p) const {
+  const AtomicWaitStats& w = waits_[static_cast<size_t>(p)];
+  WaitStats out;
+  out.acquires = w.acquires.load(std::memory_order_relaxed);
+  out.contended = w.contended.load(std::memory_order_relaxed);
+  out.wait_ns = w.wait_ns.load(std::memory_order_relaxed);
+  return out;
+}
+
+std::map<int, LaneRecord> Profiler::lanes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lanes_;
+}
+
+void Profiler::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& buffer : buffers_) {
+    // Zero every chunk's published count; the chain and the owner's tail cursor
+    // stay valid (quiescence required, as documented).
+    Chunk* c = &buffer->head;
+    while (c != nullptr) {
+      c->count.store(0, std::memory_order_relaxed);
+      c = c->next.load(std::memory_order_relaxed);
+    }
+    buffer->tail = &buffer->head;
+  }
+  for (auto& w : waits_) {
+    w.acquires.store(0, std::memory_order_relaxed);
+    w.contended.store(0, std::memory_order_relaxed);
+    w.wait_ns.store(0, std::memory_order_relaxed);
+  }
+  lanes_.clear();
+}
+
+uint64_t Profiler::NowNs() const { return telemetry::Telemetry::Global().NowNs(); }
+
+WorkSpan::~WorkSpan() {
+  if (!active_) {
+    return;
+  }
+  uint64_t end_ns = profiler_->NowNs();
+  uint64_t dur_ns = end_ns - start_ns_;
+  // Mirror into the Chrome trace (when armed) before the unit string is moved out,
+  // so Perfetto shows the same attribution the profile JSON carries.
+  auto& telemetry = telemetry::Telemetry::Global();
+  if (telemetry.tracing()) {
+    std::vector<std::pair<std::string, std::string>> args;
+    if (!unit_.empty()) {
+      args.emplace_back("unit", unit_);
+    }
+    telemetry.AddCompleteEvent(category_, start_ns_, dur_ns, std::move(args));
+  }
+  profiler_->RecordEvent(category_, std::move(unit_), start_ns_, dur_ns);
+}
+
+}  // namespace parfait::profiler

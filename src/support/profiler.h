@@ -1,0 +1,237 @@
+// Verification profiler: work-unit attribution spans, per-thread lock-free event
+// buffers, thread-pool lane timelines, and mutex-contention probes.
+//
+// The telemetry subsystem (telemetry.h) answers *what* the checkers did — counters
+// and histograms folded deterministically into every report. The profiler answers
+// *where the wall time went*: which work unit (checker × command × power-on state ×
+// trial batch) each span of thread time belongs to, how busy each pool lane was, and
+// how long threads sat blocked on the hot mutexes. These are scheduling facts — they
+// vary run to run and are deliberately OUTSIDE the determinism contract (checker
+// reports never embed them); they surface in the separate "profile" section of
+// BENCH_*.json and in the Chrome trace, consumed by `parfait-prof report/diff`.
+//
+// Three facilities:
+//
+//   1. WorkSpan. Like telemetry::Span but carrying a work-unit tag: the RAII scope's
+//      wall time is recorded into the calling thread's event buffer as
+//      (category, unit, start, duration, tid). Buffers are lock-free for the owner:
+//      events are written into fixed-size chunks and published with a release store
+//      of the chunk's count; a full chunk links a fresh one with a release store of
+//      its `next` pointer. Collect() walks all buffers with acquire loads and merges
+//      events sorted by (start, tid, category) — a deterministic flush order given
+//      the recorded timestamps, independent of which thread drains first.
+//   2. Contention probes. TimedLock wraps a mutex acquisition: an uncontended
+//      try_lock is counted, a contended acquisition is timed and attributed to a
+//      fixed Probe id (translate lock, pool queues, pool wake, telemetry registry).
+//      Counters are plain atomics — probes never allocate and never take a lock
+//      themselves, so they are safe inside the telemetry registry's own mutex path.
+//   3. Lane records. ~ThreadPool folds per-worker busy/idle/steal time and queue-
+//      depth samples into the profiler keyed by lane index, so a run that creates
+//      many pools (one per suite pass) still reports one timeline per lane.
+//
+// Disabled-mode cost contract (same as telemetry): constructing a WorkSpan or
+// TimedLock on a disabled profiler is one relaxed atomic load and a branch — no
+// clock read, no allocation. The profiler is armed by --profile=1 / PARFAIT_PROFILE
+// (see bench/bench_util.h) and implied by tracing.
+#ifndef PARFAIT_SUPPORT_PROFILER_H_
+#define PARFAIT_SUPPORT_PROFILER_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace parfait::profiler {
+
+// One attributed span of thread time. `category` is a static string (the span's
+// code-site name, e.g. "knox2/cosim"); `unit` is the dynamic work-unit tag, e.g.
+// "app=ecdsa cpu=IbexLite cmd=2" — empty when the span was not annotated.
+struct ProfEvent {
+  const char* category = "";
+  std::string unit;
+  uint64_t start_ns = 0;
+  uint64_t dur_ns = 0;
+  int tid = 0;
+};
+
+// Fixed identities for the contention probes on the hot mutexes. A fixed enum (not
+// a name registry) keeps AddWait/AddAcquire allocation- and lock-free.
+enum class Probe : int {
+  kTranslateLock = 0,  // SharedTranslationCache::Get translate mutex.
+  kPoolQueue,          // ThreadPool per-worker deque mutexes (push/pop/steal).
+  kPoolWake,           // ThreadPool wake_mu_ (submit fence + sleep/wake).
+  kTelemetryRegistry,  // telemetry::Telemetry::mu_ (Count/Record/Merge/EndSpan).
+  kCount,
+};
+const char* ProbeName(Probe p);
+
+// Aggregated contention statistics for one probe.
+struct WaitStats {
+  uint64_t acquires = 0;   // Total timed acquisitions (contended + uncontended).
+  uint64_t contended = 0;  // Acquisitions that blocked.
+  uint64_t wait_ns = 0;    // Total time spent blocked.
+};
+
+// Per-lane scheduling record folded from ThreadPool::WorkerStats at pool teardown.
+// Lane 0 is the calling thread of fork-join regions (untracked by pools); worker
+// lanes are 1..N-1 and merge across pools by index.
+struct LaneRecord {
+  uint64_t tasks = 0;
+  uint64_t steals = 0;
+  uint64_t busy_ns = 0;
+  uint64_t idle_ns = 0;
+  uint64_t queue_depth_sum = 0;      // Sum of sampled depths (at task push).
+  uint64_t queue_depth_samples = 0;  // Number of samples.
+  uint64_t queue_depth_max = 0;
+};
+
+// The process-wide profiler (plus independently constructible instances for tests).
+class Profiler {
+ public:
+  Profiler();
+  ~Profiler();
+
+  Profiler(const Profiler&) = delete;
+  Profiler& operator=(const Profiler&) = delete;
+
+  static Profiler& Global();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void Enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void Disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+  // Appends one event to the calling thread's buffer (no-op when disabled). The
+  // owner-side append takes no lock; first use on a thread registers its buffer
+  // under the registry mutex once.
+  void RecordEvent(const char* category, std::string unit, uint64_t start_ns,
+                   uint64_t dur_ns);
+
+  // Contention probes (no-ops when disabled; plain atomic adds otherwise).
+  void AddAcquire(Probe p) {
+    if (enabled()) {
+      waits_[static_cast<size_t>(p)].acquires.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  void AddWait(Probe p, uint64_t wait_ns) {
+    if (enabled()) {
+      auto& w = waits_[static_cast<size_t>(p)];
+      w.acquires.fetch_add(1, std::memory_order_relaxed);
+      w.contended.fetch_add(1, std::memory_order_relaxed);
+      w.wait_ns.fetch_add(wait_ns, std::memory_order_relaxed);
+    }
+  }
+
+  // Folds one lane's scheduling stats (merged by lane index across pools).
+  void AddLaneRecord(int lane, const LaneRecord& record);
+
+  // Snapshot of every recorded event, sorted by (start_ns, tid, category, unit) —
+  // the deterministic flush order. Safe to call while other threads record (acquire
+  // reads see a consistent prefix of each buffer); call it after joining workers
+  // for a complete picture.
+  std::vector<ProfEvent> Collect() const;
+  WaitStats waits(Probe p) const;
+  std::map<int, LaneRecord> lanes() const;
+
+  // Clears recorded events, waits, and lane records; flags and registered thread
+  // buffers are untouched. Requires quiescence (no concurrent recorders), same as
+  // telemetry::Telemetry::Reset.
+  void Reset();
+
+  // Nanoseconds on the shared telemetry timeline (telemetry::Telemetry::Global()'s
+  // epoch), so profile events and Chrome-trace events line up.
+  uint64_t NowNs() const;
+
+ private:
+  struct Chunk;
+  struct ThreadBuffer;
+
+  ThreadBuffer* BufferForThisThread();
+
+  std::atomic<bool> enabled_{false};
+
+  struct AtomicWaitStats {
+    std::atomic<uint64_t> acquires{0};
+    std::atomic<uint64_t> contended{0};
+    std::atomic<uint64_t> wait_ns{0};
+  };
+  std::array<AtomicWaitStats, static_cast<size_t>(Probe::kCount)> waits_;
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;  // Guarded by mu_.
+  std::map<int, LaneRecord> lanes_;                     // Guarded by mu_.
+  int next_tid_ = 0;                                    // Guarded by mu_.
+};
+
+// RAII work-unit span. Construction on a disabled profiler is one relaxed load and
+// a branch; Annotate and destruction are no-ops in that case. When telemetry tracing
+// is armed the completed span is also mirrored into the Chrome trace with the unit
+// as an argument, so Perfetto shows the same attribution the profile JSON carries.
+class WorkSpan {
+ public:
+  explicit WorkSpan(const char* category) : WorkSpan(Profiler::Global(), category) {}
+  WorkSpan(Profiler& profiler, const char* category)
+      : profiler_(&profiler), category_(category), active_(profiler.enabled()) {
+    if (active_) {
+      start_ns_ = profiler_->NowNs();
+    }
+  }
+  ~WorkSpan();
+
+  WorkSpan(const WorkSpan&) = delete;
+  WorkSpan& operator=(const WorkSpan&) = delete;
+
+  bool active() const { return active_; }
+  // Attaches the work-unit tag. Call behind active() when building the tag is not
+  // free — the typical pattern is:
+  //   profiler::WorkSpan span("knox2/cosim");
+  //   if (span.active()) span.Annotate("app=" + app.name() + ...);
+  void Annotate(std::string unit) {
+    if (active_) {
+      unit_ = std::move(unit);
+    }
+  }
+
+ private:
+  Profiler* profiler_;
+  const char* category_;
+  bool active_;
+  uint64_t start_ns_ = 0;
+  std::string unit_;
+};
+
+// Mutex acquisition with contention attribution. Disabled: one relaxed load, a
+// branch, and the plain lock. Enabled: an uncontended try_lock costs one atomic
+// add; a contended path times the block and attributes it to the probe.
+class TimedLock {
+ public:
+  TimedLock(std::mutex& mu, Probe probe) : mu_(mu) {
+    Profiler& profiler = Profiler::Global();
+    if (!profiler.enabled()) {
+      mu_.lock();
+      return;
+    }
+    if (mu_.try_lock()) {
+      profiler.AddAcquire(probe);
+      return;
+    }
+    uint64_t start = profiler.NowNs();
+    mu_.lock();
+    profiler.AddWait(probe, profiler.NowNs() - start);
+  }
+  ~TimedLock() { mu_.unlock(); }
+
+  TimedLock(const TimedLock&) = delete;
+  TimedLock& operator=(const TimedLock&) = delete;
+
+ private:
+  std::mutex& mu_;
+};
+
+}  // namespace parfait::profiler
+
+#endif  // PARFAIT_SUPPORT_PROFILER_H_

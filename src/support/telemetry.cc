@@ -3,6 +3,8 @@
 #include <chrono>
 #include <cstdio>
 
+#include "src/support/profiler.h"
+
 namespace parfait::telemetry {
 
 namespace {
@@ -172,7 +174,7 @@ void Telemetry::Count(std::string_view name, uint64_t delta) {
   if (!enabled()) {
     return;
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  profiler::TimedLock lock(mu_, profiler::Probe::kTelemetryRegistry);
   aggregate_.AddCounter(name, delta);
 }
 
@@ -180,7 +182,7 @@ void Telemetry::Record(std::string_view name, uint64_t value) {
   if (!enabled()) {
     return;
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  profiler::TimedLock lock(mu_, profiler::Probe::kTelemetryRegistry);
   aggregate_.RecordValue(name, value);
 }
 
@@ -188,7 +190,7 @@ void Telemetry::Merge(const TelemetrySnapshot& snapshot) {
   if (!enabled()) {
     return;
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  profiler::TimedLock lock(mu_, profiler::Probe::kTelemetryRegistry);
   aggregate_.Merge(snapshot);
 }
 
@@ -209,6 +211,23 @@ void Telemetry::RecordEvidence(const Evidence& evidence) {
     event.args = evidence.fields;
     trace_.push_back(std::move(event));
   }
+}
+
+void Telemetry::AddCompleteEvent(const char* name, uint64_t ts_ns, uint64_t dur_ns,
+                                 std::vector<std::pair<std::string, std::string>> args) {
+  if (!tracing()) {
+    return;
+  }
+  int tid = TraceThreadId();
+  profiler::TimedLock lock(mu_, profiler::Probe::kTelemetryRegistry);
+  TraceEvent event;
+  event.name = name;
+  event.ph = 'X';
+  event.ts_ns = ts_ns;
+  event.dur_ns = dur_ns;
+  event.tid = tid;
+  event.args = std::move(args);
+  trace_.push_back(std::move(event));
 }
 
 TelemetrySnapshot Telemetry::Snapshot() const {
@@ -293,7 +312,7 @@ void Telemetry::EndSpan(const char* name, uint64_t start_ns) {
   uint64_t end_ns = NowNs();
   uint64_t dur_ns = end_ns - start_ns;
   int tid = TraceThreadId();
-  std::lock_guard<std::mutex> lock(mu_);
+  profiler::TimedLock lock(mu_, profiler::Probe::kTelemetryRegistry);
   aggregate_.RecordValue(std::string("span/") + name, dur_ns);
   if (tracing_.load(std::memory_order_relaxed)) {
     TraceEvent event;

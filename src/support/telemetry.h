@@ -133,6 +133,12 @@ class Telemetry {
   void Merge(const TelemetrySnapshot& snapshot);
   void RecordEvidence(const Evidence& evidence);
 
+  // Appends a pre-timed 'X' event to the trace buffer (no-op unless tracing). Used
+  // by the profiler's WorkSpan to mirror attributed spans — with the work-unit tag
+  // as an argument — onto the same timeline the plain Spans draw on.
+  void AddCompleteEvent(const char* name, uint64_t ts_ns, uint64_t dur_ns,
+                        std::vector<std::pair<std::string, std::string>> args);
+
   TelemetrySnapshot Snapshot() const;
   std::vector<Evidence> evidence() const;
   std::vector<TraceEvent> trace_events() const;

@@ -5,13 +5,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <map>
 #include <set>
 #include <string>
 #include <thread>
 #include <type_traits>
 #include <vector>
-
-#include <map>
 
 #include "src/hsm/app.h"
 #include "src/ipr/equivalence.h"
@@ -22,6 +22,7 @@
 #include "src/riscv/translator.h"
 #include "src/starling/starling.h"
 #include "src/support/parallel.h"
+#include "src/support/profiler.h"
 #include "src/support/rng.h"
 #include "src/support/telemetry.h"
 
@@ -127,6 +128,88 @@ TEST(ThreadPool, WorkerStatsAccountForScheduledTasks) {
 
   ThreadPool serial(1);
   EXPECT_TRUE(serial.WorkerStats().empty());
+}
+
+TEST(ThreadPool, BusyTimeAndQueueDepthRequireProfilingToBeArmed) {
+  // With telemetry and the profiler both disabled there are no per-task clock
+  // reads and no queue-depth samples — the stats stay zero.
+  ASSERT_FALSE(telemetry::Telemetry::Global().enabled());
+  ASSERT_FALSE(profiler::Profiler::Global().enabled());
+  {
+    ThreadPool pool(4);
+    ParallelFor(pool, 500, [](size_t) {});
+    for (const PoolLaneStats& lane : pool.WorkerStats()) {
+      EXPECT_EQ(lane.busy_ns, 0u);
+      EXPECT_EQ(lane.queue_depth_samples, 0u);
+    }
+  }
+
+  // Armed: workers that ran tasks have measured busy time, and queue pushes were
+  // depth-sampled. Workers publish busy time after the task body returns, which can
+  // lag the fork-join barrier — so observe through the profiler's folded lane
+  // records after teardown (the join orders every publish before the fold).
+  profiler::Profiler::Global().Enable();
+  {
+    ThreadPool pool(4);
+    ParallelFor(pool, 500, [](size_t) {
+      std::this_thread::sleep_for(std::chrono::microseconds(1));
+    });
+  }
+  std::map<int, profiler::LaneRecord> lanes = profiler::Profiler::Global().lanes();
+  profiler::Profiler::Global().Disable();
+  profiler::Profiler::Global().Reset();
+  uint64_t total_samples = 0;
+  for (const auto& [index, lane] : lanes) {
+    if (lane.tasks > 0) {
+      EXPECT_GT(lane.busy_ns, 0u);
+    }
+    total_samples += lane.queue_depth_samples;
+    // The sampled average can never exceed the sampled max.
+    if (lane.queue_depth_samples > 0) {
+      EXPECT_LE(lane.queue_depth_sum,
+                lane.queue_depth_max * lane.queue_depth_samples);
+    }
+  }
+  EXPECT_GT(total_samples, 0u);
+}
+
+TEST(ThreadPool, TeardownFoldsLaneRecordsIntoTheProfiler) {
+  auto& prof = profiler::Profiler::Global();
+  ASSERT_FALSE(prof.enabled());
+  prof.Enable();
+  uint64_t scheduled = 0;
+  {
+    ThreadPool pool(4);
+    std::atomic<int> count{0};
+    ParallelFor(pool, 1'000, [&](size_t) { count.fetch_add(1); });
+    EXPECT_EQ(count.load(), 1'000);
+    for (const PoolLaneStats& lane : pool.WorkerStats()) {
+      scheduled += lane.tasks_run;
+    }
+  }  // ~ThreadPool folds lane records.
+  std::map<int, profiler::LaneRecord> lanes = prof.lanes();
+  prof.Disable();
+  prof.Reset();
+  // Worker lanes are numbered from 1 (lane 0 is the untracked fork-join caller).
+  ASSERT_FALSE(lanes.empty());
+  EXPECT_EQ(lanes.count(0), 0u);
+  uint64_t folded = 0;
+  for (const auto& [lane, record] : lanes) {
+    EXPECT_GE(lane, 1);
+    EXPECT_LE(lane, 3);
+    folded += record.tasks;
+  }
+  EXPECT_EQ(folded, scheduled);
+}
+
+TEST(ThreadPool, TeardownDoesNotFoldWhenProfilerDisabled) {
+  auto& prof = profiler::Profiler::Global();
+  ASSERT_FALSE(prof.enabled());
+  {
+    ThreadPool pool(4);
+    ParallelFor(pool, 100, [](size_t) {});
+  }
+  EXPECT_TRUE(prof.lanes().empty());
 }
 
 // ---- ParallelReduce: lowest-failure settlement ----

@@ -1,0 +1,474 @@
+// Tests for the profiler support stack: the JSON reader (src/support/json.h), the
+// profiler event/probe/lane machinery (src/support/profiler.h), and the report /
+// attribution / diff layer behind `parfait-prof` (src/support/prof.h).
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/support/json.h"
+#include "src/support/prof.h"
+#include "src/support/profiler.h"
+
+namespace parfait {
+namespace {
+
+using json::Value;
+using prof::Attribution;
+using prof::Direction;
+using prof::SpanEvent;
+using profiler::LaneRecord;
+using profiler::Probe;
+using profiler::ProfEvent;
+using profiler::Profiler;
+using profiler::WorkSpan;
+
+// ---------------------------------------------------------------------------
+// JSON parser.
+
+TEST(Json, ParsesScalarsAndContainers) {
+  std::string error;
+  auto v = json::Parse(
+      R"({"a": 1.5, "b": "text", "c": [true, false, null], "d": {"nested": -2e3}})",
+      &error);
+  ASSERT_TRUE(v.has_value()) << error;
+  ASSERT_TRUE(v->is_object());
+  EXPECT_DOUBLE_EQ(v->NumberOr("a", 0), 1.5);
+  EXPECT_EQ(v->StringOr("b", ""), "text");
+  const Value* c = v->Find("c");
+  ASSERT_NE(c, nullptr);
+  ASSERT_TRUE(c->is_array());
+  ASSERT_EQ(c->AsArray().size(), 3u);
+  EXPECT_TRUE(c->AsArray()[0].AsBool());
+  EXPECT_TRUE(c->AsArray()[2].is_null());
+  const Value* d = v->Find("d");
+  ASSERT_NE(d, nullptr);
+  EXPECT_DOUBLE_EQ(d->NumberOr("nested", 0), -2000.0);
+}
+
+TEST(Json, ObjectMembersKeepFileOrder) {
+  auto v = json::Parse(R"({"z": 1, "a": 2, "m": 3})");
+  ASSERT_TRUE(v.has_value());
+  const auto& members = v->AsObject();
+  ASSERT_EQ(members.size(), 3u);
+  EXPECT_EQ(members[0].first, "z");
+  EXPECT_EQ(members[1].first, "a");
+  EXPECT_EQ(members[2].first, "m");
+}
+
+TEST(Json, DecodesEscapesIncludingSurrogatePairs) {
+  auto v = json::Parse(R"(["a\"b\\c\n", "é", "😀"])");
+  ASSERT_TRUE(v.has_value());
+  const auto& items = v->AsArray();
+  EXPECT_EQ(items[0].AsString(), "a\"b\\c\n");
+  EXPECT_EQ(items[1].AsString(), "\xc3\xa9");          // U+00E9 as UTF-8.
+  EXPECT_EQ(items[2].AsString(), "\xf0\x9f\x98\x80");  // U+1F600 as UTF-8.
+}
+
+TEST(Json, RejectsMalformedInput) {
+  std::string error;
+  EXPECT_FALSE(json::Parse("{", &error).has_value());
+  EXPECT_FALSE(json::Parse("[1, 2,]", &error).has_value());
+  EXPECT_FALSE(json::Parse("01", &error).has_value());
+  EXPECT_FALSE(json::Parse("{} trailing", &error).has_value());
+  EXPECT_NE(error.find("at byte"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Amdahl serial-fraction estimate.
+
+TEST(Amdahl, RecoversKnownSerialFractions) {
+  // s = 0.5 on 2 threads: t2 = t1 * (0.5 + 0.5/2) = 0.75 * t1.
+  EXPECT_NEAR(prof::AmdahlSerialFraction(10.0, 7.5, 2), 0.5, 1e-9);
+  // Perfect scaling => fully parallel.
+  EXPECT_NEAR(prof::AmdahlSerialFraction(10.0, 2.5, 4), 0.0, 1e-9);
+  // No scaling at all => fully serial.
+  EXPECT_NEAR(prof::AmdahlSerialFraction(10.0, 10.0, 4), 1.0, 1e-9);
+}
+
+TEST(Amdahl, ClampsAndDegenerates) {
+  // A slowdown (t_n > t_1) would give s > 1; clamped.
+  EXPECT_DOUBLE_EQ(prof::AmdahlSerialFraction(10.0, 12.0, 2), 1.0);
+  // Superlinear scaling would give s < 0; clamped.
+  EXPECT_DOUBLE_EQ(prof::AmdahlSerialFraction(10.0, 1.0, 2), 0.0);
+  // One thread or zero times estimate nothing: report fully serial.
+  EXPECT_DOUBLE_EQ(prof::AmdahlSerialFraction(10.0, 10.0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(prof::AmdahlSerialFraction(0.0, 5.0, 2), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Wall-time attribution.
+
+SpanEvent MakeSpan(const char* category, const char* unit, uint64_t start,
+                   uint64_t dur, int tid) {
+  SpanEvent e;
+  e.category = category;
+  e.unit = unit;
+  e.start_ns = start;
+  e.dur_ns = dur;
+  e.tid = tid;
+  return e;
+}
+
+TEST(Attribution, NestedTaggedSpansAreUnionedNotSummed) {
+  // An outer [0,100) span with a nested [10,50) span: summing would claim 140 of a
+  // 100 ns window; the union claims exactly 100.
+  std::vector<SpanEvent> events = {
+      MakeSpan("row", "app=a", 0, 100, 0),
+      MakeSpan("cmd", "app=a cmd=1", 10, 40, 0),
+  };
+  Attribution a = prof::ComputeAttribution(events, 0);
+  EXPECT_EQ(a.attributed_ns, 100u);
+  EXPECT_EQ(a.window_ns, 100u);
+  EXPECT_DOUBLE_EQ(a.fraction, 1.0);
+}
+
+TEST(Attribution, UntaggedTimeWidensTheWindowOnly) {
+  // Tagged [0,50), untagged [50,100): half the thread's window is attributed.
+  std::vector<SpanEvent> events = {
+      MakeSpan("work", "unit=x", 0, 50, 0),
+      MakeSpan("misc", "", 50, 50, 0),
+  };
+  Attribution a = prof::ComputeAttribution(events, 0);
+  EXPECT_EQ(a.attributed_ns, 50u);
+  EXPECT_EQ(a.window_ns, 100u);
+  EXPECT_DOUBLE_EQ(a.fraction, 0.5);
+}
+
+TEST(Attribution, PoolIdleIsExcludedFromTheDenominator) {
+  std::vector<SpanEvent> events = {
+      MakeSpan("work", "unit=x", 0, 50, 0),
+      MakeSpan("misc", "", 50, 50, 0),
+  };
+  // 50 ns of the 100 ns window was measured worker sleep: 50 / (100 - 50) = 1.
+  Attribution a = prof::ComputeAttribution(events, 50);
+  EXPECT_EQ(a.pool_idle_ns, 50u);
+  EXPECT_DOUBLE_EQ(a.fraction, 1.0);
+}
+
+TEST(Attribution, SumsWindowsAcrossThreadsAndClampsAtOne) {
+  std::vector<SpanEvent> events = {
+      MakeSpan("work", "unit=x", 0, 100, 0),
+      MakeSpan("work", "unit=y", 0, 100, 1),
+  };
+  Attribution a = prof::ComputeAttribution(events, 150);
+  EXPECT_EQ(a.attributed_ns, 200u);
+  EXPECT_EQ(a.window_ns, 200u);
+  // 200 / (200 - 150) would be 4; the fraction is clamped.
+  EXPECT_DOUBLE_EQ(a.fraction, 1.0);
+}
+
+TEST(Attribution, EmptyInputIsZeroNotNan) {
+  Attribution a = prof::ComputeAttribution({}, 0);
+  EXPECT_EQ(a.attributed_ns, 0u);
+  EXPECT_EQ(a.window_ns, 0u);
+  EXPECT_DOUBLE_EQ(a.fraction, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Profiler event buffers, probes, and lanes.
+
+TEST(ProfilerEvents, CollectSortsByStartThenTid) {
+  Profiler p;
+  p.Enable();
+  p.RecordEvent("b", "u2", 200, 10);
+  p.RecordEvent("a", "u1", 100, 10);
+  p.RecordEvent("c", "u3", 150, 10);
+  std::vector<ProfEvent> events = p.Collect();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].start_ns, 100u);
+  EXPECT_EQ(events[1].start_ns, 150u);
+  EXPECT_EQ(events[2].start_ns, 200u);
+  EXPECT_STREQ(events[0].category, "a");
+}
+
+TEST(ProfilerEvents, DisabledProfilerRecordsNothing) {
+  Profiler p;
+  p.RecordEvent("never", "u", 0, 1);
+  {
+    WorkSpan span(p, "never");
+    EXPECT_FALSE(span.active());
+    span.Annotate("ignored");
+  }
+  EXPECT_TRUE(p.Collect().empty());
+}
+
+TEST(ProfilerEvents, WorkSpanRecordsCategoryAndUnit) {
+  Profiler p;
+  p.Enable();
+  {
+    WorkSpan span(p, "test/span");
+    ASSERT_TRUE(span.active());
+    span.Annotate("app=demo cmd=3");
+  }
+  std::vector<ProfEvent> events = p.Collect();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].category, "test/span");
+  EXPECT_EQ(events[0].unit, "app=demo cmd=3");
+}
+
+TEST(ProfilerEvents, ResetClearsEventsAndBuffersStayUsable) {
+  Profiler p;
+  p.Enable();
+  for (int i = 0; i < 600; i++) {  // Spill past one 256-event chunk.
+    p.RecordEvent("e", "", static_cast<uint64_t>(i), 1);
+  }
+  EXPECT_EQ(p.Collect().size(), 600u);
+  p.Reset();
+  EXPECT_TRUE(p.Collect().empty());
+  p.RecordEvent("after", "", 1, 1);
+  EXPECT_EQ(p.Collect().size(), 1u);
+}
+
+TEST(ProfilerProbes, WaitStatsAccumulate) {
+  Profiler p;
+  p.Enable();
+  p.AddAcquire(Probe::kPoolQueue);
+  p.AddAcquire(Probe::kPoolQueue);
+  p.AddWait(Probe::kPoolQueue, 500);
+  profiler::WaitStats w = p.waits(Probe::kPoolQueue);
+  EXPECT_EQ(w.acquires, 3u);  // AddWait counts the acquisition too.
+  EXPECT_EQ(w.contended, 1u);
+  EXPECT_EQ(w.wait_ns, 500u);
+  EXPECT_EQ(p.waits(Probe::kTranslateLock).acquires, 0u);
+}
+
+TEST(ProfilerLanes, LaneRecordsMergeByIndexAcrossPools) {
+  Profiler p;
+  p.Enable();
+  LaneRecord first;
+  first.tasks = 5;
+  first.busy_ns = 100;
+  first.queue_depth_max = 3;
+  LaneRecord second;
+  second.tasks = 7;
+  second.steals = 2;
+  second.busy_ns = 50;
+  second.queue_depth_max = 1;
+  p.AddLaneRecord(1, first);
+  p.AddLaneRecord(1, second);  // Same lane, a later pool: counters fold together.
+  auto lanes = p.lanes();
+  ASSERT_EQ(lanes.size(), 1u);
+  EXPECT_EQ(lanes[1].tasks, 12u);
+  EXPECT_EQ(lanes[1].steals, 2u);
+  EXPECT_EQ(lanes[1].busy_ns, 150u);
+  EXPECT_EQ(lanes[1].queue_depth_max, 3u);  // Max, not sum.
+}
+
+// ---------------------------------------------------------------------------
+// ProfileJson: the runtime-only "profile" section of BENCH_*.json.
+
+TEST(ProfileJson, IsValidJsonWithAllSections) {
+  Profiler p;
+  p.Enable();
+  p.RecordEvent("knox2/cosim", "app=ecdsa cmd=2", 0, 1000);
+  p.RecordEvent("knox2/cosim", "app=ecdsa cmd=2", 1000, 500);
+  p.AddWait(Probe::kTranslateLock, 42);
+  LaneRecord lane;
+  lane.tasks = 3;
+  lane.busy_ns = 900;
+  lane.idle_ns = 100;
+  p.AddLaneRecord(1, lane);
+
+  std::string error;
+  auto v = json::Parse(prof::ProfileJson(p), &error);
+  ASSERT_TRUE(v.has_value()) << error;
+  ASSERT_NE(v->Find("waits"), nullptr);
+  ASSERT_NE(v->Find("lanes"), nullptr);
+  ASSERT_NE(v->Find("units"), nullptr);
+  ASSERT_NE(v->Find("attribution"), nullptr);
+
+  // The two same-unit events aggregate into one row with summed time.
+  const Value* units = v->Find("units");
+  ASSERT_EQ(units->AsArray().size(), 1u);
+  EXPECT_EQ(units->AsArray()[0].StringOr("unit", ""), "app=ecdsa cmd=2");
+  EXPECT_DOUBLE_EQ(units->AsArray()[0].NumberOr("total_ns", 0), 1500.0);
+  EXPECT_DOUBLE_EQ(units->AsArray()[0].NumberOr("count", 0), 2.0);
+
+  const Value* waits = v->Find("waits");
+  const Value* translate = waits->Find("translate_lock");
+  ASSERT_NE(translate, nullptr);
+  EXPECT_DOUBLE_EQ(translate->NumberOr("wait_ns", 0), 42.0);
+}
+
+TEST(ProfileJson, IsDeterministicForTheSameRecording) {
+  Profiler p;
+  p.Enable();
+  p.RecordEvent("b", "u2", 50, 10);
+  p.RecordEvent("a", "u1", 10, 20);
+  p.AddAcquire(Probe::kPoolQueue);
+  EXPECT_EQ(prof::ProfileJson(p), prof::ProfileJson(p));
+}
+
+TEST(ProfileJson, RollsUpBeyondMaxUnitsIntoOther) {
+  Profiler p;
+  p.Enable();
+  p.RecordEvent("cat", "u1", 0, 100);
+  p.RecordEvent("cat", "u2", 0, 50);
+  p.RecordEvent("cat", "u3", 0, 25);
+  auto v = json::Parse(prof::ProfileJson(p, /*max_units=*/2));
+  ASSERT_TRUE(v.has_value());
+  const auto& units = v->Find("units")->AsArray();
+  ASSERT_EQ(units.size(), 3u);  // Two kept + "(other)".
+  EXPECT_EQ(units[0].StringOr("unit", ""), "u1");
+  EXPECT_EQ(units[2].StringOr("category", ""), "(other)");
+  // Totals still add up: 100 + 50 kept, 25 rolled up.
+  EXPECT_DOUBLE_EQ(units[2].NumberOr("total_ns", 0), 25.0);
+}
+
+// ---------------------------------------------------------------------------
+// Metric classification and diffing (the CI perf gate).
+
+TEST(ClassifyMetric, DirectionTable) {
+  EXPECT_EQ(prof::ClassifyMetric("machine_dbt.dbt_instr_per_s"),
+            Direction::kHigherBetter);
+  EXPECT_EQ(prof::ClassifyMetric("legs.0.speedup"), Direction::kHigherBetter);
+  EXPECT_EQ(prof::ClassifyMetric("soc.throughput"), Direction::kHigherBetter);
+  EXPECT_EQ(prof::ClassifyMetric("lanes.1.utilization"), Direction::kHigherBetter);
+  EXPECT_EQ(prof::ClassifyMetric("legs.0.serial_seconds"), Direction::kLowerBetter);
+  EXPECT_EQ(prof::ClassifyMetric("machine_setup.before_us"), Direction::kLowerBetter);
+  EXPECT_EQ(prof::ClassifyMetric("phase_ms"), Direction::kLowerBetter);
+  // serial_fraction is lower-better even though a *_per_s-style suffix matcher
+  // might otherwise be tempted; it is checked first.
+  EXPECT_EQ(prof::ClassifyMetric("legs.0.serial_fraction"), Direction::kLowerBetter);
+  EXPECT_EQ(prof::ClassifyMetric("machine_dbt.block_translations"), Direction::kInfo);
+  EXPECT_EQ(prof::ClassifyMetric("serial.cycles"), Direction::kInfo);
+}
+
+TEST(Diff, GatesASeededSyntheticRegression) {
+  // The committed-baseline shape: halve a higher-better throughput metric and
+  // check the diff flags exactly that leaf as a regression.
+  auto before = json::Parse(
+      R"({"bench":"b","machine_dbt":{"dbt_instr_per_s":400000000,"block_hits":100},
+          "machine_setup":{"after_us":0.20}})");
+  auto after = json::Parse(
+      R"({"bench":"b","machine_dbt":{"dbt_instr_per_s":200000000,"block_hits":95},
+          "machine_setup":{"after_us":0.205}})");
+  ASSERT_TRUE(before.has_value() && after.has_value());
+  prof::DiffOptions options;
+  options.max_regression_pct = 5.0;
+  prof::DiffResult result = prof::Diff(*before, *after, options);
+  EXPECT_EQ(result.regressions, 1);
+  bool found = false;
+  for (const auto& entry : result.entries) {
+    if (entry.path == "machine_dbt.dbt_instr_per_s") {
+      found = true;
+      EXPECT_TRUE(entry.regression);
+      EXPECT_NEAR(entry.change_pct, -50.0, 1e-6);
+    } else {
+      // block_hits is informational; after_us moved +2.5%, within tolerance.
+      EXPECT_FALSE(entry.regression);
+    }
+  }
+  EXPECT_TRUE(found);
+  EXPECT_NE(prof::RenderDiff(result).find("REGRESSION"), std::string::npos);
+}
+
+TEST(Diff, LowerBetterMetricsGateOnIncrease) {
+  auto before = json::Parse(R"({"legs":[{"serial_seconds":10.0,"speedup":1.5}]})");
+  auto after = json::Parse(R"({"legs":[{"serial_seconds":12.0,"speedup":1.5}]})");
+  prof::DiffResult result = prof::Diff(*before, *after, prof::DiffOptions{});
+  EXPECT_EQ(result.regressions, 1);
+  ASSERT_FALSE(result.entries.empty());
+  EXPECT_EQ(result.entries[0].path, "legs[0].serial_seconds");
+  EXPECT_TRUE(result.entries[0].regression);
+}
+
+TEST(Diff, ChangesWithinToleranceAndImprovementsPass) {
+  auto before = json::Parse(R"({"x_per_s":100.0,"y_seconds":10.0})");
+  auto after = json::Parse(R"({"x_per_s":97.0,"y_seconds":8.0})");  // -3%, faster.
+  prof::DiffResult result = prof::Diff(*before, *after, prof::DiffOptions{});
+  EXPECT_EQ(result.regressions, 0);
+}
+
+TEST(Diff, SkipsRuntimeOnlySubtrees) {
+  // profile/meta/pool/evidence leaves are schedule-dependent: never compared.
+  auto before = json::Parse(
+      R"({"a_per_s":100,"profile":{"attribution":{"fraction":1.0}},
+          "meta":{"threads":2},"pool":{"idle_ns":5}})");
+  auto after = json::Parse(
+      R"({"a_per_s":100,"profile":{"attribution":{"fraction":0.1}},
+          "meta":{"threads":8},"pool":{"idle_ns":500000}})");
+  prof::DiffResult result = prof::Diff(*before, *after, prof::DiffOptions{});
+  EXPECT_EQ(result.regressions, 0);
+  for (const auto& entry : result.entries) {
+    EXPECT_EQ(entry.path.find("profile"), std::string::npos);
+    EXPECT_EQ(entry.path.find("meta"), std::string::npos);
+    EXPECT_EQ(entry.path.find("pool"), std::string::npos);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Report rendering.
+
+TEST(RenderReport, RendersBenchShapeWithSerialFraction) {
+  auto root = json::Parse(
+      R"({"bench":"table4_hardware_verification",
+          "meta":{"backend":"interp","threads":2,"build":"Release","git":"abc"},
+          "legs":[{"backend":"interp","threads":2,"serial_seconds":10.0,
+                   "parallel_seconds":7.5,"speedup":1.333,"outcomes_identical":true}]})");
+  ASSERT_TRUE(root.has_value());
+  std::string out, error;
+  ASSERT_TRUE(prof::RenderReport(*root, &out, &error)) << error;
+  EXPECT_NE(out.find("table4_hardware_verification"), std::string::npos);
+  EXPECT_NE(out.find("serial fraction"), std::string::npos);
+  // s = (2 * 7.5 / 10 - 1) / 1 = 0.5.
+  EXPECT_NE(out.find("0.50"), std::string::npos);
+}
+
+TEST(RenderReport, RendersTraceShape) {
+  auto root = json::Parse(
+      R"({"traceEvents":[
+            {"name":"lint/run","ph":"X","ts":0,"dur":1000000,"tid":0,
+             "args":{"unit":"app=ecdsa"}},
+            {"name":"lint/fixpoint","ph":"X","ts":100,"dur":5000,"tid":0}]})");
+  ASSERT_TRUE(root.has_value());
+  std::string out, error;
+  ASSERT_TRUE(prof::RenderReport(*root, &out, &error)) << error;
+  EXPECT_NE(out.find("lint/run"), std::string::npos);
+}
+
+TEST(RenderReport, RejectsUnknownShapes) {
+  auto root = json::Parse(R"({"something":"else"})");
+  ASSERT_TRUE(root.has_value());
+  std::string out, error;
+  EXPECT_FALSE(prof::RenderReport(*root, &out, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(RenderReport, CommittedBaselineRendersDeterministically) {
+  // The committed table-4 baseline (bench/baselines/) must parse, render with all
+  // profile sections present, and render identically across calls.
+  std::string path = std::string(PARFAIT_SOURCE_DIR) + "/bench/baselines/parallel.json";
+  std::string error;
+  auto root = json::ParseFile(path, &error);
+  ASSERT_TRUE(root.has_value()) << error;
+  std::string out1, out2;
+  ASSERT_TRUE(prof::RenderReport(*root, &out1, &error)) << error;
+  ASSERT_TRUE(prof::RenderReport(*root, &out2, &error)) << error;
+  EXPECT_EQ(out1, out2);
+  EXPECT_NE(out1.find("serial fraction"), std::string::npos);
+  EXPECT_NE(out1.find("attribution"), std::string::npos);
+  EXPECT_NE(out1.find("lanes"), std::string::npos);
+  // The acceptance bar for the committed profile: >= 95% wall-time attribution.
+  const json::Value* attribution = root->Find("profile")->Find("attribution");
+  ASSERT_NE(attribution, nullptr);
+  EXPECT_GE(attribution->NumberOr("fraction", 0), 0.95);
+}
+
+TEST(RenderReport, CommittedSimperfBaselineParses) {
+  std::string path = std::string(PARFAIT_SOURCE_DIR) + "/bench/baselines/simperf.json";
+  std::string error;
+  auto root = json::ParseFile(path, &error);
+  ASSERT_TRUE(root.has_value()) << error;
+  // The profiler-off overhead recorded by micro_sim must stay within the <= 1%
+  // disabled-mode budget.
+  const json::Value* off = root->Find("profiler_off");
+  ASSERT_NE(off, nullptr);
+  EXPECT_LE(off->NumberOr("overhead_pct", 100.0), 1.0);
+  std::string out;
+  ASSERT_TRUE(prof::RenderReport(*root, &out, &error)) << error;
+}
+
+}  // namespace
+}  // namespace parfait

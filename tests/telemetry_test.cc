@@ -10,6 +10,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "src/support/profiler.h"
+
 namespace parfait::telemetry {
 namespace {
 
@@ -399,6 +401,53 @@ TEST(Telemetry, WriteTraceRoundTripsThroughAFile) {
   std::remove(path.c_str());
   EXPECT_EQ(contents, t.TraceJson());
   EXPECT_TRUE(IsValidJson(contents)) << contents;
+}
+
+TEST(Telemetry, AddCompleteEventAppearsInTraceWithArgs) {
+  Telemetry t;
+  t.EnableTracing();
+  t.AddCompleteEvent("knox2/cosim", 1000, 250, {{"unit", "app=ecdsa cmd=2"}});
+  auto events = t.trace_events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "knox2/cosim");
+  EXPECT_EQ(events[0].ph, 'X');
+  EXPECT_EQ(events[0].ts_ns, 1000u);
+  EXPECT_EQ(events[0].dur_ns, 250u);
+  ASSERT_EQ(events[0].args.size(), 1u);
+  EXPECT_EQ(events[0].args[0].first, "unit");
+  EXPECT_EQ(events[0].args[0].second, "app=ecdsa cmd=2");
+  std::string trace = t.TraceJson();
+  EXPECT_TRUE(IsValidJson(trace)) << trace;
+  EXPECT_NE(trace.find("app=ecdsa cmd=2"), std::string::npos);
+}
+
+TEST(Telemetry, AddCompleteEventIsANoOpWithoutTracing) {
+  Telemetry t;
+  t.Enable();  // Metrics on, tracing off.
+  t.AddCompleteEvent("never", 0, 1, {});
+  EXPECT_TRUE(t.trace_events().empty());
+}
+
+TEST(Telemetry, RegistryProbeCountsAcquisitionsWhenProfilerEnabled) {
+  // The registry's hot mutex carries a contention probe (Probe::kTelemetryRegistry).
+  // With the profiler armed, every Count/Record acquisition ticks the probe; the
+  // probe itself never takes a lock, so this is safe inside the registry's own path.
+  auto& prof = profiler::Profiler::Global();
+  ASSERT_FALSE(prof.enabled());
+  Telemetry t;
+  t.Enable();
+  prof.Enable();
+  uint64_t before = prof.waits(profiler::Probe::kTelemetryRegistry).acquires;
+  t.Count("probe/counter");
+  t.Record("probe/histogram", 7);
+  prof.Disable();
+  uint64_t after = prof.waits(profiler::Probe::kTelemetryRegistry).acquires;
+  prof.Reset();
+  EXPECT_GE(after - before, 2u);
+  // Disabled again: acquisitions no longer tick.
+  uint64_t quiesced = prof.waits(profiler::Probe::kTelemetryRegistry).acquires;
+  t.Count("probe/counter");
+  EXPECT_EQ(prof.waits(profiler::Probe::kTelemetryRegistry).acquires, quiesced);
 }
 
 TEST(Telemetry, TelemetrySpanMacroUsesTheGlobalRegistry) {

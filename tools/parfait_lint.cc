@@ -4,6 +4,12 @@
 // Usage:
 //   parfait-lint --app=ecdsa|hasher [--crosscheck] [--mul-policy] [--json=FILE]
 //                [--baseline=FILE] [--update-baseline]
+//                [--trace=FILE] [--telemetry-json=FILE]
+//
+// --trace= (or the PARFAIT_TRACE environment variable) captures a Chrome trace of
+// the run; --telemetry-json= dumps the global telemetry snapshot — both share the
+// bench flag plumbing (bench/bench_util.h), so tool runs are observable the same
+// way bench runs are.
 //
 // Exit codes: 0 clean (or all findings present in the baseline), 1 new findings,
 // 2 analysis error. The baseline file holds one `<app> <pc-hex> <kind>` triple per
@@ -19,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "src/analysis/crosscheck.h"
 #include "src/analysis/lint.h"
 #include "src/hsm/app.h"
@@ -78,9 +85,7 @@ std::string JsonEscape(const std::string& s) {
   return out;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+int RunTool(int argc, char** argv) {
   std::string app_name = FlagValue(argc, argv, "app");
   if (app_name != "ecdsa" && app_name != "hasher") {
     std::fprintf(stderr, "usage: parfait-lint --app=ecdsa|hasher [--crosscheck] "
@@ -206,4 +211,22 @@ int main(int argc, char** argv) {
   }
 
   return report.findings.empty() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Observability knobs shared with the benches: --trace=/PARFAIT_TRACE (Chrome
+  // trace), --telemetry-json= (snapshot dump), --profile=1/PARFAIT_PROFILE
+  // (work-unit attribution in the dump). All stay disabled-cost when unused.
+  std::string trace_path = parfait::bench::SetupTrace(argc, argv);
+  std::string telemetry_path = parfait::bench::SetupTelemetryJson(argc, argv);
+  parfait::bench::SetupProfile(argc, argv);
+  int rc = RunTool(argc, argv);
+  parfait::bench::FinishTrace(trace_path);
+  if (!parfait::bench::FinishTelemetryJson(telemetry_path, "parfait-lint")) {
+    std::fprintf(stderr, "parfait-lint: failed to write %s\n", telemetry_path.c_str());
+    return rc == 0 ? 2 : rc;
+  }
+  return rc;
 }

@@ -1,0 +1,124 @@
+// parfait-prof: profile reporting and perf regression gating over the JSON the
+// benches and checkers emit.
+//
+//   parfait-prof report <BENCH_*.json | trace.json>
+//       Prints the top-spans table (per work unit), per-lane utilization, contention
+//       probes, and — for files with 1-thread/N-thread legs — an Amdahl
+//       serial-fraction estimate. Accepts either a bench report (with the optional
+//       runtime-only "profile" section written under --profile=1) or a Chrome trace
+//       written under --trace=.
+//
+//   parfait-prof diff <before.json> <after.json> [--max-regression=pct]
+//       Compares the numeric leaves of two bench reports and exits 1 when a gated
+//       metric (throughput-like: higher-better; seconds-like: lower-better — see
+//       src/support/prof.h) regressed by more than the tolerance (default 5%). CI
+//       runs this over BENCH_simperf.json / BENCH_parallel.json as the perf gate.
+//
+// Exit codes: 0 ok, 1 regression (diff), 2 usage or unreadable/unparseable input.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/support/json.h"
+#include "src/support/prof.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: parfait-prof report <bench.json|trace.json>\n"
+               "       parfait-prof diff <before.json> <after.json> "
+               "[--max-regression=pct]\n");
+  return 2;
+}
+
+int RunReport(const std::string& path) {
+  std::string error;
+  auto root = parfait::json::ParseFile(path, &error);
+  if (!root.has_value()) {
+    std::fprintf(stderr, "parfait-prof: %s\n", error.c_str());
+    return 2;
+  }
+  std::string out;
+  if (!parfait::prof::RenderReport(*root, &out, &error)) {
+    std::fprintf(stderr, "parfait-prof: %s: %s\n", path.c_str(), error.c_str());
+    return 2;
+  }
+  std::fputs(out.c_str(), stdout);
+  return 0;
+}
+
+int RunDiff(const std::string& before_path, const std::string& after_path,
+            double max_regression_pct) {
+  std::string error;
+  auto before = parfait::json::ParseFile(before_path, &error);
+  if (!before.has_value()) {
+    std::fprintf(stderr, "parfait-prof: %s\n", error.c_str());
+    return 2;
+  }
+  auto after = parfait::json::ParseFile(after_path, &error);
+  if (!after.has_value()) {
+    std::fprintf(stderr, "parfait-prof: %s\n", error.c_str());
+    return 2;
+  }
+  parfait::prof::DiffOptions options;
+  options.max_regression_pct = max_regression_pct;
+  parfait::prof::DiffResult result = parfait::prof::Diff(*before, *after, options);
+  std::printf("diff %s -> %s (tolerance %.1f%%)\n", before_path.c_str(),
+              after_path.c_str(), max_regression_pct);
+  std::fputs(parfait::prof::RenderDiff(result).c_str(), stdout);
+  return result.regressions > 0 ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    return Usage();
+  }
+  const std::string mode = argv[1];
+  // Positional args: everything not starting with "--".
+  std::vector<std::string> files;
+  for (int i = 2; i < argc; i++) {
+    if (std::strncmp(argv[i], "--", 2) != 0) {
+      files.push_back(argv[i]);
+    }
+  }
+  if (mode == "report") {
+    for (int i = 2; i < argc; i++) {
+      if (std::strncmp(argv[i], "--", 2) == 0) {
+        std::fprintf(stderr, "parfait-prof: unknown flag %s\n", argv[i]);
+        return 2;
+      }
+    }
+    if (files.size() != 1) {
+      return Usage();
+    }
+    return RunReport(files[0]);
+  }
+  if (mode == "diff") {
+    if (files.size() != 2) {
+      return Usage();
+    }
+    const char* tolerance = "5";
+    for (int i = 2; i < argc; i++) {
+      if (std::strncmp(argv[i], "--max-regression=", 17) == 0) {
+        tolerance = argv[i] + 17;
+      } else if (std::strncmp(argv[i], "--", 2) == 0) {
+        std::fprintf(stderr, "parfait-prof: unknown flag %s\n", argv[i]);
+        return 2;
+      }
+    }
+    char* end = nullptr;
+    double pct = std::strtod(tolerance, &end);
+    if (end == tolerance || *end != '\0' || pct < 0) {
+      std::fprintf(stderr, "parfait-prof: --max-regression=%s is not a percentage\n",
+                   tolerance);
+      return 2;
+    }
+    return RunDiff(files[0], files[1], pct);
+  }
+  return Usage();
+}

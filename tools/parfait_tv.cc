@@ -4,6 +4,11 @@
 // Usage:
 //   parfait-tv --app=ecdsa|hasher|all [--func=NAME] [--threads=N] [--json=FILE]
 //              [--baseline=FILE] [--update-baseline]
+//              [--trace=FILE] [--telemetry-json=FILE]
+//
+// --trace= (or PARFAIT_TRACE) captures a Chrome trace; --telemetry-json= dumps the
+// global telemetry snapshot — the same observability knobs the benches take, via
+// bench/bench_util.h.
 //
 // Exit codes: 0 every function validated (or all findings present in the baseline),
 // 1 findings, 2 validator error. The baseline holds one
@@ -19,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "src/analysis/tv/tv.h"
 #include "src/hsm/app.h"
 #include "src/hsm/hsm_system.h"
@@ -75,9 +81,7 @@ struct AppRun {
   TvReport report;
 };
 
-}  // namespace
-
-int main(int argc, char** argv) {
+int RunTool(int argc, char** argv) {
   std::string app_name = FlagValue(argc, argv, "app");
   if (app_name != "ecdsa" && app_name != "hasher" && app_name != "all") {
     std::fprintf(stderr,
@@ -254,4 +258,20 @@ int main(int argc, char** argv) {
   }
 
   return total_findings == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Observability knobs shared with the benches (see bench/bench_util.h).
+  std::string trace_path = parfait::bench::SetupTrace(argc, argv);
+  std::string telemetry_path = parfait::bench::SetupTelemetryJson(argc, argv);
+  parfait::bench::SetupProfile(argc, argv);
+  int rc = RunTool(argc, argv);
+  parfait::bench::FinishTrace(trace_path);
+  if (!parfait::bench::FinishTelemetryJson(telemetry_path, "parfait-tv")) {
+    std::fprintf(stderr, "parfait-tv: failed to write %s\n", telemetry_path.c_str());
+    return rc == 0 ? 2 : rc;
+  }
+  return rc;
 }
