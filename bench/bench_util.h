@@ -190,13 +190,51 @@ inline bool FinishTelemetryJson(const std::string& path, const std::string& tool
 
 // Build/runtime provenance stamped into every BENCH_*.json "meta" object so a
 // parfait-prof diff names what it compared. The macros come from the top-level
-// CMakeLists (git describe at configure time; CMAKE_BUILD_TYPE).
+// CMakeLists (CMAKE_BUILD_TYPE; git describe at configure time as a fallback).
 #ifndef PARFAIT_GIT_DESCRIBE
 #define PARFAIT_GIT_DESCRIBE "unknown"
 #endif
 #ifndef PARFAIT_BUILD_TYPE
 #define PARFAIT_BUILD_TYPE "unknown"
 #endif
+#ifndef PARFAIT_SOURCE_DIR
+#define PARFAIT_SOURCE_DIR "."
+#endif
+
+// The git stamp, resolved when the bench actually runs. The configure-time macro
+// goes stale the moment a commit lands without re-running cmake (every meta then
+// claims an old revision, typically with a misleading "-dirty" suffix), so the
+// meta stamp asks the source tree itself and only falls back to the macro when
+// git is unavailable (shipped source tarball, no .git directory). Cached: one
+// subprocess per process, not per report.
+inline const std::string& RuntimeGitDescribe() {
+  static const std::string cached = [] {
+    std::string out;
+#if !defined(_WIN32)
+    std::FILE* pipe = popen(
+        "git -C \"" PARFAIT_SOURCE_DIR "\" describe --always --dirty 2>/dev/null", "r");
+    if (pipe != nullptr) {
+      char buf[256];
+      while (std::fgets(buf, sizeof(buf), pipe) != nullptr) {
+        out += buf;
+      }
+      if (pclose(pipe) != 0) {
+        out.clear();
+      }
+    }
+    while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) {
+      out.pop_back();
+    }
+    // A describe is a hex id possibly with tag/-dirty decorations; anything with
+    // spaces is an error message, not a revision.
+    if (out.find(' ') != std::string::npos) {
+      out.clear();
+    }
+#endif
+    return out.empty() ? std::string(PARFAIT_GIT_DESCRIBE) : out;
+  }();
+  return cached;
+}
 
 // Writes the captured trace if SetupTrace armed one (open the file in
 // chrome://tracing or https://ui.perfetto.dev).
@@ -257,7 +295,7 @@ class TelemetryReport {
   std::string MetaJson() const {
     return "{\"backend\":\"" + (backend_.empty() ? "default" : backend_) +
            "\",\"threads\":" + std::to_string(threads_) + ",\"build\":\"" +
-           PARFAIT_BUILD_TYPE "\",\"git\":\"" + PARFAIT_GIT_DESCRIBE "\"}";
+           PARFAIT_BUILD_TYPE "\",\"git\":\"" + RuntimeGitDescribe() + "\"}";
   }
 
   std::string ToJson() const {

@@ -9,12 +9,25 @@
 // the reports — including their telemetry snapshots — are identical (the seed-splitting
 // determinism guarantee). --trace=<path> (or PARFAIT_TRACE) captures a Chrome trace;
 // --json=<path> overrides the BENCH_telemetry.json location.
+//
+// --shards=K/M switches to the multi-process work-unit mode (src/support/shard.h):
+// the suite decomposes into app x trial-kind units (valid, invalid, sequence per
+// app) with deterministic global ordinals, runs only the units with
+// ordinal % M == K-1, and writes their records to --shard-out (default
+// BENCH_shard_K_of_M.json). `parfait-prof merge` combines all M shard files into a
+// report byte-identical to a --shards=1/1 run's BENCH_table3_report.json. Each unit
+// seeds its trials from SplitSeed(1234, ordinal), so records are a function of the
+// unit alone — any shard count, thread count, or process layout folds identically.
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "src/starling/starling.h"
 #include "src/support/loc.h"
 #include "src/support/parallel.h"
+#include "src/support/rng.h"
+#include "src/support/shard.h"
 
 using namespace parfait;
 
@@ -59,10 +72,115 @@ bool RunApp(const char* label, const hsm::App& app, size_t proof_loc,
   return parallel.ok && identical;
 }
 
+// The sharded unit-record path: one unit per app x trial kind. A unit reruns
+// CheckApp restricted to its kind with its own SplitSeed stream, so the record —
+// pass/fail, checks_run (stored in the record's cycles field: Starling's work
+// metric), telemetry — is deterministic in the ordinal alone.
+int RunSharded(int argc, char** argv, const shard::ShardSpec& spec) {
+  int threads = ResolveNumThreads(bench::ThreadsFlag(argc, argv));
+  bench::TelemetryReport report("table3_software_verification", threads);
+
+  struct AppRow {
+    const char* label;
+    const hsm::App* app;
+    starling::StarlingOptions options;
+  };
+  starling::StarlingOptions ecdsa_options;
+  ecdsa_options.valid_trials = 12;
+  ecdsa_options.invalid_trials = 32;
+  ecdsa_options.sequence_trials = 2;
+  ecdsa_options.sequence_length = 4;
+  const AppRow rows[] = {
+      {"ECDSA signer", &hsm::EcdsaApp(), ecdsa_options},
+      {"Password hasher", &hsm::HasherApp(), {}},
+  };
+  const char* kinds[] = {"valid", "invalid", "sequence"};
+
+  bool ok = true;
+  std::vector<shard::UnitRecord> records;
+  uint64_t ordinal = 0;
+  for (uint32_t r = 0; r < 2; r++) {
+    for (int kind = 0; kind < 3; kind++) {
+      uint64_t unit_ordinal = ordinal++;
+      if (!spec.Owns(unit_ordinal)) {
+        continue;
+      }
+      starling::StarlingOptions options = rows[r].options;
+      options.num_threads = threads;
+      options.seed = SplitSeed(options.seed, unit_ordinal);
+      if (kind != 0) {
+        options.valid_trials = 0;
+      }
+      if (kind != 1) {
+        options.invalid_trials = 0;
+      }
+      if (kind != 2) {
+        options.sequence_trials = 0;
+      }
+      auto result = starling::CheckApp(*rows[r].app, options);
+      std::printf("unit %llu: %-18s %-9s %5d checks  [%s]\n",
+                  static_cast<unsigned long long>(unit_ordinal), rows[r].label,
+                  kinds[kind], result.checks_run,
+                  result.ok ? "PASS" : result.failure.c_str());
+      ok = ok && result.ok;
+      report.Merge(result.telemetry);
+      if (result.evidence.has_value()) {
+        report.AddEvidence(*result.evidence);
+      }
+      shard::UnitRecord record;
+      record.ordinal = unit_ordinal;
+      record.row = r;
+      record.row_label = rows[r].label;
+      record.kind = kinds[kind];
+      record.label = kinds[kind];
+      record.ok = result.ok;
+      record.divergence = result.failure;
+      record.cycles = static_cast<uint64_t>(result.checks_run);
+      record.telemetry = result.telemetry;
+      records.push_back(std::move(record));
+    }
+  }
+
+  std::string default_out = "BENCH_shard_" + std::to_string(spec.index) + "_of_" +
+                            std::to_string(spec.count) + ".json";
+  std::string out_path = bench::FlagStr(argc, argv, "--shard-out", default_out.c_str());
+  if (FILE* out = std::fopen(out_path.c_str(), "w")) {
+    std::string json = shard::ShardFileJson("table3_software_verification", spec,
+                                            report.MetaJson(), records);
+    std::fwrite(json.data(), 1, json.size(), out);
+    std::fclose(out);
+    std::printf("Wrote %s (%zu of %llu units)\n", out_path.c_str(), records.size(),
+                static_cast<unsigned long long>(ordinal));
+  }
+  if (!spec.active()) {
+    const char* report_path =
+        bench::FlagStr(argc, argv, "--report-out", "BENCH_table3_report.json");
+    if (FILE* out = std::fopen(report_path, "w")) {
+      std::string json = shard::MergedReportJson("table3_software_verification",
+                                                 shard::FoldRows(records));
+      std::fwrite(json.data(), 1, json.size(), out);
+      std::fclose(out);
+      std::printf("Wrote %s\n", report_path);
+    }
+  }
+  report.Write(bench::FlagStr(argc, argv, "--json", "BENCH_telemetry.json"));
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bench::Header("Table 3: software verification effort (Starling)");
+
+  if (const char* shards = bench::FlagStr(argc, argv, "--shards", nullptr)) {
+    std::string error;
+    auto spec = shard::ParseShardSpec(shards, &error);
+    if (!spec.has_value()) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 2;
+    }
+    return RunSharded(argc, argv, *spec);
+  }
 
   std::string base = std::string(PARFAIT_SOURCE_DIR) + "/";
   size_t harness_loc = CountLoc(base + "src/starling/starling.cc") +

@@ -6,133 +6,293 @@
 // the simpler PicoRV32-style core verifies at *higher* cycles/s but needs *more*
 // cycles (and thus more wall-clock) per operation.
 //
-// --threads=N (0 = all hardware threads) schedules the four HSM rows — and each row's
-// self-composition obligations — across N threads. When N != 1 the whole suite runs
-// at 1 thread and again at N, reports both throughputs, verifies the check outcomes
-// are identical, and emits BENCH_parallel.json with the measured speedup. Without an
-// explicit --backend= the suite runs one leg per execution backend (interp, dbt) so
-// the parallel-scaling record covers both; --backend=interp|dbt restricts to one leg.
-// --profile=1 (or a --trace= run) embeds the work-unit attribution, lane utilization,
-// and contention-probe "profile" section that `parfait-prof report` renders.
+// The suite is scheduled as fine-grained *work units* (src/knox2/units.h): each row's
+// handle() invocation is segmented into ~--unit-instr instruction slices for both the
+// co-simulation and the self-composition pair, and every slice is an independently
+// runnable, independently seeded obligation with a global ordinal. The same unit list
+// drives three modes:
+//
+//   --threads=N       schedules all units of all rows across N pool lanes; when N != 1
+//                     the suite runs at 1 thread and again at N, verifies the folded
+//                     row outcomes (pass/fail, cycles, telemetry) are byte-identical,
+//                     and emits BENCH_parallel.json with the measured speedup.
+//   --shards=K/M      runs only the units with ordinal % M == K-1 and writes their
+//                     records to --shard-out (default BENCH_shard_K_of_M.json).
+//                     `parfait-prof merge` combines M shard files into a report that
+//                     is byte-identical to the unsharded run's BENCH_table4_report.json
+//                     — every process plans all rows (planning is deterministic), so
+//                     shards agree on the ordinal space without coordination.
+//   --unit-instr=N    slice size (0 = classic monolithic checkers; short commands fall
+//                     back to one monolithic unit automatically).
+//   --app=F           restricts rows to one app (ecdsa | hasher | all). Row indices
+//                     and inputs stay those of the full table, so shards and filters
+//                     compose deterministically.
+//
+// Without an explicit --backend= the unsharded suite runs one leg per execution
+// backend (interp, dbt); shard mode runs exactly one backend (--backend, default
+// interp) so all shards of a run agree. --profile=1 (or a --trace= run) embeds the
+// work-unit attribution, lane utilization, and contention-probe "profile" section
+// that `parfait-prof report` renders.
+#include <array>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <cctype>
+#include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "src/knox2/cosim.h"
 #include "src/knox2/leakage.h"
+#include "src/knox2/units.h"
 #include "src/support/loc.h"
 #include "src/support/parallel.h"
 #include "src/support/profiler.h"
 #include "src/support/rng.h"
+#include "src/support/shard.h"
 
 using namespace parfait;
 
 namespace {
 
-struct Row {
-  const char* platform;
-  const char* app_name;
-  double seconds;
-  uint64_t cycles;
-  bool ok;
-  // Cosim + self-composition counters for this row, merged in program order —
-  // schedule-independent, so rows compare bit-identically across thread counts.
-  telemetry::TelemetrySnapshot telemetry;
+constexpr int kTableRows = 4;
+
+// One row of the full table, planned: system, deterministic inputs, and the unit
+// plans for its co-simulation and self-composition obligations. Planning never
+// fails the row — a command that cannot be sliced (too short, undef-dependent
+// control flow) simply keeps one monolithic unit per checker.
+struct RowPlan {
+  int index = 0;  // Absolute row index in the full 4-row table, filter-independent.
+  soc::CpuKind cpu = soc::CpuKind::kIbexLite;
+  const hsm::App* app = nullptr;
+  std::string label;  // "IbexLite/ecdsa-p256" — the row key in shard records.
+  std::unique_ptr<hsm::HsmSystem> system;
+  Bytes state;
+  Bytes cmd;
+  Bytes variant;
+  knox2::HandlePlan cosim_plan;    // For `state`.
+  knox2::HandlePlan variant_plan;  // For `variant`; paired when aligned.
+  bool cosim_sliced = false;
+  bool selfcomp_sliced = false;
+  size_t cosim_units = 1;
+  size_t selfcomp_units = 1;
 };
 
+// One schedulable obligation: unit k of a row's cosim or selfcomp check. The
+// ordinal is the unit's position in the deterministic global enumeration — the
+// contract that lets shards partition work by `ordinal % M` alone.
+struct UnitDesc {
+  uint64_t ordinal = 0;
+  const RowPlan* row = nullptr;
+  bool selfcomp = false;
+  size_t k = 0;
+};
+
+bool AppSelected(const std::string& filter, const hsm::App& app) {
+  if (filter == "all") {
+    return true;
+  }
+  // Flag values are lowercase tokens; app names are display strings ("ECDSA
+  // signer", "Password hasher"), so match case-insensitively on a substring.
+  std::string name(app.name());
+  for (char& c : name) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return name.find(filter) != std::string::npos;
+}
+
+// Plans every selected row. Deterministic in (filter, unit_instructions, backend):
+// row inputs derive from SplitSeed(42, absolute row index), and PlanHandleUnits is
+// itself deterministic — every shard reproduces the same plans and ordinals.
+std::vector<RowPlan> PlanRows(const std::string& app_filter, uint64_t unit_instructions) {
+  std::vector<RowPlan> rows;
+  int index = 0;
+  for (soc::CpuKind cpu : {soc::CpuKind::kIbexLite, soc::CpuKind::kPicoLite}) {
+    for (const hsm::App* app : {&hsm::EcdsaApp(), &hsm::HasherApp()}) {
+      int row_index = index++;
+      if (!AppSelected(app_filter, *app)) {
+        continue;
+      }
+      RowPlan row;
+      row.index = row_index;
+      row.cpu = cpu;
+      row.app = app;
+      row.label = std::string(soc::CpuKindName(cpu)) + "/" + app->name();
+
+      Rng rng(SplitSeed(42, static_cast<uint64_t>(row_index)));
+      row.state = rng.RandomBytes(app->state_size());
+      row.cmd = Bytes(app->command_size(), 0);
+      row.cmd[0] = 2;  // Sign / Hash: the expensive operation.
+      for (size_t i = 1; i < row.cmd.size() && i <= 32; i++) {
+        row.cmd[i] = rng.Byte();
+      }
+      row.variant = knox2::MakeSecretVariant(*app, row.state, rng);
+
+      hsm::HsmBuildOptions options;
+      options.cpu = cpu;
+      row.system = std::make_unique<hsm::HsmSystem>(*app, options);
+
+      if (unit_instructions > 0) {
+        profiler::WorkSpan span("knox2/plan");
+        if (span.active()) {
+          span.Annotate("row=" + row.label);
+        }
+        row.cosim_plan =
+            knox2::PlanHandleUnits(*row.system, row.state, row.cmd, unit_instructions);
+        row.cosim_sliced = row.cosim_plan.ok && row.cosim_plan.num_units() > 1;
+        if (row.cosim_sliced) {
+          row.variant_plan = knox2::PlanHandleUnits(*row.system, row.variant, row.cmd,
+                                                    unit_instructions);
+          row.selfcomp_sliced = row.variant_plan.ok &&
+                                knox2::PlansAligned(row.cosim_plan, row.variant_plan);
+        }
+      }
+      row.cosim_units = row.cosim_sliced ? row.cosim_plan.num_units() : 1;
+      row.selfcomp_units = row.selfcomp_sliced ? row.cosim_plan.num_units() : 1;
+      rows.push_back(std::move(row));
+    }
+  }
+  return rows;
+}
+
+// Row-major global enumeration: each row contributes its cosim units then its
+// selfcomp units. Excluded rows contribute nothing, so ordinals stay contiguous.
+std::vector<UnitDesc> EnumerateUnits(const std::vector<RowPlan>& rows) {
+  std::vector<UnitDesc> units;
+  uint64_t ordinal = 0;
+  for (const RowPlan& row : rows) {
+    for (size_t k = 0; k < row.cosim_units; k++) {
+      units.push_back({ordinal++, &row, false, k});
+    }
+    for (size_t k = 0; k < row.selfcomp_units; k++) {
+      units.push_back({ordinal++, &row, true, k});
+    }
+  }
+  return units;
+}
+
+// Runs one work unit to a shard record. Everything in the record is a function of
+// the unit alone (deterministic inputs, no timing), which is what makes records
+// mergeable across thread counts and processes.
+shard::UnitRecord RunUnit(const UnitDesc& unit) {
+  const RowPlan& row = *unit.row;
+  shard::UnitRecord record;
+  record.ordinal = unit.ordinal;
+  record.row = static_cast<uint32_t>(row.index);
+  record.row_label = row.label;
+  if (!unit.selfcomp) {
+    record.kind = "cosim";
+    if (row.cosim_sliced) {
+      record.label = "unit " + std::to_string(unit.k) + "/" +
+                     std::to_string(row.cosim_units);
+      auto r = knox2::RunCosimUnit(*row.system, row.state, row.cmd, row.cosim_plan,
+                                   unit.k, knox2::CosimOptions{});
+      record.ok = r.ok;
+      record.divergence = r.divergence;
+      record.cycles = r.stats.cycles;
+      record.telemetry = knox2::CosimUnitTelemetry(r, unit.k);
+    } else {
+      record.label = "monolithic";
+      auto r = knox2::CosimHandleStep(*row.system, row.state, row.cmd);
+      record.ok = r.ok;
+      record.divergence = r.divergence;
+      record.cycles = r.stats.cycles;
+      record.telemetry = r.telemetry;
+    }
+    if (!record.ok) {
+      std::fprintf(stderr, "cosim failed (%s, %s): %s\n", row.label.c_str(),
+                   record.label.c_str(), record.divergence.c_str());
+    }
+  } else {
+    record.kind = "selfcomp";
+    if (row.selfcomp_sliced) {
+      record.label = "unit " + std::to_string(unit.k) + "/" +
+                     std::to_string(row.selfcomp_units);
+      auto r = knox2::RunSelfCompUnit(*row.system, row.state, row.variant, row.cmd,
+                                      row.cosim_plan, row.variant_plan, unit.k,
+                                      knox2::SelfCompOptions{}.max_cycles_per_command);
+      record.ok = r.ok;
+      record.divergence = r.divergence;
+      record.cycles = 2 * r.cycles;  // Two circuit instances simulated.
+      record.telemetry = knox2::SelfCompUnitTelemetry(r, unit.k);
+    } else {
+      record.label = "monolithic";
+      knox2::SelfCompOptions options;
+      options.num_threads = 1;  // Unit-level parallelism happens above, not inside.
+      auto r = knox2::CheckSelfComposition(*row.system, row.state, row.variant,
+                                           {row.cmd}, options);
+      record.ok = r.ok;
+      record.divergence = r.divergence;
+      record.cycles = 2 * r.cycles;
+      record.telemetry = r.telemetry;
+    }
+    if (!record.ok) {
+      std::fprintf(stderr, "self-composition failed (%s, %s): %s\n", row.label.c_str(),
+                   record.label.c_str(), record.divergence.c_str());
+    }
+  }
+  return record;
+}
+
+// One scheduling pass: run this shard's units on `num_threads` lanes and fold them
+// into row outcomes. Records come out ordinal-ascending (the owned subset preserves
+// enumeration order), so FoldRows settles each row's lowest failing ordinal.
 struct Pass {
-  std::vector<Row> rows;
+  std::vector<shard::UnitRecord> records;
+  std::vector<shard::RowOutcome> rows;
+  std::array<double, kTableRows> row_seconds{};  // Thread time, by absolute row index.
   double seconds = 0;
   uint64_t cycles = 0;
   bool ok = true;
 };
 
-Row RunOne(const hsm::App& app, soc::CpuKind cpu, int num_threads) {
-  profiler::WorkSpan work_span("table4/row");
-  if (work_span.active()) {
-    work_span.Annotate("app=" + std::string(app.name()) +
-                       " cpu=" + soc::CpuKindName(cpu));
+Pass RunPass(const std::vector<UnitDesc>& units, const shard::ShardSpec& spec,
+             int num_threads) {
+  std::vector<const UnitDesc*> owned;
+  for (const UnitDesc& unit : units) {
+    if (spec.Owns(unit.ordinal)) {
+      owned.push_back(&unit);
+    }
   }
-  hsm::HsmBuildOptions options;
-  options.cpu = cpu;
-  hsm::HsmSystem system(app, options);
-  Rng rng(42);
-
-  Bytes state = rng.RandomBytes(app.state_size());
-  Bytes cmd(app.command_size(), 0);
-  cmd[0] = 2;  // Sign / Hash: the expensive operation.
-  for (size_t i = 1; i < cmd.size() && i <= 32; i++) {
-    cmd[i] = rng.Byte();
-  }
-
-  bench::Stopwatch timer;
-  uint64_t cycles = 0;
-  bool ok = true;
-
-  // Functional-physical simulation (assembly-circuit synchronization). The
-  // retirement-stream comparison is inherently per-command serial; parallelism comes
-  // from running rows and self-composition obligations concurrently.
-  auto cosim = knox2::CosimHandleStep(system, state, cmd);
-  ok = ok && cosim.ok;
-  if (!cosim.ok) {
-    std::fprintf(stderr, "cosim failed: %s\n", cosim.divergence.c_str());
-  }
-  cycles += cosim.stats.cycles;
-
-  // Self-composition non-leakage over a secret-differing state pair.
-  Bytes variant = knox2::MakeSecretVariant(app, state, rng);
-  knox2::SelfCompOptions selfcomp_options;
-  selfcomp_options.num_threads = num_threads;
-  auto selfcomp = knox2::CheckSelfComposition(system, state, variant, {cmd}, selfcomp_options);
-  ok = ok && selfcomp.ok;
-  if (!selfcomp.ok) {
-    std::fprintf(stderr, "self-composition failed: %s\n", selfcomp.divergence.c_str());
-  }
-  cycles += 2 * selfcomp.cycles;  // Two circuit instances simulated.
-
-  Row row{soc::CpuKindName(cpu), app.name(), timer.Seconds(), cycles, ok, {}};
-  row.telemetry.Merge(cosim.telemetry);
-  row.telemetry.Merge(selfcomp.telemetry);
-  return row;
-}
-
-// One full Table 4 suite at the given thread count: the four app x platform rows are
-// independent verification jobs scheduled on the pool.
-Pass RunSuite(int num_threads) {
-  struct Job {
-    soc::CpuKind cpu;
-    const hsm::App* app;
-  };
-  std::vector<Job> jobs;
-  for (soc::CpuKind cpu : {soc::CpuKind::kIbexLite, soc::CpuKind::kPicoLite}) {
-    jobs.push_back({cpu, &hsm::EcdsaApp()});
-    jobs.push_back({cpu, &hsm::HasherApp()});
-  }
-
   Pass pass;
-  pass.rows.resize(jobs.size());
+  pass.records.resize(owned.size());
+  std::array<std::atomic<uint64_t>, kTableRows> row_ns{};
   bench::Stopwatch timer;
-  ThreadPool pool(num_threads);
-  ParallelFor(pool, jobs.size(), [&](size_t i) {
-    pass.rows[i] = RunOne(*jobs[i].app, jobs[i].cpu, num_threads);
-  });
+  {
+    ThreadPool pool(num_threads);
+    ParallelFor(pool, owned.size(), [&](size_t i) {
+      auto start = std::chrono::steady_clock::now();
+      pass.records[i] = RunUnit(*owned[i]);
+      auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+      row_ns[owned[i]->row->index].fetch_add(static_cast<uint64_t>(ns),
+                                             std::memory_order_relaxed);
+    });
+  }  // Pool teardown folds lane stats into telemetry/profiler.
   pass.seconds = timer.Seconds();
-  for (const Row& row : pass.rows) {
+  pass.rows = shard::FoldRows(pass.records);
+  for (const shard::RowOutcome& row : pass.rows) {
     pass.cycles += row.cycles;
     pass.ok = pass.ok && row.ok;
+  }
+  for (int i = 0; i < kTableRows; i++) {
+    pass.row_seconds[i] = static_cast<double>(row_ns[i].load()) * 1e-9;
   }
   return pass;
 }
 
 // The determinism guarantee, checked: the same checks at different thread counts
-// must reach byte-identical outcomes (pass/fail and cycle counts per row).
+// must fold to byte-identical row outcomes (pass/fail, cycles, units, telemetry).
 bool SameOutcomes(const Pass& a, const Pass& b) {
   if (a.rows.size() != b.rows.size()) {
     return false;
   }
   for (size_t i = 0; i < a.rows.size(); i++) {
     if (a.rows[i].ok != b.rows[i].ok || a.rows[i].cycles != b.rows[i].cycles ||
+        a.rows[i].units != b.rows[i].units ||
         !(a.rows[i].telemetry == b.rows[i].telemetry)) {
       return false;
     }
@@ -140,11 +300,24 @@ bool SameOutcomes(const Pass& a, const Pass& b) {
   return true;
 }
 
+void PrintRows(const Pass& pass) {
+  std::printf("%-22s %-12s %-16s %-12s %-7s %s\n", "Platform/App", "Time (s)",
+              "Cycles simulated", "Cycles/s", "Units", "Result");
+  for (const shard::RowOutcome& row : pass.rows) {
+    double seconds = pass.row_seconds[row.row];
+    std::printf("%-22s %-12.2f %-16llu %-12.0f %-7llu %s\n", row.label.c_str(), seconds,
+                static_cast<unsigned long long>(row.cycles),
+                seconds > 0 ? row.cycles / seconds : 0.0,
+                static_cast<unsigned long long>(row.units), row.ok ? "PASS" : "FAIL");
+  }
+}
+
 // One backend's 1-thread vs N-thread comparison.
 struct Leg {
   std::string backend;
   Pass serial;
   Pass parallel;
+  double plan_seconds = 0;
   bool identical = true;
 };
 
@@ -153,12 +326,31 @@ struct Leg {
 int main(int argc, char** argv) {
   bench::Header("Table 4: hardware verification effort and verification time (Knox2)");
 
+  std::string shard_error;
+  auto spec = shard::ParseShardSpec(bench::FlagStr(argc, argv, "--shards", "1/1"),
+                                    &shard_error);
+  if (!spec.has_value()) {
+    std::fprintf(stderr, "%s\n", shard_error.c_str());
+    return 2;
+  }
+  int unit_instr_flag = bench::FlagInt(argc, argv, "--unit-instr", 150'000);
+  uint64_t unit_instructions = unit_instr_flag < 0 ? 0 : static_cast<uint64_t>(unit_instr_flag);
+  std::string app_filter = bench::FlagStr(argc, argv, "--app", "all");
+  if (app_filter != "all" && app_filter != "ecdsa" && app_filter != "hasher") {
+    std::fprintf(stderr, "--app=%s is not ecdsa|hasher|all\n", app_filter.c_str());
+    return 2;
+  }
+
   // Explicit --backend= restricts to one leg; otherwise both backends run so
-  // BENCH_parallel.json records the scaling of each.
+  // BENCH_parallel.json records the scaling of each. Shard mode always runs exactly
+  // one backend — every shard of a run must agree on the unit enumeration.
   const char* backend_flag = bench::FlagStr(argc, argv, "--backend", nullptr);
   std::vector<std::string> backends;
   if (backend_flag != nullptr) {
     backends = {bench::ApplyBackendFlag(argc, argv)};
+  } else if (spec->active()) {
+    platform::ModelAsm::SetBackend(riscv::Machine::Backend::kInterpreter);
+    backends = {"interp"};
   } else {
     backends = {"interp", "dbt"};
   }
@@ -174,60 +366,79 @@ int main(int argc, char** argv) {
   std::string trace = bench::SetupTrace(argc, argv);
   bench::SetupProfile(argc, argv);
   int threads = ResolveNumThreads(bench::ThreadsFlag(argc, argv));
-  bool compared = threads != 1;
+  bool compared = !spec->active() && threads != 1;
 
   bool all_ok = true;
   bool all_identical = true;
   std::vector<Leg> legs;
+  std::vector<RowPlan> row_plans;  // Last leg's plans (kept alive for reporting).
+  uint64_t total_units = 0;
   for (const std::string& backend : backends) {
     platform::ModelAsm::SetBackend(backend == "dbt" ? riscv::Machine::Backend::kDBT
                                                     : riscv::Machine::Backend::kInterpreter);
     std::printf("--- backend: %s ---\n", backend.c_str());
     Leg leg;
     leg.backend = backend;
-    leg.serial = RunSuite(1);
-    leg.parallel = compared ? RunSuite(threads) : leg.serial;
-    leg.identical = SameOutcomes(leg.serial, leg.parallel);
 
-    std::printf("%-10s %-18s %-12s %-16s %-12s %s\n", "Platform", "App", "Time (s)",
-                "Cycles simulated", "Cycles/s", "Result");
-    for (const Row& row : leg.parallel.rows) {
-      std::printf("%-10s %-18s %-12.2f %-16llu %-12.0f %s\n", row.platform, row.app_name,
-                  row.seconds, static_cast<unsigned long long>(row.cycles),
-                  row.seconds > 0 ? row.cycles / row.seconds : 0.0,
-                  row.ok ? "PASS" : "FAIL");
-    }
-    double serial_rate =
-        leg.serial.seconds > 0 ? leg.serial.cycles / leg.serial.seconds : 0.0;
-    double parallel_rate =
-        leg.parallel.seconds > 0 ? leg.parallel.cycles / leg.parallel.seconds : 0.0;
-    if (compared) {
-      std::printf("\nParallel verification (%s): 1 thread %.2f s (%.0f cycles/s) vs %d "
-                  "threads %.2f s (%.0f cycles/s) — %.2fx speedup; outcomes %s\n\n",
-                  backend.c_str(), leg.serial.seconds, serial_rate, threads,
-                  leg.parallel.seconds, parallel_rate,
-                  leg.parallel.seconds > 0 ? leg.serial.seconds / leg.parallel.seconds : 0.0,
-                  leg.identical ? "identical" : "DIVERGED (determinism bug!)");
+    bench::Stopwatch plan_timer;
+    row_plans = PlanRows(app_filter, unit_instructions);
+    std::vector<UnitDesc> units = EnumerateUnits(row_plans);
+    leg.plan_seconds = plan_timer.Seconds();
+    total_units = units.size();
+    std::printf("planned %zu work units across %zu rows (%.2f s, --unit-instr=%llu)\n",
+                units.size(), row_plans.size(), leg.plan_seconds,
+                static_cast<unsigned long long>(unit_instructions));
+
+    if (spec->active()) {
+      leg.parallel = RunPass(units, *spec, threads);
+      leg.serial = leg.parallel;
+      PrintRows(leg.parallel);
+      std::printf("\nShard %d/%d: ran %zu of %zu units at %d threads (%.2f s) — rows "
+                  "above are partial; merge all shards with `parfait-prof merge`\n\n",
+                  spec->index, spec->count, leg.parallel.records.size(), units.size(),
+                  threads, leg.parallel.seconds);
     } else {
-      std::printf("\nParallel verification: ran at 1 thread (pass --threads=N to measure "
-                  "the 1-vs-N speedup)\n\n");
+      leg.serial = RunPass(units, *spec, 1);
+      leg.parallel = compared ? RunPass(units, *spec, threads) : leg.serial;
+      leg.identical = SameOutcomes(leg.serial, leg.parallel);
+      // Row times from the serial pass: thread time == wall time there, so the
+      // table reads as per-row verification cost (the parallel pass's thread time
+      // inflates under oversubscription).
+      PrintRows(leg.serial);
+      double serial_rate =
+          leg.serial.seconds > 0 ? leg.serial.cycles / leg.serial.seconds : 0.0;
+      double parallel_rate =
+          leg.parallel.seconds > 0 ? leg.parallel.cycles / leg.parallel.seconds : 0.0;
+      if (compared) {
+        std::printf("\nParallel verification (%s): 1 thread %.2f s (%.0f cycles/s) vs %d "
+                    "threads %.2f s (%.0f cycles/s) — %.2fx speedup; outcomes %s\n\n",
+                    backend.c_str(), leg.serial.seconds, serial_rate, threads,
+                    leg.parallel.seconds, parallel_rate,
+                    leg.parallel.seconds > 0 ? leg.serial.seconds / leg.parallel.seconds
+                                             : 0.0,
+                    leg.identical ? "identical" : "DIVERGED (determinism bug!)");
+      } else {
+        std::printf("\nParallel verification: ran at 1 thread (pass --threads=N to "
+                    "measure the 1-vs-N speedup)\n\n");
+      }
     }
     all_ok = all_ok && leg.parallel.ok;
     all_identical = all_identical && leg.identical;
     legs.push_back(std::move(leg));
   }
 
-  // Unified telemetry artifact: each leg's serial-pass row snapshots merged in leg
-  // then row order (identical at every --threads value and backend), plus wall-clock
-  // phases for every pass.
+  // Unified telemetry artifact: each leg's reference-pass row snapshots merged in
+  // leg then row order (identical at every --threads value and backend), plus
+  // wall-clock phases for every pass.
   bench::TelemetryReport report("table4_hardware_verification", threads);
   report.SetBackend(backends.size() == 1 ? backends[0] : "interp+dbt");
   for (const Leg& leg : legs) {
-    for (const Row& row : leg.serial.rows) {
+    for (const shard::RowOutcome& row : leg.serial.rows) {
       report.Merge(row.telemetry);
     }
   }
   for (const Leg& leg : legs) {
+    report.AddPhase(leg.backend + " plan", leg.plan_seconds);
     report.AddPhase(leg.backend + " @1t", leg.serial.seconds);
     if (compared) {
       report.AddPhase(leg.backend + " @" + std::to_string(threads) + "t",
@@ -235,35 +446,75 @@ int main(int argc, char** argv) {
     }
   }
 
-  // Machine-readable artifact for CI trend tracking and the parfait-prof perf gate:
-  // one leg per backend, plus the runtime-only profile section when armed.
-  if (FILE* json = std::fopen("BENCH_parallel.json", "w")) {
-    std::string out = "{\"bench\":\"table4_hardware_verification\",\"meta\":" +
-                      report.MetaJson() + ",\"legs\":[";
-    for (size_t i = 0; i < legs.size(); i++) {
-      const Leg& leg = legs[i];
-      char buf[512];
-      std::snprintf(
-          buf, sizeof(buf),
-          "%s{\"backend\":\"%s\",\"threads\":%d,\"serial_seconds\":%.4f,"
-          "\"parallel_seconds\":%.4f,\"serial_cycles_per_sec\":%.1f,"
-          "\"parallel_cycles_per_sec\":%.1f,\"speedup\":%.3f,\"outcomes_identical\":%s}",
-          i > 0 ? "," : "", leg.backend.c_str(), threads, leg.serial.seconds,
-          leg.parallel.seconds,
-          leg.serial.seconds > 0 ? leg.serial.cycles / leg.serial.seconds : 0.0,
-          leg.parallel.seconds > 0 ? leg.parallel.cycles / leg.parallel.seconds : 0.0,
-          leg.parallel.seconds > 0 ? leg.serial.seconds / leg.parallel.seconds : 0.0,
-          leg.identical ? "true" : "false");
-      out += buf;
+  if (spec->active()) {
+    // Shard artifact: this process's unit records, to be merged by parfait-prof.
+    std::string default_out = "BENCH_shard_" + std::to_string(spec->index) + "_of_" +
+                              std::to_string(spec->count) + ".json";
+    std::string out_path = bench::FlagStr(argc, argv, "--shard-out", default_out.c_str());
+    if (FILE* out = std::fopen(out_path.c_str(), "w")) {
+      std::string json = shard::ShardFileJson("table4_hardware_verification", *spec,
+                                              report.MetaJson(), legs.back().parallel.records);
+      std::fwrite(json.data(), 1, json.size(), out);
+      std::fclose(out);
+      std::printf("Wrote %s\n", out_path.c_str());
     }
-    out += "]";
-    if (profiler::Profiler::Global().enabled()) {
-      out += ",\"profile\":" + prof::ProfileJson(profiler::Profiler::Global());
+  } else {
+    // Machine-readable artifact for CI trend tracking and the parfait-prof perf
+    // gate: one leg per backend, plus the runtime-only profile section when armed.
+    if (FILE* json = std::fopen("BENCH_parallel.json", "w")) {
+      std::string out = "{\"bench\":\"table4_hardware_verification\",\"meta\":" +
+                        report.MetaJson() + ",\"legs\":[";
+      for (size_t i = 0; i < legs.size(); i++) {
+        const Leg& leg = legs[i];
+        char buf[512];
+        std::snprintf(
+            buf, sizeof(buf),
+            "%s{\"backend\":\"%s\",\"threads\":%d,\"serial_seconds\":%.4f,"
+            "\"parallel_seconds\":%.4f,\"serial_cycles_per_sec\":%.1f,"
+            "\"parallel_cycles_per_sec\":%.1f,\"speedup\":%.3f,\"outcomes_identical\":%s}",
+            i > 0 ? "," : "", leg.backend.c_str(), threads, leg.serial.seconds,
+            leg.parallel.seconds,
+            leg.serial.seconds > 0 ? leg.serial.cycles / leg.serial.seconds : 0.0,
+            leg.parallel.seconds > 0 ? leg.parallel.cycles / leg.parallel.seconds : 0.0,
+            leg.parallel.seconds > 0 ? leg.serial.seconds / leg.parallel.seconds : 0.0,
+            leg.identical ? "true" : "false");
+        out += buf;
+      }
+      out += "]";
+      if (profiler::Profiler::Global().enabled()) {
+        out += ",\"profile\":" + prof::ProfileJson(profiler::Profiler::Global());
+      }
+      out += "}\n";
+      std::fwrite(out.data(), 1, out.size(), json);
+      std::fclose(json);
+      std::printf("Wrote BENCH_parallel.json (%llu work units)\n",
+                  static_cast<unsigned long long>(total_units));
     }
-    out += "}\n";
-    std::fwrite(out.data(), 1, out.size(), json);
-    std::fclose(json);
-    std::printf("Wrote BENCH_parallel.json\n");
+    if (backends.size() == 1) {
+      // Canonical row report for the single-backend run: exactly what
+      // `parfait-prof merge` reconstructs from this configuration's shard files.
+      const char* report_path =
+          bench::FlagStr(argc, argv, "--report-out", "BENCH_table4_report.json");
+      if (FILE* out = std::fopen(report_path, "w")) {
+        std::string json = shard::MergedReportJson("table4_hardware_verification",
+                                                   legs.back().serial.rows);
+        std::fwrite(json.data(), 1, json.size(), out);
+        std::fclose(out);
+        std::printf("Wrote %s\n", report_path);
+      }
+      // A 1/1 shard file on request lets tests merge-compare without a second run.
+      const char* shard_out = bench::FlagStr(argc, argv, "--shard-out", nullptr);
+      if (shard_out != nullptr) {
+        if (FILE* out = std::fopen(shard_out, "w")) {
+          std::string json =
+              shard::ShardFileJson("table4_hardware_verification", *spec,
+                                   report.MetaJson(), legs.back().serial.records);
+          std::fwrite(json.data(), 1, json.size(), out);
+          std::fclose(out);
+          std::printf("Wrote %s\n", shard_out);
+        }
+      }
+    }
   }
 
   report.Write(bench::FlagStr(argc, argv, "--json", "BENCH_telemetry.json"));

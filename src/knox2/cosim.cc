@@ -3,9 +3,11 @@
 #include <sstream>
 #include <vector>
 
+#include "src/knox2/units.h"
 #include "src/riscv/machine.h"
 #include "src/soc/soc.h"
 #include "src/support/bytes.h"
+#include "src/support/parallel.h"
 #include "src/support/profiler.h"
 #include "src/support/status.h"
 #include "src/support/telemetry.h"
@@ -22,42 +24,7 @@ std::string Hex(uint32_t v) {
   return buf;
 }
 
-// Drives the SoC's wire interface during co-simulation: presents command bytes with
-// flow control and collects response bytes.
-class WireDriver {
- public:
-  WireDriver(soc::Soc* soc, const Bytes& command) : soc_(soc), command_(command) {
-    last_.rx_ready = true;
-  }
-
-  // One cycle with the host's standing behaviour (offer next command byte, accept tx).
-  void Tick() {
-    rtl::WireInput in;
-    in.tx_ready = true;
-    bool offering = sent_ < command_.size() && last_.rx_ready;
-    if (offering) {
-      in.rx_valid = true;
-      in.rx_data = command_[sent_];
-    }
-    rtl::WireSample s = soc_->Tick(in);
-    if (offering) {
-      sent_++;
-    }
-    if (s.tx_valid) {
-      response_.push_back(s.tx_data);
-    }
-    last_ = s;
-  }
-
-  const Bytes& response() const { return response_; }
-
- private:
-  soc::Soc* soc_;
-  Bytes command_;
-  size_t sent_ = 0;
-  Bytes response_;
-  rtl::WireSample last_;
-};
+// The wire driver lives in src/knox2/units.h now, shared with the unit runners.
 
 // The co-simulation proper, against an already-built SoC. Factored out so the public
 // wrapper can read Soc::cycles() and build the telemetry snapshot on every exit path.
@@ -262,6 +229,22 @@ CosimResult CosimOnSoc(const hsm::HsmSystem& system, soc::Soc* soc_ptr, const By
 CosimResult CosimHandleStep(const hsm::HsmSystem& system, const Bytes& state,
                             const Bytes& command, const CosimOptions& options) {
   TELEMETRY_SPAN("knox2/cosim_handle_step");
+  if (options.unit_instructions > 0) {
+    HandlePlan plan = PlanHandleUnits(system, state, command, options.unit_instructions,
+                                      options.max_instructions);
+    if (plan.ok && plan.num_units() > 1) {
+      // Every unit always runs (no cross-unit short-circuit) and the fold settles
+      // on the lowest ordinal, so the report is byte-identical at any thread count
+      // and under any sharding of the unit list.
+      ThreadPool pool(options.num_threads);
+      std::vector<CosimUnitResult> units(plan.num_units());
+      ParallelFor(pool, plan.num_units(), [&](size_t k) {
+        units[k] = RunCosimUnit(system, state, command, plan, k, options);
+      });
+      return FoldCosimUnits(system, state, command, units);
+    }
+    // No viable plan: the monolithic path below handles every case.
+  }
   profiler::WorkSpan work_span("knox2/cosim");
   if (work_span.active()) {
     // checker x command x power-on state: the command opcode byte and a short state

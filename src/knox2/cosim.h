@@ -28,6 +28,14 @@ struct CosimOptions {
   uint64_t max_instructions = 500'000'000;
   uint64_t buffer_sync_interval = 50'000;  // Instructions between periodic buffer syncs.
   uint64_t max_cycles_per_instruction = 64;
+  // Work-unit slicing (src/knox2/units.h). 0 keeps the classic monolithic
+  // co-simulation. Nonzero segments handle() into ~unit_instructions-sized units
+  // run across `num_threads` pool lanes (0 = all hardware threads) and folded in
+  // ordinal order — byte-identical reports at any thread count for a given
+  // slicing. When no plan exists (short command, undefined-value-dependent control
+  // flow, stack overflow, ...) the monolithic path runs unchanged.
+  uint64_t unit_instructions = 0;
+  int num_threads = 1;
 };
 
 // Per-category synchronization statistics (the figure 11 reproduction).

@@ -1,6 +1,11 @@
 #include "src/knox2/emulator.h"
 
+#include <algorithm>
+
 #include "src/support/bytes.h"
+#include "src/support/parallel.h"
+#include "src/support/profiler.h"
+#include "src/support/rng.h"
 #include "src/support/status.h"
 #include "src/support/telemetry.h"
 
@@ -44,12 +49,18 @@ rtl::WireSample IdealWorld::Tick(const rtl::WireInput& in) {
   return circuit_->Tick(in);
 }
 
-WireIprResult CheckWireIpr(const hsm::HsmSystem& system, const Bytes& initial_state,
-                           const WireIprOptions& options) {
-  TELEMETRY_SPAN("knox2/check_wire_ipr");
+namespace {
+
+// One full IPR session: a command/noise sequence drawn from `trial_seed`'s stream,
+// driven through both worlds cycle by cycle. No global-registry side effects — the
+// fold in CheckWireIpr owns telemetry and evidence publication, which is what keeps
+// batched multi-trial reports schedule-deterministic.
+WireIprResult RunWireIprTrial(const hsm::HsmSystem& system, const Bytes& initial_state,
+                              const WireIprOptions& options, uint64_t trial_seed) {
+  TELEMETRY_SPAN("knox2/wire_ipr_trial");
   WireIprResult result;
   const hsm::App& app = system.app();
-  Rng rng(options.seed);
+  Rng rng(trial_seed);
 
   auto real = system.NewSocWithFram(system.MakeFram(initial_state));
   IdealWorld ideal(system, initial_state);
@@ -69,15 +80,13 @@ WireIprResult CheckWireIpr(const hsm::HsmSystem& system, const Bytes& initial_st
       telemetry::Evidence evidence;
       evidence.checker = "knox2/wire_ipr";
       evidence.Add("app", app.name());
-      evidence.Add("seed", options.seed);
+      evidence.Add("seed", trial_seed);
       evidence.Add("command_index", static_cast<uint64_t>(command_index));
       evidence.Add("command_hex", ToHex(command));
       evidence.Add("cycles", result.cycles);
       evidence.Add("divergence", result.divergence);
       result.evidence = evidence;
-      telemetry::Telemetry::Global().RecordEvidence(evidence);
     }
-    telemetry::Telemetry::Global().Merge(result.telemetry);
     return result;
   };
 
@@ -130,6 +139,76 @@ WireIprResult CheckWireIpr(const hsm::HsmSystem& system, const Bytes& initial_st
   }
   result.ok = true;
   return finish();
+}
+
+}  // namespace
+
+WireIprResult CheckWireIpr(const hsm::HsmSystem& system, const Bytes& initial_state,
+                           const WireIprOptions& options) {
+  TELEMETRY_SPAN("knox2/check_wire_ipr");
+  const int trials = options.trials < 1 ? 1 : options.trials;
+  WireIprResult result;
+  if (trials == 1) {
+    // Classic single session, seeded with `seed` itself — byte-compatible with
+    // reports from before batched trials existed.
+    result = RunWireIprTrial(system, initial_state, options, options.seed);
+    result.telemetry.AddCounter("knox2/wire_ipr/trials", 1);
+  } else {
+    const size_t batch = options.trial_batch < 1 ? 1 : static_cast<size_t>(options.trial_batch);
+    const size_t num_batches = (static_cast<size_t>(trials) + batch - 1) / batch;
+    ThreadPool pool(options.num_threads);
+    using Batch = std::vector<WireIprResult>;
+    auto outcome = ParallelReduce<Batch>(
+        pool, num_batches,
+        [&](size_t b) {
+          profiler::WorkSpan span("knox2/wire_ipr");
+          const size_t lo = b * batch;
+          const size_t hi = std::min(lo + batch, static_cast<size_t>(trials));
+          if (span.active()) {
+            span.Annotate("app=" + std::string(system.app().name()) + " trials=" +
+                          std::to_string(lo) + ".." + std::to_string(hi - 1));
+          }
+          Batch out;
+          out.reserve(hi - lo);
+          for (size_t t = lo; t < hi; t++) {
+            out.push_back(RunWireIprTrial(system, initial_state, options,
+                                          SplitSeed(options.seed, t)));
+            if (!out.back().ok) {
+              break;  // Lower trials of this contiguous batch already ran.
+            }
+          }
+          return out;
+        },
+        [](const Batch& b) { return !b.empty() && !b.back().ok; });
+    // Fold batches in ascending order up to the settled failing batch: every batch
+    // below it ran to completion (ParallelReduce contract), and within the failing
+    // batch trials ran serially in order, so the failure folded here is the lowest
+    // failing trial index — independent of thread count and batch boundaries
+    // relative to any slicing with the same trial order.
+    const size_t last = outcome.first_failure.value_or(num_batches - 1);
+    result.ok = true;
+    uint64_t folded_trials = 0;
+    for (size_t b = 0; b <= last && result.ok; b++) {
+      for (const WireIprResult& r : *outcome.results[b]) {
+        result.cycles += r.cycles;
+        result.checks_run += r.checks_run;
+        result.telemetry.Merge(r.telemetry);
+        folded_trials++;
+        if (!r.ok) {
+          result.ok = false;
+          result.divergence = r.divergence;
+          result.evidence = r.evidence;
+          break;
+        }
+      }
+    }
+    result.telemetry.AddCounter("knox2/wire_ipr/trials", folded_trials);
+  }
+  if (!result.ok && result.evidence.has_value()) {
+    telemetry::Telemetry::Global().RecordEvidence(*result.evidence);
+  }
+  telemetry::Telemetry::Global().Merge(result.telemetry);
+  return result;
 }
 
 }  // namespace parfait::knox2

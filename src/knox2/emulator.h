@@ -59,6 +59,15 @@ struct WireIprOptions {
   uint64_t cycles_per_command = 40'000'000;
   int noise_bytes = 2;          // Adversarial raw bytes injected between commands.
   uint64_t seed = 555;
+  // Batched independent trials. 1 keeps the classic single session, seeded with
+  // `seed` itself (byte-compatible with older reports). Above 1, trial t drives a
+  // full session from its own stream SplitSeed(seed, t); trials are scheduled in
+  // contiguous batches of `trial_batch` across `num_threads` pool lanes and folded
+  // with lowest-trial failure settlement, so the report (counters, cycles, the
+  // settled counterexample) is identical at any thread count and batch size.
+  int trials = 1;
+  int trial_batch = 2;
+  int num_threads = 1;  // 0 = all hardware threads.
 };
 
 struct WireIprResult {
@@ -68,9 +77,11 @@ struct WireIprResult {
   // Commands fully driven through both worlds (the unified trials-attempted/executed
   // accounting; a failing command is not counted as executed).
   int checks_run = 0;
-  // knox2/wire_ipr/* counters. The check is serial and seed-deterministic.
+  // knox2/wire_ipr/* counters, folded over trials in trial order up to the settled
+  // failure — seed- and schedule-deterministic.
   telemetry::TelemetrySnapshot telemetry;
-  // On failure: seed, command index, command bytes (hex), and the divergence.
+  // On failure: the failing trial's seed, command index, command bytes (hex), and
+  // the divergence.
   std::optional<telemetry::Evidence> evidence;
 };
 

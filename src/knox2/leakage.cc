@@ -1,6 +1,7 @@
 #include "src/knox2/leakage.h"
 
 #include "src/hsm/secret_layout.h"
+#include "src/knox2/units.h"
 #include "src/support/bytes.h"
 #include "src/support/parallel.h"
 #include "src/support/profiler.h"
@@ -118,6 +119,22 @@ SelfCompResult CheckSelfComposition(const hsm::HsmSystem& system, const Bytes& s
     SelfCompResult result;
     result.ok = true;
     return result;
+  }
+  if (options.unit_instructions > 0 && commands.size() == 1) {
+    HandlePlan plan_a =
+        PlanHandleUnits(system, state_a, commands[0], options.unit_instructions);
+    HandlePlan plan_b =
+        PlanHandleUnits(system, state_b, commands[0], options.unit_instructions);
+    if (PlansAligned(plan_a, plan_b) && plan_a.num_units() > 1) {
+      ThreadPool pool(options.num_threads);
+      std::vector<SelfCompUnitResult> units(plan_a.num_units());
+      ParallelFor(pool, plan_a.num_units(), [&](size_t k) {
+        units[k] = RunSelfCompUnit(system, state_a, state_b, commands[0], plan_a, plan_b,
+                                   k, options.max_cycles_per_command);
+      });
+      return FoldSelfCompUnits(system, state_a, state_b, commands[0], units);
+    }
+    // Misaligned or unavailable plans: the joint loop below is the right judge.
   }
   auto starts = SpecPrefixStates(system, state_a, state_b, commands);
 

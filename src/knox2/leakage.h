@@ -38,6 +38,12 @@ struct SelfCompOptions {
   // Per-command obligations run concurrently on this many threads (0 = all hardware
   // threads). Purely a scheduling knob: outcomes are thread-count independent.
   int num_threads = 0;
+  // Work-unit slicing (src/knox2/units.h), applied to single-command checks whose
+  // two per-state plans align: both instances are segmented at the same
+  // instruction boundaries and each segment becomes an independent paired
+  // obligation. 0 (or misaligned plans, or multi-command sequences) keeps the
+  // classic joint loop.
+  uint64_t unit_instructions = 0;
 };
 
 struct SelfCompResult {

@@ -1,0 +1,746 @@
+#include "src/knox2/units.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "src/hsm/hsm_system.h"
+#include "src/soc/bus.h"
+#include "src/support/bytes.h"
+#include "src/support/profiler.h"
+#include "src/support/status.h"
+#include "src/support/telemetry.h"
+
+namespace parfait::knox2 {
+
+namespace {
+
+using riscv::Machine;
+
+std::string Hex(uint32_t v) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "0x%08x", v);
+  return buf;
+}
+
+// Flushes a leased/prepared machine's perf counters into the global registry on
+// every exit path, the same way the monolithic co-simulation does.
+struct CounterFlusher {
+  Machine& m;
+  ~CounterFlusher() { platform::ModelAsm::FlushMachineCounters(m); }
+};
+
+// Replays the wire protocol from power-on until the architectural pc reaches
+// handle(). Peripheral and non-snapshot RAM state is entirely boot-determined, so
+// every unit reconstructs it this way instead of hauling it in the snapshot.
+bool BootToHandle(const hsm::HsmSystem& system, soc::Soc* soc, WireDriver* driver,
+                  std::string* error) {
+  uint32_t handle_addr = system.model_asm().handle_addr();
+  uint64_t budget = 4'000'000;
+  while (soc->cpu().pc() != handle_addr) {
+    if (soc->cpu().halted() || budget-- == 0) {
+      *error = "circuit never reached handle() (fault: " + soc->cpu().fault() + ")";
+      return false;
+    }
+    driver->Tick();
+  }
+  return true;
+}
+
+// Runs exactly `steps` instructions. The step-limit return is the expected way to
+// stop (with ra aligned to the circuit the machine never self-halts), so only real
+// faults and unexpected halts are errors.
+bool RunExactly(Machine& m, uint64_t steps, std::string* error) {
+  if (steps == 0) {
+    return true;
+  }
+  Machine::StepResult r = m.Run(steps);
+  if (r == Machine::StepResult::kFault && m.fault_reason() == "step limit exceeded") {
+    return true;
+  }
+  if (r == Machine::StepResult::kFault) {
+    *error = "abstract machine fault: " + m.fault_reason();
+  } else {
+    *error = "abstract machine halted unexpectedly at " + Hex(m.pc());
+  }
+  return false;
+}
+
+// Prepares a machine as the aligned re-run uses it: circuit sp/ra, the circuit's
+// entry register file, and the entry patches that reconcile boot-written RAM
+// (stack frames above sp, system globals) with the prototype image. After this the
+// machine's RAM and registers are bit-identical to the circuit's at handle()
+// entry, which is what makes raw-bits snapshots exact circuit images.
+void AlignMachineToEntry(Machine& m, const HandlePlan& plan) {
+  for (const Machine::PageSnapshot& page : plan.entry_patches) {
+    m.WriteMemory(page.addr, page.bytes);
+  }
+  for (uint8_t r = 1; r < 32; r++) {
+    m.set_reg(r, riscv::Value::Defined(plan.entry_regs[r]));
+  }
+}
+
+// Reconstructs a circuit at the start of unit k>0: reset at the snapshot pc (the
+// boundary state of both CPU models equals Reset(pc) — see Cpu::at_boundary),
+// inject the register file and every dirty page.
+void InjectSnapshot(soc::Soc* soc, const Machine::Snapshot& snap) {
+  soc->cpu().Reset(snap.pc);
+  for (uint8_t r = 1; r < 32; r++) {
+    soc->cpu().set_reg(r, rtl::Word::Clean(snap.regs[r]));
+  }
+  for (const Machine::PageSnapshot& page : snap.pages) {
+    soc->bus().WriteBytes(page.addr, page.bytes);
+  }
+}
+
+// Compares a circuit against a boundary snapshot bit-for-bit: pc, registers, and
+// every snapshot page. Returns false with a divergence message; counts the
+// comparisons into `stats` when given.
+bool CheckBoundaryGuard(const soc::Soc& soc, const Machine::Snapshot& snap,
+                        const char* who, SyncStats* stats, std::string* divergence) {
+  if (soc.cpu().pc() != snap.pc) {
+    *divergence = std::string(who) + " parked at pc " + Hex(soc.cpu().pc()) +
+                  " instead of the boundary pc " + Hex(snap.pc);
+    return false;
+  }
+  for (uint8_t r = 1; r < 32; r++) {
+    if (stats != nullptr) {
+      stats->registers_compared++;
+    }
+    if (soc.cpu().reg(r).bits != snap.regs[r]) {
+      std::ostringstream os;
+      os << who << " register " << riscv::RegName(r) << " diverged at the unit boundary ("
+         << Hex(snap.pc) << "): circuit=" << Hex(soc.cpu().reg(r).bits)
+         << " snapshot=" << Hex(snap.regs[r]);
+      *divergence = os.str();
+      return false;
+    }
+  }
+  for (const Machine::PageSnapshot& page : snap.pages) {
+    Bytes circuit = soc.bus().ReadBytes(page.addr, static_cast<uint32_t>(page.bytes.size()));
+    if (stats != nullptr) {
+      stats->bytes_compared += page.bytes.size();
+    }
+    if (circuit != page.bytes) {
+      size_t i = 0;
+      while (i < circuit.size() && circuit[i] == page.bytes[i]) {
+        i++;
+      }
+      *divergence = std::string(who) + " memory diverged at the unit boundary: byte " +
+                    Hex(page.addr + static_cast<uint32_t>(i));
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+HandlePlan PlanHandleUnits(const hsm::HsmSystem& system, const Bytes& state,
+                           const Bytes& command, uint64_t unit_instructions,
+                           uint64_t max_instructions) {
+  TELEMETRY_SPAN("knox2/plan_handle_units");
+  HandlePlan plan;
+  const auto& model = system.model_asm();
+  if (unit_instructions == 0) {
+    plan.error = "slicing disabled";
+    return plan;
+  }
+
+  // Boot the circuit once to learn the calling context at handle() entry.
+  auto soc = system.NewSocWithFram(system.MakeFram(state));
+  WireDriver driver(soc.get(), command);
+  if (!BootToHandle(system, soc.get(), &driver, &plan.error)) {
+    return plan;
+  }
+  plan.boot_cycles = soc->cycles();
+  for (uint8_t r = 0; r < 32; r++) {
+    plan.entry_regs[r] = soc->cpu().reg(r).bits;
+  }
+  plan.circuit_ra = plan.entry_regs[1];
+  plan.circuit_sp = plan.entry_regs[2];
+  if (plan.circuit_ra == 0 || plan.circuit_sp == 0) {
+    plan.error = "circuit entry context has no return address or stack pointer";
+    return plan;
+  }
+  if (plan.entry_regs[10] != model.state_addr() || plan.entry_regs[11] != model.command_addr() ||
+      plan.entry_regs[12] != model.response_addr()) {
+    plan.error = "circuit handle() arguments do not match the model buffers";
+    return plan;
+  }
+
+  // Pass 1: the classic pre-run under the full abstract semantics (pristine
+  // prototype RAM, undefined-value tracking, sentinel return). Any firmware whose
+  // control flow or addressing depends on undefined data faults here, and the
+  // caller stays on the monolithic checker.
+  {
+    Machine pre = model.PrepareCall(state, command, plan.circuit_sp);
+    CounterFlusher flusher{pre};
+    Machine::StepResult run = pre.Run(max_instructions);
+    if (run != Machine::StepResult::kHalt) {
+      plan.error = "abstract pre-run did not complete: " +
+                   (pre.fault_reason().empty() ? std::string("no fault recorded")
+                                               : pre.fault_reason());
+      return plan;
+    }
+    plan.total_instructions = pre.instret();
+  }
+  if (plan.total_instructions <= unit_instructions) {
+    plan.error = "handle() fits in a single unit";
+    return plan;
+  }
+
+  // Pass 2: the circuit-aligned re-run the snapshots are cut from.
+  Machine m = model.PrepareCall(state, command, plan.circuit_sp, plan.circuit_ra);
+  CounterFlusher flusher{m};
+
+  // Reconcile boot-written RAM with the prototype, patching only pages that
+  // actually differ so snapshots stay sparse.
+  const uint32_t ram_base = soc::kRamBase;
+  const uint32_t ram_size = soc->bus().config().ram_size;
+  for (uint32_t off = 0; off < ram_size; off += Machine::kSnapshotPageSize) {
+    uint32_t len = std::min(Machine::kSnapshotPageSize, ram_size - off);
+    Bytes circuit = soc->bus().ReadBytes(ram_base + off, len);
+    Bytes machine = m.ReadMemory(ram_base + off, len);
+    if (circuit != machine) {
+      Machine::PageSnapshot patch;
+      patch.addr = ram_base + off;
+      patch.bytes = circuit;
+      m.WriteMemory(patch.addr, patch.bytes);
+      plan.entry_patches.push_back(std::move(patch));
+    }
+  }
+  for (uint8_t r = 1; r < 32; r++) {
+    m.set_reg(r, riscv::Value::Defined(plan.entry_regs[r]));
+  }
+
+  // Cut a boundary at the first taken control transfer at or after every multiple
+  // of unit_instructions: right after one, both CPU models sit in a state equal to
+  // Reset(target), the only circuit state a snapshot can reconstruct.
+  uint64_t next_target = unit_instructions;
+  while (m.instret() < plan.total_instructions) {
+    uint64_t target = std::min(next_target, plan.total_instructions);
+    if (m.instret() < target) {
+      if (!RunExactly(m, target - m.instret(), &plan.error)) {
+        return plan;
+      }
+      continue;
+    }
+    if (m.instret() >= plan.total_instructions) {
+      break;
+    }
+    // Step-search for the next taken control transfer.
+    bool found = false;
+    while (m.instret() < plan.total_instructions) {
+      uint32_t before = m.pc();
+      Machine::StepResult s = m.Step();
+      if (s != Machine::StepResult::kOk) {
+        plan.error = "abstract machine fault during boundary search: " + m.fault_reason();
+        return plan;
+      }
+      if (m.pc() != before + 4) {
+        found = m.instret() < plan.total_instructions;
+        break;
+      }
+    }
+    if (!found) {
+      break;  // The rest of handle() is one straight run to the return.
+    }
+    Machine::Snapshot snap = m.CaptureSnapshot();
+    for (const Machine::PageSnapshot& page : snap.pages) {
+      if (page.addr < ram_base || page.addr >= ram_base + ram_size) {
+        // Typically the stack grew past the circuit's RAM — exactly the class of
+        // gap the monolithic checker exists to judge.
+        plan.error = "machine state extends outside circuit RAM (page " + Hex(page.addr) + ")";
+        return plan;
+      }
+    }
+    plan.boundary_instrets.push_back(m.instret());
+    plan.snapshots.push_back(std::move(snap));
+    next_target = m.instret() + unit_instructions;
+  }
+  if (!RunExactly(m, plan.total_instructions - m.instret(), &plan.error)) {
+    return plan;
+  }
+  if (m.pc() != plan.circuit_ra) {
+    plan.error = "aligned re-run did not return to the circuit's return address";
+    return plan;
+  }
+  if (plan.boundary_instrets.empty()) {
+    plan.error = "no unit boundary found (no taken control transfer past the target)";
+    return plan;
+  }
+  plan.ok = true;
+  return plan;
+}
+
+CosimUnitResult RunCosimUnit(const hsm::HsmSystem& system, const Bytes& state,
+                             const Bytes& command, const HandlePlan& plan, size_t k,
+                             const CosimOptions& options) {
+  TELEMETRY_SPAN("knox2/cosim_unit");
+  PARFAIT_CHECK(plan.ok && k < plan.num_units());
+  profiler::WorkSpan work_span("knox2/cosim");
+  if (work_span.active()) {
+    work_span.Annotate("app=" + std::string(system.app().name()) +
+                       " cpu=" + soc::CpuKindName(system.options().cpu) +
+                       " cmd=" + (command.empty() ? std::string("-")
+                                                  : std::to_string(command[0])) +
+                       " unit=" + std::to_string(k) + "/" + std::to_string(plan.num_units()));
+  }
+  CosimUnitResult result;
+  const auto& model = system.model_asm();
+  const hsm::App& app = system.app();
+  const size_t last = plan.num_units() - 1;
+
+  auto soc = system.NewSocWithFram(system.MakeFram(state));
+  WireDriver driver(soc.get(), command);
+  if (!BootToHandle(system, soc.get(), &driver, &result.divergence)) {
+    return result;
+  }
+  // The boot replay must reproduce the planned calling context exactly.
+  for (uint8_t r = 0; r < 32; r++) {
+    if (soc->cpu().reg(r).bits != plan.entry_regs[r]) {
+      result.divergence = std::string("boot replay diverged from the plan at register ") +
+                          riscv::RegName(r);
+      return result;
+    }
+  }
+
+  Machine& machine = model.LeaseCall(state, command, plan.circuit_sp, plan.circuit_ra);
+  CounterFlusher flusher{machine};
+  if (k == 0) {
+    AlignMachineToEntry(machine, plan);
+  } else {
+    const Machine::Snapshot& snap = plan.snapshots[k - 1];
+    machine.RestoreSnapshot(snap);
+    InjectSnapshot(soc.get(), snap);
+  }
+
+  // The figure 11 sync points, identical to the monolithic checker's.
+  auto sync_registers = [&](uint64_t* counter) -> bool {
+    (*counter)++;
+    for (uint8_t r = 0; r < 32; r++) {
+      riscv::Value v = machine.reg(r);
+      if (!v.defined) {
+        result.stats.undef_skipped++;
+        continue;  // Vundef: leave the circuit register as-is (section 5.4).
+      }
+      if (r == 1 && v.bits == Machine::kReturnSentinel) {
+        result.stats.undef_skipped++;
+        continue;
+      }
+      result.stats.registers_compared++;
+      if (soc->cpu().reg(r).bits != v.bits) {
+        std::ostringstream os;
+        os << "register " << riscv::RegName(r) << " diverged at pc " << Hex(machine.pc())
+           << ": machine=" << Hex(v.bits) << " circuit=" << Hex(soc->cpu().reg(r).bits);
+        result.divergence = os.str();
+        return false;
+      }
+    }
+    return true;
+  };
+  auto sync_buffers = [&](bool include_response) -> bool {
+    struct Range {
+      const char* name;
+      uint32_t addr;
+      uint32_t size;
+    };
+    std::vector<Range> ranges = {
+        {"state", model.state_addr(), static_cast<uint32_t>(app.state_size())},
+        {"command", model.command_addr(), static_cast<uint32_t>(app.command_size())},
+    };
+    if (include_response) {
+      ranges.push_back(
+          {"response", model.response_addr(), static_cast<uint32_t>(app.response_size())});
+    }
+    for (const Range& range : ranges) {
+      Bytes machine_bytes = machine.ReadMemory(range.addr, range.size);
+      Bytes circuit_bytes = soc->bus().ReadBytes(range.addr, range.size);
+      result.stats.bytes_compared += range.size;
+      if (machine_bytes != circuit_bytes) {
+        result.divergence = std::string("buffer '") + range.name +
+                            "' diverged during handle() at machine pc " + Hex(machine.pc());
+        return false;
+      }
+    }
+    return true;
+  };
+
+  // Lockstep over this unit's instruction span. Periodic buffer syncs fire at the
+  // same *global* instruction indices as in the monolithic run, so the schedule of
+  // syncs depends only on the slicing, not on which unit hosts them.
+  const uint64_t begin = plan.unit_begin(k);
+  const uint64_t todo = plan.unit_end(k) - begin;
+  for (uint64_t i = 0; i < todo; i++) {
+    auto instr = machine.PeekInstr();
+    uint32_t instr_pc = machine.pc();
+    Machine::StepResult step = machine.Step();
+    if (step != Machine::StepResult::kOk) {
+      result.divergence = "abstract machine fault: " +
+                          (machine.fault_reason().empty() ? std::string("unexpected halt")
+                                                          : machine.fault_reason());
+      return result;
+    }
+    result.stats.instructions++;
+    uint64_t retired_before = soc->cpu().retired();
+    uint64_t cycle_budget = options.max_cycles_per_instruction;
+    while (soc->cpu().retired() == retired_before) {
+      if (soc->cpu().halted() || cycle_budget-- == 0) {
+        result.divergence = "circuit stalled or faulted at machine pc " + Hex(instr_pc) +
+                            (soc->cpu().fault().empty() ? "" : ": " + soc->cpu().fault());
+        return result;
+      }
+      driver.Tick();
+      result.stats.cycles++;
+    }
+    if (soc->cpu().last_retired_pc() != instr_pc) {
+      result.divergence = "retirement stream diverged: machine at " + Hex(instr_pc) +
+                          ", circuit retired " + Hex(soc->cpu().last_retired_pc());
+      return result;
+    }
+    if (instr.has_value()) {
+      bool is_call_or_return =
+          (instr->op == riscv::Op::kJal && instr->rd == 1) || instr->op == riscv::Op::kJalr;
+      if (riscv::IsBranch(instr->op) || (riscv::IsJump(instr->op) && !is_call_or_return)) {
+        if (!sync_registers(&result.stats.branch_syncs)) {
+          return result;
+        }
+      } else if (is_call_or_return) {
+        if (!sync_registers(&result.stats.call_syncs)) {
+          return result;
+        }
+        if (!sync_buffers(/*include_response=*/false)) {
+          return result;
+        }
+      }
+    }
+    if ((begin + i + 1) % options.buffer_sync_interval == 0) {
+      result.stats.periodic_syncs++;
+      if (!sync_buffers(/*include_response=*/false)) {
+        return result;
+      }
+    }
+  }
+
+  if (k < last) {
+    // Drain the circuit into the boundary state (the fetch bubble / FSM fetch
+    // phase after the segment's closing control transfer), then check the guard.
+    const Machine::Snapshot& snap = plan.snapshots[k];
+    uint64_t drain = options.max_cycles_per_instruction;
+    while (!soc->cpu().at_boundary()) {
+      if (soc->cpu().halted() || drain-- == 0) {
+        result.divergence = "circuit failed to park at the unit boundary";
+        return result;
+      }
+      driver.Tick();
+      result.stats.cycles++;
+    }
+    if (machine.pc() != snap.pc) {
+      result.divergence = "machine deviated from the plan at the unit boundary";
+      return result;
+    }
+    if (!CheckBoundaryGuard(*soc, snap, "circuit", &result.stats, &result.divergence)) {
+      return result;
+    }
+  } else {
+    // Final unit: the machine returned into the circuit's caller; compare the
+    // buffers (response included) and let the circuit commit (figure 9).
+    if (machine.pc() != plan.circuit_ra) {
+      result.divergence = "machine did not return to handle()'s caller";
+      return result;
+    }
+    if (!sync_buffers(/*include_response=*/true)) {
+      return result;
+    }
+    result.final_state =
+        machine.ReadMemory(model.state_addr(), static_cast<uint32_t>(app.state_size()));
+    result.final_response =
+        machine.ReadMemory(model.response_addr(), static_cast<uint32_t>(app.response_size()));
+    uint64_t budget = 4'000'000;
+    while (driver.response().size() < app.response_size()) {
+      if (soc->cpu().halted() || budget-- == 0) {
+        result.divergence = "circuit never produced the full response";
+        return result;
+      }
+      driver.Tick();
+    }
+    if (driver.response() != result.final_response) {
+      result.divergence = "wire-level response differs from the machine-level response";
+      return result;
+    }
+    Bytes fram = soc->bus().DumpFram();
+    uint32_t flag = LoadLe32(fram.data());
+    uint32_t active_offset = 4 + (flag == 0 ? 0 : static_cast<uint32_t>(app.state_size()));
+    Bytes active(fram.begin() + active_offset,
+                 fram.begin() + active_offset + app.state_size());
+    if (active != result.final_state) {
+      result.divergence = "journaled state violates the figure 9 refinement relation";
+      return result;
+    }
+  }
+  result.ok = true;
+  result.stats.soc_cycles = soc->cycles();
+  return result;
+}
+
+telemetry::TelemetrySnapshot CosimUnitTelemetry(const CosimUnitResult& unit, size_t k) {
+  telemetry::TelemetrySnapshot t;
+  const SyncStats& s = unit.stats;
+  if (k == 0) {
+    t.AddCounter("knox2/cosim/commands", 1);
+  }
+  t.AddCounter("knox2/cosim/units", 1);
+  t.AddCounter("knox2/cosim/instructions", s.instructions);
+  t.AddCounter("knox2/cosim/cycles", s.cycles);
+  t.AddCounter("knox2/cosim/soc_cycles", s.soc_cycles);
+  t.AddCounter("knox2/cosim/branch_syncs", s.branch_syncs);
+  t.AddCounter("knox2/cosim/call_syncs", s.call_syncs);
+  t.AddCounter("knox2/cosim/periodic_syncs", s.periodic_syncs);
+  t.AddCounter("knox2/cosim/registers_compared", s.registers_compared);
+  t.AddCounter("knox2/cosim/bytes_compared", s.bytes_compared);
+  t.AddCounter("knox2/cosim/undef_skipped", s.undef_skipped);
+  t.RecordValue("knox2/cosim/cycles_per_unit", s.cycles);
+  return t;
+}
+
+CosimResult FoldCosimUnits(const hsm::HsmSystem& system, const Bytes& state,
+                           const Bytes& command, const std::vector<CosimUnitResult>& units) {
+  PARFAIT_CHECK(!units.empty());
+  CosimResult result;
+  size_t first_failure = units.size();
+  for (size_t k = 0; k < units.size(); k++) {
+    const SyncStats& s = units[k].stats;
+    result.stats.instructions += s.instructions;
+    result.stats.cycles += s.cycles;
+    result.stats.branch_syncs += s.branch_syncs;
+    result.stats.call_syncs += s.call_syncs;
+    result.stats.periodic_syncs += s.periodic_syncs;
+    result.stats.registers_compared += s.registers_compared;
+    result.stats.bytes_compared += s.bytes_compared;
+    result.stats.undef_skipped += s.undef_skipped;
+    result.stats.soc_cycles += s.soc_cycles;
+    result.telemetry.Merge(CosimUnitTelemetry(units[k], k));
+    if (!units[k].ok && first_failure == units.size()) {
+      first_failure = k;
+    }
+  }
+  if (first_failure < units.size()) {
+    result.divergence = units[first_failure].divergence;
+  } else {
+    result.ok = true;
+    result.final_state = units.back().final_state;
+    result.final_response = units.back().final_response;
+  }
+
+  const SyncStats& stats = result.stats;
+  result.telemetry.RecordValue("knox2/cosim/cycles_per_command", stats.cycles);
+  if (!result.ok) {
+    telemetry::Evidence evidence;
+    evidence.checker = "knox2/cosim";
+    evidence.Add("app", system.app().name());
+    evidence.Add("state_hex", ToHex(state));
+    evidence.Add("command_hex", ToHex(command));
+    evidence.Add("unit", first_failure);
+    evidence.Add("units", units.size());
+    evidence.Add("instructions", stats.instructions);
+    evidence.Add("cycles", stats.cycles);
+    evidence.Add("divergence", result.divergence);
+    result.evidence = evidence;
+    telemetry::Telemetry::Global().RecordEvidence(evidence);
+  }
+  telemetry::Telemetry::Global().Merge(result.telemetry);
+  return result;
+}
+
+bool PlansAligned(const HandlePlan& a, const HandlePlan& b) {
+  return a.ok && b.ok && a.boot_cycles == b.boot_cycles && a.circuit_sp == b.circuit_sp &&
+         a.circuit_ra == b.circuit_ra && a.total_instructions == b.total_instructions &&
+         a.boundary_instrets == b.boundary_instrets;
+}
+
+SelfCompUnitResult RunSelfCompUnit(const hsm::HsmSystem& system, const Bytes& state_a,
+                                   const Bytes& state_b, const Bytes& command,
+                                   const HandlePlan& plan_a, const HandlePlan& plan_b,
+                                   size_t k, uint64_t max_cycles) {
+  TELEMETRY_SPAN("knox2/selfcomp_unit");
+  PARFAIT_CHECK(PlansAligned(plan_a, plan_b) && k < plan_a.num_units());
+  profiler::WorkSpan work_span("knox2/selfcomp");
+  if (work_span.active()) {
+    work_span.Annotate("app=" + std::string(system.app().name()) +
+                       " op=" + (command.empty() ? std::string("-")
+                                                 : std::to_string(command[0])) +
+                       " unit=" + std::to_string(k) + "/" +
+                       std::to_string(plan_a.num_units()));
+  }
+  SelfCompUnitResult result;
+  const hsm::App& app = system.app();
+  PARFAIT_CHECK(command.size() == app.command_size());
+  const size_t last = plan_a.num_units() - 1;
+  uint32_t handle_addr = system.model_asm().handle_addr();
+
+  auto soc_a = system.NewSocWithFram(system.MakeFram(state_a));
+  auto soc_b = system.NewSocWithFram(system.MakeFram(state_b));
+
+  rtl::WireSample last_a;
+  last_a.rx_ready = true;
+  size_t sent = 0;
+  size_t received = 0;
+  uint64_t budget = max_cycles;
+
+  // One joint cycle under identical inputs (a's flow control, as in the monolithic
+  // loop); the handshake wires are the timing channel and must match exactly.
+  auto joint_tick = [&]() -> bool {
+    if (budget-- == 0) {
+      result.divergence = "cycle budget exceeded on unit " + std::to_string(k);
+      return false;
+    }
+    rtl::WireInput in;
+    in.tx_ready = true;
+    bool offering = sent < command.size() && last_a.rx_ready;
+    if (offering) {
+      in.rx_valid = true;
+      in.rx_data = command[sent];
+    }
+    rtl::WireSample a = soc_a->Tick(in);
+    rtl::WireSample b = soc_b->Tick(in);
+    result.cycles++;
+    if (a.tx_valid != b.tx_valid || a.rx_ready != b.rx_ready) {
+      result.divergence = "handshake divergence at cycle " + std::to_string(result.cycles) +
+                          " (unit " + std::to_string(k) + "): a {" + rtl::FormatSample(a) +
+                          "} b {" + rtl::FormatSample(b) + "}";
+      return false;
+    }
+    if (soc_a->cpu().halted() || soc_b->cpu().halted()) {
+      result.divergence =
+          "a circuit faulted during self-composition (unit " + std::to_string(k) + ")";
+      return false;
+    }
+    if (offering) {
+      sent++;
+    }
+    if (a.tx_valid) {
+      received++;
+    }
+    last_a = a;
+    return true;
+  };
+
+  // Joint boot replay to handle() entry, handshake-compared like everything else.
+  // Aligned plans imply equal boot lengths; an instance arriving alone is an
+  // internal timing skew — a timing leak in the making — and is reported as such.
+  while (soc_a->cpu().pc() != handle_addr || soc_b->cpu().pc() != handle_addr) {
+    if ((soc_a->cpu().pc() == handle_addr) != (soc_b->cpu().pc() == handle_addr)) {
+      result.divergence = "boot cycle-count divergence (unit " + std::to_string(k) + ")";
+      return result;
+    }
+    if (!joint_tick()) {
+      return result;
+    }
+  }
+
+  uint64_t base_a = soc_a->cpu().retired();
+  uint64_t base_b = soc_b->cpu().retired();
+  if (k > 0) {
+    InjectSnapshot(soc_a.get(), plan_a.snapshots[k - 1]);
+    InjectSnapshot(soc_b.get(), plan_b.snapshots[k - 1]);
+    base_a = 0;
+    base_b = 0;
+  }
+
+  if (k < last) {
+    // Run the segment: both instances must retire it and park at the boundary in
+    // the same number of cycles (stream-determined timing makes equal counts the
+    // passing case for aligned plans).
+    const uint64_t target = plan_a.unit_end(k) - plan_a.unit_begin(k);
+    while (true) {
+      bool done_a = soc_a->cpu().retired() - base_a >= target && soc_a->cpu().at_boundary();
+      bool done_b = soc_b->cpu().retired() - base_b >= target && soc_b->cpu().at_boundary();
+      if (done_a != done_b) {
+        result.divergence =
+            "segment cycle-count divergence (unit " + std::to_string(k) + ")";
+        return result;
+      }
+      if (done_a && done_b) {
+        break;
+      }
+      if (soc_a->cpu().retired() - base_a > target || soc_b->cpu().retired() - base_b > target) {
+        result.divergence =
+            "segment overran the unit boundary (unit " + std::to_string(k) + ")";
+        return result;
+      }
+      if (!joint_tick()) {
+        return result;
+      }
+    }
+    // Each instance must sit exactly on its own plan's boundary snapshot; this is
+    // what lets unit-local verdicts compose into the whole-command verdict.
+    if (!CheckBoundaryGuard(*soc_a, plan_a.snapshots[k], "instance a", nullptr,
+                            &result.divergence) ||
+        !CheckBoundaryGuard(*soc_b, plan_b.snapshots[k], "instance b", nullptr,
+                            &result.divergence)) {
+      return result;
+    }
+  } else {
+    // Final unit: run through handle()'s return and the response emission, exactly
+    // the monolithic termination condition.
+    while (received < app.response_size()) {
+      if (!joint_tick()) {
+        return result;
+      }
+    }
+  }
+  result.ok = true;
+  return result;
+}
+
+telemetry::TelemetrySnapshot SelfCompUnitTelemetry(const SelfCompUnitResult& unit,
+                                                   size_t k) {
+  telemetry::TelemetrySnapshot t;
+  if (k == 0) {
+    t.AddCounter("knox2/selfcomp/commands", 1);
+  }
+  t.AddCounter("knox2/selfcomp/units", 1);
+  t.AddCounter("knox2/selfcomp/cycles", unit.cycles);
+  t.AddCounter("knox2/selfcomp/instance_cycles", 2 * unit.cycles);
+  t.RecordValue("knox2/selfcomp/cycles_per_unit", unit.cycles);
+  return t;
+}
+
+SelfCompResult FoldSelfCompUnits(const hsm::HsmSystem& system, const Bytes& state_a,
+                                 const Bytes& state_b, const Bytes& command,
+                                 const std::vector<SelfCompUnitResult>& units) {
+  PARFAIT_CHECK(!units.empty());
+  SelfCompResult result;
+  size_t first_failure = units.size();
+  for (size_t k = 0; k < units.size(); k++) {
+    result.cycles += units[k].cycles;
+    result.telemetry.Merge(SelfCompUnitTelemetry(units[k], k));
+    if (!units[k].ok && first_failure == units.size()) {
+      first_failure = k;
+    }
+  }
+  result.checks_run = 1;
+  result.telemetry.RecordValue("knox2/selfcomp/cycles_per_command", result.cycles);
+  if (first_failure < units.size()) {
+    result.divergence = units[first_failure].divergence;
+    telemetry::Evidence evidence;
+    evidence.checker = "knox2/selfcomp";
+    evidence.Add("app", system.app().name());
+    evidence.Add("command_hex", ToHex(command));
+    evidence.Add("state_a_hex", ToHex(state_a));
+    evidence.Add("state_b_hex", ToHex(state_b));
+    evidence.Add("unit", first_failure);
+    evidence.Add("units", units.size());
+    evidence.Add("cycles", result.cycles);
+    evidence.Add("divergence", result.divergence);
+    result.evidence = evidence;
+    telemetry::Telemetry::Global().RecordEvidence(evidence);
+  } else {
+    result.ok = true;
+  }
+  telemetry::Telemetry::Global().Merge(result.telemetry);
+  return result;
+}
+
+}  // namespace parfait::knox2

@@ -1,0 +1,207 @@
+// Fine-grained work units for the circuit-level checkers.
+//
+// The coarse Knox2 obligations (one co-simulation or self-composition per command)
+// leave Table 4 dominated by single long rows: the PicoLite ECDSA signer spends tens
+// of millions of cycles in one indivisible task, so adding threads stops helping once
+// every other row has drained. This module re-slices one handle() invocation into
+// independently runnable *segments* delimited by machine-level snapshots, so the
+// dominant row decomposes across lanes:
+//
+//   1. PlanHandleUnits boots the circuit once to learn the calling context at
+//      handle() entry (sp, ra, the full register file), then runs the abstract
+//      machine twice:
+//        - pass 1 (sentinel return, untouched registers) is the classic monolithic
+//          pre-run under the full abstract semantics — undefined-value tracking
+//          included — and fixes the instruction count N;
+//        - pass 2 re-runs with the circuit's ra and entry registers injected and
+//          captures a dirty-page snapshot at the first *taken control transfer* at
+//          or after every multiple of `unit_instructions`.
+//      Boundaries sit only at taken control transfers because right after one both
+//      CPU models are in a state exactly equal to Cpu::Reset(target) (the fetch
+//      bubble / FSM fetch phase — see Cpu::at_boundary), which is the only circuit
+//      state a snapshot can reconstruct.
+//   2. RunCosimUnit / RunSelfCompUnit execute one segment: boot a fresh SoC by
+//      replaying the wire protocol (peripheral state is boot-determined), reset the
+//      CPU at the snapshot pc, inject the snapshot registers and dirty pages, lease
+//      a journaled machine from the ModelAsm pool, restore the same snapshot, and
+//      run the segment under the usual lockstep/joint loop. Each unit ends with a
+//      *boundary guard*: the circuit's registers and every snapshot page must equal
+//      the next snapshot bit-for-bit, so unit-local success composes into
+//      whole-command correctness.
+//   3. FoldCosimUnits / FoldSelfCompUnits combine unit results in ordinal order into
+//      the same report types the monolithic checkers produce. Every unit always
+//      runs (no cross-unit short-circuit), and the fold settles on the lowest
+//      failing ordinal, so reports are byte-identical at any thread count and under
+//      any sharding of the unit list.
+//
+// Soundness of the raw-bits snapshots: the machine and the circuit zero-initialize
+// RAM identically and (once the entry registers are injected) execute the same
+// stores with the same values, so "machine bits == circuit bits" holds for every
+// register and every RAM byte outside the response buffer (whose pre-completion
+// contents are unspecified, exactly as in the monolithic co-simulation). Pass 1
+// keeps the full undefined-value discipline: any program whose control flow or
+// addressing depends on undefined data fails the plan and falls back to the
+// monolithic checker. Slicing never weakens an obligation — it adds boundary
+// checks on top of the same per-instruction lockstep.
+#ifndef PARFAIT_KNOX2_UNITS_H_
+#define PARFAIT_KNOX2_UNITS_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/knox2/cosim.h"
+#include "src/knox2/leakage.h"
+#include "src/riscv/machine.h"
+#include "src/soc/soc.h"
+
+namespace parfait::knox2 {
+
+// Drives the SoC's wire interface: presents command bytes with flow control and
+// collects response bytes. Shared by the monolithic co-simulation and every unit
+// runner (each unit replays the boot through one of these).
+class WireDriver {
+ public:
+  WireDriver(soc::Soc* soc, const Bytes& command) : soc_(soc), command_(command) {
+    last_.rx_ready = true;
+  }
+
+  // One cycle with the host's standing behaviour (offer next command byte, accept tx).
+  void Tick() {
+    rtl::WireInput in;
+    in.tx_ready = true;
+    bool offering = sent_ < command_.size() && last_.rx_ready;
+    if (offering) {
+      in.rx_valid = true;
+      in.rx_data = command_[sent_];
+    }
+    rtl::WireSample s = soc_->Tick(in);
+    if (offering) {
+      sent_++;
+    }
+    if (s.tx_valid) {
+      response_.push_back(s.tx_data);
+    }
+    last_ = s;
+  }
+
+  const Bytes& response() const { return response_; }
+
+ private:
+  soc::Soc* soc_;
+  Bytes command_;
+  size_t sent_ = 0;
+  Bytes response_;
+  rtl::WireSample last_;
+};
+
+// A segmentation of one handle() invocation. When !ok, `error` says why slicing is
+// unavailable and the caller falls back to the monolithic checker (which handles
+// every case; the plan is purely an optimization).
+struct HandlePlan {
+  bool ok = false;
+  std::string error;
+
+  uint32_t circuit_sp = 0;                // Circuit sp at handle() entry.
+  uint32_t circuit_ra = 0;                // Circuit ra at handle() entry.
+  std::array<uint32_t, 32> entry_regs{};  // Full register file bits at handle() entry.
+  uint64_t boot_cycles = 0;               // Soc cycles from power-on to handle() entry.
+  uint64_t total_instructions = 0;        // Instructions handle() retires.
+
+  // RAM pages where the booted circuit differs from the prototype image at handle()
+  // entry (the caller's stack frames above sp, boot-written system globals). The
+  // aligned re-run and unit 0 write these over the machine's RAM so that "machine
+  // bits == circuit bits" holds for every byte from the first instruction on.
+  std::vector<riscv::Machine::PageSnapshot> entry_patches;
+
+  // boundary_instrets[i] instructions into handle(), the machine (and the circuit,
+  // one Cpu::at_boundary drain later) sits at snapshots[i]. Unit k covers
+  // [unit_begin(k), unit_end(k)) instructions; unit 0 starts at handle() entry.
+  std::vector<uint64_t> boundary_instrets;
+  std::vector<riscv::Machine::Snapshot> snapshots;
+
+  size_t num_units() const { return boundary_instrets.size() + 1; }
+  uint64_t unit_begin(size_t k) const { return k == 0 ? 0 : boundary_instrets[k - 1]; }
+  uint64_t unit_end(size_t k) const {
+    return k + 1 == num_units() ? total_instructions : boundary_instrets[k];
+  }
+};
+
+// Builds the plan for one (state, command) invocation: boot capture, counting
+// pre-run, snapshot pre-run. Deterministic — the same inputs produce the same plan
+// on every thread, backend, and process, which is what lets shards plan
+// independently and still agree on unit ordinals.
+HandlePlan PlanHandleUnits(const hsm::HsmSystem& system, const Bytes& state,
+                           const Bytes& command, uint64_t unit_instructions,
+                           uint64_t max_instructions = 500'000'000);
+
+// One co-simulation segment's outcome. Stats cover only this unit's work (its boot
+// replay cycles appear in stats.soc_cycles, its lockstep cycles in stats.cycles).
+struct CosimUnitResult {
+  bool ok = false;
+  std::string divergence;
+  SyncStats stats;
+  Bytes final_state;     // Machine-side post-state (last unit only).
+  Bytes final_response;  // Machine-side response (last unit only).
+};
+
+// Runs co-simulation unit `k` of `plan`. Units are independent: any subset may run
+// on any thread or in any process, in any order.
+CosimUnitResult RunCosimUnit(const hsm::HsmSystem& system, const Bytes& state,
+                             const Bytes& command, const HandlePlan& plan, size_t k,
+                             const CosimOptions& options);
+
+// Folds per-unit results (ordinal order) into the monolithic report shape: summed
+// stats, lowest-ordinal failure, telemetry snapshot, evidence. Also merges the
+// snapshot into the global registry, mirroring CosimHandleStep.
+CosimResult FoldCosimUnits(const hsm::HsmSystem& system, const Bytes& state,
+                           const Bytes& command, const std::vector<CosimUnitResult>& units);
+
+// One unit's telemetry delta: its sync counters, one "units" tick, and (unit 0
+// only) the per-command tick. Merging the deltas of all a command's units
+// reproduces FoldCosimUnits' counters exactly, which is what lets a sharded run
+// record telemetry per unit and still merge to the unsharded totals. (The
+// cycles_per_command histogram is a whole-command statistic and lives only in the
+// fold, not in any unit's delta.)
+telemetry::TelemetrySnapshot CosimUnitTelemetry(const CosimUnitResult& unit, size_t k);
+
+// True when two plans slice identically (same boot length, instruction count, and
+// boundary instrets) — the precondition for pairing them in sliced self-composition.
+// Misaligned plans mean the two instances' instruction streams differ, which the
+// monolithic joint loop is the right tool to judge.
+bool PlansAligned(const HandlePlan& a, const HandlePlan& b);
+
+// One self-composition segment's outcome.
+struct SelfCompUnitResult {
+  bool ok = false;
+  std::string divergence;
+  uint64_t cycles = 0;  // Compared cycles in this unit (boot replay + segment).
+};
+
+// Runs self-composition unit `k`: both instances are reconstructed from their own
+// plans' snapshots and ticked under identical inputs with the handshake wires
+// compared every cycle — the joint loop body, per segment. A unit whose instances
+// take different cycle counts to finish the segment reports a divergence (an
+// internal timing skew is a timing leak in the making; aligned plans plus
+// stream-determined wire timing make equal counts the passing case).
+SelfCompUnitResult RunSelfCompUnit(const hsm::HsmSystem& system, const Bytes& state_a,
+                                   const Bytes& state_b, const Bytes& command,
+                                   const HandlePlan& plan_a, const HandlePlan& plan_b,
+                                   size_t k, uint64_t max_cycles);
+
+// Folds per-unit self-composition results in ordinal order (summed cycles,
+// lowest-ordinal failure, telemetry, evidence; global-registry merge included).
+SelfCompResult FoldSelfCompUnits(const hsm::HsmSystem& system, const Bytes& state_a,
+                                 const Bytes& state_b, const Bytes& command,
+                                 const std::vector<SelfCompUnitResult>& units);
+
+// Self-composition analog of CosimUnitTelemetry: cycle counters for one unit plus
+// the "units" tick (and the per-command tick on unit 0). Deltas merge to the
+// FoldSelfCompUnits counters, minus the whole-command cycles_per_command histogram.
+telemetry::TelemetrySnapshot SelfCompUnitTelemetry(const SelfCompUnitResult& unit,
+                                                   size_t k);
+
+}  // namespace parfait::knox2
+
+#endif  // PARFAIT_KNOX2_UNITS_H_

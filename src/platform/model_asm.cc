@@ -172,7 +172,7 @@ void ModelAsm::AttachCachePerMode(riscv::Machine& m) const {
 }
 
 void ModelAsm::LoadCall(riscv::Machine& m, const Bytes& state, const Bytes& command,
-                        uint32_t sp_override) const {
+                        uint32_t sp_override, uint32_t ra_override) const {
   PARFAIT_CHECK(state.size() == sizes_.state_size);
   PARFAIT_CHECK(command.size() == sizes_.command_size);
   // Load the state and command buffers (figure 8's storebytes calls).
@@ -181,10 +181,11 @@ void ModelAsm::LoadCall(riscv::Machine& m, const Bytes& state, const Bytes& comm
   // The response buffer is conceptually freshly allocated; define it as zero.
   m.WriteMemory(response_addr_, Bytes(sizes_.response_size, 0));
   // Set up the call: sp at the top of RAM (or aligned with the circuit's sp), args in
-  // a0..a2, ra at the sentinel.
+  // a0..a2, ra at the sentinel (or aligned with the circuit's real return address).
   uint32_t ram_base = image_.ram_base;
   m.set_reg(2, riscv::Value::Defined(sp_override != 0 ? sp_override : ram_base + ram_size_));
-  m.set_reg(1, riscv::Value::Defined(riscv::Machine::kReturnSentinel));
+  m.set_reg(1, riscv::Value::Defined(ra_override != 0 ? ra_override
+                                                      : riscv::Machine::kReturnSentinel));
   m.set_reg(10, riscv::Value::Defined(state_addr_));
   m.set_reg(11, riscv::Value::Defined(command_addr_));
   m.set_reg(12, riscv::Value::Defined(response_addr_));
@@ -192,17 +193,38 @@ void ModelAsm::LoadCall(riscv::Machine& m, const Bytes& state, const Bytes& comm
 }
 
 riscv::Machine ModelAsm::PrepareCall(const Bytes& state, const Bytes& command,
-                                     uint32_t sp_override) const {
+                                     uint32_t sp_override, uint32_t ra_override) const {
   riscv::Machine m = Prototype();  // Copy of the immutable template.
   AttachCachePerMode(m);
-  LoadCall(m, state, command, sp_override);
+  LoadCall(m, state, command, sp_override, ra_override);
   return m;
+}
+
+riscv::Machine& ModelAsm::LeaseCall(const Bytes& state, const Bytes& command,
+                                    uint32_t sp_override, uint32_t ra_override) const {
+  // Same pool discipline as Step(): one machine per (thread, instance, mode, backend),
+  // restored between leases through the dirty-page journal.
+  thread_local TlsStepContext ctx;
+  DecodeCacheMode mode = decode_cache_mode();
+  riscv::Machine::Backend be = backend();
+  const riscv::Machine& proto = Prototype();
+  if (ctx.instance_id == instance_id_ && ctx.mode == mode && ctx.backend == be) {
+    ctx.machine->ResetTo(proto);
+  } else {
+    ctx.machine = std::make_unique<riscv::Machine>(proto);
+    AttachCachePerMode(*ctx.machine);
+    ctx.instance_id = instance_id_;
+    ctx.mode = mode;
+    ctx.backend = be;
+  }
+  LoadCall(*ctx.machine, state, command, sp_override, ra_override);
+  return *ctx.machine;
 }
 
 riscv::Machine ModelAsm::PrepareCallFresh(const Bytes& state, const Bytes& command,
                                           uint32_t sp_override) const {
   riscv::Machine m = BuildPrototype();
-  LoadCall(m, state, command, sp_override);
+  LoadCall(m, state, command, sp_override, /*ra_override=*/0);
   return m;
 }
 
@@ -222,7 +244,7 @@ ModelAsm::StepResult ModelAsm::Step(const Bytes& state, const Bytes& command,
     ctx.backend = be;
   }
   riscv::Machine& m = *ctx.machine;
-  LoadCall(m, state, command, /*sp_override=*/0);
+  LoadCall(m, state, command, /*sp_override=*/0, /*ra_override=*/0);
   auto run = m.Run(max_steps);
   StepResult result;
   result.instret = m.instret();

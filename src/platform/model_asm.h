@@ -68,9 +68,23 @@ class ModelAsm {
   // pc/ra/args set up so that stepping executes handle() and halts at the sentinel.
   // sp_override (when nonzero) aligns the abstract stack pointer with the circuit's,
   // making the Knox2 pointer mapping the identity on stack addresses too.
+  // ra_override (when nonzero) replaces the halt sentinel in ra with the circuit's
+  // real return address, so the machine's stacked ra values are bit-identical to the
+  // circuit's — required by the work-unit slicer, whose boundary snapshots are
+  // injected into a circuit. With an override, Run() no longer self-halts at
+  // handle()'s return; callers bound execution by instruction count instead.
   // Copies the image prototype rather than rebuilding it.
   riscv::Machine PrepareCall(const Bytes& state, const Bytes& command,
-                             uint32_t sp_override = 0) const;
+                             uint32_t sp_override = 0, uint32_t ra_override = 0) const;
+
+  // The machine-pool variant of PrepareCall: leases a thread-local dirty-journaled
+  // machine keyed by (instance, cache mode, backend), ResetTo's it against the
+  // prototype (~0.13µs instead of a full prototype copy), and loads the call. The
+  // reference stays valid until the next LeaseCall or Step on the same thread and
+  // the same ModelAsm. This is what lets per-segment work units pay microseconds,
+  // not milliseconds, of setup per unit.
+  riscv::Machine& LeaseCall(const Bytes& state, const Bytes& command,
+                            uint32_t sp_override = 0, uint32_t ra_override = 0) const;
 
   // The pre-template build path: constructs the machine from the image from scratch,
   // with no prototype and no decode cache. Kept as the state-equivalence oracle and
@@ -117,7 +131,7 @@ class ModelAsm {
 
   // Writes the per-call state: buffers, argument registers, sp, ra, pc.
   void LoadCall(riscv::Machine& m, const Bytes& state, const Bytes& command,
-                uint32_t sp_override) const;
+                uint32_t sp_override, uint32_t ra_override) const;
 
   // Attaches the ROM decode cache to `m` per the process-wide mode.
   void AttachCachePerMode(riscv::Machine& m) const;

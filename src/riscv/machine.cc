@@ -239,6 +239,42 @@ void Machine::ResetTo(const Machine& prototype) {
   fast_resets_++;
 }
 
+Machine::Snapshot Machine::CaptureSnapshot() const {
+  static_assert(kSnapshotPageSize == kPageSize);
+  PARFAIT_CHECK_MSG(journal_, "CaptureSnapshot requires EnableDirtyJournal");
+  Snapshot snap;
+  snap.pc = pc_;
+  for (uint8_t r = 0; r < 32; r++) {
+    snap.regs[r] = regs_[r].bits;
+  }
+  for (const Region& r : regions_) {
+    for (size_t w = 0; w < r.dirty_pages.size(); w++) {
+      uint64_t bits = r.dirty_pages[w];
+      while (bits != 0) {
+        uint32_t page = static_cast<uint32_t>(w * 64 + std::countr_zero(bits));
+        bits &= bits - 1;
+        uint32_t offset = page * kPageSize;
+        uint32_t len = std::min(kPageSize, r.size() - offset);
+        PageSnapshot ps;
+        ps.addr = r.base + offset;
+        ps.bytes.assign(r.data.begin() + offset, r.data.begin() + offset + len);
+        snap.pages.push_back(std::move(ps));
+      }
+    }
+  }
+  return snap;
+}
+
+void Machine::RestoreSnapshot(const Snapshot& snapshot) {
+  for (const PageSnapshot& page : snapshot.pages) {
+    WriteMemory(page.addr, page.bytes);
+  }
+  for (uint8_t r = 1; r < 32; r++) {
+    set_reg(r, Value{snapshot.regs[r], true});
+  }
+  pc_ = snapshot.pc;
+}
+
 Machine::PerfCounters Machine::TakePerfCounters() {
   PerfCounters counters{decode_hits_,        region_cache_hits_,   fast_resets_,
                         block_translations_, block_hits_,          block_invalidations_,

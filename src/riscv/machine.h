@@ -176,6 +176,35 @@ class Machine {
   // True iff every byte of [addr, addr+size) is inside one region and defined.
   bool AllDefined(uint32_t addr, uint32_t size) const;
 
+  // Architectural snapshot at a work-unit boundary: the raw bits of every register,
+  // the pc, and the raw bytes of every journaled (dirty-since-prototype) page.
+  // Definedness is deliberately not captured — snapshots are exchanged with the
+  // circuit, which has no undef notion, so restore re-materializes every byte as a
+  // defined value with the same bits (see src/knox2/units.h for why that is sound
+  // for sliced runs: the continuous pre-run that produced the snapshot keeps full
+  // undef tracking and faults exactly where a monolithic run would).
+  struct PageSnapshot {
+    uint32_t addr = 0;  // Absolute base address of the page.
+    Bytes bytes;        // kPageSize bytes (clipped at the region end).
+  };
+  struct Snapshot {
+    uint32_t pc = 0;
+    std::array<uint32_t, 32> regs{};  // Raw bits; regs[0] is always 0.
+    std::vector<PageSnapshot> pages;  // Sorted by addr (region order, page order).
+  };
+
+  // Captures the dirty-page journal without clearing it (the journal is monotone
+  // over a run, so later snapshots are supersets). Requires EnableDirtyJournal().
+  Snapshot CaptureSnapshot() const;
+
+  // Applies a snapshot on top of this machine's current state: bulk-writes every
+  // page (journaled + marked defined, so a later ResetTo still cleans them up),
+  // sets every register to the snapshot bits (defined), and jumps to snapshot.pc.
+  void RestoreSnapshot(const Snapshot& snapshot);
+
+  // Page granularity of the dirty journal and of Snapshot pages.
+  static constexpr uint32_t kSnapshotPageSize = 256;
+
   Value reg(uint8_t index) const { return regs_[index]; }
   void set_reg(uint8_t index, Value v) {
     if (index != 0) {

@@ -94,6 +94,14 @@ class Cpu {
   // Retirement stream (drives assembly-circuit synchronization).
   virtual uint64_t retired() const = 0;
   virtual uint32_t last_retired_pc() const = 0;
+
+  // True when the core sits at a quiescent inter-instruction point whose full
+  // microarchitectural state equals Reset(pc()): no instruction in flight, no
+  // pending stall counters. Both cores reach such a point immediately after a
+  // *taken* control transfer retires (the pipeline was flushed / the FSM returns
+  // to fetch), which is where the work-unit slicer places segment boundaries — a
+  // fresh core Reset() to the boundary pc is cycle-exact from there on.
+  virtual bool at_boundary() const = 0;
 };
 
 struct CpuConfig {

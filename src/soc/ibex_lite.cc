@@ -137,6 +137,11 @@ class IbexLite final : public Cpu {
   uint64_t retired() const override { return state_.retired; }
   uint32_t last_retired_pc() const override { return state_.last_retired_pc; }
 
+  // Only a taken control transfer leaves the buffer empty between cycles (the
+  // redirect's fetch bubble); the transfer writes no hazard_reg_ and holds busy_
+  // at 0, so this state is exactly Reset(state_.pc) with pc_if_ == state_.pc.
+  bool at_boundary() const override { return !id_valid_ && busy_ == 0; }
+
  private:
   CpuConfig config_;
   ExecState state_;

@@ -105,6 +105,10 @@ class PicoLite final : public Cpu {
   uint64_t retired() const override { return state_.retired; }
   uint32_t last_retired_pc() const override { return state_.last_retired_pc; }
 
+  // The FSM re-enters kFetch with wait_ exhausted after every completed
+  // instruction; at that point the core state is exactly Reset(state_.pc).
+  bool at_boundary() const override { return phase_ == Phase::kFetch; }
+
  private:
   enum class Phase : uint8_t { kFetch, kExecute, kWait };
 

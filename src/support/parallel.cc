@@ -78,11 +78,19 @@ ThreadPool::~ThreadPool() {
       worker->thread.join();
     }
   }
+  // The fork-join caller is lane 0: ParallelFor folds its execution in through
+  // AddCallerStats, and it is published exactly like a worker lane below.
+  PoolLaneStats caller;
+  caller.tasks_run = caller_tasks_.load(std::memory_order_relaxed);
+  caller.busy_ns = caller_busy_ns_.load(std::memory_order_relaxed);
+  caller.idle_ns = caller_idle_ns_.load(std::memory_order_relaxed);
   // Fold pool-utilization telemetry into the global registry (no-op when disabled).
   auto& telemetry = telemetry::Telemetry::Global();
-  if (telemetry.enabled() && !workers_.empty()) {
+  if (telemetry.enabled() && (caller.tasks_run > 0 || !workers_.empty())) {
     telemetry::TelemetrySnapshot snapshot;
-    for (const PoolLaneStats& lane : WorkerStats()) {
+    std::vector<PoolLaneStats> lanes = WorkerStats();
+    lanes.insert(lanes.begin(), caller);
+    for (const PoolLaneStats& lane : lanes) {
       snapshot.AddCounter("pool/tasks", lane.tasks_run);
       snapshot.AddCounter("pool/steals", lane.steals);
       snapshot.AddCounter("pool/idle_ns", lane.idle_ns);
@@ -92,10 +100,17 @@ ThreadPool::~ThreadPool() {
     }
     telemetry.Merge(snapshot);
   }
-  // Fold lane timelines into the profiler (no-op when disabled). Worker lanes are
-  // numbered from 1: lane 0 is the fork-join calling thread, which no pool tracks.
+  // Fold lane timelines into the profiler (no-op when disabled). Lane 0 is the
+  // fork-join calling thread; worker lanes are numbered from 1.
   auto& prof = profiler::Profiler::Global();
-  if (prof.enabled() && !workers_.empty()) {
+  if (prof.enabled()) {
+    if (caller.tasks_run > 0 || caller.busy_ns > 0 || caller.idle_ns > 0) {
+      profiler::LaneRecord record;
+      record.tasks = caller.tasks_run;
+      record.busy_ns = caller.busy_ns;
+      record.idle_ns = caller.idle_ns;
+      prof.AddLaneRecord(0, record);
+    }
     std::vector<PoolLaneStats> stats = WorkerStats();
     for (size_t i = 0; i < stats.size(); i++) {
       profiler::LaneRecord record;
@@ -109,6 +124,12 @@ ThreadPool::~ThreadPool() {
       prof.AddLaneRecord(static_cast<int>(i) + 1, record);
     }
   }
+}
+
+void ThreadPool::AddCallerStats(uint64_t tasks, uint64_t busy_ns, uint64_t idle_ns) {
+  caller_tasks_.fetch_add(tasks, std::memory_order_relaxed);
+  caller_busy_ns_.fetch_add(busy_ns, std::memory_order_relaxed);
+  caller_idle_ns_.fetch_add(idle_ns, std::memory_order_relaxed);
 }
 
 std::vector<PoolLaneStats> ThreadPool::WorkerStats() const {
@@ -243,11 +264,24 @@ void ParallelFor(ThreadPool& pool, size_t n, const std::function<void(size_t)>& 
   if (n == 0) {
     return;
   }
+  bool timing = TimingOn();
   int lanes = pool.lanes();
   if (lanes <= 1 || n == 1) {
+    // Serial degenerate case: the caller is still lane 0, so its execution is
+    // tracked the same way (body time only; there is no join wait).
+    uint64_t busy_ns = 0;
     for (size_t i = 0; i < n; i++) {
-      body(i);
+      if (timing) {
+        auto start = std::chrono::steady_clock::now();
+        body(i);
+        busy_ns += std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+      } else {
+        body(i);
+      }
     }
+    pool.AddCallerStats(n, busy_ns, 0);
     return;
   }
 
@@ -284,9 +318,39 @@ void ParallelFor(ThreadPool& pool, size_t n, const std::function<void(size_t)>& 
       }
     });
   }
-  run_lane();  // The calling thread is a lane too.
-  std::unique_lock<std::mutex> lock(region->mu);
-  region->done_cv.wait(lock, [&] { return region->active_runners == 0; });
+  // The calling thread is a lane too — lane 0. Its claimed indices and in-body
+  // time are folded into the pool so utilization reports cover every lane; the
+  // join-barrier wait below is its idle time.
+  uint64_t caller_tasks = 0;
+  uint64_t caller_busy_ns = 0;
+  for (;;) {
+    size_t i = region->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= n) {
+      break;
+    }
+    if (timing) {
+      auto start = std::chrono::steady_clock::now();
+      body(i);
+      caller_busy_ns += std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+    } else {
+      body(i);
+    }
+    caller_tasks++;
+  }
+  uint64_t caller_idle_ns = 0;
+  {
+    auto idle_start = std::chrono::steady_clock::now();
+    std::unique_lock<std::mutex> lock(region->mu);
+    region->done_cv.wait(lock, [&] { return region->active_runners == 0; });
+    if (timing) {
+      caller_idle_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           std::chrono::steady_clock::now() - idle_start)
+                           .count();
+    }
+  }
+  pool.AddCallerStats(caller_tasks, caller_busy_ns, caller_idle_ns);
 }
 
 }  // namespace parfait

@@ -75,11 +75,21 @@ class ThreadPool {
   // worker's own deque (stolen from the far end if another lane goes idle).
   void Submit(std::function<void()> task);
 
-  // One entry per worker (the calling lane runs inline and is not tracked). Safe to
-  // call while the pool is live; counts are relaxed-atomic snapshots. The destructor
-  // folds these into the global telemetry registry (pool/tasks, pool/steals,
-  // pool/idle_ns, pool/tasks_per_lane) when telemetry is enabled.
+  // One entry per worker. Safe to call while the pool is live; counts are
+  // relaxed-atomic snapshots. The destructor folds these into the global telemetry
+  // registry (pool/tasks, pool/steals, pool/idle_ns, pool/tasks_per_lane) when
+  // telemetry is enabled.
   std::vector<PoolLaneStats> WorkerStats() const;
+
+  // Folds the fork-join caller's lane-0 execution into this pool's accounting:
+  // indices the calling thread ran inside ParallelFor, its time inside task bodies,
+  // and its wait at the join barrier. ParallelFor reports these; the destructor
+  // publishes lane 0 alongside the worker lanes (profiler lane record + pool/*
+  // counters), so utilization reports see every lane, not just the spawned ones.
+  // Granularity caveat: lane 0's tasks count fork-join *indices*, while a worker
+  // lane's count *pool tasks* (one ParallelFor region submits at most one task per
+  // worker) — compare lanes by busy/idle time, not by task counts.
+  void AddCallerStats(uint64_t tasks, uint64_t busy_ns, uint64_t idle_ns);
 
  private:
   struct Worker;
@@ -90,6 +100,11 @@ class ThreadPool {
   bool RunOneTask(size_t self);
 
   std::vector<std::unique_ptr<Worker>> workers_;
+  // Lane-0 (fork-join caller) accounting, accumulated by ParallelFor via
+  // AddCallerStats. Atomics: several ParallelFor regions may share one pool.
+  std::atomic<uint64_t> caller_tasks_{0};
+  std::atomic<uint64_t> caller_busy_ns_{0};
+  std::atomic<uint64_t> caller_idle_ns_{0};
   std::mutex wake_mu_;
   std::condition_variable wake_cv_;
   bool stop_ = false;                   // Guarded by wake_mu_.

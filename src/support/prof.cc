@@ -78,6 +78,7 @@ struct UnitRow {
   std::string unit;
   uint64_t count = 0;
   uint64_t total_ns = 0;
+  uint64_t max_ns = 0;  // Longest single span — the unit-granularity ceiling.
 };
 
 std::vector<UnitRow> AggregateUnits(const std::vector<SpanEvent>& events) {
@@ -88,6 +89,7 @@ std::vector<UnitRow> AggregateUnits(const std::vector<SpanEvent>& events) {
     row.unit = e.unit;
     row.count++;
     row.total_ns += e.dur_ns;
+    row.max_ns = std::max(row.max_ns, e.dur_ns);
   }
   std::vector<UnitRow> rows;
   rows.reserve(by_unit.size());
@@ -209,9 +211,41 @@ std::string ProfileJson(const profiler::Profiler& prof, size_t max_units) {
     }
     out += "{\"category\":\"" + JsonEscape(rows[i].category) + "\",\"unit\":\"" +
            JsonEscape(rows[i].unit) + "\",\"count\":" + std::to_string(rows[i].count) +
-           ",\"total_ns\":" + std::to_string(rows[i].total_ns) + "}";
+           ",\"total_ns\":" + std::to_string(rows[i].total_ns) +
+           ",\"max_ns\":" + std::to_string(rows[i].max_ns) + "}";
   }
-  out += "],\"attribution\":{\"attributed_ns\":" +
+  // Work-unit parallelism: how many tagged units each lane (trace thread) ran,
+  // and the granularity ceiling — the longest single unit against the total unit
+  // time. A max_unit_fraction near 1/lanes is as fine as slicing needs to be; near
+  // 1.0 it means one indivisible unit dominates and more lanes cannot help.
+  std::map<int, uint64_t> units_per_lane;
+  uint64_t max_unit_ns = 0;
+  uint64_t total_unit_ns = 0;
+  for (const SpanEvent& e : events) {
+    if (e.unit.empty()) {
+      continue;
+    }
+    units_per_lane[e.tid]++;
+    total_unit_ns += e.dur_ns;
+    max_unit_ns = std::max(max_unit_ns, e.dur_ns);
+  }
+  out += "],\"parallelism\":{\"units_per_lane\":{";
+  first = true;
+  for (const auto& [tid, n] : units_per_lane) {
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    out += "\"" + std::to_string(tid) + "\":" + std::to_string(n);
+  }
+  out += "},\"max_unit_ns\":" + std::to_string(max_unit_ns) +
+         ",\"total_unit_ns\":" + std::to_string(total_unit_ns) +
+         ",\"max_unit_fraction\":" +
+         Fmt("%.4f", total_unit_ns > 0
+                         ? static_cast<double>(max_unit_ns) /
+                               static_cast<double>(total_unit_ns)
+                         : 0.0);
+  out += "},\"attribution\":{\"attributed_ns\":" +
          std::to_string(attribution.attributed_ns) +
          ",\"window_ns\":" + std::to_string(attribution.window_ns) +
          ",\"pool_idle_ns\":" + std::to_string(attribution.pool_idle_ns) +
@@ -236,6 +270,58 @@ void RenderUnitsTable(const std::vector<UnitRow>& rows, std::string* out) {
     std::snprintf(buf, sizeof(buf), "  %11.3f  %9llu  %-20s  %s\n",
                   row.total_ns / 1e9, static_cast<unsigned long long>(row.count),
                   row.category.c_str(), row.unit.empty() ? "-" : row.unit.c_str());
+    *out += buf;
+  }
+}
+
+// Groups unit rows by their row-level work unit — the annotation with any
+// " unit=k/N" segment suffix stripped — and reports, per group, the longest single
+// unit against the group's total thread time. This is the slicing-quality gauge:
+// a dominant row whose max unit is a small fraction of its total decomposes well
+// across lanes (and shards); a fraction near 1.0 is an indivisible row.
+void RenderUnitBalance(const std::vector<UnitRow>& rows, std::string* out) {
+  struct Group {
+    uint64_t total_ns = 0;
+    uint64_t max_ns = 0;
+    uint64_t count = 0;
+  };
+  std::map<std::string, Group> groups;
+  bool any_sliced = false;
+  for (const UnitRow& row : rows) {
+    if (row.unit.empty() || row.category == "(other)") {
+      continue;
+    }
+    std::string key = row.unit;
+    size_t cut = key.find(" unit=");
+    if (cut != std::string::npos) {
+      key.resize(cut);
+      any_sliced = true;
+    }
+    Group& g = groups[row.category + " " + key];
+    g.total_ns += row.total_ns;
+    g.max_ns = std::max(g.max_ns, row.max_ns);
+    g.count += row.count;
+  }
+  if (!any_sliced || groups.empty()) {
+    return;  // Nothing was sliced into units; the table above says it all.
+  }
+  std::vector<std::pair<std::string, Group>> ordered(groups.begin(), groups.end());
+  std::sort(ordered.begin(), ordered.end(), [](const auto& a, const auto& b) {
+    return a.second.total_ns > b.second.total_ns;
+  });
+  *out += "work-unit balance (longest single unit / group thread time):\n";
+  *out += "  max_unit%    total_s      units  group\n";
+  size_t shown = 0;
+  for (const auto& [name, g] : ordered) {
+    if (shown++ >= 12) {
+      *out += "  ... (" + std::to_string(ordered.size() - 12) + " more)\n";
+      break;
+    }
+    char buf[512];
+    std::snprintf(buf, sizeof(buf), "  %9.1f  %9.3f  %9llu  %s\n",
+                  g.total_ns > 0 ? 100.0 * g.max_ns / g.total_ns : 0.0,
+                  g.total_ns / 1e9, static_cast<unsigned long long>(g.count),
+                  name.c_str());
     *out += buf;
   }
 }
@@ -292,9 +378,33 @@ void RenderProfileSection(const json::Value& profile, std::string* out) {
       row.unit = u.StringOr("unit", "");
       row.count = static_cast<uint64_t>(u.NumberOr("count", 0));
       row.total_ns = static_cast<uint64_t>(u.NumberOr("total_ns", 0));
+      row.max_ns = static_cast<uint64_t>(u.NumberOr("max_ns", 0));
       rows.push_back(std::move(row));
     }
     RenderUnitsTable(rows, out);
+    RenderUnitBalance(rows, out);
+  }
+  const json::Value* parallelism = profile.Find("parallelism");
+  if (parallelism != nullptr && parallelism->is_object()) {
+    const json::Value* per_lane = parallelism->Find("units_per_lane");
+    *out += "parallelism: units per lane {";
+    if (per_lane != nullptr && per_lane->is_object()) {
+      bool first = true;
+      for (const auto& [lane, n] : per_lane->AsObject()) {
+        if (!first) {
+          *out += ", ";
+        }
+        first = false;
+        *out += lane + ": " + Fmt("%g", n.AsNumber());
+      }
+    }
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "}; max unit %.3f s = %.1f%% of %.3f s unit time\n",
+                  parallelism->NumberOr("max_unit_ns", 0) / 1e9,
+                  parallelism->NumberOr("max_unit_fraction", 0) * 100.0,
+                  parallelism->NumberOr("total_unit_ns", 0) / 1e9);
+    *out += buf;
   }
   const json::Value* attribution = profile.Find("attribution");
   if (attribution != nullptr && attribution->is_object()) {
@@ -307,7 +417,7 @@ void RenderProfileSection(const json::Value& profile, std::string* out) {
   }
   const json::Value* lanes = profile.Find("lanes");
   if (lanes != nullptr && lanes->is_object() && !lanes->AsObject().empty()) {
-    *out += "lanes (lane 0 = fork-join caller, untracked):\n";
+    *out += "lanes (lane 0 = fork-join caller):\n";
     *out += "  lane      tasks  steals    busy_s    idle_s   util%  avg_depth  max_depth\n";
     for (const auto& [name, lane] : lanes->AsObject()) {
       double busy = lane.NumberOr("busy_ns", 0) / 1e9;

@@ -1,0 +1,303 @@
+#include "src/support/shard.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+namespace parfait::shard {
+
+namespace {
+
+void AppendEscaped(std::string& out, std::string_view s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out += '"';
+}
+
+// json.h numbers are double; every counter we emit is far below 2^53, so the
+// narrowing round-trip is exact.
+uint64_t AsU64(double d) { return d <= 0 ? 0 : static_cast<uint64_t>(d); }
+
+bool ParseSnapshot(const json::Value& v, telemetry::TelemetrySnapshot* out,
+                   std::string* error) {
+  const json::Value* counters = v.Find("counters");
+  if (counters != nullptr && counters->is_object()) {
+    for (const auto& [name, value] : counters->AsObject()) {
+      if (!value.is_number()) {
+        *error = "counter '" + name + "' is not a number";
+        return false;
+      }
+      out->AddCounter(name, AsU64(value.AsNumber()));
+    }
+  }
+  const json::Value* histograms = v.Find("histograms");
+  if (histograms != nullptr && histograms->is_object()) {
+    for (const auto& [name, h] : histograms->AsObject()) {
+      telemetry::HistogramSummary summary;
+      summary.count = AsU64(h.NumberOr("count", 0));
+      summary.sum = AsU64(h.NumberOr("sum", 0));
+      summary.min = AsU64(h.NumberOr("min", 0));
+      summary.max = AsU64(h.NumberOr("max", 0));
+      if (summary.count == 0) {
+        continue;  // ToJson never emits one; ignore rather than corrupt min.
+      }
+      out->AddHistogram(name, summary);
+    }
+  }
+  return true;
+}
+
+std::string RecordJson(const UnitRecord& r) {
+  std::string out = "{\"ordinal\":" + std::to_string(r.ordinal) +
+                    ",\"row\":" + std::to_string(r.row) + ",\"row_label\":";
+  AppendEscaped(out, r.row_label);
+  out += ",\"kind\":";
+  AppendEscaped(out, r.kind);
+  out += ",\"label\":";
+  AppendEscaped(out, r.label);
+  out += ",\"ok\":";
+  out += r.ok ? "true" : "false";
+  out += ",\"divergence\":";
+  AppendEscaped(out, r.divergence);
+  out += ",\"cycles\":" + std::to_string(r.cycles);
+  out += ",\"telemetry\":" + r.telemetry.ToJson() + "}";
+  return out;
+}
+
+bool ParseRecord(const json::Value& v, UnitRecord* out, std::string* error) {
+  if (!v.is_object()) {
+    *error = "record is not an object";
+    return false;
+  }
+  out->ordinal = AsU64(v.NumberOr("ordinal", 0));
+  out->row = static_cast<uint32_t>(v.NumberOr("row", 0));
+  out->row_label = v.StringOr("row_label", "");
+  out->kind = v.StringOr("kind", "");
+  out->label = v.StringOr("label", "");
+  const json::Value* ok = v.Find("ok");
+  out->ok = ok != nullptr && ok->is_bool() && ok->AsBool();
+  out->divergence = v.StringOr("divergence", "");
+  out->cycles = AsU64(v.NumberOr("cycles", 0));
+  const json::Value* telemetry = v.Find("telemetry");
+  if (telemetry != nullptr && !ParseSnapshot(*telemetry, &out->telemetry, error)) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<ShardSpec> ParseShardSpec(const std::string& text, std::string* error) {
+  int index = 0;
+  int count = 0;
+  char trailing = 0;
+  int fields = std::sscanf(text.c_str(), "%d/%d%c", &index, &count, &trailing);
+  if (fields != 2 || index < 1 || count < 1 || index > count) {
+    if (error != nullptr) {
+      *error = "--shards=" + text + " is not K/M with 1 <= K <= M";
+    }
+    return std::nullopt;
+  }
+  return ShardSpec{index, count};
+}
+
+std::string ShardFileJson(const std::string& bench, const ShardSpec& spec,
+                          const std::string& meta_json,
+                          const std::vector<UnitRecord>& records) {
+  std::string out = "{\"bench\":";
+  AppendEscaped(out, bench);
+  out += ",\"shard\":{\"index\":" + std::to_string(spec.index) +
+         ",\"count\":" + std::to_string(spec.count) + "}";
+  out += ",\"meta\":" + (meta_json.empty() ? std::string("{}") : meta_json);
+  out += ",\"records\":[";
+  for (size_t i = 0; i < records.size(); i++) {
+    if (i > 0) {
+      out += ',';
+    }
+    out += RecordJson(records[i]);
+  }
+  out += "]}\n";
+  return out;
+}
+
+bool ParseShardFile(const json::Value& root, ShardFile* out, std::string* error) {
+  if (!root.is_object()) {
+    *error = "shard file is not a JSON object";
+    return false;
+  }
+  out->bench = root.StringOr("bench", "");
+  if (out->bench.empty()) {
+    *error = "shard file has no \"bench\" name";
+    return false;
+  }
+  const json::Value* spec = root.Find("shard");
+  if (spec == nullptr || !spec->is_object()) {
+    *error = "shard file has no \"shard\" object";
+    return false;
+  }
+  out->spec.index = static_cast<int>(spec->NumberOr("index", 0));
+  out->spec.count = static_cast<int>(spec->NumberOr("count", 0));
+  if (out->spec.index < 1 || out->spec.count < 1 || out->spec.index > out->spec.count) {
+    *error = "shard file has an invalid shard/index/count";
+    return false;
+  }
+  const json::Value* records = root.Find("records");
+  if (records == nullptr || !records->is_array()) {
+    *error = "shard file has no \"records\" array";
+    return false;
+  }
+  out->records.clear();
+  out->records.reserve(records->AsArray().size());
+  for (const json::Value& r : records->AsArray()) {
+    UnitRecord record;
+    if (!ParseRecord(r, &record, error)) {
+      return false;
+    }
+    out->records.push_back(std::move(record));
+  }
+  return true;
+}
+
+bool MergeShardRecords(const std::vector<ShardFile>& shards,
+                       std::vector<UnitRecord>* out, std::string* error) {
+  if (shards.empty()) {
+    *error = "no shard files to merge";
+    return false;
+  }
+  const std::string& bench = shards[0].bench;
+  int count = shards[0].spec.count;
+  std::vector<bool> seen_shard(static_cast<size_t>(count) + 1, false);
+  out->clear();
+  for (const ShardFile& shard : shards) {
+    if (shard.bench != bench) {
+      *error = "shard files mix benches ('" + bench + "' vs '" + shard.bench + "')";
+      return false;
+    }
+    if (shard.spec.count != count) {
+      *error = "shard files disagree on the shard count (" + std::to_string(count) +
+               " vs " + std::to_string(shard.spec.count) + ")";
+      return false;
+    }
+    if (seen_shard[shard.spec.index]) {
+      *error = "shard " + std::to_string(shard.spec.index) + "/" +
+               std::to_string(count) + " appears twice";
+      return false;
+    }
+    seen_shard[shard.spec.index] = true;
+    for (const UnitRecord& record : shard.records) {
+      if (!shard.spec.Owns(record.ordinal)) {
+        *error = "shard " + std::to_string(shard.spec.index) + "/" +
+                 std::to_string(count) + " holds foreign unit ordinal " +
+                 std::to_string(record.ordinal);
+        return false;
+      }
+      out->push_back(record);
+    }
+  }
+  for (int k = 1; k <= count; k++) {
+    if (!seen_shard[k]) {
+      *error = "missing shard " + std::to_string(k) + "/" + std::to_string(count);
+      return false;
+    }
+  }
+  std::sort(out->begin(), out->end(),
+            [](const UnitRecord& a, const UnitRecord& b) { return a.ordinal < b.ordinal; });
+  for (size_t i = 0; i < out->size(); i++) {
+    if ((*out)[i].ordinal != i) {
+      *error = "merged records do not cover ordinal " + std::to_string(i) +
+               " exactly once";
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<RowOutcome> FoldRows(const std::vector<UnitRecord>& records) {
+  // Records arrive ordinal-sorted; a std::map keyed by row index gives ascending
+  // rows while each row's units fold in ordinal order — the deterministic order
+  // every process (sharded or not) reproduces.
+  std::map<uint32_t, RowOutcome> rows;
+  for (const UnitRecord& record : records) {
+    RowOutcome& row = rows[record.row];
+    row.row = record.row;
+    if (row.label.empty()) {
+      row.label = record.row_label;
+    }
+    if (!record.ok && row.ok) {
+      // Ordinal order makes this the lowest failing ordinal in the row.
+      row.ok = false;
+      row.divergence = record.divergence;
+    }
+    row.cycles += record.cycles;
+    row.units++;
+    row.telemetry.Merge(record.telemetry);
+  }
+  std::vector<RowOutcome> out;
+  out.reserve(rows.size());
+  for (auto& [index, row] : rows) {
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+std::string RowsJson(const std::vector<RowOutcome>& rows) {
+  std::string out = "[";
+  for (size_t i = 0; i < rows.size(); i++) {
+    const RowOutcome& row = rows[i];
+    if (i > 0) {
+      out += ',';
+    }
+    out += "{\"row\":" + std::to_string(row.row) + ",\"label\":";
+    AppendEscaped(out, row.label);
+    out += ",\"ok\":";
+    out += row.ok ? "true" : "false";
+    out += ",\"divergence\":";
+    AppendEscaped(out, row.divergence);
+    out += ",\"cycles\":" + std::to_string(row.cycles) +
+           ",\"units\":" + std::to_string(row.units);
+    out += ",\"telemetry\":" + row.telemetry.ToJson() + "}";
+  }
+  out += "]";
+  return out;
+}
+
+std::string MergedReportJson(const std::string& bench,
+                             const std::vector<RowOutcome>& rows) {
+  telemetry::TelemetrySnapshot merged;
+  for (const RowOutcome& row : rows) {
+    merged.Merge(row.telemetry);
+  }
+  std::string out = "{\"bench\":";
+  AppendEscaped(out, bench);
+  out += ",\"rows\":" + RowsJson(rows);
+  out += ",\"telemetry\":" + merged.ToJson() + "}\n";
+  return out;
+}
+
+}  // namespace parfait::shard

@@ -1,0 +1,118 @@
+// Multi-process sharding of fine-grained verification work units.
+//
+// The work-unit scheduler (src/knox2/units.h, bench/table4) decomposes a
+// verification suite into a flat, globally-ordered list of independent units:
+// checker × command × power-on state × instruction segment (or trial batch). Every
+// participating process derives the *same* unit list deterministically (plans are a
+// pure function of the inputs and backend), then runs only the units it owns under
+// a round-robin ownership rule — unit `ordinal` belongs to shard K of M iff
+// `ordinal % M == K - 1`. Each shard serializes its per-unit outcomes (verdict,
+// divergence, cycles, telemetry delta) as a shard JSON file; `parfait-prof merge`
+// (or shard_test) recombines the files and folds them with exactly the code an
+// unsharded run uses, so the merged report — rows, verdicts, settled
+// lowest-ordinal divergences, and merged telemetry — is byte-identical to a
+// single-process run at any M.
+//
+// What deliberately does NOT merge: the runtime-only "profile" section. Profiles
+// attribute wall time to the schedule that actually ran; shards have disjoint
+// schedules on different machines/processes, and gluing their timelines together
+// would fabricate a run that never happened. Merge therefore reconstructs only the
+// deterministic report (rows + telemetry); per-shard profiles stay with their
+// shard's own JSON.
+#ifndef PARFAIT_SUPPORT_SHARD_H_
+#define PARFAIT_SUPPORT_SHARD_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/support/json.h"
+#include "src/support/telemetry.h"
+
+namespace parfait::shard {
+
+// One fine-grained work unit's outcome. `ordinal` is the unit's position in the
+// deterministic global enumeration (row-major across suite rows); `row` groups
+// units back into report rows at fold time. `telemetry` is the unit's own additive
+// delta — the row snapshot is the ordinal-ordered merge of its units' deltas.
+struct UnitRecord {
+  uint64_t ordinal = 0;
+  uint32_t row = 0;
+  std::string row_label;  // e.g. "IbexLite/ecdsa-p256"; identical across a row.
+  std::string kind;       // "cosim", "selfcomp", "starling", ...
+  std::string label;      // e.g. "unit=3/12" or "mono".
+  bool ok = false;
+  std::string divergence;
+  uint64_t cycles = 0;    // This unit's contribution to the row's simulated cycles.
+  telemetry::TelemetrySnapshot telemetry;
+};
+
+// One report row folded from its units: verdicts AND together, the divergence is
+// the lowest-ordinal failure's (the same settlement rule ParallelReduce uses, so
+// sharding cannot change which failure a suite reports), cycles and telemetry sum.
+struct RowOutcome {
+  uint32_t row = 0;
+  std::string label;
+  bool ok = true;
+  std::string divergence;
+  uint64_t cycles = 0;
+  uint64_t units = 0;
+  telemetry::TelemetrySnapshot telemetry;
+};
+
+// The "--shards=K/M" coordinate: this process is shard K (1-based) of M.
+struct ShardSpec {
+  int index = 1;
+  int count = 1;
+
+  bool active() const { return count > 1; }
+  // Round-robin ownership over the global ordinal space; a 1/1 spec owns all.
+  bool Owns(uint64_t ordinal) const {
+    return count <= 1 || ordinal % static_cast<uint64_t>(count) ==
+                             static_cast<uint64_t>(index - 1);
+  }
+};
+
+// Parses "K/M" (as passed to --shards=). Requires 1 <= K <= M. Returns nullopt and
+// sets `error` on malformed input.
+std::optional<ShardSpec> ParseShardSpec(const std::string& text, std::string* error);
+
+// One shard's serialized unit outcomes, read back from disk.
+struct ShardFile {
+  std::string bench;
+  ShardSpec spec;
+  std::vector<UnitRecord> records;
+};
+
+// {"bench":...,"shard":{"index":K,"count":M},"meta":<meta_json>,"records":[...]}
+// `meta_json` must be a complete JSON value (pass "{}" when there is none).
+std::string ShardFileJson(const std::string& bench, const ShardSpec& spec,
+                          const std::string& meta_json,
+                          const std::vector<UnitRecord>& records);
+
+// Parses a shard file previously written via ShardFileJson.
+bool ParseShardFile(const json::Value& root, ShardFile* out, std::string* error);
+
+// Validates a set of shard files (same bench, same shard count, distinct shard
+// indices, every record owned by its shard, and the union covering ordinals
+// 0..N-1 exactly once) and returns all records sorted by ordinal.
+bool MergeShardRecords(const std::vector<ShardFile>& shards,
+                       std::vector<UnitRecord>* out, std::string* error);
+
+// Folds a complete, ordinal-sorted record list into report rows (ascending row
+// index). Used identically by the unsharded bench path and the post-merge path.
+std::vector<RowOutcome> FoldRows(const std::vector<UnitRecord>& records);
+
+// Canonical row serialization — the byte-comparable section of a merged report.
+std::string RowsJson(const std::vector<RowOutcome>& rows);
+
+// The full canonical merged report: {"bench":...,"rows":[...],"telemetry":{...}}
+// with a trailing newline. Deliberately carries no meta/shard provenance so that a
+// K-shard merge and an unsharded run produce byte-identical files.
+std::string MergedReportJson(const std::string& bench,
+                             const std::vector<RowOutcome>& rows);
+
+}  // namespace parfait::shard
+
+#endif  // PARFAIT_SUPPORT_SHARD_H_

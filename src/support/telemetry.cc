@@ -85,6 +85,10 @@ void TelemetrySnapshot::RecordValue(std::string_view name, uint64_t value) {
   histograms_[std::string(name)].Record(value);
 }
 
+void TelemetrySnapshot::AddHistogram(std::string_view name, const HistogramSummary& summary) {
+  histograms_[std::string(name)].Merge(summary);
+}
+
 void TelemetrySnapshot::Merge(const TelemetrySnapshot& other) {
   for (const auto& [name, value] : other.counters_) {
     counters_[name] += value;

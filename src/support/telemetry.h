@@ -62,6 +62,9 @@ class TelemetrySnapshot {
  public:
   void AddCounter(std::string_view name, uint64_t delta);
   void RecordValue(std::string_view name, uint64_t value);
+  // Merges a whole summary under `name` — the deserialization path for snapshots
+  // read back from JSON (src/support/shard.cc), where per-value Records are gone.
+  void AddHistogram(std::string_view name, const HistogramSummary& summary);
   void Merge(const TelemetrySnapshot& other);
 
   // Value of a counter, or 0 if absent.

@@ -6,6 +6,7 @@
 #include "src/knox2/cosim.h"
 #include "src/knox2/emulator.h"
 #include "src/knox2/leakage.h"
+#include "src/knox2/units.h"
 #include "src/platform/firmware.h"
 #include "src/support/rng.h"
 
@@ -103,6 +104,151 @@ TEST(Knox2Cosim, CatchesHardwareRetirementBug) {
   EXPECT_FALSE(result.ok);
 }
 
+TEST(Knox2Units, SlicedCosimMatchesMonolithic) {
+  // Work-unit slicing must not change the verdict or the final machine-side state:
+  // the sliced run is the same co-simulation cut at plan boundaries.
+  const App& app = hsm::HasherApp();
+  for (CpuKind cpu : {CpuKind::kIbexLite, CpuKind::kPicoLite}) {
+    HsmBuildOptions build;
+    build.cpu = cpu;
+    HsmSystem system(app, build);
+    Rng rng(41);
+    Bytes state = rng.RandomBytes(app.state_size());
+    Bytes cmd = app.RandomValidCommand(rng);
+    cmd[0] = 2;  // Hash: the long command, so handle() spans several units.
+
+    auto mono = CosimHandleStep(system, state, cmd);
+    ASSERT_TRUE(mono.ok) << mono.divergence;
+
+    HandlePlan plan = PlanHandleUnits(system, state, cmd, /*unit_instructions=*/1000);
+    ASSERT_TRUE(plan.ok) << soc::CpuKindName(cpu) << ": " << plan.error;
+    ASSERT_GT(plan.num_units(), 1u);
+
+    CosimOptions options;
+    options.unit_instructions = 1000;
+    options.num_threads = 2;
+    auto sliced = CosimHandleStep(system, state, cmd, options);
+    ASSERT_TRUE(sliced.ok) << soc::CpuKindName(cpu) << ": " << sliced.divergence;
+    EXPECT_EQ(sliced.final_state, mono.final_state);
+    EXPECT_EQ(sliced.final_response, mono.final_response);
+    EXPECT_EQ(sliced.stats.instructions, mono.stats.instructions);
+    EXPECT_EQ(sliced.telemetry.CounterValue("knox2/cosim/units"), plan.num_units());
+  }
+}
+
+TEST(Knox2Units, SlicedCosimIsThreadCountInvariant) {
+  // For a fixed slicing, the folded report (including the telemetry snapshot) is
+  // byte-identical at every thread count.
+  const App& app = hsm::HasherApp();
+  HsmSystem system(app, HsmBuildOptions{});
+  Rng rng(42);
+  Bytes state = rng.RandomBytes(app.state_size());
+  Bytes cmd = app.RandomValidCommand(rng);
+  cmd[0] = 2;
+  CosimOptions options;
+  options.unit_instructions = 1000;
+  options.num_threads = 1;
+  auto serial = CosimHandleStep(system, state, cmd, options);
+  options.num_threads = 3;
+  auto parallel = CosimHandleStep(system, state, cmd, options);
+  EXPECT_EQ(serial.ok, parallel.ok);
+  EXPECT_EQ(serial.divergence, parallel.divergence);
+  EXPECT_EQ(serial.final_state, parallel.final_state);
+  EXPECT_EQ(serial.final_response, parallel.final_response);
+  EXPECT_TRUE(serial.telemetry == parallel.telemetry)
+      << serial.telemetry.ToJson() << "\nvs\n"
+      << parallel.telemetry.ToJson();
+}
+
+TEST(Knox2Units, SlicedCosimCatchesHardwareRetirementBug) {
+  // The load-use hazard bug must still be caught when the run is sliced, and the
+  // settled divergence must be schedule-independent (lowest-ordinal unit wins).
+  const App& app = hsm::HasherApp();
+  HsmBuildOptions build;
+  build.load_use_hazard_bug = true;
+  HsmSystem system(app, build);
+  Rng rng(32);  // Same inputs as the monolithic CatchesHardwareRetirementBug test.
+  Bytes state = rng.RandomBytes(app.state_size());
+  Bytes cmd = app.RandomValidCommand(rng);
+  CosimOptions options;
+  options.unit_instructions = 1000;
+  options.num_threads = 3;
+  auto sliced = CosimHandleStep(system, state, cmd, options);
+  EXPECT_FALSE(sliced.ok);
+  options.num_threads = 1;
+  auto serial = CosimHandleStep(system, state, cmd, options);
+  EXPECT_FALSE(serial.ok);
+  EXPECT_EQ(sliced.divergence, serial.divergence);
+}
+
+TEST(Knox2Units, SlicedSelfCompMatchesJoint) {
+  const App& app = hsm::HasherApp();
+  HsmSystem system(app, HsmBuildOptions{});
+  Rng rng(43);
+  Bytes state_a = rng.RandomBytes(app.state_size());
+  Bytes state_b = MakeSecretVariant(app, state_a, rng);
+  Bytes cmd = app.RandomValidCommand(rng);
+  cmd[0] = 2;
+
+  auto joint = CheckSelfComposition(system, state_a, state_b, {cmd});
+  ASSERT_TRUE(joint.ok) << joint.divergence;
+
+  SelfCompOptions options;
+  options.unit_instructions = 1000;
+  options.num_threads = 2;
+  auto sliced = CheckSelfComposition(system, state_a, state_b, {cmd}, options);
+  ASSERT_TRUE(sliced.ok) << sliced.divergence;
+  EXPECT_EQ(sliced.checks_run, 1);
+  EXPECT_GT(sliced.telemetry.CounterValue("knox2/selfcomp/units"), 1u);
+
+  // Thread-count invariance of the sliced report.
+  options.num_threads = 1;
+  auto serial = CheckSelfComposition(system, state_a, state_b, {cmd}, options);
+  EXPECT_EQ(serial.cycles, sliced.cycles);
+  EXPECT_TRUE(serial.telemetry == sliced.telemetry)
+      << serial.telemetry.ToJson() << "\nvs\n"
+      << sliced.telemetry.ToJson();
+}
+
+TEST(Knox2Units, SlicedSelfCompCatchesVariableLatencyMultiplier) {
+  // Timing leakage is still caught under slicing: a variable-latency multiply fed by
+  // the secret makes some segment's cycle count differ between the two instances.
+  std::string mul_app = R"(
+void handle(u8 *state, u8 *cmd, u8 *resp) {
+  for (u32 i = 0; i < RESPONSE_SIZE; i = i + 1) { resp[i] = 0; }
+  u32 tag = (u32)cmd[0];
+  if (tag == 2) {
+    u32 s = ((u32)state[0] << 24) | ((u32)state[1] << 16) | ((u32)state[2] << 8)
+            | (u32)state[3];
+    u32 acc = 0;
+    for (u32 i = 0; i < 2048; i = i + 1) { acc = acc + s * (u32)cmd[1 + (i & 31)]; }
+    resp[0] = 2;
+    resp[1] = (u8)acc;
+    return;
+  }
+}
+)";
+  const App& app = hsm::HasherApp();
+  HsmBuildOptions build;
+  build.source_override = mul_app;
+  build.variable_latency_mul = true;
+  HsmSystem system(app, build);
+  Bytes state_a(app.state_size(), 0);
+  state_a[3] = 1;  // Small multiplier operand.
+  Bytes state_b(app.state_size(), 0xff);  // Large multiplier operand.
+  Bytes cmd(app.command_size(), 7);
+  cmd[0] = 2;
+  SelfCompOptions options;
+  options.unit_instructions = 1000;
+  options.num_threads = 2;
+  auto sliced = CheckSelfComposition(system, state_a, state_b, {cmd}, options);
+  EXPECT_FALSE(sliced.ok);
+  options.num_threads = 1;
+  auto serial = CheckSelfComposition(system, state_a, state_b, {cmd}, options);
+  EXPECT_FALSE(serial.ok);
+  EXPECT_EQ(sliced.divergence, serial.divergence);
+}
+
 TEST(Knox2WireIpr, HasherPasses) {
   const App& app = hsm::HasherApp();
   HsmSystem system(app, HsmBuildOptions{});
@@ -114,6 +260,32 @@ TEST(Knox2WireIpr, HasherPasses) {
   auto result = CheckWireIpr(system, state, options);
   EXPECT_TRUE(result.ok) << result.divergence;
   EXPECT_GT(result.cycles, 10'000u);
+}
+
+TEST(Knox2WireIpr, BatchedTrialsAreScheduleInvariant) {
+  const App& app = hsm::HasherApp();
+  HsmSystem system(app, HsmBuildOptions{});
+  Rng rng(27);
+  Bytes state = rng.RandomBytes(app.state_size());
+  WireIprOptions options;
+  options.commands = 1;
+  options.noise_bytes = 1;
+  options.trials = 4;
+  options.trial_batch = 2;
+  options.num_threads = 3;
+  auto batched = CheckWireIpr(system, state, options);
+  EXPECT_TRUE(batched.ok) << batched.divergence;
+  EXPECT_EQ(batched.telemetry.CounterValue("knox2/wire_ipr/trials"), 4u);
+
+  options.trial_batch = 1;
+  options.num_threads = 1;
+  auto serial = CheckWireIpr(system, state, options);
+  EXPECT_TRUE(serial.ok) << serial.divergence;
+  EXPECT_EQ(batched.cycles, serial.cycles);
+  EXPECT_EQ(batched.checks_run, serial.checks_run);
+  EXPECT_TRUE(batched.telemetry == serial.telemetry)
+      << batched.telemetry.ToJson() << "\nvs\n"
+      << serial.telemetry.ToJson();
 }
 
 TEST(Knox2WireIpr, CatchesSecretDependentTiming) {
@@ -155,6 +327,21 @@ void handle(u8 *state, u8 *cmd, u8 *resp) {
   wire_options.noise_bytes = 0;
   auto result = CheckWireIpr(system, state, wire_options);
   EXPECT_FALSE(result.ok);
+
+  // Batched trials settle the same counterexample at any schedule: the leak fires
+  // in every trial, so the lowest failing trial (trial 0) is the one reported
+  // whether trials run on one lane or race across three.
+  wire_options.trials = 3;
+  wire_options.trial_batch = 1;
+  wire_options.num_threads = 3;
+  auto raced = CheckWireIpr(system, state, wire_options);
+  wire_options.num_threads = 1;
+  auto ordered = CheckWireIpr(system, state, wire_options);
+  EXPECT_FALSE(raced.ok);
+  EXPECT_FALSE(ordered.ok);
+  EXPECT_EQ(raced.divergence, ordered.divergence);
+  EXPECT_EQ(raced.cycles, ordered.cycles);
+  EXPECT_TRUE(raced.telemetry == ordered.telemetry);
 }
 
 TEST(Knox2SelfComp, HasherConstantTime) {

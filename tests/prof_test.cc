@@ -7,6 +7,7 @@
 
 #include "gtest/gtest.h"
 #include "src/support/json.h"
+#include "src/support/parallel.h"
 #include "src/support/prof.h"
 #include "src/support/profiler.h"
 
@@ -255,6 +256,24 @@ TEST(ProfilerLanes, LaneRecordsMergeByIndexAcrossPools) {
   EXPECT_EQ(lanes[1].queue_depth_max, 3u);  // Max, not sum.
 }
 
+TEST(ProfilerLanes, ForkJoinCallerIsFoldedAsLaneZero) {
+  auto& prof = Profiler::Global();
+  ASSERT_FALSE(prof.enabled());
+  prof.Enable();
+  {
+    // ThreadPool(1) spawns no workers: every index runs on the calling thread, so
+    // the only lane the teardown can publish is the caller's lane 0.
+    ThreadPool pool(1);
+    ParallelFor(pool, 7, [](size_t) {});
+  }
+  auto lanes = prof.lanes();
+  prof.Disable();
+  prof.Reset();
+  ASSERT_EQ(lanes.count(0), 1u);
+  EXPECT_EQ(lanes[0].tasks, 7u);
+  EXPECT_GT(lanes[0].busy_ns, 0u);
+}
+
 // ---------------------------------------------------------------------------
 // ProfileJson: the runtime-only "profile" section of BENCH_*.json.
 
@@ -276,7 +295,19 @@ TEST(ProfileJson, IsValidJsonWithAllSections) {
   ASSERT_NE(v->Find("waits"), nullptr);
   ASSERT_NE(v->Find("lanes"), nullptr);
   ASSERT_NE(v->Find("units"), nullptr);
+  ASSERT_NE(v->Find("parallelism"), nullptr);
   ASSERT_NE(v->Find("attribution"), nullptr);
+
+  // Parallelism histogram: both events carry a unit tag and ran on this thread, so
+  // one lane ran 2 units; the longest (1000ns) is 2/3 of the 1500ns unit time.
+  const Value* par = v->Find("parallelism");
+  const Value* per_lane = par->Find("units_per_lane");
+  ASSERT_NE(per_lane, nullptr);
+  ASSERT_EQ(per_lane->AsObject().size(), 1u);
+  EXPECT_DOUBLE_EQ(per_lane->AsObject().begin()->second.AsNumber(), 2.0);
+  EXPECT_DOUBLE_EQ(par->NumberOr("max_unit_ns", 0), 1000.0);
+  EXPECT_DOUBLE_EQ(par->NumberOr("total_unit_ns", 0), 1500.0);
+  EXPECT_DOUBLE_EQ(par->NumberOr("max_unit_fraction", 0), 0.6667);
 
   // The two same-unit events aggregate into one row with summed time.
   const Value* units = v->Find("units");

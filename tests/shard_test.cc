@@ -1,0 +1,278 @@
+// Tests for the multi-process shard layer (src/support/shard.h): spec parsing,
+// round-robin ownership, merge validation, cross-shard lowest-failure settlement,
+// and the end-to-end guarantee the layer exists for — a table4-mini hardware
+// verification suite run as 3 shards, serialized through the shard-file JSON and
+// merged, is byte-identical to the unsharded run's report, telemetry counters and
+// all.
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/knox2/cosim.h"
+#include "src/knox2/leakage.h"
+#include "src/knox2/units.h"
+#include "src/support/json.h"
+#include "src/support/rng.h"
+#include "src/support/shard.h"
+
+namespace parfait {
+namespace {
+
+using shard::MergeShardRecords;
+using shard::MergedReportJson;
+using shard::ParseShardFile;
+using shard::ParseShardSpec;
+using shard::RowOutcome;
+using shard::ShardFile;
+using shard::ShardFileJson;
+using shard::ShardSpec;
+using shard::UnitRecord;
+
+// ---------------------------------------------------------------------------
+// Spec parsing and ownership.
+
+TEST(ShardSpec, ParsesValidSpecs) {
+  std::string error;
+  auto spec = ParseShardSpec("1/1", &error);
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_EQ(spec->index, 1);
+  EXPECT_EQ(spec->count, 1);
+  EXPECT_FALSE(spec->active());
+
+  spec = ParseShardSpec("2/3", &error);
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_EQ(spec->index, 2);
+  EXPECT_EQ(spec->count, 3);
+  EXPECT_TRUE(spec->active());
+}
+
+TEST(ShardSpec, RejectsMalformedSpecs) {
+  std::string error;
+  for (const char* bad : {"", "3", "0/3", "4/3", "-1/3", "1/0", "1/2x", "a/b", "1/"}) {
+    EXPECT_FALSE(ParseShardSpec(bad, &error).has_value()) << bad;
+    EXPECT_NE(error.find("K/M"), std::string::npos);
+  }
+}
+
+TEST(ShardSpec, RoundRobinOwnershipPartitionsOrdinals) {
+  for (uint64_t ordinal = 0; ordinal < 20; ordinal++) {
+    int owners = 0;
+    for (int k = 1; k <= 3; k++) {
+      if ((ShardSpec{k, 3}).Owns(ordinal)) {
+        owners++;
+      }
+    }
+    EXPECT_EQ(owners, 1) << "ordinal " << ordinal;
+  }
+  // A 1/1 spec owns everything.
+  EXPECT_TRUE((ShardSpec{1, 1}).Owns(0));
+  EXPECT_TRUE((ShardSpec{1, 1}).Owns(17));
+}
+
+// ---------------------------------------------------------------------------
+// Merge validation and settlement over synthetic records.
+
+UnitRecord MakeRecord(uint64_t ordinal, uint32_t row, bool ok,
+                      const std::string& divergence = "") {
+  UnitRecord record;
+  record.ordinal = ordinal;
+  record.row = row;
+  record.row_label = "row" + std::to_string(row);
+  record.kind = "cosim";
+  record.label = "unit " + std::to_string(ordinal);
+  record.ok = ok;
+  record.divergence = divergence;
+  record.cycles = 100 + ordinal;
+  record.telemetry.AddCounter("t/units", 1);
+  record.telemetry.RecordValue("t/cycles_per_unit", 100 + ordinal);
+  return record;
+}
+
+std::vector<ShardFile> ShardRecords(const std::vector<UnitRecord>& records, int count) {
+  std::vector<ShardFile> shards(count);
+  for (int k = 1; k <= count; k++) {
+    shards[k - 1].bench = "synthetic";
+    shards[k - 1].spec = ShardSpec{k, count};
+    for (const UnitRecord& record : records) {
+      if (shards[k - 1].spec.Owns(record.ordinal)) {
+        shards[k - 1].records.push_back(record);
+      }
+    }
+  }
+  return shards;
+}
+
+TEST(ShardMerge, LowestFailureSettlesAcrossShardBoundaries) {
+  // Failures at ordinals 4 (owned by shard 2/3) and 2 (owned by shard 3/3): the
+  // fold must report ordinal 2's divergence no matter which shard carried it.
+  std::vector<UnitRecord> records;
+  for (uint64_t i = 0; i < 6; i++) {
+    bool ok = i != 2 && i != 4;
+    records.push_back(MakeRecord(i, 0, ok, ok ? "" : "fail@" + std::to_string(i)));
+  }
+  std::vector<ShardFile> shards = ShardRecords(records, 3);
+  // Present the shards out of order: merge sorts by ordinal before folding.
+  std::swap(shards[0], shards[2]);
+
+  std::vector<UnitRecord> merged;
+  std::string error;
+  ASSERT_TRUE(MergeShardRecords(shards, &merged, &error)) << error;
+  ASSERT_EQ(merged.size(), 6u);
+  std::vector<RowOutcome> rows = shard::FoldRows(merged);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_FALSE(rows[0].ok);
+  EXPECT_EQ(rows[0].divergence, "fail@2");
+  EXPECT_EQ(rows[0].units, 6u);
+  EXPECT_EQ(rows[0].telemetry.CounterValue("t/units"), 6u);
+}
+
+TEST(ShardMerge, RejectsIncompleteOrInconsistentShardSets) {
+  std::vector<UnitRecord> records;
+  for (uint64_t i = 0; i < 6; i++) {
+    records.push_back(MakeRecord(i, 0, true));
+  }
+  std::string error;
+  std::vector<UnitRecord> merged;
+
+  // Missing shard.
+  std::vector<ShardFile> shards = ShardRecords(records, 3);
+  shards.pop_back();
+  EXPECT_FALSE(MergeShardRecords(shards, &merged, &error));
+  EXPECT_NE(error.find("missing shard"), std::string::npos);
+
+  // Duplicate shard.
+  shards = ShardRecords(records, 3);
+  shards[1] = shards[0];
+  EXPECT_FALSE(MergeShardRecords(shards, &merged, &error));
+  EXPECT_NE(error.find("twice"), std::string::npos);
+
+  // A record the shard does not own.
+  shards = ShardRecords(records, 3);
+  shards[0].records.push_back(MakeRecord(1, 0, true));
+  EXPECT_FALSE(MergeShardRecords(shards, &merged, &error));
+  EXPECT_NE(error.find("foreign"), std::string::npos);
+
+  // Mixed benches.
+  shards = ShardRecords(records, 3);
+  shards[2].bench = "other";
+  EXPECT_FALSE(MergeShardRecords(shards, &merged, &error));
+  EXPECT_NE(error.find("mix"), std::string::npos);
+
+  // A missing ordinal (dropped record) fails the exact-coverage check.
+  shards = ShardRecords(records, 3);
+  shards[0].records.pop_back();
+  EXPECT_FALSE(MergeShardRecords(shards, &merged, &error));
+  EXPECT_NE(error.find("exactly once"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// End to end: a table4-mini suite (hasher on both CPUs, sliced at 1000
+// instructions) sharded 3 ways through the JSON round trip merges to a report
+// byte-identical to the unsharded fold.
+
+void RunMiniSuite(std::vector<UnitRecord>* records) {
+  uint64_t ordinal = 0;
+  uint32_t row_index = 0;
+  for (soc::CpuKind cpu : {soc::CpuKind::kIbexLite, soc::CpuKind::kPicoLite}) {
+    const hsm::App& app = hsm::HasherApp();
+    hsm::HsmBuildOptions build;
+    build.cpu = cpu;
+    hsm::HsmSystem system(app, build);
+    std::string label = std::string(soc::CpuKindName(cpu)) + "/" + app.name();
+
+    Rng rng(SplitSeed(7, row_index));
+    Bytes state = rng.RandomBytes(app.state_size());
+    Bytes cmd(app.command_size(), 0);
+    cmd[0] = 2;  // Hash: long enough to slice.
+    for (size_t i = 1; i < cmd.size() && i <= 32; i++) {
+      cmd[i] = rng.Byte();
+    }
+    Bytes variant = knox2::MakeSecretVariant(app, state, rng);
+
+    auto plan = knox2::PlanHandleUnits(system, state, cmd, 1000);
+    ASSERT_TRUE(plan.ok) << plan.error;
+    ASSERT_GT(plan.num_units(), 3u);
+    auto plan_b = knox2::PlanHandleUnits(system, variant, cmd, 1000);
+    ASSERT_TRUE(plan_b.ok) << plan_b.error;
+    ASSERT_TRUE(knox2::PlansAligned(plan, plan_b));
+
+    for (size_t k = 0; k < plan.num_units(); k++) {
+      auto r = knox2::RunCosimUnit(system, state, cmd, plan, k, knox2::CosimOptions{});
+      UnitRecord record;
+      record.ordinal = ordinal++;
+      record.row = row_index;
+      record.row_label = label;
+      record.kind = "cosim";
+      record.label = "unit " + std::to_string(k);
+      record.ok = r.ok;
+      record.divergence = r.divergence;
+      record.cycles = r.stats.cycles;
+      record.telemetry = knox2::CosimUnitTelemetry(r, k);
+      records->push_back(std::move(record));
+    }
+    for (size_t k = 0; k < plan.num_units(); k++) {
+      auto r = knox2::RunSelfCompUnit(system, state, variant, cmd, plan, plan_b, k,
+                                      knox2::SelfCompOptions{}.max_cycles_per_command);
+      UnitRecord record;
+      record.ordinal = ordinal++;
+      record.row = row_index;
+      record.row_label = label;
+      record.kind = "selfcomp";
+      record.label = "unit " + std::to_string(k);
+      record.ok = r.ok;
+      record.divergence = r.divergence;
+      record.cycles = 2 * r.cycles;
+      record.telemetry = knox2::SelfCompUnitTelemetry(r, k);
+      records->push_back(std::move(record));
+    }
+    row_index++;
+  }
+}
+
+TEST(ShardEndToEnd, ThreeShardMergeIsByteIdenticalToUnsharded) {
+  std::vector<UnitRecord> records;
+  RunMiniSuite(&records);
+  ASSERT_GT(records.size(), 12u);
+
+  // Unsharded reference: fold everything directly.
+  std::vector<RowOutcome> reference_rows = shard::FoldRows(records);
+  ASSERT_EQ(reference_rows.size(), 2u);
+  EXPECT_TRUE(reference_rows[0].ok) << reference_rows[0].divergence;
+  EXPECT_TRUE(reference_rows[1].ok) << reference_rows[1].divergence;
+  std::string reference = MergedReportJson("table4_mini", reference_rows);
+
+  // Sharded: write each shard's records through the JSON serialization, parse them
+  // back (the cross-process path), merge, fold, and re-render.
+  std::vector<ShardFile> shards;
+  for (int k = 1; k <= 3; k++) {
+    ShardSpec spec{k, 3};
+    std::vector<UnitRecord> owned;
+    for (const UnitRecord& record : records) {
+      if (spec.Owns(record.ordinal)) {
+        owned.push_back(record);
+      }
+    }
+    std::string file_json =
+        ShardFileJson("table4_mini", spec, "{\"source\":\"test\"}", owned);
+    std::string error;
+    auto parsed = json::Parse(file_json, &error);
+    ASSERT_TRUE(parsed.has_value()) << error;
+    ShardFile shard;
+    ASSERT_TRUE(ParseShardFile(*parsed, &shard, &error)) << error;
+    EXPECT_EQ(shard.bench, "table4_mini");
+    EXPECT_EQ(shard.records.size(), owned.size());
+    shards.push_back(std::move(shard));
+  }
+  std::vector<UnitRecord> merged;
+  std::string error;
+  ASSERT_TRUE(MergeShardRecords(shards, &merged, &error)) << error;
+  ASSERT_EQ(merged.size(), records.size());
+  std::string combined = MergedReportJson("table4_mini", shard::FoldRows(merged));
+
+  // Byte identity — rows, cycle counts, telemetry counters, and histogram
+  // summaries all survived the shard round trip exactly.
+  EXPECT_EQ(reference, combined);
+}
+
+}  // namespace
+}  // namespace parfait

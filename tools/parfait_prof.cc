@@ -14,6 +14,15 @@
 //       src/support/prof.h) regressed by more than the tolerance (default 5%). CI
 //       runs this over BENCH_simperf.json / BENCH_parallel.json as the perf gate.
 //
+//   parfait-prof merge <shard1.json> ... <shardM.json> [--out=merged.json]
+//       Combines the per-shard work-unit record files written by a --shards=K/M
+//       bench run into one merged report (folded rows + merged telemetry), byte-
+//       identical to the report an unsharded run of the same configuration writes.
+//       Validates coverage: all M shards present, no duplicates, every ordinal
+//       exactly once. Profiles are deliberately *not* merged — lane timelines are
+//       schedule-local to each process and have no cross-process meaning; merge
+//       provenance goes to stdout, never into the merged report (byte-identity).
+//
 // Exit codes: 0 ok, 1 regression (diff), 2 usage or unreadable/unparseable input.
 #include <cstdio>
 #include <cstdlib>
@@ -23,6 +32,7 @@
 
 #include "src/support/json.h"
 #include "src/support/prof.h"
+#include "src/support/shard.h"
 
 namespace {
 
@@ -30,7 +40,8 @@ int Usage() {
   std::fprintf(stderr,
                "usage: parfait-prof report <bench.json|trace.json>\n"
                "       parfait-prof diff <before.json> <after.json> "
-               "[--max-regression=pct]\n");
+               "[--max-regression=pct]\n"
+               "       parfait-prof merge <shard.json>... [--out=merged.json]\n");
   return 2;
 }
 
@@ -70,6 +81,50 @@ int RunDiff(const std::string& before_path, const std::string& after_path,
               after_path.c_str(), max_regression_pct);
   std::fputs(parfait::prof::RenderDiff(result).c_str(), stdout);
   return result.regressions > 0 ? 1 : 0;
+}
+
+int RunMerge(const std::vector<std::string>& paths, const std::string& out_path) {
+  std::string error;
+  std::vector<parfait::shard::ShardFile> shards;
+  shards.reserve(paths.size());
+  for (const std::string& path : paths) {
+    auto root = parfait::json::ParseFile(path, &error);
+    if (!root.has_value()) {
+      std::fprintf(stderr, "parfait-prof: %s\n", error.c_str());
+      return 2;
+    }
+    parfait::shard::ShardFile shard;
+    if (!parfait::shard::ParseShardFile(*root, &shard, &error)) {
+      std::fprintf(stderr, "parfait-prof: %s: %s\n", path.c_str(), error.c_str());
+      return 2;
+    }
+    std::printf("merged_from: %s (shard %d/%d, %zu records)\n", path.c_str(),
+                shard.spec.index, shard.spec.count, shard.records.size());
+    shards.push_back(std::move(shard));
+  }
+  std::vector<parfait::shard::UnitRecord> records;
+  if (!parfait::shard::MergeShardRecords(shards, &records, &error)) {
+    std::fprintf(stderr, "parfait-prof: %s\n", error.c_str());
+    return 2;
+  }
+  std::vector<parfait::shard::RowOutcome> rows = parfait::shard::FoldRows(records);
+  std::string merged = parfait::shard::MergedReportJson(shards[0].bench, rows);
+  FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "parfait-prof: cannot write %s\n", out_path.c_str());
+    return 2;
+  }
+  std::fwrite(merged.data(), 1, merged.size(), out);
+  std::fclose(out);
+  size_t failed = 0;
+  for (const parfait::shard::RowOutcome& row : rows) {
+    if (!row.ok) {
+      failed++;
+    }
+  }
+  std::printf("wrote %s: %zu units -> %zu rows (%zu failed)\n", out_path.c_str(),
+              records.size(), rows.size(), failed);
+  return 0;
 }
 
 }  // namespace
@@ -119,6 +174,21 @@ int main(int argc, char** argv) {
       return 2;
     }
     return RunDiff(files[0], files[1], pct);
+  }
+  if (mode == "merge") {
+    const char* out_path = "merged.json";
+    for (int i = 2; i < argc; i++) {
+      if (std::strncmp(argv[i], "--out=", 6) == 0) {
+        out_path = argv[i] + 6;
+      } else if (std::strncmp(argv[i], "--", 2) == 0) {
+        std::fprintf(stderr, "parfait-prof: unknown flag %s\n", argv[i]);
+        return 2;
+      }
+    }
+    if (files.empty()) {
+      return Usage();
+    }
+    return RunMerge(files, out_path);
   }
   return Usage();
 }
