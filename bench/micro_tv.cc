@@ -1,12 +1,13 @@
 // Microbenchmark for the translation validator: validated functions per second of
 // wall clock and symbolic-step throughput for both case-study firmware images, at
-// one thread and at all hardware threads.
+// one thread and at all hardware threads, and at both opt levels (O0 through the
+// strict relation, O2 through the relaxed relation + witness transformer entries).
 //
 // Emitted as BENCH_tv.json so the validator's cost is recorded next to its coverage:
 //   {"bench":"micro_tv",
-//    "apps":[{"app":"hasher","threads":1,"functions":...,"validated":...,
-//             "symbolic_steps":...,"seconds_per_run":...,"functions_per_s":...,
-//             "steps_per_s":...},...]}
+//    "apps":[{"app":"hasher","opt_level":0,"threads":1,"functions":...,
+//             "validated":...,"symbolic_steps":...,"seconds_per_run":...,
+//             "functions_per_s":...,"steps_per_s":...},...]}
 #include <benchmark/benchmark.h>
 
 #include <cstring>
@@ -22,17 +23,25 @@
 namespace parfait {
 namespace {
 
-const hsm::HsmSystem& SystemFor(const std::string& app) {
-  static hsm::HsmSystem* hasher = new hsm::HsmSystem(hsm::HasherApp(), hsm::HsmBuildOptions{});
-  static hsm::HsmSystem* ecdsa = new hsm::HsmSystem(hsm::EcdsaApp(), hsm::HsmBuildOptions{});
-  return app == "hasher" ? *hasher : *ecdsa;
+const hsm::HsmSystem& SystemFor(const std::string& app, int opt_level) {
+  static auto* systems = new std::map<std::string, hsm::HsmSystem*>();
+  std::string key = app + "/O" + std::to_string(opt_level);
+  auto it = systems->find(key);
+  if (it == systems->end()) {
+    hsm::HsmBuildOptions build;
+    build.opt_level = opt_level;
+    const hsm::App& spec = app == "hasher" ? hsm::HasherApp() : hsm::EcdsaApp();
+    it = systems->emplace(key, new hsm::HsmSystem(spec, build)).first;
+  }
+  return *it->second;
 }
 
 // One full validation of every witnessed function per iteration. "Symbolic steps"
 // counts interpreted instructions plus mirrored source expressions — the quantity
 // the lockstep walk actually pays for.
-void RunTvBench(benchmark::State& state, const std::string& app, int threads) {
-  const hsm::HsmSystem& system = SystemFor(app);
+void RunTvBench(benchmark::State& state, const std::string& app, int threads,
+                int opt_level) {
+  const hsm::HsmSystem& system = SystemFor(app, opt_level);
   analysis::TvConfig config;
   config.num_threads = threads;
   config.emit_evidence = false;
@@ -58,17 +67,30 @@ void RunTvBench(benchmark::State& state, const std::string& app, int threads) {
           ? static_cast<double>(steps) / static_cast<double>(state.iterations())
           : 0);
   state.counters["threads"] = benchmark::Counter(static_cast<double>(threads));
+  state.counters["opt_level"] = benchmark::Counter(static_cast<double>(opt_level));
   state.SetLabel(app);
 }
 
-void BM_TvHasher1(benchmark::State& state) { RunTvBench(state, "hasher", 1); }
+void BM_TvHasher1(benchmark::State& state) { RunTvBench(state, "hasher", 1, 0); }
 BENCHMARK(BM_TvHasher1)->Unit(benchmark::kMillisecond);
 
-void BM_TvEcdsa1(benchmark::State& state) { RunTvBench(state, "ecdsa", 1); }
+void BM_TvEcdsa1(benchmark::State& state) { RunTvBench(state, "ecdsa", 1, 0); }
 BENCHMARK(BM_TvEcdsa1)->Unit(benchmark::kMillisecond);
 
-void BM_TvEcdsaAllThreads(benchmark::State& state) { RunTvBench(state, "ecdsa", 0); }
+void BM_TvEcdsaAllThreads(benchmark::State& state) { RunTvBench(state, "ecdsa", 0, 0); }
 BENCHMARK(BM_TvEcdsaAllThreads)->Unit(benchmark::kMillisecond);
+
+// O2 legs: same firmware validated through the relaxed relation + witness
+// transformer entries, so BENCH_tv.json records validated-functions/s at both
+// opt levels side by side.
+void BM_TvHasher1O2(benchmark::State& state) { RunTvBench(state, "hasher", 1, 2); }
+BENCHMARK(BM_TvHasher1O2)->Unit(benchmark::kMillisecond);
+
+void BM_TvEcdsa1O2(benchmark::State& state) { RunTvBench(state, "ecdsa", 1, 2); }
+BENCHMARK(BM_TvEcdsa1O2)->Unit(benchmark::kMillisecond);
+
+void BM_TvEcdsaAllThreadsO2(benchmark::State& state) { RunTvBench(state, "ecdsa", 0, 2); }
+BENCHMARK(BM_TvEcdsaAllThreadsO2)->Unit(benchmark::kMillisecond);
 
 // Console reporter that also collects rate counters and per-iteration times so
 // main() can assemble BENCH_tv.json after the runs.
@@ -113,12 +135,14 @@ std::string TvJson(const TvCollector& c) {
     };
     char buf[512];
     std::snprintf(buf, sizeof(buf),
-                  "%s{\"app\":\"%s\",\"threads\":%.0f,\"functions\":%.0f,"
+                  "%s{\"app\":\"%s\",\"opt_level\":%.0f,\"threads\":%.0f,"
+                  "\"functions\":%.0f,"
                   "\"validated\":%.0f,\"symbolic_steps\":%.0f,\"seconds_per_run\":%.4f,"
                   "\"functions_per_s\":%.0f,\"steps_per_s\":%.0f}",
-                  first ? "" : ",", result.label.c_str(), counter("threads"),
-                  counter("functions"), counter("validated"), counter("symbolic_steps"),
-                  result.seconds_per_iter, counter("functions/s"), counter("steps/s"));
+                  first ? "" : ",", result.label.c_str(), counter("opt_level"),
+                  counter("threads"), counter("functions"), counter("validated"),
+                  counter("symbolic_steps"), result.seconds_per_iter,
+                  counter("functions/s"), counter("steps/s"));
     out += buf;
     first = false;
   }

@@ -225,7 +225,8 @@ void blake2s(u8 *out, u8 *msg, u32 len) {
   for (u32 i = 0; i < 8; i = i + 1) {
     h[i] = BLAKE2S_IV[i];
   }
-  h[0] = h[0] ^ 0x01010000 ^ 32;
+  /* Parameter block word: 0x01010000 ^ (digest length 32). */
+  h[0] = h[0] ^ (0x01010000 ^ 32);
   u32 pos = 0;
   /* All blocks except the last. */
   while (len - pos > 64) {

@@ -109,8 +109,10 @@ class TermArena {
           }
           break;
         case BinOp::kSub:
-          if (cy == 0) return x;
-          break;
+          // Subtracting a constant is addition of its negation; normalizing here
+          // makes an O2 `addi rd, rs, -c` and an O0 `sub rd, rs, rc` build the
+          // same term, and lets the add-of-constant chain flattening apply.
+          return Bin(BinOp::kAdd, x, Const(0u - cy));
         case BinOp::kMul:
           if (cy == 1) return x;
           if (cy == 0) return Const(0);
@@ -127,6 +129,10 @@ class TermArena {
           if (cy == 0) return x;
           break;
         case BinOp::kSll:
+          // Left shift by a constant is multiplication by a power of two; both
+          // sides normalize to the multiply so the O2 strength-reduced `slli`
+          // and the source-level `*` compare equal across opt levels.
+          return Bin(BinOp::kMul, x, Const(1u << (cy & 31u)));
         case BinOp::kSrl:
           if ((cy & 31u) == 0) return x;
           break;

@@ -38,6 +38,8 @@ constexpr uint8_t kCallerSaved[] = {1, 5, 6, 7, 10, 11, 12, 13, 14, 15, 16, 17,
                                     28, 29, 30, 31};
 // All callee-saved registers (s0-s11); their entry values must survive the call.
 constexpr uint8_t kCalleeSaved[] = {8, 9, 18, 19, 20, 21, 22, 23, 24, 25, 26, 27};
+// Registers the O2 generator may promote locals into (s1..s11; s0 is never used).
+constexpr uint8_t kPromotable[] = {9, 18, 19, 20, 21, 22, 23, 24, 25, 26, 27};
 
 std::string Hex(uint32_t v) {
   char buf[16];
@@ -116,6 +118,7 @@ struct SlotInfo {
   uint32_t array_size = 0;
   int frame_offset = -1;
   uint32_t bytes = 0;
+  int reg = -1;  // Callee-saved register the O2 generator promoted this slot into.
   bool is_param = false;
   bool tracked = false;  // Scalar whose address is never taken: modeled in env.
 };
@@ -125,18 +128,19 @@ class FunctionValidator {
   FunctionValidator(const UnitIndex& index, const minicc::Function& fn,
                     const riscv::Image& image, const riscv::WitnessFunction& wf,
                     const riscv::SymbolNamer& namer, const TvConfig& config,
-                    TvFunctionResult* out)
+                    int opt_level, TvFunctionResult* out)
       : index_(index),
         fn_(fn),
         image_(image),
         wf_(wf),
         namer_(namer),
         config_(config),
+        opt_level_(opt_level),
         out_(out) {}
 
   void Run() {
     out_->name = wf_.name;
-    if (!CheckWitnessShape()) {
+    if (!CheckWitnessShape() || !VerifyXforms()) {
       Finalize();
       return;
     }
@@ -159,6 +163,7 @@ class FunctionValidator {
     State head;              // State at the loop head after havocking.
     std::set<int32_t> havoc_offsets;  // Frame keys havocked at the head.
     std::set<int> havoc_slots;        // Env keys havocked at the head.
+    std::set<int> havoc_regs;         // Promoted s-registers havocked at the head.
   };
 
   uint32_t Abs(uint32_t offset) const { return image_.rom_base + offset; }
@@ -311,9 +316,25 @@ class FunctionValidator {
       return Flag(TvFindingKind::kWitnessInvalid, Abs(wf_.begin),
                   "witnessed function extents are inconsistent");
     }
-    if (!wf_.saved_regs.empty()) {
-      return Flag(TvFindingKind::kUnsupported, Abs(wf_.begin),
-                  "register-promoted locals (O2) are outside the validated subset");
+    if (opt_level_ == 0 && (!wf_.saved_regs.empty() || !wf_.xforms.empty())) {
+      return Flag(TvFindingKind::kWitnessInvalid, Abs(wf_.begin),
+                  "O0 witness claims O2 transformations");
+    }
+    // The witnessed promotion register set is an untrusted claim; before anything
+    // leans on it, require it be a duplicate-free set of promotable s-registers.
+    // Its semantic content (saves, restores, per-slot values) is re-proved by the
+    // prologue/epilogue checks and the lockstep walk.
+    std::set<int> claimed_regs;
+    for (uint8_t r : wf_.saved_regs) {
+      bool promotable = false;
+      for (uint8_t p : kPromotable) {
+        promotable = promotable || p == r;
+      }
+      if (!promotable || !claimed_regs.insert(r).second) {
+        return Flag(TvFindingKind::kWitnessInvalid, Abs(wf_.begin),
+                    "witnessed save set is not a duplicate-free set of promotable "
+                    "s-registers");
+      }
     }
     // Parameters first (slot index == parameter index), then declarations in the
     // same pre-order codegen uses.
@@ -340,21 +361,38 @@ class FunctionValidator {
                   "witness declares " + std::to_string(wf_.locals.size()) +
                       " locals, source has " + std::to_string(slots_.size()));
     }
-    // Re-derive the O0 frame layout: [12 spill words][locals][ra], 16-aligned.
+    // Re-derive the frame layout: [12 spill words][non-promoted locals][saved
+    // s-registers][ra], 16-aligned (the O0 layout is the same with an empty save
+    // area). Promotions come from the witness but are admitted only when sound:
+    // a tracked (never address-taken), non-u8 scalar, in a claimed register no
+    // other local shares.
     int offset = 4 * kNumSpillSlots;
+    std::set<int> promoted_regs_seen;
     for (size_t i = 0; i < slots_.size(); i++) {
       SlotInfo& slot = slots_[i];
       const riscv::WitnessLocal& wl = wf_.locals[i];
       uint32_t count = slot.array_size == 0 ? 1 : slot.array_size;
       slot.bytes = (count * static_cast<uint32_t>(slot.type.Size()) + 3) & ~3u;
-      slot.frame_offset = offset;
-      offset += static_cast<int>(slot.bytes);
       slot.tracked = slot.array_size == 0 &&
                      addr_taken_.count(static_cast<int>(i)) == 0;
       bool is_u8 = !slot.type.IsPointer() && slot.type.Size() == 1;
+      if (wl.reg >= 0) {
+        if (!slot.tracked || is_u8 || claimed_regs.count(wl.reg) == 0 ||
+            !promoted_regs_seen.insert(wl.reg).second) {
+          return Flag(TvFindingKind::kWitnessInvalid, Abs(wf_.begin),
+                      "witness promotes local '" + wl.name +
+                          "' unsoundly (not a tracked word-sized scalar, register "
+                          "not in the save set, or register reuse)");
+        }
+        slot.reg = wl.reg;
+        slot.frame_offset = -1;
+      } else {
+        slot.frame_offset = offset;
+        offset += static_cast<int>(slot.bytes);
+      }
       if (wl.name != slot.name || wl.array_size != slot.array_size ||
           wl.frame_offset != slot.frame_offset ||
-          wl.elem_size != static_cast<uint8_t>(slot.type.Size()) || wl.reg >= 0 ||
+          wl.elem_size != static_cast<uint8_t>(slot.type.Size()) ||
           (wl.is_param != 0) != slot.is_param ||
           (wl.is_ptr != 0) != slot.type.IsPointer() || (wl.is_u8 != 0) != is_u8) {
         return Flag(TvFindingKind::kWitnessInvalid, Abs(wf_.begin),
@@ -362,8 +400,32 @@ class FunctionValidator {
                         "' derived from the source");
       }
     }
+    // Every promotion must carry exactly one matching transformer entry and every
+    // promotion transformer must name a promoted local — a dropped entry would let
+    // a later serialization bug silently shrink the checked promotion map.
+    std::set<std::pair<int, int>> promote_claims;
+    for (const riscv::WitnessXform& x : wf_.xforms) {
+      if (x.pass != riscv::WitnessXform::kPromoteReg) {
+        continue;
+      }
+      if (x.slot < 0 || x.slot >= static_cast<int>(slots_.size()) ||
+          slots_[x.slot].reg != x.reg ||
+          !promote_claims.insert({x.slot, x.reg}).second) {
+        return Flag(TvFindingKind::kWitnessInvalid, Abs(wf_.begin),
+                    "promotion transformer entry does not match a promoted local");
+      }
+    }
+    for (size_t i = 0; i < slots_.size(); i++) {
+      if (slots_[i].reg >= 0 &&
+          promote_claims.count({static_cast<int>(i), slots_[i].reg}) == 0) {
+        return Flag(TvFindingKind::kWitnessInvalid, Abs(wf_.begin),
+                    "promoted local '" + slots_[i].name +
+                        "' has no promotion transformer entry");
+      }
+    }
+    out_->stats.promoted_slots += promoted_regs_seen.size();
     int saved_base = offset;
-    int ra_offset = offset;
+    int ra_offset = saved_base + 4 * static_cast<int>(wf_.saved_regs.size());
     int frame = (ra_offset + 4 + 15) & ~15;
     if (wf_.spill_base != 0 || wf_.saved_base != saved_base ||
         wf_.ra_offset != ra_offset || wf_.frame_size != frame) {
@@ -372,8 +434,97 @@ class FunctionValidator {
     }
     frame_size_ = frame;
     ra_offset_ = ra_offset;
+    saved_base_ = saved_base;
     stmt_line_ = 0;
     return true;
+  }
+
+  // --- Transformer verification ---------------------------------------------
+
+  // Structural check of the per-pass witness transformer entries: each names a
+  // site inside the function, and passes that selected an instruction must point
+  // at an instruction of the pass's class carrying the recorded immediate. The
+  // *semantics* of every transformation is re-proved by the lockstep walk — these
+  // checks pin the claims to real instructions so a lying entry cannot stand in
+  // for a justification.
+  bool VerifyXforms() {
+    stmt_line_ = fn_.line;
+    stmt_kind_ = Stmt::Kind::kBlock;
+    for (const riscv::WitnessXform& x : wf_.xforms) {
+      uint32_t pc = Abs(x.site);
+      if (x.site < wf_.begin || x.site >= wf_.end) {
+        return Flag(TvFindingKind::kWitnessInvalid, pc,
+                    "transformer entry site lies outside the function");
+      }
+      switch (x.pass) {
+        case riscv::WitnessXform::kPromoteReg:
+          if (x.site >= wf_.body_begin) {
+            return Flag(TvFindingKind::kWitnessInvalid, pc,
+                        "promotion transformer site is not in the prologue");
+          }
+          break;
+        case riscv::WitnessXform::kConstFold:
+          // Nothing was emitted; the folded value is re-proved wherever the
+          // constant is consumed (store/branch/argument/return term equality).
+          break;
+        case riscv::WitnessXform::kImmForm: {
+          auto in = InstrAt(pc);
+          if (!in.has_value() || !ImmFormMatches(*in, x)) {
+            return Flag(TvFindingKind::kWitnessInvalid, pc,
+                        "immediate-form transformer entry does not describe the "
+                        "instruction at its site");
+          }
+          break;
+        }
+        case riscv::WitnessXform::kAddrFold: {
+          auto in = InstrAt(pc);
+          bool ok = in.has_value() &&
+                    (in->op == Op::kLw || in->op == Op::kLbu || in->op == Op::kSw ||
+                     in->op == Op::kSb || in->op == Op::kAddi) &&
+                    in->imm == x.imm;
+          if (!ok) {
+            return Flag(TvFindingKind::kWitnessInvalid, pc,
+                        "address-fold transformer entry does not match the folded "
+                        "memory operand at its site");
+          }
+          break;
+        }
+        default:
+          return Flag(TvFindingKind::kWitnessInvalid, pc,
+                      "unknown transformer pass " + std::to_string(x.pass));
+      }
+      out_->stats.xforms++;
+    }
+    stmt_line_ = 0;
+    return true;
+  }
+
+  // Maps codegen's BinopCode discriminator (1-based: + - * / % & | ^ << >> ==
+  // != < > <= >=) to the immediate instruction the pass is allowed to select.
+  static bool ImmFormMatches(const Instr& in, const riscv::WitnessXform& x) {
+    int32_t b = x.imm;
+    switch (x.op) {
+      case 1: return in.op == Op::kAddi && in.imm == b;    // +
+      case 2: return in.op == Op::kAddi && in.imm == -b;   // -
+      case 3: {                                            // * by a power of two
+        uint32_t ub = static_cast<uint32_t>(b);
+        if (ub == 0 || (ub & (ub - 1)) != 0) {
+          return false;
+        }
+        int shift = 0;
+        while ((ub >> shift) != 1) {
+          shift++;
+        }
+        return in.op == Op::kSlli && in.imm == shift;
+      }
+      case 6: return in.op == Op::kAndi && in.imm == b;    // &
+      case 7: return in.op == Op::kOri && in.imm == b;     // |
+      case 8: return in.op == Op::kXori && in.imm == b;    // ^
+      case 9: return in.op == Op::kSlli && in.imm == b;    // <<
+      case 10: return in.op == Op::kSrli && in.imm == b;   // >>
+      case 13: return in.op == Op::kSltiu && in.imm == b;  // <
+      default: return false;
+    }
   }
 
   // --- Frame classification -------------------------------------------------
@@ -389,12 +540,15 @@ class FunctionValidator {
       return Region::kOut;
     }
     for (const SlotInfo& slot : slots_) {
+      if (slot.frame_offset < 0) {
+        continue;  // Promoted to a register; occupies no frame extent.
+      }
       if (fp >= slot.frame_offset &&
           fp < slot.frame_offset + static_cast<int>(slot.bytes)) {
         return slot.tracked ? Region::kDirect : Region::kMem;
       }
     }
-    return Region::kDirect;  // Spill area, ra slot, padding.
+    return Region::kDirect;  // Spill area, saved-register area, ra slot, padding.
   }
 
   // --- Register / memory primitives ----------------------------------------
@@ -459,7 +613,7 @@ class FunctionValidator {
       case Op::kSb: return InterpStore(in, pc, 1);
       default:
         return Flag(TvFindingKind::kUnsupported, pc,
-                    "instruction outside the validated O0 output language");
+                    "instruction outside the validated output language");
     }
   }
 
@@ -1007,9 +1161,10 @@ class FunctionValidator {
 
   // --- Boundary checks and joins --------------------------------------------
 
-  // The simulation relation proper: at every statement boundary the effect queue
-  // must be drained and every tracked scalar's mirror value must equal its frame
-  // slot's term.
+  // The simulation relation proper (relaxed for O2): at every statement boundary
+  // the effect queue must be drained and every tracked scalar's mirror value must
+  // equal its machine location's term — the frame slot at O0, the promoted
+  // callee-saved register when the witness promoted it.
   bool BoundaryCheck(uint32_t end_pc) {
     if (!queue_.empty()) {
       const Effect& ef = queue_.front();
@@ -1020,6 +1175,16 @@ class FunctionValidator {
     }
     for (const auto& [si, v] : state_.env) {
       const SlotInfo& slot = slots_[si];
+      if (slot.reg >= 0) {
+        TermId got = state_.regs[slot.reg];
+        if (got != v) {
+          return Flag(TvFindingKind::kValueMismatch, end_pc,
+                      "local '" + slot.name + "': promoted register " +
+                          riscv::RegName(static_cast<uint8_t>(slot.reg)) + " holds " +
+                          arena_.Str(got) + ", source value is " + arena_.Str(v));
+        }
+        continue;
+      }
       auto it = state_.frame.find(slot.frame_offset);
       if (it == state_.frame.end() || it->second != v) {
         return Flag(TvFindingKind::kValueMismatch, end_pc,
@@ -1033,10 +1198,12 @@ class FunctionValidator {
   }
 
   // Merges `b` into state_ (which holds path `a`): tracked scalars get one shared
-  // phi written to both env and frame so the correspondence survives the join;
-  // everything else joins pointwise.
+  // phi written to both env and their machine location (frame slot, or promoted
+  // register) so the correspondence survives the join; everything else joins
+  // pointwise.
   void JoinInto(const State& b) {
     std::set<int32_t> handled;
+    std::set<int> handled_regs;
     std::set<int> keys;
     for (const auto& [k, v] : state_.env) keys.insert(k);
     for (const auto& [k, v] : b.env) keys.insert(k);
@@ -1048,8 +1215,13 @@ class FunctionValidator {
       }
       TermId phi = arena_.Fresh(FreshTag::kPhi);
       state_.env[k] = phi;
-      state_.frame[slots_[k].frame_offset] = phi;
-      handled.insert(slots_[k].frame_offset);
+      if (slots_[k].reg >= 0) {
+        state_.regs[slots_[k].reg] = phi;
+        handled_regs.insert(slots_[k].reg);
+      } else {
+        state_.frame[slots_[k].frame_offset] = phi;
+        handled.insert(slots_[k].frame_offset);
+      }
     }
     std::set<int32_t> offs;
     for (const auto& [k, v] : state_.frame) offs.insert(k);
@@ -1066,23 +1238,53 @@ class FunctionValidator {
       state_.frame[off] = arena_.Fresh(FreshTag::kPhi);
     }
     for (int r = 1; r < 32; r++) {
+      if (handled_regs.count(r)) {
+        continue;
+      }
       if (state_.regs[r] != b.regs[r]) {
         state_.regs[r] = arena_.Fresh(FreshTag::kPhi);
       }
     }
   }
 
+  // Counts declaration statements in a subtree. Slots are numbered in the same
+  // pre-order the walk declares them, so the `num_decls` slots starting at the
+  // current decl_counter_ are exactly the subtree's declarations.
+  static int CountDecls(const Stmt& s) {
+    int n = s.kind == Stmt::Kind::kDecl ? 1 : 0;
+    if (s.init) n += CountDecls(*s.init);
+    if (s.body) n += CountDecls(*s.body);
+    if (s.else_body) n += CountDecls(*s.else_body);
+    for (const auto& sub : s.stmts) {
+      n += CountDecls(*sub);
+    }
+    return n;
+  }
+
   // Havocs what one loop iteration may change: tracked scalars assigned in the loop
-  // (shared fresh term in env and frame), the spill area, and all caller-saved
+  // (shared fresh term in env and their machine location), registers holding
+  // promoted locals *declared* inside the body (dead at the head, so each
+  // iteration may leave anything there), the spill area, and all caller-saved
   // registers. Everything else must be loop-invariant, which CheckLoopInvariant
   // enforces at every back edge.
-  void HavocLoopHead(const std::set<int>& assigned, LoopCtx* ctx) {
+  void HavocLoopHead(const std::set<int>& assigned, int body_decls, LoopCtx* ctx) {
     for (int si : assigned) {
       TermId h = arena_.Fresh(FreshTag::kHavoc);
       state_.env[si] = h;
-      state_.frame[slots_[si].frame_offset] = h;
+      if (slots_[si].reg >= 0) {
+        state_.regs[slots_[si].reg] = h;
+        ctx->havoc_regs.insert(slots_[si].reg);
+      } else {
+        state_.frame[slots_[si].frame_offset] = h;
+        ctx->havoc_offsets.insert(slots_[si].frame_offset);
+      }
       ctx->havoc_slots.insert(si);
-      ctx->havoc_offsets.insert(slots_[si].frame_offset);
+    }
+    for (int si = decl_counter_; si < decl_counter_ + body_decls; si++) {
+      if (slots_[si].reg >= 0) {
+        state_.regs[slots_[si].reg] = arena_.Fresh(FreshTag::kHavoc);
+        ctx->havoc_regs.insert(slots_[si].reg);
+      }
     }
     for (auto& [off, v] : state_.frame) {
       if (off >= 0 && off < 4 * kNumSpillSlots) {
@@ -1101,6 +1303,9 @@ class FunctionValidator {
   // that justifies resuming from the head state after the loop.
   bool CheckLoopInvariant(const LoopCtx& ctx, uint32_t pc) {
     for (uint8_t r : kCalleeSaved) {
+      if (ctx.havoc_regs.count(r)) {
+        continue;  // Holds a promoted loop-varying local; checked via env.
+      }
       if (state_.regs[r] != ctx.head.regs[r]) {
         return Flag(TvFindingKind::kValueMismatch, pc,
                     std::string("callee-saved register ") + riscv::RegName(r) +
@@ -1269,9 +1474,17 @@ class FunctionValidator {
             return FlagStop(st, "(inside a declaration)");
           }
         } else if (slot.tracked) {
+          // Declaration-without-initializer fiction: the same fresh term stands
+          // for the uninitialized value on both sides. For a promoted slot the
+          // machine location is the register; the epilogue restore later erases
+          // the fiction by reloading the caller's saved value.
           TermId u = arena_.Fresh(FreshTag::kUninit);
           state_.env[si] = u;
-          state_.frame[slot.frame_offset] = u;
+          if (slot.reg >= 0) {
+            state_.regs[slot.reg] = u;
+          } else {
+            state_.frame[slot.frame_offset] = u;
+          }
         }
         scopes_.back()[s.decl_name] = si;
         return true;
@@ -1397,7 +1610,7 @@ class FunctionValidator {
         LoopCtx ctx;
         ctx.break_target = Abs(ws.end);
         ctx.continue_target = Abs(ws.aux0);
-        HavocLoopHead(assigned, &ctx);
+        HavocLoopHead(assigned, CountDecls(*s.body), &ctx);
         TermId cond;
         Type t;
         if (!Eval(*s.expr, &cond, &t)) {
@@ -1465,7 +1678,7 @@ class FunctionValidator {
     LoopCtx ctx;
     ctx.break_target = Abs(ws.end);
     ctx.continue_target = Abs(ws.aux1);
-    HavocLoopHead(assigned, &ctx);
+    HavocLoopHead(assigned, CountDecls(*s.body), &ctx);
     if (s.expr) {
       TermId cond;
       Type t;
@@ -1522,6 +1735,10 @@ class FunctionValidator {
   // --- Prologue / body / epilogue -------------------------------------------
 
   bool WalkFunction() {
+    // Prologue/epilogue findings carry the function's declaration line so their
+    // provenance chain still names a source location.
+    stmt_line_ = fn_.line;
+    stmt_kind_ = Stmt::Kind::kBlock;
     // Entry state: unconstrained registers, with the ABI pins the epilogue check
     // will hold the function to.
     for (int r = 1; r < 32; r++) {
@@ -1551,7 +1768,20 @@ class FunctionValidator {
         it == state_.frame.end() || it->second != arena_.RaEntry()) {
       return Flag(TvFindingKind::kAbiViolation, cur_, "prologue does not save ra");
     }
-    // Parameter homing: each tracked parameter slot must hold its argument.
+    // Every promoted register's entry value must be parked in the save area
+    // before the body may clobber it — the clobbered-promotion mutation skips
+    // exactly this store.
+    for (size_t i = 0; i < wf_.saved_regs.size(); i++) {
+      uint8_t r = wf_.saved_regs[i];
+      auto it = state_.frame.find(saved_base_ + 4 * static_cast<int32_t>(i));
+      if (it == state_.frame.end() || it->second != arena_.SavedEntry(r)) {
+        return Flag(TvFindingKind::kAbiViolation, cur_,
+                    std::string("prologue does not save promoted register ") +
+                        riscv::RegName(r) + " before the body clobbers it");
+      }
+    }
+    // Parameter homing: each tracked parameter's machine location (frame slot, or
+    // promoted register) must hold its argument.
     scopes_.push_back({});
     for (size_t i = 0; i < fn_.params.size(); i++) {
       scopes_.back()[fn_.params[i].name] = static_cast<int>(i);
@@ -1559,10 +1789,18 @@ class FunctionValidator {
         continue;
       }
       TermId want = arena_.Arg(static_cast<uint32_t>(i));
-      auto it = state_.frame.find(slots_[i].frame_offset);
-      if (it == state_.frame.end() || it->second != want) {
-        return Flag(TvFindingKind::kValueMismatch, cur_,
-                    "parameter '" + fn_.params[i].name + "' is not homed to its slot");
+      if (slots_[i].reg >= 0) {
+        if (state_.regs[slots_[i].reg] != want) {
+          return Flag(TvFindingKind::kValueMismatch, cur_,
+                      "parameter '" + fn_.params[i].name +
+                          "' is not homed to its promoted register");
+        }
+      } else {
+        auto it = state_.frame.find(slots_[i].frame_offset);
+        if (it == state_.frame.end() || it->second != want) {
+          return Flag(TvFindingKind::kValueMismatch, cur_,
+                      "parameter '" + fn_.params[i].name + "' is not homed to its slot");
+        }
       }
       state_.env[static_cast<int>(i)] = want;
     }
@@ -1653,6 +1891,7 @@ class FunctionValidator {
   const riscv::WitnessFunction& wf_;
   const riscv::SymbolNamer& namer_;
   const TvConfig& config_;
+  const int opt_level_;
   TvFunctionResult* out_;
 
   TermArena arena_;
@@ -1666,6 +1905,7 @@ class FunctionValidator {
 
   int frame_size_ = 0;
   int ra_offset_ = 0;
+  int saved_base_ = 0;
   int decl_counter_ = 0;
   size_t wc_ = 0;  // Witness statement cursor.
   uint32_t cur_ = 0;
@@ -1778,11 +2018,11 @@ TvReport ValidateTranslation(const minicc::TranslationUnit& unit, const riscv::I
     job.wf = &wf;
     auto fn_it = index.functions.find(wf.name);
     job.fn = fn_it == index.functions.end() ? nullptr : fn_it->second;
-    if (witness.opt_level != 0) {
+    if (witness.opt_level != 0 && witness.opt_level != 2) {
       job.has_pre = true;
       job.pre.kind = TvFindingKind::kUnsupported;
       job.pre.detail = "witness records opt_level " + std::to_string(witness.opt_level) +
-                       "; only O0 output is in the validated subset";
+                       "; only O0 and O2 output are in the validated subset";
     } else if (job.fn == nullptr) {
       job.has_pre = true;
       job.pre.kind = TvFindingKind::kWitnessInvalid;
@@ -1818,7 +2058,8 @@ TvReport ValidateTranslation(const minicc::TranslationUnit& unit, const riscv::I
       results[i].findings.push_back(job.pre);
       return;
     }
-    FunctionValidator v(index, *job.fn, image, *job.wf, namer, config, &results[i]);
+    FunctionValidator v(index, *job.fn, image, *job.wf, namer, config,
+                        witness.opt_level, &results[i]);
     v.Run();
   });
 
@@ -1832,6 +2073,8 @@ TvReport ValidateTranslation(const minicc::TranslationUnit& unit, const riscv::I
     report.telemetry.AddCounter("tv/stmts", fr.stats.stmts);
     report.telemetry.AddCounter("tv/secret_branches", fr.stats.secret_branches);
     report.telemetry.AddCounter("tv/secret_addresses", fr.stats.secret_addresses);
+    report.telemetry.AddCounter("tv/promoted_slots", fr.stats.promoted_slots);
+    report.telemetry.AddCounter("tv/xforms", fr.stats.xforms);
     if (config.emit_evidence) {
       for (const TvFinding& f : fr.findings) {
         EmitEvidence(f);

@@ -1,8 +1,10 @@
-// Per-function translation validation of the MiniC -> RV32 compiler.
+// Per-function translation validation of the MiniC -> RV32 compiler (O0 and O2).
 //
 // The O0 code generator is this repo's CompCert stand-in: the paper's pipeline
 // assumes the compiler preserves both functional behavior and the leakage contract.
-// Instead of trusting it, the validator re-checks every function of every build:
+// The O2 generator plays the unverified fast baseline the paper measures against —
+// and instead of trusting either, the validator re-checks every function of every
+// build:
 //
 //   1. The compiler emits a *witness* side table (src/riscv/witness.h): per function,
 //      the asm range of every source statement (in pre-order), the frame layout, and
@@ -26,8 +28,17 @@
 //      Secret-dependent branches/addresses (terms tainted from `secret` globals) are
 //      inventoried in telemetry.
 //
-// Scope: the validated subset is the O0 generator's output language. O2 output and
-// short-circuit lowering are reported as kUnsupported rather than trusted. Like the
+// O2 support is a *relaxed* simulation relation driven by the witness's per-pass
+// transformer entries (promotion, constant folding, immediate forms, folded
+// addresses): a tracked local's machine location may be a callee-saved register
+// instead of a frame slot, and term normalization (constant folding, addi/sub and
+// slli/mul canonicalization, add-chain flattening) absorbs the remaining
+// instruction-selection differences, so the boundary relation stays term-id
+// equality. Transformer entries are themselves untrusted and structurally pinned
+// to the instructions they claim to describe (VerifyXforms).
+//
+// Scope: the validated subset is the O0 and O2 generators' output language;
+// short-circuit lowering is reported as kUnsupported rather than trusted. Like the
 // leakage lint, the validator assumes the source is memory-safe (an opaque pointer is
 // assumed not to alias a scalar local whose address is never taken); this mirrors the
 // paper's division of labor where memory safety is discharged at the source level.
@@ -67,7 +78,7 @@ enum class TvFindingKind : uint8_t {
   kAbiViolation,       // Prologue/epilogue contract broken (ra/sp/s-regs).
   kStructureMismatch,  // Asm layout disagrees with the witnessed statement ranges.
   kWitnessInvalid,     // The witness itself is malformed or contradicts the AST.
-  kUnsupported,        // Outside the validated subset (O2, short-circuit, budget).
+  kUnsupported,        // Outside the validated subset (short-circuit, budget).
 };
 
 const char* TvFindingKindName(TvFindingKind kind);
@@ -87,6 +98,8 @@ struct TvFunctionStats {
   uint64_t stmts = 0;
   uint64_t secret_branches = 0;   // Branch conditions derived from secrets.
   uint64_t secret_addresses = 0;  // Memory addresses derived from secrets.
+  uint64_t promoted_slots = 0;    // Locals promoted to callee-saved registers (O2).
+  uint64_t xforms = 0;            // Witness transformer entries verified (O2).
 };
 
 struct TvFunctionResult {

@@ -381,6 +381,7 @@ class Codegen {
     break_labels_.clear();
     continue_labels_.clear();
     wstmts_.clear();
+    wxforms_.clear();
     mutation_sites_ = 0;
     current_fn_ = &fn;
 
@@ -408,7 +409,10 @@ class Codegen {
       std::vector<std::pair<int, int>> candidates;  // (use count, slot).
       for (size_t i = 0; i < slots_.size(); i++) {
         int slot = static_cast<int>(i);
-        if (slots_[i].array_size == 0 && addr_taken.count(slot) == 0) {
+        // u8 scalars stay in the frame: the sb/lbu access discipline is what
+        // truncates them, and a promoted register would carry unmasked high bits.
+        bool is_u8 = !slots_[i].type.IsPointer() && slots_[i].type.Size() == 1;
+        if (slots_[i].array_size == 0 && addr_taken.count(slot) == 0 && !is_u8) {
           int count = uses.count(slot) != 0 ? uses.at(slot) : 0;
           // Parameters are used at least once (the incoming copy).
           candidates.push_back({count, slot});
@@ -454,8 +458,19 @@ class Codegen {
     prog_.MarkFunction(fn.name);
     Emit(Instr{Op::kAddi, kRegSp, kRegSp, 0, -frame_size_});
     Emit(Instr{Op::kSw, 0, kRegSp, kRegRa, ra_offset_});
+    std::map<int, uint32_t> save_site;  // reg -> offset of its prologue save.
     for (size_t i = 0; i < used_saved_regs_.size(); i++) {
+      save_site[used_saved_regs_[i]] = prog_.CurrentOffset();
+      if (MutateHere(MutationKind::kClobberedSavedReg)) {
+        continue;  // The promotion clobbers the caller's value.
+      }
       Emit(Instr{Op::kSw, 0, kRegSp, used_saved_regs_[i], saved_base_ + 4 * static_cast<int>(i)});
+    }
+    for (size_t i = 0; i < slots_.size(); i++) {
+      if (slots_[i].reg >= 0) {
+        RecordXform(riscv::WitnessXform::kPromoteReg, static_cast<int>(i), slots_[i].reg,
+                    save_site[slots_[i].reg], 0, 0);
+      }
     }
     // Spill or move incoming parameters.
     for (size_t i = 0; i < fn.params.size(); i++) {
@@ -484,6 +499,9 @@ class Codegen {
     const uint32_t w_epilogue = prog_.CurrentOffset();
     prog_.DefineLabel(epilogue_label_);
     for (size_t i = 0; i < used_saved_regs_.size(); i++) {
+      if (MutateHere(MutationKind::kDroppedRestore)) {
+        continue;  // Caller sees the promoted local's final value instead.
+      }
       Emit(Instr{Op::kLw, used_saved_regs_[i], kRegSp, 0, saved_base_ + 4 * static_cast<int>(i)});
     }
     Emit(Instr{Op::kLw, kRegRa, kRegSp, 0, ra_offset_});
@@ -517,6 +535,7 @@ class Codegen {
         wf.locals.push_back(std::move(wl));
       }
       wf.stmts = wstmts_;
+      wf.xforms = wxforms_;
       options_.witness->functions.push_back(std::move(wf));
     }
     return true;
@@ -536,6 +555,35 @@ class Codegen {
     bool ok = GenStmtInner(s, wi);
     wstmts_[wi].end = prog_.CurrentOffset();
     return ok;
+  }
+
+  // Stable small-integer discriminator for binary operators, carried in
+  // WitnessXform.op so the validator can name the folded operation.
+  static uint8_t BinopCode(const std::string& op) {
+    static constexpr const char* kOps[] = {"+",  "-",  "*",  "/", "%", "&", "|", "^",
+                                           "<<", ">>", "==", "!=", "<", ">", "<=", ">="};
+    for (size_t i = 0; i < sizeof(kOps) / sizeof(kOps[0]); i++) {
+      if (op == kOps[i]) {
+        return static_cast<uint8_t>(i + 1);
+      }
+    }
+    return 0;
+  }
+
+  // Records one O2 witness transformer entry (no-op at O0 or without a witness).
+  void RecordXform(riscv::WitnessXform::Pass pass, int slot, int reg, uint32_t site,
+                   int32_t imm, uint8_t op) {
+    if (options_.witness == nullptr || options_.opt_level < 2) {
+      return;
+    }
+    riscv::WitnessXform x;
+    x.pass = static_cast<uint8_t>(pass);
+    x.slot = slot;
+    x.reg = static_cast<int8_t>(reg);
+    x.site = site;
+    x.imm = imm;
+    x.op = op;
+    wxforms_.push_back(x);
   }
 
   // True when the seeded miscompilation should fire at this emission point: the
@@ -775,6 +823,8 @@ class Codegen {
           // Fold constant indexes: into the base constant, or into an addi.
           int64_t disp = static_cast<int64_t>(stack_[idx].cval) * elem_size;
           if (stack_[base].is_const) {
+            // Folds into the symbolic base constant; no instruction to witness
+            // (the combined address materializes later as a plain constant).
             stack_[base].cval += static_cast<uint32_t>(disp);
             Pop();
             stack_[base].type = result_ptr;
@@ -783,6 +833,8 @@ class Codegen {
           }
           if (FitsImm12(disp)) {
             if (disp != 0) {
+              RecordXform(riscv::WitnessXform::kAddrFold, -1, -1, prog_.CurrentOffset(),
+                          static_cast<int32_t>(disp), 0);
               Emit(Instr{Op::kAddi, TempReg(base), OperandReg(base), 0,
                          static_cast<int32_t>(disp)});
               SetPlain(base, result_ptr);
@@ -821,6 +873,10 @@ class Codegen {
     if (last->op == Op::kAddi && last->rd == *base) {
       *base = last->rs1;
       *offset = last->imm;
+      if (MutateHere(MutationKind::kBadAddrFold)) {
+        *offset += 4;  // Fused memory operand points one word past the address.
+      }
+      RecordXform(riscv::WitnessXform::kAddrFold, -1, -1, prog_.CurrentOffset(), *offset, 0);
       return;
     }
     prog_.Emit(*last);  // Not fusable; put it back.
@@ -1102,6 +1158,11 @@ class Codegen {
       else if (e.op == "<=") r = a <= b;
       else if (e.op == ">=") r = a >= b;
       else return Fail(e.line, "unknown operator " + e.op);
+      if (MutateHere(MutationKind::kWrongConstFold)) {
+        r += 1;  // Off-by-one fold: correct shape, wrong constant.
+      }
+      RecordXform(riscv::WitnessXform::kConstFold, -1, -1, prog_.CurrentOffset(),
+                  static_cast<int32_t>(r), BinopCode(e.op));
       Pop();
       Top().cval = r;
       Top().type = Type{Type::Base::kU32, 0};
@@ -1145,6 +1206,7 @@ class Codegen {
       uint32_t b = stack_[rhs_idx].cval;
       int64_t sb = static_cast<int64_t>(static_cast<int32_t>(b));
       uint8_t dst = TempReg(lhs_idx);
+      uint32_t imm_site = prog_.CurrentOffset();
       bool handled = true;
       bool emitted = true;
       if (((e.op == "+" || e.op == "-" || e.op == "<<" || e.op == ">>" || e.op == "^" ||
@@ -1178,6 +1240,12 @@ class Codegen {
         handled = false;
       }
       if (handled) {
+        if (emitted) {
+          // Identity elisions leave no instruction to witness; only selected
+          // immediate forms get a transformer entry.
+          RecordXform(riscv::WitnessXform::kImmForm, -1, -1, imm_site,
+                      static_cast<int32_t>(b), BinopCode(e.op));
+        }
         Pop();
         if (emitted) {
           SetPlain(lhs_idx, result_type);
@@ -1346,6 +1414,7 @@ class Codegen {
   std::vector<std::string> break_labels_;
   std::vector<std::string> continue_labels_;
   std::vector<riscv::WitnessStmt> wstmts_;
+  std::vector<riscv::WitnessXform> wxforms_;
   std::string epilogue_label_;
   int mutation_sites_ = 0;
   int decl_counter_ = 0;

@@ -33,12 +33,25 @@ namespace parfait::minicc {
 //                       loop (the compiler-introduced timing channel of the
 //                       leakage-preservation story: correct value, secret-dependent
 //                       trip count).
+// O2-only classes targeting the optimizer's witness transformers:
+//   kClobberedSavedReg  skips the prologue save of the first promoted
+//                       callee-saved register (the promotion clobbers the
+//                       caller's value),
+//   kWrongConstFold     folds `a + b` of two constants to a+b+1,
+//   kBadAddrFold        adds 4 to the offset a folded address computation
+//                       merges into a load/store,
+//   kDroppedRestore     omits the epilogue reload of the first saved
+//                       callee-saved register.
 enum class MutationKind : uint8_t {
   kNone,
   kWrongRegister,
   kDroppedStore,
   kSwappedBranch,
   kStrengthReducedMul,
+  kClobberedSavedReg,
+  kWrongConstFold,
+  kBadAddrFold,
+  kDroppedRestore,
 };
 
 struct Mutation {

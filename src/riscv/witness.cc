@@ -78,6 +78,13 @@ std::string Witness::ToText() const {
                     static_cast<int>(s.kind), s.line, s.begin, s.end, s.aux0, s.aux1);
       out << buf;
     }
+    for (const WitnessXform& x : fn.xforms) {
+      std::snprintf(buf, sizeof(buf),
+                    "xform pass=%d slot=%d reg=%d site=%u imm=%d op=%d\n",
+                    static_cast<int>(x.pass), x.slot, static_cast<int>(x.reg), x.site,
+                    x.imm, static_cast<int>(x.op));
+      out << buf;
+    }
   }
   return out.str();
 }
@@ -162,6 +169,20 @@ Result<Witness> Witness::FromText(const std::string& text) {
       s.aux0 = static_cast<uint32_t>(f.Int("aux0"));
       s.aux1 = static_cast<uint32_t>(f.Int("aux1"));
       w.functions.back().stmts.push_back(s);
+    } else if (tag == "xform") {
+      if (w.functions.empty()) {
+        return Result<Witness>::Error("witness line " + std::to_string(lineno) +
+                                      ": xform before func");
+      }
+      FieldMap f(in);
+      WitnessXform x;
+      x.pass = static_cast<uint8_t>(f.Int("pass"));
+      x.slot = static_cast<int32_t>(f.Int("slot"));
+      x.reg = static_cast<int8_t>(f.Int("reg"));
+      x.site = static_cast<uint32_t>(f.Int("site"));
+      x.imm = static_cast<int32_t>(f.Int("imm"));
+      x.op = static_cast<uint8_t>(f.Int("op"));
+      w.functions.back().xforms.push_back(x);
     } else {
       return Result<Witness>::Error("witness line " + std::to_string(lineno) +
                                     ": unknown record " + tag);

@@ -53,6 +53,31 @@ struct WitnessStmt {
   friend bool operator==(const WitnessStmt&, const WitnessStmt&) = default;
 };
 
+// One optimization the O2 generator applied, in the sense of a witness
+// transformer (Namjoshi & Tabajara): each pass records enough of its decision
+// that the validator can re-check the relaxed simulation relation *and* the
+// leakage-preservation obligation for that pass. Like everything else here the
+// entries are untrusted claims — the validator verifies each one structurally
+// (site inside the function, decoded instruction in the pass's allowed class)
+// and the lockstep walk re-proves the semantics.
+struct WitnessXform {
+  // Pass identifiers (serialized as small integers; keep values stable).
+  enum Pass : uint8_t {
+    kPromoteReg = 0,  // Callee-saved register promotion: slot -> reg.
+    kConstFold = 1,   // Constant folding / symbolic constant materialization.
+    kImmForm = 2,     // Immediate-form selection (addi/andi/.../slli, mul->slli).
+    kAddrFold = 3,    // Address-computation folding into a load/store offset.
+  };
+  uint8_t pass = 0;
+  int32_t slot = -1;   // Local slot index (kPromoteReg), else -1.
+  int8_t reg = -1;     // Promoted register (kPromoteReg), else -1.
+  uint32_t site = 0;   // Text offset of the affected/emitted instruction.
+  int32_t imm = 0;     // Folded constant / selected immediate / folded offset.
+  uint8_t op = 0;      // minicc binop discriminator for kConstFold/kImmForm.
+
+  friend bool operator==(const WitnessXform&, const WitnessXform&) = default;
+};
+
 struct WitnessFunction {
   std::string name;
   int32_t line = 0;
@@ -67,6 +92,7 @@ struct WitnessFunction {
   std::vector<uint8_t> saved_regs;  // Callee-saved registers this function uses.
   std::vector<WitnessLocal> locals;
   std::vector<WitnessStmt> stmts;
+  std::vector<WitnessXform> xforms;  // O2 per-pass transformer entries (empty at O0).
 
   friend bool operator==(const WitnessFunction&, const WitnessFunction&) = default;
 };

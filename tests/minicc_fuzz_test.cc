@@ -19,7 +19,9 @@ using riscv::Value;
 
 // A tiny generator of random straight-line MiniC functions over u32 variables with a
 // host-side interpreter as the oracle. Shapes generated: variable declarations,
-// assignments through random expressions, array writes/reads, and a bounded loop.
+// assignments through random expressions, array writes/reads, a bounded loop, and
+// constant-constant subexpressions that O2 folds away (so the O0-vs-O2 leg covers
+// the optimizer's transformations, not just shared straight-line lowering).
 class ProgramGen {
  public:
   explicit ProgramGen(uint64_t seed) : rng_(seed) {}
@@ -98,7 +100,7 @@ class ProgramGen {
   // Returns (expression text, oracle value).
   std::pair<std::string, uint32_t> GenExpr(int depth) {
     if (depth == 0 || rng_.Below(3) == 0) {
-      switch (rng_.Below(3)) {
+      switch (rng_.Below(4)) {
         case 0: {
           uint32_t v = rng_.Below(2) == 0 ? static_cast<uint32_t>(rng_.Below(256))
                                           : rng_.Next32();
@@ -108,9 +110,30 @@ class ProgramGen {
           size_t i = rng_.Below(vars_.size());
           return {vars_[i].first, vars_[i].second};
         }
-        default: {
+        case 2: {
           uint32_t i = static_cast<uint32_t>(rng_.Below(8));
           return {"arr[" + std::to_string(i) + "]", arr_[i]};
+        }
+        default: {
+          // Constant-constant subexpression: O2's constant folder collapses this
+          // to a single literal (and then picks an immediate form for whatever
+          // consumes it), so the differential leg exercises both passes.
+          uint32_t a = static_cast<uint32_t>(rng_.Below(1u << 16));
+          uint32_t b = static_cast<uint32_t>(rng_.Below(256));
+          static const char* kFoldOps[] = {"+", "-", "*", "&", "|", "^"};
+          int op = static_cast<int>(rng_.Below(6));
+          uint32_t v = 0;
+          switch (op) {
+            case 0: v = a + b; break;
+            case 1: v = a - b; break;
+            case 2: v = a * b; break;
+            case 3: v = a & b; break;
+            case 4: v = a | b; break;
+            default: v = a ^ b; break;
+          }
+          return {"(" + std::to_string(a) + "u " + kFoldOps[op] + " " +
+                      std::to_string(b) + "u)",
+                  v};
         }
       }
     }

@@ -77,6 +77,105 @@ TEST(TvTest, EcdsaValidatesClean) {
   EXPECT_GT(report.telemetry.CounterValue("tv/stmts"), 500u);
 }
 
+// The tentpole: the optimizing generator's output validates clean through the
+// relaxed simulation relation, with promotions and transformer entries actually
+// exercised (a vacuous pass with zero promotions would not test anything).
+TEST(TvTest, HasherValidatesCleanAtO2) {
+  HsmBuildOptions build;
+  build.opt_level = 2;
+  HsmSystem system(hsm::HasherApp(), build);
+  TvReport report = ValidateSystem(system, QuietConfig());
+  ExpectClean(report);
+  EXPECT_GT(report.telemetry.CounterValue("tv/promoted_slots"), 0u);
+  EXPECT_GT(report.telemetry.CounterValue("tv/xforms"), 0u);
+}
+
+TEST(TvTest, EcdsaValidatesCleanAtO2) {
+  HsmBuildOptions build;
+  build.opt_level = 2;
+  HsmSystem system(hsm::EcdsaApp(), build);
+  TvReport report = ValidateSystem(system, QuietConfig());
+  ExpectClean(report);
+  EXPECT_GT(report.telemetry.CounterValue("tv/promoted_slots"), 0u);
+  EXPECT_GT(report.telemetry.CounterValue("tv/xforms"), 0u);
+}
+
+// An O0 witness that smuggles in O2 claims (a promotion save set or transformer
+// entries) must be rejected, not silently honored.
+TEST(TvTest, O0WitnessClaimingO2TransformsIsRejected) {
+  HsmSystem system(hsm::HasherApp(), HsmBuildOptions{});
+  riscv::Witness witness = system.witness();
+  riscv::WitnessFunction* target = nullptr;
+  for (auto& wf : witness.functions) {
+    if (!wf.stmts.empty()) {
+      target = &wf;
+      break;
+    }
+  }
+  ASSERT_NE(target, nullptr);
+  riscv::WitnessXform bogus;
+  bogus.pass = riscv::WitnessXform::kConstFold;
+  bogus.site = target->body_begin;
+  target->xforms.push_back(bogus);
+
+  auto unit = minicc::Parse(system.firmware_source());
+  ASSERT_TRUE(unit.ok()) << unit.error();
+  TvReport report =
+      ValidateTranslation(unit.value(), system.image(), witness, QuietConfig());
+  ASSERT_TRUE(report.ok) << report.error;
+  bool rejected = false;
+  for (const TvFunctionResult& fr : report.functions) {
+    if (fr.name != target->name) {
+      continue;
+    }
+    for (const TvFinding& f : fr.findings) {
+      rejected = rejected || f.kind == TvFindingKind::kWitnessInvalid;
+    }
+  }
+  EXPECT_TRUE(rejected);
+}
+
+// A lying transformer entry (an immediate-form claim whose site holds a different
+// instruction) must fail structurally even though the lockstep walk would pass.
+TEST(TvTest, LyingTransformerEntryIsRejected) {
+  HsmBuildOptions build;
+  build.opt_level = 2;
+  HsmSystem system(hsm::HasherApp(), build);
+  riscv::Witness witness = system.witness();
+  riscv::WitnessFunction* target = nullptr;
+  riscv::WitnessXform* entry = nullptr;
+  for (auto& wf : witness.functions) {
+    for (auto& x : wf.xforms) {
+      if (x.pass == riscv::WitnessXform::kImmForm) {
+        target = &wf;
+        entry = &x;
+        break;
+      }
+    }
+    if (entry != nullptr) {
+      break;
+    }
+  }
+  ASSERT_NE(entry, nullptr);
+  entry->imm += 1;  // The instruction at the site no longer matches the claim.
+
+  auto unit = minicc::Parse(system.firmware_source());
+  ASSERT_TRUE(unit.ok()) << unit.error();
+  TvReport report =
+      ValidateTranslation(unit.value(), system.image(), witness, QuietConfig());
+  ASSERT_TRUE(report.ok) << report.error;
+  bool rejected = false;
+  for (const TvFunctionResult& fr : report.functions) {
+    if (fr.name != target->name) {
+      continue;
+    }
+    for (const TvFinding& f : fr.findings) {
+      rejected = rejected || f.kind == TvFindingKind::kWitnessInvalid;
+    }
+  }
+  EXPECT_TRUE(rejected);
+}
+
 TEST(TvTest, OnlyFunctionFilter) {
   HsmSystem system(hsm::HasherApp(), HsmBuildOptions{});
   TvConfig config = QuietConfig();
@@ -92,6 +191,44 @@ TEST(TvTest, WitnessRoundTripsThroughText) {
   HsmSystem system(hsm::HasherApp(), HsmBuildOptions{});
   const riscv::Witness& witness = system.witness();
   ASSERT_FALSE(witness.functions.empty());
+  auto reparsed = riscv::Witness::FromText(witness.ToText());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.error();
+  EXPECT_EQ(reparsed.value(), witness);
+  EXPECT_EQ(reparsed.value().ToText(), witness.ToText());
+}
+
+// The O2 witness carries fields the O0 one never populates: the promoted-register
+// save set, per-local register assignments, and the per-pass transformer entries.
+// All of them must survive the text round trip exactly.
+TEST(TvTest, O2WitnessRoundTripsThroughText) {
+  HsmBuildOptions build;
+  build.opt_level = 2;
+  HsmSystem system(hsm::HasherApp(), build);
+  const riscv::Witness& witness = system.witness();
+  EXPECT_EQ(witness.opt_level, 2);
+
+  bool saw_saved_regs = false, saw_promoted_local = false;
+  bool saw_promote = false, saw_const_fold = false, saw_imm_form = false,
+       saw_addr_fold = false;
+  for (const riscv::WitnessFunction& wf : witness.functions) {
+    saw_saved_regs = saw_saved_regs || !wf.saved_regs.empty();
+    for (const riscv::WitnessLocal& l : wf.locals) {
+      saw_promoted_local = saw_promoted_local || l.reg >= 0;
+    }
+    for (const riscv::WitnessXform& x : wf.xforms) {
+      saw_promote = saw_promote || x.pass == riscv::WitnessXform::kPromoteReg;
+      saw_const_fold = saw_const_fold || x.pass == riscv::WitnessXform::kConstFold;
+      saw_imm_form = saw_imm_form || x.pass == riscv::WitnessXform::kImmForm;
+      saw_addr_fold = saw_addr_fold || x.pass == riscv::WitnessXform::kAddrFold;
+    }
+  }
+  EXPECT_TRUE(saw_saved_regs);
+  EXPECT_TRUE(saw_promoted_local);
+  EXPECT_TRUE(saw_promote);
+  EXPECT_TRUE(saw_const_fold);
+  EXPECT_TRUE(saw_imm_form);
+  EXPECT_TRUE(saw_addr_fold);
+
   auto reparsed = riscv::Witness::FromText(witness.ToText());
   ASSERT_TRUE(reparsed.ok()) << reparsed.error();
   EXPECT_EQ(reparsed.value(), witness);
@@ -134,11 +271,13 @@ struct MutantCase {
   MutationKind kind;
   const char* function;
   int site;
+  int opt_level = 0;
 };
 
 // Builds the hasher firmware with one seeded miscompilation and validates it.
 TvReport RunMutant(const MutantCase& mc) {
   HsmBuildOptions build;
+  build.opt_level = mc.opt_level;
   build.mutation = Mutation{mc.kind, mc.function, mc.site};
   HsmSystem system(hsm::HasherApp(), build);
   return ValidateSystem(system, QuietConfig());
@@ -227,6 +366,71 @@ TEST(TvMutationTest, StrengthReducedMulCaught) {
   EXPECT_TRUE(unjustified);
 }
 
+// Scans a report for a finding of one of the given kinds in any function.
+bool HasFindingKind(const TvReport& report, std::initializer_list<TvFindingKind> kinds) {
+  for (const TvFunctionResult& fr : report.functions) {
+    for (const TvFinding& f : fr.findings) {
+      for (TvFindingKind k : kinds) {
+        if (f.kind == k) {
+          return true;
+        }
+      }
+    }
+  }
+  return false;
+}
+
+TEST(TvMutationTest, ClobberedSavedRegPromotionCaught) {
+  // O2 promotes sha256_compress's hottest scalars into s-registers; skipping the
+  // prologue save of the first one clobbers the caller's value. The validator's
+  // promoted-register save check rejects the prologue.
+  TvReport report =
+      RunMutant({MutationKind::kClobberedSavedReg, "sha256_compress", 0, /*opt=*/2});
+  ExpectCaught(report, "sha256_compress");
+  EXPECT_TRUE(HasFindingKind(report, {TvFindingKind::kAbiViolation}));
+}
+
+TEST(TvMutationTest, DroppedRestoreCaught) {
+  // Skipping the epilogue reload of the first promoted register leaves the local's
+  // final value in a callee-saved register at return — an ABI violation the
+  // epilogue check pins to the entry value.
+  TvReport report =
+      RunMutant({MutationKind::kDroppedRestore, "sha256_compress", 0, /*opt=*/2});
+  ExpectCaught(report, "sha256_compress");
+  EXPECT_TRUE(HasFindingKind(report, {TvFindingKind::kAbiViolation}));
+}
+
+TEST(TvMutationTest, WrongConstFoldCaught) {
+  // blake2s's parameter-block word `0x01010000 ^ 32` folds at compile time; an
+  // off-by-one fold produces the right instruction shape with the wrong constant,
+  // which the relation catches where the value is consumed.
+  TvReport report = RunMutant({MutationKind::kWrongConstFold, "blake2s", 0, /*opt=*/2});
+  ExpectCaught(report, "blake2s");
+  EXPECT_TRUE(HasFindingKind(report, {TvFindingKind::kEffectMismatch,
+                                      TvFindingKind::kValueMismatch,
+                                      TvFindingKind::kBranchMismatch}));
+}
+
+TEST(TvMutationTest, BadAddrFoldCaught) {
+  // The folded address computation fuses an addi into a load/store offset; adding
+  // 4 there reads one word past the intended element. Two transformer entries pin
+  // that final instruction — the const-index fold's (recorded before the mutation
+  // fires) and the fuse's (after) — so the mutated offset makes the witness
+  // contradict its own binary and VerifyXforms rejects it structurally, before
+  // the lockstep walk would flag the address itself.
+  TvReport report =
+      RunMutant({MutationKind::kBadAddrFold, "sha256_compress", 0, /*opt=*/2});
+  ExpectCaught(report, "sha256_compress");
+  EXPECT_TRUE(HasFindingKind(report, {TvFindingKind::kWitnessInvalid}));
+  bool addr_fold = false;
+  for (const TvFunctionResult& fr : report.functions) {
+    for (const TvFinding& f : fr.findings) {
+      addr_fold = addr_fold || f.detail.find("address-fold") != std::string::npos;
+    }
+  }
+  EXPECT_TRUE(addr_fold);
+}
+
 TEST(TvDeterminismTest, RunToRunAndThreadCountIndependent) {
   HsmSystem system(hsm::EcdsaApp(), HsmBuildOptions{});
   TvConfig serial = QuietConfig();
@@ -246,6 +450,19 @@ TEST(TvDeterminismTest, MutantReportIsDeterministic) {
   std::string first = Render(RunMutant(mc));
   std::string second = Render(RunMutant(mc));
   EXPECT_EQ(first, second);
+}
+
+TEST(TvDeterminismTest, O2ReportIsThreadCountIndependent) {
+  HsmBuildOptions build;
+  build.opt_level = 2;
+  HsmSystem system(hsm::EcdsaApp(), build);
+  TvConfig serial = QuietConfig();
+  serial.num_threads = 1;
+  std::string first = Render(ValidateSystem(system, serial));
+  TvConfig parallel = QuietConfig();
+  parallel.num_threads = 4;
+  std::string threaded = Render(ValidateSystem(system, parallel));
+  EXPECT_EQ(first, threaded);
 }
 
 }  // namespace

@@ -2,9 +2,13 @@
 // the case-study HSM applications.
 //
 // Usage:
-//   parfait-lint --app=ecdsa|hasher [--crosscheck] [--mul-policy] [--json=FILE]
-//                [--baseline=FILE] [--update-baseline]
+//   parfait-lint --app=ecdsa|hasher [--opt-level=0|2] [--crosscheck] [--mul-policy]
+//                [--json=FILE] [--baseline=FILE] [--update-baseline]
 //                [--trace=FILE] [--telemetry-json=FILE]
+//
+// --opt-level selects which code generator built the linted firmware (default 0);
+// running the lint over the O2 binaries gives the optimized path the same static
+// leakage coverage as the O0 path.
 //
 // --trace= (or the PARFAIT_TRACE environment variable) captures a Chrome trace of
 // the run; --telemetry-json= dumps the global telemetry snapshot — both share the
@@ -88,10 +92,20 @@ std::string JsonEscape(const std::string& s) {
 int RunTool(int argc, char** argv) {
   std::string app_name = FlagValue(argc, argv, "app");
   if (app_name != "ecdsa" && app_name != "hasher") {
-    std::fprintf(stderr, "usage: parfait-lint --app=ecdsa|hasher [--crosscheck] "
-                         "[--mul-policy] [--json=FILE] [--baseline=FILE] "
-                         "[--update-baseline]\n");
+    std::fprintf(stderr, "usage: parfait-lint --app=ecdsa|hasher [--opt-level=0|2] "
+                         "[--crosscheck] [--mul-policy] [--json=FILE] "
+                         "[--baseline=FILE] [--update-baseline]\n");
     return 2;
+  }
+  std::string opt_str = FlagValue(argc, argv, "opt-level");
+  int opt_level = 0;
+  if (!opt_str.empty()) {
+    if (opt_str != "0" && opt_str != "2") {
+      std::fprintf(stderr, "parfait-lint: bad --opt-level value '%s' (use 0 or 2)\n",
+                   opt_str.c_str());
+      return 2;
+    }
+    opt_level = opt_str == "2" ? 2 : 0;
   }
   bool crosscheck = FlagSet(argc, argv, "crosscheck");
   bool mul_policy = FlagSet(argc, argv, "mul-policy");
@@ -107,6 +121,7 @@ int RunTool(int argc, char** argv) {
       app_name == "ecdsa" ? parfait::hsm::EcdsaApp() : parfait::hsm::HasherApp();
 
   parfait::hsm::HsmBuildOptions build;
+  build.opt_level = opt_level;
   build.taint_tracking = crosscheck;
   build.variable_latency_mul = mul_policy;
   parfait::hsm::HsmSystem system(app, build);

@@ -2,9 +2,13 @@
 // over the firmware of the case-study HSM applications.
 //
 // Usage:
-//   parfait-tv --app=ecdsa|hasher|all [--func=NAME] [--threads=N] [--json=FILE]
-//              [--baseline=FILE] [--update-baseline]
+//   parfait-tv --app=ecdsa|hasher|all [--opt-level=0|2] [--func=NAME] [--threads=N]
+//              [--json=FILE] [--baseline=FILE] [--update-baseline]
 //              [--trace=FILE] [--telemetry-json=FILE]
+//
+// --opt-level selects which code generator's output is validated: 0 (default, the
+// verified-compiler stand-in) or 2 (the optimizing generator, checked through its
+// witness transformer entries and the relaxed simulation relation).
 //
 // --trace= (or PARFAIT_TRACE) captures a Chrome trace; --telemetry-json= dumps the
 // global telemetry snapshot — the same observability knobs the benches take, via
@@ -85,9 +89,20 @@ int RunTool(int argc, char** argv) {
   std::string app_name = FlagValue(argc, argv, "app");
   if (app_name != "ecdsa" && app_name != "hasher" && app_name != "all") {
     std::fprintf(stderr,
-                 "usage: parfait-tv --app=ecdsa|hasher|all [--func=NAME] [--threads=N] "
-                 "[--json=FILE] [--baseline=FILE] [--update-baseline]\n");
+                 "usage: parfait-tv --app=ecdsa|hasher|all [--opt-level=0|2] "
+                 "[--func=NAME] [--threads=N] [--json=FILE] [--baseline=FILE] "
+                 "[--update-baseline]\n");
     return 2;
+  }
+  std::string opt_str = FlagValue(argc, argv, "opt-level");
+  int opt_level = 0;
+  if (!opt_str.empty()) {
+    if (opt_str != "0" && opt_str != "2") {
+      std::fprintf(stderr, "parfait-tv: bad --opt-level value '%s' (use 0 or 2)\n",
+                   opt_str.c_str());
+      return 2;
+    }
+    opt_level = opt_str == "2" ? 2 : 0;
   }
   TvConfig config;
   config.only_function = FlagValue(argc, argv, "func");
@@ -120,7 +135,9 @@ int RunTool(int argc, char** argv) {
   for (const std::string& name : app_names) {
     const parfait::hsm::App& app =
         name == "ecdsa" ? parfait::hsm::EcdsaApp() : parfait::hsm::HasherApp();
-    parfait::hsm::HsmSystem system(app, parfait::hsm::HsmBuildOptions{});
+    parfait::hsm::HsmBuildOptions build;
+    build.opt_level = opt_level;
+    parfait::hsm::HsmSystem system(app, build);
     AppRun run;
     run.name = name;
     run.report = parfait::analysis::ValidateSystem(system, config);
@@ -150,7 +167,8 @@ int RunTool(int argc, char** argv) {
       }
     }
     std::printf("  steps=%llu terms=%llu stmts=%llu secret_branches=%llu "
-                "secret_addresses=%llu unwitnessed=%llu\n",
+                "secret_addresses=%llu promoted_slots=%llu xforms=%llu "
+                "unwitnessed=%llu\n",
                 static_cast<unsigned long long>(run.report.telemetry.CounterValue("tv/steps")),
                 static_cast<unsigned long long>(run.report.telemetry.CounterValue("tv/terms")),
                 static_cast<unsigned long long>(run.report.telemetry.CounterValue("tv/stmts")),
@@ -158,6 +176,10 @@ int RunTool(int argc, char** argv) {
                     run.report.telemetry.CounterValue("tv/secret_branches")),
                 static_cast<unsigned long long>(
                     run.report.telemetry.CounterValue("tv/secret_addresses")),
+                static_cast<unsigned long long>(
+                    run.report.telemetry.CounterValue("tv/promoted_slots")),
+                static_cast<unsigned long long>(
+                    run.report.telemetry.CounterValue("tv/xforms")),
                 static_cast<unsigned long long>(
                     run.report.telemetry.CounterValue("tv/unwitnessed_functions")));
     total_findings += run.report.FindingCount();
