@@ -6,7 +6,12 @@
 // coverage numbers:
 //   {"bench":"micro_lint",
 //    "apps":[{"app":"hasher","instrs_analyzed":...,"fixpoint_iters":...,
-//             "findings":0,"seconds_to_fixpoint":...,"instr_per_s":...},...]}
+//             "findings":0,"contract_checks":...,"seconds_to_fixpoint":...,
+//             "instr_per_s":...},...]}
+//
+// contract_checks counts the per-instruction checks the leakage contract armed
+// (src/contract/contract.h) — the dispatch cost of contract-table-driven checks
+// versus the old hardcoded policy is contract_checks/instrs_analyzed.
 #include <benchmark/benchmark.h>
 
 #include <cstring>
@@ -37,11 +42,13 @@ void RunLintBench(benchmark::State& state, const std::string& app) {
   uint64_t instrs = 0;
   uint64_t iters = 0;
   uint64_t findings = 0;
+  uint64_t contract_checks = 0;
   for (auto _ : state) {
     analysis::LintReport report = analysis::RunLintForSystem(system);
     benchmark::DoNotOptimize(report.ok);
     instrs += report.telemetry.CounterValue("lint/instrs_analyzed");
     iters += report.telemetry.CounterValue("lint/fixpoint_iters");
+    contract_checks += report.telemetry.CounterValue("lint/contract_checks");
     findings = report.findings.size();
   }
   state.counters["instr/s"] =
@@ -53,6 +60,10 @@ void RunLintBench(benchmark::State& state, const std::string& app) {
       state.iterations() > 0 ? static_cast<double>(iters) / static_cast<double>(state.iterations())
                              : 0);
   state.counters["findings"] = benchmark::Counter(static_cast<double>(findings));
+  state.counters["contract_checks"] = benchmark::Counter(
+      state.iterations() > 0
+          ? static_cast<double>(contract_checks) / static_cast<double>(state.iterations())
+          : 0);
   state.SetLabel(app);
 }
 
@@ -106,9 +117,11 @@ std::string LintJson(const LintCollector& c) {
     char buf[512];
     std::snprintf(buf, sizeof(buf),
                   "%s{\"app\":\"%s\",\"instrs_analyzed\":%.0f,\"fixpoint_iters\":%.0f,"
-                  "\"findings\":%.0f,\"seconds_to_fixpoint\":%.4f,\"instr_per_s\":%.0f}",
+                  "\"findings\":%.0f,\"contract_checks\":%.0f,"
+                  "\"seconds_to_fixpoint\":%.4f,\"instr_per_s\":%.0f}",
                   first ? "" : ",", result.label.c_str(), counter("instrs_analyzed"),
-                  counter("fixpoint_iters"), counter("findings"), result.seconds_per_iter,
+                  counter("fixpoint_iters"), counter("findings"),
+                  counter("contract_checks"), result.seconds_per_iter,
                   counter("instr/s"));
     out += buf;
     first = false;

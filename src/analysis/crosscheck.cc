@@ -26,6 +26,9 @@ CrossCheckResult CrossCheck(const hsm::HsmSystem& system, const LintReport& repo
   }
   knox2::TaintCheckOptions taint_options;
   taint_options.max_cycles_per_command = options.max_cycles_per_command;
+  // Replay under the same contract the static lint checked against, so the two
+  // sides agree on which observation classes count as sinks.
+  taint_options.contract = &system.leakage_contract();
   knox2::TaintCheckResult dynamic =
       knox2::RunTaintCheck(system, system.app().InitStateEncoded(), commands, taint_options);
 

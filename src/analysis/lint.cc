@@ -779,9 +779,11 @@ class Interp {
       case Op::kMulh:
       case Op::kMulhsu:
       case Op::kMulhu: {
-        if (cfg_.policy.flag_variable_latency_mul &&
-            (a.IsSecret() || b.IsSecret())) {
-          Flag(pc, FindingKind::kSecretMul, a.IsSecret() ? a : b);
+        if (cfg_.contract.Leaks(contract::InstrClass::kMul, contract::kObsLatency)) {
+          contract_checks_++;
+          if (a.IsSecret() || b.IsSecret()) {
+            Flag(pc, FindingKind::kSecretMul, a.IsSecret() ? a : b);
+          }
         }
         AbsVal out = MergeTaint(a, b);
         uint64_t plo = static_cast<uint64_t>(a.lo) * b.lo;
@@ -809,8 +811,11 @@ class Interp {
       case Op::kDivu:
       case Op::kRem:
       case Op::kRemu: {
-        if (cfg_.policy.flag_div && (a.IsSecret() || b.IsSecret())) {
-          Flag(pc, FindingKind::kSecretDiv, a.IsSecret() ? a : b);
+        if (cfg_.contract.Leaks(contract::InstrClass::kDiv, contract::kObsLatency)) {
+          contract_checks_++;
+          if (a.IsSecret() || b.IsSecret()) {
+            Flag(pc, FindingKind::kSecretDiv, a.IsSecret() ? a : b);
+          }
         }
         AbsVal out = MergeTaint(a, b);
         if (a.IsConst() && b.IsConst()) {
@@ -840,8 +845,15 @@ class Interp {
       case Op::kLbu:
       case Op::kLhu: {
         AbsVal addr = AddVals(a, AbsVal::Const(uimm));
+        if (cfg_.contract.Leaks(contract::InstrClass::kLoad, contract::kObsAddress)) {
+          contract_checks_++;
+        }
         if (addr.IsSecret()) {
-          Flag(pc, FindingKind::kSecretLoad, addr);
+          // A secret address is unresolvable either way; the contract only decides
+          // whether it is additionally a finding.
+          if (cfg_.contract.Leaks(contract::InstrClass::kLoad, contract::kObsAddress)) {
+            Flag(pc, FindingKind::kSecretLoad, addr);
+          }
           SetReg(st, in.rd, AbsVal::TopSecret(prov_.Load(pc, addr.lo, addr.prov)));
           break;
         }
@@ -852,8 +864,13 @@ class Interp {
       case Op::kSh:
       case Op::kSw: {
         AbsVal addr = AddVals(a, AbsVal::Const(uimm));
+        if (cfg_.contract.Leaks(contract::InstrClass::kStore, contract::kObsAddress)) {
+          contract_checks_++;
+        }
         if (addr.IsSecret()) {
-          Flag(pc, FindingKind::kSecretStore, addr);
+          if (cfg_.contract.Leaks(contract::InstrClass::kStore, contract::kObsAddress)) {
+            Flag(pc, FindingKind::kSecretStore, addr);
+          }
           break;
         }
         WriteMem(addr, b, in.op, st);
@@ -997,8 +1014,11 @@ class Interp {
         case BlockExit::kBranch: {
           AbsVal a = st.regs[term.rs1];
           AbsVal b = st.regs[term.rs2];
-          if (JoinTaint(a.taint, b.taint) == Taint::kSecret) {
-            Flag(tpc, FindingKind::kSecretBranch, a.IsSecret() ? a : b);
+          if (cfg_.contract.Leaks(contract::InstrClass::kBranch, contract::kObsTarget)) {
+            contract_checks_++;
+            if (JoinTaint(a.taint, b.taint) == Taint::kSecret) {
+              Flag(tpc, FindingKind::kSecretBranch, a.IsSecret() ? a : b);
+            }
           }
           bool has_fall = blk.succs.size() > 1;
           if (a.IsConst() && b.IsConst()) {
@@ -1040,8 +1060,17 @@ class Interp {
         }
         case BlockExit::kIndirect: {
           AbsVal target = AddVals(st.regs[term.rs1], AbsVal::Const(static_cast<uint32_t>(term.imm)));
+          if (cfg_.contract.Leaks(contract::InstrClass::kJump, contract::kObsTarget)) {
+            contract_checks_++;
+          }
           if (target.IsSecret()) {
-            Flag(tpc, FindingKind::kSecretJump, target);
+            if (cfg_.contract.Leaks(contract::InstrClass::kJump, contract::kObsTarget)) {
+              Flag(tpc, FindingKind::kSecretJump, target);
+            } else {
+              // Still unresolvable; without the contract arming the check it is a
+              // precision caveat rather than a finding.
+              caveats_.unresolved_indirect_jumps++;
+            }
             break;
           }
           SetReg(st, term.rd, AbsVal::Const(tpc + 4));
@@ -1105,6 +1134,7 @@ class Interp {
   std::set<uint32_t> in_progress_;
   uint64_t steps_ = 0;
   uint64_t fixpoint_iters_ = 0;
+  uint64_t contract_checks_ = 0;  // Contract-armed check sites evaluated.
   uint64_t memo_hits_ = 0;
   uint64_t memo_misses_ = 0;
   bool aborted_ = false;
@@ -1152,6 +1182,7 @@ void Interp::Run(LintReport* report) {
   telemetry::TelemetrySnapshot& t = report->telemetry;
   t.AddCounter("lint/instrs_analyzed", steps_);
   t.AddCounter("lint/fixpoint_iters", fixpoint_iters_);
+  t.AddCounter("lint/contract_checks", contract_checks_);
   t.AddCounter("lint/findings", report->findings.size());
   t.AddCounter("lint/cfg_functions", graph_.functions.size());
   uint64_t blocks = 0;
@@ -1202,13 +1233,21 @@ const char* FindingKindDynamicWhat(FindingKind kind) {
 LintConfig ConfigForSystem(const hsm::HsmSystem& system) {
   LintConfig config;
   config.fram_secret_regions = hsm::SecretLayout::ForApp(system.app()).FramSecretRegions();
-  config.policy.flag_variable_latency_mul = system.options().variable_latency_mul;
+  config.contract = system.leakage_contract();
+  config.soc_id = system.soc_id();
   return config;
 }
 
 LintReport RunLint(const riscv::Image& image, const LintConfig& config) {
   TELEMETRY_SPAN("lint/run");
   LintReport report;
+  if (!config.soc_id.empty()) {
+    std::string mismatch = contract::ContractMismatch(config.contract, config.soc_id);
+    if (!mismatch.empty()) {
+      report.error = mismatch;
+      return report;
+    }
+  }
   auto cfg_result = BuildCfg(image);
   if (!cfg_result.ok()) {
     report.error = "CFG recovery failed: " + cfg_result.error();

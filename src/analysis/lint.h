@@ -4,9 +4,11 @@
 // recovered in cfg.h, with the domain of absdomain.h: unsigned intervals keep
 // addresses and loop counters bounded, the taint lattice tracks which values are
 // secret-derived, and provenance chains explain every finding back to the FRAM seed
-// region. The policy mirrors the dynamic taint monitor in src/soc/cpu_common.cc:
-// a Secret value must never decide a branch, a jump target, a load/store address,
-// or feed a divide (and, under the variable-latency-multiplier policy, a multiply).
+// region. The checks derive from the SoC's leakage contract (src/contract): a
+// Secret value must never feed an observation the contract declares — a branch or
+// jump target, a load/store address, a divide, and (under the `_vlm` contracts'
+// latency(operands) entry) a multiply. The same artifact configures the dynamic
+// taint monitor in src/soc/cpu_common.cc, so findings cross-check one-for-one.
 //
 // Analysis is context-sensitive: every call analyzes the callee in the caller's
 // abstract state (memoized on abstract equality), which is what keeps the two
@@ -25,6 +27,7 @@
 
 #include "src/analysis/absdomain.h"
 #include "src/analysis/cfg.h"
+#include "src/contract/contract.h"
 #include "src/hsm/hsm_system.h"
 #include "src/hsm/secret_layout.h"
 #include "src/riscv/assembler.h"
@@ -58,14 +61,6 @@ struct Finding {
   std::vector<std::string> provenance;
 };
 
-struct LintPolicy {
-  // Flag multiplies with tainted operands. Off by default: the baseline SoC
-  // multiplier is constant-time and the bignum kernels multiply secrets by design.
-  // Turn on when linting for the variable-latency-multiplier configuration.
-  bool flag_variable_latency_mul = false;
-  // Flag divides/remainders with tainted operands (always variable latency).
-  bool flag_div = true;
-};
 
 // Precision/termination caveat counters. Nonzero values mean the analysis was
 // sound-but-lossy somewhere; zero findings + zero caveats is the strongest verdict.
@@ -84,7 +79,14 @@ struct LintConfig {
   uint32_t fram_size = 8 * 1024;
   // FRAM-relative secret byte ranges (hsm::SecretLayout::FramSecretRegions()).
   std::vector<hsm::SecretRegion> fram_secret_regions;
-  LintPolicy policy;
+  // The leakage contract the checks derive from: a class is checked iff the
+  // contract declares an observation for it (branch/jump target, load/store
+  // address, mul/div latency). Defaults to the stock ibex_lite surface; mul is
+  // armed by the `_vlm` contracts (formerly the --mul-policy special case).
+  contract::LeakageContract contract = contract::BuiltinContract("ibex_lite");
+  // When non-empty, RunLint refuses a contract whose `soc` disagrees with this
+  // (ConfigForSystem fills in the system's soc_id()).
+  std::string soc_id;
   std::string entry = "_start";
   // Fuel limits: the fixpoint is finite by construction (widening), these only
   // bound pathological inputs so the tool always terminates with an error.
@@ -95,7 +97,7 @@ struct LintConfig {
 };
 
 // Config for linting exactly what an HsmSystem runs: secret regions from the shared
-// SecretLayout and the mul policy from the build options.
+// SecretLayout and the system's own leakage contract (BuiltinContract(soc_id())).
 LintConfig ConfigForSystem(const hsm::HsmSystem& system);
 
 struct LintReport {

@@ -1854,12 +1854,22 @@ class FunctionValidator {
 
   // Every instruction in the function must have been justified by the lockstep
   // walk; anything else is a control or memory action with no source counterpart —
-  // exactly the shape of an inserted timing channel.
+  // exactly the shape of an inserted timing channel. With a leakage contract
+  // configured, unjustified non-control instructions whose class the contract
+  // declares observable (load/store addresses, mul/div latency) are reported as
+  // their own kind: they leak through timing even without transferring control.
   void SweepUnvisited() {
     int flagged = 0;
     uint32_t skipped = 0;
     for (uint32_t pc = Abs(wf_.begin); pc < Abs(wf_.end); pc += 4) {
+      auto in = InstrAt(pc);
+      bool observable =
+          config_.contract != nullptr && in.has_value() &&
+          config_.contract->ObsFor(contract::ClassOf(in->op)) != contract::kObsNone;
       if (visited_.count(pc)) {
+        if (observable) {
+          out_->stats.contract_sites++;
+        }
         continue;
       }
       if (flagged >= 4) {
@@ -1867,17 +1877,23 @@ class FunctionValidator {
         continue;
       }
       flagged++;
-      auto in = InstrAt(pc);
       bool is_control =
           in.has_value() && (riscv::IsBranch(in->op) || riscv::IsJump(in->op));
       // Flag() sets failed_, which is fine here: the walk is already complete.
       stmt_line_ = 0;
-      Flag(is_control ? TvFindingKind::kUnjustifiedBranch
-                      : TvFindingKind::kUnjustifiedInstr,
-           pc,
-           is_control ? "control transfer never justified by the source walk "
-                        "(potential timing channel)"
-                      : "instruction never justified by the source walk");
+      if (is_control) {
+        Flag(TvFindingKind::kUnjustifiedBranch, pc,
+             "control transfer never justified by the source walk "
+             "(potential timing channel)");
+      } else if (observable) {
+        Flag(TvFindingKind::kUnjustifiedObservation, pc,
+             std::string("contract-observable instruction (") +
+                 contract::InstrClassName(contract::ClassOf(in->op)) +
+                 ") never justified by the source walk (potential timing channel)");
+      } else {
+        Flag(TvFindingKind::kUnjustifiedInstr, pc,
+             "instruction never justified by the source walk");
+      }
     }
     if (skipped > 0 && !out_->findings.empty()) {
       out_->findings.back().detail +=
@@ -1944,6 +1960,7 @@ const char* TvFindingKindName(TvFindingKind kind) {
     case TvFindingKind::kUnexpectedEffect: return "unexpected-effect";
     case TvFindingKind::kBranchMismatch: return "branch-mismatch";
     case TvFindingKind::kUnjustifiedBranch: return "unjustified-branch";
+    case TvFindingKind::kUnjustifiedObservation: return "unjustified-observation";
     case TvFindingKind::kUnjustifiedInstr: return "unjustified-instr";
     case TvFindingKind::kAbiViolation: return "abi-violation";
     case TvFindingKind::kStructureMismatch: return "structure-mismatch";
@@ -2075,6 +2092,7 @@ TvReport ValidateTranslation(const minicc::TranslationUnit& unit, const riscv::I
     report.telemetry.AddCounter("tv/secret_addresses", fr.stats.secret_addresses);
     report.telemetry.AddCounter("tv/promoted_slots", fr.stats.promoted_slots);
     report.telemetry.AddCounter("tv/xforms", fr.stats.xforms);
+    report.telemetry.AddCounter("tv/contract_sites", fr.stats.contract_sites);
     if (config.emit_evidence) {
       for (const TvFinding& f : fr.findings) {
         EmitEvidence(f);
@@ -2099,13 +2117,25 @@ TvReport ValidateTranslation(const minicc::TranslationUnit& unit, const riscv::I
 }
 
 TvReport ValidateSystem(const hsm::HsmSystem& system, const TvConfig& config) {
+  TvConfig effective = config;
+  if (effective.contract == nullptr) {
+    effective.contract = &system.leakage_contract();
+  } else {
+    std::string mismatch =
+        contract::ContractMismatch(*effective.contract, system.soc_id());
+    if (!mismatch.empty()) {
+      TvReport report;
+      report.error = mismatch;
+      return report;
+    }
+  }
   auto unit = minicc::Parse(system.firmware_source());
   if (!unit.ok()) {
     TvReport report;
     report.error = "re-parse of the firmware unit failed: " + unit.error();
     return report;
   }
-  return ValidateTranslation(unit.value(), system.image(), system.witness(), config);
+  return ValidateTranslation(unit.value(), system.image(), system.witness(), effective);
 }
 
 }  // namespace parfait::analysis

@@ -55,6 +55,7 @@
 #include <string>
 #include <vector>
 
+#include "src/contract/contract.h"
 #include "src/minicc/ast.h"
 #include "src/riscv/assembler.h"
 #include "src/riscv/witness.h"
@@ -74,6 +75,9 @@ enum class TvFindingKind : uint8_t {
   kUnexpectedEffect,   // Asm access with no pending source effect.
   kBranchMismatch,     // Branch shape/polarity/condition/target disagrees.
   kUnjustifiedBranch,  // Control transfer with no source counterpart (leakage).
+  kUnjustifiedObservation,  // Unjustified instruction whose class bears a leakage-
+                            // contract observation (address/latency): a potential
+                            // side channel even though it transfers no control.
   kUnjustifiedInstr,   // Instruction never justified by the lockstep walk.
   kAbiViolation,       // Prologue/epilogue contract broken (ra/sp/s-regs).
   kStructureMismatch,  // Asm layout disagrees with the witnessed statement ranges.
@@ -100,6 +104,8 @@ struct TvFunctionStats {
   uint64_t secret_addresses = 0;  // Memory addresses derived from secrets.
   uint64_t promoted_slots = 0;    // Locals promoted to callee-saved registers (O2).
   uint64_t xforms = 0;            // Witness transformer entries verified (O2).
+  uint64_t contract_sites = 0;    // Justified instructions whose class bears a
+                                  // contract observation (0 without a contract).
 };
 
 struct TvFunctionResult {
@@ -114,6 +120,12 @@ struct TvConfig {
   std::string only_function;  // When non-empty, validate just this function.
   uint64_t max_steps = 1u << 20;  // Per-function step budget.
   bool emit_evidence = true;      // Emit telemetry Evidence per finding.
+  // Leakage contract for the target SoC. When set, the leakage-preservation sweep
+  // classifies unjustified observation-bearing instructions (per the contract) as
+  // kUnjustifiedObservation and counts contract-relevant sites the walk justified
+  // (tv/contract_sites). ValidateSystem defaults this to the system's own contract
+  // and refuses an explicit contract whose SoC id mismatches the system.
+  const contract::LeakageContract* contract = nullptr;
 };
 
 struct TvReport {

@@ -1,0 +1,67 @@
+#include "src/contract/conformance.h"
+
+#include "src/knox2/leakage.h"
+#include "src/support/rng.h"
+
+namespace parfait::contract {
+
+ConformanceReport CheckConformance(const hsm::HsmSystem& system,
+                                   const LeakageContract& contract,
+                                   const ConformanceOptions& options) {
+  TELEMETRY_SPAN("contract/check_conformance");
+  ConformanceReport report;
+  report.soc_id = system.soc_id();
+  std::string mismatch = ContractMismatch(contract, report.soc_id);
+  if (!mismatch.empty()) {
+    report.error = mismatch;
+    return report;
+  }
+
+  // Static leg: the system's lint configuration with the given contract swapped in
+  // (the point of `check` is validating against an edited artifact, not the
+  // builtin the system was constructed with).
+  analysis::LintConfig config = analysis::ConfigForSystem(system);
+  config.contract = contract;
+  report.lint = analysis::RunLint(system.image(), config);
+  if (!report.lint.ok) {
+    report.error = "lint: " + report.lint.error;
+    return report;
+  }
+
+  if (options.dynamic_check) {
+    if (!system.options().taint_tracking) {
+      report.error = "--dynamic needs a system built with taint_tracking";
+      return report;
+    }
+    Rng rng(options.seed);
+    std::vector<Bytes> commands;
+    commands.reserve(static_cast<size_t>(options.commands));
+    for (int i = 0; i < options.commands; i++) {
+      commands.push_back(system.app().RandomValidCommand(rng));
+    }
+    knox2::TaintCheckOptions taint_options;
+    taint_options.max_cycles_per_command = options.max_cycles_per_command;
+    taint_options.num_threads = options.num_threads;
+    taint_options.contract = &contract;
+    knox2::TaintCheckResult dynamic =
+        knox2::RunTaintCheck(system, system.app().InitStateEncoded(), commands, taint_options);
+    if (!dynamic.error.empty()) {
+      report.error = "taint replay: " + dynamic.error;
+      return report;
+    }
+    report.dynamic_leaks = std::move(dynamic.leaks);
+    report.dynamic_commands = dynamic.checks_run;
+  }
+
+  report.ok = true;
+  report.telemetry.AddCounter("contract/static_findings", report.lint.findings.size());
+  report.telemetry.AddCounter("contract/static_checks",
+                              report.lint.telemetry.CounterValue("lint/contract_checks"));
+  report.telemetry.AddCounter("contract/dynamic_leaks", report.dynamic_leaks.size());
+  report.telemetry.AddCounter("contract/dynamic_commands",
+                              static_cast<uint64_t>(report.dynamic_commands));
+  telemetry::Telemetry::Global().Merge(report.telemetry);
+  return report;
+}
+
+}  // namespace parfait::contract

@@ -1,0 +1,59 @@
+// Static contract-conformance pass: checks one firmware build against one leakage
+// contract, with an optional dynamic replay leg.
+//
+// The static leg is the abstract-interpretation lint driven by the given contract
+// (instead of the system's own): every finding carries the usual provenance chain
+// back to the FRAM secret seed. The dynamic leg replays a deterministic command
+// workload under the Knox2 taint emulator with the sink set configured from the
+// same contract, so both legs answer the same question — "does this firmware keep
+// secrets away from every observation the contract declares?" — from two
+// independent directions. Reports are deterministic and thread-count independent.
+#ifndef PARFAIT_CONTRACT_CONFORMANCE_H_
+#define PARFAIT_CONTRACT_CONFORMANCE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/analysis/lint.h"
+#include "src/contract/contract.h"
+#include "src/hsm/hsm_system.h"
+#include "src/soc/bus.h"
+#include "src/support/telemetry.h"
+
+namespace parfait::contract {
+
+struct ConformanceOptions {
+  bool dynamic_check = false;  // Also replay under the Knox2 taint emulator
+                               // (requires a system built with taint_tracking).
+  int commands = 8;            // Dynamic replay workload size.
+  uint64_t seed = 0x5eed;      // Command seed; fixed so reports are reproducible.
+  int num_threads = 1;         // Dynamic-leg scheduling; results are identical at
+                               // any value.
+  uint64_t max_cycles_per_command = 600'000'000;
+};
+
+struct ConformanceReport {
+  bool ok = false;    // The pass ran (contract applicable, analysis completed).
+  std::string error;  // When !ok.
+  std::string soc_id;
+  // Static leg: contract-driven lint findings with provenance chains.
+  analysis::LintReport lint;
+  // Dynamic leg (when enabled): taint-policy violations under the contract's sinks.
+  std::vector<soc::TaintLeak> dynamic_leaks;
+  int dynamic_commands = 0;
+  telemetry::TelemetrySnapshot telemetry;
+
+  bool Clean() const { return ok && lint.findings.empty() && dynamic_leaks.empty(); }
+};
+
+// Refuses (ok = false) when the contract's SoC id mismatches the system's, when the
+// lint cannot complete, or when dynamic_check is requested on a system built
+// without taint_tracking.
+ConformanceReport CheckConformance(const hsm::HsmSystem& system,
+                                   const LeakageContract& contract,
+                                   const ConformanceOptions& options = {});
+
+}  // namespace parfait::contract
+
+#endif  // PARFAIT_CONTRACT_CONFORMANCE_H_

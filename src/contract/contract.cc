@@ -1,0 +1,314 @@
+#include "src/contract/contract.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace parfait::contract {
+
+namespace {
+
+// Classes in canonical (serialization) order == enum order.
+constexpr InstrClass kAllClasses[kNumInstrClasses] = {
+    InstrClass::kBranch, InstrClass::kJump, InstrClass::kLoad, InstrClass::kStore,
+    InstrClass::kMul,    InstrClass::kDiv,  InstrClass::kAlu,
+};
+
+// Which observations may be declared for each class. The restriction is semantic:
+// an ALU op has no address, a load has no operand-latency knob on these cores.
+uint8_t AllowedObs(InstrClass cls) {
+  switch (cls) {
+    case InstrClass::kBranch:
+    case InstrClass::kJump:
+      return kObsTarget;
+    case InstrClass::kLoad:
+    case InstrClass::kStore:
+      return kObsAddress;
+    case InstrClass::kMul:
+    case InstrClass::kDiv:
+      return kObsLatency;
+    case InstrClass::kAlu:
+      return kObsNone;
+  }
+  return kObsNone;
+}
+
+struct ObsKind {
+  const char* name;
+  Obs bit;
+};
+constexpr ObsKind kObsKinds[] = {
+    {"target", kObsTarget},
+    {"address", kObsAddress},
+    {"latency(operands)", kObsLatency},
+};
+
+std::string ObsSetName(uint8_t mask) {
+  if (mask == 0) {
+    return "none";
+  }
+  std::string out;
+  for (const ObsKind& kind : kObsKinds) {
+    if ((mask & kind.bit) != 0) {
+      if (!out.empty()) {
+        out += ", ";
+      }
+      out += kind.name;
+    }
+  }
+  return out;
+}
+
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) {
+    return "";
+  }
+  size_t e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+bool ValidSocId(const std::string& soc) {
+  if (soc.empty()) {
+    return false;
+  }
+  for (char c : soc) {
+    if (!((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_')) {
+      return false;
+    }
+  }
+  return true;
+}
+
+const char* kHeaderComment =
+    "# Parfait ISA-level leakage contract.\n"
+    "# One observation set per RV32IM instruction class; `none` means the class is\n"
+    "# architecturally constant-time on this SoC. Validate with `parfait-contract\n"
+    "# lint` (well-formedness + canonical form) and verify firmware against it with\n"
+    "# `parfait-contract check`.\n";
+
+}  // namespace
+
+const char* InstrClassName(InstrClass cls) {
+  switch (cls) {
+    case InstrClass::kBranch: return "branch";
+    case InstrClass::kJump: return "jump";
+    case InstrClass::kLoad: return "load";
+    case InstrClass::kStore: return "store";
+    case InstrClass::kMul: return "mul";
+    case InstrClass::kDiv: return "div";
+    case InstrClass::kAlu: return "alu";
+  }
+  return "?";
+}
+
+InstrClass ClassOf(riscv::Op op) {
+  using riscv::Op;
+  if (riscv::IsBranch(op)) {
+    return InstrClass::kBranch;
+  }
+  if (riscv::IsJump(op)) {
+    return InstrClass::kJump;
+  }
+  if (riscv::IsLoad(op)) {
+    return InstrClass::kLoad;
+  }
+  if (riscv::IsStore(op)) {
+    return InstrClass::kStore;
+  }
+  switch (op) {
+    case Op::kMul:
+    case Op::kMulh:
+    case Op::kMulhsu:
+    case Op::kMulhu:
+      return InstrClass::kMul;
+    case Op::kDiv:
+    case Op::kDivu:
+    case Op::kRem:
+    case Op::kRemu:
+      return InstrClass::kDiv;
+    default:
+      return InstrClass::kAlu;
+  }
+}
+
+Result<LeakageContract> ParseContract(const std::string& text) {
+  LeakageContract c;
+  bool have_header = false;
+  std::array<bool, kNumInstrClasses> seen{};
+  std::istringstream in(text);
+  std::string raw;
+  int lineno = 0;
+  while (std::getline(in, raw)) {
+    lineno++;
+    std::string line = Trim(raw);
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    auto err = [&](const std::string& what) {
+      return Result<LeakageContract>::Error("line " + std::to_string(lineno) + ": " + what);
+    };
+    if (!have_header) {
+      std::istringstream hdr(line);
+      std::string kw, soc, ver;
+      hdr >> kw >> soc >> ver;
+      std::string extra;
+      if (kw != "contract" || (hdr >> extra) || ver.size() < 2 || ver.size() > 7 ||
+          ver[0] != 'v') {
+        return err("expected header `contract <soc> v<version>`, got '" + line + "'");
+      }
+      if (!ValidSocId(soc)) {
+        return err("bad SoC id '" + soc + "' (lowercase snake_case required)");
+      }
+      for (size_t i = 1; i < ver.size(); i++) {
+        if (ver[i] < '0' || ver[i] > '9') {
+          return err("bad version '" + ver + "'");
+        }
+      }
+      c.soc = soc;
+      c.version = std::stoi(ver.substr(1));
+      have_header = true;
+      continue;
+    }
+    size_t colon = line.find(':');
+    if (colon == std::string::npos) {
+      return err("expected `<class>: <observations>`, got '" + line + "'");
+    }
+    std::string cls_name = Trim(line.substr(0, colon));
+    const InstrClass* cls = nullptr;
+    for (const InstrClass& candidate : kAllClasses) {
+      if (cls_name == InstrClassName(candidate)) {
+        cls = &candidate;
+        break;
+      }
+    }
+    if (cls == nullptr) {
+      return err("unknown instruction class '" + cls_name + "'");
+    }
+    if (seen[static_cast<size_t>(*cls)]) {
+      return err("duplicate entry for class '" + cls_name + "'");
+    }
+    seen[static_cast<size_t>(*cls)] = true;
+    std::string rest = Trim(line.substr(colon + 1));
+    if (rest.empty()) {
+      return err("missing observation kind for class '" + cls_name + "'");
+    }
+    uint8_t mask = 0;
+    if (rest != "none") {
+      // Comma-separated observation kinds. `latency(operands)` contains no comma,
+      // so a flat split is unambiguous.
+      size_t pos = 0;
+      while (pos <= rest.size()) {
+        size_t comma = rest.find(',', pos);
+        std::string tok = Trim(rest.substr(pos, comma == std::string::npos
+                                                    ? std::string::npos
+                                                    : comma - pos));
+        pos = comma == std::string::npos ? rest.size() + 1 : comma + 1;
+        const ObsKind* kind = nullptr;
+        for (const ObsKind& candidate : kObsKinds) {
+          if (tok == candidate.name) {
+            kind = &candidate;
+            break;
+          }
+        }
+        if (kind == nullptr) {
+          return err("unknown observation kind '" + tok + "' (use none, target, "
+                     "address, or latency(operands))");
+        }
+        if ((AllowedObs(*cls) & kind->bit) == 0) {
+          return err("observation '" + tok + "' does not apply to class '" + cls_name + "'");
+        }
+        if ((mask & kind->bit) != 0) {
+          return err("duplicate observation '" + tok + "' for class '" + cls_name + "'");
+        }
+        mask |= kind->bit;
+      }
+    }
+    c.obs[static_cast<size_t>(*cls)] = mask;
+  }
+  if (!have_header) {
+    return Result<LeakageContract>::Error("missing `contract <soc> v<version>` header");
+  }
+  for (const InstrClass& cls : kAllClasses) {
+    if (!seen[static_cast<size_t>(cls)]) {
+      return Result<LeakageContract>::Error(std::string("missing entry for class '") +
+                                            InstrClassName(cls) + "'");
+    }
+  }
+  return c;
+}
+
+std::string SerializeContract(const LeakageContract& contract) {
+  std::string out = kHeaderComment;
+  out += "contract " + contract.soc + " v" + std::to_string(contract.version) + "\n";
+  for (const InstrClass& cls : kAllClasses) {
+    out += std::string(InstrClassName(cls)) + ": " + ObsSetName(contract.ObsFor(cls)) + "\n";
+  }
+  return out;
+}
+
+Result<LeakageContract> LoadContractFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Result<LeakageContract>::Error("cannot read contract file " + path);
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  auto parsed = ParseContract(text.str());
+  if (!parsed.ok()) {
+    return Result<LeakageContract>::Error(path + ": " + parsed.error());
+  }
+  return parsed;
+}
+
+bool HasBuiltinContract(const std::string& soc_id) {
+  return soc_id == "ibex_lite" || soc_id == "pico_lite" || soc_id == "ibex_lite_vlm" ||
+         soc_id == "pico_lite_vlm";
+}
+
+LeakageContract BuiltinContract(const std::string& soc_id) {
+  PARFAIT_CHECK_MSG(HasBuiltinContract(soc_id), "no builtin contract for SoC '%s'",
+                    soc_id.c_str());
+  LeakageContract c;
+  c.soc = soc_id;
+  c.version = 1;
+  // Both modeled cores: in-order, blocking memory system, iterative divider. The
+  // timing channels are control flow, memory addresses, and divide latency.
+  c.obs[static_cast<size_t>(InstrClass::kBranch)] = kObsTarget;
+  c.obs[static_cast<size_t>(InstrClass::kJump)] = kObsTarget;
+  c.obs[static_cast<size_t>(InstrClass::kLoad)] = kObsAddress;
+  c.obs[static_cast<size_t>(InstrClass::kStore)] = kObsAddress;
+  c.obs[static_cast<size_t>(InstrClass::kDiv)] = kObsLatency;
+  // The `_vlm` build swaps in the data-dependent-latency multiplier.
+  if (soc_id.size() > 4 && soc_id.compare(soc_id.size() - 4, 4, "_vlm") == 0) {
+    c.obs[static_cast<size_t>(InstrClass::kMul)] = kObsLatency;
+  }
+  return c;
+}
+
+std::vector<std::string> DiffContracts(const LeakageContract& a, const LeakageContract& b) {
+  std::vector<std::string> out;
+  if (a.soc != b.soc) {
+    out.push_back("soc: " + a.soc + " -> " + b.soc);
+  }
+  if (a.version != b.version) {
+    out.push_back("version: v" + std::to_string(a.version) + " -> v" +
+                  std::to_string(b.version));
+  }
+  for (const InstrClass& cls : kAllClasses) {
+    if (a.ObsFor(cls) != b.ObsFor(cls)) {
+      out.push_back(std::string(InstrClassName(cls)) + ": " + ObsSetName(a.ObsFor(cls)) +
+                    " -> " + ObsSetName(b.ObsFor(cls)));
+    }
+  }
+  return out;
+}
+
+std::string ContractMismatch(const LeakageContract& contract, const std::string& target_soc_id) {
+  if (contract.soc == target_soc_id) {
+    return "";
+  }
+  return "leakage contract is for SoC '" + contract.soc + "' but the target is '" +
+         target_soc_id + "'";
+}
+
+}  // namespace parfait::contract

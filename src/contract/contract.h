@@ -1,0 +1,100 @@
+// ISA-level leakage contracts (Wang et al., "Leakage Contracts", PAPERS.md).
+//
+// A contract is the single declarative statement of a SoC's leakage surface: for
+// each RV32IM instruction class, which observations an adversary on the wire may
+// learn when that class executes. `branch: target` says control flow is visible;
+// `load: address` / `store: address` say the memory system's timing keys on the
+// address; `mul: latency(operands)` says the multiplier's cycle count keys on its
+// operand magnitudes (the variable-latency configuration). `none` says the class
+// is architecturally constant-time on this SoC.
+//
+// Every verification layer consumes the same parsed artifact instead of a private
+// policy table: the abstract-interpretation lint derives its secret-operand checks
+// from it (src/analysis/lint.h), the translation validator classifies unjustified
+// observation-bearing instructions with it (src/analysis/tv/tv.h), and the Knox2
+// dynamic taint emulator configures its sink set from it (src/knox2/leakage.h).
+// Committed artifacts live in tools/contracts/<soc>.contract; `parfait-contract`
+// lints, diffs, and checks firmware against them.
+//
+// The text format round-trips byte-identically: SerializeContract(ParseContract(t))
+// == t for any canonical-form t, and committed artifacts are pinned to canonical
+// form by `parfait-contract lint` in CI.
+#ifndef PARFAIT_CONTRACT_CONTRACT_H_
+#define PARFAIT_CONTRACT_CONTRACT_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/riscv/isa.h"
+#include "src/support/status.h"
+
+namespace parfait::contract {
+
+// Instruction classes at contract granularity. Every RV32IM opcode maps to exactly
+// one class (ClassOf); kAlu is the catch-all for classes with no observable
+// microarchitectural knob on the modeled SoCs.
+enum class InstrClass : uint8_t {
+  kBranch,  // Conditional branches.
+  kJump,    // jal / jalr.
+  kLoad,
+  kStore,
+  kMul,  // mul / mulh / mulhsu / mulhu.
+  kDiv,  // div / divu / rem / remu.
+  kAlu,  // Everything else (ALU ops, lui/auipc, fence, ecall/ebreak).
+};
+inline constexpr int kNumInstrClasses = 7;
+
+const char* InstrClassName(InstrClass cls);
+InstrClass ClassOf(riscv::Op op);
+
+// What a class may leak, as a bitmask. Applicability is restricted per class and
+// enforced by the parser: target for branch/jump, address for load/store,
+// latency(operands) for mul/div; alu may only be `none`.
+enum Obs : uint8_t {
+  kObsNone = 0,
+  kObsTarget = 1,   // The control-transfer target (taken/not-taken, jump target).
+  kObsAddress = 2,  // The effective memory address.
+  kObsLatency = 4,  // Cycle count as a function of the operand values.
+};
+
+struct LeakageContract {
+  std::string soc;  // SoC id, lowercase snake_case: ibex_lite, pico_lite, *_vlm.
+  int version = 1;
+  std::array<uint8_t, kNumInstrClasses> obs{};  // Obs bitmask, indexed by InstrClass.
+
+  uint8_t ObsFor(InstrClass cls) const { return obs[static_cast<size_t>(cls)]; }
+  bool Leaks(InstrClass cls, Obs o) const { return (ObsFor(cls) & o) != 0; }
+
+  friend bool operator==(const LeakageContract&, const LeakageContract&) = default;
+};
+
+// Strict parse: a `contract <soc> v<version>` header followed by exactly one entry
+// per class (any order). Unknown classes, duplicate entries, missing classes,
+// unknown or inapplicable observation kinds, and malformed headers are errors.
+Result<LeakageContract> ParseContract(const std::string& text);
+
+// Canonical text form: fixed comment header, then the classes in declaration order
+// with their observation sets. ParseContract(SerializeContract(c)) == c always.
+std::string SerializeContract(const LeakageContract& contract);
+
+Result<LeakageContract> LoadContractFile(const std::string& path);
+
+// The in-tree contracts for the modeled SoCs (ibex_lite, pico_lite, and their
+// variable-latency-multiplier `_vlm` variants). CHECK-fails on an unknown id;
+// probe with HasBuiltinContract first for user input.
+bool HasBuiltinContract(const std::string& soc_id);
+LeakageContract BuiltinContract(const std::string& soc_id);
+
+// Human-readable per-class differences ("mul: latency(operands) -> none"), plus
+// soc/version differences. Empty iff a == b.
+std::vector<std::string> DiffContracts(const LeakageContract& a, const LeakageContract& b);
+
+// "" when `contract` is the contract for `target_soc_id`; otherwise a diagnostic.
+// Every layer refuses to run with a mismatched contract via this single check.
+std::string ContractMismatch(const LeakageContract& contract, const std::string& target_soc_id);
+
+}  // namespace parfait::contract
+
+#endif  // PARFAIT_CONTRACT_CONTRACT_H_

@@ -29,6 +29,9 @@ riscv::Image BuildImage(const App& app, const HsmBuildOptions& options,
 HsmSystem::HsmSystem(const App& app, const HsmBuildOptions& options)
     : app_(&app),
       options_(options),
+      soc_id_(std::string(options.cpu == soc::CpuKind::kIbexLite ? "ibex_lite" : "pico_lite") +
+              (options.variable_latency_mul ? "_vlm" : "")),
+      leakage_contract_(contract::BuiltinContract(soc_id_)),
       image_(BuildImage(app, options, &witness_, &firmware_source_)),
       model_asm_(image_, platform::ModelAsm::Sizes{static_cast<uint32_t>(app.state_size()),
                                                    static_cast<uint32_t>(app.command_size()),

@@ -5,7 +5,9 @@
 #define PARFAIT_HSM_HSM_SYSTEM_H_
 
 #include <memory>
+#include <string>
 
+#include "src/contract/contract.h"
 #include "src/hsm/app.h"
 #include "src/minicc/codegen.h"
 #include "src/platform/model_asm.h"
@@ -43,6 +45,15 @@ class HsmSystem {
   const riscv::Witness& witness() const { return witness_; }
   const std::string& firmware_source() const { return firmware_source_; }
 
+  // Contract identity of the configured SoC: the lowercase cpu kind plus `_vlm`
+  // when the variable-latency multiplier is selected ("ibex_lite_vlm"). Names the
+  // committed artifact tools/contracts/<soc_id>.contract.
+  const std::string& soc_id() const { return soc_id_; }
+  // The builtin leakage contract for that SoC — what lint, TV, and the Knox2 taint
+  // emulator check against unless an explicit artifact is supplied. All three
+  // refuse contracts whose `soc` field disagrees with soc_id().
+  const contract::LeakageContract& leakage_contract() const { return leakage_contract_; }
+
   // Fresh power-on (zeroed FRAM).
   std::unique_ptr<soc::Soc> NewSoc() const;
   // Power-on resuming from persisted FRAM contents.
@@ -59,6 +70,8 @@ class HsmSystem {
 
   const App* app_;
   HsmBuildOptions options_;
+  std::string soc_id_;
+  contract::LeakageContract leakage_contract_;
   // Declared before image_: the image build fills them in as side outputs.
   riscv::Witness witness_;
   std::string firmware_source_;

@@ -197,12 +197,32 @@ Bytes MakeSecretVariant(const hsm::App& app, const Bytes& state, Rng& rng) {
   return variant;
 }
 
+soc::TaintSinks SinksFromContract(const contract::LeakageContract& contract) {
+  using contract::InstrClass;
+  soc::TaintSinks sinks;
+  sinks.branch = contract.Leaks(InstrClass::kBranch, contract::kObsTarget);
+  sinks.jump = contract.Leaks(InstrClass::kJump, contract::kObsTarget);
+  sinks.load = contract.Leaks(InstrClass::kLoad, contract::kObsAddress);
+  sinks.store = contract.Leaks(InstrClass::kStore, contract::kObsAddress);
+  sinks.mul = contract.Leaks(InstrClass::kMul, contract::kObsLatency);
+  sinks.div = contract.Leaks(InstrClass::kDiv, contract::kObsLatency);
+  return sinks;
+}
+
 TaintCheckResult RunTaintCheck(const hsm::HsmSystem& system, const Bytes& state,
                                const std::vector<Bytes>& commands,
                                const TaintCheckOptions& options) {
   TELEMETRY_SPAN("knox2/run_taint_check");
   PARFAIT_CHECK_MSG(system.options().taint_tracking,
                     "RunTaintCheck needs an HsmSystem built with taint_tracking");
+  if (options.contract != nullptr) {
+    std::string mismatch = contract::ContractMismatch(*options.contract, system.soc_id());
+    if (!mismatch.empty()) {
+      TaintCheckResult refused;
+      refused.error = mismatch;
+      return refused;
+    }
+  }
   auto starts = SpecPrefixStates(system, state, state, commands);
 
   // Every command is an independent obligation: fresh tainted SoC from the
@@ -219,6 +239,9 @@ TaintCheckResult RunTaintCheck(const hsm::HsmSystem& system, const Bytes& state,
                          " cmd=" + std::to_string(c));
     }
     auto soc = system.NewSocWithFram(system.MakeFram(starts[c].first));
+    if (options.contract != nullptr) {
+      soc->bus().set_taint_sinks(SinksFromContract(*options.contract));
+    }
     system.SeedSecretTaint(*soc);
     soc::WireHost host(soc.get());
     host.Transact(commands[c], system.app().response_size(), options.max_cycles_per_command);

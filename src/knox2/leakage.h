@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "src/contract/contract.h"
 #include "src/hsm/hsm_system.h"
 #include "src/support/telemetry.h"
 
@@ -76,9 +77,18 @@ struct TaintCheckOptions {
   uint64_t max_cycles_per_command = 600'000'000;
   // Same scheduling knob as SelfCompOptions::num_threads.
   int num_threads = 0;
+  // When set, the emulator's sink set is configured from this leakage contract
+  // (only the observations the contract declares are recorded) and the run refuses
+  // a contract whose SoC id mismatches the system's. When null, every sink stays
+  // armed — the conservative legacy behavior, which over-approximates on SoCs
+  // whose contract marks a class non-leaking (e.g. fixed-latency multiplies).
+  const contract::LeakageContract* contract = nullptr;
 };
 
 struct TaintCheckResult {
+  // Set when the check refused to run (contract/SoC mismatch); no leaks were
+  // collected in that case.
+  std::string error;
   // Recorded taint-policy violations, concatenated in command order.
   std::vector<soc::TaintLeak> leaks;
   // Per-command obligations executed (every command always runs; a fault or timeout
@@ -94,6 +104,10 @@ struct TaintCheckResult {
 TaintCheckResult RunTaintCheck(const hsm::HsmSystem& system, const Bytes& state,
                                const std::vector<Bytes>& commands,
                                const TaintCheckOptions& options = {});
+
+// The emulator sink set a leakage contract induces: a class's sink is armed iff the
+// contract declares an observation for it.
+soc::TaintSinks SinksFromContract(const contract::LeakageContract& contract);
 
 }  // namespace parfait::knox2
 

@@ -68,6 +68,21 @@ struct TaintLeak {
   std::string what;
 };
 
+// Which instruction classes the taint monitor treats as leak sinks. The default is
+// all-on: with no leakage contract configured, the monitor stays conservative and
+// records every secret-dependent observation site (including fixed-latency
+// multiplies — the timing model decides whether they matter; the monitor records
+// the operand taint). A parsed contract (src/contract/contract.h) narrows this to
+// exactly the observations the SoC declares; see knox2::TaintCheckOptions.
+struct TaintSinks {
+  bool branch = true;  // Branch on a secret-derived condition.
+  bool jump = true;    // jalr target derived from secret.
+  bool load = true;    // Load address derived from secret.
+  bool store = true;   // Store address derived from secret.
+  bool mul = true;     // Multiply with a tainted operand.
+  bool div = true;     // Divide/remainder with a tainted operand.
+};
+
 class Bus {
  public:
   explicit Bus(const BusConfig& config);
@@ -96,6 +111,8 @@ class Bus {
   const std::vector<TaintLeak>& leaks() const { return leaks_; }
   bool taint_tracking() const { return taint_tracking_; }
   void set_taint_tracking(bool on) { taint_tracking_ = on; }
+  const TaintSinks& taint_sinks() const { return taint_sinks_; }
+  void set_taint_sinks(const TaintSinks& sinks) { taint_sinks_ = sinks; }
 
   // Introspection for checkers and the emulator template.
   Bytes ReadBytes(uint32_t addr, uint32_t size) const;
@@ -126,6 +143,7 @@ class Bus {
   Uart uart_;
   std::vector<TaintLeak> leaks_;
   bool taint_tracking_ = false;
+  TaintSinks taint_sinks_;
 
   // Decode cache for ROM words. decoded_raw_ keeps the encoded word next to the
   // decode so a warm Fetch never re-reads ROM.

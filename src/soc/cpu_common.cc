@@ -85,6 +85,8 @@ ExecOutcome ExecuteOne(ExecState& state, const Instr& in, Bus& bus) {
   }
   out.operands_tainted = rs1.AnyTaint() || rs2.AnyTaint();
   bool tracking = bus.taint_tracking();
+  // Per-class sink gating: all-on by default; a leakage contract narrows it.
+  const TaintSinks& sinks = bus.taint_sinks();
 
   switch (in.op) {
     case Op::kLui:
@@ -115,7 +117,7 @@ ExecOutcome ExecuteOne(ExecState& state, const Instr& in, Bus& bus) {
     case Op::kMulh:
     case Op::kMulhsu:
     case Op::kMulhu:
-      if (tracking && out.operands_tainted) {
+      if (tracking && sinks.mul && out.operands_tainted) {
         // Only a policy violation on hardware with data-dependent multiply timing; the
         // CPU timing model decides, but we record the operand taint site here.
         bus.RecordLeak(state.pc, "multiply with tainted operand");
@@ -127,7 +129,7 @@ ExecOutcome ExecuteOne(ExecState& state, const Instr& in, Bus& bus) {
     case Op::kDivu:
     case Op::kRem:
     case Op::kRemu:
-      if (tracking && out.operands_tainted) {
+      if (tracking && sinks.div && out.operands_tainted) {
         bus.RecordLeak(state.pc, "divide with tainted operand");
       }
       state.SetReg(in.rd, Alu(in.op, rs1, rs2, in.imm, state.pc));
@@ -139,7 +141,7 @@ ExecOutcome ExecuteOne(ExecState& state, const Instr& in, Bus& bus) {
       out.cls = ExecClass::kJump;
       break;
     case Op::kJalr: {
-      if (tracking && rs1.AnyTaint()) {
+      if (tracking && sinks.jump && rs1.AnyTaint()) {
         bus.RecordLeak(state.pc, "jump target derived from secret");
       }
       uint32_t target = (rs1.bits + static_cast<uint32_t>(in.imm)) & ~1u;
@@ -154,7 +156,7 @@ ExecOutcome ExecuteOne(ExecState& state, const Instr& in, Bus& bus) {
     case Op::kBge:
     case Op::kBltu:
     case Op::kBgeu: {
-      if (tracking && out.operands_tainted) {
+      if (tracking && sinks.branch && out.operands_tainted) {
         bus.RecordLeak(state.pc, "branch on secret-derived condition");
       }
       bool taken = false;
@@ -182,7 +184,7 @@ ExecOutcome ExecuteOne(ExecState& state, const Instr& in, Bus& bus) {
     case Op::kLw:
     case Op::kLbu:
     case Op::kLhu: {
-      if (tracking && rs1.AnyTaint()) {
+      if (tracking && sinks.load && rs1.AnyTaint()) {
         bus.RecordLeak(state.pc, "load address derived from secret");
       }
       uint32_t addr = rs1.bits + static_cast<uint32_t>(in.imm);
@@ -207,7 +209,7 @@ ExecOutcome ExecuteOne(ExecState& state, const Instr& in, Bus& bus) {
     case Op::kSb:
     case Op::kSh:
     case Op::kSw: {
-      if (tracking && rs1.AnyTaint()) {
+      if (tracking && sinks.store && rs1.AnyTaint()) {
         bus.RecordLeak(state.pc, "store address derived from secret");
       }
       uint32_t addr = rs1.bits + static_cast<uint32_t>(in.imm);

@@ -1,0 +1,102 @@
+// Tests for the shared baseline-file handling (tools/baseline.h): the atomic
+// rewrite must either fully replace the baseline or leave the original untouched
+// and report the failure, so a CLI never exits 0 over a stale baseline.
+#include "tools/baseline.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace parfait::tools {
+namespace {
+
+namespace fs = std::filesystem;
+
+class BaselineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("parfait_baseline_test_" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+  std::string Path(const std::string& name) const { return (dir_ / name).string(); }
+
+  fs::path dir_;
+};
+
+TEST_F(BaselineTest, WriteThenLoadRoundTrips) {
+  std::string path = Path("b.txt");
+  std::vector<std::string> lines = {"ecdsa 0x00000010 secret-mul",
+                                    "hasher 0x00000020 secret-branch"};
+  std::string error;
+  ASSERT_TRUE(WriteBaselineAtomic(path, "# header\n", lines, &error)) << error;
+
+  std::set<std::string> loaded;
+  ASSERT_TRUE(LoadBaseline(path, &loaded, &error)) << error;
+  EXPECT_EQ(loaded, std::set<std::string>(lines.begin(), lines.end()));
+  // No leftover temp file from the atomic rewrite.
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+}
+
+TEST_F(BaselineTest, LoadSkipsCommentsAndBlankLines) {
+  std::string path = Path("b.txt");
+  {
+    std::ofstream out(path);
+    out << "# comment\n\nkey one\n# another\nkey two\n\n";
+  }
+  std::set<std::string> loaded;
+  std::string error;
+  ASSERT_TRUE(LoadBaseline(path, &loaded, &error)) << error;
+  EXPECT_EQ(loaded, (std::set<std::string>{"key one", "key two"}));
+}
+
+TEST_F(BaselineTest, LoadMissingFileFails) {
+  std::set<std::string> loaded;
+  std::string error;
+  EXPECT_FALSE(LoadBaseline(Path("nope.txt"), &loaded, &error));
+  EXPECT_NE(error.find("cannot read"), std::string::npos) << error;
+}
+
+TEST_F(BaselineTest, WriteIntoMissingDirectoryFails) {
+  std::string path = Path("no_such_dir/b.txt");
+  std::string error;
+  EXPECT_FALSE(WriteBaselineAtomic(path, "# h\n", {"k"}, &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+}
+
+TEST_F(BaselineTest, RenameFailureKeepsOriginalAndReports) {
+  // A directory at the destination makes the final rename fail; the original
+  // baseline (here: absent) must stay untouched and the temp file cleaned up.
+  std::string path = Path("victim");
+  fs::create_directories(fs::path(path) / "occupied");
+  std::string error;
+  EXPECT_FALSE(WriteBaselineAtomic(path, "# h\n", {"k"}, &error));
+  EXPECT_NE(error.find("rename"), std::string::npos) << error;
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+  EXPECT_TRUE(fs::is_directory(path));
+}
+
+TEST_F(BaselineTest, UpdatePreservesUnrelatedEntriesAtomically) {
+  std::string path = Path("b.txt");
+  std::string error;
+  ASSERT_TRUE(WriteBaselineAtomic(path, "# h\n", {"old entry"}, &error)) << error;
+  ASSERT_TRUE(WriteBaselineAtomic(path, "# h\n", {"new entry"}, &error)) << error;
+  std::set<std::string> loaded;
+  ASSERT_TRUE(LoadBaseline(path, &loaded, &error)) << error;
+  EXPECT_EQ(loaded, (std::set<std::string>{"new entry"}));
+}
+
+}  // namespace
+}  // namespace parfait::tools

@@ -1,0 +1,311 @@
+// Tests for the leakage-contract subsystem (src/contract/): text-format
+// round-trip and strict rejection, the single soc-id refusal shared by lint, TV,
+// and Knox2, the conformance pass, and the divergence experiment the ISSUE pins:
+// weakening a contract (mul latency marked non-leaking) must flip a seeded
+// secret-dependent-mul mutant from caught to missed in both the static lint and
+// the dynamic taint emulator, byte-identically at any thread count.
+#include "src/contract/contract.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/analysis/lint.h"
+#include "src/analysis/tv/tv.h"
+#include "src/contract/conformance.h"
+#include "src/hsm/app.h"
+#include "src/hsm/hsm_system.h"
+#include "src/knox2/leakage.h"
+#include "src/support/rng.h"
+
+namespace parfait::contract {
+namespace {
+
+using hsm::HsmBuildOptions;
+using hsm::HsmSystem;
+
+TEST(ContractFormat, SerializeParseRoundTripsByteIdentically) {
+  for (const char* soc : {"ibex_lite", "pico_lite", "ibex_lite_vlm", "pico_lite_vlm"}) {
+    LeakageContract original = BuiltinContract(soc);
+    std::string text = SerializeContract(original);
+    auto reparsed = ParseContract(text);
+    ASSERT_TRUE(reparsed.ok()) << soc << ": " << reparsed.error();
+    EXPECT_EQ(reparsed.value(), original) << soc;
+    EXPECT_EQ(SerializeContract(reparsed.value()), text) << soc;
+  }
+}
+
+TEST(ContractFormat, ParsesEntriesInAnyOrder) {
+  std::string text =
+      "contract pico_lite v3\n"
+      "alu: none\n"
+      "div: latency(operands)\n"
+      "store: address\n"
+      "load: address\n"
+      "mul: none\n"
+      "jump: target\n"
+      "branch: target\n";
+  auto parsed = ParseContract(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  EXPECT_EQ(parsed.value().soc, "pico_lite");
+  EXPECT_EQ(parsed.value().version, 3);
+  EXPECT_TRUE(parsed.value().Leaks(InstrClass::kBranch, kObsTarget));
+  EXPECT_FALSE(parsed.value().Leaks(InstrClass::kMul, kObsLatency));
+}
+
+TEST(ContractFormat, RejectsMalformedContracts) {
+  struct Case {
+    const char* name;
+    std::string text;
+    const char* expect;  // Substring of the error message.
+  };
+  const std::string valid_tail =
+      "branch: target\njump: target\nload: address\nstore: address\n"
+      "mul: none\ndiv: latency(operands)\nalu: none\n";
+  const Case cases[] = {
+      {"empty", "", "missing"},
+      {"bad header keyword", "leakage ibex_lite v1\n" + valid_tail, "header"},
+      {"bad soc id", "contract Ibex-Lite v1\n" + valid_tail, "SoC id"},
+      {"bad version", "contract ibex_lite 1\n" + valid_tail, "version"},
+      {"trailing header token", "contract ibex_lite v1 extra\n" + valid_tail, "header"},
+      {"unknown class", "contract ibex_lite v1\nvec: none\n" + valid_tail,
+       "unknown instruction class"},
+      {"duplicate class", "contract ibex_lite v1\nbranch: target\n" + valid_tail,
+       "duplicate"},
+      {"missing observation kind", "contract ibex_lite v1\nmul:\njump: target\n"
+                                   "load: address\nstore: address\nbranch: target\n"
+                                   "div: none\nalu: none\n",
+       "missing observation"},
+      {"unknown observation", "contract ibex_lite v1\nmul: sparkles\njump: target\n"
+                              "load: address\nstore: address\nbranch: target\n"
+                              "div: none\nalu: none\n",
+       "unknown observation"},
+      {"inapplicable observation", "contract ibex_lite v1\nalu: target\njump: target\n"
+                                   "load: address\nstore: address\nbranch: target\n"
+                                   "div: none\nmul: none\n",
+       "does not apply"},
+      {"missing class",
+       "contract ibex_lite v1\nbranch: target\njump: target\nload: address\n"
+       "store: address\nmul: none\ndiv: none\n",
+       "missing entry"},
+  };
+  for (const Case& c : cases) {
+    auto parsed = ParseContract(c.text);
+    ASSERT_FALSE(parsed.ok()) << c.name;
+    EXPECT_NE(parsed.error().find(c.expect), std::string::npos)
+        << c.name << ": " << parsed.error();
+  }
+}
+
+TEST(ContractFormat, DiffExplainsPerClassChanges) {
+  LeakageContract a = BuiltinContract("ibex_lite");
+  LeakageContract b = BuiltinContract("ibex_lite_vlm");
+  std::vector<std::string> diffs = DiffContracts(a, b);
+  ASSERT_EQ(diffs.size(), 2u);
+  EXPECT_EQ(diffs[0], "soc: ibex_lite -> ibex_lite_vlm");
+  EXPECT_EQ(diffs[1], "mul: none -> latency(operands)");
+  EXPECT_TRUE(DiffContracts(a, a).empty());
+}
+
+TEST(ContractFormat, BuiltinsCoverTheModeledSocs) {
+  EXPECT_TRUE(HasBuiltinContract("pico_lite_vlm"));
+  EXPECT_FALSE(HasBuiltinContract("rocket"));
+  EXPECT_FALSE(BuiltinContract("ibex_lite").Leaks(InstrClass::kMul, kObsLatency));
+  EXPECT_TRUE(BuiltinContract("ibex_lite_vlm").Leaks(InstrClass::kMul, kObsLatency));
+  EXPECT_TRUE(BuiltinContract("pico_lite").Leaks(InstrClass::kDiv, kObsLatency));
+  EXPECT_EQ(ContractMismatch(BuiltinContract("ibex_lite"), "ibex_lite"), "");
+  EXPECT_NE(ContractMismatch(BuiltinContract("ibex_lite"), "pico_lite"), "");
+}
+
+// The single mismatch check, exercised end-to-end in each layer: lint, TV, and
+// Knox2 all refuse a contract whose soc id disagrees with the target system.
+
+TEST(ContractRefusal, LintRefusesMismatchedSocId) {
+  HsmSystem system(hsm::HasherApp(), HsmBuildOptions{});
+  analysis::LintConfig config = analysis::ConfigForSystem(system);
+  config.contract = BuiltinContract("pico_lite");
+  analysis::LintReport report = analysis::RunLint(system.image(), config);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.error.find("pico_lite"), std::string::npos) << report.error;
+}
+
+TEST(ContractRefusal, TvRefusesMismatchedSocId) {
+  HsmSystem system(hsm::HasherApp(), HsmBuildOptions{});
+  LeakageContract wrong = BuiltinContract("pico_lite");
+  analysis::TvConfig config;
+  config.contract = &wrong;
+  analysis::TvReport report = analysis::ValidateSystem(system, config);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.error.find("pico_lite"), std::string::npos) << report.error;
+}
+
+TEST(ContractRefusal, Knox2RefusesMismatchedSocId) {
+  HsmBuildOptions build;
+  build.taint_tracking = true;
+  HsmSystem system(hsm::HasherApp(), build);
+  LeakageContract wrong = BuiltinContract("pico_lite");
+  knox2::TaintCheckOptions options;
+  options.contract = &wrong;
+  Rng rng(11);
+  Bytes state = rng.RandomBytes(hsm::HasherApp().state_size());
+  knox2::TaintCheckResult result = knox2::RunTaintCheck(
+      system, state, {hsm::HasherApp().RandomValidCommand(rng)}, options);
+  EXPECT_NE(result.error.find("pico_lite"), std::string::npos) << result.error;
+  EXPECT_TRUE(result.leaks.empty());
+  EXPECT_EQ(result.checks_run, 0);
+}
+
+TEST(Conformance, StockFirmwareIsCleanAgainstItsOwnContract) {
+  HsmSystem system(hsm::HasherApp(), HsmBuildOptions{});
+  ConformanceReport report = CheckConformance(system, BuiltinContract(system.soc_id()));
+  ASSERT_TRUE(report.ok) << report.error;
+  EXPECT_TRUE(report.Clean());
+  EXPECT_EQ(report.soc_id, "ibex_lite");
+  EXPECT_GT(report.telemetry.CounterValue("contract/static_checks"), 0u);
+}
+
+TEST(Conformance, RefusesMismatchAndTaintlessDynamic) {
+  HsmSystem system(hsm::HasherApp(), HsmBuildOptions{});
+  ConformanceReport mismatched =
+      CheckConformance(system, BuiltinContract("pico_lite"));
+  EXPECT_FALSE(mismatched.ok);
+  ConformanceOptions dynamic;
+  dynamic.dynamic_check = true;
+  ConformanceReport taintless =
+      CheckConformance(system, BuiltinContract("ibex_lite"), dynamic);
+  EXPECT_FALSE(taintless.ok);
+  EXPECT_NE(taintless.error.find("taint_tracking"), std::string::npos) << taintless.error;
+}
+
+// The divergence experiment: a secret-dependent multiply on the variable-latency
+// multiplier. The honest `_vlm` contract catches it in both the static lint and
+// the dynamic taint emulator; the weakened contract (mul: none, same soc id so it
+// is accepted) makes both layers miss it — proving the layers really do consume
+// the artifact rather than private policy tables.
+
+const char* kSecretMulApp = R"(
+void handle(u8 *state, u8 *cmd, u8 *resp) {
+  for (u32 i = 0; i < RESPONSE_SIZE; i = i + 1) { resp[i] = 0; }
+  u32 tag = (u32)cmd[0];
+  if (tag == 2) {
+    u32 s = ((u32)state[0] << 24) | ((u32)state[1] << 16) | ((u32)state[2] << 8)
+            | (u32)state[3];
+    u32 acc = 0;
+    for (u32 i = 0; i < 32; i = i + 1) { acc = acc + s * (u32)cmd[1 + i]; }
+    resp[0] = 2;
+    resp[1] = (u8)acc;
+    return;
+  }
+}
+)";
+
+HsmSystem MulMutantSystem() {
+  HsmBuildOptions build;
+  build.source_override = kSecretMulApp;
+  build.variable_latency_mul = true;
+  build.taint_tracking = true;
+  return HsmSystem(hsm::HasherApp(), build);
+}
+
+LeakageContract WeakenedVlmContract() {
+  LeakageContract weakened = BuiltinContract("ibex_lite_vlm");
+  weakened.obs[static_cast<size_t>(InstrClass::kMul)] = kObsNone;
+  return weakened;
+}
+
+size_t CountLintSecretMuls(const analysis::LintReport& report) {
+  size_t n = 0;
+  for (const analysis::Finding& f : report.findings) {
+    n += f.kind == analysis::FindingKind::kSecretMul ? 1 : 0;
+  }
+  return n;
+}
+
+TEST(ContractDivergence, WeakenedContractFlipsLintFromCaughtToMissed) {
+  HsmSystem system = MulMutantSystem();
+  analysis::LintConfig config = analysis::ConfigForSystem(system);
+  ASSERT_TRUE(config.contract.Leaks(InstrClass::kMul, kObsLatency));
+  analysis::LintReport caught = analysis::RunLint(system.image(), config);
+  ASSERT_TRUE(caught.ok) << caught.error;
+  EXPECT_GT(CountLintSecretMuls(caught), 0u);
+
+  config.contract = WeakenedVlmContract();
+  analysis::LintReport missed = analysis::RunLint(system.image(), config);
+  ASSERT_TRUE(missed.ok) << missed.error;
+  EXPECT_EQ(CountLintSecretMuls(missed), 0u);
+}
+
+// Flattens a taint run for byte-identity comparisons across thread counts.
+std::string TaintSignature(const knox2::TaintCheckResult& result) {
+  std::string sig;
+  for (const soc::TaintLeak& leak : result.leaks) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%08x ", leak.pc);
+    sig += buf;
+    sig += leak.what;
+    sig += '\n';
+  }
+  return sig;
+}
+
+TEST(ContractDivergence, WeakenedContractFlipsKnox2ByteIdenticallyAtAnyThreadCount) {
+  HsmSystem system = MulMutantSystem();
+  const hsm::App& app = hsm::HasherApp();
+  Rng rng(28);
+  Bytes state = rng.RandomBytes(app.state_size());
+  std::vector<Bytes> commands;
+  for (int i = 0; i < 3; i++) {
+    Bytes cmd = app.RandomValidCommand(rng);
+    cmd[0] = 2;  // Reach the secret multiply.
+    commands.push_back(cmd);
+  }
+
+  LeakageContract honest = BuiltinContract("ibex_lite_vlm");
+  LeakageContract weakened = WeakenedVlmContract();
+  std::string honest_sig, weakened_sig;
+  for (int threads : {1, 4}) {
+    knox2::TaintCheckOptions options;
+    options.num_threads = threads;
+    options.contract = &honest;
+    knox2::TaintCheckResult caught = knox2::RunTaintCheck(system, state, commands, options);
+    ASSERT_TRUE(caught.error.empty()) << caught.error;
+    EXPECT_FALSE(caught.leaks.empty()) << "threads=" << threads;
+    bool mul_leak = false;
+    for (const soc::TaintLeak& leak : caught.leaks) {
+      mul_leak |= leak.what.find("mul") != std::string::npos;
+    }
+    EXPECT_TRUE(mul_leak) << "threads=" << threads;
+
+    options.contract = &weakened;
+    knox2::TaintCheckResult missed = knox2::RunTaintCheck(system, state, commands, options);
+    ASSERT_TRUE(missed.error.empty()) << missed.error;
+    EXPECT_TRUE(missed.leaks.empty()) << "threads=" << threads;
+
+    if (threads == 1) {
+      honest_sig = TaintSignature(caught);
+      weakened_sig = TaintSignature(missed);
+    } else {
+      EXPECT_EQ(TaintSignature(caught), honest_sig);
+      EXPECT_EQ(TaintSignature(missed), weakened_sig);
+    }
+  }
+}
+
+TEST(ContractDivergence, ConformancePassSeesTheSameFlip) {
+  HsmSystem system = MulMutantSystem();
+  ConformanceOptions options;
+  options.dynamic_check = true;
+  options.commands = 3;
+  ConformanceReport caught =
+      CheckConformance(system, BuiltinContract("ibex_lite_vlm"), options);
+  ASSERT_TRUE(caught.ok) << caught.error;
+  EXPECT_FALSE(caught.Clean());
+
+  ConformanceReport missed = CheckConformance(system, WeakenedVlmContract(), options);
+  ASSERT_TRUE(missed.ok) << missed.error;
+  EXPECT_EQ(CountLintSecretMuls(missed.lint), 0u);
+}
+
+}  // namespace
+}  // namespace parfait::contract

@@ -51,7 +51,10 @@ inline bool WriteBaselineAtomic(const std::string& path, const std::string& head
       out << line << "\n";
     }
     out.flush();
-    if (!out) {
+    // Close explicitly and re-check: the destructor swallows close errors, which
+    // would let a short write slide through to the rename below.
+    out.close();
+    if (out.fail()) {
       *error = "write to " + tmp + " failed";
       std::remove(tmp.c_str());
       return false;

@@ -1,0 +1,417 @@
+// parfait-contract: manage and enforce the ISA-level leakage contracts under
+// tools/contracts/ (src/contract/contract.h).
+//
+// Usage:
+//   parfait-contract lint FILE...
+//       Validates well-formedness AND canonical form: each file must parse and be
+//       byte-identical to the canonical serialization of what it parses to, so a
+//       committed artifact can never drift from what the tools actually consume.
+//   parfait-contract diff A B
+//       Explains how two contracts differ, one line per divergent class.
+//       Exit 0 when identical, 1 when they differ.
+//   parfait-contract builtin SOC
+//       Prints the builtin contract for a SoC id (ibex_lite, pico_lite,
+//       ibex_lite_vlm, pico_lite_vlm) in canonical form — how the committed
+//       artifacts are (re)generated.
+//   parfait-contract check --app=ecdsa|hasher --contract=FILE [--opt-level=0|2]
+//                          [--dynamic] [--commands=N] [--threads=N] [--json=FILE]
+//                          [--baseline=FILE] [--update-baseline]
+//       Builds the firmware for the SoC the contract names (the `_vlm` suffix
+//       selects the variable-latency multiplier) and runs the static
+//       contract-conformance pass; findings carry the lint's provenance chain back
+//       to the FRAM secret seed. --dynamic additionally replays a deterministic
+//       command workload under the Knox2 taint emulator with the sink set
+//       configured from the same contract. Reports are byte-identical at any
+//       --threads value.
+//
+// Exit codes: 0 clean (or all findings in the baseline), 1 findings, 2 error.
+// Baseline lines are `<app> <soc> <pc-hex> <kind>`.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/contract/conformance.h"
+#include "src/contract/contract.h"
+#include "src/hsm/app.h"
+#include "src/hsm/hsm_system.h"
+#include "tools/baseline.h"
+
+namespace {
+
+using parfait::analysis::Finding;
+using parfait::analysis::FindingKindName;
+using parfait::contract::CheckConformance;
+using parfait::contract::ConformanceOptions;
+using parfait::contract::ConformanceReport;
+using parfait::contract::LeakageContract;
+
+std::string FlagValue(int argc, char** argv, const char* name) {
+  std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; i++) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return argv[i] + prefix.size();
+    }
+  }
+  return "";
+}
+
+bool FlagSet(int argc, char** argv, const char* name) {
+  std::string flag = std::string("--") + name;
+  for (int i = 1; i < argc; i++) {
+    if (flag == argv[i]) {
+      return true;
+    }
+  }
+  return false;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: parfait-contract lint FILE...\n"
+               "       parfait-contract diff A B\n"
+               "       parfait-contract builtin SOC\n"
+               "       parfait-contract check --app=ecdsa|hasher --contract=FILE\n"
+               "                              [--opt-level=0|2] [--dynamic] [--commands=N]\n"
+               "                              [--threads=N] [--json=FILE]\n"
+               "                              [--baseline=FILE] [--update-baseline]\n");
+  return 2;
+}
+
+int RunLintCmd(const std::vector<std::string>& files) {
+  if (files.empty()) {
+    return Usage();
+  }
+  int bad = 0;
+  for (const std::string& path : files) {
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "parfait-contract: cannot read %s\n", path.c_str());
+      bad++;
+      continue;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    auto parsed = parfait::contract::ParseContract(text.str());
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "parfait-contract: %s: %s\n", path.c_str(), parsed.error().c_str());
+      bad++;
+      continue;
+    }
+    std::string canonical = parfait::contract::SerializeContract(parsed.value());
+    if (canonical != text.str()) {
+      std::fprintf(stderr,
+                   "parfait-contract: %s: not in canonical form (regenerate with "
+                   "`parfait-contract builtin %s` or re-serialize)\n",
+                   path.c_str(), parsed.value().soc.c_str());
+      bad++;
+      continue;
+    }
+    std::printf("parfait-contract: %s: ok (soc %s, v%d)\n", path.c_str(),
+                parsed.value().soc.c_str(), parsed.value().version);
+  }
+  return bad == 0 ? 0 : 1;
+}
+
+int RunDiffCmd(const std::string& path_a, const std::string& path_b) {
+  auto a = parfait::contract::LoadContractFile(path_a);
+  auto b = parfait::contract::LoadContractFile(path_b);
+  for (const auto* r : {&a, &b}) {
+    if (!r->ok()) {
+      std::fprintf(stderr, "parfait-contract: %s\n", r->error().c_str());
+      return 2;
+    }
+  }
+  std::vector<std::string> diffs =
+      parfait::contract::DiffContracts(a.value(), b.value());
+  if (diffs.empty()) {
+    std::printf("parfait-contract: contracts are identical\n");
+    return 0;
+  }
+  std::printf("parfait-contract: %zu difference(s) (%s -> %s)\n", diffs.size(),
+              path_a.c_str(), path_b.c_str());
+  for (const std::string& d : diffs) {
+    std::printf("  %s\n", d.c_str());
+  }
+  return 1;
+}
+
+int RunBuiltinCmd(const std::string& soc_id) {
+  if (!parfait::contract::HasBuiltinContract(soc_id)) {
+    std::fprintf(stderr,
+                 "parfait-contract: no builtin contract for '%s' (use ibex_lite, "
+                 "pico_lite, ibex_lite_vlm, or pico_lite_vlm)\n",
+                 soc_id.c_str());
+    return 2;
+  }
+  std::string text =
+      parfait::contract::SerializeContract(parfait::contract::BuiltinContract(soc_id));
+  std::fwrite(text.data(), 1, text.size(), stdout);
+  return 0;
+}
+
+std::string FindingLine(const std::string& app, const std::string& soc, const Finding& f) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%s %s 0x%08x %s", app.c_str(), soc.c_str(), f.pc,
+                FindingKindName(f.kind));
+  return buf;
+}
+
+std::string DynamicLine(const std::string& app, const std::string& soc,
+                        const parfait::soc::TaintLeak& leak) {
+  std::string what = leak.what;
+  std::replace(what.begin(), what.end(), ' ', '-');
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%s %s 0x%08x dynamic:%s", app.c_str(), soc.c_str(),
+                leak.pc, what.c_str());
+  return buf;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+    }
+    out += c;
+  }
+  return out;
+}
+
+int RunCheckCmd(int argc, char** argv) {
+  std::string app_name = FlagValue(argc, argv, "app");
+  std::string contract_path = FlagValue(argc, argv, "contract");
+  if ((app_name != "ecdsa" && app_name != "hasher") || contract_path.empty()) {
+    return Usage();
+  }
+  std::string opt_str = FlagValue(argc, argv, "opt-level");
+  int opt_level = 0;
+  if (!opt_str.empty()) {
+    if (opt_str != "0" && opt_str != "2") {
+      std::fprintf(stderr, "parfait-contract: bad --opt-level value '%s' (use 0 or 2)\n",
+                   opt_str.c_str());
+      return 2;
+    }
+    opt_level = opt_str == "2" ? 2 : 0;
+  }
+  ConformanceOptions options;
+  options.dynamic_check = FlagSet(argc, argv, "dynamic");
+  for (const char* name : {"commands", "threads"}) {
+    std::string value = FlagValue(argc, argv, name);
+    if (value.empty()) {
+      continue;
+    }
+    char* end = nullptr;
+    long v = std::strtol(value.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || v < 0) {
+      std::fprintf(stderr, "parfait-contract: bad --%s value '%s'\n", name, value.c_str());
+      return 2;
+    }
+    (std::strcmp(name, "commands") == 0 ? options.commands : options.num_threads) =
+        static_cast<int>(v);
+  }
+  std::string json_path = FlagValue(argc, argv, "json");
+  std::string baseline_path = FlagValue(argc, argv, "baseline");
+  bool update_baseline = FlagSet(argc, argv, "update-baseline");
+  if (update_baseline && baseline_path.empty()) {
+    std::fprintf(stderr, "parfait-contract: --update-baseline requires --baseline=FILE\n");
+    return 2;
+  }
+
+  auto loaded = parfait::contract::LoadContractFile(contract_path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "parfait-contract: %s\n", loaded.error().c_str());
+    return 2;
+  }
+  const LeakageContract& contract = loaded.value();
+
+  // The contract names the target: its soc id selects the CPU kind and (via the
+  // `_vlm` suffix) the variable-latency multiplier, so `check` always builds the
+  // configuration the artifact describes.
+  bool vlm = contract.soc.size() > 4 &&
+             contract.soc.compare(contract.soc.size() - 4, 4, "_vlm") == 0;
+  std::string base = vlm ? contract.soc.substr(0, contract.soc.size() - 4) : contract.soc;
+  if (base != "ibex_lite" && base != "pico_lite") {
+    std::fprintf(stderr, "parfait-contract: contract soc '%s' does not name a modeled SoC\n",
+                 contract.soc.c_str());
+    return 2;
+  }
+
+  const parfait::hsm::App& app =
+      app_name == "ecdsa" ? parfait::hsm::EcdsaApp() : parfait::hsm::HasherApp();
+  parfait::hsm::HsmBuildOptions build;
+  build.opt_level = opt_level;
+  build.cpu = base == "ibex_lite" ? parfait::soc::CpuKind::kIbexLite
+                                  : parfait::soc::CpuKind::kPicoLite;
+  build.variable_latency_mul = vlm;
+  build.taint_tracking = options.dynamic_check;
+  parfait::hsm::HsmSystem system(app, build);
+
+  ConformanceReport report = CheckConformance(system, contract, options);
+  if (!report.ok) {
+    std::fprintf(stderr, "parfait-contract: %s\n", report.error.c_str());
+    return 2;
+  }
+
+  std::printf("parfait-contract check %s vs %s (soc %s, O%d): %zu static finding(s)",
+              app_name.c_str(), contract_path.c_str(), report.soc_id.c_str(), opt_level,
+              report.lint.findings.size());
+  if (options.dynamic_check) {
+    std::printf(", %zu dynamic leak site(s) over %d command(s)",
+                report.dynamic_leaks.size(), report.dynamic_commands);
+  }
+  std::printf("\n");
+  for (const Finding& f : report.lint.findings) {
+    std::printf("  [%s] pc 0x%08x in <%s>: %s\n", FindingKindName(f.kind), f.pc,
+                f.function.c_str(), f.instr.c_str());
+    for (const std::string& hop : f.provenance) {
+      std::printf("      %s\n", hop.c_str());
+    }
+  }
+  for (const parfait::soc::TaintLeak& leak : report.dynamic_leaks) {
+    std::printf("  [dynamic] pc 0x%08x: %s\n", leak.pc, leak.what.c_str());
+  }
+  std::printf("  contract_checks=%llu instrs_analyzed=%llu\n",
+              static_cast<unsigned long long>(
+                  report.lint.telemetry.CounterValue("lint/contract_checks")),
+              static_cast<unsigned long long>(
+                  report.lint.telemetry.CounterValue("lint/instrs_analyzed")));
+
+  // All finding keys, deduplicated (dynamic leaks repeat per execution).
+  std::set<std::string> keys;
+  for (const Finding& f : report.lint.findings) {
+    keys.insert(FindingLine(app_name, report.soc_id, f));
+  }
+  for (const parfait::soc::TaintLeak& leak : report.dynamic_leaks) {
+    keys.insert(DynamicLine(app_name, report.soc_id, leak));
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << "{\n  \"app\": \"" << app_name << "\",\n  \"soc\": \"" << report.soc_id
+        << "\",\n  \"contract\": \"" << JsonEscape(contract_path) << "\",\n  \"findings\": [\n";
+    for (size_t i = 0; i < report.lint.findings.size(); i++) {
+      const Finding& f = report.lint.findings[i];
+      char pc_hex[16];
+      std::snprintf(pc_hex, sizeof(pc_hex), "0x%08x", f.pc);
+      out << "    {\"pc\": \"" << pc_hex << "\", \"kind\": \"" << FindingKindName(f.kind)
+          << "\", \"function\": \"" << JsonEscape(f.function) << "\"}"
+          << (i + 1 < report.lint.findings.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n  \"dynamic_leaks\": [\n";
+    for (size_t i = 0; i < report.dynamic_leaks.size(); i++) {
+      const parfait::soc::TaintLeak& leak = report.dynamic_leaks[i];
+      char pc_hex[16];
+      std::snprintf(pc_hex, sizeof(pc_hex), "0x%08x", leak.pc);
+      out << "    {\"pc\": \"" << pc_hex << "\", \"what\": \"" << JsonEscape(leak.what)
+          << "\"}" << (i + 1 < report.dynamic_leaks.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n  \"telemetry\": " << report.telemetry.ToJson() << "\n}\n";
+  }
+
+  if (update_baseline) {
+    std::set<std::string> baseline;
+    std::string error;
+    if (!parfait::tools::LoadBaseline(baseline_path, &baseline, &error)) {
+      baseline.clear();  // A missing baseline is created from scratch.
+    }
+    std::vector<std::string> lines;
+    std::string prefix = app_name + " " + report.soc_id + " ";
+    for (const std::string& entry : baseline) {
+      if (entry.rfind(prefix, 0) != 0) {
+        lines.push_back(entry);
+      }
+    }
+    lines.insert(lines.end(), keys.begin(), keys.end());
+    std::sort(lines.begin(), lines.end());
+    if (!parfait::tools::WriteBaselineAtomic(
+            baseline_path,
+            "# parfait-contract baseline: one `<app> <soc> <pc-hex> <kind>` per line.\n"
+            "# Regenerate with: parfait-contract check --app=<app> --contract=<file> "
+            "--baseline=<this file> --update-baseline\n",
+            lines, &error)) {
+      std::fprintf(stderr, "parfait-contract: %s\n", error.c_str());
+      return 2;
+    }
+    std::printf("  baseline: updated %s (%zu entr%s)\n", baseline_path.c_str(), lines.size(),
+                lines.size() == 1 ? "y" : "ies");
+    return 0;
+  }
+
+  if (!baseline_path.empty()) {
+    std::set<std::string> baseline;
+    std::string error;
+    if (!parfait::tools::LoadBaseline(baseline_path, &baseline, &error)) {
+      std::fprintf(stderr, "parfait-contract: %s\n", error.c_str());
+      return 2;
+    }
+    int fresh = 0;
+    for (const std::string& key : keys) {
+      if (baseline.count(key) == 0) {
+        std::fprintf(stderr, "parfait-contract: NEW finding not in baseline: %s\n",
+                     key.c_str());
+        fresh++;
+      }
+    }
+    if (fresh > 0) {
+      return 1;
+    }
+    std::printf("  baseline: ok (%zu finding(s), all known)\n", keys.size());
+    return 0;
+  }
+
+  return keys.empty() ? 0 : 1;
+}
+
+int RunTool(int argc, char** argv) {
+  if (argc < 2) {
+    return Usage();
+  }
+  std::string cmd = argv[1];
+  if (cmd == "lint") {
+    std::vector<std::string> files;
+    for (int i = 2; i < argc; i++) {
+      if (std::strncmp(argv[i], "--", 2) != 0) {
+        files.emplace_back(argv[i]);
+      }
+    }
+    return RunLintCmd(files);
+  }
+  if (cmd == "diff") {
+    if (argc < 4) {
+      return Usage();
+    }
+    return RunDiffCmd(argv[2], argv[3]);
+  }
+  if (cmd == "builtin") {
+    if (argc < 3) {
+      return Usage();
+    }
+    return RunBuiltinCmd(argv[2]);
+  }
+  if (cmd == "check") {
+    return RunCheckCmd(argc, argv);
+  }
+  return Usage();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Observability knobs shared with the benches (see bench/bench_util.h).
+  std::string trace_path = parfait::bench::SetupTrace(argc, argv);
+  std::string telemetry_path = parfait::bench::SetupTelemetryJson(argc, argv);
+  parfait::bench::SetupProfile(argc, argv);
+  int rc = RunTool(argc, argv);
+  parfait::bench::FinishTrace(trace_path);
+  if (!parfait::bench::FinishTelemetryJson(telemetry_path, "parfait-contract")) {
+    std::fprintf(stderr, "parfait-contract: failed to write %s\n", telemetry_path.c_str());
+    return rc == 0 ? 2 : rc;
+  }
+  return rc;
+}

@@ -2,13 +2,20 @@
 // the case-study HSM applications.
 //
 // Usage:
-//   parfait-lint --app=ecdsa|hasher [--opt-level=0|2] [--crosscheck] [--mul-policy]
-//                [--json=FILE] [--baseline=FILE] [--update-baseline]
-//                [--trace=FILE] [--telemetry-json=FILE]
+//   parfait-lint --app=ecdsa|hasher [--opt-level=0|2] [--crosscheck]
+//                [--contract=FILE] [--json=FILE] [--baseline=FILE]
+//                [--update-baseline] [--trace=FILE] [--telemetry-json=FILE]
 //
 // --opt-level selects which code generator built the linted firmware (default 0);
 // running the lint over the O2 binaries gives the optimized path the same static
 // leakage coverage as the O0 path.
+//
+// --contract=FILE lints against an explicit leakage contract (see
+// tools/contracts/); the contract's soc id selects the SoC build (CPU kind plus
+// the `_vlm` variable-latency-multiplier suffix), so the checked artifact is the
+// single source of truth for what counts as an observation. Without the flag the
+// system's builtin contract applies. --mul-policy is a deprecated alias for
+// --contract=tools/contracts/<cpu>_vlm.contract and will be removed.
 //
 // --trace= (or the PARFAIT_TRACE environment variable) captures a Chrome trace of
 // the run; --telemetry-json= dumps the global telemetry snapshot — both share the
@@ -32,6 +39,7 @@
 #include "bench/bench_util.h"
 #include "src/analysis/crosscheck.h"
 #include "src/analysis/lint.h"
+#include "src/contract/contract.h"
 #include "src/hsm/app.h"
 #include "src/hsm/hsm_system.h"
 #include "tools/baseline.h"
@@ -93,7 +101,7 @@ int RunTool(int argc, char** argv) {
   std::string app_name = FlagValue(argc, argv, "app");
   if (app_name != "ecdsa" && app_name != "hasher") {
     std::fprintf(stderr, "usage: parfait-lint --app=ecdsa|hasher [--opt-level=0|2] "
-                         "[--crosscheck] [--mul-policy] [--json=FILE] "
+                         "[--crosscheck] [--contract=FILE] [--json=FILE] "
                          "[--baseline=FILE] [--update-baseline]\n");
     return 2;
   }
@@ -108,7 +116,18 @@ int RunTool(int argc, char** argv) {
     opt_level = opt_str == "2" ? 2 : 0;
   }
   bool crosscheck = FlagSet(argc, argv, "crosscheck");
+  std::string contract_path = FlagValue(argc, argv, "contract");
   bool mul_policy = FlagSet(argc, argv, "mul-policy");
+  if (mul_policy) {
+    std::fprintf(stderr,
+                 "parfait-lint: warning: --mul-policy is deprecated; use "
+                 "--contract=tools/contracts/<cpu>_vlm.contract (the contract artifact "
+                 "now declares the multiplier's leakage)\n");
+    if (!contract_path.empty()) {
+      std::fprintf(stderr, "parfait-lint: --mul-policy conflicts with --contract\n");
+      return 2;
+    }
+  }
   std::string json_path = FlagValue(argc, argv, "json");
   std::string baseline_path = FlagValue(argc, argv, "baseline");
   bool update_baseline = FlagSet(argc, argv, "update-baseline");
@@ -124,9 +143,36 @@ int RunTool(int argc, char** argv) {
   build.opt_level = opt_level;
   build.taint_tracking = crosscheck;
   build.variable_latency_mul = mul_policy;
+  parfait::contract::LeakageContract explicit_contract;
+  bool have_contract = false;
+  if (!contract_path.empty()) {
+    auto loaded = parfait::contract::LoadContractFile(contract_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "parfait-lint: %s\n", loaded.error().c_str());
+      return 2;
+    }
+    explicit_contract = loaded.value();
+    // The contract names the target SoC; build that configuration so the lint
+    // checks the artifact against the system it actually describes.
+    const std::string& soc = explicit_contract.soc;
+    bool vlm = soc.size() > 4 && soc.compare(soc.size() - 4, 4, "_vlm") == 0;
+    std::string base = vlm ? soc.substr(0, soc.size() - 4) : soc;
+    if (base != "ibex_lite" && base != "pico_lite") {
+      std::fprintf(stderr, "parfait-lint: contract soc '%s' does not name a modeled SoC\n",
+                   soc.c_str());
+      return 2;
+    }
+    build.cpu = base == "ibex_lite" ? parfait::soc::CpuKind::kIbexLite
+                                    : parfait::soc::CpuKind::kPicoLite;
+    build.variable_latency_mul = vlm;
+    have_contract = true;
+  }
   parfait::hsm::HsmSystem system(app, build);
 
   parfait::analysis::LintConfig config = parfait::analysis::ConfigForSystem(system);
+  if (have_contract) {
+    config.contract = explicit_contract;
+  }
   LintReport report = parfait::analysis::RunLint(system.image(), config);
   if (!report.ok) {
     std::fprintf(stderr, "parfait-lint: analysis failed: %s\n", report.error.c_str());

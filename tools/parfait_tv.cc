@@ -3,12 +3,18 @@
 //
 // Usage:
 //   parfait-tv --app=ecdsa|hasher|all [--opt-level=0|2] [--func=NAME] [--threads=N]
-//              [--json=FILE] [--baseline=FILE] [--update-baseline]
+//              [--contract=FILE] [--json=FILE] [--baseline=FILE] [--update-baseline]
 //              [--trace=FILE] [--telemetry-json=FILE]
 //
 // --opt-level selects which code generator's output is validated: 0 (default, the
 // verified-compiler stand-in) or 2 (the optimizing generator, checked through its
 // witness transformer entries and the relaxed simulation relation).
+//
+// --contract=FILE validates leakage preservation against an explicit contract from
+// tools/contracts/ instead of the system's builtin one: unjustified instructions
+// whose class bears a contract observation are classified unjustified-observation,
+// and the contract-relevant sites the walk did justify are counted
+// (tv/contract_sites). The contract's soc id must match the validated system.
 //
 // --trace= (or PARFAIT_TRACE) captures a Chrome trace; --telemetry-json= dumps the
 // global telemetry snapshot — the same observability knobs the benches take, via
@@ -30,6 +36,7 @@
 
 #include "bench/bench_util.h"
 #include "src/analysis/tv/tv.h"
+#include "src/contract/contract.h"
 #include "src/hsm/app.h"
 #include "src/hsm/hsm_system.h"
 #include "tools/baseline.h"
@@ -90,8 +97,8 @@ int RunTool(int argc, char** argv) {
   if (app_name != "ecdsa" && app_name != "hasher" && app_name != "all") {
     std::fprintf(stderr,
                  "usage: parfait-tv --app=ecdsa|hasher|all [--opt-level=0|2] "
-                 "[--func=NAME] [--threads=N] [--json=FILE] [--baseline=FILE] "
-                 "[--update-baseline]\n");
+                 "[--func=NAME] [--threads=N] [--contract=FILE] [--json=FILE] "
+                 "[--baseline=FILE] [--update-baseline]\n");
     return 2;
   }
   std::string opt_str = FlagValue(argc, argv, "opt-level");
@@ -115,6 +122,17 @@ int RunTool(int argc, char** argv) {
       return 2;
     }
     config.num_threads = static_cast<int>(v);
+  }
+  std::string contract_path = FlagValue(argc, argv, "contract");
+  parfait::contract::LeakageContract explicit_contract;
+  if (!contract_path.empty()) {
+    auto loaded = parfait::contract::LoadContractFile(contract_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "parfait-tv: %s\n", loaded.error().c_str());
+      return 2;
+    }
+    explicit_contract = loaded.value();
+    config.contract = &explicit_contract;
   }
   std::string json_path = FlagValue(argc, argv, "json");
   std::string baseline_path = FlagValue(argc, argv, "baseline");
@@ -182,6 +200,9 @@ int RunTool(int argc, char** argv) {
                     run.report.telemetry.CounterValue("tv/xforms")),
                 static_cast<unsigned long long>(
                     run.report.telemetry.CounterValue("tv/unwitnessed_functions")));
+    std::printf("  contract_sites=%llu\n",
+                static_cast<unsigned long long>(
+                    run.report.telemetry.CounterValue("tv/contract_sites")));
     total_findings += run.report.FindingCount();
   }
 
